@@ -1,0 +1,166 @@
+// Experiment B0 — substrate microbenchmarks (google-benchmark): throughput
+// of the statevector kernels that dominate the samplers' wall-clock, and
+// the cost model behind choosing the Householder preparation over a dense
+// QFT in the hot path.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "distdb/workload.hpp"
+#include "qsim/controlled.hpp"
+#include "qsim/density.hpp"
+#include "qsim/gates.hpp"
+#include "qsim/state_vector.hpp"
+#include "sampling/samplers.hpp"
+
+namespace {
+
+using namespace qs;
+
+RegisterLayout coordinator_layout(std::size_t universe, std::size_t nu) {
+  RegisterLayout layout;
+  layout.add("elem", universe);
+  layout.add("count", nu + 1);
+  layout.add("flag", 2);
+  return layout;
+}
+
+void BM_ValueShiftOracle(benchmark::State& state) {
+  const auto universe = static_cast<std::size_t>(state.range(0));
+  const auto layout = coordinator_layout(universe, 4);
+  StateVector sv(layout);
+  Rng rng(1);
+  sv.set_amplitudes(random_state(layout.total_dim(), rng));
+  std::vector<std::size_t> shifts(universe);
+  for (std::size_t i = 0; i < universe; ++i) shifts[i] = i % 5;
+  const auto elem = layout.find("elem");
+  const auto count = layout.find("count");
+  for (auto _ : state) {
+    sv.apply_value_shift(count, elem, shifts);
+    benchmark::DoNotOptimize(sv.mutable_amplitudes().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(layout.total_dim()));
+}
+BENCHMARK(BM_ValueShiftOracle)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_HouseholderPrep(benchmark::State& state) {
+  const auto universe = static_cast<std::size_t>(state.range(0));
+  const auto layout = coordinator_layout(universe, 4);
+  StateVector sv(layout);
+  Rng rng(2);
+  sv.set_amplitudes(random_state(layout.total_dim(), rng));
+  const auto v = uniform_prep_householder_vector(universe);
+  const auto elem = layout.find("elem");
+  for (auto _ : state) {
+    sv.apply_householder(elem, v);
+    benchmark::DoNotOptimize(sv.mutable_amplitudes().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(layout.total_dim()));
+}
+BENCHMARK(BM_HouseholderPrep)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_DenseQftPrep(benchmark::State& state) {
+  // O(N²) per fiber — kept small; contrast with BM_HouseholderPrep.
+  const auto universe = static_cast<std::size_t>(state.range(0));
+  const auto layout = coordinator_layout(universe, 4);
+  StateVector sv(layout);
+  Rng rng(3);
+  sv.set_amplitudes(random_state(layout.total_dim(), rng));
+  const auto f = qft_matrix(universe);
+  const auto elem = layout.find("elem");
+  for (auto _ : state) {
+    sv.apply_unitary(elem, f);
+    benchmark::DoNotOptimize(sv.mutable_amplitudes().data());
+  }
+}
+BENCHMARK(BM_DenseQftPrep)->Arg(64)->Arg(256);
+
+void BM_ConditionedRotationU(benchmark::State& state) {
+  const auto universe = static_cast<std::size_t>(state.range(0));
+  const std::size_t nu = 4;
+  const auto layout = coordinator_layout(universe, nu);
+  StateVector sv(layout);
+  Rng rng(4);
+  sv.set_amplitudes(random_state(layout.total_dim(), rng));
+  std::vector<Matrix> rotations;
+  for (std::size_t c = 0; c <= nu; ++c)
+    rotations.push_back(rotation_matrix(0.1 * static_cast<double>(c)));
+  const auto count = layout.find("count");
+  const auto flag = layout.find("flag");
+  for (auto _ : state) {
+    sv.apply_conditioned_unitary(flag, [&](std::size_t base) {
+      return &rotations[layout.digit(base, count)];
+    });
+    benchmark::DoNotOptimize(sv.mutable_amplitudes().data());
+  }
+}
+BENCHMARK(BM_ConditionedRotationU)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ControlledFragment(benchmark::State& state) {
+  // Cost of the controlled-scope machinery (extract + run + stitch) per
+  // amplitude — the overhead phase estimation pays per controlled power.
+  const auto universe = static_cast<std::size_t>(state.range(0));
+  RegisterLayout layout;
+  const auto control = layout.add("control", 2);
+  const auto target = layout.add("target", universe);
+  StateVector sv(layout);
+  Rng rng(7);
+  sv.set_amplitudes(random_state(layout.total_dim(), rng));
+  const auto v = uniform_prep_householder_vector(universe);
+  for (auto _ : state) {
+    apply_controlled(sv, control, 1, [&](StateVector& slice) {
+      slice.apply_householder(target, v);
+    });
+    benchmark::DoNotOptimize(sv.mutable_amplitudes().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(layout.total_dim()));
+}
+BENCHMARK(BM_ControlledFragment)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_PartialTrace(benchmark::State& state) {
+  // The Lemma B.1 operation: reduce the coordinator state to the element
+  // register.
+  const auto universe = static_cast<std::size_t>(state.range(0));
+  const auto layout = coordinator_layout(universe, 4);
+  StateVector sv(layout);
+  Rng rng(8);
+  sv.set_amplitudes(random_state(layout.total_dim(), rng));
+  const auto elem = layout.find("elem");
+  for (auto _ : state) {
+    auto rho = partial_trace(sv, {elem});
+    benchmark::DoNotOptimize(rho.data().data());
+  }
+}
+BENCHMARK(BM_PartialTrace)->Arg(32)->Arg(64);
+
+void BM_FullSequentialSampler(benchmark::State& state) {
+  const auto universe = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  auto datasets = workload::uniform_random(universe, 4, universe / 4, rng);
+  const auto nu = min_capacity(datasets) + 1;
+  const DistributedDatabase db(std::move(datasets), nu);
+  for (auto _ : state) {
+    auto result = run_sequential_sampler(db);
+    benchmark::DoNotOptimize(result.fidelity);
+  }
+}
+BENCHMARK(BM_FullSequentialSampler)->Arg(128)->Arg(512);
+
+void BM_FullParallelSampler(benchmark::State& state) {
+  const auto universe = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  auto datasets = workload::uniform_random(universe, 4, universe / 4, rng);
+  const auto nu = min_capacity(datasets) + 1;
+  const DistributedDatabase db(std::move(datasets), nu);
+  for (auto _ : state) {
+    auto result = run_parallel_sampler(db);
+    benchmark::DoNotOptimize(result.fidelity);
+  }
+}
+BENCHMARK(BM_FullParallelSampler)->Arg(128)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

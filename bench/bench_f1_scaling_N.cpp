@@ -1,0 +1,46 @@
+// Experiment F1 — scaling exponent in N: at fixed M and ν, queries grow
+// like √N. Produces the log–log series and fits the power law; the fitted
+// exponent must be 0.5 (±0.05) for both query models.
+#include <cmath>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "sampling/samplers.hpp"
+
+int main() {
+  using namespace qs;
+  bench::banner("F1",
+                "Scaling in N at fixed M, nu: queries ~ sqrt(N) "
+                "(log-log slope 1/2)");
+
+  TextTable table({"N", "seq_queries", "par_rounds", "fidelity"});
+  std::vector<double> ns, seq_q, par_q;
+  for (const std::size_t universe :
+       {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u}) {
+    // M = 32 (16 elements x2), nu = 4, n = 3 — constant across the sweep.
+    const auto db = bench::controlled_db(universe, 3, 16, 2, 4);
+    const auto seq = run_sequential_sampler(db);
+    const auto par = run_parallel_sampler(db);
+    ns.push_back(static_cast<double>(universe));
+    seq_q.push_back(static_cast<double>(seq.stats.total_sequential()));
+    par_q.push_back(static_cast<double>(par.stats.parallel_rounds));
+    table.add_row({TextTable::cell(std::uint64_t{universe}),
+                   TextTable::cell(seq.stats.total_sequential()),
+                   TextTable::cell(par.stats.parallel_rounds),
+                   TextTable::cell(seq.fidelity, 12)});
+  }
+  table.print(std::cout, "F1: queries vs N (series for the figure)");
+
+  const auto seq_fit = fit_power_law(ns, seq_q);
+  const auto par_fit = fit_power_law(ns, par_q);
+  std::printf("\nfitted exponents: sequential %.3f (R2=%.4f), parallel %.3f "
+              "(R2=%.4f); theory: 0.500\n",
+              seq_fit.slope, seq_fit.r_squared, par_fit.slope,
+              par_fit.r_squared);
+  const bool pass = std::abs(seq_fit.slope - 0.5) < 0.05 &&
+                    std::abs(par_fit.slope - 0.5) < 0.05;
+  std::printf("exponent check (|slope - 0.5| < 0.05): %s\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,44 @@
+// Experiment F2 — scaling in the machine count n at fixed (N, M, ν):
+// sequential queries grow LINEARLY in n (slope 1 on log-log), parallel
+// rounds stay FLAT (slope 0). This is the paper's headline separation
+// between the two communication patterns.
+#include <cmath>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "sampling/samplers.hpp"
+
+int main() {
+  using namespace qs;
+  bench::banner("F2",
+                "Scaling in n at fixed N, M, nu: sequential ~ n, parallel "
+                "~ 1");
+
+  TextTable table({"n", "seq_queries", "par_rounds", "fidelity"});
+  std::vector<double> ns, seq_q, par_q;
+  for (const std::size_t machines : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    // N=256, 32 elements x2 = M=64, nu=4.
+    const auto db = bench::controlled_db(256, machines, 32, 2, 4);
+    const auto seq = run_sequential_sampler(db);
+    const auto par = run_parallel_sampler(db);
+    ns.push_back(static_cast<double>(machines));
+    seq_q.push_back(static_cast<double>(seq.stats.total_sequential()));
+    par_q.push_back(static_cast<double>(par.stats.parallel_rounds));
+    table.add_row({TextTable::cell(std::uint64_t{machines}),
+                   TextTable::cell(seq.stats.total_sequential()),
+                   TextTable::cell(par.stats.parallel_rounds),
+                   TextTable::cell(seq.fidelity, 12)});
+  }
+  table.print(std::cout, "F2: queries vs n (series for the figure)");
+
+  const auto seq_fit = fit_power_law(ns, seq_q);
+  std::printf("\nsequential: fitted n-exponent %.3f (theory 1.000)\n",
+              seq_fit.slope);
+  bool par_flat = true;
+  for (const auto q : par_q) par_flat = par_flat && (q == par_q.front());
+  std::printf("parallel: %s across all n (theory: constant)\n",
+              par_flat ? "EXACTLY CONSTANT" : "NOT constant — FAIL");
+  const bool pass = std::abs(seq_fit.slope - 1.0) < 0.05 && par_flat;
+  return pass ? 0 : 1;
+}

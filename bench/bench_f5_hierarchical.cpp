@@ -1,0 +1,54 @@
+// Experiment F5 — the hierarchical architecture (Section 6 future work):
+// group-parallel / cross-group-sequential querying interpolates between
+// Theorem 4.3 (g = n) and Theorem 4.5 (g = 1); cost Θ(g·√(νN/M)).
+#include <cmath>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "sampling/hierarchical.hpp"
+
+int main() {
+  using namespace qs;
+  bench::banner("F5",
+                "Hierarchical architecture — rounds interpolate between the "
+                "sequential and parallel models, ~ g*sqrt(nuN/M)");
+
+  const std::size_t machines = 32;
+  const auto db = bench::controlled_db(512, machines, 32, 2, 4);
+  const auto seq = run_sequential_sampler(db);
+  const auto par = run_parallel_sampler(db);
+
+  TextTable table({"groups", "rounds", "rounds_per_D", "fidelity",
+                   "matches"});
+  std::vector<double> gs, rounds;
+  bool pass = true;
+  for (const std::size_t groups : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const auto partition = contiguous_partition(machines, groups);
+    const auto result = run_hierarchical_sampler(db, partition);
+    pass = pass && result.fidelity > 1.0 - 1e-9;
+    gs.push_back(static_cast<double>(groups));
+    rounds.push_back(static_cast<double>(result.group_rounds));
+    std::string matches = "-";
+    if (groups == 1 && result.group_rounds == par.stats.parallel_rounds)
+      matches = "== parallel model";
+    if (groups == machines &&
+        result.group_rounds == seq.stats.total_sequential())
+      matches = "== sequential model";
+    table.add_row({TextTable::cell(std::uint64_t{groups}),
+                   TextTable::cell(result.group_rounds),
+                   TextTable::cell(hierarchical_rounds_per_d(partition)),
+                   TextTable::cell(result.fidelity, 12), matches});
+  }
+  table.print(std::cout, "F5: rounds vs group count (series for the figure)");
+
+  const auto fit = fit_power_law(gs, rounds);
+  std::printf("\nfitted g-exponent: %.3f (theory 1.000, up to the 2-vs-4 "
+              "rounds-per-group step at singleton groups)\n",
+              fit.slope);
+  pass = pass && fit.slope > 0.8 && fit.slope < 1.1;
+  std::printf("endpoints coincide with Theorems 4.5 / 4.3 and exponent ~1: "
+              "%s\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

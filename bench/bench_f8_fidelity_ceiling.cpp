@@ -1,0 +1,65 @@
+// Experiment F8 — the lower bound read as a fidelity CEILING. Chaining
+// Lemma 5.8 (D_t ≤ 4(m_k/N)t²) with the Appendix-B decomposition
+// (D ≥ (√F_t − √E_t)², F_t ≥ M_k/2M, E_t = 2(1 − √F)) gives, for any
+// oblivious algorithm after t machine-k queries,
+//
+//   √(2(1−√F)) ≥ √(M_k/2M) − 2t√(m_k/N)
+//   ⇒  F ≤ (1 − ((√(M_k/2M) − 2t√(m_k/N))₊)² / 2)².
+//
+// The bench traces the paper's own budgeted sampler against this ceiling:
+// measured fidelity must sit below it at every budget, and the two curves
+// must close up as t passes the certified crossover.
+#include <algorithm>
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "lowerbound/potential.hpp"
+#include "sampling/samplers.hpp"
+
+int main() {
+  using namespace qs;
+  bench::banner("F8",
+                "Fidelity ceiling from the potential argument vs the "
+                "budgeted sampler");
+
+  // Canonical hard input: machine 0 of 2 holds 8 elements x2 in N = 512.
+  const std::size_t universe = 512;
+  const double m_k = 8.0, m_total = 16.0;
+  const auto base = make_canonical_hard_input(universe, 2, 0, 8, 2);
+  const DistributedDatabase db(base, 2);
+
+  const auto ceiling = [&](double t) {
+    const double gap = std::sqrt(m_total / (2.0 * m_total)) -
+                       2.0 * t * std::sqrt(m_k / double(universe));
+    const double clipped = std::max(gap, 0.0);
+    const double root_f = 1.0 - clipped * clipped / 2.0;
+    return root_f * root_f;
+  };
+
+  const AAPlan plan = plan_zero_error(
+      double(db.total()) / (2.0 * double(universe)));
+  const std::size_t full = plan.full_iterations + (plan.needs_final ? 1 : 0);
+
+  TextTable table({"iterations", "machine0_queries_t", "fidelity",
+                   "ceiling F(t)", "respected"});
+  bool pass = true;
+  for (std::size_t budget = 0; budget <= full;
+       budget += std::max<std::size_t>(1, full / 16)) {
+    const auto result =
+        run_budgeted_sampler(db, QueryMode::kSequential, budget);
+    // Machine-0 oracle calls: 2 per D application.
+    const double t = 2.0 * double(1 + 2 * budget);
+    const double cap = ceiling(t);
+    const bool ok = result.fidelity <= cap + 1e-9;
+    pass = pass && ok;
+    table.add_row({TextTable::cell(std::uint64_t{budget}),
+                   TextTable::cell(t, 0),
+                   TextTable::cell(result.fidelity, 8),
+                   TextTable::cell(cap, 8), ok ? "yes" : "NO"});
+  }
+  table.print(std::cout, "F8: measured fidelity vs theoretical ceiling");
+  std::printf("\nmeasured fidelity below the potential-derived ceiling at "
+              "every budget: %s\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

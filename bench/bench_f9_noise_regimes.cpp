@@ -1,0 +1,77 @@
+// Experiment F9 — two noise regimes, two winners. Which query model is
+// more fault tolerant depends on WHERE the noise lives:
+//
+//   * per-ROUND noise (storage/latency-dominated decoherence): the
+//     parallel model's Θ(√(νN/M)) rounds beat the sequential model's
+//     Θ(n√(νN/M)) queries — F6's result;
+//   * per-QUBIT-TRIP noise (transport-dominated): the parallel model
+//     moves ~2(e+c+1)/(e+c) times MORE qubits per D (it parallelises the
+//     same traffic plus control qubits), so the sequential model is the
+//     robust one.
+//
+// The architecture lesson the paper's Section 6 asks about: the right
+// topology depends on the channel physics, and this library can tell you
+// which.
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "sampling/noisy_sampler.hpp"
+
+int main() {
+  using namespace qs;
+  bench::banner("F9",
+                "Noise regimes — per-round favours parallel, per-qubit-trip "
+                "favours sequential");
+
+  const std::size_t machines = 6;
+  const auto db = bench::controlled_db(128, machines, 16, 2, 4);
+  const std::size_t trajectories = 48;
+
+  TextTable table({"regime", "rate", "seq_fid", "par_fid", "winner"});
+  bool round_parallel_wins = true;
+  bool trip_sequential_wins = true;
+
+  for (const double p : {0.005, 0.01, 0.02}) {
+    NoiseModel round_noise;
+    round_noise.dephasing_per_round = p;
+    Rng r1(11), r2(12);
+    const auto seq_round = run_noisy_sampler(db, QueryMode::kSequential,
+                                             round_noise, trajectories, r1);
+    const auto par_round = run_noisy_sampler(db, QueryMode::kParallel,
+                                             round_noise, trajectories, r2);
+    round_parallel_wins =
+        round_parallel_wins &&
+        par_round.mean_fidelity > seq_round.mean_fidelity;
+    table.add_row({"per-round", TextTable::cell(p, 3),
+                   TextTable::cell(seq_round.mean_fidelity, 4),
+                   TextTable::cell(par_round.mean_fidelity, 4),
+                   par_round.mean_fidelity > seq_round.mean_fidelity
+                       ? "parallel"
+                       : "sequential"});
+  }
+  for (const double p : {0.0005, 0.001, 0.002}) {
+    NoiseModel trip_noise;
+    trip_noise.dephasing_per_qubit_trip = p;
+    Rng r1(21), r2(22);
+    const auto seq_trip = run_noisy_sampler(db, QueryMode::kSequential,
+                                            trip_noise, trajectories, r1);
+    const auto par_trip = run_noisy_sampler(db, QueryMode::kParallel,
+                                            trip_noise, trajectories, r2);
+    trip_sequential_wins =
+        trip_sequential_wins &&
+        seq_trip.mean_fidelity >= par_trip.mean_fidelity - 0.02;
+    table.add_row({"per-qubit-trip", TextTable::cell(p, 4),
+                   TextTable::cell(seq_trip.mean_fidelity, 4),
+                   TextTable::cell(par_trip.mean_fidelity, 4),
+                   seq_trip.mean_fidelity >= par_trip.mean_fidelity
+                       ? "sequential"
+                       : "parallel"});
+  }
+  table.print(std::cout, "F9: winner by noise regime (n = 6)");
+
+  const bool pass = round_parallel_wins && trip_sequential_wins;
+  std::printf("\nparallel wins every per-round row, sequential (>=) every "
+              "per-trip row: %s\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,61 @@
+// Experiment T10 — communication accounting: latency (rounds) and volume
+// (qubit·trips) of the two query models across instance sizes. The parallel
+// model buys its n-fold latency advantage with the SAME order of total
+// volume — parallelism reorganises traffic, it does not shrink it.
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "distdb/communication.hpp"
+#include "sampling/samplers.hpp"
+
+int main() {
+  using namespace qs;
+  bench::banner("T10",
+                "Communication — rounds (latency) and qubit volume of both "
+                "query models");
+
+  TextTable table({"N", "n", "nu", "model", "rounds", "messages",
+                   "qubits_moved", "fidelity"});
+  bool pass = true;
+  struct Config {
+    std::size_t universe, machines;
+  };
+  const Config configs[] = {{64, 2}, {64, 8}, {256, 8}, {1024, 8},
+                            {1024, 32}};
+  for (const auto& c : configs) {
+    const auto db = bench::controlled_db(c.universe, c.machines, 16, 2, 4);
+    const auto seq = run_sequential_sampler(db);
+    const auto seq_report = communication_report(db, seq.stats);
+    const auto par = run_parallel_sampler(db);
+    const auto par_report = communication_report(db, par.stats);
+
+    table.add_row({TextTable::cell(std::uint64_t{c.universe}),
+                   TextTable::cell(std::uint64_t{c.machines}),
+                   TextTable::cell(db.nu()), "sequential",
+                   TextTable::cell(seq_report.rounds),
+                   TextTable::cell(seq_report.messages),
+                   TextTable::cell(seq_report.qubits_moved),
+                   TextTable::cell(seq.fidelity, 9)});
+    table.add_row({TextTable::cell(std::uint64_t{c.universe}),
+                   TextTable::cell(std::uint64_t{c.machines}),
+                   TextTable::cell(db.nu()), "parallel",
+                   TextTable::cell(par_report.rounds),
+                   TextTable::cell(par_report.messages),
+                   TextTable::cell(par_report.qubits_moved),
+                   TextTable::cell(par.fidelity, 9)});
+
+    // Latency ratio ≈ n/2 (2n queries vs 4 rounds per D); volume within 2x.
+    const double latency_ratio = static_cast<double>(seq_report.rounds) /
+                                 static_cast<double>(par_report.rounds);
+    pass = pass &&
+           std::abs(latency_ratio - static_cast<double>(c.machines) / 2.0) <
+               0.01 &&
+           par_report.qubits_moved < 3 * seq_report.qubits_moved &&
+           seq_report.qubits_moved < 3 * par_report.qubits_moved;
+  }
+  table.print(std::cout, "T10: wire traffic per sampler run");
+  std::printf("\nlatency ratio == n/2 and volumes within a small constant: "
+              "%s\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+// Experiment T12 — data-placement ablation. The paper's cost depends on
+// the data only through (N, M, ν): placement changes ν. Replicating the
+// same logical multiset r times multiplies every c_i by r, so ν and M both
+// scale by r and a = M/(νN) is unchanged — the ITERATION count is placement
+// invariant; what replication buys is fault tolerance, and what it costs is
+// capacity (ν) — while range-sharding vs random placement of ONE copy is
+// entirely free. A second ablation pads ν above the minimum (over-
+// provisioned capacity) and shows queries growing as √ν at fixed M.
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "sampling/samplers.hpp"
+
+int main() {
+  using namespace qs;
+  bench::banner("T12",
+                "Placement ablation — replication, sharding and "
+                "over-provisioned capacity");
+
+  const std::size_t universe = 256;
+  const std::size_t machines = 4;
+
+  TextTable table({"placement", "M", "nu", "a", "queries", "fidelity"});
+  // One logical multiset: 32 elements, 2 copies each.
+  const auto shard = workload::disjoint_partition(universe, machines, 2);
+  Rng rng(3);
+  auto random_place = workload::uniform_random(universe, machines, 0, rng);
+  {
+    // Same logical content as `shard`, placed randomly.
+    std::vector<Dataset> datasets(machines, Dataset(universe));
+    for (std::size_t i = 0; i < universe; ++i) {
+      for (int c = 0; c < 2; ++c)
+        datasets[rng.uniform_below(machines)].insert(i);
+    }
+    random_place = std::move(datasets);
+  }
+  const auto replicated = workload::replicated(universe, machines, universe,
+                                               2);  // every machine a copy
+
+  struct Row {
+    const char* name;
+    std::vector<Dataset> datasets;
+  };
+  Row rows[] = {{"range-sharded x1", shard},
+                {"random-placed x1", random_place},
+                {"replicated x4", replicated}};
+
+  std::uint64_t sharded_queries = 0, replicated_queries = 0;
+  for (auto& row : rows) {
+    const auto nu = min_capacity(row.datasets);
+    const DistributedDatabase db(std::move(row.datasets), nu);
+    const auto result = run_sequential_sampler(db);
+    const double a = double(db.total()) / (double(nu) * double(universe));
+    if (std::string(row.name) == "range-sharded x1")
+      sharded_queries = result.stats.total_sequential();
+    if (std::string(row.name) == "replicated x4")
+      replicated_queries = result.stats.total_sequential();
+    table.add_row({row.name, TextTable::cell(db.total()),
+                   TextTable::cell(nu), TextTable::cell(a, 4),
+                   TextTable::cell(result.stats.total_sequential()),
+                   TextTable::cell(result.fidelity, 9)});
+  }
+  table.print(std::cout, "T12a: placement strategies for one logical store");
+  const bool invariant = sharded_queries == replicated_queries;
+  std::printf("\nreplication scales M and nu together -> a and the query "
+              "count are UNCHANGED: %s\n\n",
+              invariant ? "confirmed" : "VIOLATED");
+
+  // Over-provisioned capacity: fixed data, growing ν.
+  TextTable caps({"nu", "queries", "sqrt(nu) ratio"});
+  std::uint64_t base_queries = 0;
+  bool scaling_ok = true;
+  for (const std::uint64_t nu : {2u, 8u, 32u, 128u}) {
+    const auto db = bench::controlled_db(universe, machines, 32, 2, nu);
+    const auto result = run_sequential_sampler(db);
+    if (nu == 2) base_queries = result.stats.total_sequential();
+    const double measured_ratio =
+        double(result.stats.total_sequential()) / double(base_queries);
+    const double predicted_ratio = std::sqrt(double(nu) / 2.0);
+    scaling_ok =
+        scaling_ok && std::abs(measured_ratio / predicted_ratio - 1.0) < 0.35;
+    caps.add_row({TextTable::cell(nu),
+                  TextTable::cell(result.stats.total_sequential()),
+                  TextTable::cell(measured_ratio / predicted_ratio, 3)});
+  }
+  caps.print(std::cout, "T12b: cost of over-provisioned capacity (fixed M)");
+  std::printf("\nqueries grow as sqrt(nu) at fixed M: %s\n",
+              scaling_ok ? "PASS" : "FAIL");
+  return (invariant && scaling_ok) ? 0 : 1;
+}

@@ -1,0 +1,81 @@
+// Experiment T3 — classical vs quantum under the same multiplicity-query
+// access (the introduction's nN argument made quantitative).
+//
+// For growing sparsity νN/M we report, per produced sample:
+//   * classical full scan then free sampling  (nN probes, amortisable),
+//   * classical rejection sampling            (≈ n·νN/M probes/sample),
+//   * quantum sequential sampling             (≈ const·n·√(νN/M) queries),
+//   * quantum parallel sampling               (≈ const·√(νN/M) rounds).
+//
+// Shape checks: the quantum/classical-rejection ratio grows like √(νN/M),
+// and the winner flips as data becomes dense (νN/M → 1 makes the quantum
+// advantage vanish — a genuine crossover, not an artifact).
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "sampling/classical.hpp"
+#include "sampling/samplers.hpp"
+
+int main() {
+  using namespace qs;
+  bench::banner("T3",
+                "Classical vs quantum query cost per sample under "
+                "multiplicity-probe access");
+
+  TextTable table({"N", "M", "nu", "nuN/M", "cl_scan(nN)", "cl_reject/smp",
+                   "q_seq", "q_par", "reject/q_seq", "sqrt(nuN/M)"});
+
+  struct Config {
+    std::size_t universe, support;
+    std::uint64_t multiplicity, nu;
+  };
+  // From dense (νN/M = 2) to very sparse (νN/M = 512).
+  const Config configs[] = {
+      {64, 64, 2, 4},    {64, 32, 2, 4},   {128, 32, 2, 4},
+      {256, 32, 2, 4},   {512, 32, 2, 4},  {1024, 32, 2, 4},
+      {2048, 32, 2, 4},  {2048, 16, 2, 8},
+  };
+  const std::size_t machines = 2;
+
+  bool shape_ok = true;
+  double prev_ratio = 0.0;
+  for (const auto& c : configs) {
+    const auto db = bench::controlled_db(c.universe, machines, c.support,
+                                         c.multiplicity, c.nu);
+    const double sparsity = static_cast<double>(c.nu) *
+                            static_cast<double>(c.universe) /
+                            static_cast<double>(db.total());
+
+    const auto scan = classical_full_scan(db);
+    Rng rng(17);
+    const std::size_t trials = 400;
+    const auto reject = classical_rejection_sampling(db, trials, rng);
+    const double reject_per_sample =
+        static_cast<double>(reject.queries) / static_cast<double>(trials);
+    const auto seq = run_sequential_sampler(db);
+    const auto par = run_parallel_sampler(db);
+
+    const double q_seq = static_cast<double>(seq.stats.total_sequential());
+    const double advantage = reject_per_sample / q_seq;
+    table.add_row(
+        {TextTable::cell(std::uint64_t{c.universe}),
+         TextTable::cell(db.total()), TextTable::cell(std::uint64_t{c.nu}),
+         TextTable::cell(sparsity, 1), TextTable::cell(scan.queries),
+         TextTable::cell(reject_per_sample, 1), TextTable::cell(q_seq, 0),
+         TextTable::cell(double(par.stats.parallel_rounds), 0),
+         TextTable::cell(advantage, 2), TextTable::cell(std::sqrt(sparsity), 2)});
+
+    // Shape: the advantage should track √(νN/M) within a constant; demand
+    // monotone growth along the fixed-(M,ν) prefix of the sweep.
+    if (c.nu == 4 && c.support == 32 && prev_ratio > 0.0)
+      shape_ok = shape_ok && advantage > 0.8 * prev_ratio;
+    if (c.nu == 4 && c.support == 32) prev_ratio = advantage;
+  }
+  table.print(std::cout, "T3: cost per coherent/classical sample");
+  std::printf("\nadvantage column grows ~ sqrt(nuN/M): %s\n",
+              shape_ok ? "PASS" : "FAIL");
+  std::printf("note the dense row (nuN/M=2): quantum and classical rejection "
+              "are within a small constant — the crossover the theory "
+              "predicts.\n");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,47 @@
+// Shared helpers for the experiment benches (one binary per table/figure in
+// DESIGN.md's experiment index). Each bench prints a paper-shaped table to
+// stdout; headers announce the experiment id and the claim it reproduces.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "distdb/distributed_database.hpp"
+#include "distdb/workload.hpp"
+
+namespace qs::bench {
+
+inline void banner(const std::string& id, const std::string& claim) {
+  std::printf("=================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), claim.c_str());
+  std::printf("=================================================================\n");
+}
+
+inline DistributedDatabase uniform_db(std::size_t universe,
+                                      std::size_t machines,
+                                      std::uint64_t total, std::uint64_t seed,
+                                      std::uint64_t extra_capacity = 0) {
+  Rng rng(seed);
+  auto datasets = workload::uniform_random(universe, machines, total, rng);
+  const auto nu = min_capacity(datasets) + extra_capacity;
+  return DistributedDatabase(std::move(datasets), nu);
+}
+
+/// A database with an exactly-controlled (N, M, ν): every one of the first
+/// `support` elements appears `multiplicity` times, round-robin across
+/// machines, and ν is set explicitly. Gives clean √(νN/M) sweeps.
+inline DistributedDatabase controlled_db(std::size_t universe,
+                                         std::size_t machines,
+                                         std::size_t support,
+                                         std::uint64_t multiplicity,
+                                         std::uint64_t nu) {
+  std::vector<Dataset> datasets(machines, Dataset(universe));
+  for (std::size_t i = 0; i < support; ++i)
+    datasets[i % machines].insert(i, multiplicity);
+  return DistributedDatabase(std::move(datasets), nu);
+}
+
+}  // namespace qs::bench

@@ -1,0 +1,219 @@
+// dqs — command-line driver for the library.
+//
+// Subcommand-style interface over the public API, working on databases in
+// the dqsdb text format (see distdb/serialize.hpp):
+//
+//   ./dqs_cli --cmd generate --out db.txt [--workload zipf|uniform|disjoint]
+//             [--universe 64] [--machines 4] [--total 96] [--seed 1]
+//   ./dqs_cli --cmd info     --db db.txt
+//   ./dqs_cli --cmd sample   --db db.txt [--mode seq|par] [--shots 10]
+//   ./dqs_cli --cmd count    --db db.txt [--rounds 7] [--shots 32]
+//   ./dqs_cli --cmd verify   --db db.txt      # fidelity + query audit
+//   ./dqs_cli --cmd mean     --db db.txt [--below 32]   # E[1{key < below}]
+//   ./dqs_cli --cmd member   --db db.txt --key 7        # is key present?
+//   ./dqs_cli --cmd schedule --db db.txt [--mode seq|par] # compile + audit
+//
+// With no --cmd, runs a self-demo (generate → info → sample → count) in a
+// temporary file.
+#include <cstdio>
+#include <string>
+
+#include "apps/mean_estimation.hpp"
+#include "apps/subset_sampling.hpp"
+#include "common/cli.hpp"
+#include "distdb/communication.hpp"
+#include "distdb/serialize.hpp"
+#include "distdb/transport.hpp"
+#include "distdb/workload.hpp"
+#include "estimation/amplitude_estimation.hpp"
+#include "qsim/measure.hpp"
+#include "sampling/samplers.hpp"
+#include "sampling/schedule.hpp"
+
+namespace {
+
+using namespace qs;
+
+int cmd_generate(const CliArgs& args) {
+  const auto out = args.get("out", std::string("db.txt"));
+  const auto kind = args.get("workload", std::string("uniform"));
+  const auto universe = args.get("universe", std::uint64_t{64});
+  const auto machines = args.get("machines", std::uint64_t{4});
+  const auto total = args.get("total", std::uint64_t{96});
+  const auto seed = args.get("seed", std::uint64_t{1});
+
+  Rng rng(seed);
+  std::vector<Dataset> datasets;
+  if (kind == "zipf") {
+    datasets = workload::zipf(universe, machines, total, 1.2, rng);
+  } else if (kind == "disjoint") {
+    datasets = workload::disjoint_partition(
+        universe, machines, std::max<std::uint64_t>(1, total / universe));
+  } else {
+    datasets = workload::uniform_random(universe, machines, total, rng);
+  }
+  const auto nu = min_capacity(datasets) + 1;
+  const DistributedDatabase db(std::move(datasets), nu);
+  save_database_file(out, db);
+  std::printf("wrote %s: N=%zu n=%zu M=%llu nu=%llu (%s workload)\n",
+              out.c_str(), db.universe(), db.num_machines(),
+              (unsigned long long)db.total(), (unsigned long long)db.nu(),
+              kind.c_str());
+  return 0;
+}
+
+int cmd_info(const CliArgs& args) {
+  const auto db = load_database_file(args.get("db", std::string("db.txt")));
+  std::printf("universe N      : %zu\n", db.universe());
+  std::printf("machines n      : %zu\n", db.num_machines());
+  std::printf("capacity nu     : %llu\n", (unsigned long long)db.nu());
+  std::printf("cardinality M   : %llu\n", (unsigned long long)db.total());
+  for (std::size_t j = 0; j < db.num_machines(); ++j) {
+    const auto& data = db.machine(j).data();
+    std::printf("  machine %zu    : M_j=%llu  m_j=%zu  max c_ij=%llu\n", j,
+                (unsigned long long)data.total(), data.support_size(),
+                (unsigned long long)data.max_multiplicity());
+  }
+  const double a = static_cast<double>(db.total()) /
+                   (double(db.nu()) * double(db.universe()));
+  const auto plan = plan_zero_error(std::max(a, 1e-12));
+  std::printf("good amplitude a: %.6f — sampler would use %zu D "
+              "applications\n",
+              a, plan.d_applications());
+  return 0;
+}
+
+int cmd_sample(const CliArgs& args) {
+  const auto db = load_database_file(args.get("db", std::string("db.txt")));
+  const bool parallel = args.get("mode", std::string("seq")) == "par";
+  const auto shots = args.get("shots", std::uint64_t{10});
+  const auto result = parallel ? run_parallel_sampler(db)
+                               : run_sequential_sampler(db);
+  std::printf("fidelity %.12f; ", result.fidelity);
+  if (parallel) {
+    std::printf("%llu parallel rounds\n",
+                (unsigned long long)result.stats.parallel_rounds);
+  } else {
+    std::printf("%llu sequential queries\n",
+                (unsigned long long)result.stats.total_sequential());
+  }
+  Rng rng(args.get("seed", std::uint64_t{2}));
+  std::printf("measurements:");
+  for (std::uint64_t s = 0; s < shots; ++s) {
+    std::printf(" %zu",
+                measure_register(result.state, result.registers.elem, rng));
+  }
+  std::printf("\n");
+  return result.fidelity > 1.0 - 1e-9 ? 0 : 1;
+}
+
+int cmd_count(const CliArgs& args) {
+  const auto db = load_database_file(args.get("db", std::string("db.txt")));
+  const auto rounds = args.get("rounds", std::uint64_t{7});
+  const auto shots = args.get("shots", std::uint64_t{32});
+  Rng rng(args.get("seed", std::uint64_t{3}));
+  const auto estimate = estimate_total_count(
+      db, QueryMode::kParallel, exponential_schedule(rounds, shots), rng);
+  std::printf("M_hat = %.2f (true %llu), %llu parallel rounds spent\n",
+              estimate.m_hat, (unsigned long long)db.total(),
+              (unsigned long long)estimate.amplitude.oracle_cost);
+  return 0;
+}
+
+int cmd_verify(const CliArgs& args) {
+  const auto db = load_database_file(args.get("db", std::string("db.txt")));
+  const auto seq = run_sequential_sampler(db);
+  const auto par = run_parallel_sampler(db);
+  const auto seq_wire = communication_report(db, seq.stats);
+  const auto par_wire = communication_report(db, par.stats);
+  std::printf("sequential: fidelity %.12f, %llu queries, %llu qubit-trips\n",
+              seq.fidelity, (unsigned long long)seq.stats.total_sequential(),
+              (unsigned long long)seq_wire.qubits_moved);
+  std::printf("parallel  : fidelity %.12f, %llu rounds,  %llu qubit-trips\n",
+              par.fidelity, (unsigned long long)par.stats.parallel_rounds,
+              (unsigned long long)par_wire.qubits_moved);
+  const bool ok = seq.fidelity > 1.0 - 1e-9 && par.fidelity > 1.0 - 1e-9;
+  std::printf("verdict: %s\n", ok ? "EXACT" : "DEGRADED");
+  return ok ? 0 : 1;
+}
+
+int cmd_mean(const CliArgs& args) {
+  const auto db = load_database_file(args.get("db", std::string("db.txt")));
+  const auto below = args.get("below", db.universe() / 2);
+  Rng rng(args.get("seed", std::uint64_t{4}));
+  const auto estimate = estimate_mean(
+      db, [&](std::size_t i) { return i < below ? 1.0 : 0.0; },
+      QueryMode::kParallel, exponential_schedule(7, 32), rng);
+  double truth = 0.0;
+  const auto p = db.target_distribution();
+  for (std::size_t i = 0; i < below && i < p.size(); ++i) truth += p[i];
+  std::printf("E[key < %llu] = %.4f (true %.4f), %llu parallel rounds\n",
+              (unsigned long long)below, estimate.mean_hat, truth,
+              (unsigned long long)estimate.oracle_cost);
+  return 0;
+}
+
+int cmd_member(const CliArgs& args) {
+  const auto db = load_database_file(args.get("db", std::string("db.txt")));
+  const auto key = args.get("key", std::uint64_t{0});
+  Rng rng(args.get("seed", std::uint64_t{5}));
+  const auto result = distributed_membership(
+      db, key, QueryMode::kSequential, exponential_schedule(7, 32), rng);
+  std::printf("key %llu: %s (post-sampling mass %.4f; true count %llu)\n",
+              (unsigned long long)key,
+              result.present ? "PRESENT" : "absent", result.mass,
+              (unsigned long long)db.total_count(key));
+  return 0;
+}
+
+int cmd_schedule(const CliArgs& args) {
+  const auto db = load_database_file(args.get("db", std::string("db.txt")));
+  const bool parallel = args.get("mode", std::string("seq")) == "par";
+  const auto mode = parallel ? QueryMode::kParallel : QueryMode::kSequential;
+  const auto params = public_params_of(db);
+  const auto schedule = compile_schedule(params, mode);
+  const auto violation =
+      TransportSession::validate_schedule(schedule, params.machines);
+  std::printf("compiled %zu oracle events from public params (N=%zu n=%zu "
+              "nu=%llu M=%llu)\n",
+              schedule.size(), params.universe, params.machines,
+              (unsigned long long)params.nu,
+              (unsigned long long)params.total);
+  std::printf("transport audit: %s\n",
+              violation ? violation->c_str() : "protocol-clean");
+  if (schedule.size() <= 64) std::printf("%s\n", schedule.to_string().c_str());
+  return violation ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const qs::CliArgs args(argc, argv);
+  const auto cmd = args.get("cmd", std::string(""));
+  if (cmd == "generate") return cmd_generate(args);
+  if (cmd == "info") return cmd_info(args);
+  if (cmd == "sample") return cmd_sample(args);
+  if (cmd == "count") return cmd_count(args);
+  if (cmd == "verify") return cmd_verify(args);
+  if (cmd == "mean") return cmd_mean(args);
+  if (cmd == "member") return cmd_member(args);
+  if (cmd == "schedule") return cmd_schedule(args);
+
+  // Self-demo.
+  std::printf("== dqs self-demo (use --cmd for real work) ==\n\n");
+  const char* demo_db = "/tmp/dqs_cli_demo.db";
+  {
+    const char* argv_gen[] = {"dqs", "--out", demo_db, "--workload", "zipf"};
+    if (cmd_generate(qs::CliArgs(5, argv_gen)) != 0) return 1;
+  }
+  const char* argv_db[] = {"dqs", "--db", demo_db};
+  const qs::CliArgs db_args(3, argv_db);
+  std::printf("\n-- info --\n");
+  if (cmd_info(db_args) != 0) return 1;
+  std::printf("\n-- sample --\n");
+  if (cmd_sample(db_args) != 0) return 1;
+  std::printf("\n-- count --\n");
+  if (cmd_count(db_args) != 0) return 1;
+  std::printf("\n-- verify --\n");
+  return cmd_verify(db_args);
+}

@@ -1,0 +1,74 @@
+// Federated frequency estimation — the paper's motivating workload shape.
+//
+// n sites (say, hospitals) each hold a shard of skewed categorical records
+// (Zipf-distributed keys; sites may share keys — the generality Section 1
+// stresses). A coordinator wants coherent samples from the FEDERATED
+// frequency distribution c_i/M without any site shipping its raw data:
+// each site only exposes the counting oracle O_j of Eq. (1).
+//
+// The example contrasts three strategies on the same data:
+//   1. quantum parallel sampling  (Θ(√(νN/M)) rounds, exact state),
+//   2. quantum sequential sampling (Θ(n√(νN/M)) queries),
+//   3. classical rejection sampling (Θ(n·νN/M) probes PER SAMPLE).
+//
+//   ./federated_frequency [--universe 256] [--sites 4] [--records 96]
+//                         [--skew 1.2] [--samples 64] [--seed 7]
+#include <cmath>
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "distdb/workload.hpp"
+#include "sampling/classical.hpp"
+#include "sampling/samplers.hpp"
+
+int main(int argc, char** argv) {
+  const qs::CliArgs args(argc, argv);
+  const auto universe = args.get("universe", std::uint64_t{256});
+  const auto sites = args.get("sites", std::uint64_t{4});
+  const auto records = args.get("records", std::uint64_t{96});
+  const auto skew = args.get("skew", 1.2);
+  const auto samples = args.get("samples", std::uint64_t{64});
+  const auto seed = args.get("seed", std::uint64_t{7});
+
+  qs::Rng rng(seed);
+  auto shards = qs::workload::zipf(universe, sites, records, skew, rng);
+  const auto nu = qs::min_capacity(shards);
+  qs::DistributedDatabase db(std::move(shards), nu);
+
+  std::printf("federated store: N=%zu keys, n=%zu sites, M=%llu records, "
+              "nu=%llu\n\n",
+              db.universe(), db.num_machines(),
+              (unsigned long long)db.total(), (unsigned long long)db.nu());
+
+  // Quantum: ONE coherent preparation yields a reusable sampling state;
+  // producing k independent samples costs k preparations.
+  const auto par = qs::run_parallel_sampler(db);
+  const auto seq = qs::run_sequential_sampler(db);
+  std::printf("quantum parallel  : %6llu rounds/sample   (fidelity %.9f)\n",
+              (unsigned long long)par.stats.parallel_rounds, par.fidelity);
+  std::printf("quantum sequential: %6llu queries/sample  (fidelity %.9f)\n",
+              (unsigned long long)seq.stats.total_sequential(), seq.fidelity);
+
+  // Classical rejection sampling under the same multiplicity-probe access.
+  qs::Rng crng(seed + 1);
+  const auto classical = qs::classical_rejection_sampling(
+      db, static_cast<std::size_t>(samples), crng);
+  std::printf("classical rejection: %.1f probes/sample over %llu samples\n",
+              static_cast<double>(classical.queries) /
+                  static_cast<double>(samples),
+              (unsigned long long)samples);
+
+  const double quantum_cost =
+      static_cast<double>(seq.stats.total_sequential());
+  const double classical_cost = static_cast<double>(classical.queries) /
+                                static_cast<double>(samples);
+  std::printf("\nper-sample speedup (classical/quantum, sequential): %.1fx\n",
+              classical_cost / quantum_cost);
+  std::printf("theory: classical n*nuN/M = %.0f, quantum ~ (pi/2+1) n*sqrt(nuN/M) = %.0f\n",
+              double(db.num_machines()) * double(db.nu()) * double(universe) /
+                  double(db.total()),
+              (1.57 + 1.0) * double(db.num_machines()) *
+                  std::sqrt(double(db.nu()) * double(universe) /
+                            double(db.total())));
+  return seq.fidelity > 1.0 - 1e-9 ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+// Quickstart: distributed quantum sampling in ~40 lines.
+//
+// Builds a small distributed database (3 machines, universe of 32 keys),
+// runs both of the paper's samplers, and verifies the output: the final
+// state encodes √(c_i/M) amplitudes exactly, using Θ(n√(νN/M)) sequential
+// queries or Θ(√(νN/M)) parallel rounds.
+//
+//   ./quickstart [--universe 32] [--machines 3] [--total 48] [--seed 1]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "distdb/workload.hpp"
+#include "qsim/measure.hpp"
+#include "sampling/samplers.hpp"
+
+int main(int argc, char** argv) {
+  const qs::CliArgs args(argc, argv);
+  const auto universe = args.get("universe", std::uint64_t{32});
+  const auto machines = args.get("machines", std::uint64_t{3});
+  const auto total = args.get("total", std::uint64_t{48});
+  const auto seed = args.get("seed", std::uint64_t{1});
+
+  // 1. Distribute a dataset across machines (uniformly at random here).
+  qs::Rng rng(seed);
+  auto datasets = qs::workload::uniform_random(universe, machines, total, rng);
+  const auto nu = qs::min_capacity(datasets) + 1;
+  qs::DistributedDatabase db(std::move(datasets), nu);
+
+  std::printf("database: N=%zu  n=%zu  M=%llu  nu=%llu\n", db.universe(),
+              db.num_machines(), (unsigned long long)db.total(),
+              (unsigned long long)db.nu());
+
+  // 2. Sequential sampling (Theorem 4.3).
+  const auto seq = qs::run_sequential_sampler(db);
+  std::printf("sequential: fidelity=%.12f  queries=%llu  (D applied %zu times)\n",
+              seq.fidelity, (unsigned long long)seq.stats.total_sequential(),
+              seq.plan.d_applications());
+
+  // 3. Parallel sampling (Theorem 4.5).
+  const auto par = qs::run_parallel_sampler(db);
+  std::printf("parallel:   fidelity=%.12f  rounds=%llu\n", par.fidelity,
+              (unsigned long long)par.stats.parallel_rounds);
+
+  // 4. Measuring the output state samples the joint database (Section 3).
+  qs::Rng shots(seed + 1);
+  const auto hist =
+      qs::histogram_register(seq.state, seq.registers.elem, shots, 20000);
+  const double tv = qs::total_variation(qs::normalize_histogram(hist),
+                                        db.target_distribution());
+  std::printf("20000 measurements vs c_i/M: total variation = %.4f\n", tv);
+  return tv < 0.05 && seq.fidelity > 1.0 - 1e-9 ? 0 : 1;
+}

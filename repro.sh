@@ -1,0 +1,17 @@
+#!/bin/sh
+# Full reproduction pipeline: configure, build, run the 666-test suite,
+# regenerate every table/figure experiment, and leave the transcripts in
+# test_output.txt / bench_output.txt.
+set -eu
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+{
+  for b in build/bench/*; do
+    if [ -x "$b" ] && [ -f "$b" ]; then
+      echo "================ $(basename "$b") ================"
+      "$b"
+    fi
+  done
+} 2>&1 | tee bench_output.txt
+echo "reproduction complete: see EXPERIMENTS.md for the claim-by-claim map."

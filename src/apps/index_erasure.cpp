@@ -1,0 +1,39 @@
+#include "apps/index_erasure.hpp"
+
+#include "common/require.hpp"
+
+namespace qs {
+
+IndexErasureResult distributed_index_erasure(
+    std::span<const std::size_t> f_values, std::size_t image_universe,
+    std::size_t machines, QueryMode mode, const SamplerOptions& options) {
+  QS_REQUIRE(!f_values.empty(), "empty function table");
+  QS_REQUIRE(machines >= 1, "need at least one machine");
+  QS_REQUIRE(machines <= f_values.size(),
+             "more machines than table entries");
+
+  // Shard the domain contiguously; machine j holds the multiset of image
+  // points of its slice.
+  std::vector<Dataset> shards(machines, Dataset(image_universe));
+  for (std::size_t x = 0; x < f_values.size(); ++x) {
+    QS_REQUIRE(f_values[x] < image_universe,
+               "function value outside the image universe");
+    const std::size_t owner = x * machines / f_values.size();
+    shards[owner].insert(f_values[x]);
+  }
+
+  const auto nu = min_capacity(shards);
+  IndexErasureResult result{
+      SamplerResult{StateVector(RegisterLayout{}), {}, {}, {}, 0.0, {}},
+      f_values.size(),
+      nu == 1,
+  };
+
+  DistributedDatabase db(std::move(shards), nu);
+  result.sampling = mode == QueryMode::kSequential
+                        ? run_sequential_sampler(db, options)
+                        : run_parallel_sampler(db, options);
+  return result;
+}
+
+}  // namespace qs

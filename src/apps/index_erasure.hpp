@@ -1,0 +1,39 @@
+// Index erasure on a distributed function table.
+//
+// Shi's index-erasure problem (cited in the paper's related work): given an
+// injective f : [n] → [m] through an oracle, prepare the uniform
+// superposition over the IMAGE of f, Σ_x |f(x)⟩/√n — "erasing" the input
+// index. The paper observes this is exactly uniform quantum sampling over a
+// subset of the universe, so our distributed sampler solves the DISTRIBUTED
+// variant directly: shard the function table across machines (machine j
+// holds f's values on its slice of the domain), view each shard as a
+// multiset of image points, and quantum-sample the joint database. For an
+// injective f every multiplicity is 1, so ν = 1 and the query cost is
+// Θ(n_machines·√(m/n)) sequential / Θ(√(m/n)) parallel.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sampling/samplers.hpp"
+
+namespace qs {
+
+struct IndexErasureResult {
+  SamplerResult sampling;       ///< final state lives on [image_universe]
+  std::size_t domain_size = 0;  ///< n — the number of table entries
+  bool injective = true;        ///< whether the table was injective
+};
+
+/// Shard the table {f(0), ..., f(n-1)} ⊂ [image_universe] contiguously
+/// across `machines` machines and prepare Σ_x |f(x)⟩/√n by distributed
+/// quantum sampling. Non-injective tables are allowed (duplicates raise ν
+/// and weight the superposition by multiplicity, the natural
+/// generalisation); `injective` reports which case occurred.
+IndexErasureResult distributed_index_erasure(
+    std::span<const std::size_t> f_values, std::size_t image_universe,
+    std::size_t machines, QueryMode mode,
+    const SamplerOptions& options = {});
+
+}  // namespace qs

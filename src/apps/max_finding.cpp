@@ -1,0 +1,120 @@
+#include "apps/max_finding.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/require.hpp"
+#include "qsim/controlled.hpp"
+
+namespace qs {
+
+namespace {
+
+/// SingleStateBackend with the rotation step replaced by the threshold
+/// MARKER: flip the flag for counter values ≤ T. The marker is a
+/// self-inverse permutation, so D_T = C† X_T C is self-adjoint and
+/// apply_distributing_operator realises it for both query models with the
+/// standard costs (2n queries / 4 rounds).
+class ThresholdBackend final : public SamplingBackend {
+ public:
+  ThresholdBackend(const DistributedDatabase& db, std::uint64_t threshold,
+                   StatePrep prep)
+      : inner_(db, prep) {
+    const auto& regs = inner_.registers();
+    const std::size_t counter_dim = inner_.state().layout().dim(regs.count);
+    flip_.resize(counter_dim);
+    for (std::size_t c = 0; c < counter_dim; ++c)
+      flip_[c] = c <= threshold ? 1 : 0;
+  }
+
+  std::size_t num_machines() const override { return inner_.num_machines(); }
+  void prep_uniform(bool adjoint) override { inner_.prep_uniform(adjoint); }
+  void phase_good(double phi) override { inner_.phase_good(phi); }
+  void phase_initial(double phi) override { inner_.phase_initial(phi); }
+  void oracle(std::size_t j, bool adjoint) override {
+    inner_.oracle(j, adjoint);
+  }
+  void parallel_total_shift(bool adjoint) override {
+    inner_.parallel_total_shift(adjoint);
+  }
+  void global_phase(double angle) override { inner_.global_phase(angle); }
+
+  void rotation_u(bool /*adjoint*/) override {
+    // X_T: |count, flag⟩ → |count, flag ⊕ [count ≤ T]⟩ — self-inverse.
+    const auto& regs = inner_.registers();
+    inner_.state().apply_value_shift(regs.flag, regs.count, flip_);
+  }
+
+  StateVector& state() { return inner_.state(); }
+  const CoordinatorLayout& registers() const { return inner_.registers(); }
+
+ private:
+  SingleStateBackend inner_;
+  std::vector<std::size_t> flip_;
+};
+
+}  // namespace
+
+ThresholdSampleResult sample_above_threshold(const DistributedDatabase& db,
+                                             QueryMode mode,
+                                             std::uint64_t threshold,
+                                             Rng& rng,
+                                             std::size_t max_attempts) {
+  QS_REQUIRE(max_attempts > 0, "need at least one attempt");
+  constexpr double kPi = std::numbers::pi;
+  constexpr double kLambda = 6.0 / 5.0;
+  const double m_cap = std::sqrt(static_cast<double>(db.universe())) + 1.0;
+
+  ThresholdSampleResult result;
+  double m = 1.0;
+  for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    const auto bound = static_cast<std::uint64_t>(std::ceil(m));
+    const auto j = static_cast<std::size_t>(rng.uniform_below(bound));
+
+    ThresholdBackend backend(db, threshold, StatePrep::kHouseholder);
+    backend.prep_uniform(false);
+    apply_distributing_operator(backend, mode, false);
+    for (std::size_t q = 0; q < j; ++q)
+      apply_q_iterate(backend, mode, kPi, kPi);
+
+    const auto flag =
+        measure_and_collapse(backend.state(), backend.registers().flag, rng);
+    if (flag == 0) {
+      result.found = true;
+      result.attempts = attempt;
+      result.element = measure_and_collapse(backend.state(),
+                                            backend.registers().elem, rng);
+      result.multiplicity = db.total_count(result.element);
+      QS_ASSERT(result.multiplicity > threshold,
+                "threshold sampler returned a key at or below the "
+                "threshold");
+      return result;
+    }
+    m = std::min(kLambda * m, m_cap);
+  }
+  result.found = false;
+  result.attempts = max_attempts;
+  return result;
+}
+
+MaxFindingResult find_heaviest_key(const DistributedDatabase& db,
+                                   QueryMode mode, Rng& rng) {
+  QS_REQUIRE(db.total() > 0, "empty database has no heaviest key");
+  db.reset_stats();
+
+  MaxFindingResult result;
+  std::uint64_t threshold = 0;
+  for (;;) {
+    const auto sample = sample_above_threshold(db, mode, threshold, rng);
+    if (!sample.found) break;
+    result.element = sample.element;
+    result.multiplicity = sample.multiplicity;
+    threshold = sample.multiplicity;
+    ++result.ratchet_steps;
+    if (threshold >= db.nu()) break;  // nothing can exceed the capacity
+  }
+  result.stats = db.stats();
+  return result;
+}
+
+}  // namespace qs

@@ -1,0 +1,61 @@
+// Distributed heavy-hitter search — Dürr–Høyer maximum finding on the
+// multiplicity oracle.
+//
+// Task: find argmax_i c_i (the hottest key of the federated store) without
+// ever downloading a histogram. Classically this needs the full nN-probe
+// scan. Quantumly, combine two pieces this library already has:
+//
+//   1. THRESHOLD SAMPLING: for a threshold T, the composite
+//      D_T = C† · X_{count ≤ T} · C  (load counts, flip the flag for
+//      c_i ≤ T, unload) marks exactly the keys with c_i > T — the flag-0
+//      subspace is the uniform superposition over {i : c_i > T}. Note the
+//      marking is EXACT (a permutation), not an amplitude split, so the
+//      good probability is |{i : c_i > T}|/N — unknown to the coordinator.
+//   2. BBHT search (unknown_m-style exponential schedule) amplifies the
+//      marked set and a flag measurement collapses to a uniformly random
+//      key heavier than T.
+//
+// The Dürr–Høyer loop then ratchets: sample any key, set T to its
+// multiplicity, search for a strictly heavier key, repeat until the search
+// confidently fails. Expected oracle cost O(√N · log) in the Grover regime
+// vs the classical nN scan.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "sampling/samplers.hpp"
+
+namespace qs {
+
+struct ThresholdSampleResult {
+  bool found = false;          ///< a key with c_i > threshold was found
+  std::size_t element = 0;     ///< the sampled key (when found)
+  std::uint64_t multiplicity = 0;  ///< its joint count (looked up after)
+  std::size_t attempts = 0;
+};
+
+/// BBHT search for a uniformly random key with c_i > threshold. `found` is
+/// false after `max_attempts` consecutive failures — for a sound "no such
+/// key" verdict use the default, which makes a false negative
+/// exponentially unlikely. Query costs accrue on the database ledger.
+ThresholdSampleResult sample_above_threshold(const DistributedDatabase& db,
+                                             QueryMode mode,
+                                             std::uint64_t threshold,
+                                             Rng& rng,
+                                             std::size_t max_attempts = 64);
+
+struct MaxFindingResult {
+  std::size_t element = 0;         ///< argmax_i c_i
+  std::uint64_t multiplicity = 0;  ///< max_i c_i
+  std::size_t ratchet_steps = 0;   ///< Dürr–Høyer threshold raises
+  QueryStats stats;                ///< total oracle cost of the whole run
+};
+
+/// Dürr–Høyer maximum finding over the joint multiplicities. Requires a
+/// non-empty database. Returns the true argmax with overwhelming
+/// probability (each "no heavier key" verdict is a repeated BBHT failure).
+MaxFindingResult find_heaviest_key(const DistributedDatabase& db,
+                                   QueryMode mode, Rng& rng);
+
+}  // namespace qs

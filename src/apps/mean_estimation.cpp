@@ -1,0 +1,181 @@
+#include "apps/mean_estimation.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/require.hpp"
+#include "qsim/gates.hpp"
+#include "sampling/backend.hpp"
+#include "sampling/classical.hpp"
+
+namespace qs {
+
+namespace {
+
+/// The mean-estimation circuit: coordinator registers plus one ancilla
+/// qubit rotated by arccos√f(i). Self-contained (like the QPE circuit) so
+/// the Grover iterate can reflect about the composite A_f.
+class MeanCircuit {
+ public:
+  MeanCircuit(const DistributedDatabase& db,
+              const std::function<double(std::size_t)>& f) {
+    elem_ = layout_.add("elem", db.universe());
+    count_ = layout_.add("count", static_cast<std::size_t>(db.nu()) + 1);
+    flag_ = layout_.add("flag", 2);
+    anc_ = layout_.add("anc", 2);
+
+    householder_ = uniform_prep_householder_vector(db.universe());
+    u_fwd_ = make_u_rotations(db.nu(), false);
+    u_adj_ = make_u_rotations(db.nu(), true);
+
+    const auto joint = db.joint_counts();
+    const std::size_t modulus = layout_.dim(count_);
+    shift_fwd_.resize(joint.size());
+    shift_bwd_.resize(joint.size());
+    for (std::size_t i = 0; i < joint.size(); ++i) {
+      shift_fwd_[i] = static_cast<std::size_t>(joint[i]) % modulus;
+      shift_bwd_[i] = (modulus - shift_fwd_[i]) % modulus;
+    }
+
+    f_rot_.reserve(db.universe());
+    f_rot_adj_.reserve(db.universe());
+    for (std::size_t i = 0; i < db.universe(); ++i) {
+      const double value = f(i);
+      QS_REQUIRE(value >= 0.0 && value <= 1.0,
+                 "f must map the universe into [0, 1]");
+      const double gamma = std::acos(std::sqrt(value));
+      f_rot_.push_back(rotation_matrix(gamma));
+      f_rot_adj_.push_back(rotation_matrix(-gamma));
+    }
+  }
+
+  const RegisterLayout& layout() const { return layout_; }
+
+  StateVector fresh() const { return StateVector(layout_); }
+
+  void apply_a(StateVector& s, bool adjoint) const {
+    if (!adjoint) {
+      s.apply_householder(elem_, householder_);
+      apply_d(s, false);
+      apply_rf(s, false);
+    } else {
+      apply_rf(s, true);
+      apply_d(s, true);
+      s.apply_householder(elem_, householder_);
+    }
+  }
+
+  /// Q(π,π) = −A_f S_0 A_f† S_good with good = {flag=0 ∧ anc=0}.
+  void apply_q(StateVector& s) const {
+    apply_phase_good(s);
+    apply_a(s, true);
+    s.apply_phase_on_basis_state(0, cplx{-1.0, 0.0});
+    apply_a(s, false);
+    s.apply_global_phase(cplx{-1.0, 0.0});
+  }
+
+  double good_probability(const StateVector& s) const {
+    const auto& layout = layout_;
+    double p = 0.0;
+    const auto amps = s.amplitudes();
+    for (std::size_t x = 0; x < amps.size(); ++x) {
+      if (layout.digit(x, flag_) == 0 && layout.digit(x, anc_) == 0)
+        p += std::norm(amps[x]);
+    }
+    return p;
+  }
+
+ private:
+  void apply_d(StateVector& s, bool adjoint) const {
+    s.apply_value_shift(count_, elem_, shift_fwd_);
+    const auto& rotations = adjoint ? u_adj_ : u_fwd_;
+    const auto& layout = layout_;
+    const auto count = count_;
+    s.apply_conditioned_unitary(
+        flag_, [&](std::size_t base) -> const Matrix* {
+          return &rotations[layout.digit(base, count)];
+        });
+    s.apply_value_shift(count_, elem_, shift_bwd_);
+  }
+
+  void apply_rf(StateVector& s, bool adjoint) const {
+    const auto& rotations = adjoint ? f_rot_adj_ : f_rot_;
+    const auto& layout = layout_;
+    const auto elem = elem_;
+    s.apply_conditioned_unitary(
+        anc_, [&](std::size_t base) -> const Matrix* {
+          return &rotations[layout.digit(base, elem)];
+        });
+  }
+
+  void apply_phase_good(StateVector& s) const {
+    const auto& layout = layout_;
+    const auto flag = flag_;
+    const auto anc = anc_;
+    s.apply_diagonal([&](std::size_t x) {
+      return (layout.digit(x, flag) == 0 && layout.digit(x, anc) == 0)
+                 ? cplx{-1.0, 0.0}
+                 : cplx{1.0, 0.0};
+    });
+  }
+
+  RegisterLayout layout_;
+  RegisterId elem_, count_, flag_, anc_;
+  std::vector<cplx> householder_;
+  std::vector<Matrix> u_fwd_, u_adj_, f_rot_, f_rot_adj_;
+  std::vector<std::size_t> shift_fwd_, shift_bwd_;
+};
+
+}  // namespace
+
+MeanEstimate estimate_mean(const DistributedDatabase& db,
+                           const std::function<double(std::size_t)>& f,
+                           QueryMode mode, const AeSchedule& schedule,
+                           Rng& rng) {
+  QS_REQUIRE(db.total() > 0, "mean of an empty database is undefined");
+  const MeanCircuit circuit(db, f);
+
+  std::vector<ShotRecord> records;
+  MeanEstimate estimate;
+  for (const auto power : schedule.powers) {
+    auto state = circuit.fresh();
+    circuit.apply_a(state, false);
+    for (std::size_t q = 0; q < power; ++q) circuit.apply_q(state);
+    const double p_good = circuit.good_probability(state);
+    std::uint64_t hits = 0;
+    for (std::size_t s = 0; s < schedule.shots_per_power; ++s)
+      hits += rng.bernoulli(p_good) ? 1 : 0;
+    records.push_back({power, hits, schedule.shots_per_power});
+
+    const std::uint64_t d_per_shot = 1 + 2 * power;
+    estimate.oracle_cost +=
+        (mode == QueryMode::kSequential ? d_per_shot * 2 * db.num_machines()
+                                        : d_per_shot * 4) *
+        schedule.shots_per_power;
+    estimate.total_shots += schedule.shots_per_power;
+  }
+
+  const double theta_hat = ae_maximum_likelihood(records);
+  estimate.a_hat = std::sin(theta_hat) * std::sin(theta_hat);
+  // a_f = (M/νN)·E[f]  ⇒  E[f] = a_f · νN/M.
+  estimate.mean_hat = estimate.a_hat * static_cast<double>(db.nu()) *
+                      static_cast<double>(db.universe()) /
+                      static_cast<double>(db.total());
+  return estimate;
+}
+
+ClassicalMeanEstimate classical_mean_estimate(
+    const DistributedDatabase& db,
+    const std::function<double(std::size_t)>& f, std::size_t samples,
+    Rng& rng) {
+  QS_REQUIRE(samples > 0, "need at least one classical sample");
+  const auto drawn = classical_rejection_sampling(db, samples, rng);
+  double total = 0.0;
+  for (const auto i : drawn.samples) total += f(i);
+  ClassicalMeanEstimate estimate;
+  estimate.mean_hat = total / static_cast<double>(samples);
+  estimate.probes = drawn.queries;
+  return estimate;
+}
+
+}  // namespace qs

@@ -1,0 +1,48 @@
+#include "apps/sample_server.hpp"
+
+#include "common/require.hpp"
+#include "qsim/measure.hpp"
+
+namespace qs {
+
+SampleServer::SampleServer(DistributedDatabase db, QueryMode mode,
+                           StatePrep prep)
+    : db_(std::move(db)), mode_(mode), prep_(prep) {}
+
+void SampleServer::insert(std::size_t machine, std::size_t element) {
+  db_.insert(machine, element);
+  cached_.reset();
+}
+
+void SampleServer::erase(std::size_t machine, std::size_t element) {
+  db_.erase(machine, element);
+  cached_.reset();
+}
+
+void SampleServer::rebuild() {
+  SamplerOptions options;
+  options.prep = prep_;
+  cached_ = mode_ == QueryMode::kSequential
+                ? run_sequential_sampler(db_, options)
+                : run_parallel_sampler(db_, options);
+  query_cost_ += mode_ == QueryMode::kSequential
+                     ? cached_->stats.total_sequential()
+                     : cached_->stats.parallel_rounds;
+  ++preparations_;
+}
+
+const SamplerResult& SampleServer::state() {
+  if (!cached_.has_value()) rebuild();
+  return cached_.value();
+}
+
+std::size_t SampleServer::draw(Rng& rng) {
+  const auto& current = state();
+  const auto sample =
+      measure_register(current.state, current.registers.elem, rng);
+  // Measurement destroys the coherent state: the next access re-prepares.
+  cached_.reset();
+  return sample;
+}
+
+}  // namespace qs

@@ -1,0 +1,58 @@
+// A long-lived sampling service over a mutating distributed store.
+//
+// Production shape for the dynamic-database story: a server owns the
+// database, accepts updates, and serves measurement draws. The expensive
+// artifact — the prepared sampling state — is CACHED and only rebuilt when
+// the data actually changed since the last preparation (tracked by the
+// database's version counter). Each rebuild costs the sampler's
+// Θ(n√(νN/M)) queries; draws against a fresh cache cost nothing extra
+// because distinct classical samples require distinct preparations only
+// when the previous state has been measured (the server re-prepares per
+// draw but amortises when callers ask for the coherent state itself).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "sampling/samplers.hpp"
+
+namespace qs {
+
+class SampleServer {
+ public:
+  /// The server owns its database.
+  SampleServer(DistributedDatabase db, QueryMode mode,
+               StatePrep prep = StatePrep::kHouseholder);
+
+  const DistributedDatabase& database() const noexcept { return db_; }
+
+  /// Updates (invalidate the cached state).
+  void insert(std::size_t machine, std::size_t element);
+  void erase(std::size_t machine, std::size_t element);
+
+  /// The coherent sampling state for the CURRENT data; rebuilt only when
+  /// stale. Throws on an empty store.
+  const SamplerResult& state();
+
+  /// Draw one classical sample. Every draw consumes (and therefore
+  /// re-prepares) a state: quantum measurement is destructive.
+  std::size_t draw(Rng& rng);
+
+  /// Total oracle queries (or parallel rounds) spent by all preparations.
+  std::uint64_t total_query_cost() const noexcept { return query_cost_; }
+  std::uint64_t preparations() const noexcept { return preparations_; }
+  bool cache_valid() const noexcept { return cached_.has_value(); }
+
+ private:
+  void rebuild();
+
+  DistributedDatabase db_;
+  QueryMode mode_;
+  StatePrep prep_;
+  std::optional<SamplerResult> cached_;
+  std::uint64_t query_cost_ = 0;
+  std::uint64_t preparations_ = 0;
+};
+
+}  // namespace qs

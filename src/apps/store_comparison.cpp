@@ -1,0 +1,103 @@
+#include "apps/store_comparison.hpp"
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "common/require.hpp"
+#include "qsim/controlled.hpp"
+#include "qsim/gates.hpp"
+
+namespace qs {
+
+StoreComparisonResult compare_stores(const DistributedDatabase& store_a,
+                                     const DistributedDatabase& store_b,
+                                     QueryMode mode, std::size_t shots,
+                                     Rng& rng) {
+  QS_REQUIRE(store_a.universe() == store_b.universe(),
+             "stores must share one key universe");
+  QS_REQUIRE(shots > 0, "need at least one SWAP-test shot");
+
+  // Prepare each store's sampling state once (exact zero-error run); in
+  // hardware every shot would redo this, which is what the cost ledger
+  // charges.
+  const auto result_a = mode == QueryMode::kSequential
+                            ? run_sequential_sampler(store_a)
+                            : run_parallel_sampler(store_a);
+  const auto result_b = mode == QueryMode::kSequential
+                            ? run_sequential_sampler(store_b)
+                            : run_parallel_sampler(store_b);
+  const auto psi_a = result_a.output_amplitudes();
+  const auto psi_b = result_b.output_amplitudes();
+  const std::size_t universe = store_a.universe();
+
+  // SWAP-test layout: ancilla ⊗ elem_A ⊗ elem_B, product-state input.
+  RegisterLayout layout;
+  const auto anc = layout.add("anc", 2);
+  const auto reg_a = layout.add("elem_a", universe);
+  const auto reg_b = layout.add("elem_b", universe);
+  StateVector state(layout);
+  {
+    std::vector<cplx> amps(layout.total_dim(), cplx{0.0, 0.0});
+    for (std::size_t i = 0; i < universe; ++i) {
+      if (psi_a[i] == cplx{0.0, 0.0}) continue;
+      for (std::size_t j = 0; j < universe; ++j) {
+        // anc = 0 slice: |0⟩|i⟩|j⟩ with amplitude ψA_i ψB_j.
+        amps[(0 * universe + i) * universe + j] = psi_a[i] * psi_b[j];
+      }
+    }
+    state.set_amplitudes(std::move(amps));
+  }
+
+  // H on the ancilla, controlled-SWAP, H again.
+  Matrix hadamard(2, 2);
+  const double inv_root2 = 1.0 / std::sqrt(2.0);
+  hadamard(0, 0) = inv_root2;
+  hadamard(0, 1) = inv_root2;
+  hadamard(1, 0) = inv_root2;
+  hadamard(1, 1) = -inv_root2;
+
+  state.apply_unitary(anc, hadamard);
+  apply_controlled(state, anc, 1, [&](StateVector& slice) {
+    const auto& slice_layout = slice.layout();
+    slice.apply_permutation([&](std::size_t x) {
+      const std::size_t da = slice_layout.digit(x, reg_a);
+      const std::size_t db = slice_layout.digit(x, reg_b);
+      std::size_t y = slice_layout.with_digit(x, reg_a, db);
+      return slice_layout.with_digit(y, reg_b, da);
+    });
+  });
+  state.apply_unitary(anc, hadamard);
+
+  const double p_zero = state.probability_of(anc, 0);
+
+  StoreComparisonResult comparison;
+  comparison.shots = shots;
+  for (std::size_t s = 0; s < shots; ++s)
+    comparison.ancilla_zero_count += rng.bernoulli(p_zero) ? 1 : 0;
+  const double frac = static_cast<double>(comparison.ancilla_zero_count) /
+                      static_cast<double>(shots);
+  comparison.overlap_estimate = std::max(0.0, 2.0 * frac - 1.0);
+  comparison.bhattacharyya_estimate = std::sqrt(comparison.overlap_estimate);
+  // overlap = 2·P(anc=0) − 1: transform the Wilson interval endpoints.
+  const auto interval =
+      wilson_interval(comparison.ancilla_zero_count, shots);
+  comparison.overlap_lo = std::max(0.0, 2.0 * interval.lo - 1.0);
+  comparison.overlap_hi = std::min(1.0, 2.0 * interval.hi - 1.0);
+
+  cplx overlap{0.0, 0.0};
+  for (std::size_t i = 0; i < universe; ++i)
+    overlap += std::conj(psi_a[i]) * psi_b[i];
+  comparison.true_overlap = std::norm(overlap);
+
+  comparison.prep_cost_a = mode == QueryMode::kSequential
+                               ? result_a.stats.total_sequential()
+                               : result_a.stats.parallel_rounds;
+  comparison.prep_cost_b = mode == QueryMode::kSequential
+                               ? result_b.stats.total_sequential()
+                               : result_b.stats.parallel_rounds;
+  comparison.total_cost =
+      shots * (comparison.prep_cost_a + comparison.prep_cost_b);
+  return comparison;
+}
+
+}  // namespace qs

@@ -1,0 +1,55 @@
+// Coherent comparison of two distributed stores — the SWAP test on their
+// sampling states.
+//
+// Classically, comparing the key distributions of two sharded stores needs
+// Θ(nN) probes per store (learn both histograms). Quantumly, prepare each
+// store's sampling state (Grover cost) and run a SWAP test:
+//
+//   P(ancilla = 0) = (1 + |⟨ψ_A|ψ_B⟩|²) / 2,
+//
+// and since ⟨ψ_A|ψ_B⟩ = Σ_i √(p_i q_i) is the BHATTACHARYYA coefficient of
+// the two distributions, the overlap estimate is a genuine statistical
+// similarity measure: 1 iff the stores have identical key distributions,
+// → 0 as their supports separate. Each shot consumes one fresh preparation
+// of each state (measurement is destructive), so the per-shot cost is the
+// two samplers' query costs.
+//
+// Use cases: replica-drift detection, federated A/B comparison, change
+// detection after a migration.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "sampling/samplers.hpp"
+
+namespace qs {
+
+struct StoreComparisonResult {
+  /// Estimated squared overlap |⟨ψ_A|ψ_B⟩|² ∈ [0, 1].
+  double overlap_estimate = 0.0;
+  /// Exact squared overlap (simulation ground truth, for validation).
+  double true_overlap = 0.0;
+  /// Estimated Bhattacharyya coefficient √overlap.
+  double bhattacharyya_estimate = 0.0;
+  /// 95% Wilson interval for the overlap (from the ancilla statistics).
+  double overlap_lo = 0.0;
+  double overlap_hi = 1.0;
+  std::size_t shots = 0;
+  std::uint64_t ancilla_zero_count = 0;
+  /// Oracle cost of ONE preparation of each store's state.
+  std::uint64_t prep_cost_a = 0;
+  std::uint64_t prep_cost_b = 0;
+  /// Total cost: shots · (prep_a + prep_b).
+  std::uint64_t total_cost = 0;
+};
+
+/// SWAP-test comparison of two stores over the same universe. Both must be
+/// non-empty. `shots` independent SWAP tests; the estimator is
+/// overlap = max(0, 2·#[anc=0]/shots − 1).
+StoreComparisonResult compare_stores(const DistributedDatabase& store_a,
+                                     const DistributedDatabase& store_b,
+                                     QueryMode mode, std::size_t shots,
+                                     Rng& rng);
+
+}  // namespace qs

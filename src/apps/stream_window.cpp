@@ -1,0 +1,45 @@
+#include "apps/stream_window.hpp"
+
+#include "common/require.hpp"
+#include "qsim/measure.hpp"
+
+namespace qs {
+
+StreamWindowSampler::StreamWindowSampler(std::size_t universe,
+                                         std::size_t machines,
+                                         std::size_t window, std::uint64_t nu)
+    : db_(std::vector<Dataset>(machines, Dataset(universe)), nu),
+      window_(window) {
+  QS_REQUIRE(window_ >= 1, "window must span at least one tick");
+}
+
+void StreamWindowSampler::ingest(std::size_t machine, std::size_t key) {
+  db_.insert(machine, key);  // O(1) oracle update (Section 3)
+  live_.push_back({tick_, machine, key});
+}
+
+void StreamWindowSampler::tick() {
+  ++tick_;
+  while (!live_.empty() && live_.front().tick + window_ <= tick_) {
+    const auto& event = live_.front();
+    db_.erase(event.machine, event.key);  // O(1) oracle update
+    live_.pop_front();
+  }
+}
+
+std::uint64_t StreamWindowSampler::window_population() const {
+  return static_cast<std::uint64_t>(live_.size());
+}
+
+SamplerResult StreamWindowSampler::sample(QueryMode mode) const {
+  QS_REQUIRE(window_population() > 0, "the window is empty");
+  return mode == QueryMode::kSequential ? run_sequential_sampler(db_)
+                                        : run_parallel_sampler(db_);
+}
+
+std::size_t StreamWindowSampler::sample_key(Rng& rng, QueryMode mode) const {
+  const auto result = sample(mode);
+  return measure_register(result.state, result.registers.elem, rng);
+}
+
+}  // namespace qs

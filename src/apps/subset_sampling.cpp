@@ -1,0 +1,68 @@
+#include "apps/subset_sampling.hpp"
+
+#include "common/require.hpp"
+
+namespace qs {
+
+WeightedSamplerResult run_subset_sampler(
+    const DistributedDatabase& db,
+    const std::function<bool(std::size_t element)>& selector, QueryMode mode,
+    std::optional<double> known_z, const AeSchedule& ae_schedule, Rng& rng,
+    StatePrep prep) {
+  std::vector<double> weights(db.universe(), 0.0);
+  bool any = false;
+  for (std::size_t i = 0; i < db.universe(); ++i) {
+    if (selector(i)) {
+      weights[i] = 1.0;
+      any = true;
+    }
+  }
+  QS_REQUIRE(any, "subset selector matches no element of the universe");
+  return run_weighted_sampler(db, weights, mode, known_z, ae_schedule, rng,
+                              prep);
+}
+
+MembershipResult distributed_membership(const DistributedDatabase& db,
+                                        std::size_t element, QueryMode mode,
+                                        const AeSchedule& ae_schedule,
+                                        Rng& rng) {
+  QS_REQUIRE(element < db.universe(), "element outside the universe");
+  MembershipResult result;
+  // Membership is decidable from the (public-side) estimate alone: if the
+  // selected mass is ~0 the weighted sampler has nothing to amplify.
+  std::vector<double> weights(db.universe(), 0.0);
+  weights[element] = 1.0;
+  const double w_max = 1.0;
+  (void)w_max;
+
+  // Estimate the selected mass first (never public for a single key).
+  const double true_mass = static_cast<double>(db.total_count(element));
+  if (true_mass == 0.0) {
+    // Run the estimator so the caller still pays/learns honestly.
+    WeightedSamplerResult details{};
+    try {
+      details = run_weighted_sampler(db, weights, mode, std::nullopt,
+                                     ae_schedule, rng);
+    } catch (const ContractViolation&) {
+      // Estimated mass zero — the expected outcome for an absent key.
+      result.present = false;
+      result.mass = 0.0;
+      return result;
+    }
+    // Estimator found (noise-level) mass; report what the output holds.
+    result.details = std::move(details);
+  } else {
+    result.details = run_weighted_sampler(db, weights, mode, std::nullopt,
+                                          ae_schedule, rng);
+  }
+
+  const auto& layout = result.details.state.layout();
+  std::vector<std::size_t> digits(3, 0);
+  digits[result.details.registers.elem.value] = element;
+  result.mass =
+      std::norm(result.details.state.amplitude(layout.index_of(digits)));
+  result.present = result.mass > 0.5;
+  return result;
+}
+
+}  // namespace qs

@@ -1,0 +1,41 @@
+// Subset (filtered) sampling — Grover search over a distributed store.
+//
+// "Sample a record whose key satisfies a PUBLIC predicate" is weighted
+// sampling with an indicator weight vector: amplitudes √(c_i/Z) on the
+// selected keys, 0 elsewhere, Z = Σ_{i ∈ S} c_i. With |S| = 1 this is
+// distributed Grover search for one key (does it exist? grab it
+// coherently); with S = [N] it degenerates to plain sampling. Cost is the
+// weighted sampler's O(n√(νN·w_max/Z)) — i.e. classic Grover scaling in the
+// selected mass.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "apps/weighted_sampling.hpp"
+
+namespace qs {
+
+/// Sample from the database restricted to keys where `selector` is true.
+/// `known_z`: total selected mass Σ_{selector(i)} c_i if public; otherwise
+/// it is quantum-estimated first (schedule as in weighted sampling).
+WeightedSamplerResult run_subset_sampler(
+    const DistributedDatabase& db,
+    const std::function<bool(std::size_t element)>& selector, QueryMode mode,
+    std::optional<double> known_z, const AeSchedule& ae_schedule, Rng& rng,
+    StatePrep prep = StatePrep::kHouseholder);
+
+/// Distributed membership test + retrieval: returns the post-sampling
+/// probability mass on `element` (1 when present and selected alone, 0 when
+/// absent). Convenience wrapper with S = {element}.
+struct MembershipResult {
+  bool present = false;
+  double mass = 0.0;  ///< probability of measuring `element` in the output
+  WeightedSamplerResult details;
+};
+MembershipResult distributed_membership(const DistributedDatabase& db,
+                                        std::size_t element, QueryMode mode,
+                                        const AeSchedule& ae_schedule,
+                                        Rng& rng);
+
+}  // namespace qs

@@ -1,0 +1,165 @@
+#include "apps/weighted_sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/require.hpp"
+#include "qsim/gates.hpp"
+
+namespace qs {
+
+namespace {
+
+/// SingleStateBackend with the rotation step re-weighted: 𝒰_w acts on the
+/// flag conditioned on BOTH the element (for w_i) and the counter (for c).
+/// Everything else — oracles, preparation, phases, accounting — is the
+/// paper's unmodified machinery.
+class WeightedBackend final : public SamplingBackend {
+ public:
+  WeightedBackend(const DistributedDatabase& db,
+                  std::span<const double> weights, double w_max,
+                  StatePrep prep)
+      : inner_(db, prep) {
+    const auto& regs = inner_.registers();
+    const std::size_t counter_dim = inner_.state().layout().dim(regs.count);
+    const double nu = static_cast<double>(db.nu());
+    rotations_.reserve(weights.size() * counter_dim);
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      for (std::size_t c = 0; c < counter_dim; ++c) {
+        const double ratio = std::min(
+            static_cast<double>(c) * weights[i] / (nu * w_max), 1.0);
+        const double gamma = std::acos(std::sqrt(ratio));
+        rotations_.push_back(rotation_matrix(gamma));
+        rotations_adjoint_.push_back(rotation_matrix(-gamma));
+      }
+    }
+    counter_dim_ = counter_dim;
+  }
+
+  std::size_t num_machines() const override { return inner_.num_machines(); }
+  void prep_uniform(bool adjoint) override { inner_.prep_uniform(adjoint); }
+  void phase_good(double phi) override { inner_.phase_good(phi); }
+  void phase_initial(double phi) override { inner_.phase_initial(phi); }
+  void oracle(std::size_t j, bool adjoint) override {
+    inner_.oracle(j, adjoint);
+  }
+  void parallel_total_shift(bool adjoint) override {
+    inner_.parallel_total_shift(adjoint);
+  }
+  void global_phase(double angle) override { inner_.global_phase(angle); }
+
+  void rotation_u(bool adjoint) override {
+    const auto& regs = inner_.registers();
+    const auto& layout = inner_.state().layout();
+    const auto& rotations = adjoint ? rotations_adjoint_ : rotations_;
+    inner_.state().apply_conditioned_unitary(
+        regs.flag, [&](std::size_t fiber_base) -> const Matrix* {
+          const std::size_t i = layout.digit(fiber_base, regs.elem);
+          const std::size_t c = layout.digit(fiber_base, regs.count);
+          return &rotations[i * counter_dim_ + c];
+        });
+  }
+
+  StateVector& state() { return inner_.state(); }
+  const StateVector& state() const { return inner_.state(); }
+  const CoordinatorLayout& registers() const { return inner_.registers(); }
+
+ private:
+  SingleStateBackend inner_;
+  std::vector<Matrix> rotations_, rotations_adjoint_;
+  std::size_t counter_dim_ = 0;
+};
+
+}  // namespace
+
+std::vector<cplx> weighted_target_amplitudes(const DistributedDatabase& db,
+                                             std::span<const double> weights) {
+  QS_REQUIRE(weights.size() == db.universe(),
+             "one weight per universe element required");
+  const auto counts = db.joint_counts();
+  double z = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    QS_REQUIRE(weights[i] >= 0.0, "weights must be non-negative");
+    z += static_cast<double>(counts[i]) * weights[i];
+  }
+  QS_REQUIRE(z > 0.0, "weighted distribution has no mass");
+  std::vector<cplx> amps(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i)
+    amps[i] = std::sqrt(static_cast<double>(counts[i]) * weights[i] / z);
+  return amps;
+}
+
+WeightedSamplerResult run_weighted_sampler(
+    const DistributedDatabase& db, std::span<const double> weights,
+    QueryMode mode, std::optional<double> known_z,
+    const AeSchedule& ae_schedule, Rng& rng, StatePrep prep) {
+  QS_REQUIRE(weights.size() == db.universe(),
+             "one weight per universe element required");
+  const double w_max = *std::max_element(weights.begin(), weights.end());
+  QS_REQUIRE(w_max > 0.0, "at least one weight must be positive");
+  const double nu_n = static_cast<double>(db.nu()) *
+                      static_cast<double>(db.universe());
+  constexpr double kPi = std::numbers::pi;
+
+  WeightedSamplerResult result{StateVector(RegisterLayout{}), {}, {}, {},
+                               0.0,  0,  0.0};
+
+  // Learn the good amplitude a_w = Z/(νN·w_max) if Z is not public.
+  double a_w = 0.0;
+  if (known_z.has_value()) {
+    result.z_used = known_z.value();
+    a_w = result.z_used / (nu_n * w_max);
+  } else {
+    std::vector<ShotRecord> records;
+    for (const auto power : ae_schedule.powers) {
+      WeightedBackend probe(db, weights, w_max, prep);
+      probe.prep_uniform(false);
+      apply_distributing_operator(probe, mode, false);
+      for (std::size_t q = 0; q < power; ++q)
+        apply_q_iterate(probe, mode, kPi, kPi);
+      const double p_good =
+          probe.state().probability_of(probe.registers().flag, 0);
+      std::uint64_t hits = 0;
+      for (std::size_t s = 0; s < ae_schedule.shots_per_power; ++s)
+        hits += rng.bernoulli(p_good) ? 1 : 0;
+      records.push_back({power, hits, ae_schedule.shots_per_power});
+      const std::uint64_t per_shot_d = 1 + 2 * power;
+      result.estimation_cost +=
+          (mode == QueryMode::kSequential ? per_shot_d * 2 * db.num_machines()
+                                          : per_shot_d * 4) *
+          ae_schedule.shots_per_power;
+    }
+    const double theta_hat = ae_maximum_likelihood(records);
+    a_w = std::sin(theta_hat) * std::sin(theta_hat);
+    result.z_used = a_w * nu_n * w_max;
+  }
+  QS_REQUIRE(a_w > 0.0,
+             "estimated weighted mass is zero; nothing to sample");
+
+  const AAPlan plan = plan_zero_error(std::min(a_w, 1.0));
+  db.reset_stats();
+  WeightedBackend backend(db, weights, w_max, prep);
+  run_sampling_circuit(backend, mode, plan);
+
+  // Fidelity against the TRUE weighted target (Z from the actual data).
+  const auto target = weighted_target_amplitudes(db, weights);
+  const auto& layout = backend.state().layout();
+  const auto& regs = backend.registers();
+  cplx overlap{0.0, 0.0};
+  std::vector<std::size_t> digits(3, 0);
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    digits[regs.elem.value] = i;
+    overlap += std::conj(target[i]) *
+               backend.state().amplitude(layout.index_of(digits));
+  }
+
+  result.state = std::move(backend.state());
+  result.registers = regs;
+  result.plan = plan;
+  result.sampling_stats = db.stats();
+  result.fidelity = std::norm(overlap);
+  return result;
+}
+
+}  // namespace qs

@@ -1,0 +1,58 @@
+// Weighted distributed quantum sampling — quantum rejection sampling on a
+// distributed database.
+//
+// Ozols–Roetteler–Roland's quantum rejection sampling (cited in the
+// paper's related work) converts one superposition into another with
+// re-weighted amplitudes. Combined with the paper's machinery, it gives
+// IMPORTANCE SAMPLING over a federated store: for a PUBLIC weight vector
+// w ≥ 0, prepare
+//
+//   |ψ_w⟩ = Σ_i √(c_i w_i / Z) |i⟩,   Z = Σ_i c_i w_i,
+//
+// with the same oracles. The only change to the paper's construction is the
+// rotation step: after loading counts (Lemma 4.2/4.4 first step), rotate
+// the flag by the (i, c)-dependent angle with cos γ = √(c·w_i/(ν·w_max)) —
+// still a coordinator unitary, because w is public. The good amplitude
+// becomes a_w = Z/(νN·w_max).
+//
+// Z is NOT public (it depends on the data), so the amplitude-amplification
+// plan cannot be computed a priori. run_weighted_sampler either takes a
+// known Z, or first runs the quantum counting module (amplitude estimation)
+// to learn a_w — composing the two subsystems the way a real deployment
+// would. With Z known exactly the output is exact (fidelity 1); with an
+// estimated Z the fidelity degrades gracefully with the estimation error
+// (quantified in the tests and experiment T9b).
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "estimation/amplitude_estimation.hpp"
+#include "sampling/samplers.hpp"
+
+namespace qs {
+
+struct WeightedSamplerResult {
+  StateVector state;
+  CoordinatorLayout registers;
+  AAPlan plan;
+  QueryStats sampling_stats;
+  double fidelity = 0.0;  ///< against Σ √(c_i w_i / Z)|i⟩ with the TRUE Z
+  /// Oracle cost spent estimating a_w (0 when Z was supplied).
+  std::uint64_t estimation_cost = 0;
+  double z_used = 0.0;  ///< the Z the plan was built from
+};
+
+/// The exact weighted target amplitudes Σ √(c_i w_i / Z)|i⟩ (reference).
+std::vector<cplx> weighted_target_amplitudes(const DistributedDatabase& db,
+                                             std::span<const double> weights);
+
+/// Run weighted sampling. `known_z`: supply Z = Σ c_i w_i if public;
+/// otherwise the good amplitude is estimated first with `ae_schedule`.
+WeightedSamplerResult run_weighted_sampler(
+    const DistributedDatabase& db, std::span<const double> weights,
+    QueryMode mode, std::optional<double> known_z,
+    const AeSchedule& ae_schedule, Rng& rng,
+    StatePrep prep = StatePrep::kHouseholder);
+
+}  // namespace qs

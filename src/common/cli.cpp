@@ -1,0 +1,76 @@
+#include "common/cli.hpp"
+
+#include <string_view>
+
+#include "common/require.hpp"
+
+namespace qs {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    QS_REQUIRE(arg.starts_with("--"),
+               "flags must start with '--' (got '" + std::string(arg) + "')");
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+      continue;
+    }
+    // `--name value` unless the next token is another flag (then boolean).
+    if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+      values_[std::string(arg)] = argv[++i];
+    } else {
+      values_[std::string(arg)] = "true";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  touched_[name] = true;
+  return values_.contains(name);
+}
+
+std::string CliArgs::get(const std::string& name,
+                         const std::string& fallback) const {
+  touched_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::get(const std::string& name,
+                          std::int64_t fallback) const {
+  touched_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::stoll(it->second);
+}
+
+std::uint64_t CliArgs::get(const std::string& name,
+                           std::uint64_t fallback) const {
+  touched_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::stoull(it->second);
+}
+
+double CliArgs::get(const std::string& name, double fallback) const {
+  touched_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::stod(it->second);
+}
+
+bool CliArgs::get(const std::string& name, bool fallback) const {
+  touched_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> CliArgs::unused() const {
+  std::vector<std::string> result;
+  for (const auto& [name, _] : values_) {
+    if (!touched_.contains(name)) result.push_back(name);
+  }
+  return result;
+}
+
+}  // namespace qs

@@ -1,0 +1,35 @@
+// Minimal command-line flag parsing for examples and bench binaries.
+//
+// Supports `--name value` and `--name=value` forms plus boolean switches.
+// Unknown flags are an error so typos surface immediately.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qs {
+
+class CliArgs {
+ public:
+  /// Parses argv; throws qs::ContractViolation on a malformed flag.
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get(const std::string& name, std::int64_t fallback) const;
+  std::uint64_t get(const std::string& name, std::uint64_t fallback) const;
+  double get(const std::string& name, double fallback) const;
+  bool get(const std::string& name, bool fallback) const;
+
+  /// Flags the program never queried; useful for typo diagnostics.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> touched_;
+};
+
+}  // namespace qs

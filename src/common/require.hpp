@@ -1,0 +1,54 @@
+// Precondition / invariant checking for the distributed-quantum-sampling
+// library.
+//
+// Following the C++ Core Guidelines (I.5 "State preconditions", E.12), public
+// API entry points validate their inputs with QS_REQUIRE, which throws
+// qs::ContractViolation carrying the failed expression and source location.
+// Internal invariants use QS_ASSERT, which compiles to the same check; both
+// are always on because every operation in this library is dominated by
+// O(dim) statevector work, so the branch cost is negligible.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace qs {
+
+/// Thrown when a documented precondition or internal invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line,
+                                          const std::string& message) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!message.empty()) os << " — " << message;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace detail
+}  // namespace qs
+
+/// Validate a documented precondition of a public API.
+#define QS_REQUIRE(expr, message)                                             \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::qs::detail::contract_failure("precondition", #expr, __FILE__,         \
+                                     __LINE__, (message));                    \
+    }                                                                         \
+  } while (false)
+
+/// Validate an internal invariant.
+#define QS_ASSERT(expr, message)                                              \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::qs::detail::contract_failure("invariant", #expr, __FILE__, __LINE__,  \
+                                     (message));                              \
+    }                                                                         \
+  } while (false)

@@ -1,0 +1,87 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything in this repository that consumes randomness takes an explicit
+// qs::Rng so that every test, example and benchmark is reproducible from a
+// seed printed in its output. The generator is xoshiro256** seeded through
+// SplitMix64 (the construction recommended by its authors), implemented here
+// so the library has no hidden dependence on the standard library's
+// unspecified distributions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace qs {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** 1.0 — fast, high-quality, 2^256-period generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept;
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64() noexcept;
+
+  /// UniformRandomBitGenerator interface.
+  std::uint64_t operator()() noexcept { return next_u64(); }
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ull; }
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Unbiased
+  /// (rejection-based).
+  std::uint64_t uniform_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Standard normal via Box–Muller (no cached spare: keeps state minimal).
+  double normal() noexcept;
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept;
+
+  /// Sample an index from an unnormalised non-negative weight vector.
+  /// Requires at least one strictly positive weight.
+  std::size_t weighted_index(const std::vector<double>& weights) noexcept;
+
+  /// Choose k distinct values out of [0, n), returned sorted ascending.
+  /// Uses Floyd's algorithm: O(k) expected memory and time (plus sort).
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  /// Split off an independent stream (seeded from this stream's output).
+  Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+/// Zipf(s) sampler over {0, ..., n-1}: P(i) ∝ 1/(i+1)^s. Precomputes the
+/// CDF once; sampling is O(log n) per draw.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+
+  std::size_t sample(Rng& rng) const noexcept;
+
+  /// Probability of value i (normalised).
+  double probability(std::size_t i) const;
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[i] = P(X <= i)
+};
+
+}  // namespace qs

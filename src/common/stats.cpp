@@ -1,0 +1,178 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/require.hpp"
+
+namespace qs {
+
+void Accumulator::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+LineFit fit_line(const std::vector<double>& xs,
+                 const std::vector<double>& ys) {
+  QS_REQUIRE(xs.size() == ys.size(), "fit_line: size mismatch");
+  QS_REQUIRE(xs.size() >= 2, "fit_line: need at least two points");
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  QS_REQUIRE(std::abs(denom) > 0.0, "fit_line: degenerate x values");
+  LineFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double r = ys[i] - (fit.slope * xs[i] + fit.intercept);
+    ss_res += r * r;
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+LineFit fit_power_law(const std::vector<double>& xs,
+                      const std::vector<double>& ys) {
+  QS_REQUIRE(xs.size() == ys.size(), "fit_power_law: size mismatch");
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    QS_REQUIRE(xs[i] > 0.0 && ys[i] > 0.0,
+               "fit_power_law: inputs must be strictly positive");
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+  }
+  return fit_line(lx, ly);
+}
+
+std::optional<std::uint64_t> binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    const std::uint64_t numer = n - k + i;
+    // result * numer / i is exact at every step; detect overflow of the
+    // multiply before dividing.
+    const std::uint64_t g = std::gcd(result, i);
+    std::uint64_t r = result / g;
+    const std::uint64_t d = i / g;
+    const std::uint64_t m = numer / d;  // d divides numer * (result/g) overall
+    if (numer % d == 0) {
+      if (r > std::numeric_limits<std::uint64_t>::max() / m)
+        return std::nullopt;
+      result = r * m;
+    } else {
+      if (r > std::numeric_limits<std::uint64_t>::max() / numer)
+        return std::nullopt;
+      result = r * numer / d;
+    }
+  }
+  return result;
+}
+
+double log_binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double median(std::vector<double> values) {
+  QS_REQUIRE(!values.empty(), "median of empty range");
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  const double hi = values[mid];
+  if (values.size() % 2 == 1) return hi;
+  const double lo = *std::max_element(values.begin(), values.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+double chi_square_p_value(double statistic, std::size_t degrees_of_freedom) {
+  // An infinite statistic (mass observed in a zero-probability bin) is
+  // impossible under the null regardless of the degrees of freedom.
+  if (!std::isfinite(statistic)) return 0.0;
+  if (degrees_of_freedom == 0) return 1.0;
+  const double k = static_cast<double>(degrees_of_freedom);
+  // Wilson–Hilferty: (X²/k)^(1/3) is approximately normal with mean
+  // 1 − 2/(9k) and variance 2/(9k).
+  const double variance = 2.0 / (9.0 * k);
+  const double z = (std::cbrt(statistic / k) - (1.0 - variance)) /
+                   std::sqrt(variance);
+  return 0.5 * std::erfc(z / std::sqrt(2.0));
+}
+
+WilsonInterval wilson_interval(std::uint64_t hits, std::uint64_t trials,
+                               double z) {
+  QS_REQUIRE(trials > 0, "Wilson interval needs at least one trial");
+  QS_REQUIRE(hits <= trials, "more hits than trials");
+  QS_REQUIRE(z > 0.0, "z must be positive");
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(hits) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double spread =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  WilsonInterval interval;
+  interval.center = center;
+  interval.lo = std::max(0.0, center - spread);
+  interval.hi = std::min(1.0, center + spread);
+  return interval;
+}
+
+ChiSquareResult chi_square_gof(const std::vector<std::uint64_t>& observed,
+                               const std::vector<double>& expected_probs) {
+  QS_REQUIRE(observed.size() == expected_probs.size(),
+             "chi-square: size mismatch");
+  QS_REQUIRE(!observed.empty(), "chi-square: empty input");
+  std::uint64_t total = 0;
+  for (const auto o : observed) total += o;
+  QS_REQUIRE(total > 0, "chi-square: no observations");
+
+  ChiSquareResult result;
+  std::size_t live_bins = 0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    QS_REQUIRE(expected_probs[i] >= 0.0, "chi-square: negative probability");
+    const double expected =
+        expected_probs[i] * static_cast<double>(total);
+    if (expected == 0.0) {
+      if (observed[i] != 0) {
+        result.statistic = std::numeric_limits<double>::infinity();
+      }
+      continue;
+    }
+    ++live_bins;
+    const double delta = static_cast<double>(observed[i]) - expected;
+    result.statistic += delta * delta / expected;
+  }
+  result.degrees_of_freedom = live_bins > 0 ? live_bins - 1 : 0;
+  result.p_value =
+      chi_square_p_value(result.statistic, result.degrees_of_freedom);
+  return result;
+}
+
+}  // namespace qs

@@ -1,0 +1,85 @@
+// Small statistics helpers used by the experiment harnesses: summary
+// statistics, least-squares fits (for log–log scaling-exponent extraction),
+// and exact/logarithmic binomial coefficients (for Lemma 5.6's |T| = C(N, m)
+// counting checks).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace qs {
+
+/// Running mean / variance / extrema accumulator (Welford's algorithm).
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Result of an ordinary least-squares line fit y = slope * x + intercept.
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Least-squares fit. Requires xs.size() == ys.size() >= 2.
+LineFit fit_line(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Fit y = c * x^e by regressing log y on log x; returns {e, log c, R^2}.
+/// All inputs must be strictly positive.
+LineFit fit_power_law(const std::vector<double>& xs,
+                      const std::vector<double>& ys);
+
+/// Exact binomial coefficient if it fits in 64 bits, otherwise nullopt.
+std::optional<std::uint64_t> binomial(std::uint64_t n, std::uint64_t k);
+
+/// Natural log of C(n, k) via lgamma, valid for all 0 <= k <= n.
+double log_binomial(std::uint64_t n, std::uint64_t k);
+
+/// Median of a vector (copied; input untouched). Requires non-empty input.
+double median(std::vector<double> values);
+
+/// Pearson chi-square goodness-of-fit of observed counts against expected
+/// probabilities. Bins with expected probability 0 must observe 0 (else the
+/// statistic is +inf); they contribute no degrees of freedom.
+struct ChiSquareResult {
+  double statistic = 0.0;
+  std::size_t degrees_of_freedom = 0;
+  double p_value = 0.0;  ///< survival function (Wilson–Hilferty approx.)
+};
+ChiSquareResult chi_square_gof(const std::vector<std::uint64_t>& observed,
+                               const std::vector<double>& expected_probs);
+
+/// Survival function of the chi-square distribution (Wilson–Hilferty
+/// normal approximation — adequate for goodness-of-fit verdicts).
+double chi_square_p_value(double statistic, std::size_t degrees_of_freedom);
+
+/// Wilson score interval for a binomial proportion: the [lo, hi] range for
+/// the true success probability after `hits` successes in `trials` trials,
+/// at z standard normal quantiles (z = 1.96 for 95%). Well-behaved at the
+/// 0/1 boundaries, unlike the normal approximation.
+struct WilsonInterval {
+  double lo = 0.0;
+  double hi = 1.0;
+  double center = 0.0;
+};
+WilsonInterval wilson_interval(std::uint64_t hits, std::uint64_t trials,
+                               double z = 1.96);
+
+}  // namespace qs

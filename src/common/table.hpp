@@ -1,0 +1,40 @@
+// Plain-text table rendering for the experiment harnesses.
+//
+// Every bench binary in this repository regenerates one of the paper's
+// "tables"/"figures" (see DESIGN.md); TextTable renders the rows as aligned
+// monospace output and can additionally dump CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qs {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience cell formatters.
+  static std::string cell(std::uint64_t v);
+  static std::string cell(std::int64_t v);
+  static std::string cell(double v, int precision = 4);
+  static std::string cell_sci(double v, int precision = 3);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Render with a title line, column separators and a header rule.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  /// Comma-separated dump (headers + rows) for downstream plotting.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qs

@@ -1,0 +1,43 @@
+#include "distdb/communication.hpp"
+
+namespace qs {
+
+std::uint64_t qubits_for_dimension(std::uint64_t dim) {
+  std::uint64_t bits = 0;
+  std::uint64_t capacity = 1;
+  while (capacity < dim) {
+    capacity *= 2;
+    ++bits;
+  }
+  return bits == 0 ? 1 : bits;
+}
+
+CommunicationReport communication_report(const DistributedDatabase& db,
+                                         const QueryStats& stats) {
+  CommunicationReport report;
+  report.elem_qubits = qubits_for_dimension(db.universe());
+  report.counter_qubits = qubits_for_dimension(db.nu() + 1);
+
+  // Sequential query: coordinator → machine → coordinator, carrying the
+  // element + counter registers = 2 messages, 2·(elem+counter) qubit trips.
+  const std::uint64_t seq_queries = stats.total_sequential();
+  const std::uint64_t per_seq_qubits =
+      report.elem_qubits + report.counter_qubits;
+  report.messages += 2 * seq_queries;
+  report.qubits_moved += 2 * per_seq_qubits * seq_queries;
+  report.rounds += seq_queries;  // one latency round per query
+
+  // Parallel round: n simultaneous bundles each way, each carrying one
+  // element qudit, one counter qudit and one control qubit (Eq. 3's three
+  // registers); latency of ONE round regardless of n.
+  const auto n = static_cast<std::uint64_t>(db.num_machines());
+  const std::uint64_t per_par_qubits =
+      report.elem_qubits + report.counter_qubits + 1;
+  report.messages += 2 * n * stats.parallel_rounds;
+  report.qubits_moved += 2 * n * per_par_qubits * stats.parallel_rounds;
+  report.rounds += stats.parallel_rounds;
+
+  return report;
+}
+
+}  // namespace qs

@@ -1,0 +1,35 @@
+// Communication-volume accounting.
+//
+// The paper's cost model counts oracle QUERIES; a systems deployment also
+// cares how much quantum state actually moves. Per Section 3, a sequential
+// query ships the element and counter registers to one machine and back
+// (2·(⌈log₂N⌉ + ⌈log₂(ν+1)⌉) qubits of traffic); a parallel round ships an
+// element qudit, a counter qudit and a control qubit to EVERY machine and
+// back. This module turns a QueryStats ledger into the corresponding
+// message/qubit totals — the MPI-style "how much did we put on the wire"
+// view of a sampler run, reported by experiment T10.
+#pragma once
+
+#include <cstdint>
+
+#include "distdb/distributed_database.hpp"
+#include "distdb/query_stats.hpp"
+
+namespace qs {
+
+struct CommunicationReport {
+  std::uint64_t messages = 0;        ///< register bundles sent (both ways)
+  std::uint64_t qubits_moved = 0;    ///< total qubit·trips
+  std::uint64_t rounds = 0;          ///< communication rounds (latency)
+  std::uint64_t elem_qubits = 0;     ///< ⌈log₂ N⌉ (per element register)
+  std::uint64_t counter_qubits = 0;  ///< ⌈log₂(ν+1)⌉
+};
+
+/// Qubits needed to carry a d-dimensional qudit: ⌈log₂ d⌉ (min 1).
+std::uint64_t qubits_for_dimension(std::uint64_t dim);
+
+/// Translate a query ledger into wire traffic for a given database shape.
+CommunicationReport communication_report(const DistributedDatabase& db,
+                                         const QueryStats& stats);
+
+}  // namespace qs

@@ -1,0 +1,73 @@
+#include "distdb/dataset.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace qs {
+
+Dataset::Dataset(std::size_t universe) : counts_(universe, 0) {
+  QS_REQUIRE(universe > 0, "data universe must be non-empty");
+}
+
+Dataset Dataset::from_counts(std::vector<std::uint64_t> counts) {
+  Dataset d(counts.size());
+  d.counts_ = std::move(counts);
+  for (std::size_t i = 0; i < d.counts_.size(); ++i) {
+    const auto c = d.counts_[i];
+    d.total_ += c;
+    if (c > 0) ++d.support_size_;
+    d.max_multiplicity_ = std::max(d.max_multiplicity_, c);
+  }
+  return d;
+}
+
+Dataset Dataset::from_elements(std::size_t universe,
+                               std::span<const std::size_t> elements) {
+  Dataset d(universe);
+  for (const auto e : elements) d.insert(e);
+  return d;
+}
+
+std::uint64_t Dataset::count(std::size_t element) const {
+  QS_REQUIRE(element < counts_.size(), "element outside the data universe");
+  return counts_[element];
+}
+
+std::vector<std::size_t> Dataset::support() const {
+  std::vector<std::size_t> result;
+  result.reserve(support_size_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] > 0) result.push_back(i);
+  }
+  return result;
+}
+
+void Dataset::insert(std::size_t element, std::uint64_t amount) {
+  QS_REQUIRE(element < counts_.size(), "element outside the data universe");
+  if (amount == 0) return;
+  if (counts_[element] == 0) ++support_size_;
+  counts_[element] += amount;
+  total_ += amount;
+  max_multiplicity_ = std::max(max_multiplicity_, counts_[element]);
+}
+
+void Dataset::erase(std::size_t element, std::uint64_t amount) {
+  QS_REQUIRE(element < counts_.size(), "element outside the data universe");
+  QS_REQUIRE(counts_[element] >= amount,
+             "cannot erase more occurrences than stored");
+  if (amount == 0) return;
+  const bool was_max = counts_[element] == max_multiplicity_;
+  counts_[element] -= amount;
+  total_ -= amount;
+  if (counts_[element] == 0) --support_size_;
+  if (was_max) recompute_max();
+}
+
+void Dataset::recompute_max() {
+  max_multiplicity_ = 0;
+  for (const auto c : counts_)
+    max_multiplicity_ = std::max(max_multiplicity_, c);
+}
+
+}  // namespace qs

@@ -1,0 +1,67 @@
+// Multiset datasets over the universe [N].
+//
+// Section 3 of the paper: machine j holds a multiset T_j over the data
+// universe [N], described completely by the multiplicities c_ij. Dataset is
+// that multiset — a dense multiplicity vector plus cached aggregates
+// (|T_j| = M_j, |Supp(T_j)| = m_j, max_i c_ij) kept consistent under the
+// dynamic insert/erase updates the paper's oracle supports.
+//
+// Elements are 0-indexed internally ([N] = {1..N} in the paper maps to
+// {0..N-1} here, matching register digits).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace qs {
+
+class Dataset {
+ public:
+  /// Empty multiset over a universe of `universe` elements.
+  explicit Dataset(std::size_t universe);
+
+  /// Build from an explicit multiplicity vector (its size is the universe).
+  static Dataset from_counts(std::vector<std::uint64_t> counts);
+
+  /// Build from a list of element occurrences (duplicates accumulate).
+  static Dataset from_elements(std::size_t universe,
+                               std::span<const std::size_t> elements);
+
+  std::size_t universe() const noexcept { return counts_.size(); }
+
+  /// Multiplicity c_ij of element i.
+  std::uint64_t count(std::size_t element) const;
+
+  /// |T_j| — total number of stored elements counting multiplicity.
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// m_j = |Supp(T_j)| — number of distinct elements present.
+  std::size_t support_size() const noexcept { return support_size_; }
+
+  /// Largest multiplicity of any single element.
+  std::uint64_t max_multiplicity() const noexcept { return max_multiplicity_; }
+
+  /// The distinct elements present, ascending.
+  std::vector<std::size_t> support() const;
+
+  const std::vector<std::uint64_t>& counts() const noexcept { return counts_; }
+
+  /// Add `amount` occurrences of `element`.
+  void insert(std::size_t element, std::uint64_t amount = 1);
+
+  /// Remove `amount` occurrences; requires count(element) >= amount.
+  void erase(std::size_t element, std::uint64_t amount = 1);
+
+  friend bool operator==(const Dataset&, const Dataset&) = default;
+
+ private:
+  void recompute_max();
+
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::size_t support_size_ = 0;
+  std::uint64_t max_multiplicity_ = 0;
+};
+
+}  // namespace qs

@@ -1,0 +1,127 @@
+#include "distdb/distributed_database.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace qs {
+
+DistributedDatabase::DistributedDatabase(std::vector<Dataset> datasets,
+                                         std::uint64_t nu,
+                                         std::vector<std::uint64_t> kappas)
+    : nu_(nu) {
+  QS_REQUIRE(!datasets.empty(), "database needs at least one machine");
+  QS_REQUIRE(nu_ >= 1, "capacity ν must be at least 1");
+  const std::size_t n = datasets.front().universe();
+  for (const auto& d : datasets) {
+    QS_REQUIRE(d.universe() == n, "all machines must share one universe");
+  }
+  if (kappas.empty()) kappas.assign(datasets.size(), nu_);
+  QS_REQUIRE(kappas.size() == datasets.size(),
+             "need one capacity per machine");
+  machines_.reserve(datasets.size());
+  for (std::size_t j = 0; j < datasets.size(); ++j) {
+    QS_REQUIRE(kappas[j] <= nu_, "per-machine capacity κ_j must be ≤ ν");
+    machines_.emplace_back(std::move(datasets[j]), kappas[j]);
+  }
+  check_capacity();
+}
+
+std::size_t DistributedDatabase::universe() const noexcept {
+  return machines_.front().data().universe();
+}
+
+Machine& DistributedDatabase::machine(std::size_t j) {
+  QS_REQUIRE(j < machines_.size(), "machine index out of range");
+  return machines_[j];
+}
+
+const Machine& DistributedDatabase::machine(std::size_t j) const {
+  QS_REQUIRE(j < machines_.size(), "machine index out of range");
+  return machines_[j];
+}
+
+std::uint64_t DistributedDatabase::total_count(std::size_t element) const {
+  std::uint64_t c = 0;
+  for (const auto& m : machines_) c += m.data().count(element);
+  return c;
+}
+
+std::vector<std::uint64_t> DistributedDatabase::joint_counts() const {
+  std::vector<std::uint64_t> counts(universe(), 0);
+  for (const auto& m : machines_) {
+    const auto& local = m.data().counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += local[i];
+  }
+  return counts;
+}
+
+std::uint64_t DistributedDatabase::total() const {
+  std::uint64_t m_total = 0;
+  for (const auto& m : machines_) m_total += m.data().total();
+  return m_total;
+}
+
+std::vector<double> DistributedDatabase::target_distribution() const {
+  const auto counts = joint_counts();
+  const auto m_total = total();
+  QS_REQUIRE(m_total > 0, "sampling from an empty database is undefined");
+  std::vector<double> p(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i)
+    p[i] = static_cast<double>(counts[i]) / static_cast<double>(m_total);
+  return p;
+}
+
+std::vector<cplx> DistributedDatabase::target_amplitudes() const {
+  const auto p = target_distribution();
+  std::vector<cplx> amps(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) amps[i] = std::sqrt(p[i]);
+  return amps;
+}
+
+void DistributedDatabase::insert(std::size_t j, std::size_t element) {
+  // Validate BEFORE mutating so a rejected insert leaves the database
+  // unchanged (strong exception guarantee).
+  QS_REQUIRE(total_count(element) < nu_,
+             "insert would exceed the global capacity ν");
+  machine(j).insert(element);
+}
+
+void DistributedDatabase::erase(std::size_t j, std::size_t element) {
+  machine(j).erase(element);
+}
+
+QueryStats DistributedDatabase::stats() const {
+  QueryStats s;
+  s.sequential_per_machine.reserve(machines_.size());
+  for (const auto& m : machines_)
+    s.sequential_per_machine.push_back(m.queries());
+  s.parallel_rounds = parallel_rounds_;
+  return s;
+}
+
+void DistributedDatabase::reset_stats() const {
+  for (const auto& m : machines_) m.reset_queries();
+  parallel_rounds_ = 0;
+}
+
+void DistributedDatabase::check_capacity() const {
+  const auto counts = joint_counts();
+  for (const auto c : counts) {
+    QS_REQUIRE(c <= nu_, "joint multiplicity exceeds the global capacity ν");
+  }
+}
+
+std::uint64_t min_capacity(const std::vector<Dataset>& datasets) {
+  QS_REQUIRE(!datasets.empty(), "no datasets");
+  std::vector<std::uint64_t> joint(datasets.front().universe(), 0);
+  for (const auto& d : datasets) {
+    QS_REQUIRE(d.universe() == joint.size(), "universe mismatch");
+    for (std::size_t i = 0; i < joint.size(); ++i) joint[i] += d.count(i);
+  }
+  const auto it = std::max_element(joint.begin(), joint.end());
+  return std::max<std::uint64_t>(*it, 1);
+}
+
+}  // namespace qs

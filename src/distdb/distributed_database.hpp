@@ -1,0 +1,75 @@
+// The distributed database of Section 3: n machines plus public metadata.
+//
+// The coordinator publicly knows the universe size N, the machine count n,
+// the global capacity ν ≥ max_i Σ_j c_ij, and the total cardinality M
+// (Theorem 4.3 uses the amplitude √(M/νN), so M is public). Everything
+// about WHICH elements live WHERE is private to the machines and reachable
+// only through their oracles — the samplers in src/sampling honour this
+// boundary, and the obliviousness tests verify it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "distdb/machine.hpp"
+#include "distdb/query_stats.hpp"
+#include "qsim/linalg.hpp"
+
+namespace qs {
+
+class DistributedDatabase {
+ public:
+  /// All datasets must share one universe. ν must dominate every joint
+  /// multiplicity c_i = Σ_j c_ij. Per-machine capacities default to ν; pass
+  /// `kappas` to tighten them (Section 5's κ_j ≤ ν).
+  DistributedDatabase(std::vector<Dataset> datasets, std::uint64_t nu,
+                      std::vector<std::uint64_t> kappas = {});
+
+  std::size_t num_machines() const noexcept { return machines_.size(); }
+  std::size_t universe() const noexcept;  // N
+  std::uint64_t nu() const noexcept { return nu_; }
+
+  Machine& machine(std::size_t j);
+  const Machine& machine(std::size_t j) const;
+
+  /// c_i — joint multiplicity of element i across all machines.
+  std::uint64_t total_count(std::size_t element) const;
+
+  /// The joint multiplicity vector (c_1, ..., c_N).
+  std::vector<std::uint64_t> joint_counts() const;
+
+  /// M — total number of stored elements counting multiplicity.
+  std::uint64_t total() const;
+
+  /// The sampling distribution p_i = c_i / M. Requires M > 0.
+  std::vector<double> target_distribution() const;
+
+  /// Amplitudes √(c_i / M) of the quantum sampling state |ψ⟩ (Eq. 4).
+  std::vector<cplx> target_amplitudes() const;
+
+  /// One round of the parallel oracle O (Eq. 3) — accounting only; the
+  /// register-level action is applied by the caller (see
+  /// sampling/distributing_operator and sampling/parallel_full).
+  void count_parallel_round() const { ++parallel_rounds_; }
+
+  /// Dynamic updates, routed to machine j.
+  void insert(std::size_t j, std::size_t element);
+  void erase(std::size_t j, std::size_t element);
+
+  QueryStats stats() const;
+  void reset_stats() const;
+
+  /// Validates ν ≥ max_i c_i; called after updates.
+  void check_capacity() const;
+
+ private:
+  std::vector<Machine> machines_;
+  std::uint64_t nu_;
+  mutable std::uint64_t parallel_rounds_ = 0;
+};
+
+/// Smallest legal global capacity for a set of datasets: max_i Σ_j c_ij
+/// (at least 1 so the counter register is a real register).
+std::uint64_t min_capacity(const std::vector<Dataset>& datasets);
+
+}  // namespace qs

@@ -1,0 +1,58 @@
+#include "distdb/machine.hpp"
+
+#include "common/require.hpp"
+
+namespace qs {
+
+Machine::Machine(Dataset data, std::uint64_t kappa)
+    : data_(std::move(data)), kappa_(kappa) {
+  QS_REQUIRE(kappa_ >= data_.max_multiplicity(),
+             "machine capacity κ_j below an existing multiplicity");
+}
+
+std::vector<std::size_t> Machine::shift_vector(std::size_t modulus,
+                                               bool adjoint) const {
+  QS_REQUIRE(modulus >= 1, "counter modulus must be positive");
+  std::vector<std::size_t> shifts(data_.universe());
+  for (std::size_t i = 0; i < shifts.size(); ++i) {
+    const std::size_t c = static_cast<std::size_t>(data_.count(i)) % modulus;
+    shifts[i] = adjoint ? (modulus - c) % modulus : c;
+  }
+  return shifts;
+}
+
+void Machine::apply_oracle(StateVector& state, RegisterId elem,
+                           RegisterId count, bool adjoint) const {
+  const auto& layout = state.layout();
+  QS_REQUIRE(layout.dim(elem) == data_.universe(),
+             "element register dimension must equal the universe size");
+  const std::size_t modulus = layout.dim(count);
+  QS_REQUIRE(modulus > data_.max_multiplicity(),
+             "counter register (ν+1) too small for this machine's counts");
+  state.apply_value_shift(count, elem, shift_vector(modulus, adjoint));
+  ++query_count_;
+}
+
+void Machine::apply_controlled_oracle(StateVector& state, RegisterId elem,
+                                      RegisterId count, RegisterId flag,
+                                      bool adjoint) const {
+  const auto& layout = state.layout();
+  QS_REQUIRE(layout.dim(elem) == data_.universe(),
+             "element register dimension must equal the universe size");
+  const std::size_t modulus = layout.dim(count);
+  QS_REQUIRE(modulus > data_.max_multiplicity(),
+             "counter register (ν+1) too small for this machine's counts");
+  state.apply_controlled_value_shift(count, elem, flag,
+                                     shift_vector(modulus, adjoint));
+  ++query_count_;
+}
+
+void Machine::insert(std::size_t element) {
+  QS_REQUIRE(data_.count(element) < kappa_,
+             "insert would exceed machine capacity κ_j");
+  data_.insert(element);
+}
+
+void Machine::erase(std::size_t element) { data_.erase(element); }
+
+}  // namespace qs

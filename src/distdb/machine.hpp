@@ -1,0 +1,73 @@
+// A single database machine.
+//
+// Each machine stores one multiset T_j and exposes exactly the two oracle
+// unitaries the paper allows (Section 3 / Section 5):
+//
+//   O_j |i⟩|s⟩      = |i⟩|(s + c_ij) mod (ν+1)⟩                    (Eq. 1)
+//   Ô_j |i⟩|s⟩|b⟩   = |i⟩|(s + c_ij·b) mod (ν+1)⟩|b⟩               (Eq. 2)
+//
+// where ν+1 is the dimension of the counter register of the state the
+// oracle is applied to. The machine also supports the paper's dynamic
+// updates: inserting or deleting one element changes c_ij by one, which
+// corresponds to left-multiplying O_j by the fixed shift U or U† — in this
+// simulation the oracle reads the live multiplicity vector, so updates are
+// O(1) and the next query automatically reflects them.
+//
+// κ_j (Section 5) is the machine's own capacity: an upper bound on its
+// local multiplicities, used by the lower-bound experiments.
+#pragma once
+
+#include <cstdint>
+
+#include "distdb/dataset.hpp"
+#include "qsim/state_vector.hpp"
+
+namespace qs {
+
+class Machine {
+ public:
+  /// Takes ownership of the dataset. κ_j defaults to "unconstrained locally"
+  /// (the global ν still applies); pass a tighter bound for the lower-bound
+  /// experiments. Requires kappa >= max_i c_ij.
+  Machine(Dataset data, std::uint64_t kappa);
+
+  const Dataset& data() const noexcept { return data_; }
+  std::uint64_t capacity() const noexcept { return kappa_; }
+
+  /// O_j (Eq. 1): add this machine's multiplicities into the counter
+  /// register, conditioned on the element register. `adjoint` applies O_j†
+  /// (subtraction). Counts one query.
+  void apply_oracle(StateVector& state, RegisterId elem, RegisterId count,
+                    bool adjoint) const;
+
+  /// Ô_j (Eq. 2): as O_j but additionally controlled on a qubit register b.
+  /// Counts one query.
+  void apply_controlled_oracle(StateVector& state, RegisterId elem,
+                               RegisterId count, RegisterId flag,
+                               bool adjoint) const;
+
+  /// Dynamic updates (Section 3): change c_ij by ±1 in O(1).
+  void insert(std::size_t element);
+  void erase(std::size_t element);
+
+  std::uint64_t queries() const noexcept { return query_count_; }
+  void reset_queries() const noexcept { query_count_ = 0; }
+
+  /// Remove the last query from this machine's sequential ledger. Used when
+  /// an Ô_j application happens INSIDE a parallel round (Eq. 3), which is
+  /// charged once per round on the database instead.
+  void discount_last_query() const noexcept {
+    if (query_count_ > 0) --query_count_;
+  }
+
+ private:
+  /// shift vector over elements: c_ij mod modulus (or its negation).
+  std::vector<std::size_t> shift_vector(std::size_t modulus,
+                                        bool adjoint) const;
+
+  Dataset data_;
+  std::uint64_t kappa_;
+  mutable std::uint64_t query_count_ = 0;
+};
+
+}  // namespace qs

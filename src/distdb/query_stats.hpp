@@ -1,0 +1,40 @@
+// Query accounting.
+//
+// The paper's cost model counts oracle invocations: t_j sequential queries
+// to machine j (Section 5.2), and rounds of the parallel oracle O (Eq. 3),
+// each of which invokes all n machines simultaneously. QueryStats is the
+// ledger both samplers and the lower-bound experiments read; it separates
+// forward and adjoint calls only for reporting (both cost one query).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qs {
+
+struct QueryStats {
+  /// t_j — sequential oracle calls per machine (O_j or O_j†).
+  std::vector<std::uint64_t> sequential_per_machine;
+
+  /// Rounds of the parallel oracle O / O† (each round touches every
+  /// machine once).
+  std::uint64_t parallel_rounds = 0;
+
+  std::uint64_t total_sequential() const {
+    std::uint64_t total = 0;
+    for (const auto t : sequential_per_machine) total += t;
+    return total;
+  }
+
+  /// Total individual machine invocations including those inside parallel
+  /// rounds (n per round).
+  std::uint64_t total_machine_invocations() const {
+    return total_sequential() +
+           parallel_rounds *
+               static_cast<std::uint64_t>(sequential_per_machine.size());
+  }
+
+  friend bool operator==(const QueryStats&, const QueryStats&) = default;
+};
+
+}  // namespace qs

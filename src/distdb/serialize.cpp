@@ -1,0 +1,96 @@
+#include "distdb/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace qs {
+
+void save_database(std::ostream& os, const DistributedDatabase& db) {
+  os << "dqsdb 1\n";
+  os << "universe " << db.universe() << "\n";
+  os << "nu " << db.nu() << "\n";
+  for (std::size_t j = 0; j < db.num_machines(); ++j) {
+    os << "machine " << j << "\n";
+    const auto& counts = db.machine(j).data().counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (counts[i] > 0) os << i << ' ' << counts[i] << "\n";
+    }
+  }
+}
+
+DistributedDatabase load_database(std::istream& is) {
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t universe = 0;
+  std::uint64_t nu = 0;
+  std::vector<Dataset> datasets;
+
+  const auto fail = [&](const std::string& why) {
+    QS_REQUIRE(false, "dqsdb parse error at line " + std::to_string(line_no) +
+                          ": " + why);
+  };
+
+  bool saw_magic = false;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments and whitespace-only lines.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word)) continue;
+
+    if (!saw_magic) {
+      int version = 0;
+      if (word != "dqsdb" || !(ls >> version) || version != 1)
+        fail("expected header 'dqsdb 1'");
+      saw_magic = true;
+    } else if (word == "universe") {
+      if (!(ls >> universe) || universe == 0) fail("bad universe");
+    } else if (word == "nu") {
+      if (!(ls >> nu) || nu == 0) fail("bad nu");
+    } else if (word == "machine") {
+      std::size_t index = 0;
+      if (!(ls >> index)) fail("bad machine index");
+      if (index != datasets.size()) fail("machine indices must be 0,1,2,...");
+      if (universe == 0) fail("'universe' must precede machines");
+      datasets.emplace_back(universe);
+    } else {
+      // An "E C" count line for the current machine.
+      if (datasets.empty()) fail("count line before any 'machine'");
+      std::size_t element = 0;
+      std::uint64_t count = 0;
+      std::istringstream pair(line);
+      if (!(pair >> element >> count) || count == 0)
+        fail("expected 'element count' with count > 0");
+      if (element >= universe) fail("element outside the universe");
+      datasets.back().insert(element, count);
+    }
+  }
+  if (!saw_magic) {
+    ++line_no;
+    fail("empty input");
+  }
+  if (datasets.empty()) fail("no machines");
+  if (nu == 0) fail("missing nu");
+  return DistributedDatabase(std::move(datasets), nu);
+}
+
+void save_database_file(const std::string& path,
+                        const DistributedDatabase& db) {
+  std::ofstream os(path);
+  QS_REQUIRE(os.good(), "cannot open '" + path + "' for writing");
+  save_database(os, db);
+}
+
+DistributedDatabase load_database_file(const std::string& path) {
+  std::ifstream is(path);
+  QS_REQUIRE(is.good(), "cannot open '" + path + "' for reading");
+  return load_database(is);
+}
+
+}  // namespace qs

@@ -1,0 +1,35 @@
+// Plain-text (de)serialization of datasets and databases.
+//
+// Format (line-oriented, '#' comments allowed):
+//
+//   dqsdb 1              # magic + version
+//   universe N
+//   nu V
+//   machine J            # followed by its sparse counts
+//   E C                  # element E has multiplicity C (C > 0)
+//   ...
+//
+// Used by the CLI tool and by users who want to run the samplers against
+// their own shard layouts.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "distdb/distributed_database.hpp"
+
+namespace qs {
+
+/// Write the database (universe, ν, per-machine sparse counts).
+void save_database(std::ostream& os, const DistributedDatabase& db);
+
+/// Parse a database; throws ContractViolation with a line number on
+/// malformed input.
+DistributedDatabase load_database(std::istream& is);
+
+/// Convenience file wrappers.
+void save_database_file(const std::string& path,
+                        const DistributedDatabase& db);
+DistributedDatabase load_database_file(const std::string& path);
+
+}  // namespace qs

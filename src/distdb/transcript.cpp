@@ -1,0 +1,34 @@
+#include "distdb/transcript.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace qs {
+
+void Transcript::record_sequential(std::size_t machine, bool adjoint) {
+  events_.push_back({QueryKind::kSequential, machine, adjoint});
+}
+
+void Transcript::record_parallel_round(bool adjoint) {
+  events_.push_back({QueryKind::kParallelRound, 0, adjoint});
+}
+
+std::string Transcript::to_string() const {
+  std::ostringstream os;
+  for (const auto& e : events_) {
+    if (e.kind == QueryKind::kSequential) {
+      os << 'O' << e.machine;
+    } else {
+      os << 'P';
+    }
+    if (e.adjoint) os << "†";
+    os << ' ';
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Transcript& t) {
+  return os << t.to_string();
+}
+
+}  // namespace qs

@@ -1,0 +1,56 @@
+// Communication transcripts for the oblivious model.
+//
+// The paper restricts attention to OBLIVIOUS algorithms: the schedule of
+// coordinator↔machine communication is fixed by public knowledge
+// (N, M, ν, n) and never depends on the data (Section 3). Mirroring the
+// MPI style of explicit, inspectable message traffic, every oracle call a
+// sampler makes is logged as an event; the test suite then checks that two
+// runs on different datasets with identical public parameters produce
+// IDENTICAL transcripts — a machine-checkable obliviousness certificate.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qs {
+
+enum class QueryKind : std::uint8_t {
+  kSequential,      // O_j on one machine (Eq. 1)
+  kParallelRound,   // one round of the parallel oracle O (Eq. 3)
+};
+
+struct TranscriptEvent {
+  QueryKind kind = QueryKind::kSequential;
+  /// Machine index for sequential queries; ignored for parallel rounds.
+  std::size_t machine = 0;
+  bool adjoint = false;
+
+  friend bool operator==(const TranscriptEvent&,
+                         const TranscriptEvent&) = default;
+};
+
+class Transcript {
+ public:
+  void record_sequential(std::size_t machine, bool adjoint);
+  void record_parallel_round(bool adjoint);
+
+  const std::vector<TranscriptEvent>& events() const noexcept {
+    return events_;
+  }
+  std::size_t size() const noexcept { return events_.size(); }
+  void clear() noexcept { events_.clear(); }
+
+  friend bool operator==(const Transcript&, const Transcript&) = default;
+
+  /// Compact rendering ("O3 O3† P P† ...") for diagnostics.
+  std::string to_string() const;
+
+ private:
+  std::vector<TranscriptEvent> events_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Transcript& t);
+
+}  // namespace qs

@@ -1,0 +1,70 @@
+#include "distdb/transport.hpp"
+
+#include "common/require.hpp"
+
+namespace qs {
+
+TransportSession::TransportSession(std::size_t machines)
+    : machines_(machines) {
+  QS_REQUIRE(machines_ > 0, "transport session needs at least one machine");
+}
+
+void TransportSession::send_sequential(std::size_t machine) {
+  QS_REQUIRE(machine < machines_, "machine index out of range");
+  QS_REQUIRE(!round_open_, "cannot send during an open collective round");
+  QS_REQUIRE(!in_flight_sequential_.has_value(),
+             "coordinator registers are already in flight");
+  in_flight_sequential_ = machine;
+}
+
+void TransportSession::receive_sequential(std::size_t machine) {
+  QS_REQUIRE(in_flight_sequential_.has_value(),
+             "no sequential transfer in flight");
+  QS_REQUIRE(in_flight_sequential_.value() == machine,
+             "registers returned from the wrong machine");
+  in_flight_sequential_.reset();
+  ++sequential_;
+}
+
+void TransportSession::begin_parallel_round() {
+  QS_REQUIRE(!round_open_, "a collective round is already open");
+  QS_REQUIRE(!in_flight_sequential_.has_value(),
+             "cannot open a round while registers are in flight");
+  round_open_ = true;
+}
+
+void TransportSession::end_parallel_round() {
+  QS_REQUIRE(round_open_, "no collective round to close");
+  round_open_ = false;
+  ++rounds_;
+}
+
+bool TransportSession::quiescent() const noexcept {
+  return !round_open_ && !in_flight_sequential_.has_value();
+}
+
+std::optional<std::string> TransportSession::validate_schedule(
+    const Transcript& transcript, std::size_t machines) {
+  TransportSession session(machines);
+  std::size_t index = 0;
+  try {
+    for (const auto& event : transcript.events()) {
+      if (event.kind == QueryKind::kSequential) {
+        session.send_sequential(event.machine);
+        session.receive_sequential(event.machine);
+      } else {
+        session.begin_parallel_round();
+        session.end_parallel_round();
+      }
+      ++index;
+    }
+    if (!session.quiescent()) {
+      return "schedule ends with registers still in flight";
+    }
+  } catch (const ContractViolation& violation) {
+    return "event " + std::to_string(index) + ": " + violation.what();
+  }
+  return std::nullopt;
+}
+
+}  // namespace qs

@@ -1,0 +1,75 @@
+// MPI-style transport session: protocol discipline for the quantum
+// register traffic.
+//
+// Section 3 describes the physical exchange behind each query: the
+// coordinator SENDS its element and counter registers to one machine,
+// which applies its oracle and sends them back (sequential model), or
+// sends one (element, counter, control) bundle to EVERY machine
+// simultaneously (parallel model). A TransportSession is the state machine
+// that enforces this discipline, mirroring point-to-point vs collective
+// operations in MPI:
+//
+//   * in the sequential model the coordinator's registers can be at only
+//     ONE site at a time — overlapping sends are a protocol violation;
+//   * a parallel round is a collective: all machines receive, all return,
+//     and no sequential query may interleave with an open round;
+//   * every bundle that leaves must come back before the circuit can
+//     apply coordinator-side unitaries.
+//
+// The session replays a Transcript (e.g. a compiled schedule) and either
+// certifies it protocol-clean or reports the first violation — used by the
+// tests to show every schedule this library emits is physically
+// executable, and that corrupted schedules are caught.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "distdb/transcript.hpp"
+
+namespace qs {
+
+class TransportSession {
+ public:
+  explicit TransportSession(std::size_t machines);
+
+  /// Coordinator ships its registers to machine j (sequential model).
+  /// Fails if any transfer is in flight.
+  void send_sequential(std::size_t machine);
+
+  /// Machine j returns the registers. Fails unless exactly that transfer
+  /// is open.
+  void receive_sequential(std::size_t machine);
+
+  /// Open a collective round: one bundle to every machine. Fails if any
+  /// transfer is in flight.
+  void begin_parallel_round();
+
+  /// Close the collective round (all bundles returned).
+  void end_parallel_round();
+
+  /// True when the coordinator holds all registers (may apply local
+  /// unitaries / terminate).
+  bool quiescent() const noexcept;
+
+  /// Ledger of completed interactions.
+  std::uint64_t completed_sequential() const noexcept { return sequential_; }
+  std::uint64_t completed_rounds() const noexcept { return rounds_; }
+
+  /// Replay an oracle schedule, treating each sequential event as a
+  /// send+receive pair and each parallel event as a full collective round.
+  /// Returns std::nullopt when the schedule is protocol-clean, otherwise a
+  /// description of the first violation.
+  static std::optional<std::string> validate_schedule(
+      const Transcript& transcript, std::size_t machines);
+
+ private:
+  std::size_t machines_;
+  std::optional<std::size_t> in_flight_sequential_;
+  bool round_open_ = false;
+  std::uint64_t sequential_ = 0;
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace qs

@@ -1,0 +1,92 @@
+#include "distdb/workload.hpp"
+
+#include "common/require.hpp"
+
+namespace qs {
+namespace workload {
+
+std::vector<Dataset> uniform_random(std::size_t universe,
+                                    std::size_t machines, std::uint64_t total,
+                                    Rng& rng) {
+  QS_REQUIRE(machines > 0, "need at least one machine");
+  std::vector<Dataset> datasets(machines, Dataset(universe));
+  for (std::uint64_t t = 0; t < total; ++t) {
+    const auto element = static_cast<std::size_t>(rng.uniform_below(universe));
+    const auto machine = static_cast<std::size_t>(rng.uniform_below(machines));
+    datasets[machine].insert(element);
+  }
+  return datasets;
+}
+
+std::vector<Dataset> zipf(std::size_t universe, std::size_t machines,
+                          std::uint64_t total, double exponent, Rng& rng) {
+  QS_REQUIRE(machines > 0, "need at least one machine");
+  const ZipfSampler sampler(universe, exponent);
+  std::vector<Dataset> datasets(machines, Dataset(universe));
+  for (std::uint64_t t = 0; t < total; ++t) {
+    const auto element = sampler.sample(rng);
+    const auto machine = static_cast<std::size_t>(rng.uniform_below(machines));
+    datasets[machine].insert(element);
+  }
+  return datasets;
+}
+
+std::vector<Dataset> disjoint_partition(std::size_t universe,
+                                        std::size_t machines,
+                                        std::uint64_t multiplicity) {
+  QS_REQUIRE(machines > 0, "need at least one machine");
+  QS_REQUIRE(multiplicity > 0, "multiplicity must be positive");
+  std::vector<Dataset> datasets(machines, Dataset(universe));
+  for (std::size_t i = 0; i < universe; ++i) {
+    const std::size_t owner = i * machines / universe;
+    datasets[owner].insert(i, multiplicity);
+  }
+  return datasets;
+}
+
+std::vector<Dataset> replicated(std::size_t universe, std::size_t machines,
+                                std::size_t support,
+                                std::uint64_t multiplicity) {
+  QS_REQUIRE(machines > 0, "need at least one machine");
+  QS_REQUIRE(support <= universe, "support cannot exceed the universe");
+  QS_REQUIRE(multiplicity > 0, "multiplicity must be positive");
+  std::vector<Dataset> datasets;
+  datasets.reserve(machines);
+  Dataset replica(universe);
+  for (std::size_t i = 0; i < support; ++i) replica.insert(i, multiplicity);
+  for (std::size_t j = 0; j < machines; ++j) datasets.push_back(replica);
+  return datasets;
+}
+
+std::vector<Dataset> heavy_hitter(std::size_t universe, std::size_t machines,
+                                  std::size_t num_heavy, std::uint64_t heavy,
+                                  std::uint64_t light, Rng& rng) {
+  QS_REQUIRE(machines > 0, "need at least one machine");
+  QS_REQUIRE(num_heavy <= universe, "more heavy hitters than elements");
+  std::vector<Dataset> datasets(machines, Dataset(universe));
+  for (std::size_t i = 0; i < universe; ++i) {
+    const std::uint64_t copies = i < num_heavy ? heavy : light;
+    for (std::uint64_t c = 0; c < copies; ++c) {
+      const auto machine =
+          static_cast<std::size_t>(rng.uniform_below(machines));
+      datasets[machine].insert(i);
+    }
+  }
+  return datasets;
+}
+
+std::vector<Dataset> concentrated(std::size_t universe, std::size_t machines,
+                                  std::size_t k, std::size_t support,
+                                  std::uint64_t multiplicity) {
+  QS_REQUIRE(machines > 0, "need at least one machine");
+  QS_REQUIRE(k < machines, "machine index out of range");
+  QS_REQUIRE(support <= universe, "support cannot exceed the universe");
+  QS_REQUIRE(multiplicity > 0, "multiplicity must be positive");
+  std::vector<Dataset> datasets(machines, Dataset(universe));
+  for (std::size_t i = 0; i < support; ++i)
+    datasets[k].insert(i, multiplicity);
+  return datasets;
+}
+
+}  // namespace workload
+}  // namespace qs

@@ -1,0 +1,63 @@
+// Synthetic workload generators.
+//
+// The paper evaluates no concrete datasets (it is a theory paper), so the
+// experiment harness generates the distributed datasets its motivation
+// describes: sharded big-data stores (disjoint partition), fault-tolerant
+// replicated stores (the paper explicitly allows machines to hold the same
+// key), skewed real-world frequency data (Zipf), and the adversarial
+// single-machine concentration used by the lower-bound construction
+// (Theorem 5.1's "put all of the elements on the k-th machine").
+//
+// Every generator takes an explicit Rng and returns one Dataset per machine;
+// combine with min_capacity() / a chosen ν to build a DistributedDatabase.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "distdb/dataset.hpp"
+
+namespace qs {
+namespace workload {
+
+/// M elements thrown independently: element uniform over [N], machine
+/// uniform over [n].
+std::vector<Dataset> uniform_random(std::size_t universe,
+                                    std::size_t machines, std::uint64_t total,
+                                    Rng& rng);
+
+/// M elements with Zipf(s)-distributed values, machine uniform. Models
+/// skewed key frequencies.
+std::vector<Dataset> zipf(std::size_t universe, std::size_t machines,
+                          std::uint64_t total, double exponent, Rng& rng);
+
+/// Every element i appears `multiplicity` times on exactly one machine;
+/// elements are range-partitioned contiguously (classic sharding, all
+/// datasets disjoint — the paper's lower bound holds even here).
+std::vector<Dataset> disjoint_partition(std::size_t universe,
+                                        std::size_t machines,
+                                        std::uint64_t multiplicity);
+
+/// Every machine holds an identical copy: each of the first `support`
+/// elements `multiplicity` times (full replication; machines may share
+/// keys, the generality Section 1 highlights).
+std::vector<Dataset> replicated(std::size_t universe, std::size_t machines,
+                                std::size_t support,
+                                std::uint64_t multiplicity);
+
+/// `num_heavy` heavy elements with `heavy` copies each and the rest of the
+/// universe with `light` copies each (light may be 0), all spread uniformly
+/// over machines at random.
+std::vector<Dataset> heavy_hitter(std::size_t universe, std::size_t machines,
+                                  std::size_t num_heavy, std::uint64_t heavy,
+                                  std::uint64_t light, Rng& rng);
+
+/// The lower-bound shape: machine k holds elements {0, ..., support-1} with
+/// `multiplicity` copies each; all other machines are empty.
+std::vector<Dataset> concentrated(std::size_t universe, std::size_t machines,
+                                  std::size_t k, std::size_t support,
+                                  std::uint64_t multiplicity);
+
+}  // namespace workload
+}  // namespace qs

@@ -1,0 +1,71 @@
+// Umbrella header: the complete public API of the distributed quantum
+// sampling library. Include this to get everything; include the individual
+// module headers (listed by area below) to keep compile times tight.
+#pragma once
+
+// Substrate utilities.
+#include "common/cli.hpp"
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+// Statevector simulator.
+#include "qsim/controlled.hpp"
+#include "qsim/density.hpp"
+#include "qsim/density_evolution.hpp"
+#include "qsim/gates.hpp"
+#include "qsim/linalg.hpp"
+#include "qsim/measure.hpp"
+#include "qsim/noise.hpp"
+#include "qsim/operator_builder.hpp"
+#include "qsim/register_layout.hpp"
+#include "qsim/state_vector.hpp"
+
+// Distributed database model (Section 3).
+#include "distdb/communication.hpp"
+#include "distdb/dataset.hpp"
+#include "distdb/distributed_database.hpp"
+#include "distdb/machine.hpp"
+#include "distdb/query_stats.hpp"
+#include "distdb/serialize.hpp"
+#include "distdb/transcript.hpp"
+#include "distdb/transport.hpp"
+#include "distdb/workload.hpp"
+
+// Samplers (Section 4) and model tooling.
+#include "sampling/amplitude_amplification.hpp"
+#include "sampling/backend.hpp"
+#include "sampling/circuit.hpp"
+#include "sampling/classical.hpp"
+#include "sampling/fixed_point.hpp"
+#include "sampling/hierarchical.hpp"
+#include "sampling/ideal.hpp"
+#include "sampling/noisy_sampler.hpp"
+#include "sampling/parallel_full.hpp"
+#include "sampling/samplers.hpp"
+#include "sampling/schedule.hpp"
+#include "sampling/unknown_m.hpp"
+#include "sampling/verify.hpp"
+
+// Quantum counting and adaptive scheduling.
+#include "estimation/adaptive.hpp"
+#include "estimation/amplitude_estimation.hpp"
+#include "estimation/iqae.hpp"
+#include "estimation/qpe_counting.hpp"
+
+// Lower-bound machinery (Section 5).
+#include "lowerbound/deferred_measurement.hpp"
+#include "lowerbound/hard_inputs.hpp"
+#include "lowerbound/lockstep.hpp"
+#include "lowerbound/potential.hpp"
+
+// Applications.
+#include "apps/index_erasure.hpp"
+#include "apps/max_finding.hpp"
+#include "apps/mean_estimation.hpp"
+#include "apps/sample_server.hpp"
+#include "apps/store_comparison.hpp"
+#include "apps/stream_window.hpp"
+#include "apps/subset_sampling.hpp"
+#include "apps/weighted_sampling.hpp"

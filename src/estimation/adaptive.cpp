@@ -1,0 +1,51 @@
+#include "estimation/adaptive.hpp"
+
+#include "common/require.hpp"
+
+namespace qs {
+
+AdaptiveResult run_adaptive_sampler(const DistributedDatabase& db,
+                                    const AeSchedule& probe_schedule,
+                                    Rng& rng, double emptiness_threshold,
+                                    StatePrep prep) {
+  QS_REQUIRE(db.total() > 0, "cannot sample from an empty database");
+
+  AdaptiveResult result;
+  result.machine_active.resize(db.num_machines(), true);
+
+  // Phase 1 (adaptive): probe each machine's load.
+  for (std::size_t j = 0; j < db.num_machines(); ++j) {
+    const auto estimate = estimate_machine_count(db, j, probe_schedule, rng);
+    result.probe_cost += estimate.amplitude.oracle_cost;
+    const bool active = estimate.m_hat > emptiness_threshold;
+    result.machine_active[j] = active;
+    if (!active && db.machine(j).data().total() > 0) ++result.misclassified;
+  }
+
+  // Phase 2: sequential sampling over the active machines only. The public
+  // M and ν are unchanged, so when the probes are right the target state
+  // and the plan are identical to the oblivious run's.
+  std::vector<Dataset> active;
+  std::vector<std::uint64_t> kappas;
+  for (std::size_t j = 0; j < db.num_machines(); ++j) {
+    if (!result.machine_active[j]) continue;
+    active.push_back(db.machine(j).data());
+    kappas.push_back(db.machine(j).capacity());
+  }
+  QS_REQUIRE(!active.empty(),
+             "adaptive probes judged every machine empty; nothing to sample");
+  const DistributedDatabase view(std::move(active), db.nu(),
+                                 std::move(kappas));
+
+  SamplerOptions options;
+  options.prep = prep;
+  result.sampling = run_sequential_sampler(view, options);
+
+  // Fidelity against the TRUE target of the full database — exposes any
+  // data dropped by misclassification.
+  result.sampling.fidelity =
+      pure_fidelity(target_full_state(db), result.sampling.state);
+  return result;
+}
+
+}  // namespace qs

@@ -1,0 +1,61 @@
+// A NON-oblivious (adaptive) sampler — probing the paper's Section 6
+// conjecture that adaptivity does not reduce query complexity.
+//
+// Strategy: spend a small probe budget estimating each machine's load M_j
+// (quantum counting against that machine alone), then run the sequential
+// sampler QUERYING ONLY the machines believed non-empty. The schedule now
+// depends on the data — exactly what the oblivious model forbids.
+//
+// What the experiment (T11) shows: the saving is a factor
+// n / n_active in the SEQUENTIAL query count — it never touches the
+// √(νN/M) term, consistent with the conjecture that the Grover-type barrier
+// is adaptivity-independent (our Section 5 machinery proves the barrier for
+// oblivious schedules only). And the probe phase itself costs queries, so
+// on databases with no empty machines adaptivity strictly loses.
+//
+// Correctness is conditional on the probes: a machine wrongly classified
+// as empty silently drops its data from the output state. The result
+// reports both the realised fidelity and the misclassification count so
+// the trade-off is visible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "estimation/amplitude_estimation.hpp"
+#include "sampling/samplers.hpp"
+
+namespace qs {
+
+struct AdaptiveResult {
+  SamplerResult sampling;            ///< run over the active machines only
+  std::vector<bool> machine_active;  ///< probe verdicts
+  std::uint64_t probe_cost = 0;      ///< oracle queries spent probing
+  std::size_t misclassified = 0;     ///< non-empty machines judged empty
+  /// Total cost (probes + sampling queries) for comparing against the
+  /// oblivious sampler.
+  std::uint64_t total_cost() const {
+    return probe_cost + sampling.stats.total_sequential();
+  }
+
+  /// Per-sample cost when the probe phase is AMORTISED over `samples`
+  /// repeated sampling runs (probe once, sample many — the regime where
+  /// adaptivity can pay, because reliable emptiness detection itself costs
+  /// Grover-order queries per machine).
+  double amortized_cost(std::size_t samples) const {
+    return static_cast<double>(probe_cost) / static_cast<double>(samples) +
+           static_cast<double>(sampling.stats.total_sequential());
+  }
+};
+
+/// Probe every machine with `probe_schedule`, drop machines whose estimated
+/// load is below `emptiness_threshold`, then run the sequential sampler on
+/// the survivors (planning from the public M, which stays valid when the
+/// probes are right).
+AdaptiveResult run_adaptive_sampler(const DistributedDatabase& db,
+                                    const AeSchedule& probe_schedule,
+                                    Rng& rng,
+                                    double emptiness_threshold = 0.5,
+                                    StatePrep prep = StatePrep::kHouseholder);
+
+}  // namespace qs

@@ -1,0 +1,209 @@
+#include "estimation/amplitude_estimation.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "common/require.hpp"
+
+namespace qs {
+
+AeSchedule exponential_schedule(std::size_t rounds, std::size_t shots) {
+  QS_REQUIRE(rounds >= 1, "schedule needs at least one round");
+  AeSchedule schedule;
+  schedule.shots_per_power = shots;
+  schedule.powers.push_back(0);
+  std::size_t power = 1;
+  for (std::size_t r = 1; r < rounds; ++r) {
+    schedule.powers.push_back(power);
+    power *= 2;
+  }
+  return schedule;
+}
+
+AeSchedule linear_schedule(std::size_t rounds, std::size_t shots) {
+  QS_REQUIRE(rounds >= 1, "schedule needs at least one round");
+  AeSchedule schedule;
+  schedule.shots_per_power = shots;
+  for (std::size_t r = 0; r < rounds; ++r) schedule.powers.push_back(r);
+  return schedule;
+}
+
+double ae_log_likelihood(double theta,
+                         const std::vector<ShotRecord>& records) {
+  // Clamp probabilities away from {0,1} so records stay informative even
+  // when the true p is exactly 0 or 1 on the grid boundary.
+  constexpr double kFloor = 1e-12;
+  double ll = 0.0;
+  for (const auto& record : records) {
+    const double angle =
+        (2.0 * static_cast<double>(record.power) + 1.0) * theta;
+    double p = std::sin(angle);
+    p = p * p;
+    p = std::min(std::max(p, kFloor), 1.0 - kFloor);
+    ll += static_cast<double>(record.hits) * std::log(p) +
+          static_cast<double>(record.shots - record.hits) * std::log(1.0 - p);
+  }
+  return ll;
+}
+
+double ae_maximum_likelihood(const std::vector<ShotRecord>& records,
+                             std::size_t grid) {
+  QS_REQUIRE(!records.empty(), "no shot records to estimate from");
+  QS_REQUIRE(grid >= 8, "grid too coarse");
+  constexpr double kHalfPi = std::numbers::pi / 2.0;
+
+  // Dense grid over [0, π/2].
+  double best_theta = 0.0;
+  double best_ll = -std::numeric_limits<double>::infinity();
+  for (std::size_t g = 0; g <= grid; ++g) {
+    const double theta =
+        kHalfPi * static_cast<double>(g) / static_cast<double>(grid);
+    const double ll = ae_log_likelihood(theta, records);
+    if (ll > best_ll) {
+      best_ll = ll;
+      best_theta = theta;
+    }
+  }
+
+  // Golden-section refinement in the winning grid cell's neighbourhood.
+  const double cell = kHalfPi / static_cast<double>(grid);
+  double lo = std::max(0.0, best_theta - cell);
+  double hi = std::min(kHalfPi, best_theta + cell);
+  constexpr double kGolden = 0.6180339887498949;
+  for (int iter = 0; iter < 80; ++iter) {
+    const double x1 = hi - kGolden * (hi - lo);
+    const double x2 = lo + kGolden * (hi - lo);
+    if (ae_log_likelihood(x1, records) < ae_log_likelihood(x2, records)) {
+      lo = x1;
+    } else {
+      hi = x2;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+namespace {
+
+/// Cost of one shot at Grover power m: (1 + 2m) D applications — one for
+/// the preparation A and two per Q iterate.
+std::uint64_t d_cost(std::size_t power) {
+  return 1 + 2 * static_cast<std::uint64_t>(power);
+}
+
+}  // namespace
+
+AmplitudeEstimate estimate_good_amplitude(const DistributedDatabase& db,
+                                          QueryMode mode,
+                                          const AeSchedule& schedule,
+                                          Rng& rng, StatePrep prep) {
+  QS_REQUIRE(!schedule.powers.empty(), "empty power schedule");
+  QS_REQUIRE(schedule.shots_per_power > 0, "need at least one shot");
+  constexpr double kPi = std::numbers::pi;
+
+  std::vector<ShotRecord> records;
+  records.reserve(schedule.powers.size());
+  AmplitudeEstimate result;
+
+  for (const auto power : schedule.powers) {
+    // One exact simulation gives the shot distribution for this power; the
+    // physical protocol would run shots_per_power independent circuits, so
+    // the cost ledger charges every shot.
+    SingleStateBackend backend(db, prep);
+    backend.prep_uniform(false);
+    apply_distributing_operator(backend, mode, false);
+    for (std::size_t q = 0; q < power; ++q)
+      apply_q_iterate(backend, mode, kPi, kPi);
+    const double p_good =
+        backend.state().probability_of(backend.registers().flag, 0);
+
+    std::uint64_t hits = 0;
+    for (std::size_t s = 0; s < schedule.shots_per_power; ++s)
+      hits += rng.bernoulli(p_good) ? 1 : 0;
+    records.push_back({power, hits, schedule.shots_per_power});
+
+    const std::uint64_t per_shot_d = d_cost(power);
+    const std::uint64_t per_shot_oracle =
+        mode == QueryMode::kSequential
+            ? per_shot_d * 2 * db.num_machines()
+            : per_shot_d * 4;
+    result.d_applications += per_shot_d * schedule.shots_per_power;
+    result.oracle_cost += per_shot_oracle * schedule.shots_per_power;
+    result.total_shots += schedule.shots_per_power;
+  }
+
+  result.theta_hat = ae_maximum_likelihood(records);
+  result.a_hat = std::sin(result.theta_hat) * std::sin(result.theta_hat);
+  result.std_error = ae_standard_error(result.theta_hat, schedule);
+  return result;
+}
+
+double ae_standard_error(double theta, const AeSchedule& schedule) {
+  QS_REQUIRE(!schedule.powers.empty(), "empty power schedule");
+  // Simplification: (dp/dθ)²/(p(1−p)) with p = sin²(αθ) equals
+  // α² sin²(2αθ) / (sin²(αθ)cos²(αθ)) = 4α² — EXCEPT at the boundary where
+  // p(1−p) → 0 faster than sin²(2αθ); clamp p for numerical sanity.
+  double info = 0.0;
+  for (const auto power : schedule.powers) {
+    const double alpha = 2.0 * static_cast<double>(power) + 1.0;
+    const double angle = alpha * theta;
+    double p = std::sin(angle) * std::sin(angle);
+    p = std::min(std::max(p, 1e-9), 1.0 - 1e-9);
+    const double dp = alpha * std::sin(2.0 * angle);
+    info += static_cast<double>(schedule.shots_per_power) * dp * dp /
+            (p * (1.0 - p));
+  }
+  if (info <= 0.0) return 1.0;  // no curvature information at all
+  const double se_theta = 1.0 / std::sqrt(info);
+  return std::abs(std::sin(2.0 * theta)) * se_theta +
+         se_theta * se_theta;  // |da/dθ|·SE + curvature correction
+}
+
+CountEstimate estimate_total_count(const DistributedDatabase& db,
+                                   QueryMode mode, const AeSchedule& schedule,
+                                   Rng& rng) {
+  CountEstimate estimate;
+  estimate.amplitude = estimate_good_amplitude(db, mode, schedule, rng);
+  estimate.m_hat = estimate.amplitude.a_hat * static_cast<double>(db.nu()) *
+                   static_cast<double>(db.universe());
+  return estimate;
+}
+
+CountEstimate estimate_machine_count(const DistributedDatabase& db,
+                                     std::size_t j,
+                                     const AeSchedule& schedule, Rng& rng) {
+  QS_REQUIRE(j < db.num_machines(), "machine index out of range");
+  // Single-machine view with that machine's own capacity κ_j (at least 1 so
+  // the counter register exists even for an empty machine).
+  const auto kappa = std::max<std::uint64_t>(db.machine(j).capacity(), 1);
+  std::vector<Dataset> view = {db.machine(j).data()};
+  const DistributedDatabase local(std::move(view), kappa);
+
+  CountEstimate estimate;
+  estimate.amplitude = estimate_good_amplitude(local, QueryMode::kSequential,
+                                               schedule, rng);
+  estimate.m_hat = estimate.amplitude.a_hat * static_cast<double>(kappa) *
+                   static_cast<double>(db.universe());
+  return estimate;
+}
+
+ClassicalCountEstimate classical_count_estimate(const DistributedDatabase& db,
+                                                std::uint64_t probes,
+                                                Rng& rng) {
+  QS_REQUIRE(probes > 0, "need at least one probe");
+  std::uint64_t sum = 0;
+  for (std::uint64_t p = 0; p < probes; ++p) {
+    const auto j =
+        static_cast<std::size_t>(rng.uniform_below(db.num_machines()));
+    const auto i = static_cast<std::size_t>(rng.uniform_below(db.universe()));
+    sum += db.machine(j).data().count(i);
+  }
+  ClassicalCountEstimate estimate;
+  estimate.probes = probes;
+  estimate.m_hat = static_cast<double>(sum) / static_cast<double>(probes) *
+                   static_cast<double>(db.num_machines()) *
+                   static_cast<double>(db.universe());
+  return estimate;
+}
+
+}  // namespace qs

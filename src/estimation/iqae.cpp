@@ -1,0 +1,169 @@
+#include "estimation/iqae.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/require.hpp"
+#include "sampling/backend.hpp"
+
+namespace qs {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Does the amplified interval [lambda·phi_l, lambda·phi_u] (mod 2π) lie
+/// entirely in one half-circle ([0, π] or [π, 2π])?
+bool fits_half_circle(double lambda, double phi_l, double phi_u) {
+  const double lo = lambda * phi_l;
+  const double hi = lambda * phi_u;
+  if (hi - lo > kPi) return false;
+  const double lo_mod = std::fmod(lo, kTwoPi);
+  const double hi_mod = lo_mod + (hi - lo);
+  // Same upper half-circle, or same lower half-circle (allowing the wrap
+  // into [2π, 3π] which is the upper half again is NOT allowed — require
+  // both endpoints within one half interval).
+  if (hi_mod <= kPi) return true;                      // upper [0, π]
+  if (lo_mod >= kPi && hi_mod <= kTwoPi) return true;  // lower [π, 2π]
+  return false;
+}
+
+/// Largest odd λ' = 2k'+1 ≥ ratio·λ with λ'·(interval) unambiguous;
+/// returns λ (no growth) when none exists.
+double find_next_lambda(double lambda, double phi_l, double phi_u,
+                        double ratio = 2.0) {
+  const double width = phi_u - phi_l;
+  if (width <= 0.0) return lambda;
+  double lambda_max = kPi / width;
+  // Largest odd integer ≤ lambda_max.
+  auto k_max = static_cast<std::int64_t>(std::floor((lambda_max - 1.0) / 2.0));
+  for (std::int64_t k = k_max; k >= 0; --k) {
+    const double candidate = 2.0 * static_cast<double>(k) + 1.0;
+    if (candidate < ratio * lambda) break;
+    if (fits_half_circle(candidate, phi_l, phi_u)) return candidate;
+  }
+  return lambda;
+}
+
+}  // namespace
+
+IqaeResult iqae_estimate_good_amplitude(const DistributedDatabase& db,
+                                        QueryMode mode,
+                                        const IqaeOptions& options, Rng& rng,
+                                        StatePrep prep) {
+  QS_REQUIRE(options.epsilon > 0.0 && options.epsilon < 0.5,
+             "epsilon must be in (0, 0.5)");
+  QS_REQUIRE(options.alpha > 0.0 && options.alpha < 1.0,
+             "alpha must be in (0, 1)");
+  QS_REQUIRE(options.shots_per_round > 0, "need shots per round");
+
+  // Hoeffding half-width per round with a union bound over max_rounds.
+  const double log_term =
+      std::log(2.0 * static_cast<double>(options.max_rounds) / options.alpha);
+
+  IqaeResult result;
+  double phi_l = 0.0, phi_u = kPi;  // φ = 2θ ∈ [0, π]
+  double lambda = 1.0;              // current odd amplification 2k+1
+  // Aggregated shot statistics at the CURRENT lambda.
+  std::uint64_t hits = 0, shots = 0;
+
+  const auto run_power = [&](std::size_t k) {
+    SingleStateBackend backend(db, prep);
+    backend.prep_uniform(false);
+    apply_distributing_operator(backend, mode, false);
+    for (std::size_t q = 0; q < k; ++q) apply_q_iterate(backend, mode, kPi, kPi);
+    const double p_good =
+        backend.state().probability_of(backend.registers().flag, 0);
+    std::uint64_t h = 0;
+    for (std::size_t s = 0; s < options.shots_per_round; ++s)
+      h += rng.bernoulli(p_good) ? 1 : 0;
+    const std::uint64_t d_per_shot = 1 + 2 * static_cast<std::uint64_t>(k);
+    result.d_applications +=
+        d_per_shot * options.shots_per_round;
+    result.oracle_cost += (mode == QueryMode::kSequential
+                               ? d_per_shot * 2 * db.num_machines()
+                               : d_per_shot * 4) *
+                          options.shots_per_round;
+    result.total_shots += options.shots_per_round;
+    return h;
+  };
+
+  for (std::size_t round = 0; round < options.max_rounds; ++round) {
+    ++result.rounds;
+    // Adapt the power (reset aggregation when it grows).
+    const double next = find_next_lambda(lambda, phi_l, phi_u);
+    if (next > lambda) {
+      lambda = next;
+      hits = 0;
+      shots = 0;
+    }
+    const auto k = static_cast<std::size_t>((lambda - 1.0) / 2.0);
+    hits += run_power(k);
+    shots += options.shots_per_round;
+
+    // Hoeffding CI on p = P(good at this power) = (1 − cos(λφ))/2.
+    const double p_hat =
+        static_cast<double>(hits) / static_cast<double>(shots);
+    const double half_width =
+        std::sqrt(log_term / (2.0 * static_cast<double>(shots)));
+    const double p_lo = std::min(std::max(p_hat - half_width, 0.0), 1.0);
+    const double p_hi = std::min(std::max(p_hat + half_width, 0.0), 1.0);
+
+    // Invert within the known half-circle. Ω = λφ mod 2π, with the global
+    // multiple R = floor(λφ_l / 2π) known from the current interval.
+    const double omega_base = lambda * phi_l;
+    const double r_mult = std::floor(omega_base / kTwoPi);
+    const bool upper_half =
+        std::fmod(omega_base, kTwoPi) <= kPi + 1e-12;
+    double omega_lo, omega_hi;
+    if (upper_half) {
+      omega_lo = std::acos(1.0 - 2.0 * p_lo);   // increasing in p
+      omega_hi = std::acos(1.0 - 2.0 * p_hi);
+    } else {
+      omega_lo = kTwoPi - std::acos(1.0 - 2.0 * p_hi);  // decreasing
+      omega_hi = kTwoPi - std::acos(1.0 - 2.0 * p_lo);
+    }
+    double new_l = (kTwoPi * r_mult + omega_lo) / lambda;
+    double new_u = (kTwoPi * r_mult + omega_hi) / lambda;
+    // Intersect with the running interval (monotone refinement).
+    phi_l = std::max(phi_l, new_l);
+    phi_u = std::min(phi_u, new_u);
+    if (phi_u < phi_l) {
+      // Statistical fluke beyond the union bound: re-open minimally.
+      const double mid = 0.5 * (phi_l + phi_u);
+      phi_l = std::max(0.0, mid - 1e-9);
+      phi_u = std::min(kPi, mid + 1e-9);
+    }
+
+    // Convert φ-interval to an a-interval: a = (1 − cos φ)/2 (monotone).
+    const double a_lo = 0.5 * (1.0 - std::cos(phi_l));
+    const double a_hi = 0.5 * (1.0 - std::cos(phi_u));
+    if (0.5 * (a_hi - a_lo) <= options.epsilon) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.a_lo = 0.5 * (1.0 - std::cos(phi_l));
+  result.a_hi = 0.5 * (1.0 - std::cos(phi_u));
+  result.a_hat = 0.5 * (result.a_lo + result.a_hi);
+  return result;
+}
+
+IqaeCountResult iqae_estimate_total_count(const DistributedDatabase& db,
+                                          QueryMode mode,
+                                          const IqaeOptions& options,
+                                          Rng& rng) {
+  IqaeCountResult count;
+  count.amplitude = iqae_estimate_good_amplitude(db, mode, options, rng);
+  const double scale = static_cast<double>(db.nu()) *
+                       static_cast<double>(db.universe());
+  count.m_hat = count.amplitude.a_hat * scale;
+  count.m_lo = count.amplitude.a_lo * scale;
+  count.m_hi = count.amplitude.a_hi * scale;
+  return count;
+}
+
+}  // namespace qs

@@ -1,0 +1,50 @@
+// Canonical quantum counting via phase estimation (Brassard–Høyer–Mosca–
+// Tapp, Theorem 12) — the second, independent realisation of the counting
+// subroutine (the first is the MLAE variant in amplitude_estimation.hpp).
+//
+// The Grover iterate Q(π,π) has eigenvalues e^{±2iθ} with a = sin²θ on the
+// 2-plane spanned by A|0⟩. Phase estimation with a t-qubit phase register:
+//
+//   |0⟩^t |0⟩  →(H^⊗t ⊗ A)→  uniform ⊗ A|0⟩
+//            →(Σ_y |y⟩⟨y| ⊗ Q^y)→  phase kickback
+//            →(QFT†_2^t ⊗ I)→  measure y,   θ̂ = π·y/2^t,  â = sin²θ̂,
+//
+// with |â − a| ≤ 2π√(a(1−a))/2^t + π²/4^t with probability ≥ 8/π².
+// The controlled-Q^{2^k} fragments run through qsim's ControlledScope and
+// query the SAME machine oracles, so controlled queries are charged like
+// ordinary ones. Experiment T9 compares this canonical estimator against
+// the MLAE variant and the classical baseline.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "distdb/distributed_database.hpp"
+#include "sampling/circuit.hpp"
+
+namespace qs {
+
+struct QpeEstimate {
+  double a_hat = 0.0;      ///< from the MEDIAN measured phase across shots
+  double theta_hat = 0.0;
+  std::uint64_t oracle_cost = 0;   ///< sequential queries / parallel rounds
+  std::uint64_t d_applications = 0;
+  std::size_t phase_bits = 0;
+  std::size_t total_shots = 0;
+};
+
+/// Run t-bit phase estimation of the Grover iterate on the database's
+/// sampling circuit. `shots` independent repetitions; the reported estimate
+/// uses the median phase (robust to the QPE tail). Memory grows like
+/// 2^t · N · (ν+1) · 2.
+QpeEstimate qpe_estimate_good_amplitude(const DistributedDatabase& db,
+                                        QueryMode mode,
+                                        std::size_t phase_bits,
+                                        std::size_t shots, Rng& rng);
+
+/// Counting wrapper: M̂ = â · νN.
+double qpe_estimate_total_count(const DistributedDatabase& db, QueryMode mode,
+                                std::size_t phase_bits, std::size_t shots,
+                                Rng& rng, QpeEstimate* details = nullptr);
+
+}  // namespace qs

@@ -1,0 +1,63 @@
+#include "lowerbound/deferred_measurement.hpp"
+
+#include "common/require.hpp"
+#include "qsim/density.hpp"
+
+namespace qs {
+
+DeferredMeasurement defer_measurement(const StateVector& pre_measurement,
+                                      RegisterId measured) {
+  const auto& layout = pre_measurement.layout();
+  const std::size_t outcome_dim = layout.dim(measured);
+
+  // Extended layout: same registers plus the outcome copy, appended last
+  // (least significant) so original flat indices map to x·d + i.
+  RegisterLayout extended_layout = layout;
+  const RegisterId ancilla = extended_layout.add("meas_copy", outcome_dim);
+
+  std::vector<cplx> amps(extended_layout.total_dim(), cplx{0.0, 0.0});
+  const auto source = pre_measurement.amplitudes();
+  for (std::size_t x = 0; x < source.size(); ++x) {
+    const std::size_t outcome = layout.digit(x, measured);
+    amps[x * outcome_dim + outcome] = source[x];
+  }
+
+  DeferredMeasurement result{StateVector(extended_layout), ancilla,
+                             pre_measurement.marginal(measured)};
+  result.extended.set_amplitudes(std::move(amps));
+  return result;
+}
+
+double measured_ensemble_fidelity(const StateVector& pre_measurement,
+                                  RegisterId measured,
+                                  const StateVector& target) {
+  const auto& layout = pre_measurement.layout();
+  QS_REQUIRE(target.layout().same_shape(layout),
+             "target must live on the algorithm's layout");
+  // ⟨t| (Σ_i Π_i ρ Π_i) |t⟩ = Σ_i |⟨t|Π_i|pre⟩|².
+  const std::size_t outcome_dim = layout.dim(measured);
+  std::vector<cplx> overlap(outcome_dim, cplx{0.0, 0.0});
+  const auto pre = pre_measurement.amplitudes();
+  const auto tgt = target.amplitudes();
+  for (std::size_t x = 0; x < pre.size(); ++x) {
+    overlap[layout.digit(x, measured)] += std::conj(tgt[x]) * pre[x];
+  }
+  double fidelity = 0.0;
+  for (const auto& o : overlap) fidelity += std::norm(o);
+  return fidelity;
+}
+
+double deferred_fidelity(const DeferredMeasurement& deferred,
+                         const StateVector& target) {
+  const auto& extended_layout = deferred.extended.layout();
+  // Keep every original register (all but the ancilla, which is last).
+  std::vector<RegisterId> kept;
+  for (std::size_t r = 0; r + 1 < extended_layout.num_registers(); ++r)
+    kept.push_back(RegisterId{r});
+  const Matrix rho = partial_trace(deferred.extended, kept);
+  const auto tgt = target.amplitudes();
+  return fidelity_with_pure(rho,
+                            std::vector<cplx>(tgt.begin(), tgt.end()));
+}
+
+}  // namespace qs

@@ -1,0 +1,55 @@
+// Executable Lemma 5.3 / Appendix A: measurements can be deferred without
+// changing query complexity or fidelity.
+//
+// The lower-bound proof first replaces any oblivious algorithm 𝒜 that
+// measures mid-circuit by a measurement-free algorithm ℬ: because the
+// schedule is oblivious, the measurement commutes to the end, and the final
+// projective measurement {Π_i} is replaced by the unitary
+//
+//   U |s, 0⟩ = Σ_i √p_i |s_i, i⟩,   p_i = ⟨s|Π_i|s⟩,  |s_i⟩ = Π_i|s⟩/√p_i,
+//
+// i.e. the measurement outcome is coherently copied into a fresh ancilla
+// and never read. Appendix A shows the output fidelity is unchanged.
+//
+// Here we realise exactly that transformation for computational-basis
+// measurements of one register (the case every algorithm in this library
+// uses — e.g. the unknown-M sampler's flag measurement): defer_measurement
+// entangles the measured register with a fresh ancilla; the reduced state
+// on the original registers then equals the ENSEMBLE the measuring
+// algorithm would produce, so any fixed-target fidelity matches. The tests
+// check Lemma 5.3's two claims — equal fidelity, equal query count — on
+// real sampler runs.
+#pragma once
+
+#include "qsim/density_evolution.hpp"
+#include "qsim/state_vector.hpp"
+
+namespace qs {
+
+/// The purified post-measurement object: the original layout extended by
+/// one ancilla register ("meas_copy") holding the coherent outcome copy.
+struct DeferredMeasurement {
+  StateVector extended;    ///< |Ψ⟩ = Σ_i √p_i |s_i⟩|i⟩
+  RegisterId ancilla;      ///< the outcome register inside `extended`
+  std::vector<double> outcome_probabilities;
+};
+
+/// Build ℬ's final state from 𝒜's pre-measurement state: coherently copy
+/// register `measured` into a fresh ancilla (no collapse, no randomness).
+DeferredMeasurement defer_measurement(const StateVector& pre_measurement,
+                                      RegisterId measured);
+
+/// The fidelity an algorithm that MEASURES `measured` (and then discards
+/// the outcome register) achieves against a pure target on the original
+/// layout: F = Σ_i p_i |⟨target|s_i⟩|² computed via the ensemble.
+/// Lemma 5.3 asserts this equals the deferred version's reduced fidelity.
+double measured_ensemble_fidelity(const StateVector& pre_measurement,
+                                  RegisterId measured,
+                                  const StateVector& target);
+
+/// The deferred (measurement-free) algorithm's fidelity: ⟨target|ρ|target⟩
+/// with ρ the reduction of the extended state onto the original registers.
+double deferred_fidelity(const DeferredMeasurement& deferred,
+                         const StateVector& target);
+
+}  // namespace qs

@@ -1,0 +1,115 @@
+#include "lowerbound/hard_inputs.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+#include "distdb/workload.hpp"
+
+namespace qs {
+
+HardInputCheck check_hard_input(const std::vector<Dataset>& datasets,
+                                std::size_t k, std::uint64_t kappa_k,
+                                std::uint64_t nu, double required_alpha,
+                                double required_beta) {
+  QS_REQUIRE(k < datasets.size(), "machine index out of range");
+  HardInputCheck result;
+
+  std::uint64_t m_total = 0;
+  for (const auto& d : datasets) m_total += d.total();
+  const auto& tk = datasets[k];
+  if (m_total == 0 || tk.total() == 0 || kappa_k == 0) {
+    result.violation = "machine k (or the database) is empty";
+    return result;
+  }
+
+  result.alpha = static_cast<double>(tk.total()) /
+                 static_cast<double>(m_total);
+  result.beta = static_cast<double>(tk.total()) /
+                static_cast<double>(tk.support_size()) /
+                static_cast<double>(kappa_k);
+
+  if (result.alpha < required_alpha) {
+    result.violation = "M_k < α·M";
+    return result;
+  }
+  if (result.beta < required_beta) {
+    result.violation = "M_k/m_k < β·κ_k";
+    return result;
+  }
+
+  // max_{i, j≠k} c_ij + max_i c_ik ≤ ν: any relocation of T_k stays legal.
+  std::uint64_t max_other = 0;
+  for (std::size_t j = 0; j < datasets.size(); ++j) {
+    if (j == k) continue;
+    max_other = std::max(max_other, datasets[j].max_multiplicity());
+  }
+  if (max_other + tk.max_multiplicity() > nu) {
+    result.violation = "max_{i,j≠k} c_ij + max_i c_ik > ν";
+    return result;
+  }
+
+  result.satisfied = true;
+  return result;
+}
+
+std::vector<Dataset> apply_sigma(const std::vector<Dataset>& base,
+                                 std::size_t k,
+                                 std::span<const std::size_t> image) {
+  QS_REQUIRE(k < base.size(), "machine index out of range");
+  const auto support = base[k].support();
+  QS_REQUIRE(image.size() == support.size(),
+             "image size must equal |Supp(T_k)|");
+  QS_REQUIRE(std::is_sorted(image.begin(), image.end()) &&
+                 std::adjacent_find(image.begin(), image.end()) == image.end(),
+             "image must be strictly increasing (order-preserving σ)");
+
+  std::vector<Dataset> result = base;
+  Dataset relocated(base[k].universe());
+  for (std::size_t r = 0; r < support.size(); ++r) {
+    QS_REQUIRE(image[r] < base[k].universe(), "image element out of range");
+    relocated.insert(image[r], base[k].count(support[r]));
+  }
+  result[k] = std::move(relocated);
+  return result;
+}
+
+std::vector<std::vector<std::size_t>> enumerate_images(std::size_t universe,
+                                                       std::size_t m) {
+  QS_REQUIRE(m <= universe, "subset larger than the universe");
+  std::vector<std::vector<std::size_t>> all;
+  std::vector<std::size_t> current(m);
+  // Standard lexicographic m-combination enumeration.
+  for (std::size_t i = 0; i < m; ++i) current[i] = i;
+  if (m == 0) {
+    all.push_back({});
+    return all;
+  }
+  for (;;) {
+    all.push_back(current);
+    // Advance: find rightmost index that can move up.
+    std::size_t i = m;
+    while (i-- > 0) {
+      if (current[i] < universe - (m - i)) {
+        ++current[i];
+        for (std::size_t j = i + 1; j < m; ++j) current[j] = current[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return all;
+    }
+  }
+}
+
+std::vector<std::size_t> sample_image(std::size_t universe, std::size_t m,
+                                      Rng& rng) {
+  return rng.sample_without_replacement(universe, m);
+}
+
+std::vector<Dataset> make_canonical_hard_input(std::size_t universe,
+                                               std::size_t machines,
+                                               std::size_t k,
+                                               std::size_t support,
+                                               std::uint64_t multiplicity) {
+  return workload::concentrated(universe, machines, k, support, multiplicity);
+}
+
+}  // namespace qs

@@ -1,0 +1,65 @@
+// Hard-input families for the adversary lower bound (Section 5.2).
+//
+// Fix a machine k. Starting from a base input T whose k-th multiset has
+// support S = Supp(T_k), every ORDER-PRESERVING injection σ of S into [N]
+// yields a new input σ̃ᵏ(T) that relocates T_k's multiplicities onto σ(S)
+// while leaving every other machine untouched (Definition 5.5). Lemma 5.6
+// shows the family has exactly C(N, m_k) distinct members — one per
+// m_k-subset of [N] — which is why sampling a uniform random m_k-subset
+// samples the family uniformly.
+//
+// Definition 5.4's hard input condition (with constants α, β) is what makes
+// the family adversarial: machine k carries an α-fraction of all data, its
+// average multiplicity is within β of its capacity κ_k, and relocating T_k
+// can never exceed the global ν.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "distdb/dataset.hpp"
+
+namespace qs {
+
+struct HardInputCheck {
+  bool satisfied = false;
+  double alpha = 0.0;  ///< achieved M_k / M
+  double beta = 0.0;   ///< achieved (M_k / m_k) / κ_k
+  std::string violation;  ///< empty when satisfied
+};
+
+/// Check Definition 5.4 for machine k with capacity kappa_k against the
+/// required constants; reports the achieved α and β.
+HardInputCheck check_hard_input(const std::vector<Dataset>& datasets,
+                                std::size_t k, std::uint64_t kappa_k,
+                                std::uint64_t nu, double required_alpha,
+                                double required_beta);
+
+/// σ̃ᵏ(T): relocate machine k's support onto `image` order-preservingly.
+/// `image` must be strictly increasing with size |Supp(T_k)|.
+std::vector<Dataset> apply_sigma(const std::vector<Dataset>& base,
+                                 std::size_t k,
+                                 std::span<const std::size_t> image);
+
+/// All C(N, m) ascending m-subsets of [0, N): the full family (use only for
+/// small N; the count is checked against Lemma 5.6 in the tests).
+std::vector<std::vector<std::size_t>> enumerate_images(std::size_t universe,
+                                                       std::size_t m);
+
+/// One uniform m-subset of [0, N), ascending: a uniform family member.
+std::vector<std::size_t> sample_image(std::size_t universe, std::size_t m,
+                                      Rng& rng);
+
+/// The canonical hard input used in the proof of Theorem 5.1: place
+/// `support` distinct elements with `multiplicity` copies each on machine
+/// k and nothing anywhere else (then M_k = M, α = 1, β = multiplicity/κ_k).
+std::vector<Dataset> make_canonical_hard_input(std::size_t universe,
+                                               std::size_t machines,
+                                               std::size_t k,
+                                               std::size_t support,
+                                               std::uint64_t multiplicity);
+
+}  // namespace qs

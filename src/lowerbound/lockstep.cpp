@@ -1,0 +1,71 @@
+#include "lowerbound/lockstep.hpp"
+
+#include "common/require.hpp"
+
+namespace qs {
+
+LockstepBackend::LockstepBackend(const DistributedDatabase& db_true,
+                                 const DistributedDatabase& db_empty,
+                                 std::size_t k, StatePrep prep)
+    : k_(k), true_run_(db_true, prep), empty_run_(db_empty, prep) {
+  QS_REQUIRE(db_true.universe() == db_empty.universe() &&
+                 db_true.num_machines() == db_empty.num_machines() &&
+                 db_true.nu() == db_empty.nu(),
+             "lockstep runs must share the public parameters N, n, ν");
+  QS_REQUIRE(k < db_true.num_machines(), "machine index out of range");
+  QS_REQUIRE(db_empty.machine(k).data().total() == 0,
+             "the comparison database must have machine k emptied");
+}
+
+std::size_t LockstepBackend::num_machines() const {
+  return true_run_.num_machines();
+}
+
+void LockstepBackend::record_distance() {
+  distances_.push_back(
+      true_run_.state().distance_squared(empty_run_.state()));
+}
+
+void LockstepBackend::prep_uniform(bool adjoint) {
+  true_run_.prep_uniform(adjoint);
+  empty_run_.prep_uniform(adjoint);
+}
+
+void LockstepBackend::phase_good(double phi) {
+  true_run_.phase_good(phi);
+  empty_run_.phase_good(phi);
+}
+
+void LockstepBackend::phase_initial(double phi) {
+  true_run_.phase_initial(phi);
+  empty_run_.phase_initial(phi);
+}
+
+void LockstepBackend::rotation_u(bool adjoint) {
+  true_run_.rotation_u(adjoint);
+  empty_run_.rotation_u(adjoint);
+}
+
+void LockstepBackend::oracle(std::size_t j, bool adjoint) {
+  true_run_.oracle(j, adjoint);
+  empty_run_.oracle(j, adjoint);
+  if (j == k_) record_distance();
+}
+
+void LockstepBackend::parallel_total_shift(bool adjoint) {
+  // The composite spends two parallel rounds; the potential is only
+  // observable at the composite boundary, so both clock ticks carry the
+  // post-composite distance (a conservative reading of D_t between the two
+  // rounds — see the module comment in potential.hpp).
+  true_run_.parallel_total_shift(adjoint);
+  empty_run_.parallel_total_shift(adjoint);
+  record_distance();
+  record_distance();
+}
+
+void LockstepBackend::global_phase(double angle) {
+  true_run_.global_phase(angle);
+  empty_run_.global_phase(angle);
+}
+
+}  // namespace qs

@@ -1,0 +1,62 @@
+// Lockstep execution for the potential-function argument (Section 5.3).
+//
+// The lower-bound proof compares the algorithm's state |ψ_t^T⟩ on input T
+// against |ψ_t⟩ on the input T̃ with machine k's dataset REMOVED (Eqs. 9–10)
+// — the two runs share every input-independent unitary and every oracle of
+// the other machines, and differ only in how machine k's oracle acts. The
+// LockstepBackend realises exactly that: it forwards every circuit
+// operation to two SingleStateBackends (true database / emptied database)
+// and, after each oracle application that involves machine k, appends
+// ‖|ψ_t^T⟩ − |ψ_t⟩‖² to its trace. Averaging those traces over the hard
+// input family estimates D_t (Eq. 11/12).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sampling/backend.hpp"
+
+namespace qs {
+
+class LockstepBackend final : public SamplingBackend {
+ public:
+  /// Both databases must share N, n and ν (the public parameters);
+  /// `db_empty` is `db_true` with machine k's dataset removed. `k` is the
+  /// distinguished machine whose queries advance the potential clock.
+  LockstepBackend(const DistributedDatabase& db_true,
+                  const DistributedDatabase& db_empty, std::size_t k,
+                  StatePrep prep);
+
+  std::size_t num_machines() const override;
+  void prep_uniform(bool adjoint) override;
+  void phase_good(double phi) override;
+  void phase_initial(double phi) override;
+  void rotation_u(bool adjoint) override;
+  void oracle(std::size_t j, bool adjoint) override;
+  void parallel_total_shift(bool adjoint) override;
+  void global_phase(double angle) override;
+
+  const StateVector& true_state() const { return true_run_.state(); }
+  const StateVector& empty_state() const { return empty_run_.state(); }
+
+  /// t-th entry: ‖ψ_t^T − ψ_t‖² after the t-th machine-k oracle call
+  /// (sequential mode) or after the t-th parallel round (parallel mode —
+  /// every round involves machine k).
+  const std::vector<double>& distance_trace() const noexcept {
+    return distances_;
+  }
+
+  /// Total machine-k oracle calls / parallel rounds so far.
+  std::uint64_t clock() const noexcept { return distances_.size(); }
+
+ private:
+  void record_distance();
+
+  std::size_t k_;
+  SingleStateBackend true_run_;
+  SingleStateBackend empty_run_;
+  std::vector<double> distances_;
+};
+
+}  // namespace qs

@@ -1,0 +1,91 @@
+#include "lowerbound/potential.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+#include "lowerbound/lockstep.hpp"
+#include "sampling/samplers.hpp"
+
+namespace qs {
+
+double PotentialResult::ceiling(std::uint64_t t) const {
+  return 4.0 * static_cast<double>(m_k) / static_cast<double>(universe) *
+         static_cast<double>(t) * static_cast<double>(t);
+}
+
+std::uint64_t PotentialResult::crossover(double level) const {
+  // Smallest t with 4 (m_k/N) t² ≥ level.
+  const double t = std::sqrt(level * static_cast<double>(universe) /
+                             (4.0 * static_cast<double>(m_k)));
+  return static_cast<std::uint64_t>(std::ceil(t));
+}
+
+PotentialResult measure_potential(const std::vector<Dataset>& base,
+                                  std::size_t k, std::uint64_t nu,
+                                  const PotentialOptions& options, Rng& rng) {
+  QS_REQUIRE(k < base.size(), "machine index out of range");
+  QS_REQUIRE(base[k].total() > 0, "machine k must be non-empty");
+
+  const std::size_t universe = base[k].universe();
+  const std::size_t m_k = base[k].support_size();
+
+  // The comparison input T̃: machine k emptied, all else identical. It is
+  // the SAME for every member of the family (the other machines never
+  // change), which is what makes D_t well-defined.
+  std::vector<Dataset> emptied = base;
+  emptied[k] = Dataset(universe);
+  const DistributedDatabase db_empty(std::move(emptied), nu);
+
+  // Collect the family members to run.
+  std::vector<std::vector<std::size_t>> images;
+  if (options.exhaustive) {
+    images = enumerate_images(universe, m_k);
+  } else {
+    images.reserve(options.family_samples);
+    for (std::size_t s = 0; s < options.family_samples; ++s)
+      images.push_back(sample_image(universe, m_k, rng));
+  }
+  QS_REQUIRE(!images.empty(), "empty hard-input family");
+
+  PotentialResult result;
+  result.family_members = images.size();
+  result.m_k = m_k;
+  result.universe = universe;
+
+  double fidelity_sum = 0.0;
+  for (const auto& image : images) {
+    auto datasets = apply_sigma(base, k, image);
+    const DistributedDatabase db_true(std::move(datasets), nu);
+
+    // Plan from public parameters of the TRUE input (identical across the
+    // family: relocating T_k changes neither M nor ν).
+    const double a = static_cast<double>(db_true.total()) /
+                     (static_cast<double>(nu) *
+                      static_cast<double>(db_true.universe()));
+    const AAPlan plan = plan_zero_error(a);
+
+    LockstepBackend lockstep(db_true, db_empty, k, options.prep);
+    run_sampling_circuit(lockstep, options.mode, plan);
+
+    const auto& trace = lockstep.distance_trace();
+    if (result.d_t.size() < trace.size()) result.d_t.resize(trace.size(), 0.0);
+    for (std::size_t t = 0; t < trace.size(); ++t) result.d_t[t] += trace[t];
+
+    fidelity_sum +=
+        pure_fidelity(target_full_state(db_true), lockstep.true_state());
+
+    if (result.mk_over_m == 0.0) {
+      result.mk_over_m = static_cast<double>(db_true.machine(k).data().total()) /
+                         static_cast<double>(db_true.total());
+      result.kappa_k = db_true.machine(k).data().max_multiplicity();
+    }
+  }
+
+  const double inv = 1.0 / static_cast<double>(images.size());
+  for (auto& d : result.d_t) d *= inv;
+  result.mean_final_fidelity = fidelity_sum * inv;
+  return result;
+}
+
+}  // namespace qs

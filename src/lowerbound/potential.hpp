@@ -1,0 +1,69 @@
+// The potential function D_t (Eq. 11/12) measured on real executions.
+//
+// For a hard-input family 𝒯 (machine k), the lower bound rests on two
+// facts about D_t = E_{T∈𝒯} ‖|ψ_t^T⟩ − |ψ_t⟩‖²:
+//
+//   Lemma 5.7 / 5.9 (floor):    D_{t_k} ≥ C · M_k/M for any algorithm whose
+//                               output fidelity exceeds 9/16;
+//   Lemma 5.8 / 5.10 (ceiling): D_t ≤ 4 (m_k/N) t².
+//
+// Crossing the floor therefore needs t ≥ √(C M_k N / (4 m_k M)) ∼
+// √(κ_k N / M). measure_potential() runs the paper's own sampler in
+// lockstep over family members (exhaustively for small N, Monte-Carlo
+// otherwise) and returns the averaged trace, so the benches can plot
+// measured D_t against both bounds and extract the empirical crossover.
+//
+// Granularity note: in the parallel model our simulator applies Lemma 4.4's
+// two-round composite atomically, so the trace holds the post-composite
+// value at both of the composite's clock ticks; the quadratic ceiling is
+// checked at composite boundaries, where the state is exact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "lowerbound/hard_inputs.hpp"
+#include "sampling/circuit.hpp"
+
+namespace qs {
+
+struct PotentialOptions {
+  QueryMode mode = QueryMode::kSequential;
+  /// Family members to average over; ignored when exhaustive.
+  std::size_t family_samples = 16;
+  /// Enumerate the entire C(N, m_k) family instead of sampling.
+  bool exhaustive = false;
+  StatePrep prep = StatePrep::kHouseholder;
+};
+
+struct PotentialResult {
+  /// d_t[t-1] = estimate of D_t after t machine-k queries (or rounds).
+  std::vector<double> d_t;
+  /// Mean fidelity of each true run against ITS OWN target (should be ~1
+  /// for the paper's sampler — confirming the floor applies).
+  double mean_final_fidelity = 0.0;
+  std::size_t family_members = 0;
+  std::size_t m_k = 0;      ///< |Supp(T_k)|
+  std::size_t universe = 0;  ///< N
+  double mk_over_m = 0.0;    ///< M_k / M
+  std::uint64_t kappa_k = 0;
+
+  /// Lemma 5.8 / 5.10 ceiling at time t.
+  double ceiling(std::uint64_t t) const;
+  /// Lemma B.4 floor on F_{t_k}: M_k / (2M). (The final constant C in
+  /// Lemma 5.7 depends on ε; with the paper's zero-error sampler, ε = 0 and
+  /// D_{t_k} ≥ (√(M_k/2M) − 0)² = M_k/2M.)
+  double floor() const { return mk_over_m / 2.0; }
+  /// Smallest t whose ceiling reaches `level`.
+  std::uint64_t crossover(double level) const;
+};
+
+/// Run the paper's own sampler on every (sampled) family member in lockstep
+/// with the machine-k-emptied input and average the distance traces.
+/// `base` must contain the datasets of a valid database for capacity nu.
+PotentialResult measure_potential(const std::vector<Dataset>& base,
+                                  std::size_t k, std::uint64_t nu,
+                                  const PotentialOptions& options, Rng& rng);
+
+}  // namespace qs

@@ -1,0 +1,97 @@
+#include "qsim/controlled.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace qs {
+
+void apply_controlled(StateVector& state, RegisterId control,
+                      std::size_t value,
+                      const std::function<void(StateVector&)>& fragment) {
+  QS_REQUIRE(value < state.layout().dim(control),
+             "control value out of range");
+  apply_controlled_if(
+      state, control, [value](std::size_t digit) { return digit == value; },
+      fragment);
+}
+
+void apply_controlled_if(
+    StateVector& state, RegisterId control,
+    const std::function<bool(std::size_t digit)>& predicate,
+    const std::function<void(StateVector&)>& fragment) {
+  const auto& layout = state.layout();
+
+  // Extract the active slice into a scratch state (same layout, everything
+  // else zero).
+  StateVector slice(layout);
+  {
+    std::vector<cplx> amps(layout.total_dim(), cplx{0.0, 0.0});
+    const auto source = state.amplitudes();
+    for (std::size_t x = 0; x < amps.size(); ++x) {
+      if (predicate(layout.digit(x, control))) amps[x] = source[x];
+    }
+    slice.set_amplitudes(std::move(amps));
+  }
+
+  fragment(slice);
+
+  // Stitch back; verify the fragment stayed block-diagonal in the control.
+  auto dest = state.mutable_amplitudes();
+  const auto evolved = slice.amplitudes();
+  for (std::size_t x = 0; x < dest.size(); ++x) {
+    if (predicate(layout.digit(x, control))) {
+      dest[x] = evolved[x];
+    } else {
+      QS_ASSERT(std::norm(evolved[x]) < 1e-20,
+                "controlled fragment leaked amplitude across the control "
+                "register");
+    }
+  }
+}
+
+double project_register(StateVector& state, RegisterId r, std::size_t value) {
+  const auto& layout = state.layout();
+  QS_REQUIRE(value < layout.dim(r), "projection value out of range");
+  const double probability = state.probability_of(r, value);
+  QS_REQUIRE(probability > 1e-300,
+             "cannot project onto a zero-probability outcome");
+  const double scale = 1.0 / std::sqrt(probability);
+  auto amps = state.mutable_amplitudes();
+  for (std::size_t x = 0; x < amps.size(); ++x) {
+    if (layout.digit(x, r) == value) {
+      amps[x] *= scale;
+    } else {
+      amps[x] = cplx{0.0, 0.0};
+    }
+  }
+  return probability;
+}
+
+std::size_t measure_and_collapse(StateVector& state, RegisterId r, Rng& rng) {
+  const auto probs = state.marginal(r);
+  const double u = rng.uniform01();
+  double acc = 0.0;
+  std::size_t outcome = probs.size() - 1;
+  for (std::size_t v = 0; v < probs.size(); ++v) {
+    acc += probs[v];
+    if (u < acc) {
+      outcome = v;
+      break;
+    }
+  }
+  // Guard against rounding at the top of the CDF: fall back to the largest
+  // positive-probability outcome.
+  if (probs[outcome] <= 0.0) {
+    for (std::size_t v = probs.size(); v-- > 0;) {
+      if (probs[v] > 0.0) {
+        outcome = v;
+        break;
+      }
+    }
+  }
+  project_register(state, r, outcome);
+  return outcome;
+}
+
+}  // namespace qs

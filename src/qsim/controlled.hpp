@@ -1,0 +1,57 @@
+// Controlled execution of arbitrary circuit fragments.
+//
+// Canonical (phase-estimation based) quantum counting needs controlled-Q^k:
+// the Grover iterate applied only on the branch where a control qubit is
+// |1⟩. Rather than duplicating every kernel, ControlledScope implements the
+// textbook identity
+//
+//   C-U |0⟩|φ⟩ = |0⟩|φ⟩,   C-U |1⟩|φ⟩ = |1⟩ (U|φ⟩)
+//
+// by splitting the amplitude array into the control=value slice and the
+// rest: the slice is copied into a standalone StateVector (over the layout
+// minus nothing — same layout, other slices zeroed), the fragment runs on
+// it, and the result is stitched back. Cost: one extra buffer and two
+// passes per scope — irrelevant next to the fragment itself.
+//
+// The fragment MUST be block-diagonal with respect to the control register
+// (i.e. never touch it); this is asserted by checking that the
+// complementary slices are untouched (they are never handed to the
+// fragment at all, so the property holds by construction).
+#pragma once
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "qsim/state_vector.hpp"
+
+namespace qs {
+
+/// Apply `fragment` to `state` controlled on register `control` holding
+/// `value`: amplitudes with control != value are left untouched; the
+/// control=value slice evolves under the fragment as if it were the whole
+/// state. The fragment receives a StateVector on the SAME layout whose
+/// other-control-value amplitudes are zero, and must not write to them
+/// (applying any unitary that does not touch `control` satisfies this).
+void apply_controlled(StateVector& state, RegisterId control,
+                      std::size_t value,
+                      const std::function<void(StateVector&)>& fragment);
+
+/// Generalisation: the fragment acts on the subspace where
+/// `predicate(control digit)` holds (e.g. "bit k of the phase register is
+/// set" for phase estimation). Same block-diagonality contract.
+void apply_controlled_if(
+    StateVector& state, RegisterId control,
+    const std::function<bool(std::size_t digit)>& predicate,
+    const std::function<void(StateVector&)>& fragment);
+
+/// Project register `r` onto `value` and renormalise; returns the
+/// probability of that outcome (the caller decides the outcome by sampling
+/// beforehand). Throws if the outcome has zero probability.
+double project_register(StateVector& state, RegisterId r, std::size_t value);
+
+/// Sample an outcome for register `r` from its marginal, project onto it
+/// and renormalise. Returns the observed value. This is the simulator-side
+/// realisation of a mid-circuit measurement.
+std::size_t measure_and_collapse(StateVector& state, RegisterId r, Rng& rng);
+
+}  // namespace qs

@@ -1,0 +1,76 @@
+#include "qsim/density.hpp"
+
+#include "common/require.hpp"
+
+namespace qs {
+
+Matrix partial_trace(const StateVector& state,
+                     const std::vector<RegisterId>& kept) {
+  const auto& layout = state.layout();
+  QS_REQUIRE(!kept.empty(), "must keep at least one register");
+
+  // Dimension and mixed-radix strides of the kept subsystem.
+  std::size_t kept_dim = 1;
+  for (const auto r : kept) kept_dim *= layout.dim(r);
+
+  // For each flat index, its kept-subsystem index is the mixed-radix number
+  // formed by the kept registers' digits (first register most significant).
+  const auto kept_index = [&](std::size_t flat) {
+    std::size_t idx = 0;
+    for (const auto r : kept) idx = idx * layout.dim(r) + layout.digit(flat, r);
+    return idx;
+  };
+
+  // Group amplitudes by the traced-out environment index: two flat indices
+  // contribute to rho(i, j) when they share every non-kept digit. We bucket
+  // by environment, accumulating the outer product row by row.
+  //
+  // env_index(flat) strips the kept digits: mixed-radix number over the
+  // other registers.
+  std::vector<bool> is_kept(layout.num_registers(), false);
+  for (const auto r : kept) {
+    QS_REQUIRE(!is_kept[r.value], "duplicate register in kept list");
+    is_kept[r.value] = true;
+  }
+  const auto env_index = [&](std::size_t flat) {
+    std::size_t idx = 0;
+    for (std::size_t r = 0; r < layout.num_registers(); ++r) {
+      if (is_kept[r]) continue;
+      idx = idx * layout.dim(RegisterId{r}) + layout.digit(flat, RegisterId{r});
+    }
+    return idx;
+  };
+
+  const std::size_t env_dim = layout.total_dim() / kept_dim;
+  // Collect per-environment vectors over the kept subsystem, then
+  // rho = Σ_env |v_env⟩⟨v_env|.
+  std::vector<std::vector<cplx>> env_vectors(env_dim,
+                                             std::vector<cplx>(kept_dim));
+  const auto amps = state.amplitudes();
+  for (std::size_t flat = 0; flat < amps.size(); ++flat) {
+    env_vectors[env_index(flat)][kept_index(flat)] = amps[flat];
+  }
+
+  Matrix rho(kept_dim, kept_dim);
+  for (const auto& v : env_vectors) {
+    for (std::size_t i = 0; i < kept_dim; ++i) {
+      if (v[i] == cplx{0.0, 0.0}) continue;
+      for (std::size_t j = 0; j < kept_dim; ++j)
+        rho(i, j) += v[i] * std::conj(v[j]);
+    }
+  }
+  return rho;
+}
+
+double fidelity_with_pure(const Matrix& rho, const std::vector<cplx>& psi) {
+  QS_REQUIRE(rho.rows() == psi.size() && rho.cols() == psi.size(),
+             "fidelity_with_pure: dimension mismatch");
+  cplx acc{0.0, 0.0};
+  for (std::size_t i = 0; i < psi.size(); ++i) {
+    for (std::size_t j = 0; j < psi.size(); ++j)
+      acc += std::conj(psi[i]) * rho(i, j) * psi[j];
+  }
+  return acc.real();
+}
+
+}  // namespace qs

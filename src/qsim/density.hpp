@@ -1,0 +1,28 @@
+// Reduced density operators.
+//
+// The paper's lower bound (Section 5, Lemma B.1) evaluates the fidelity
+// between the coordinator's OUTPUT REGISTER — the element register, with the
+// counter/flag/work registers traced out — and the target sampling state.
+// This header provides the partial trace from a pure StateVector down to a
+// density matrix on a chosen subset of registers, plus fidelity against a
+// pure target (⟨ψ|ρ|ψ⟩) and against another density matrix (Uhlmann, via
+// the Jacobi eigensolver in linalg).
+#pragma once
+
+#include <vector>
+
+#include "qsim/linalg.hpp"
+#include "qsim/state_vector.hpp"
+
+namespace qs {
+
+/// Reduced density matrix of `kept` registers (in the order given), tracing
+/// out every other register of the state's layout.
+Matrix partial_trace(const StateVector& state,
+                     const std::vector<RegisterId>& kept);
+
+/// ⟨ψ|ρ|ψ⟩ — fidelity between a density matrix and a pure state given as an
+/// amplitude vector of matching dimension.
+double fidelity_with_pure(const Matrix& rho, const std::vector<cplx>& psi);
+
+}  // namespace qs

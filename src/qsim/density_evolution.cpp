@@ -1,0 +1,98 @@
+#include "qsim/density_evolution.hpp"
+
+#include "common/require.hpp"
+
+namespace qs {
+
+DensityState::DensityState(RegisterLayout layout, std::size_t basis_index)
+    : layout_(std::move(layout)),
+      rho_(layout_.total_dim(), layout_.total_dim()) {
+  QS_REQUIRE(basis_index < layout_.total_dim(), "basis state out of range");
+  QS_REQUIRE(layout_.total_dim() <= 4096,
+             "density evolution is meant for small validation instances");
+  rho_(basis_index, basis_index) = 1.0;
+}
+
+DensityState::DensityState(const StateVector& pure)
+    : layout_(pure.layout()), rho_(pure.dim(), pure.dim()) {
+  QS_REQUIRE(pure.dim() <= 4096,
+             "density evolution is meant for small validation instances");
+  const auto amps = pure.amplitudes();
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    if (amps[i] == cplx{0.0, 0.0}) continue;
+    for (std::size_t j = 0; j < amps.size(); ++j)
+      rho_(i, j) = amps[i] * std::conj(amps[j]);
+  }
+}
+
+void DensityState::apply_unitary_fragment(
+    const std::function<void(StateVector&)>& fragment) {
+  const std::size_t dim = rho_.rows();
+  const auto apply_to_columns = [&](Matrix& m) {
+    StateVector column(layout_);
+    for (std::size_t c = 0; c < dim; ++c) {
+      std::vector<cplx> amps(dim);
+      for (std::size_t r = 0; r < dim; ++r) amps[r] = m(r, c);
+      column.set_amplitudes(std::move(amps));
+      fragment(column);
+      const auto out = column.amplitudes();
+      for (std::size_t r = 0; r < dim; ++r) m(r, c) = out[r];
+    }
+  };
+  // ρ ← U ρ, then ρ ← (U (U ρ)†)† = U ρ U†.
+  apply_to_columns(rho_);
+  Matrix adj = rho_.adjoint();
+  apply_to_columns(adj);
+  rho_ = adj.adjoint();
+}
+
+void DensityState::apply_dephasing(RegisterId r, double p) {
+  QS_REQUIRE(p >= 0.0 && p <= 1.0, "channel strength must be in [0, 1]");
+  const std::size_t dim = rho_.rows();
+  for (std::size_t x = 0; x < dim; ++x) {
+    const std::size_t jx = layout_.digit(x, r);
+    for (std::size_t y = 0; y < dim; ++y) {
+      if (layout_.digit(y, r) != jx) rho_(x, y) *= (1.0 - p);
+    }
+  }
+}
+
+void DensityState::apply_depolarizing(RegisterId r, double p) {
+  QS_REQUIRE(p >= 0.0 && p <= 1.0, "channel strength must be in [0, 1]");
+  const std::size_t dim = rho_.rows();
+  const std::size_t d = layout_.dim(r);
+  Matrix out = rho_;
+  out *= cplx(1.0 - p, 0.0);
+  // p · (I_r/d ⊗ Tr_r ρ): entry (x, y) gets (p/d)·δ_{j_x j_y}·Σ_k ρ_{x_k y_k}
+  // where x_k replaces register r's digit with k.
+  for (std::size_t x = 0; x < dim; ++x) {
+    const std::size_t jx = layout_.digit(x, r);
+    for (std::size_t y = 0; y < dim; ++y) {
+      if (layout_.digit(y, r) != jx) continue;
+      cplx sum{0.0, 0.0};
+      for (std::size_t k = 0; k < d; ++k) {
+        sum += rho_(layout_.with_digit(x, r, k),
+                    layout_.with_digit(y, r, k));
+      }
+      out(x, y) += cplx(p / static_cast<double>(d), 0.0) * sum;
+    }
+  }
+  rho_ = std::move(out);
+}
+
+double DensityState::trace() const { return rho_.trace().real(); }
+
+double DensityState::fidelity_with(const StateVector& pure) const {
+  QS_REQUIRE(pure.layout().same_shape(layout_),
+             "fidelity needs identically shaped layouts");
+  const auto psi = pure.amplitudes();
+  cplx acc{0.0, 0.0};
+  for (std::size_t i = 0; i < psi.size(); ++i) {
+    if (psi[i] == cplx{0.0, 0.0}) continue;
+    for (std::size_t j = 0; j < psi.size(); ++j)
+      acc += std::conj(psi[i]) * rho_(i, j) * psi[j];
+  }
+  return acc.real();
+}
+
+}  // namespace qs

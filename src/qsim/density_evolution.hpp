@@ -1,0 +1,54 @@
+// Exact mixed-state (density matrix) evolution for small systems.
+//
+// The noisy sampler uses trajectory unravelling; this module provides the
+// ground truth it is certified against: evolve the FULL density matrix
+// exactly under unitaries and the library's noise channels. Cost is
+// O(dim²) memory / O(dim³)-ish time, so it is reserved for validation
+// instances, where it turns statistical trajectory tests into exact
+// equalities.
+#pragma once
+
+#include <functional>
+
+#include "qsim/linalg.hpp"
+#include "qsim/state_vector.hpp"
+
+namespace qs {
+
+/// Density matrix over a full RegisterLayout.
+class DensityState {
+ public:
+  /// Start in |basis_index⟩⟨basis_index|.
+  explicit DensityState(RegisterLayout layout, std::size_t basis_index = 0);
+
+  /// Start from a pure StateVector.
+  explicit DensityState(const StateVector& pure);
+
+  const RegisterLayout& layout() const noexcept { return layout_; }
+  std::size_t dim() const noexcept { return rho_.rows(); }
+  const Matrix& rho() const noexcept { return rho_; }
+
+  /// ρ ← U ρ U† where U is given as a circuit fragment acting on pure
+  /// states (applied column-by-column; the fragment must be linear, i.e.
+  /// any composition of the StateVector kernels).
+  void apply_unitary_fragment(
+      const std::function<void(StateVector&)>& fragment);
+
+  /// Exact dephasing channel on register r with strength p (Weyl-Z mix).
+  void apply_dephasing(RegisterId r, double p);
+
+  /// Exact depolarizing channel on register r with strength p (Weyl mix).
+  void apply_depolarizing(RegisterId r, double p);
+
+  /// Tr ρ (should stay 1).
+  double trace() const;
+
+  /// ⟨ψ|ρ|ψ⟩ for a pure state on the same layout.
+  double fidelity_with(const StateVector& pure) const;
+
+ private:
+  RegisterLayout layout_;
+  Matrix rho_;
+};
+
+}  // namespace qs

@@ -1,0 +1,112 @@
+#include "qsim/gates.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/require.hpp"
+
+namespace qs {
+
+Matrix qft_matrix(std::size_t d) {
+  QS_REQUIRE(d >= 1, "QFT dimension must be positive");
+  Matrix f(d, d);
+  const double inv_root = 1.0 / std::sqrt(static_cast<double>(d));
+  const double unit = 2.0 * std::numbers::pi / static_cast<double>(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    for (std::size_t k = 0; k < d; ++k) {
+      // Reduce jk mod d before the trig call to keep the angle small.
+      const double angle = unit * static_cast<double>((j * k) % d);
+      f(j, k) = inv_root * cplx(std::cos(angle), std::sin(angle));
+    }
+  }
+  return f;
+}
+
+Matrix shift_matrix(std::size_t d, std::size_t amount) {
+  QS_REQUIRE(d >= 1, "shift dimension must be positive");
+  Matrix m(d, d);
+  for (std::size_t s = 0; s < d; ++s) m((s + amount) % d, s) = 1.0;
+  return m;
+}
+
+Matrix rotation_matrix(double angle) {
+  Matrix m(2, 2);
+  m(0, 0) = std::cos(angle);
+  m(0, 1) = -std::sin(angle);
+  m(1, 0) = std::sin(angle);
+  m(1, 1) = std::cos(angle);
+  return m;
+}
+
+Matrix phase_matrix(std::size_t d, std::size_t value, double phi) {
+  QS_REQUIRE(value < d, "phase target out of range");
+  Matrix m = Matrix::identity(d);
+  m(value, value) = cplx(std::cos(phi), std::sin(phi));
+  return m;
+}
+
+std::vector<cplx> uniform_prep_householder_vector(std::size_t d) {
+  QS_REQUIRE(d >= 1, "dimension must be positive");
+  // v ∝ |0⟩ - |π⟩ normalised; then (I - 2vv†)|0⟩ = |π⟩.
+  const double u = 1.0 / std::sqrt(static_cast<double>(d));
+  std::vector<cplx> v(d, cplx{-u, 0.0});
+  v[0] += 1.0;
+  double norm_sq = 0.0;
+  for (const auto& x : v) norm_sq += std::norm(x);
+  if (norm_sq == 0.0) {
+    // d == 1: |0⟩ is already |π⟩; the zero vector makes the reflection
+    // the identity, which is what we want.
+    return v;
+  }
+  const double inv = 1.0 / std::sqrt(norm_sq);
+  for (auto& x : v) x *= inv;
+  return v;
+}
+
+Matrix householder_matrix(const std::vector<cplx>& v) {
+  const std::size_t d = v.size();
+  Matrix m = Matrix::identity(d);
+  for (std::size_t i = 0; i < d; ++i)
+    for (std::size_t j = 0; j < d; ++j)
+      m(i, j) -= 2.0 * v[i] * std::conj(v[j]);
+  return m;
+}
+
+Matrix random_unitary(std::size_t d, Rng& rng) {
+  // Fill with iid complex Gaussians, then modified Gram–Schmidt. The
+  // resulting distribution is Haar up to column phases, which is enough for
+  // all our uses (randomised unitarity/property tests).
+  Matrix a(d, d);
+  for (std::size_t i = 0; i < d; ++i)
+    for (std::size_t j = 0; j < d; ++j)
+      a(i, j) = cplx(rng.normal(), rng.normal());
+
+  for (std::size_t c = 0; c < d; ++c) {
+    for (std::size_t prev = 0; prev < c; ++prev) {
+      cplx ip{0.0, 0.0};
+      for (std::size_t r = 0; r < d; ++r)
+        ip += std::conj(a(r, prev)) * a(r, c);
+      for (std::size_t r = 0; r < d; ++r) a(r, c) -= ip * a(r, prev);
+    }
+    double nrm = 0.0;
+    for (std::size_t r = 0; r < d; ++r) nrm += std::norm(a(r, c));
+    QS_ASSERT(nrm > 0.0, "Gram-Schmidt hit a linearly dependent column");
+    const double inv = 1.0 / std::sqrt(nrm);
+    for (std::size_t r = 0; r < d; ++r) a(r, c) *= inv;
+  }
+  return a;
+}
+
+std::vector<cplx> random_state(std::size_t d, Rng& rng) {
+  std::vector<cplx> v(d);
+  double nrm = 0.0;
+  for (auto& x : v) {
+    x = cplx(rng.normal(), rng.normal());
+    nrm += std::norm(x);
+  }
+  const double inv = 1.0 / std::sqrt(nrm);
+  for (auto& x : v) x *= inv;
+  return v;
+}
+
+}  // namespace qs

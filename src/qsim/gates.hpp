@@ -1,0 +1,46 @@
+// Standard gate matrices and state-preparation helpers.
+//
+// The paper's algorithms need only a handful of concrete unitaries: the
+// Fourier-style preparation F with F|0⟩ = |π⟩ (uniform superposition), the
+// count-conditioned rotation 𝒰 (Eq. 6), modular-addition shifts (Eq. 1),
+// and phase oracles. This header provides them as dense matrices (for the
+// operator-level tests) plus the Householder realisation of F that the
+// runtime uses (O(d) per application instead of O(d²)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "qsim/linalg.hpp"
+
+namespace qs {
+
+/// d-dimensional discrete Fourier transform: F[j][k] = ω^{jk}/√d.
+/// Satisfies F|0⟩ = uniform superposition.
+Matrix qft_matrix(std::size_t d);
+
+/// Cyclic shift by `amount`: |s⟩ → |s + amount mod d⟩.
+Matrix shift_matrix(std::size_t d, std::size_t amount);
+
+/// Real rotation on a qubit: [[cos, -sin], [sin, cos]].
+Matrix rotation_matrix(double angle);
+
+/// Diagonal phase on one basis value: identity except [value][value]=e^{iφ}.
+Matrix phase_matrix(std::size_t d, std::size_t value, double phi);
+
+/// The normalised Householder vector v such that (I - 2vv†)|0⟩ = |π⟩, the
+/// d-dimensional uniform superposition. Used as the preparation operator F;
+/// the reflection is real, Hermitian and self-inverse (F = F†).
+std::vector<cplx> uniform_prep_householder_vector(std::size_t d);
+
+/// Dense matrix of the Householder reflection I - 2vv†.
+Matrix householder_matrix(const std::vector<cplx>& v);
+
+/// Haar-distributed random unitary (Gaussian matrix + Gram–Schmidt).
+Matrix random_unitary(std::size_t d, Rng& rng);
+
+/// Random normalised pure state on d dimensions.
+std::vector<cplx> random_state(std::size_t d, Rng& rng);
+
+}  // namespace qs

@@ -1,0 +1,235 @@
+#include "qsim/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/require.hpp"
+
+namespace qs {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, cplx{0.0, 0.0}) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::from_rows(std::size_t rows, std::size_t cols,
+                         std::vector<cplx> data) {
+  QS_REQUIRE(data.size() == rows * cols, "from_rows: data size mismatch");
+  Matrix m(rows, cols);
+  m.data_ = std::move(data);
+  return m;
+}
+
+cplx& Matrix::operator()(std::size_t r, std::size_t c) {
+  QS_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+const cplx& Matrix::operator()(std::size_t r, std::size_t c) const {
+  QS_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::adjoint() const {
+  Matrix m(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c)
+      m(c, r) = std::conj((*this)(r, c));
+  return m;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix m(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) m(c, r) = (*this)(r, c);
+  return m;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  QS_REQUIRE(a.cols_ == b.rows_, "matrix product shape mismatch");
+  Matrix out(a.rows_, b.cols_);
+  for (std::size_t i = 0; i < a.rows_; ++i) {
+    for (std::size_t k = 0; k < a.cols_; ++k) {
+      const cplx aik = a(i, k);
+      if (aik == cplx{0.0, 0.0}) continue;
+      for (std::size_t j = 0; j < b.cols_; ++j) out(i, j) += aik * b(k, j);
+    }
+  }
+  return out;
+}
+
+Matrix operator+(const Matrix& a, const Matrix& b) {
+  QS_REQUIRE(a.rows_ == b.rows_ && a.cols_ == b.cols_, "shape mismatch");
+  Matrix out = a;
+  for (std::size_t i = 0; i < out.data_.size(); ++i) out.data_[i] += b.data_[i];
+  return out;
+}
+
+Matrix operator-(const Matrix& a, const Matrix& b) {
+  QS_REQUIRE(a.rows_ == b.rows_ && a.cols_ == b.cols_, "shape mismatch");
+  Matrix out = a;
+  for (std::size_t i = 0; i < out.data_.size(); ++i) out.data_[i] -= b.data_[i];
+  return out;
+}
+
+Matrix& Matrix::operator*=(cplx scalar) {
+  for (auto& x : data_) x *= scalar;
+  return *this;
+}
+
+std::vector<cplx> Matrix::apply(const std::vector<cplx>& v) const {
+  QS_REQUIRE(v.size() == cols_, "matrix-vector shape mismatch");
+  std::vector<cplx> out(rows_, cplx{0.0, 0.0});
+  for (std::size_t r = 0; r < rows_; ++r) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+double Matrix::frobenius_norm() const {
+  double s = 0.0;
+  for (const auto& x : data_) s += std::norm(x);
+  return std::sqrt(s);
+}
+
+double Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
+  QS_REQUIRE(a.rows_ == b.rows_ && a.cols_ == b.cols_, "shape mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.data_.size(); ++i)
+    m = std::max(m, std::abs(a.data_[i] - b.data_[i]));
+  return m;
+}
+
+double Matrix::unitarity_defect() const {
+  QS_REQUIRE(rows_ == cols_, "unitarity defect needs a square matrix");
+  return ((*this) * adjoint() - identity(rows_)).frobenius_norm();
+}
+
+double Matrix::hermiticity_defect() const {
+  QS_REQUIRE(rows_ == cols_, "hermiticity defect needs a square matrix");
+  return 0.5 * ((*this) - adjoint()).frobenius_norm();
+}
+
+cplx Matrix::trace() const {
+  QS_REQUIRE(rows_ == cols_, "trace needs a square matrix");
+  cplx t{0.0, 0.0};
+  for (std::size_t i = 0; i < rows_; ++i) t += (*this)(i, i);
+  return t;
+}
+
+std::vector<double> hermitian_eigen(const Matrix& a, Matrix* vectors,
+                                    double tol, std::size_t max_sweeps) {
+  QS_REQUIRE(a.rows() == a.cols(), "eigensolver needs a square matrix");
+  QS_REQUIRE(a.hermiticity_defect() < 1e-9,
+             "eigensolver input must be Hermitian");
+  const std::size_t n = a.rows();
+  Matrix h = a;
+  Matrix v = Matrix::identity(n);
+
+  // Cyclic complex Jacobi: annihilate h(p,q) with a unitary 2x2 rotation.
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p)
+      for (std::size_t q = p + 1; q < n; ++q) off += std::norm(h(p, q));
+    if (std::sqrt(off) < tol) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const cplx hpq = h(p, q);
+        if (std::abs(hpq) < tol * 1e-3) continue;
+        const double app = h(p, p).real();
+        const double aqq = h(q, q).real();
+        // Diagonalise [[app, hpq], [conj(hpq), aqq]].
+        const double phase = std::arg(hpq);
+        const double habs = std::abs(hpq);
+        const double theta = 0.5 * std::atan2(2.0 * habs, app - aqq);
+        const double c = std::cos(theta);
+        const cplx s = std::sin(theta) * std::exp(cplx(0.0, phase));
+        // Columns p,q of h and v are updated as R acting on the right;
+        // rows p,q of h as R† on the left.
+        for (std::size_t i = 0; i < n; ++i) {
+          const cplx hip = h(i, p), hiq = h(i, q);
+          h(i, p) = c * hip + std::conj(s) * hiq;
+          h(i, q) = -s * hip + c * hiq;
+          const cplx vip = v(i, p), viq = v(i, q);
+          v(i, p) = c * vip + std::conj(s) * viq;
+          v(i, q) = -s * vip + c * viq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const cplx hpi = h(p, i), hqi = h(q, i);
+          h(p, i) = c * hpi + s * hqi;
+          h(q, i) = -std::conj(s) * hpi + c * hqi;
+        }
+      }
+    }
+  }
+
+  std::vector<double> eigenvalues(n);
+  for (std::size_t i = 0; i < n; ++i) eigenvalues[i] = h(i, i).real();
+
+  // Sort ascending, permuting eigenvector columns alongside.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return eigenvalues[x] < eigenvalues[y];
+  });
+  std::vector<double> sorted(n);
+  Matrix vs(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    sorted[j] = eigenvalues[order[j]];
+    for (std::size_t i = 0; i < n; ++i) vs(i, j) = v(i, order[j]);
+  }
+  if (vectors != nullptr) *vectors = std::move(vs);
+  return sorted;
+}
+
+Matrix psd_sqrt(const Matrix& a) {
+  Matrix v;
+  const auto eigenvalues = hermitian_eigen(a, &v);
+  const std::size_t n = a.rows();
+  Matrix result(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double lambda = std::max(eigenvalues[k], 0.0);
+    const double root = std::sqrt(lambda);
+    for (std::size_t i = 0; i < n; ++i) {
+      const cplx vik = v(i, k);
+      if (vik == cplx{0.0, 0.0}) continue;
+      for (std::size_t j = 0; j < n; ++j)
+        result(i, j) += root * vik * std::conj(v(j, k));
+    }
+  }
+  return result;
+}
+
+double fidelity(const Matrix& rho, const Matrix& sigma) {
+  QS_REQUIRE(rho.rows() == sigma.rows() && rho.cols() == sigma.cols(),
+             "fidelity: shape mismatch");
+  const Matrix root = psd_sqrt(rho);
+  const Matrix inner = root * sigma * root;
+  const auto eigenvalues = hermitian_eigen(inner);
+  double tr = 0.0;
+  for (double lambda : eigenvalues) tr += std::sqrt(std::max(lambda, 0.0));
+  return tr * tr;
+}
+
+Matrix kron(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows() * b.rows(), a.cols() * b.cols());
+  for (std::size_t ar = 0; ar < a.rows(); ++ar)
+    for (std::size_t ac = 0; ac < a.cols(); ++ac) {
+      const cplx f = a(ar, ac);
+      if (f == cplx{0.0, 0.0}) continue;
+      for (std::size_t br = 0; br < b.rows(); ++br)
+        for (std::size_t bc = 0; bc < b.cols(); ++bc)
+          out(ar * b.rows() + br, ac * b.cols() + bc) = f * b(br, bc);
+    }
+  return out;
+}
+
+}  // namespace qs

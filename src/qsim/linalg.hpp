@@ -1,0 +1,85 @@
+// Dense complex linear algebra for small operators.
+//
+// The simulator's hot path never materialises matrices larger than one
+// register's dimension, but the test suite verifies circuit identities at
+// the operator level (Lemmas 4.1, 4.2, 4.4) and the lower-bound experiments
+// need mixed-state fidelities, which require a Hermitian eigensolver. This
+// header provides an owning row-major matrix plus exactly those routines —
+// written from scratch so the library has no BLAS/LAPACK dependency.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace qs {
+
+using cplx = std::complex<double>;
+
+/// Owning row-major complex matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols);
+
+  static Matrix identity(std::size_t n);
+  /// Build from a row-major initializer (size must equal rows*cols).
+  static Matrix from_rows(std::size_t rows, std::size_t cols,
+                          std::vector<cplx> data);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  cplx& operator()(std::size_t r, std::size_t c);
+  const cplx& operator()(std::size_t r, std::size_t c) const;
+
+  const std::vector<cplx>& data() const noexcept { return data_; }
+  std::vector<cplx>& data() noexcept { return data_; }
+
+  Matrix adjoint() const;
+  Matrix transpose() const;
+
+  friend Matrix operator*(const Matrix& a, const Matrix& b);
+  friend Matrix operator+(const Matrix& a, const Matrix& b);
+  friend Matrix operator-(const Matrix& a, const Matrix& b);
+  Matrix& operator*=(cplx scalar);
+
+  /// Matrix-vector product; v.size() must equal cols().
+  std::vector<cplx> apply(const std::vector<cplx>& v) const;
+
+  double frobenius_norm() const;
+  /// max_ij |a_ij - b_ij|
+  static double max_abs_diff(const Matrix& a, const Matrix& b);
+
+  /// ||A A† - I||_F — 0 for a unitary.
+  double unitarity_defect() const;
+
+  /// (1/2)||A - A†||_F — 0 for a Hermitian matrix.
+  double hermiticity_defect() const;
+
+  cplx trace() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<cplx> data_;
+};
+
+/// Eigen-decomposition of a Hermitian matrix by the cyclic Jacobi method.
+/// Returns ascending eigenvalues; `vectors` (if non-null) receives the
+/// unitary whose COLUMNS are the corresponding eigenvectors.
+std::vector<double> hermitian_eigen(const Matrix& a, Matrix* vectors = nullptr,
+                                    double tol = 1e-13,
+                                    std::size_t max_sweeps = 64);
+
+/// Principal square root of a positive semidefinite Hermitian matrix.
+Matrix psd_sqrt(const Matrix& a);
+
+/// Uhlmann fidelity F(rho, sigma) = (Tr sqrt(sqrt(rho) sigma sqrt(rho)))^2
+/// for density matrices (Hermitian, PSD, unit trace).
+double fidelity(const Matrix& rho, const Matrix& sigma);
+
+/// Kronecker product a ⊗ b.
+Matrix kron(const Matrix& a, const Matrix& b);
+
+}  // namespace qs

@@ -1,0 +1,87 @@
+#include "qsim/measure.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace qs {
+
+std::size_t measure_basis_state(const StateVector& state, Rng& rng) {
+  const double u = rng.uniform01();
+  double acc = 0.0;
+  const auto amps = state.amplitudes();
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    acc += std::norm(amps[i]);
+    if (u < acc) return i;
+  }
+  // Floating point slack: return the last state with positive probability.
+  for (std::size_t i = amps.size(); i-- > 0;) {
+    if (std::norm(amps[i]) > 0.0) return i;
+  }
+  QS_REQUIRE(false, "cannot measure the zero state");
+  return 0;
+}
+
+std::size_t measure_register(const StateVector& state, RegisterId r,
+                             Rng& rng) {
+  const auto probs = state.marginal(r);
+  const double u = rng.uniform01();
+  double acc = 0.0;
+  for (std::size_t v = 0; v < probs.size(); ++v) {
+    acc += probs[v];
+    if (u < acc) return v;
+  }
+  for (std::size_t v = probs.size(); v-- > 0;) {
+    if (probs[v] > 0.0) return v;
+  }
+  QS_REQUIRE(false, "cannot measure the zero state");
+  return 0;
+}
+
+std::vector<std::uint64_t> histogram_register(const StateVector& state,
+                                              RegisterId r, Rng& rng,
+                                              std::size_t shots) {
+  // One marginal computation, then `shots` inverse-CDF draws.
+  const auto probs = state.marginal(r);
+  std::vector<double> cdf(probs.size());
+  double acc = 0.0;
+  for (std::size_t v = 0; v < probs.size(); ++v) {
+    acc += probs[v];
+    cdf[v] = acc;
+  }
+  std::vector<std::uint64_t> hist(probs.size(), 0);
+  for (std::size_t s = 0; s < shots; ++s) {
+    const double u = rng.uniform01() * acc;
+    std::size_t lo = 0, hi = cdf.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf[mid] <= u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    ++hist[lo];
+  }
+  return hist;
+}
+
+double total_variation(const std::vector<double>& p,
+                       const std::vector<double>& q) {
+  QS_REQUIRE(p.size() == q.size(), "total variation: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) s += std::abs(p[i] - q[i]);
+  return 0.5 * s;
+}
+
+std::vector<double> normalize_histogram(const std::vector<std::uint64_t>& h) {
+  std::uint64_t total = 0;
+  for (auto c : h) total += c;
+  QS_REQUIRE(total > 0, "cannot normalise an empty histogram");
+  std::vector<double> p(h.size());
+  for (std::size_t i = 0; i < h.size(); ++i)
+    p[i] = static_cast<double>(h[i]) / static_cast<double>(total);
+  return p;
+}
+
+}  // namespace qs

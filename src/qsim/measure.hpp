@@ -1,0 +1,37 @@
+// Measurement utilities.
+//
+// The sampling task is defined by what measuring the output state in the
+// computational basis yields (Section 3: measuring |ψ⟩ samples the joint
+// database). These helpers draw basis-state samples from a StateVector and
+// compare empirical histograms against target distributions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "qsim/state_vector.hpp"
+
+namespace qs {
+
+/// Sample one full basis state (flat index) from |state|².
+std::size_t measure_basis_state(const StateVector& state, Rng& rng);
+
+/// Sample the value of one register (marginal measurement).
+std::size_t measure_register(const StateVector& state, RegisterId r, Rng& rng);
+
+/// Draw `shots` marginal measurements of register r; returns a histogram of
+/// length dim(r).
+std::vector<std::uint64_t> histogram_register(const StateVector& state,
+                                              RegisterId r, Rng& rng,
+                                              std::size_t shots);
+
+/// Total variation distance (1/2)·Σ|p_i - q_i| between two distributions of
+/// equal length (each should sum to ~1).
+double total_variation(const std::vector<double>& p,
+                       const std::vector<double>& q);
+
+/// Normalise a histogram of counts into a probability vector.
+std::vector<double> normalize_histogram(const std::vector<std::uint64_t>& h);
+
+}  // namespace qs

@@ -1,0 +1,75 @@
+// Noise channels for the fault-tolerance experiments.
+//
+// The paper's motivation for distributing the database is the cost and
+// fragility of one large quantum store (Section 1). To quantify that story
+// we add standard qudit noise channels and inject them between oracle
+// rounds of the samplers (src/sampling/noisy_sampler.hpp): an algorithm
+// with fewer ROUNDS accumulates less noise, which is exactly where the
+// parallel model's Θ(√(νN/M)) round count pays off.
+//
+// Channels are simulated by TRAJECTORY UNRAVELLING: each run samples one
+// Kraus branch (a Weyl operator), and observable averages over repeated
+// runs converge to the exact channel output. For small systems the exact
+// dense-channel action is also provided so tests can certify the
+// unravelling against the mathematical definition.
+//
+// Weyl (generalised Pauli) operators on a d-dimensional register:
+//   X^a |j⟩ = |j + a mod d⟩,   Z^b |j⟩ = ω^{jb} |j⟩,  ω = e^{2πi/d}.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "qsim/linalg.hpp"
+#include "qsim/state_vector.hpp"
+
+namespace qs {
+
+/// Apply the Weyl operator X^a Z^b to one register (exact, deterministic).
+void apply_weyl(StateVector& state, RegisterId r, std::size_t a,
+                std::size_t b);
+
+/// Dephasing channel with strength p ∈ [0, 1]:
+///   Λ(ρ) = (1−p) ρ + p · (1/d) Σ_b Z^b ρ Z^{−b}
+/// (kills off-diagonals in the register's basis with probability p).
+/// Trajectory step: with probability p apply Z^b for uniform b.
+void apply_dephasing_trajectory(StateVector& state, RegisterId r, double p,
+                                Rng& rng);
+
+/// Depolarizing channel with strength p ∈ [0, 1]:
+///   Λ(ρ) = (1−p) ρ + p · (1/d²) Σ_{a,b} X^a Z^b ρ (X^a Z^b)†
+///        = (1−p) ρ + p · (I/d ⊗ Tr_r ρ).
+/// Trajectory step: with probability p apply X^a Z^b for uniform (a, b).
+void apply_depolarizing_trajectory(StateVector& state, RegisterId r, double p,
+                                   Rng& rng);
+
+/// Exact dense action of the dephasing channel on a density matrix whose
+/// dimension equals dim(r) (single-register states; for tests).
+Matrix dephasing_exact(const Matrix& rho, double p);
+
+/// Exact dense action of the depolarizing channel (single-register states).
+Matrix depolarizing_exact(const Matrix& rho, double p);
+
+/// Noise injected after every oracle interaction of a sampler run.
+struct NoiseModel {
+  double dephasing_per_round = 0.0;     ///< on the element register
+  double depolarizing_per_round = 0.0;  ///< on the flag register
+  /// Probability that one oracle application answers with the multiplicity
+  /// off by +1 (mod ν+1) — classical data corruption in a machine.
+  double oracle_fault_rate = 0.0;
+  /// Transport-noise regime: each qubit TRIP (one qubit moved one way
+  /// between coordinator and a machine, cf. distdb/communication.hpp)
+  /// dephases the element register independently with this probability;
+  /// an interaction moving q qubits dephases with 1 − (1−p)^q. Under this
+  /// regime the parallel model's advantage inverts: it moves MORE qubits
+  /// per D (2n(e+c+1)·4 trips vs 2(e+c)·2n), it just moves them in fewer
+  /// rounds. Experiment F9.
+  double dephasing_per_qubit_trip = 0.0;
+
+  bool is_noiseless() const noexcept {
+    return dephasing_per_round == 0.0 && depolarizing_per_round == 0.0 &&
+           oracle_fault_rate == 0.0 && dephasing_per_qubit_trip == 0.0;
+  }
+};
+
+}  // namespace qs

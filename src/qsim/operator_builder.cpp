@@ -1,0 +1,23 @@
+#include "qsim/operator_builder.hpp"
+
+#include "common/require.hpp"
+
+namespace qs {
+
+Matrix operator_of_circuit(
+    const RegisterLayout& layout,
+    const std::function<void(StateVector&)>& circuit) {
+  const std::size_t dim = layout.total_dim();
+  QS_REQUIRE(dim <= (1u << 16),
+             "operator extraction is meant for small layouts");
+  Matrix m(dim, dim);
+  for (std::size_t j = 0; j < dim; ++j) {
+    StateVector state(layout, j);
+    circuit(state);
+    const auto amps = state.amplitudes();
+    for (std::size_t i = 0; i < dim; ++i) m(i, j) = amps[i];
+  }
+  return m;
+}
+
+}  // namespace qs

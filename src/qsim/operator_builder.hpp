@@ -1,0 +1,23 @@
+// Extract the dense matrix of a circuit on a small layout.
+//
+// The correctness lemmas of Section 4 (4.1: D extends to a unitary; 4.2: D
+// equals the 2n-query oracle circuit; 4.4: D equals the 4-parallel-query
+// circuit) are statements about OPERATORS, not about one state. For small
+// layouts we recover the full matrix of any circuit by applying it to every
+// computational basis state, which lets the tests assert operator-level
+// identities (max-abs distance, unitarity defect) instead of spot checks.
+#pragma once
+
+#include <functional>
+
+#include "qsim/linalg.hpp"
+#include "qsim/state_vector.hpp"
+
+namespace qs {
+
+/// Apply `circuit` to each basis state of `layout` and collect the images
+/// as matrix COLUMNS: result(:, j) = circuit(|j⟩).
+Matrix operator_of_circuit(const RegisterLayout& layout,
+                           const std::function<void(StateVector&)>& circuit);
+
+}  // namespace qs

@@ -1,0 +1,77 @@
+#include "qsim/register_layout.hpp"
+
+#include <limits>
+
+#include "common/require.hpp"
+
+namespace qs {
+
+RegisterId RegisterLayout::add(std::string name, std::size_t dim) {
+  QS_REQUIRE(dim >= 1, "register dimension must be >= 1");
+  QS_REQUIRE(total_dim_ <= std::numeric_limits<std::size_t>::max() / dim,
+             "layout dimension overflow");
+  names_.push_back(std::move(name));
+  dims_.push_back(dim);
+  // Earlier registers become more significant: multiply their strides up.
+  for (auto& s : strides_) s *= dim;
+  strides_.push_back(1);
+  total_dim_ *= dim;
+  return RegisterId{dims_.size() - 1};
+}
+
+void RegisterLayout::check(RegisterId r) const {
+  QS_REQUIRE(r.value < dims_.size(), "register id out of range");
+}
+
+std::size_t RegisterLayout::dim(RegisterId r) const {
+  check(r);
+  return dims_[r.value];
+}
+
+std::size_t RegisterLayout::stride(RegisterId r) const {
+  check(r);
+  return strides_[r.value];
+}
+
+const std::string& RegisterLayout::name(RegisterId r) const {
+  check(r);
+  return names_[r.value];
+}
+
+RegisterId RegisterLayout::find(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return RegisterId{i};
+  }
+  QS_REQUIRE(false, "no register named '" + name + "'");
+  return {};  // unreachable
+}
+
+std::size_t RegisterLayout::digit(std::size_t flat_index, RegisterId r) const {
+  check(r);
+  return (flat_index / strides_[r.value]) % dims_[r.value];
+}
+
+std::size_t RegisterLayout::index_of(std::span<const std::size_t> digits) const {
+  QS_REQUIRE(digits.size() == dims_.size(),
+             "index_of needs one digit per register");
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    QS_REQUIRE(digits[i] < dims_[i], "digit out of range for register");
+    idx += digits[i] * strides_[i];
+  }
+  return idx;
+}
+
+std::size_t RegisterLayout::with_digit(std::size_t flat_index, RegisterId r,
+                                       std::size_t new_digit) const {
+  check(r);
+  QS_REQUIRE(new_digit < dims_[r.value], "digit out of range for register");
+  const std::size_t old = digit(flat_index, r);
+  return flat_index + (new_digit - old) * strides_[r.value];
+}
+
+bool RegisterLayout::same_shape(const RegisterLayout& other) const noexcept {
+  return dims_ == other.dims_;
+}
+
+}  // namespace qs

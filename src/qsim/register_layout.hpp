@@ -1,0 +1,72 @@
+// Mixed-radix quantum register layout.
+//
+// The paper's coordinator state lives on registers of unequal dimensions: an
+// N-dimensional element register, a (ν+1)-dimensional counter register, a
+// qubit flag, and (in the parallel model's full circuit, Lemma 4.4) n-fold
+// ancilla blocks. RegisterLayout maps a tuple of named qudits of arbitrary
+// dimensions onto a flat row-major amplitude array:
+//
+//   flat_index = Σ_r digit(r) * stride(r)
+//
+// with the FIRST register added being the most significant. All simulator
+// kernels address amplitudes through this class, so a circuit written for
+// the sequential model runs unchanged on a layout with extra ancillas.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace qs {
+
+/// Opaque handle for a register inside a layout (index into the layout).
+struct RegisterId {
+  std::size_t value = 0;
+  friend bool operator==(RegisterId, RegisterId) = default;
+};
+
+class RegisterLayout {
+ public:
+  RegisterLayout() = default;
+
+  /// Append a register of dimension `dim` (>= 1). Returns its handle.
+  /// Registers added earlier are more significant in the flat index.
+  RegisterId add(std::string name, std::size_t dim);
+
+  std::size_t num_registers() const noexcept { return dims_.size(); }
+
+  /// Product of all register dimensions; 1 for an empty layout.
+  std::size_t total_dim() const noexcept { return total_dim_; }
+
+  std::size_t dim(RegisterId r) const;
+  std::size_t stride(RegisterId r) const;
+  const std::string& name(RegisterId r) const;
+
+  /// Find a register by name; throws if absent.
+  RegisterId find(const std::string& name) const;
+
+  /// Extract register r's digit from a flat index.
+  std::size_t digit(std::size_t flat_index, RegisterId r) const;
+
+  /// Compose a flat index from one digit per register (ordered by addition).
+  std::size_t index_of(std::span<const std::size_t> digits) const;
+
+  /// Replace register r's digit inside a flat index.
+  std::size_t with_digit(std::size_t flat_index, RegisterId r,
+                         std::size_t new_digit) const;
+
+  /// Two layouts are compatible when dims match position-by-position
+  /// (names are documentation only).
+  bool same_shape(const RegisterLayout& other) const noexcept;
+
+ private:
+  void check(RegisterId r) const;
+
+  std::vector<std::string> names_;
+  std::vector<std::size_t> dims_;
+  std::vector<std::size_t> strides_;
+  std::size_t total_dim_ = 1;
+};
+
+}  // namespace qs

@@ -1,0 +1,266 @@
+#include "qsim/state_vector.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/require.hpp"
+#include "qsim/parallel.hpp"
+
+namespace qs {
+
+namespace {
+
+// A register of dimension d and stride s partitions [0, dim) into dim/d
+// fibers of d amplitudes spaced s apart. Fiber f has base index
+// (f / s) * d * s + (f % s); the fiber's elements are base + j*s.
+struct FiberSpec {
+  std::size_t d;         // register dimension
+  std::size_t s;         // register stride
+  std::size_t count;     // number of fibers = dim / d
+
+  std::size_t base(std::size_t fiber) const noexcept {
+    return (fiber / s) * d * s + (fiber % s);
+  }
+};
+
+FiberSpec fiber_spec(const RegisterLayout& layout, RegisterId r) {
+  FiberSpec spec{};
+  spec.d = layout.dim(r);
+  spec.s = layout.stride(r);
+  spec.count = layout.total_dim() / spec.d;
+  return spec;
+}
+
+}  // namespace
+
+StateVector::StateVector(RegisterLayout layout, std::size_t basis_index)
+    : layout_(std::move(layout)),
+      amplitudes_(layout_.total_dim(), cplx{0.0, 0.0}) {
+  QS_REQUIRE(basis_index < amplitudes_.size(),
+             "initial basis state out of range");
+  amplitudes_[basis_index] = 1.0;
+}
+
+cplx StateVector::amplitude(std::size_t flat_index) const {
+  QS_REQUIRE(flat_index < amplitudes_.size(), "amplitude index out of range");
+  return amplitudes_[flat_index];
+}
+
+void StateVector::reset(std::size_t basis_index) {
+  QS_REQUIRE(basis_index < amplitudes_.size(),
+             "initial basis state out of range");
+  std::fill(amplitudes_.begin(), amplitudes_.end(), cplx{0.0, 0.0});
+  amplitudes_[basis_index] = 1.0;
+}
+
+void StateVector::set_amplitudes(std::vector<cplx> amplitudes) {
+  QS_REQUIRE(amplitudes.size() == layout_.total_dim(),
+             "amplitude vector size must match layout dimension");
+  amplitudes_ = std::move(amplitudes);
+}
+
+double StateVector::norm() const {
+  double s = 0.0;
+  for (const auto& a : amplitudes_) s += std::norm(a);
+  return std::sqrt(s);
+}
+
+void StateVector::normalize() {
+  const double n = norm();
+  QS_REQUIRE(n > 0.0, "cannot normalise the zero vector");
+  const double inv = 1.0 / n;
+  parallel_for(amplitudes_.size(), [&](std::size_t i) {
+    amplitudes_[i] *= inv;
+  });
+}
+
+void StateVector::apply_unitary(RegisterId r, const Matrix& u) {
+  const auto spec = fiber_spec(layout_, r);
+  QS_REQUIRE(u.rows() == spec.d && u.cols() == spec.d,
+             "unitary dimension must match register dimension");
+  parallel_for_with_scratch(
+      spec.count, spec.d, [&](std::size_t f, std::span<cplx> scratch) {
+        const std::size_t base = spec.base(f);
+        for (std::size_t j = 0; j < spec.d; ++j)
+          scratch[j] = amplitudes_[base + j * spec.s];
+        for (std::size_t i = 0; i < spec.d; ++i) {
+          cplx acc{0.0, 0.0};
+          for (std::size_t j = 0; j < spec.d; ++j)
+            acc += u(i, j) * scratch[j];
+          amplitudes_[base + i * spec.s] = acc;
+        }
+      });
+}
+
+void StateVector::apply_conditioned_unitary(
+    RegisterId target,
+    const std::function<const Matrix*(std::size_t fiber_base)>& selector) {
+  const auto spec = fiber_spec(layout_, target);
+  parallel_for_with_scratch(
+      spec.count, spec.d, [&](std::size_t f, std::span<cplx> scratch) {
+        const std::size_t base = spec.base(f);
+        const Matrix* u = selector(base);
+        if (u == nullptr) return;  // identity on this fiber
+        QS_ASSERT(u->rows() == spec.d && u->cols() == spec.d,
+                  "conditioned unitary dimension mismatch");
+        for (std::size_t j = 0; j < spec.d; ++j)
+          scratch[j] = amplitudes_[base + j * spec.s];
+        for (std::size_t i = 0; i < spec.d; ++i) {
+          cplx acc{0.0, 0.0};
+          for (std::size_t j = 0; j < spec.d; ++j)
+            acc += (*u)(i, j) * scratch[j];
+          amplitudes_[base + i * spec.s] = acc;
+        }
+      });
+}
+
+void StateVector::apply_permutation(
+    const std::function<std::size_t(std::size_t)>& map) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<cplx> out(amplitudes_.size(), cplx{nan, nan});
+  parallel_for(amplitudes_.size(), [&](std::size_t x) {
+    const std::size_t y = map(x);
+    QS_ASSERT(y < out.size(), "permutation image out of range");
+    out[y] = amplitudes_[x];
+  });
+  for (const auto& a : out) {
+    QS_ASSERT(!std::isnan(a.real()), "permutation map is not a bijection");
+  }
+  amplitudes_ = std::move(out);
+}
+
+void StateVector::apply_value_shift(
+    RegisterId r, RegisterId cond,
+    std::span<const std::size_t> shift_per_cond_value) {
+  QS_REQUIRE(!(r == cond), "shift target and condition must differ");
+  QS_REQUIRE(shift_per_cond_value.size() == layout_.dim(cond),
+             "need one shift per condition value");
+  const auto spec = fiber_spec(layout_, r);
+  parallel_for_with_scratch(
+      spec.count, spec.d, [&](std::size_t f, std::span<cplx> scratch) {
+        const std::size_t base = spec.base(f);
+        const std::size_t c = layout_.digit(base, cond);
+        const std::size_t shift = shift_per_cond_value[c] % spec.d;
+        if (shift == 0) return;
+        for (std::size_t j = 0; j < spec.d; ++j)
+          scratch[j] = amplitudes_[base + j * spec.s];
+        for (std::size_t j = 0; j < spec.d; ++j) {
+          const std::size_t jj = j + shift < spec.d ? j + shift
+                                                    : j + shift - spec.d;
+          amplitudes_[base + jj * spec.s] = scratch[j];
+        }
+      });
+}
+
+void StateVector::apply_controlled_value_shift(
+    RegisterId r, RegisterId cond, RegisterId flag,
+    std::span<const std::size_t> shift_per_cond_value) {
+  QS_REQUIRE(!(r == cond) && !(r == flag) && !(cond == flag),
+             "shift target, condition and flag must be distinct registers");
+  QS_REQUIRE(layout_.dim(flag) == 2, "control flag must be a qubit");
+  QS_REQUIRE(shift_per_cond_value.size() == layout_.dim(cond),
+             "need one shift per condition value");
+  const auto spec = fiber_spec(layout_, r);
+  parallel_for_with_scratch(
+      spec.count, spec.d, [&](std::size_t f, std::span<cplx> scratch) {
+        const std::size_t base = spec.base(f);
+        if (layout_.digit(base, flag) != 1) return;
+        const std::size_t c = layout_.digit(base, cond);
+        const std::size_t shift = shift_per_cond_value[c] % spec.d;
+        if (shift == 0) return;
+        for (std::size_t j = 0; j < spec.d; ++j)
+          scratch[j] = amplitudes_[base + j * spec.s];
+        for (std::size_t j = 0; j < spec.d; ++j) {
+          const std::size_t jj = j + shift < spec.d ? j + shift
+                                                    : j + shift - spec.d;
+          amplitudes_[base + jj * spec.s] = scratch[j];
+        }
+      });
+}
+
+void StateVector::apply_diagonal(
+    const std::function<cplx(std::size_t)>& phase) {
+  parallel_for(amplitudes_.size(), [&](std::size_t x) {
+    amplitudes_[x] *= phase(x);
+  });
+}
+
+void StateVector::apply_phase_on_basis_state(std::size_t flat_index,
+                                             cplx phase) {
+  QS_REQUIRE(flat_index < amplitudes_.size(), "basis state out of range");
+  amplitudes_[flat_index] *= phase;
+}
+
+void StateVector::apply_phase_on_register_value(RegisterId r,
+                                                std::size_t value,
+                                                cplx phase) {
+  QS_REQUIRE(value < layout_.dim(r), "register value out of range");
+  const std::size_t s = layout_.stride(r);
+  const std::size_t d = layout_.dim(r);
+  parallel_for(amplitudes_.size() / d, [&](std::size_t f) {
+    const std::size_t base = (f / s) * d * s + (f % s);
+    amplitudes_[base + value * s] *= phase;
+  });
+}
+
+void StateVector::apply_householder(RegisterId r, std::span<const cplx> v) {
+  const auto spec = fiber_spec(layout_, r);
+  QS_REQUIRE(v.size() == spec.d,
+             "Householder vector must match register dimension");
+  parallel_for(spec.count, [&](std::size_t f) {
+    const std::size_t base = spec.base(f);
+    cplx ip{0.0, 0.0};
+    for (std::size_t j = 0; j < spec.d; ++j)
+      ip += std::conj(v[j]) * amplitudes_[base + j * spec.s];
+    if (ip == cplx{0.0, 0.0}) return;
+    const cplx twice = 2.0 * ip;
+    for (std::size_t j = 0; j < spec.d; ++j)
+      amplitudes_[base + j * spec.s] -= twice * v[j];
+  });
+}
+
+void StateVector::apply_global_phase(cplx phase) {
+  parallel_for(amplitudes_.size(), [&](std::size_t x) {
+    amplitudes_[x] *= phase;
+  });
+}
+
+cplx StateVector::inner_product(const StateVector& other) const {
+  QS_REQUIRE(layout_.same_shape(other.layout_),
+             "inner product needs identically shaped layouts");
+  cplx acc{0.0, 0.0};
+  for (std::size_t i = 0; i < amplitudes_.size(); ++i)
+    acc += std::conj(amplitudes_[i]) * other.amplitudes_[i];
+  return acc;
+}
+
+double StateVector::distance_squared(const StateVector& other) const {
+  QS_REQUIRE(layout_.same_shape(other.layout_),
+             "distance needs identically shaped layouts");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < amplitudes_.size(); ++i)
+    acc += std::norm(amplitudes_[i] - other.amplitudes_[i]);
+  return acc;
+}
+
+std::vector<double> StateVector::marginal(RegisterId r) const {
+  const auto spec = fiber_spec(layout_, r);
+  std::vector<double> probs(spec.d, 0.0);
+  for (std::size_t f = 0; f < spec.count; ++f) {
+    const std::size_t base = spec.base(f);
+    for (std::size_t j = 0; j < spec.d; ++j)
+      probs[j] += std::norm(amplitudes_[base + j * spec.s]);
+  }
+  return probs;
+}
+
+double StateVector::probability_of(RegisterId r, std::size_t value) const {
+  QS_REQUIRE(value < layout_.dim(r), "register value out of range");
+  return marginal(r)[value];
+}
+
+double pure_fidelity(const StateVector& a, const StateVector& b) {
+  return std::norm(a.inner_product(b));
+}
+
+}  // namespace qs

@@ -1,0 +1,127 @@
+// Dense mixed-radix statevector.
+//
+// A StateVector owns one complex amplitude per basis state of its
+// RegisterLayout. All circuit operations used by the paper's algorithms are
+// expressed through a small set of kernels:
+//
+//   * apply_unitary           — dense d×d unitary on one register;
+//   * apply_conditioned_unitary — a d×d unitary on a target register whose
+//       matrix depends on the value of the rest of the state (used for the
+//       count-controlled rotation 𝒰 of Eq. (6));
+//   * apply_permutation       — basis-state relabelling (the counting
+//       oracles O_j of Eq. (1) are value shifts of the counter register);
+//   * apply_diagonal          — phase oracles (S_χ, S_0 of Theorem 4.3);
+//   * apply_householder       — the rank-1-update reflection used as the
+//       state-preparation operator F with F|0⟩ = |π⟩.
+//
+// Kernels touching every amplitude are OpenMP-parallel when the library is
+// built with OpenMP (DQS_HAVE_OPENMP).
+#pragma once
+
+#include <complex>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "qsim/linalg.hpp"
+#include "qsim/register_layout.hpp"
+
+namespace qs {
+
+class StateVector {
+ public:
+  /// Trivial one-amplitude state over the empty layout (placeholder for
+  /// result structs that are filled in later).
+  StateVector() : StateVector(RegisterLayout{}) {}
+
+  /// Initialise to the computational basis state |basis_index⟩.
+  explicit StateVector(RegisterLayout layout, std::size_t basis_index = 0);
+
+  const RegisterLayout& layout() const noexcept { return layout_; }
+  std::size_t dim() const noexcept { return amplitudes_.size(); }
+
+  cplx amplitude(std::size_t flat_index) const;
+  std::span<const cplx> amplitudes() const noexcept { return amplitudes_; }
+  std::span<cplx> mutable_amplitudes() noexcept { return amplitudes_; }
+
+  /// Reset to |basis_index⟩.
+  void reset(std::size_t basis_index = 0);
+
+  /// Set raw amplitudes (size must match); does not renormalise.
+  void set_amplitudes(std::vector<cplx> amplitudes);
+
+  double norm() const;
+  /// Rescale to unit norm; requires norm() > 0.
+  void normalize();
+
+  // --- Kernels -------------------------------------------------------------
+
+  /// Apply a dense dim(r) x dim(r) unitary matrix to register r.
+  void apply_unitary(RegisterId r, const Matrix& u);
+
+  /// Apply to register `target` a matrix chosen per basis state by
+  /// `selector`, which receives the flat index with target digit zeroed and
+  /// must return a pointer to a dim(target)^2 row-major matrix. The selector
+  /// must not depend on the target digit (it is called once per fiber).
+  void apply_conditioned_unitary(
+      RegisterId target,
+      const std::function<const Matrix*(std::size_t fiber_base)>& selector);
+
+  /// Relabel basis states: new|map(x)⟩ = old|x⟩. `map` must be a bijection
+  /// on [0, dim). Costs one auxiliary buffer.
+  void apply_permutation(const std::function<std::size_t(std::size_t)>& map);
+
+  /// Cyclic shift of register r's value conditioned on another register:
+  /// |c⟩_cond |s⟩_r → |c⟩_cond |(s + shift(c)) mod dim(r)⟩_r.
+  /// This is exactly the oracle shape of Eq. (1). In-place, no buffer.
+  void apply_value_shift(RegisterId r, RegisterId cond,
+                         std::span<const std::size_t> shift_per_cond_value);
+
+  /// As above but additionally controlled on `flag` being 1 (Ô_j form,
+  /// Section 5). flag must be a dimension-2 register.
+  void apply_controlled_value_shift(
+      RegisterId r, RegisterId cond, RegisterId flag,
+      std::span<const std::size_t> shift_per_cond_value);
+
+  /// Multiply amplitude of each basis state x by phase(x).
+  void apply_diagonal(const std::function<cplx(std::size_t)>& phase);
+
+  /// Multiply the single basis state |flat_index⟩ by a phase factor.
+  void apply_phase_on_basis_state(std::size_t flat_index, cplx phase);
+
+  /// Multiply all basis states whose register r digit equals `value` by
+  /// `phase` (the S_χ shape).
+  void apply_phase_on_register_value(RegisterId r, std::size_t value,
+                                     cplx phase);
+
+  /// Apply I - 2|v⟩⟨v| on register r, where v is a dim(r) vector.
+  /// O(dim) total work regardless of dim(r).
+  void apply_householder(RegisterId r, std::span<const cplx> v);
+
+  /// Multiply the whole state by a global phase factor.
+  void apply_global_phase(cplx phase);
+
+  // --- Observables ---------------------------------------------------------
+
+  /// ⟨this|other⟩.
+  cplx inner_product(const StateVector& other) const;
+
+  /// || |this⟩ - |other⟩ ||^2 — the quantity inside the paper's potential
+  /// function D_t (Eq. 11).
+  double distance_squared(const StateVector& other) const;
+
+  /// Marginal probability distribution of register r.
+  std::vector<double> marginal(RegisterId r) const;
+
+  /// Probability that register r holds `value`.
+  double probability_of(RegisterId r, std::size_t value) const;
+
+ private:
+  RegisterLayout layout_;
+  std::vector<cplx> amplitudes_;
+};
+
+/// |⟨a|b⟩|² for pure states on identically-shaped layouts.
+double pure_fidelity(const StateVector& a, const StateVector& b);
+
+}  // namespace qs

@@ -1,0 +1,123 @@
+#include "sampling/amplitude_amplification.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <tuple>
+#include <utility>
+
+#include "common/require.hpp"
+
+namespace qs {
+
+namespace {
+
+using cplx = std::complex<double>;
+
+cplx expi(double x) { return {std::cos(x), std::sin(x)}; }
+
+}  // namespace
+
+std::pair<cplx, cplx> q_step_two_level(cplx good, cplx bad, double theta,
+                                       double varphi, double phi) {
+  // Q = −A S_0(ϕ) A† S_χ(φ) restricted to span{good, bad}:
+  //   A S_0(ϕ) A† = I + (e^{iϕ}−1)|Ψ⟩⟨Ψ|,  |Ψ⟩ = sinθ|g⟩ + cosθ|b⟩,
+  //   S_χ(φ)      = e^{iφ} on |g⟩, identity on |b⟩.
+  const double s = std::sin(theta);
+  const double c = std::cos(theta);
+  const cplx eph = expi(phi);
+  const cplx evr = expi(varphi);
+  const cplx k = eph - 1.0;
+  const cplx q_gg = -evr * (1.0 + k * s * s);
+  const cplx q_gb = -(k * s * c);
+  const cplx q_bg = -evr * (k * s * c);
+  const cplx q_bb = -(1.0 + k * c * c);
+  return {q_gg * good + q_gb * bad, q_bg * good + q_bb * bad};
+}
+
+std::pair<cplx, cplx> evolve_two_level(const AAPlan& plan) {
+  const double s = std::sin(plan.theta);
+  const double c = std::cos(plan.theta);
+  cplx good = s, bad = c;
+  if (plan.already_exact) return {good, bad};
+  constexpr double kPi = std::numbers::pi;
+  for (std::size_t i = 0; i < plan.full_iterations; ++i) {
+    std::tie(good, bad) = q_step_two_level(good, bad, plan.theta, kPi, kPi);
+  }
+  if (plan.needs_final) {
+    std::tie(good, bad) = q_step_two_level(good, bad, plan.theta,
+                                           plan.final_varphi, plan.final_phi);
+  }
+  return {good, bad};
+}
+
+std::size_t plain_iteration_count(double a) {
+  QS_REQUIRE(a > 0.0 && a <= 1.0, "good probability must be in (0, 1]");
+  const double theta = std::asin(std::sqrt(a));
+  return static_cast<std::size_t>(std::floor(std::numbers::pi / (4 * theta)));
+}
+
+AAPlan plan_zero_error(double a) {
+  QS_REQUIRE(a > 0.0 && a <= 1.0 + 1e-12,
+             "good probability must be in (0, 1]");
+  a = std::min(a, 1.0);
+
+  AAPlan plan;
+  plan.a = a;
+  plan.theta = std::asin(std::sqrt(a));
+
+  if (a >= 1.0 - 1e-15) {
+    plan.already_exact = true;
+    return plan;
+  }
+
+  constexpr double kPi = std::numbers::pi;
+  const double theta = plan.theta;
+  const double m_tilde = kPi / (4.0 * theta) - 0.5;
+  plan.full_iterations = static_cast<std::size_t>(std::floor(m_tilde));
+  const double reached =
+      (2.0 * static_cast<double>(plan.full_iterations) + 1.0) * theta;
+
+  // c = cot((2⌊m̃⌋+1)θ); zero means the π/(4θ)−1/2 count was integral and
+  // the state already landed exactly on |good⟩.
+  const double cot_reached = std::cos(reached) / std::sin(reached);
+  if (std::abs(cot_reached) < 1e-12) {
+    plan.needs_final = false;
+    return plan;
+  }
+  plan.needs_final = true;
+
+  // Solve cot(reached) = e^{iφ} sin2θ (−cos2θ + i cot(ϕ/2))^{-1} for
+  // (φ, ϕ). Writing z = −cos2θ + i·cot(ϕ/2), the equation says
+  // z = (sin2θ / c) e^{iφ}: the modulus fixes |cot(ϕ/2)| and the phase of z
+  // fixes φ. Guaranteed solvable because c ≤ tan 2θ (paper, Section 4.1).
+  const double sin2t = std::sin(2.0 * theta);
+  const double cos2t = std::cos(2.0 * theta);
+  const double c = cot_reached;
+  const double disc = sin2t * sin2t / (c * c) - cos2t * cos2t;
+  QS_ASSERT(disc >= -1e-12,
+            "zero-error AA: c > tan(2θ); iteration count is inconsistent");
+  const double cot_half_phi = std::sqrt(std::max(disc, 0.0));
+
+  // Two sign choices for cot(ϕ/2); verify with the exact reduced dynamics
+  // and keep the one that annihilates the bad amplitude.
+  double best_residual = 2.0;
+  for (const double sign : {+1.0, -1.0}) {
+    const double chp = sign * cot_half_phi;
+    AAPlan candidate = plan;
+    candidate.final_phi = 2.0 * std::atan2(1.0, chp);  // ϕ ∈ (0, 2π)
+    candidate.final_varphi = std::atan2(chp, -cos2t);  // φ = arg z
+    const auto [good, bad] = evolve_two_level(candidate);
+    const double residual = std::abs(bad);
+    if (residual < best_residual) {
+      best_residual = residual;
+      plan = candidate;
+    }
+    (void)good;
+  }
+  QS_ASSERT(best_residual < 1e-9,
+            "zero-error AA plan failed verification; residual bad amplitude "
+            "too large");
+  return plan;
+}
+
+}  // namespace qs

@@ -1,0 +1,69 @@
+// Zero-error amplitude amplification (Brassard–Høyer–Mosca–Tapp, Theorem 4),
+// as used by Theorems 4.3 and 4.5 of the paper.
+//
+// Setting: a preparation operator A with A|0⟩ = sinθ|good⟩ + cosθ|bad⟩ and a
+// KNOWN good amplitude sinθ = √a (here a = M/(νN), Eq. 7). The generalised
+// Grover iterate
+//
+//   Q(φ, ϕ) = −A S_0(ϕ) A† S_χ(φ)
+//
+// rotates within span{good, bad}. Applying Q(π, π) exactly ⌊m̃⌋ times with
+// m̃ = π/(4θ) − 1/2 brings the good amplitude to sin((2⌊m̃⌋+1)θ) ∈
+// [cos 2θ, 1]; one final Q(φ, ϕ) with angles solving the paper's equation
+//
+//   cot((2⌊m̃⌋+1)θ) = e^{iφ} sin(2θ) (−cos(2θ) + i·cot(ϕ/2))^{−1}
+//
+// lands on |good⟩ EXACTLY (up to global phase). plan_zero_error() solves
+// that equation in closed form and then verifies the plan by evolving the
+// exact 2×2 reduced dynamics, so a planning bug can never silently degrade
+// the sampler's zero-error guarantee.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+
+namespace qs {
+
+struct AAPlan {
+  double a = 0.0;       ///< known good probability, a = sin²θ
+  double theta = 0.0;   ///< θ = arcsin √a
+  /// Number of Q(π, π) iterations (⌊m̃⌋).
+  std::size_t full_iterations = 0;
+  /// Whether the final corrected iterate Q(final_varphi, final_phi) runs.
+  bool needs_final = false;
+  double final_varphi = 0.0;  ///< φ — phase of S_χ in the last iterate
+  double final_phi = 0.0;     ///< ϕ — phase of S_0 in the last iterate
+  /// True when A|0⟩ is already |good⟩ (a == 1): no iterations at all.
+  bool already_exact = false;
+
+  /// Total applications of A or A† (1 for the preparation + 2 per iterate);
+  /// each is one application of the distributing operator D.
+  std::size_t d_applications() const {
+    if (already_exact) return 1;
+    return 1 + 2 * (full_iterations + (needs_final ? 1u : 0u));
+  }
+};
+
+/// Build and verify the zero-error plan for good probability a ∈ (0, 1].
+/// Throws if a is outside (0, 1] or if the verified residual bad amplitude
+/// exceeds 1e-9 (which would indicate a planner bug, not an input problem).
+AAPlan plan_zero_error(double a);
+
+/// Exact reduced 2×2 dynamics: starting from (sinθ, cosθ), apply
+/// `plan.full_iterations` Q(π,π) iterates and, if planned, the final
+/// corrected iterate. Returns the final (good, bad) amplitude pair.
+/// Exposed for tests and for the F4 trajectory bench.
+std::pair<std::complex<double>, std::complex<double>> evolve_two_level(
+    const AAPlan& plan);
+
+/// One Q(φ,ϕ) step of the reduced dynamics from an arbitrary (good, bad).
+std::pair<std::complex<double>, std::complex<double>> q_step_two_level(
+    std::complex<double> good, std::complex<double> bad, double theta,
+    double varphi, double phi);
+
+/// The plain (not zero-error) iteration count ⌊π/(4θ)⌋ used by textbook
+/// amplitude amplification; success probability sin²((2m+1)θ) < 1 in
+/// general. Used by the F4 bench to contrast with the zero-error variant.
+std::size_t plain_iteration_count(double a);
+
+}  // namespace qs

@@ -1,0 +1,113 @@
+#include "sampling/backend.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "qsim/gates.hpp"
+
+namespace qs {
+
+CoordinatorLayout make_coordinator_layout(std::size_t universe,
+                                          std::uint64_t nu) {
+  QS_REQUIRE(universe >= 1, "universe must be non-empty");
+  QS_REQUIRE(nu >= 1, "capacity ν must be at least 1");
+  CoordinatorLayout regs;
+  regs.elem = regs.layout.add("elem", universe);
+  regs.count = regs.layout.add("count", static_cast<std::size_t>(nu) + 1);
+  regs.flag = regs.layout.add("flag", 2);
+  return regs;
+}
+
+std::vector<Matrix> make_u_rotations(std::uint64_t nu, bool adjoint) {
+  // R_c is the real rotation with cos γ_c = √(c/ν); Eq. (6) fixes its
+  // action on |0⟩ and the unitary completion on |1⟩ is the standard one.
+  std::vector<Matrix> rotations;
+  rotations.reserve(static_cast<std::size_t>(nu) + 1);
+  for (std::uint64_t c = 0; c <= nu; ++c) {
+    const double cos_g = std::sqrt(static_cast<double>(c) /
+                                   static_cast<double>(nu));
+    const double gamma = std::acos(std::min(cos_g, 1.0));
+    rotations.push_back(rotation_matrix(adjoint ? -gamma : gamma));
+  }
+  return rotations;
+}
+
+SingleStateBackend::SingleStateBackend(const DistributedDatabase& db,
+                                       StatePrep prep, Transcript* transcript,
+                                       OracleObserver observer)
+    : db_(db),
+      prep_(prep),
+      transcript_(transcript),
+      observer_(std::move(observer)),
+      regs_(make_coordinator_layout(db.universe(), db.nu())),
+      state_(regs_.layout),
+      householder_v_(uniform_prep_householder_vector(db.universe())),
+      u_rotations_(make_u_rotations(db.nu(), /*adjoint=*/false)),
+      u_rotations_adjoint_(make_u_rotations(db.nu(), /*adjoint=*/true)) {
+  if (prep_ == StatePrep::kQft) qft_ = qft_matrix(db.universe());
+}
+
+std::size_t SingleStateBackend::num_machines() const {
+  return db_.num_machines();
+}
+
+void SingleStateBackend::prep_uniform(bool adjoint) {
+  if (prep_ == StatePrep::kHouseholder) {
+    // The Householder reflection is self-adjoint; F = F†.
+    state_.apply_householder(regs_.elem, householder_v_);
+  } else {
+    state_.apply_unitary(regs_.elem, adjoint ? qft_.adjoint() : qft_);
+  }
+}
+
+void SingleStateBackend::phase_good(double phi) {
+  state_.apply_phase_on_register_value(regs_.flag, 0,
+                                       cplx{std::cos(phi), std::sin(phi)});
+}
+
+void SingleStateBackend::phase_initial(double phi) {
+  state_.apply_phase_on_basis_state(0, cplx{std::cos(phi), std::sin(phi)});
+}
+
+void SingleStateBackend::rotation_u(bool adjoint) {
+  const auto& rotations = adjoint ? u_rotations_adjoint_ : u_rotations_;
+  const auto& layout = state_.layout();
+  const auto count = regs_.count;
+  state_.apply_conditioned_unitary(
+      regs_.flag, [&](std::size_t fiber_base) -> const Matrix* {
+        return &rotations[layout.digit(fiber_base, count)];
+      });
+}
+
+void SingleStateBackend::oracle(std::size_t j, bool adjoint) {
+  db_.machine(j).apply_oracle(state_, regs_.elem, regs_.count, adjoint);
+  if (transcript_ != nullptr) transcript_->record_sequential(j, adjoint);
+  if (observer_) observer_(j, adjoint);
+}
+
+void SingleStateBackend::parallel_total_shift(bool adjoint) {
+  // Net effect of Lemma 4.4's first (adjoint: third) step. The counter
+  // register has dimension ν+1 ≥ c_i + 1, so the modular addition below is
+  // the exact composite of the two parallel oracle rounds.
+  const std::size_t modulus = state_.layout().dim(regs_.count);
+  const auto joint = db_.joint_counts();
+  std::vector<std::size_t> shifts(joint.size());
+  for (std::size_t i = 0; i < joint.size(); ++i) {
+    const std::size_t c = static_cast<std::size_t>(joint[i]) % modulus;
+    shifts[i] = adjoint ? (modulus - c) % modulus : c;
+  }
+  state_.apply_value_shift(regs_.count, regs_.elem, shifts);
+  // Lemma 4.4: each direction costs one O and one O† round.
+  for (const bool round_adjoint : {false, true}) {
+    db_.count_parallel_round();
+    if (transcript_ != nullptr)
+      transcript_->record_parallel_round(round_adjoint);
+    if (observer_) observer_(std::nullopt, round_adjoint);
+  }
+}
+
+void SingleStateBackend::global_phase(double angle) {
+  state_.apply_global_phase(cplx{std::cos(angle), std::sin(angle)});
+}
+
+}  // namespace qs

@@ -1,0 +1,120 @@
+// Execution backends for the sampling circuit.
+//
+// The coordinator's algorithm (Section 4) is a fixed, data-independent
+// sequence of operations — that is what makes it oblivious. We express the
+// circuit once, in run_sampling_circuit(), against this small interface;
+// backends decide what an operation is applied TO:
+//
+//   * SingleStateBackend — one StateVector over [elem, count, flag]
+//     (the production sampler);
+//   * LockstepBackend (src/lowerbound) — two StateVectors evolved under the
+//     same schedule, one seeing the true database and one seeing machine k
+//     emptied, recording the potential D_t after every oracle call exactly
+//     as Eq. (9)–(11) prescribe.
+//
+// The interface deliberately exposes ONLY operations the paper allows the
+// coordinator: input-independent unitaries plus the machines' oracles.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "distdb/distributed_database.hpp"
+#include "distdb/transcript.hpp"
+#include "qsim/state_vector.hpp"
+
+namespace qs {
+
+/// Which unitary realises F (the |0⟩ → |π⟩ preparation). Both satisfy
+/// F|0⟩ = |π⟩; Householder costs O(dim) per application, dense QFT costs
+/// O(N·dim) and is kept for cross-validation.
+enum class StatePrep : std::uint8_t { kHouseholder, kQft };
+
+/// Called after every oracle application. `machine` holds the machine index
+/// for sequential queries and is empty for a parallel round.
+using OracleObserver =
+    std::function<void(std::optional<std::size_t> machine, bool adjoint)>;
+
+class SamplingBackend {
+ public:
+  virtual ~SamplingBackend() = default;
+
+  virtual std::size_t num_machines() const = 0;
+
+  /// F (or F†) on the element register.
+  virtual void prep_uniform(bool adjoint) = 0;
+
+  /// S_χ(φ): multiply every flag = 0 ("good") component by e^{iφ}.
+  virtual void phase_good(double phi) = 0;
+
+  /// S_0(ϕ): multiply the all-zero basis state by e^{iϕ}.
+  virtual void phase_initial(double phi) = 0;
+
+  /// The input-independent rotation 𝒰 of Eq. (6) (or its adjoint).
+  virtual void rotation_u(bool adjoint) = 0;
+
+  /// Sequential oracle O_j / O_j† (Eq. 1). Costs one query to machine j.
+  virtual void oracle(std::size_t j, bool adjoint) = 0;
+
+  /// The net effect of the first (or, adjoint, third) step of Lemma 4.4:
+  /// |i, s⟩ → |i, s ± c_i mod (ν+1)⟩ realised with the parallel oracle O.
+  /// Costs exactly TWO parallel rounds (one O and one O†), as in the
+  /// lemma's five-line derivation.
+  virtual void parallel_total_shift(bool adjoint) = 0;
+
+  /// Global phase (the leading minus sign of Q).
+  virtual void global_phase(double angle) = 0;
+};
+
+/// Standard coordinator layout: element (dim N), counter (dim ν+1),
+/// flag (dim 2) — the three registers of Section 3.
+struct CoordinatorLayout {
+  RegisterLayout layout;
+  RegisterId elem;
+  RegisterId count;
+  RegisterId flag;
+};
+
+CoordinatorLayout make_coordinator_layout(std::size_t universe,
+                                          std::uint64_t nu);
+
+/// Production backend: applies every operation to one StateVector over the
+/// database `db`. Does not own the database; `db` must outlive the backend.
+class SingleStateBackend final : public SamplingBackend {
+ public:
+  SingleStateBackend(const DistributedDatabase& db, StatePrep prep,
+                     Transcript* transcript = nullptr,
+                     OracleObserver observer = {});
+
+  std::size_t num_machines() const override;
+  void prep_uniform(bool adjoint) override;
+  void phase_good(double phi) override;
+  void phase_initial(double phi) override;
+  void rotation_u(bool adjoint) override;
+  void oracle(std::size_t j, bool adjoint) override;
+  void parallel_total_shift(bool adjoint) override;
+  void global_phase(double angle) override;
+
+  const StateVector& state() const noexcept { return state_; }
+  StateVector& state() noexcept { return state_; }
+  const CoordinatorLayout& registers() const noexcept { return regs_; }
+
+ private:
+  const DistributedDatabase& db_;
+  StatePrep prep_;
+  Transcript* transcript_;
+  OracleObserver observer_;
+  CoordinatorLayout regs_;
+  StateVector state_;
+  std::vector<cplx> householder_v_;
+  Matrix qft_;
+  std::vector<Matrix> u_rotations_;         // 𝒰: one 2×2 per counter value
+  std::vector<Matrix> u_rotations_adjoint_;
+};
+
+/// Precompute the 2×2 rotations of 𝒰 (Eq. 6) for counter values 0..ν:
+/// R_c |0⟩ = √(c/ν)|0⟩ + √((ν−c)/ν)|1⟩, completed unitarily on |1⟩.
+std::vector<Matrix> make_u_rotations(std::uint64_t nu, bool adjoint);
+
+}  // namespace qs

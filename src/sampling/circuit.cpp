@@ -1,0 +1,55 @@
+#include "sampling/circuit.hpp"
+
+#include <numbers>
+
+namespace qs {
+
+void apply_distributing_operator(SamplingBackend& backend, QueryMode mode,
+                                 bool adjoint) {
+  if (mode == QueryMode::kSequential) {
+    const std::size_t n = backend.num_machines();
+    for (std::size_t j = 0; j < n; ++j) backend.oracle(j, /*adjoint=*/false);
+    backend.rotation_u(adjoint);
+    for (std::size_t j = n; j-- > 0;) backend.oracle(j, /*adjoint=*/true);
+  } else {
+    backend.parallel_total_shift(/*adjoint=*/false);
+    backend.rotation_u(adjoint);
+    backend.parallel_total_shift(/*adjoint=*/true);
+  }
+}
+
+void apply_q_iterate(SamplingBackend& backend, QueryMode mode, double varphi,
+                     double phi) {
+  // Q(φ,ϕ) = −A S_0(ϕ) A† S_χ(φ) with A = D (F ⊗ I); rightmost factor
+  // first.
+  backend.phase_good(varphi);                         // S_χ(φ)
+  apply_distributing_operator(backend, mode, true);   // D†
+  backend.prep_uniform(/*adjoint=*/true);             // F†
+  backend.phase_initial(phi);                         // S_0(ϕ)
+  backend.prep_uniform(/*adjoint=*/false);            // F
+  apply_distributing_operator(backend, mode, false);  // D
+  backend.global_phase(std::numbers::pi);             // leading −1
+}
+
+void run_sampling_circuit(
+    SamplingBackend& backend, QueryMode mode, const AAPlan& plan,
+    const std::function<void(std::size_t iteration)>& after_iteration) {
+  constexpr double kPi = std::numbers::pi;
+
+  // A|0⟩ = D |π, 0, 0⟩  (Eq. 7).
+  backend.prep_uniform(/*adjoint=*/false);
+  apply_distributing_operator(backend, mode, /*adjoint=*/false);
+  if (after_iteration) after_iteration(0);
+  if (plan.already_exact) return;
+
+  for (std::size_t i = 0; i < plan.full_iterations; ++i) {
+    apply_q_iterate(backend, mode, kPi, kPi);
+    if (after_iteration) after_iteration(i + 1);
+  }
+  if (plan.needs_final) {
+    apply_q_iterate(backend, mode, plan.final_varphi, plan.final_phi);
+    if (after_iteration) after_iteration(plan.full_iterations + 1);
+  }
+}
+
+}  // namespace qs

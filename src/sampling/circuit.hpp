@@ -1,0 +1,45 @@
+// The sampling circuit of Section 4, expressed once for both query models.
+//
+// Structure (Theorems 4.3 / 4.5): with A = D(F ⊗ I),
+//
+//   |final⟩ = Q(φ,ϕ) Q(π,π)^⌊m̃⌋ A |0⟩,
+//   Q(φ,ϕ) = −A S_0(ϕ) A† S_χ(φ),
+//
+// where D is the distributing operator (Eq. 5) realised through oracle
+// queries: sequentially via Lemma 4.2 (O_1…O_n, 𝒰, O_n†…O_1† — 2n queries)
+// or in parallel via Lemma 4.4 (4 parallel rounds). The backend supplies
+// the primitive operations; this file fixes their order — i.e. the
+// oblivious schedule.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sampling/amplitude_amplification.hpp"
+#include "sampling/backend.hpp"
+
+namespace qs {
+
+enum class QueryMode : std::uint8_t { kSequential, kParallel };
+
+/// Apply D (adjoint = false) or D† (adjoint = true) through oracle queries.
+///
+/// Both directions decompose as  D  = C† 𝒰  C  and  D† = C† 𝒰† C  where C
+/// adds the multiplicities into the counter and C† removes them — so the
+/// query schedule is identical for D and D† (obliviousness) and each
+/// application costs 2n sequential queries or 4 parallel rounds.
+void apply_distributing_operator(SamplingBackend& backend, QueryMode mode,
+                                 bool adjoint);
+
+/// One generalised Grover iterate Q(φ, ϕ) = −A S_0(ϕ) A† S_χ(φ).
+void apply_q_iterate(SamplingBackend& backend, QueryMode mode, double varphi,
+                     double phi);
+
+/// Run the full zero-error sampling circuit. `after_iteration`, if given,
+/// is invoked after the initial preparation (with index 0) and after each
+/// Q iterate (with index 1, 2, ...) — used to record fidelity trajectories.
+void run_sampling_circuit(
+    SamplingBackend& backend, QueryMode mode, const AAPlan& plan,
+    const std::function<void(std::size_t iteration)>& after_iteration = {});
+
+}  // namespace qs

@@ -1,0 +1,57 @@
+#include "sampling/classical.hpp"
+
+#include "common/require.hpp"
+
+namespace qs {
+
+ClassicalScanResult classical_full_scan(const DistributedDatabase& db) {
+  ClassicalScanResult result;
+  result.counts.assign(db.universe(), 0);
+  for (std::size_t j = 0; j < db.num_machines(); ++j) {
+    const auto& data = db.machine(j).data();
+    for (std::size_t i = 0; i < db.universe(); ++i) {
+      result.counts[i] += data.count(i);  // one classical query
+      ++result.queries;
+    }
+  }
+  return result;
+}
+
+ClassicalScanResult classical_early_stop_scan(const DistributedDatabase& db) {
+  const std::uint64_t m_total = db.total();  // public knowledge
+  ClassicalScanResult result;
+  result.counts.assign(db.universe(), 0);
+  std::uint64_t found = 0;
+  for (std::size_t i = 0; i < db.universe(); ++i) {
+    for (std::size_t j = 0; j < db.num_machines(); ++j) {
+      const std::uint64_t c = db.machine(j).data().count(i);
+      ++result.queries;
+      result.counts[i] += c;
+      found += c;
+      if (found == m_total) return result;
+    }
+  }
+  return result;
+}
+
+ClassicalRejectionResult classical_rejection_sampling(
+    const DistributedDatabase& db, std::size_t num_samples, Rng& rng) {
+  QS_REQUIRE(db.total() > 0, "cannot sample from an empty database");
+  ClassicalRejectionResult result;
+  result.samples.reserve(num_samples);
+  const double nu = static_cast<double>(db.nu());
+  while (result.samples.size() < num_samples) {
+    const auto i = static_cast<std::size_t>(rng.uniform_below(db.universe()));
+    std::uint64_t c_i = 0;
+    for (std::size_t j = 0; j < db.num_machines(); ++j) {
+      c_i += db.machine(j).data().count(i);  // one classical query each
+      ++result.queries;
+    }
+    if (rng.uniform01() < static_cast<double>(c_i) / nu) {
+      result.samples.push_back(i);
+    }
+  }
+  return result;
+}
+
+}  // namespace qs

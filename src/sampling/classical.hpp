@@ -1,0 +1,51 @@
+// Classical baselines under the same multiplicity-query interface.
+//
+// The introduction argues that with classical communication the coordinator
+// effectively has to ask every machine about every element — Θ(nN) queries
+// — before it can sample exactly. These baselines make that concrete under
+// a classical query model where one query returns one multiplicity c_ij:
+//
+//   * full_scan        — learn every c_ij (nN queries), then sample freely;
+//   * early_stop_scan  — same, but stops as soon as the accumulated total
+//                        reaches the public M (best case, still Θ(nN) in
+//                        the worst case);
+//   * rejection        — the classical analogue of the quantum algorithm:
+//                        draw i uniformly, learn c_i with n queries, accept
+//                        with probability c_i/ν. Expected n·νN/M queries
+//                        PER SAMPLE — exactly the quadratic gap to the
+//                        quantum n·√(νN/M).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "distdb/distributed_database.hpp"
+
+namespace qs {
+
+struct ClassicalScanResult {
+  std::uint64_t queries = 0;            ///< multiplicity probes performed
+  std::vector<std::uint64_t> counts;    ///< learned joint counts c_i
+};
+
+/// Learn the complete joint multiplicity vector: exactly n·N queries.
+ClassicalScanResult classical_full_scan(const DistributedDatabase& db);
+
+/// As full_scan, but stop as soon as the learned mass reaches M (which is
+/// public). Unlearned entries are reported as 0 — correct because all mass
+/// has been located.
+ClassicalScanResult classical_early_stop_scan(const DistributedDatabase& db);
+
+struct ClassicalRejectionResult {
+  std::uint64_t queries = 0;
+  std::vector<std::size_t> samples;
+};
+
+/// Rejection sampling: per attempt, pick i uniformly, query all n machines
+/// (n queries), accept with probability c_i/ν. Produces exact samples from
+/// the joint distribution; expected queries per sample = n·νN/M.
+ClassicalRejectionResult classical_rejection_sampling(
+    const DistributedDatabase& db, std::size_t num_samples, Rng& rng);
+
+}  // namespace qs

@@ -1,0 +1,83 @@
+#include "sampling/fixed_point.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/require.hpp"
+
+namespace qs {
+
+namespace {
+
+constexpr double kThird = std::numbers::pi / 3.0;
+
+/// Apply V_m (or V_m†) recursively through the backend.
+///   V_0     = A = D (F ⊗ I)
+///   V_{m+1} = V_m S_0(π/3) V_m† S_good(π/3) V_m
+void apply_v(SamplingBackend& backend, QueryMode mode, std::size_t m,
+             bool adjoint) {
+  if (m == 0) {
+    if (!adjoint) {
+      backend.prep_uniform(false);
+      apply_distributing_operator(backend, mode, false);
+    } else {
+      apply_distributing_operator(backend, mode, true);
+      backend.prep_uniform(true);
+    }
+    return;
+  }
+  if (!adjoint) {
+    apply_v(backend, mode, m - 1, false);
+    backend.phase_good(kThird);
+    apply_v(backend, mode, m - 1, true);
+    backend.phase_initial(kThird);
+    apply_v(backend, mode, m - 1, false);
+  } else {
+    apply_v(backend, mode, m - 1, true);
+    backend.phase_initial(-kThird);
+    apply_v(backend, mode, m - 1, false);
+    backend.phase_good(-kThird);
+    apply_v(backend, mode, m - 1, true);
+  }
+}
+
+}  // namespace
+
+std::size_t fixed_point_levels_for(double a_floor, double delta) {
+  QS_REQUIRE(a_floor > 0.0 && a_floor <= 1.0, "a_floor must be in (0, 1]");
+  QS_REQUIRE(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+  const double eps0 = 1.0 - a_floor;
+  if (eps0 <= 0.0) return 0;
+  // Smallest m with eps0^(3^m) <= delta  ⇔  3^m >= ln δ / ln ε₀.
+  const double needed = std::log(delta) / std::log(eps0);
+  std::size_t levels = 0;
+  double reach = 1.0;
+  while (reach < needed && levels < 40) {
+    reach *= 3.0;
+    ++levels;
+  }
+  return levels;
+}
+
+FixedPointResult run_fixed_point_sampler(const DistributedDatabase& db,
+                                         QueryMode mode, std::size_t levels,
+                                         StatePrep prep) {
+  QS_REQUIRE(db.total() > 0, "cannot sample from an empty database");
+  QS_REQUIRE(levels <= 12, "3^levels D applications — keep levels modest");
+
+  db.reset_stats();
+  SingleStateBackend backend(db, prep);
+  apply_v(backend, mode, levels, /*adjoint=*/false);
+
+  FixedPointResult result{std::move(backend.state()), backend.registers(),
+                          db.stats(), levels, 0.0, 0.0};
+  result.fidelity = pure_fidelity(target_full_state(db), result.state);
+  const double a = static_cast<double>(db.total()) /
+                   (static_cast<double>(db.nu()) *
+                    static_cast<double>(db.universe()));
+  result.predicted_error =
+      std::pow(1.0 - a, std::pow(3.0, static_cast<double>(levels)));
+  return result;
+}
+
+}  // namespace qs

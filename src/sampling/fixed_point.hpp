@@ -1,0 +1,48 @@
+// Fixed-point sampling — Grover's π/3 recursion on the distributed oracle.
+//
+// Zero-error amplitude amplification (Theorems 4.3/4.5) needs the EXACT
+// good probability a = M/(νN), i.e. public M. The BBHT sampler
+// (unknown_m.hpp) drops that assumption at the cost of mid-circuit
+// measurements and a data-dependent (hence non-oblivious) run length. The
+// π/3 fixed-point recursion [Grover 2005] is the third point in the design
+// space: define V_0 = A and
+//
+//   V_{m+1} = V_m S_0(π/3) V_m† S_good(π/3) V_m ,
+//
+// where both phase oracles rotate by e^{iπ/3}. If V_m|0⟩ has bad
+// probability ε, V_{m+1}|0⟩ has bad probability ε³ — MONOTONE convergence
+// to the target for ANY a > 0, with no measurement, no knowledge of M, and
+// a completely data-independent schedule (oblivious!). The price is the
+// query count: 3^m applications of D reach failure ε₀^(3^m) with
+// ε₀ = 1 − a, i.e. cost Θ((1/a)·log(1/δ)) — quadratically worse than the
+// Grover-scaling samplers. Experiment F10 puts all three on one table.
+#pragma once
+
+#include <cstdint>
+
+#include "sampling/samplers.hpp"
+
+namespace qs {
+
+struct FixedPointResult {
+  StateVector state;
+  CoordinatorLayout registers;
+  QueryStats stats;
+  std::size_t levels = 0;
+  double fidelity = 0.0;
+  /// 1 − fidelity predicted by the cubing recursion, (1 − a)^(3^levels).
+  double predicted_error = 0.0;
+};
+
+/// Run the π/3 recursion to depth `levels` (D-cost 3^levels). Requires a
+/// non-empty database (any M > 0 works; M's value is never used).
+FixedPointResult run_fixed_point_sampler(const DistributedDatabase& db,
+                                         QueryMode mode, std::size_t levels,
+                                         StatePrep prep = StatePrep::kHouseholder);
+
+/// Levels needed so (1 − a_floor)^(3^levels) ≤ delta, given only a LOWER
+/// bound on the good probability (e.g. "at least one record exists":
+/// a_floor = 1/(νN)).
+std::size_t fixed_point_levels_for(double a_floor, double delta);
+
+}  // namespace qs

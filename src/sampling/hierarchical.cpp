@@ -1,0 +1,254 @@
+#include "sampling/hierarchical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/require.hpp"
+#include "distdb/communication.hpp"
+#include "qsim/gates.hpp"
+
+namespace qs {
+
+void Partition::validate(std::size_t machines) const {
+  QS_REQUIRE(!groups.empty(), "partition needs at least one group");
+  std::vector<bool> seen(machines, false);
+  std::size_t covered = 0;
+  for (const auto& group : groups) {
+    QS_REQUIRE(!group.empty(), "partition groups must be non-empty");
+    for (const auto j : group) {
+      QS_REQUIRE(j < machines, "machine index out of range in partition");
+      QS_REQUIRE(!seen[j], "machine appears in two groups");
+      seen[j] = true;
+      ++covered;
+    }
+  }
+  QS_REQUIRE(covered == machines, "partition must cover every machine");
+}
+
+Partition contiguous_partition(std::size_t machines, std::size_t num_groups) {
+  QS_REQUIRE(num_groups >= 1 && num_groups <= machines,
+             "group count must be in [1, n]");
+  Partition partition;
+  partition.groups.resize(num_groups);
+  for (std::size_t j = 0; j < machines; ++j) {
+    partition.groups[j * num_groups / machines].push_back(j);
+  }
+  return partition;
+}
+
+std::uint64_t hierarchical_rounds_per_d(const Partition& partition) {
+  std::uint64_t rounds = 0;
+  for (const auto& group : partition.groups)
+    rounds += group.size() == 1 ? 2 : 4;
+  return rounds;
+}
+
+namespace {
+
+/// Execution state for the hierarchical circuit: one StateVector plus the
+/// cost ledger. Group composites are applied as their net counter shift
+/// (validated against the literal Lemma 4.4 circuit by the parallel_full
+/// tests) and charged per the module comment.
+class HierarchicalRun {
+ public:
+  HierarchicalRun(const DistributedDatabase& db, const Partition& partition,
+                  StatePrep prep)
+      : db_(db),
+        partition_(partition),
+        prep_(prep),
+        regs_(make_coordinator_layout(db.universe(), db.nu())),
+        state_(regs_.layout),
+        householder_v_(uniform_prep_householder_vector(db.universe())),
+        u_fwd_(make_u_rotations(db.nu(), false)),
+        u_adj_(make_u_rotations(db.nu(), true)) {
+    if (prep_ == StatePrep::kQft) qft_ = qft_matrix(db.universe());
+    // Precompute per-group joint shift vectors.
+    const std::size_t modulus = regs_.layout.dim(regs_.count);
+    for (const auto& group : partition_.groups) {
+      std::vector<std::size_t> shift(db.universe(), 0);
+      for (const auto j : group) {
+        const auto& counts = db.machine(j).data().counts();
+        for (std::size_t i = 0; i < shift.size(); ++i)
+          shift[i] = (shift[i] + static_cast<std::size_t>(counts[i])) %
+                     modulus;
+      }
+      group_shift_.push_back(std::move(shift));
+    }
+  }
+
+  void prep_uniform(bool adjoint) {
+    if (prep_ == StatePrep::kHouseholder) {
+      state_.apply_householder(regs_.elem, householder_v_);
+    } else {
+      state_.apply_unitary(regs_.elem, adjoint ? qft_.adjoint() : qft_);
+    }
+  }
+
+  void group_shift(std::size_t g, bool subtract) {
+    const std::size_t modulus = regs_.layout.dim(regs_.count);
+    std::vector<std::size_t> shift = group_shift_[g];
+    if (subtract) {
+      for (auto& s : shift) s = (modulus - s) % modulus;
+    }
+    state_.apply_value_shift(regs_.count, regs_.elem, shift);
+    const auto& group = partition_.groups[g];
+    const std::uint64_t rounds = group.size() == 1 ? 1 : 2;
+    group_rounds_ += rounds;
+    machine_invocations_ +=
+        group.size() == 1 ? 1 : 2 * static_cast<std::uint64_t>(group.size());
+    if (rng_ != nullptr) inject_noise(g, rounds);
+  }
+
+  /// Optional trajectory noise (see run_noisy_hierarchical_sampler).
+  void set_noise(const NoiseModel& noise, Rng& rng,
+                 std::uint64_t elem_qubits, std::uint64_t counter_qubits) {
+    noise_ = noise;
+    rng_ = &rng;
+    elem_qubits_ = elem_qubits;
+    counter_qubits_ = counter_qubits;
+  }
+
+  void inject_noise(std::size_t g, std::uint64_t rounds) {
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+      if (noise_.dephasing_per_round > 0.0) {
+        apply_dephasing_trajectory(state_, regs_.elem,
+                                   noise_.dephasing_per_round, *rng_);
+      }
+      if (noise_.depolarizing_per_round > 0.0) {
+        apply_depolarizing_trajectory(state_, regs_.flag,
+                                      noise_.depolarizing_per_round, *rng_);
+      }
+      if (noise_.dephasing_per_qubit_trip > 0.0) {
+        const auto& group = partition_.groups[g];
+        const double trips =
+            group.size() == 1
+                ? 2.0 * static_cast<double>(elem_qubits_ + counter_qubits_)
+                : 2.0 * static_cast<double>(group.size()) *
+                      static_cast<double>(elem_qubits_ + counter_qubits_ +
+                                          1);
+        const double p =
+            1.0 - std::pow(1.0 - noise_.dephasing_per_qubit_trip, trips);
+        apply_dephasing_trajectory(state_, regs_.elem, p, *rng_);
+      }
+    }
+  }
+
+  void rotation_u(bool adjoint) {
+    const auto& rotations = adjoint ? u_adj_ : u_fwd_;
+    const auto& layout = regs_.layout;
+    const auto count = regs_.count;
+    state_.apply_conditioned_unitary(
+        regs_.flag, [&](std::size_t fiber_base) -> const Matrix* {
+          return &rotations[layout.digit(fiber_base, count)];
+        });
+  }
+
+  void apply_d(bool adjoint) {
+    // D = C† 𝒰 C and D† = C† 𝒰† C, with C adding every group's counts
+    // group-by-group (groups sequential, members parallel within).
+    for (std::size_t g = 0; g < partition_.groups.size(); ++g)
+      group_shift(g, /*subtract=*/false);
+    rotation_u(adjoint);
+    for (std::size_t g = partition_.groups.size(); g-- > 0;)
+      group_shift(g, /*subtract=*/true);
+  }
+
+  void q_iterate(double varphi, double phi) {
+    constexpr double kPi = std::numbers::pi;
+    state_.apply_phase_on_register_value(
+        regs_.flag, 0, cplx{std::cos(varphi), std::sin(varphi)});
+    apply_d(true);
+    prep_uniform(true);
+    state_.apply_phase_on_basis_state(0, cplx{std::cos(phi), std::sin(phi)});
+    prep_uniform(false);
+    apply_d(false);
+    state_.apply_global_phase(cplx{std::cos(kPi), std::sin(kPi)});
+  }
+
+  HierarchicalResult run(const AAPlan& plan) {
+    constexpr double kPi = std::numbers::pi;
+    prep_uniform(false);
+    apply_d(false);
+    if (!plan.already_exact) {
+      for (std::size_t i = 0; i < plan.full_iterations; ++i)
+        q_iterate(kPi, kPi);
+      if (plan.needs_final) q_iterate(plan.final_varphi, plan.final_phi);
+    }
+    HierarchicalResult result{std::move(state_), regs_, plan, group_rounds_,
+                              machine_invocations_, 0.0};
+    return result;
+  }
+
+ private:
+  const DistributedDatabase& db_;
+  const Partition& partition_;
+  StatePrep prep_;
+  CoordinatorLayout regs_;
+  StateVector state_;
+  std::vector<cplx> householder_v_;
+  Matrix qft_;
+  std::vector<Matrix> u_fwd_, u_adj_;
+  std::vector<std::vector<std::size_t>> group_shift_;
+  std::uint64_t group_rounds_ = 0;
+  NoiseModel noise_{};
+  Rng* rng_ = nullptr;
+  std::uint64_t elem_qubits_ = 0;
+  std::uint64_t counter_qubits_ = 0;
+  std::uint64_t machine_invocations_ = 0;
+};
+
+}  // namespace
+
+HierarchicalResult run_hierarchical_sampler(const DistributedDatabase& db,
+                                            const Partition& partition,
+                                            StatePrep prep) {
+  partition.validate(db.num_machines());
+  const double a = static_cast<double>(db.total()) /
+                   (static_cast<double>(db.nu()) *
+                    static_cast<double>(db.universe()));
+  QS_REQUIRE(db.total() > 0, "cannot sample from an empty database");
+  const AAPlan plan = plan_zero_error(a);
+
+  HierarchicalRun run(db, partition, prep);
+  auto result = run.run(plan);
+  result.fidelity = pure_fidelity(target_full_state(db), result.state);
+  return result;
+}
+
+NoisyHierarchicalResult run_noisy_hierarchical_sampler(
+    const DistributedDatabase& db, const Partition& partition,
+    const NoiseModel& noise, std::size_t trajectories, Rng& rng,
+    StatePrep prep) {
+  partition.validate(db.num_machines());
+  QS_REQUIRE(db.total() > 0, "cannot sample from an empty database");
+  QS_REQUIRE(trajectories > 0, "need at least one trajectory");
+  const double a = static_cast<double>(db.total()) /
+                   (static_cast<double>(db.nu()) *
+                    static_cast<double>(db.universe()));
+  const AAPlan plan = plan_zero_error(a);
+  const StateVector target = target_full_state(db);
+  const auto elem_qubits = qubits_for_dimension(db.universe());
+  const auto counter_qubits = qubits_for_dimension(db.nu() + 1);
+
+  double sum = 0.0, sum_sq = 0.0;
+  NoisyHierarchicalResult result;
+  result.trajectories = trajectories;
+  for (std::size_t t = 0; t < trajectories; ++t) {
+    HierarchicalRun run(db, partition, prep);
+    run.set_noise(noise, rng, elem_qubits, counter_qubits);
+    auto one = run.run(plan);
+    const double fidelity = pure_fidelity(target, one.state);
+    sum += fidelity;
+    sum_sq += fidelity * fidelity;
+    result.group_rounds = one.group_rounds;
+  }
+  result.mean_fidelity = sum / static_cast<double>(trajectories);
+  const double var =
+      sum_sq / static_cast<double>(trajectories) -
+      result.mean_fidelity * result.mean_fidelity;
+  result.stddev_fidelity = std::sqrt(std::max(var, 0.0));
+  return result;
+}
+
+}  // namespace qs

@@ -1,0 +1,80 @@
+// Hierarchical query architecture — the paper's future-work direction
+// ("other types of architecture close to the practical scenario for a
+// quantum network", Section 6), built from the same primitives.
+//
+// Machines are partitioned into g groups, each with a group leader. Within
+// a group, the leader drives its members with the PARALLEL oracle of
+// Eq. (3); across groups, the coordinator proceeds SEQUENTIALLY. One
+// application of the distributing operator D costs, in leader↔coordinator
+// rounds:
+//
+//   * 1 round per direction for a singleton group (its oracle adds
+//     directly into the coordinator's counter, as in Lemma 4.2), and
+//   * 2 rounds per direction for a larger group (the leader aggregates
+//     member counts through ancillas, as in Lemma 4.4).
+//
+// So D costs Σ_g round(g) with round(g) ∈ {2, 4}: exactly 2n rounds when
+// every group is a singleton (the sequential model) and exactly 4 when all
+// machines share one group (the parallel model) — the architecture
+// interpolates between Theorems 4.3 and 4.5, and the total sampler cost is
+// Θ(g·√(νN/M)). Experiment F5 sweeps g to exhibit the interpolation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "qsim/noise.hpp"
+#include "sampling/samplers.hpp"
+
+namespace qs {
+
+/// A partition of the machine indices {0, ..., n-1} into disjoint,
+/// non-empty groups.
+struct Partition {
+  std::vector<std::vector<std::size_t>> groups;
+
+  std::size_t num_groups() const noexcept { return groups.size(); }
+
+  /// Throws unless the groups exactly cover {0, ..., machines-1}.
+  void validate(std::size_t machines) const;
+};
+
+/// Split n machines into `num_groups` contiguous, balanced groups.
+Partition contiguous_partition(std::size_t machines, std::size_t num_groups);
+
+struct HierarchicalResult {
+  StateVector state;
+  CoordinatorLayout registers;
+  AAPlan plan;
+  /// Coordinator↔leader rounds consumed (the architecture's cost metric).
+  std::uint64_t group_rounds = 0;
+  /// Individual machine-oracle invocations (for cross-checking).
+  std::uint64_t machine_invocations = 0;
+  double fidelity = 0.0;
+};
+
+/// Rounds one D application costs under the partition (Σ_g round(g)).
+std::uint64_t hierarchical_rounds_per_d(const Partition& partition);
+
+/// Run the zero-error sampling circuit under the hierarchical architecture.
+HierarchicalResult run_hierarchical_sampler(const DistributedDatabase& db,
+                                            const Partition& partition,
+                                            StatePrep prep = StatePrep::kHouseholder);
+
+/// Noisy variant: the NoiseModel's per-round channels strike after every
+/// GROUP round (the architecture's latency unit), and per-qubit-trip
+/// dephasing scales with each group's wire traffic. Used by the
+/// architecture advisor to rank hierarchies under real channels.
+struct NoisyHierarchicalResult {
+  double mean_fidelity = 0.0;
+  double stddev_fidelity = 0.0;
+  std::uint64_t group_rounds = 0;  ///< per trajectory
+  std::size_t trajectories = 0;
+};
+NoisyHierarchicalResult run_noisy_hierarchical_sampler(
+    const DistributedDatabase& db, const Partition& partition,
+    const NoiseModel& noise, std::size_t trajectories, Rng& rng,
+    StatePrep prep = StatePrep::kHouseholder);
+
+}  // namespace qs

@@ -1,0 +1,34 @@
+#include "sampling/ideal.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "qsim/gates.hpp"
+
+namespace qs {
+
+void apply_ideal_distributing(StateVector& state,
+                              const DistributedDatabase& db, RegisterId elem,
+                              RegisterId flag, bool adjoint) {
+  const auto& layout = state.layout();
+  QS_REQUIRE(layout.dim(elem) == db.universe(),
+             "element register dimension must equal the universe size");
+  QS_REQUIRE(layout.dim(flag) == 2, "flag must be a qubit");
+
+  const double nu = static_cast<double>(db.nu());
+  const auto joint = db.joint_counts();
+  std::vector<Matrix> rotations;
+  rotations.reserve(joint.size());
+  for (const auto c : joint) {
+    const double cos_g =
+        std::min(std::sqrt(static_cast<double>(c) / nu), 1.0);
+    const double gamma = std::acos(cos_g);
+    rotations.push_back(rotation_matrix(adjoint ? -gamma : gamma));
+  }
+  state.apply_conditioned_unitary(
+      flag, [&](std::size_t fiber_base) -> const Matrix* {
+        return &rotations[layout.digit(fiber_base, elem)];
+      });
+}
+
+}  // namespace qs

@@ -1,0 +1,25 @@
+// The ideal distributing operator D (Eq. 5), applied directly from the
+// joint counts without oracle queries.
+//
+//   D |i, 0⟩ = √(c_i/ν) |i, 0⟩ + √((ν−c_i)/ν) |i, 1⟩
+//
+// extended unitarily as the elem-conditioned flag rotation by
+// γ_i = arccos √(c_i/ν) (Lemma 4.1 guarantees a unitary extension exists;
+// this is the canonical one, and it agrees with the oracle constructions of
+// Lemmas 4.2 / 4.4 on the count = 0 subspace where the whole algorithm
+// lives). Used as the reference in operator-level tests and as a fast
+// "oracle-free" sampler backend for experiments that only need the state.
+#pragma once
+
+#include "distdb/distributed_database.hpp"
+#include "qsim/state_vector.hpp"
+
+namespace qs {
+
+/// Apply the ideal D (or D†) to `state`, rotating `flag` conditioned on
+/// `elem` by the database's joint multiplicities.
+void apply_ideal_distributing(StateVector& state,
+                              const DistributedDatabase& db, RegisterId elem,
+                              RegisterId flag, bool adjoint);
+
+}  // namespace qs

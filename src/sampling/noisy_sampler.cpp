@@ -1,0 +1,121 @@
+#include "sampling/noisy_sampler.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/require.hpp"
+#include "distdb/communication.hpp"
+
+namespace qs {
+
+NoisyBackend::NoisyBackend(const DistributedDatabase& db, StatePrep prep,
+                           const NoiseModel& noise, Rng& rng)
+    : inner_(db, prep), db_(db), noise_(noise), rng_(rng) {
+  if (noise_.dephasing_per_qubit_trip > 0.0) {
+    const auto elem_q = qubits_for_dimension(db.universe());
+    const auto counter_q = qubits_for_dimension(db.nu() + 1);
+    // One sequential query: the element + counter registers travel there
+    // and back.
+    const double seq_trips = 2.0 * static_cast<double>(elem_q + counter_q);
+    // One parallel round: n three-register bundles each way.
+    const double par_trips = 2.0 * static_cast<double>(db.num_machines()) *
+                             static_cast<double>(elem_q + counter_q + 1);
+    const double p = noise_.dephasing_per_qubit_trip;
+    transport_p_sequential_ = 1.0 - std::pow(1.0 - p, seq_trips);
+    transport_p_parallel_ = 1.0 - std::pow(1.0 - p, par_trips);
+  }
+}
+
+std::size_t NoisyBackend::num_machines() const {
+  return inner_.num_machines();
+}
+
+void NoisyBackend::prep_uniform(bool adjoint) { inner_.prep_uniform(adjoint); }
+void NoisyBackend::phase_good(double phi) { inner_.phase_good(phi); }
+void NoisyBackend::phase_initial(double phi) { inner_.phase_initial(phi); }
+void NoisyBackend::rotation_u(bool adjoint) { inner_.rotation_u(adjoint); }
+void NoisyBackend::global_phase(double angle) { inner_.global_phase(angle); }
+
+void NoisyBackend::inject_round_noise() {
+  const auto& regs = inner_.registers();
+  if (noise_.dephasing_per_round > 0.0) {
+    apply_dephasing_trajectory(inner_.state(), regs.elem,
+                               noise_.dephasing_per_round, rng_);
+  }
+  if (noise_.depolarizing_per_round > 0.0) {
+    apply_depolarizing_trajectory(inner_.state(), regs.flag,
+                                  noise_.depolarizing_per_round, rng_);
+  }
+}
+
+void NoisyBackend::inject_transport_noise(double probability) {
+  if (probability <= 0.0) return;
+  apply_dephasing_trajectory(inner_.state(), inner_.registers().elem,
+                             probability, rng_);
+}
+
+void NoisyBackend::oracle(std::size_t j, bool adjoint) {
+  inner_.oracle(j, adjoint);
+  inject_transport_noise(transport_p_sequential_);
+  if (noise_.oracle_fault_rate > 0.0 &&
+      rng_.bernoulli(noise_.oracle_fault_rate)) {
+    // Corrupted answer: every multiplicity reported off by +1 (mod ν+1).
+    const auto& regs = inner_.registers();
+    const std::vector<std::size_t> ones(
+        inner_.state().layout().dim(regs.elem), 1);
+    inner_.state().apply_value_shift(regs.count, regs.elem, ones);
+  }
+  inject_round_noise();
+}
+
+void NoisyBackend::parallel_total_shift(bool adjoint) {
+  inner_.parallel_total_shift(adjoint);
+  // The composite spends two rounds; each is a noise opportunity.
+  for (int round = 0; round < 2; ++round) {
+    inject_transport_noise(transport_p_parallel_);
+    if (noise_.oracle_fault_rate > 0.0 &&
+        rng_.bernoulli(noise_.oracle_fault_rate)) {
+      const auto& regs = inner_.registers();
+      const std::vector<std::size_t> ones(
+          inner_.state().layout().dim(regs.elem), 1);
+      inner_.state().apply_value_shift(regs.count, regs.elem, ones);
+    }
+    inject_round_noise();
+  }
+}
+
+NoisyRunResult run_noisy_sampler(const DistributedDatabase& db,
+                                 QueryMode mode, const NoiseModel& noise,
+                                 std::size_t trajectories, Rng& rng,
+                                 StatePrep prep) {
+  QS_REQUIRE(trajectories > 0, "need at least one trajectory");
+  const double a = static_cast<double>(db.total()) /
+                   (static_cast<double>(db.nu()) *
+                    static_cast<double>(db.universe()));
+  const AAPlan plan = plan_zero_error(a);
+  const StateVector target = target_full_state(db);
+
+  Accumulator fidelities;
+  std::uint64_t rounds = 0;
+  for (std::size_t t = 0; t < trajectories; ++t) {
+    db.reset_stats();
+    NoisyBackend backend(db, prep, noise, rng);
+    run_sampling_circuit(backend, mode, plan);
+    fidelities.add(pure_fidelity(target, backend.state()));
+    if (t == 0) {
+      const auto stats = db.stats();
+      rounds = mode == QueryMode::kSequential ? stats.total_sequential()
+                                              : stats.parallel_rounds;
+    }
+  }
+
+  NoisyRunResult result;
+  result.mean_fidelity = fidelities.mean();
+  result.stddev_fidelity = fidelities.stddev();
+  result.min_fidelity = fidelities.min();
+  result.trajectories = trajectories;
+  result.noisy_rounds_per_trajectory = rounds;
+  return result;
+}
+
+}  // namespace qs

@@ -1,0 +1,71 @@
+// Samplers under noise — the fault-tolerance experiment (F6).
+//
+// A NoisyBackend wraps the production backend and injects a NoiseModel
+// after every oracle interaction: dephasing on the element register,
+// depolarizing on the flag, and (optionally) corrupted oracle answers.
+// Because noise strikes PER ROUND, the two query models inherit different
+// exposure: the sequential sampler suffers ~n times more noisy rounds than
+// the parallel one for the same instance, so its fidelity decays ~n times
+// faster in the per-round noise rate — a quantitative version of the
+// paper's motivation for minimising (round) complexity.
+//
+// Runs are stochastic trajectories; run_noisy_sampler reports the mean and
+// spread of the output fidelity over `trajectories` repetitions.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "qsim/noise.hpp"
+#include "sampling/samplers.hpp"
+
+namespace qs {
+
+/// Production backend + per-round trajectory noise.
+class NoisyBackend final : public SamplingBackend {
+ public:
+  NoisyBackend(const DistributedDatabase& db, StatePrep prep,
+               const NoiseModel& noise, Rng& rng);
+
+  std::size_t num_machines() const override;
+  void prep_uniform(bool adjoint) override;
+  void phase_good(double phi) override;
+  void phase_initial(double phi) override;
+  void rotation_u(bool adjoint) override;
+  void oracle(std::size_t j, bool adjoint) override;
+  void parallel_total_shift(bool adjoint) override;
+  void global_phase(double angle) override;
+
+  const StateVector& state() const { return inner_.state(); }
+  const CoordinatorLayout& registers() const { return inner_.registers(); }
+
+ private:
+  void inject_round_noise();
+  void inject_transport_noise(double probability);
+
+  SingleStateBackend inner_;
+  const DistributedDatabase& db_;
+  NoiseModel noise_;
+  Rng& rng_;
+  /// Precomputed per-interaction transport-dephasing probabilities
+  /// (1 − (1−p)^trips) for the per-qubit-trip regime.
+  double transport_p_sequential_ = 0.0;
+  double transport_p_parallel_ = 0.0;
+};
+
+struct NoisyRunResult {
+  double mean_fidelity = 0.0;
+  double stddev_fidelity = 0.0;
+  double min_fidelity = 0.0;
+  std::size_t trajectories = 0;
+  std::uint64_t noisy_rounds_per_trajectory = 0;  ///< noise injections/run
+};
+
+/// Run `trajectories` independent noisy executions of the sampler and
+/// report the fidelity statistics against the ideal target.
+NoisyRunResult run_noisy_sampler(const DistributedDatabase& db,
+                                 QueryMode mode, const NoiseModel& noise,
+                                 std::size_t trajectories, Rng& rng,
+                                 StatePrep prep = StatePrep::kHouseholder);
+
+}  // namespace qs

@@ -1,0 +1,111 @@
+#include "sampling/parallel_full.hpp"
+
+#include <string>
+
+#include "common/require.hpp"
+
+namespace qs {
+
+ParallelFullCircuit::ParallelFullCircuit(const DistributedDatabase& db)
+    : db_(db) {
+  const std::size_t universe = db.universe();
+  const std::size_t counter_dim = static_cast<std::size_t>(db.nu()) + 1;
+  const std::size_t n = db.num_machines();
+
+  elem_ = layout_.add("elem", universe);
+  count_ = layout_.add("count", counter_dim);
+  flag_ = layout_.add("flag", 2);
+  for (std::size_t j = 0; j < n; ++j)
+    anc_elem_.push_back(layout_.add("anc_elem" + std::to_string(j), universe));
+  for (std::size_t j = 0; j < n; ++j)
+    anc_count_.push_back(
+        layout_.add("anc_count" + std::to_string(j), counter_dim));
+  for (std::size_t j = 0; j < n; ++j)
+    anc_flag_.push_back(layout_.add("anc_flag" + std::to_string(j), 2));
+
+  QS_REQUIRE(layout_.total_dim() <= (1u << 22),
+             "full parallel circuit is exponential in n; use a smaller "
+             "validation instance");
+
+  u_rotations_ = make_u_rotations(db.nu(), /*adjoint=*/false);
+  u_rotations_adjoint_ = make_u_rotations(db.nu(), /*adjoint=*/true);
+}
+
+void ParallelFullCircuit::apply_copy(StateVector& state, bool adjoint) const {
+  // |i⟩|a_j⟩ → |i⟩|a_j ± i mod N⟩ per ancilla element register: a
+  // conditioned cyclic shift where the shift amount IS the element value.
+  const std::size_t universe = layout_.dim(elem_);
+  std::vector<std::size_t> shifts(universe);
+  for (std::size_t i = 0; i < universe; ++i)
+    shifts[i] = adjoint ? (universe - i) % universe : i;
+  for (const auto a : anc_elem_) {
+    state.apply_value_shift(a, elem_, shifts);
+  }
+}
+
+void ParallelFullCircuit::apply_set_controls(StateVector& state) const {
+  // X on each control flag: a value shift by 1 on a dim-2 register,
+  // conditioned trivially (shift independent of the condition digit).
+  const std::vector<std::size_t> ones(layout_.dim(elem_), 1);
+  for (const auto b : anc_flag_) {
+    state.apply_value_shift(b, elem_, ones);
+  }
+}
+
+void ParallelFullCircuit::apply_parallel_oracle(StateVector& state,
+                                                bool adjoint) const {
+  for (std::size_t j = 0; j < db_.num_machines(); ++j) {
+    db_.machine(j).apply_controlled_oracle(state, anc_elem_[j], anc_count_[j],
+                                           anc_flag_[j], adjoint);
+    // Individual Ô_j applications inside a round are not sequential
+    // queries; the round is charged once on the database below.
+    db_.machine(j).discount_last_query();
+  }
+  db_.count_parallel_round();
+}
+
+void ParallelFullCircuit::apply_adder(StateVector& state, bool adjoint) const {
+  // count ← count ± Σ_j anc_count[j] (mod ν+1). A pure coordinator-side
+  // permutation (no data dependence).
+  const std::size_t counter_dim = layout_.dim(count_);
+  const auto& layout = layout_;
+  const auto& anc = anc_count_;
+  const auto count = count_;
+  state.apply_permutation([&, adjoint](std::size_t x) {
+    std::size_t sum = 0;
+    for (const auto a : anc) sum += layout.digit(x, a);
+    sum %= counter_dim;
+    const std::size_t s = layout.digit(x, count);
+    const std::size_t target = adjoint
+                                   ? (s + counter_dim - sum) % counter_dim
+                                   : (s + sum) % counter_dim;
+    return layout.with_digit(x, count, target);
+  });
+}
+
+void ParallelFullCircuit::apply_total_shift(StateVector& state,
+                                            bool adjoint) const {
+  // Lemma 4.4, first (or third) step: 2 parallel rounds.
+  apply_copy(state, /*adjoint=*/false);
+  apply_set_controls(state);
+  apply_parallel_oracle(state, /*adjoint=*/false);
+  apply_adder(state, adjoint);
+  apply_parallel_oracle(state, /*adjoint=*/true);
+  apply_set_controls(state);
+  apply_copy(state, /*adjoint=*/true);
+}
+
+void ParallelFullCircuit::apply_distributing(StateVector& state,
+                                             bool adjoint) const {
+  apply_total_shift(state, /*adjoint=*/false);
+  const auto& rotations = adjoint ? u_rotations_adjoint_ : u_rotations_;
+  const auto& layout = layout_;
+  const auto count = count_;
+  state.apply_conditioned_unitary(
+      flag_, [&](std::size_t fiber_base) -> const Matrix* {
+        return &rotations[layout.digit(fiber_base, count)];
+      });
+  apply_total_shift(state, /*adjoint=*/true);
+}
+
+}  // namespace qs

@@ -1,0 +1,68 @@
+// The LITERAL parallel-query circuit of Lemma 4.4, ancillas and all.
+//
+// The production parallel sampler applies the net effect of this circuit
+// (a counter shift by c_i, costing 4 parallel rounds — see
+// SingleStateBackend::parallel_total_shift). This file implements the
+// lemma's construction register-by-register so the equivalence is a THEOREM
+// WE TEST rather than an assumption:
+//
+//   |i,0⟩|0ⁿ,0ⁿ,0ⁿ⟩ → |i,0⟩|iⁿ,0ⁿ,1ⁿ⟩              (copy + set controls)
+//                   → |i,0⟩|iⁿ, c_i1…c_in, 1ⁿ⟩       (parallel oracle O)
+//                   → |i,c_i⟩|iⁿ, c_i1…c_in, 1ⁿ⟩     (coordinator adder)
+//                   → |i,c_i⟩|iⁿ,0ⁿ,1ⁿ⟩              (parallel oracle O†)
+//                   → |i,c_i⟩|0ⁿ,0ⁿ,0ⁿ⟩              (uncopy + clear)
+//
+// Exponential in n (the ancilla block has (N·(ν+1)·2)ⁿ states), so only
+// for small validation instances; the tests compare its operator against
+// the ideal D on the count=0, ancilla=0 subspace.
+#pragma once
+
+#include <vector>
+
+#include "distdb/distributed_database.hpp"
+#include "qsim/state_vector.hpp"
+#include "sampling/backend.hpp"
+
+namespace qs {
+
+class ParallelFullCircuit {
+ public:
+  /// Builds the layout [elem, count, flag, elemʲ…, countʲ…, flagʲ…] for
+  /// db's parameters. Throws if the total dimension would be unreasonable.
+  explicit ParallelFullCircuit(const DistributedDatabase& db);
+
+  const RegisterLayout& layout() const noexcept { return layout_; }
+  RegisterId elem() const noexcept { return elem_; }
+  RegisterId count() const noexcept { return count_; }
+  RegisterId flag() const noexcept { return flag_; }
+
+  /// Fresh all-zero state on this circuit's layout.
+  StateVector make_state() const { return StateVector(layout_); }
+
+  /// One round of the parallel oracle O (Eq. 3): every machine j applies
+  /// Ô_j to its (elemʲ, countʲ, flagʲ) triple. Counts one parallel round.
+  void apply_parallel_oracle(StateVector& state, bool adjoint) const;
+
+  /// The composite |i, s⟩ → |i, s ± c_i⟩ of Lemma 4.4 (2 parallel rounds).
+  void apply_total_shift(StateVector& state, bool adjoint) const;
+
+  /// The full distributing operator D (or D†): shift, 𝒰, unshift —
+  /// 4 parallel rounds, exactly as the lemma claims.
+  void apply_distributing(StateVector& state, bool adjoint) const;
+
+ private:
+  /// anc_elem[j] ← anc_elem[j] ± i (mod N): the "copy i into iⁿ" step.
+  void apply_copy(StateVector& state, bool adjoint) const;
+  /// Flip every ancilla control flag (X on each flagʲ).
+  void apply_set_controls(StateVector& state) const;
+  /// count ← count ± Σ_j anc_count[j] (mod ν+1): the coordinator's adder.
+  void apply_adder(StateVector& state, bool adjoint) const;
+
+  const DistributedDatabase& db_;
+  RegisterLayout layout_;
+  RegisterId elem_, count_, flag_;
+  std::vector<RegisterId> anc_elem_, anc_count_, anc_flag_;
+  std::vector<Matrix> u_rotations_, u_rotations_adjoint_;
+};
+
+}  // namespace qs

@@ -1,0 +1,130 @@
+#include "sampling/samplers.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace qs {
+
+std::vector<cplx> SamplerResult::output_amplitudes() const {
+  const auto& layout = state.layout();
+  const std::size_t universe = layout.dim(registers.elem);
+  std::vector<cplx> amps(universe);
+  std::vector<std::size_t> digits(3, 0);
+  for (std::size_t i = 0; i < universe; ++i) {
+    digits[registers.elem.value] = i;
+    amps[i] = state.amplitude(layout.index_of(digits));
+  }
+  return amps;
+}
+
+StateVector target_full_state(const DistributedDatabase& db) {
+  const auto regs = make_coordinator_layout(db.universe(), db.nu());
+  StateVector target(regs.layout);
+  std::vector<cplx> amps(regs.layout.total_dim(), cplx{0.0, 0.0});
+  const auto target_amps = db.target_amplitudes();
+  std::vector<std::size_t> digits(3, 0);
+  for (std::size_t i = 0; i < target_amps.size(); ++i) {
+    digits[regs.elem.value] = i;
+    amps[regs.layout.index_of(digits)] = target_amps[i];
+  }
+  target.set_amplitudes(std::move(amps));
+  return target;
+}
+
+namespace {
+
+SamplerResult run_with_plan(const DistributedDatabase& db, QueryMode mode,
+                            const AAPlan& plan,
+                            const SamplerOptions& options);
+
+SamplerResult run_with_mode(const DistributedDatabase& db, QueryMode mode,
+                            const SamplerOptions& options) {
+  const double universe = static_cast<double>(db.universe());
+  const double nu = static_cast<double>(db.nu());
+  const double m_total = static_cast<double>(db.total());
+  QS_REQUIRE(m_total > 0, "cannot sample from an empty database");
+
+  // a = M / (νN) — computable from public knowledge only (Eq. 7).
+  const AAPlan plan = plan_zero_error(m_total / (nu * universe));
+  return run_with_plan(db, mode, plan, options);
+}
+
+SamplerResult run_with_plan(const DistributedDatabase& db, QueryMode mode,
+                            const AAPlan& plan,
+                            const SamplerOptions& options) {
+  db.reset_stats();
+  SingleStateBackend backend(db, options.prep, options.transcript);
+  const StateVector target = target_full_state(db);
+
+  std::vector<double> trajectory;
+  std::function<void(std::size_t)> observer;
+  if (options.record_trajectory) {
+    observer = [&](std::size_t) {
+      trajectory.push_back(pure_fidelity(target, backend.state()));
+    };
+  }
+
+  run_sampling_circuit(backend, mode, plan, observer);
+
+  SamplerResult result{std::move(backend.state()),
+                       backend.registers(),
+                       plan,
+                       db.stats(),
+                       0.0,
+                       std::move(trajectory)};
+  result.fidelity = pure_fidelity(target, result.state);
+  return result;
+}
+
+}  // namespace
+
+SamplerResult run_sequential_sampler(const DistributedDatabase& db,
+                                     const SamplerOptions& options) {
+  return run_with_mode(db, QueryMode::kSequential, options);
+}
+
+SamplerResult run_parallel_sampler(const DistributedDatabase& db,
+                                   const SamplerOptions& options) {
+  return run_with_mode(db, QueryMode::kParallel, options);
+}
+
+SamplerResult run_centralized_sampler(const DistributedDatabase& db,
+                                      const SamplerOptions& options) {
+  // Merge every machine's multiset onto one machine; the joint counts, M
+  // and ν are unchanged, so the target state is identical.
+  Dataset merged = Dataset::from_counts(db.joint_counts());
+  DistributedDatabase centralized({std::move(merged)}, db.nu());
+  return run_sequential_sampler(centralized, options);
+}
+
+std::uint64_t predicted_sequential_queries(const AAPlan& plan,
+                                           std::size_t n) {
+  return static_cast<std::uint64_t>(plan.d_applications()) * 2 * n;
+}
+
+std::uint64_t predicted_parallel_rounds(const AAPlan& plan) {
+  return static_cast<std::uint64_t>(plan.d_applications()) * 4;
+}
+
+SamplerResult run_budgeted_sampler(const DistributedDatabase& db,
+                                   QueryMode mode,
+                                   std::size_t max_iterations,
+                                   const SamplerOptions& options) {
+  const double m_total = static_cast<double>(db.total());
+  QS_REQUIRE(m_total > 0, "cannot sample from an empty database");
+  AAPlan plan = plan_zero_error(
+      m_total / (static_cast<double>(db.nu()) *
+                 static_cast<double>(db.universe())));
+  // Truncate to the budget; the final corrected iterate only runs if the
+  // full plan fits (the correction angles are specific to ⌊m̃⌋ iterations).
+  const std::size_t full_needed =
+      plan.full_iterations + (plan.needs_final ? 1 : 0);
+  if (max_iterations < full_needed) {
+    plan.full_iterations = max_iterations;
+    plan.needs_final = false;
+  }
+  return run_with_plan(db, mode, plan, options);
+}
+
+}  // namespace qs

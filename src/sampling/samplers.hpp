@@ -1,0 +1,73 @@
+// Top-level samplers: the paper's Theorem 4.3 (sequential), Theorem 4.5
+// (parallel) and the centralized n=1 reference they extend.
+//
+// Each sampler builds the coordinator state over [elem, count, flag], plans
+// zero-error amplitude amplification from the PUBLIC parameters (N, M, ν)
+// only, runs the oblivious circuit against the database oracles, and
+// returns the final state together with the query ledger. For a valid
+// database the output fidelity against |ψ, 0, 0⟩ (Eq. 4) is 1 up to double
+// rounding — asserted throughout the test suite.
+#pragma once
+
+#include <vector>
+
+#include "distdb/distributed_database.hpp"
+#include "distdb/transcript.hpp"
+#include "sampling/circuit.hpp"
+
+namespace qs {
+
+struct SamplerOptions {
+  StatePrep prep = StatePrep::kHouseholder;
+  /// If non-null, every oracle call is appended (obliviousness audits).
+  Transcript* transcript = nullptr;
+  /// Record fidelity-to-target after the preparation and each Q iterate.
+  bool record_trajectory = false;
+};
+
+struct SamplerResult {
+  StateVector state;               ///< final coordinator state
+  CoordinatorLayout registers;     ///< its register handles
+  AAPlan plan;                     ///< the amplitude-amplification plan used
+  QueryStats stats;                ///< oracle-query ledger for this run
+  double fidelity = 0.0;           ///< |⟨ψ,0,0|final⟩|²
+  std::vector<double> trajectory;  ///< per-iteration fidelity (optional)
+
+  /// Amplitudes on the element register conditioned on count=0, flag=0 —
+  /// the sampling state the coordinator outputs.
+  std::vector<cplx> output_amplitudes() const;
+};
+
+/// The target full state |ψ, 0, 0⟩ for a database, on the standard layout.
+StateVector target_full_state(const DistributedDatabase& db);
+
+/// Theorem 4.3: sequential queries, O(n √(νN/M)) oracle calls.
+SamplerResult run_sequential_sampler(const DistributedDatabase& db,
+                                     const SamplerOptions& options = {});
+
+/// Theorem 4.5: parallel queries, O(√(νN/M)) rounds.
+SamplerResult run_parallel_sampler(const DistributedDatabase& db,
+                                   const SamplerOptions& options = {});
+
+/// Centralized reference: merge all machines into one and run the
+/// sequential sampler — the classic (non-distributed) quantum sampling
+/// algorithm the paper's construction generalises.
+SamplerResult run_centralized_sampler(const DistributedDatabase& db,
+                                      const SamplerOptions& options = {});
+
+/// Predicted query counts from the plan (for the benches): the sequential
+/// sampler spends 2n queries per D application, the parallel one 4 rounds.
+std::uint64_t predicted_sequential_queries(const AAPlan& plan, std::size_t n);
+std::uint64_t predicted_parallel_rounds(const AAPlan& plan);
+
+/// Run the sampler with a HARD ITERATION BUDGET: at most `max_iterations`
+/// Grover iterates (the final zero-error correction runs only if the full
+/// plan fits the budget). Models the approximate algorithms of Section 5
+/// (fidelity > 9/16 instead of exact) and feeds the fidelity-frontier
+/// experiment F7: achievable fidelity as a function of query budget.
+SamplerResult run_budgeted_sampler(const DistributedDatabase& db,
+                                   QueryMode mode,
+                                   std::size_t max_iterations,
+                                   const SamplerOptions& options = {});
+
+}  // namespace qs

@@ -1,0 +1,72 @@
+#include "sampling/schedule.hpp"
+
+#include "common/require.hpp"
+#include "distdb/distributed_database.hpp"
+
+namespace qs {
+
+namespace {
+
+/// A backend that records the schedule and does nothing else — the formal
+/// witness that the circuit driver consults only public knowledge.
+class DryRunBackend final : public SamplingBackend {
+ public:
+  DryRunBackend(std::size_t machines, Transcript& transcript)
+      : machines_(machines), transcript_(transcript) {}
+
+  std::size_t num_machines() const override { return machines_; }
+  void prep_uniform(bool) override {}
+  void phase_good(double) override {}
+  void phase_initial(double) override {}
+  void rotation_u(bool) override {}
+  void global_phase(double) override {}
+
+  void oracle(std::size_t j, bool adjoint) override {
+    transcript_.record_sequential(j, adjoint);
+  }
+  void parallel_total_shift(bool) override {
+    // The composite spends one O and one O† round (Lemma 4.4).
+    transcript_.record_parallel_round(false);
+    transcript_.record_parallel_round(true);
+  }
+
+ private:
+  std::size_t machines_;
+  Transcript& transcript_;
+};
+
+AAPlan plan_from(const PublicParams& params) {
+  QS_REQUIRE(params.universe > 0 && params.machines > 0 && params.nu > 0,
+             "invalid public parameters");
+  QS_REQUIRE(params.total > 0, "cannot schedule sampling of an empty store");
+  const double a = static_cast<double>(params.total) /
+                   (static_cast<double>(params.nu) *
+                    static_cast<double>(params.universe));
+  QS_REQUIRE(a <= 1.0 + 1e-12, "M exceeds νN — inconsistent parameters");
+  return plan_zero_error(a);
+}
+
+}  // namespace
+
+PublicParams public_params_of(const DistributedDatabase& db) {
+  return PublicParams{db.universe(), db.num_machines(), db.nu(), db.total()};
+}
+
+Transcript compile_schedule(const PublicParams& params, QueryMode mode) {
+  const AAPlan plan = plan_from(params);
+  Transcript transcript;
+  DryRunBackend backend(params.machines, transcript);
+  run_sampling_circuit(backend, mode, plan);
+  return transcript;
+}
+
+std::uint64_t compiled_schedule_length(const PublicParams& params,
+                                       QueryMode mode) {
+  const AAPlan plan = plan_from(params);
+  const auto d = static_cast<std::uint64_t>(plan.d_applications());
+  return mode == QueryMode::kSequential
+             ? d * 2 * static_cast<std::uint64_t>(params.machines)
+             : d * 4;
+}
+
+}  // namespace qs

@@ -1,0 +1,41 @@
+// Ahead-of-time compilation of the oblivious query schedule.
+//
+// Obliviousness (Section 3) means the entire coordinator↔machine
+// communication pattern is a function of PUBLIC knowledge alone. This
+// module makes that constructive: compile_schedule() produces the complete
+// transcript from (N, n, ν, M) without ever touching a database, via a
+// dry-run backend that performs no state evolution. The test suite then
+// checks that real sampler runs on ANY database with those public
+// parameters produce exactly the compiled transcript — obliviousness as an
+// executable artifact rather than a proof obligation.
+#pragma once
+
+#include <cstdint>
+
+#include "distdb/transcript.hpp"
+#include "sampling/circuit.hpp"
+
+namespace qs {
+
+/// The knowledge the coordinator is allowed to schedule from.
+struct PublicParams {
+  std::size_t universe = 0;   ///< N
+  std::size_t machines = 0;   ///< n
+  std::uint64_t nu = 0;       ///< ν
+  std::uint64_t total = 0;    ///< M
+
+  friend bool operator==(const PublicParams&, const PublicParams&) = default;
+};
+
+PublicParams public_params_of(const DistributedDatabase& db);
+
+/// Compile the full oracle-call schedule of the zero-error sampler for the
+/// given public parameters and query model.
+Transcript compile_schedule(const PublicParams& params, QueryMode mode);
+
+/// Number of oracle events the schedule will contain (cheap, no dry run):
+/// d_applications · 2n for sequential, · 4 for parallel.
+std::uint64_t compiled_schedule_length(const PublicParams& params,
+                                       QueryMode mode);
+
+}  // namespace qs

@@ -1,0 +1,58 @@
+#include "sampling/unknown_m.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/require.hpp"
+#include "qsim/controlled.hpp"
+
+namespace qs {
+
+UnknownMResult run_unknown_m_sampler(const DistributedDatabase& db,
+                                     QueryMode mode, Rng& rng,
+                                     StatePrep prep,
+                                     std::size_t max_attempts) {
+  constexpr double kPi = std::numbers::pi;
+  constexpr double kLambda = 6.0 / 5.0;  // BBHT growth factor
+  // Beyond √(νN) iterations the rotation has certainly wrapped; cap there.
+  const double m_cap = std::sqrt(static_cast<double>(db.nu()) *
+                                 static_cast<double>(db.universe())) +
+                       1.0;
+
+  db.reset_stats();
+  double m = 1.0;
+  for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    const auto bound = static_cast<std::uint64_t>(std::ceil(m));
+    const auto j = static_cast<std::size_t>(rng.uniform_below(bound));
+
+    // Fresh preparation + j plain Grover iterates. Stats accumulate on the
+    // shared database ledger across attempts.
+    SingleStateBackend backend(db, prep);
+    backend.prep_uniform(false);
+    apply_distributing_operator(backend, mode, false);
+    for (std::size_t q = 0; q < j; ++q) {
+      // One Q(π, π) iterate, phrased through the shared circuit driver.
+      apply_q_iterate(backend, mode, kPi, kPi);
+    }
+
+    // Coordinator-local measurement of the flag register.
+    const auto outcome =
+        measure_and_collapse(backend.state(), backend.registers().flag, rng);
+    if (outcome == 0) {
+      // Exact collapse onto |ψ, 0, 0⟩.
+      UnknownMResult result{std::move(backend.state()),
+                            backend.registers(), db.stats(), attempt, 0.0};
+      result.fidelity =
+          pure_fidelity(target_full_state(db), result.state);
+      return result;
+    }
+    m = std::min(kLambda * m, m_cap);
+  }
+  QS_REQUIRE(false,
+             "unknown-M sampler failed repeatedly — the database is "
+             "(almost certainly) empty");
+  // Unreachable.
+  return UnknownMResult{StateVector(RegisterLayout{}), {}, {}, 0, 0.0};
+}
+
+}  // namespace qs

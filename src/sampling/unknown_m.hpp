@@ -1,0 +1,43 @@
+// Sampling WITHOUT knowing M — the Boyer–Brassard–Høyer–Tapp exponential
+// search (the paper's reference [8]) adapted to distributed sampling.
+//
+// Theorems 4.3/4.5 assume M is public because the zero-error plan needs
+// θ = arcsin√(M/νN). When M is unknown, the BBHT schedule removes the
+// assumption at the cost of randomisation: repeatedly pick an iteration
+// count j uniformly below a growing bound m (m ← min(λm, √(νN)), λ = 6/5),
+// run j plain Grover iterates, and MEASURE the flag register. On outcome
+// "good" the coordinator's state collapses EXACTLY onto |ψ, 0, 0⟩ — the
+// same zero-error output — because Q's dynamics never leave the 2-plane
+// spanned by |ψ,0,0⟩ and the flag-1 bad state. The expected total cost is
+// O(√(νN/M)) D-applications, matching the known-M bound up to a constant.
+//
+// This needs a mid-circuit measurement; in the distributed-model
+// discussion (Section 3) the paper notes deferred measurement covers the
+// coordinator's own measurements, and here the measurement is local to the
+// coordinator (flag register only).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "sampling/samplers.hpp"
+
+namespace qs {
+
+struct UnknownMResult {
+  StateVector state;            ///< exactly |ψ, 0, 0⟩ on success
+  CoordinatorLayout registers;
+  QueryStats stats;             ///< accumulated over ALL attempts
+  std::size_t attempts = 0;     ///< circuit restarts until the good outcome
+  double fidelity = 0.0;
+};
+
+/// Run the unknown-M sampler. Throws after `max_attempts` consecutive
+/// failures (an empty database can never succeed — with data present the
+/// failure probability decays geometrically).
+UnknownMResult run_unknown_m_sampler(const DistributedDatabase& db,
+                                     QueryMode mode, Rng& rng,
+                                     StatePrep prep = StatePrep::kHouseholder,
+                                     std::size_t max_attempts = 200);
+
+}  // namespace qs

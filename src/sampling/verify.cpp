@@ -1,0 +1,27 @@
+#include "sampling/verify.hpp"
+
+#include "common/require.hpp"
+#include "qsim/measure.hpp"
+
+namespace qs {
+
+VerificationResult verify_output_distribution(const StateVector& state,
+                                              RegisterId elem,
+                                              const DistributedDatabase& db,
+                                              std::size_t shots, Rng& rng) {
+  QS_REQUIRE(shots > 0, "verification needs at least one shot");
+  const auto target = db.target_distribution();
+  QS_REQUIRE(state.layout().dim(elem) == target.size(),
+             "element register does not match the database universe");
+
+  const auto histogram = histogram_register(state, elem, rng, shots);
+
+  VerificationResult result;
+  result.shots = shots;
+  result.chi_square = chi_square_gof(histogram, target);
+  result.total_variation =
+      total_variation(normalize_histogram(histogram), target);
+  return result;
+}
+
+}  // namespace qs

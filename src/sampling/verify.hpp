@@ -1,0 +1,36 @@
+// Statistical verification of sampler outputs.
+//
+// A downstream user cannot read amplitudes off real hardware; what they CAN
+// do is measure repeatedly and test the histogram against the database's
+// frequency vector c_i/M (the defining semantics of Section 3). This helper
+// packages that check: draw `shots` computational-basis measurements of the
+// element register and run a Pearson chi-square goodness-of-fit against the
+// target distribution. A correct sampler yields uniformly-distributed
+// p-values; a broken one collapses them toward 0.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "distdb/distributed_database.hpp"
+#include "sampling/samplers.hpp"
+
+namespace qs {
+
+struct VerificationResult {
+  ChiSquareResult chi_square;
+  double total_variation = 0.0;  ///< empirical vs target
+  std::size_t shots = 0;
+  /// Convenience verdict at significance alpha.
+  bool consistent(double alpha = 0.001) const {
+    return chi_square.p_value > alpha;
+  }
+};
+
+/// Measure `state`'s element register `shots` times and test against the
+/// database's target distribution.
+VerificationResult verify_output_distribution(const StateVector& state,
+                                              RegisterId elem,
+                                              const DistributedDatabase& db,
+                                              std::size_t shots, Rng& rng);
+
+}  // namespace qs

@@ -1,0 +1,116 @@
+// Tests for the adaptive (non-oblivious) sampler (estimation/adaptive.hpp).
+#include "estimation/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "distdb/workload.hpp"
+
+namespace qs {
+namespace {
+
+/// n machines, only the first `active` hold data.
+DistributedDatabase mostly_empty_db(std::size_t machines, std::size_t active,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Dataset> datasets(machines, Dataset(64));
+  for (std::size_t j = 0; j < active; ++j) {
+    for (int e = 0; e < 6; ++e)
+      datasets[j].insert(rng.uniform_below(64), 1);
+  }
+  const auto nu = min_capacity(datasets) + 1;
+  return DistributedDatabase(std::move(datasets), nu);
+}
+
+TEST(Adaptive, SkipsEmptyMachinesAndStaysExact) {
+  const auto db = mostly_empty_db(8, 2, 3);
+  Rng rng(5);
+  const auto result =
+      run_adaptive_sampler(db, exponential_schedule(6, 32), rng);
+  EXPECT_EQ(result.misclassified, 0u);
+  EXPECT_NEAR(result.sampling.fidelity, 1.0, 1e-9);
+  std::size_t active = 0;
+  for (const auto a : result.machine_active) active += a;
+  EXPECT_EQ(active, 2u);
+}
+
+TEST(Adaptive, ProbesAloneCostMoreThanOneObliviousRun) {
+  // Reliable emptiness detection needs Grover-order queries per machine, so
+  // a SINGLE sampling task never benefits from adaptivity — empirical
+  // support for the Section 6 conjecture.
+  const auto db = mostly_empty_db(16, 2, 7);
+  Rng rng(9);
+  const auto adaptive =
+      run_adaptive_sampler(db, exponential_schedule(5, 24), rng);
+  const auto oblivious = run_sequential_sampler(db);
+  EXPECT_NEAR(adaptive.sampling.fidelity, 1.0, 1e-9);
+  EXPECT_GT(adaptive.total_cost(), oblivious.stats.total_sequential());
+}
+
+TEST(Adaptive, BeatsObliviousWhenProbesAreAmortized) {
+  // Probe once, sample many: with most machines empty, the per-sample cost
+  // drops to ~2·n_active·d_apps and the probe overhead washes out.
+  const auto db = mostly_empty_db(16, 2, 7);
+  Rng rng(9);
+  const auto adaptive =
+      run_adaptive_sampler(db, exponential_schedule(5, 16), rng);
+  const auto oblivious = run_sequential_sampler(db);
+  ASSERT_EQ(adaptive.misclassified, 0u);
+  EXPECT_NEAR(adaptive.sampling.fidelity, 1.0, 1e-9);
+  EXPECT_LT(adaptive.amortized_cost(1000),
+            static_cast<double>(oblivious.stats.total_sequential()));
+}
+
+TEST(Adaptive, LosesWhenEveryMachineHoldsData) {
+  // The probe cost is pure overhead when there is nothing to skip — the
+  // empirical side of the Section 6 conjecture.
+  const auto db = mostly_empty_db(4, 4, 11);
+  Rng rng(13);
+  const auto adaptive =
+      run_adaptive_sampler(db, exponential_schedule(5, 24), rng);
+  const auto oblivious = run_sequential_sampler(db);
+  EXPECT_NEAR(adaptive.sampling.fidelity, 1.0, 1e-9);
+  EXPECT_GT(adaptive.total_cost(), oblivious.stats.total_sequential());
+}
+
+TEST(Adaptive, MisclassificationDegradesFidelityVisibly) {
+  // Unequal loads plus a threshold sitting between them: the light machines
+  // get (wrongly, they hold data) skipped and the reported fidelity drops.
+  std::vector<Dataset> datasets(3, Dataset(64));
+  for (std::size_t i = 0; i < 12; ++i) datasets[0].insert(i, 1);  // heavy
+  for (std::size_t i = 20; i < 23; ++i) datasets[1].insert(i, 1);  // light
+  for (std::size_t i = 30; i < 33; ++i) datasets[2].insert(i, 1);  // light
+  const DistributedDatabase db(std::move(datasets), 2);
+  Rng rng(19);
+  const auto result = run_adaptive_sampler(
+      db, exponential_schedule(6, 32), rng, /*emptiness_threshold=*/7.0);
+  EXPECT_GT(result.misclassified, 0u);
+  EXPECT_LT(result.sampling.fidelity, 1.0 - 1e-6);
+}
+
+TEST(Adaptive, AllMachinesJudgedEmptyThrows) {
+  const auto db = mostly_empty_db(3, 1, 23);
+  Rng rng(29);
+  EXPECT_THROW(run_adaptive_sampler(db, exponential_schedule(4, 16), rng,
+                                    /*emptiness_threshold=*/1e9),
+               ContractViolation);
+}
+
+TEST(Adaptive, SavingIsOnlyTheMachineFactorNotTheSqrtTerm) {
+  // Empirical check of the conjecture's shape: per-D cost drops from 2n to
+  // 2·n_active, but the NUMBER of D applications (the √(νN/M) term) is
+  // unchanged.
+  const auto db = mostly_empty_db(12, 3, 31);
+  Rng rng(37);
+  const auto adaptive =
+      run_adaptive_sampler(db, exponential_schedule(5, 24), rng);
+  const auto oblivious = run_sequential_sampler(db);
+  ASSERT_EQ(adaptive.misclassified, 0u);
+  EXPECT_EQ(adaptive.sampling.plan.d_applications(),
+            oblivious.plan.d_applications());
+  EXPECT_EQ(adaptive.sampling.stats.total_sequential(),
+            2 * 3 * adaptive.sampling.plan.d_applications());
+}
+
+}  // namespace
+}  // namespace qs

@@ -1,0 +1,149 @@
+// Tests for zero-error amplitude amplification (BHMT Theorem 4 as used by
+// Theorems 4.3 / 4.5): exactness across the full parameter range, the
+// iteration-count formula, and consistency of the reduced 2×2 dynamics.
+#include "sampling/amplitude_amplification.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <tuple>
+
+#include "common/require.hpp"
+
+namespace qs {
+namespace {
+
+using cplx = std::complex<double>;
+
+TEST(AAPlan, RejectsOutOfRangeProbabilities) {
+  EXPECT_THROW(plan_zero_error(0.0), ContractViolation);
+  EXPECT_THROW(plan_zero_error(-0.1), ContractViolation);
+  EXPECT_THROW(plan_zero_error(1.5), ContractViolation);
+}
+
+TEST(AAPlan, FullProbabilityIsAlreadyExact) {
+  const auto plan = plan_zero_error(1.0);
+  EXPECT_TRUE(plan.already_exact);
+  EXPECT_EQ(plan.d_applications(), 1u);
+  const auto [good, bad] = evolve_two_level(plan);
+  EXPECT_NEAR(std::abs(good), 1.0, 1e-15);
+  EXPECT_NEAR(std::abs(bad), 0.0, 1e-15);
+}
+
+TEST(AAPlan, ZeroErrorAcrossDenseSweep) {
+  for (int i = 1; i <= 2000; ++i) {
+    const double a = i / 2000.0;
+    const auto plan = plan_zero_error(a);
+    const auto [good, bad] = evolve_two_level(plan);
+    EXPECT_NEAR(std::abs(bad), 0.0, 1e-10) << "a=" << a;
+    EXPECT_NEAR(std::abs(good), 1.0, 1e-10) << "a=" << a;
+  }
+}
+
+TEST(AAPlan, ZeroErrorAtExtremeSmallProbabilities) {
+  for (const double a : {1e-2, 1e-4, 1e-6, 1e-8}) {
+    const auto plan = plan_zero_error(a);
+    const auto [good, bad] = evolve_two_level(plan);
+    EXPECT_NEAR(std::abs(bad), 0.0, 1e-9) << "a=" << a;
+  }
+}
+
+TEST(AAPlan, IterationCountScalesAsInverseSqrtA) {
+  // ⌊π/(4 asin √a) − 1/2⌋ ≈ (π/4)/√a for small a.
+  for (const double a : {1e-2, 1e-4, 1e-6}) {
+    const auto plan = plan_zero_error(a);
+    const double predicted = std::numbers::pi / (4.0 * std::sqrt(a));
+    EXPECT_NEAR(static_cast<double>(plan.full_iterations), predicted,
+                predicted * 0.02 + 2.0)
+        << "a=" << a;
+  }
+}
+
+TEST(AAPlan, DApplicationsFormula) {
+  const auto plan = plan_zero_error(0.04);  // θ ≈ 0.2
+  const std::size_t iterations =
+      plan.full_iterations + (plan.needs_final ? 1 : 0);
+  EXPECT_EQ(plan.d_applications(), 1 + 2 * iterations);
+}
+
+TEST(AAPlan, HalfProbabilityNeedsExactlyZeroFullIterations) {
+  // a = 1/2: θ = π/4, m̃ = 1/2, ⌊m̃⌋ = 0; a single corrected iterate lands
+  // exactly.
+  const auto plan = plan_zero_error(0.5);
+  EXPECT_EQ(plan.full_iterations, 0u);
+  EXPECT_TRUE(plan.needs_final);
+  const auto [good, bad] = evolve_two_level(plan);
+  EXPECT_NEAR(std::abs(bad), 0.0, 1e-12);
+}
+
+TEST(AAPlan, IntegralMtildeNeedsNoFinalCorrection) {
+  // Choose θ = π/6: m̃ = π/(4θ) − 1/2 = 1.0 exactly, so after one Q(π,π)
+  // the good amplitude is sin(3θ) = sin(π/2) = 1.
+  const double theta = std::numbers::pi / 6.0;
+  const double a = std::sin(theta) * std::sin(theta);  // 1/4
+  const auto plan = plan_zero_error(a);
+  EXPECT_EQ(plan.full_iterations, 1u);
+  EXPECT_FALSE(plan.needs_final);
+  const auto [good, bad] = evolve_two_level(plan);
+  EXPECT_NEAR(std::abs(bad), 0.0, 1e-12);
+}
+
+TEST(PlainAA, UndershootsWithoutCorrection) {
+  // The textbook count gives success sin²((2m+1)θ), generally < 1; the
+  // zero-error variant must beat it. Check at a value where plain AA has a
+  // visible error.
+  const double a = 0.03;
+  const double theta = std::asin(std::sqrt(a));
+  const std::size_t m = plain_iteration_count(a);
+  const double plain_success =
+      std::pow(std::sin((2.0 * double(m) + 1.0) * theta), 2.0);
+  EXPECT_LT(plain_success, 1.0 - 1e-6);
+  const auto plan = plan_zero_error(a);
+  const auto [good, bad] = evolve_two_level(plan);
+  EXPECT_GT(std::norm(good), plain_success);
+  (void)bad;
+}
+
+TEST(QStep, PiPiStepMatchesGroverRotation) {
+  // With φ = ϕ = π, one Q advances the rotation angle by 2θ (up to global
+  // sign): starting at angle θ, the good amplitude becomes sin(3θ).
+  const double theta = 0.3;
+  auto [good, bad] = q_step_two_level(std::sin(theta), std::cos(theta), theta,
+                                      std::numbers::pi, std::numbers::pi);
+  EXPECT_NEAR(std::abs(good), std::abs(std::sin(3.0 * theta)), 1e-12);
+  EXPECT_NEAR(std::abs(bad), std::abs(std::cos(3.0 * theta)), 1e-12);
+}
+
+TEST(QStep, IsNormPreserving) {
+  const double theta = 0.7;
+  auto [good, bad] = q_step_two_level({0.3, 0.1}, {0.2, -0.9}, theta, 1.1,
+                                      2.2);
+  const double norm_in = std::norm(cplx{0.3, 0.1}) + std::norm(cplx{0.2, -0.9});
+  EXPECT_NEAR(std::norm(good) + std::norm(bad), norm_in, 1e-12);
+}
+
+class AASweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AASweep, TrajectoryMonotoneUntilPeak) {
+  // Under Q(π,π) the good probability is sin²((2t+1)θ): strictly
+  // increasing while (2t+1)θ ≤ π/2 — i.e. for all planned full iterations.
+  const double a = GetParam();
+  const auto plan = plan_zero_error(a);
+  double prev = a;
+  cplx good = std::sin(plan.theta), bad = std::cos(plan.theta);
+  for (std::size_t t = 0; t < plan.full_iterations; ++t) {
+    std::tie(good, bad) = q_step_two_level(good, bad, plan.theta,
+                                           std::numbers::pi, std::numbers::pi);
+    EXPECT_GT(std::norm(good) + 1e-12, prev) << "a=" << a << " t=" << t;
+    prev = std::norm(good);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, AASweep,
+                         ::testing::Values(0.001, 0.01, 0.05, 0.1, 0.25, 0.4,
+                                           0.6, 0.9, 0.99));
+
+}  // namespace
+}  // namespace qs

@@ -1,0 +1,162 @@
+// Tests for the applications layer: distributed index erasure and weighted
+// (rejection) sampling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "apps/index_erasure.hpp"
+#include "apps/weighted_sampling.hpp"
+#include "common/require.hpp"
+#include "distdb/workload.hpp"
+
+namespace qs {
+namespace {
+
+TEST(IndexErasure, InjectiveTableGivesUniformImageSuperposition) {
+  // f : [6] → [32], injective.
+  const std::vector<std::size_t> f = {3, 7, 11, 19, 23, 30};
+  const auto result =
+      distributed_index_erasure(f, 32, 2, QueryMode::kSequential);
+  EXPECT_TRUE(result.injective);
+  EXPECT_EQ(result.domain_size, 6u);
+  EXPECT_NEAR(result.sampling.fidelity, 1.0, 1e-9);
+
+  const auto amps = result.sampling.output_amplitudes();
+  for (std::size_t i = 0; i < 32; ++i) {
+    const bool in_image = std::find(f.begin(), f.end(), i) != f.end();
+    EXPECT_NEAR(std::norm(amps[i]), in_image ? 1.0 / 6.0 : 0.0, 1e-9)
+        << "image point " << i;
+  }
+}
+
+TEST(IndexErasure, ParallelModeAgrees) {
+  const std::vector<std::size_t> f = {1, 4, 9, 16, 25};
+  const auto seq = distributed_index_erasure(f, 27, 3,
+                                             QueryMode::kSequential);
+  const auto par = distributed_index_erasure(f, 27, 3, QueryMode::kParallel);
+  EXPECT_NEAR(pure_fidelity(seq.sampling.state, par.sampling.state), 1.0,
+              1e-9);
+}
+
+TEST(IndexErasure, NonInjectiveTableWeightsByMultiplicity) {
+  const std::vector<std::size_t> f = {2, 2, 2, 5};  // value 2 thrice
+  const auto result =
+      distributed_index_erasure(f, 8, 2, QueryMode::kSequential);
+  EXPECT_FALSE(result.injective);
+  const auto amps = result.sampling.output_amplitudes();
+  EXPECT_NEAR(std::norm(amps[2]), 0.75, 1e-9);
+  EXPECT_NEAR(std::norm(amps[5]), 0.25, 1e-9);
+}
+
+TEST(IndexErasure, ValidatesArguments) {
+  const std::vector<std::size_t> f = {1, 2};
+  EXPECT_THROW(distributed_index_erasure({}, 8, 1, QueryMode::kSequential),
+               ContractViolation);
+  EXPECT_THROW(distributed_index_erasure(f, 8, 3, QueryMode::kSequential),
+               ContractViolation);
+  const std::vector<std::size_t> oob = {9};
+  EXPECT_THROW(distributed_index_erasure(oob, 8, 1, QueryMode::kSequential),
+               ContractViolation);
+}
+
+DistributedDatabase weighted_test_db() {
+  std::vector<Dataset> datasets = {Dataset(16), Dataset(16)};
+  for (std::size_t i = 0; i < 8; ++i) datasets[i % 2].insert(i, 1 + i % 3);
+  const auto nu = min_capacity(datasets) + 1;
+  return DistributedDatabase(std::move(datasets), nu);
+}
+
+TEST(WeightedSampling, ExactWithKnownZ) {
+  const auto db = weighted_test_db();
+  std::vector<double> weights(16, 0.0);
+  for (std::size_t i = 0; i < 16; ++i)
+    weights[i] = 1.0 + static_cast<double>(i % 4);
+  // True Z from the data (the "public Z" scenario).
+  const auto counts = db.joint_counts();
+  double z = 0.0;
+  for (std::size_t i = 0; i < 16; ++i)
+    z += static_cast<double>(counts[i]) * weights[i];
+
+  Rng rng(3);
+  const auto result =
+      run_weighted_sampler(db, weights, QueryMode::kSequential, z,
+                           exponential_schedule(3, 8), rng);
+  EXPECT_NEAR(result.fidelity, 1.0, 1e-9);
+  EXPECT_EQ(result.estimation_cost, 0u);
+
+  // Output amplitudes match √(c_i w_i / Z).
+  const auto target = weighted_target_amplitudes(db, weights);
+  const auto& layout = result.state.layout();
+  std::vector<std::size_t> digits(3, 0);
+  for (std::size_t i = 0; i < 16; ++i) {
+    digits[result.registers.elem.value] = i;
+    EXPECT_NEAR(std::norm(result.state.amplitude(layout.index_of(digits))),
+                std::norm(target[i]), 1e-9);
+  }
+}
+
+TEST(WeightedSampling, UniformWeightsReduceToPlainSampling) {
+  const auto db = weighted_test_db();
+  const std::vector<double> weights(16, 2.5);
+  const double z = 2.5 * static_cast<double>(db.total());
+  Rng rng(5);
+  const auto weighted =
+      run_weighted_sampler(db, weights, QueryMode::kSequential, z,
+                           exponential_schedule(3, 8), rng);
+  const auto plain = run_sequential_sampler(db);
+  EXPECT_NEAR(pure_fidelity(weighted.state, plain.state), 1.0, 1e-9);
+}
+
+TEST(WeightedSampling, EstimatedZStillAchievesHighFidelity) {
+  const auto db = weighted_test_db();
+  std::vector<double> weights(16, 1.0);
+  for (std::size_t i = 0; i < 8; ++i) weights[i] = 3.0;
+  Rng rng(7);
+  const auto result = run_weighted_sampler(
+      db, weights, QueryMode::kSequential, std::nullopt,
+      exponential_schedule(7, 64), rng);
+  EXPECT_GT(result.estimation_cost, 0u);
+  EXPECT_GT(result.fidelity, 0.95);
+}
+
+TEST(WeightedSampling, ZeroWeightExcludesElements) {
+  const auto db = weighted_test_db();
+  std::vector<double> weights(16, 0.0);
+  weights[0] = 1.0;  // keep only element 0 (joint count > 0)
+  const auto counts = db.joint_counts();
+  ASSERT_GT(counts[0], 0u);
+  const double z = static_cast<double>(counts[0]);
+  Rng rng(9);
+  const auto result =
+      run_weighted_sampler(db, weights, QueryMode::kParallel, z,
+                           exponential_schedule(3, 8), rng);
+  EXPECT_NEAR(result.fidelity, 1.0, 1e-9);
+  const auto& layout = result.state.layout();
+  std::vector<std::size_t> digits(3, 0);
+  digits[result.registers.elem.value] = 0;
+  EXPECT_NEAR(std::norm(result.state.amplitude(layout.index_of(digits))),
+              1.0, 1e-9);
+}
+
+TEST(WeightedSampling, ValidatesWeights) {
+  const auto db = weighted_test_db();
+  Rng rng(11);
+  const std::vector<double> wrong_size(8, 1.0);
+  EXPECT_THROW(run_weighted_sampler(db, wrong_size, QueryMode::kSequential,
+                                    1.0, exponential_schedule(2, 4), rng),
+               ContractViolation);
+  const std::vector<double> negative = [] {
+    std::vector<double> w(16, 1.0);
+    w[3] = -0.5;
+    return w;
+  }();
+  EXPECT_THROW(weighted_target_amplitudes(db, negative), ContractViolation);
+  const std::vector<double> zero(16, 0.0);
+  EXPECT_THROW(run_weighted_sampler(db, zero, QueryMode::kSequential, 1.0,
+                                    exponential_schedule(2, 4), rng),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace qs

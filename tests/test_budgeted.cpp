@@ -1,0 +1,96 @@
+// Tests for the budgeted sampler — the approximate-algorithm regime of
+// Section 5 (fidelity > 9/16 rather than exact).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "distdb/workload.hpp"
+#include "sampling/samplers.hpp"
+
+namespace qs {
+namespace {
+
+DistributedDatabase sparse_db() {
+  // a = 32/(4·256) = 1/32 → plan has several iterations to truncate.
+  std::vector<Dataset> datasets = {Dataset(256)};
+  for (std::size_t i = 0; i < 16; ++i) datasets[0].insert(i * 16, 2);
+  return DistributedDatabase(std::move(datasets), 4);
+}
+
+TEST(Budgeted, FullBudgetReproducesExactSampler) {
+  const auto db = sparse_db();
+  const auto plan = plan_zero_error(1.0 / 32.0);
+  const std::size_t full =
+      plan.full_iterations + (plan.needs_final ? 1 : 0);
+  const auto result =
+      run_budgeted_sampler(db, QueryMode::kSequential, full);
+  EXPECT_NEAR(result.fidelity, 1.0, 1e-9);
+}
+
+TEST(Budgeted, OversizedBudgetDoesNotOvershoot) {
+  const auto db = sparse_db();
+  const auto result =
+      run_budgeted_sampler(db, QueryMode::kSequential, 10000);
+  EXPECT_NEAR(result.fidelity, 1.0, 1e-9);
+}
+
+TEST(Budgeted, ZeroBudgetLeavesPreparationOnly) {
+  const auto db = sparse_db();
+  const auto result = run_budgeted_sampler(db, QueryMode::kSequential, 0);
+  // Fidelity of A|0⟩ against the target is exactly a = 1/32.
+  EXPECT_NEAR(result.fidelity, 1.0 / 32.0, 1e-9);
+  // One D application = 2n queries.
+  EXPECT_EQ(result.stats.total_sequential(), 2 * db.num_machines());
+}
+
+TEST(Budgeted, FidelityFollowsTheRotationLaw) {
+  const auto db = sparse_db();
+  const double theta = std::asin(std::sqrt(1.0 / 32.0));
+  const auto plan = plan_zero_error(1.0 / 32.0);
+  for (std::size_t budget = 0; budget <= plan.full_iterations; ++budget) {
+    const auto result =
+        run_budgeted_sampler(db, QueryMode::kSequential, budget);
+    const double expected =
+        std::pow(std::sin((2.0 * double(budget) + 1.0) * theta), 2.0);
+    EXPECT_NEAR(result.fidelity, expected, 1e-9) << "budget=" << budget;
+  }
+}
+
+TEST(Budgeted, MonotoneUpToThePlanLength) {
+  const auto db = sparse_db();
+  double previous = 0.0;
+  const auto plan = plan_zero_error(1.0 / 32.0);
+  for (std::size_t budget = 0;
+       budget <= plan.full_iterations + (plan.needs_final ? 1 : 0);
+       ++budget) {
+    const auto result =
+        run_budgeted_sampler(db, QueryMode::kParallel, budget);
+    EXPECT_GT(result.fidelity + 1e-12, previous);
+    previous = result.fidelity;
+  }
+  EXPECT_NEAR(previous, 1.0, 1e-9);
+}
+
+TEST(Budgeted, CrossesNineSixteenthsWhereTheoryPredicts) {
+  // The Section 5 fidelity threshold 9/16: the first budget t with
+  // sin²((2t+1)θ) > 9/16.
+  const auto db = sparse_db();
+  const double theta = std::asin(std::sqrt(1.0 / 32.0));
+  std::size_t predicted = 0;
+  while (std::pow(std::sin((2.0 * double(predicted) + 1.0) * theta), 2.0) <=
+         9.0 / 16.0)
+    ++predicted;
+  for (std::size_t budget = 0; budget <= predicted; ++budget) {
+    const auto result =
+        run_budgeted_sampler(db, QueryMode::kSequential, budget);
+    if (budget < predicted) {
+      EXPECT_LE(result.fidelity, 9.0 / 16.0 + 1e-9);
+    } else {
+      EXPECT_GT(result.fidelity, 9.0 / 16.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qs

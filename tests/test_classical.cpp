@@ -1,0 +1,106 @@
+// Tests for the classical baselines (sampling/classical.hpp) — the query
+// costs the introduction's nN argument and the rejection-sampling analysis
+// predict.
+#include "sampling/classical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "distdb/workload.hpp"
+#include "qsim/measure.hpp"
+
+namespace qs {
+namespace {
+
+DistributedDatabase make_db(std::size_t universe, std::size_t machines,
+                            std::uint64_t total, std::uint64_t seed,
+                            std::uint64_t extra_nu = 0) {
+  Rng rng(seed);
+  auto datasets = workload::uniform_random(universe, machines, total, rng);
+  const auto nu = min_capacity(datasets) + extra_nu;
+  return DistributedDatabase(std::move(datasets), nu);
+}
+
+TEST(ClassicalFullScan, LearnsExactCountsWithExactlyNnQueries) {
+  const auto db = make_db(32, 4, 60, 1);
+  const auto result = classical_full_scan(db);
+  EXPECT_EQ(result.queries, 32u * 4u);
+  EXPECT_EQ(result.counts, db.joint_counts());
+}
+
+TEST(ClassicalEarlyStop, NeverExceedsFullScanAndIsCorrect) {
+  const auto db = make_db(32, 4, 60, 2);
+  const auto result = classical_early_stop_scan(db);
+  EXPECT_LE(result.queries, 32u * 4u);
+  EXPECT_EQ(result.counts, db.joint_counts());
+}
+
+TEST(ClassicalEarlyStop, StopsEarlyWhenMassIsConcentratedAtTheFront) {
+  // All mass on element 0 → the scan stops after the first column.
+  std::vector<Dataset> datasets = {Dataset::from_counts({5, 0, 0, 0, 0, 0, 0,
+                                                         0})};
+  const DistributedDatabase db(std::move(datasets), 5);
+  const auto result = classical_early_stop_scan(db);
+  EXPECT_EQ(result.queries, 1u);
+}
+
+TEST(ClassicalEarlyStop, WorstCaseIsStillNn) {
+  // All mass on the LAST element: every cell must be probed.
+  std::vector<Dataset> a = {Dataset::from_counts({0, 0, 0, 3}),
+                            Dataset::from_counts({0, 0, 0, 2})};
+  const DistributedDatabase db(std::move(a), 5);
+  const auto result = classical_early_stop_scan(db);
+  EXPECT_EQ(result.queries, 4u * 2u);
+}
+
+TEST(ClassicalRejection, ProducesExactDistribution) {
+  const auto db = make_db(8, 2, 100, 3);
+  Rng rng(4);
+  const auto result = classical_rejection_sampling(db, 100000, rng);
+  std::vector<std::uint64_t> hist(db.universe(), 0);
+  for (const auto s : result.samples) ++hist[s];
+  const auto empirical = normalize_histogram(hist);
+  EXPECT_LT(total_variation(empirical, db.target_distribution()), 0.01);
+}
+
+TEST(ClassicalRejection, ExpectedQueriesMatchTheory) {
+  // E[queries per sample] = n·νN/M.
+  const auto db = make_db(32, 3, 48, 5, 2);
+  const double n = static_cast<double>(db.num_machines());
+  const double expected_per_sample =
+      n * static_cast<double>(db.nu()) * static_cast<double>(db.universe()) /
+      static_cast<double>(db.total());
+  Rng rng(6);
+  const std::size_t samples = 4000;
+  const auto result = classical_rejection_sampling(db, samples, rng);
+  const double measured =
+      static_cast<double>(result.queries) / static_cast<double>(samples);
+  EXPECT_NEAR(measured, expected_per_sample, 0.15 * expected_per_sample);
+}
+
+TEST(ClassicalRejection, QuadraticallyWorseThanQuantumShape) {
+  // The headline comparison: classical per-sample cost ~ n·νN/M vs quantum
+  // n·√(νN/M) — the ratio must grow like √(νN/M).
+  const auto db = make_db(256, 2, 32, 7);
+  Rng rng(8);
+  const auto classical = classical_rejection_sampling(db, 500, rng);
+  const double per_sample =
+      static_cast<double>(classical.queries) / 500.0;
+  const double ratio = static_cast<double>(db.nu()) * 256.0 /
+                       static_cast<double>(db.total());
+  // classical per-sample ≈ n · ratio; quantum ≈ (π/2) n √ratio.
+  EXPECT_NEAR(per_sample, 2.0 * ratio, 0.3 * 2.0 * ratio);
+  EXPECT_GT(per_sample, 2.0 * std::sqrt(ratio));
+}
+
+TEST(ClassicalRejection, EmptyDatabaseRejected) {
+  std::vector<Dataset> datasets = {Dataset(4)};
+  const DistributedDatabase db(std::move(datasets), 1);
+  Rng rng(9);
+  EXPECT_THROW(classical_rejection_sampling(db, 1, rng), ContractViolation);
+}
+
+}  // namespace
+}  // namespace qs

@@ -1,0 +1,68 @@
+// Tests for communication-volume accounting (distdb/communication.hpp).
+#include "distdb/communication.hpp"
+
+#include <gtest/gtest.h>
+
+#include "distdb/workload.hpp"
+#include "sampling/samplers.hpp"
+
+namespace qs {
+namespace {
+
+TEST(Communication, QubitsForDimension) {
+  EXPECT_EQ(qubits_for_dimension(1), 1u);
+  EXPECT_EQ(qubits_for_dimension(2), 1u);
+  EXPECT_EQ(qubits_for_dimension(3), 2u);
+  EXPECT_EQ(qubits_for_dimension(4), 2u);
+  EXPECT_EQ(qubits_for_dimension(5), 3u);
+  EXPECT_EQ(qubits_for_dimension(1024), 10u);
+  EXPECT_EQ(qubits_for_dimension(1025), 11u);
+}
+
+TEST(Communication, SequentialLedgerTranslation) {
+  std::vector<Dataset> datasets(3, Dataset(16));
+  datasets[0].insert(0, 2);
+  const DistributedDatabase db(std::move(datasets), 3);
+  QueryStats stats;
+  stats.sequential_per_machine = {4, 2, 0};
+  const auto report = communication_report(db, stats);
+  EXPECT_EQ(report.elem_qubits, 4u);     // log2 16
+  EXPECT_EQ(report.counter_qubits, 2u);  // log2 4
+  EXPECT_EQ(report.messages, 2u * 6u);
+  EXPECT_EQ(report.qubits_moved, 2u * 6u * 6u);
+  EXPECT_EQ(report.rounds, 6u);
+}
+
+TEST(Communication, ParallelRoundLatencyIndependentOfN) {
+  std::vector<Dataset> datasets(8, Dataset(16));
+  datasets[0].insert(0, 1);
+  const DistributedDatabase db(std::move(datasets), 1);
+  QueryStats stats;
+  stats.sequential_per_machine.assign(8, 0);
+  stats.parallel_rounds = 5;
+  const auto report = communication_report(db, stats);
+  EXPECT_EQ(report.rounds, 5u);                 // latency: one per round
+  EXPECT_EQ(report.messages, 2u * 8u * 5u);     // volume: scales with n
+  // per bundle: 4 elem + 1 counter + 1 control = 6 qubits.
+  EXPECT_EQ(report.qubits_moved, 2u * 8u * 6u * 5u);
+}
+
+TEST(Communication, RealSamplerRunsCompareAsTheoryPredicts) {
+  Rng rng(3);
+  auto datasets = workload::uniform_random(64, 6, 32, rng);
+  const auto nu = min_capacity(datasets) + 1;
+  const DistributedDatabase db(std::move(datasets), nu);
+
+  const auto seq = run_sequential_sampler(db);
+  const auto seq_report = communication_report(db, seq.stats);
+  const auto par = run_parallel_sampler(db);
+  const auto par_report = communication_report(db, par.stats);
+
+  // Latency: parallel wins by ~n/2 (2n sequential queries vs 4 rounds/D).
+  EXPECT_LT(par_report.rounds, seq_report.rounds);
+  // Total volume: same order — parallelism trades latency, not bandwidth.
+  EXPECT_GT(2 * par_report.qubits_moved, seq_report.qubits_moved);
+}
+
+}  // namespace
+}  // namespace qs

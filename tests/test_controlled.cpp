@@ -1,0 +1,161 @@
+// Tests for controlled circuit fragments and mid-circuit measurement
+// (qsim/controlled.hpp).
+#include "qsim/controlled.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "qsim/gates.hpp"
+#include "qsim/operator_builder.hpp"
+
+namespace qs {
+namespace {
+
+TEST(Controlled, MatchesDenseControlledUnitary) {
+  // C-U on (control ⊗ target) vs the textbook block matrix.
+  Rng rng(3);
+  RegisterLayout layout;
+  const auto control = layout.add("c", 2);
+  const auto target = layout.add("t", 3);
+  const auto u = random_unitary(3, rng);
+
+  const auto circuit_op = operator_of_circuit(layout, [&](StateVector& s) {
+    apply_controlled(s, control, 1,
+                     [&](StateVector& slice) { slice.apply_unitary(target, u); });
+  });
+
+  Matrix expected(6, 6);
+  for (std::size_t i = 0; i < 3; ++i) expected(i, i) = 1.0;  // control=0
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) expected(3 + i, 3 + j) = u(i, j);
+  EXPECT_NEAR(Matrix::max_abs_diff(circuit_op, expected), 0.0, 1e-12);
+}
+
+TEST(Controlled, ControlOnValueZeroWorks) {
+  RegisterLayout layout;
+  const auto control = layout.add("c", 3);
+  const auto target = layout.add("t", 2);
+  // X on target when control == 0.
+  StateVector s(layout, 0);  // |c=0, t=0⟩
+  apply_controlled(s, control, 0, [&](StateVector& slice) {
+    slice.apply_unitary(target, shift_matrix(2, 1));
+  });
+  EXPECT_EQ(s.amplitude(1), cplx(1.0, 0.0));  // |c=0, t=1⟩
+  // control == 2 untouched.
+  StateVector t(layout, 4);  // |c=2, t=0⟩
+  apply_controlled(t, control, 0, [&](StateVector& slice) {
+    slice.apply_unitary(target, shift_matrix(2, 1));
+  });
+  EXPECT_EQ(t.amplitude(4), cplx(1.0, 0.0));
+}
+
+TEST(Controlled, PredicateControlSelectsBitSubspaces) {
+  // Control on "bit 1 of a dim-4 register": values 2 and 3 active.
+  RegisterLayout layout;
+  const auto control = layout.add("c", 4);
+  const auto target = layout.add("t", 2);
+  const auto op = operator_of_circuit(layout, [&](StateVector& s) {
+    apply_controlled_if(
+        s, control, [](std::size_t d) { return (d >> 1) & 1u; },
+        [&](StateVector& slice) {
+          slice.apply_unitary(target, shift_matrix(2, 1));
+        });
+  });
+  // Basis: index = c*2 + t. c ∈ {0,1}: identity; c ∈ {2,3}: X.
+  for (std::size_t c = 0; c < 4; ++c) {
+    const bool active = (c >> 1) & 1u;
+    for (std::size_t t = 0; t < 2; ++t) {
+      const std::size_t in = c * 2 + t;
+      const std::size_t out = c * 2 + (active ? 1 - t : t);
+      EXPECT_NEAR(std::abs(op(out, in) - cplx(1.0, 0.0)), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Controlled, PreservesNormOnSuperpositions) {
+  Rng rng(7);
+  RegisterLayout layout;
+  const auto control = layout.add("c", 3);
+  const auto target = layout.add("t", 4);
+  StateVector s(layout);
+  s.set_amplitudes(random_state(12, rng));
+  const auto u = random_unitary(4, rng);
+  apply_controlled(s, control, 2,
+                   [&](StateVector& slice) { slice.apply_unitary(target, u); });
+  EXPECT_NEAR(s.norm(), 1.0, 1e-12);
+}
+
+TEST(Controlled, PhaseKickbackProducesControlledPhase) {
+  // A "global" phase inside the controlled scope is a physical phase on the
+  // control — the kickback QPE relies on.
+  RegisterLayout layout;
+  const auto control = layout.add("c", 2);
+  layout.add("t", 2);
+  StateVector s(layout);
+  // (|0⟩+|1⟩)/√2 on control, |0⟩ target.
+  s.set_amplitudes({1.0 / std::sqrt(2.0), 0.0, 1.0 / std::sqrt(2.0), 0.0});
+  apply_controlled(s, control, 1, [&](StateVector& slice) {
+    slice.apply_global_phase(cplx{0.0, 1.0});  // i
+  });
+  EXPECT_NEAR(std::abs(s.amplitude(0) - cplx(1.0 / std::sqrt(2.0), 0.0)),
+              0.0, 1e-12);
+  EXPECT_NEAR(std::abs(s.amplitude(2) - cplx(0.0, 1.0 / std::sqrt(2.0))),
+              0.0, 1e-12);
+}
+
+TEST(Project, NormalisesOntoOutcome) {
+  RegisterLayout layout;
+  const auto r = layout.add("r", 2);
+  layout.add("other", 2);
+  StateVector s(layout);
+  // 0.8|0,0⟩ + 0.6|1,1⟩.
+  s.set_amplitudes({0.8, 0.0, 0.0, 0.6});
+  const double p = project_register(s, r, 1);
+  EXPECT_NEAR(p, 0.36, 1e-12);
+  EXPECT_NEAR(std::abs(s.amplitude(3) - cplx(1.0, 0.0)), 0.0, 1e-12);
+  EXPECT_EQ(s.amplitude(0), cplx(0.0, 0.0));
+  EXPECT_NEAR(s.norm(), 1.0, 1e-12);
+}
+
+TEST(Project, ZeroProbabilityOutcomeThrows) {
+  RegisterLayout layout;
+  const auto r = layout.add("r", 2);
+  StateVector s(layout, 0);
+  EXPECT_THROW(project_register(s, r, 1), ContractViolation);
+}
+
+TEST(MeasureAndCollapse, FrequenciesMatchBornRule) {
+  RegisterLayout layout;
+  const auto r = layout.add("r", 2);
+  Rng rng(11);
+  int ones = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    StateVector s(layout);
+    s.set_amplitudes({std::sqrt(0.3), std::sqrt(0.7)});
+    const auto outcome = measure_and_collapse(s, r, rng);
+    ones += (outcome == 1);
+    // Collapsed state is the outcome basis state.
+    EXPECT_NEAR(std::abs(s.amplitude(outcome)), 1.0, 1e-12);
+  }
+  EXPECT_NEAR(ones / static_cast<double>(trials), 0.7, 0.02);
+}
+
+TEST(MeasureAndCollapse, EntangledRegisterCollapsesPartner) {
+  RegisterLayout layout;
+  const auto a = layout.add("a", 2);
+  const auto b = layout.add("b", 2);
+  Rng rng(13);
+  for (int t = 0; t < 50; ++t) {
+    StateVector s(layout);
+    s.set_amplitudes({1.0 / std::sqrt(2.0), 0.0, 0.0, 1.0 / std::sqrt(2.0)});
+    const auto outcome = measure_and_collapse(s, a, rng);
+    // Perfect correlation: b must equal a.
+    EXPECT_NEAR(s.probability_of(b, outcome), 1.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace qs

@@ -1,0 +1,139 @@
+// Tests for the multiset Dataset (distdb/dataset.hpp), including a
+// property-style randomized comparison against a reference model.
+#include "distdb/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace qs {
+namespace {
+
+TEST(Dataset, StartsEmpty) {
+  Dataset d(10);
+  EXPECT_EQ(d.universe(), 10u);
+  EXPECT_EQ(d.total(), 0u);
+  EXPECT_EQ(d.support_size(), 0u);
+  EXPECT_EQ(d.max_multiplicity(), 0u);
+  EXPECT_TRUE(d.support().empty());
+}
+
+TEST(Dataset, RejectsEmptyUniverse) {
+  EXPECT_THROW(Dataset(0), ContractViolation);
+}
+
+TEST(Dataset, InsertUpdatesAggregates) {
+  Dataset d(5);
+  d.insert(2);
+  d.insert(2, 3);
+  d.insert(4);
+  EXPECT_EQ(d.count(2), 4u);
+  EXPECT_EQ(d.count(4), 1u);
+  EXPECT_EQ(d.total(), 5u);
+  EXPECT_EQ(d.support_size(), 2u);
+  EXPECT_EQ(d.max_multiplicity(), 4u);
+  EXPECT_EQ(d.support(), (std::vector<std::size_t>{2, 4}));
+}
+
+TEST(Dataset, EraseUpdatesAggregatesAndRecomputesMax) {
+  Dataset d(5);
+  d.insert(0, 5);
+  d.insert(1, 3);
+  d.erase(0, 4);
+  EXPECT_EQ(d.count(0), 1u);
+  EXPECT_EQ(d.max_multiplicity(), 3u);  // recomputed after losing the max
+  d.erase(0, 1);
+  EXPECT_EQ(d.support_size(), 1u);
+  EXPECT_EQ(d.total(), 3u);
+}
+
+TEST(Dataset, EraseMoreThanStoredThrows) {
+  Dataset d(3);
+  d.insert(1, 2);
+  EXPECT_THROW(d.erase(1, 3), ContractViolation);
+  EXPECT_THROW(d.erase(0, 1), ContractViolation);
+}
+
+TEST(Dataset, OutOfUniverseAccessThrows) {
+  Dataset d(3);
+  EXPECT_THROW(d.insert(3), ContractViolation);
+  EXPECT_THROW(d.count(5), ContractViolation);
+}
+
+TEST(Dataset, ZeroAmountOperationsAreNoops) {
+  Dataset d(3);
+  d.insert(1, 0);
+  EXPECT_EQ(d.total(), 0u);
+  EXPECT_EQ(d.support_size(), 0u);
+  d.insert(1, 2);
+  d.erase(1, 0);
+  EXPECT_EQ(d.count(1), 2u);
+}
+
+TEST(Dataset, FromCountsAndFromElementsAgree) {
+  const std::vector<std::size_t> elems = {0, 2, 2, 4, 4, 4};
+  const auto a = Dataset::from_elements(5, elems);
+  const auto b = Dataset::from_counts({1, 0, 2, 0, 3});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.total(), 6u);
+  EXPECT_EQ(a.max_multiplicity(), 3u);
+  EXPECT_EQ(a.support_size(), 3u);
+}
+
+TEST(Dataset, EqualityIsStructural) {
+  Dataset a(4), b(4);
+  a.insert(1, 2);
+  b.insert(1);
+  EXPECT_NE(a, b);
+  b.insert(1);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Dataset, RandomizedOperationsMatchReferenceModel) {
+  // Property test: after any sequence of inserts/erases, all cached
+  // aggregates agree with a recomputation from a reference map.
+  Rng rng(99);
+  const std::size_t universe = 12;
+  Dataset d(universe);
+  std::map<std::size_t, std::uint64_t> model;
+
+  for (int step = 0; step < 3000; ++step) {
+    const auto element =
+        static_cast<std::size_t>(rng.uniform_below(universe));
+    const auto amount = rng.uniform_below(4);
+    if (rng.bernoulli(0.6)) {
+      d.insert(element, amount);
+      if (amount > 0) model[element] += amount;
+    } else {
+      const std::uint64_t have = model.contains(element) ? model[element] : 0;
+      const std::uint64_t take = std::min<std::uint64_t>(have, amount);
+      d.erase(element, take);
+      if (take > 0) {
+        model[element] -= take;
+        if (model[element] == 0) model.erase(element);
+      }
+    }
+
+    if (step % 100 == 0) {
+      std::uint64_t total = 0, max_mult = 0;
+      for (const auto& [e, c] : model) {
+        total += c;
+        max_mult = std::max(max_mult, c);
+      }
+      EXPECT_EQ(d.total(), total);
+      EXPECT_EQ(d.support_size(), model.size());
+      EXPECT_EQ(d.max_multiplicity(), max_mult);
+      for (std::size_t e = 0; e < universe; ++e) {
+        const std::uint64_t expected = model.contains(e) ? model.at(e) : 0;
+        EXPECT_EQ(d.count(e), expected);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qs

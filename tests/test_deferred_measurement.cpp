@@ -1,0 +1,125 @@
+// Tests for the executable Lemma 5.3 (lowerbound/deferred_measurement.hpp):
+// deferring a measurement changes neither the fidelity nor the query count.
+#include "lowerbound/deferred_measurement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "distdb/workload.hpp"
+#include "qsim/gates.hpp"
+#include "sampling/samplers.hpp"
+
+namespace qs {
+namespace {
+
+TEST(DeferredMeasurement, CoherentCopyPreservesNormAndMarginal) {
+  Rng rng(3);
+  RegisterLayout layout;
+  const auto a = layout.add("a", 3);
+  layout.add("b", 2);
+  StateVector pre(layout);
+  pre.set_amplitudes(random_state(6, rng));
+
+  const auto deferred = defer_measurement(pre, a);
+  EXPECT_NEAR(deferred.extended.norm(), 1.0, 1e-12);
+  // The ancilla's marginal equals the measured register's marginal.
+  const auto original = pre.marginal(a);
+  const auto copied = deferred.extended.marginal(deferred.ancilla);
+  for (std::size_t v = 0; v < 3; ++v)
+    EXPECT_NEAR(original[v], copied[v], 1e-12);
+}
+
+TEST(DeferredMeasurement, FidelityEqualsEnsembleFidelity) {
+  // Lemma 5.3's core identity on random states and targets.
+  Rng rng(5);
+  RegisterLayout layout;
+  const auto a = layout.add("a", 2);
+  layout.add("b", 4);
+  for (int trial = 0; trial < 10; ++trial) {
+    StateVector pre(layout), target(layout);
+    pre.set_amplitudes(random_state(8, rng));
+    target.set_amplitudes(random_state(8, rng));
+    const auto deferred = defer_measurement(pre, a);
+    EXPECT_NEAR(deferred_fidelity(deferred, target),
+                measured_ensemble_fidelity(pre, a, target), 1e-10)
+        << "trial " << trial;
+  }
+}
+
+TEST(DeferredMeasurement, NoOpWhenRegisterIsClassical) {
+  // If the measured register is already in a basis state, measurement does
+  // nothing: ensemble fidelity equals plain pure-state fidelity.
+  Rng rng(7);
+  RegisterLayout layout;
+  const auto a = layout.add("a", 2);
+  const auto b = layout.add("b", 3);
+  StateVector pre(layout);
+  // |0⟩_a ⊗ random on b.
+  std::vector<cplx> amps(6, 0.0);
+  const auto sub = random_state(3, rng);
+  for (std::size_t j = 0; j < 3; ++j) amps[j] = sub[j];
+  pre.set_amplitudes(amps);
+  (void)b;
+
+  StateVector target(layout);
+  target.set_amplitudes(random_state(6, rng));
+  const auto deferred = defer_measurement(pre, a);
+  EXPECT_NEAR(deferred_fidelity(deferred, target),
+              pure_fidelity(target, pre), 1e-10);
+}
+
+TEST(DeferredMeasurement, OnTheSamplersFlagRegister) {
+  // The realistic case: an under-rotated sampler whose flag is measured.
+  // Deferring that measurement must not change the fidelity to |ψ,0,0⟩,
+  // and costs no extra oracle queries (the transformation touches no
+  // oracle).
+  Rng rng(9);
+  auto datasets = workload::uniform_random(16, 2, 10, rng);
+  const auto nu = min_capacity(datasets) + 2;
+  const DistributedDatabase db(std::move(datasets), nu);
+
+  const auto truncated = run_budgeted_sampler(db, QueryMode::kSequential, 1);
+  const auto queries_before = truncated.stats.total_sequential();
+  const StateVector target = target_full_state(db);
+
+  const double ensemble = measured_ensemble_fidelity(
+      truncated.state, truncated.registers.flag, target);
+  const auto deferred =
+      defer_measurement(truncated.state, truncated.registers.flag);
+  EXPECT_NEAR(deferred_fidelity(deferred, target), ensemble, 1e-10);
+  // Query ledger untouched by the transformation.
+  EXPECT_EQ(db.stats().total_sequential(), queries_before);
+}
+
+TEST(DeferredMeasurement, MeasuringTheGoodFlagKeepsExactSamplerExact) {
+  // For the zero-error sampler the flag is deterministically 0, so even
+  // the MEASURING algorithm retains fidelity 1 — and so does the deferred
+  // one.
+  Rng rng(11);
+  auto datasets = workload::uniform_random(16, 2, 12, rng);
+  const auto nu = min_capacity(datasets) + 1;
+  const DistributedDatabase db(std::move(datasets), nu);
+  const auto exact = run_sequential_sampler(db);
+  const StateVector target = target_full_state(db);
+  EXPECT_NEAR(measured_ensemble_fidelity(exact.state,
+                                         exact.registers.flag, target),
+              1.0, 1e-9);
+  const auto deferred = defer_measurement(exact.state, exact.registers.flag);
+  EXPECT_NEAR(deferred_fidelity(deferred, target), 1.0, 1e-9);
+}
+
+TEST(DeferredMeasurement, OutcomeProbabilitiesReported) {
+  RegisterLayout layout;
+  const auto a = layout.add("a", 2);
+  StateVector pre(layout);
+  pre.set_amplitudes({std::sqrt(0.3), std::sqrt(0.7)});
+  const auto deferred = defer_measurement(pre, a);
+  ASSERT_EQ(deferred.outcome_probabilities.size(), 2u);
+  EXPECT_NEAR(deferred.outcome_probabilities[0], 0.3, 1e-12);
+  EXPECT_NEAR(deferred.outcome_probabilities[1], 0.7, 1e-12);
+}
+
+}  // namespace
+}  // namespace qs

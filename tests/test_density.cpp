@@ -1,0 +1,132 @@
+// Tests for reduced density operators (qsim/density.hpp) — the machinery of
+// Lemma B.1 (output fidelity = fidelity of the traced-out element register).
+#include "qsim/density.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "qsim/gates.hpp"
+
+namespace qs {
+namespace {
+
+TEST(PartialTrace, ProductStateGivesPureReduction) {
+  RegisterLayout layout;
+  const auto a = layout.add("a", 2);
+  layout.add("b", 3);
+  // |+⟩ ⊗ |1⟩
+  StateVector s(layout);
+  std::vector<cplx> amps(6, 0.0);
+  amps[0 * 3 + 1] = 1.0 / std::sqrt(2.0);
+  amps[1 * 3 + 1] = 1.0 / std::sqrt(2.0);
+  s.set_amplitudes(amps);
+  const auto rho = partial_trace(s, {a});
+  EXPECT_NEAR(rho.trace().real(), 1.0, 1e-12);
+  EXPECT_NEAR(std::abs(rho(0, 1) - cplx(0.5, 0.0)), 0.0, 1e-12);
+  // Purity Tr ρ² = 1 for a product state.
+  EXPECT_NEAR((rho * rho).trace().real(), 1.0, 1e-12);
+}
+
+TEST(PartialTrace, MaximallyEntangledGivesMaximallyMixed) {
+  RegisterLayout layout;
+  const auto a = layout.add("a", 2);
+  layout.add("b", 2);
+  StateVector s(layout);
+  s.set_amplitudes({1.0 / std::sqrt(2.0), 0.0, 0.0, 1.0 / std::sqrt(2.0)});
+  const auto rho = partial_trace(s, {a});
+  EXPECT_NEAR(std::abs(rho(0, 0) - cplx(0.5, 0.0)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(rho(1, 1) - cplx(0.5, 0.0)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(rho(0, 1)), 0.0, 1e-12);
+  EXPECT_NEAR((rho * rho).trace().real(), 0.5, 1e-12);  // purity 1/2
+}
+
+TEST(PartialTrace, KeepingEverythingIsOuterProduct) {
+  Rng rng(7);
+  RegisterLayout layout;
+  const auto a = layout.add("a", 2);
+  const auto b = layout.add("b", 3);
+  StateVector s(layout);
+  const auto amps = random_state(6, rng);
+  s.set_amplitudes(amps);
+  const auto rho = partial_trace(s, {a, b});
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 6; ++j)
+      EXPECT_NEAR(std::abs(rho(i, j) - amps[i] * std::conj(amps[j])), 0.0,
+                  1e-12);
+}
+
+TEST(PartialTrace, KeptOrderReordersSubsystem) {
+  // Keeping {b, a} instead of {a, b} permutes the reduced matrix indices.
+  RegisterLayout layout;
+  const auto a = layout.add("a", 2);
+  const auto b = layout.add("b", 2);
+  StateVector s(layout, 1);  // |a=0, b=1⟩
+  const auto rho_ab = partial_trace(s, {a, b});
+  const auto rho_ba = partial_trace(s, {b, a});
+  // |a=0,b=1⟩ is index 1 in (a,b) ordering and index 2 in (b,a) ordering.
+  EXPECT_NEAR(rho_ab(1, 1).real(), 1.0, 1e-12);
+  EXPECT_NEAR(rho_ba(2, 2).real(), 1.0, 1e-12);
+}
+
+TEST(PartialTrace, TraceAlwaysOne) {
+  Rng rng(11);
+  RegisterLayout layout;
+  const auto a = layout.add("a", 3);
+  layout.add("b", 4);
+  const auto c = layout.add("c", 2);
+  StateVector s(layout);
+  s.set_amplitudes(random_state(24, rng));
+  for (const auto& kept :
+       {std::vector<RegisterId>{a}, std::vector<RegisterId>{c},
+        std::vector<RegisterId>{a, c}}) {
+    EXPECT_NEAR(partial_trace(s, kept).trace().real(), 1.0, 1e-12);
+  }
+}
+
+TEST(FidelityWithPure, MatchesDirectOverlapForPureStates) {
+  Rng rng(13);
+  RegisterLayout layout;
+  const auto a = layout.add("a", 4);
+  StateVector s(layout);
+  const auto amps = random_state(4, rng);
+  s.set_amplitudes(amps);
+  const auto rho = partial_trace(s, {a});
+  const auto target = random_state(4, rng);
+  cplx ip{0.0, 0.0};
+  for (std::size_t i = 0; i < 4; ++i) ip += std::conj(target[i]) * amps[i];
+  EXPECT_NEAR(fidelity_with_pure(rho, target), std::norm(ip), 1e-12);
+}
+
+TEST(FidelityWithPure, AgreesWithUhlmannFidelity) {
+  Rng rng(17);
+  RegisterLayout layout;
+  const auto a = layout.add("a", 3);
+  layout.add("env", 3);
+  StateVector s(layout);
+  s.set_amplitudes(random_state(9, rng));
+  const auto rho = partial_trace(s, {a});
+  const auto psi = random_state(3, rng);
+  Matrix sigma(3, 3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      sigma(i, j) = psi[i] * std::conj(psi[j]);
+  EXPECT_NEAR(fidelity_with_pure(rho, psi), fidelity(rho, sigma), 1e-8);
+}
+
+TEST(FidelityWithPure, EntangledStateDegradesFidelity) {
+  // A maximally entangled element register can have at most 1/d fidelity
+  // with any pure target.
+  RegisterLayout layout;
+  const auto a = layout.add("a", 2);
+  layout.add("b", 2);
+  StateVector s(layout);
+  s.set_amplitudes({1.0 / std::sqrt(2.0), 0.0, 0.0, 1.0 / std::sqrt(2.0)});
+  const auto rho = partial_trace(s, {a});
+  const std::vector<cplx> plus = {1.0 / std::sqrt(2.0), 1.0 / std::sqrt(2.0)};
+  EXPECT_NEAR(fidelity_with_pure(rho, plus), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace qs

@@ -1,0 +1,174 @@
+// Tests for exact density-matrix evolution (qsim/density_evolution.hpp) and
+// its certification of the trajectory noise channels.
+#include "qsim/density_evolution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "distdb/workload.hpp"
+#include "qsim/gates.hpp"
+#include "qsim/noise.hpp"
+#include "sampling/noisy_sampler.hpp"
+
+namespace qs {
+namespace {
+
+RegisterLayout small_layout() {
+  RegisterLayout layout;
+  layout.add("a", 2);
+  layout.add("b", 3);
+  return layout;
+}
+
+TEST(DensityState, StartsPureWithUnitTrace) {
+  DensityState rho(small_layout(), 4);
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-15);
+  EXPECT_NEAR(rho.rho()(4, 4).real(), 1.0, 1e-15);
+}
+
+TEST(DensityState, FromPureStateMatchesOuterProduct) {
+  Rng rng(3);
+  StateVector pure(small_layout());
+  pure.set_amplitudes(random_state(6, rng));
+  DensityState rho(pure);
+  EXPECT_NEAR(rho.fidelity_with(pure), 1.0, 1e-12);
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+}
+
+TEST(DensityState, UnitaryFragmentMatchesPureEvolution) {
+  Rng rng(5);
+  const auto layout = small_layout();
+  StateVector pure(layout);
+  pure.set_amplitudes(random_state(6, rng));
+  DensityState rho(pure);
+
+  const auto u = random_unitary(3, rng);
+  const auto fragment = [&](StateVector& s) {
+    s.apply_unitary(s.layout().find("b"), u);
+    s.apply_phase_on_register_value(s.layout().find("a"), 1,
+                                    cplx{0.0, 1.0});
+  };
+  fragment(pure);
+  rho.apply_unitary_fragment(fragment);
+  EXPECT_NEAR(rho.fidelity_with(pure), 1.0, 1e-10);
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-10);
+}
+
+TEST(DensityState, DephasingMatchesSingleRegisterFormula) {
+  // On a single-register layout the exact channel equals dephasing_exact.
+  RegisterLayout layout;
+  const auto r = layout.add("r", 3);
+  Rng rng(7);
+  StateVector pure(layout);
+  pure.set_amplitudes(random_state(3, rng));
+  DensityState rho(pure);
+  rho.apply_dephasing(r, 0.35);
+  const auto expected = dephasing_exact(DensityState(pure).rho(), 0.35);
+  EXPECT_NEAR(Matrix::max_abs_diff(rho.rho(), expected), 0.0, 1e-12);
+}
+
+TEST(DensityState, DepolarizingMatchesSingleRegisterFormula) {
+  RegisterLayout layout;
+  const auto r = layout.add("r", 4);
+  Rng rng(9);
+  StateVector pure(layout);
+  pure.set_amplitudes(random_state(4, rng));
+  DensityState rho(pure);
+  rho.apply_depolarizing(r, 0.6);
+  const auto expected = depolarizing_exact(DensityState(pure).rho(), 0.6);
+  EXPECT_NEAR(Matrix::max_abs_diff(rho.rho(), expected), 0.0, 1e-12);
+}
+
+TEST(DensityState, ChannelsPreserveTraceOnMultiRegisterStates) {
+  Rng rng(11);
+  const auto layout = small_layout();
+  StateVector pure(layout);
+  pure.set_amplitudes(random_state(6, rng));
+  DensityState rho(pure);
+  rho.apply_dephasing(layout.find("a"), 0.3);
+  rho.apply_depolarizing(layout.find("b"), 0.4);
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+  EXPECT_NEAR(rho.rho().hermiticity_defect(), 0.0, 1e-12);
+}
+
+TEST(DensityState, TrajectoryAverageOfNoisySamplerMatchesExactEvolution) {
+  // The headline certification: run the NOISY SEQUENTIAL SAMPLER as (a)
+  // trajectory average and (b) exact density evolution, and compare the
+  // final fidelity. Small instance: N=4, n=1, ν=2 → dim 24, rho 24x24.
+  std::vector<Dataset> datasets = {Dataset::from_counts({2, 1, 0, 1})};
+  const DistributedDatabase db(std::move(datasets), 2);
+  const double p_deph = 0.15;
+
+  // (b) exact: evolve the density matrix through the same circuit with the
+  // dephasing channel after every oracle application.
+  const auto regs = make_coordinator_layout(db.universe(), db.nu());
+  const AAPlan plan = plan_zero_error(
+      static_cast<double>(db.total()) /
+      (static_cast<double>(db.nu()) * static_cast<double>(db.universe())));
+
+  DensityState rho(regs.layout, 0);
+  // Hand-rolled circuit mirroring run_sampling_circuit with noise.
+  const auto householder = uniform_prep_householder_vector(db.universe());
+  const auto rotations = make_u_rotations(db.nu(), false);
+  const auto rotations_adj = make_u_rotations(db.nu(), true);
+  const auto apply_d = [&](DensityState& state, bool adjoint) {
+    state.apply_unitary_fragment([&](StateVector& s) {
+      db.machine(0).apply_oracle(s, regs.elem, regs.count, false);
+    });
+    state.apply_dephasing(regs.elem, p_deph);  // noise after the oracle
+    state.apply_unitary_fragment([&](StateVector& s) {
+      const auto& rots = adjoint ? rotations_adj : rotations;
+      const auto& layout = s.layout();
+      s.apply_conditioned_unitary(
+          regs.flag, [&](std::size_t base) -> const Matrix* {
+            return &rots[layout.digit(base, regs.count)];
+          });
+    });
+    state.apply_unitary_fragment([&](StateVector& s) {
+      db.machine(0).apply_oracle(s, regs.elem, regs.count, true);
+    });
+    state.apply_dephasing(regs.elem, p_deph);
+  };
+  rho.apply_unitary_fragment(
+      [&](StateVector& s) { s.apply_householder(regs.elem, householder); });
+  apply_d(rho, false);
+  for (std::size_t i = 0;
+       i < plan.full_iterations + (plan.needs_final ? 1 : 0); ++i) {
+    const bool last = plan.needs_final && i == plan.full_iterations;
+    const double varphi = last ? plan.final_varphi : std::acos(-1.0);
+    const double phi = last ? plan.final_phi : std::acos(-1.0);
+    rho.apply_unitary_fragment([&](StateVector& s) {
+      s.apply_phase_on_register_value(
+          regs.flag, 0, cplx{std::cos(varphi), std::sin(varphi)});
+    });
+    apply_d(rho, true);
+    rho.apply_unitary_fragment([&](StateVector& s) {
+      s.apply_householder(regs.elem, householder);
+      s.apply_phase_on_basis_state(0, cplx{std::cos(phi), std::sin(phi)});
+      s.apply_householder(regs.elem, householder);
+    });
+    apply_d(rho, false);
+  }
+  const double exact_fidelity = rho.fidelity_with(target_full_state(db));
+
+  // (a) trajectory average via the production noisy sampler.
+  NoiseModel noise;
+  noise.dephasing_per_round = p_deph;
+  Rng rng(13);
+  const auto trajectories =
+      run_noisy_sampler(db, QueryMode::kSequential, noise, 4000, rng);
+
+  EXPECT_NEAR(trajectories.mean_fidelity, exact_fidelity, 0.02);
+  EXPECT_LT(exact_fidelity, 0.999);  // noise actually did something
+}
+
+TEST(DensityState, RejectsOversizedInstances) {
+  RegisterLayout layout;
+  layout.add("big", 5000);
+  EXPECT_THROW(DensityState{layout}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace qs

@@ -1,0 +1,118 @@
+// Tests for the distributed database aggregate (Section 3 model).
+#include "distdb/distributed_database.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace qs {
+namespace {
+
+std::vector<Dataset> three_machines() {
+  return {Dataset::from_counts({2, 0, 1, 0}),
+          Dataset::from_counts({0, 3, 1, 0}),
+          Dataset::from_counts({1, 0, 0, 0})};
+}
+
+TEST(DistributedDatabase, Aggregates) {
+  DistributedDatabase db(three_machines(), 5);
+  EXPECT_EQ(db.num_machines(), 3u);
+  EXPECT_EQ(db.universe(), 4u);
+  EXPECT_EQ(db.nu(), 5u);
+  EXPECT_EQ(db.total(), 8u);
+  EXPECT_EQ(db.total_count(0), 3u);
+  EXPECT_EQ(db.total_count(1), 3u);
+  EXPECT_EQ(db.total_count(2), 2u);
+  EXPECT_EQ(db.total_count(3), 0u);
+  EXPECT_EQ(db.joint_counts(), (std::vector<std::uint64_t>{3, 3, 2, 0}));
+}
+
+TEST(DistributedDatabase, TargetDistributionAndAmplitudes) {
+  DistributedDatabase db(three_machines(), 5);
+  const auto p = db.target_distribution();
+  EXPECT_NEAR(p[0], 3.0 / 8.0, 1e-15);
+  EXPECT_NEAR(p[3], 0.0, 1e-15);
+  double total = 0.0;
+  for (const auto pi : p) total += pi;
+  EXPECT_NEAR(total, 1.0, 1e-15);
+  const auto amps = db.target_amplitudes();
+  for (std::size_t i = 0; i < amps.size(); ++i)
+    EXPECT_NEAR(std::norm(amps[i]), p[i], 1e-15);
+}
+
+TEST(DistributedDatabase, CapacityValidation) {
+  // Joint count of element 1 is 3; ν = 2 is illegal.
+  EXPECT_THROW(DistributedDatabase(three_machines(), 2), ContractViolation);
+  // ν = 3 is the minimum legal.
+  EXPECT_EQ(min_capacity(three_machines()), 3u);
+  EXPECT_NO_THROW(DistributedDatabase(three_machines(), 3));
+}
+
+TEST(DistributedDatabase, PerMachineCapacities) {
+  // κ_j must dominate local multiplicities and respect κ_j ≤ ν.
+  EXPECT_THROW(DistributedDatabase(three_machines(), 5, {2, 2, 1}),
+               ContractViolation);  // machine 1 holds a multiplicity 3
+  EXPECT_THROW(DistributedDatabase(three_machines(), 5, {2, 6, 1}),
+               ContractViolation);  // κ > ν
+  DistributedDatabase db(three_machines(), 5, {2, 3, 1});
+  EXPECT_EQ(db.machine(0).capacity(), 2u);
+  EXPECT_EQ(db.machine(1).capacity(), 3u);
+}
+
+TEST(DistributedDatabase, DynamicUpdatesRouteAndValidate) {
+  DistributedDatabase db(three_machines(), 3);
+  // Element 1 already has joint count 3 == ν: one more violates ν.
+  EXPECT_THROW(db.insert(0, 1), ContractViolation);
+  db.erase(1, 1);
+  EXPECT_EQ(db.total_count(1), 2u);
+  db.insert(0, 1);
+  EXPECT_EQ(db.total_count(1), 3u);
+}
+
+TEST(DistributedDatabase, StatsAggregationAndReset) {
+  DistributedDatabase db(three_machines(), 5);
+  RegisterLayout layout;
+  const auto elem = layout.add("elem", 4);
+  const auto count = layout.add("count", 6);
+  StateVector state(layout);
+  db.machine(0).apply_oracle(state, elem, count, false);
+  db.machine(0).apply_oracle(state, elem, count, true);
+  db.machine(2).apply_oracle(state, elem, count, false);
+  db.count_parallel_round();
+  const auto stats = db.stats();
+  EXPECT_EQ(stats.sequential_per_machine,
+            (std::vector<std::uint64_t>{2, 0, 1}));
+  EXPECT_EQ(stats.parallel_rounds, 1u);
+  EXPECT_EQ(stats.total_sequential(), 3u);
+  EXPECT_EQ(stats.total_machine_invocations(), 3u + 3u);
+  db.reset_stats();
+  EXPECT_EQ(db.stats().total_sequential(), 0u);
+  EXPECT_EQ(db.stats().parallel_rounds, 0u);
+}
+
+TEST(DistributedDatabase, RejectsHeterogeneousUniverses) {
+  std::vector<Dataset> bad = {Dataset(4), Dataset(5)};
+  EXPECT_THROW(DistributedDatabase(std::move(bad), 2), ContractViolation);
+}
+
+TEST(DistributedDatabase, EmptyDatabaseHasNoTargetDistribution) {
+  std::vector<Dataset> empty = {Dataset(4), Dataset(4)};
+  DistributedDatabase db(std::move(empty), 1);
+  EXPECT_EQ(db.total(), 0u);
+  EXPECT_THROW(db.target_distribution(), ContractViolation);
+}
+
+TEST(QueryStats, EqualityAndTotals) {
+  QueryStats a{{1, 2}, 3};
+  QueryStats b{{1, 2}, 3};
+  QueryStats c{{1, 2}, 4};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.total_sequential(), 3u);
+  EXPECT_EQ(a.total_machine_invocations(), 3u + 3u * 2u);
+}
+
+}  // namespace
+}  // namespace qs

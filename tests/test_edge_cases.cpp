@@ -1,0 +1,132 @@
+// Boundary-value sweeps across the whole stack: the smallest legal
+// universes, capacities and machine counts, saturation (M = νN), single
+// elements, and degenerate mixes thereof.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "distdb/workload.hpp"
+#include "sampling/hierarchical.hpp"
+#include "sampling/samplers.hpp"
+
+namespace qs {
+namespace {
+
+struct EdgeCase {
+  std::size_t universe;
+  std::vector<std::vector<std::uint64_t>> machine_counts;
+  std::uint64_t nu;
+  const char* label;
+};
+
+class EdgeSweep : public ::testing::TestWithParam<EdgeCase> {};
+
+DistributedDatabase build(const EdgeCase& c) {
+  std::vector<Dataset> datasets;
+  for (const auto& counts : c.machine_counts)
+    datasets.push_back(Dataset::from_counts(counts));
+  return DistributedDatabase(std::move(datasets), c.nu);
+}
+
+TEST_P(EdgeSweep, BothSamplersExact) {
+  const auto db = build(GetParam());
+  const auto seq = run_sequential_sampler(db);
+  EXPECT_NEAR(seq.fidelity, 1.0, 1e-9) << GetParam().label;
+  const auto par = run_parallel_sampler(db);
+  EXPECT_NEAR(par.fidelity, 1.0, 1e-9) << GetParam().label;
+}
+
+TEST_P(EdgeSweep, QueryAccountingExact) {
+  const auto db = build(GetParam());
+  const auto seq = run_sequential_sampler(db);
+  EXPECT_EQ(seq.stats.total_sequential(),
+            predicted_sequential_queries(seq.plan, db.num_machines()));
+}
+
+TEST_P(EdgeSweep, HierarchicalAgreesAtBothEndpoints) {
+  const auto db = build(GetParam());
+  const std::size_t n = db.num_machines();
+  const auto all_groups = run_hierarchical_sampler(
+      db, contiguous_partition(n, n));
+  const auto one_group =
+      run_hierarchical_sampler(db, contiguous_partition(n, 1));
+  EXPECT_NEAR(all_groups.fidelity, 1.0, 1e-9);
+  EXPECT_NEAR(one_group.fidelity, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Extremes, EdgeSweep,
+    ::testing::Values(
+        // N = 1: the whole universe is one element.
+        EdgeCase{1, {{3}}, 4, "single-element universe"},
+        EdgeCase{1, {{1}, {2}}, 3, "single element, two machines"},
+        // ν = 1: counts are 0/1 only.
+        EdgeCase{4, {{1, 0, 1, 0}}, 1, "nu=1 bitmap store"},
+        EdgeCase{4, {{1, 0, 0, 0}, {0, 0, 0, 1}}, 1, "nu=1, disjoint"},
+        // M = νN: saturated database, a = 1.
+        EdgeCase{3, {{2, 2, 2}}, 2, "saturated"},
+        EdgeCase{2, {{1, 1}, {1, 1}}, 2, "saturated two machines"},
+        // M = 1: one record in a big universe.
+        EdgeCase{32, {{0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+                       0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}},
+                 1, "single record"},
+        // Highly unbalanced machines.
+        EdgeCase{8,
+                 {{4, 4, 4, 4, 0, 0, 0, 0},
+                  {0, 0, 0, 0, 0, 0, 0, 1},
+                  {0, 0, 0, 0, 0, 0, 0, 0}},
+                 4, "unbalanced with empty machine"},
+        // One machine only (centralized special case).
+        EdgeCase{6, {{1, 2, 3, 0, 1, 0}}, 7, "centralized"}));
+
+TEST(EdgeCases, MaximallySkewedDistribution) {
+  // One heavy hitter at capacity next to singletons.
+  std::vector<Dataset> datasets = {Dataset::from_counts({16, 1, 1, 1})};
+  const DistributedDatabase db(std::move(datasets), 16);
+  const auto result = run_sequential_sampler(db);
+  EXPECT_NEAR(result.fidelity, 1.0, 1e-9);
+  const auto amps = result.output_amplitudes();
+  EXPECT_NEAR(std::norm(amps[0]), 16.0 / 19.0, 1e-9);
+}
+
+TEST(EdgeCases, ManyMachinesFewElements) {
+  std::vector<Dataset> datasets(24, Dataset(4));
+  datasets[7].insert(1, 1);
+  datasets[19].insert(3, 1);
+  const DistributedDatabase db(std::move(datasets), 2);
+  const auto result = run_sequential_sampler(db);
+  EXPECT_NEAR(result.fidelity, 1.0, 1e-9);
+  // 24 machines each queried twice per D.
+  EXPECT_EQ(result.stats.sequential_per_machine.size(), 24u);
+  for (const auto q : result.stats.sequential_per_machine)
+    EXPECT_EQ(q, 2 * result.plan.d_applications());
+}
+
+TEST(EdgeCases, NuJustAboveMinimum) {
+  // ν exactly at the joint maximum vs one above: both legal, both exact,
+  // the latter needs at least as many queries.
+  std::vector<Dataset> a = {Dataset::from_counts({3, 1, 0, 2})};
+  std::vector<Dataset> b = a;
+  const DistributedDatabase tight(std::move(a), 3);
+  const DistributedDatabase slack(std::move(b), 4);
+  const auto tight_result = run_sequential_sampler(tight);
+  const auto slack_result = run_sequential_sampler(slack);
+  EXPECT_NEAR(tight_result.fidelity, 1.0, 1e-9);
+  EXPECT_NEAR(slack_result.fidelity, 1.0, 1e-9);
+  EXPECT_GE(slack_result.stats.total_sequential(),
+            tight_result.stats.total_sequential());
+}
+
+TEST(EdgeCases, LargeSparseInstanceStaysExactAndFast) {
+  // N = 4096 with 8 records — hundreds of iterations, still exact.
+  std::vector<Dataset> datasets = {Dataset(4096), Dataset(4096)};
+  for (std::size_t i = 0; i < 8; ++i) datasets[i % 2].insert(i * 512, 1);
+  const DistributedDatabase db(std::move(datasets), 1);
+  const auto result = run_sequential_sampler(db);
+  EXPECT_NEAR(result.fidelity, 1.0, 1e-8);
+  EXPECT_GT(result.plan.full_iterations, 15u);
+}
+
+}  // namespace
+}  // namespace qs

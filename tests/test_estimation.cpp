@@ -1,0 +1,167 @@
+// Tests for quantum counting via maximum-likelihood amplitude estimation
+// (src/estimation) — the subroutine that justifies the paper's "M is
+// public" assumption.
+#include "estimation/amplitude_estimation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "distdb/workload.hpp"
+
+namespace qs {
+namespace {
+
+DistributedDatabase controlled(std::size_t universe, std::size_t machines,
+                               std::size_t support,
+                               std::uint64_t multiplicity, std::uint64_t nu) {
+  std::vector<Dataset> datasets(machines, Dataset(universe));
+  for (std::size_t i = 0; i < support; ++i)
+    datasets[i % machines].insert(i, multiplicity);
+  return DistributedDatabase(std::move(datasets), nu);
+}
+
+TEST(Schedules, ExponentialShape) {
+  const auto s = exponential_schedule(5, 10);
+  EXPECT_EQ(s.powers, (std::vector<std::size_t>{0, 1, 2, 4, 8}));
+  EXPECT_EQ(s.shots_per_power, 10u);
+  EXPECT_EQ(exponential_schedule(1, 3).powers,
+            (std::vector<std::size_t>{0}));
+  EXPECT_THROW(exponential_schedule(0, 1), ContractViolation);
+}
+
+TEST(Schedules, LinearShape) {
+  const auto s = linear_schedule(4, 5);
+  EXPECT_EQ(s.powers, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(MleCore, LikelihoodPeaksAtTrueTheta) {
+  // Perfect (expectation-valued) records must be maximised at the truth.
+  const double theta = 0.3;
+  std::vector<ShotRecord> records;
+  for (const std::size_t power : {0u, 1u, 2u, 4u, 8u}) {
+    const double p = std::pow(std::sin((2.0 * power + 1.0) * theta), 2.0);
+    records.push_back(
+        {power, static_cast<std::uint64_t>(std::llround(p * 1000000)),
+         1000000});
+  }
+  const double theta_hat = ae_maximum_likelihood(records);
+  EXPECT_NEAR(theta_hat, theta, 1e-4);
+}
+
+TEST(MleCore, HandlesExtremeAngles) {
+  // θ near 0 (empty database) and π/2 (full database).
+  for (const double theta : {0.0, std::numbers::pi / 2.0}) {
+    std::vector<ShotRecord> records;
+    for (const std::size_t power : {0u, 1u, 2u}) {
+      const double p = std::pow(std::sin((2.0 * power + 1.0) * theta), 2.0);
+      records.push_back(
+          {power, static_cast<std::uint64_t>(std::llround(p * 10000)),
+           10000});
+    }
+    EXPECT_NEAR(ae_maximum_likelihood(records), theta, 1e-3);
+  }
+}
+
+TEST(Estimate, RecoversGoodAmplitude) {
+  const auto db = controlled(64, 2, 16, 2, 4);  // a = 32/256 = 0.125
+  Rng rng(3);
+  const auto estimate = estimate_good_amplitude(
+      db, QueryMode::kSequential, exponential_schedule(6, 64), rng);
+  EXPECT_NEAR(estimate.a_hat, 0.125, 0.01);
+  EXPECT_GT(estimate.oracle_cost, 0u);
+  EXPECT_EQ(estimate.total_shots, 6u * 64u);
+}
+
+TEST(Estimate, ParallelModeAgreesAndCostsFewerOracles) {
+  const auto db = controlled(64, 4, 16, 2, 4);
+  Rng rng1(5), rng2(5);
+  const auto schedule = exponential_schedule(5, 48);
+  const auto seq =
+      estimate_good_amplitude(db, QueryMode::kSequential, schedule, rng1);
+  const auto par =
+      estimate_good_amplitude(db, QueryMode::kParallel, schedule, rng2);
+  EXPECT_NEAR(seq.a_hat, par.a_hat, 0.03);
+  EXPECT_EQ(seq.d_applications, par.d_applications);
+  // Per D: 2n=8 sequential queries vs 4 parallel rounds.
+  EXPECT_EQ(seq.oracle_cost, 2 * par.oracle_cost);
+}
+
+TEST(Estimate, TotalCountEstimation) {
+  const auto db = controlled(128, 3, 24, 3, 6);  // M = 72
+  Rng rng(7);
+  const auto estimate = estimate_total_count(
+      db, QueryMode::kSequential, exponential_schedule(7, 64), rng);
+  EXPECT_NEAR(estimate.m_hat, 72.0, 5.0);
+}
+
+TEST(Estimate, DetectsEmptyDatabase) {
+  std::vector<Dataset> datasets = {Dataset(32), Dataset(32)};
+  const DistributedDatabase db(std::move(datasets), 2);
+  Rng rng(9);
+  const auto estimate = estimate_total_count(
+      db, QueryMode::kSequential, exponential_schedule(4, 32), rng);
+  EXPECT_NEAR(estimate.m_hat, 0.0, 1.0);
+}
+
+TEST(Estimate, FullDatabase) {
+  // Every c_i = ν → a = 1.
+  const auto db = controlled(16, 2, 16, 3, 3);
+  Rng rng(11);
+  const auto estimate = estimate_good_amplitude(
+      db, QueryMode::kSequential, exponential_schedule(4, 32), rng);
+  EXPECT_NEAR(estimate.a_hat, 1.0, 0.01);
+}
+
+TEST(Estimate, PerMachineCounts) {
+  std::vector<Dataset> datasets = {Dataset(64), Dataset(64)};
+  for (std::size_t i = 0; i < 8; ++i) datasets[0].insert(i, 2);   // M_0 = 16
+  for (std::size_t i = 8; i < 12; ++i) datasets[1].insert(i, 1);  // M_1 = 4
+  const DistributedDatabase db(std::move(datasets), 4, {2, 1});
+  Rng rng(13);
+  const auto schedule = exponential_schedule(7, 64);
+  const auto m0 = estimate_machine_count(db, 0, schedule, rng);
+  const auto m1 = estimate_machine_count(db, 1, schedule, rng);
+  EXPECT_NEAR(m0.m_hat, 16.0, 2.0);
+  EXPECT_NEAR(m1.m_hat, 4.0, 1.0);
+}
+
+TEST(Estimate, PrecisionImprovesWithDeeperSchedules) {
+  // Heisenberg-style: deeper exponential schedules sharpen the estimate.
+  const auto db = controlled(256, 2, 16, 1, 4);  // a = 16/1024
+  const double truth = 16.0 / 1024.0;
+  double shallow_err = 0.0, deep_err = 0.0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng1(100 + seed), rng2(200 + seed);
+    shallow_err += std::abs(
+        estimate_good_amplitude(db, QueryMode::kParallel,
+                                exponential_schedule(2, 24), rng1)
+            .a_hat -
+        truth);
+    deep_err += std::abs(
+        estimate_good_amplitude(db, QueryMode::kParallel,
+                                exponential_schedule(8, 24), rng2)
+            .a_hat -
+        truth);
+  }
+  EXPECT_LT(deep_err, shallow_err);
+}
+
+TEST(ClassicalEstimate, ConvergesWithProbes) {
+  const auto db = controlled(64, 4, 32, 2, 4);  // M = 64
+  Rng rng(17);
+  const auto rough = classical_count_estimate(db, 200, rng);
+  const auto fine = classical_count_estimate(db, 50000, rng);
+  EXPECT_EQ(rough.probes, 200u);
+  EXPECT_NEAR(fine.m_hat, 64.0, 8.0);
+}
+
+TEST(ClassicalEstimate, RejectsZeroProbes) {
+  const auto db = controlled(8, 1, 4, 1, 1);
+  Rng rng(19);
+  EXPECT_THROW(classical_count_estimate(db, 0, rng), ContractViolation);
+}
+
+}  // namespace
+}  // namespace qs

@@ -1,0 +1,120 @@
+// Tests for the π/3 fixed-point sampler (sampling/fixed_point.hpp).
+#include "sampling/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "distdb/workload.hpp"
+#include "sampling/schedule.hpp"
+
+namespace qs {
+namespace {
+
+DistributedDatabase fp_db(std::size_t universe, std::size_t support,
+                          std::uint64_t mult, std::uint64_t nu) {
+  std::vector<Dataset> datasets = {Dataset(universe), Dataset(universe)};
+  for (std::size_t i = 0; i < support; ++i)
+    datasets[i % 2].insert(i, mult);
+  return DistributedDatabase(std::move(datasets), nu);
+}
+
+TEST(FixedPoint, ErrorCubesPerLevel) {
+  // The defining property: 1 − F at level m equals (1 − a)^(3^m).
+  const auto db = fp_db(16, 8, 1, 2);  // a = 8/32 = 0.25
+  for (std::size_t levels = 0; levels <= 3; ++levels) {
+    const auto result =
+        run_fixed_point_sampler(db, QueryMode::kSequential, levels);
+    EXPECT_NEAR(1.0 - result.fidelity, result.predicted_error, 1e-9)
+        << "levels=" << levels;
+  }
+}
+
+TEST(FixedPoint, MonotoneConvergenceToOne) {
+  const auto db = fp_db(32, 8, 1, 2);  // a = 8/64
+  double previous = 0.0;
+  for (std::size_t levels = 0; levels <= 4; ++levels) {
+    const auto result =
+        run_fixed_point_sampler(db, QueryMode::kParallel, levels);
+    EXPECT_GT(result.fidelity + 1e-12, previous) << "levels=" << levels;
+    previous = result.fidelity;
+  }
+  EXPECT_GT(previous, 0.99);
+}
+
+TEST(FixedPoint, NeverOverRotates) {
+  // Unlike plain Grover, extra levels cannot hurt: at a = 0.9 (already
+  // nearly good) a deep recursion still converges upward.
+  const auto db = fp_db(10, 9, 2, 2);  // a = 18/20 = 0.9
+  const auto shallow =
+      run_fixed_point_sampler(db, QueryMode::kSequential, 1);
+  const auto deep = run_fixed_point_sampler(db, QueryMode::kSequential, 3);
+  EXPECT_GE(deep.fidelity + 1e-12, shallow.fidelity);
+  EXPECT_NEAR(deep.fidelity, 1.0, 1e-9);
+}
+
+TEST(FixedPoint, CostIsThreeToTheLevels) {
+  const auto db = fp_db(16, 4, 1, 2);
+  for (std::size_t levels = 0; levels <= 3; ++levels) {
+    const auto result =
+        run_fixed_point_sampler(db, QueryMode::kSequential, levels);
+    const auto d_applications =
+        static_cast<std::uint64_t>(std::pow(3.0, double(levels)));
+    EXPECT_EQ(result.stats.total_sequential(),
+              d_applications * 2 * db.num_machines());
+  }
+}
+
+TEST(FixedPoint, LevelPlannerFromFloorOnly) {
+  // Planning uses only a LOWER bound on a: a_floor = 1/(νN) ("at least one
+  // record"). The resulting level count must actually deliver δ.
+  const auto db = fp_db(16, 6, 1, 2);  // true a = 6/32
+  const double a_floor = 1.0 / (2.0 * 16.0);
+  const double delta = 1e-3;
+  const auto levels = fixed_point_levels_for(a_floor, delta);
+  const auto result =
+      run_fixed_point_sampler(db, QueryMode::kSequential, levels);
+  EXPECT_LT(1.0 - result.fidelity, delta);
+}
+
+TEST(FixedPoint, LevelPlannerEdgeCases) {
+  EXPECT_EQ(fixed_point_levels_for(1.0, 0.01), 0u);  // already exact
+  EXPECT_THROW(fixed_point_levels_for(0.0, 0.1), ContractViolation);
+  EXPECT_THROW(fixed_point_levels_for(0.5, 1.5), ContractViolation);
+}
+
+TEST(FixedPoint, ScheduleIsObliviousInM) {
+  // The fixed-point schedule depends only on (n, levels) — two databases
+  // with DIFFERENT M produce identical query schedules, unlike the
+  // zero-error sampler whose iteration count reads M.
+  const auto db_small = fp_db(16, 2, 1, 2);
+  const auto db_large = fp_db(16, 8, 2, 2);
+  const auto a = run_fixed_point_sampler(db_small, QueryMode::kSequential, 2);
+  const auto b = run_fixed_point_sampler(db_large, QueryMode::kSequential, 2);
+  EXPECT_EQ(a.stats.sequential_per_machine, b.stats.sequential_per_machine);
+}
+
+TEST(FixedPoint, AgreesWithExactSamplerWhenConverged) {
+  Rng rng(7);
+  auto datasets = workload::uniform_random(24, 3, 30, rng);
+  const auto nu = min_capacity(datasets) + 1;
+  const DistributedDatabase db(std::move(datasets), nu);
+  const auto exact = run_sequential_sampler(db);
+  const auto fp = run_fixed_point_sampler(db, QueryMode::kSequential, 4);
+  EXPECT_GT(pure_fidelity(exact.state, fp.state), 0.999);
+}
+
+TEST(FixedPoint, RejectsEmptyAndExcessiveDepth) {
+  std::vector<Dataset> empty = {Dataset(8)};
+  const DistributedDatabase db(std::move(empty), 1);
+  EXPECT_THROW(run_fixed_point_sampler(db, QueryMode::kSequential, 1),
+               ContractViolation);
+  const auto ok = fp_db(8, 2, 1, 1);
+  EXPECT_THROW(run_fixed_point_sampler(ok, QueryMode::kSequential, 13),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace qs

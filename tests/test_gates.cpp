@@ -1,0 +1,111 @@
+// Tests for gate builders (qsim/gates.hpp), focusing on the properties the
+// sampling circuit relies on: both realisations of F prepare |π⟩, and the
+// rotations/shifts compose as required by Lemmas 4.1/4.2.
+#include "qsim/gates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+#include "qsim/state_vector.hpp"
+
+namespace qs {
+namespace {
+
+TEST(Prep, QftAndHouseholderAgreeOnZeroColumn) {
+  for (const std::size_t d : {2u, 5u, 16u}) {
+    const auto f = qft_matrix(d);
+    const auto h = householder_matrix(uniform_prep_householder_vector(d));
+    for (std::size_t i = 0; i < d; ++i)
+      EXPECT_NEAR(std::abs(f(i, 0) - h(i, 0)), 0.0, 1e-12) << "d=" << d;
+  }
+}
+
+TEST(Prep, HouseholderIsRealSymmetric) {
+  const auto h = householder_matrix(uniform_prep_householder_vector(6));
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_NEAR(h(i, j).imag(), 0.0, 1e-15);
+      EXPECT_NEAR(std::abs(h(i, j) - h(j, i)), 0.0, 1e-15);
+    }
+}
+
+TEST(Prep, DimensionOneIsIdentity) {
+  const auto v = uniform_prep_householder_vector(1);
+  const auto h = householder_matrix(v);
+  EXPECT_NEAR(std::abs(h(0, 0) - cplx(1.0, 0.0)), 0.0, 1e-15);
+}
+
+TEST(Shift, AdjointIsInverseShift) {
+  for (const std::size_t d : {2u, 3u, 7u}) {
+    for (std::size_t a = 0; a < d; ++a) {
+      const auto fwd = shift_matrix(d, a);
+      const auto bwd = shift_matrix(d, (d - a) % d);
+      EXPECT_NEAR(Matrix::max_abs_diff(fwd.adjoint(), bwd), 0.0, 1e-15);
+    }
+  }
+}
+
+TEST(Shift, GroupStructure) {
+  // shift(a) * shift(b) == shift(a + b mod d)
+  const std::size_t d = 6;
+  for (std::size_t a = 0; a < d; ++a)
+    for (std::size_t b = 0; b < d; ++b)
+      EXPECT_NEAR(Matrix::max_abs_diff(shift_matrix(d, a) * shift_matrix(d, b),
+                                       shift_matrix(d, (a + b) % d)),
+                  0.0, 1e-15);
+}
+
+TEST(Qft, SquaredIsParityPermutation) {
+  // F² maps |x⟩ to |-x mod d⟩ — a defining property of the DFT matrix.
+  const std::size_t d = 5;
+  const auto f = qft_matrix(d);
+  const auto f2 = f * f;
+  for (std::size_t x = 0; x < d; ++x) {
+    const std::size_t y = (d - x) % d;
+    EXPECT_NEAR(std::abs(f2(y, x) - cplx(1.0, 0.0)), 0.0, 1e-12);
+  }
+}
+
+TEST(RandomState, IsNormalised) {
+  Rng rng(3);
+  for (const std::size_t d : {1u, 2u, 17u}) {
+    const auto v = random_state(d, rng);
+    double norm_sq = 0.0;
+    for (const auto& x : v) norm_sq += std::norm(x);
+    EXPECT_NEAR(norm_sq, 1.0, 1e-12);
+  }
+}
+
+TEST(RandomUnitary, DistinctDrawsDiffer) {
+  Rng rng(5);
+  const auto u = random_unitary(3, rng);
+  const auto v = random_unitary(3, rng);
+  EXPECT_GT(Matrix::max_abs_diff(u, v), 1e-3);
+}
+
+class PrepOnStateSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PrepOnStateSweep, BothPrepsCreateUniformSuperposition) {
+  const std::size_t d = GetParam();
+  RegisterLayout layout;
+  const auto r = layout.add("r", d);
+
+  StateVector via_householder(layout);
+  via_householder.apply_householder(r, uniform_prep_householder_vector(d));
+
+  StateVector via_qft(layout);
+  via_qft.apply_unitary(r, qft_matrix(d));
+
+  EXPECT_NEAR(pure_fidelity(via_householder, via_qft), 1.0, 1e-12);
+  for (std::size_t i = 0; i < d; ++i)
+    EXPECT_NEAR(via_householder.probability_of(r, i), 1.0 / double(d), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, PrepOnStateSweep,
+                         ::testing::Values(1, 2, 3, 4, 7, 16, 33, 128));
+
+}  // namespace
+}  // namespace qs

@@ -1,0 +1,136 @@
+// Tests for the hard-input machinery of Section 5.2: Definition 5.4's
+// condition, the σ-induced relocation of Definition 5.5, and Lemma 5.6's
+// |𝒯| = C(N, m_k) counting claim (verified by exhaustive enumeration).
+#include "lowerbound/hard_inputs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/require.hpp"
+#include "common/stats.hpp"
+
+namespace qs {
+namespace {
+
+TEST(HardInputCheck, CanonicalInputSatisfiesWithAlphaOne) {
+  const auto base = make_canonical_hard_input(16, 3, 1, 4, 2);
+  const auto check = check_hard_input(base, 1, /*kappa_k=*/2, /*nu=*/2,
+                                      /*alpha=*/0.9, /*beta=*/0.9);
+  EXPECT_TRUE(check.satisfied) << check.violation;
+  EXPECT_NEAR(check.alpha, 1.0, 1e-15);  // M_k = M
+  EXPECT_NEAR(check.beta, 1.0, 1e-15);   // M_k/m_k = κ_k
+}
+
+TEST(HardInputCheck, DetectsLowAlpha) {
+  std::vector<Dataset> datasets = {Dataset::from_counts({4, 4, 0, 0}),
+                                   Dataset::from_counts({0, 0, 1, 0})};
+  const auto check = check_hard_input(datasets, 1, 1, 5, 0.5, 0.5);
+  EXPECT_FALSE(check.satisfied);
+  EXPECT_EQ(check.violation, "M_k < α·M");
+}
+
+TEST(HardInputCheck, DetectsLowBeta) {
+  // M_k/m_k = 1 but κ_k = 4 → β = 0.25 < 0.5.
+  std::vector<Dataset> datasets = {Dataset::from_counts({1, 1, 1, 1})};
+  const auto check = check_hard_input(datasets, 0, 4, 5, 0.5, 0.5);
+  EXPECT_FALSE(check.satisfied);
+  EXPECT_EQ(check.violation, "M_k/m_k < β·κ_k");
+}
+
+TEST(HardInputCheck, DetectsCapacityCollision) {
+  // Relocating machine 1's element onto machine 0's heavy element would
+  // exceed ν: max_other(3) + max_k(2) > ν(4).
+  std::vector<Dataset> datasets = {Dataset::from_counts({3, 0, 0, 0}),
+                                   Dataset::from_counts({0, 2, 2, 2})};
+  const auto check = check_hard_input(datasets, 1, 2, 4, 0.5, 0.5);
+  EXPECT_FALSE(check.satisfied);
+  EXPECT_EQ(check.violation, "max_{i,j≠k} c_ij + max_i c_ik > ν");
+}
+
+TEST(HardInputCheck, EmptyMachineRejected) {
+  std::vector<Dataset> datasets = {Dataset(4), Dataset::from_counts({1, 0, 0,
+                                                                     0})};
+  EXPECT_FALSE(check_hard_input(datasets, 0, 1, 2, 0.1, 0.1).satisfied);
+}
+
+TEST(ApplySigma, RelocatesMultiplicitiesOrderPreservingly) {
+  std::vector<Dataset> base = {Dataset::from_counts({0, 0, 0, 0, 0, 0}),
+                               Dataset::from_counts({3, 1, 2, 0, 0, 0})};
+  const std::vector<std::size_t> image = {1, 4, 5};
+  const auto relocated = apply_sigma(base, 1, image);
+  EXPECT_EQ(relocated[0], base[0]);  // other machines untouched
+  EXPECT_EQ(relocated[1].count(1), 3u);  // support[0]=0 → image[0]=1
+  EXPECT_EQ(relocated[1].count(4), 1u);  // support[1]=1 → image[1]=4
+  EXPECT_EQ(relocated[1].count(5), 2u);  // support[2]=2 → image[2]=5
+  EXPECT_EQ(relocated[1].total(), base[1].total());
+  EXPECT_EQ(relocated[1].support_size(), base[1].support_size());
+}
+
+TEST(ApplySigma, IdentityImageIsIdentity) {
+  std::vector<Dataset> base = {Dataset::from_counts({2, 0, 1, 0})};
+  const std::vector<std::size_t> image = {0, 2};
+  EXPECT_EQ(apply_sigma(base, 0, image), base);
+}
+
+TEST(ApplySigma, RejectsUnsortedOrWrongSizeImages) {
+  std::vector<Dataset> base = {Dataset::from_counts({1, 1, 0, 0})};
+  const std::vector<std::size_t> unsorted = {2, 1};
+  EXPECT_THROW(apply_sigma(base, 0, unsorted), ContractViolation);
+  const std::vector<std::size_t> duplicated = {1, 1};
+  EXPECT_THROW(apply_sigma(base, 0, duplicated), ContractViolation);
+  const std::vector<std::size_t> short_image = {1};
+  EXPECT_THROW(apply_sigma(base, 0, short_image), ContractViolation);
+}
+
+TEST(EnumerateImages, CountMatchesLemma56) {
+  // Lemma 5.6: |𝒯| = C(N, m_k). Enumeration must produce exactly that many
+  // distinct images.
+  for (const std::size_t universe : {4u, 6u, 8u}) {
+    for (std::size_t m = 0; m <= universe; ++m) {
+      const auto images = enumerate_images(universe, m);
+      EXPECT_EQ(images.size(), binomial(universe, m).value())
+          << "N=" << universe << " m=" << m;
+      const std::set<std::vector<std::size_t>> distinct(images.begin(),
+                                                        images.end());
+      EXPECT_EQ(distinct.size(), images.size());
+    }
+  }
+}
+
+TEST(EnumerateImages, FamilyMembersAreDistinctDatabases) {
+  // The distinctness claim inside Lemma 5.6: different images give
+  // different relocated datasets.
+  std::vector<Dataset> base = {Dataset::from_counts({2, 1, 0, 0, 0})};
+  const auto images = enumerate_images(5, 2);
+  std::set<std::vector<std::uint64_t>> seen;
+  for (const auto& image : images) {
+    const auto relocated = apply_sigma(base, 0, image);
+    seen.insert(relocated[0].counts());
+  }
+  EXPECT_EQ(seen.size(), images.size());
+}
+
+TEST(SampleImage, UniformOverTheFamily) {
+  Rng rng(17);
+  std::map<std::vector<std::size_t>, int> hist;
+  const int draws = 30000;
+  for (int i = 0; i < draws; ++i) ++hist[sample_image(5, 2, rng)];
+  EXPECT_EQ(hist.size(), 10u);  // C(5,2)
+  for (const auto& [image, count] : hist)
+    EXPECT_NEAR(count / static_cast<double>(draws), 0.1, 0.015);
+}
+
+TEST(SampleImage, AlwaysValidForApplySigma) {
+  Rng rng(19);
+  std::vector<Dataset> base = {Dataset::from_counts({1, 2, 3, 0, 0, 0, 0,
+                                                     0})};
+  for (int i = 0; i < 200; ++i) {
+    const auto image = sample_image(8, 3, rng);
+    EXPECT_NO_THROW(apply_sigma(base, 0, image));
+  }
+}
+
+}  // namespace
+}  // namespace qs

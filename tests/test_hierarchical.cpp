@@ -1,0 +1,176 @@
+// Tests for the hierarchical query architecture (sampling/hierarchical.hpp)
+// — Section 6's quantum-network direction: group-parallel, cross-group
+// sequential, interpolating between Theorems 4.3 and 4.5.
+#include "sampling/hierarchical.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "distdb/workload.hpp"
+#include "sampling/noisy_sampler.hpp"
+
+namespace qs {
+namespace {
+
+DistributedDatabase test_db(std::size_t machines, std::uint64_t seed = 5) {
+  Rng rng(seed);
+  auto datasets = workload::uniform_random(32, machines, 40, rng);
+  const auto nu = min_capacity(datasets) + 1;
+  return DistributedDatabase(std::move(datasets), nu);
+}
+
+TEST(Partition, ContiguousCoversAndBalances) {
+  const auto p = contiguous_partition(10, 3);
+  ASSERT_EQ(p.num_groups(), 3u);
+  EXPECT_NO_THROW(p.validate(10));
+  std::size_t total = 0;
+  for (const auto& g : p.groups) {
+    EXPECT_GE(g.size(), 3u);
+    EXPECT_LE(g.size(), 4u);
+    total += g.size();
+  }
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(Partition, EndpointShapes) {
+  const auto singletons = contiguous_partition(5, 5);
+  for (const auto& g : singletons.groups) EXPECT_EQ(g.size(), 1u);
+  const auto one = contiguous_partition(5, 1);
+  EXPECT_EQ(one.groups[0].size(), 5u);
+}
+
+TEST(Partition, ValidationCatchesBadPartitions) {
+  Partition missing;
+  missing.groups = {{0, 1}};  // machine 2 uncovered
+  EXPECT_THROW(missing.validate(3), ContractViolation);
+
+  Partition duplicated;
+  duplicated.groups = {{0, 1}, {1, 2}};
+  EXPECT_THROW(duplicated.validate(3), ContractViolation);
+
+  Partition empty_group;
+  empty_group.groups = {{0, 1, 2}, {}};
+  EXPECT_THROW(empty_group.validate(3), ContractViolation);
+
+  Partition out_of_range;
+  out_of_range.groups = {{0, 3}};
+  EXPECT_THROW(out_of_range.validate(2), ContractViolation);
+
+  EXPECT_THROW(contiguous_partition(4, 5), ContractViolation);
+  EXPECT_THROW(contiguous_partition(4, 0), ContractViolation);
+}
+
+TEST(Hierarchical, RoundsPerDFormula) {
+  Partition p;
+  p.groups = {{0}, {1, 2}, {3}, {4, 5, 6}};
+  // 2 + 4 + 2 + 4 = 12.
+  EXPECT_EQ(hierarchical_rounds_per_d(p), 12u);
+}
+
+TEST(Hierarchical, ExactForEveryGroupCount) {
+  const auto db = test_db(8);
+  for (const std::size_t groups : {1u, 2u, 3u, 4u, 8u}) {
+    const auto partition = contiguous_partition(8, groups);
+    const auto result = run_hierarchical_sampler(db, partition);
+    EXPECT_NEAR(result.fidelity, 1.0, 1e-9) << "groups=" << groups;
+    EXPECT_EQ(result.group_rounds,
+              hierarchical_rounds_per_d(partition) *
+                  result.plan.d_applications());
+  }
+}
+
+TEST(Hierarchical, MatchesSequentialAtSingletonPartition) {
+  const auto db = test_db(4);
+  const auto hier =
+      run_hierarchical_sampler(db, contiguous_partition(4, 4));
+  const auto seq = run_sequential_sampler(db);
+  EXPECT_NEAR(pure_fidelity(hier.state, seq.state), 1.0, 1e-10);
+  // Singleton groups: 2n rounds per D = the sequential query count.
+  EXPECT_EQ(hier.group_rounds, seq.stats.total_sequential());
+}
+
+TEST(Hierarchical, MatchesParallelAtOneGroup) {
+  const auto db = test_db(4);
+  const auto hier = run_hierarchical_sampler(db, contiguous_partition(4, 1));
+  const auto par = run_parallel_sampler(db);
+  EXPECT_NEAR(pure_fidelity(hier.state, par.state), 1.0, 1e-10);
+  EXPECT_EQ(hier.group_rounds, par.stats.parallel_rounds);
+}
+
+TEST(Hierarchical, CostInterpolatesMonotonically) {
+  const auto db = test_db(16);
+  std::uint64_t previous = 0;
+  for (const std::size_t groups : {1u, 2u, 4u, 8u, 16u}) {
+    const auto result =
+        run_hierarchical_sampler(db, contiguous_partition(16, groups));
+    EXPECT_GE(result.group_rounds, previous) << "groups=" << groups;
+    previous = result.group_rounds;
+  }
+}
+
+TEST(Hierarchical, NonContiguousPartitionWorks) {
+  const auto db = test_db(6);
+  Partition p;
+  p.groups = {{5, 0}, {2, 4}, {1, 3}};
+  const auto result = run_hierarchical_sampler(db, p);
+  EXPECT_NEAR(result.fidelity, 1.0, 1e-9);
+}
+
+TEST(Hierarchical, QftPrepAgrees) {
+  const auto db = test_db(4);
+  const auto result = run_hierarchical_sampler(
+      db, contiguous_partition(4, 2), StatePrep::kQft);
+  EXPECT_NEAR(result.fidelity, 1.0, 1e-9);
+}
+
+TEST(Hierarchical, EmptyDatabaseRejected) {
+  std::vector<Dataset> datasets = {Dataset(8), Dataset(8)};
+  const DistributedDatabase db(std::move(datasets), 1);
+  EXPECT_THROW(run_hierarchical_sampler(db, contiguous_partition(2, 2)),
+               ContractViolation);
+}
+
+TEST(HierarchicalNoise, NoiselessTrajectoriesAreExact) {
+  const auto db = test_db(6);
+  Rng rng(31);
+  const auto result = run_noisy_hierarchical_sampler(
+      db, contiguous_partition(6, 3), NoiseModel{}, 3, rng);
+  EXPECT_NEAR(result.mean_fidelity, 1.0, 1e-9);
+  EXPECT_NEAR(result.stddev_fidelity, 0.0, 1e-12);
+}
+
+TEST(HierarchicalNoise, PerRoundNoiseOrdersByGroupCount) {
+  // More groups => more rounds => lower fidelity under per-round noise.
+  const auto db = test_db(8);
+  NoiseModel noise;
+  noise.dephasing_per_round = 0.01;
+  Rng rng1(37), rng2(38);
+  const auto few = run_noisy_hierarchical_sampler(
+      db, contiguous_partition(8, 1), noise, 48, rng1);
+  const auto many = run_noisy_hierarchical_sampler(
+      db, contiguous_partition(8, 8), noise, 48, rng2);
+  EXPECT_GT(few.mean_fidelity, many.mean_fidelity);
+  EXPECT_LT(few.group_rounds, many.group_rounds);
+}
+
+TEST(HierarchicalNoise, MatchesFlatSamplersAtTheEndpoints) {
+  // Under the same per-round rate, g=n behaves like the sequential noisy
+  // sampler and g=1 like the parallel one (within sampling error).
+  const auto db = test_db(6);
+  NoiseModel noise;
+  noise.dephasing_per_round = 0.02;
+  Rng r1(41), r2(42), r3(43), r4(44);
+  const auto hier_seq = run_noisy_hierarchical_sampler(
+      db, contiguous_partition(6, 6), noise, 64, r1);
+  const auto flat_seq =
+      run_noisy_sampler(db, QueryMode::kSequential, noise, 64, r2);
+  const auto hier_par = run_noisy_hierarchical_sampler(
+      db, contiguous_partition(6, 1), noise, 64, r3);
+  const auto flat_par =
+      run_noisy_sampler(db, QueryMode::kParallel, noise, 64, r4);
+  EXPECT_NEAR(hier_seq.mean_fidelity, flat_seq.mean_fidelity, 0.12);
+  EXPECT_NEAR(hier_par.mean_fidelity, flat_par.mean_fidelity, 0.12);
+}
+
+}  // namespace
+}  // namespace qs

@@ -1,0 +1,143 @@
+// Tests for iterative amplitude estimation (estimation/iqae.hpp).
+#include "estimation/iqae.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "distdb/workload.hpp"
+#include "estimation/amplitude_estimation.hpp"
+
+namespace qs {
+namespace {
+
+DistributedDatabase controlled(std::size_t universe, std::size_t support,
+                               std::uint64_t mult, std::uint64_t nu) {
+  std::vector<Dataset> datasets(2, Dataset(universe));
+  for (std::size_t i = 0; i < support; ++i) datasets[i % 2].insert(i, mult);
+  return DistributedDatabase(std::move(datasets), nu);
+}
+
+TEST(Iqae, ConvergesAndCoversTruth) {
+  const auto db = controlled(64, 16, 2, 4);  // a = 32/256 = 0.125
+  IqaeOptions options;
+  options.epsilon = 0.004;
+  int covered = 0, converged = 0;
+  const int trials = 12;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(500 + t);
+    const auto result =
+        iqae_estimate_good_amplitude(db, QueryMode::kParallel, options, rng);
+    converged += result.converged;
+    covered += (0.125 >= result.a_lo - 1e-9 && 0.125 <= result.a_hi + 1e-9);
+    EXPECT_LE(result.a_hi - result.a_lo,
+              2.5 * 2.0 * options.epsilon);  // interval near target width
+  }
+  EXPECT_EQ(converged, trials);
+  // Nominal coverage 95%; allow one miss in 12.
+  EXPECT_GE(covered, trials - 1);
+}
+
+TEST(Iqae, PrecisionKnobWorks) {
+  const auto db = controlled(64, 8, 1, 2);  // a = 8/128
+  Rng rng1(3), rng2(4);
+  IqaeOptions loose;
+  loose.epsilon = 0.02;
+  IqaeOptions tight;
+  tight.epsilon = 0.002;
+  const auto coarse =
+      iqae_estimate_good_amplitude(db, QueryMode::kParallel, loose, rng1);
+  const auto fine =
+      iqae_estimate_good_amplitude(db, QueryMode::kParallel, tight, rng2);
+  EXPECT_LT(fine.a_hi - fine.a_lo, coarse.a_hi - coarse.a_lo);
+  EXPECT_GT(fine.oracle_cost, coarse.oracle_cost);
+}
+
+TEST(Iqae, NearHeisenbergCostScaling) {
+  // Cost should grow roughly like 1/ε (up to logs), far better than the
+  // classical 1/ε².
+  const auto db = controlled(64, 8, 1, 2);
+  std::uint64_t cost_2e2 = 0, cost_2e3 = 0;
+  {
+    Rng rng(5);
+    IqaeOptions options;
+    options.epsilon = 0.02;
+    cost_2e2 = iqae_estimate_good_amplitude(db, QueryMode::kParallel,
+                                            options, rng)
+                   .oracle_cost;
+  }
+  {
+    Rng rng(6);
+    IqaeOptions options;
+    options.epsilon = 0.002;
+    cost_2e3 = iqae_estimate_good_amplitude(db, QueryMode::kParallel,
+                                            options, rng)
+                   .oracle_cost;
+  }
+  const double ratio = double(cost_2e3) / double(cost_2e2);
+  EXPECT_LT(ratio, 40.0);  // classical would need ~100x
+  EXPECT_GT(ratio, 2.0);
+}
+
+TEST(Iqae, HandlesExtremeAmplitudes) {
+  // Near-zero a.
+  const auto sparse = controlled(256, 1, 1, 2);  // a = 1/512
+  Rng rng1(7);
+  IqaeOptions options;
+  options.epsilon = 0.002;
+  const auto low =
+      iqae_estimate_good_amplitude(sparse, QueryMode::kParallel, options,
+                                   rng1);
+  EXPECT_LE(low.a_lo, 1.0 / 512.0 + 2e-3);
+  EXPECT_LT(low.a_hat, 0.01);
+
+  // Near-one a.
+  const auto dense = controlled(8, 8, 2, 2);  // a = 1
+  Rng rng2(8);
+  const auto high = iqae_estimate_good_amplitude(dense, QueryMode::kParallel,
+                                                 options, rng2);
+  EXPECT_GT(high.a_hat, 0.98);
+}
+
+TEST(Iqae, CountingWrapperScalesInterval) {
+  const auto db = controlled(64, 16, 2, 4);  // M = 32
+  Rng rng(9);
+  IqaeOptions options;
+  options.epsilon = 0.004;
+  const auto count =
+      iqae_estimate_total_count(db, QueryMode::kParallel, options, rng);
+  EXPECT_LE(count.m_lo, 32.0 + 1e-6);
+  EXPECT_GE(count.m_hi, 32.0 - 1e-6);
+  EXPECT_NEAR(count.m_hat, 32.0, 3.0);
+}
+
+TEST(Iqae, AgreesWithMlae) {
+  const auto db = controlled(64, 12, 1, 2);
+  Rng rng1(11), rng2(12);
+  IqaeOptions options;
+  options.epsilon = 0.005;
+  const auto iqae =
+      iqae_estimate_good_amplitude(db, QueryMode::kParallel, options, rng1);
+  const auto mlae = estimate_good_amplitude(
+      db, QueryMode::kParallel, exponential_schedule(7, 32), rng2);
+  EXPECT_NEAR(iqae.a_hat, mlae.a_hat, 0.01);
+}
+
+TEST(Iqae, ValidatesOptions) {
+  const auto db = controlled(8, 2, 1, 1);
+  Rng rng(13);
+  IqaeOptions bad;
+  bad.epsilon = 0.0;
+  EXPECT_THROW(
+      iqae_estimate_good_amplitude(db, QueryMode::kParallel, bad, rng),
+      ContractViolation);
+  bad.epsilon = 0.01;
+  bad.alpha = 0.0;
+  EXPECT_THROW(
+      iqae_estimate_good_amplitude(db, QueryMode::kParallel, bad, rng),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace qs

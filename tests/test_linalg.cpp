@@ -1,0 +1,236 @@
+// Tests for the dense linear algebra substrate (qsim/linalg.hpp).
+#include "qsim/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "qsim/gates.hpp"
+
+namespace qs {
+namespace {
+
+Matrix random_hermitian(std::size_t d, Rng& rng) {
+  Matrix a(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    a(i, i) = rng.normal();
+    for (std::size_t j = i + 1; j < d; ++j) {
+      const cplx x(rng.normal(), rng.normal());
+      a(i, j) = x;
+      a(j, i) = std::conj(x);
+    }
+  }
+  return a;
+}
+
+TEST(Matrix, IdentityAndTrace) {
+  const auto eye = Matrix::identity(4);
+  EXPECT_EQ(eye.trace(), cplx(4.0, 0.0));
+  EXPECT_NEAR(eye.unitarity_defect(), 0.0, 1e-15);
+  EXPECT_NEAR(eye.hermiticity_defect(), 0.0, 1e-15);
+}
+
+TEST(Matrix, ProductMatchesHandComputation) {
+  const auto a = Matrix::from_rows(2, 2, {1.0, 2.0, 3.0, 4.0});
+  const auto b = Matrix::from_rows(2, 2, {5.0, 6.0, 7.0, 8.0});
+  const auto c = a * b;
+  EXPECT_EQ(c(0, 0), cplx(19.0, 0.0));
+  EXPECT_EQ(c(0, 1), cplx(22.0, 0.0));
+  EXPECT_EQ(c(1, 0), cplx(43.0, 0.0));
+  EXPECT_EQ(c(1, 1), cplx(50.0, 0.0));
+}
+
+TEST(Matrix, AdjointConjugatesAndTransposes) {
+  auto a = Matrix(2, 3);
+  a(0, 1) = cplx(1.0, 2.0);
+  const auto ad = a.adjoint();
+  EXPECT_EQ(ad.rows(), 3u);
+  EXPECT_EQ(ad.cols(), 2u);
+  EXPECT_EQ(ad(1, 0), cplx(1.0, -2.0));
+}
+
+TEST(Matrix, ApplyMatchesManualMatVec) {
+  const auto a = Matrix::from_rows(2, 2, {cplx(0, 1), 1.0, 2.0, cplx(0, -1)});
+  const auto y = a.apply({cplx(1.0, 0.0), cplx(0.0, 1.0)});
+  EXPECT_EQ(y[0], cplx(0.0, 2.0));
+  EXPECT_EQ(y[1], cplx(3.0, 0.0));
+}
+
+TEST(Matrix, ShapeMismatchesThrow) {
+  const Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a * b, ContractViolation);
+  EXPECT_THROW(a.apply({1.0, 2.0}), ContractViolation);
+  EXPECT_THROW(a.trace(), ContractViolation);
+}
+
+TEST(Matrix, RandomUnitaryIsUnitary) {
+  Rng rng(3);
+  for (const std::size_t d : {2u, 3u, 5u, 8u}) {
+    const auto u = random_unitary(d, rng);
+    EXPECT_NEAR(u.unitarity_defect(), 0.0, 1e-10) << "d=" << d;
+  }
+}
+
+TEST(Kron, DimensionsAndBlockStructure) {
+  const auto a = Matrix::from_rows(2, 2, {1.0, 0.0, 0.0, 2.0});
+  const auto b = Matrix::from_rows(2, 2, {0.0, 1.0, 1.0, 0.0});
+  const auto k = kron(a, b);
+  ASSERT_EQ(k.rows(), 4u);
+  EXPECT_EQ(k(0, 1), cplx(1.0, 0.0));
+  EXPECT_EQ(k(1, 0), cplx(1.0, 0.0));
+  EXPECT_EQ(k(2, 3), cplx(2.0, 0.0));
+  EXPECT_EQ(k(3, 2), cplx(2.0, 0.0));
+  EXPECT_EQ(k(0, 0), cplx(0.0, 0.0));
+}
+
+TEST(Kron, OfUnitariesIsUnitary) {
+  Rng rng(11);
+  const auto u = random_unitary(3, rng);
+  const auto v = random_unitary(2, rng);
+  EXPECT_NEAR(kron(u, v).unitarity_defect(), 0.0, 1e-10);
+}
+
+TEST(HermitianEigen, DiagonalMatrix) {
+  auto a = Matrix(3, 3);
+  a(0, 0) = 3.0;
+  a(1, 1) = 1.0;
+  a(2, 2) = 2.0;
+  const auto vals = hermitian_eigen(a);
+  ASSERT_EQ(vals.size(), 3u);
+  EXPECT_NEAR(vals[0], 1.0, 1e-12);
+  EXPECT_NEAR(vals[1], 2.0, 1e-12);
+  EXPECT_NEAR(vals[2], 3.0, 1e-12);
+}
+
+TEST(HermitianEigen, PauliXEigenvalues) {
+  auto x = Matrix(2, 2);
+  x(0, 1) = 1.0;
+  x(1, 0) = 1.0;
+  const auto vals = hermitian_eigen(x);
+  EXPECT_NEAR(vals[0], -1.0, 1e-12);
+  EXPECT_NEAR(vals[1], 1.0, 1e-12);
+}
+
+TEST(HermitianEigen, ReconstructsRandomMatrices) {
+  Rng rng(17);
+  for (const std::size_t d : {2u, 4u, 7u, 12u}) {
+    const auto a = random_hermitian(d, rng);
+    Matrix v;
+    const auto vals = hermitian_eigen(a, &v);
+    EXPECT_NEAR(v.unitarity_defect(), 0.0, 1e-9) << "d=" << d;
+    // A == V diag(vals) V†
+    Matrix diag(d, d);
+    for (std::size_t i = 0; i < d; ++i) diag(i, i) = vals[i];
+    const auto rebuilt = v * diag * v.adjoint();
+    EXPECT_NEAR(Matrix::max_abs_diff(a, rebuilt), 0.0, 1e-9) << "d=" << d;
+  }
+}
+
+TEST(HermitianEigen, RejectsNonHermitian) {
+  auto a = Matrix(2, 2);
+  a(0, 1) = 1.0;  // not mirrored
+  EXPECT_THROW(hermitian_eigen(a), ContractViolation);
+}
+
+TEST(PsdSqrt, SquaresBack) {
+  Rng rng(23);
+  for (const std::size_t d : {2u, 5u}) {
+    // Build PSD as B B†.
+    const auto b = random_unitary(d, rng);
+    Matrix diag(d, d);
+    for (std::size_t i = 0; i < d; ++i) diag(i, i) = rng.uniform01() + 0.1;
+    const auto psd = b * diag * b.adjoint();
+    const auto root = psd_sqrt(psd);
+    EXPECT_NEAR(Matrix::max_abs_diff(root * root, psd), 0.0, 1e-9);
+    EXPECT_NEAR(root.hermiticity_defect(), 0.0, 1e-9);
+  }
+}
+
+TEST(Fidelity, PureStatesMatchInnerProduct) {
+  Rng rng(29);
+  const std::size_t d = 6;
+  const auto psi = random_state(d, rng);
+  const auto phi = random_state(d, rng);
+  Matrix rho(d, d), sigma(d, d);
+  for (std::size_t i = 0; i < d; ++i)
+    for (std::size_t j = 0; j < d; ++j) {
+      rho(i, j) = psi[i] * std::conj(psi[j]);
+      sigma(i, j) = phi[i] * std::conj(phi[j]);
+    }
+  cplx ip{0.0, 0.0};
+  for (std::size_t i = 0; i < d; ++i) ip += std::conj(psi[i]) * phi[i];
+  EXPECT_NEAR(fidelity(rho, sigma), std::norm(ip), 1e-8);
+}
+
+TEST(Fidelity, IdenticalStatesGiveOne) {
+  const std::size_t d = 4;
+  Matrix rho(d, d);
+  for (std::size_t i = 0; i < d; ++i) rho(i, i) = 0.25;  // maximally mixed
+  EXPECT_NEAR(fidelity(rho, rho), 1.0, 1e-9);
+}
+
+TEST(Fidelity, MaximallyMixedVsPure) {
+  const std::size_t d = 4;
+  Matrix mixed(d, d);
+  for (std::size_t i = 0; i < d; ++i) mixed(i, i) = 0.25;
+  Matrix pure(d, d);
+  pure(0, 0) = 1.0;
+  EXPECT_NEAR(fidelity(mixed, pure), 0.25, 1e-9);
+  EXPECT_NEAR(fidelity(pure, mixed), 0.25, 1e-9);  // symmetry
+}
+
+TEST(Gates, QftIsUnitaryAndMapsZeroToUniform) {
+  for (const std::size_t d : {2u, 3u, 8u, 10u}) {
+    const auto f = qft_matrix(d);
+    EXPECT_NEAR(f.unitarity_defect(), 0.0, 1e-10);
+    for (std::size_t i = 0; i < d; ++i) {
+      EXPECT_NEAR(std::abs(f(i, 0) - cplx(1.0 / std::sqrt(double(d)), 0.0)),
+                  0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Gates, ShiftMatrixCycles) {
+  const auto s = shift_matrix(5, 2);
+  EXPECT_NEAR(s.unitarity_defect(), 0.0, 1e-14);
+  // |3⟩ → |0⟩
+  EXPECT_EQ(s(0, 3), cplx(1.0, 0.0));
+  // shift by dim is identity
+  EXPECT_NEAR(Matrix::max_abs_diff(shift_matrix(5, 5), Matrix::identity(5)),
+              0.0, 1e-15);
+}
+
+TEST(Gates, HouseholderPreparesUniform) {
+  for (const std::size_t d : {1u, 2u, 7u, 32u}) {
+    const auto v = uniform_prep_householder_vector(d);
+    const auto h = householder_matrix(v);
+    EXPECT_NEAR(h.unitarity_defect(), 0.0, 1e-10) << "d=" << d;
+    // Self-inverse.
+    EXPECT_NEAR(Matrix::max_abs_diff(h * h, Matrix::identity(d)), 0.0, 1e-10);
+    // Column 0 is the uniform superposition.
+    for (std::size_t i = 0; i < d; ++i)
+      EXPECT_NEAR(std::abs(h(i, 0) - cplx(1.0 / std::sqrt(double(d)), 0.0)),
+                  0.0, 1e-12);
+  }
+}
+
+TEST(Gates, RotationComposition) {
+  const auto r1 = rotation_matrix(0.3);
+  const auto r2 = rotation_matrix(0.5);
+  EXPECT_NEAR(Matrix::max_abs_diff(r1 * r2, rotation_matrix(0.8)), 0.0, 1e-12);
+  EXPECT_NEAR(Matrix::max_abs_diff(r1 * rotation_matrix(-0.3),
+                                   Matrix::identity(2)),
+              0.0, 1e-12);
+}
+
+TEST(Gates, PhaseMatrixTargetsOneValue) {
+  const auto p = phase_matrix(3, 1, std::acos(-1.0));
+  EXPECT_EQ(p(0, 0), cplx(1.0, 0.0));
+  EXPECT_NEAR(std::abs(p(1, 1) - cplx(-1.0, 0.0)), 0.0, 1e-12);
+  EXPECT_EQ(p(2, 2), cplx(1.0, 0.0));
+}
+
+}  // namespace
+}  // namespace qs

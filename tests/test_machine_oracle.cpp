@@ -1,0 +1,182 @@
+// Tests for the machine oracles — the paper's Eq. (1) O_j, Eq. (2)/Section 5
+// Ô_j, query accounting, and the dynamic-update property from Section 3
+// (changing c_ij by 1 composes the oracle with the fixed shift U).
+#include "distdb/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "qsim/gates.hpp"
+#include "qsim/operator_builder.hpp"
+
+namespace qs {
+namespace {
+
+struct OracleFixture : ::testing::Test {
+  static constexpr std::size_t kUniverse = 4;
+  static constexpr std::uint64_t kNu = 5;  // counter dim 6
+
+  RegisterLayout layout;
+  RegisterId elem, count, flag;
+
+  OracleFixture() {
+    elem = layout.add("elem", kUniverse);
+    count = layout.add("count", kNu + 1);
+    flag = layout.add("flag", 2);
+  }
+
+  std::size_t index(std::size_t i, std::size_t s, std::size_t b) const {
+    const std::vector<std::size_t> digits = {i, s, b};
+    return layout.index_of(digits);
+  }
+};
+
+TEST_F(OracleFixture, OracleAddsMultiplicityModNuPlusOne) {
+  // c = (2, 0, 5, 1)
+  Machine m(Dataset::from_counts({2, 0, 5, 1}), kNu);
+  for (std::size_t i = 0; i < kUniverse; ++i) {
+    for (std::size_t s = 0; s <= kNu; ++s) {
+      StateVector state(layout, index(i, s, 0));
+      m.apply_oracle(state, elem, count, /*adjoint=*/false);
+      const std::size_t expected =
+          (s + static_cast<std::size_t>(m.data().count(i))) % (kNu + 1);
+      EXPECT_EQ(state.amplitude(index(i, expected, 0)), cplx(1.0, 0.0))
+          << "i=" << i << " s=" << s;
+    }
+  }
+}
+
+TEST_F(OracleFixture, AdjointUndoesOracle) {
+  Machine m(Dataset::from_counts({1, 4, 0, 3}), kNu);
+  StateVector state(layout);
+  // Random-ish superposition.
+  std::vector<cplx> amps(layout.total_dim());
+  for (std::size_t i = 0; i < amps.size(); ++i)
+    amps[i] = cplx(std::sin(0.1 * double(i + 1)), std::cos(0.2 * double(i)));
+  StateVector ref(layout);
+  ref.set_amplitudes(amps);
+  ref.normalize();
+  state.set_amplitudes(
+      std::vector<cplx>(ref.amplitudes().begin(), ref.amplitudes().end()));
+  m.apply_oracle(state, elem, count, false);
+  m.apply_oracle(state, elem, count, true);
+  EXPECT_NEAR(state.distance_squared(ref), 0.0, 1e-24);
+}
+
+TEST_F(OracleFixture, OracleIsAPermutationOperator) {
+  Machine m(Dataset::from_counts({2, 3, 1, 0}), kNu);
+  const auto op = operator_of_circuit(layout, [&](StateVector& s) {
+    m.apply_oracle(s, elem, count, false);
+  });
+  EXPECT_NEAR(op.unitarity_defect(), 0.0, 1e-12);
+  // Every column has exactly one unit entry.
+  for (std::size_t c = 0; c < op.cols(); ++c) {
+    int nonzeros = 0;
+    for (std::size_t r = 0; r < op.rows(); ++r) {
+      if (std::abs(op(r, c)) > 1e-12) {
+        ++nonzeros;
+        EXPECT_NEAR(std::abs(op(r, c) - cplx(1.0, 0.0)), 0.0, 1e-12);
+      }
+    }
+    EXPECT_EQ(nonzeros, 1);
+  }
+}
+
+TEST_F(OracleFixture, ControlledOracleActsOnlyWhenFlagSet) {
+  Machine m(Dataset::from_counts({0, 2, 0, 0}), kNu);
+  // b = 0: identity.
+  StateVector off(layout, index(1, 0, 0));
+  m.apply_controlled_oracle(off, elem, count, flag, false);
+  EXPECT_EQ(off.amplitude(index(1, 0, 0)), cplx(1.0, 0.0));
+  // b = 1: shift.
+  StateVector on(layout, index(1, 0, 1));
+  m.apply_controlled_oracle(on, elem, count, flag, false);
+  EXPECT_EQ(on.amplitude(index(1, 2, 1)), cplx(1.0, 0.0));
+}
+
+TEST_F(OracleFixture, QueriesAreCounted) {
+  Machine m(Dataset::from_counts({1, 1, 1, 1}), kNu);
+  StateVector state(layout);
+  EXPECT_EQ(m.queries(), 0u);
+  m.apply_oracle(state, elem, count, false);
+  m.apply_oracle(state, elem, count, true);
+  m.apply_controlled_oracle(state, elem, count, flag, false);
+  EXPECT_EQ(m.queries(), 3u);
+  m.discount_last_query();
+  EXPECT_EQ(m.queries(), 2u);
+  m.reset_queries();
+  EXPECT_EQ(m.queries(), 0u);
+}
+
+TEST_F(OracleFixture, DynamicInsertEqualsLeftMultiplicationByU) {
+  // Section 3: if c_ij increases by 1, O_j becomes U·O_j where
+  // U|i,s⟩ = |i, s+1 mod ν+1⟩. Verify at operator level.
+  Machine before(Dataset::from_counts({2, 1, 0, 3}), kNu);
+  Machine after(Dataset::from_counts({2, 2, 0, 3}), kNu);  // element 1 +1
+
+  const auto op_before = operator_of_circuit(layout, [&](StateVector& s) {
+    before.apply_oracle(s, elem, count, false);
+  });
+  const auto op_after = operator_of_circuit(layout, [&](StateVector& s) {
+    after.apply_oracle(s, elem, count, false);
+  });
+  // U restricted to element 1: shift count by +1 only on that element.
+  const auto u_update = operator_of_circuit(layout, [&](StateVector& s) {
+    std::vector<std::size_t> shifts(kUniverse, 0);
+    shifts[1] = 1;
+    s.apply_value_shift(count, elem, shifts);
+  });
+  EXPECT_NEAR(Matrix::max_abs_diff(op_after, u_update * op_before), 0.0,
+              1e-12);
+}
+
+TEST_F(OracleFixture, DynamicUpdateThroughMachineMutators) {
+  Machine m(Dataset::from_counts({1, 0, 0, 0}), kNu);
+  m.insert(1);
+  m.insert(1);
+  m.erase(0);
+  EXPECT_EQ(m.data().count(1), 2u);
+  EXPECT_EQ(m.data().count(0), 0u);
+  StateVector state(layout, index(1, 0, 0));
+  m.apply_oracle(state, elem, count, false);
+  EXPECT_EQ(state.amplitude(index(1, 2, 0)), cplx(1.0, 0.0));
+}
+
+TEST_F(OracleFixture, CapacityViolationsRejected) {
+  EXPECT_THROW(Machine(Dataset::from_counts({6, 0, 0, 0}), kNu),
+               ContractViolation);
+  Machine m(Dataset::from_counts({kNu, 0, 0, 0}), kNu);
+  EXPECT_THROW(m.insert(0), ContractViolation);
+}
+
+TEST_F(OracleFixture, CounterRegisterTooSmallRejected) {
+  RegisterLayout small;
+  const auto e = small.add("elem", kUniverse);
+  const auto c = small.add("count", 3);  // dim 3 but multiplicities reach 5
+  Machine m(Dataset::from_counts({5, 0, 0, 0}), kNu);
+  StateVector state(small);
+  EXPECT_THROW(m.apply_oracle(state, e, c, false), ContractViolation);
+}
+
+TEST_F(OracleFixture, UniverseMismatchRejected) {
+  RegisterLayout other;
+  const auto e = other.add("elem", 8);
+  const auto c = other.add("count", kNu + 1);
+  Machine m(Dataset::from_counts({1, 0, 0, 0}), kNu);
+  StateVector state(other);
+  EXPECT_THROW(m.apply_oracle(state, e, c, false), ContractViolation);
+}
+
+TEST_F(OracleFixture, EmptyMachineOracleIsIdentity) {
+  Machine m(Dataset(kUniverse), kNu);
+  const auto op = operator_of_circuit(layout, [&](StateVector& s) {
+    m.apply_oracle(s, elem, count, false);
+  });
+  EXPECT_NEAR(Matrix::max_abs_diff(op, Matrix::identity(layout.total_dim())),
+              0.0, 1e-15);
+}
+
+}  // namespace
+}  // namespace qs

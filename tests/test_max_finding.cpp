@@ -1,0 +1,134 @@
+// Tests for distributed heavy-hitter search (apps/max_finding.hpp) —
+// Dürr–Høyer maximum finding over joint multiplicities.
+#include "apps/max_finding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "distdb/workload.hpp"
+#include "sampling/classical.hpp"
+
+namespace qs {
+namespace {
+
+DistributedDatabase skewed_db() {
+  // Joint counts: element 5 is the unique maximum (4), a few mid and low.
+  std::vector<Dataset> datasets = {Dataset(32), Dataset(32)};
+  datasets[0].insert(5, 2);
+  datasets[1].insert(5, 2);  // joint 4 — the heavy hitter
+  datasets[0].insert(9, 2);  // 2
+  datasets[1].insert(20, 1);
+  datasets[0].insert(30, 1);
+  return DistributedDatabase(std::move(datasets), 4);
+}
+
+TEST(ThresholdSampling, FindsOnlyKeysAboveTheThreshold) {
+  const auto db = skewed_db();
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto result =
+        sample_above_threshold(db, QueryMode::kSequential, 1, rng);
+    ASSERT_TRUE(result.found);
+    EXPECT_GT(result.multiplicity, 1u);
+    EXPECT_TRUE(result.element == 5 || result.element == 9);
+  }
+}
+
+TEST(ThresholdSampling, ThresholdZeroSamplesTheSupport) {
+  const auto db = skewed_db();
+  Rng rng(5);
+  std::set<std::size_t> seen;
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto result =
+        sample_above_threshold(db, QueryMode::kSequential, 0, rng);
+    ASSERT_TRUE(result.found);
+    seen.insert(result.element);
+  }
+  // Uniform over the 4 support keys: all should appear in 40 draws.
+  EXPECT_EQ(seen, (std::set<std::size_t>{5, 9, 20, 30}));
+}
+
+TEST(ThresholdSampling, ReportsNotFoundAboveTheMaximum) {
+  const auto db = skewed_db();
+  Rng rng(7);
+  const auto result =
+      sample_above_threshold(db, QueryMode::kSequential, 4, rng, 24);
+  EXPECT_FALSE(result.found);
+  EXPECT_EQ(result.attempts, 24u);
+}
+
+TEST(MaxFinding, FindsTheUniqueHeaviestKey) {
+  const auto db = skewed_db();
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(100 + seed);
+    const auto result = find_heaviest_key(db, QueryMode::kSequential, rng);
+    EXPECT_EQ(result.element, 5u) << "seed " << seed;
+    EXPECT_EQ(result.multiplicity, 4u);
+    EXPECT_GE(result.ratchet_steps, 1u);
+  }
+}
+
+TEST(MaxFinding, ParallelModeAgrees) {
+  const auto db = skewed_db();
+  Rng rng(11);
+  const auto result = find_heaviest_key(db, QueryMode::kParallel, rng);
+  EXPECT_EQ(result.element, 5u);
+  EXPECT_GT(result.stats.parallel_rounds, 0u);
+  EXPECT_EQ(result.stats.total_sequential(), 0u);
+}
+
+TEST(MaxFinding, TieReturnsOneOfTheMaxima) {
+  std::vector<Dataset> datasets = {Dataset(16)};
+  datasets[0].insert(2, 3);
+  datasets[0].insert(11, 3);  // tie at 3
+  datasets[0].insert(7, 1);
+  const DistributedDatabase db(std::move(datasets), 3);
+  Rng rng(13);
+  const auto result = find_heaviest_key(db, QueryMode::kSequential, rng);
+  EXPECT_TRUE(result.element == 2 || result.element == 11);
+  EXPECT_EQ(result.multiplicity, 3u);
+}
+
+TEST(MaxFinding, SingleKeyStore) {
+  std::vector<Dataset> datasets = {Dataset(64)};
+  datasets[0].insert(40, 2);
+  const DistributedDatabase db(std::move(datasets), 2);
+  Rng rng(17);
+  const auto result = find_heaviest_key(db, QueryMode::kSequential, rng);
+  EXPECT_EQ(result.element, 40u);
+  EXPECT_EQ(result.multiplicity, 2u);
+}
+
+TEST(MaxFinding, SaturatedKeyShortCircuitsAtCapacity) {
+  std::vector<Dataset> datasets = {Dataset(16)};
+  datasets[0].insert(3, 4);
+  const DistributedDatabase db(std::move(datasets), 4);  // c = ν
+  Rng rng(19);
+  const auto result = find_heaviest_key(db, QueryMode::kSequential, rng);
+  EXPECT_EQ(result.element, 3u);
+  EXPECT_EQ(result.ratchet_steps, 1u);  // capacity bound ends the loop
+}
+
+TEST(MaxFinding, CheaperThanClassicalScanOnLargeSparseStores) {
+  // N = 1024, a handful of keys: the DH search must beat the nN scan.
+  std::vector<Dataset> datasets = {Dataset(1024), Dataset(1024)};
+  for (std::size_t k = 0; k < 6; ++k)
+    datasets[k % 2].insert(k * 150, 1 + k % 3);
+  const DistributedDatabase db(std::move(datasets), 3);
+  Rng rng(23);
+  const auto result = find_heaviest_key(db, QueryMode::kSequential, rng);
+  EXPECT_EQ(result.multiplicity, 3u);
+  const auto classical = classical_full_scan(db);
+  EXPECT_LT(result.stats.total_sequential(), classical.queries);
+}
+
+TEST(MaxFinding, EmptyDatabaseRejected) {
+  std::vector<Dataset> datasets = {Dataset(8)};
+  const DistributedDatabase db(std::move(datasets), 1);
+  Rng rng(29);
+  EXPECT_THROW(find_heaviest_key(db, QueryMode::kSequential, rng),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace qs

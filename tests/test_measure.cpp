@@ -1,0 +1,85 @@
+// Tests for measurement (qsim/measure.hpp): Section 3's defining property —
+// measuring |ψ⟩ in the computational basis samples the database — is what
+// these helpers implement.
+#include "qsim/measure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "qsim/gates.hpp"
+
+namespace qs {
+namespace {
+
+TEST(Measure, BasisStateIsDeterministicOnBasisInput) {
+  RegisterLayout layout;
+  layout.add("r", 6);
+  StateVector s(layout, 4);
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(measure_basis_state(s, rng), 4u);
+}
+
+TEST(Measure, RegisterMeasurementMatchesMarginal) {
+  RegisterLayout layout;
+  const auto a = layout.add("a", 2);
+  layout.add("b", 2);
+  StateVector s(layout);
+  // (√0.81 |0⟩ + √0.19 |1⟩) on a, |0⟩ on b.
+  s.set_amplitudes({cplx(std::sqrt(0.81), 0.0), 0.0,
+                    cplx(std::sqrt(0.19), 0.0), 0.0});
+  Rng rng(2);
+  int ones = 0;
+  const int shots = 50000;
+  for (int i = 0; i < shots; ++i) ones += (measure_register(s, a, rng) == 1);
+  EXPECT_NEAR(ones / static_cast<double>(shots), 0.19, 0.01);
+}
+
+TEST(Measure, HistogramMatchesDistribution) {
+  RegisterLayout layout;
+  const auto r = layout.add("r", 8);
+  StateVector s(layout);
+  s.apply_householder(r, uniform_prep_householder_vector(8));
+  Rng rng(3);
+  const auto hist = histogram_register(s, r, rng, 80000);
+  const auto p = normalize_histogram(hist);
+  for (const auto pi : p) EXPECT_NEAR(pi, 0.125, 0.01);
+}
+
+TEST(Measure, HistogramTotalEqualsShots) {
+  RegisterLayout layout;
+  const auto r = layout.add("r", 4);
+  StateVector s(layout);
+  s.apply_householder(r, uniform_prep_householder_vector(4));
+  Rng rng(4);
+  const auto hist = histogram_register(s, r, rng, 1234);
+  std::uint64_t total = 0;
+  for (const auto h : hist) total += h;
+  EXPECT_EQ(total, 1234u);
+}
+
+TEST(TotalVariation, BasicProperties) {
+  const std::vector<double> p = {0.5, 0.5, 0.0};
+  const std::vector<double> q = {0.0, 0.5, 0.5};
+  EXPECT_NEAR(total_variation(p, p), 0.0, 1e-15);
+  EXPECT_NEAR(total_variation(p, q), 0.5, 1e-15);
+  // Symmetry.
+  EXPECT_NEAR(total_variation(q, p), total_variation(p, q), 1e-15);
+  EXPECT_THROW(total_variation(p, {0.1}), ContractViolation);
+}
+
+TEST(TotalVariation, DisjointSupportsGiveOne) {
+  EXPECT_NEAR(total_variation({1.0, 0.0}, {0.0, 1.0}), 1.0, 1e-15);
+}
+
+TEST(NormalizeHistogram, SumsToOneAndRejectsEmpty) {
+  const auto p = normalize_histogram({1, 3, 0, 4});
+  EXPECT_NEAR(p[0], 0.125, 1e-15);
+  EXPECT_NEAR(p[1], 0.375, 1e-15);
+  EXPECT_NEAR(p[3], 0.5, 1e-15);
+  EXPECT_THROW(normalize_histogram({0, 0}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace qs

@@ -1,0 +1,173 @@
+// Negative controls — proof that the verification machinery has teeth.
+//
+// Each test builds a DELIBERATELY BROKEN variant of a core component (an
+// off-by-one oracle, a wrong rotation, a skipped uncompute, a biased
+// preparation) and asserts that the library's checks — fidelity, the
+// statistical verifier, operator distances — actually CATCH it. If any of
+// these ever passes, the surrounding test suite has lost its power.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "distdb/workload.hpp"
+#include "qsim/gates.hpp"
+#include "sampling/ideal.hpp"
+#include "sampling/samplers.hpp"
+#include "sampling/verify.hpp"
+
+namespace qs {
+namespace {
+
+DistributedDatabase control_db() {
+  Rng rng(3);
+  auto datasets = workload::uniform_random(16, 2, 14, rng);
+  const auto nu = min_capacity(datasets) + 2;
+  return DistributedDatabase(std::move(datasets), nu);
+}
+
+/// Run the sampler but corrupt D: the counter shift is off by one for
+/// every element (an off-by-one counting oracle).
+double fidelity_with_off_by_one_oracle(const DistributedDatabase& db) {
+  const auto regs = make_coordinator_layout(db.universe(), db.nu());
+  const AAPlan plan = plan_zero_error(
+      double(db.total()) / (double(db.nu()) * double(db.universe())));
+
+  StateVector state(regs.layout);
+  const auto prep = uniform_prep_householder_vector(db.universe());
+  const auto rot_fwd = make_u_rotations(db.nu(), false);
+  const auto rot_adj = make_u_rotations(db.nu(), true);
+  const std::size_t modulus = regs.layout.dim(regs.count);
+  const auto joint = db.joint_counts();
+  std::vector<std::size_t> bad_fwd(joint.size()), bad_bwd(joint.size());
+  for (std::size_t i = 0; i < joint.size(); ++i) {
+    bad_fwd[i] = (static_cast<std::size_t>(joint[i]) + 1) % modulus;  // BUG
+    bad_bwd[i] = (modulus - bad_fwd[i]) % modulus;
+  }
+  const auto apply_bad_d = [&](bool adjoint) {
+    state.apply_value_shift(regs.count, regs.elem, bad_fwd);
+    const auto& rots = adjoint ? rot_adj : rot_fwd;
+    state.apply_conditioned_unitary(
+        regs.flag, [&](std::size_t base) -> const Matrix* {
+          return &rots[regs.layout.digit(base, regs.count)];
+        });
+    state.apply_value_shift(regs.count, regs.elem, bad_bwd);
+  };
+  state.apply_householder(regs.elem, prep);
+  apply_bad_d(false);
+  const std::size_t iterations =
+      plan.full_iterations + (plan.needs_final ? 1 : 0);
+  for (std::size_t i = 0; i < iterations; ++i) {
+    const bool last = plan.needs_final && i == plan.full_iterations;
+    const double varphi = last ? plan.final_varphi : std::acos(-1.0);
+    const double phi = last ? plan.final_phi : std::acos(-1.0);
+    state.apply_phase_on_register_value(
+        regs.flag, 0, cplx{std::cos(varphi), std::sin(varphi)});
+    apply_bad_d(true);
+    state.apply_householder(regs.elem, prep);
+    state.apply_phase_on_basis_state(0, cplx{std::cos(phi), std::sin(phi)});
+    state.apply_householder(regs.elem, prep);
+    apply_bad_d(false);
+    state.apply_global_phase(cplx{-1.0, 0.0});
+  }
+  return pure_fidelity(target_full_state(db), state);
+}
+
+TEST(NegativeControls, OffByOneOracleIsCaughtByFidelity) {
+  const auto db = control_db();
+  EXPECT_LT(fidelity_with_off_by_one_oracle(db), 0.99);
+}
+
+TEST(NegativeControls, WrongRotationAngleBreaksEq7) {
+  // 𝒰 built for the WRONG capacity (ν+1 instead of ν) must break the
+  // preparation identity of Eq. (7).
+  const auto db = control_db();
+  const auto regs = make_coordinator_layout(db.universe(), db.nu());
+  StateVector state(regs.layout);
+  state.apply_householder(regs.elem,
+                          uniform_prep_householder_vector(db.universe()));
+  // Load counts, rotate with the wrong table, unload.
+  const auto joint = db.joint_counts();
+  const std::size_t modulus = regs.layout.dim(regs.count);
+  std::vector<std::size_t> fwd(joint.size()), bwd(joint.size());
+  for (std::size_t i = 0; i < joint.size(); ++i) {
+    fwd[i] = static_cast<std::size_t>(joint[i]) % modulus;
+    bwd[i] = (modulus - fwd[i]) % modulus;
+  }
+  const auto wrong = make_u_rotations(db.nu() + 1, false);  // BUG
+  state.apply_value_shift(regs.count, regs.elem, fwd);
+  state.apply_conditioned_unitary(
+      regs.flag, [&](std::size_t base) -> const Matrix* {
+        return &wrong[regs.layout.digit(base, regs.count)];
+      });
+  state.apply_value_shift(regs.count, regs.elem, bwd);
+
+  const double a = double(db.total()) /
+                   (double(db.nu()) * double(db.universe()));
+  // The good-flag probability must NOT equal a (it would with the right 𝒰).
+  EXPECT_GT(std::abs(state.probability_of(regs.flag, 0) - a), 1e-3);
+}
+
+TEST(NegativeControls, SkippedUncomputeLeavesCounterEntangled) {
+  // Omitting the third step of Lemma 4.2 leaves the counter register
+  // correlated with the element register — the state cannot match the
+  // target, whose counter is |0⟩.
+  const auto db = control_db();
+  const auto regs = make_coordinator_layout(db.universe(), db.nu());
+  SingleStateBackend backend(db, StatePrep::kHouseholder);
+  backend.prep_uniform(false);
+  for (std::size_t j = 0; j < db.num_machines(); ++j)
+    backend.oracle(j, false);
+  backend.rotation_u(false);
+  // BUG: no uncompute.
+  const double p_count_zero =
+      backend.state().probability_of(regs.count, 0);
+  EXPECT_LT(p_count_zero, 0.999);
+}
+
+TEST(NegativeControls, BiasedPreparationFailsStatisticalVerification) {
+  // A "sampler" that just outputs the uniform superposition (skipping
+  // amplification entirely) must be rejected by the chi-square verifier
+  // on a skewed database.
+  Rng gen(5);
+  auto datasets = workload::zipf(16, 1, 100, 1.4, gen);
+  const auto nu = min_capacity(datasets);
+  const DistributedDatabase db(std::move(datasets), nu);
+
+  const auto regs = make_coordinator_layout(db.universe(), db.nu());
+  StateVector uniform(regs.layout);
+  uniform.apply_householder(regs.elem,
+                            uniform_prep_householder_vector(db.universe()));
+  Rng rng(7);
+  const auto verdict =
+      verify_output_distribution(uniform, regs.elem, db, 20000, rng);
+  EXPECT_FALSE(verdict.consistent());
+}
+
+TEST(NegativeControls, AdjointMismatchIsVisibleAtOperatorLevel) {
+  // Using D instead of D† inside Q breaks the reflection structure: the
+  // trajectory leaves the 2-plane and the final fidelity drops.
+  const auto db = control_db();
+  SingleStateBackend backend(db, StatePrep::kHouseholder);
+  const AAPlan plan = plan_zero_error(
+      double(db.total()) / (double(db.nu()) * double(db.universe())));
+  backend.prep_uniform(false);
+  apply_distributing_operator(backend, QueryMode::kSequential, false);
+  for (std::size_t i = 0; i < plan.full_iterations; ++i) {
+    backend.phase_good(std::acos(-1.0));
+    // BUG: forward D where D† belongs.
+    apply_distributing_operator(backend, QueryMode::kSequential, false);
+    backend.prep_uniform(true);
+    backend.phase_initial(std::acos(-1.0));
+    backend.prep_uniform(false);
+    apply_distributing_operator(backend, QueryMode::kSequential, false);
+    backend.global_phase(std::acos(-1.0));
+  }
+  if (plan.full_iterations > 0) {
+    EXPECT_LT(pure_fidelity(target_full_state(db), backend.state()),
+              0.999);
+  }
+}
+
+}  // namespace
+}  // namespace qs

@@ -1,0 +1,228 @@
+// Tests for the noise channels (qsim/noise.hpp) and the noisy sampler
+// (sampling/noisy_sampler.hpp): trajectory unravelling is certified against
+// the exact channel action, and the fault-tolerance story is checked —
+// fidelity decays with noise, and the round-efficient parallel model decays
+// slower than the sequential one.
+#include "qsim/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "distdb/workload.hpp"
+#include "qsim/density.hpp"
+#include "qsim/gates.hpp"
+#include "sampling/noisy_sampler.hpp"
+
+namespace qs {
+namespace {
+
+TEST(Weyl, OperatorsActCorrectlyOnBasisStates) {
+  RegisterLayout layout;
+  const auto r = layout.add("r", 4);
+  // X^1: |2⟩ → |3⟩.
+  StateVector s(layout, 2);
+  apply_weyl(s, r, 1, 0);
+  EXPECT_EQ(s.amplitude(3), cplx(1.0, 0.0));
+  // Z^1: |2⟩ → ω²|2⟩ with ω = i for d=4.
+  StateVector z(layout, 2);
+  apply_weyl(z, r, 0, 1);
+  EXPECT_NEAR(std::abs(z.amplitude(2) - cplx(-1.0, 0.0)), 0.0, 1e-12);
+}
+
+TEST(Weyl, PreservesNorm) {
+  Rng rng(3);
+  RegisterLayout layout;
+  const auto r = layout.add("r", 5);
+  layout.add("other", 3);
+  StateVector s(layout);
+  s.set_amplitudes(random_state(15, rng));
+  for (std::size_t a = 0; a < 5; ++a) {
+    for (std::size_t b = 0; b < 5; ++b) {
+      apply_weyl(s, r, a, b);
+      EXPECT_NEAR(s.norm(), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(Weyl, OutOfRangeExponentsRejected) {
+  RegisterLayout layout;
+  const auto r = layout.add("r", 3);
+  StateVector s(layout);
+  EXPECT_THROW(apply_weyl(s, r, 3, 0), ContractViolation);
+  EXPECT_THROW(apply_weyl(s, r, 0, 3), ContractViolation);
+}
+
+TEST(ExactChannels, DephasingKillsOffDiagonals) {
+  Matrix rho(2, 2);
+  rho(0, 0) = 0.5;
+  rho(1, 1) = 0.5;
+  rho(0, 1) = 0.5;
+  rho(1, 0) = 0.5;
+  const auto out = dephasing_exact(rho, 0.4);
+  EXPECT_NEAR(out(0, 0).real(), 0.5, 1e-15);
+  EXPECT_NEAR(out(0, 1).real(), 0.3, 1e-15);
+  // Full dephasing: diagonal only.
+  const auto dead = dephasing_exact(rho, 1.0);
+  EXPECT_NEAR(std::abs(dead(0, 1)), 0.0, 1e-15);
+}
+
+TEST(ExactChannels, DepolarizingMixesTowardIdentity) {
+  Matrix rho(4, 4);
+  rho(0, 0) = 1.0;  // pure |0⟩
+  const auto out = depolarizing_exact(rho, 0.8);
+  EXPECT_NEAR(out(0, 0).real(), 0.2 + 0.8 / 4.0, 1e-15);
+  EXPECT_NEAR(out(1, 1).real(), 0.8 / 4.0, 1e-15);
+  EXPECT_NEAR(out.trace().real(), 1.0, 1e-15);
+}
+
+TEST(Trajectories, DephasingAverageMatchesExactChannel) {
+  // Average the trajectory channel over many runs on a fixed pure state and
+  // compare the resulting density matrix with the exact channel action.
+  Rng rng(7);
+  RegisterLayout layout;
+  const auto r = layout.add("r", 3);
+  const auto input = random_state(3, rng);
+  Matrix rho_in(3, 3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      rho_in(i, j) = input[i] * std::conj(input[j]);
+
+  const double p = 0.5;
+  Matrix averaged(3, 3);
+  const int runs = 40000;
+  for (int run = 0; run < runs; ++run) {
+    StateVector s(layout);
+    s.set_amplitudes(input);
+    apply_dephasing_trajectory(s, r, p, rng);
+    const auto rho = partial_trace(s, {r});
+    averaged = averaged + rho;
+  }
+  averaged *= cplx(1.0 / runs, 0.0);
+  const auto exact = dephasing_exact(rho_in, p);
+  EXPECT_LT(Matrix::max_abs_diff(averaged, exact), 0.02);
+}
+
+TEST(Trajectories, DepolarizingAverageMatchesExactChannel) {
+  Rng rng(11);
+  RegisterLayout layout;
+  const auto r = layout.add("r", 2);
+  const auto input = random_state(2, rng);
+  Matrix rho_in(2, 2);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j)
+      rho_in(i, j) = input[i] * std::conj(input[j]);
+
+  const double p = 0.6;
+  Matrix averaged(2, 2);
+  const int runs = 40000;
+  for (int run = 0; run < runs; ++run) {
+    StateVector s(layout);
+    s.set_amplitudes(input);
+    apply_depolarizing_trajectory(s, r, p, rng);
+    averaged = averaged + partial_trace(s, {r});
+  }
+  averaged *= cplx(1.0 / runs, 0.0);
+  const auto exact = depolarizing_exact(rho_in, p);
+  EXPECT_LT(Matrix::max_abs_diff(averaged, exact), 0.02);
+}
+
+DistributedDatabase noisy_test_db(std::size_t machines) {
+  Rng rng(13);
+  auto datasets = workload::uniform_random(32, machines, 24, rng);
+  const auto nu = min_capacity(datasets) + 1;
+  return DistributedDatabase(std::move(datasets), nu);
+}
+
+TEST(NoisySampler, NoiselessModelReproducesExactSampler) {
+  const auto db = noisy_test_db(3);
+  Rng rng(17);
+  const auto result = run_noisy_sampler(db, QueryMode::kSequential,
+                                        NoiseModel{}, 3, rng);
+  EXPECT_NEAR(result.mean_fidelity, 1.0, 1e-9);
+  EXPECT_NEAR(result.stddev_fidelity, 0.0, 1e-12);
+}
+
+TEST(NoisySampler, FidelityDecaysWithDephasingRate) {
+  const auto db = noisy_test_db(3);
+  double previous = 1.01;
+  for (const double p : {0.001, 0.01, 0.05}) {
+    Rng rng(19);
+    NoiseModel noise;
+    noise.dephasing_per_round = p;
+    const auto result =
+        run_noisy_sampler(db, QueryMode::kSequential, noise, 40, rng);
+    EXPECT_LT(result.mean_fidelity, previous);
+    previous = result.mean_fidelity;
+  }
+}
+
+TEST(NoisySampler, ParallelModelIsMoreNoiseRobust) {
+  // Same instance, same per-round noise: the parallel sampler has ~n times
+  // fewer noisy rounds, so its mean fidelity must be higher.
+  const auto db = noisy_test_db(6);
+  NoiseModel noise;
+  noise.dephasing_per_round = 0.02;
+  Rng rng1(23), rng2(23);
+  const auto seq =
+      run_noisy_sampler(db, QueryMode::kSequential, noise, 60, rng1);
+  const auto par =
+      run_noisy_sampler(db, QueryMode::kParallel, noise, 60, rng2);
+  EXPECT_GT(seq.noisy_rounds_per_trajectory,
+            2 * par.noisy_rounds_per_trajectory);
+  EXPECT_GT(par.mean_fidelity, seq.mean_fidelity + 0.05);
+}
+
+TEST(NoisySampler, OracleFaultsDegradeFidelity) {
+  const auto db = noisy_test_db(2);
+  NoiseModel noise;
+  noise.oracle_fault_rate = 0.05;
+  Rng rng(29);
+  const auto result =
+      run_noisy_sampler(db, QueryMode::kSequential, noise, 40, rng);
+  EXPECT_LT(result.mean_fidelity, 0.999);
+  EXPECT_GT(result.mean_fidelity, 0.05);
+}
+
+TEST(NoisySampler, DepolarizingFlagNoiseDegrades) {
+  const auto db = noisy_test_db(2);
+  NoiseModel noise;
+  noise.depolarizing_per_round = 0.05;
+  Rng rng(31);
+  const auto result =
+      run_noisy_sampler(db, QueryMode::kSequential, noise, 40, rng);
+  EXPECT_LT(result.mean_fidelity, 0.999);
+}
+
+TEST(NoisySampler, RejectsZeroTrajectories) {
+  const auto db = noisy_test_db(2);
+  Rng rng(37);
+  EXPECT_THROW(
+      run_noisy_sampler(db, QueryMode::kSequential, NoiseModel{}, 0, rng),
+      ContractViolation);
+}
+
+TEST(ExactChannels, DephasingComposesAsASemigroup) {
+  // Λ_p1 ∘ Λ_p2 = Λ_{1-(1-p1)(1-p2)} — the survival probabilities of the
+  // off-diagonals multiply.
+  Rng rng(41);
+  const auto v = random_state(3, rng);
+  Matrix rho(3, 3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) rho(i, j) = v[i] * std::conj(v[j]);
+  const double p1 = 0.3, p2 = 0.45;
+  const auto sequential_channels = dephasing_exact(dephasing_exact(rho, p2), p1);
+  const auto fused = dephasing_exact(rho, 1.0 - (1.0 - p1) * (1.0 - p2));
+  EXPECT_NEAR(Matrix::max_abs_diff(sequential_channels, fused), 0.0, 1e-12);
+}
+
+TEST(ExactChannels, DepolarizingFixedPointIsMaximallyMixed) {
+  Matrix mixed(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) mixed(i, i) = 0.25;
+  const auto out = depolarizing_exact(mixed, 0.7);
+  EXPECT_NEAR(Matrix::max_abs_diff(out, mixed), 0.0, 1e-15);
+}
+
+}  // namespace
+}  // namespace qs

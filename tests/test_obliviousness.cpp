@@ -1,0 +1,104 @@
+// Machine-checkable obliviousness: the paper's communication model demands
+// that the query schedule depend only on public knowledge (N, M, ν, n) —
+// never on the data. These tests compare full transcripts across datasets.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "distdb/workload.hpp"
+#include "sampling/samplers.hpp"
+
+namespace qs {
+namespace {
+
+Transcript transcript_of(const DistributedDatabase& db, bool parallel) {
+  Transcript t;
+  SamplerOptions options;
+  options.transcript = &t;
+  if (parallel) {
+    run_parallel_sampler(db, options);
+  } else {
+    run_sequential_sampler(db, options);
+  }
+  return t;
+}
+
+TEST(Obliviousness, SameScheduleForDifferentDataSamePublicParams) {
+  // Two completely different datasets with identical N, n, ν and M.
+  Rng rng(3);
+  auto a = workload::uniform_random(16, 3, 24, rng);
+  auto b = workload::zipf(16, 3, 24, 1.5, rng);
+  const std::uint64_t nu =
+      std::max(min_capacity(a), min_capacity(b));
+  const DistributedDatabase db_a(std::move(a), nu);
+  const DistributedDatabase db_b(std::move(b), nu);
+
+  EXPECT_EQ(transcript_of(db_a, false), transcript_of(db_b, false));
+  EXPECT_EQ(transcript_of(db_a, true), transcript_of(db_b, true));
+}
+
+TEST(Obliviousness, ScheduleInvariantUnderRelocation) {
+  // Hard-input style: moving machine k's data around the universe must not
+  // change the transcript (this is exactly what the adversary exploits).
+  std::vector<Dataset> a = {Dataset::from_counts({2, 2, 0, 0, 0, 0, 0, 0}),
+                            Dataset::from_counts({0, 0, 1, 0, 0, 0, 0, 0})};
+  std::vector<Dataset> b = {Dataset::from_counts({0, 0, 0, 2, 0, 0, 2, 0}),
+                            Dataset::from_counts({0, 0, 1, 0, 0, 0, 0, 0})};
+  const DistributedDatabase db_a(std::move(a), 4);
+  const DistributedDatabase db_b(std::move(b), 4);
+  EXPECT_EQ(transcript_of(db_a, false), transcript_of(db_b, false));
+}
+
+TEST(Obliviousness, ScheduleDependsOnPublicM) {
+  // M is public; changing it may legitimately change the schedule length.
+  std::vector<Dataset> small = {Dataset::from_counts({1, 0, 0, 0, 0, 0, 0,
+                                                      0})};
+  std::vector<Dataset> large = {Dataset::from_counts({4, 4, 4, 4, 4, 4, 4,
+                                                      4})};
+  const DistributedDatabase db_small(std::move(small), 4);
+  const DistributedDatabase db_large(std::move(large), 4);
+  EXPECT_NE(transcript_of(db_small, false).size(),
+            transcript_of(db_large, false).size());
+}
+
+TEST(Obliviousness, SequentialScheduleShape) {
+  // Within one D, machines are queried 1..n forward then n..1 adjoint.
+  std::vector<Dataset> datasets = {Dataset::from_counts({1, 0, 0, 0}),
+                                   Dataset::from_counts({0, 1, 0, 0}),
+                                   Dataset::from_counts({0, 0, 1, 0})};
+  const DistributedDatabase db(std::move(datasets), 2);
+  const auto t = transcript_of(db, false);
+  ASSERT_GE(t.size(), 6u);
+  // First six events: O0 O1 O2 O2† O1† O0†.
+  const auto& e = t.events();
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(e[j].machine, j);
+    EXPECT_FALSE(e[j].adjoint);
+    EXPECT_EQ(e[5 - j].machine, j);
+    EXPECT_TRUE(e[5 - j].adjoint);
+  }
+}
+
+TEST(Obliviousness, ParallelScheduleHasOnlyRounds) {
+  Rng rng(7);
+  auto datasets = workload::uniform_random(8, 4, 12, rng);
+  const auto nu_db = min_capacity(datasets);
+  const DistributedDatabase db(std::move(datasets), nu_db);
+  const auto t = transcript_of(db, true);
+  for (const auto& e : t.events())
+    EXPECT_EQ(e.kind, QueryKind::kParallelRound);
+  // Rounds per D = 4, and the count is a multiple of it.
+  EXPECT_EQ(t.size() % 4, 0u);
+}
+
+TEST(Obliviousness, RepeatedRunsAreBitIdentical) {
+  Rng rng(11);
+  auto datasets = workload::uniform_random(8, 2, 10, rng);
+  const auto nu_db = min_capacity(datasets);
+  const DistributedDatabase db(std::move(datasets), nu_db);
+  const auto t1 = transcript_of(db, false);
+  const auto t2 = transcript_of(db, false);
+  EXPECT_EQ(t1, t2);
+}
+
+}  // namespace
+}  // namespace qs

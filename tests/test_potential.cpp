@@ -1,0 +1,199 @@
+// Tests for the potential-function machinery of Section 5.3 / 5.4:
+// the quadratic ceiling (Lemmas 5.8 / 5.10), the floor for high-fidelity
+// algorithms (Lemma 5.7 / B.4), the per-step increment bound from
+// Appendix C, and the lockstep executor itself.
+#include "lowerbound/potential.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "lowerbound/lockstep.hpp"
+#include "sampling/samplers.hpp"
+
+namespace qs {
+namespace {
+
+struct PotentialCase {
+  std::size_t universe;
+  std::size_t machines;
+  std::size_t k;
+  std::size_t support;
+  std::uint64_t multiplicity;
+  std::uint64_t nu;
+  QueryMode mode;
+};
+
+class PotentialSweep : public ::testing::TestWithParam<PotentialCase> {};
+
+PotentialResult run_case(const PotentialCase& c, std::size_t samples = 10,
+                         std::uint64_t seed = 7) {
+  const auto base = make_canonical_hard_input(c.universe, c.machines, c.k,
+                                              c.support, c.multiplicity);
+  Rng rng(seed);
+  PotentialOptions options;
+  options.mode = c.mode;
+  options.family_samples = samples;
+  return measure_potential(base, c.k, c.nu, options, rng);
+}
+
+TEST_P(PotentialSweep, CeilingOfLemma58HoldsEverywhere) {
+  const auto result = run_case(GetParam());
+  for (std::size_t t = 0; t < result.d_t.size(); ++t) {
+    // Parallel-mode trace ticks land at composite boundaries; the exact
+    // state is available at even clock values, but the conservative check
+    // below holds for every recorded point.
+    EXPECT_LE(result.d_t[t], result.ceiling(t + 1) + 1e-9)
+        << "t=" << t + 1;
+  }
+}
+
+TEST_P(PotentialSweep, FloorOfLemma57HoldsAtTheEnd) {
+  // Our sampler is exact (ε = 0, mean fidelity 1), so the final potential
+  // must be at least M_k/2M.
+  const auto result = run_case(GetParam());
+  EXPECT_NEAR(result.mean_final_fidelity, 1.0, 1e-9);
+  ASSERT_FALSE(result.d_t.empty());
+  EXPECT_GE(result.d_t.back(), result.floor() - 1e-9);
+}
+
+TEST_P(PotentialSweep, StartsAtZeroAndIsFinite) {
+  // Before any machine-k oracle the two runs coincide; the first recorded
+  // point comes AFTER one oracle call and is bounded by the ceiling at t=1.
+  const auto result = run_case(GetParam());
+  ASSERT_FALSE(result.d_t.empty());
+  EXPECT_LE(result.d_t.front(), result.ceiling(1) + 1e-9);
+  for (const auto d : result.d_t) {
+    EXPECT_GE(d, -1e-12);
+    EXPECT_LE(d, 4.0 + 1e-9);  // ‖a−b‖² ≤ 4 for unit vectors
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HardInputs, PotentialSweep,
+    ::testing::Values(
+        PotentialCase{16, 2, 0, 2, 2, 3, QueryMode::kSequential},
+        PotentialCase{16, 2, 1, 2, 2, 3, QueryMode::kSequential},
+        PotentialCase{32, 3, 1, 4, 2, 2, QueryMode::kSequential},
+        PotentialCase{32, 2, 0, 2, 4, 4, QueryMode::kParallel},
+        PotentialCase{24, 2, 1, 3, 3, 3, QueryMode::kParallel},
+        PotentialCase{48, 4, 2, 4, 2, 2, QueryMode::kSequential}));
+
+TEST(Potential, PerStepIncrementBoundFromAppendixC) {
+  // Appendix C: √D_{t+1} ≤ √D_t + 2√(m_k/N) — the arithmetic-progression
+  // step behind the t² ceiling. Check it on the measured trace.
+  const auto base = make_canonical_hard_input(32, 2, 0, 4, 2);
+  Rng rng(13);
+  PotentialOptions options;
+  options.mode = QueryMode::kSequential;
+  options.family_samples = 20;
+  const auto result = measure_potential(base, 0, 3, options, rng);
+  const double step = 2.0 * std::sqrt(static_cast<double>(result.m_k) /
+                                      static_cast<double>(result.universe));
+  double prev = 0.0;  // D_0 = 0
+  for (const auto d : result.d_t) {
+    EXPECT_LE(std::sqrt(std::max(d, 0.0)), prev + step + 1e-9);
+    prev = std::sqrt(std::max(d, 0.0));
+  }
+}
+
+TEST(Potential, ExhaustiveAndSampledEstimatesAgree) {
+  // With a small family (C(6,2) = 15) the Monte-Carlo estimate must
+  // converge to the exhaustive value.
+  const auto base = make_canonical_hard_input(6, 2, 0, 2, 2);
+  PotentialOptions exhaustive;
+  exhaustive.exhaustive = true;
+  Rng rng1(17);
+  const auto exact = measure_potential(base, 0, 3, exhaustive, rng1);
+  EXPECT_EQ(exact.family_members, 15u);
+
+  PotentialOptions sampled;
+  sampled.family_samples = 600;
+  Rng rng2(19);
+  const auto estimate = measure_potential(base, 0, 3, sampled, rng2);
+  ASSERT_EQ(exact.d_t.size(), estimate.d_t.size());
+  for (std::size_t t = 0; t < exact.d_t.size(); ++t)
+    EXPECT_NEAR(estimate.d_t[t], exact.d_t[t], 0.15 * exact.d_t[t] + 0.02);
+}
+
+TEST(Potential, CrossoverScalesLikeSqrtKappaNOverM) {
+  // The t where the ceiling can first reach the floor is
+  // √((M_k/2M)·N/(4 m_k)) = √(κ_k β N / (8M))-ish; for the canonical input
+  // with multiplicity = κ_k it is exactly √(N κ_k/(8 M)) rounded up.
+  const auto base = make_canonical_hard_input(64, 2, 0, 4, 4);
+  Rng rng(23);
+  PotentialOptions options;
+  options.family_samples = 4;
+  const auto result = measure_potential(base, 0, 4, options, rng);
+  const double mk = 4.0, universe = 64.0, m_total = 16.0, kappa = 4.0;
+  const double expected =
+      std::sqrt((m_total / (2.0 * m_total)) * universe / (4.0 * mk));
+  EXPECT_EQ(result.crossover(result.floor()),
+            static_cast<std::uint64_t>(std::ceil(expected)));
+  // And that is Θ(√(κ N / M)):
+  const double theta_form = std::sqrt(kappa * universe / m_total);
+  EXPECT_GT(static_cast<double>(result.crossover(result.floor())),
+            0.2 * theta_form);
+  EXPECT_LT(static_cast<double>(result.crossover(result.floor())),
+            2.0 * theta_form);
+}
+
+TEST(Potential, EmptyMachineKRejected) {
+  std::vector<Dataset> base = {Dataset(8), Dataset::from_counts(
+                                               {1, 0, 0, 0, 0, 0, 0, 0})};
+  Rng rng(29);
+  PotentialOptions options;
+  EXPECT_THROW(measure_potential(base, 0, 2, options, rng),
+               ContractViolation);
+}
+
+TEST(Lockstep, RejectsMismatchedConfigurations) {
+  std::vector<Dataset> a = {Dataset::from_counts({1, 0}),
+                            Dataset::from_counts({0, 1})};
+  std::vector<Dataset> b = {Dataset::from_counts({1, 0}),
+                            Dataset::from_counts({0, 1})};
+  const DistributedDatabase db_true(std::move(a), 2);
+  const DistributedDatabase db_not_empty(std::move(b), 2);
+  EXPECT_THROW(LockstepBackend(db_true, db_not_empty, 1,
+                               StatePrep::kHouseholder),
+               ContractViolation);
+}
+
+TEST(Lockstep, TrueRunMatchesStandaloneSampler) {
+  // Lockstep execution must not perturb the true run: its final state has
+  // to equal a standalone sequential-sampler run on the same input.
+  const auto base = make_canonical_hard_input(16, 2, 0, 2, 2);
+  const DistributedDatabase db_true(base, 3);
+  std::vector<Dataset> emptied = base;
+  emptied[0] = Dataset(16);
+  const DistributedDatabase db_empty(std::move(emptied), 3);
+
+  const double a = static_cast<double>(db_true.total()) / (3.0 * 16.0);
+  const auto plan = plan_zero_error(a);
+  LockstepBackend lockstep(db_true, db_empty, 0, StatePrep::kHouseholder);
+  run_sampling_circuit(lockstep, QueryMode::kSequential, plan);
+
+  const auto standalone = run_sequential_sampler(db_true);
+  EXPECT_NEAR(pure_fidelity(lockstep.true_state(), standalone.state), 1.0,
+              1e-10);
+}
+
+TEST(Lockstep, ClockCountsOnlyMachineKQueries) {
+  const auto base = make_canonical_hard_input(16, 3, 1, 2, 2);
+  const DistributedDatabase db_true(base, 3);
+  std::vector<Dataset> emptied = base;
+  emptied[1] = Dataset(16);
+  const DistributedDatabase db_empty(std::move(emptied), 3);
+
+  const double a = static_cast<double>(db_true.total()) / (3.0 * 16.0);
+  const auto plan = plan_zero_error(a);
+  LockstepBackend lockstep(db_true, db_empty, 1, StatePrep::kHouseholder);
+  run_sampling_circuit(lockstep, QueryMode::kSequential, plan);
+
+  // Machine 1 is queried twice per D application.
+  EXPECT_EQ(lockstep.clock(), 2 * plan.d_applications());
+}
+
+}  // namespace
+}  // namespace qs

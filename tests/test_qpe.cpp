@@ -1,0 +1,114 @@
+// Tests for canonical (phase-estimation based) quantum counting
+// (estimation/qpe_counting.hpp).
+#include "estimation/qpe_counting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "distdb/workload.hpp"
+#include "estimation/amplitude_estimation.hpp"
+
+namespace qs {
+namespace {
+
+DistributedDatabase controlled(std::size_t universe, std::size_t machines,
+                               std::size_t support,
+                               std::uint64_t multiplicity, std::uint64_t nu) {
+  std::vector<Dataset> datasets(machines, Dataset(universe));
+  for (std::size_t i = 0; i < support; ++i)
+    datasets[i % machines].insert(i, multiplicity);
+  return DistributedDatabase(std::move(datasets), nu);
+}
+
+TEST(Qpe, RecoversAmplitudeWithinResolution) {
+  const auto db = controlled(32, 2, 8, 2, 4);  // a = 16/128 = 0.125
+  Rng rng(3);
+  const auto estimate =
+      qpe_estimate_good_amplitude(db, QueryMode::kSequential, 7, 31, rng);
+  // Canonical AE error bound: |â−a| ≤ 2π√(a(1−a))/2^t + π²/4^t ≈ 0.017.
+  EXPECT_NEAR(estimate.a_hat, 0.125, 0.02);
+  EXPECT_EQ(estimate.phase_bits, 7u);
+  EXPECT_EQ(estimate.total_shots, 31u);
+}
+
+TEST(Qpe, ResolutionImprovesWithPhaseBits) {
+  const auto db = controlled(32, 2, 8, 1, 4);  // a = 8/128 = 0.0625
+  double coarse_err = 0.0, fine_err = 0.0;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    Rng rng1(100 + seed), rng2(200 + seed);
+    coarse_err += std::abs(
+        qpe_estimate_good_amplitude(db, QueryMode::kParallel, 4, 15, rng1)
+            .a_hat -
+        0.0625);
+    fine_err += std::abs(
+        qpe_estimate_good_amplitude(db, QueryMode::kParallel, 8, 15, rng2)
+            .a_hat -
+        0.0625);
+  }
+  EXPECT_LT(fine_err, coarse_err + 1e-12);
+}
+
+TEST(Qpe, CountEstimateTracksTrueM) {
+  const auto db = controlled(64, 3, 16, 2, 4);  // M = 32
+  Rng rng(7);
+  QpeEstimate details;
+  const double m_hat = qpe_estimate_total_count(db, QueryMode::kParallel, 7,
+                                                21, rng, &details);
+  EXPECT_NEAR(m_hat, 32.0, 6.0);
+  EXPECT_GT(details.oracle_cost, 0u);
+}
+
+TEST(Qpe, EmptyDatabaseGivesZero) {
+  std::vector<Dataset> datasets = {Dataset(16)};
+  const DistributedDatabase db(std::move(datasets), 2);
+  Rng rng(9);
+  const auto estimate =
+      qpe_estimate_good_amplitude(db, QueryMode::kSequential, 5, 15, rng);
+  EXPECT_NEAR(estimate.a_hat, 0.0, 0.02);
+}
+
+TEST(Qpe, FullDatabaseGivesOne) {
+  const auto db = controlled(8, 1, 8, 3, 3);  // a = 1
+  Rng rng(11);
+  const auto estimate =
+      qpe_estimate_good_amplitude(db, QueryMode::kSequential, 5, 15, rng);
+  EXPECT_NEAR(estimate.a_hat, 1.0, 0.05);
+}
+
+TEST(Qpe, CostLedgerMatchesPowerSum) {
+  const auto db = controlled(16, 2, 4, 1, 2);
+  Rng rng(13);
+  const std::size_t bits = 5, shots = 9;
+  const auto estimate =
+      qpe_estimate_good_amplitude(db, QueryMode::kSequential, bits, shots,
+                                  rng);
+  const std::uint64_t d_per_shot = 1 + 2 * ((1u << bits) - 1);
+  EXPECT_EQ(estimate.d_applications, d_per_shot * shots);
+  EXPECT_EQ(estimate.oracle_cost, d_per_shot * shots * 2 * 2);  // 2n = 4
+}
+
+TEST(Qpe, AgreesWithMlaeEstimator) {
+  const auto db = controlled(64, 2, 16, 1, 2);  // a = 16/128
+  Rng rng1(17), rng2(18);
+  const auto qpe =
+      qpe_estimate_good_amplitude(db, QueryMode::kParallel, 7, 21, rng1);
+  const auto mlae = estimate_good_amplitude(
+      db, QueryMode::kParallel, exponential_schedule(7, 32), rng2);
+  EXPECT_NEAR(qpe.a_hat, mlae.a_hat, 0.03);
+}
+
+TEST(Qpe, ValidatesArguments) {
+  const auto db = controlled(16, 1, 4, 1, 2);
+  Rng rng(19);
+  EXPECT_THROW(
+      qpe_estimate_good_amplitude(db, QueryMode::kSequential, 0, 5, rng),
+      ContractViolation);
+  EXPECT_THROW(
+      qpe_estimate_good_amplitude(db, QueryMode::kSequential, 5, 0, rng),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace qs

@@ -1,0 +1,148 @@
+// Tests for the mixed-radix register layout (qsim/register_layout.hpp).
+#include "qsim/register_layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace qs {
+namespace {
+
+TEST(RegisterLayout, EmptyLayoutHasDimensionOne) {
+  RegisterLayout layout;
+  EXPECT_EQ(layout.num_registers(), 0u);
+  EXPECT_EQ(layout.total_dim(), 1u);
+}
+
+TEST(RegisterLayout, SingleRegister) {
+  RegisterLayout layout;
+  const auto r = layout.add("x", 5);
+  EXPECT_EQ(layout.total_dim(), 5u);
+  EXPECT_EQ(layout.dim(r), 5u);
+  EXPECT_EQ(layout.stride(r), 1u);
+  EXPECT_EQ(layout.name(r), "x");
+}
+
+TEST(RegisterLayout, FirstRegisterIsMostSignificant) {
+  RegisterLayout layout;
+  const auto hi = layout.add("hi", 3);
+  const auto lo = layout.add("lo", 4);
+  EXPECT_EQ(layout.total_dim(), 12u);
+  EXPECT_EQ(layout.stride(hi), 4u);
+  EXPECT_EQ(layout.stride(lo), 1u);
+  // index = hi*4 + lo
+  const std::array<std::size_t, 2> digits = {2, 3};
+  EXPECT_EQ(layout.index_of(digits), 11u);
+  EXPECT_EQ(layout.digit(11, hi), 2u);
+  EXPECT_EQ(layout.digit(11, lo), 3u);
+}
+
+TEST(RegisterLayout, DigitIndexRoundTripExhaustive) {
+  RegisterLayout layout;
+  const auto a = layout.add("a", 2);
+  const auto b = layout.add("b", 3);
+  const auto c = layout.add("c", 5);
+  for (std::size_t i = 0; i < layout.total_dim(); ++i) {
+    const std::array<std::size_t, 3> digits = {layout.digit(i, a),
+                                               layout.digit(i, b),
+                                               layout.digit(i, c)};
+    EXPECT_EQ(layout.index_of(digits), i);
+  }
+}
+
+TEST(RegisterLayout, WithDigitReplacesOnlyThatRegister) {
+  RegisterLayout layout;
+  const auto a = layout.add("a", 4);
+  const auto b = layout.add("b", 4);
+  for (std::size_t i = 0; i < layout.total_dim(); ++i) {
+    for (std::size_t v = 0; v < 4; ++v) {
+      const auto j = layout.with_digit(i, b, v);
+      EXPECT_EQ(layout.digit(j, b), v);
+      EXPECT_EQ(layout.digit(j, a), layout.digit(i, a));
+    }
+  }
+}
+
+TEST(RegisterLayout, FindByName) {
+  RegisterLayout layout;
+  layout.add("elem", 8);
+  const auto count = layout.add("count", 3);
+  EXPECT_EQ(layout.find("count").value, count.value);
+  EXPECT_THROW(layout.find("missing"), ContractViolation);
+}
+
+TEST(RegisterLayout, SameShapeIgnoresNames) {
+  RegisterLayout a, b, c;
+  a.add("x", 2);
+  a.add("y", 3);
+  b.add("p", 2);
+  b.add("q", 3);
+  c.add("x", 3);
+  c.add("y", 2);
+  EXPECT_TRUE(a.same_shape(b));
+  EXPECT_FALSE(a.same_shape(c));
+}
+
+TEST(RegisterLayout, RejectsZeroDimAndBadDigits) {
+  RegisterLayout layout;
+  EXPECT_THROW(layout.add("zero", 0), ContractViolation);
+  const auto r = layout.add("r", 3);
+  EXPECT_THROW(layout.with_digit(0, r, 3), ContractViolation);
+  const std::array<std::size_t, 1> bad = {3};
+  EXPECT_THROW(layout.index_of(bad), ContractViolation);
+}
+
+TEST(RegisterLayout, DimensionOneRegistersAreLegal) {
+  RegisterLayout layout;
+  const auto a = layout.add("a", 1);
+  const auto b = layout.add("b", 4);
+  EXPECT_EQ(layout.total_dim(), 4u);
+  EXPECT_EQ(layout.digit(3, a), 0u);
+  EXPECT_EQ(layout.digit(3, b), 3u);
+}
+
+struct ShapeCase {
+  std::vector<std::size_t> dims;
+};
+
+class LayoutShapeSweep : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(LayoutShapeSweep, StrideProductInvariants) {
+  RegisterLayout layout;
+  std::vector<RegisterId> regs;
+  for (std::size_t i = 0; i < GetParam().dims.size(); ++i)
+    regs.push_back(layout.add("r" + std::to_string(i), GetParam().dims[i]));
+
+  std::size_t product = 1;
+  for (const auto d : GetParam().dims) product *= d;
+  EXPECT_EQ(layout.total_dim(), product);
+
+  // stride(r) equals the product of all later dims.
+  for (std::size_t i = 0; i < regs.size(); ++i) {
+    std::size_t expected = 1;
+    for (std::size_t j = i + 1; j < regs.size(); ++j)
+      expected *= GetParam().dims[j];
+    EXPECT_EQ(layout.stride(regs[i]), expected);
+  }
+
+  // Round trip on a sample of indices.
+  for (std::size_t idx = 0; idx < layout.total_dim();
+       idx += std::max<std::size_t>(1, layout.total_dim() / 64)) {
+    std::vector<std::size_t> digits;
+    for (const auto r : regs) digits.push_back(layout.digit(idx, r));
+    EXPECT_EQ(layout.index_of(digits), idx);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LayoutShapeSweep,
+    ::testing::Values(ShapeCase{{2}}, ShapeCase{{7}}, ShapeCase{{2, 2}},
+                      ShapeCase{{4, 5, 2}}, ShapeCase{{16, 5, 2}},
+                      ShapeCase{{3, 1, 3}}, ShapeCase{{2, 3, 4, 5}},
+                      ShapeCase{{8, 8, 2, 2, 2}}));
+
+}  // namespace
+}  // namespace qs

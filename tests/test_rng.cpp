@@ -1,0 +1,205 @@
+// Tests for the deterministic RNG substrate (common/rng.hpp).
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/require.hpp"
+
+namespace qs {
+namespace {
+
+TEST(SplitMix64, IsDeterministicAndAdvancesState) {
+  std::uint64_t s1 = 123, s2 = 123;
+  const auto a = splitmix64(s1);
+  const auto b = splitmix64(s2);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(splitmix64(s1), a);  // state advanced
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanAndVariance) {
+  Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform01();
+    sum += u;
+    sum_sq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.01);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, UniformBelowIsUnbiasedAcrossSmallRange) {
+  Rng rng(13);
+  const std::uint64_t bound = 7;
+  std::vector<int> hist(bound, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++hist[rng.uniform_below(bound)];
+  for (const auto h : hist) {
+    EXPECT_NEAR(static_cast<double>(h), n / 7.0, 5.0 * std::sqrt(n / 7.0));
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(17);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(-3, 3));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), -3);
+  EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(Rng, NormalMomentsMatchStandardGaussian) {
+  Rng rng(19);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, BernoulliFrequencyTracksP) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(29);
+  const std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> hist(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++hist[rng.weighted_index(w)];
+  EXPECT_EQ(hist[1], 0);
+  EXPECT_NEAR(hist[0] / static_cast<double>(n), 0.25, 0.02);
+  EXPECT_NEAR(hist[2] / static_cast<double>(n), 0.75, 0.02);
+}
+
+TEST(Rng, SampleWithoutReplacementShapeAndBounds) {
+  Rng rng(31);
+  for (std::size_t n : {1u, 5u, 20u, 100u}) {
+    for (std::size_t k = 0; k <= std::min<std::size_t>(n, 10); ++k) {
+      const auto s = rng.sample_without_replacement(n, k);
+      EXPECT_EQ(s.size(), k);
+      EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+      const std::set<std::size_t> uniq(s.begin(), s.end());
+      EXPECT_EQ(uniq.size(), k);  // distinct
+      for (const auto v : s) EXPECT_LT(v, n);
+    }
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullRange) {
+  Rng rng(37);
+  const auto s = rng.sample_without_replacement(8, 8);
+  ASSERT_EQ(s.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(Rng, SampleWithoutReplacementIsApproximatelyUniform) {
+  // Every 2-subset of [0, 5) should appear with frequency ~1/10.
+  Rng rng(41);
+  std::map<std::pair<std::size_t, std::size_t>, int> hist;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const auto s = rng.sample_without_replacement(5, 2);
+    ++hist[{s[0], s[1]}];
+  }
+  EXPECT_EQ(hist.size(), 10u);
+  for (const auto& [key, count] : hist) {
+    EXPECT_NEAR(count / static_cast<double>(n), 0.1, 0.01);
+  }
+}
+
+TEST(Rng, SampleMoreThanRangeThrows) {
+  Rng rng(43);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), ContractViolation);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(47);
+  Rng b = a.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(ZipfSampler, ProbabilitiesNormalised) {
+  const ZipfSampler z(100, 1.2);
+  double total = 0.0;
+  for (std::size_t i = 0; i < z.size(); ++i) total += z.probability(i);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfSampler, ProbabilitiesDecreasing) {
+  const ZipfSampler z(50, 0.8);
+  for (std::size_t i = 1; i < z.size(); ++i)
+    EXPECT_LE(z.probability(i), z.probability(i - 1));
+}
+
+TEST(ZipfSampler, EmpiricalFrequenciesMatch) {
+  const ZipfSampler z(10, 1.0);
+  Rng rng(53);
+  std::vector<int> hist(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++hist[z.sample(rng)];
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(hist[i] / static_cast<double>(n), z.probability(i), 0.01);
+  }
+}
+
+TEST(ZipfSampler, ExponentZeroIsUniform) {
+  const ZipfSampler z(8, 0.0);
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_NEAR(z.probability(i), 0.125, 1e-12);
+}
+
+class RngBoundSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBoundSweep, UniformBelowStaysInBound) {
+  Rng rng(61 + GetParam());
+  for (int i = 0; i < 2000; ++i) EXPECT_LT(rng.uniform_below(GetParam()),
+                                           GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundSweep,
+                         ::testing::Values(1, 2, 3, 10, 255, 256, 1000,
+                                           1u << 20, (1ull << 40) + 17));
+
+}  // namespace
+}  // namespace qs

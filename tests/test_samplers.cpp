@@ -1,0 +1,250 @@
+// End-to-end tests for the samplers (Theorems 4.3 / 4.5): exact output
+// state, exact query accounting, and agreement across query models,
+// preparation operators and workloads.
+#include "sampling/samplers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "distdb/workload.hpp"
+#include "qsim/measure.hpp"
+
+namespace qs {
+namespace {
+
+struct SamplerCase {
+  std::size_t universe;
+  std::size_t machines;
+  std::uint64_t total;
+  std::uint64_t extra_capacity;
+  std::uint64_t seed;
+  const char* workload;
+};
+
+DistributedDatabase build_db(const SamplerCase& c) {
+  Rng rng(c.seed);
+  std::vector<Dataset> datasets;
+  const std::string kind = c.workload;
+  if (kind == "uniform") {
+    datasets = workload::uniform_random(c.universe, c.machines, c.total, rng);
+  } else if (kind == "zipf") {
+    datasets = workload::zipf(c.universe, c.machines, c.total, 1.1, rng);
+  } else if (kind == "disjoint") {
+    datasets = workload::disjoint_partition(c.universe, c.machines,
+                                            std::max<std::uint64_t>(
+                                                1, c.total / c.universe));
+  } else if (kind == "replicated") {
+    datasets = workload::replicated(c.universe, c.machines, c.universe / 2,
+                                    2);
+  } else {
+    datasets = workload::concentrated(c.universe, c.machines, 0,
+                                      c.universe / 4 + 1, 2);
+  }
+  const auto nu = min_capacity(datasets) + c.extra_capacity;
+  return DistributedDatabase(std::move(datasets), nu);
+}
+
+class SamplerSweep : public ::testing::TestWithParam<SamplerCase> {};
+
+TEST_P(SamplerSweep, SequentialSamplerIsExact) {
+  const auto db = build_db(GetParam());
+  const auto result = run_sequential_sampler(db);
+  EXPECT_NEAR(result.fidelity, 1.0, 1e-9);
+  EXPECT_NEAR(result.state.norm(), 1.0, 1e-9);
+}
+
+TEST_P(SamplerSweep, SequentialQueryCountMatchesPrediction) {
+  const auto db = build_db(GetParam());
+  const auto result = run_sequential_sampler(db);
+  EXPECT_EQ(result.stats.total_sequential(),
+            predicted_sequential_queries(result.plan, db.num_machines()));
+  EXPECT_EQ(result.stats.parallel_rounds, 0u);
+  // Per-machine counts are balanced: every machine is queried the same
+  // number of times (2 per D application).
+  for (const auto q : result.stats.sequential_per_machine)
+    EXPECT_EQ(q, 2 * result.plan.d_applications());
+}
+
+TEST_P(SamplerSweep, ParallelSamplerIsExactWithPredictedRounds) {
+  const auto db = build_db(GetParam());
+  const auto result = run_parallel_sampler(db);
+  EXPECT_NEAR(result.fidelity, 1.0, 1e-9);
+  EXPECT_EQ(result.stats.parallel_rounds,
+            predicted_parallel_rounds(result.plan));
+  EXPECT_EQ(result.stats.total_sequential(), 0u);
+}
+
+TEST_P(SamplerSweep, SequentialAndParallelProduceTheSameState) {
+  const auto db = build_db(GetParam());
+  const auto seq = run_sequential_sampler(db);
+  const auto par = run_parallel_sampler(db);
+  EXPECT_NEAR(pure_fidelity(seq.state, par.state), 1.0, 1e-9);
+}
+
+TEST_P(SamplerSweep, OutputAmplitudesMatchTargetDistribution) {
+  const auto db = build_db(GetParam());
+  const auto result = run_sequential_sampler(db);
+  const auto amps = result.output_amplitudes();
+  const auto p = db.target_distribution();
+  for (std::size_t i = 0; i < amps.size(); ++i)
+    EXPECT_NEAR(std::norm(amps[i]), p[i], 1e-9) << "element " << i;
+}
+
+TEST_P(SamplerSweep, QftPreparationAgrees) {
+  const auto db = build_db(GetParam());
+  SamplerOptions options;
+  options.prep = StatePrep::kQft;
+  const auto result = run_sequential_sampler(db, options);
+  EXPECT_NEAR(result.fidelity, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, SamplerSweep,
+    ::testing::Values(
+        SamplerCase{8, 1, 12, 0, 1, "uniform"},
+        SamplerCase{8, 2, 12, 1, 2, "uniform"},
+        SamplerCase{16, 3, 40, 0, 3, "uniform"},
+        SamplerCase{16, 4, 24, 2, 4, "zipf"},
+        SamplerCase{32, 2, 64, 1, 5, "zipf"},
+        SamplerCase{16, 4, 16, 0, 6, "disjoint"},
+        SamplerCase{32, 8, 32, 3, 7, "disjoint"},
+        SamplerCase{12, 3, 0, 0, 8, "replicated"},
+        SamplerCase{20, 5, 0, 1, 9, "concentrated"},
+        SamplerCase{64, 2, 100, 4, 10, "uniform"}));
+
+TEST(Sampler, SingleElementUniverse) {
+  std::vector<Dataset> datasets = {Dataset::from_counts({3})};
+  DistributedDatabase db(std::move(datasets), 4);
+  const auto result = run_sequential_sampler(db);
+  EXPECT_NEAR(result.fidelity, 1.0, 1e-12);
+}
+
+TEST(Sampler, FullCapacityDatabaseNeedsNoIterations) {
+  // c_i = ν for every i means a = 1: A|0⟩ is already the target.
+  std::vector<Dataset> datasets = {
+      Dataset::from_counts({2, 2, 2, 2}),
+      Dataset::from_counts({1, 1, 1, 1}),
+  };
+  DistributedDatabase db(std::move(datasets), 3);
+  const auto result = run_sequential_sampler(db);
+  EXPECT_TRUE(result.plan.already_exact);
+  EXPECT_NEAR(result.fidelity, 1.0, 1e-12);
+  // One D application = 2n queries.
+  EXPECT_EQ(result.stats.total_sequential(), 2 * db.num_machines());
+}
+
+TEST(Sampler, MachinesWithEmptyDatasetsAreHandled) {
+  std::vector<Dataset> datasets = {Dataset::from_counts({0, 0, 0, 0}),
+                                   Dataset::from_counts({1, 2, 0, 1}),
+                                   Dataset(4)};
+  DistributedDatabase db(std::move(datasets), 3);
+  const auto result = run_sequential_sampler(db);
+  EXPECT_NEAR(result.fidelity, 1.0, 1e-10);
+  // Empty machines are still queried (obliviousness!).
+  for (const auto q : result.stats.sequential_per_machine) EXPECT_GT(q, 0u);
+}
+
+TEST(Sampler, EmptyDatabaseIsRejected) {
+  std::vector<Dataset> datasets = {Dataset(4)};
+  DistributedDatabase db(std::move(datasets), 1);
+  EXPECT_THROW(run_sequential_sampler(db), ContractViolation);
+}
+
+TEST(Sampler, CentralizedSamplerMatchesDistributed) {
+  Rng rng(21);
+  auto datasets = workload::uniform_random(16, 4, 30, rng);
+  const auto nu = min_capacity(datasets) + 1;
+  DistributedDatabase db(std::move(datasets), nu);
+  const auto dist = run_sequential_sampler(db);
+  const auto central = run_centralized_sampler(db);
+  EXPECT_NEAR(central.fidelity, 1.0, 1e-10);
+  // Same target state, same plan, but n=1 queries.
+  EXPECT_EQ(central.plan.d_applications(), dist.plan.d_applications());
+  EXPECT_EQ(central.stats.sequential_per_machine.size(), 1u);
+  EXPECT_EQ(central.stats.total_sequential(),
+            2 * central.plan.d_applications());
+}
+
+TEST(Sampler, TrajectoryEndsAtOneAndGrowsInitially) {
+  Rng rng(23);
+  auto datasets = workload::uniform_random(64, 2, 16, rng);
+  const auto nu_db = min_capacity(datasets) + 3;
+  DistributedDatabase db(std::move(datasets), nu_db);
+  SamplerOptions options;
+  options.record_trajectory = true;
+  const auto result = run_sequential_sampler(db, options);
+  ASSERT_GE(result.trajectory.size(), 2u);
+  EXPECT_NEAR(result.trajectory.back(), 1.0, 1e-9);
+  // The first recorded point is the preparation overlap a = M/νN.
+  const double a = static_cast<double>(db.total()) /
+                   (static_cast<double>(db.nu()) * 64.0);
+  EXPECT_NEAR(result.trajectory.front(), a, 1e-9);
+  // Monotone growth through the full Q(π,π) iterations.
+  for (std::size_t i = 0; i + 2 < result.trajectory.size(); ++i)
+    EXPECT_GT(result.trajectory[i + 1] + 1e-12, result.trajectory[i]);
+}
+
+TEST(Sampler, MeasurementsFollowJointFrequencies) {
+  // The defining semantics (Section 3): measuring |ψ⟩ samples i with
+  // probability c_i / M.
+  Rng rng(25);
+  auto datasets = workload::zipf(8, 2, 200, 1.0, rng);
+  const auto nu_db = min_capacity(datasets);
+  DistributedDatabase db(std::move(datasets), nu_db);
+  const auto result = run_sequential_sampler(db);
+  Rng shots_rng(26);
+  const auto hist = histogram_register(result.state,
+                                       result.registers.elem, shots_rng,
+                                       200000);
+  const auto empirical = normalize_histogram(hist);
+  EXPECT_LT(total_variation(empirical, db.target_distribution()), 0.01);
+}
+
+TEST(Sampler, QueriesScaleWithSqrtCapacityRatio) {
+  // Fixing N and M while doubling ν must grow the query count like √2
+  // (Theorem 4.3's √(νN/M) dependence).
+  std::vector<Dataset> datasets = {Dataset::from_counts(
+      std::vector<std::uint64_t>(64, 1))};  // N = 64, M = 64
+  const DistributedDatabase db1(datasets, 16);
+  const DistributedDatabase db2(datasets, 64);
+  const auto r1 = run_sequential_sampler(db1);
+  const auto r2 = run_sequential_sampler(db2);
+  const double ratio = static_cast<double>(r2.stats.total_sequential()) /
+                       static_cast<double>(r1.stats.total_sequential());
+  EXPECT_NEAR(ratio, 2.0, 0.3);  // √(64/16) = 2
+  EXPECT_NEAR(r1.fidelity, 1.0, 1e-9);
+  EXPECT_NEAR(r2.fidelity, 1.0, 1e-9);
+}
+
+TEST(Sampler, DynamicUpdateThenResampleIsExact) {
+  Rng rng(31);
+  auto datasets = workload::uniform_random(16, 3, 30, rng);
+  const auto nu_db = min_capacity(datasets) + 2;
+  DistributedDatabase db(std::move(datasets), nu_db);
+  const auto before = run_sequential_sampler(db);
+  EXPECT_NEAR(before.fidelity, 1.0, 1e-9);
+  db.insert(1, 5);
+  db.insert(2, 5);
+  if (db.machine(0).data().total() > 0)
+    db.erase(0, db.machine(0).data().support().front());
+  const auto after = run_sequential_sampler(db);
+  EXPECT_NEAR(after.fidelity, 1.0, 1e-9);
+  // The two targets differ (the update actually changed the distribution).
+  EXPECT_GT(total_variation(db.target_distribution(),
+                            [&] {
+                              // reconstruct the old distribution from the
+                              // "before" output state
+                              std::vector<double> p;
+                              for (const auto& amp :
+                                   before.output_amplitudes())
+                                p.push_back(std::norm(amp));
+                              return p;
+                            }()),
+            1e-4);
+}
+
+}  // namespace
+}  // namespace qs

@@ -1,0 +1,94 @@
+// Tests for the compiled oblivious schedule (sampling/schedule.hpp):
+// compile-ahead transcripts must equal the transcripts of real runs on any
+// database with the same public parameters.
+#include "sampling/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "distdb/workload.hpp"
+#include "sampling/samplers.hpp"
+
+namespace qs {
+namespace {
+
+TEST(Schedule, CompiledEqualsRealRunSequential) {
+  Rng rng(3);
+  auto datasets = workload::uniform_random(32, 4, 40, rng);
+  const auto nu = min_capacity(datasets) + 1;
+  const DistributedDatabase db(std::move(datasets), nu);
+
+  const auto compiled =
+      compile_schedule(public_params_of(db), QueryMode::kSequential);
+  Transcript actual;
+  SamplerOptions options;
+  options.transcript = &actual;
+  run_sequential_sampler(db, options);
+  EXPECT_EQ(compiled, actual);
+}
+
+TEST(Schedule, CompiledEqualsRealRunParallel) {
+  Rng rng(5);
+  auto datasets = workload::zipf(32, 3, 40, 1.0, rng);
+  const auto nu = min_capacity(datasets) + 2;
+  const DistributedDatabase db(std::move(datasets), nu);
+
+  const auto compiled =
+      compile_schedule(public_params_of(db), QueryMode::kParallel);
+  Transcript actual;
+  SamplerOptions options;
+  options.transcript = &actual;
+  run_parallel_sampler(db, options);
+  EXPECT_EQ(compiled, actual);
+}
+
+TEST(Schedule, SamePublicParamsSameSchedule) {
+  const PublicParams params{64, 4, 3, 48};
+  const auto a = compile_schedule(params, QueryMode::kSequential);
+  const auto b = compile_schedule(params, QueryMode::kSequential);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Schedule, LengthFormulaMatchesCompilation) {
+  for (const auto mode : {QueryMode::kSequential, QueryMode::kParallel}) {
+    for (const std::uint64_t total : {4u, 16u, 48u}) {
+      const PublicParams params{64, 3, 4, total};
+      EXPECT_EQ(compile_schedule(params, mode).size(),
+                compiled_schedule_length(params, mode))
+          << "M=" << total;
+    }
+  }
+}
+
+TEST(Schedule, DifferentMGivesDifferentLength) {
+  const PublicParams small{64, 2, 2, 2};
+  const PublicParams large{64, 2, 2, 100};
+  EXPECT_NE(
+      compile_schedule(small, QueryMode::kSequential).size(),
+      compile_schedule(large, QueryMode::kSequential).size());
+}
+
+TEST(Schedule, ValidatesParameters) {
+  EXPECT_THROW(compile_schedule({0, 2, 2, 4}, QueryMode::kSequential),
+               ContractViolation);
+  EXPECT_THROW(compile_schedule({8, 2, 2, 0}, QueryMode::kSequential),
+               ContractViolation);
+  // M > νN is inconsistent public knowledge.
+  EXPECT_THROW(compile_schedule({8, 2, 2, 17}, QueryMode::kSequential),
+               ContractViolation);
+}
+
+TEST(Schedule, PublicParamsExtraction) {
+  Rng rng(7);
+  auto datasets = workload::uniform_random(16, 2, 12, rng);
+  const auto nu = min_capacity(datasets);
+  const DistributedDatabase db(std::move(datasets), nu);
+  const auto params = public_params_of(db);
+  EXPECT_EQ(params.universe, 16u);
+  EXPECT_EQ(params.machines, 2u);
+  EXPECT_EQ(params.nu, nu);
+  EXPECT_EQ(params.total, 12u);
+}
+
+}  // namespace
+}  // namespace qs

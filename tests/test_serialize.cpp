@@ -1,0 +1,83 @@
+// Tests for database (de)serialization (distdb/serialize.hpp).
+#include "distdb/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "distdb/workload.hpp"
+
+namespace qs {
+namespace {
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  Rng rng(3);
+  auto datasets = workload::zipf(32, 3, 50, 1.1, rng);
+  const auto nu = min_capacity(datasets) + 2;
+  const DistributedDatabase original(std::move(datasets), nu);
+
+  std::stringstream buffer;
+  save_database(buffer, original);
+  const auto loaded = load_database(buffer);
+
+  EXPECT_EQ(loaded.universe(), original.universe());
+  EXPECT_EQ(loaded.nu(), original.nu());
+  EXPECT_EQ(loaded.num_machines(), original.num_machines());
+  for (std::size_t j = 0; j < original.num_machines(); ++j)
+    EXPECT_EQ(loaded.machine(j).data(), original.machine(j).data());
+}
+
+TEST(Serialize, CommentsAndBlankLinesIgnored) {
+  std::istringstream input(
+      "# a comment\n"
+      "dqsdb 1\n"
+      "\n"
+      "universe 8   # inline comment\n"
+      "nu 3\n"
+      "machine 0\n"
+      "2 3\n"
+      "machine 1\n"
+      "# empty machine\n");
+  const auto db = load_database(input);
+  EXPECT_EQ(db.universe(), 8u);
+  EXPECT_EQ(db.num_machines(), 2u);
+  EXPECT_EQ(db.machine(0).data().count(2), 3u);
+  EXPECT_EQ(db.machine(1).data().total(), 0u);
+}
+
+TEST(Serialize, MalformedInputsRejectedWithLineInfo) {
+  const auto expect_fail = [](const std::string& text) {
+    std::istringstream input(text);
+    EXPECT_THROW(load_database(input), ContractViolation) << text;
+  };
+  expect_fail("");                                     // empty
+  expect_fail("not-a-db 1\n");                         // bad magic
+  expect_fail("dqsdb 2\nuniverse 4\nnu 1\nmachine 0\n");  // bad version
+  expect_fail("dqsdb 1\nnu 1\nmachine 0\n");           // universe missing
+  expect_fail("dqsdb 1\nuniverse 4\nmachine 0\n");     // nu missing
+  expect_fail("dqsdb 1\nuniverse 4\nnu 1\n");          // no machines
+  expect_fail("dqsdb 1\nuniverse 4\nnu 1\nmachine 1\n");  // index gap
+  expect_fail("dqsdb 1\nuniverse 4\nnu 1\nmachine 0\n9 1\n");  // elem oob
+  expect_fail("dqsdb 1\nuniverse 4\nnu 1\nmachine 0\n1 0\n");  // zero count
+  expect_fail("dqsdb 1\nuniverse 4\nnu 1\n1 1\n");  // count before machine
+  // Capacity violation surfaces through the database constructor.
+  expect_fail("dqsdb 1\nuniverse 4\nnu 1\nmachine 0\n1 2\n");
+}
+
+TEST(Serialize, FileRoundTrip) {
+  Rng rng(5);
+  auto datasets = workload::uniform_random(16, 2, 20, rng);
+  const auto nu = min_capacity(datasets);
+  const DistributedDatabase original(std::move(datasets), nu);
+  const std::string path = "/tmp/dqs_serialize_test.db";
+  save_database_file(path, original);
+  const auto loaded = load_database_file(path);
+  EXPECT_EQ(loaded.joint_counts(), original.joint_counts());
+  EXPECT_THROW(load_database_file("/nonexistent/nowhere.db"),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace qs

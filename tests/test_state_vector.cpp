@@ -1,0 +1,360 @@
+// Tests for the statevector kernels (qsim/state_vector.hpp): every kernel
+// is validated against a dense-matrix reference on small layouts.
+#include "qsim/state_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "qsim/gates.hpp"
+#include "qsim/operator_builder.hpp"
+
+namespace qs {
+namespace {
+
+RegisterLayout two_reg_layout(std::size_t a, std::size_t b) {
+  RegisterLayout layout;
+  layout.add("a", a);
+  layout.add("b", b);
+  return layout;
+}
+
+void randomize(StateVector& state, Rng& rng) {
+  state.set_amplitudes(random_state(state.dim(), rng));
+}
+
+TEST(StateVector, StartsInBasisState) {
+  const auto layout = two_reg_layout(3, 4);
+  StateVector s(layout, 5);
+  EXPECT_EQ(s.amplitude(5), cplx(1.0, 0.0));
+  EXPECT_NEAR(s.norm(), 1.0, 1e-15);
+  double total = 0.0;
+  for (std::size_t i = 0; i < s.dim(); ++i) total += std::norm(s.amplitude(i));
+  EXPECT_NEAR(total, 1.0, 1e-15);
+}
+
+TEST(StateVector, ResetAndSetAmplitudes) {
+  StateVector s(two_reg_layout(2, 2), 3);
+  s.reset(1);
+  EXPECT_EQ(s.amplitude(1), cplx(1.0, 0.0));
+  EXPECT_EQ(s.amplitude(3), cplx(0.0, 0.0));
+  EXPECT_THROW(s.set_amplitudes({1.0, 0.0}), ContractViolation);
+}
+
+TEST(StateVector, ApplyUnitaryOnLowRegisterMatchesKron) {
+  Rng rng(3);
+  const auto layout = two_reg_layout(3, 4);
+  StateVector s(layout);
+  randomize(s, rng);
+  const auto input = std::vector<cplx>(s.amplitudes().begin(),
+                                       s.amplitudes().end());
+  const auto u = random_unitary(4, rng);
+  s.apply_unitary(layout.find("b"), u);
+  // Reference: (I3 ⊗ U) acting on the flat vector.
+  const auto full = kron(Matrix::identity(3), u);
+  const auto expected = full.apply(input);
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_NEAR(std::abs(s.amplitude(i) - expected[i]), 0.0, 1e-12);
+}
+
+TEST(StateVector, ApplyUnitaryOnHighRegisterMatchesKron) {
+  Rng rng(5);
+  const auto layout = two_reg_layout(3, 4);
+  StateVector s(layout);
+  randomize(s, rng);
+  const auto input = std::vector<cplx>(s.amplitudes().begin(),
+                                       s.amplitudes().end());
+  const auto u = random_unitary(3, rng);
+  s.apply_unitary(layout.find("a"), u);
+  const auto expected = kron(u, Matrix::identity(4)).apply(input);
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_NEAR(std::abs(s.amplitude(i) - expected[i]), 0.0, 1e-12);
+}
+
+TEST(StateVector, ApplyUnitaryMiddleRegisterOfThree) {
+  Rng rng(7);
+  RegisterLayout layout;
+  layout.add("a", 2);
+  const auto mid = layout.add("m", 3);
+  layout.add("c", 2);
+  StateVector s(layout);
+  randomize(s, rng);
+  const auto input = std::vector<cplx>(s.amplitudes().begin(),
+                                       s.amplitudes().end());
+  const auto u = random_unitary(3, rng);
+  s.apply_unitary(mid, u);
+  const auto expected =
+      kron(kron(Matrix::identity(2), u), Matrix::identity(2)).apply(input);
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_NEAR(std::abs(s.amplitude(i) - expected[i]), 0.0, 1e-12);
+}
+
+TEST(StateVector, UnitaryPreservesNorm) {
+  Rng rng(11);
+  const auto layout = two_reg_layout(5, 3);
+  StateVector s(layout);
+  randomize(s, rng);
+  s.apply_unitary(layout.find("a"), random_unitary(5, rng));
+  s.apply_unitary(layout.find("b"), random_unitary(3, rng));
+  EXPECT_NEAR(s.norm(), 1.0, 1e-12);
+}
+
+TEST(StateVector, ConditionedUnitarySelectsPerFiber) {
+  // Rotate flag by angle depending on the other register's digit.
+  RegisterLayout layout;
+  const auto c = layout.add("c", 3);
+  const auto f = layout.add("f", 2);
+  std::vector<Matrix> rots = {rotation_matrix(0.0), rotation_matrix(0.5),
+                              rotation_matrix(1.0)};
+  StateVector s(layout);
+  // Uniform over c, flag=0.
+  std::vector<cplx> amps(layout.total_dim(), 0.0);
+  for (std::size_t v = 0; v < 3; ++v) amps[v * 2] = 1.0 / std::sqrt(3.0);
+  s.set_amplitudes(amps);
+  s.apply_conditioned_unitary(f, [&](std::size_t base) {
+    return &rots[layout.digit(base, c)];
+  });
+  for (std::size_t v = 0; v < 3; ++v) {
+    const double angle = 0.5 * static_cast<double>(v);
+    EXPECT_NEAR(std::abs(s.amplitude(v * 2) -
+                         cplx(std::cos(angle) / std::sqrt(3.0), 0.0)),
+                0.0, 1e-12);
+    EXPECT_NEAR(std::abs(s.amplitude(v * 2 + 1) -
+                         cplx(std::sin(angle) / std::sqrt(3.0), 0.0)),
+                0.0, 1e-12);
+  }
+}
+
+TEST(StateVector, ConditionedUnitaryNullMeansIdentity) {
+  Rng rng(13);
+  const auto layout = two_reg_layout(3, 2);
+  StateVector s(layout);
+  randomize(s, rng);
+  const auto before = std::vector<cplx>(s.amplitudes().begin(),
+                                        s.amplitudes().end());
+  s.apply_conditioned_unitary(layout.find("b"),
+                              [](std::size_t) { return nullptr; });
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_EQ(s.amplitude(i), before[i]);
+}
+
+TEST(StateVector, PermutationRelabelsBasisStates) {
+  const auto layout = two_reg_layout(2, 3);
+  StateVector s(layout, 2);  // |0,2⟩
+  // Cyclic shift of the whole index space.
+  s.apply_permutation([&](std::size_t x) { return (x + 1) % 6; });
+  EXPECT_EQ(s.amplitude(3), cplx(1.0, 0.0));
+}
+
+TEST(StateVector, NonBijectivePermutationIsRejected) {
+  StateVector s(two_reg_layout(2, 2));
+  EXPECT_THROW(s.apply_permutation([](std::size_t) { return 0u; }),
+               ContractViolation);
+}
+
+TEST(StateVector, ValueShiftMatchesOracleSemantics) {
+  // |i⟩|s⟩ → |i⟩|s + shift(i) mod 4⟩ — Eq. (1) shape.
+  RegisterLayout layout;
+  const auto elem = layout.add("elem", 3);
+  const auto count = layout.add("count", 4);
+  const std::vector<std::size_t> shifts = {0, 2, 3};
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t v = 0; v < 4; ++v) {
+      StateVector s(layout, i * 4 + v);
+      s.apply_value_shift(count, elem, shifts);
+      const std::size_t expected = i * 4 + (v + shifts[i]) % 4;
+      EXPECT_EQ(s.amplitude(expected), cplx(1.0, 0.0))
+          << "i=" << i << " v=" << v;
+    }
+  }
+}
+
+TEST(StateVector, ValueShiftInverseComposesToIdentity) {
+  Rng rng(17);
+  RegisterLayout layout;
+  const auto elem = layout.add("elem", 4);
+  const auto count = layout.add("count", 5);
+  StateVector s(layout);
+  randomize(s, rng);
+  const auto before = std::vector<cplx>(s.amplitudes().begin(),
+                                        s.amplitudes().end());
+  const std::vector<std::size_t> fwd = {1, 2, 3, 4};
+  std::vector<std::size_t> bwd;
+  for (const auto f : fwd) bwd.push_back((5 - f) % 5);
+  s.apply_value_shift(count, elem, fwd);
+  s.apply_value_shift(count, elem, bwd);
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_NEAR(std::abs(s.amplitude(i) - before[i]), 0.0, 1e-15);
+}
+
+TEST(StateVector, ControlledValueShiftHonoursFlag) {
+  RegisterLayout layout;
+  const auto elem = layout.add("elem", 2);
+  const auto count = layout.add("count", 3);
+  const auto flag = layout.add("flag", 2);
+  const std::vector<std::size_t> shifts = {1, 2};
+  // flag = 0: no action.
+  {
+    std::vector<std::size_t> digits = {1, 0, 0};
+    StateVector s(layout, layout.index_of(digits));
+    s.apply_controlled_value_shift(count, elem, flag, shifts);
+    EXPECT_EQ(s.amplitude(layout.index_of(digits)), cplx(1.0, 0.0));
+  }
+  // flag = 1: shift applies.
+  {
+    std::vector<std::size_t> digits = {1, 0, 1};
+    StateVector s(layout, layout.index_of(digits));
+    s.apply_controlled_value_shift(count, elem, flag, shifts);
+    std::vector<std::size_t> expected = {1, 2, 1};
+    EXPECT_EQ(s.amplitude(layout.index_of(expected)), cplx(1.0, 0.0));
+  }
+}
+
+TEST(StateVector, DiagonalAppliesPerIndexPhase) {
+  Rng rng(19);
+  const auto layout = two_reg_layout(2, 2);
+  StateVector s(layout);
+  randomize(s, rng);
+  const auto before = std::vector<cplx>(s.amplitudes().begin(),
+                                        s.amplitudes().end());
+  s.apply_diagonal([](std::size_t x) {
+    return x == 2 ? cplx(0.0, 1.0) : cplx(1.0, 0.0);
+  });
+  for (std::size_t i = 0; i < 4; ++i) {
+    const cplx expected = i == 2 ? cplx(0.0, 1.0) * before[2] : before[i];
+    EXPECT_NEAR(std::abs(s.amplitude(i) - expected), 0.0, 1e-15);
+  }
+}
+
+TEST(StateVector, PhaseOnRegisterValueTouchesAllMatchingStates) {
+  const auto layout = two_reg_layout(2, 3);
+  StateVector s(layout);
+  std::vector<cplx> amps(6, 1.0 / std::sqrt(6.0));
+  s.set_amplitudes(amps);
+  s.apply_phase_on_register_value(layout.find("b"), 1, cplx(-1.0, 0.0));
+  for (std::size_t i = 0; i < 6; ++i) {
+    const double sign = (i % 3 == 1) ? -1.0 : 1.0;
+    EXPECT_NEAR(std::abs(s.amplitude(i) - cplx(sign / std::sqrt(6.0), 0.0)),
+                0.0, 1e-15);
+  }
+}
+
+TEST(StateVector, HouseholderMatchesDenseMatrix) {
+  Rng rng(23);
+  const auto layout = two_reg_layout(5, 3);
+  StateVector s(layout);
+  randomize(s, rng);
+  const auto input = std::vector<cplx>(s.amplitudes().begin(),
+                                       s.amplitudes().end());
+  const auto v = uniform_prep_householder_vector(5);
+  s.apply_householder(layout.find("a"), v);
+  const auto expected =
+      kron(householder_matrix(v), Matrix::identity(3)).apply(input);
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_NEAR(std::abs(s.amplitude(i) - expected[i]), 0.0, 1e-12);
+}
+
+TEST(StateVector, HouseholderPreparesUniformFromZero) {
+  RegisterLayout layout;
+  const auto r = layout.add("r", 8);
+  StateVector s(layout);
+  s.apply_householder(r, uniform_prep_householder_vector(8));
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_NEAR(std::abs(s.amplitude(i) - cplx(1.0 / std::sqrt(8.0), 0.0)),
+                0.0, 1e-12);
+}
+
+TEST(StateVector, InnerProductAndDistance) {
+  RegisterLayout layout;
+  layout.add("r", 4);
+  StateVector a(layout, 0), b(layout, 1);
+  EXPECT_EQ(a.inner_product(b), cplx(0.0, 0.0));
+  EXPECT_NEAR(a.distance_squared(b), 2.0, 1e-15);
+  EXPECT_NEAR(a.distance_squared(a), 0.0, 1e-15);
+  EXPECT_EQ(a.inner_product(a), cplx(1.0, 0.0));
+}
+
+TEST(StateVector, DistanceSquaredExpansionIdentity) {
+  // ‖a − b‖² = 2 − 2 Re⟨a|b⟩ for unit vectors.
+  Rng rng(29);
+  RegisterLayout layout;
+  layout.add("r", 9);
+  StateVector a(layout), b(layout);
+  randomize(a, rng);
+  randomize(b, rng);
+  const double lhs = a.distance_squared(b);
+  const double rhs = 2.0 - 2.0 * a.inner_product(b).real();
+  EXPECT_NEAR(lhs, rhs, 1e-12);
+}
+
+TEST(StateVector, MarginalSumsToOneAndMatchesManual) {
+  Rng rng(31);
+  const auto layout = two_reg_layout(3, 4);
+  StateVector s(layout);
+  randomize(s, rng);
+  const auto pa = s.marginal(layout.find("a"));
+  const auto pb = s.marginal(layout.find("b"));
+  double total_a = 0.0, total_b = 0.0;
+  for (const auto p : pa) total_a += p;
+  for (const auto p : pb) total_b += p;
+  EXPECT_NEAR(total_a, 1.0, 1e-12);
+  EXPECT_NEAR(total_b, 1.0, 1e-12);
+  // Manual marginal of register a.
+  for (std::size_t v = 0; v < 3; ++v) {
+    double manual = 0.0;
+    for (std::size_t w = 0; w < 4; ++w)
+      manual += std::norm(s.amplitude(v * 4 + w));
+    EXPECT_NEAR(pa[v], manual, 1e-12);
+    EXPECT_NEAR(s.probability_of(layout.find("a"), v), manual, 1e-12);
+  }
+}
+
+TEST(StateVector, GlobalPhaseKeepsProbabilities) {
+  Rng rng(37);
+  RegisterLayout layout;
+  const auto r = layout.add("r", 5);
+  StateVector s(layout);
+  randomize(s, rng);
+  const auto before = s.marginal(r);
+  s.apply_global_phase(cplx(std::cos(1.1), std::sin(1.1)));
+  const auto after = s.marginal(r);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(before[i], after[i], 1e-14);
+  EXPECT_NEAR(s.norm(), 1.0, 1e-12);
+}
+
+TEST(StateVector, NormalizeRescales) {
+  RegisterLayout layout;
+  layout.add("r", 2);
+  StateVector s(layout);
+  s.set_amplitudes({cplx(3.0, 0.0), cplx(4.0, 0.0)});
+  s.normalize();
+  EXPECT_NEAR(s.norm(), 1.0, 1e-15);
+  EXPECT_NEAR(s.amplitude(0).real(), 0.6, 1e-15);
+}
+
+TEST(OperatorBuilder, RecoversDenseUnitary) {
+  Rng rng(41);
+  RegisterLayout layout;
+  const auto r = layout.add("r", 4);
+  const auto u = random_unitary(4, rng);
+  const auto recovered = operator_of_circuit(
+      layout, [&](StateVector& s) { s.apply_unitary(r, u); });
+  EXPECT_NEAR(Matrix::max_abs_diff(recovered, u), 0.0, 1e-12);
+}
+
+TEST(OperatorBuilder, CircuitCompositionOrder) {
+  RegisterLayout layout;
+  const auto r = layout.add("r", 3);
+  const auto s1 = shift_matrix(3, 1);
+  const auto recovered = operator_of_circuit(layout, [&](StateVector& s) {
+    s.apply_unitary(r, s1);
+    s.apply_unitary(r, s1);
+  });
+  EXPECT_NEAR(Matrix::max_abs_diff(recovered, shift_matrix(3, 2)), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace qs

@@ -1,0 +1,146 @@
+// Tests for statistics helpers (common/stats.hpp).
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace qs {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator acc;
+  acc.add(3.5);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.5);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.max(), 3.5);
+}
+
+TEST(Accumulator, MatchesDirectComputation) {
+  Accumulator acc;
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+  double sum = 0.0;
+  for (const auto x : xs) {
+    acc.add(x);
+    sum += x;
+  }
+  const double mean = sum / xs.size();
+  double ss = 0.0;
+  for (const auto x : xs) ss += (x - mean) * (x - mean);
+  EXPECT_NEAR(acc.mean(), mean, 1e-12);
+  EXPECT_NEAR(acc.variance(), ss / (xs.size() - 1), 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 16.0);
+}
+
+TEST(Accumulator, NumericallyStableForLargeOffsets) {
+  Accumulator acc;
+  const double offset = 1e9;
+  for (int i = 0; i < 1000; ++i) acc.add(offset + (i % 2));
+  EXPECT_NEAR(acc.mean(), offset + 0.5, 1e-3);
+  EXPECT_NEAR(acc.variance(), 0.25 * 1000 / 999.0, 1e-3);
+}
+
+TEST(FitLine, RecoversExactLine) {
+  const std::vector<double> xs = {0, 1, 2, 3, 4};
+  std::vector<double> ys;
+  for (const auto x : xs) ys.push_back(2.5 * x - 1.0);
+  const auto fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, -1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLine, NoisyDataStillCloseWithLowerR2) {
+  Rng rng(5);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 200; ++i) {
+    const double x = i * 0.1;
+    xs.push_back(x);
+    ys.push_back(3.0 * x + 1.0 + 0.5 * rng.normal());
+  }
+  const auto fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 0.05);
+  EXPECT_NEAR(fit.intercept, 1.0, 0.3);
+  EXPECT_GT(fit.r_squared, 0.98);
+}
+
+TEST(FitLine, RejectsDegenerateInput) {
+  EXPECT_THROW(fit_line({1.0}, {2.0}), ContractViolation);
+  EXPECT_THROW(fit_line({1.0, 1.0}, {1.0, 2.0}), ContractViolation);
+  EXPECT_THROW(fit_line({1.0, 2.0}, {1.0}), ContractViolation);
+}
+
+TEST(FitPowerLaw, RecoversExponent) {
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 20; ++i) {
+    xs.push_back(static_cast<double>(i));
+    ys.push_back(7.0 * std::pow(static_cast<double>(i), 0.5));
+  }
+  const auto fit = fit_power_law(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.5, 1e-10);          // exponent
+  EXPECT_NEAR(std::exp(fit.intercept), 7.0, 1e-8);
+}
+
+TEST(FitPowerLaw, RejectsNonPositive) {
+  EXPECT_THROW(fit_power_law({1.0, 0.0}, {1.0, 1.0}), ContractViolation);
+  EXPECT_THROW(fit_power_law({1.0, 2.0}, {1.0, -1.0}), ContractViolation);
+}
+
+TEST(Binomial, KnownValues) {
+  EXPECT_EQ(binomial(0, 0).value(), 1u);
+  EXPECT_EQ(binomial(5, 0).value(), 1u);
+  EXPECT_EQ(binomial(5, 5).value(), 1u);
+  EXPECT_EQ(binomial(5, 2).value(), 10u);
+  EXPECT_EQ(binomial(10, 3).value(), 120u);
+  EXPECT_EQ(binomial(52, 5).value(), 2598960u);
+  EXPECT_EQ(binomial(3, 7).value(), 0u);  // k > n
+}
+
+TEST(Binomial, PascalIdentityHolds) {
+  for (std::uint64_t n = 1; n <= 30; ++n) {
+    for (std::uint64_t k = 1; k <= n; ++k) {
+      EXPECT_EQ(binomial(n, k).value(),
+                binomial(n - 1, k - 1).value() + binomial(n - 1, k).value())
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(Binomial, OverflowReportsNullopt) {
+  EXPECT_FALSE(binomial(200, 100).has_value());
+  EXPECT_TRUE(binomial(62, 28).has_value());
+}
+
+TEST(LogBinomial, MatchesExactForModerateInputs) {
+  for (std::uint64_t n = 1; n <= 40; ++n) {
+    for (std::uint64_t k = 0; k <= n; k += 3) {
+      const auto exact = binomial(n, k);
+      ASSERT_TRUE(exact.has_value());
+      EXPECT_NEAR(log_binomial(n, k),
+                  std::log(static_cast<double>(exact.value())), 1e-9);
+    }
+  }
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({5.0}), 5.0);
+  EXPECT_THROW(median({}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace qs

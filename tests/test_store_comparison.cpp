@@ -1,0 +1,110 @@
+// Tests for the SWAP-test store comparison (apps/store_comparison.hpp).
+#include "apps/store_comparison.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "distdb/workload.hpp"
+
+namespace qs {
+namespace {
+
+DistributedDatabase from_counts(std::vector<std::uint64_t> counts,
+                                std::uint64_t nu) {
+  std::vector<Dataset> datasets = {Dataset::from_counts(std::move(counts))};
+  return DistributedDatabase(std::move(datasets), nu);
+}
+
+TEST(StoreComparison, IdenticalStoresGiveOverlapOne) {
+  const auto a = from_counts({2, 1, 0, 3}, 3);
+  const auto b = from_counts({2, 1, 0, 3}, 3);
+  Rng rng(3);
+  const auto result =
+      compare_stores(a, b, QueryMode::kSequential, 4000, rng);
+  EXPECT_NEAR(result.true_overlap, 1.0, 1e-9);
+  EXPECT_GT(result.overlap_estimate, 0.95);
+}
+
+TEST(StoreComparison, IdenticalDistributionsDifferentScalesStillOverlapOne) {
+  // The sampling state depends on frequencies, not raw counts.
+  const auto a = from_counts({1, 1, 2, 0}, 2);
+  const auto b = from_counts({2, 2, 4, 0}, 4);
+  Rng rng(5);
+  const auto result = compare_stores(a, b, QueryMode::kParallel, 4000, rng);
+  EXPECT_NEAR(result.true_overlap, 1.0, 1e-9);
+  EXPECT_GT(result.overlap_estimate, 0.95);
+}
+
+TEST(StoreComparison, DisjointSupportsGiveOverlapZero) {
+  const auto a = from_counts({1, 1, 0, 0}, 1);
+  const auto b = from_counts({0, 0, 1, 1}, 1);
+  Rng rng(7);
+  const auto result =
+      compare_stores(a, b, QueryMode::kSequential, 4000, rng);
+  EXPECT_NEAR(result.true_overlap, 0.0, 1e-12);
+  EXPECT_LT(result.overlap_estimate, 0.06);
+}
+
+TEST(StoreComparison, TrueOverlapIsBhattacharyyaSquared) {
+  const auto a = from_counts({3, 1, 0, 0}, 3);
+  const auto b = from_counts({1, 3, 0, 0}, 3);
+  Rng rng(9);
+  const auto result =
+      compare_stores(a, b, QueryMode::kSequential, 6000, rng);
+  // Bhattacharyya: Σ√(p_i q_i) = √(3/4·1/4) + √(1/4·3/4) = √3/2.
+  const double bc = std::sqrt(3.0) / 2.0;
+  EXPECT_NEAR(result.true_overlap, bc * bc, 1e-12);
+  EXPECT_NEAR(result.overlap_estimate, bc * bc, 0.05);
+}
+
+TEST(StoreComparison, DriftIsDetectable) {
+  // A replica that drifted slightly should score high but measurably
+  // below an in-sync replica.
+  Rng gen(11);
+  auto base = workload::zipf(16, 1, 200, 1.0, gen);
+  auto drifted = base;
+  // Move 20 records from the head key to the tail key.
+  drifted[0].erase(0, 20);
+  drifted[0].insert(15, 20);
+  const auto nu = std::max(min_capacity(base), min_capacity(drifted));
+  const DistributedDatabase store_a(std::move(base), nu);
+  const DistributedDatabase store_b(std::move(drifted), nu);
+
+  Rng rng(13);
+  const auto in_sync =
+      compare_stores(store_a, store_a, QueryMode::kSequential, 6000, rng);
+  const auto vs_drift =
+      compare_stores(store_a, store_b, QueryMode::kSequential, 6000, rng);
+  EXPECT_GT(in_sync.overlap_estimate, vs_drift.overlap_estimate);
+  EXPECT_LT(vs_drift.true_overlap, 0.999);
+  EXPECT_GT(vs_drift.true_overlap, 0.8);
+}
+
+TEST(StoreComparison, CostLedger) {
+  const auto a = from_counts({1, 1, 1, 1}, 2);
+  const auto b = from_counts({2, 0, 2, 0}, 2);
+  Rng rng(15);
+  const auto result = compare_stores(a, b, QueryMode::kSequential, 10, rng);
+  EXPECT_GT(result.prep_cost_a, 0u);
+  EXPECT_GT(result.prep_cost_b, 0u);
+  EXPECT_EQ(result.total_cost,
+            10 * (result.prep_cost_a + result.prep_cost_b));
+}
+
+TEST(StoreComparison, ValidatesInput) {
+  const auto a = from_counts({1, 0}, 1);
+  std::vector<Dataset> other = {Dataset(4)};
+  other[0].insert(0, 1);
+  const DistributedDatabase b(std::move(other), 1);
+  Rng rng(17);
+  EXPECT_THROW(compare_stores(a, b, QueryMode::kSequential, 10, rng),
+               ContractViolation);
+  const auto c = from_counts({1, 0}, 1);
+  EXPECT_THROW(compare_stores(a, c, QueryMode::kSequential, 0, rng),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace qs

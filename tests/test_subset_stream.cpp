@@ -1,0 +1,141 @@
+// Tests for subset/membership sampling and the sliding-window stream
+// sampler (src/apps).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "apps/stream_window.hpp"
+#include "apps/subset_sampling.hpp"
+#include "common/require.hpp"
+#include "distdb/workload.hpp"
+
+namespace qs {
+namespace {
+
+DistributedDatabase subset_db() {
+  std::vector<Dataset> datasets = {Dataset(32), Dataset(32)};
+  for (std::size_t i = 0; i < 12; ++i) datasets[i % 2].insert(i, 1 + i % 2);
+  const auto nu = min_capacity(datasets) + 1;
+  return DistributedDatabase(std::move(datasets), nu);
+}
+
+TEST(SubsetSampling, RestrictsToSelectedKeysExactly) {
+  const auto db = subset_db();
+  const auto selector = [](std::size_t i) { return i % 3 == 0; };
+  // Public Z: selected mass.
+  double z = 0.0;
+  for (std::size_t i = 0; i < 32; ++i)
+    if (selector(i)) z += static_cast<double>(db.total_count(i));
+  Rng rng(3);
+  const auto result =
+      run_subset_sampler(db, selector, QueryMode::kSequential, z,
+                         exponential_schedule(3, 8), rng);
+  EXPECT_NEAR(result.fidelity, 1.0, 1e-9);
+
+  const auto& layout = result.state.layout();
+  std::vector<std::size_t> digits(3, 0);
+  for (std::size_t i = 0; i < 32; ++i) {
+    digits[result.registers.elem.value] = i;
+    const double mass =
+        std::norm(result.state.amplitude(layout.index_of(digits)));
+    if (selector(i)) {
+      EXPECT_NEAR(mass, static_cast<double>(db.total_count(i)) / z, 1e-9);
+    } else {
+      EXPECT_NEAR(mass, 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(SubsetSampling, EmptySelectorRejected) {
+  const auto db = subset_db();
+  Rng rng(5);
+  EXPECT_THROW(run_subset_sampler(
+                   db, [](std::size_t) { return false; },
+                   QueryMode::kSequential, 1.0, exponential_schedule(2, 4),
+                   rng),
+               ContractViolation);
+}
+
+TEST(Membership, PresentKeyIsFoundWithFullMass) {
+  const auto db = subset_db();
+  Rng rng(7);
+  const auto result = distributed_membership(db, 4, QueryMode::kSequential,
+                                             exponential_schedule(8, 48),
+                                             rng);
+  EXPECT_TRUE(result.present);
+  EXPECT_GT(result.mass, 0.9);
+}
+
+TEST(Membership, AbsentKeyReportsAbsent) {
+  const auto db = subset_db();
+  Rng rng(9);
+  const auto result = distributed_membership(db, 30, QueryMode::kSequential,
+                                             exponential_schedule(6, 32),
+                                             rng);
+  EXPECT_FALSE(result.present);
+  EXPECT_LT(result.mass, 0.5);
+}
+
+TEST(StreamWindow, PopulationTracksWindow) {
+  StreamWindowSampler stream(16, 2, /*window=*/3, /*nu=*/8);
+  stream.ingest(0, 1);
+  stream.ingest(1, 2);
+  EXPECT_EQ(stream.window_population(), 2u);
+  stream.tick();  // t=1
+  stream.ingest(0, 3);
+  stream.tick();  // t=2
+  stream.tick();  // t=3: the two t=0 events expire
+  EXPECT_EQ(stream.window_population(), 1u);
+  EXPECT_EQ(stream.database().total_count(1), 0u);
+  EXPECT_EQ(stream.database().total_count(3), 1u);
+  stream.tick();  // t=4: the t=1 event expires
+  EXPECT_EQ(stream.window_population(), 0u);
+}
+
+TEST(StreamWindow, SamplesExactlyFromTheLiveWindow) {
+  StreamWindowSampler stream(16, 3, 2, 8);
+  Rng rng(11);
+  // Two ticks of traffic.
+  for (int e = 0; e < 6; ++e) stream.ingest(e % 3, e % 4);
+  stream.tick();
+  for (int e = 0; e < 4; ++e) stream.ingest(e % 3, 4 + e % 2);
+  const auto result = stream.sample();
+  EXPECT_NEAR(result.fidelity, 1.0, 1e-9);
+  // The target of the sample is the LIVE database's distribution.
+  const auto p = stream.database().target_distribution();
+  const auto amps = result.output_amplitudes();
+  for (std::size_t i = 0; i < p.size(); ++i)
+    EXPECT_NEAR(std::norm(amps[i]), p[i], 1e-9);
+}
+
+TEST(StreamWindow, ExpiredKeysLeaveTheSample) {
+  StreamWindowSampler stream(8, 1, 1, 4);
+  stream.ingest(0, 7);
+  stream.tick();          // key 7 expires
+  stream.ingest(0, 2);
+  const auto result = stream.sample();
+  const auto amps = result.output_amplitudes();
+  EXPECT_NEAR(std::norm(amps[7]), 0.0, 1e-12);
+  EXPECT_NEAR(std::norm(amps[2]), 1.0, 1e-9);
+}
+
+TEST(StreamWindow, EmptyWindowCannotBeSampled) {
+  StreamWindowSampler stream(8, 1, 1, 4);
+  EXPECT_THROW(stream.sample(), ContractViolation);
+}
+
+TEST(StreamWindow, SampleKeyFollowsWindowFrequencies) {
+  StreamWindowSampler stream(4, 2, 10, 16);
+  // Window content: key 0 x6, key 1 x2.
+  for (int e = 0; e < 6; ++e) stream.ingest(e % 2, 0);
+  for (int e = 0; e < 2; ++e) stream.ingest(e % 2, 1);
+  Rng rng(13);
+  int zeros = 0;
+  const int draws = 400;
+  for (int d = 0; d < draws; ++d) zeros += (stream.sample_key(rng) == 0);
+  EXPECT_NEAR(zeros / static_cast<double>(draws), 0.75, 0.08);
+}
+
+}  // namespace
+}  // namespace qs

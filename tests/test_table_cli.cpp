@@ -1,0 +1,81 @@
+// Tests for the table renderer and CLI parser (common/table.hpp, cli.hpp).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "common/require.hpp"
+#include "common/table.hpp"
+
+namespace qs {
+namespace {
+
+TEST(TextTable, RejectsEmptyHeaderAndMismatchedRow) {
+  EXPECT_THROW(TextTable({}), ContractViolation);
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22"});
+  std::ostringstream os;
+  t.print(os, "demo");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("## demo"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|--"), std::string::npos);
+}
+
+TEST(TextTable, CsvRoundTrip) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TextTable, CellFormatters) {
+  EXPECT_EQ(TextTable::cell(std::uint64_t{42}), "42");
+  EXPECT_EQ(TextTable::cell(std::int64_t{-7}), "-7");
+  EXPECT_EQ(TextTable::cell(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::cell_sci(12345.0, 2), "1.23e+04");
+}
+
+TEST(CliArgs, ParsesSeparatedAndEqualsForms) {
+  const char* argv[] = {"prog", "--n", "32", "--mode=parallel", "--verbose"};
+  const CliArgs args(5, argv);
+  EXPECT_EQ(args.get("n", std::int64_t{0}), 32);
+  EXPECT_EQ(args.get("mode", std::string("seq")), "parallel");
+  EXPECT_TRUE(args.get("verbose", false));
+  EXPECT_EQ(args.get("absent", std::int64_t{-1}), -1);
+}
+
+TEST(CliArgs, BooleanBeforeAnotherFlag) {
+  const char* argv[] = {"prog", "--fast", "--n", "8"};
+  const CliArgs args(4, argv);
+  EXPECT_TRUE(args.get("fast", false));
+  EXPECT_EQ(args.get("n", std::uint64_t{0}), 8u);
+}
+
+TEST(CliArgs, DoubleAndHasAndUnused) {
+  const char* argv[] = {"prog", "--eps", "0.25", "--typo", "1"};
+  const CliArgs args(5, argv);
+  EXPECT_DOUBLE_EQ(args.get("eps", 0.0), 0.25);
+  EXPECT_TRUE(args.has("eps"));
+  EXPECT_FALSE(args.has("nothing"));
+  const auto unused = args.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(CliArgs, RejectsNonFlagToken) {
+  const char* argv[] = {"prog", "positional"};
+  EXPECT_THROW(CliArgs(2, argv), ContractViolation);
+}
+
+}  // namespace
+}  // namespace qs

@@ -1,0 +1,57 @@
+// Tests for communication transcripts (distdb/transcript.hpp).
+#include "distdb/transcript.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace qs {
+namespace {
+
+TEST(Transcript, RecordsEventsInOrder) {
+  Transcript t;
+  t.record_sequential(2, false);
+  t.record_sequential(2, true);
+  t.record_parallel_round(false);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.events()[0].kind, QueryKind::kSequential);
+  EXPECT_EQ(t.events()[0].machine, 2u);
+  EXPECT_FALSE(t.events()[0].adjoint);
+  EXPECT_TRUE(t.events()[1].adjoint);
+  EXPECT_EQ(t.events()[2].kind, QueryKind::kParallelRound);
+}
+
+TEST(Transcript, EqualityDetectsScheduleDifferences) {
+  Transcript a, b;
+  a.record_sequential(0, false);
+  b.record_sequential(0, false);
+  EXPECT_EQ(a, b);
+  b.record_sequential(1, false);
+  EXPECT_NE(a, b);
+  a.record_sequential(1, true);  // same machine, different direction
+  EXPECT_NE(a, b);
+}
+
+TEST(Transcript, ToStringIsHumanReadable) {
+  Transcript t;
+  t.record_sequential(3, false);
+  t.record_sequential(3, true);
+  t.record_parallel_round(true);
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("O3"), std::string::npos);
+  EXPECT_NE(s.find("P"), std::string::npos);
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), s);
+}
+
+TEST(Transcript, ClearEmpties) {
+  Transcript t;
+  t.record_parallel_round(false);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t, Transcript{});
+}
+
+}  // namespace
+}  // namespace qs

@@ -1,0 +1,121 @@
+// Tests for the transport protocol session (distdb/transport.hpp) and the
+// sampling server (apps/sample_server.hpp).
+#include <gtest/gtest.h>
+
+#include "apps/sample_server.hpp"
+#include "common/require.hpp"
+#include "distdb/transport.hpp"
+#include "distdb/workload.hpp"
+#include "sampling/schedule.hpp"
+
+namespace qs {
+namespace {
+
+TEST(Transport, SequentialHandshakeDiscipline) {
+  TransportSession session(3);
+  EXPECT_TRUE(session.quiescent());
+  session.send_sequential(1);
+  EXPECT_FALSE(session.quiescent());
+  // Double send / wrong receiver / collective during flight all rejected.
+  EXPECT_THROW(session.send_sequential(2), ContractViolation);
+  EXPECT_THROW(session.receive_sequential(0), ContractViolation);
+  EXPECT_THROW(session.begin_parallel_round(), ContractViolation);
+  session.receive_sequential(1);
+  EXPECT_TRUE(session.quiescent());
+  EXPECT_EQ(session.completed_sequential(), 1u);
+}
+
+TEST(Transport, CollectiveRoundDiscipline) {
+  TransportSession session(4);
+  session.begin_parallel_round();
+  EXPECT_THROW(session.begin_parallel_round(), ContractViolation);
+  EXPECT_THROW(session.send_sequential(0), ContractViolation);
+  session.end_parallel_round();
+  EXPECT_EQ(session.completed_rounds(), 1u);
+  EXPECT_THROW(session.end_parallel_round(), ContractViolation);
+}
+
+TEST(Transport, ReceiveWithoutSendRejected) {
+  TransportSession session(2);
+  EXPECT_THROW(session.receive_sequential(0), ContractViolation);
+  EXPECT_THROW(TransportSession(0), ContractViolation);
+}
+
+TEST(Transport, CompiledSchedulesAreProtocolClean) {
+  // Every schedule this library emits must be physically executable.
+  for (const auto mode : {QueryMode::kSequential, QueryMode::kParallel}) {
+    for (const std::uint64_t total : {2u, 16u, 48u}) {
+      const PublicParams params{64, 4, 4, total};
+      const auto schedule = compile_schedule(params, mode);
+      const auto violation =
+          TransportSession::validate_schedule(schedule, 4);
+      EXPECT_FALSE(violation.has_value())
+          << violation.value_or("") << " (M=" << total << ")";
+    }
+  }
+}
+
+TEST(Transport, CorruptedScheduleIsCaught) {
+  Transcript bad;
+  bad.record_sequential(7, false);  // machine index out of range for n=4
+  const auto violation = TransportSession::validate_schedule(bad, 4);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("event 0"), std::string::npos);
+}
+
+SampleServer make_server(QueryMode mode = QueryMode::kSequential) {
+  Rng rng(3);
+  auto datasets = workload::uniform_random(32, 3, 24, rng);
+  const auto nu = min_capacity(datasets) + 4;
+  return SampleServer(DistributedDatabase(std::move(datasets), nu), mode);
+}
+
+TEST(SampleServer, CachesUntilDataChanges) {
+  auto server = make_server();
+  const auto& first = server.state();
+  EXPECT_NEAR(first.fidelity, 1.0, 1e-9);
+  EXPECT_EQ(server.preparations(), 1u);
+  // Re-reading the state costs nothing.
+  (void)server.state();
+  EXPECT_EQ(server.preparations(), 1u);
+  // An update invalidates.
+  server.insert(0, 5);
+  EXPECT_FALSE(server.cache_valid());
+  (void)server.state();
+  EXPECT_EQ(server.preparations(), 2u);
+}
+
+TEST(SampleServer, DrawsConsumeTheState) {
+  auto server = make_server();
+  Rng rng(7);
+  const auto cost_before = server.total_query_cost();
+  (void)server.draw(rng);
+  (void)server.draw(rng);
+  EXPECT_EQ(server.preparations(), 2u);  // one preparation per draw
+  EXPECT_GT(server.total_query_cost(), cost_before);
+}
+
+TEST(SampleServer, DrawsFollowTheLiveDistribution) {
+  // Concentrate everything on one element and confirm draws see it.
+  std::vector<Dataset> datasets = {Dataset(8)};
+  datasets[0].insert(3, 4);
+  SampleServer server(DistributedDatabase(std::move(datasets), 4),
+                      QueryMode::kParallel);
+  Rng rng(11);
+  for (int d = 0; d < 5; ++d) EXPECT_EQ(server.draw(rng), 3u);
+  // Shift the mass and draws follow.
+  for (int c = 0; c < 4; ++c) server.erase(0, 3);
+  server.insert(0, 6);
+  for (int d = 0; d < 5; ++d) EXPECT_EQ(server.draw(rng), 6u);
+}
+
+TEST(SampleServer, EmptyStoreThrowsOnAccess) {
+  std::vector<Dataset> datasets = {Dataset(8)};
+  SampleServer server(DistributedDatabase(std::move(datasets), 2),
+                      QueryMode::kSequential);
+  Rng rng(13);
+  EXPECT_THROW(server.draw(rng), ContractViolation);
+}
+
+}  // namespace
+}  // namespace qs

@@ -1,0 +1,119 @@
+// Tests for the unknown-M (BBHT) sampler (sampling/unknown_m.hpp).
+#include "sampling/unknown_m.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/stats.hpp"
+#include "distdb/workload.hpp"
+
+namespace qs {
+namespace {
+
+DistributedDatabase sparse_db(std::size_t universe, std::size_t machines,
+                              std::size_t support, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Dataset> datasets(machines, Dataset(universe));
+  const auto elements = rng.sample_without_replacement(universe, support);
+  for (const auto e : elements) {
+    datasets[rng.uniform_below(machines)].insert(e, 1 + rng.uniform_below(2));
+  }
+  const auto nu = min_capacity(datasets) + 1;
+  return DistributedDatabase(std::move(datasets), nu);
+}
+
+TEST(UnknownM, SucceedsWithExactOutputState) {
+  const auto db = sparse_db(64, 3, 8, 3);
+  Rng rng(5);
+  const auto result = run_unknown_m_sampler(db, QueryMode::kSequential, rng);
+  // Collapse onto the flag-0 branch yields EXACTLY |ψ, 0, 0⟩.
+  EXPECT_NEAR(result.fidelity, 1.0, 1e-9);
+  EXPECT_GE(result.attempts, 1u);
+}
+
+TEST(UnknownM, ParallelModeWorksToo) {
+  const auto db = sparse_db(64, 4, 8, 7);
+  Rng rng(9);
+  const auto result = run_unknown_m_sampler(db, QueryMode::kParallel, rng);
+  EXPECT_NEAR(result.fidelity, 1.0, 1e-9);
+  EXPECT_GT(result.stats.parallel_rounds, 0u);
+  EXPECT_EQ(result.stats.total_sequential(), 0u);
+}
+
+TEST(UnknownM, ExpectedCostTracksSqrtRatioWithoutKnowingM) {
+  // Average cost over seeds must scale like √(νN/M) even though the
+  // algorithm never reads M. Compare two instances with a 16x ratio in
+  // νN/M: cost ratio should be around 4 (very loose tolerance — the BBHT
+  // schedule is randomized).
+  const auto small = sparse_db(128, 2, 32, 11);   // νN/M moderate
+  const auto large = sparse_db(2048, 2, 32, 13);  // 16x the universe
+  Accumulator cost_small, cost_large;
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    Rng rng1(100 + seed), rng2(200 + seed);
+    cost_small.add(static_cast<double>(
+        run_unknown_m_sampler(small, QueryMode::kSequential, rng1)
+            .stats.total_sequential()));
+    cost_large.add(static_cast<double>(
+        run_unknown_m_sampler(large, QueryMode::kSequential, rng2)
+            .stats.total_sequential()));
+  }
+  const double ratio = cost_large.mean() / cost_small.mean();
+  const double predicted =
+      std::sqrt((double(large.nu()) * 2048.0 / double(large.total())) /
+                (double(small.nu()) * 128.0 / double(small.total())));
+  EXPECT_GT(ratio, 0.3 * predicted);
+  EXPECT_LT(ratio, 3.0 * predicted);
+}
+
+TEST(UnknownM, CostComparableToKnownMSampler) {
+  const auto db = sparse_db(256, 2, 16, 17);
+  const auto known = run_sequential_sampler(db);
+  Accumulator unknown_cost;
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    Rng rng(300 + seed);
+    unknown_cost.add(static_cast<double>(
+        run_unknown_m_sampler(db, QueryMode::kSequential, rng)
+            .stats.total_sequential()));
+  }
+  // Within an order of magnitude of the known-M cost (BBHT constant).
+  const double known_cost =
+      static_cast<double>(known.stats.total_sequential());
+  EXPECT_LT(unknown_cost.mean(), 10.0 * known_cost);
+  EXPECT_GT(unknown_cost.mean(), 0.1 * known_cost);
+}
+
+TEST(UnknownM, DeterministicGivenSeed) {
+  const auto db = sparse_db(64, 2, 8, 19);
+  Rng rng1(42), rng2(42);
+  const auto a = run_unknown_m_sampler(db, QueryMode::kSequential, rng1);
+  const auto b = run_unknown_m_sampler(db, QueryMode::kSequential, rng2);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.stats, b.stats);
+}
+
+TEST(UnknownM, EmptyDatabaseEventuallyThrows) {
+  std::vector<Dataset> datasets = {Dataset(16)};
+  const DistributedDatabase db(std::move(datasets), 1);
+  Rng rng(21);
+  EXPECT_THROW(
+      run_unknown_m_sampler(db, QueryMode::kSequential, rng,
+                            StatePrep::kHouseholder, /*max_attempts=*/10),
+      ContractViolation);
+}
+
+TEST(UnknownM, FullDatabaseSucceedsFirstAttempt) {
+  // a = 1: preparation alone lands on the target; the first measurement
+  // must succeed with j = 0.
+  std::vector<Dataset> datasets = {
+      Dataset::from_counts({2, 2, 2, 2})};
+  const DistributedDatabase db(std::move(datasets), 2);
+  Rng rng(23);
+  const auto result = run_unknown_m_sampler(db, QueryMode::kSequential, rng);
+  EXPECT_EQ(result.attempts, 1u);
+  EXPECT_NEAR(result.fidelity, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace qs

@@ -1,0 +1,116 @@
+// Tests for chi-square goodness-of-fit (common/stats.hpp) and the
+// statistical output verifier (sampling/verify.hpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/stats.hpp"
+#include "distdb/workload.hpp"
+#include "sampling/samplers.hpp"
+#include "sampling/verify.hpp"
+
+namespace qs {
+namespace {
+
+TEST(ChiSquare, PerfectFitGivesSmallStatistic) {
+  // Observations exactly proportional to expectations.
+  const std::vector<std::uint64_t> observed = {250, 250, 500};
+  const std::vector<double> expected = {0.25, 0.25, 0.5};
+  const auto result = chi_square_gof(observed, expected);
+  EXPECT_NEAR(result.statistic, 0.0, 1e-12);
+  EXPECT_EQ(result.degrees_of_freedom, 2u);
+  EXPECT_GT(result.p_value, 0.9);
+}
+
+TEST(ChiSquare, GrossMismatchGivesTinyPValue) {
+  const std::vector<std::uint64_t> observed = {900, 100};
+  const std::vector<double> expected = {0.5, 0.5};
+  const auto result = chi_square_gof(observed, expected);
+  EXPECT_GT(result.statistic, 100.0);
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(ChiSquare, ZeroProbabilityBinWithMassIsInfinite) {
+  const std::vector<std::uint64_t> observed = {10, 1};
+  const std::vector<double> expected = {1.0, 0.0};
+  const auto result = chi_square_gof(observed, expected);
+  EXPECT_TRUE(std::isinf(result.statistic));
+  EXPECT_EQ(result.p_value, 0.0);
+}
+
+TEST(ChiSquare, ZeroProbabilityBinWithoutMassIsFine) {
+  const std::vector<std::uint64_t> observed = {10, 0, 10};
+  const std::vector<double> expected = {0.5, 0.0, 0.5};
+  const auto result = chi_square_gof(observed, expected);
+  EXPECT_EQ(result.degrees_of_freedom, 1u);
+  EXPECT_GT(result.p_value, 0.5);
+}
+
+TEST(ChiSquare, PValueCalibrationUnderTheNull) {
+  // Sampling from the true distribution must produce mostly-large p-values.
+  Rng rng(5);
+  const std::vector<double> dist = {0.1, 0.2, 0.3, 0.4};
+  int small_p = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<std::uint64_t> hist(4, 0);
+    for (int s = 0; s < 1000; ++s) ++hist[rng.weighted_index(dist)];
+    if (chi_square_gof(hist, dist).p_value < 0.01) ++small_p;
+  }
+  // Nominally 1% of trials; allow generous slack.
+  EXPECT_LT(small_p, 12);
+}
+
+TEST(ChiSquare, ValidatesInput) {
+  EXPECT_THROW(chi_square_gof({}, {}), ContractViolation);
+  EXPECT_THROW(chi_square_gof({1}, {0.5, 0.5}), ContractViolation);
+  EXPECT_THROW(chi_square_gof({0, 0}, {0.5, 0.5}), ContractViolation);
+  EXPECT_THROW(chi_square_gof({1, 1}, {0.5, -0.5}), ContractViolation);
+}
+
+TEST(Verify, CorrectSamplerPassesVerification) {
+  Rng rng(7);
+  auto datasets = workload::zipf(16, 2, 64, 1.0, rng);
+  const auto nu = min_capacity(datasets);
+  const DistributedDatabase db(std::move(datasets), nu);
+  const auto result = run_sequential_sampler(db);
+  Rng shots_rng(8);
+  const auto verification = verify_output_distribution(
+      result.state, result.registers.elem, db, 20000, shots_rng);
+  EXPECT_TRUE(verification.consistent());
+  EXPECT_LT(verification.total_variation, 0.03);
+}
+
+TEST(Verify, WrongDistributionFailsVerification) {
+  // Verify the output of database A against database B's distribution.
+  Rng rng(9);
+  auto a = workload::concentrated(16, 1, 0, 4, 3);
+  const DistributedDatabase db_a(std::move(a), 3);
+  std::vector<Dataset> b = {Dataset(16)};
+  for (std::size_t i = 8; i < 16; ++i) b[0].insert(i, 1);
+  const DistributedDatabase db_b(std::move(b), 3);
+
+  const auto result = run_sequential_sampler(db_a);
+  Rng shots_rng(10);
+  const auto verification = verify_output_distribution(
+      result.state, result.registers.elem, db_b, 5000, shots_rng);
+  EXPECT_FALSE(verification.consistent());
+}
+
+TEST(Verify, TruncatedSamplerFailsVerification) {
+  // An under-rotated (budget-truncated) run still has big uniform leakage;
+  // statistics should flag it.
+  std::vector<Dataset> datasets = {Dataset(64)};
+  for (std::size_t i = 0; i < 4; ++i) datasets[0].insert(i, 2);
+  const DistributedDatabase db(std::move(datasets), 2);  // a = 8/128
+  const auto result = run_budgeted_sampler(db, QueryMode::kSequential, 1);
+  ASSERT_LT(result.fidelity, 0.9);
+  Rng shots_rng(11);
+  const auto verification = verify_output_distribution(
+      result.state, result.registers.elem, db, 20000, shots_rng);
+  EXPECT_FALSE(verification.consistent());
+}
+
+}  // namespace
+}  // namespace qs

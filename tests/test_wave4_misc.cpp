@@ -1,0 +1,130 @@
+// Wave-4 cross-cutting tests: the per-qubit-trip noise regime, the MLAE
+// Fisher-information error bars, oracle-order invariance inside D, and the
+// umbrella header (compiled by including it here).
+#include "dqs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qs {
+namespace {
+
+DistributedDatabase wave4_db(std::size_t machines = 4) {
+  Rng rng(3);
+  auto datasets = workload::uniform_random(64, machines, 24, rng);
+  const auto nu = min_capacity(datasets) + 1;
+  return DistributedDatabase(std::move(datasets), nu);
+}
+
+TEST(TransportNoise, DegradesFidelity) {
+  const auto db = wave4_db();
+  NoiseModel noise;
+  noise.dephasing_per_qubit_trip = 0.001;
+  Rng rng(5);
+  const auto result =
+      run_noisy_sampler(db, QueryMode::kSequential, noise, 32, rng);
+  EXPECT_LT(result.mean_fidelity, 0.999);
+  EXPECT_GT(result.mean_fidelity, 0.01);
+}
+
+TEST(TransportNoise, SequentialBeatsParallelPerTrip) {
+  // The parallel model moves more qubits per D (extra control qubits,
+  // parallel fan-out), so per-trip noise inverts F6's winner.
+  const auto db = wave4_db(6);
+  NoiseModel noise;
+  noise.dephasing_per_qubit_trip = 0.001;
+  Rng rng1(7), rng2(8);
+  const auto seq =
+      run_noisy_sampler(db, QueryMode::kSequential, noise, 48, rng1);
+  const auto par =
+      run_noisy_sampler(db, QueryMode::kParallel, noise, 48, rng2);
+  EXPECT_GT(seq.mean_fidelity, par.mean_fidelity);
+}
+
+TEST(TransportNoise, ZeroRateIsNoiseless) {
+  NoiseModel noise;
+  EXPECT_TRUE(noise.is_noiseless());
+  noise.dephasing_per_qubit_trip = 0.1;
+  EXPECT_FALSE(noise.is_noiseless());
+}
+
+TEST(FisherErrorBars, StandardErrorShrinksWithDeeperSchedules) {
+  const double theta = std::asin(std::sqrt(0.1));
+  const double se_shallow =
+      ae_standard_error(theta, exponential_schedule(3, 32));
+  const double se_deep =
+      ae_standard_error(theta, exponential_schedule(8, 32));
+  EXPECT_LT(se_deep, se_shallow / 4.0);
+}
+
+TEST(FisherErrorBars, CoverageIsReasonable) {
+  // |â − a| should fall within 3·SE for the large majority of seeds.
+  std::vector<Dataset> datasets = {Dataset(64)};
+  for (std::size_t i = 0; i < 16; ++i) datasets[0].insert(i, 1);
+  const DistributedDatabase db(std::move(datasets), 2);  // a = 16/128
+  const double truth = 16.0 / 128.0;
+  int covered = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(400 + t);
+    const auto estimate = estimate_good_amplitude(
+        db, QueryMode::kParallel, exponential_schedule(6, 24), rng);
+    if (std::abs(estimate.a_hat - truth) <= 3.0 * estimate.std_error + 1e-4)
+      ++covered;
+  }
+  EXPECT_GE(covered, trials * 3 / 4);
+}
+
+TEST(OrderInvariance, MachineOrderInsideDDoesNotMatter) {
+  // The machine additions inside D commute: querying machines in any order
+  // produces the same composite (the paper's schedule fixes 1..n / n..1 for
+  // concreteness only).
+  const auto db = wave4_db(5);
+  const auto regs = make_coordinator_layout(db.universe(), db.nu());
+
+  SingleStateBackend forward(db, StatePrep::kHouseholder);
+  forward.prep_uniform(false);
+  apply_distributing_operator(forward, QueryMode::kSequential, false);
+
+  SingleStateBackend shuffled(db, StatePrep::kHouseholder);
+  shuffled.prep_uniform(false);
+  // Hand-rolled D with a scrambled machine order: 3,0,4,1,2 then 𝒰 then
+  // the reverse adds as adjoints in yet another order.
+  const std::size_t order[] = {3, 0, 4, 1, 2};
+  for (const auto j : order) shuffled.oracle(j, false);
+  shuffled.rotation_u(false);
+  const std::size_t reverse[] = {0, 1, 2, 3, 4};
+  for (const auto j : reverse) shuffled.oracle(j, true);
+
+  EXPECT_NEAR(forward.state().distance_squared(shuffled.state()), 0.0,
+              1e-20);
+  (void)regs;
+}
+
+TEST(UmbrellaHeader, EndToEndThroughSingleInclude) {
+  // Everything in this test resolves through dqs.hpp alone: build, sample,
+  // verify, count, report.
+  Rng rng(11);
+  auto datasets = workload::zipf(32, 3, 30, 1.0, rng);
+  const auto nu = min_capacity(datasets);
+  const DistributedDatabase db(std::move(datasets), nu);
+
+  const auto result = run_parallel_sampler(db);
+  EXPECT_NEAR(result.fidelity, 1.0, 1e-9);
+
+  Rng shots(12);
+  const auto verification = verify_output_distribution(
+      result.state, result.registers.elem, db, 5000, shots);
+  EXPECT_TRUE(verification.consistent());
+
+  const auto wire = communication_report(db, result.stats);
+  EXPECT_GT(wire.qubits_moved, 0u);
+
+  const auto count = estimate_total_count(db, QueryMode::kParallel,
+                                          exponential_schedule(5, 24), rng);
+  EXPECT_NEAR(count.m_hat, 30.0, 6.0);
+}
+
+}  // namespace
+}  // namespace qs

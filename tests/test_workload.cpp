@@ -1,0 +1,127 @@
+// Tests for the synthetic workload generators (distdb/workload.hpp).
+#include "distdb/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "distdb/distributed_database.hpp"
+
+namespace qs {
+namespace {
+
+std::uint64_t grand_total(const std::vector<Dataset>& datasets) {
+  std::uint64_t total = 0;
+  for (const auto& d : datasets) total += d.total();
+  return total;
+}
+
+TEST(Workload, UniformRandomTotalsAndDeterminism) {
+  Rng a(5), b(5);
+  const auto w1 = workload::uniform_random(32, 4, 100, a);
+  const auto w2 = workload::uniform_random(32, 4, 100, b);
+  EXPECT_EQ(w1.size(), 4u);
+  EXPECT_EQ(grand_total(w1), 100u);
+  EXPECT_EQ(w1, w2);  // same seed, same workload
+}
+
+TEST(Workload, UniformRandomSpreadsAcrossMachines) {
+  Rng rng(7);
+  const auto w = workload::uniform_random(16, 4, 4000, rng);
+  for (const auto& d : w) {
+    EXPECT_GT(d.total(), 800u);
+    EXPECT_LT(d.total(), 1200u);
+  }
+}
+
+TEST(Workload, ZipfIsSkewedTowardSmallElements) {
+  Rng rng(11);
+  const auto w = workload::zipf(64, 2, 5000, 1.3, rng);
+  EXPECT_EQ(grand_total(w), 5000u);
+  std::uint64_t first = 0, last = 0;
+  for (const auto& d : w) {
+    first += d.count(0);
+    last += d.count(63);
+  }
+  EXPECT_GT(first, 20 * std::max<std::uint64_t>(last, 1));
+}
+
+TEST(Workload, DisjointPartitionCoversUniverseOnce) {
+  const auto w = workload::disjoint_partition(20, 3, 2);
+  EXPECT_EQ(grand_total(w), 40u);
+  for (std::size_t i = 0; i < 20; ++i) {
+    int owners = 0;
+    for (const auto& d : w) {
+      if (d.count(i) > 0) {
+        ++owners;
+        EXPECT_EQ(d.count(i), 2u);
+      }
+    }
+    EXPECT_EQ(owners, 1) << "element " << i;
+  }
+}
+
+TEST(Workload, DisjointPartitionBalanced) {
+  const auto w = workload::disjoint_partition(30, 3, 1);
+  for (const auto& d : w) EXPECT_EQ(d.total(), 10u);
+}
+
+TEST(Workload, ReplicatedMachinesAreIdentical) {
+  const auto w = workload::replicated(10, 4, 6, 3);
+  ASSERT_EQ(w.size(), 4u);
+  for (std::size_t j = 1; j < 4; ++j) EXPECT_EQ(w[j], w[0]);
+  EXPECT_EQ(w[0].support_size(), 6u);
+  EXPECT_EQ(w[0].max_multiplicity(), 3u);
+  // Joint multiplicity of a replicated element is n·mult — the shared-key
+  // generality Section 1 emphasises.
+  EXPECT_EQ(min_capacity(w), 12u);
+}
+
+TEST(Workload, HeavyHitterShape) {
+  Rng rng(13);
+  const auto w = workload::heavy_hitter(16, 2, 2, 50, 1, rng);
+  std::uint64_t heavy = 0, light = 0;
+  for (const auto& d : w) {
+    heavy += d.count(0) + d.count(1);
+    for (std::size_t i = 2; i < 16; ++i) light += d.count(i);
+  }
+  EXPECT_EQ(heavy, 100u);
+  EXPECT_EQ(light, 14u);
+}
+
+TEST(Workload, ConcentratedPutsEverythingOnOneMachine) {
+  const auto w = workload::concentrated(32, 4, 2, 5, 3);
+  for (std::size_t j = 0; j < 4; ++j) {
+    if (j == 2) {
+      EXPECT_EQ(w[j].total(), 15u);
+      EXPECT_EQ(w[j].support_size(), 5u);
+    } else {
+      EXPECT_EQ(w[j].total(), 0u);
+    }
+  }
+}
+
+TEST(Workload, GeneratorsProduceValidDatabases) {
+  Rng rng(17);
+  for (const auto& datasets :
+       {workload::uniform_random(16, 3, 64, rng),
+        workload::zipf(16, 3, 64, 1.0, rng),
+        workload::disjoint_partition(16, 3, 2),
+        workload::replicated(16, 3, 8, 2),
+        workload::heavy_hitter(16, 3, 2, 10, 1, rng),
+        workload::concentrated(16, 3, 1, 4, 2)}) {
+    const auto nu = min_capacity(datasets);
+    EXPECT_NO_THROW(DistributedDatabase(datasets, nu));
+  }
+}
+
+TEST(Workload, ArgumentValidation) {
+  Rng rng(19);
+  EXPECT_THROW(workload::uniform_random(8, 0, 10, rng), ContractViolation);
+  EXPECT_THROW(workload::disjoint_partition(8, 2, 0), ContractViolation);
+  EXPECT_THROW(workload::replicated(8, 2, 9, 1), ContractViolation);
+  EXPECT_THROW(workload::heavy_hitter(8, 2, 9, 1, 1, rng), ContractViolation);
+  EXPECT_THROW(workload::concentrated(8, 2, 2, 4, 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace qs
