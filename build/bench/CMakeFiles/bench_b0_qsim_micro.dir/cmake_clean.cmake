@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_b0_qsim_micro.dir/bench_b0_qsim_micro.cpp.o"
+  "CMakeFiles/bench_b0_qsim_micro.dir/bench_b0_qsim_micro.cpp.o.d"
+  "bench_b0_qsim_micro"
+  "bench_b0_qsim_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_b0_qsim_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

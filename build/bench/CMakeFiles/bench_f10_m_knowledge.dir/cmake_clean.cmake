@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f10_m_knowledge.dir/bench_f10_m_knowledge.cpp.o"
+  "CMakeFiles/bench_f10_m_knowledge.dir/bench_f10_m_knowledge.cpp.o.d"
+  "bench_f10_m_knowledge"
+  "bench_f10_m_knowledge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f10_m_knowledge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

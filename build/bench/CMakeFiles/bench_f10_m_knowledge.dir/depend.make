@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_f10_m_knowledge.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_scaling_N.dir/bench_f1_scaling_N.cpp.o"
+  "CMakeFiles/bench_f1_scaling_N.dir/bench_f1_scaling_N.cpp.o.d"
+  "bench_f1_scaling_N"
+  "bench_f1_scaling_N.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_scaling_N.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_f1_scaling_N.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_scaling_n.dir/bench_f2_scaling_n.cpp.o"
+  "CMakeFiles/bench_f2_scaling_n.dir/bench_f2_scaling_n.cpp.o.d"
+  "bench_f2_scaling_n"
+  "bench_f2_scaling_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_scaling_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_potential_growth.dir/bench_f3_potential_growth.cpp.o"
+  "CMakeFiles/bench_f3_potential_growth.dir/bench_f3_potential_growth.cpp.o.d"
+  "bench_f3_potential_growth"
+  "bench_f3_potential_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_potential_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

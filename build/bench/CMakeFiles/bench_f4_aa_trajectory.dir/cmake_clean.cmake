@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_aa_trajectory.dir/bench_f4_aa_trajectory.cpp.o"
+  "CMakeFiles/bench_f4_aa_trajectory.dir/bench_f4_aa_trajectory.cpp.o.d"
+  "bench_f4_aa_trajectory"
+  "bench_f4_aa_trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_aa_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

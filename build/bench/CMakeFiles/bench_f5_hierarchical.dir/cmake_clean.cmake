@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_hierarchical.dir/bench_f5_hierarchical.cpp.o"
+  "CMakeFiles/bench_f5_hierarchical.dir/bench_f5_hierarchical.cpp.o.d"
+  "bench_f5_hierarchical"
+  "bench_f5_hierarchical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_hierarchical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_noise.dir/bench_f6_noise.cpp.o"
+  "CMakeFiles/bench_f6_noise.dir/bench_f6_noise.cpp.o.d"
+  "bench_f6_noise"
+  "bench_f6_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f7_fidelity_frontier.dir/bench_f7_fidelity_frontier.cpp.o"
+  "CMakeFiles/bench_f7_fidelity_frontier.dir/bench_f7_fidelity_frontier.cpp.o.d"
+  "bench_f7_fidelity_frontier"
+  "bench_f7_fidelity_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_fidelity_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f8_fidelity_ceiling.dir/bench_f8_fidelity_ceiling.cpp.o"
+  "CMakeFiles/bench_f8_fidelity_ceiling.dir/bench_f8_fidelity_ceiling.cpp.o.d"
+  "bench_f8_fidelity_ceiling"
+  "bench_f8_fidelity_ceiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f8_fidelity_ceiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f9_noise_regimes.dir/bench_f9_noise_regimes.cpp.o"
+  "CMakeFiles/bench_f9_noise_regimes.dir/bench_f9_noise_regimes.cpp.o.d"
+  "bench_f9_noise_regimes"
+  "bench_f9_noise_regimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f9_noise_regimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t10_communication.dir/bench_t10_communication.cpp.o"
+  "CMakeFiles/bench_t10_communication.dir/bench_t10_communication.cpp.o.d"
+  "bench_t10_communication"
+  "bench_t10_communication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t10_communication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t11_adaptive.dir/bench_t11_adaptive.cpp.o"
+  "CMakeFiles/bench_t11_adaptive.dir/bench_t11_adaptive.cpp.o.d"
+  "bench_t11_adaptive"
+  "bench_t11_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t11_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

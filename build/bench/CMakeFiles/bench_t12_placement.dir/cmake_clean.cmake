@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t12_placement.dir/bench_t12_placement.cpp.o"
+  "CMakeFiles/bench_t12_placement.dir/bench_t12_placement.cpp.o.d"
+  "bench_t12_placement"
+  "bench_t12_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t12_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t13_unknown_m.dir/bench_t13_unknown_m.cpp.o"
+  "CMakeFiles/bench_t13_unknown_m.dir/bench_t13_unknown_m.cpp.o.d"
+  "bench_t13_unknown_m"
+  "bench_t13_unknown_m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t13_unknown_m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

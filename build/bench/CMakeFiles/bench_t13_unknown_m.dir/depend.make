@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_t13_unknown_m.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t14_store_comparison.dir/bench_t14_store_comparison.cpp.o"
+  "CMakeFiles/bench_t14_store_comparison.dir/bench_t14_store_comparison.cpp.o.d"
+  "bench_t14_store_comparison"
+  "bench_t14_store_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t14_store_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t15_max_finding.dir/bench_t15_max_finding.cpp.o"
+  "CMakeFiles/bench_t15_max_finding.dir/bench_t15_max_finding.cpp.o.d"
+  "bench_t15_max_finding"
+  "bench_t15_max_finding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t15_max_finding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_t15_max_finding.
+# This may be replaced when dependencies are built.

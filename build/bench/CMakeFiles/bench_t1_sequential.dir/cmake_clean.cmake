@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_sequential.dir/bench_t1_sequential.cpp.o"
+  "CMakeFiles/bench_t1_sequential.dir/bench_t1_sequential.cpp.o.d"
+  "bench_t1_sequential"
+  "bench_t1_sequential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_sequential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_parallel.dir/bench_t2_parallel.cpp.o"
+  "CMakeFiles/bench_t2_parallel.dir/bench_t2_parallel.cpp.o.d"
+  "bench_t2_parallel"
+  "bench_t2_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_classical_vs_quantum.dir/bench_t3_classical_vs_quantum.cpp.o"
+  "CMakeFiles/bench_t3_classical_vs_quantum.dir/bench_t3_classical_vs_quantum.cpp.o.d"
+  "bench_t3_classical_vs_quantum"
+  "bench_t3_classical_vs_quantum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_classical_vs_quantum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

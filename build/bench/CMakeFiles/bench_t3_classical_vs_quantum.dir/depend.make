@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_t3_classical_vs_quantum.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t4_lower_bound_crossover.dir/bench_t4_lower_bound_crossover.cpp.o"
+  "CMakeFiles/bench_t4_lower_bound_crossover.dir/bench_t4_lower_bound_crossover.cpp.o.d"
+  "bench_t4_lower_bound_crossover"
+  "bench_t4_lower_bound_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_lower_bound_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_t4_lower_bound_crossover.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t5_potential_floor.dir/bench_t5_potential_floor.cpp.o"
+  "CMakeFiles/bench_t5_potential_floor.dir/bench_t5_potential_floor.cpp.o.d"
+  "bench_t5_potential_floor"
+  "bench_t5_potential_floor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t5_potential_floor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t6_distributing_op.dir/bench_t6_distributing_op.cpp.o"
+  "CMakeFiles/bench_t6_distributing_op.dir/bench_t6_distributing_op.cpp.o.d"
+  "bench_t6_distributing_op"
+  "bench_t6_distributing_op.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t6_distributing_op.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

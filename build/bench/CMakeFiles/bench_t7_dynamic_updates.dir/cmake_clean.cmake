@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t7_dynamic_updates.dir/bench_t7_dynamic_updates.cpp.o"
+  "CMakeFiles/bench_t7_dynamic_updates.dir/bench_t7_dynamic_updates.cpp.o.d"
+  "bench_t7_dynamic_updates"
+  "bench_t7_dynamic_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t7_dynamic_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

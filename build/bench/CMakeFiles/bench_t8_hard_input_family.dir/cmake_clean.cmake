@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t8_hard_input_family.dir/bench_t8_hard_input_family.cpp.o"
+  "CMakeFiles/bench_t8_hard_input_family.dir/bench_t8_hard_input_family.cpp.o.d"
+  "bench_t8_hard_input_family"
+  "bench_t8_hard_input_family.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t8_hard_input_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_t8_hard_input_family.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_t8_hard_input_family.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t9_quantum_counting.dir/bench_t9_quantum_counting.cpp.o"
+  "CMakeFiles/bench_t9_quantum_counting.dir/bench_t9_quantum_counting.cpp.o.d"
+  "bench_t9_quantum_counting"
+  "bench_t9_quantum_counting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t9_quantum_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

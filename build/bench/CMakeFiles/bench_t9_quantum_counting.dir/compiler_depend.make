@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_t9_quantum_counting.
+# This may be replaced when dependencies are built.

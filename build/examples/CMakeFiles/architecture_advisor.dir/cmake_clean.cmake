@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/architecture_advisor.dir/architecture_advisor.cpp.o"
+  "CMakeFiles/architecture_advisor.dir/architecture_advisor.cpp.o.d"
+  "architecture_advisor"
+  "architecture_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/architecture_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

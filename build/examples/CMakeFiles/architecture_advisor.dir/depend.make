@@ -1,0 +1,2 @@
+# Empty dependencies file for architecture_advisor.
+# This may be replaced when dependencies are built.

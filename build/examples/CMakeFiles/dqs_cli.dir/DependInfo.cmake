@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dqs_cli.cpp" "examples/CMakeFiles/dqs_cli.dir/dqs_cli.cpp.o" "gcc" "examples/CMakeFiles/dqs_cli.dir/dqs_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/dqs_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimation/CMakeFiles/dqs_estimation.dir/DependInfo.cmake"
+  "/root/repo/build/src/lowerbound/CMakeFiles/dqs_lowerbound.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/dqs_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/distdb/CMakeFiles/dqs_distdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/qsim/CMakeFiles/dqs_qsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dqs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqs_cli.dir/dqs_cli.cpp.o"
+  "CMakeFiles/dqs_cli.dir/dqs_cli.cpp.o.d"
+  "dqs_cli"
+  "dqs_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

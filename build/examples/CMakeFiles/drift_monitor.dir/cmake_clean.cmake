@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drift_monitor.dir/drift_monitor.cpp.o"
+  "CMakeFiles/drift_monitor.dir/drift_monitor.cpp.o.d"
+  "drift_monitor"
+  "drift_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drift_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_inventory.dir/dynamic_inventory.cpp.o"
+  "CMakeFiles/dynamic_inventory.dir/dynamic_inventory.cpp.o.d"
+  "dynamic_inventory"
+  "dynamic_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_frequency.dir/federated_frequency.cpp.o"
+  "CMakeFiles/federated_frequency.dir/federated_frequency.cpp.o.d"
+  "federated_frequency"
+  "federated_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

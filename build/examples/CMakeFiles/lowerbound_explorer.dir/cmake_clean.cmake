@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowerbound_explorer.dir/lowerbound_explorer.cpp.o"
+  "CMakeFiles/lowerbound_explorer.dir/lowerbound_explorer.cpp.o.d"
+  "lowerbound_explorer"
+  "lowerbound_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowerbound_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

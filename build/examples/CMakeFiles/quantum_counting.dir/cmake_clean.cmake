@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantum_counting.dir/quantum_counting.cpp.o"
+  "CMakeFiles/quantum_counting.dir/quantum_counting.cpp.o.d"
+  "quantum_counting"
+  "quantum_counting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantum_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for quantum_counting.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build/examples/quickstart" "--universe" "16" "--total" "24")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_federated]=] "/root/repo/build/examples/federated_frequency" "--universe" "64" "--records" "48" "--samples" "16")
+set_tests_properties([=[example_federated]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_inventory]=] "/root/repo/build/examples/dynamic_inventory" "--skus" "32" "--initial" "48" "--bursts" "3" "--moves" "12")
+set_tests_properties([=[example_inventory]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_lowerbound]=] "/root/repo/build/examples/lowerbound_explorer" "--universe" "32" "--samples" "6")
+set_tests_properties([=[example_lowerbound]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_counting]=] "/root/repo/build/examples/quantum_counting" "--universe" "64" "--total" "24" "--rounds" "6" "--shots" "32")
+set_tests_properties([=[example_counting]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_cli]=] "/root/repo/build/examples/dqs_cli")
+set_tests_properties([=[example_cli]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_advisor]=] "/root/repo/build/examples/architecture_advisor" "--machines" "4" "--trajectories" "12")
+set_tests_properties([=[example_advisor]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_drift]=] "/root/repo/build/examples/drift_monitor" "--rounds" "4" "--shots" "300")
+set_tests_properties([=[example_drift]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")

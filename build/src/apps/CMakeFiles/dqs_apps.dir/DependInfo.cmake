@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/index_erasure.cpp" "src/apps/CMakeFiles/dqs_apps.dir/index_erasure.cpp.o" "gcc" "src/apps/CMakeFiles/dqs_apps.dir/index_erasure.cpp.o.d"
+  "/root/repo/src/apps/max_finding.cpp" "src/apps/CMakeFiles/dqs_apps.dir/max_finding.cpp.o" "gcc" "src/apps/CMakeFiles/dqs_apps.dir/max_finding.cpp.o.d"
+  "/root/repo/src/apps/mean_estimation.cpp" "src/apps/CMakeFiles/dqs_apps.dir/mean_estimation.cpp.o" "gcc" "src/apps/CMakeFiles/dqs_apps.dir/mean_estimation.cpp.o.d"
+  "/root/repo/src/apps/sample_server.cpp" "src/apps/CMakeFiles/dqs_apps.dir/sample_server.cpp.o" "gcc" "src/apps/CMakeFiles/dqs_apps.dir/sample_server.cpp.o.d"
+  "/root/repo/src/apps/store_comparison.cpp" "src/apps/CMakeFiles/dqs_apps.dir/store_comparison.cpp.o" "gcc" "src/apps/CMakeFiles/dqs_apps.dir/store_comparison.cpp.o.d"
+  "/root/repo/src/apps/stream_window.cpp" "src/apps/CMakeFiles/dqs_apps.dir/stream_window.cpp.o" "gcc" "src/apps/CMakeFiles/dqs_apps.dir/stream_window.cpp.o.d"
+  "/root/repo/src/apps/subset_sampling.cpp" "src/apps/CMakeFiles/dqs_apps.dir/subset_sampling.cpp.o" "gcc" "src/apps/CMakeFiles/dqs_apps.dir/subset_sampling.cpp.o.d"
+  "/root/repo/src/apps/weighted_sampling.cpp" "src/apps/CMakeFiles/dqs_apps.dir/weighted_sampling.cpp.o" "gcc" "src/apps/CMakeFiles/dqs_apps.dir/weighted_sampling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/estimation/CMakeFiles/dqs_estimation.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/dqs_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/distdb/CMakeFiles/dqs_distdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/qsim/CMakeFiles/dqs_qsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dqs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

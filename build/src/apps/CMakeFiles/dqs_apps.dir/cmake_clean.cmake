@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqs_apps.dir/index_erasure.cpp.o"
+  "CMakeFiles/dqs_apps.dir/index_erasure.cpp.o.d"
+  "CMakeFiles/dqs_apps.dir/max_finding.cpp.o"
+  "CMakeFiles/dqs_apps.dir/max_finding.cpp.o.d"
+  "CMakeFiles/dqs_apps.dir/mean_estimation.cpp.o"
+  "CMakeFiles/dqs_apps.dir/mean_estimation.cpp.o.d"
+  "CMakeFiles/dqs_apps.dir/sample_server.cpp.o"
+  "CMakeFiles/dqs_apps.dir/sample_server.cpp.o.d"
+  "CMakeFiles/dqs_apps.dir/store_comparison.cpp.o"
+  "CMakeFiles/dqs_apps.dir/store_comparison.cpp.o.d"
+  "CMakeFiles/dqs_apps.dir/stream_window.cpp.o"
+  "CMakeFiles/dqs_apps.dir/stream_window.cpp.o.d"
+  "CMakeFiles/dqs_apps.dir/subset_sampling.cpp.o"
+  "CMakeFiles/dqs_apps.dir/subset_sampling.cpp.o.d"
+  "CMakeFiles/dqs_apps.dir/weighted_sampling.cpp.o"
+  "CMakeFiles/dqs_apps.dir/weighted_sampling.cpp.o.d"
+  "libdqs_apps.a"
+  "libdqs_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqs_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

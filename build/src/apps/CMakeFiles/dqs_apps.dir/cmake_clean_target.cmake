@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdqs_apps.a"
+)

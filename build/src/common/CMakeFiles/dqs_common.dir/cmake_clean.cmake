@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqs_common.dir/cli.cpp.o"
+  "CMakeFiles/dqs_common.dir/cli.cpp.o.d"
+  "CMakeFiles/dqs_common.dir/rng.cpp.o"
+  "CMakeFiles/dqs_common.dir/rng.cpp.o.d"
+  "CMakeFiles/dqs_common.dir/stats.cpp.o"
+  "CMakeFiles/dqs_common.dir/stats.cpp.o.d"
+  "CMakeFiles/dqs_common.dir/table.cpp.o"
+  "CMakeFiles/dqs_common.dir/table.cpp.o.d"
+  "libdqs_common.a"
+  "libdqs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

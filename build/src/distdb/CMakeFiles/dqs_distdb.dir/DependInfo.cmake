@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/distdb/communication.cpp" "src/distdb/CMakeFiles/dqs_distdb.dir/communication.cpp.o" "gcc" "src/distdb/CMakeFiles/dqs_distdb.dir/communication.cpp.o.d"
+  "/root/repo/src/distdb/dataset.cpp" "src/distdb/CMakeFiles/dqs_distdb.dir/dataset.cpp.o" "gcc" "src/distdb/CMakeFiles/dqs_distdb.dir/dataset.cpp.o.d"
+  "/root/repo/src/distdb/distributed_database.cpp" "src/distdb/CMakeFiles/dqs_distdb.dir/distributed_database.cpp.o" "gcc" "src/distdb/CMakeFiles/dqs_distdb.dir/distributed_database.cpp.o.d"
+  "/root/repo/src/distdb/machine.cpp" "src/distdb/CMakeFiles/dqs_distdb.dir/machine.cpp.o" "gcc" "src/distdb/CMakeFiles/dqs_distdb.dir/machine.cpp.o.d"
+  "/root/repo/src/distdb/serialize.cpp" "src/distdb/CMakeFiles/dqs_distdb.dir/serialize.cpp.o" "gcc" "src/distdb/CMakeFiles/dqs_distdb.dir/serialize.cpp.o.d"
+  "/root/repo/src/distdb/transcript.cpp" "src/distdb/CMakeFiles/dqs_distdb.dir/transcript.cpp.o" "gcc" "src/distdb/CMakeFiles/dqs_distdb.dir/transcript.cpp.o.d"
+  "/root/repo/src/distdb/transport.cpp" "src/distdb/CMakeFiles/dqs_distdb.dir/transport.cpp.o" "gcc" "src/distdb/CMakeFiles/dqs_distdb.dir/transport.cpp.o.d"
+  "/root/repo/src/distdb/workload.cpp" "src/distdb/CMakeFiles/dqs_distdb.dir/workload.cpp.o" "gcc" "src/distdb/CMakeFiles/dqs_distdb.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qsim/CMakeFiles/dqs_qsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dqs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqs_distdb.dir/communication.cpp.o"
+  "CMakeFiles/dqs_distdb.dir/communication.cpp.o.d"
+  "CMakeFiles/dqs_distdb.dir/dataset.cpp.o"
+  "CMakeFiles/dqs_distdb.dir/dataset.cpp.o.d"
+  "CMakeFiles/dqs_distdb.dir/distributed_database.cpp.o"
+  "CMakeFiles/dqs_distdb.dir/distributed_database.cpp.o.d"
+  "CMakeFiles/dqs_distdb.dir/machine.cpp.o"
+  "CMakeFiles/dqs_distdb.dir/machine.cpp.o.d"
+  "CMakeFiles/dqs_distdb.dir/serialize.cpp.o"
+  "CMakeFiles/dqs_distdb.dir/serialize.cpp.o.d"
+  "CMakeFiles/dqs_distdb.dir/transcript.cpp.o"
+  "CMakeFiles/dqs_distdb.dir/transcript.cpp.o.d"
+  "CMakeFiles/dqs_distdb.dir/transport.cpp.o"
+  "CMakeFiles/dqs_distdb.dir/transport.cpp.o.d"
+  "CMakeFiles/dqs_distdb.dir/workload.cpp.o"
+  "CMakeFiles/dqs_distdb.dir/workload.cpp.o.d"
+  "libdqs_distdb.a"
+  "libdqs_distdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqs_distdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqs_estimation.dir/adaptive.cpp.o"
+  "CMakeFiles/dqs_estimation.dir/adaptive.cpp.o.d"
+  "CMakeFiles/dqs_estimation.dir/amplitude_estimation.cpp.o"
+  "CMakeFiles/dqs_estimation.dir/amplitude_estimation.cpp.o.d"
+  "CMakeFiles/dqs_estimation.dir/iqae.cpp.o"
+  "CMakeFiles/dqs_estimation.dir/iqae.cpp.o.d"
+  "CMakeFiles/dqs_estimation.dir/qpe_counting.cpp.o"
+  "CMakeFiles/dqs_estimation.dir/qpe_counting.cpp.o.d"
+  "libdqs_estimation.a"
+  "libdqs_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqs_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

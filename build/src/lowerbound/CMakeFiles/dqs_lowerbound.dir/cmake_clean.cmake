@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqs_lowerbound.dir/deferred_measurement.cpp.o"
+  "CMakeFiles/dqs_lowerbound.dir/deferred_measurement.cpp.o.d"
+  "CMakeFiles/dqs_lowerbound.dir/hard_inputs.cpp.o"
+  "CMakeFiles/dqs_lowerbound.dir/hard_inputs.cpp.o.d"
+  "CMakeFiles/dqs_lowerbound.dir/lockstep.cpp.o"
+  "CMakeFiles/dqs_lowerbound.dir/lockstep.cpp.o.d"
+  "CMakeFiles/dqs_lowerbound.dir/potential.cpp.o"
+  "CMakeFiles/dqs_lowerbound.dir/potential.cpp.o.d"
+  "libdqs_lowerbound.a"
+  "libdqs_lowerbound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqs_lowerbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qsim/controlled.cpp" "src/qsim/CMakeFiles/dqs_qsim.dir/controlled.cpp.o" "gcc" "src/qsim/CMakeFiles/dqs_qsim.dir/controlled.cpp.o.d"
+  "/root/repo/src/qsim/density.cpp" "src/qsim/CMakeFiles/dqs_qsim.dir/density.cpp.o" "gcc" "src/qsim/CMakeFiles/dqs_qsim.dir/density.cpp.o.d"
+  "/root/repo/src/qsim/density_evolution.cpp" "src/qsim/CMakeFiles/dqs_qsim.dir/density_evolution.cpp.o" "gcc" "src/qsim/CMakeFiles/dqs_qsim.dir/density_evolution.cpp.o.d"
+  "/root/repo/src/qsim/gates.cpp" "src/qsim/CMakeFiles/dqs_qsim.dir/gates.cpp.o" "gcc" "src/qsim/CMakeFiles/dqs_qsim.dir/gates.cpp.o.d"
+  "/root/repo/src/qsim/linalg.cpp" "src/qsim/CMakeFiles/dqs_qsim.dir/linalg.cpp.o" "gcc" "src/qsim/CMakeFiles/dqs_qsim.dir/linalg.cpp.o.d"
+  "/root/repo/src/qsim/measure.cpp" "src/qsim/CMakeFiles/dqs_qsim.dir/measure.cpp.o" "gcc" "src/qsim/CMakeFiles/dqs_qsim.dir/measure.cpp.o.d"
+  "/root/repo/src/qsim/noise.cpp" "src/qsim/CMakeFiles/dqs_qsim.dir/noise.cpp.o" "gcc" "src/qsim/CMakeFiles/dqs_qsim.dir/noise.cpp.o.d"
+  "/root/repo/src/qsim/operator_builder.cpp" "src/qsim/CMakeFiles/dqs_qsim.dir/operator_builder.cpp.o" "gcc" "src/qsim/CMakeFiles/dqs_qsim.dir/operator_builder.cpp.o.d"
+  "/root/repo/src/qsim/register_layout.cpp" "src/qsim/CMakeFiles/dqs_qsim.dir/register_layout.cpp.o" "gcc" "src/qsim/CMakeFiles/dqs_qsim.dir/register_layout.cpp.o.d"
+  "/root/repo/src/qsim/state_vector.cpp" "src/qsim/CMakeFiles/dqs_qsim.dir/state_vector.cpp.o" "gcc" "src/qsim/CMakeFiles/dqs_qsim.dir/state_vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dqs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

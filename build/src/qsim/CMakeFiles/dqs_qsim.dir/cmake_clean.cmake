@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqs_qsim.dir/controlled.cpp.o"
+  "CMakeFiles/dqs_qsim.dir/controlled.cpp.o.d"
+  "CMakeFiles/dqs_qsim.dir/density.cpp.o"
+  "CMakeFiles/dqs_qsim.dir/density.cpp.o.d"
+  "CMakeFiles/dqs_qsim.dir/density_evolution.cpp.o"
+  "CMakeFiles/dqs_qsim.dir/density_evolution.cpp.o.d"
+  "CMakeFiles/dqs_qsim.dir/gates.cpp.o"
+  "CMakeFiles/dqs_qsim.dir/gates.cpp.o.d"
+  "CMakeFiles/dqs_qsim.dir/linalg.cpp.o"
+  "CMakeFiles/dqs_qsim.dir/linalg.cpp.o.d"
+  "CMakeFiles/dqs_qsim.dir/measure.cpp.o"
+  "CMakeFiles/dqs_qsim.dir/measure.cpp.o.d"
+  "CMakeFiles/dqs_qsim.dir/noise.cpp.o"
+  "CMakeFiles/dqs_qsim.dir/noise.cpp.o.d"
+  "CMakeFiles/dqs_qsim.dir/operator_builder.cpp.o"
+  "CMakeFiles/dqs_qsim.dir/operator_builder.cpp.o.d"
+  "CMakeFiles/dqs_qsim.dir/register_layout.cpp.o"
+  "CMakeFiles/dqs_qsim.dir/register_layout.cpp.o.d"
+  "CMakeFiles/dqs_qsim.dir/state_vector.cpp.o"
+  "CMakeFiles/dqs_qsim.dir/state_vector.cpp.o.d"
+  "libdqs_qsim.a"
+  "libdqs_qsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqs_qsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dqs_qsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sampling/amplitude_amplification.cpp" "src/sampling/CMakeFiles/dqs_sampling.dir/amplitude_amplification.cpp.o" "gcc" "src/sampling/CMakeFiles/dqs_sampling.dir/amplitude_amplification.cpp.o.d"
+  "/root/repo/src/sampling/backend.cpp" "src/sampling/CMakeFiles/dqs_sampling.dir/backend.cpp.o" "gcc" "src/sampling/CMakeFiles/dqs_sampling.dir/backend.cpp.o.d"
+  "/root/repo/src/sampling/circuit.cpp" "src/sampling/CMakeFiles/dqs_sampling.dir/circuit.cpp.o" "gcc" "src/sampling/CMakeFiles/dqs_sampling.dir/circuit.cpp.o.d"
+  "/root/repo/src/sampling/classical.cpp" "src/sampling/CMakeFiles/dqs_sampling.dir/classical.cpp.o" "gcc" "src/sampling/CMakeFiles/dqs_sampling.dir/classical.cpp.o.d"
+  "/root/repo/src/sampling/fixed_point.cpp" "src/sampling/CMakeFiles/dqs_sampling.dir/fixed_point.cpp.o" "gcc" "src/sampling/CMakeFiles/dqs_sampling.dir/fixed_point.cpp.o.d"
+  "/root/repo/src/sampling/hierarchical.cpp" "src/sampling/CMakeFiles/dqs_sampling.dir/hierarchical.cpp.o" "gcc" "src/sampling/CMakeFiles/dqs_sampling.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/sampling/ideal.cpp" "src/sampling/CMakeFiles/dqs_sampling.dir/ideal.cpp.o" "gcc" "src/sampling/CMakeFiles/dqs_sampling.dir/ideal.cpp.o.d"
+  "/root/repo/src/sampling/noisy_sampler.cpp" "src/sampling/CMakeFiles/dqs_sampling.dir/noisy_sampler.cpp.o" "gcc" "src/sampling/CMakeFiles/dqs_sampling.dir/noisy_sampler.cpp.o.d"
+  "/root/repo/src/sampling/parallel_full.cpp" "src/sampling/CMakeFiles/dqs_sampling.dir/parallel_full.cpp.o" "gcc" "src/sampling/CMakeFiles/dqs_sampling.dir/parallel_full.cpp.o.d"
+  "/root/repo/src/sampling/samplers.cpp" "src/sampling/CMakeFiles/dqs_sampling.dir/samplers.cpp.o" "gcc" "src/sampling/CMakeFiles/dqs_sampling.dir/samplers.cpp.o.d"
+  "/root/repo/src/sampling/schedule.cpp" "src/sampling/CMakeFiles/dqs_sampling.dir/schedule.cpp.o" "gcc" "src/sampling/CMakeFiles/dqs_sampling.dir/schedule.cpp.o.d"
+  "/root/repo/src/sampling/unknown_m.cpp" "src/sampling/CMakeFiles/dqs_sampling.dir/unknown_m.cpp.o" "gcc" "src/sampling/CMakeFiles/dqs_sampling.dir/unknown_m.cpp.o.d"
+  "/root/repo/src/sampling/verify.cpp" "src/sampling/CMakeFiles/dqs_sampling.dir/verify.cpp.o" "gcc" "src/sampling/CMakeFiles/dqs_sampling.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/distdb/CMakeFiles/dqs_distdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/qsim/CMakeFiles/dqs_qsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dqs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqs_sampling.dir/amplitude_amplification.cpp.o"
+  "CMakeFiles/dqs_sampling.dir/amplitude_amplification.cpp.o.d"
+  "CMakeFiles/dqs_sampling.dir/backend.cpp.o"
+  "CMakeFiles/dqs_sampling.dir/backend.cpp.o.d"
+  "CMakeFiles/dqs_sampling.dir/circuit.cpp.o"
+  "CMakeFiles/dqs_sampling.dir/circuit.cpp.o.d"
+  "CMakeFiles/dqs_sampling.dir/classical.cpp.o"
+  "CMakeFiles/dqs_sampling.dir/classical.cpp.o.d"
+  "CMakeFiles/dqs_sampling.dir/fixed_point.cpp.o"
+  "CMakeFiles/dqs_sampling.dir/fixed_point.cpp.o.d"
+  "CMakeFiles/dqs_sampling.dir/hierarchical.cpp.o"
+  "CMakeFiles/dqs_sampling.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/dqs_sampling.dir/ideal.cpp.o"
+  "CMakeFiles/dqs_sampling.dir/ideal.cpp.o.d"
+  "CMakeFiles/dqs_sampling.dir/noisy_sampler.cpp.o"
+  "CMakeFiles/dqs_sampling.dir/noisy_sampler.cpp.o.d"
+  "CMakeFiles/dqs_sampling.dir/parallel_full.cpp.o"
+  "CMakeFiles/dqs_sampling.dir/parallel_full.cpp.o.d"
+  "CMakeFiles/dqs_sampling.dir/samplers.cpp.o"
+  "CMakeFiles/dqs_sampling.dir/samplers.cpp.o.d"
+  "CMakeFiles/dqs_sampling.dir/schedule.cpp.o"
+  "CMakeFiles/dqs_sampling.dir/schedule.cpp.o.d"
+  "CMakeFiles/dqs_sampling.dir/unknown_m.cpp.o"
+  "CMakeFiles/dqs_sampling.dir/unknown_m.cpp.o.d"
+  "CMakeFiles/dqs_sampling.dir/verify.cpp.o"
+  "CMakeFiles/dqs_sampling.dir/verify.cpp.o.d"
+  "libdqs_sampling.a"
+  "libdqs_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqs_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

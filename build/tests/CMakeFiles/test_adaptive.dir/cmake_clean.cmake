@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adaptive.dir/test_adaptive.cpp.o"
+  "CMakeFiles/test_adaptive.dir/test_adaptive.cpp.o.d"
+  "test_adaptive"
+  "test_adaptive.pdb"
+  "test_adaptive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_amplitude_amplification.dir/test_amplitude_amplification.cpp.o"
+  "CMakeFiles/test_amplitude_amplification.dir/test_amplitude_amplification.cpp.o.d"
+  "test_amplitude_amplification"
+  "test_amplitude_amplification.pdb"
+  "test_amplitude_amplification[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_amplitude_amplification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_amplitude_amplification.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_amplitude_amplification.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_budgeted.dir/test_budgeted.cpp.o"
+  "CMakeFiles/test_budgeted.dir/test_budgeted.cpp.o.d"
+  "test_budgeted"
+  "test_budgeted.pdb"
+  "test_budgeted[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_budgeted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

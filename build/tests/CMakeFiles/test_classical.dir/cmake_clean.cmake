@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_classical.dir/test_classical.cpp.o"
+  "CMakeFiles/test_classical.dir/test_classical.cpp.o.d"
+  "test_classical"
+  "test_classical.pdb"
+  "test_classical[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_classical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_communication.dir/test_communication.cpp.o"
+  "CMakeFiles/test_communication.dir/test_communication.cpp.o.d"
+  "test_communication"
+  "test_communication.pdb"
+  "test_communication[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_communication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_controlled.dir/test_controlled.cpp.o"
+  "CMakeFiles/test_controlled.dir/test_controlled.cpp.o.d"
+  "test_controlled"
+  "test_controlled.pdb"
+  "test_controlled[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_controlled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deferred_measurement.dir/test_deferred_measurement.cpp.o"
+  "CMakeFiles/test_deferred_measurement.dir/test_deferred_measurement.cpp.o.d"
+  "test_deferred_measurement"
+  "test_deferred_measurement.pdb"
+  "test_deferred_measurement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deferred_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

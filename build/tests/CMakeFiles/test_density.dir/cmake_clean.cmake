@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_density.dir/test_density.cpp.o"
+  "CMakeFiles/test_density.dir/test_density.cpp.o.d"
+  "test_density"
+  "test_density.pdb"
+  "test_density[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_density_evolution.dir/test_density_evolution.cpp.o"
+  "CMakeFiles/test_density_evolution.dir/test_density_evolution.cpp.o.d"
+  "test_density_evolution"
+  "test_density_evolution.pdb"
+  "test_density_evolution[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_density_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_density_evolution.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distributed_database.dir/test_distributed_database.cpp.o"
+  "CMakeFiles/test_distributed_database.dir/test_distributed_database.cpp.o.d"
+  "test_distributed_database"
+  "test_distributed_database.pdb"
+  "test_distributed_database[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distributed_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_distributed_database.
+# This may be replaced when dependencies are built.

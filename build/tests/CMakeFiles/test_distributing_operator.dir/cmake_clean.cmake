@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distributing_operator.dir/test_distributing_operator.cpp.o"
+  "CMakeFiles/test_distributing_operator.dir/test_distributing_operator.cpp.o.d"
+  "test_distributing_operator"
+  "test_distributing_operator.pdb"
+  "test_distributing_operator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distributing_operator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

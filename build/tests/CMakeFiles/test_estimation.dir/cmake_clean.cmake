@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_estimation.dir/test_estimation.cpp.o"
+  "CMakeFiles/test_estimation.dir/test_estimation.cpp.o.d"
+  "test_estimation"
+  "test_estimation.pdb"
+  "test_estimation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_full_parallel_potential.dir/test_full_parallel_potential.cpp.o"
+  "CMakeFiles/test_full_parallel_potential.dir/test_full_parallel_potential.cpp.o.d"
+  "test_full_parallel_potential"
+  "test_full_parallel_potential.pdb"
+  "test_full_parallel_potential[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_full_parallel_potential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

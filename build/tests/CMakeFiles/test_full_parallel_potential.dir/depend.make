@@ -1,0 +1,2 @@
+# Empty dependencies file for test_full_parallel_potential.
+# This may be replaced when dependencies are built.

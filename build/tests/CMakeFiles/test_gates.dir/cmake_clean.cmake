@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gates.dir/test_gates.cpp.o"
+  "CMakeFiles/test_gates.dir/test_gates.cpp.o.d"
+  "test_gates"
+  "test_gates.pdb"
+  "test_gates[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hard_inputs.dir/test_hard_inputs.cpp.o"
+  "CMakeFiles/test_hard_inputs.dir/test_hard_inputs.cpp.o.d"
+  "test_hard_inputs"
+  "test_hard_inputs.pdb"
+  "test_hard_inputs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hard_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iqae.dir/test_iqae.cpp.o"
+  "CMakeFiles/test_iqae.dir/test_iqae.cpp.o.d"
+  "test_iqae"
+  "test_iqae.pdb"
+  "test_iqae[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iqae.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_oracle.dir/test_machine_oracle.cpp.o"
+  "CMakeFiles/test_machine_oracle.dir/test_machine_oracle.cpp.o.d"
+  "test_machine_oracle"
+  "test_machine_oracle.pdb"
+  "test_machine_oracle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

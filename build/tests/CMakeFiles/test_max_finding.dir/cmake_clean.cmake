@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_max_finding.dir/test_max_finding.cpp.o"
+  "CMakeFiles/test_max_finding.dir/test_max_finding.cpp.o.d"
+  "test_max_finding"
+  "test_max_finding.pdb"
+  "test_max_finding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_max_finding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mean_estimation.dir/test_mean_estimation.cpp.o"
+  "CMakeFiles/test_mean_estimation.dir/test_mean_estimation.cpp.o.d"
+  "test_mean_estimation"
+  "test_mean_estimation.pdb"
+  "test_mean_estimation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mean_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_measure.dir/test_measure.cpp.o"
+  "CMakeFiles/test_measure.dir/test_measure.cpp.o.d"
+  "test_measure"
+  "test_measure.pdb"
+  "test_measure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_negative_controls.dir/test_negative_controls.cpp.o"
+  "CMakeFiles/test_negative_controls.dir/test_negative_controls.cpp.o.d"
+  "test_negative_controls"
+  "test_negative_controls.pdb"
+  "test_negative_controls[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_negative_controls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_obliviousness.dir/test_obliviousness.cpp.o"
+  "CMakeFiles/test_obliviousness.dir/test_obliviousness.cpp.o.d"
+  "test_obliviousness"
+  "test_obliviousness.pdb"
+  "test_obliviousness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_obliviousness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_full.dir/test_parallel_full.cpp.o"
+  "CMakeFiles/test_parallel_full.dir/test_parallel_full.cpp.o.d"
+  "test_parallel_full"
+  "test_parallel_full.pdb"
+  "test_parallel_full[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

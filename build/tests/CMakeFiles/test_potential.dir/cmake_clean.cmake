@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_potential.dir/test_potential.cpp.o"
+  "CMakeFiles/test_potential.dir/test_potential.cpp.o.d"
+  "test_potential"
+  "test_potential.pdb"
+  "test_potential[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_potential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

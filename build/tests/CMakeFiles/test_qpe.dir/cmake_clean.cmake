@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qpe.dir/test_qpe.cpp.o"
+  "CMakeFiles/test_qpe.dir/test_qpe.cpp.o.d"
+  "test_qpe"
+  "test_qpe.pdb"
+  "test_qpe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qpe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

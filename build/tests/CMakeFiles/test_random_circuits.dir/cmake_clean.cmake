@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_circuits.dir/test_random_circuits.cpp.o"
+  "CMakeFiles/test_random_circuits.dir/test_random_circuits.cpp.o.d"
+  "test_random_circuits"
+  "test_random_circuits.pdb"
+  "test_random_circuits[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_register_layout.dir/test_register_layout.cpp.o"
+  "CMakeFiles/test_register_layout.dir/test_register_layout.cpp.o.d"
+  "test_register_layout"
+  "test_register_layout.pdb"
+  "test_register_layout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_register_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_samplers.dir/test_samplers.cpp.o"
+  "CMakeFiles/test_samplers.dir/test_samplers.cpp.o.d"
+  "test_samplers"
+  "test_samplers.pdb"
+  "test_samplers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_samplers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_state_vector.dir/test_state_vector.cpp.o"
+  "CMakeFiles/test_state_vector.dir/test_state_vector.cpp.o.d"
+  "test_state_vector"
+  "test_state_vector.pdb"
+  "test_state_vector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_state_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_state_vector.
+# This may be replaced when dependencies are built.

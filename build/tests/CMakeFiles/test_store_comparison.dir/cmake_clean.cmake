@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_store_comparison.dir/test_store_comparison.cpp.o"
+  "CMakeFiles/test_store_comparison.dir/test_store_comparison.cpp.o.d"
+  "test_store_comparison"
+  "test_store_comparison.pdb"
+  "test_store_comparison[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_store_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transcript.dir/test_transcript.cpp.o"
+  "CMakeFiles/test_transcript.dir/test_transcript.cpp.o.d"
+  "test_transcript"
+  "test_transcript.pdb"
+  "test_transcript[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transcript.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

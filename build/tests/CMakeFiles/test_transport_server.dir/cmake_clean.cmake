@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transport_server.dir/test_transport_server.cpp.o"
+  "CMakeFiles/test_transport_server.dir/test_transport_server.cpp.o.d"
+  "test_transport_server"
+  "test_transport_server.pdb"
+  "test_transport_server[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transport_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

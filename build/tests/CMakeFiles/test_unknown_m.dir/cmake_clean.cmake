@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unknown_m.dir/test_unknown_m.cpp.o"
+  "CMakeFiles/test_unknown_m.dir/test_unknown_m.cpp.o.d"
+  "test_unknown_m"
+  "test_unknown_m.pdb"
+  "test_unknown_m[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unknown_m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

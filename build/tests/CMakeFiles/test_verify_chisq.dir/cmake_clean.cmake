@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verify_chisq.dir/test_verify_chisq.cpp.o"
+  "CMakeFiles/test_verify_chisq.dir/test_verify_chisq.cpp.o.d"
+  "test_verify_chisq"
+  "test_verify_chisq.pdb"
+  "test_verify_chisq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verify_chisq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wave4_misc.dir/test_wave4_misc.cpp.o"
+  "CMakeFiles/test_wave4_misc.dir/test_wave4_misc.cpp.o.d"
+  "test_wave4_misc"
+  "test_wave4_misc.pdb"
+  "test_wave4_misc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wave4_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
