@@ -10,6 +10,20 @@
 // deterministic, run-to-run identical floating-point results matter more to
 // the test suite and the reproducibility story than the last 2x of speed on
 // what is already O(dim) work.
+//
+// ThreadSanitizer builds take a separate code path. GCC's libgomp is not
+// TSan-instrumented: the fork/join barriers of a worksharing region are
+// futex-based and invisible to TSan, which then reports false races between
+// worker-thread loop bodies and unrelated code that later reuses the same
+// stack or heap addresses. Under TSan the helpers therefore (a) publish the
+// loop descriptor through an atomic global with release/acquire semantics
+// instead of the compiler-generated shared-argument block (so workers never
+// read the caller's stack without a TSan-visible edge), and (b) annotate
+// the join with __tsan_release/__tsan_acquire. Real races inside the loop
+// bodies remain fully visible to TSan; only the fork/join edges libgomp
+// already guarantees are restored. These helpers assume worksharing regions
+// are launched from one coordinator thread at a time and never nest, which
+// holds for every kernel in this library (asserted in the TSan path).
 #pragma once
 
 #include <complex>
@@ -17,18 +31,95 @@
 #include <span>
 #include <vector>
 
+#if defined(__SANITIZE_THREAD__)
+#define DQS_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DQS_TSAN 1
+#endif
+#endif
+
+#if defined(DQS_HAVE_OPENMP) && defined(DQS_TSAN)
+#include <atomic>
+#endif
+
 namespace qs {
+
+#if defined(DQS_HAVE_OPENMP) && defined(DQS_TSAN)
+namespace detail {
+
+extern "C" void __tsan_acquire(void* addr);
+extern "C" void __tsan_release(void* addr);
+
+/// Slot through which the coordinator publishes the descriptor of the
+/// in-flight worksharing region. Non-null exactly while a region runs.
+inline std::atomic<void*>& omp_region_slot() {
+  static std::atomic<void*> slot{nullptr};
+  return slot;
+}
+
+/// Join-edge tag: every thread releases it at the end of its chunk and the
+/// coordinator acquires it after the region, so TSan sees the barrier
+/// libgomp implements invisibly.
+inline int& omp_region_exit_tag() {
+  static int tag = 0;
+  return tag;
+}
+
+/// Publish `desc` for the region about to start. Aborts if a region is
+/// already in flight (nested or concurrent launches break the slot
+/// protocol and are not used by this library).
+inline void publish_region(void* desc) {
+  void* expected = nullptr;
+  if (!omp_region_slot().compare_exchange_strong(
+          expected, desc, std::memory_order_release)) {
+    __builtin_trap();
+  }
+}
+
+template <class Desc>
+Desc* acquire_region() {
+  return static_cast<Desc*>(
+      omp_region_slot().load(std::memory_order_acquire));
+}
+
+inline void end_region_worker() { __tsan_release(&omp_region_exit_tag()); }
+
+inline void join_region() {
+  omp_region_slot().store(nullptr, std::memory_order_relaxed);
+  __tsan_acquire(&omp_region_exit_tag());
+}
+
+}  // namespace detail
+#endif  // DQS_HAVE_OPENMP && DQS_TSAN
 
 /// Run fn(i) for i in [0, n), in parallel when OpenMP is available.
 template <class F>
 void parallel_for(std::size_t n, F&& fn) {
-#if defined(DQS_HAVE_OPENMP)
+#if !defined(DQS_HAVE_OPENMP)
+  for (std::size_t i = 0; i < n; ++i) fn(i);
+#elif !defined(DQS_TSAN)
 #pragma omp parallel for schedule(static)
   for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
     fn(static_cast<std::size_t>(i));
   }
 #else
-  for (std::size_t i = 0; i < n; ++i) fn(i);
+  struct Desc {
+    std::size_t n;
+    F* fn;
+  };
+  Desc desc{n, std::addressof(fn)};
+  detail::publish_region(&desc);
+#pragma omp parallel default(none)
+  {
+    auto* d = detail::acquire_region<Desc>();
+#pragma omp for schedule(static)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(d->n); ++i) {
+      (*d->fn)(static_cast<std::size_t>(i));
+    }
+    detail::end_region_worker();
+  }
+  detail::join_region();
 #endif
 }
 
@@ -38,7 +129,11 @@ void parallel_for(std::size_t n, F&& fn) {
 template <class F>
 void parallel_for_with_scratch(std::size_t n, std::size_t scratch_size,
                                F&& fn) {
-#if defined(DQS_HAVE_OPENMP)
+#if !defined(DQS_HAVE_OPENMP)
+  std::vector<std::complex<double>> buffer(scratch_size);
+  const std::span<std::complex<double>> scratch(buffer);
+  for (std::size_t i = 0; i < n; ++i) fn(i, scratch);
+#elif !defined(DQS_TSAN)
 #pragma omp parallel
   {
     std::vector<std::complex<double>> buffer(scratch_size);
@@ -49,9 +144,27 @@ void parallel_for_with_scratch(std::size_t n, std::size_t scratch_size,
     }
   }
 #else
-  std::vector<std::complex<double>> buffer(scratch_size);
-  const std::span<std::complex<double>> scratch(buffer);
-  for (std::size_t i = 0; i < n; ++i) fn(i, scratch);
+  struct Desc {
+    std::size_t n;
+    std::size_t scratch_size;
+    F* fn;
+  };
+  Desc desc{n, scratch_size, std::addressof(fn)};
+  detail::publish_region(&desc);
+#pragma omp parallel default(none)
+  {
+    auto* d = detail::acquire_region<Desc>();
+    {
+      std::vector<std::complex<double>> buffer(d->scratch_size);
+      const std::span<std::complex<double>> scratch(buffer);
+#pragma omp for schedule(static)
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(d->n); ++i) {
+        (*d->fn)(static_cast<std::size_t>(i), scratch);
+      }
+    }
+    detail::end_region_worker();
+  }
+  detail::join_region();
 #endif
 }
 

@@ -1,0 +1,5 @@
+// Fixture (negative control): src/apps may write to stdio — this file must
+// NOT be flagged by no-iostream-in-lib.
+#include <iostream>
+
+void fixture_ok_app_io() { std::cout << "apps may print\n"; }

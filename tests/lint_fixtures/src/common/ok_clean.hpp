@@ -1,0 +1,15 @@
+// Fixture (negative control): a fully clean header — guarded, no stdio,
+// no RNG, module-rooted includes only. Tokens that LOOK like violations
+// appear below only in comments and string literals, which the linter
+// must ignore:  #pragma omp parallel for  /  std::mt19937  /  std::cout.
+#pragma once
+
+#include <string>
+
+namespace qs_fixture {
+
+inline std::string clean() {
+  return "not real code: #include \"../x.hpp\" and rand() and printf(";
+}
+
+}  // namespace qs_fixture

@@ -1,0 +1,10 @@
+// Fixture (negative control): a documented suppression silences a rule.
+// The marker below stands in for a justified exception; the self-test
+// asserts it is honoured.
+#include <random>  // dqs-lint: allow(rng-discipline)
+
+int fixture_ok_suppressed() {
+  // Seeding material for a fixture-only scenario, deliberately exempted.
+  std::random_device rd;  // dqs-lint: allow(rng-discipline)
+  return static_cast<int>(rd());
+}

@@ -1,0 +1,5 @@
+// Fixture: violates no-relative-include — reaches across modules with a
+// "../" path instead of a "module/file.hpp" include rooted at src/.
+#include "../qsim/bad_guard.hpp"
+
+int fixture_bad_relative() { return qs_fixture::bad_guard(); }

@@ -1,0 +1,5 @@
+// Fixture: violates header-guard — no #pragma once / include guard.
+
+namespace qs_fixture {
+inline int bad_guard() { return 1; }
+}  // namespace qs_fixture

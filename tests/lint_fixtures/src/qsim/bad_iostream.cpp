@@ -1,0 +1,6 @@
+// Fixture: violates no-iostream-in-lib — stdio write from library code.
+#include <iostream>
+
+void fixture_bad_iostream(double amplitude) {
+  std::cout << "amplitude = " << amplitude << "\n";
+}

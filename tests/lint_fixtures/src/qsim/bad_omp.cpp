@@ -1,0 +1,10 @@
+// Fixture: violates omp-confinement — a worksharing pragma outside
+// src/qsim/parallel.hpp.
+#include <cstddef>
+
+void fixture_bad_omp(double* data, std::size_t n) {
+#pragma omp parallel for
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] *= 2.0;
+  }
+}

@@ -1,0 +1,12 @@
+// Fixture: violates query-accounting — invokes a Machine oracle without
+// the query-accounting types in scope (no query_stats.hpp or
+// distributed_database.hpp include here or in a paired header).
+class Machine;
+class StateVector;
+
+void fixture_unaccounted_query(const Machine& m, StateVector& s);
+
+template <class M, class S>
+void fixture_bad_accounting(M& machine, S& state) {
+  machine.apply_oracle(state, 0, 1, false);
+}

@@ -1,0 +1,8 @@
+// Fixture: violates rng-discipline — standard-library RNG outside
+// src/common/rng.*.
+#include <random>
+
+int fixture_bad_rng() {
+  std::mt19937 gen(42);
+  return static_cast<int>(gen());
+}

@@ -1,0 +1,383 @@
+#!/usr/bin/env python3
+"""dqs_lint: repo-specific invariant linter for the dqs codebase.
+
+Enforces rules the generic tools (compiler warnings, sanitizers,
+clang-tidy) cannot express, because they encode *project* invariants tied
+to the paper's model rather than C++ correctness:
+
+  omp-confinement     #pragma omp may appear only in src/qsim/parallel.hpp.
+                      Every kernel must go through the parallel_for helpers
+                      so the no-OpenMP build, the TSan annotations, and any
+                      future scheduling change stay in one place.
+  rng-discipline      std::mt19937 / rand() / std::random_device etc. are
+                      forbidden outside src/common/rng.*. All randomness
+                      flows through qs::Rng so every run is reproducible
+                      from a printed seed.
+  query-accounting    Library code that invokes a Machine oracle
+                      (apply_oracle / apply_controlled_oracle) must see the
+                      query-accounting types: the file or its paired header
+                      must include distdb/query_stats.hpp or
+                      distdb/distributed_database.hpp. The paper's results
+                      are statements about query counts (Thms 1.1/4.3/4.5);
+                      an unaccounted oracle path would silently void them.
+  no-iostream-in-lib  No <iostream> / std::cout / std::cerr / printf in
+                      library code; only src/apps (and bench/, examples/,
+                      tests/, which are not scanned by this rule) may talk
+                      to stdio. Library results travel through return
+                      values and the Table/stats types.
+  header-guard        Every header must start with #pragma once (or a
+                      classic include guard).
+  no-relative-include First-party includes are "module/file.hpp" rooted at
+                      src/; "../" paths bypass the module layering.
+
+Usage:
+  tools/dqs_lint.py [--root DIR] [--list-rules] [paths...]
+
+With no paths, scans src/ tests/ bench/ examples/ under the root (skipping
+any lint_fixtures directory). Exit code 1 if violations are found.
+
+Suppression: append  // dqs-lint: allow(<rule-id>)  to the offending line
+(or place it on the line above). Like NOLINT, a suppression should carry a
+comment explaining why the invariant genuinely does not apply.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+CXX_SUFFIXES = {".hpp", ".cpp", ".h", ".cc", ".cxx", ".hxx"}
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+EXCLUDE_DIR = "lint_fixtures"
+
+ALLOW_RE = re.compile(r"dqs-lint:\s*allow\(([a-z0-9-]+)\)")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line structure.
+
+    Keeps the suppression marker usable by leaving `dqs-lint: allow(...)`
+    detection to the raw text; this stripped view is only used for token
+    matching so that tokens in comments or strings do not trigger rules.
+    """
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state == "string":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "code"
+            out.append("\n" if c == "\n" else " ")
+        elif state == "char":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == "'":
+                state = "code"
+            out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+class Violation:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def render(self, root: Path) -> str:
+        try:
+            rel = self.path.relative_to(root)
+        except ValueError:
+            rel = self.path
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+class File:
+    """One scanned file: raw lines, stripped lines, suppression map."""
+
+    def __init__(self, path: Path, root: Path):
+        self.path = path
+        self.root = root
+        self.rel = path.relative_to(root).as_posix()
+        self.raw = path.read_text(encoding="utf-8", errors="replace")
+        self.raw_lines = self.raw.splitlines()
+        self.stripped_lines = strip_comments_and_strings(self.raw).splitlines()
+        # The stripper blanks string literals, which would also blank the
+        # quoted path of an #include directive; include-matching rules use
+        # this view instead: the raw line wherever the stripped view proves
+        # the directive is live code (not inside a comment), blank elsewhere.
+        self.include_lines = [
+            raw if "#" in stripped and "include" in stripped else ""
+            for raw, stripped in zip(self.raw_lines, self.stripped_lines)
+        ]
+
+    def allowed(self, lineno: int, rule: str) -> bool:
+        """True if `rule` is suppressed on this line or the one above."""
+        for ln in (lineno, lineno - 1):
+            if 1 <= ln <= len(self.raw_lines):
+                for m in ALLOW_RE.finditer(self.raw_lines[ln - 1]):
+                    if m.group(1) == rule:
+                        return True
+        return False
+
+
+# --- rules -----------------------------------------------------------------
+
+OMP_ALLOWED = {"src/qsim/parallel.hpp"}
+
+
+def rule_omp_confinement(f: File):
+    if f.rel in OMP_ALLOWED:
+        return
+    for i, line in enumerate(f.stripped_lines, 1):
+        if re.search(r"#\s*pragma\s+omp\b", line):
+            yield Violation(
+                f.path, i, "omp-confinement",
+                "#pragma omp outside src/qsim/parallel.hpp; use the "
+                "parallel_for helpers so every kernel shares one "
+                "scheduling/TSan/no-OpenMP story")
+
+
+RNG_ALLOWED_PREFIX = "src/common/rng."
+RNG_TOKENS = re.compile(
+    r"std\s*::\s*(mt19937(_64)?|minstd_rand0?|default_random_engine|"
+    r"random_device|knuth_b|ranlux\w+)\b"
+    r"|(?<![\w:])s?rand\s*\("
+    r"|#\s*include\s*<random>")
+
+
+def rule_rng_discipline(f: File):
+    if f.rel.startswith(RNG_ALLOWED_PREFIX):
+        return
+    for i, line in enumerate(f.stripped_lines, 1):
+        if RNG_TOKENS.search(line):
+            yield Violation(
+                f.path, i, "rng-discipline",
+                "standard-library RNG outside src/common/rng.*; take a "
+                "qs::Rng so the run is reproducible from a printed seed")
+
+
+ORACLE_CALL = re.compile(r"\bapply(_controlled)?_oracle\s*\(")
+ACCOUNTING_INCLUDES = re.compile(
+    r'#\s*include\s*"distdb/(query_stats|distributed_database)\.hpp"')
+ORACLE_EXEMPT = {
+    # Definition sites of the oracle itself and of the ledger.
+    "src/distdb/machine.hpp",
+    "src/distdb/machine.cpp",
+    "src/distdb/distributed_database.hpp",
+    "src/distdb/distributed_database.cpp",
+}
+
+
+def rule_query_accounting(f: File):
+    if not f.rel.startswith("src/") or f.rel in ORACLE_EXEMPT:
+        return
+    hits = [i for i, line in enumerate(f.stripped_lines, 1)
+            if ORACLE_CALL.search(line)]
+    if not hits:
+        return
+    if ACCOUNTING_INCLUDES.search("\n".join(f.include_lines)):
+        return
+    # A .cpp may rely on its paired header for the include.
+    pair = f.path.with_suffix(".hpp")
+    if f.path.suffix == ".cpp" and pair.exists():
+        if ACCOUNTING_INCLUDES.search(
+                pair.read_text(encoding="utf-8", errors="replace")):
+            return
+    for i in hits:
+        yield Violation(
+            f.path, i, "query-accounting",
+            "oracle invocation without the query-accounting types in "
+            "scope; include distdb/query_stats.hpp (or route through "
+            "DistributedDatabase) so the call is charged to the paper's "
+            "cost model")
+
+
+IOSTREAM_EXEMPT_PREFIX = "src/apps/"
+IOSTREAM_TOKENS = re.compile(
+    r"#\s*include\s*<iostream>"
+    r"|std\s*::\s*(cout|cerr|clog)\b"
+    r"|(?<![\w:])f?printf\s*\("
+    r"|(?<![\w:])puts\s*\(")
+
+
+def rule_no_iostream_in_lib(f: File):
+    if not f.rel.startswith("src/"):
+        return
+    if f.rel.startswith(IOSTREAM_EXEMPT_PREFIX):
+        return
+    for i, line in enumerate(f.stripped_lines, 1):
+        if IOSTREAM_TOKENS.search(line):
+            yield Violation(
+                f.path, i, "no-iostream-in-lib",
+                "stdio write from library code; return values / Table / "
+                "stats carry results, only src/apps, bench and examples "
+                "may print")
+
+
+GUARD_RE = re.compile(r"#\s*pragma\s+once|#\s*ifndef\s+\w+")
+
+
+def rule_header_guard(f: File):
+    if f.path.suffix not in {".hpp", ".h", ".hxx"}:
+        return
+    for line in f.stripped_lines:
+        if not line.strip():
+            continue
+        if GUARD_RE.match(line.strip()):
+            return
+        break  # first non-blank stripped line is not a guard
+    yield Violation(
+        f.path, 1, "header-guard",
+        "header does not open with #pragma once (or an include guard)")
+
+
+RELATIVE_INCLUDE = re.compile(r'#\s*include\s*"(\.\./[^"]*)"')
+
+
+def rule_no_relative_include(f: File):
+    for i, line in enumerate(f.include_lines, 1):
+        m = RELATIVE_INCLUDE.search(line)
+        if m:
+            yield Violation(
+                f.path, i, "no-relative-include",
+                f'relative include "{m.group(1)}"; include '
+                '"module/file.hpp" rooted at src/ instead')
+
+
+RULES = {
+    "omp-confinement": rule_omp_confinement,
+    "rng-discipline": rule_rng_discipline,
+    "query-accounting": rule_query_accounting,
+    "no-iostream-in-lib": rule_no_iostream_in_lib,
+    "header-guard": rule_header_guard,
+    "no-relative-include": rule_no_relative_include,
+}
+
+
+# --- driver ----------------------------------------------------------------
+
+def collect_files(root: Path, paths: list[str]) -> list[Path]:
+    if paths:
+        candidates: list[Path] = []
+        for p in paths:
+            path = Path(p)
+            if not path.is_absolute():
+                path = root / path
+            if not path.exists():
+                print(f"dqs_lint: no such file or directory: {p}",
+                      file=sys.stderr)
+                raise SystemExit(2)
+            if path.is_dir():
+                candidates.extend(sorted(path.rglob("*")))
+            else:
+                candidates.append(path)
+    else:
+        candidates = []
+        for d in SCAN_DIRS:
+            base = root / d
+            if base.is_dir():
+                candidates.extend(sorted(base.rglob("*")))
+    out = []
+    for path in candidates:
+        if path.suffix not in CXX_SUFFIXES or not path.is_file():
+            continue
+        try:
+            rel_parts = path.relative_to(root).parts
+        except ValueError:
+            rel_parts = path.parts
+        if EXCLUDE_DIR in rel_parts:
+            continue
+        out.append(path)
+    return out
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", type=Path,
+                    default=Path(__file__).resolve().parent.parent,
+                    help="repository root (default: parent of tools/)")
+    ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("paths", nargs="*",
+                    help="files or directories (default: src tests bench "
+                         "examples under --root)")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for name in RULES:
+            print(name)
+        return 0
+
+    root = args.root.resolve()
+    violations: list[Violation] = []
+    checked = 0
+    for path in collect_files(root, args.paths):
+        try:
+            f = File(path, root)
+        except ValueError:
+            # Outside the root; lint with a synthetic rel path.
+            f = File(path, path.parent)
+        checked += 1
+        for rule, fn in RULES.items():
+            for v in fn(f):
+                if not f.allowed(v.line, rule):
+                    violations.append(v)
+
+    for v in sorted(violations, key=lambda v: (str(v.path), v.line, v.rule)):
+        print(v.render(root))
+    if violations:
+        print(f"dqs_lint: {len(violations)} violation(s) in "
+              f"{checked} file(s)", file=sys.stderr)
+        return 1
+    print(f"dqs_lint: OK ({checked} files)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

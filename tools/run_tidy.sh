@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Run the project's clang-tidy gate over all first-party translation units.
+#
+# Usage:
+#   tools/run_tidy.sh [BUILD_DIR] [-- extra clang-tidy args...]
+#
+# BUILD_DIR must contain a compile_commands.json (any preset exports one;
+# the `tidy` preset exists for exactly this: `cmake --preset tidy`).
+# Defaults to build-tidy, falling back to build.
+#
+# Exits non-zero on any clang-tidy diagnostic (the .clang-tidy config sets
+# WarningsAsErrors: '*'), so this script is usable directly as a CI gate.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+build_dir=""
+if [[ $# -gt 0 && $1 != "--" ]]; then
+  build_dir="$1"
+  shift
+fi
+if [[ $# -gt 0 && $1 == "--" ]]; then
+  shift
+fi
+if [[ -z ${build_dir} ]]; then
+  for candidate in "${repo_root}/build-tidy" "${repo_root}/build"; do
+    if [[ -f ${candidate}/compile_commands.json ]]; then
+      build_dir="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z ${build_dir} || ! -f ${build_dir}/compile_commands.json ]]; then
+  echo "run_tidy.sh: no compile_commands.json found." >&2
+  echo "  Configure first, e.g.: cmake --preset tidy" >&2
+  exit 2
+fi
+
+tidy_bin="${CLANG_TIDY:-}"
+if [[ -z ${tidy_bin} ]]; then
+  for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+                   clang-tidy-16 clang-tidy-15; do
+    if command -v "${candidate}" > /dev/null 2>&1; then
+      tidy_bin="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z ${tidy_bin} ]]; then
+  echo "run_tidy.sh: clang-tidy not found on PATH (set CLANG_TIDY to" >&2
+  echo "  override). Install clang-tidy to run this gate." >&2
+  exit 127
+fi
+
+# First-party TUs only: never lint tests' generated code, GTest headers, or
+# the lint fixtures (which are deliberately broken).
+mapfile -t sources < <(
+  find "${repo_root}/src" "${repo_root}/bench" "${repo_root}/examples" \
+       "${repo_root}/tests" -name '*.cpp' \
+    -not -path '*/lint_fixtures/*' | sort
+)
+
+echo "run_tidy.sh: ${tidy_bin} over ${#sources[@]} files (db: ${build_dir})"
+
+jobs="$(nproc 2> /dev/null || echo 4)"
+printf '%s\n' "${sources[@]}" \
+  | xargs -P "${jobs}" -n 8 "${tidy_bin}" -p "${build_dir}" --quiet "$@"
+echo "run_tidy.sh: clean"

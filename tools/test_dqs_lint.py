@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Self-test for tools/dqs_lint.py.
+
+Runs the linter over tests/lint_fixtures, which contains one deliberate
+violation of every rule plus negative controls (an allowed apps stdio
+write, a suppressed RNG use, and a clean header whose comments/strings
+contain violation-shaped tokens). Asserts that each violation is reported
+at the right file and with the right rule id, and that the controls are
+NOT reported — so the linter itself is tested, not just run.
+"""
+
+import re
+import subprocess
+import sys
+import unittest
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+LINT = REPO / "tools" / "dqs_lint.py"
+FIXTURES = REPO / "tests" / "lint_fixtures"
+
+EXPECTED = {
+    ("src/qsim/bad_omp.cpp", "omp-confinement"),
+    ("src/sampling/bad_rng.cpp", "rng-discipline"),
+    ("src/sampling/bad_accounting.cpp", "query-accounting"),
+    ("src/qsim/bad_iostream.cpp", "no-iostream-in-lib"),
+    ("src/qsim/bad_guard.hpp", "header-guard"),
+    ("src/distdb/bad_relative.cpp", "no-relative-include"),
+}
+
+CONTROL_FILES = {
+    "src/apps/ok_app_io.cpp",
+    "src/common/ok_suppressed.cpp",
+    "src/common/ok_clean.hpp",
+}
+
+REPORT_RE = re.compile(r"^(?P<file>[^:]+):(?P<line>\d+): \[(?P<rule>[a-z0-9-]+)\]")
+
+
+def run_lint(*args):
+    return subprocess.run(
+        [sys.executable, str(LINT), *args],
+        capture_output=True, text=True, check=False)
+
+
+class DqsLintSelfTest(unittest.TestCase):
+    @classmethod
+    def setUpClass(cls):
+        cls.result = run_lint("--root", str(FIXTURES))
+        cls.reported = set()
+        cls.by_file = {}
+        for line in cls.result.stdout.splitlines():
+            m = REPORT_RE.match(line)
+            if m:
+                cls.reported.add((m.group("file"), m.group("rule")))
+                cls.by_file.setdefault(m.group("file"), set()).add(
+                    m.group("rule"))
+
+    def test_exit_code_signals_violations(self):
+        self.assertEqual(self.result.returncode, 1, self.result.stdout)
+
+    def test_each_rule_fires_on_its_fixture(self):
+        for expected in sorted(EXPECTED):
+            with self.subTest(expected=expected):
+                self.assertIn(expected, self.reported,
+                              f"missing report; got: {self.reported}")
+
+    def test_controls_are_not_flagged(self):
+        for control in sorted(CONTROL_FILES):
+            with self.subTest(control=control):
+                self.assertNotIn(control, self.by_file,
+                                 f"control flagged: {self.by_file}")
+
+    def test_no_unexpected_reports(self):
+        self.assertEqual(self.reported, EXPECTED)
+
+    def test_repo_is_clean(self):
+        result = run_lint("--root", str(REPO))
+        self.assertEqual(result.returncode, 0,
+                         f"repo lint failed:\n{result.stdout}")
+
+    def test_list_rules_matches_fixture_coverage(self):
+        result = run_lint("--list-rules")
+        self.assertEqual(result.returncode, 0)
+        rules = set(result.stdout.split())
+        covered = {rule for _, rule in EXPECTED}
+        self.assertEqual(rules, covered,
+                         "every rule must have a violation fixture")
+
+
+if __name__ == "__main__":
+    unittest.main()
