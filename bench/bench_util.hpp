@@ -7,12 +7,34 @@
 #include <iostream>
 #include <string>
 
+#include "analysis/verifier.hpp"
+#include "common/require.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "distdb/distributed_database.hpp"
 #include "distdb/workload.hpp"
+#include "sampling/schedule.hpp"
 
 namespace qs::bench {
+
+/// Statically verify both query-model schedules for this database before
+/// it is benched: every schedule a bench exercises passes the dqs-verify
+/// checker passes (docs/ANALYSIS.md). Structural passes only — the
+/// dataset-perturbation obliviousness trials run in the dqs_verify ctest
+/// gates, not per bench database.
+inline DistributedDatabase verified(DistributedDatabase db) {
+  if (db.total() == 0) return db;  // nothing schedulable to verify
+  const auto params = public_params_of(db);
+  for (const auto mode : {QueryMode::kSequential, QueryMode::kParallel}) {
+    analysis::VerifyOptions options;
+    options.obliviousness_trials = 0;
+    const auto report = analysis::verify_compiled(params, mode, options);
+    QS_REQUIRE(report.clean(),
+               "benched schedule failed static verification:\n" +
+                   report.render());
+  }
+  return db;
+}
 
 inline void banner(const std::string& id, const std::string& claim) {
   std::printf("=================================================================\n");
@@ -27,7 +49,7 @@ inline DistributedDatabase uniform_db(std::size_t universe,
   Rng rng(seed);
   auto datasets = workload::uniform_random(universe, machines, total, rng);
   const auto nu = min_capacity(datasets) + extra_capacity;
-  return DistributedDatabase(std::move(datasets), nu);
+  return verified(DistributedDatabase(std::move(datasets), nu));
 }
 
 /// A database with an exactly-controlled (N, M, ν): every one of the first
@@ -41,7 +63,7 @@ inline DistributedDatabase controlled_db(std::size_t universe,
   std::vector<Dataset> datasets(machines, Dataset(universe));
   for (std::size_t i = 0; i < support; ++i)
     datasets[i % machines].insert(i, multiplicity);
-  return DistributedDatabase(std::move(datasets), nu);
+  return verified(DistributedDatabase(std::move(datasets), nu));
 }
 
 }  // namespace qs::bench

@@ -1,0 +1,82 @@
+#include "analysis/ir.hpp"
+
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace qs::analysis {
+
+namespace {
+
+void lower_sequential(std::vector<ProtocolOp>& ops, std::size_t machine,
+                      bool adjoint, std::size_t event) {
+  ops.push_back({OpKind::kSend, machine, adjoint, "", event});
+  ops.push_back({OpKind::kOracle, machine, adjoint, "", event});
+  ops.push_back({OpKind::kRecv, machine, adjoint, "", event});
+}
+
+void lower_parallel(std::vector<ProtocolOp>& ops, bool adjoint,
+                    std::size_t event) {
+  ops.push_back({OpKind::kParallelBegin, 0, adjoint, "", event});
+  ops.push_back({OpKind::kParallelOracle, 0, adjoint, "", event});
+  ops.push_back({OpKind::kParallelEnd, 0, adjoint, "", event});
+}
+
+}  // namespace
+
+ProtocolProgram lift_transcript(const Transcript& transcript,
+                                const PublicParams& params, QueryMode mode) {
+  ProtocolProgram program;
+  program.params = params;
+  program.mode = mode;
+  program.num_events = transcript.size();
+  program.ops.reserve(transcript.size() * 3);
+  for (std::size_t e = 0; e < transcript.size(); ++e) {
+    const auto& ev = transcript.events()[e];
+    if (ev.kind == QueryKind::kSequential) {
+      lower_sequential(program.ops, ev.machine, ev.adjoint, e);
+    } else {
+      lower_parallel(program.ops, ev.adjoint, e);
+    }
+  }
+  return program;
+}
+
+ProtocolProgram lift_compiled(const PublicParams& params, QueryMode mode) {
+  ProtocolProgram program;
+  program.params = params;
+  program.mode = mode;
+  program.has_local_unitaries = true;
+  std::size_t event = 0;
+  for_each_schedule_event(params, mode, [&](const ScheduleEvent& ev) {
+    switch (ev.kind) {
+      case ScheduleEvent::Kind::kOracle:
+        lower_sequential(program.ops, ev.machine, ev.adjoint, event++);
+        break;
+      case ScheduleEvent::Kind::kParallelRound:
+        lower_parallel(program.ops, ev.adjoint, event++);
+        break;
+      case ScheduleEvent::Kind::kLocalUnitary:
+        program.ops.push_back(
+            {OpKind::kLocalUnitary, 0, ev.adjoint, ev.label, kNoEvent});
+        break;
+    }
+  });
+  program.num_events = event;
+  return program;
+}
+
+std::string to_string(const Diagnostic& d) {
+  std::ostringstream os;
+  os << '[' << d.pass << "] ";
+  if (d.event.has_value()) {
+    os << "event " << *d.event << ": ";
+  } else {
+    os << "schedule: ";
+  }
+  os << d.message;
+  if (!d.fix_hint.empty()) os << " (fix: " << d.fix_hint << ')';
+  return os.str();
+}
+
+}  // namespace qs::analysis

@@ -1,0 +1,90 @@
+// Protocol IR for the static schedule analyzer (dqs-verify).
+//
+// The paper's correctness claims are STRUCTURAL: the coordinator's schedule
+// is a function of public knowledge alone (Section 3), every
+// distributing-operator application decomposes as the well-nested C† 𝒰 C
+// query pattern of Lemmas 4.2/4.4, and the total oracle cost matches the
+// closed forms of Theorems 4.3/4.5. This module lifts compiled schedules
+// and recorded transcripts into a typed protocol program over MICRO-OPS —
+// explicit send / apply / receive steps plus collective round brackets —
+// so checker passes (passes.hpp) can verify those claims without
+// simulating a single amplitude. Mirrors the compile-to-IR-then-verify
+// route CUDA-Q takes for circuit validation.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "distdb/transcript.hpp"
+#include "sampling/schedule.hpp"
+
+namespace qs::analysis {
+
+/// Micro-operations of the communication protocol. A sequential transcript
+/// event O_j lowers to kSend(j) · kOracle(j) · kRecv(j); a parallel round
+/// lowers to kParallelBegin · kParallelOracle · kParallelEnd. Compiled
+/// lifts additionally carry kLocalUnitary markers for the coordinator-side
+/// operations between queries (F, 𝒰, S_χ, S_0).
+enum class OpKind : std::uint8_t {
+  kSend,            // coordinator ships [elem, count] bundle to a machine
+  kOracle,          // that machine applies O_j / O_j† (needs the bundle)
+  kRecv,            // the machine returns the bundle to the coordinator
+  kLocalUnitary,    // data-independent coordinator operation
+  kParallelBegin,   // collective round opens: bundle broadcast to all
+  kParallelOracle,  // every machine applies O / O† simultaneously
+  kParallelEnd,     // collective round closes: bundle gathered back
+};
+
+/// Sentinel for ops that do not originate from a transcript event.
+inline constexpr std::size_t kNoEvent =
+    std::numeric_limits<std::size_t>::max();
+
+struct ProtocolOp {
+  OpKind kind = OpKind::kLocalUnitary;
+  std::size_t machine = 0;  ///< kSend / kOracle / kRecv
+  bool adjoint = false;     ///< oracle-carrying and local-unitary ops
+  std::string label;        ///< kLocalUnitary: "F", "U", "S_chi", "S_0", …
+  /// Transcript event this op was lowered from (micro-ops of one event
+  /// share it); kNoEvent for pure-local ops.
+  std::size_t event = kNoEvent;
+
+  friend bool operator==(const ProtocolOp&, const ProtocolOp&) = default;
+};
+
+/// A typed protocol program: the micro-op stream plus the public knowledge
+/// it is claimed to be a function of. All checker passes take this.
+struct ProtocolProgram {
+  PublicParams params;
+  QueryMode mode = QueryMode::kSequential;
+  std::vector<ProtocolOp> ops;
+  /// Number of transcript events the program was lowered from.
+  std::size_t num_events = 0;
+  /// True when the lift included coordinator-local unitaries (compiled
+  /// lifts do; bare transcript lifts cannot know where they were).
+  bool has_local_unitaries = false;
+};
+
+/// Lower a recorded transcript into a protocol program. Oracle events only
+/// (has_local_unitaries = false).
+ProtocolProgram lift_transcript(const Transcript& transcript,
+                                const PublicParams& params, QueryMode mode);
+
+/// Compile the schedule for (params, mode) via the sampling layer's
+/// for_each_schedule_event hook and lower it, local unitaries included.
+ProtocolProgram lift_compiled(const PublicParams& params, QueryMode mode);
+
+/// One machine-readable finding of a checker pass.
+struct Diagnostic {
+  std::string pass;                  ///< checker id, e.g. "adjoint-nesting"
+  std::optional<std::size_t> event;  ///< offending transcript event index
+  std::string message;               ///< what is wrong
+  std::string fix_hint;              ///< how a correct schedule avoids it
+};
+
+/// "[pass] event <k>: message (fix: hint)" — one line, grep-friendly.
+std::string to_string(const Diagnostic& d);
+
+}  // namespace qs::analysis

@@ -1,0 +1,265 @@
+#include "analysis/mutations.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "analysis/verifier.hpp"
+#include "common/require.hpp"
+
+namespace qs::analysis {
+
+namespace {
+
+using Events = std::vector<TranscriptEvent>;
+
+Transcript from_events(const Events& events) {
+  Transcript t;
+  for (const auto& e : events) {
+    if (e.kind == QueryKind::kSequential) {
+      // Mutation fixtures forge corrupted schedules by design; this is the
+      // one sanctioned re-recording site outside the samplers.
+      // dqs-lint: allow(transcript-discipline)
+      t.record_sequential(e.machine, e.adjoint);
+    } else {
+      // dqs-lint: allow(transcript-discipline) — same fixture exception.
+      t.record_parallel_round(e.adjoint);
+    }
+  }
+  return t;
+}
+
+/// match[i] = index of the adjoint event that pops forward event i under
+/// the LIFO discipline (kNoEvent if never popped).
+std::vector<std::size_t> matching_adjoints(const Events& events) {
+  std::vector<std::size_t> match(events.size(), kNoEvent);
+  std::vector<std::size_t> stack;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (!events[i].adjoint) {
+      stack.push_back(i);
+    } else if (!stack.empty()) {
+      match[stack.back()] = i;
+      stack.pop_back();
+    }
+  }
+  return match;
+}
+
+std::size_t find_last(const Events& events, QueryKind kind, bool adjoint) {
+  for (std::size_t i = events.size(); i-- > 0;) {
+    if (events[i].kind == kind && events[i].adjoint == adjoint) return i;
+  }
+  QS_REQUIRE(false, "mutation fixture: schedule lacks the required event");
+  return kNoEvent;
+}
+
+std::size_t find_first(const Events& events, QueryKind kind, bool adjoint) {
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].kind == kind && events[i].adjoint == adjoint) return i;
+  }
+  QS_REQUIRE(false, "mutation fixture: schedule lacks the required event");
+  return kNoEvent;
+}
+
+std::size_t max_machine(const Events& events) {
+  std::size_t m = 0;
+  for (const auto& e : events) {
+    if (e.kind == QueryKind::kSequential) m = std::max(m, e.machine);
+  }
+  return m;
+}
+
+std::vector<MutationSpec> build_catalog() {
+  std::vector<MutationSpec> catalog;
+
+  catalog.push_back(
+      {"drop-adjoint",
+       "the final O_j† is silently dropped, leaving its forward query open",
+       "adjoint-nesting", QueryMode::kSequential,
+       [](Transcript t) {
+         Events ev = t.events();
+         ev.erase(ev.begin() + static_cast<std::ptrdiff_t>(find_last(
+                      ev, QueryKind::kSequential, true)));
+         return from_events(ev);
+       },
+       nullptr});
+
+  catalog.push_back(
+      {"drop-parallel-adjoint",
+       "the final O† round is dropped from the parallel schedule",
+       "adjoint-nesting", QueryMode::kParallel,
+       [](Transcript t) {
+         Events ev = t.events();
+         ev.erase(ev.begin() + static_cast<std::ptrdiff_t>(find_last(
+                      ev, QueryKind::kParallelRound, true)));
+         return from_events(ev);
+       },
+       nullptr});
+
+  catalog.push_back(
+      {"swap-machine",
+       "one forward query goes to the wrong machine, so its adjoint no "
+       "longer closes it",
+       "adjoint-nesting", QueryMode::kSequential,
+       [](Transcript t) {
+         Events ev = t.events();
+         const auto i = find_first(ev, QueryKind::kSequential, false);
+         ev[i].machine += 1;
+         return from_events(ev);
+       },
+       nullptr});
+
+  catalog.push_back(
+      {"off-by-one-budget",
+       "a matched O_j/O_j† pair is removed — still well nested, but the "
+       "query count misses the Theorem 4.3 closed form",
+       "query-budget", QueryMode::kSequential,
+       [](Transcript t) {
+         Events ev = t.events();
+         const auto i = find_first(ev, QueryKind::kSequential, false);
+         const auto k = matching_adjoints(ev)[i];
+         QS_ASSERT(k != kNoEvent, "compiled schedule must be well nested");
+         ev.erase(ev.begin() + static_cast<std::ptrdiff_t>(k));
+         ev.erase(ev.begin() + static_cast<std::ptrdiff_t>(i));
+         return from_events(ev);
+       },
+       nullptr});
+
+  catalog.push_back(
+      {"off-by-one-rounds",
+       "a matched O/O† round pair is removed from the parallel schedule "
+       "(Theorem 4.5 budget violation)",
+       "query-budget", QueryMode::kParallel,
+       [](Transcript t) {
+         Events ev = t.events();
+         const auto i = find_first(ev, QueryKind::kParallelRound, false);
+         const auto k = matching_adjoints(ev)[i];
+         QS_ASSERT(k != kNoEvent, "compiled schedule must be well nested");
+         ev.erase(ev.begin() + static_cast<std::ptrdiff_t>(k));
+         ev.erase(ev.begin() + static_cast<std::ptrdiff_t>(i));
+         return from_events(ev);
+       },
+       nullptr});
+
+  catalog.push_back(
+      {"out-of-range-machine",
+       "a query addresses machine n, one past the public machine count",
+       "ownership", QueryMode::kSequential,
+       [](Transcript t) {
+         Events ev = t.events();
+         const auto i = find_first(ev, QueryKind::kSequential, false);
+         ev[i].machine = max_machine(ev) + 1;
+         return from_events(ev);
+       },
+       nullptr});
+
+  catalog.push_back(
+      {"extra-parallel-round",
+       "a stray forward O round is appended and never undone",
+       "adjoint-nesting", QueryMode::kParallel,
+       [](Transcript t) {
+         Events ev = t.events();
+         ev.push_back({QueryKind::kParallelRound, 0, false});
+         return from_events(ev);
+       },
+       nullptr});
+
+  catalog.push_back(
+      {"overweight-machine",
+       "a matched pair is re-routed to a neighbour machine — nesting and "
+       "budget hold, but the per-machine histogram is no longer flat",
+       "load-balance", QueryMode::kSequential,
+       [](Transcript t) {
+         Events ev = t.events();
+         const auto i = find_first(ev, QueryKind::kSequential, false);
+         const auto k = matching_adjoints(ev)[i];
+         QS_ASSERT(k != kNoEvent, "compiled schedule must be well nested");
+         ev[i].machine += 1;
+         ev[k].machine += 1;
+         return from_events(ev);
+       },
+       nullptr});
+
+  catalog.push_back(
+      {"reordered-schedule",
+       "two machines trade places consistently — every structural pass "
+       "holds, but the transcript no longer equals the public-parameter "
+       "schedule (a data-dependent reordering would look like this)",
+       "obliviousness", QueryMode::kSequential,
+       [](Transcript t) {
+         Events ev = t.events();
+         const auto match = matching_adjoints(ev);
+         const auto i = find_first(ev, QueryKind::kSequential, false);
+         const auto j = i + 1;  // the schedule opens O_0 O_1 …
+         QS_ASSERT(j < ev.size() && match[i] != kNoEvent &&
+                       match[j] != kNoEvent,
+                   "need two forward queries with matched adjoints");
+         std::swap(ev[i], ev[j]);
+         std::swap(ev[match[i]], ev[match[j]]);
+         return from_events(ev);
+       },
+       nullptr});
+
+  catalog.push_back(
+      {"foreign-oracle",
+       "a machine applies its oracle to a register bundle another machine "
+       "holds (transport corruption below the transcript level)",
+       "ownership", QueryMode::kSequential, nullptr,
+       [](ProtocolProgram p) {
+         for (auto& op : p.ops) {
+           if (op.kind == OpKind::kOracle) {
+             op.machine = (op.machine + 1) % p.params.machines;
+             break;
+           }
+         }
+         return p;
+       }});
+
+  catalog.push_back(
+      {"leaked-register",
+       "a machine never returns the bundle, so the next send overlaps an "
+       "open transfer",
+       "ownership", QueryMode::kSequential, nullptr,
+       [](ProtocolProgram p) {
+         for (auto it = p.ops.begin(); it != p.ops.end(); ++it) {
+           if (it->kind == OpKind::kRecv) {
+             p.ops.erase(it);
+             break;
+           }
+         }
+         return p;
+       }});
+
+  return catalog;
+}
+
+}  // namespace
+
+const std::vector<MutationSpec>& mutation_catalog() {
+  static const std::vector<MutationSpec> catalog = build_catalog();
+  return catalog;
+}
+
+std::vector<Diagnostic> run_mutation(const MutationSpec& spec,
+                                     const PublicParams& params) {
+  QS_REQUIRE(params.machines >= 2,
+             "mutation fixtures need at least two machines");
+  if (spec.mutate_transcript) {
+    const Transcript mutant =
+        spec.mutate_transcript(compile_schedule(params, spec.mode));
+    return verify_transcript(mutant, params, spec.mode).diagnostics;
+  }
+  QS_ASSERT(static_cast<bool>(spec.mutate_program),
+            "mutation must define exactly one corruption");
+  const ProtocolProgram mutant =
+      spec.mutate_program(lift_compiled(params, spec.mode));
+  return verify_program(mutant).diagnostics;
+}
+
+bool mutation_flagged(const MutationSpec& spec, const PublicParams& params) {
+  for (const auto& d : run_mutation(spec, params)) {
+    if (d.pass == spec.expected_pass) return true;
+  }
+  return false;
+}
+
+}  // namespace qs::analysis

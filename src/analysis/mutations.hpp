@@ -1,0 +1,48 @@
+// Mutation fixtures: deliberately corrupted schedules the analyzer MUST
+// flag.
+//
+// A static verifier that has never caught a bug is untested tooling. Every
+// entry in mutation_catalog() corrupts a freshly compiled schedule in one
+// specific way (dropped adjoint, swapped machine index, off-by-one budget,
+// leaked register, …) and names the checker pass that must report it; the
+// tier-1 tests and `dqs_verify --mutants` fail unless every mutant is
+// flagged by its expected pass — the analyzer analogue of the linter's
+// self-testing fixtures in tests/lint_fixtures/.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/ir.hpp"
+
+namespace qs::analysis {
+
+struct MutationSpec {
+  std::string name;
+  std::string description;
+  /// The pass id (passes.hpp) that must flag this mutant.
+  std::string expected_pass;
+  /// Query model whose schedule the mutation corrupts.
+  QueryMode mode = QueryMode::kSequential;
+  /// Transcript-level corruption (what a broken recorder would emit), or …
+  std::function<Transcript(Transcript)> mutate_transcript;
+  /// … micro-op-level corruption (what a broken transport would do);
+  /// exactly one of the two is set.
+  std::function<ProtocolProgram(ProtocolProgram)> mutate_program;
+};
+
+/// All mutation fixtures. Each is flagged by its expected pass for any
+/// valid public parameters with n ≥ 2 machines and d ≥ 1.
+const std::vector<MutationSpec>& mutation_catalog();
+
+/// Compile the schedule for (params, spec.mode), apply the corruption and
+/// run the verifier; returns the resulting diagnostics.
+std::vector<Diagnostic> run_mutation(const MutationSpec& spec,
+                                     const PublicParams& params);
+
+/// True when run_mutation() reports at least one diagnostic from
+/// spec.expected_pass.
+bool mutation_flagged(const MutationSpec& spec, const PublicParams& params);
+
+}  // namespace qs::analysis

@@ -1,0 +1,42 @@
+// The canonical (N, n, ν, M) sweep the analyzer certifies.
+//
+// standard_grid() spans the parameter ranges the test suite and the bench
+// harness exercise (bench_util.hpp additionally verifies every database a
+// bench actually constructs, so runtime-chosen ν values are covered too),
+// including the degenerate corners: a single machine (n = 1), full
+// occupancy (M = N with unit capacity), and the zero-Grover-iterate case
+// a = M/(νN) = 1 where A|0⟩ is already the target (plan.already_exact).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sampling/schedule.hpp"
+
+namespace qs::analysis {
+
+inline std::vector<PublicParams> standard_grid() {
+  std::vector<PublicParams> grid;
+  // Broad sweep: universe × machines × capacity, with M at the low end,
+  // midway and at the νN ceiling.
+  for (const std::size_t universe : {4u, 16u, 64u, 256u}) {
+    for (const std::size_t machines : {1u, 2u, 3u, 8u}) {
+      for (const std::uint64_t nu : {1u, 2u, 5u}) {
+        const std::uint64_t ceiling = nu * universe;
+        for (const std::uint64_t total :
+             {std::uint64_t{1}, ceiling / 2, ceiling}) {
+          if (total == 0) continue;
+          grid.push_back({universe, machines, nu, total});
+        }
+      }
+    }
+  }
+  // Named degenerate corners (some repeat sweep points; harmless).
+  grid.push_back({1, 1, 1, 1});     // smallest legal instance, a = 1
+  grid.push_back({8, 1, 3, 9});     // single machine, fractional a
+  grid.push_back({16, 4, 1, 16});   // M = N at unit capacity (a = 1)
+  grid.push_back({32, 2, 4, 128});  // M = νN exactly — zero Grover iterates
+  return grid;
+}
+
+}  // namespace qs::analysis

@@ -1,0 +1,384 @@
+#include "analysis/passes.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "common/require.hpp"
+#include "sampling/amplitude_amplification.hpp"
+
+namespace qs::analysis {
+
+namespace {
+
+std::string str(std::size_t v) { return std::to_string(v); }
+
+/// The zero-error plan for the public parameters, or nullopt (with a
+/// diagnostic) when the parameters themselves are inconsistent — a pass
+/// reports rather than throws so the CLI can show every finding.
+std::optional<AAPlan> try_plan(const PublicParams& p, const char* pass,
+                               std::vector<Diagnostic>& out) {
+  if (p.universe == 0 || p.machines == 0 || p.nu == 0 || p.total == 0 ||
+      p.total > p.nu * p.universe) {
+    out.push_back({pass, std::nullopt,
+                   "inconsistent public parameters (need 0 < M ≤ νN, "
+                   "n ≥ 1): N=" + str(p.universe) + " n=" +
+                       str(p.machines) + " ν=" + str(p.nu) + " M=" +
+                       str(p.total),
+                   "schedule only from valid public knowledge"});
+    return std::nullopt;
+  }
+  return plan_zero_error(static_cast<double>(p.total) /
+                         (static_cast<double>(p.nu) *
+                          static_cast<double>(p.universe)));
+}
+
+/// A pushdown frame: one not-yet-undone forward query.
+struct Frame {
+  bool parallel = false;
+  std::size_t machine = 0;
+  std::size_t event = kNoEvent;
+};
+
+std::string frame_name(const Frame& f) {
+  return f.parallel ? std::string("parallel round") : "O" + str(f.machine);
+}
+
+}  // namespace
+
+std::vector<Diagnostic> check_adjoint_nesting(const ProtocolProgram& program) {
+  constexpr const char* kPass = "adjoint-nesting";
+  std::vector<Diagnostic> out;
+  std::vector<Frame> stack;
+  for (const auto& op : program.ops) {
+    const bool is_seq_query = op.kind == OpKind::kOracle;
+    const bool is_par_query = op.kind == OpKind::kParallelOracle;
+    if (is_seq_query || is_par_query) {
+      if (!op.adjoint) {
+        stack.push_back({is_par_query, op.machine, op.event});
+        continue;
+      }
+      if (stack.empty()) {
+        out.push_back({kPass, op.event,
+                       "adjoint " + frame_name({is_par_query, op.machine}) +
+                           "† with no matching forward query",
+                       "apply the forward oracle before its adjoint "
+                       "(Lemma 4.2/4.4 C† \U0001d4b0 C nesting)"});
+        continue;
+      }
+      const Frame top = stack.back();
+      stack.pop_back();
+      if (top.parallel != is_par_query ||
+          (!is_par_query && top.machine != op.machine)) {
+        out.push_back({kPass, op.event,
+                       "adjoint " + frame_name({is_par_query, op.machine}) +
+                           "† does not undo the innermost open query " +
+                           frame_name(top) + " (opened at event " +
+                           str(top.event) + ")",
+                       "adjoints must close queries in LIFO order: "
+                       "O_1…O_n \U0001d4b0 O_n†…O_1†"});
+      }
+      continue;
+    }
+    if (op.kind == OpKind::kLocalUnitary && program.has_local_unitaries) {
+      // Lemma 4.2: in the sequential decomposition the rotation 𝒰 sits at
+      // full nesting depth n (inside C…C†); every other coordinator
+      // unitary acts between balanced blocks. Lemma 4.4's parallel
+      // composite closes each round immediately, so there everything
+      // local happens at depth 0.
+      const bool is_u = op.label == "U";
+      const std::size_t want_depth =
+          (is_u && program.mode == QueryMode::kSequential)
+              ? program.params.machines
+              : 0;
+      if (stack.size() != want_depth) {
+        out.push_back({kPass, std::nullopt,
+                       "local unitary '" + op.label +
+                           "' at nesting depth " + str(stack.size()) +
+                           ", expected " + str(want_depth),
+                       "the rotation \U0001d4b0 belongs strictly between C "
+                       "and C† (Lemma 4.2); other coordinator unitaries "
+                       "require all queries closed"});
+      }
+    }
+  }
+  for (const auto& frame : stack) {
+    out.push_back({kPass, frame.event,
+                   "forward " + frame_name(frame) + " is never undone",
+                   "close every query with its adjoint before the "
+                   "schedule ends"});
+  }
+  return out;
+}
+
+std::vector<Diagnostic> check_ownership(const ProtocolProgram& program) {
+  constexpr const char* kPass = "ownership";
+  std::vector<Diagnostic> out;
+  const std::size_t n = program.params.machines;
+
+  // Abstract location of the coordinator's [elem, count] register bundle.
+  enum class Holder : std::uint8_t { kCoordinator, kMachine, kBroadcast };
+  Holder holder = Holder::kCoordinator;
+  std::size_t held_by = 0;  // valid when holder == kMachine
+
+  const auto where = [&]() -> std::string {
+    switch (holder) {
+      case Holder::kCoordinator:
+        return "the coordinator";
+      case Holder::kMachine:
+        return "machine " + str(held_by);
+      case Holder::kBroadcast:
+        return "an open collective round";
+    }
+    return "?";
+  };
+
+  for (const auto& op : program.ops) {
+    switch (op.kind) {
+      case OpKind::kSend:
+        if (op.machine >= n) {
+          out.push_back({kPass, op.event,
+                         "send to machine " + str(op.machine) +
+                             " but the database has only n=" + str(n) +
+                             " machines",
+                         "query indices are 0…n-1 from the public "
+                         "machine count"});
+        }
+        if (holder != Holder::kCoordinator) {
+          out.push_back({kPass, op.event,
+                         "send to machine " + str(op.machine) +
+                             " while the registers are held by " + where(),
+                         "one transfer at a time: receive the bundle back "
+                         "before the next send (Section 3)"});
+        }
+        holder = Holder::kMachine;
+        held_by = op.machine;
+        break;
+      case OpKind::kOracle:
+        if (holder != Holder::kMachine || held_by != op.machine) {
+          out.push_back({kPass, op.event,
+                         "machine " + str(op.machine) +
+                             " applies its oracle but the registers are "
+                             "held by " + where(),
+                         "a machine may only query registers it currently "
+                         "owns — move them with Transport first"});
+        }
+        break;
+      case OpKind::kRecv:
+        if (holder != Holder::kMachine || held_by != op.machine) {
+          out.push_back({kPass, op.event,
+                         "receive from machine " + str(op.machine) +
+                             " but the registers are held by " + where(),
+                         "only the machine that was sent the bundle can "
+                         "return it"});
+        }
+        holder = Holder::kCoordinator;
+        break;
+      case OpKind::kLocalUnitary:
+        if (holder != Holder::kCoordinator) {
+          out.push_back({kPass, std::nullopt,
+                         "coordinator unitary '" + op.label +
+                             "' while the registers are held by " + where(),
+                         "all bundles must return before coordinator-side "
+                         "operations"});
+        }
+        break;
+      case OpKind::kParallelBegin:
+        if (holder != Holder::kCoordinator) {
+          out.push_back({kPass, op.event,
+                         "collective round opens while the registers are "
+                         "held by " + where(),
+                         "no sequential transfer may interleave with a "
+                         "parallel round (Eq. 3 is a collective)"});
+        }
+        holder = Holder::kBroadcast;
+        break;
+      case OpKind::kParallelOracle:
+        if (holder != Holder::kBroadcast) {
+          out.push_back({kPass, op.event,
+                         "parallel oracle outside an open collective round",
+                         "bracket every parallel round with begin/end"});
+        }
+        break;
+      case OpKind::kParallelEnd:
+        if (holder != Holder::kBroadcast) {
+          out.push_back({kPass, op.event,
+                         "collective round closes but none is open",
+                         "bracket every parallel round with begin/end"});
+        }
+        holder = Holder::kCoordinator;
+        break;
+    }
+  }
+  if (holder != Holder::kCoordinator) {
+    out.push_back({kPass, std::nullopt,
+                   "schedule terminates with the registers held by " +
+                       where(),
+                   "the coordinator must be quiescent at the end "
+                   "(every bundle returned)"});
+  }
+  return out;
+}
+
+std::vector<Diagnostic> check_query_budget(const ProtocolProgram& program) {
+  constexpr const char* kPass = "query-budget";
+  std::vector<Diagnostic> out;
+  const auto plan = try_plan(program.params, kPass, out);
+  if (!plan.has_value()) return out;
+  const auto d = static_cast<std::uint64_t>(plan->d_applications());
+  const auto n = static_cast<std::uint64_t>(program.params.machines);
+
+  std::uint64_t sequential = 0;
+  std::uint64_t rounds = 0;
+  for (const auto& op : program.ops) {
+    if (op.kind == OpKind::kOracle) ++sequential;
+    if (op.kind == OpKind::kParallelOracle) ++rounds;
+  }
+
+  const bool seq_mode = program.mode == QueryMode::kSequential;
+  const std::uint64_t expected = seq_mode ? d * 2 * n : d * 4;
+  const std::uint64_t actual = seq_mode ? sequential : rounds;
+  const char* unit = seq_mode ? "sequential queries" : "parallel rounds";
+  const char* theorem = seq_mode ? "Theorem 4.3" : "Theorem 4.5";
+  const char* form = seq_mode ? "d·2n" : "d·4";
+
+  if (actual != expected) {
+    out.push_back({kPass, std::nullopt,
+                   std::string(unit) + ": got " + str(actual) +
+                       ", but the " + theorem + " closed form " + form +
+                       " with d=" + str(d) + " gives " + str(expected),
+                   "every distributing-operator application costs exactly "
+                   "2n queries (Lemma 4.2) or 4 rounds (Lemma 4.4)"});
+  }
+  const std::uint64_t off_mode = seq_mode ? rounds : sequential;
+  if (off_mode != 0) {
+    out.push_back({kPass, std::nullopt,
+                   std::string(seq_mode ? "parallel rounds"
+                                        : "sequential queries") +
+                       " in a " +
+                       (seq_mode ? "sequential" : "parallel") +
+                       "-model schedule: " + str(off_mode),
+                   "a schedule uses exactly one query model"});
+  }
+  // Cross-check the closed form against the library's own predictor; a
+  // mismatch means the analyzer and sampler disagree about the cost model.
+  const auto predicted =
+      compiled_schedule_length(program.params, program.mode);
+  if (predicted != expected) {
+    out.push_back({kPass, std::nullopt,
+                   "compiled_schedule_length predicts " + str(predicted) +
+                       " events but the closed form gives " + str(expected),
+                   "keep compiled_schedule_length in sync with Theorems "
+                   "4.3/4.5"});
+  }
+  return out;
+}
+
+std::vector<Diagnostic> check_load_balance(const ProtocolProgram& program) {
+  constexpr const char* kPass = "load-balance";
+  std::vector<Diagnostic> out;
+  if (program.mode != QueryMode::kSequential) return out;
+  const auto plan = try_plan(program.params, kPass, out);
+  if (!plan.has_value()) return out;
+  const auto d = static_cast<std::uint64_t>(plan->d_applications());
+
+  const std::size_t n = program.params.machines;
+  std::vector<std::uint64_t> forward(n, 0);
+  std::vector<std::uint64_t> adjoint(n, 0);
+  for (const auto& op : program.ops) {
+    if (op.kind != OpKind::kOracle || op.machine >= n) continue;
+    ++(op.adjoint ? adjoint : forward)[op.machine];
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    if (forward[j] + adjoint[j] != 2 * d || forward[j] != adjoint[j]) {
+      out.push_back(
+          {kPass, std::nullopt,
+           "machine " + str(j) + " answers " + str(forward[j]) +
+               " forward + " + str(adjoint[j]) + " adjoint queries; the "
+               "sequential sampler queries every machine exactly d=" +
+               str(d) + " times in each direction (2d total)",
+           "Lemma 4.2 touches each machine once per C and once per "
+           "C† — the load histogram must be flat"});
+    }
+  }
+  return out;
+}
+
+std::vector<Diagnostic> certify_obliviousness(const PublicParams& params,
+                                              QueryMode mode,
+                                              std::size_t trials,
+                                              std::uint64_t seed) {
+  constexpr const char* kPass = "obliviousness";
+  std::vector<Diagnostic> out;
+  if (!try_plan(params, kPass, out).has_value()) return out;
+
+  const Transcript reference = compile_schedule(params, mode);
+  if (compile_schedule(params, mode) != reference) {
+    out.push_back({kPass, std::nullopt,
+                   "schedule compilation is not deterministic for fixed "
+                   "public parameters",
+                   "the compiler may consult nothing but (N, n, ν, M)"});
+    return out;
+  }
+
+  Rng rng(seed);
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const DistributedDatabase db = perturbed_database(params, rng);
+    QS_ASSERT(public_params_of(db) == params,
+              "perturbed database must preserve the public parameters");
+    db.reset_content_reads();
+    const Transcript compiled = compile_schedule(db, mode);
+    if (const auto reads = db.content_reads(); reads != 0) {
+      out.push_back({kPass, std::nullopt,
+                     "schedule compilation read per-element dataset "
+                     "contents " + str(reads) + " time(s) (trial " +
+                         str(trial) + ")",
+                     "the dry-run path must be data-blind; route any "
+                     "data-dependent work through the oracles"});
+    }
+    if (compiled != reference) {
+      std::size_t first = 0;
+      const auto limit =
+          std::min(compiled.size(), reference.size());
+      while (first < limit &&
+             compiled.events()[first] == reference.events()[first]) {
+        ++first;
+      }
+      out.push_back({kPass, first,
+                     "transcript diverges from the public-parameter "
+                     "schedule on a perturbed dataset (trial " +
+                         str(trial) + ")",
+                     "the schedule must be identical for every database "
+                     "with these public parameters (Section 3)"});
+    }
+  }
+  return out;
+}
+
+const std::vector<std::string>& pass_names() {
+  static const std::vector<std::string> names = {
+      "adjoint-nesting", "ownership", "query-budget", "load-balance",
+      "obliviousness"};
+  return names;
+}
+
+DistributedDatabase perturbed_database(const PublicParams& params, Rng& rng) {
+  QS_REQUIRE(params.universe > 0 && params.machines > 0 && params.nu > 0,
+             "invalid public parameters");
+  QS_REQUIRE(params.total > 0 && params.total <= params.nu * params.universe,
+             "need 0 < M ≤ νN to realise the public parameters");
+  // Each element has ν capacity slots; choosing M distinct slots uniformly
+  // yields joint multiplicities ≤ ν with total exactly M.
+  const auto slots = static_cast<std::size_t>(params.nu) * params.universe;
+  const auto chosen = rng.sample_without_replacement(
+      slots, static_cast<std::size_t>(params.total));
+  std::vector<Dataset> datasets(params.machines, Dataset(params.universe));
+  for (const auto slot : chosen) {
+    datasets[rng.uniform_below(params.machines)].insert(slot %
+                                                        params.universe);
+  }
+  return DistributedDatabase(std::move(datasets), params.nu);
+}
+
+}  // namespace qs::analysis

@@ -1,0 +1,59 @@
+// Checker passes over the protocol IR (see ir.hpp).
+//
+// Each pass verifies one structural claim of the paper and returns
+// machine-readable diagnostics (empty = certified):
+//
+//   adjoint-nesting   every O_j / parallel round has a matching adjoint in
+//                     properly nested C† 𝒰 C order (Lemmas 4.2/4.4),
+//                     verified by a pushdown matcher;
+//   ownership         abstract interpretation of the register bundle's
+//                     location — a borrow checker for the Transport moves
+//                     of Section 3 (no query to a machine that does not
+//                     currently hold the registers, no overlapping sends,
+//                     quiescent termination);
+//   query-budget      oracle counts equal the closed forms of Theorems
+//                     4.3/4.5 (d·2n sequential queries, d·4 parallel
+//                     rounds), cross-checked against
+//                     compiled_schedule_length();
+//   load-balance      the sequential sampler queries every machine exactly
+//                     2d times (d forward + d adjoint) — a flat histogram;
+//   obliviousness     the schedule is a function of PublicParams alone:
+//                     compilation over dataset-perturbed databases yields
+//                     bit-identical transcripts, and the Dataset taint
+//                     counters prove the dry-run path never read contents.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/ir.hpp"
+#include "common/rng.hpp"
+#include "distdb/distributed_database.hpp"
+
+namespace qs::analysis {
+
+std::vector<Diagnostic> check_adjoint_nesting(const ProtocolProgram& program);
+std::vector<Diagnostic> check_ownership(const ProtocolProgram& program);
+std::vector<Diagnostic> check_query_budget(const ProtocolProgram& program);
+std::vector<Diagnostic> check_load_balance(const ProtocolProgram& program);
+
+/// Obliviousness certification is the one pass that runs the compiler
+/// rather than inspecting a given program: it compiles the schedule for
+/// `params` over `trials` freshly perturbed databases (same public
+/// knowledge, different contents) and demands transcript identity plus
+/// zero content reads. Deterministic given `seed`.
+std::vector<Diagnostic> certify_obliviousness(const PublicParams& params,
+                                              QueryMode mode,
+                                              std::size_t trials,
+                                              std::uint64_t seed);
+
+/// The five pass ids above, in canonical order.
+const std::vector<std::string>& pass_names();
+
+/// A random database whose PUBLIC parameters equal `params` exactly:
+/// M occurrences spread over n machines with every joint multiplicity
+/// ≤ ν. Used by the obliviousness pass and its tests. Requires valid
+/// params (0 < M ≤ νN).
+DistributedDatabase perturbed_database(const PublicParams& params, Rng& rng);
+
+}  // namespace qs::analysis

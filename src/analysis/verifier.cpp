@@ -1,0 +1,108 @@
+#include "analysis/verifier.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "analysis/passes.hpp"
+#include "common/require.hpp"
+
+namespace qs::analysis {
+
+namespace {
+
+void append(std::vector<Diagnostic>& into, std::vector<Diagnostic> from) {
+  for (auto& d : from) into.push_back(std::move(d));
+}
+
+}  // namespace
+
+std::string VerifyReport::render() const {
+  std::ostringstream os;
+  for (const auto& d : diagnostics) os << to_string(d) << '\n';
+  return os.str();
+}
+
+VerifyReport verify_program(const ProtocolProgram& program) {
+  VerifyReport report;
+  append(report.diagnostics, check_adjoint_nesting(program));
+  append(report.diagnostics, check_ownership(program));
+  append(report.diagnostics, check_query_budget(program));
+  append(report.diagnostics, check_load_balance(program));
+  return report;
+}
+
+VerifyReport verify_transcript(const Transcript& transcript,
+                               const PublicParams& params, QueryMode mode,
+                               const QueryStats* run_stats) {
+  VerifyReport report = verify_program(lift_transcript(transcript, params,
+                                                       mode));
+
+  // A recorded transcript must be bit-identical to the schedule compiled
+  // from public knowledge alone — otherwise the run leaked data into its
+  // communication pattern (Section 3). Skip when the parameters are
+  // already reported as inconsistent.
+  if (params.universe > 0 && params.machines > 0 && params.nu > 0 &&
+      params.total > 0 && params.total <= params.nu * params.universe) {
+    const Transcript reference = compile_schedule(params, mode);
+    if (transcript != reference) {
+      std::size_t first = 0;
+      const std::size_t limit =
+          std::min(transcript.size(), reference.size());
+      while (first < limit &&
+             transcript.events()[first] == reference.events()[first]) {
+        ++first;
+      }
+      report.diagnostics.push_back(
+          {"obliviousness", first,
+           "recorded transcript diverges from the schedule compiled from "
+           "(N, n, ν, M) — lengths " +
+               std::to_string(transcript.size()) + " vs " +
+               std::to_string(reference.size()),
+           "an oblivious run replays the compiled schedule exactly; any "
+           "divergence means the coordinator consulted the data"});
+    }
+  }
+
+  if (run_stats != nullptr) {
+    try {
+      const QueryStats derived = stats_of(transcript, params.machines);
+      if (!(derived == *run_stats)) {
+        report.diagnostics.push_back(
+            {"query-budget", std::nullopt,
+             "the run's QueryStats ledger disagrees with the counts "
+             "derived from its own transcript",
+             "every oracle application must be recorded exactly once and "
+             "charged exactly once (Thms 4.3/4.5 count queries)"});
+      }
+    } catch (const ContractViolation&) {
+      // stats_of rejects out-of-range machines; the ownership pass has
+      // already reported the root cause.
+    }
+  }
+  return report;
+}
+
+VerifyReport verify_compiled(const PublicParams& params, QueryMode mode,
+                             const VerifyOptions& options) {
+  VerifyReport report;
+  // Lifting compiles the schedule; surface parameter problems as a
+  // diagnostic instead of an exception so sweeps report every grid point.
+  try {
+    report = verify_program(lift_compiled(params, mode));
+  } catch (const ContractViolation& e) {
+    report.diagnostics.push_back(
+        {"query-budget", std::nullopt,
+         std::string("schedule compilation rejected the public "
+                     "parameters: ") + e.what(),
+         "sweep only parameters with 0 < M ≤ νN"});
+    return report;
+  }
+  if (options.obliviousness_trials > 0) {
+    append(report.diagnostics,
+           certify_obliviousness(params, mode, options.obliviousness_trials,
+                                 options.seed));
+  }
+  return report;
+}
+
+}  // namespace qs::analysis

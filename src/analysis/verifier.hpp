@@ -1,0 +1,52 @@
+// Verifier driver: run every checker pass and collect the findings.
+//
+// verify_program / verify_transcript / verify_compiled are the three entry
+// points the CLI (tools/dqs_verify), the tests and the bench harness use;
+// they differ only in what they start from (an already-lifted program, a
+// recorded transcript, or nothing but public parameters).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/ir.hpp"
+#include "distdb/query_stats.hpp"
+
+namespace qs::analysis {
+
+struct VerifyOptions {
+  /// Dataset-perturbation trials for the obliviousness pass; 0 disables
+  /// the pass (the four structural passes still run).
+  std::size_t obliviousness_trials = 3;
+  std::uint64_t seed = 0x5eed;
+};
+
+struct VerifyReport {
+  std::vector<Diagnostic> diagnostics;
+
+  bool clean() const noexcept { return diagnostics.empty(); }
+
+  /// One to_string(Diagnostic) line per finding ("" when clean).
+  std::string render() const;
+};
+
+/// The four structural passes (nesting, ownership, budget, load-balance)
+/// over an already-lifted program.
+VerifyReport verify_program(const ProtocolProgram& program);
+
+/// Lift a recorded transcript and verify it. Beyond the structural passes
+/// this checks the transcript is IDENTICAL to the schedule compiled from
+/// the public parameters (the obliviousness certificate for recorded
+/// runs), and — when the run's QueryStats ledger is supplied — that the
+/// Machine counters match the transcript-derived counts.
+VerifyReport verify_transcript(const Transcript& transcript,
+                               const PublicParams& params, QueryMode mode,
+                               const QueryStats* run_stats = nullptr);
+
+/// Compile the schedule for (params, mode) and verify it: structural
+/// passes plus the dataset-perturbation obliviousness certification.
+VerifyReport verify_compiled(const PublicParams& params, QueryMode mode,
+                             const VerifyOptions& options = {});
+
+}  // namespace qs::analysis

@@ -31,10 +31,12 @@ Dataset Dataset::from_elements(std::size_t universe,
 
 std::uint64_t Dataset::count(std::size_t element) const {
   QS_REQUIRE(element < counts_.size(), "element outside the data universe");
+  ++content_reads_;
   return counts_[element];
 }
 
 std::vector<std::size_t> Dataset::support() const {
+  ++content_reads_;
   std::vector<std::size_t> result;
   result.reserve(support_size_);
   for (std::size_t i = 0; i < counts_.size(); ++i) {

@@ -45,7 +45,19 @@ class Dataset {
   /// The distinct elements present, ascending.
   std::vector<std::size_t> support() const;
 
-  const std::vector<std::uint64_t>& counts() const noexcept { return counts_; }
+  const std::vector<std::uint64_t>& counts() const noexcept {
+    ++content_reads_;
+    return counts_;
+  }
+
+  /// Taint counter for the static obliviousness audit (docs/ANALYSIS.md):
+  /// number of times PER-ELEMENT contents were read through count(),
+  /// counts() or support(). The aggregates the paper declares public
+  /// (universe N, total M) do not count. A schedule-compilation path must
+  /// leave this untouched — anything else means the "oblivious" schedule
+  /// could have depended on the data.
+  std::uint64_t content_reads() const noexcept { return content_reads_; }
+  void reset_content_reads() const noexcept { content_reads_ = 0; }
 
   /// Add `amount` occurrences of `element`.
   void insert(std::size_t element, std::uint64_t amount = 1);
@@ -53,7 +65,11 @@ class Dataset {
   /// Remove `amount` occurrences; requires count(element) >= amount.
   void erase(std::size_t element, std::uint64_t amount = 1);
 
-  friend bool operator==(const Dataset&, const Dataset&) = default;
+  /// Equality is over the stored multiset only (the aggregates are derived
+  /// and the taint counter is observation state, not data).
+  friend bool operator==(const Dataset& a, const Dataset& b) {
+    return a.counts_ == b.counts_;
+  }
 
  private:
   void recompute_max();
@@ -62,6 +78,7 @@ class Dataset {
   std::uint64_t total_ = 0;
   std::size_t support_size_ = 0;
   std::uint64_t max_multiplicity_ = 0;
+  mutable std::uint64_t content_reads_ = 0;
 };
 
 }  // namespace qs

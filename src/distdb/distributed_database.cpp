@@ -106,6 +106,16 @@ void DistributedDatabase::reset_stats() const {
   parallel_rounds_ = 0;
 }
 
+std::uint64_t DistributedDatabase::content_reads() const {
+  std::uint64_t reads = 0;
+  for (const auto& m : machines_) reads += m.data().content_reads();
+  return reads;
+}
+
+void DistributedDatabase::reset_content_reads() const {
+  for (const auto& m : machines_) m.data().reset_content_reads();
+}
+
 void DistributedDatabase::check_capacity() const {
   const auto counts = joint_counts();
   for (const auto c : counts) {

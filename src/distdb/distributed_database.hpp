@@ -59,6 +59,11 @@ class DistributedDatabase {
   QueryStats stats() const;
   void reset_stats() const;
 
+  /// Sum of the machines' Dataset::content_reads() taint counters — the
+  /// obliviousness audit asserts this stays 0 across schedule compilation.
+  std::uint64_t content_reads() const;
+  void reset_content_reads() const;
+
   /// Validates ν ≥ max_i c_i; called after updates.
   void check_capacity() const;
 

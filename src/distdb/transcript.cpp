@@ -1,9 +1,29 @@
 #include "distdb/transcript.hpp"
 
+#include <cctype>
 #include <ostream>
 #include <sstream>
 
+#include "common/require.hpp"
+
 namespace qs {
+
+namespace {
+
+// UTF-8 encoding of the dagger '†' used by the wire format.
+constexpr const char* kDagger = "†";
+
+bool consume_suffix(std::string& token, const std::string& suffix) {
+  if (token.size() < suffix.size() ||
+      token.compare(token.size() - suffix.size(), suffix.size(), suffix) !=
+          0) {
+    return false;
+  }
+  token.resize(token.size() - suffix.size());
+  return true;
+}
+
+}  // namespace
 
 void Transcript::record_sequential(std::size_t machine, bool adjoint) {
   events_.push_back({QueryKind::kSequential, machine, adjoint});
@@ -15,20 +35,63 @@ void Transcript::record_parallel_round(bool adjoint) {
 
 std::string Transcript::to_string() const {
   std::ostringstream os;
+  bool first = true;
   for (const auto& e : events_) {
+    if (!first) os << ' ';
+    first = false;
     if (e.kind == QueryKind::kSequential) {
       os << 'O' << e.machine;
     } else {
-      os << 'P';
+      os << "P*";
     }
-    if (e.adjoint) os << "†";
-    os << ' ';
+    if (e.adjoint) os << kDagger;
   }
   return os.str();
 }
 
 std::ostream& operator<<(std::ostream& os, const Transcript& t) {
   return os << t.to_string();
+}
+
+Transcript parse_transcript(const std::string& text) {
+  Transcript transcript;
+  std::istringstream in(text);
+  std::string token;
+  while (in >> token) {
+    const bool adjoint = consume_suffix(token, kDagger);
+    if (token == "P*" || token == "P") {
+      transcript.record_parallel_round(adjoint);
+      continue;
+    }
+    QS_REQUIRE(token.size() >= 2 && token[0] == 'O',
+               "transcript token must be O<machine>, P* or P: '" + token +
+                   "'");
+    std::size_t machine = 0;
+    for (std::size_t i = 1; i < token.size(); ++i) {
+      const char c = token[i];
+      QS_REQUIRE(std::isdigit(static_cast<unsigned char>(c)) != 0,
+                 "malformed machine index in transcript token: '" + token +
+                     "'");
+      machine = machine * 10 + static_cast<std::size_t>(c - '0');
+    }
+    transcript.record_sequential(machine, adjoint);
+  }
+  return transcript;
+}
+
+QueryStats stats_of(const Transcript& transcript, std::size_t machines) {
+  QueryStats stats;
+  stats.sequential_per_machine.assign(machines, 0);
+  for (const auto& e : transcript.events()) {
+    if (e.kind == QueryKind::kSequential) {
+      QS_REQUIRE(e.machine < machines,
+                 "transcript queries a machine outside the database");
+      ++stats.sequential_per_machine[e.machine];
+    } else {
+      ++stats.parallel_rounds;
+    }
+  }
+  return stats;
 }
 
 }  // namespace qs

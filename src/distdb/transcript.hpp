@@ -7,12 +7,27 @@
 // sampler makes is logged as an event; the test suite then checks that two
 // runs on different datasets with identical public parameters produce
 // IDENTICAL transcripts — a machine-checkable obliviousness certificate.
+//
+// Transcripts have a textual wire format so they can be stored and fed to
+// the static analyzer (tools/dqs_verify): one whitespace-separated token
+// per event,
+//
+//   O<j>    sequential query O_j to machine j (Eq. 1)
+//   O<j>†   its adjoint O_j†
+//   P*      one collective round of the parallel oracle O (Eq. 3)
+//   P*†     one collective round of O†
+//
+// The "*" marks the round as touching ALL machines at once, so a parallel
+// round can never be misread as a query to some machine named P.
+// parse_transcript() inverts to_string() exactly (round-trip tested).
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
+
+#include "distdb/query_stats.hpp"
 
 namespace qs {
 
@@ -44,7 +59,7 @@ class Transcript {
 
   friend bool operator==(const Transcript&, const Transcript&) = default;
 
-  /// Compact rendering ("O3 O3† P P† ...") for diagnostics.
+  /// Wire-format rendering ("O3 O3† P* P*† ...") — see the header comment.
   std::string to_string() const;
 
  private:
@@ -52,5 +67,17 @@ class Transcript {
 };
 
 std::ostream& operator<<(std::ostream& os, const Transcript& t);
+
+/// Parse the wire format produced by Transcript::to_string(). Accepts any
+/// whitespace between tokens (so multi-line transcript files work) and the
+/// legacy bare "P"/"P†" parallel-round spelling. Throws ContractViolation
+/// on a malformed token.
+Transcript parse_transcript(const std::string& text);
+
+/// Rebuild the query ledger a run with this transcript must have produced:
+/// t_j per sequential event on machine j, one parallel round per P* event.
+/// The cross-check `stats_of(t, n) == db.stats()` ties the Machine counters
+/// to the recorded traffic. Throws if an event names a machine >= machines.
+QueryStats stats_of(const Transcript& transcript, std::size_t machines);
 
 }  // namespace qs

@@ -35,6 +35,41 @@ class DryRunBackend final : public SamplingBackend {
   Transcript& transcript_;
 };
 
+/// A dry-run backend that additionally reports the coordinator-local
+/// unitaries, so the static analyzer can see the full C† 𝒰 C structure of
+/// every distributing-operator application (Lemmas 4.2/4.4), not just the
+/// oracle traffic.
+class TracingBackend final : public SamplingBackend {
+ public:
+  TracingBackend(std::size_t machines,
+                 const std::function<void(const ScheduleEvent&)>& visit)
+      : machines_(machines), visit_(visit) {}
+
+  std::size_t num_machines() const override { return machines_; }
+  void prep_uniform(bool adjoint) override { local("F", adjoint); }
+  void phase_good(double) override { local("S_chi", false); }
+  void phase_initial(double) override { local("S_0", false); }
+  void rotation_u(bool adjoint) override { local("U", adjoint); }
+  void global_phase(double) override { local("phase", false); }
+
+  void oracle(std::size_t j, bool adjoint) override {
+    visit_({ScheduleEvent::Kind::kOracle, j, adjoint, ""});
+  }
+  void parallel_total_shift(bool) override {
+    // One O and one O† round, exactly as DryRunBackend records them.
+    visit_({ScheduleEvent::Kind::kParallelRound, 0, false, ""});
+    visit_({ScheduleEvent::Kind::kParallelRound, 0, true, ""});
+  }
+
+ private:
+  void local(const char* label, bool adjoint) {
+    visit_({ScheduleEvent::Kind::kLocalUnitary, 0, adjoint, label});
+  }
+
+  std::size_t machines_;
+  const std::function<void(const ScheduleEvent&)>& visit_;
+};
+
 AAPlan plan_from(const PublicParams& params) {
   QS_REQUIRE(params.universe > 0 && params.machines > 0 && params.nu > 0,
              "invalid public parameters");
@@ -58,6 +93,19 @@ Transcript compile_schedule(const PublicParams& params, QueryMode mode) {
   DryRunBackend backend(params.machines, transcript);
   run_sampling_circuit(backend, mode, plan);
   return transcript;
+}
+
+Transcript compile_schedule(const DistributedDatabase& db, QueryMode mode) {
+  return compile_schedule(public_params_of(db), mode);
+}
+
+void for_each_schedule_event(
+    const PublicParams& params, QueryMode mode,
+    const std::function<void(const ScheduleEvent&)>& visit) {
+  QS_REQUIRE(static_cast<bool>(visit), "schedule visitor must be callable");
+  const AAPlan plan = plan_from(params);
+  TracingBackend backend(params.machines, visit);
+  run_sampling_circuit(backend, mode, plan);
 }
 
 std::uint64_t compiled_schedule_length(const PublicParams& params,

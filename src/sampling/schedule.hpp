@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "distdb/transcript.hpp"
 #include "sampling/circuit.hpp"
@@ -33,9 +34,40 @@ PublicParams public_params_of(const DistributedDatabase& db);
 /// given public parameters and query model.
 Transcript compile_schedule(const PublicParams& params, QueryMode mode);
 
+/// Convenience overload: compile from a database's PUBLIC parameters only.
+/// Reads nothing but the public aggregates — the static obliviousness
+/// audit (src/analysis) asserts this via the Dataset taint counters.
+Transcript compile_schedule(const DistributedDatabase& db, QueryMode mode);
+
 /// Number of oracle events the schedule will contain (cheap, no dry run):
 /// d_applications · 2n for sequential, · 4 for parallel.
 std::uint64_t compiled_schedule_length(const PublicParams& params,
                                        QueryMode mode);
+
+/// One step of the compiled circuit as visited by for_each_schedule_event:
+/// the oracle events of the Transcript plus the coordinator-LOCAL unitaries
+/// between them, which a bare transcript omits. This is the iteration hook
+/// the static analyzer lifts into its protocol IR — the labels let it check
+/// that every distributing-operator application is the well-nested C† 𝒰 C
+/// pattern of Lemmas 4.2/4.4.
+struct ScheduleEvent {
+  enum class Kind : std::uint8_t {
+    kOracle,         // sequential O_j / O_j† (one query to machine j)
+    kParallelRound,  // one collective round of O / O†
+    kLocalUnitary,   // data-independent coordinator operation
+  };
+  Kind kind = Kind::kLocalUnitary;
+  std::size_t machine = 0;  ///< kOracle only
+  bool adjoint = false;     ///< kOracle / kParallelRound / kLocalUnitary
+  /// kLocalUnitary: which operation — "F" (state prep), "U" (Eq. 6
+  /// rotation), "S_chi", "S_0" (phase oracles), "phase" (global phase).
+  const char* label = "";
+};
+
+/// Dry-run the compiled circuit, visiting every event in schedule order.
+/// Same validation and determinism guarantees as compile_schedule().
+void for_each_schedule_event(
+    const PublicParams& params, QueryMode mode,
+    const std::function<void(const ScheduleEvent&)>& visit);
 
 }  // namespace qs

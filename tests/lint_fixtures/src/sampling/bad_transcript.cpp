@@ -1,0 +1,10 @@
+// Fixture: violates transcript-discipline — appends transcript events
+// outside the sanctioned sampling backends, forging oracle-log evidence.
+#include "distdb/transcript.hpp"
+
+qs::Transcript fixture_bad_transcript() {
+  qs::Transcript t;
+  t.record_sequential(0, false);
+  t.record_parallel_round(true);
+  return t;
+}

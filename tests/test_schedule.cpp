@@ -60,6 +60,90 @@ TEST(Schedule, LengthFormulaMatchesCompilation) {
   }
 }
 
+TEST(Schedule, LengthFormulaMatchesCompilationOnRandomizedGrid) {
+  Rng rng(2025);
+  for (int trial = 0; trial < 64; ++trial) {
+    const std::size_t universe = 1 + rng.uniform_below(256);
+    const std::size_t machines = 1 + rng.uniform_below(8);
+    const std::uint64_t nu = 1 + rng.uniform_below(6);
+    const std::uint64_t ceiling = nu * universe;
+    const std::uint64_t total = 1 + rng.uniform_below(ceiling);
+    const PublicParams params{universe, machines, nu, total};
+    for (const auto mode : {QueryMode::kSequential, QueryMode::kParallel}) {
+      EXPECT_EQ(compile_schedule(params, mode).size(),
+                compiled_schedule_length(params, mode))
+          << "N=" << universe << " n=" << machines << " nu=" << nu
+          << " M=" << total;
+    }
+  }
+}
+
+TEST(Schedule, LengthFormulaMatchesCompilationAtDegenerateCorners) {
+  // n = 1 (single machine), M = N (uniform support), and M = νN (a = 1,
+  // already exact: the AA plan needs zero Grover iterates) are the corner
+  // cases most likely to break the closed form.
+  const PublicParams single_machine{16, 1, 3, 10};
+  const PublicParams full_support{16, 4, 2, 16};
+  const PublicParams already_exact{8, 2, 3, 24};  // M = νN
+  const PublicParams minimal{1, 1, 1, 1};
+  for (const auto& params :
+       {single_machine, full_support, already_exact, minimal}) {
+    for (const auto mode : {QueryMode::kSequential, QueryMode::kParallel}) {
+      EXPECT_EQ(compile_schedule(params, mode).size(),
+                compiled_schedule_length(params, mode))
+          << "N=" << params.universe << " n=" << params.machines;
+    }
+  }
+  // a = 1 needs zero Grover iterates but still pays the single
+  // distributing-operator application that prepares |ψ⟩ (d = 1).
+  EXPECT_EQ(compiled_schedule_length(already_exact, QueryMode::kSequential),
+            2u * already_exact.machines);
+  EXPECT_EQ(compiled_schedule_length(already_exact, QueryMode::kParallel),
+            4u);
+}
+
+TEST(Schedule, DatabaseOverloadUsesPublicParamsOnly) {
+  Rng rng(11);
+  auto datasets = workload::uniform_random(32, 3, 24, rng);
+  const auto nu = min_capacity(datasets) + 1;
+  const DistributedDatabase db(std::move(datasets), nu);
+  for (const auto mode : {QueryMode::kSequential, QueryMode::kParallel}) {
+    EXPECT_EQ(compile_schedule(db, mode),
+              compile_schedule(public_params_of(db), mode));
+  }
+  // Compile-ahead never opens the datasets (taint instrument, see
+  // docs/ANALYSIS.md).
+  db.reset_content_reads();
+  (void)compile_schedule(db, QueryMode::kSequential);
+  EXPECT_EQ(db.content_reads(), 0u);
+}
+
+TEST(Schedule, EventStreamAgreesWithCompiledTranscript) {
+  const PublicParams params{32, 3, 2, 12};
+  for (const auto mode : {QueryMode::kSequential, QueryMode::kParallel}) {
+    const auto compiled = compile_schedule(params, mode);
+    Transcript replayed;
+    std::size_t locals = 0;
+    for_each_schedule_event(params, mode, [&](const ScheduleEvent& e) {
+      switch (e.kind) {
+        case ScheduleEvent::Kind::kOracle:
+          // dqs-lint: allow(transcript-discipline) — replaying the stream
+          replayed.record_sequential(e.machine, e.adjoint);
+          break;
+        case ScheduleEvent::Kind::kParallelRound:
+          // dqs-lint: allow(transcript-discipline) — replaying the stream
+          replayed.record_parallel_round(e.adjoint);
+          break;
+        case ScheduleEvent::Kind::kLocalUnitary:
+          ++locals;
+          break;
+      }
+    });
+    EXPECT_EQ(replayed, compiled);
+    EXPECT_GT(locals, 0u);
+  }
+}
+
 TEST(Schedule, DifferentMGivesDifferentLength) {
   const PublicParams small{64, 2, 2, 2};
   const PublicParams large{64, 2, 2, 100};

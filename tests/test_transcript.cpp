@@ -4,6 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "distdb/distributed_database.hpp"
+#include "distdb/workload.hpp"
+#include "sampling/samplers.hpp"
 
 namespace qs {
 namespace {
@@ -43,6 +49,93 @@ TEST(Transcript, ToStringIsHumanReadable) {
   std::ostringstream os;
   os << t;
   EXPECT_EQ(os.str(), s);
+}
+
+TEST(Transcript, ParallelRoundsRenderDistinctFromSequential) {
+  // `P*` must not be confusable with a sequential query against some
+  // machine named P — and forward/adjoint rounds must differ.
+  Transcript par_fwd, par_adj;
+  par_fwd.record_parallel_round(false);
+  par_adj.record_parallel_round(true);
+  EXPECT_EQ(par_fwd.to_string(), "P*");
+  EXPECT_EQ(par_adj.to_string(), "P*†");
+  EXPECT_NE(par_fwd.to_string(), par_adj.to_string());
+}
+
+TEST(Transcript, ParseRoundTripsMixedEvents) {
+  Transcript t;
+  t.record_sequential(0, false);
+  t.record_sequential(12, false);
+  t.record_parallel_round(false);
+  t.record_parallel_round(true);
+  t.record_sequential(12, true);
+  t.record_sequential(0, true);
+  EXPECT_EQ(parse_transcript(t.to_string()), t);
+}
+
+TEST(Transcript, ParseRoundTripsEmptyAndAcceptsLegacyParallelToken) {
+  EXPECT_EQ(parse_transcript(""), Transcript{});
+  EXPECT_EQ(parse_transcript("   \n  "), Transcript{});
+  // Pre-wire-format logs rendered parallel rounds as bare `P`.
+  Transcript expected;
+  expected.record_parallel_round(false);
+  expected.record_parallel_round(true);
+  EXPECT_EQ(parse_transcript("P P†"), expected);
+}
+
+TEST(Transcript, ParseRejectsMalformedTokens) {
+  EXPECT_THROW(parse_transcript("O"), std::exception);
+  EXPECT_THROW(parse_transcript("Ox"), std::exception);
+  EXPECT_THROW(parse_transcript("O3x"), std::exception);
+  EXPECT_THROW(parse_transcript("Q3"), std::exception);
+  EXPECT_THROW(parse_transcript("O3 garbage"), std::exception);
+}
+
+TEST(Transcript, StatsOfCountsBothKinds) {
+  Transcript t;
+  t.record_sequential(1, false);
+  t.record_sequential(1, true);
+  t.record_sequential(0, false);
+  t.record_parallel_round(false);
+  const auto stats = stats_of(t, 3);
+  EXPECT_EQ(stats.total_sequential(), 3u);
+  EXPECT_EQ(stats.parallel_rounds, 1u);
+  ASSERT_EQ(stats.sequential_per_machine.size(), 3u);
+  EXPECT_EQ(stats.sequential_per_machine[0], 1u);
+  EXPECT_EQ(stats.sequential_per_machine[1], 2u);
+  EXPECT_EQ(stats.sequential_per_machine[2], 0u);
+}
+
+TEST(Transcript, StatsOfRejectsOutOfRangeMachine) {
+  Transcript t;
+  t.record_sequential(5, false);
+  EXPECT_THROW(stats_of(t, 3), std::exception);
+}
+
+// Regression: for both query modes, the QueryStats ledger the database
+// accumulates must agree exactly with what the recorded transcript says.
+TEST(Transcript, StatsOfMatchesDatabaseLedgerForBothModes) {
+  Rng rng(41);
+  auto datasets = workload::uniform_random(16, 3, 12, rng);
+  const auto nu = min_capacity(datasets) + 1;
+  const DistributedDatabase db(std::move(datasets), nu);
+
+  for (const bool parallel : {false, true}) {
+    Transcript transcript;
+    SamplerOptions options;
+    options.transcript = &transcript;
+    db.reset_stats();
+    if (parallel) {
+      run_parallel_sampler(db, options);
+    } else {
+      run_sequential_sampler(db, options);
+    }
+    const auto from_ledger = db.stats();
+    const auto from_transcript = stats_of(transcript, db.num_machines());
+    EXPECT_EQ(from_transcript.sequential_per_machine,
+              from_ledger.sequential_per_machine);
+    EXPECT_EQ(from_transcript.parallel_rounds, from_ledger.parallel_rounds);
+  }
 }
 
 TEST(Transcript, ClearEmpties) {

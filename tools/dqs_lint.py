@@ -29,6 +29,16 @@ to the paper's model rather than C++ correctness:
                       classic include guard).
   no-relative-include First-party includes are "module/file.hpp" rooted at
                       src/; "../" paths bypass the module layering.
+  transcript-discipline
+                      Transcript::record_sequential / record_parallel_round
+                      may be called in library code only from the sampling
+                      backends (src/sampling/backend.cpp, schedule.cpp) and
+                      the Transcript module itself. Recorded transcripts
+                      are the evidence the obliviousness certification
+                      compares bit-for-bit (docs/ANALYSIS.md); a stray
+                      producer could forge that evidence. Tests and the
+                      mutation fixtures re-record deliberately and carry
+                      explicit suppressions.
 
 Usage:
   tools/dqs_lint.py [--root DIR] [--list-rules] [paths...]
@@ -291,6 +301,32 @@ def rule_no_relative_include(f: File):
                 '"module/file.hpp" rooted at src/ instead')
 
 
+TRANSCRIPT_CALL = re.compile(r"\brecord_(sequential|parallel_round)\s*\(")
+TRANSCRIPT_EXEMPT = {
+    # The only sanctioned producers: the recording sampler backend and the
+    # schedule compiler's dry-run backend…
+    "src/sampling/backend.cpp",
+    "src/sampling/schedule.cpp",
+    # …and the Transcript module itself (declarations, definitions, and
+    # parse_transcript's reconstruction).
+    "src/distdb/transcript.hpp",
+    "src/distdb/transcript.cpp",
+}
+
+
+def rule_transcript_discipline(f: File):
+    if not f.rel.startswith("src/") or f.rel in TRANSCRIPT_EXEMPT:
+        return
+    for i, line in enumerate(f.stripped_lines, 1):
+        if TRANSCRIPT_CALL.search(line):
+            yield Violation(
+                f.path, i, "transcript-discipline",
+                "Transcript::record_* outside the sampling backends; "
+                "recorded transcripts are the oracle-log evidence the "
+                "obliviousness certification compares bit-for-bit, so only "
+                "src/sampling/{backend,schedule}.cpp may append events")
+
+
 RULES = {
     "omp-confinement": rule_omp_confinement,
     "rng-discipline": rule_rng_discipline,
@@ -298,6 +334,7 @@ RULES = {
     "no-iostream-in-lib": rule_no_iostream_in_lib,
     "header-guard": rule_header_guard,
     "no-relative-include": rule_no_relative_include,
+    "transcript-discipline": rule_transcript_discipline,
 }
 
 

@@ -1,0 +1,200 @@
+// dqs_verify — static protocol analyzer CLI.
+//
+// Certifies the protocol invariants of the paper's samplers WITHOUT
+// simulating a single amplitude (docs/ANALYSIS.md):
+//
+//   dqs_verify --grid                 verify the standard (N, n, ν, M)
+//                                     sweep, both query models (default
+//                                     action when no other is given)
+//   dqs_verify --mutants              require every mutation fixture to be
+//                                     flagged by its expected pass
+//   dqs_verify --universe N --machines n --nu v --total M
+//                                     verify one parameter point
+//   dqs_verify --transcript FILE ...  parse a recorded transcript (wire
+//                                     format of Transcript::to_string) and
+//                                     verify it against the public
+//                                     parameters given with the flags above
+//
+// Common flags: --mode seq|par|both (default both; transcripts require a
+// single mode), --trials K (obliviousness perturbation trials, default 3),
+// --seed S, --quiet (diagnostics only, no per-point progress).
+//
+// Exit code: 0 clean, 1 diagnostics found (or a mutant not flagged),
+// 2 usage error.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/mutations.hpp"
+#include "analysis/param_grid.hpp"
+#include "analysis/verifier.hpp"
+#include "common/cli.hpp"
+#include "common/require.hpp"
+
+namespace {
+
+using qs::PublicParams;
+using qs::QueryMode;
+
+const char* mode_name(QueryMode mode) {
+  return mode == QueryMode::kSequential ? "sequential" : "parallel";
+}
+
+std::string point_name(const PublicParams& p, QueryMode mode) {
+  std::ostringstream os;
+  os << "(N=" << p.universe << ", n=" << p.machines << ", nu=" << p.nu
+     << ", M=" << p.total << ", " << mode_name(mode) << ")";
+  return os.str();
+}
+
+struct Options {
+  qs::analysis::VerifyOptions verify;
+  std::vector<QueryMode> modes;
+  bool quiet = false;
+};
+
+/// Verify one parameter point; prints diagnostics, returns their count.
+std::size_t verify_point(const PublicParams& params, QueryMode mode,
+                         const Options& options) {
+  const auto report =
+      qs::analysis::verify_compiled(params, mode, options.verify);
+  if (!report.clean()) {
+    std::cout << "FAIL " << point_name(params, mode) << "\n"
+              << report.render();
+  } else if (!options.quiet) {
+    std::cout << "ok   " << point_name(params, mode) << "\n";
+  }
+  return report.diagnostics.size();
+}
+
+int run_grid(const Options& options) {
+  std::size_t findings = 0;
+  std::size_t points = 0;
+  for (const auto& params : qs::analysis::standard_grid()) {
+    for (const auto mode : options.modes) {
+      findings += verify_point(params, mode, options);
+      ++points;
+    }
+  }
+  std::cout << "dqs_verify: " << points << " schedule(s), " << findings
+            << " diagnostic(s)\n";
+  return findings == 0 ? 0 : 1;
+}
+
+int run_mutants(const PublicParams& params) {
+  std::size_t missed = 0;
+  for (const auto& spec : qs::analysis::mutation_catalog()) {
+    const auto diagnostics = qs::analysis::run_mutation(spec, params);
+    bool flagged = false;
+    for (const auto& d : diagnostics) flagged |= d.pass == spec.expected_pass;
+    if (flagged) {
+      std::cout << "flagged " << spec.name << " (by " << spec.expected_pass
+                << ", " << diagnostics.size() << " diagnostic(s))\n";
+    } else {
+      ++missed;
+      std::cout << "MISSED  " << spec.name << " — expected a "
+                << spec.expected_pass << " finding; got:\n";
+      for (const auto& d : diagnostics)
+        std::cout << "  " << qs::analysis::to_string(d) << "\n";
+    }
+  }
+  std::cout << "dqs_verify: "
+            << qs::analysis::mutation_catalog().size() - missed << "/"
+            << qs::analysis::mutation_catalog().size()
+            << " mutation fixture(s) flagged\n";
+  return missed == 0 ? 0 : 1;
+}
+
+int run_transcript(const std::string& path, const PublicParams& params,
+                   const Options& options) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "dqs_verify: cannot open transcript file: " << path << "\n";
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const qs::Transcript transcript = qs::parse_transcript(text.str());
+  QS_REQUIRE(options.modes.size() == 1,
+             "--transcript needs --mode seq or --mode par");
+  const auto mode = options.modes.front();
+  const auto report =
+      qs::analysis::verify_transcript(transcript, params, mode);
+  std::cout << "transcript " << path << " (" << transcript.size()
+            << " events) against " << point_name(params, mode) << ": "
+            << (report.clean() ? "clean" : "FAIL") << "\n"
+            << report.render();
+  return report.clean() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    qs::CliArgs args(argc, argv);
+
+    Options options;
+    options.verify.obliviousness_trials =
+        args.get("trials", std::uint64_t{3});
+    options.verify.seed = args.get("seed", std::uint64_t{0x5eed});
+    options.quiet = args.get("quiet", false);
+
+    const std::string mode = args.get("mode", std::string("both"));
+    if (mode == "seq" || mode == "sequential") {
+      options.modes = {QueryMode::kSequential};
+    } else if (mode == "par" || mode == "parallel") {
+      options.modes = {QueryMode::kParallel};
+    } else if (mode == "both") {
+      options.modes = {QueryMode::kSequential, QueryMode::kParallel};
+    } else {
+      std::cerr << "dqs_verify: unknown --mode '" << mode << "'\n";
+      return 2;
+    }
+
+    PublicParams params;
+    params.universe = args.get("universe", std::uint64_t{32});
+    params.machines = args.get("machines", std::uint64_t{4});
+    params.nu = args.get("nu", std::uint64_t{3});
+    params.total = args.get("total", std::uint64_t{24});
+
+    const bool grid = args.get("grid", false);
+    const bool mutants = args.get("mutants", false);
+    const std::string transcript_path =
+        args.get("transcript", std::string());
+    const bool single_point = args.has("universe") || args.has("machines") ||
+                              args.has("nu") || args.has("total");
+
+    const auto unused = args.unused();
+    if (!unused.empty()) {
+      std::cerr << "dqs_verify: unknown flag --" << unused.front() << "\n";
+      return 2;
+    }
+
+    int status = 0;
+    bool acted = false;
+    if (!transcript_path.empty()) {
+      status = std::max(status, run_transcript(transcript_path, params,
+                                               options));
+      acted = true;
+    }
+    if (mutants) {
+      status = std::max(status, run_mutants(params));
+      acted = true;
+    }
+    if (single_point && transcript_path.empty()) {
+      std::size_t findings = 0;
+      for (const auto m : options.modes)
+        findings += verify_point(params, m, options);
+      status = std::max(status, findings == 0 ? 0 : 1);
+      acted = true;
+    }
+    if (grid || !acted) status = std::max(status, run_grid(options));
+    return status;
+  } catch (const std::exception& e) {
+    std::cerr << "dqs_verify: " << e.what() << "\n";
+    return 2;
+  }
+}

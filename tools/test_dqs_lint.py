@@ -26,6 +26,7 @@ EXPECTED = {
     ("src/qsim/bad_iostream.cpp", "no-iostream-in-lib"),
     ("src/qsim/bad_guard.hpp", "header-guard"),
     ("src/distdb/bad_relative.cpp", "no-relative-include"),
+    ("src/sampling/bad_transcript.cpp", "transcript-discipline"),
 }
 
 CONTROL_FILES = {
