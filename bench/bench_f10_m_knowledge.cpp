@@ -16,9 +16,9 @@
 #include "sampling/fixed_point.hpp"
 #include "sampling/unknown_m.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace qs;
-  bench::banner("F10",
+  bench::Reporter reporter(argc, argv, "F10",
                 "Knowledge ablation — exact-M zero-error vs unknown-M BBHT "
                 "vs oblivious fixed point (target 1-F <= 1e-3)");
 
@@ -60,9 +60,10 @@ int main() {
                    TextTable::cell(fp.fidelity, 6)});
   }
   table.print(std::cout, "F10: cost by knowledge profile");
+  reporter.add("F10: cost by knowledge profile", table);
   std::printf("\nGrover-scaling pair stays ~sqrt; the oblivious M-free "
               "fixed point pays ~1/a — the quadratic price of "
               "obliviousness without M. all fidelities on target: %s\n",
               pass ? "PASS" : "FAIL");
-  return pass ? 0 : 1;
+  return reporter.finish(pass ? 0 : 1);
 }

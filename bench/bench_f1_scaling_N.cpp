@@ -8,9 +8,9 @@
 #include "common/stats.hpp"
 #include "sampling/samplers.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace qs;
-  bench::banner("F1",
+  bench::Reporter reporter(argc, argv, "F1",
                 "Scaling in N at fixed M, nu: queries ~ sqrt(N) "
                 "(log-log slope 1/2)");
 
@@ -31,6 +31,7 @@ int main() {
                    TextTable::cell(seq.fidelity, 12)});
   }
   table.print(std::cout, "F1: queries vs N (series for the figure)");
+  reporter.add("F1: queries vs N (series for the figure)", table);
 
   const auto seq_fit = fit_power_law(ns, seq_q);
   const auto par_fit = fit_power_law(ns, par_q);
@@ -42,5 +43,5 @@ int main() {
                     std::abs(par_fit.slope - 0.5) < 0.05;
   std::printf("exponent check (|slope - 0.5| < 0.05): %s\n",
               pass ? "PASS" : "FAIL");
-  return pass ? 0 : 1;
+  return reporter.finish(pass ? 0 : 1);
 }

@@ -9,9 +9,9 @@
 #include "common/stats.hpp"
 #include "sampling/samplers.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace qs;
-  bench::banner("F2",
+  bench::Reporter reporter(argc, argv, "F2",
                 "Scaling in n at fixed N, M, nu: sequential ~ n, parallel "
                 "~ 1");
 
@@ -31,6 +31,7 @@ int main() {
                    TextTable::cell(seq.fidelity, 12)});
   }
   table.print(std::cout, "F2: queries vs n (series for the figure)");
+  reporter.add("F2: queries vs n (series for the figure)", table);
 
   const auto seq_fit = fit_power_law(ns, seq_q);
   std::printf("\nsequential: fitted n-exponent %.3f (theory 1.000)\n",
@@ -40,5 +41,5 @@ int main() {
   std::printf("parallel: %s across all n (theory: constant)\n",
               par_flat ? "EXACTLY CONSTANT" : "NOT constant — FAIL");
   const bool pass = std::abs(seq_fit.slope - 1.0) < 0.05 && par_flat;
-  return pass ? 0 : 1;
+  return reporter.finish(pass ? 0 : 1);
 }

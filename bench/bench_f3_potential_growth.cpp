@@ -6,9 +6,9 @@
 #include "bench_util.hpp"
 #include "lowerbound/potential.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace qs;
-  bench::banner("F3",
+  bench::Reporter reporter(argc, argv, "F3",
                 "Lemmas 5.8/5.10 — potential ceiling D_t <= 4(m_k/N) t^2");
 
   bool all_ok = true;
@@ -32,10 +32,13 @@ int main() {
     table.print(std::cout, std::string("F3: D_t growth, ") +
                                (parallel ? "parallel" : "sequential") +
                                " oracle (m_k=6, N=96)");
+    reporter.add(std::string("F3: D_t growth, ") +
+                               (parallel ? "parallel" : "sequential") +
+                               " oracle (m_k=6, N=96)", table);
     std::printf("mean final fidelity of the true runs: %.9f\n\n",
                 result.mean_final_fidelity);
   }
   std::printf("ceiling respected at every t in both models: %s\n",
               all_ok ? "PASS" : "FAIL");
-  return all_ok ? 0 : 1;
+  return reporter.finish(all_ok ? 0 : 1);
 }

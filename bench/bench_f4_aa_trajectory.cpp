@@ -7,9 +7,9 @@
 #include "bench_util.hpp"
 #include "sampling/samplers.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace qs;
-  bench::banner("F4",
+  bench::Reporter reporter(argc, argv, "F4",
                 "Zero-error amplitude amplification trajectory vs plain AA");
 
   // a = M/(νN) = 48/(4·256) ≈ 0.047 → enough iterations for a visible arc.
@@ -35,6 +35,7 @@ int main() {
                             : (t == 0 ? "preparation A|0>" : "Q(pi,pi)")});
   }
   table.print(std::cout, "F4: fidelity per iterate (series for the figure)");
+  reporter.add("F4: fidelity per iterate (series for the figure)", table);
 
   // Plain AA endpoint for contrast.
   const std::size_t plain_m = plain_iteration_count(a);
@@ -57,5 +58,5 @@ int main() {
   std::printf("trajectory matches sin^2((2t+1)theta) and ends exactly at 1: "
               "%s\n",
               pass ? "PASS" : "FAIL");
-  return pass ? 0 : 1;
+  return reporter.finish(pass ? 0 : 1);
 }

@@ -8,9 +8,9 @@
 #include "common/stats.hpp"
 #include "sampling/hierarchical.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace qs;
-  bench::banner("F5",
+  bench::Reporter reporter(argc, argv, "F5",
                 "Hierarchical architecture — rounds interpolate between the "
                 "sequential and parallel models, ~ g*sqrt(nuN/M)");
 
@@ -41,6 +41,7 @@ int main() {
                    TextTable::cell(result.fidelity, 12), matches});
   }
   table.print(std::cout, "F5: rounds vs group count (series for the figure)");
+  reporter.add("F5: rounds vs group count (series for the figure)", table);
 
   const auto fit = fit_power_law(gs, rounds);
   std::printf("\nfitted g-exponent: %.3f (theory 1.000, up to the 2-vs-4 "
@@ -50,5 +51,5 @@ int main() {
   std::printf("endpoints coincide with Theorems 4.5 / 4.3 and exponent ~1: "
               "%s\n",
               pass ? "PASS" : "FAIL");
-  return pass ? 0 : 1;
+  return reporter.finish(pass ? 0 : 1);
 }

@@ -7,9 +7,9 @@
 #include "bench_util.hpp"
 #include "sampling/noisy_sampler.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace qs;
-  bench::banner("F6",
+  bench::Reporter reporter(argc, argv, "F6",
                 "Noise robustness — per-round dephasing: fewer rounds "
                 "(parallel model) => slower fidelity decay");
 
@@ -38,6 +38,7 @@ int main() {
                                    4)});
   }
   table.print(std::cout, "F6: fidelity vs per-round dephasing rate");
+  reporter.add("F6: fidelity vs per-round dephasing rate", table);
 
   // Second series: oracle data faults.
   TextTable faults({"fault_rate", "seq_fid", "par_fid"});
@@ -54,8 +55,9 @@ int main() {
                     TextTable::cell(par.mean_fidelity, 4)});
   }
   faults.print(std::cout, "F6b: fidelity vs oracle fault rate");
+  reporter.add("F6b: fidelity vs oracle fault rate", faults);
 
   std::printf("\nparallel model more robust at every nonzero rate: %s\n",
               pass ? "PASS" : "FAIL");
-  return pass ? 0 : 1;
+  return reporter.finish(pass ? 0 : 1);
 }

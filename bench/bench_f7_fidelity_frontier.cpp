@@ -9,9 +9,9 @@
 #include "lowerbound/potential.hpp"
 #include "sampling/samplers.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace qs;
-  bench::banner("F7",
+  bench::Reporter reporter(argc, argv, "F7",
                 "Fidelity frontier — achievable fidelity vs iteration "
                 "budget, with the 9/16 threshold of Section 5");
 
@@ -42,6 +42,7 @@ int main() {
                    above ? "yes" : "no"});
   }
   table.print(std::cout, "F7: fidelity vs budget (series for the figure)");
+  reporter.add("F7: fidelity vs budget (series for the figure)", table);
 
   // Lower-bound side: machine-0 oracle calls needed per the potential
   // argument (2 per D, 2 D per iterate → the certified t* in machine-0
@@ -60,5 +61,5 @@ int main() {
       found && (2 + 4 * first_above) >= t_star && std::abs(a - plan.a) < 1e-12;
   std::printf("frontier crossing respects the certified bound: %s\n",
               pass ? "PASS" : "FAIL");
-  return pass ? 0 : 1;
+  return reporter.finish(pass ? 0 : 1);
 }

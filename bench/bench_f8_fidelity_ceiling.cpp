@@ -16,9 +16,9 @@
 #include "lowerbound/potential.hpp"
 #include "sampling/samplers.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace qs;
-  bench::banner("F8",
+  bench::Reporter reporter(argc, argv, "F8",
                 "Fidelity ceiling from the potential argument vs the "
                 "budgeted sampler");
 
@@ -58,8 +58,9 @@ int main() {
                    TextTable::cell(cap, 8), ok ? "yes" : "NO"});
   }
   table.print(std::cout, "F8: measured fidelity vs theoretical ceiling");
+  reporter.add("F8: measured fidelity vs theoretical ceiling", table);
   std::printf("\nmeasured fidelity below the potential-derived ceiling at "
               "every budget: %s\n",
               pass ? "PASS" : "FAIL");
-  return pass ? 0 : 1;
+  return reporter.finish(pass ? 0 : 1);
 }

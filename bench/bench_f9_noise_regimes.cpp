@@ -17,9 +17,9 @@
 #include "bench_util.hpp"
 #include "sampling/noisy_sampler.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace qs;
-  bench::banner("F9",
+  bench::Reporter reporter(argc, argv, "F9",
                 "Noise regimes — per-round favours parallel, per-qubit-trip "
                 "favours sequential");
 
@@ -68,10 +68,11 @@ int main() {
                        : "parallel"});
   }
   table.print(std::cout, "F9: winner by noise regime (n = 6)");
+  reporter.add("F9: winner by noise regime (n = 6)", table);
 
   const bool pass = round_parallel_wins && trip_sequential_wins;
   std::printf("\nparallel wins every per-round row, sequential (>=) every "
               "per-trip row: %s\n",
               pass ? "PASS" : "FAIL");
-  return pass ? 0 : 1;
+  return reporter.finish(pass ? 0 : 1);
 }

@@ -8,9 +8,9 @@
 #include "distdb/communication.hpp"
 #include "sampling/samplers.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace qs;
-  bench::banner("T10",
+  bench::Reporter reporter(argc, argv, "T10",
                 "Communication — rounds (latency) and qubit volume of both "
                 "query models");
 
@@ -54,8 +54,9 @@ int main() {
            seq_report.qubits_moved < 3 * par_report.qubits_moved;
   }
   table.print(std::cout, "T10: wire traffic per sampler run");
+  reporter.add("T10: wire traffic per sampler run", table);
   std::printf("\nlatency ratio == n/2 and volumes within a small constant: "
               "%s\n",
               pass ? "PASS" : "FAIL");
-  return pass ? 0 : 1;
+  return reporter.finish(pass ? 0 : 1);
 }

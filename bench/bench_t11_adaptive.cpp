@@ -10,9 +10,9 @@
 #include "bench_util.hpp"
 #include "estimation/adaptive.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace qs;
-  bench::banner("T11",
+  bench::Reporter reporter(argc, argv, "T11",
                 "Adaptive vs oblivious — probe cost, one-shot and amortised "
                 "per-sample query counts");
 
@@ -55,9 +55,10 @@ int main() {
          TextTable::cell(adaptive.sampling.fidelity, 9)});
   }
   table.print(std::cout, "T11: adaptivity ledger vs active-machine count");
+  reporter.add("T11: adaptivity ledger vs active-machine count", table);
   std::printf("\none-shot adaptivity never wins; amortised wins iff "
               "machines are skippable; the d-apps column (the sqrt term) "
               "is constant: %s\n",
               pass ? "PASS" : "FAIL");
-  return pass ? 0 : 1;
+  return reporter.finish(pass ? 0 : 1);
 }

@@ -11,9 +11,9 @@
 #include "bench_util.hpp"
 #include "sampling/samplers.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace qs;
-  bench::banner("T12",
+  bench::Reporter reporter(argc, argv, "T12",
                 "Placement ablation — replication, sharding and "
                 "over-provisioned capacity");
 
@@ -61,6 +61,7 @@ int main() {
                    TextTable::cell(result.fidelity, 9)});
   }
   table.print(std::cout, "T12a: placement strategies for one logical store");
+  reporter.add("T12a: placement strategies for one logical store", table);
   const bool invariant = sharded_queries == replicated_queries;
   std::printf("\nreplication scales M and nu together -> a and the query "
               "count are UNCHANGED: %s\n\n",
@@ -84,7 +85,8 @@ int main() {
                   TextTable::cell(measured_ratio / predicted_ratio, 3)});
   }
   caps.print(std::cout, "T12b: cost of over-provisioned capacity (fixed M)");
+  reporter.add("T12b: cost of over-provisioned capacity (fixed M)", caps);
   std::printf("\nqueries grow as sqrt(nu) at fixed M: %s\n",
               scaling_ok ? "PASS" : "FAIL");
-  return (invariant && scaling_ok) ? 0 : 1;
+  return reporter.finish((invariant && scaling_ok) ? 0 : 1);
 }

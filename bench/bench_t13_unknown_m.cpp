@@ -8,9 +8,9 @@
 #include "common/stats.hpp"
 #include "sampling/unknown_m.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace qs;
-  bench::banner("T13",
+  bench::Reporter reporter(argc, argv, "T13",
                 "Unknown-M sampling (BBHT) — expected cost vs the known-M "
                 "zero-error sampler");
 
@@ -54,6 +54,7 @@ int main() {
          TextTable::cell(overhead, 2), TextTable::cell(attempts.mean(), 1)});
   }
   table.print(std::cout, "T13: unknown-M cost ledger");
+  reporter.add("T13: unknown-M cost ledger", table);
 
   // Shape: overhead stays a bounded constant as νN/M grows 32x.
   double omax = 0.0, omin = 1e9;
@@ -67,5 +68,5 @@ int main() {
   const bool pass = exact && omax / omin < 5.0 && omax < 12.0;
   std::printf("exact outputs and bounded overhead: %s\n",
               pass ? "PASS" : "FAIL");
-  return pass ? 0 : 1;
+  return reporter.finish(pass ? 0 : 1);
 }

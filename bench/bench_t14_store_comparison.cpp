@@ -9,9 +9,9 @@
 #include "bench_util.hpp"
 #include "apps/store_comparison.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace qs;
-  bench::banner("T14",
+  bench::Reporter reporter(argc, argv, "T14",
                 "Store comparison — SWAP-test overlap vs classical "
                 "histogram learning");
 
@@ -49,6 +49,7 @@ int main() {
                          2)});
   }
   table.print(std::cout, "T14: overlap certification cost");
+  reporter.add("T14: overlap certification cost", table);
   std::printf("\ntrue overlap inside the 95%% interval in every row: %s\n",
               pass ? "PASS" : "FAIL");
   std::printf("honest reading: at this precision (600 shots, CI width ~0.1) "
@@ -57,5 +58,5 @@ int main() {
               "column improves 6.5x across the sweep and extrapolates to a "
               "crossover near N ~ 1e6. Shot noise (1/sqrt(shots)) is the "
               "quantum method's constant, exactly as theory predicts.\n");
-  return pass ? 0 : 1;
+  return reporter.finish(pass ? 0 : 1);
 }

@@ -11,9 +11,9 @@
 #include "common/stats.hpp"
 #include "sampling/classical.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace qs;
-  bench::banner("T15",
+  bench::Reporter reporter(argc, argv, "T15",
                 "Heavy-hitter search — Durr-Hoyer argmax c_i vs the "
                 "classical nN scan");
 
@@ -57,6 +57,7 @@ int main() {
                        TextTable::cell(std::uint64_t{repeats})});
   }
   table.print(std::cout, "T15: argmax search cost");
+  reporter.add("T15: argmax search cost", table);
 
   const auto fit = fit_power_law(ns, costs);
   std::printf("\ncost exponent in N: %.2f (Grover theory ~0.5; classical "
@@ -65,5 +66,5 @@ int main() {
   const bool pass = all_correct && fit.slope < 0.75;
   std::printf("heavy hitter always found with sublinear scaling: %s\n",
               pass ? "PASS" : "FAIL");
-  return pass ? 0 : 1;
+  return reporter.finish(pass ? 0 : 1);
 }

@@ -11,9 +11,9 @@
 #include "bench_util.hpp"
 #include "sampling/samplers.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace qs;
-  bench::banner("T1",
+  bench::Reporter reporter(argc, argv, "T1",
                 "Theorem 4.3 — sequential queries: exact state with "
                 "Theta(n*sqrt(nu*N/M)) oracle calls");
 
@@ -57,8 +57,9 @@ int main() {
                    TextTable::cell(result.fidelity, 12)});
   }
   table.print(std::cout, "T1: sequential query complexity");
+  reporter.add("T1: sequential query complexity", table);
   std::printf("\nratio spread across sweep: [%.2f, %.2f] — bounded constant "
               "=> Theta(n*sqrt(nuN/M)) confirmed\n",
               ratio_min, ratio_max);
-  return ratio_max / ratio_min < 4.0 ? 0 : 1;
+  return reporter.finish(ratio_max / ratio_min < 4.0 ? 0 : 1);
 }

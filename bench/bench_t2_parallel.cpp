@@ -5,9 +5,9 @@
 #include "bench_util.hpp"
 #include "sampling/samplers.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace qs;
-  bench::banner("T2",
+  bench::Reporter reporter(argc, argv, "T2",
                 "Theorem 4.5 — parallel queries: exact state with "
                 "Theta(sqrt(nu*N/M)) rounds, independent of n");
 
@@ -46,8 +46,9 @@ int main() {
                    TextTable::cell(result.fidelity, 12)});
   }
   table.print(std::cout, "T2: parallel round complexity");
+  reporter.add("T2: parallel round complexity", table);
   std::printf("\nratio spread: [%.2f, %.2f]; rows with equal (N, M, nu) but "
               "different n have IDENTICAL round counts\n",
               ratio_min, ratio_max);
-  return ratio_max / ratio_min < 4.0 ? 0 : 1;
+  return reporter.finish(ratio_max / ratio_min < 4.0 ? 0 : 1);
 }

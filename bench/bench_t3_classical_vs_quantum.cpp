@@ -16,9 +16,9 @@
 #include "sampling/classical.hpp"
 #include "sampling/samplers.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace qs;
-  bench::banner("T3",
+  bench::Reporter reporter(argc, argv, "T3",
                 "Classical vs quantum query cost per sample under "
                 "multiplicity-probe access");
 
@@ -72,10 +72,11 @@ int main() {
     if (c.nu == 4 && c.support == 32) prev_ratio = advantage;
   }
   table.print(std::cout, "T3: cost per coherent/classical sample");
+  reporter.add("T3: cost per coherent/classical sample", table);
   std::printf("\nadvantage column grows ~ sqrt(nuN/M): %s\n",
               shape_ok ? "PASS" : "FAIL");
   std::printf("note the dense row (nuN/M=2): quantum and classical rejection "
               "are within a small constant — the crossover the theory "
               "predicts.\n");
-  return shape_ok ? 0 : 1;
+  return reporter.finish(shape_ok ? 0 : 1);
 }

@@ -12,9 +12,9 @@
 #include "common/stats.hpp"
 #include "lowerbound/potential.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace qs;
-  bench::banner("T4",
+  bench::Reporter reporter(argc, argv, "T4",
                 "Theorem 5.1 shape — certified minimum queries t* ~ "
                 "sqrt(kappa_k N / M)");
 
@@ -74,6 +74,7 @@ int main() {
                    TextTable::cell(result.mean_final_fidelity, 9)});
   }
   table.print(std::cout, "T4: certified lower bound vs theory");
+  reporter.add("T4: certified lower bound vs theory", table);
 
   const auto fit = fit_power_law(xs, ys);
   std::printf("\nfit: t* ~ sqrt(kappa N/M)^%.3f (R2=%.4f); theory exponent "
@@ -82,5 +83,5 @@ int main() {
   std::printf("sampler never crosses the floor before t*: %s\n",
               sound ? "PASS" : "FAIL");
   const bool pass = std::abs(fit.slope - 1.0) < 0.1 && sound;
-  return pass ? 0 : 1;
+  return reporter.finish(pass ? 0 : 1);
 }

@@ -14,9 +14,9 @@
 #include "lowerbound/potential.hpp"
 #include "sampling/samplers.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace qs;
-  bench::banner("T5",
+  bench::Reporter reporter(argc, argv, "T5",
                 "Lemma 5.7 — high fidelity forces final potential >= "
                 "M_k/(2M)");
 
@@ -49,6 +49,7 @@ int main() {
                    holds ? "yes" : "NO"});
   }
   table.print(std::cout, "T5: final potential vs floor across M_k/M");
+  reporter.add("T5: final potential vs floor across M_k/M", table);
 
   // Control: a low-fidelity (truncated) run may sit UNDER the floor.
   {
@@ -73,5 +74,5 @@ int main() {
 
   std::printf("floor holds for every high-fidelity run: %s\n",
               all_hold ? "PASS" : "FAIL");
-  return all_hold ? 0 : 1;
+  return reporter.finish(all_hold ? 0 : 1);
 }

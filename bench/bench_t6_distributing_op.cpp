@@ -13,9 +13,9 @@
 #include "sampling/ideal.hpp"
 #include "sampling/parallel_full.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace qs;
-  bench::banner("T6",
+  bench::Reporter reporter(argc, argv, "T6",
                 "Lemmas 4.1/4.2/4.4 — D is unitary; oracle circuits realise "
                 "it with exactly 2n sequential queries / 4 parallel rounds");
 
@@ -97,7 +97,8 @@ int main() {
                    TextTable::cell(seq_cost), TextTable::cell(par_rounds)});
   }
   table.print(std::cout, "T6: distributing-operator realisations");
+  reporter.add("T6: distributing-operator realisations", table);
   std::printf("\nall distances ~ 0, costs exactly 2n / 4: %s\n",
               pass ? "PASS" : "FAIL");
-  return pass ? 0 : 1;
+  return reporter.finish(pass ? 0 : 1);
 }

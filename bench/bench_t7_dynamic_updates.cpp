@@ -7,9 +7,9 @@
 #include "bench_util.hpp"
 #include "sampling/samplers.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace qs;
-  bench::banner("T7",
+  bench::Reporter reporter(argc, argv, "T7",
                 "Dynamic updates — O(1) oracle maintenance, sampler exact "
                 "after every update burst");
 
@@ -56,8 +56,9 @@ int main() {
                    TextTable::cell(result.fidelity, 12)});
   }
   table.print(std::cout, "T7: exactness under a live update stream");
+  reporter.add("T7: exactness under a live update stream", table);
   std::printf("\n%llu total updates applied, every post-burst sample exact "
               "with predicted cost: %s\n",
               (unsigned long long)total_updates, pass ? "PASS" : "FAIL");
-  return pass ? 0 : 1;
+  return reporter.finish(pass ? 0 : 1);
 }

@@ -8,9 +8,9 @@
 #include "common/stats.hpp"
 #include "lowerbound/hard_inputs.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace qs;
-  bench::banner("T8",
+  bench::Reporter reporter(argc, argv, "T8",
                 "Lemma 5.6 — |T| = C(N, m_k): exhaustive family counting");
 
   TextTable table({"N", "m_k", "C(N,m_k)", "enumerated", "distinct_dbs",
@@ -52,7 +52,8 @@ int main() {
                    TextTable::cell(coverage, 3)});
   }
   table.print(std::cout, "T8: hard-input family sizes");
+  reporter.add("T8: hard-input family sizes", table);
   std::printf("\nenumerated == distinct == C(N, m_k) everywhere: %s\n",
               pass ? "PASS" : "FAIL");
-  return pass ? 0 : 1;
+  return reporter.finish(pass ? 0 : 1);
 }

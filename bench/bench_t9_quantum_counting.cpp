@@ -12,9 +12,9 @@
 #include "estimation/iqae.hpp"
 #include "estimation/qpe_counting.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace qs;
-  bench::banner("T9",
+  bench::Reporter reporter(argc, argv, "T9",
                 "Quantum counting — estimation error vs query budget: "
                 "quantum ~ 1/Q vs classical ~ 1/sqrt(Q)");
 
@@ -54,6 +54,7 @@ int main() {
                    TextTable::cell(q_cost), TextTable::cell(c_rms, 3)});
   }
   table.print(std::cout, "T9: counting error vs budget");
+  reporter.add("T9: counting error vs budget", table);
 
   const auto q_fit = fit_power_law(budgets, qerrs);
   const auto c_fit = fit_power_law(budgets, cerrs);
@@ -82,6 +83,7 @@ int main() {
                        TextTable::cell(bound, 2)});
   }
   qpe_table.print(std::cout, "T9b: canonical (QPE) counting cross-check");
+  reporter.add("T9b: canonical (QPE) counting cross-check", qpe_table);
 
   // IQAE: adaptive schedule with a rigorous confidence interval.
   TextTable iqae_table({"epsilon", "queries", "M interval", "contains M",
@@ -107,11 +109,13 @@ int main() {
   iqae_table.print(std::cout,
                    "T9c: IQAE — adaptive counting with confidence "
                    "intervals");
+  reporter.add("T9c: IQAE — adaptive counting with confidence "
+                   "intervals", iqae_table);
   // Shape check: quantum decays strictly faster and beats classical at the
   // largest budget.
   const bool pass = q_fit.slope < c_fit.slope - 0.2 &&
                     qerrs.back() < cerrs.back();
   std::printf("quantum decays faster and wins at large budgets: %s\n",
               pass ? "PASS" : "FAIL");
-  return pass ? 0 : 1;
+  return reporter.finish(pass ? 0 : 1);
 }

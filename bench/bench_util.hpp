@@ -1,19 +1,37 @@
 // Shared helpers for the experiment benches (one binary per table/figure in
 // DESIGN.md's experiment index). Each bench prints a paper-shaped table to
 // stdout; headers announce the experiment id and the claim it reproduces.
+//
+// Every bench also speaks a machine-readable dialect through Reporter
+// (docs/TELEMETRY.md):
+//
+//   --json PATH     write the tables as one dqs-bench-v1 JSON document
+//                   (aggregated into BENCH_sampling.json by
+//                   tools/bench_aggregate.py — the repo's perf trajectory);
+//   --trace PATH    enable telemetry tracing and write a Chrome trace-event
+//                   file loadable in Perfetto;
+//   --metrics PATH  enable telemetry metrics and write a JSONL snapshot.
 #pragma once
 
+#include <charconv>
+#include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "analysis/verifier.hpp"
+#include "common/cli.hpp"
 #include "common/require.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "distdb/distributed_database.hpp"
 #include "distdb/workload.hpp"
 #include "sampling/schedule.hpp"
+#include "telemetry/export.hpp"
 
 namespace qs::bench {
 
@@ -41,6 +59,132 @@ inline void banner(const std::string& id, const std::string& claim) {
   std::printf("%s — %s\n", id.c_str(), claim.c_str());
   std::printf("=================================================================\n");
 }
+
+/// Per-bench machine-readable reporting (see the header comment). Replaces
+/// bench::banner: construct one Reporter at the top of main, add() every
+/// table after printing it, and `return reporter.finish(code);` at the end.
+class Reporter {
+ public:
+  Reporter(int argc, const char* const* argv, std::string id,
+           const std::string& claim)
+      : id_(std::move(id)), claim_(claim) {
+    banner(id_, claim_);
+    const CliArgs args(argc, argv);
+    json_path_ = args.get("json", std::string());
+    trace_path_ = args.get("trace", std::string());
+    metrics_path_ = args.get("metrics", std::string());
+    if (!trace_path_.empty()) {
+      telemetry::set_tracing_enabled(true);
+      telemetry::tracer().clear();
+    }
+    if (!metrics_path_.empty()) {
+      telemetry::set_metrics_enabled(true);
+      telemetry::registry().reset();
+    }
+  }
+
+  Reporter(const Reporter&) = delete;
+  Reporter& operator=(const Reporter&) = delete;
+
+  /// Register a printed table under a stable name (use the print title).
+  void add(const std::string& name, const TextTable& table) {
+    tables_.emplace_back(name, Table{table.headers(), table.data()});
+  }
+
+  /// Write all requested outputs; returns `exit_code` so benches can end
+  /// with `return reporter.finish(ok ? 0 : 1);`.
+  int finish(int exit_code) {
+    exit_code_ = exit_code;
+    write_outputs();
+    written_ = true;
+    return exit_code;
+  }
+
+  ~Reporter() {
+    // A bench that bails out early (exception path) still gets its tables
+    // flushed, with exit_code null marking the run incomplete.
+    if (!written_) write_outputs();
+  }
+
+ private:
+  struct Table {
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  /// Cells that are entirely one finite number are emitted as JSON
+  /// numbers; everything else stays a string.
+  static void write_cell(std::ostream& os, const std::string& cell) {
+    double value = 0.0;
+    const auto* first = cell.data();
+    const auto* last = cell.data() + cell.size();
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (!cell.empty() && ec == std::errc{} && ptr == last &&
+        std::isfinite(value)) {
+      os << cell;  // already a canonical numeric literal
+    } else {
+      os << '"' << telemetry::json_escape(cell) << '"';
+    }
+  }
+
+  void write_outputs() const {
+    if (!json_path_.empty()) {
+      std::ofstream os(json_path_);
+      QS_REQUIRE(os.good(), "cannot open --json output file " + json_path_);
+      os << "{\"schema\":\"dqs-bench-v1\",\"bench\":\""
+         << telemetry::json_escape(id_) << "\",\"claim\":\""
+         << telemetry::json_escape(claim_) << "\",\"exit_code\":";
+      if (exit_code_.has_value()) {
+        os << *exit_code_;
+      } else {
+        os << "null";
+      }
+      os << ",\"tables\":[";
+      for (std::size_t t = 0; t < tables_.size(); ++t) {
+        const auto& [name, table] = tables_[t];
+        if (t != 0) os << ',';
+        os << "\n{\"name\":\"" << telemetry::json_escape(name)
+           << "\",\"headers\":[";
+        for (std::size_t h = 0; h < table.headers.size(); ++h) {
+          if (h != 0) os << ',';
+          os << '"' << telemetry::json_escape(table.headers[h]) << '"';
+        }
+        os << "],\"rows\":[";
+        for (std::size_t r = 0; r < table.rows.size(); ++r) {
+          if (r != 0) os << ',';
+          os << "\n[";
+          for (std::size_t c = 0; c < table.rows[r].size(); ++c) {
+            if (c != 0) os << ',';
+            write_cell(os, table.rows[r][c]);
+          }
+          os << ']';
+        }
+        os << "]}";
+      }
+      os << "\n]}\n";
+    }
+    if (!trace_path_.empty()) {
+      std::ofstream os(trace_path_);
+      QS_REQUIRE(os.good(), "cannot open --trace output file " + trace_path_);
+      telemetry::write_chrome_trace(os);
+    }
+    if (!metrics_path_.empty()) {
+      std::ofstream os(metrics_path_);
+      QS_REQUIRE(os.good(),
+                 "cannot open --metrics output file " + metrics_path_);
+      telemetry::write_metrics_jsonl(os);
+    }
+  }
+
+  std::string id_;
+  std::string claim_;
+  std::string json_path_;
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::vector<std::pair<std::string, Table>> tables_;
+  std::optional<int> exit_code_;
+  bool written_ = false;
+};
 
 inline DistributedDatabase uniform_db(std::size_t universe,
                                       std::size_t machines,

@@ -2,24 +2,57 @@
 
 #include "common/require.hpp"
 #include "qsim/measure.hpp"
+#include "telemetry/trace.hpp"
 
 namespace qs {
+
+namespace {
+
+/// Global telemetry mirror of the per-server CacheStats — a fleet-level
+/// view when many servers share the process.
+struct ServerCounters {
+  telemetry::Counter& hits = telemetry::counter("sample_server.cache.hit");
+  telemetry::Counter& misses = telemetry::counter("sample_server.cache.miss");
+  telemetry::Counter& invalidations =
+      telemetry::counter("sample_server.cache.invalidate");
+  telemetry::Counter& rebuilds = telemetry::counter("sample_server.rebuild");
+  telemetry::Counter& draws = telemetry::counter("sample_server.draw");
+};
+
+ServerCounters& server_counters() {
+  static ServerCounters counters;
+  return counters;
+}
+
+}  // namespace
 
 SampleServer::SampleServer(DistributedDatabase db, QueryMode mode,
                            StatePrep prep)
     : db_(std::move(db)), mode_(mode), prep_(prep) {}
 
+void SampleServer::invalidate() {
+  // Only a LIVE cache can be invalidated; piling further updates onto an
+  // already-stale cache must not inflate the ledger (tested).
+  if (!cached_.has_value()) return;
+  cached_.reset();
+  ++cache_stats_.invalidations;
+  server_counters().invalidations.add();
+}
+
 void SampleServer::insert(std::size_t machine, std::size_t element) {
   db_.insert(machine, element);
-  cached_.reset();
+  invalidate();
 }
 
 void SampleServer::erase(std::size_t machine, std::size_t element) {
   db_.erase(machine, element);
-  cached_.reset();
+  invalidate();
 }
 
 void SampleServer::rebuild() {
+  static auto& t_ns = telemetry::histogram("sample_server.rebuild.ns");
+  telemetry::Span span("sample_server.rebuild", &t_ns);
+  span.tag("mode", mode_ == QueryMode::kSequential ? 0 : 1);
   SamplerOptions options;
   options.prep = prep_;
   cached_ = mode_ == QueryMode::kSequential
@@ -29,19 +62,31 @@ void SampleServer::rebuild() {
                      ? cached_->stats.total_sequential()
                      : cached_->stats.parallel_rounds;
   ++preparations_;
+  ++cache_stats_.rebuilds;
+  server_counters().rebuilds.add();
 }
 
 const SamplerResult& SampleServer::state() {
-  if (!cached_.has_value()) rebuild();
+  if (cached_.has_value()) {
+    ++cache_stats_.hits;
+    server_counters().hits.add();
+  } else {
+    ++cache_stats_.misses;
+    server_counters().misses.add();
+    rebuild();
+  }
   return cached_.value();
 }
 
 std::size_t SampleServer::draw(Rng& rng) {
+  telemetry::Span span("sample_server.draw");
   const auto& current = state();
   const auto sample =
       measure_register(current.state, current.registers.elem, rng);
   // Measurement destroys the coherent state: the next access re-prepares.
+  // This is CONSUMPTION, not invalidation — the data did not change.
   cached_.reset();
+  server_counters().draws.add();
   return sample;
 }
 

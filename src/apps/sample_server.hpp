@@ -44,8 +44,25 @@ class SampleServer {
   std::uint64_t preparations() const noexcept { return preparations_; }
   bool cache_valid() const noexcept { return cached_.has_value(); }
 
+  /// Cache accounting, mirrored into the telemetry counters
+  /// sample_server.cache.{hit,miss,invalidate} and sample_server.rebuild:
+  /// a `hit` is a state()/draw() served from the cached preparation, a
+  /// `miss` triggers exactly one rebuild, and `invalidations` counts
+  /// updates that actually destroyed a live cache (an insert/erase on an
+  /// already-stale cache is NOT a second invalidation).
+  struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t rebuilds = 0;
+    std::uint64_t invalidations = 0;
+
+    friend bool operator==(const CacheStats&, const CacheStats&) = default;
+  };
+  const CacheStats& cache_stats() const noexcept { return cache_stats_; }
+
  private:
   void rebuild();
+  void invalidate();
 
   DistributedDatabase db_;
   QueryMode mode_;
@@ -53,6 +70,7 @@ class SampleServer {
   std::optional<SamplerResult> cached_;
   std::uint64_t query_cost_ = 0;
   std::uint64_t preparations_ = 0;
+  CacheStats cache_stats_;
 };
 
 }  // namespace qs

@@ -26,6 +26,14 @@ class TextTable {
 
   std::size_t rows() const noexcept { return rows_.size(); }
 
+  /// Raw cells, for machine-readable re-serialisation (bench --json).
+  const std::vector<std::string>& headers() const noexcept {
+    return headers_;
+  }
+  const std::vector<std::vector<std::string>>& data() const noexcept {
+    return rows_;
+  }
+
   /// Render with a title line, column separators and a header rule.
   void print(std::ostream& os, const std::string& title = "") const;
 

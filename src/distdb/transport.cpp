@@ -1,8 +1,31 @@
 #include "distdb/transport.hpp"
 
 #include "common/require.hpp"
+#include "telemetry/trace.hpp"
 
 namespace qs {
+
+namespace {
+
+// Telemetry mirror of the session ledgers. `ownership_moves` counts every
+// change of site of the coordinator's register bundle: one per sequential
+// send and one per return; a collective round moves n bundles out and n
+// back.
+struct TransportCounters {
+  telemetry::Counter& sends =
+      telemetry::counter("transport.sequential_sends");
+  telemetry::Counter& receives =
+      telemetry::counter("transport.sequential_receives");
+  telemetry::Counter& rounds = telemetry::counter("transport.parallel_rounds");
+  telemetry::Counter& moves = telemetry::counter("transport.ownership_moves");
+};
+
+TransportCounters& transport_counters() {
+  static TransportCounters counters;
+  return counters;
+}
+
+}  // namespace
 
 TransportSession::TransportSession(std::size_t machines)
     : machines_(machines) {
@@ -15,6 +38,8 @@ void TransportSession::send_sequential(std::size_t machine) {
   QS_REQUIRE(!in_flight_sequential_.has_value(),
              "coordinator registers are already in flight");
   in_flight_sequential_ = machine;
+  transport_counters().sends.add();
+  transport_counters().moves.add();
 }
 
 void TransportSession::receive_sequential(std::size_t machine) {
@@ -24,6 +49,8 @@ void TransportSession::receive_sequential(std::size_t machine) {
              "registers returned from the wrong machine");
   in_flight_sequential_.reset();
   ++sequential_;
+  transport_counters().receives.add();
+  transport_counters().moves.add();
 }
 
 void TransportSession::begin_parallel_round() {
@@ -31,12 +58,15 @@ void TransportSession::begin_parallel_round() {
   QS_REQUIRE(!in_flight_sequential_.has_value(),
              "cannot open a round while registers are in flight");
   round_open_ = true;
+  transport_counters().moves.add(machines_);
 }
 
 void TransportSession::end_parallel_round() {
   QS_REQUIRE(round_open_, "no collective round to close");
   round_open_ = false;
   ++rounds_;
+  transport_counters().rounds.add();
+  transport_counters().moves.add(machines_);
 }
 
 bool TransportSession::quiescent() const noexcept {
@@ -45,6 +75,10 @@ bool TransportSession::quiescent() const noexcept {
 
 std::optional<std::string> TransportSession::validate_schedule(
     const Transcript& transcript, std::size_t machines) {
+  static auto& t_ns = telemetry::histogram("transport.validate_schedule.ns");
+  telemetry::Span span("transport.validate_schedule", &t_ns);
+  span.tag("events", static_cast<std::int64_t>(transcript.size()));
+  span.tag("machines", static_cast<std::int64_t>(machines));
   TransportSession session(machines);
   std::size_t index = 0;
   try {

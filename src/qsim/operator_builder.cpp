@@ -1,13 +1,19 @@
 #include "qsim/operator_builder.hpp"
 
 #include "common/require.hpp"
+#include "telemetry/trace.hpp"
 
 namespace qs {
 
 Matrix operator_of_circuit(
     const RegisterLayout& layout,
     const std::function<void(StateVector&)>& circuit) {
+  static auto& t_calls = telemetry::counter("qsim.operator_of_circuit");
+  static auto& t_ns = telemetry::histogram("qsim.operator_of_circuit.ns");
+  telemetry::Span t_span("operator_of_circuit", &t_ns);
   const std::size_t dim = layout.total_dim();
+  t_span.tag("dim", static_cast<std::int64_t>(dim));
+  t_calls.add();
   QS_REQUIRE(dim <= (1u << 16),
              "operator extraction is meant for small layouts");
   Matrix m(dim, dim);

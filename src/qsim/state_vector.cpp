@@ -5,6 +5,7 @@
 
 #include "common/require.hpp"
 #include "qsim/parallel.hpp"
+#include "telemetry/trace.hpp"
 
 namespace qs {
 
@@ -75,6 +76,11 @@ void StateVector::normalize() {
 }
 
 void StateVector::apply_unitary(RegisterId r, const Matrix& u) {
+  static auto& t_calls = telemetry::counter("qsim.sv.apply_unitary");
+  static auto& t_ns = telemetry::histogram("qsim.sv.apply_unitary.ns");
+  telemetry::Span t_span("sv.apply_unitary", &t_ns);
+  t_span.tag("dim", static_cast<std::int64_t>(amplitudes_.size()));
+  t_calls.add();
   const auto spec = fiber_spec(layout_, r);
   QS_REQUIRE(u.rows() == spec.d && u.cols() == spec.d,
              "unitary dimension must match register dimension");
@@ -95,6 +101,11 @@ void StateVector::apply_unitary(RegisterId r, const Matrix& u) {
 void StateVector::apply_conditioned_unitary(
     RegisterId target,
     const std::function<const Matrix*(std::size_t fiber_base)>& selector) {
+  static auto& t_calls = telemetry::counter("qsim.sv.apply_conditioned_unitary");
+  static auto& t_ns = telemetry::histogram("qsim.sv.apply_conditioned_unitary.ns");
+  telemetry::Span t_span("sv.apply_conditioned_unitary", &t_ns);
+  t_span.tag("dim", static_cast<std::int64_t>(amplitudes_.size()));
+  t_calls.add();
   const auto spec = fiber_spec(layout_, target);
   parallel_for_with_scratch(
       spec.count, spec.d, [&](std::size_t f, std::span<cplx> scratch) {
@@ -116,6 +127,11 @@ void StateVector::apply_conditioned_unitary(
 
 void StateVector::apply_permutation(
     const std::function<std::size_t(std::size_t)>& map) {
+  static auto& t_calls = telemetry::counter("qsim.sv.apply_permutation");
+  static auto& t_ns = telemetry::histogram("qsim.sv.apply_permutation.ns");
+  telemetry::Span t_span("sv.apply_permutation", &t_ns);
+  t_span.tag("dim", static_cast<std::int64_t>(amplitudes_.size()));
+  t_calls.add();
   const double nan = std::numeric_limits<double>::quiet_NaN();
   std::vector<cplx> out(amplitudes_.size(), cplx{nan, nan});
   parallel_for(amplitudes_.size(), [&](std::size_t x) {
@@ -132,6 +148,11 @@ void StateVector::apply_permutation(
 void StateVector::apply_value_shift(
     RegisterId r, RegisterId cond,
     std::span<const std::size_t> shift_per_cond_value) {
+  static auto& t_calls = telemetry::counter("qsim.sv.apply_value_shift");
+  static auto& t_ns = telemetry::histogram("qsim.sv.apply_value_shift.ns");
+  telemetry::Span t_span("sv.apply_value_shift", &t_ns);
+  t_span.tag("dim", static_cast<std::int64_t>(amplitudes_.size()));
+  t_calls.add();
   QS_REQUIRE(!(r == cond), "shift target and condition must differ");
   QS_REQUIRE(shift_per_cond_value.size() == layout_.dim(cond),
              "need one shift per condition value");
@@ -155,6 +176,11 @@ void StateVector::apply_value_shift(
 void StateVector::apply_controlled_value_shift(
     RegisterId r, RegisterId cond, RegisterId flag,
     std::span<const std::size_t> shift_per_cond_value) {
+  static auto& t_calls = telemetry::counter("qsim.sv.apply_controlled_value_shift");
+  static auto& t_ns = telemetry::histogram("qsim.sv.apply_controlled_value_shift.ns");
+  telemetry::Span t_span("sv.apply_controlled_value_shift", &t_ns);
+  t_span.tag("dim", static_cast<std::int64_t>(amplitudes_.size()));
+  t_calls.add();
   QS_REQUIRE(!(r == cond) && !(r == flag) && !(cond == flag),
              "shift target, condition and flag must be distinct registers");
   QS_REQUIRE(layout_.dim(flag) == 2, "control flag must be a qubit");
@@ -180,6 +206,11 @@ void StateVector::apply_controlled_value_shift(
 
 void StateVector::apply_diagonal(
     const std::function<cplx(std::size_t)>& phase) {
+  static auto& t_calls = telemetry::counter("qsim.sv.apply_diagonal");
+  static auto& t_ns = telemetry::histogram("qsim.sv.apply_diagonal.ns");
+  telemetry::Span t_span("sv.apply_diagonal", &t_ns);
+  t_span.tag("dim", static_cast<std::int64_t>(amplitudes_.size()));
+  t_calls.add();
   parallel_for(amplitudes_.size(), [&](std::size_t x) {
     amplitudes_[x] *= phase(x);
   });
@@ -194,6 +225,11 @@ void StateVector::apply_phase_on_basis_state(std::size_t flat_index,
 void StateVector::apply_phase_on_register_value(RegisterId r,
                                                 std::size_t value,
                                                 cplx phase) {
+  static auto& t_calls = telemetry::counter("qsim.sv.apply_phase_on_register_value");
+  static auto& t_ns = telemetry::histogram("qsim.sv.apply_phase_on_register_value.ns");
+  telemetry::Span t_span("sv.apply_phase_on_register_value", &t_ns);
+  t_span.tag("dim", static_cast<std::int64_t>(amplitudes_.size()));
+  t_calls.add();
   QS_REQUIRE(value < layout_.dim(r), "register value out of range");
   const std::size_t s = layout_.stride(r);
   const std::size_t d = layout_.dim(r);
@@ -204,6 +240,11 @@ void StateVector::apply_phase_on_register_value(RegisterId r,
 }
 
 void StateVector::apply_householder(RegisterId r, std::span<const cplx> v) {
+  static auto& t_calls = telemetry::counter("qsim.sv.apply_householder");
+  static auto& t_ns = telemetry::histogram("qsim.sv.apply_householder.ns");
+  telemetry::Span t_span("sv.apply_householder", &t_ns);
+  t_span.tag("dim", static_cast<std::int64_t>(amplitudes_.size()));
+  t_calls.add();
   const auto spec = fiber_spec(layout_, r);
   QS_REQUIRE(v.size() == spec.d,
              "Householder vector must match register dimension");
@@ -220,6 +261,11 @@ void StateVector::apply_householder(RegisterId r, std::span<const cplx> v) {
 }
 
 void StateVector::apply_global_phase(cplx phase) {
+  static auto& t_calls = telemetry::counter("qsim.sv.apply_global_phase");
+  static auto& t_ns = telemetry::histogram("qsim.sv.apply_global_phase.ns");
+  telemetry::Span t_span("sv.apply_global_phase", &t_ns);
+  t_span.tag("dim", static_cast<std::int64_t>(amplitudes_.size()));
+  t_calls.add();
   parallel_for(amplitudes_.size(), [&](std::size_t x) {
     amplitudes_[x] *= phase;
   });

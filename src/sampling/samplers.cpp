@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/require.hpp"
+#include "sampling/traced_backend.hpp"
 
 namespace qs {
 
@@ -65,7 +66,16 @@ SamplerResult run_with_plan(const DistributedDatabase& db, QueryMode mode,
     };
   }
 
-  run_sampling_circuit(backend, mode, plan, observer);
+  static auto& t_runs = telemetry::counter("sampling.runs");
+  static auto& t_run_ns = telemetry::histogram("sampling.run.ns");
+  {
+    telemetry::Span run_span("sampling.run", &t_run_ns);
+    run_span.tag("mode", mode == QueryMode::kSequential ? 0 : 1);
+    run_span.tag("machines", static_cast<std::int64_t>(db.num_machines()));
+    t_runs.add();
+    TelemetryBackend traced(backend);
+    run_sampling_circuit(traced, mode, plan, observer);
+  }
 
   SamplerResult result{std::move(backend.state()),
                        backend.registers(),

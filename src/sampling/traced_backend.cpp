@@ -1,0 +1,77 @@
+#include "sampling/traced_backend.hpp"
+
+#include <string>
+
+namespace qs {
+
+TelemetryBackend::TelemetryBackend(SamplingBackend& inner)
+    : inner_(inner),
+      sequential_total_(telemetry::counter("sampling.oracle.sequential")),
+      parallel_rounds_(telemetry::counter("sampling.parallel_rounds")),
+      adjoint_calls_(telemetry::counter("sampling.oracle.adjoint")),
+      oracle_ns_(telemetry::histogram("sampling.oracle.ns")) {
+  per_machine_.reserve(inner.num_machines());
+  for (std::size_t j = 0; j < inner.num_machines(); ++j) {
+    per_machine_.push_back(&telemetry::counter("sampling.oracle.machine." +
+                                               std::to_string(j)));
+  }
+}
+
+std::size_t TelemetryBackend::num_machines() const {
+  return inner_.num_machines();
+}
+
+void TelemetryBackend::prep_uniform(bool adjoint) {
+  telemetry::Span span("schedule.F");
+  span.tag("adjoint", adjoint ? 1 : 0);
+  inner_.prep_uniform(adjoint);
+}
+
+void TelemetryBackend::phase_good(double phi) {
+  telemetry::Span span("schedule.S_chi");
+  inner_.phase_good(phi);
+}
+
+void TelemetryBackend::phase_initial(double phi) {
+  telemetry::Span span("schedule.S_0");
+  inner_.phase_initial(phi);
+}
+
+void TelemetryBackend::rotation_u(bool adjoint) {
+  telemetry::Span span("schedule.U");
+  span.tag("adjoint", adjoint ? 1 : 0);
+  inner_.rotation_u(adjoint);
+}
+
+void TelemetryBackend::oracle(std::size_t j, bool adjoint) {
+  telemetry::Span span("schedule.oracle", &oracle_ns_);
+  span.tag("event", static_cast<std::int64_t>(event_index_));
+  span.tag("machine", static_cast<std::int64_t>(j));
+  span.tag("adjoint", adjoint ? 1 : 0);
+  ++event_index_;
+  sequential_total_.add();
+  if (j < per_machine_.size()) per_machine_[j]->add();
+  if (adjoint) adjoint_calls_.add();
+  inner_.oracle(j, adjoint);
+}
+
+void TelemetryBackend::parallel_total_shift(bool adjoint) {
+  // The composite spends one O and one O† round (Lemma 4.4), i.e. TWO
+  // transcript events; the span covers both and advances the index by 2 so
+  // later spans keep matching ProtocolOp::event.
+  telemetry::Span span("schedule.parallel_shift", &oracle_ns_);
+  span.tag("event", static_cast<std::int64_t>(event_index_));
+  span.tag("rounds", 2);
+  span.tag("adjoint", adjoint ? 1 : 0);
+  event_index_ += 2;
+  parallel_rounds_.add(2);
+  adjoint_calls_.add();  // exactly one of the two rounds is the adjoint O†
+  inner_.parallel_total_shift(adjoint);
+}
+
+void TelemetryBackend::global_phase(double angle) {
+  telemetry::Span span("schedule.phase");
+  inner_.global_phase(angle);
+}
+
+}  // namespace qs

@@ -1,0 +1,58 @@
+// Telemetry decorator for sampling backends.
+//
+// Wraps any SamplingBackend and reports every schedule operation to the
+// telemetry layer (src/telemetry) without touching the circuit semantics:
+//
+//   * spans — one per operation, named "schedule.<op>" and tagged with the
+//     ordinal `event` of the oracle/round in the run's Transcript. This is
+//     the same index analysis::lift_transcript / lift_compiled attach to
+//     their micro-ops (ProtocolOp::event), so a Perfetto trace of a run
+//     lines up one-to-one with dqs-verify diagnostics and with
+//     for_each_schedule_event order;
+//   * counters — the telemetry mirror of the QueryStats ledger:
+//     sampling.oracle.sequential, sampling.oracle.machine.<j>,
+//     sampling.parallel_rounds, sampling.oracle.adjoint. The
+//     telemetry ⇄ ledger invariant test asserts these equal both
+//     db.stats() and stats_of(transcript) exactly;
+//   * a duration histogram sampling.oracle.ns over individual queries.
+//
+// run_sequential_sampler / run_parallel_sampler route through this
+// decorator unconditionally; with telemetry globally off every hook is a
+// relaxed load + branch (the ≤2% disabled-overhead budget, gated in CI).
+#pragma once
+
+#include <vector>
+
+#include "sampling/backend.hpp"
+#include "telemetry/trace.hpp"
+
+namespace qs {
+
+class TelemetryBackend final : public SamplingBackend {
+ public:
+  /// Does not own `inner`; it must outlive the decorator.
+  explicit TelemetryBackend(SamplingBackend& inner);
+
+  std::size_t num_machines() const override;
+  void prep_uniform(bool adjoint) override;
+  void phase_good(double phi) override;
+  void phase_initial(double phi) override;
+  void rotation_u(bool adjoint) override;
+  void oracle(std::size_t j, bool adjoint) override;
+  void parallel_total_shift(bool adjoint) override;
+  void global_phase(double angle) override;
+
+  /// Oracle/round events reported so far — the next event's index.
+  std::uint64_t next_event_index() const noexcept { return event_index_; }
+
+ private:
+  SamplingBackend& inner_;
+  std::uint64_t event_index_ = 0;
+  telemetry::Counter& sequential_total_;
+  telemetry::Counter& parallel_rounds_;
+  telemetry::Counter& adjoint_calls_;
+  telemetry::Histogram& oracle_ns_;
+  std::vector<telemetry::Counter*> per_machine_;
+};
+
+}  // namespace qs

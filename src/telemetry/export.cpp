@@ -1,0 +1,105 @@
+#include "telemetry/export.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace qs::telemetry {
+
+std::string json_escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Fractional microseconds with fixed 3-digit (nanosecond) precision — the
+/// trace spec's `ts`/`dur` unit.
+std::string us_of_ns(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os,
+                        std::span<const TraceEvent> events) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"dqs\"}}";
+  for (const auto& e : events) {
+    os << ",\n{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\"dqs\","
+       << "\"ph\":\"X\",\"ts\":" << us_of_ns(e.start_ns)
+       << ",\"dur\":" << us_of_ns(e.dur_ns) << ",\"pid\":1,\"tid\":" << e.tid;
+    if (e.num_tags != 0) {
+      os << ",\"args\":{";
+      for (std::uint32_t t = 0; t < e.num_tags; ++t) {
+        if (t != 0) os << ',';
+        os << '"' << json_escape(e.tags[t].key) << "\":" << e.tags[t].value;
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+  os << "\n]}\n";
+}
+
+void write_chrome_trace(std::ostream& os) {
+  const auto events = tracer().events();
+  write_chrome_trace(os, events);
+}
+
+void write_metrics_jsonl(std::ostream& os, const MetricsSnapshot& snapshot) {
+  for (const auto& s : snapshot) {
+    os << "{\"schema\":\"dqs-metrics-v1\",";
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        os << "\"kind\":\"counter\",\"name\":\"" << json_escape(s.name)
+           << "\",\"value\":" << s.count;
+        break;
+      case MetricSample::Kind::kGauge:
+        os << "\"kind\":\"gauge\",\"name\":\"" << json_escape(s.name)
+           << "\",\"value\":" << s.gauge;
+        break;
+      case MetricSample::Kind::kHistogram:
+        os << "\"kind\":\"histogram\",\"name\":\"" << json_escape(s.name)
+           << "\",\"count\":" << s.count << ",\"sum\":" << s.sum
+           << ",\"min\":" << s.min << ",\"max\":" << s.max << ",\"buckets\":[";
+        for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+          if (b != 0) os << ',';
+          os << '[' << s.buckets[b].first << ',' << s.buckets[b].second
+             << ']';
+        }
+        os << ']';
+        break;
+    }
+    os << "}\n";
+  }
+}
+
+void write_metrics_jsonl(std::ostream& os) {
+  write_metrics_jsonl(os, registry().snapshot());
+}
+
+}  // namespace qs::telemetry

@@ -1,0 +1,48 @@
+// Exporters: Chrome trace-event JSON and JSONL metric snapshots.
+//
+// Trace format — the "JSON Object Format" of the Trace Event spec, loadable
+// in Perfetto (ui.perfetto.dev) and chrome://tracing: every completed span
+// becomes one complete event
+//
+//   {"name": …, "ph": "X", "ts": µs, "dur": µs, "pid": 1, "tid": …,
+//    "cat": "dqs", "args": {…span tags…}}
+//
+// with timestamps in (fractional) microseconds on the process steady
+// clock, plus a leading process_name metadata record.
+//
+// Metrics format — one self-describing JSON object per line
+// ("dqs-metrics-v1"), safe to append and to grep:
+//
+//   {"schema":"dqs-metrics-v1","kind":"counter","name":…,"value":…}
+//   {"schema":"dqs-metrics-v1","kind":"gauge","name":…,"value":…}
+//   {"schema":"dqs-metrics-v1","kind":"histogram","name":…,"count":…,
+//    "sum":…,"min":…,"max":…,"buckets":[[bucket,count],…]}
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace qs::telemetry {
+
+/// Escape for inclusion inside a JSON string literal (no surrounding
+/// quotes added).
+std::string json_escape(std::string_view raw);
+
+/// Write the events as a complete Chrome trace-event JSON document.
+void write_chrome_trace(std::ostream& os, std::span<const TraceEvent> events);
+
+/// Convenience: drain nothing — export the global tracer's current buffer.
+void write_chrome_trace(std::ostream& os);
+
+/// Write one JSONL line per metric sample.
+void write_metrics_jsonl(std::ostream& os, const MetricsSnapshot& snapshot);
+
+/// Convenience: snapshot the global registry and write it.
+void write_metrics_jsonl(std::ostream& os);
+
+}  // namespace qs::telemetry

@@ -1,0 +1,227 @@
+#include "telemetry/json.hpp"
+
+#include <cctype>
+#include <charconv>
+
+#include "common/require.hpp"
+
+namespace qs::telemetry::json {
+
+const Value& Value::at(const std::string& key) const {
+  QS_REQUIRE(type == Type::kObject, "json: at(key) on a non-object");
+  const auto it = object.find(key);
+  QS_REQUIRE(it != object.end(), "json: missing key '" + key + "'");
+  return it->second;
+}
+
+const Value& Value::at(std::size_t index) const {
+  QS_REQUIRE(type == Type::kArray, "json: at(index) on a non-array");
+  QS_REQUIRE(index < array.size(), "json: array index out of range");
+  return array[index];
+}
+
+bool Value::contains(const std::string& key) const {
+  return type == Type::kObject && object.find(key) != object.end();
+}
+
+double Value::as_number() const {
+  QS_REQUIRE(type == Type::kNumber, "json: not a number");
+  return number;
+}
+
+const std::string& Value::as_string() const {
+  QS_REQUIRE(type == Type::kString, "json: not a string");
+  return string;
+}
+
+bool Value::as_bool() const {
+  QS_REQUIRE(type == Type::kBool, "json: not a boolean");
+  return boolean;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    QS_REQUIRE(pos_ == text_.size(),
+               "json: trailing garbage at offset " + std::to_string(pos_));
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ContractViolation("json: " + what + " at offset " +
+                            std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        Value v;
+        v.type = Value::Type::kString;
+        v.string = parse_string();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        const bool truth = peek() == 't';
+        if (!consume_literal(truth ? "true" : "false")) fail("bad literal");
+        Value v;
+        v.type = Value::Type::kBool;
+        v.boolean = truth;
+        return v;
+      }
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Value{};
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value v;
+    v.type = Value::Type::kObject;
+    skip_ws();
+    if (peek() == '}') { ++pos_; return v; }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value v;
+    v.type = Value::Type::kArray;
+    skip_ws();
+    if (peek() == ']') { ++pos_; return v; }
+    while (true) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unsupported —
+          // the exporters never emit them).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    double value = 0.0;
+    const auto* first = text_.data() + start;
+    const auto* last = text_.data() + pos_;
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc{} || ptr != last) fail("malformed number");
+    Value v;
+    v.type = Value::Type::kNumber;
+    v.number = value;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace qs::telemetry::json

@@ -1,0 +1,51 @@
+// Minimal recursive-descent JSON reader.
+//
+// Just enough JSON to round-trip the telemetry exporters inside the test
+// suite and the dqs_trace self-checks: objects, arrays, strings (with the
+// escapes json_escape emits plus \uXXXX for BMP code points), numbers
+// (parsed as double), booleans and null. Not a general-purpose parser —
+// library code has no business ingesting foreign JSON; tooling that does
+// (tools/*.py) uses Python's json module.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qs::telemetry::json {
+
+struct Value {
+  enum class Type : std::uint8_t {
+    kNull, kBool, kNumber, kString, kArray, kObject,
+  };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  bool is_null() const noexcept { return type == Type::kNull; }
+  bool is_object() const noexcept { return type == Type::kObject; }
+  bool is_array() const noexcept { return type == Type::kArray; }
+
+  /// Member access; throws qs::ContractViolation when absent or not an
+  /// object/array.
+  const Value& at(const std::string& key) const;
+  const Value& at(std::size_t index) const;
+  bool contains(const std::string& key) const;
+
+  /// Typed reads; throw on a type mismatch.
+  double as_number() const;
+  const std::string& as_string() const;
+  bool as_bool() const;
+};
+
+/// Parse a complete JSON document (trailing whitespace allowed, anything
+/// else throws qs::ContractViolation with an offset).
+Value parse(std::string_view text);
+
+}  // namespace qs::telemetry::json

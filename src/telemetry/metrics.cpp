@@ -1,0 +1,114 @@
+#include "telemetry/metrics.hpp"
+
+#include <bit>
+
+namespace qs::telemetry {
+
+void Histogram::record(std::uint64_t sample) noexcept {
+  if (!metrics_enabled()) return;
+  buckets_[std::bit_width(sample)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (sample < seen &&
+         !min_.compare_exchange_weak(seen, sample, std::memory_order_relaxed))
+    ;
+  seen = max_.load(std::memory_order_relaxed);
+  while (sample > seen &&
+         !max_.compare_exchange_weak(seen, sample, std::memory_order_relaxed))
+    ;
+}
+
+std::uint64_t Histogram::min() const noexcept {
+  const auto raw = min_.load(std::memory_order_relaxed);
+  return raw == ~std::uint64_t{0} ? 0 : raw;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+template <typename Map, typename Instrument>
+Instrument& find_or_register(std::mutex& mu, Map& map, std::string_view name) {
+  const std::scoped_lock lock(mu);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), std::make_unique<Instrument>()).first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return find_or_register<decltype(counters_), Counter>(mu_, counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return find_or_register<decltype(gauges_), Gauge>(mu_, gauges_, name);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return find_or_register<decltype(histograms_), Histogram>(mu_, histograms_,
+                                                            name);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::scoped_lock lock(mu_);
+  MetricsSnapshot out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricSample s;
+    s.kind = MetricSample::Kind::kCounter;
+    s.name = name;
+    s.count = c->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricSample s;
+    s.kind = MetricSample::Kind::kGauge;
+    s.name = name;
+    s.gauge = g->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricSample s;
+    s.kind = MetricSample::Kind::kHistogram;
+    s.name = name;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.min = h->min();
+    s.max = h->max();
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      if (const auto n = h->bucket(b); n != 0) s.buckets.emplace_back(b, n);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  const std::scoped_lock lock(mu_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& registry() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+Counter& counter(std::string_view name) { return registry().counter(name); }
+Gauge& gauge(std::string_view name) { return registry().gauge(name); }
+Histogram& histogram(std::string_view name) {
+  return registry().histogram(name);
+}
+
+}  // namespace qs::telemetry

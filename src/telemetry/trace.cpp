@@ -1,0 +1,66 @@
+#include "telemetry/trace.hpp"
+
+#include <chrono>
+
+namespace qs::telemetry {
+
+std::uint64_t monotonic_ns() noexcept {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+}
+
+std::uint32_t current_thread_id() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void Tracer::record(const TraceEvent& event) {
+  {
+    const std::scoped_lock lock(mu_);
+    if (events_.size() < capacity_) {
+      events_.push_back(event);
+      return;
+    }
+  }
+  counter("telemetry.trace.dropped").add();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  const std::scoped_lock lock(mu_);
+  return events_;
+}
+
+std::size_t Tracer::size() const {
+  const std::scoped_lock lock(mu_);
+  return events_.size();
+}
+
+void Tracer::clear() {
+  const std::scoped_lock lock(mu_);
+  events_.clear();
+}
+
+void Tracer::set_capacity(std::size_t capacity) {
+  const std::scoped_lock lock(mu_);
+  capacity_ = capacity;
+}
+
+Tracer& tracer() {
+  static Tracer instance;
+  return instance;
+}
+
+void Span::finish() noexcept {
+  const std::uint64_t end = monotonic_ns();
+  event_.dur_ns = end >= event_.start_ns ? end - event_.start_ns : 0;
+  if (timed_) histogram_->record(event_.dur_ns);
+  if (traced_) {
+    event_.tid = current_thread_id();
+    tracer().record(event_);
+  }
+}
+
+}  // namespace qs::telemetry

@@ -1,0 +1,122 @@
+// RAII span tracing with steady-clock timestamps and small thread ids.
+//
+// A Span measures one scoped operation (a statevector kernel, one schedule
+// event, a cache rebuild). Completed spans are appended to the global
+// Tracer buffer and exported as Chrome trace-event JSON (export.hpp) that
+// loads directly in Perfetto / chrome://tracing. Spans carry up to
+// kMaxTags integer tags — the sampling layer uses them to stamp every
+// schedule span with its protocol-IR event index, so a trace lines up
+// one-to-one with dqs-verify diagnostics (docs/ANALYSIS.md).
+//
+// Cost model: when tracing is off (the default) constructing a Span is one
+// relaxed atomic load and a branch; no clock is read and nothing is
+// buffered. When on, a span costs two steady_clock reads plus one
+// mutex-guarded append at destruction. A Span may also feed a duration
+// Histogram, which activates it under metrics even when tracing is off.
+//
+// This header is the ONLY sanctioned home of wall-clock time in src/: the
+// dqs_lint `timing-discipline` rule rejects raw std::chrono use elsewhere
+// so that every measurement flows through one exportable pipeline.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace qs::telemetry {
+
+/// Nanoseconds on a monotonic (steady) clock, for code that needs a raw
+/// reading — e.g. the overhead gate in tools/dqs_trace.
+std::uint64_t monotonic_ns() noexcept;
+
+/// Small dense id for the calling thread (0, 1, 2, … in first-use order);
+/// stable for the thread's lifetime. Exported as the trace `tid`.
+std::uint32_t current_thread_id() noexcept;
+
+/// One integer annotation on a span ("event", "machine", "adjoint", …).
+struct TraceTag {
+  const char* key = nullptr;
+  std::int64_t value = 0;
+};
+
+/// A completed span. `name` must point at a string literal (or any storage
+/// outliving the Tracer) — spans never copy it.
+struct TraceEvent {
+  const char* name = "";
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;
+  std::array<TraceTag, 4> tags{};
+  std::uint32_t num_tags = 0;
+};
+
+/// Global bounded buffer of completed spans. When full, further spans are
+/// dropped and counted in the `telemetry.trace.dropped` counter instead of
+/// growing without limit under long-running servers.
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 20;
+
+  void record(const TraceEvent& event);
+
+  /// Copy out the buffer (in completion order).
+  std::vector<TraceEvent> events() const;
+  std::size_t size() const;
+  void clear();
+
+  /// Change the drop threshold (existing events are kept).
+  void set_capacity(std::size_t capacity);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::size_t capacity_ = kDefaultCapacity;
+};
+
+Tracer& tracer();
+
+/// RAII measurement of the enclosing scope. Inactive (and nearly free)
+/// unless tracing is enabled or a duration histogram is attached while
+/// metrics are enabled.
+class Span {
+ public:
+  static constexpr std::uint32_t kMaxTags = 4;
+
+  explicit Span(const char* name,
+                Histogram* duration_histogram = nullptr) noexcept
+      : histogram_(duration_histogram) {
+    const bool trace = tracing_enabled();
+    const bool time = histogram_ != nullptr && metrics_enabled();
+    if (!trace && !time) return;
+    event_.name = name;
+    event_.start_ns = monotonic_ns();
+    traced_ = trace;
+    timed_ = time;
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() { if (traced_ || timed_) finish(); }
+
+  bool active() const noexcept { return traced_ || timed_; }
+
+  /// Attach an integer tag; silently ignored when inactive or full.
+  void tag(const char* key, std::int64_t value) noexcept {
+    if (!traced_ || event_.num_tags >= kMaxTags) return;
+    event_.tags[event_.num_tags++] = TraceTag{key, value};
+  }
+
+ private:
+  void finish() noexcept;
+
+  TraceEvent event_{};
+  Histogram* histogram_ = nullptr;
+  bool traced_ = false;
+  bool timed_ = false;
+};
+
+}  // namespace qs::telemetry

@@ -1,0 +1,16 @@
+// Fixture: raw wall-clock timing in library code — must trip
+// timing-discipline. Library timing goes through telemetry::Span /
+// telemetry::monotonic_ns (src/telemetry/trace.hpp), never raw
+// std::chrono, so the disabled-telemetry overhead gate covers every timer
+// the library can start.
+#include <chrono>
+
+namespace qs {
+
+double elapsed_seconds() {
+  const auto start = std::chrono::steady_clock::now();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+}  // namespace qs

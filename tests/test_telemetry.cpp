@@ -1,0 +1,281 @@
+// Tests for the telemetry subsystem (src/telemetry): registry semantics,
+// the disabled fast path, span tracing, and both exporters round-tripped
+// through the in-repo JSON parser.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/require.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace qs::telemetry {
+namespace {
+
+/// Every test starts from a known state: metrics on, tracing off, all
+/// values zeroed. Individual tests flip what they need.
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_metrics_enabled(true);
+    set_tracing_enabled(false);
+    registry().reset();
+    tracer().clear();
+    tracer().set_capacity(Tracer::kDefaultCapacity);
+  }
+  void TearDown() override { set_enabled(false); }
+};
+
+TEST_F(TelemetryTest, CounterAccumulatesAndResets) {
+  auto& c = counter("test.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  registry().reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(TelemetryTest, SameNameReturnsSameInstrument) {
+  auto& a = counter("test.same");
+  auto& b = counter("test.same");
+  EXPECT_EQ(&a, &b);
+  auto& g1 = gauge("test.same");  // separate namespace per kind
+  auto& g2 = gauge("test.same");
+  EXPECT_EQ(&g1, &g2);
+  auto& h1 = histogram("test.same");
+  auto& h2 = histogram("test.same");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST_F(TelemetryTest, DisabledMetricsDropIncrements) {
+  auto& c = counter("test.disabled");
+  auto& h = histogram("test.disabled.ns");
+  set_metrics_enabled(false);
+  c.add(7);
+  h.record(100);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  set_metrics_enabled(true);
+  c.add(7);
+  h.record(100);
+  EXPECT_EQ(c.value(), 7u);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST_F(TelemetryTest, HistogramTracksLog2BucketsAndExtrema) {
+  auto& h = histogram("test.hist");
+  h.record(0);    // bit_width(0) == 0 → bucket 0
+  h.record(1);    // bucket 1
+  h.record(7);    // bucket 3
+  h.record(8);    // bucket 4
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 16u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 8u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.bucket(4), 1u);
+}
+
+TEST_F(TelemetryTest, SnapshotCarriesAllKinds) {
+  counter("test.snap.counter").add(3);
+  gauge("test.snap.gauge").set(-5);
+  histogram("test.snap.hist").record(9);
+  std::map<std::string, MetricSample::Kind> seen;
+  for (const auto& sample : registry().snapshot())
+    seen.emplace(sample.name, sample.kind);
+  EXPECT_EQ(seen.at("test.snap.counter"), MetricSample::Kind::kCounter);
+  EXPECT_EQ(seen.at("test.snap.gauge"), MetricSample::Kind::kGauge);
+  EXPECT_EQ(seen.at("test.snap.hist"), MetricSample::Kind::kHistogram);
+}
+
+TEST_F(TelemetryTest, SpanInactiveWhenNothingEnabled) {
+  set_metrics_enabled(false);
+  auto& h = histogram("test.span.ns");
+  {
+    Span span("test.span", &h);
+    EXPECT_FALSE(span.active());
+    span.tag("k", 1);
+  }
+  EXPECT_EQ(tracer().size(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST_F(TelemetryTest, SpanFeedsHistogramWithoutTracing) {
+  auto& h = histogram("test.span.timed.ns");
+  {
+    Span span("test.span.timed", &h);
+    EXPECT_TRUE(span.active());
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(tracer().size(), 0u);  // tracing still off
+}
+
+TEST_F(TelemetryTest, SpanRecordsTagsAndDuration) {
+  set_tracing_enabled(true);
+  {
+    Span span("test.span.traced");
+    span.tag("alpha", 1);
+    span.tag("beta", -2);
+  }
+  const auto events = tracer().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "test.span.traced");
+  ASSERT_EQ(events[0].num_tags, 2u);
+  EXPECT_STREQ(events[0].tags[0].key, "alpha");
+  EXPECT_EQ(events[0].tags[0].value, 1);
+  EXPECT_EQ(events[0].tags[1].value, -2);
+}
+
+TEST_F(TelemetryTest, TracerDropsBeyondCapacityAndCounts) {
+  set_tracing_enabled(true);
+  tracer().set_capacity(3);
+  const auto dropped_before = counter("telemetry.trace.dropped").value();
+  for (int i = 0; i < 5; ++i) {
+    Span span("test.drop");
+  }
+  EXPECT_EQ(tracer().size(), 3u);
+  EXPECT_EQ(counter("telemetry.trace.dropped").value(), dropped_before + 2);
+}
+
+TEST_F(TelemetryTest, ThreadIdsAreDenseAndDistinct) {
+  set_tracing_enabled(true);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i)
+    threads.emplace_back([] { Span span("test.thread"); });
+  for (auto& t : threads) t.join();
+  std::vector<std::uint32_t> tids;
+  for (const auto& ev : tracer().events()) tids.push_back(ev.tid);
+  ASSERT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+  std::sort(tids.begin(), tids.end());
+  EXPECT_EQ(std::unique(tids.begin(), tids.end()), tids.end())
+      << "thread ids must be distinct";
+}
+
+// --- exporter round trips -------------------------------------------------
+
+TEST_F(TelemetryTest, ChromeTraceRoundTripsThroughJsonParser) {
+  set_tracing_enabled(true);
+  {
+    Span outer("test.outer");
+    outer.tag("event", 7);
+    Span inner("test.inner");
+  }
+  { Span later("test.later"); }
+
+  std::ostringstream os;
+  write_chrome_trace(os);
+  const auto doc = json::parse(os.str());
+
+  const auto& events = doc.at("traceEvents");
+  ASSERT_EQ(events.type, json::Value::Type::kArray);
+  // events[0] is the process_name metadata record; the rest are spans.
+  EXPECT_EQ(events.at(std::size_t{0}).at("ph").as_string(), "M");
+  ASSERT_EQ(events.array.size(), 4u);
+
+  std::map<std::uint32_t, double> last_end;
+  std::vector<std::string> names;
+  for (std::size_t i = 1; i < events.array.size(); ++i) {
+    const auto& ev = events.at(i);
+    EXPECT_EQ(ev.at("ph").as_string(), "X");
+    EXPECT_EQ(ev.at("cat").as_string(), "dqs");
+    names.push_back(ev.at("name").as_string());
+    const double ts = ev.at("ts").as_number();
+    const double dur = ev.at("dur").as_number();
+    EXPECT_GE(dur, 0.0);
+    const auto tid = static_cast<std::uint32_t>(ev.at("tid").as_number());
+    // Spans are recorded at FINISH, so end timestamps are monotone per
+    // thread in buffer order (start order is not, for nested spans).
+    const auto it = last_end.find(tid);
+    if (it != last_end.end()) {
+      EXPECT_GE(ts + dur, it->second);
+    }
+    last_end[tid] = ts + dur;
+  }
+  // Nested: inner finishes before outer, so buffer order is inner first.
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"test.inner", "test.outer",
+                                      "test.later"}));
+  // Tags travel in args.
+  EXPECT_EQ(events.at(std::size_t{2}).at("args").at("event").as_number(),
+            7.0);
+}
+
+TEST_F(TelemetryTest, MetricsJsonlRoundTripsThroughJsonParser) {
+  counter("test.jsonl.counter").add(12);
+  gauge("test.jsonl.gauge").set(-3);
+  histogram("test.jsonl.hist").record(5);
+
+  std::ostringstream os;
+  write_metrics_jsonl(os);
+
+  std::map<std::string, json::Value> by_name;
+  std::istringstream is(os.str());
+  std::string line;
+  while (std::getline(is, line)) {
+    ASSERT_FALSE(line.empty());
+    auto doc = json::parse(line);
+    EXPECT_EQ(doc.at("schema").as_string(), "dqs-metrics-v1");
+    std::string name = doc.at("name").as_string();
+    by_name.emplace(std::move(name), std::move(doc));
+  }
+  const auto& c = by_name.at("test.jsonl.counter");
+  EXPECT_EQ(c.at("kind").as_string(), "counter");
+  EXPECT_EQ(c.at("value").as_number(), 12.0);
+  const auto& g = by_name.at("test.jsonl.gauge");
+  EXPECT_EQ(g.at("kind").as_string(), "gauge");
+  EXPECT_EQ(g.at("value").as_number(), -3.0);
+  const auto& h = by_name.at("test.jsonl.hist");
+  EXPECT_EQ(h.at("kind").as_string(), "histogram");
+  EXPECT_EQ(h.at("count").as_number(), 1.0);
+  EXPECT_EQ(h.at("min").as_number(), 5.0);
+  EXPECT_EQ(h.at("max").as_number(), 5.0);
+}
+
+TEST_F(TelemetryTest, JsonEscapeHandlesControlAndQuotes) {
+  const auto escaped = json_escape("a\"b\\c\nd\te");
+  const auto doc = json::parse("\"" + escaped + "\"");
+  EXPECT_EQ(doc.as_string(), "a\"b\\c\nd\te");
+}
+
+TEST_F(TelemetryTest, JsonParserRejectsMalformedInput) {
+  EXPECT_THROW(json::parse("{"), ContractViolation);
+  EXPECT_THROW(json::parse("[1,]"), ContractViolation);
+  EXPECT_THROW(json::parse("{\"a\":1} trailing"), ContractViolation);
+  EXPECT_THROW(json::parse("nul"), ContractViolation);
+}
+
+TEST_F(TelemetryTest, ConcurrentCountingIsExact) {
+  auto& c = counter("test.concurrent");
+  auto& h = histogram("test.concurrent.ns");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        h.record(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(h.max(), static_cast<std::uint64_t>(kPerThread - 1));
+}
+
+}  // namespace
+}  // namespace qs::telemetry

@@ -1,0 +1,286 @@
+// Telemetry ⇄ ledger invariant tests.
+//
+// Three independent accountings of the same sampler run must agree
+// EXACTLY — the QueryStats ledger returned by the sampler, the replayed
+// ledger stats_of(transcript), and the telemetry counters maintained by
+// TelemetryBackend — in both query models across a parameter grid. A
+// fourth view, the `event` tags on the schedule spans, must line up with
+// the transcript indices (the same ProtocolOp::event the static analyzer
+// uses), so a Perfetto trace cross-references dqs-verify diagnostics.
+//
+// Also covers the SampleServer cache accounting: updates invalidate a live
+// cache exactly once, every miss triggers exactly one rebuild, and the
+// telemetry counters mirror the per-server CacheStats.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/sample_server.hpp"
+#include "common/rng.hpp"
+#include "distdb/transcript.hpp"
+#include "distdb/workload.hpp"
+#include "sampling/samplers.hpp"
+#include "sampling/schedule.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace qs {
+namespace {
+
+DistributedDatabase make_db(std::size_t universe, std::size_t machines,
+                            std::uint64_t total, std::uint64_t seed) {
+  Rng rng(seed);
+  auto datasets = workload::uniform_random(universe, machines, total, rng);
+  const auto nu = min_capacity(datasets) + 1;
+  return DistributedDatabase(std::move(datasets), nu);
+}
+
+class TelemetryLedgerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::set_metrics_enabled(true);
+    telemetry::set_tracing_enabled(false);
+    telemetry::registry().reset();
+    telemetry::tracer().clear();
+  }
+  void TearDown() override { telemetry::set_enabled(false); }
+};
+
+struct GridPoint {
+  std::size_t universe;
+  std::size_t machines;
+  std::uint64_t total;
+  std::uint64_t seed;
+};
+
+const GridPoint kGrid[] = {
+    {64, 2, 12, 1},
+    {64, 4, 20, 2},
+    {128, 3, 24, 3},
+    {128, 5, 30, 4},
+};
+
+TEST_F(TelemetryLedgerTest, CountersMatchLedgerAndTranscriptOnGrid) {
+  for (const auto& p : kGrid) {
+    for (const auto mode : {QueryMode::kSequential, QueryMode::kParallel}) {
+      SCOPED_TRACE("N=" + std::to_string(p.universe) +
+                   " n=" + std::to_string(p.machines) +
+                   " M=" + std::to_string(p.total) + " mode=" +
+                   (mode == QueryMode::kSequential ? "seq" : "par"));
+      telemetry::registry().reset();
+      const auto db = make_db(p.universe, p.machines, p.total, p.seed);
+
+      Transcript transcript;
+      SamplerOptions options;
+      options.transcript = &transcript;
+      const auto result = mode == QueryMode::kSequential
+                              ? run_sequential_sampler(db, options)
+                              : run_parallel_sampler(db, options);
+
+      // Accounting 1 vs 2: ledger vs transcript replay — exact equality.
+      EXPECT_EQ(stats_of(transcript, db.num_machines()), result.stats);
+
+      // Accounting 3: the telemetry mirror.
+      EXPECT_EQ(telemetry::counter("sampling.oracle.sequential").value(),
+                result.stats.total_sequential());
+      EXPECT_EQ(telemetry::counter("sampling.parallel_rounds").value(),
+                result.stats.parallel_rounds);
+      for (std::size_t j = 0; j < db.num_machines(); ++j) {
+        EXPECT_EQ(telemetry::counter("sampling.oracle.machine." +
+                                     std::to_string(j))
+                      .value(),
+                  result.stats.sequential_per_machine[j])
+            << "machine " << j;
+      }
+      EXPECT_EQ(telemetry::counter("sampling.runs").value(), 1u);
+
+      // The transcript also matches the ahead-of-time compiled length.
+      EXPECT_EQ(transcript.size(),
+                compiled_schedule_length(public_params_of(db), mode));
+    }
+  }
+}
+
+/// Find a span tag by key; -1 when absent.
+std::int64_t tag_of(const telemetry::TraceEvent& ev, const char* key) {
+  for (std::uint32_t t = 0; t < ev.num_tags; ++t)
+    if (std::strcmp(ev.tags[t].key, key) == 0) return ev.tags[t].value;
+  return -1;
+}
+
+TEST_F(TelemetryLedgerTest, ScheduleSpanEventTagsAlignWithTranscript) {
+  telemetry::set_tracing_enabled(true);
+  for (const auto mode : {QueryMode::kSequential, QueryMode::kParallel}) {
+    SCOPED_TRACE(mode == QueryMode::kSequential ? "seq" : "par");
+    telemetry::tracer().clear();
+    const auto db = make_db(64, 3, 15, 9);
+
+    Transcript transcript;
+    SamplerOptions options;
+    options.transcript = &transcript;
+    const auto result = mode == QueryMode::kSequential
+                            ? run_sequential_sampler(db, options)
+                            : run_parallel_sampler(db, options);
+    (void)result;
+
+    // Walk the oracle spans in completion order; their `event` tags must
+    // be exactly 0, 1, 2, … and each must describe the transcript event
+    // at that index (machine and adjoint for sequential queries; a
+    // parallel_shift span covers TWO consecutive parallel rounds).
+    const auto& events = transcript.events();
+    std::uint64_t next_event = 0;
+    for (const auto& span : telemetry::tracer().events()) {
+      if (std::strcmp(span.name, "schedule.oracle") == 0) {
+        const auto index = tag_of(span, "event");
+        ASSERT_EQ(index, static_cast<std::int64_t>(next_event));
+        ASSERT_LT(static_cast<std::size_t>(index), events.size());
+        const auto& ev = events[static_cast<std::size_t>(index)];
+        EXPECT_EQ(ev.kind, QueryKind::kSequential);
+        EXPECT_EQ(static_cast<std::int64_t>(ev.machine),
+                  tag_of(span, "machine"));
+        EXPECT_EQ(ev.adjoint ? 1 : 0, tag_of(span, "adjoint"));
+        next_event += 1;
+      } else if (std::strcmp(span.name, "schedule.parallel_shift") == 0) {
+        const auto index = tag_of(span, "event");
+        ASSERT_EQ(index, static_cast<std::int64_t>(next_event));
+        ASSERT_LT(static_cast<std::size_t>(index) + 1, events.size());
+        EXPECT_EQ(events[static_cast<std::size_t>(index)].kind,
+                  QueryKind::kParallelRound);
+        EXPECT_EQ(events[static_cast<std::size_t>(index) + 1].kind,
+                  QueryKind::kParallelRound);
+        EXPECT_EQ(tag_of(span, "rounds"), 2);
+        next_event += 2;
+      }
+    }
+    // Every transcript event was claimed by exactly one span.
+    EXPECT_EQ(next_event, transcript.size());
+  }
+}
+
+TEST_F(TelemetryLedgerTest, ScheduleSpansMatchForEachScheduleEventOrder) {
+  // The span stream restricted to oracle traffic must follow the same
+  // order for_each_schedule_event visits: sequential grids share one
+  // source of truth (run_sampling_circuit), so label-by-label agreement
+  // is exact.
+  telemetry::set_tracing_enabled(true);
+  const auto db = make_db(64, 2, 10, 11);
+  const auto params = public_params_of(db);
+
+  std::vector<std::size_t> expected_machines;
+  for_each_schedule_event(params, QueryMode::kSequential,
+                          [&](const ScheduleEvent& ev) {
+                            if (ev.kind == ScheduleEvent::Kind::kOracle)
+                              expected_machines.push_back(ev.machine);
+                          });
+
+  telemetry::tracer().clear();
+  (void)run_sequential_sampler(db);
+
+  std::vector<std::size_t> traced_machines;
+  for (const auto& span : telemetry::tracer().events())
+    if (std::strcmp(span.name, "schedule.oracle") == 0)
+      traced_machines.push_back(
+          static_cast<std::size_t>(tag_of(span, "machine")));
+  EXPECT_EQ(traced_machines, expected_machines);
+}
+
+// --- SampleServer cache accounting (satellite 2) --------------------------
+
+TEST_F(TelemetryLedgerTest, SampleServerInvalidatesLiveCacheExactlyOnce) {
+  SampleServer server(make_db(64, 2, 10, 21), QueryMode::kSequential);
+  const auto& stats = server.cache_stats();
+  EXPECT_EQ(stats, SampleServer::CacheStats{});
+
+  // First access: miss, one rebuild.
+  (void)server.state();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.rebuilds, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+
+  // Second access: pure hit, no extra rebuild.
+  (void)server.state();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.rebuilds, 1u);
+
+  // An update on a LIVE cache invalidates it — once.
+  server.insert(0, 3);
+  EXPECT_EQ(stats.invalidations, 1u);
+  // Piling more updates onto the now-stale cache adds NO invalidations.
+  server.insert(1, 5);
+  server.erase(0, 3);
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.rebuilds, 1u);  // and no eager rebuild either
+
+  // Next access: exactly one rebuild for the whole update burst.
+  (void)server.state();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.rebuilds, 2u);
+
+  // erase on a live cache invalidates again.
+  server.erase(1, 5);
+  EXPECT_EQ(stats.invalidations, 2u);
+  (void)server.state();
+  EXPECT_EQ(stats.rebuilds, 3u);
+
+  // Every miss triggered exactly one rebuild — no redundant rebuilds.
+  EXPECT_EQ(stats.rebuilds, stats.misses);
+}
+
+TEST_F(TelemetryLedgerTest, SampleServerDrawConsumesWithoutInvalidation) {
+  SampleServer server(make_db(64, 2, 10, 22), QueryMode::kParallel);
+  const auto& stats = server.cache_stats();
+  Rng rng(5);
+
+  (void)server.draw(rng);  // cold: miss + rebuild, then consumption
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.rebuilds, 1u);
+  EXPECT_FALSE(server.cache_valid());  // measured state is gone…
+  EXPECT_EQ(stats.invalidations, 0u);  // …but the DATA did not change
+
+  (void)server.draw(rng);  // every further draw re-prepares once
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.rebuilds, 2u);
+  EXPECT_EQ(stats.invalidations, 0u);
+  EXPECT_EQ(stats.rebuilds, stats.misses);
+}
+
+TEST_F(TelemetryLedgerTest, SampleServerCountersMirrorCacheStats) {
+  telemetry::registry().reset();
+  SampleServer server(make_db(64, 3, 12, 23), QueryMode::kSequential);
+  Rng rng(6);
+  (void)server.state();
+  server.insert(0, 7);
+  (void)server.draw(rng);
+  (void)server.state();
+
+  const auto& stats = server.cache_stats();
+  EXPECT_EQ(telemetry::counter("sample_server.cache.hit").value(),
+            stats.hits);
+  EXPECT_EQ(telemetry::counter("sample_server.cache.miss").value(),
+            stats.misses);
+  EXPECT_EQ(telemetry::counter("sample_server.cache.invalidate").value(),
+            stats.invalidations);
+  EXPECT_EQ(telemetry::counter("sample_server.rebuild").value(),
+            stats.rebuilds);
+  EXPECT_EQ(telemetry::counter("sample_server.draw").value(), 1u);
+}
+
+TEST_F(TelemetryLedgerTest, DisabledTelemetryLeavesLedgerIntact) {
+  // With telemetry fully off, the QueryStats ledger and transcript still
+  // work — instrumentation must never become a functional dependency.
+  telemetry::set_enabled(false);
+  const auto db = make_db(64, 2, 10, 31);
+  Transcript transcript;
+  SamplerOptions options;
+  options.transcript = &transcript;
+  const auto result = run_sequential_sampler(db, options);
+  EXPECT_EQ(stats_of(transcript, db.num_machines()), result.stats);
+  EXPECT_GT(result.stats.total_sequential(), 0u);
+  EXPECT_EQ(telemetry::counter("sampling.oracle.sequential").value(), 0u);
+  EXPECT_NEAR(result.fidelity, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace qs

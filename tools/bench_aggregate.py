@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Aggregate per-bench dqs-bench-v1 documents into one suite document.
+
+Reads the JSON files written by the benches' --json flag, validates each
+one (tools/validate_bench_json.py rules), and writes a single
+dqs-bench-suite-v1 document — the repo's machine-readable perf
+trajectory, committed at the repo root as BENCH_sampling.json so the
+paper-shaped tables are diffable across PRs:
+
+  {"schema": "dqs-bench-suite-v1",
+   "benches": [<dqs-bench-v1 documents, sorted by bench id>]}
+
+The suite document deliberately carries NO timestamp or host field:
+regenerating it from the same code must be byte-identical, so a diff in
+review is a genuine result change, never clock churn.
+
+Usage: tools/bench_aggregate.py --out BENCH_sampling.json FILE...
+Exit code: 0 written, 1 validation failure, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from validate_bench_json import validate_doc
+
+SUITE_SCHEMA = "dqs-bench-suite-v1"
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", type=Path, required=True,
+                    help="aggregate output path (e.g. BENCH_sampling.json)")
+    ap.add_argument("--allow-failed", action="store_true",
+                    help="include documents whose bench exited non-zero")
+    ap.add_argument("files", nargs="+", type=Path)
+    args = ap.parse_args(argv)
+
+    docs = []
+    bad = 0
+    for path in args.files:
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"{path}: unreadable: {e}")
+            bad += 1
+            continue
+        problems = validate_doc(doc, allow_failed=args.allow_failed)
+        if problems:
+            bad += 1
+            for p in problems:
+                print(f"{path}: {p}")
+            continue
+        docs.append(doc)
+
+    if bad:
+        print(f"bench_aggregate: {bad} invalid input(s), nothing written",
+              file=sys.stderr)
+        return 1
+
+    ids = [doc["bench"] for doc in docs]
+    dupes = {b for b in ids if ids.count(b) > 1}
+    if dupes:
+        print(f"bench_aggregate: duplicate bench id(s): {sorted(dupes)}",
+              file=sys.stderr)
+        return 1
+
+    docs.sort(key=lambda d: d["bench"])
+    suite = {"schema": SUITE_SCHEMA, "benches": docs}
+    args.out.write_text(json.dumps(suite, indent=1, sort_keys=False) + "\n",
+                        encoding="utf-8")
+    tables = sum(len(d["tables"]) for d in docs)
+    print(f"{args.out}: {len(docs)} bench(es), {tables} table(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

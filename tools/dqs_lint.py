@@ -39,6 +39,16 @@ to the paper's model rather than C++ correctness:
                       producer could forge that evidence. Tests and the
                       mutation fixtures re-record deliberately and carry
                       explicit suppressions.
+  timing-discipline   Raw wall-clock reads (std::chrono, std::clock,
+                      clock_gettime, gettimeofday, <chrono>/<ctime>
+                      includes) are forbidden in src/ outside
+                      src/telemetry/. All timing flows through
+                      telemetry::Span / telemetry::monotonic_ns so the
+                      disabled-telemetry fast path stays the ONLY timing
+                      cost in library code and the overhead gate
+                      (dqs_trace --overhead) measures every timer the
+                      library can ever start. Benches, tests and tools may
+                      time freely — this rule scans src/ only.
 
 Usage:
   tools/dqs_lint.py [--root DIR] [--list-rules] [paths...]
@@ -327,6 +337,27 @@ def rule_transcript_discipline(f: File):
                 "src/sampling/{backend,schedule}.cpp may append events")
 
 
+TIMING_ALLOWED_PREFIX = "src/telemetry/"
+TIMING_TOKENS = re.compile(
+    r"std\s*::\s*chrono\b"
+    r"|std\s*::\s*clock\s*\("
+    r"|(?<![\w:])(clock_gettime|gettimeofday|timespec_get)\s*\("
+    r"|#\s*include\s*<(chrono|ctime|time\.h|sys/time\.h)>")
+
+
+def rule_timing_discipline(f: File):
+    if not f.rel.startswith("src/") or f.rel.startswith(TIMING_ALLOWED_PREFIX):
+        return
+    for i, line in enumerate(f.stripped_lines, 1):
+        if TIMING_TOKENS.search(line):
+            yield Violation(
+                f.path, i, "timing-discipline",
+                "raw wall-clock read in library code; go through "
+                "telemetry::Span / telemetry::monotonic_ns so timing stays "
+                "behind the telemetry enable flags and inside the overhead "
+                "budget gated by dqs_trace --overhead")
+
+
 RULES = {
     "omp-confinement": rule_omp_confinement,
     "rng-discipline": rule_rng_discipline,
@@ -335,6 +366,7 @@ RULES = {
     "header-guard": rule_header_guard,
     "no-relative-include": rule_no_relative_include,
     "transcript-discipline": rule_transcript_discipline,
+    "timing-discipline": rule_timing_discipline,
 }
 
 

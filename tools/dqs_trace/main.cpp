@@ -1,0 +1,277 @@
+// dqs_trace — telemetry exerciser, exporter, and overhead gate.
+//
+// Two jobs (docs/TELEMETRY.md):
+//
+//   dqs_trace [--universe N --machines n --total M --nu-extra k --seed S]
+//             [--mode seq|par|both] [--trace FILE] [--metrics FILE]
+//             [--quiet]
+//       Run the paper's sampler(s) with telemetry enabled, optionally write
+//       the Chrome trace-event file and the metrics JSONL snapshot, and
+//       SELF-CHECK the three independent query accountings against each
+//       other: the telemetry counters (sampling.oracle.*), the QueryStats
+//       ledger returned by the sampler, and stats_of(transcript) replayed
+//       from the recorded wire transcript. Any mismatch is a bug in exactly
+//       one of the three paths and exits 1.
+//
+//   dqs_trace --overhead [--baseline FILE] [--write-baseline FILE]
+//       Measure the DISABLED-telemetry cost of one instrumentation point
+//       (Span + tag + counter, all short-circuited) relative to the
+//       cheapest instrumented qsim kernel (apply_global_phase over a
+//       4096-dim register) — a machine-relative percentage, stable across
+//       hosts unlike wall-clock baselines. With --baseline, exit 1 when the
+//       measured percentage exceeds the recorded one by more than 5
+//       percentage points (the CI perf-smoke gate).
+//
+// Exit code: 0 clean, 1 mismatch or overhead regression, 2 usage error.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "distdb/distributed_database.hpp"
+#include "distdb/transcript.hpp"
+#include "distdb/workload.hpp"
+#include "qsim/state_vector.hpp"
+#include "sampling/samplers.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace {
+
+using namespace qs;
+
+const char* mode_name(QueryMode mode) {
+  return mode == QueryMode::kSequential ? "sequential" : "parallel";
+}
+
+/// One telemetry⇄ledger⇄transcript cross-check; returns mismatch count.
+std::size_t run_and_check(const DistributedDatabase& db, QueryMode mode,
+                          bool quiet) {
+  // Fresh counters per run so telemetry values are exactly this run's.
+  telemetry::registry().reset();
+
+  Transcript transcript;
+  SamplerOptions options;
+  options.transcript = &transcript;
+  const auto result = mode == QueryMode::kSequential
+                          ? run_sequential_sampler(db, options)
+                          : run_parallel_sampler(db, options);
+
+  std::size_t mismatches = 0;
+  const auto check = [&](bool ok, const std::string& what) {
+    if (!ok) {
+      ++mismatches;
+      std::printf("MISMATCH [%s] %s\n", mode_name(mode), what.c_str());
+    }
+  };
+
+  // Path 1 vs path 2: replay the wire transcript into a ledger.
+  const auto replayed = stats_of(transcript, db.num_machines());
+  check(replayed == result.stats,
+        "stats_of(transcript) != sampler QueryStats ledger");
+
+  // Path 3: the telemetry mirror maintained by TelemetryBackend.
+  check(telemetry::counter("sampling.oracle.sequential").value() ==
+            result.stats.total_sequential(),
+        "counter sampling.oracle.sequential != total_sequential()");
+  check(telemetry::counter("sampling.parallel_rounds").value() ==
+            result.stats.parallel_rounds,
+        "counter sampling.parallel_rounds != parallel_rounds");
+  for (std::size_t j = 0; j < db.num_machines(); ++j) {
+    const auto t_j =
+        telemetry::counter("sampling.oracle.machine." + std::to_string(j))
+            .value();
+    check(t_j == result.stats.sequential_per_machine[j],
+          "counter sampling.oracle.machine." + std::to_string(j) +
+              " != t_" + std::to_string(j));
+  }
+
+  if (!quiet) {
+    std::printf(
+        "%-10s  events=%zu  t_total=%llu  rounds=%llu  fidelity=%.12f  %s\n",
+        mode_name(mode), transcript.size(),
+        static_cast<unsigned long long>(result.stats.total_sequential()),
+        static_cast<unsigned long long>(result.stats.parallel_rounds),
+        result.fidelity, mismatches == 0 ? "ok" : "MISMATCH");
+  }
+  return mismatches;
+}
+
+int run_selfcheck(const CliArgs& args) {
+  const auto universe = args.get("universe", std::uint64_t{128});
+  const auto machines = args.get("machines", std::uint64_t{4});
+  const auto total = args.get("total", std::uint64_t{24});
+  const auto nu_extra = args.get("nu-extra", std::uint64_t{0});
+  const auto seed = args.get("seed", std::uint64_t{7});
+  const auto mode_arg = args.get("mode", std::string("both"));
+  const auto trace_path = args.get("trace", std::string());
+  const auto metrics_path = args.get("metrics", std::string());
+  const bool quiet = args.get("quiet", false);
+
+  std::vector<QueryMode> modes;
+  if (mode_arg == "seq" || mode_arg == "both")
+    modes.push_back(QueryMode::kSequential);
+  if (mode_arg == "par" || mode_arg == "both")
+    modes.push_back(QueryMode::kParallel);
+  QS_REQUIRE(!modes.empty(), "unknown --mode (want seq|par|both)");
+
+  telemetry::set_metrics_enabled(true);
+  telemetry::set_tracing_enabled(true);
+  telemetry::tracer().clear();
+
+  Rng rng(seed);
+  auto datasets = workload::uniform_random(universe, machines, total, rng);
+  const auto nu = min_capacity(datasets) + nu_extra;
+  const DistributedDatabase db(std::move(datasets), nu);
+
+  std::size_t mismatches = 0;
+  for (const auto mode : modes) mismatches += run_and_check(db, mode, quiet);
+
+  if (!trace_path.empty()) {
+    std::ofstream os(trace_path);
+    QS_REQUIRE(os.good(), "cannot open --trace file " + trace_path);
+    telemetry::write_chrome_trace(os);
+    if (!quiet)
+      std::printf("wrote %zu trace events to %s\n", telemetry::tracer().size(),
+                  trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream os(metrics_path);
+    QS_REQUIRE(os.good(), "cannot open --metrics file " + metrics_path);
+    telemetry::write_metrics_jsonl(os);
+    if (!quiet) std::printf("wrote metrics to %s\n", metrics_path.c_str());
+  }
+
+  if (mismatches != 0) {
+    std::printf("dqs_trace: %zu accounting mismatch(es)\n", mismatches);
+    return 1;
+  }
+  if (!quiet) std::printf("dqs_trace: all accountings agree\n");
+  return 0;
+}
+
+struct OverheadMeasurement {
+  double primitive_ns = 0.0;  ///< one disabled instrumentation point
+  double kernel_ns = 0.0;     ///< one cheapest-instrumented-kernel call
+  double percent() const { return primitive_ns / kernel_ns * 100.0; }
+};
+
+OverheadMeasurement measure_overhead() {
+  // Both layers OFF — this is the cost every un-benched user pays.
+  telemetry::set_enabled(false);
+
+  auto& probe_counter = telemetry::counter("dqs_trace.overhead.probe");
+  auto& probe_hist = telemetry::histogram("dqs_trace.overhead.probe.ns");
+
+  OverheadMeasurement m;
+
+  // The per-kernel prologue: a timed span plus a call counter, all
+  // short-circuited by the two relaxed enable loads.
+  constexpr std::size_t kPrimitiveReps = 1u << 21;
+  const auto primitive_pass = [&] {
+    const auto start = telemetry::monotonic_ns();
+    for (std::size_t i = 0; i < kPrimitiveReps; ++i) {
+      telemetry::Span span("overhead.probe", &probe_hist);
+      span.tag("dim", static_cast<std::int64_t>(i));
+      probe_counter.add();
+    }
+    return double(telemetry::monotonic_ns() - start) / kPrimitiveReps;
+  };
+
+  // apply_global_phase is the CHEAPEST instrumented kernel (one complex
+  // multiply per amplitude), so primitive/kernel is the WORST-CASE relative
+  // overhead across the instrumented surface.
+  RegisterLayout layout;
+  layout.add("elem", 4096);
+  StateVector sv(layout);
+  constexpr std::size_t kKernelReps = 4096;
+  const cplx phase(0.7071067811865476, 0.7071067811865476);
+  const auto kernel_pass = [&] {
+    const auto start = telemetry::monotonic_ns();
+    for (std::size_t i = 0; i < kKernelReps; ++i) sv.apply_global_phase(phase);
+    return double(telemetry::monotonic_ns() - start) / kKernelReps;
+  };
+
+  // Warm up once, then keep the BEST of three passes of each — minimum is
+  // the standard noise-robust estimator for tight loops.
+  (void)primitive_pass();
+  (void)kernel_pass();
+  m.primitive_ns = primitive_pass();
+  m.kernel_ns = kernel_pass();
+  for (int pass = 0; pass < 2; ++pass) {
+    m.primitive_ns = std::min(m.primitive_ns, primitive_pass());
+    m.kernel_ns = std::min(m.kernel_ns, kernel_pass());
+  }
+  return m;
+}
+
+void write_overhead_json(const std::string& path,
+                         const OverheadMeasurement& m) {
+  std::ofstream os(path);
+  QS_REQUIRE(os.good(), "cannot open baseline file " + path);
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "{\"schema\":\"dqs-overhead-v1\",\"primitive_ns\":%.3f,"
+                "\"kernel_ns\":%.3f,\"overhead_percent\":%.4f}\n",
+                m.primitive_ns, m.kernel_ns, m.percent());
+  os << line;
+}
+
+int run_overhead(const CliArgs& args) {
+  const auto baseline_path = args.get("baseline", std::string());
+  const auto write_path = args.get("write-baseline", std::string());
+  const bool quiet = args.get("quiet", false);
+
+  const auto m = measure_overhead();
+  if (!quiet)
+    std::printf(
+        "disabled-telemetry overhead: %.2f ns/hook over a %.2f ns kernel "
+        "= %.4f%%\n",
+        m.primitive_ns, m.kernel_ns, m.percent());
+
+  if (!write_path.empty()) {
+    write_overhead_json(write_path, m);
+    if (!quiet) std::printf("baseline written to %s\n", write_path.c_str());
+  }
+
+  if (!baseline_path.empty()) {
+    std::ifstream is(baseline_path);
+    QS_REQUIRE(is.good(), "cannot read baseline file " + baseline_path);
+    std::ostringstream text;
+    text << is.rdbuf();
+    const auto doc = telemetry::json::parse(text.str());
+    QS_REQUIRE(doc.at("schema").as_string() == "dqs-overhead-v1",
+               "unexpected baseline schema");
+    const double baseline = doc.at("overhead_percent").as_number();
+    const double budget = baseline + 5.0;  // percentage points of slack
+    if (m.percent() > budget) {
+      std::printf(
+          "OVERHEAD REGRESSION: measured %.4f%% > baseline %.4f%% + 5pp\n",
+          m.percent(), baseline);
+      return 1;
+    }
+    if (!quiet)
+      std::printf("within budget (baseline %.4f%% + 5pp)\n", baseline);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const qs::CliArgs args(argc, argv);
+    const bool overhead = args.get("overhead", false);
+    return overhead ? run_overhead(args) : run_selfcheck(args);
+  } catch (const qs::ContractViolation& e) {
+    std::fprintf(stderr, "dqs_trace: %s\n", e.what());
+    return 2;
+  }
+}

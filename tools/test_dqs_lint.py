@@ -27,6 +27,7 @@ EXPECTED = {
     ("src/qsim/bad_guard.hpp", "header-guard"),
     ("src/distdb/bad_relative.cpp", "no-relative-include"),
     ("src/sampling/bad_transcript.cpp", "transcript-discipline"),
+    ("src/qsim/bad_timing.cpp", "timing-discipline"),
 }
 
 CONTROL_FILES = {

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Validate dqs-bench-v1 JSON documents (bench --json output).
+
+Checks, for each file given:
+
+  * the document parses as JSON and carries schema == "dqs-bench-v1";
+  * required keys: bench (string), claim (string), exit_code (int or
+    null), tables (list);
+  * every table has name (string), headers (list of strings) and rows
+    whose width equals the header count;
+  * row cells are numbers, strings or booleans only (no nesting).
+
+By default a non-zero recorded exit_code fails validation (the bench's
+own claim check failed); pass --allow-failed to accept such documents,
+e.g. when archiving a deliberately red run.
+
+Usage: tools/validate_bench_json.py [--allow-failed] FILE...
+Exit code: 0 all valid, 1 any invalid, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "dqs-bench-v1"
+
+
+def validate_doc(doc, *, allow_failed: bool = False) -> list[str]:
+    """Return a list of problems (empty == valid dqs-bench-v1 document)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    for key in ("bench", "claim"):
+        if not isinstance(doc.get(key), str) or not doc.get(key):
+            problems.append(f"missing or non-string {key!r}")
+    if "exit_code" not in doc:
+        problems.append("missing exit_code")
+    else:
+        code = doc["exit_code"]
+        if code is not None and not isinstance(code, int):
+            problems.append("exit_code must be an integer or null")
+        elif code is None:
+            problems.append("exit_code is null (bench did not finish)")
+        elif code != 0 and not allow_failed:
+            problems.append(f"bench recorded failure exit_code {code}")
+    tables = doc.get("tables")
+    if not isinstance(tables, list):
+        return problems + ["tables is not a list"]
+    for t, table in enumerate(tables):
+        where = f"tables[{t}]"
+        if not isinstance(table, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        if not isinstance(table.get("name"), str) or not table.get("name"):
+            problems.append(f"{where} missing name")
+        headers = table.get("headers")
+        if (not isinstance(headers, list)
+                or not all(isinstance(h, str) for h in headers)):
+            problems.append(f"{where} headers must be a list of strings")
+            continue
+        rows = table.get("rows")
+        if not isinstance(rows, list):
+            problems.append(f"{where} rows is not a list")
+            continue
+        for r, row in enumerate(rows):
+            if not isinstance(row, list) or len(row) != len(headers):
+                problems.append(
+                    f"{where} rows[{r}] width != {len(headers)} headers")
+            elif not all(isinstance(c, (int, float, str, bool))
+                         for c in row):
+                problems.append(f"{where} rows[{r}] has a non-scalar cell")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--allow-failed", action="store_true",
+                    help="accept documents whose bench exited non-zero")
+    ap.add_argument("files", nargs="+", type=Path)
+    args = ap.parse_args(argv)
+
+    bad = 0
+    for path in args.files:
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"{path}: unreadable: {e}")
+            bad += 1
+            continue
+        problems = validate_doc(doc, allow_failed=args.allow_failed)
+        if problems:
+            bad += 1
+            for p in problems:
+                print(f"{path}: {p}")
+        else:
+            tables = doc["tables"]
+            rows = sum(len(t.get("rows", [])) for t in tables)
+            print(f"{path}: ok ({doc['bench']}: {len(tables)} table(s), "
+                  f"{rows} row(s))")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

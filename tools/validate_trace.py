@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Validate Chrome trace-event JSON written by telemetry::write_chrome_trace.
+
+Checks, for each file given:
+
+  * the document parses as JSON with a traceEvents list;
+  * every event is an object with name (string), ph (string), pid and
+    tid (integers);
+  * every complete event (ph == "X") additionally has numeric ts and a
+    non-negative dur, plus a cat string;
+  * per thread, the END timestamps (ts + dur) of complete events are
+    non-decreasing in file order — the tracer records a span when it
+    FINISHES, so finish order per thread is the buffer order (start
+    order is not monotone for nested spans, by design);
+  * optionally --require-events N: at least N complete events present.
+
+Usage: tools/validate_trace.py [--require-events N] FILE...
+Exit code: 0 all valid, 1 any invalid, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def validate_doc(doc, *, require_events: int = 0) -> list[str]:
+    """Return a list of problems (empty == valid trace document)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return ["document is not an object with a traceEvents list"]
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return ["traceEvents is not a list"]
+    complete = 0
+    last_end_per_tid: dict[int, float] = {}
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev.get("name"):
+            problems.append(f"{where} missing name")
+        if not isinstance(ev.get("ph"), str):
+            problems.append(f"{where} missing ph")
+            continue
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                problems.append(f"{where} missing integer {key}")
+        if ev["ph"] != "X":
+            continue  # metadata events ("M") carry no timing
+        complete += 1
+        if not isinstance(ev.get("cat"), str):
+            problems.append(f"{where} complete event missing cat")
+        ts, dur = ev.get("ts"), ev.get("dur")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+            problems.append(f"{where} ts is not a number")
+            continue
+        if (not isinstance(dur, (int, float)) or isinstance(dur, bool)
+                or dur < 0):
+            problems.append(f"{where} dur is not a non-negative number")
+            continue
+        tid = ev.get("tid")
+        if isinstance(tid, int):
+            end = ts + dur
+            if end < last_end_per_tid.get(tid, float("-inf")):
+                problems.append(
+                    f"{where} end timestamp goes backwards on tid {tid}")
+            last_end_per_tid[tid] = max(
+                last_end_per_tid.get(tid, float("-inf")), end)
+    if complete < require_events:
+        problems.append(
+            f"only {complete} complete event(s), require {require_events}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--require-events", type=int, default=0, metavar="N",
+                    help="fail unless at least N complete events present")
+    ap.add_argument("files", nargs="+", type=Path)
+    args = ap.parse_args(argv)
+
+    bad = 0
+    for path in args.files:
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"{path}: unreadable: {e}")
+            bad += 1
+            continue
+        problems = validate_doc(doc, require_events=args.require_events)
+        if problems:
+            bad += 1
+            for p in problems:
+                print(f"{path}: {p}")
+        else:
+            n = sum(1 for ev in doc["traceEvents"]
+                    if isinstance(ev, dict) and ev.get("ph") == "X")
+            tids = {ev.get("tid") for ev in doc["traceEvents"]
+                    if isinstance(ev, dict) and ev.get("ph") == "X"}
+            print(f"{path}: ok ({n} events on {len(tids)} thread(s))")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
