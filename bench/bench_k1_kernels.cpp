@@ -1,0 +1,188 @@
+// Experiment K1 — compiled-operator kernels (qsim/compiled_op) vs the
+// naive std::function dispatch they replace.
+//
+// Every kernel class of docs/PERF.md is timed both ways on coordinator-
+// shaped layouts [elem, count, flag]:
+//
+//   permutation — an adder-style relabelling (digit extraction per
+//       amplitude). Legacy re-evaluates the std::function map on every
+//       apply; compiled replays a flat uint32 table.
+//   dense(d=2)  — the count-controlled rotation 𝒰 (Eq. 6). Legacy calls
+//       the selector std::function per fiber and runs the generic d-loop;
+//       compiled replays the unrolled 2×2 path over a matrix pool.
+//   diagonal    — a phase oracle. Legacy evaluates the phase lambda per
+//       amplitude; compiled replays a flat factor array.
+//   shift       — the Lemma 4.4 value shift lowered to a permutation
+//       table vs the legacy digit-arithmetic kernel.
+//
+// Reported as ns/amplitude (best of `kReps` sweeps, so scheduler noise
+// biases every column the same way). Wall-clock numbers are a trajectory
+// record, NOT byte-reproducible — see docs/PERF.md before diffing them.
+// Exit is non-zero iff any compiled kernel class is slower than its legacy
+// counterpart at any dimension (the CI perf-smoke gate).
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "qsim/compiled_op.hpp"
+#include "qsim/gates.hpp"
+#include "qsim/state_vector.hpp"
+#include "sampling/backend.hpp"
+
+namespace {
+
+using namespace qs;
+
+constexpr int kReps = 7;
+
+struct Regs {
+  RegisterLayout layout;
+  RegisterId elem, count, flag;
+};
+
+Regs coordinator(std::size_t universe, std::size_t nu) {
+  Regs r;
+  r.elem = r.layout.add("elem", universe);
+  r.count = r.layout.add("count", nu + 1);
+  r.flag = r.layout.add("flag", 2);
+  return r;
+}
+
+StateVector seeded_state(const RegisterLayout& layout, std::uint64_t seed) {
+  StateVector sv(layout);
+  Rng rng(seed);
+  sv.set_amplitudes(random_state(layout.total_dim(), rng));
+  return sv;
+}
+
+/// Best-of-kReps wall time of `body`, in ns per amplitude of `dim`.
+double time_ns_per_amp(std::size_t dim, const std::function<void()>& body) {
+  double best = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+    best = std::min(best, ns / static_cast<double>(dim));
+  }
+  return best;
+}
+
+struct Row {
+  std::string kernel;
+  std::size_t universe;
+  double legacy_ns, compiled_ns;
+  double speedup() const { return legacy_ns / compiled_ns; }
+};
+
+Row bench_permutation(const Regs& r) {
+  const auto& layout = r.layout;
+  const auto count = r.count;
+  const std::size_t counter_dim = layout.dim(count);
+  // Adder-style relabelling: count ← count + f(elem) — the shape of every
+  // oracle lowering in sampling/.
+  const auto map = [&layout, count, counter_dim](std::size_t x) {
+    const std::size_t c = layout.digit(x, count);
+    const std::size_t bump = (x * 2654435761u) % counter_dim;
+    return layout.with_digit(x, count, (c + bump) % counter_dim);
+  };
+  auto legacy_sv = seeded_state(layout, 11);
+  auto compiled_sv = seeded_state(layout, 11);
+  const auto op = CompiledOp::permutation(layout, map);
+  const std::size_t dim = layout.total_dim();
+  return {"permutation", layout.dim(r.elem),
+          time_ns_per_amp(dim, [&] { legacy_sv.apply_permutation(map); }),
+          time_ns_per_amp(dim, [&] { op.apply_to(compiled_sv); })};
+}
+
+Row bench_dense2(const Regs& r, const std::vector<Matrix>& rotations) {
+  const auto& layout = r.layout;
+  const auto count = r.count;
+  const auto selector = [&](std::size_t fiber_base) -> const Matrix* {
+    return &rotations[layout.digit(fiber_base, count)];
+  };
+  auto legacy_sv = seeded_state(layout, 13);
+  auto compiled_sv = seeded_state(layout, 13);
+  const auto op = CompiledOp::fiber_dense(layout, r.flag, selector);
+  const std::size_t dim = layout.total_dim();
+  return {"dense(d=2)", layout.dim(r.elem),
+          time_ns_per_amp(
+              dim, [&] { legacy_sv.apply_conditioned_unitary(r.flag,
+                                                             selector); }),
+          time_ns_per_amp(dim, [&] { op.apply_to(compiled_sv); })};
+}
+
+Row bench_diagonal(const Regs& r) {
+  const auto& layout = r.layout;
+  const auto elem = r.elem;
+  const auto phase = [&layout, elem](std::size_t x) {
+    const double angle =
+        0.31 * static_cast<double>(layout.digit(x, elem) % 17);
+    return cplx{std::cos(angle), std::sin(angle)};
+  };
+  auto legacy_sv = seeded_state(layout, 17);
+  auto compiled_sv = seeded_state(layout, 17);
+  const auto op = CompiledOp::diagonal(layout, phase);
+  const std::size_t dim = layout.total_dim();
+  return {"diagonal", layout.dim(r.elem),
+          time_ns_per_amp(dim, [&] { legacy_sv.apply_diagonal(phase); }),
+          time_ns_per_amp(dim, [&] { op.apply_to(compiled_sv); })};
+}
+
+Row bench_shift(const Regs& r) {
+  const auto& layout = r.layout;
+  const std::size_t universe = layout.dim(r.elem);
+  std::vector<std::size_t> shifts(universe);
+  for (std::size_t i = 0; i < universe; ++i) shifts[i] = i % 5;
+  auto legacy_sv = seeded_state(layout, 19);
+  auto compiled_sv = seeded_state(layout, 19);
+  const auto op = CompiledOp::value_shift(layout, r.count, r.elem, shifts)
+                      .lowered_to_permutation();
+  const std::size_t dim = layout.total_dim();
+  return {"shift", universe,
+          time_ns_per_amp(dim, [&] {
+            legacy_sv.apply_value_shift(r.count, r.elem, shifts);
+          }),
+          time_ns_per_amp(dim, [&] { op.apply_to(compiled_sv); })};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qs;
+  bench::Reporter reporter(
+      argc, argv, "K1",
+      "compiled-operator kernels at least match naive std::function "
+      "dispatch on every kernel class (permutation >= 3x at the largest "
+      "grid dim)");
+
+  TextTable table(
+      {"kernel", "N", "legacy ns/amp", "compiled ns/amp", "speedup"});
+
+  const std::size_t universes[] = {256, 1024, 4096};
+  const std::size_t nu = 4;
+  const auto rotations = make_u_rotations(nu, /*adjoint=*/false);
+
+  bool any_slower = false;
+  for (const std::size_t universe : universes) {
+    const auto regs = coordinator(universe, nu);
+    for (const Row& row :
+         {bench_permutation(regs), bench_dense2(regs, rotations),
+          bench_diagonal(regs), bench_shift(regs)}) {
+      any_slower = any_slower || row.speedup() < 1.0;
+      table.add_row({row.kernel, TextTable::cell(std::uint64_t{universe}),
+                     TextTable::cell(row.legacy_ns, 3),
+                     TextTable::cell(row.compiled_ns, 3),
+                     TextTable::cell(row.speedup(), 2)});
+    }
+  }
+  table.print(std::cout, "K1: compiled vs legacy kernels (ns/amplitude)");
+  reporter.add("K1: compiled vs legacy kernels (ns/amplitude)", table);
+  return reporter.finish(any_slower ? 1 : 0);
+}

@@ -48,6 +48,7 @@ std::vector<std::size_t> Dataset::support() const {
 void Dataset::insert(std::size_t element, std::uint64_t amount) {
   QS_REQUIRE(element < counts_.size(), "element outside the data universe");
   if (amount == 0) return;
+  ++version_;
   if (counts_[element] == 0) ++support_size_;
   counts_[element] += amount;
   total_ += amount;
@@ -59,6 +60,7 @@ void Dataset::erase(std::size_t element, std::uint64_t amount) {
   QS_REQUIRE(counts_[element] >= amount,
              "cannot erase more occurrences than stored");
   if (amount == 0) return;
+  ++version_;
   const bool was_max = counts_[element] == max_multiplicity_;
   counts_[element] -= amount;
   total_ -= amount;

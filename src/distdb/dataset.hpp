@@ -50,6 +50,12 @@ class Dataset {
     return counts_;
   }
 
+  /// Monotone mutation counter: bumped by every effective insert/erase.
+  /// Consumers that compile data-dependent artifacts (the per-machine
+  /// oracle shift cache, docs/PERF.md) key them on this version and rebuild
+  /// when it moves.
+  std::uint64_t version() const noexcept { return version_; }
+
   /// Taint counter for the static obliviousness audit (docs/ANALYSIS.md):
   /// number of times PER-ELEMENT contents were read through count(),
   /// counts() or support(). The aggregates the paper declares public
@@ -78,6 +84,7 @@ class Dataset {
   std::uint64_t total_ = 0;
   std::size_t support_size_ = 0;
   std::uint64_t max_multiplicity_ = 0;
+  std::uint64_t version_ = 0;
   mutable std::uint64_t content_reads_ = 0;
 };
 

@@ -57,6 +57,12 @@ std::vector<std::uint64_t> DistributedDatabase::joint_counts() const {
   return counts;
 }
 
+std::uint64_t DistributedDatabase::version() const noexcept {
+  std::uint64_t v = 0;
+  for (const auto& m : machines_) v += m.data().version();
+  return v;
+}
+
 std::uint64_t DistributedDatabase::total() const {
   std::uint64_t m_total = 0;
   for (const auto& m : machines_) m_total += m.data().total();

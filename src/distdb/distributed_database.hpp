@@ -41,6 +41,11 @@ class DistributedDatabase {
   /// M — total number of stored elements counting multiplicity.
   std::uint64_t total() const;
 
+  /// Monotone database version: the sum of the machines' dataset versions.
+  /// Moves on every dynamic update; consumers cache data-derived artifacts
+  /// (e.g. the parallel total-shift table) against it (docs/PERF.md).
+  std::uint64_t version() const noexcept;
+
   /// The sampling distribution p_i = c_i / M. Requires M > 0.
   std::vector<double> target_distribution() const;
 

@@ -1,6 +1,7 @@
 #include "distdb/machine.hpp"
 
 #include "common/require.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace qs {
 
@@ -10,15 +11,32 @@ Machine::Machine(Dataset data, std::uint64_t kappa)
              "machine capacity κ_j below an existing multiplicity");
 }
 
-std::vector<std::size_t> Machine::shift_vector(std::size_t modulus,
-                                               bool adjoint) const {
+const std::vector<std::size_t>& Machine::shift_vector(std::size_t modulus,
+                                                      bool adjoint) const {
+  static auto& t_hits = telemetry::counter("distdb.oracle.cache.hit");
+  static auto& t_compiles = telemetry::counter("distdb.oracle.cache.compile");
   QS_REQUIRE(modulus >= 1, "counter modulus must be positive");
-  std::vector<std::size_t> shifts(data_.universe());
-  for (std::size_t i = 0; i < shifts.size(); ++i) {
-    const std::size_t c = static_cast<std::size_t>(data_.count(i)) % modulus;
-    shifts[i] = adjoint ? (modulus - c) % modulus : c;
+  auto& cache = oracle_cache_;
+  if (cache.valid && cache.modulus == modulus &&
+      cache.version == data_.version()) {
+    t_hits.add();
+    return adjoint ? cache.adjoint : cache.forward;
   }
-  return shifts;
+  // One content read (a single taint bump) compiles BOTH directions, so the
+  // adjoint leg of an oracle/uncompute pair is always a hit.
+  const auto& counts = data_.counts();
+  cache.forward.resize(counts.size());
+  cache.adjoint.resize(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::size_t c = static_cast<std::size_t>(counts[i]) % modulus;
+    cache.forward[i] = c;
+    cache.adjoint[i] = (modulus - c) % modulus;
+  }
+  cache.modulus = modulus;
+  cache.version = data_.version();
+  cache.valid = true;
+  t_compiles.add();
+  return adjoint ? cache.adjoint : cache.forward;
 }
 
 void Machine::apply_oracle(StateVector& state, RegisterId elem,

@@ -61,13 +61,27 @@ class Machine {
   }
 
  private:
-  /// shift vector over elements: c_ij mod modulus (or its negation).
-  std::vector<std::size_t> shift_vector(std::size_t modulus,
-                                        bool adjoint) const;
+  /// Shift vector over elements: c_ij mod modulus (or its negation).
+  /// Served from a per-machine cache compiled once per (modulus, dataset
+  /// version): the multiplicity vector is read a single time and both
+  /// directions are stored, so a query is O(1) data access instead of an
+  /// O(N) rebuild, and dynamic updates invalidate automatically through
+  /// Dataset::version(). Telemetry: distdb.oracle.cache.{compile,hit}.
+  const std::vector<std::size_t>& shift_vector(std::size_t modulus,
+                                               bool adjoint) const;
 
   Dataset data_;
   std::uint64_t kappa_;
   mutable std::uint64_t query_count_ = 0;
+
+  struct OracleCache {
+    bool valid = false;
+    std::size_t modulus = 0;
+    std::uint64_t version = 0;
+    std::vector<std::size_t> forward;
+    std::vector<std::size_t> adjoint;
+  };
+  mutable OracleCache oracle_cache_;
 };
 
 }  // namespace qs

@@ -1,0 +1,269 @@
+#include "qsim/compiled_op.hpp"
+
+#include <limits>
+#include <map>
+
+#include "common/require.hpp"
+#include "qsim/parallel.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace qs {
+
+namespace {
+
+telemetry::Counter& compile_counter() {
+  static auto& c = telemetry::counter("qsim.compiled.compile");
+  return c;
+}
+
+telemetry::Counter& fuse_counter() {
+  static auto& c = telemetry::counter("qsim.compiled.fuse");
+  return c;
+}
+
+telemetry::Counter& apply_counter() {
+  static auto& c = telemetry::counter("qsim.compiled.apply");
+  return c;
+}
+
+void require_table_addressable(std::size_t dim) {
+  QS_REQUIRE(dim <= std::numeric_limits<std::uint32_t>::max(),
+             "compiled tables index amplitudes with uint32; layout too big");
+}
+
+/// Certify `table` is a bijection on [0, dim). One-time compile cost; the
+/// replay kernel (apply_permutation_table) then skips the per-query scan.
+void require_bijection(const std::vector<std::uint32_t>& table) {
+  std::vector<bool> seen(table.size(), false);
+  for (const std::uint32_t y : table) {
+    QS_REQUIRE(y < table.size(), "permutation image out of range");
+    QS_REQUIRE(!seen[y], "permutation map is not a bijection");
+    seen[y] = true;
+  }
+}
+
+}  // namespace
+
+CompiledOp CompiledOp::permutation(
+    const RegisterLayout& layout,
+    const std::function<std::size_t(std::size_t)>& map) {
+  const std::size_t dim = layout.total_dim();
+  require_table_addressable(dim);
+  CompiledOp op(Kind::kPermutation, dim);
+  op.table_.resize(dim);
+  std::uint32_t* t = op.table_.data();
+  parallel_for(dim, [&](std::size_t x) {
+    t[x] = static_cast<std::uint32_t>(map(x));
+  });
+  require_bijection(op.table_);
+  compile_counter().add();
+  return op;
+}
+
+CompiledOp CompiledOp::diagonal(const RegisterLayout& layout,
+                                const std::function<cplx(std::size_t)>& phase) {
+  const std::size_t dim = layout.total_dim();
+  CompiledOp op(Kind::kDiagonal, dim);
+  op.factors_.resize(dim);
+  cplx* f = op.factors_.data();
+  parallel_for(dim, [&](std::size_t x) { f[x] = phase(x); });
+  compile_counter().add();
+  return op;
+}
+
+CompiledOp CompiledOp::fiber_dense(
+    const RegisterLayout& layout, RegisterId target,
+    const std::function<const Matrix*(std::size_t fiber_base)>& selector) {
+  const std::size_t dim = layout.total_dim();
+  const std::size_t d = layout.dim(target);
+  const std::size_t s = layout.stride(target);
+  const std::size_t count = dim / d;
+  CompiledOp op(Kind::kFiberDense, dim);
+  op.target_ = target;
+  op.mat_of_fiber_.assign(count, StateVector::kFiberIdentity);
+  std::map<const Matrix*, std::uint32_t> pool_index;
+  for (std::size_t f = 0; f < count; ++f) {
+    const std::size_t base = (f / s) * d * s + (f % s);
+    const Matrix* u = selector(base);
+    if (u == nullptr) continue;  // identity on this fiber
+    QS_REQUIRE(u->rows() == d && u->cols() == d,
+               "conditioned unitary dimension mismatch");
+    auto [it, inserted] = pool_index.try_emplace(
+        u, static_cast<std::uint32_t>(pool_index.size()));
+    if (inserted) {
+      op.matrix_pool_.insert(op.matrix_pool_.end(), u->data().begin(),
+                             u->data().end());
+    }
+    op.mat_of_fiber_[f] = it->second;
+  }
+  compile_counter().add();
+  return op;
+}
+
+CompiledOp CompiledOp::value_shift(
+    const RegisterLayout& layout, RegisterId r, RegisterId cond,
+    std::span<const std::size_t> shift_per_cond_value) {
+  QS_REQUIRE(!(r == cond), "shift target and condition must differ");
+  QS_REQUIRE(shift_per_cond_value.size() == layout.dim(cond),
+             "need one shift per condition value");
+  CompiledOp op(Kind::kValueShift, layout.total_dim());
+  op.shift_r_ = r;
+  op.shift_cond_ = cond;
+  op.target_dim_ = layout.dim(r);
+  op.target_stride_ = layout.stride(r);
+  op.cond_dim_ = layout.dim(cond);
+  op.cond_stride_ = layout.stride(cond);
+  op.shifts_.resize(shift_per_cond_value.size());
+  for (std::size_t c = 0; c < op.shifts_.size(); ++c)
+    op.shifts_[c] = shift_per_cond_value[c] % op.target_dim_;
+  compile_counter().add();
+  return op;
+}
+
+CompiledOp CompiledOp::controlled_value_shift(
+    const RegisterLayout& layout, RegisterId r, RegisterId cond,
+    RegisterId flag, std::span<const std::size_t> shift_per_cond_value) {
+  QS_REQUIRE(!(r == flag) && !(cond == flag),
+             "shift target, condition and flag must be distinct registers");
+  QS_REQUIRE(layout.dim(flag) == 2, "control flag must be a qubit");
+  CompiledOp op = value_shift(layout, r, cond, shift_per_cond_value);
+  op.has_flag_ = true;
+  op.shift_flag_ = flag;
+  op.flag_stride_ = layout.stride(flag);
+  return op;
+}
+
+void CompiledOp::apply_to(StateVector& state) const {
+  QS_REQUIRE(state.dim() == dim_,
+             "compiled op dimension does not match state dimension");
+  apply_counter().add();
+  switch (kind_) {
+    case Kind::kPermutation:
+      state.apply_permutation_table(table_);
+      return;
+    case Kind::kDiagonal:
+      state.apply_diagonal_factors(factors_);
+      return;
+    case Kind::kFiberDense:
+      state.apply_fiber_dense(target_, matrix_pool_, mat_of_fiber_);
+      return;
+    case Kind::kValueShift:
+      if (has_flag_) {
+        state.apply_controlled_value_shift(shift_r_, shift_cond_, shift_flag_,
+                                           shifts_);
+      } else {
+        state.apply_value_shift(shift_r_, shift_cond_, shifts_);
+      }
+      return;
+  }
+}
+
+CompiledOp CompiledOp::lowered_to_permutation() const {
+  if (kind_ == Kind::kPermutation) return *this;
+  QS_REQUIRE(kind_ == Kind::kValueShift,
+             "only value shifts lower to permutations");
+  require_table_addressable(dim_);
+  CompiledOp op(Kind::kPermutation, dim_);
+  op.table_.resize(dim_);
+  std::uint32_t* t = op.table_.data();
+  const std::size_t d = target_dim_;
+  const std::size_t s = target_stride_;
+  parallel_for(dim_, [&](std::size_t x) {
+    if (has_flag_ && (x / flag_stride_) % 2 != 1) {
+      t[x] = static_cast<std::uint32_t>(x);
+      return;
+    }
+    const std::size_t c = (x / cond_stride_) % cond_dim_;
+    const std::size_t old_digit = (x / s) % d;
+    const std::size_t new_digit = (old_digit + shifts_[c]) % d;
+    t[x] = static_cast<std::uint32_t>(x + (new_digit - old_digit) * s);
+  });
+  // A cyclic digit shift is bijective by construction; no re-scan needed.
+  compile_counter().add();
+  return op;
+}
+
+bool CompiledOp::can_fuse(const CompiledOp& first, const CompiledOp& second) {
+  if (first.dim_ != second.dim_ || first.kind_ != second.kind_) return false;
+  switch (first.kind_) {
+    case Kind::kPermutation:
+    case Kind::kDiagonal:
+      return true;
+    case Kind::kValueShift:
+      // Same target/cond/flag geometry ⇒ the shifts simply add mod d.
+      return first.shift_r_ == second.shift_r_ &&
+             first.shift_cond_ == second.shift_cond_ &&
+             first.has_flag_ == second.has_flag_ &&
+             (!first.has_flag_ || first.shift_flag_ == second.shift_flag_) &&
+             first.target_dim_ == second.target_dim_ &&
+             first.target_stride_ == second.target_stride_ &&
+             first.cond_dim_ == second.cond_dim_ &&
+             first.cond_stride_ == second.cond_stride_ &&
+             first.flag_stride_ == second.flag_stride_;
+    case Kind::kFiberDense:
+      return false;  // would need a matrix-product pool; not a hot pair
+  }
+  return false;
+}
+
+CompiledOp CompiledOp::fused(const CompiledOp& first, const CompiledOp& second) {
+  QS_REQUIRE(can_fuse(first, second), "ops are not fusable");
+  fuse_counter().add();
+  switch (first.kind_) {
+    case Kind::kPermutation: {
+      // x → first.table[x] → second.table[first.table[x]]: pure index
+      // composition, so the fused sweep is exactly the two-sweep result.
+      CompiledOp op(Kind::kPermutation, first.dim_);
+      op.table_.resize(first.dim_);
+      std::uint32_t* t = op.table_.data();
+      const std::uint32_t* t1 = first.table_.data();
+      const std::uint32_t* t2 = second.table_.data();
+      parallel_for(first.dim_, [&](std::size_t x) { t[x] = t2[t1[x]]; });
+      return op;
+    }
+    case Kind::kDiagonal: {
+      // One multiplication order change: amp·(f1·f2) instead of
+      // (amp·f1)·f2 — associativity-only error, bounded by the 1e-12
+      // differential-grid tolerance.
+      CompiledOp op(Kind::kDiagonal, first.dim_);
+      op.factors_.resize(first.dim_);
+      cplx* f = op.factors_.data();
+      const cplx* f1 = first.factors_.data();
+      const cplx* f2 = second.factors_.data();
+      parallel_for(first.dim_, [&](std::size_t x) { f[x] = f1[x] * f2[x]; });
+      return op;
+    }
+    case Kind::kValueShift: {
+      CompiledOp op = first;
+      for (std::size_t c = 0; c < op.shifts_.size(); ++c)
+        op.shifts_[c] = (op.shifts_[c] + second.shifts_[c]) % op.target_dim_;
+      return op;
+    }
+    case Kind::kFiberDense:
+      break;
+  }
+  QS_REQUIRE(false, "ops are not fusable");
+  return first;  // unreachable
+}
+
+std::size_t CompiledProgram::fuse() {
+  std::size_t merges = 0;
+  std::vector<CompiledOp> out;
+  out.reserve(ops_.size());
+  for (auto& op : ops_) {
+    if (!out.empty() && CompiledOp::can_fuse(out.back(), op)) {
+      out.back() = CompiledOp::fused(out.back(), op);
+      ++merges;
+    } else {
+      out.push_back(std::move(op));
+    }
+  }
+  ops_ = std::move(out);
+  return merges;
+}
+
+void CompiledProgram::apply_to(StateVector& state) const {
+  for (const auto& op : ops_) op.apply_to(state);
+}
+
+}  // namespace qs

@@ -1,0 +1,160 @@
+// Compiled operators: structure-aware lowering of oracles and unitaries.
+//
+// The std::function kernels in state_vector.hpp pay an opaque indirect call
+// per amplitude (or per fiber) every time an operator is applied. But every
+// operator the paper's algorithms apply — the counting oracles O_j/Ô_j of
+// Eq. (1)/(2), the phase oracles S_χ/S_0, the count-controlled rotation 𝒰
+// of Eq. (6), the coordinator-side adder of Lemma 4.4 — has one of four
+// rigid structures. CompiledOp lowers an operator ONCE per (operator,
+// layout) into flat arrays and replays it through tight index loops:
+//
+//   kPermutation  y = table[x]          basis relabelling (adder, fused
+//                                       ancilla moves); bijection certified
+//                                       once here, not per query;
+//   kDiagonal     amp[x] *= factors[x]  phase oracles;
+//   kFiberDense   per-fiber d×d matrix  conditioned unitaries (𝒰); d=2 and
+//                                       d=4 replay fully unrolled;
+//   kValueShift   cyclic digit shift    the oracle shape of Eq. (1)/(2),
+//                                       with the shift table precomputed.
+//
+// CompiledProgram strings ops together and fuses adjacent compatible pairs
+// (diagonal∘diagonal, permutation∘permutation, parallel value shifts on the
+// same registers) into a single sweep. Permutation/shift lowering and
+// fusion move amplitudes without arithmetic, so those paths are
+// bit-identical (0 ULP) to the naive kernels; diagonal fusion multiplies
+// factors once at fuse time and is ≤1e-12-close. The differential grid in
+// tests/test_kernel_equivalence.cpp enforces both bounds; docs/PERF.md
+// documents the representations and rules.
+//
+// Telemetry: qsim.compiled.compile / .fuse / .apply counters.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "qsim/linalg.hpp"
+#include "qsim/register_layout.hpp"
+#include "qsim/state_vector.hpp"
+
+namespace qs {
+
+class CompiledOp {
+ public:
+  enum class Kind : std::uint8_t {
+    kPermutation,
+    kDiagonal,
+    kFiberDense,
+    kValueShift,
+  };
+
+  // --- Lowering entry points ---------------------------------------------
+  // These are the ONLY places the compiled layer accepts a std::function:
+  // the callback runs once per basis state (or fiber) at compile time, then
+  // never again. dqs_lint's no-std-function-in-kernels rule allowlists this
+  // file for exactly that reason.
+
+  /// Compile `map` into a flat forward table. Evaluates `map` on every
+  /// basis state (in parallel — `map` must be pure, same contract as
+  /// StateVector::apply_permutation) and certifies it is a bijection once,
+  /// here, so the replay kernel can skip the per-query scan.
+  static CompiledOp permutation(
+      const RegisterLayout& layout,
+      const std::function<std::size_t(std::size_t)>& map);
+
+  /// Compile `phase` into a dense factor array.
+  static CompiledOp diagonal(const RegisterLayout& layout,
+                             const std::function<cplx(std::size_t)>& phase);
+
+  /// Compile a conditioned unitary: `selector` is evaluated once per fiber
+  /// of `target` (same contract as StateVector::apply_conditioned_unitary,
+  /// nullptr = identity); distinct matrices are pooled and fibers store a
+  /// pool index.
+  static CompiledOp fiber_dense(
+      const RegisterLayout& layout, RegisterId target,
+      const std::function<const Matrix*(std::size_t fiber_base)>& selector);
+
+  /// Compile the Eq. (1) oracle shape |c⟩|s⟩ → |c⟩|s + shift(c) mod d⟩.
+  /// Shifts are reduced mod dim(r) at compile time.
+  static CompiledOp value_shift(
+      const RegisterLayout& layout, RegisterId r, RegisterId cond,
+      std::span<const std::size_t> shift_per_cond_value);
+
+  /// The flag-controlled Ô_j shape of Eq. (2); `flag` must be a qubit.
+  static CompiledOp controlled_value_shift(
+      const RegisterLayout& layout, RegisterId r, RegisterId cond,
+      RegisterId flag, std::span<const std::size_t> shift_per_cond_value);
+
+  // --- Replay and composition --------------------------------------------
+
+  Kind kind() const noexcept { return kind_; }
+  std::size_t dim() const noexcept { return dim_; }
+
+  /// Replay on a state of matching dimension through the flat-table
+  /// kernels of StateVector.
+  void apply_to(StateVector& state) const;
+
+  /// Re-express this op as an explicit kPermutation (identity for one that
+  /// already is). Value shifts are basis relabellings, so this is exact; it
+  /// is the bridge that lets shifts on DIFFERENT registers fuse into one
+  /// table sweep (see ParallelFullCircuit).
+  CompiledOp lowered_to_permutation() const;
+
+  /// True when `second ∘ first` collapses into a single op: both diagonal,
+  /// both permutation, or value shifts with identical target/cond/flag
+  /// geometry (all on equal dimensions).
+  static bool can_fuse(const CompiledOp& first, const CompiledOp& second);
+
+  /// The fused op (apply order: `first`, then `second`). Requires
+  /// can_fuse(first, second).
+  static CompiledOp fused(const CompiledOp& first, const CompiledOp& second);
+
+ private:
+  CompiledOp(Kind kind, std::size_t dim) : kind_(kind), dim_(dim) {}
+
+  Kind kind_;
+  std::size_t dim_;
+
+  // kPermutation: forward table, y = table_[x].
+  std::vector<std::uint32_t> table_;
+
+  // kDiagonal.
+  std::vector<cplx> factors_;
+
+  // kFiberDense: row-major d×d matrices back to back + per-fiber index
+  // (StateVector::kFiberIdentity = untouched fiber).
+  RegisterId target_{};
+  std::vector<cplx> matrix_pool_;
+  std::vector<std::uint32_t> mat_of_fiber_;
+
+  // kValueShift: registers for replay plus their (dim, stride) geometry so
+  // lowering/fusion do not need the original layout.
+  RegisterId shift_r_{}, shift_cond_{}, shift_flag_{};
+  bool has_flag_ = false;
+  std::size_t target_dim_ = 0, target_stride_ = 0;
+  std::size_t cond_dim_ = 0, cond_stride_ = 0;
+  std::size_t flag_stride_ = 0;
+  std::vector<std::size_t> shifts_;
+};
+
+/// An ordered sequence of compiled ops with a peephole fusion pass.
+class CompiledProgram {
+ public:
+  void push(CompiledOp op) { ops_.push_back(std::move(op)); }
+
+  /// Merge adjacent fusable ops until a fixed point; returns the number of
+  /// merges performed (telemetry: qsim.compiled.fuse counts each).
+  std::size_t fuse();
+
+  /// Apply all ops in order.
+  void apply_to(StateVector& state) const;
+
+  std::size_t size() const noexcept { return ops_.size(); }
+  const std::vector<CompiledOp>& ops() const noexcept { return ops_; }
+
+ private:
+  std::vector<CompiledOp> ops_;
+};
+
+}  // namespace qs

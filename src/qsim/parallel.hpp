@@ -6,10 +6,15 @@
 // built without OpenMP the helpers degrade to plain sequential loops, so no
 // call site needs #ifdefs.
 //
-// Reductions (norms, inner products) are deliberately kept sequential:
-// deterministic, run-to-run identical floating-point results matter more to
-// the test suite and the reproducibility story than the last 2x of speed on
-// what is already O(dim) work.
+// Reductions (norms, inner products, marginals) go through
+// parallel_reduce_blocks: the index range is cut into FIXED-size blocks
+// (independent of the thread count), per-block partials are summed
+// sequentially inside each block, and the partials are combined with a
+// fixed-shape pairwise tree. The arithmetic — every operand pairing, in
+// order — is a function of n alone, so results are bit-identical run to
+// run, across OMP_NUM_THREADS values, and between the OpenMP and serial
+// builds. That determinism contract (docs/PERF.md) is what lets the test
+// suite and the quickstart demo diff outputs across build flavours.
 //
 // ThreadSanitizer builds take a separate code path. GCC's libgomp is not
 // TSan-instrumented: the fork/join barriers of a worksharing region are
@@ -26,9 +31,11 @@
 // holds for every kernel in this library (asserted in the TSan path).
 #pragma once
 
+#include <algorithm>
 #include <complex>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #if defined(__SANITIZE_THREAD__)
@@ -166,6 +173,53 @@ void parallel_for_with_scratch(std::size_t n, std::size_t scratch_size,
   }
   detail::join_region();
 #endif
+}
+
+/// Block size for deterministic reductions. Fixed — never derived from the
+/// thread count — so the reduction's arithmetic shape depends only on the
+/// problem size. 4096 amplitudes ≈ 64 KiB of cplx per block: large enough
+/// to amortise the parallel_for dispatch, small enough that every bench
+/// grid still fans out over all cores.
+inline constexpr std::size_t kReduceBlockSize = 4096;
+
+/// Deterministic parallel reduction over [0, n).
+///
+/// `block(begin, end)` must return the sequential left-fold of the caller's
+/// term over [begin, end); blocks are kReduceBlockSize wide and run in
+/// parallel. `combine(into, from)` folds two partials. The partials are then
+/// merged with a fixed-shape pairwise halving tree: width w folds element
+/// i+ceil(w/2) into element i. Both the block partition and the tree shape
+/// depend only on n, so the result is bit-identical regardless of thread
+/// count or whether OpenMP is compiled in at all.
+template <class T, class BlockFn, class CombineFn>
+T parallel_reduce_blocks(std::size_t n, T identity, BlockFn&& block,
+                         CombineFn&& combine) {
+  if (n == 0) return identity;
+  const std::size_t num_blocks = (n + kReduceBlockSize - 1) / kReduceBlockSize;
+  if (num_blocks == 1) return block(std::size_t{0}, n);
+  std::vector<T> partials(num_blocks, identity);
+  parallel_for(num_blocks, [&](std::size_t b) {
+    const std::size_t begin = b * kReduceBlockSize;
+    const std::size_t end = std::min(n, begin + kReduceBlockSize);
+    partials[b] = block(begin, end);
+  });
+  // Pairwise halving: O(num_blocks) work on a handful of partials; running
+  // it sequentially keeps the combine order trivially fixed.
+  for (std::size_t width = num_blocks; width > 1;) {
+    const std::size_t half = (width + 1) / 2;
+    for (std::size_t i = 0; i + half < width; ++i)
+      combine(partials[i], partials[i + half]);
+    width = half;
+  }
+  return partials[0];
+}
+
+/// parallel_reduce_blocks for types where `+=` is the combine.
+template <class T, class BlockFn>
+T parallel_sum_blocks(std::size_t n, T identity, BlockFn&& block) {
+  return parallel_reduce_blocks(
+      n, identity, std::forward<BlockFn>(block),
+      [](T& into, const T& from) { into += from; });
 }
 
 }  // namespace qs

@@ -61,8 +61,13 @@ void StateVector::set_amplitudes(std::vector<cplx> amplitudes) {
 }
 
 double StateVector::norm() const {
-  double s = 0.0;
-  for (const auto& a : amplitudes_) s += std::norm(a);
+  const cplx* amps = amplitudes_.data();
+  const double s = parallel_sum_blocks(
+      amplitudes_.size(), 0.0, [amps](std::size_t begin, std::size_t end) {
+        double acc = 0.0;
+        for (std::size_t i = begin; i < end; ++i) acc += std::norm(amps[i]);
+        return acc;
+      });
   return std::sqrt(s);
 }
 
@@ -100,6 +105,7 @@ void StateVector::apply_unitary(RegisterId r, const Matrix& u) {
 
 void StateVector::apply_conditioned_unitary(
     RegisterId target,
+    // dqs-lint: allow(no-std-function-in-kernels) retained naive reference
     const std::function<const Matrix*(std::size_t fiber_base)>& selector) {
   static auto& t_calls = telemetry::counter("qsim.sv.apply_conditioned_unitary");
   static auto& t_ns = telemetry::histogram("qsim.sv.apply_conditioned_unitary.ns");
@@ -125,24 +131,125 @@ void StateVector::apply_conditioned_unitary(
       });
 }
 
+void StateVector::apply_fiber_dense(
+    RegisterId target, std::span<const cplx> matrix_pool,
+    std::span<const std::uint32_t> mat_of_fiber) {
+  static auto& t_calls = telemetry::counter("qsim.sv.apply_fiber_dense");
+  static auto& t_ns = telemetry::histogram("qsim.sv.apply_fiber_dense.ns");
+  telemetry::Span t_span("sv.apply_fiber_dense", &t_ns);
+  t_span.tag("dim", static_cast<std::int64_t>(amplitudes_.size()));
+  t_calls.add();
+  const auto spec = fiber_spec(layout_, target);
+  QS_REQUIRE(mat_of_fiber.size() == spec.count,
+             "need one matrix index per fiber");
+  QS_REQUIRE(matrix_pool.size() % (spec.d * spec.d) == 0,
+             "matrix pool must hold whole d×d matrices");
+  const std::size_t num_mats = matrix_pool.size() / (spec.d * spec.d);
+  cplx* amps = amplitudes_.data();
+  const cplx* pool = matrix_pool.data();
+  const std::uint32_t* idx = mat_of_fiber.data();
+  if (spec.d == 2) {
+    const std::size_t s = spec.s;
+    parallel_for(spec.count, [&](std::size_t f) {
+      const std::uint32_t m = idx[f];
+      if (m == kFiberIdentity) return;
+      QS_ASSERT(m < num_mats, "fiber matrix index out of range");
+      const cplx* u = pool + static_cast<std::size_t>(m) * 4;
+      const std::size_t base = spec.base(f);
+      const cplx a0 = amps[base];
+      const cplx a1 = amps[base + s];
+      // Same accumulation order as the naive kernel (j ascending), so the
+      // unrolled path is bit-identical, not just close.
+      amps[base] = u[0] * a0 + u[1] * a1;
+      amps[base + s] = u[2] * a0 + u[3] * a1;
+    });
+    return;
+  }
+  if (spec.d == 4) {
+    const std::size_t s = spec.s;
+    parallel_for(spec.count, [&](std::size_t f) {
+      const std::uint32_t m = idx[f];
+      if (m == kFiberIdentity) return;
+      QS_ASSERT(m < num_mats, "fiber matrix index out of range");
+      const cplx* u = pool + static_cast<std::size_t>(m) * 16;
+      const std::size_t base = spec.base(f);
+      const cplx a0 = amps[base];
+      const cplx a1 = amps[base + s];
+      const cplx a2 = amps[base + 2 * s];
+      const cplx a3 = amps[base + 3 * s];
+      amps[base] = u[0] * a0 + u[1] * a1 + u[2] * a2 + u[3] * a3;
+      amps[base + s] = u[4] * a0 + u[5] * a1 + u[6] * a2 + u[7] * a3;
+      amps[base + 2 * s] = u[8] * a0 + u[9] * a1 + u[10] * a2 + u[11] * a3;
+      amps[base + 3 * s] = u[12] * a0 + u[13] * a1 + u[14] * a2 + u[15] * a3;
+    });
+    return;
+  }
+  parallel_for_with_scratch(
+      spec.count, spec.d, [&](std::size_t f, std::span<cplx> scratch) {
+        const std::uint32_t m = idx[f];
+        if (m == kFiberIdentity) return;
+        QS_ASSERT(m < num_mats, "fiber matrix index out of range");
+        const cplx* u = pool + static_cast<std::size_t>(m) * spec.d * spec.d;
+        const std::size_t base = spec.base(f);
+        for (std::size_t j = 0; j < spec.d; ++j)
+          scratch[j] = amps[base + j * spec.s];
+        for (std::size_t i = 0; i < spec.d; ++i) {
+          cplx acc{0.0, 0.0};
+          for (std::size_t j = 0; j < spec.d; ++j)
+            acc += u[i * spec.d + j] * scratch[j];
+          amps[base + i * spec.s] = acc;
+        }
+      });
+}
+
 void StateVector::apply_permutation(
+    // dqs-lint: allow(no-std-function-in-kernels) retained naive reference
     const std::function<std::size_t(std::size_t)>& map) {
   static auto& t_calls = telemetry::counter("qsim.sv.apply_permutation");
   static auto& t_ns = telemetry::histogram("qsim.sv.apply_permutation.ns");
   telemetry::Span t_span("sv.apply_permutation", &t_ns);
   t_span.tag("dim", static_cast<std::int64_t>(amplitudes_.size()));
   t_calls.add();
+  scratch_.resize(amplitudes_.size());
+#ifndef NDEBUG
+  // Debug builds prefill the scratch with NaN and scan it afterwards to
+  // certify `map` really is a bijection. Release builds skip the O(dim)
+  // prefill + serial scan on every query: callers wanting a certified map
+  // lower it once through CompiledOp::permutation, whose compile-time check
+  // runs exactly once per (operator, layout).
   const double nan = std::numeric_limits<double>::quiet_NaN();
-  std::vector<cplx> out(amplitudes_.size(), cplx{nan, nan});
+  std::fill(scratch_.begin(), scratch_.end(), cplx{nan, nan});
+#endif
   parallel_for(amplitudes_.size(), [&](std::size_t x) {
     const std::size_t y = map(x);
-    QS_ASSERT(y < out.size(), "permutation image out of range");
-    out[y] = amplitudes_[x];
+    QS_REQUIRE(y < scratch_.size(), "permutation image out of range");
+    scratch_[y] = amplitudes_[x];
   });
-  for (const auto& a : out) {
+#ifndef NDEBUG
+  for (const auto& a : scratch_) {
     QS_ASSERT(!std::isnan(a.real()), "permutation map is not a bijection");
   }
-  amplitudes_ = std::move(out);
+#endif
+  amplitudes_.swap(scratch_);
+}
+
+void StateVector::apply_permutation_table(
+    std::span<const std::uint32_t> table) {
+  static auto& t_calls = telemetry::counter("qsim.sv.apply_permutation_table");
+  static auto& t_ns = telemetry::histogram("qsim.sv.apply_permutation_table.ns");
+  telemetry::Span t_span("sv.apply_permutation_table", &t_ns);
+  t_span.tag("dim", static_cast<std::int64_t>(amplitudes_.size()));
+  t_calls.add();
+  QS_REQUIRE(table.size() == amplitudes_.size(),
+             "permutation table size must match state dimension");
+  scratch_.resize(amplitudes_.size());
+  const cplx* src = amplitudes_.data();
+  cplx* dst = scratch_.data();
+  const std::uint32_t* t = table.data();
+  parallel_for(amplitudes_.size(), [&](std::size_t x) {
+    dst[t[x]] = src[x];
+  });
+  amplitudes_.swap(scratch_);
 }
 
 void StateVector::apply_value_shift(
@@ -205,6 +312,7 @@ void StateVector::apply_controlled_value_shift(
 }
 
 void StateVector::apply_diagonal(
+    // dqs-lint: allow(no-std-function-in-kernels) retained naive reference
     const std::function<cplx(std::size_t)>& phase) {
   static auto& t_calls = telemetry::counter("qsim.sv.apply_diagonal");
   static auto& t_ns = telemetry::histogram("qsim.sv.apply_diagonal.ns");
@@ -213,6 +321,21 @@ void StateVector::apply_diagonal(
   t_calls.add();
   parallel_for(amplitudes_.size(), [&](std::size_t x) {
     amplitudes_[x] *= phase(x);
+  });
+}
+
+void StateVector::apply_diagonal_factors(std::span<const cplx> factors) {
+  static auto& t_calls = telemetry::counter("qsim.sv.apply_diagonal_factors");
+  static auto& t_ns = telemetry::histogram("qsim.sv.apply_diagonal_factors.ns");
+  telemetry::Span t_span("sv.apply_diagonal_factors", &t_ns);
+  t_span.tag("dim", static_cast<std::int64_t>(amplitudes_.size()));
+  t_calls.add();
+  QS_REQUIRE(factors.size() == amplitudes_.size(),
+             "diagonal factor array size must match state dimension");
+  cplx* amps = amplitudes_.data();
+  const cplx* f = factors.data();
+  parallel_for(amplitudes_.size(), [&](std::size_t x) {
+    amps[x] *= f[x];
   });
 }
 
@@ -274,30 +397,58 @@ void StateVector::apply_global_phase(cplx phase) {
 cplx StateVector::inner_product(const StateVector& other) const {
   QS_REQUIRE(layout_.same_shape(other.layout_),
              "inner product needs identically shaped layouts");
-  cplx acc{0.0, 0.0};
-  for (std::size_t i = 0; i < amplitudes_.size(); ++i)
-    acc += std::conj(amplitudes_[i]) * other.amplitudes_[i];
-  return acc;
+  const cplx* a = amplitudes_.data();
+  const cplx* b = other.amplitudes_.data();
+  return parallel_sum_blocks(
+      amplitudes_.size(), cplx{0.0, 0.0},
+      [a, b](std::size_t begin, std::size_t end) {
+        cplx acc{0.0, 0.0};
+        for (std::size_t i = begin; i < end; ++i)
+          acc += std::conj(a[i]) * b[i];
+        return acc;
+      });
 }
 
 double StateVector::distance_squared(const StateVector& other) const {
   QS_REQUIRE(layout_.same_shape(other.layout_),
              "distance needs identically shaped layouts");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < amplitudes_.size(); ++i)
-    acc += std::norm(amplitudes_[i] - other.amplitudes_[i]);
-  return acc;
+  const cplx* a = amplitudes_.data();
+  const cplx* b = other.amplitudes_.data();
+  return parallel_sum_blocks(
+      amplitudes_.size(), 0.0, [a, b](std::size_t begin, std::size_t end) {
+        double acc = 0.0;
+        for (std::size_t i = begin; i < end; ++i)
+          acc += std::norm(a[i] - b[i]);
+        return acc;
+      });
 }
 
 std::vector<double> StateVector::marginal(RegisterId r) const {
+  static auto& t_calls = telemetry::counter("qsim.sv.marginal");
+  static auto& t_ns = telemetry::histogram("qsim.sv.marginal.ns");
+  telemetry::Span t_span("sv.marginal", &t_ns);
+  t_span.tag("dim", static_cast<std::int64_t>(amplitudes_.size()));
+  t_calls.add();
   const auto spec = fiber_spec(layout_, r);
-  std::vector<double> probs(spec.d, 0.0);
-  for (std::size_t f = 0; f < spec.count; ++f) {
-    const std::size_t base = spec.base(f);
-    for (std::size_t j = 0; j < spec.d; ++j)
-      probs[j] += std::norm(amplitudes_[base + j * spec.s]);
-  }
-  return probs;
+  const cplx* amps = amplitudes_.data();
+  // Deterministic parallel reduction over FIBERS: each block folds its
+  // fibers' |amplitude|² into a local d-vector sequentially, then the
+  // per-block d-vectors merge through the fixed pairwise tree — same
+  // value-by-value order regardless of thread count (docs/PERF.md).
+  return parallel_reduce_blocks(
+      spec.count, std::vector<double>(spec.d, 0.0),
+      [&spec, amps](std::size_t begin, std::size_t end) {
+        std::vector<double> probs(spec.d, 0.0);
+        for (std::size_t f = begin; f < end; ++f) {
+          const std::size_t base = spec.base(f);
+          for (std::size_t j = 0; j < spec.d; ++j)
+            probs[j] += std::norm(amps[base + j * spec.s]);
+        }
+        return probs;
+      },
+      [](std::vector<double>& into, const std::vector<double>& from) {
+        for (std::size_t j = 0; j < into.size(); ++j) into[j] += from[j];
+      });
 }
 
 double StateVector::probability_of(RegisterId r, std::size_t value) const {

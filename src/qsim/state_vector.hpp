@@ -16,9 +16,18 @@
 //
 // Kernels touching every amplitude are OpenMP-parallel when the library is
 // built with OpenMP (DQS_HAVE_OPENMP).
+//
+// The std::function-taking kernels are the NAIVE reference paths: correct,
+// but paying a virtual dispatch per amplitude (or per fiber). Hot call
+// sites lower an operator once per (operator, layout) into a CompiledOp
+// (compiled_op.hpp), which replays through the flat-table twins declared
+// alongside them (apply_permutation_table, apply_diagonal_factors,
+// apply_fiber_dense). tests/test_kernel_equivalence.cpp pins the two paths
+// together; docs/PERF.md documents the contract.
 #pragma once
 
 #include <complex>
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
@@ -63,13 +72,33 @@ class StateVector {
   /// `selector`, which receives the flat index with target digit zeroed and
   /// must return a pointer to a dim(target)^2 row-major matrix. The selector
   /// must not depend on the target digit (it is called once per fiber).
+  /// Naive reference path; hot call sites lower once through CompiledOp
+  /// (compiled_op.hpp) instead of paying this dispatch per fiber.
   void apply_conditioned_unitary(
       RegisterId target,
+      // dqs-lint: allow(no-std-function-in-kernels) retained naive reference
       const std::function<const Matrix*(std::size_t fiber_base)>& selector);
 
+  /// As apply_conditioned_unitary, but the per-fiber matrix comes from a
+  /// compiled table: `matrix_pool` holds row-major dim(target)² matrices
+  /// back to back, and `mat_of_fiber[f]` indexes the matrix for fiber f
+  /// (kFiberIdentity = leave the fiber untouched). d = 2 and d = 4 run
+  /// fully unrolled. Produced by CompiledOp::fiber_dense.
+  void apply_fiber_dense(RegisterId target, std::span<const cplx> matrix_pool,
+                         std::span<const std::uint32_t> mat_of_fiber);
+
   /// Relabel basis states: new|map(x)⟩ = old|x⟩. `map` must be a bijection
-  /// on [0, dim). Costs one auxiliary buffer.
+  /// on [0, dim). Costs one auxiliary buffer (a persistent member scratch,
+  /// reused across calls). Naive reference path — per-amplitude dispatch;
+  /// hot call sites lower once through CompiledOp::permutation instead.
+  // dqs-lint: allow(no-std-function-in-kernels) retained naive reference
   void apply_permutation(const std::function<std::size_t(std::size_t)>& map);
+
+  /// Relabel basis states through a precompiled forward table:
+  /// new|table[x]⟩ = old|x⟩. `table` must be a bijection on [0, dim) — the
+  /// caller (CompiledOp::permutation) certifies that once at compile time,
+  /// so this kernel is a bare gather/scatter into the member scratch.
+  void apply_permutation_table(std::span<const std::uint32_t> table);
 
   /// Cyclic shift of register r's value conditioned on another register:
   /// |c⟩_cond |s⟩_r → |c⟩_cond |(s + shift(c)) mod dim(r)⟩_r.
@@ -83,8 +112,14 @@ class StateVector {
       RegisterId r, RegisterId cond, RegisterId flag,
       std::span<const std::size_t> shift_per_cond_value);
 
-  /// Multiply amplitude of each basis state x by phase(x).
+  /// Multiply amplitude of each basis state x by phase(x). Naive reference
+  /// path; hot call sites lower once through CompiledOp::diagonal.
+  // dqs-lint: allow(no-std-function-in-kernels) retained naive reference
   void apply_diagonal(const std::function<cplx(std::size_t)>& phase);
+
+  /// Multiply amplitude of each basis state x by factors[x] (a precompiled
+  /// diagonal; size must equal dim()).
+  void apply_diagonal_factors(std::span<const cplx> factors);
 
   /// Multiply the single basis state |flat_index⟩ by a phase factor.
   void apply_phase_on_basis_state(std::size_t flat_index, cplx phase);
@@ -116,9 +151,16 @@ class StateVector {
   /// Probability that register r holds `value`.
   double probability_of(RegisterId r, std::size_t value) const;
 
+  /// Sentinel in apply_fiber_dense's mat_of_fiber: identity on this fiber.
+  static constexpr std::uint32_t kFiberIdentity = 0xFFFFFFFFu;
+
  private:
   RegisterLayout layout_;
   std::vector<cplx> amplitudes_;
+  // Ping-pong buffer for the permutation kernels: filled with the permuted
+  // amplitudes, then swapped in. A member so hot loops (one permutation per
+  // oracle query) do not allocate O(dim) per call.
+  std::vector<cplx> scratch_;
 };
 
 /// |⟨a|b⟩|² for pure states on identically-shaped layouts.

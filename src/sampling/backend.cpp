@@ -4,6 +4,7 @@
 
 #include "common/require.hpp"
 #include "qsim/gates.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace qs {
 
@@ -32,6 +33,23 @@ std::vector<Matrix> make_u_rotations(std::uint64_t nu, bool adjoint) {
   return rotations;
 }
 
+namespace {
+
+/// Lower the count-controlled rotation 𝒰 of Eq. (6) to fiber-dense compiled
+/// form: one 2×2 per counter value, selected per flag fiber. Data-
+/// independent, so compiling at backend construction costs one pass over
+/// the fibers and every application afterwards is an unrolled table walk.
+CompiledOp compile_u_rotation(const CoordinatorLayout& regs,
+                              const RegisterLayout& layout,
+                              const std::vector<Matrix>& rotations) {
+  return CompiledOp::fiber_dense(
+      layout, regs.flag, [&](std::size_t fiber_base) -> const Matrix* {
+        return &rotations[layout.digit(fiber_base, regs.count)];
+      });
+}
+
+}  // namespace
+
 SingleStateBackend::SingleStateBackend(const DistributedDatabase& db,
                                        StatePrep prep, Transcript* transcript,
                                        OracleObserver observer)
@@ -43,7 +61,10 @@ SingleStateBackend::SingleStateBackend(const DistributedDatabase& db,
       state_(regs_.layout),
       householder_v_(uniform_prep_householder_vector(db.universe())),
       u_rotations_(make_u_rotations(db.nu(), /*adjoint=*/false)),
-      u_rotations_adjoint_(make_u_rotations(db.nu(), /*adjoint=*/true)) {
+      u_rotations_adjoint_(make_u_rotations(db.nu(), /*adjoint=*/true)),
+      u_compiled_(compile_u_rotation(regs_, state_.layout(), u_rotations_)),
+      u_compiled_adjoint_(
+          compile_u_rotation(regs_, state_.layout(), u_rotations_adjoint_)) {
   if (prep_ == StatePrep::kQft) qft_ = qft_matrix(db.universe());
 }
 
@@ -70,13 +91,32 @@ void SingleStateBackend::phase_initial(double phi) {
 }
 
 void SingleStateBackend::rotation_u(bool adjoint) {
-  const auto& rotations = adjoint ? u_rotations_adjoint_ : u_rotations_;
-  const auto& layout = state_.layout();
-  const auto count = regs_.count;
-  state_.apply_conditioned_unitary(
-      regs_.flag, [&](std::size_t fiber_base) -> const Matrix* {
-        return &rotations[layout.digit(fiber_base, count)];
-      });
+  (adjoint ? u_compiled_adjoint_ : u_compiled_).apply_to(state_);
+}
+
+const std::vector<std::size_t>& SingleStateBackend::total_shift(
+    bool adjoint) const {
+  static auto& t_hits = telemetry::counter("sampling.total_shift.cache.hit");
+  static auto& t_compiles =
+      telemetry::counter("sampling.total_shift.cache.compile");
+  const std::uint64_t version = db_.version();
+  if (shift_valid_ && shift_version_ == version) {
+    t_hits.add();
+    return adjoint ? shift_adjoint_ : shift_forward_;
+  }
+  const std::size_t modulus = state_.layout().dim(regs_.count);
+  const auto joint = db_.joint_counts();
+  shift_forward_.resize(joint.size());
+  shift_adjoint_.resize(joint.size());
+  for (std::size_t i = 0; i < joint.size(); ++i) {
+    const std::size_t c = static_cast<std::size_t>(joint[i]) % modulus;
+    shift_forward_[i] = c;
+    shift_adjoint_[i] = (modulus - c) % modulus;
+  }
+  shift_version_ = version;
+  shift_valid_ = true;
+  t_compiles.add();
+  return adjoint ? shift_adjoint_ : shift_forward_;
 }
 
 void SingleStateBackend::oracle(std::size_t j, bool adjoint) {
@@ -88,15 +128,10 @@ void SingleStateBackend::oracle(std::size_t j, bool adjoint) {
 void SingleStateBackend::parallel_total_shift(bool adjoint) {
   // Net effect of Lemma 4.4's first (adjoint: third) step. The counter
   // register has dimension ν+1 ≥ c_i + 1, so the modular addition below is
-  // the exact composite of the two parallel oracle rounds.
-  const std::size_t modulus = state_.layout().dim(regs_.count);
-  const auto joint = db_.joint_counts();
-  std::vector<std::size_t> shifts(joint.size());
-  for (std::size_t i = 0; i < joint.size(); ++i) {
-    const std::size_t c = static_cast<std::size_t>(joint[i]) % modulus;
-    shifts[i] = adjoint ? (modulus - c) % modulus : c;
-  }
-  state_.apply_value_shift(regs_.count, regs_.elem, shifts);
+  // the exact composite of the two parallel oracle rounds. The shift table
+  // comes from the version-keyed cache: one joint-count aggregation per
+  // database state, however many AA iterations replay it.
+  state_.apply_value_shift(regs_.count, regs_.elem, total_shift(adjoint));
   // Lemma 4.4: each direction costs one O and one O† round.
   for (const bool round_adjoint : {false, true}) {
     db_.count_parallel_round();

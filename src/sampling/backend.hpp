@@ -22,6 +22,7 @@
 
 #include "distdb/distributed_database.hpp"
 #include "distdb/transcript.hpp"
+#include "qsim/compiled_op.hpp"
 #include "qsim/state_vector.hpp"
 
 namespace qs {
@@ -111,6 +112,19 @@ class SingleStateBackend final : public SamplingBackend {
   Matrix qft_;
   std::vector<Matrix> u_rotations_;         // 𝒰: one 2×2 per counter value
   std::vector<Matrix> u_rotations_adjoint_;
+  // 𝒰 lowered once per direction into fiber-dense compiled form (2×2
+  // unrolled replay) — 𝒰 is data-independent, so compile-at-construction
+  // is safe and every application is a pure table walk.
+  CompiledOp u_compiled_;
+  CompiledOp u_compiled_adjoint_;
+  // Parallel total-shift table (Lemma 4.4's net counter shift), cached
+  // against the database version so repeated AA iterations skip the O(N·n)
+  // joint-count rebuild. Telemetry: sampling.total_shift.cache.{compile,hit}.
+  mutable std::uint64_t shift_version_ = 0;
+  mutable bool shift_valid_ = false;
+  mutable std::vector<std::size_t> shift_forward_;
+  mutable std::vector<std::size_t> shift_adjoint_;
+  const std::vector<std::size_t>& total_shift(bool adjoint) const;
 };
 
 /// Precompute the 2×2 rotations of 𝒰 (Eq. 6) for counter values 0..ν:

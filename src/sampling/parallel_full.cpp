@@ -29,26 +29,62 @@ ParallelFullCircuit::ParallelFullCircuit(const DistributedDatabase& db)
 
   u_rotations_ = make_u_rotations(db.nu(), /*adjoint=*/false);
   u_rotations_adjoint_ = make_u_rotations(db.nu(), /*adjoint=*/true);
-}
 
-void ParallelFullCircuit::apply_copy(StateVector& state, bool adjoint) const {
-  // |i⟩|a_j⟩ → |i⟩|a_j ± i mod N⟩ per ancilla element register: a
-  // conditioned cyclic shift where the shift amount IS the element value.
-  const std::size_t universe = layout_.dim(elem_);
-  std::vector<std::size_t> shifts(universe);
-  for (std::size_t i = 0; i < universe; ++i)
-    shifts[i] = adjoint ? (universe - i) % universe : i;
-  for (const auto a : anc_elem_) {
-    state.apply_value_shift(a, elem_, shifts);
+  // Compile the coordinator-side moves once (see the header comment).
+  //
+  // copy: |i⟩|a_j⟩ → |i⟩|a_j ± i mod N⟩ per ancilla element register — a
+  // conditioned cyclic shift whose shift amount IS the element value.
+  std::vector<std::size_t> copy_fwd(universe), copy_adj(universe);
+  for (std::size_t i = 0; i < universe; ++i) {
+    copy_fwd[i] = i;
+    copy_adj[i] = (universe - i) % universe;
   }
-}
+  // set_controls: X on each control flag — a shift by 1 independent of the
+  // (trivial) condition digit.
+  const std::vector<std::size_t> ones(universe, 1);
 
-void ParallelFullCircuit::apply_set_controls(StateVector& state) const {
-  // X on each control flag: a value shift by 1 on a dim-2 register,
-  // conditioned trivially (shift independent of the condition digit).
-  const std::vector<std::size_t> ones(layout_.dim(elem_), 1);
-  for (const auto b : anc_flag_) {
-    state.apply_value_shift(b, elem_, ones);
+  for (const auto a : anc_elem_)
+    pre_shift_.push(CompiledOp::value_shift(layout_, a, elem_, copy_fwd)
+                        .lowered_to_permutation());
+  for (const auto b : anc_flag_)
+    pre_shift_.push(CompiledOp::value_shift(layout_, b, elem_, ones)
+                        .lowered_to_permutation());
+  pre_shift_.fuse();
+
+  for (const auto b : anc_flag_)
+    post_shift_.push(CompiledOp::value_shift(layout_, b, elem_, ones)
+                         .lowered_to_permutation());
+  for (const auto a : anc_elem_)
+    post_shift_.push(CompiledOp::value_shift(layout_, a, elem_, copy_adj)
+                         .lowered_to_permutation());
+  post_shift_.fuse();
+
+  // adder: count ← count ± Σ_j anc_count[j] (mod ν+1) — a pure coordinator
+  // permutation with no data dependence.
+  const auto& layout = layout_;
+  const auto& anc = anc_count_;
+  const auto count = count_;
+  for (const bool adjoint : {false, true}) {
+    auto& program = adjoint ? adder_adj_ : adder_fwd_;
+    program.push(CompiledOp::permutation(layout_, [&, adjoint](std::size_t x) {
+      std::size_t sum = 0;
+      for (const auto a : anc) sum += layout.digit(x, a);
+      sum %= counter_dim;
+      const std::size_t s = layout.digit(x, count);
+      const std::size_t target = adjoint
+                                     ? (s + counter_dim - sum) % counter_dim
+                                     : (s + sum) % counter_dim;
+      return layout.with_digit(x, count, target);
+    }));
+  }
+
+  for (const bool adjoint : {false, true}) {
+    auto& program = adjoint ? u_adj_ : u_fwd_;
+    const auto& rotations = adjoint ? u_rotations_adjoint_ : u_rotations_;
+    program.push(CompiledOp::fiber_dense(
+        layout_, flag_, [&](std::size_t fiber_base) -> const Matrix* {
+          return &rotations[layout.digit(fiber_base, count)];
+        }));
   }
 }
 
@@ -64,47 +100,21 @@ void ParallelFullCircuit::apply_parallel_oracle(StateVector& state,
   db_.count_parallel_round();
 }
 
-void ParallelFullCircuit::apply_adder(StateVector& state, bool adjoint) const {
-  // count ← count ± Σ_j anc_count[j] (mod ν+1). A pure coordinator-side
-  // permutation (no data dependence).
-  const std::size_t counter_dim = layout_.dim(count_);
-  const auto& layout = layout_;
-  const auto& anc = anc_count_;
-  const auto count = count_;
-  state.apply_permutation([&, adjoint](std::size_t x) {
-    std::size_t sum = 0;
-    for (const auto a : anc) sum += layout.digit(x, a);
-    sum %= counter_dim;
-    const std::size_t s = layout.digit(x, count);
-    const std::size_t target = adjoint
-                                   ? (s + counter_dim - sum) % counter_dim
-                                   : (s + sum) % counter_dim;
-    return layout.with_digit(x, count, target);
-  });
-}
-
 void ParallelFullCircuit::apply_total_shift(StateVector& state,
                                             bool adjoint) const {
-  // Lemma 4.4, first (or third) step: 2 parallel rounds.
-  apply_copy(state, /*adjoint=*/false);
-  apply_set_controls(state);
+  // Lemma 4.4, first (or third) step: 2 parallel rounds. The copy/control
+  // bookkeeping on either side replays precompiled fused tables.
+  pre_shift_.apply_to(state);
   apply_parallel_oracle(state, /*adjoint=*/false);
-  apply_adder(state, adjoint);
+  (adjoint ? adder_adj_ : adder_fwd_).apply_to(state);
   apply_parallel_oracle(state, /*adjoint=*/true);
-  apply_set_controls(state);
-  apply_copy(state, /*adjoint=*/true);
+  post_shift_.apply_to(state);
 }
 
 void ParallelFullCircuit::apply_distributing(StateVector& state,
                                              bool adjoint) const {
   apply_total_shift(state, /*adjoint=*/false);
-  const auto& rotations = adjoint ? u_rotations_adjoint_ : u_rotations_;
-  const auto& layout = layout_;
-  const auto count = count_;
-  state.apply_conditioned_unitary(
-      flag_, [&](std::size_t fiber_base) -> const Matrix* {
-        return &rotations[layout.digit(fiber_base, count)];
-      });
+  (adjoint ? u_adj_ : u_fwd_).apply_to(state);
   apply_total_shift(state, /*adjoint=*/true);
 }
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "distdb/distributed_database.hpp"
+#include "qsim/compiled_op.hpp"
 #include "qsim/state_vector.hpp"
 #include "sampling/backend.hpp"
 
@@ -51,18 +52,22 @@ class ParallelFullCircuit {
   void apply_distributing(StateVector& state, bool adjoint) const;
 
  private:
-  /// anc_elem[j] ← anc_elem[j] ± i (mod N): the "copy i into iⁿ" step.
-  void apply_copy(StateVector& state, bool adjoint) const;
-  /// Flip every ancilla control flag (X on each flagʲ).
-  void apply_set_controls(StateVector& state) const;
-  /// count ← count ± Σ_j anc_count[j] (mod ν+1): the coordinator's adder.
-  void apply_adder(StateVector& state, bool adjoint) const;
-
   const DistributedDatabase& db_;
   RegisterLayout layout_;
   RegisterId elem_, count_, flag_;
   std::vector<RegisterId> anc_elem_, anc_count_, anc_flag_;
   std::vector<Matrix> u_rotations_, u_rotations_adjoint_;
+  // The coordinator-side moves of Lemma 4.4 are data-independent basis
+  // relabellings, so the ctor lowers and FUSES each group once:
+  //   pre_shift_  = set_controls ∘ copy      (2n value shifts → 1 table)
+  //   post_shift_ = copy† ∘ set_controls     (2n value shifts → 1 table)
+  //   adder_*_    = count ± Σ_j anc_count[j] (1 table each)
+  //   u_*_        = 𝒰 per direction          (fiber-dense, 2×2 unrolled)
+  // Each apply_total_shift then replays three table sweeps instead of
+  // 2n+1 per-amplitude-dispatch kernels (docs/PERF.md).
+  CompiledProgram pre_shift_, post_shift_;
+  CompiledProgram adder_fwd_, adder_adj_;
+  CompiledProgram u_fwd_, u_adj_;
 };
 
 }  // namespace qs

@@ -1,0 +1,13 @@
+// Fixture: violates no-std-function-in-kernels — per-amplitude indirect
+// dispatch in statevector kernel code instead of a compiled operator.
+#include <complex>
+#include <cstddef>
+#include <functional>
+
+void fixture_bad_function_kernel(
+    std::complex<double>* amps, std::size_t n,
+    const std::function<std::complex<double>(std::size_t)>& phase) {
+  for (std::size_t i = 0; i < n; ++i) {
+    amps[i] *= phase(i);
+  }
+}

@@ -1,0 +1,325 @@
+// Differential grid pinning the compiled-operator layer (qsim/compiled_op)
+// to the naive std::function kernels it replaces.
+//
+// Contract (docs/PERF.md): lowering and fusing permutations and value
+// shifts moves amplitudes WITHOUT arithmetic, so those paths must match the
+// naive kernels to 0 ULP (EXPECT_EQ on raw complex values). Diagonal and
+// fiber-dense paths may reassociate scalar products (diagonal fusion
+// multiplies factors at fuse time), so they get a 1e-12 tolerance. The grid
+// randomizes layouts × registers × operator structures and runs identically
+// in serial, OpenMP and sanitizer builds — parallel_for and the
+// deterministic reductions guarantee the same arithmetic everywhere.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "qsim/compiled_op.hpp"
+#include "qsim/gates.hpp"
+#include "qsim/state_vector.hpp"
+
+namespace qs {
+namespace {
+
+struct GridCase {
+  RegisterLayout layout;
+  std::vector<RegisterId> regs;
+};
+
+/// Random mixed-radix layouts: 2–4 registers with dims drawn from small
+/// values (always at least one qubit so controlled shifts are exercisable).
+GridCase random_layout(Rng& rng, std::size_t index) {
+  static const std::size_t dims[] = {2, 3, 4, 5, 8};
+  GridCase grid;
+  const std::size_t num_regs = 2 + index % 3;
+  for (std::size_t r = 0; r < num_regs; ++r) {
+    const std::size_t d =
+        (r == 0) ? 2 : dims[rng.uniform_below(std::size(dims))];
+    grid.regs.push_back(grid.layout.add("r" + std::to_string(r), d));
+  }
+  return grid;
+}
+
+StateVector random_state(const RegisterLayout& layout, Rng& rng) {
+  StateVector state(layout);
+  std::vector<cplx> amps(layout.total_dim());
+  double norm2 = 0.0;
+  for (auto& a : amps) {
+    a = cplx{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    norm2 += std::norm(a);
+  }
+  const double inv = 1.0 / std::sqrt(norm2);
+  for (auto& a : amps) a *= inv;
+  state.set_amplitudes(std::move(amps));
+  return state;
+}
+
+void expect_zero_ulp(const StateVector& a, const StateVector& b) {
+  ASSERT_EQ(a.dim(), b.dim());
+  for (std::size_t i = 0; i < a.dim(); ++i) {
+    EXPECT_EQ(a.amplitude(i).real(), b.amplitude(i).real()) << "index " << i;
+    EXPECT_EQ(a.amplitude(i).imag(), b.amplitude(i).imag()) << "index " << i;
+  }
+}
+
+void expect_close(const StateVector& a, const StateVector& b, double tol) {
+  ASSERT_EQ(a.dim(), b.dim());
+  for (std::size_t i = 0; i < a.dim(); ++i) {
+    EXPECT_NEAR(a.amplitude(i).real(), b.amplitude(i).real(), tol)
+        << "index " << i;
+    EXPECT_NEAR(a.amplitude(i).imag(), b.amplitude(i).imag(), tol)
+        << "index " << i;
+  }
+}
+
+/// A random bijection built from register-structured moves (digit rotations
+/// composed with a whole-index rotation) so it stresses non-trivial tables.
+std::function<std::size_t(std::size_t)> random_permutation_map(
+    const RegisterLayout& layout, Rng& rng) {
+  const std::size_t dim = layout.total_dim();
+  const std::size_t offset = rng.uniform_below(dim);
+  const std::size_t stride_flip = rng.uniform_below(2);
+  return [dim, offset, stride_flip](std::size_t x) {
+    const std::size_t rotated = (x + offset) % dim;
+    return stride_flip != 0 ? dim - 1 - rotated : rotated;
+  };
+}
+
+TEST(KernelEquivalence, PermutationCompiledMatchesNaiveExactly) {
+  Rng rng(1234);
+  for (std::size_t trial = 0; trial < 12; ++trial) {
+    const auto grid = random_layout(rng, trial);
+    const auto map = random_permutation_map(grid.layout, rng);
+    auto naive = random_state(grid.layout, rng);
+    auto compiled_state = naive;
+    naive.apply_permutation(map);
+    const auto op = CompiledOp::permutation(grid.layout, map);
+    op.apply_to(compiled_state);
+    expect_zero_ulp(naive, compiled_state);
+  }
+}
+
+TEST(KernelEquivalence, ValueShiftCompiledMatchesNaiveExactly) {
+  Rng rng(2345);
+  for (std::size_t trial = 0; trial < 12; ++trial) {
+    const auto grid = random_layout(rng, trial);
+    if (grid.regs.size() < 2) continue;
+    const auto target = grid.regs[1];
+    const auto cond = grid.regs[0];
+    std::vector<std::size_t> shifts(grid.layout.dim(cond));
+    for (auto& s : shifts) s = rng.uniform_below(grid.layout.dim(target) + 3);
+    auto naive = random_state(grid.layout, rng);
+    auto compiled_state = naive;
+    auto lowered_state = naive;
+    naive.apply_value_shift(target, cond, shifts);
+    const auto op =
+        CompiledOp::value_shift(grid.layout, target, cond, shifts);
+    op.apply_to(compiled_state);
+    expect_zero_ulp(naive, compiled_state);
+    // Lowering the shift to an explicit permutation table is also exact.
+    op.lowered_to_permutation().apply_to(lowered_state);
+    expect_zero_ulp(naive, lowered_state);
+  }
+}
+
+TEST(KernelEquivalence, ControlledValueShiftCompiledMatchesNaiveExactly) {
+  Rng rng(3456);
+  for (std::size_t trial = 0; trial < 12; ++trial) {
+    auto grid = random_layout(rng, trial);
+    if (grid.regs.size() < 3) {
+      grid.regs.push_back(grid.layout.add("extra", 3));
+    }
+    const auto flag = grid.regs[0];  // always a qubit by construction
+    const auto cond = grid.regs[1];
+    const auto target = grid.regs[2];
+    std::vector<std::size_t> shifts(grid.layout.dim(cond));
+    for (auto& s : shifts) s = rng.uniform_below(grid.layout.dim(target) + 2);
+    auto naive = random_state(grid.layout, rng);
+    auto compiled_state = naive;
+    auto lowered_state = naive;
+    naive.apply_controlled_value_shift(target, cond, flag, shifts);
+    const auto op = CompiledOp::controlled_value_shift(grid.layout, target,
+                                                       cond, flag, shifts);
+    op.apply_to(compiled_state);
+    expect_zero_ulp(naive, compiled_state);
+    op.lowered_to_permutation().apply_to(lowered_state);
+    expect_zero_ulp(naive, lowered_state);
+  }
+}
+
+TEST(KernelEquivalence, DiagonalCompiledMatchesNaive) {
+  Rng rng(4567);
+  for (std::size_t trial = 0; trial < 12; ++trial) {
+    const auto grid = random_layout(rng, trial);
+    const double theta = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    const auto phase = [theta](std::size_t x) {
+      const double angle = theta * static_cast<double>(x % 7);
+      return cplx{std::cos(angle), std::sin(angle)};
+    };
+    auto naive = random_state(grid.layout, rng);
+    auto compiled_state = naive;
+    naive.apply_diagonal(phase);
+    CompiledOp::diagonal(grid.layout, phase).apply_to(compiled_state);
+    // Identical per-amplitude arithmetic: compile stores phase(x) verbatim
+    // and the replay multiplies exactly like the naive kernel.
+    expect_zero_ulp(naive, compiled_state);
+  }
+}
+
+TEST(KernelEquivalence, FiberDenseCompiledMatchesNaive) {
+  Rng rng(5678);
+  for (std::size_t trial = 0; trial < 12; ++trial) {
+    const auto grid = random_layout(rng, trial);
+    // Condition the target's matrix on the remaining digits via a small
+    // bank of rotations (d=2 exercises the unrolled path on reg 0; larger
+    // target dims exercise the generic path).
+    const auto target =
+        grid.regs[trial % 2 == 0 ? 0 : grid.regs.size() - 1];
+    const std::size_t d = grid.layout.dim(target);
+    std::vector<Matrix> bank;
+    for (std::size_t k = 0; k < 5; ++k) {
+      Matrix u = Matrix::identity(d);
+      const double g = 0.3 * static_cast<double>(k + 1);
+      u(0, 0) = cplx{std::cos(g), 0.0};
+      u(0, d - 1) = cplx{-std::sin(g), 0.0};
+      u(d - 1, 0) = cplx{std::sin(g), 0.0};
+      u(d - 1, d - 1) = cplx{std::cos(g), 0.0};
+      bank.push_back(std::move(u));
+    }
+    const auto& layout = grid.layout;
+    const auto selector = [&](std::size_t fiber_base) -> const Matrix* {
+      if (fiber_base % 3 == 0) return nullptr;  // identity fibers too
+      return &bank[fiber_base % bank.size()];
+    };
+    auto naive = random_state(grid.layout, rng);
+    auto compiled_state = naive;
+    naive.apply_conditioned_unitary(target, selector);
+    CompiledOp::fiber_dense(layout, target, selector)
+        .apply_to(compiled_state);
+    expect_close(naive, compiled_state, 1e-12);
+  }
+}
+
+TEST(KernelEquivalence, FusedPermutationsMatchSequentialExactly) {
+  Rng rng(6789);
+  for (std::size_t trial = 0; trial < 8; ++trial) {
+    const auto grid = random_layout(rng, trial);
+    const auto map1 = random_permutation_map(grid.layout, rng);
+    const auto map2 = random_permutation_map(grid.layout, rng);
+    auto sequential = random_state(grid.layout, rng);
+    auto fused_state = sequential;
+    CompiledProgram program;
+    program.push(CompiledOp::permutation(grid.layout, map1));
+    program.push(CompiledOp::permutation(grid.layout, map2));
+    program.apply_to(sequential);
+    EXPECT_EQ(program.size(), 2u);
+    const std::size_t merges = program.fuse();
+    EXPECT_EQ(merges, 1u);
+    EXPECT_EQ(program.size(), 1u);
+    program.apply_to(fused_state);
+    expect_zero_ulp(sequential, fused_state);
+  }
+}
+
+TEST(KernelEquivalence, FusedDiagonalsMatchSequentialClosely) {
+  Rng rng(7890);
+  for (std::size_t trial = 0; trial < 8; ++trial) {
+    const auto grid = random_layout(rng, trial);
+    const auto phase_of = [&rng](double scale) {
+      return [scale](std::size_t x) {
+        const double angle = scale * static_cast<double>(x % 11);
+        return cplx{std::cos(angle), std::sin(angle)};
+      };
+    };
+    const auto p1 = phase_of(rng.uniform(0.0, 1.0));
+    const auto p2 = phase_of(rng.uniform(0.0, 1.0));
+    auto sequential = random_state(grid.layout, rng);
+    auto fused_state = sequential;
+    CompiledProgram program;
+    program.push(CompiledOp::diagonal(grid.layout, p1));
+    program.push(CompiledOp::diagonal(grid.layout, p2));
+    program.apply_to(sequential);
+    ASSERT_EQ(program.fuse(), 1u);
+    program.apply_to(fused_state);
+    // amp·(f1·f2) vs (amp·f1)·f2 — associativity-only error.
+    expect_close(sequential, fused_state, 1e-12);
+  }
+}
+
+TEST(KernelEquivalence, FusedValueShiftsMatchSequentialExactly) {
+  Rng rng(8901);
+  for (std::size_t trial = 0; trial < 8; ++trial) {
+    const auto grid = random_layout(rng, trial);
+    if (grid.regs.size() < 2) continue;
+    const auto target = grid.regs[1];
+    const auto cond = grid.regs[0];
+    const std::size_t d_cond = grid.layout.dim(cond);
+    std::vector<std::size_t> s1(d_cond), s2(d_cond);
+    for (auto& s : s1) s = rng.uniform_below(grid.layout.dim(target));
+    for (auto& s : s2) s = rng.uniform_below(grid.layout.dim(target));
+    auto sequential = random_state(grid.layout, rng);
+    auto fused_state = sequential;
+    CompiledProgram program;
+    program.push(CompiledOp::value_shift(grid.layout, target, cond, s1));
+    program.push(CompiledOp::value_shift(grid.layout, target, cond, s2));
+    program.apply_to(sequential);
+    ASSERT_EQ(program.fuse(), 1u);
+    program.apply_to(fused_state);
+    expect_zero_ulp(sequential, fused_state);
+  }
+}
+
+TEST(KernelEquivalence, MixedProgramOnlyFusesCompatibleNeighbours) {
+  RegisterLayout layout;
+  const auto a = layout.add("a", 2);
+  const auto b = layout.add("b", 3);
+  const std::vector<std::size_t> ones(layout.dim(a), 1);
+  CompiledProgram program;
+  program.push(CompiledOp::value_shift(layout, b, a, ones));
+  program.push(CompiledOp::diagonal(
+      layout, [](std::size_t) { return cplx{1.0, 0.0}; }));
+  program.push(CompiledOp::diagonal(
+      layout, [](std::size_t x) { return cplx{x % 2 ? 1.0 : -1.0, 0.0}; }));
+  program.push(CompiledOp::value_shift(layout, b, a, ones));
+  ASSERT_EQ(program.fuse(), 1u);  // only the diagonal pair merges
+  ASSERT_EQ(program.size(), 3u);
+  EXPECT_EQ(program.ops()[0].kind(), CompiledOp::Kind::kValueShift);
+  EXPECT_EQ(program.ops()[1].kind(), CompiledOp::Kind::kDiagonal);
+  EXPECT_EQ(program.ops()[2].kind(), CompiledOp::Kind::kValueShift);
+}
+
+TEST(KernelEquivalence, DeterministicReductionsAreThreadCountInvariant) {
+  // The reductions' arithmetic shape depends only on n (fixed blocks +
+  // fixed pairwise tree), so norm/inner_product/marginal must return
+  // BIT-identical values however the loop is scheduled. We can't re-launch
+  // with another OMP_NUM_THREADS here, but we can pin the values against a
+  // direct single-threaded evaluation of the same block/tree shape.
+  Rng rng(9012);
+  RegisterLayout layout;
+  const auto r0 = layout.add("r0", 4);
+  layout.add("r1", 1 << 10);  // 4096 amplitudes: exercises multiple blocks
+  auto state = random_state(layout, rng);
+  const auto other = random_state(layout, rng);
+
+  const double norm1 = state.norm();
+  const cplx ip1 = state.inner_product(other);
+  const double d1 = state.distance_squared(other);
+  const auto m1 = state.marginal(r0);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    EXPECT_EQ(norm1, state.norm());
+    EXPECT_EQ(ip1, state.inner_product(other));
+    EXPECT_EQ(d1, state.distance_squared(other));
+    const auto m2 = state.marginal(r0);
+    ASSERT_EQ(m1.size(), m2.size());
+    for (std::size_t j = 0; j < m1.size(); ++j) EXPECT_EQ(m1[j], m2[j]);
+  }
+  double total = 0.0;
+  for (const double p : m1) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace qs

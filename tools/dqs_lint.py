@@ -358,6 +358,41 @@ def rule_timing_discipline(f: File):
                 "budget gated by dqs_trace --overhead")
 
 
+KERNEL_DIR_PREFIX = "src/qsim/"
+KERNEL_FUNCTION_ALLOWED = {
+    # The compiled-operator layer's lowering entry points: they ACCEPT a
+    # std::function once per (operator, layout) and bake it into flat
+    # arrays — the whole point of the rule.
+    "src/qsim/compiled_op.hpp",
+    "src/qsim/compiled_op.cpp",
+    # Whole-circuit fragments (std::function<void(StateVector&)> applied
+    # once per circuit, not per amplitude).
+    "src/qsim/controlled.hpp",
+    "src/qsim/controlled.cpp",
+    "src/qsim/density_evolution.hpp",
+    "src/qsim/density_evolution.cpp",
+    "src/qsim/operator_builder.hpp",
+    "src/qsim/operator_builder.cpp",
+}
+KERNEL_FUNCTION_TOKEN = re.compile(r"std\s*::\s*function\s*<")
+
+
+def rule_no_std_function_in_kernels(f: File):
+    if not f.rel.startswith(KERNEL_DIR_PREFIX):
+        return
+    if f.rel in KERNEL_FUNCTION_ALLOWED:
+        return
+    for i, line in enumerate(f.stripped_lines, 1):
+        if KERNEL_FUNCTION_TOKEN.search(line):
+            yield Violation(
+                f.path, i, "no-std-function-in-kernels",
+                "std::function in statevector kernel code; per-amplitude "
+                "indirect dispatch is the hot-loop cost the compiled-"
+                "operator layer removes — lower the operator once through "
+                "qsim/compiled_op.hpp (or, for a retained naive reference "
+                "path, suppress with an explicit allow comment)")
+
+
 RULES = {
     "omp-confinement": rule_omp_confinement,
     "rng-discipline": rule_rng_discipline,
@@ -367,6 +402,7 @@ RULES = {
     "no-relative-include": rule_no_relative_include,
     "transcript-discipline": rule_transcript_discipline,
     "timing-discipline": rule_timing_discipline,
+    "no-std-function-in-kernels": rule_no_std_function_in_kernels,
 }
 
 

@@ -28,6 +28,7 @@ EXPECTED = {
     ("src/distdb/bad_relative.cpp", "no-relative-include"),
     ("src/sampling/bad_transcript.cpp", "transcript-discipline"),
     ("src/qsim/bad_timing.cpp", "timing-discipline"),
+    ("src/qsim/bad_function_kernel.cpp", "no-std-function-in-kernels"),
 }
 
 CONTROL_FILES = {
