@@ -1,0 +1,170 @@
+// Experiment R1 — robustness overhead: what the fault-injection subsystem
+// costs when nothing is failing (docs/ROBUSTNESS.md).
+//
+// Three tables:
+//
+//   1. The per-event cost of the DISABLED oracle-interposition seam
+//      (sampling/fault_seam.hpp) — one acquire load plus a never-taken
+//      branch — relative to the cheapest instrumented qsim kernel. This is
+//      the machine-relative percentage gated in CI by
+//      `dqs_trace --overhead --fault-baseline` (budget: baseline + 0.5pp).
+//
+//   2. End-to-end fault-free sampler wall time with the seam empty versus
+//      with a pass-through interposer installed, per query model. The
+//      pass-through run must be BIT-IDENTICAL to the plain run — the seam
+//      may permute machine indices, never amplitudes — and that identity
+//      is this bench's exit-code claim (timing is reported, not gated:
+//      wall-clock deltas are host noise; the gated number is table 1's).
+//
+//   3. The deterministic recovery ledger for a scripted crash+transient
+//      plan in both models: injected faults, failed attempts, backoff
+//      events, breaker opens. Pure protocol accounting — identical on
+//      every host, so diffs in review are genuine behavior changes.
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+
+#include "bench_util.hpp"
+#include "faults/recovery.hpp"
+#include "sampling/fault_seam.hpp"
+#include "sampling/samplers.hpp"
+#include "telemetry/trace.hpp"
+
+namespace {
+
+using namespace qs;
+
+/// Forwards every event unchanged: the cheapest possible ARMED seam.
+class PassThroughInterposer final : public OracleInterposer {
+ public:
+  std::size_t on_sequential(std::size_t scheduled, bool) override {
+    return scheduled;
+  }
+  void on_parallel_round(bool) override {}
+};
+
+double best_of_3_ns(const std::function<void()>& body) {
+  double best = 1e300;
+  body();  // warm-up
+  for (int pass = 0; pass < 3; ++pass) {
+    const auto start = telemetry::monotonic_ns();
+    body();
+    best = std::min(best, double(telemetry::monotonic_ns() - start));
+  }
+  return best;
+}
+
+const char* mode_name(QueryMode mode) {
+  return mode == QueryMode::kSequential ? "sequential" : "parallel";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qs;
+  bench::Reporter reporter(argc, argv, "R1",
+                "Robustness — the fault seam costs one load per oracle "
+                "event when idle, and recovery cost is fully ledgered");
+
+  bool ok = true;
+
+  // --- Table 1: disabled-seam probe vs the cheapest instrumented kernel.
+  {
+    constexpr std::size_t kProbeReps = 1u << 21;
+    std::size_t diverted = 0;
+    const double probe_ns = best_of_3_ns([&] {
+                              for (std::size_t i = 0; i < kProbeReps; ++i) {
+                                if (auto* ip = oracle_interposer()) {
+                                  diverted += ip->on_sequential(i, false);
+                                }
+                              }
+                            }) /
+                            kProbeReps;
+    QS_REQUIRE(diverted == 0, "an interposer was installed mid-measurement");
+
+    RegisterLayout layout;
+    layout.add("elem", 4096);
+    StateVector sv(layout);
+    constexpr std::size_t kKernelReps = 4096;
+    const cplx phase(0.7071067811865476, 0.7071067811865476);
+    const double kernel_ns = best_of_3_ns([&] {
+                               for (std::size_t i = 0; i < kKernelReps; ++i)
+                                 sv.apply_global_phase(phase);
+                             }) /
+                             kKernelReps;
+
+    TextTable table({"probe", "ns/op", "vs 4096-dim kernel"});
+    table.add_row({"fault seam (disabled)", TextTable::cell(probe_ns, 3),
+                   TextTable::cell(probe_ns / kernel_ns * 100.0, 4) + "%"});
+    table.add_row({"apply_global_phase", TextTable::cell(kernel_ns, 3),
+                   "100%"});
+    table.print(std::cout, "R1: disabled fault-seam probe");
+    reporter.add("R1: disabled fault-seam probe", table);
+  }
+
+  // --- Table 2: end-to-end fault-free runs, seam empty vs pass-through.
+  {
+    TextTable table({"mode", "plain ms", "pass-through ms", "delta %",
+                     "bit-identical"});
+    const auto db = bench::uniform_db(256, 4, 32, 11);
+    for (const auto mode : {QueryMode::kSequential, QueryMode::kParallel}) {
+      const auto run = [&] {
+        return mode == QueryMode::kSequential ? run_sequential_sampler(db)
+                                              : run_parallel_sampler(db);
+      };
+      const auto plain = run();
+      const double plain_ns = best_of_3_ns([&] { (void)run(); });
+      PassThroughInterposer pass_through;
+      OracleInterposerScope scope(pass_through);
+      const auto armed = run();
+      const double armed_ns = best_of_3_ns([&] { (void)run(); });
+      const bool identical =
+          armed.state.amplitudes().size() ==
+              plain.state.amplitudes().size() &&
+          std::equal(armed.state.amplitudes().begin(),
+                     armed.state.amplitudes().end(),
+                     plain.state.amplitudes().begin()) &&
+          armed.stats == plain.stats;
+      ok = ok && identical;
+      table.add_row({mode_name(mode), TextTable::cell(plain_ns / 1e6, 3),
+                     TextTable::cell(armed_ns / 1e6, 3),
+                     TextTable::cell((armed_ns / plain_ns - 1.0) * 100.0, 2),
+                     identical ? "yes" : "NO"});
+    }
+    table.print(std::cout, "R1: end-to-end seam overhead (fault-free run)");
+    reporter.add("R1: end-to-end seam overhead (fault-free run)", table);
+  }
+
+  // --- Table 3: deterministic recovery accounting for a scripted plan.
+  {
+    TextTable table({"mode", "events", "injected", "failed attempts",
+                     "backoff events", "breaker opens", "recovered"});
+    const auto db = bench::uniform_db(64, 3, 18, 23);
+    const FaultPlan plan({
+        {2, FaultKind::kMachineCrash, 1, 3},
+        {5, FaultKind::kOracleTransient, 0, 0},
+        {9, FaultKind::kDropBundle, 0, 0},
+        {12, FaultKind::kDelay, 0, 2},
+    });
+    for (const auto mode : {QueryMode::kSequential, QueryMode::kParallel}) {
+      const auto run = run_sampler_with_faults(db, mode, plan, RetryPolicy{});
+      ok = ok && run.ok();
+      const auto& ledger = run.recovery.ledger;
+      table.add_row({mode_name(mode),
+                     TextTable::cell(std::uint64_t{run.recovery.events.size()}),
+                     TextTable::cell(ledger.injected_faults),
+                     TextTable::cell(ledger.failed_attempts),
+                     TextTable::cell(ledger.backoff_events),
+                     TextTable::cell(ledger.breaker_opens),
+                     run.ok() ? "yes" : "NO"});
+    }
+    table.print(std::cout, "R1: recovery ledger for a scripted plan");
+    reporter.add("R1: recovery ledger for a scripted plan", table);
+  }
+
+  std::printf("\n%s\n", ok ? "pass-through runs bit-identical; scripted "
+                             "plans recovered"
+                           : "FAILED: seam changed a fault-free run or "
+                             "recovery did not converge");
+  return reporter.finish(ok ? 0 : 1);
+}

@@ -1,7 +1,12 @@
 #include "apps/sample_server.hpp"
 
+#include <utility>
+
 #include "common/require.hpp"
+#include "faults/recovery.hpp"
 #include "qsim/measure.hpp"
+#include "sampling/classical.hpp"
+#include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
 namespace qs {
@@ -17,6 +22,9 @@ struct ServerCounters {
       telemetry::counter("sample_server.cache.invalidate");
   telemetry::Counter& rebuilds = telemetry::counter("sample_server.rebuild");
   telemetry::Counter& draws = telemetry::counter("sample_server.draw");
+  telemetry::Counter& fallback_draws =
+      telemetry::counter("sample_server.fallback.draw");
+  telemetry::Gauge& health = telemetry::gauge("sample_server.health");
 };
 
 ServerCounters& server_counters() {
@@ -24,7 +32,33 @@ ServerCounters& server_counters() {
   return counters;
 }
 
+void accumulate(RecoveryLedger& into, const RecoveryLedger& add) {
+  auto& seq = into.recovery.sequential_per_machine;
+  const auto& add_seq = add.recovery.sequential_per_machine;
+  if (seq.size() < add_seq.size()) seq.resize(add_seq.size(), 0);
+  for (std::size_t j = 0; j < add_seq.size(); ++j) seq[j] += add_seq[j];
+  into.recovery.parallel_rounds += add.recovery.parallel_rounds;
+  into.injected_faults += add.injected_faults;
+  into.injected_drops += add.injected_drops;
+  into.injected_delays += add.injected_delays;
+  into.injected_crashes += add.injected_crashes;
+  into.injected_transients += add.injected_transients;
+  into.failed_attempts += add.failed_attempts;
+  into.backoff_events += add.backoff_events;
+  into.breaker_opens += add.breaker_opens;
+  into.deferrals += add.deferrals;
+}
+
 }  // namespace
+
+const char* to_string(ServerHealth health) {
+  switch (health) {
+    case ServerHealth::kHealthy: return "healthy";
+    case ServerHealth::kDegraded: return "degraded";
+    case ServerHealth::kFallback: return "fallback";
+  }
+  return "unknown";
+}
 
 SampleServer::SampleServer(DistributedDatabase db, QueryMode mode,
                            StatePrep prep)
@@ -49,44 +83,110 @@ void SampleServer::erase(std::size_t machine, std::size_t element) {
   invalidate();
 }
 
-void SampleServer::rebuild() {
+void SampleServer::set_health(ServerHealth health) {
+  health_ = health;
+  server_counters().health.set(static_cast<std::int64_t>(health));
+}
+
+void SampleServer::arm_faults(FaultPlan plan, RetryPolicy policy) {
+  armed_plan_ = std::move(plan);
+  policy_ = policy;
+  // A fresh plan gets a fresh chance: leave any previous fallback behind
+  // and retry the quantum path on the next rebuild. A live cache stays
+  // valid — it describes the data, not the transport.
+  fallback_ = false;
+  last_failure_.clear();
+}
+
+void SampleServer::disarm_faults() {
+  armed_plan_.reset();
+  fallback_ = false;
+  last_failure_.clear();
+  set_health(ServerHealth::kHealthy);
+}
+
+bool SampleServer::rebuild() {
   static auto& t_ns = telemetry::histogram("sample_server.rebuild.ns");
   telemetry::Span span("sample_server.rebuild", &t_ns);
   span.tag("mode", mode_ == QueryMode::kSequential ? 0 : 1);
+  span.tag("faulted", armed_plan_.has_value() ? 1 : 0);
   SamplerOptions options;
   options.prep = prep_;
-  cached_ = mode_ == QueryMode::kSequential
-                ? run_sequential_sampler(db_, options)
-                : run_parallel_sampler(db_, options);
+  if (armed_plan_.has_value()) {
+    FaultedRun run =
+        run_sampler_with_faults(db_, mode_, *armed_plan_, policy_, options);
+    accumulate(ledger_, run.recovery.ledger);
+    if (!run.ok()) {
+      fallback_ = true;
+      last_failure_ = run.recovery.failure;
+      set_health(ServerHealth::kFallback);
+      return false;
+    }
+    cached_ = std::move(*run.result);
+    set_health(run.recovery.ledger.injected_faults > 0
+                   ? ServerHealth::kDegraded
+                   : ServerHealth::kHealthy);
+  } else {
+    cached_ = mode_ == QueryMode::kSequential
+                  ? run_sequential_sampler(db_, options)
+                  : run_parallel_sampler(db_, options);
+    set_health(ServerHealth::kHealthy);
+  }
   query_cost_ += mode_ == QueryMode::kSequential
                      ? cached_->stats.total_sequential()
                      : cached_->stats.parallel_rounds;
   ++preparations_;
   ++cache_stats_.rebuilds;
   server_counters().rebuilds.add();
+  return true;
 }
 
-const SamplerResult& SampleServer::state() {
+const SamplerResult* SampleServer::try_state() {
   if (cached_.has_value()) {
     ++cache_stats_.hits;
     server_counters().hits.add();
-  } else {
-    ++cache_stats_.misses;
-    server_counters().misses.add();
-    rebuild();
+    return &*cached_;
   }
-  return cached_.value();
+  // Sticky fallback: once retries were exhausted, stop re-attempting the
+  // doomed preparation until the plan is re-armed or disarmed.
+  if (fallback_) return nullptr;
+  ++cache_stats_.misses;
+  server_counters().misses.add();
+  if (!rebuild()) return nullptr;
+  return &*cached_;
+}
+
+const SamplerResult& SampleServer::state() {
+  const SamplerResult* current = try_state();
+  QS_REQUIRE(current != nullptr,
+             "sample server is in classical fallback (no coherent state "
+             "can be served): " + last_failure_ +
+                 "; draws degrade to the exact classical sampler until "
+                 "disarm_faults()/arm_faults()");
+  return *current;
 }
 
 std::size_t SampleServer::draw(Rng& rng) {
   telemetry::Span span("sample_server.draw");
-  const auto& current = state();
-  const auto sample =
-      measure_register(current.state, current.registers.elem, rng);
-  // Measurement destroys the coherent state: the next access re-prepares.
-  // This is CONSUMPTION, not invalidation — the data did not change.
-  cached_.reset();
+  if (const SamplerResult* current = try_state()) {
+    const auto sample =
+        measure_register(current->state, current->registers.elem, rng);
+    // Measurement destroys the coherent state: the next access re-prepares.
+    // This is CONSUMPTION, not invalidation — the data did not change.
+    cached_.reset();
+    server_counters().draws.add();
+    return sample;
+  }
+  // Graceful degradation: the exact classical full scan serves the SAME
+  // joint distribution at classical cost (nN multiplicity probes), so
+  // callers keep getting correct samples while the quantum path is out.
+  const ClassicalScanResult scan = classical_full_scan(db_);
+  classical_queries_ += scan.queries;
+  std::vector<double> weights(scan.counts.begin(), scan.counts.end());
+  const std::size_t sample = rng.weighted_index(weights);
+  ++fallback_draws_;
   server_counters().draws.add();
+  server_counters().fallback_draws.add();
   return sample;
 }
 

@@ -13,11 +13,23 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
 #include "common/rng.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/retry.hpp"
 #include "sampling/samplers.hpp"
 
 namespace qs {
+
+/// Serving-layer health, exported on the sample_server.health gauge.
+enum class ServerHealth : std::uint8_t {
+  kHealthy = 0,   ///< last preparation ran fault-free
+  kDegraded = 1,  ///< last preparation succeeded but needed recovery
+  kFallback = 2,  ///< quantum preparation failed; serving classically
+};
+
+const char* to_string(ServerHealth health);
 
 class SampleServer {
  public:
@@ -32,12 +44,43 @@ class SampleServer {
   void erase(std::size_t machine, std::size_t element);
 
   /// The coherent sampling state for the CURRENT data; rebuilt only when
-  /// stale. Throws on an empty store.
+  /// stale. Throws on an empty store, and throws while the server is in
+  /// classical fallback (a coherent state cannot be served then).
   const SamplerResult& state();
 
+  /// As state(), but degradation-aware: nullptr when the quantum
+  /// preparation is currently impossible (retries exhausted under the
+  /// armed fault plan) instead of throwing. A live cache is served even
+  /// while machines are down — staleness is keyed on the database
+  /// version, not on machine health.
+  const SamplerResult* try_state();
+
   /// Draw one classical sample. Every draw consumes (and therefore
-  /// re-prepares) a state: quantum measurement is destructive.
+  /// re-prepares) a state: quantum measurement is destructive. When the
+  /// quantum path is unavailable the draw degrades to the exact classical
+  /// full-scan sampler — same distribution, classical query cost — and is
+  /// counted in fallback_draws().
   std::size_t draw(Rng& rng);
+
+  /// Fault injection at the serving layer: every subsequent rebuild runs
+  /// through run_sampler_with_faults under `plan` and `policy`. Re-arming
+  /// clears a previous fallback so the quantum path is retried.
+  void arm_faults(FaultPlan plan, RetryPolicy policy = {});
+  void disarm_faults();
+  bool faults_armed() const noexcept { return armed_plan_.has_value(); }
+
+  ServerHealth health() const noexcept { return health_; }
+  /// When health() == kFallback: why the last quantum preparation failed.
+  const std::string& last_failure() const noexcept { return last_failure_; }
+
+  /// Recovery cost accumulated across all faulted rebuilds (separate from
+  /// total_query_cost(), which stays the primary Thm 4.3/4.5 ledger).
+  const RecoveryLedger& recovery_ledger() const noexcept { return ledger_; }
+  std::uint64_t fallback_draws() const noexcept { return fallback_draws_; }
+  /// Classical multiplicity probes spent by fallback draws.
+  std::uint64_t classical_queries() const noexcept {
+    return classical_queries_;
+  }
 
   /// Total oracle queries (or parallel rounds) spent by all preparations.
   std::uint64_t total_query_cost() const noexcept { return query_cost_; }
@@ -61,8 +104,11 @@ class SampleServer {
   const CacheStats& cache_stats() const noexcept { return cache_stats_; }
 
  private:
-  void rebuild();
+  /// False when the quantum preparation failed under the armed fault plan
+  /// (the server then enters kFallback).
+  bool rebuild();
   void invalidate();
+  void set_health(ServerHealth health);
 
   DistributedDatabase db_;
   QueryMode mode_;
@@ -71,6 +117,16 @@ class SampleServer {
   std::uint64_t query_cost_ = 0;
   std::uint64_t preparations_ = 0;
   CacheStats cache_stats_;
+  std::optional<FaultPlan> armed_plan_;
+  RetryPolicy policy_;
+  ServerHealth health_ = ServerHealth::kHealthy;
+  /// Sticky until disarm_faults()/arm_faults(): once retries are exhausted
+  /// the server stops re-attempting the doomed quantum preparation.
+  bool fallback_ = false;
+  std::string last_failure_;
+  RecoveryLedger ledger_;
+  std::uint64_t fallback_draws_ = 0;
+  std::uint64_t classical_queries_ = 0;
 };
 
 }  // namespace qs

@@ -1,8 +1,10 @@
 #include "distdb/transcript.hpp"
 
 #include <cctype>
+#include <limits>
 #include <ostream>
 #include <sstream>
+#include <utility>
 
 #include "common/require.hpp"
 
@@ -53,30 +55,87 @@ std::ostream& operator<<(std::ostream& os, const Transcript& t) {
   return os << t.to_string();
 }
 
-Transcript parse_transcript(const std::string& text) {
-  Transcript transcript;
-  std::istringstream in(text);
-  std::string token;
-  while (in >> token) {
-    const bool adjoint = consume_suffix(token, kDagger);
-    if (token == "P*" || token == "P") {
-      transcript.record_parallel_round(adjoint);
+std::string TranscriptParseError::to_string() const {
+  return "transcript line " + std::to_string(line) + ", column " +
+         std::to_string(column) + ": '" + token + "' — " + reason;
+}
+
+TranscriptParseResult parse_transcript_checked(const std::string& text) {
+  TranscriptParseResult result;
+  std::size_t line = 1;
+  std::size_t column = 1;
+  std::size_t i = 0;
+  const auto fail = [&](std::size_t tok_line, std::size_t tok_column,
+                        std::string token, std::string reason) {
+    result.error = TranscriptParseError{tok_line, tok_column,
+                                        std::move(token), std::move(reason)};
+    return result;
+  };
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      column = 1;
+      ++i;
       continue;
     }
-    QS_REQUIRE(token.size() >= 2 && token[0] == 'O',
-               "transcript token must be O<machine>, P* or P: '" + token +
-                   "'");
-    std::size_t machine = 0;
-    for (std::size_t i = 1; i < token.size(); ++i) {
-      const char c = token[i];
-      QS_REQUIRE(std::isdigit(static_cast<unsigned char>(c)) != 0,
-                 "malformed machine index in transcript token: '" + token +
-                     "'");
-      machine = machine * 10 + static_cast<std::size_t>(c - '0');
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++column;
+      ++i;
+      continue;
     }
-    transcript.record_sequential(machine, adjoint);
+    // Scan one whitespace-delimited token, remembering where it starts.
+    const std::size_t tok_line = line;
+    const std::size_t tok_column = column;
+    const std::size_t start = i;
+    while (i < text.size() && text[i] != '\n' &&
+           std::isspace(static_cast<unsigned char>(text[i])) == 0) {
+      ++i;
+      ++column;
+    }
+    std::string token = text.substr(start, i - start);
+    const std::string raw = token;
+    const bool adjoint = consume_suffix(token, kDagger);
+    if (token == "P*" || token == "P") {
+      result.transcript.record_parallel_round(adjoint);
+      continue;
+    }
+    if (token.empty() || token[0] != 'O') {
+      if (!token.empty() && token[0] == 'P') {
+        return fail(tok_line, tok_column, raw,
+                    "a parallel round is spelled P* (or legacy P), "
+                    "optionally followed by " + std::string(kDagger));
+      }
+      return fail(tok_line, tok_column, raw,
+                  "unknown token: expected O<machine>, P* or P");
+    }
+    if (token.size() < 2) {
+      return fail(tok_line, tok_column, raw,
+                  "sequential token names no machine: expected O<machine>");
+    }
+    std::size_t machine = 0;
+    for (std::size_t k = 1; k < token.size(); ++k) {
+      const char d = token[k];
+      if (std::isdigit(static_cast<unsigned char>(d)) == 0) {
+        return fail(tok_line, tok_column, raw,
+                    std::string("machine index contains non-digit '") + d +
+                        "' at offset " + std::to_string(k));
+      }
+      if (machine > (std::numeric_limits<std::size_t>::max() - 9) / 10) {
+        return fail(tok_line, tok_column, raw,
+                    "machine index overflows the machine-index type");
+      }
+      machine = machine * 10 + static_cast<std::size_t>(d - '0');
+    }
+    result.transcript.record_sequential(machine, adjoint);
   }
-  return transcript;
+  return result;
+}
+
+Transcript parse_transcript(const std::string& text) {
+  TranscriptParseResult result = parse_transcript_checked(text);
+  QS_REQUIRE(result.ok(), result.error->to_string());
+  return std::move(result.transcript);
 }
 
 QueryStats stats_of(const Transcript& transcript, std::size_t machines) {

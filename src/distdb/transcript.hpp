@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -68,10 +69,38 @@ class Transcript {
 
 std::ostream& operator<<(std::ostream& os, const Transcript& t);
 
+/// Where and why parsing a transcript failed: the 1-based line, the
+/// 1-based byte column at which the offending token starts, the token
+/// itself, and a human-readable reason. Structured so tools can point at
+/// the exact spot in a stored transcript file.
+struct TranscriptParseError {
+  std::size_t line = 0;
+  std::size_t column = 0;
+  std::string token;
+  std::string reason;
+
+  /// "transcript line 3, column 7: 'OX' — <reason>"
+  std::string to_string() const;
+
+  friend bool operator==(const TranscriptParseError&,
+                         const TranscriptParseError&) = default;
+};
+
+struct TranscriptParseResult {
+  Transcript transcript;  ///< events up to (not including) the error
+  std::optional<TranscriptParseError> error;
+
+  bool ok() const noexcept { return !error.has_value(); }
+};
+
 /// Parse the wire format produced by Transcript::to_string(). Accepts any
 /// whitespace between tokens (so multi-line transcript files work) and the
-/// legacy bare "P"/"P†" parallel-round spelling. Throws ContractViolation
-/// on a malformed token.
+/// legacy bare "P"/"P†" parallel-round spelling. Never throws on malformed
+/// input: the error names the line, column, token and reason.
+TranscriptParseResult parse_transcript_checked(const std::string& text);
+
+/// As parse_transcript_checked(), but throws ContractViolation carrying
+/// the structured error's rendering on malformed input.
 Transcript parse_transcript(const std::string& text);
 
 /// Rebuild the query ledger a run with this transcript must have produced:

@@ -33,38 +33,64 @@ TransportSession::TransportSession(std::size_t machines)
 }
 
 void TransportSession::send_sequential(std::size_t machine) {
-  QS_REQUIRE(machine < machines_, "machine index out of range");
-  QS_REQUIRE(!round_open_, "cannot send during an open collective round");
+  // Every diagnostic names the op index and the machines involved, so a
+  // violation inside a long schedule pinpoints itself (QS_REQUIRE builds
+  // the message lazily — the happy path pays nothing for this).
+  QS_REQUIRE(machine < machines_,
+             "send to machine " + std::to_string(machine) + " (op " +
+                 std::to_string(ops_) + "): machine index out of range (n=" +
+                 std::to_string(machines_) + ")");
+  QS_REQUIRE(!round_open_,
+             "send to machine " + std::to_string(machine) + " (op " +
+                 std::to_string(ops_) + "): a collective round is open");
   QS_REQUIRE(!in_flight_sequential_.has_value(),
-             "coordinator registers are already in flight");
+             "send to machine " + std::to_string(machine) + " (op " +
+                 std::to_string(ops_) +
+                 "): registers already in flight to machine " +
+                 std::to_string(in_flight_sequential_.value_or(0)));
   in_flight_sequential_ = machine;
+  ++ops_;
   transport_counters().sends.add();
   transport_counters().moves.add();
 }
 
 void TransportSession::receive_sequential(std::size_t machine) {
   QS_REQUIRE(in_flight_sequential_.has_value(),
-             "no sequential transfer in flight");
+             "receive from machine " + std::to_string(machine) + " (op " +
+                 std::to_string(ops_) +
+                 "): no sequential transfer in flight");
   QS_REQUIRE(in_flight_sequential_.value() == machine,
-             "registers returned from the wrong machine");
+             "receive from machine " + std::to_string(machine) + " (op " +
+                 std::to_string(ops_) +
+                 "): registers are in flight to machine " +
+                 std::to_string(in_flight_sequential_.value()));
   in_flight_sequential_.reset();
   ++sequential_;
+  ++ops_;
   transport_counters().receives.add();
   transport_counters().moves.add();
 }
 
 void TransportSession::begin_parallel_round() {
-  QS_REQUIRE(!round_open_, "a collective round is already open");
+  QS_REQUIRE(!round_open_,
+             "begin collective round (op " + std::to_string(ops_) +
+                 "): a collective round is already open");
   QS_REQUIRE(!in_flight_sequential_.has_value(),
-             "cannot open a round while registers are in flight");
+             "begin collective round (op " + std::to_string(ops_) +
+                 "): registers in flight to machine " +
+                 std::to_string(in_flight_sequential_.value_or(0)));
   round_open_ = true;
+  ++ops_;
   transport_counters().moves.add(machines_);
 }
 
 void TransportSession::end_parallel_round() {
-  QS_REQUIRE(round_open_, "no collective round to close");
+  QS_REQUIRE(round_open_, "end collective round (op " +
+                              std::to_string(ops_) +
+                              "): no collective round to close");
   round_open_ = false;
   ++rounds_;
+  ++ops_;
   transport_counters().rounds.add();
   transport_counters().moves.add(machines_);
 }

@@ -57,6 +57,11 @@ class TransportSession {
   std::uint64_t completed_sequential() const noexcept { return sequential_; }
   std::uint64_t completed_rounds() const noexcept { return rounds_; }
 
+  /// Transport operations completed (sends, receives, round begins/ends).
+  /// Violation diagnostics cite this index, so a failure names exactly
+  /// where in the op stream the protocol broke.
+  std::uint64_t ops() const noexcept { return ops_; }
+
   /// Replay an oracle schedule, treating each sequential event as a
   /// send+receive pair and each parallel event as a full collective round.
   /// Returns std::nullopt when the schedule is protocol-clean, otherwise a
@@ -70,6 +75,7 @@ class TransportSession {
   bool round_open_ = false;
   std::uint64_t sequential_ = 0;
   std::uint64_t rounds_ = 0;
+  std::uint64_t ops_ = 0;
 };
 
 }  // namespace qs

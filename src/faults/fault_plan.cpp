@@ -1,0 +1,161 @@
+#include "faults/fault_plan.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace qs {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDropBundle: return "drop";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kMachineCrash: return "crash";
+    case FaultKind::kOracleTransient: return "transient";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool plan_order(const FaultEvent& a, const FaultEvent& b) {
+  if (a.event != b.event) return a.event < b.event;
+  if (a.kind != b.kind) return a.kind < b.kind;
+  return a.machine < b.machine;
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(std::vector<FaultEvent> events)
+    : events_(std::move(events)) {
+  for (const auto& e : events_) {
+    const bool durable =
+        e.kind == FaultKind::kMachineCrash || e.kind == FaultKind::kDelay;
+    QS_REQUIRE(!durable || e.duration >= 1,
+               std::string("fault plan: ") + qs::to_string(e.kind) +
+                   " needs duration >= 1 schedule event");
+  }
+  std::stable_sort(events_.begin(), events_.end(), plan_order);
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, std::uint64_t schedule_events,
+                            std::size_t machines,
+                            const FaultProfile& profile) {
+  QS_REQUIRE(machines >= 1, "fault plan needs at least one machine");
+  Rng rng(seed);
+  std::vector<FaultEvent> events;
+  for (std::uint64_t slot = 0; slot < schedule_events; ++slot) {
+    // One roll per slot against the cumulative profile — at most one fault
+    // per primary event, so plan size is bounded by the schedule length and
+    // the injected-fault count is trivially auditable.
+    const double roll = rng.uniform01();
+    double edge = profile.drop_rate;
+    if (roll < edge) {
+      events.push_back({slot, FaultKind::kDropBundle, 0, 0});
+      continue;
+    }
+    edge += profile.delay_rate;
+    if (roll < edge) {
+      events.push_back({slot, FaultKind::kDelay, 0,
+                        1 + rng.uniform_below(profile.max_delay)});
+      continue;
+    }
+    edge += profile.crash_rate;
+    if (roll < edge) {
+      events.push_back({slot, FaultKind::kMachineCrash,
+                        static_cast<std::size_t>(rng.uniform_below(machines)),
+                        1 + rng.uniform_below(profile.max_crash_duration)});
+      continue;
+    }
+    edge += profile.transient_rate;
+    if (roll < edge) {
+      events.push_back({slot, FaultKind::kOracleTransient, 0, 0});
+    }
+  }
+  return FaultPlan(std::move(events));
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  os << "# dqs-fault-plan-v1\n";
+  for (const auto& e : events_) {
+    os << qs::to_string(e.kind) << " event=" << e.event
+       << " machine=" << e.machine << " duration=" << e.duration << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+std::uint64_t parse_u64_field(const std::string& token, const char* key,
+                              std::size_t line) {
+  const std::string prefix = std::string(key) + "=";
+  QS_REQUIRE(token.rfind(prefix, 0) == 0,
+             "fault plan line " + std::to_string(line) + ": expected " +
+                 prefix + "<n>, got '" + token + "'");
+  const std::string digits = token.substr(prefix.size());
+  QS_REQUIRE(!digits.empty(), "fault plan line " + std::to_string(line) +
+                                  ": empty value for " + key);
+  std::uint64_t value = 0;
+  for (const char c : digits) {
+    QS_REQUIRE(std::isdigit(static_cast<unsigned char>(c)) != 0,
+               "fault plan line " + std::to_string(line) +
+                   ": malformed value '" + digits + "' for " + key);
+    QS_REQUIRE(value <= (~std::uint64_t{0} - 9) / 10,
+               "fault plan line " + std::to_string(line) + ": value for " +
+                   std::string(key) + " overflows");
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+FaultPlan parse_fault_plan(const std::string& text) {
+  std::vector<FaultEvent> events;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string kind_token;
+    if (!(ls >> kind_token) || kind_token[0] == '#') continue;
+    FaultEvent e;
+    if (kind_token == "drop") {
+      e.kind = FaultKind::kDropBundle;
+    } else if (kind_token == "delay") {
+      e.kind = FaultKind::kDelay;
+    } else if (kind_token == "crash") {
+      e.kind = FaultKind::kMachineCrash;
+    } else if (kind_token == "transient") {
+      e.kind = FaultKind::kOracleTransient;
+    } else {
+      QS_REQUIRE(false, "fault plan line " + std::to_string(lineno) +
+                            ": unknown fault kind '" + kind_token + "'");
+    }
+    std::string field;
+    QS_REQUIRE(static_cast<bool>(ls >> field),
+               "fault plan line " + std::to_string(lineno) +
+                   ": missing event= field");
+    e.event = parse_u64_field(field, "event", lineno);
+    QS_REQUIRE(static_cast<bool>(ls >> field),
+               "fault plan line " + std::to_string(lineno) +
+                   ": missing machine= field");
+    e.machine = static_cast<std::size_t>(
+        parse_u64_field(field, "machine", lineno));
+    QS_REQUIRE(static_cast<bool>(ls >> field),
+               "fault plan line " + std::to_string(lineno) +
+                   ": missing duration= field");
+    e.duration = parse_u64_field(field, "duration", lineno);
+    QS_REQUIRE(!(ls >> field), "fault plan line " + std::to_string(lineno) +
+                                   ": trailing token '" + field + "'");
+    events.push_back(e);
+  }
+  return FaultPlan(std::move(events));
+}
+
+}  // namespace qs

@@ -1,0 +1,108 @@
+// Deterministic fault plans: WHAT goes wrong, WHERE in the schedule.
+//
+// The paper's cost model (Section 3, Thms 4.3/4.5) assumes a lossless
+// transport: every register bundle the coordinator sends comes back and
+// every machine oracle O_j is always available. A FaultPlan is a finite,
+// fully deterministic deviation from that assumption, addressed by PRIMARY
+// EVENT INDEX — the position in the recovered oracle transcript at which
+// the fault activates — so the same plan replayed against the same
+// schedule always injects the same faults (same seed ⇒ same plan ⇒ same
+// recovery ⇒ same transcript; docs/ROBUSTNESS.md).
+//
+// Four fault kinds model the transport-level failure modes:
+//
+//   drop       the bundle (or its reply) is lost: the attempt at the slot
+//              fails once, the protocol state machine never transitions;
+//   delay      a straggler: the attempt succeeds but consumes `duration`
+//              extra schedule events of latency (parallel-round straggler
+//              or a slow sequential round trip);
+//   crash      machine `machine` goes down when the slot is first
+//              attempted and RESTARTS `duration` schedule events later —
+//              restart-with-identical-data, so a re-issued query is
+//              exactly re-executable (zero-error AA is what makes the
+//              recovered run provably bit-identical);
+//   transient  one oracle invocation fails (decoherence, a busy site);
+//              the next attempt sees a healthy machine.
+//
+// Plans serialize to a line-oriented wire format (`# dqs-fault-plan-v1`)
+// so a failing grid point in CI can be uploaded as an artifact and
+// replayed locally with `dqs_chaos --plan FILE`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qs {
+
+enum class FaultKind : std::uint8_t {
+  kDropBundle,       // one lost send/reply at the slot
+  kDelay,            // straggler: success plus `duration` events of latency
+  kMachineCrash,     // `machine` down for `duration` events, then restarts
+  kOracleTransient,  // one failed oracle invocation at the slot
+};
+
+const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  /// Primary (recovered-transcript) event index at which the fault
+  /// activates. Drop/delay/transient hit the attempt landing that slot;
+  /// a crash takes `machine` down from the first attempt at the slot.
+  std::uint64_t event = 0;
+  FaultKind kind = FaultKind::kDropBundle;
+  /// Crash target; unused (0) for the other kinds, which hit whichever
+  /// attempt occupies the slot.
+  std::size_t machine = 0;
+  /// Crash down-time / delay latency, in schedule events. ≥ 1 for those
+  /// kinds, unused (0) for drop/transient.
+  std::uint64_t duration = 0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Per-slot activation probabilities and size caps for random plans. The
+/// defaults produce a handful of faults across a typical d·2n sequential
+/// schedule — enough to exercise every recovery path without drowning the
+/// run in backoff.
+struct FaultProfile {
+  double drop_rate = 0.05;
+  double delay_rate = 0.04;
+  double crash_rate = 0.03;
+  double transient_rate = 0.05;
+  std::uint64_t max_crash_duration = 6;  ///< events; drawn uniformly ≥ 1
+  std::uint64_t max_delay = 4;           ///< events; drawn uniformly ≥ 1
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  /// Scripted plan. Events are sorted by (event, kind, machine) so plans
+  /// compare and serialize canonically.
+  explicit FaultPlan(std::vector<FaultEvent> events);
+
+  /// Seeded random plan over `schedule_events` primary slots (common/rng —
+  /// the same xoshiro generator every experiment draws from, so the plan
+  /// is reproducible from a printed seed). At most one fault per slot.
+  static FaultPlan random(std::uint64_t seed, std::uint64_t schedule_events,
+                          std::size_t machines,
+                          const FaultProfile& profile = {});
+
+  const std::vector<FaultEvent>& events() const noexcept { return events_; }
+  std::size_t size() const noexcept { return events_.size(); }
+  bool empty() const noexcept { return events_.empty(); }
+
+  /// `# dqs-fault-plan-v1` wire format: one `<kind> event=E machine=J
+  /// duration=D` line per fault. parse_fault_plan() inverts it exactly.
+  std::string to_string() const;
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Parse the wire format (blank lines and `#` comments ignored). Throws
+/// ContractViolation naming the offending line on malformed input.
+FaultPlan parse_fault_plan(const std::string& text);
+
+}  // namespace qs

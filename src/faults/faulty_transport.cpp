@@ -1,0 +1,116 @@
+#include "faults/faulty_transport.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace qs {
+
+FaultyTransportSession::FaultyTransportSession(std::size_t machines,
+                                               const FaultPlan& plan)
+    : machines_(machines),
+      plan_(plan),
+      session_(machines),
+      down_until_(machines, 0),
+      injected_by_kind_(4, 0) {
+  for (const auto& e : plan_.events()) {
+    QS_REQUIRE(e.kind != FaultKind::kMachineCrash || e.machine < machines_,
+               "fault plan crashes machine " + std::to_string(e.machine) +
+                   " but the session has only " + std::to_string(machines_) +
+                   " machines");
+  }
+}
+
+void FaultyTransportSession::activate_pending() {
+  const auto& events = plan_.events();
+  while (next_plan_entry_ < events.size() &&
+         events[next_plan_entry_].event <= primary_events_) {
+    const FaultEvent& e = events[next_plan_entry_];
+    ++next_plan_entry_;
+    ++injected_total_;
+    ++injected_by_kind_[static_cast<std::size_t>(e.kind)];
+    switch (e.kind) {
+      case FaultKind::kMachineCrash:
+        // Down from NOW (the first attempt at the slot) for `duration`
+        // events; overlapping crashes extend, never shorten.
+        down_until_[e.machine] =
+            std::max(down_until_[e.machine], clock_ + 1 + e.duration);
+        break;
+      case FaultKind::kDelay:
+        armed_delay_ += e.duration;
+        break;
+      case FaultKind::kDropBundle:
+      case FaultKind::kOracleTransient:
+        armed_oneshots_.push_back(e.kind);
+        break;
+    }
+  }
+}
+
+Attempt FaultyTransportSession::attempt_sequential(std::size_t machine) {
+  QS_REQUIRE(machine < machines_,
+             "attempt_sequential: machine " + std::to_string(machine) +
+                 " out of range (n=" + std::to_string(machines_) + ")");
+  activate_pending();
+  ++clock_;  // the attempt itself consumes one schedule event
+  if (next_oneshot_ < armed_oneshots_.size()) {
+    const FaultKind kind = armed_oneshots_[next_oneshot_++];
+    return {kind == FaultKind::kDropBundle ? AttemptResult::kDropped
+                                           : AttemptResult::kTransient,
+            0, machine};
+  }
+  if (down_until_[machine] > clock_) {
+    return {AttemptResult::kMachineDown, 0, machine};
+  }
+  // Success: the full legal protocol transition, on the session of record.
+  session_.send_sequential(machine);
+  session_.receive_sequential(machine);
+  ++primary_events_;
+  const std::uint64_t delay = armed_delay_;
+  armed_delay_ = 0;
+  armed_oneshots_.clear();
+  next_oneshot_ = 0;
+  clock_ += delay;
+  return {AttemptResult::kOk, delay, machine};
+}
+
+Attempt FaultyTransportSession::attempt_parallel_round() {
+  activate_pending();
+  ++clock_;
+  if (next_oneshot_ < armed_oneshots_.size()) {
+    const FaultKind kind = armed_oneshots_[next_oneshot_++];
+    return {kind == FaultKind::kDropBundle ? AttemptResult::kDropped
+                                           : AttemptResult::kTransient,
+            0, machines_};
+  }
+  // A collective round needs EVERY machine: one crashed site stalls the
+  // round (the straggler-amplification of synchronous collectives).
+  for (std::size_t j = 0; j < machines_; ++j) {
+    if (down_until_[j] > clock_) return {AttemptResult::kMachineDown, 0, j};
+  }
+  session_.begin_parallel_round();
+  session_.end_parallel_round();
+  ++primary_events_;
+  const std::uint64_t delay = armed_delay_;
+  armed_delay_ = 0;
+  armed_oneshots_.clear();
+  next_oneshot_ = 0;
+  clock_ += delay;
+  return {AttemptResult::kOk, delay, machines_};
+}
+
+bool FaultyTransportSession::machine_up(std::size_t machine) const {
+  QS_REQUIRE(machine < machines_, "machine index out of range");
+  return down_until_[machine] <= clock_;
+}
+
+std::uint64_t FaultyTransportSession::up_at(std::size_t machine) const {
+  QS_REQUIRE(machine < machines_, "machine index out of range");
+  return std::max(down_until_[machine], clock_);
+}
+
+std::uint64_t FaultyTransportSession::injected(FaultKind kind) const {
+  return injected_by_kind_.at(static_cast<std::size_t>(kind));
+}
+
+}  // namespace qs

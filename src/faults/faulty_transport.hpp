@@ -1,0 +1,99 @@
+// FaultyTransportSession: deterministic fault injection at the transport
+// interface, with the real TransportSession as the source of truth.
+//
+// Wraps a TransportSession and a FaultPlan behind an ATTEMPT interface: an
+// attempt either succeeds — and only then drives the underlying protocol
+// state machine through the full legal transition (send+receive, or a
+// complete collective round) — or fails BEFORE any transition happens.
+// A faulted bundle therefore never half-leaves the coordinator: injected
+// faults cannot put the session into a state Section 3 forbids, and the
+// sequence of successful attempts is protocol-clean by construction
+// (TransportSession::validate_schedule accepts it, always).
+//
+// The session keeps a logical clock in schedule events: every attempt
+// costs one event, stragglers add their latency, and backoff waits advance
+// it via wait(). Crash durations and breaker cooldowns are measured on
+// this clock, so the whole fault/recovery timeline is integer-exact and
+// replayable (docs/ROBUSTNESS.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "distdb/transport.hpp"
+#include "faults/fault_plan.hpp"
+
+namespace qs {
+
+enum class AttemptResult : std::uint8_t {
+  kOk,           // legal transition performed on the underlying session
+  kDropped,      // bundle (or reply) lost in transit; no transition
+  kMachineDown,  // target machine crashed and has not restarted yet
+  kTransient,    // the oracle invocation itself failed once
+};
+
+struct Attempt {
+  AttemptResult result = AttemptResult::kOk;
+  /// Extra latency (schedule events) a straggler added on success.
+  std::uint64_t delay = 0;
+  /// The machine at fault when attributable (sequential target, or the
+  /// crashed machine that stalled a collective round); == the session's
+  /// machine count when no single machine is to blame.
+  std::size_t machine = 0;
+};
+
+class FaultyTransportSession {
+ public:
+  FaultyTransportSession(std::size_t machines, const FaultPlan& plan);
+
+  /// Attempt the next primary sequential event against `machine`: on
+  /// success the underlying session performs the full send+receive pair.
+  Attempt attempt_sequential(std::size_t machine);
+
+  /// Attempt one collective round (all machines must be up).
+  Attempt attempt_parallel_round();
+
+  /// Backoff: advance the logical clock without attempting anything.
+  void wait(std::uint64_t events) noexcept { clock_ += events; }
+
+  bool machine_up(std::size_t machine) const;
+  /// Clock value at which `machine` restarts (== clock() when up).
+  std::uint64_t up_at(std::size_t machine) const;
+
+  std::uint64_t clock() const noexcept { return clock_; }
+  /// Successful (primary) events completed — the fault plan's event index.
+  std::uint64_t primary_events() const noexcept { return primary_events_; }
+
+  /// The protocol state machine of record.
+  const TransportSession& session() const noexcept { return session_; }
+
+  /// Injected-fault counts (plan activations, NOT failed attempts: one
+  /// crash activation may fail many attempts while the machine is down).
+  std::uint64_t injected_total() const noexcept { return injected_total_; }
+  std::uint64_t injected(FaultKind kind) const;
+  /// Plan entries whose slot the run never reached.
+  std::size_t pending_faults() const noexcept {
+    return plan_.size() - next_plan_entry_;
+  }
+
+ private:
+  void activate_pending();
+
+  std::size_t machines_;
+  FaultPlan plan_;
+  TransportSession session_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t primary_events_ = 0;
+  std::size_t next_plan_entry_ = 0;
+  /// clock value until which each machine is down (≤ clock_ means up).
+  std::vector<std::uint64_t> down_until_;
+  /// Armed one-shot failures (drop/transient) for the CURRENT slot, FIFO.
+  std::vector<FaultKind> armed_oneshots_;
+  std::size_t next_oneshot_ = 0;
+  /// Armed straggler latency for the current slot.
+  std::uint64_t armed_delay_ = 0;
+  std::uint64_t injected_total_ = 0;
+  std::vector<std::uint64_t> injected_by_kind_;
+};
+
+}  // namespace qs

@@ -1,0 +1,456 @@
+#include "faults/recovery.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+#include "faults/faulty_transport.hpp"
+#include "sampling/fault_seam.hpp"
+#include "sampling/schedule.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace qs {
+
+namespace {
+
+/// Telemetry instruments of the fault subsystem (docs/ROBUSTNESS.md):
+/// injected-fault counters by kind, the retry-attempt histogram recorded
+/// per recovered event, and the open-breaker gauge maintained while the
+/// recovery planner runs.
+struct FaultInstruments {
+  telemetry::Counter& drops = telemetry::counter("faults.injected.drop");
+  telemetry::Counter& delays = telemetry::counter("faults.injected.delay");
+  telemetry::Counter& crashes = telemetry::counter("faults.injected.crash");
+  telemetry::Counter& transients =
+      telemetry::counter("faults.injected.transient");
+  telemetry::Counter& failed =
+      telemetry::counter("faults.recovery.failed_attempts");
+  telemetry::Counter& breaker_opens = telemetry::counter("breaker.opens");
+  telemetry::Gauge& breaker_open = telemetry::gauge("breaker.open");
+  telemetry::Histogram& attempts = telemetry::histogram("retry.attempts");
+};
+
+FaultInstruments& fault_instruments() {
+  static FaultInstruments instruments;
+  return instruments;
+}
+
+/// One schedule slot with its position in the canonical (fault-free)
+/// schedule, for diagnostics and displacement marking.
+struct Slot {
+  TranscriptEvent event;
+  std::size_t canonical_index = 0;
+};
+
+enum class LandResult : std::uint8_t { kOk, kDeferred, kFailed };
+
+class RecoveryPlanner {
+ public:
+  RecoveryPlanner(const Transcript& schedule, std::size_t machines,
+                  const FaultPlan& plan, const RetryPolicy& policy)
+      : schedule_(schedule),
+        machines_(machines),
+        policy_(policy),
+        transport_(machines, plan),
+        breakers_(machines, CircuitBreaker(policy)) {
+    outcome_.ledger.recovery.sequential_per_machine.assign(machines, 0);
+  }
+
+  RecoveryOutcome run() {
+    // Segment the schedule: maximal runs of same-direction sequential
+    // events are C / C† blocks (Lemma 4.2); each parallel round is its own
+    // order-fixed unit. Only forward C blocks have reorder freedom.
+    const auto& events = schedule_.events();
+    std::size_t i = 0;
+    bool failed = false;
+    while (i < events.size() && !failed) {
+      if (events[i].kind == QueryKind::kParallelRound) {
+        failed = !execute_ordered({Slot{events[i], i}});
+        ++i;
+        continue;
+      }
+      const bool adjoint = events[i].adjoint;
+      std::vector<Slot> segment;
+      while (i < events.size() &&
+             events[i].kind == QueryKind::kSequential &&
+             events[i].adjoint == adjoint) {
+        segment.push_back(Slot{events[i], i});
+        ++i;
+      }
+      failed = adjoint ? !execute_adjoint_block(segment)
+                       : !execute_forward_block(segment);
+    }
+    close_breaker_gauge();
+    outcome_.ledger.injected_faults = transport_.injected_total();
+    outcome_.ledger.injected_drops =
+        transport_.injected(FaultKind::kDropBundle);
+    outcome_.ledger.injected_delays = transport_.injected(FaultKind::kDelay);
+    outcome_.ledger.injected_crashes =
+        transport_.injected(FaultKind::kMachineCrash);
+    outcome_.ledger.injected_transients =
+        transport_.injected(FaultKind::kOracleTransient);
+    outcome_.ok = !failed;
+    return std::move(outcome_);
+  }
+
+ private:
+  /// Forward C block: work-list scheduling against the surviving machine
+  /// set. A slot whose machine is down (or breaker-open) is deferred and
+  /// the rest of the block proceeds; when everything pending is blocked,
+  /// the planner stalls with capped exponential backoff until a restart.
+  bool execute_forward_block(const std::vector<Slot>& canonical) {
+    std::vector<Slot> pending = canonical;
+    std::vector<TranscriptEvent> executed;
+    const std::size_t out_base = outcome_.events.size();
+    std::uint64_t stall_rounds = 0;
+    std::uint64_t stalled = 0;
+    while (!pending.empty()) {
+      bool progressed = false;
+      for (std::size_t idx = 0; idx < pending.size();) {
+        RecoveredEvent ev{pending[idx].event};
+        const LandResult r =
+            land(pending[idx], /*may_defer=*/pending.size() > 1, ev);
+        if (r == LandResult::kOk) {
+          outcome_.events.push_back(ev);
+          executed.push_back(pending[idx].event);
+          pending.erase(pending.begin() + idx);
+          progressed = true;
+          stall_rounds = 0;
+        } else if (r == LandResult::kDeferred) {
+          ++outcome_.ledger.deferrals;
+          ++idx;
+        } else {
+          return false;
+        }
+      }
+      if (!pending.empty() && !progressed) {
+        ++stall_rounds;
+        const std::uint64_t w = backoff(stall_rounds);
+        transport_.wait(w);
+        outcome_.ledger.backoff_events += w;
+        stalled += w;
+        if (stalled > policy_.max_wait_events) {
+          return fail(pending.front(),
+                      "every surviving machine path is blocked");
+        }
+      }
+    }
+    // Mark displacement against the canonical block order and remember the
+    // executed order so the matching C† block can mirror it (LIFO nesting).
+    for (std::size_t k = 0; k < executed.size(); ++k) {
+      outcome_.events[out_base + k].displaced =
+          executed[k].machine != canonical[k].event.machine;
+    }
+    forward_orders_.push_back(std::move(executed));
+    return true;
+  }
+
+  /// C† block: the adjoint of a reordered C block must execute in the
+  /// exact reverse of the order C actually ran (the verifier's pushdown
+  /// adjoint-nesting invariant), so there is no reorder freedom here —
+  /// a blocked machine is waited out under the backoff policy.
+  bool execute_adjoint_block(const std::vector<Slot>& canonical) {
+    std::vector<Slot> order = canonical;
+    if (!forward_orders_.empty() &&
+        forward_orders_.back().size() == canonical.size() &&
+        same_machine_multiset(forward_orders_.back(), canonical)) {
+      const auto forward = std::move(forward_orders_.back());
+      forward_orders_.pop_back();
+      for (std::size_t k = 0; k < canonical.size(); ++k) {
+        order[k].event.machine =
+            forward[forward.size() - 1 - k].machine;
+        order[k].event.adjoint = true;
+      }
+    }
+    const std::size_t out_base = outcome_.events.size();
+    if (!execute_ordered(order)) return false;
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      outcome_.events[out_base + k].displaced =
+          order[k].event.machine != canonical[k].event.machine;
+    }
+    return true;
+  }
+
+  bool execute_ordered(const std::vector<Slot>& order) {
+    for (const Slot& slot : order) {
+      RecoveredEvent ev{slot.event};
+      const LandResult r = land(slot, /*may_defer=*/false, ev);
+      if (r != LandResult::kOk) return false;
+      outcome_.events.push_back(ev);
+    }
+    return true;
+  }
+
+  /// Retry loop for one primary event. In deferrable (work-list) mode a
+  /// down machine or open breaker yields the slot back immediately; in
+  /// ordered mode the planner waits it out. Every failed attempt is
+  /// charged to the recovery ledger; waits are bounded by
+  /// policy.max_wait_events.
+  LandResult land(const Slot& slot, bool may_defer, RecoveredEvent& out) {
+    const bool sequential = slot.event.kind == QueryKind::kSequential;
+    const std::size_t target = slot.event.machine;
+    const std::uint64_t injected_before = transport_.injected_total();
+    std::uint32_t attempts = 0;
+    std::uint32_t failures = 0;
+    std::uint64_t waited = 0;
+    while (true) {
+      if (blocked_by_breaker(slot)) {
+        if (may_defer) return LandResult::kDeferred;
+        ++failures;
+        if (!back_off(failures, waited)) {
+          return fail_result(slot, "circuit breaker held open too long");
+        }
+        continue;
+      }
+      const Attempt attempt = sequential
+                                  ? transport_.attempt_sequential(target)
+                                  : transport_.attempt_parallel_round();
+      ++attempts;
+      if (attempt.result == AttemptResult::kOk) {
+        note_success(slot);
+        out.attempts = attempts;
+        out.waited = waited;
+        out.injected = static_cast<std::uint32_t>(
+            transport_.injected_total() - injected_before);
+        return LandResult::kOk;
+      }
+      ++outcome_.ledger.failed_attempts;
+      if (sequential) {
+        ++outcome_.ledger.recovery.sequential_per_machine[target];
+      } else {
+        ++outcome_.ledger.recovery.parallel_rounds;
+      }
+      ++failures;
+      note_failure(sequential ? target : attempt.machine, attempt.result);
+      if (may_defer &&
+          (attempt.result == AttemptResult::kMachineDown ||
+           attempts >= policy_.max_attempts)) {
+        return LandResult::kDeferred;
+      }
+      if (!back_off(failures, waited)) {
+        return fail_result(slot, std::string("retries exhausted after a ") +
+                                     to_string_result(attempt.result) +
+                                     " fault");
+      }
+    }
+  }
+
+  static const char* to_string_result(AttemptResult r) {
+    switch (r) {
+      case AttemptResult::kOk: return "ok";
+      case AttemptResult::kDropped: return "dropped-bundle";
+      case AttemptResult::kMachineDown: return "machine-down";
+      case AttemptResult::kTransient: return "transient-oracle";
+    }
+    return "unknown";
+  }
+
+  std::uint64_t backoff(std::uint64_t consecutive) const {
+    const std::uint64_t shift = std::min<std::uint64_t>(consecutive - 1, 20);
+    const std::uint64_t w =
+        std::min(policy_.backoff_max, policy_.backoff_base << shift);
+    return std::max<std::uint64_t>(w, 1);  // always advance the clock
+  }
+
+  /// One deterministic exponential backoff step; false once the per-event
+  /// wait budget is exhausted.
+  bool back_off(std::uint32_t failures, std::uint64_t& waited) {
+    const std::uint64_t w = backoff(failures);
+    transport_.wait(w);
+    outcome_.ledger.backoff_events += w;
+    waited += w;
+    return waited <= policy_.max_wait_events;
+  }
+
+  bool blocked_by_breaker(const Slot& slot) {
+    if (slot.event.kind == QueryKind::kSequential) {
+      return !breakers_[slot.event.machine].allows(transport_.clock());
+    }
+    for (std::size_t j = 0; j < machines_; ++j) {
+      if (!breakers_[j].allows(transport_.clock())) return true;
+    }
+    return false;
+  }
+
+  void note_success(const Slot& slot) {
+    if (slot.event.kind == QueryKind::kSequential) {
+      note_closed(slot.event.machine);
+    } else {
+      // A completed collective round proves every machine answered.
+      for (std::size_t j = 0; j < machines_; ++j) note_closed(j);
+    }
+  }
+
+  void note_closed(std::size_t machine) {
+    const bool was_open =
+        breakers_[machine].state() != CircuitBreaker::State::kClosed;
+    breakers_[machine].on_success();
+    if (was_open && open_breakers_ > 0) {
+      --open_breakers_;
+      fault_instruments().breaker_open.add(-1);
+    }
+  }
+
+  void note_failure(std::size_t machine, AttemptResult result) {
+    // Round-level drop/transient faults are not attributable to one
+    // machine; only machine-down (and sequential) failures feed breakers.
+    if (machine >= machines_ ||
+        (result != AttemptResult::kMachineDown &&
+         result != AttemptResult::kDropped &&
+         result != AttemptResult::kTransient)) {
+      return;
+    }
+    if (breakers_[machine].on_failure(transport_.clock())) {
+      ++outcome_.ledger.breaker_opens;
+      ++open_breakers_;
+      fault_instruments().breaker_opens.add();
+      fault_instruments().breaker_open.add(1);
+    }
+  }
+
+  /// The gauge tracks breakers open DURING planning; planning is over, so
+  /// return its contribution to zero (half-open breakers included).
+  void close_breaker_gauge() {
+    if (open_breakers_ > 0) {
+      fault_instruments().breaker_open.add(
+          -static_cast<std::int64_t>(open_breakers_));
+      open_breakers_ = 0;
+    }
+  }
+
+  bool fail(const Slot& slot, const std::string& why) {
+    fail_result(slot, why);
+    return false;
+  }
+
+  LandResult fail_result(const Slot& slot, const std::string& why) {
+    outcome_.failure =
+        "recovery exhausted at schedule event " +
+        std::to_string(slot.canonical_index) +
+        (slot.event.kind == QueryKind::kSequential
+             ? " (machine " + std::to_string(slot.event.machine) + ")"
+             : std::string(" (collective round)")) +
+        ": " + why + " within max_wait_events=" +
+        std::to_string(policy_.max_wait_events);
+    outcome_.failed_event = slot.canonical_index;
+    return LandResult::kFailed;
+  }
+
+  static bool same_machine_multiset(const std::vector<TranscriptEvent>& a,
+                                    const std::vector<Slot>& b) {
+    std::vector<std::size_t> ma, mb;
+    ma.reserve(a.size());
+    mb.reserve(b.size());
+    for (const auto& e : a) ma.push_back(e.machine);
+    for (const auto& s : b) mb.push_back(s.event.machine);
+    std::sort(ma.begin(), ma.end());
+    std::sort(mb.begin(), mb.end());
+    return ma == mb;
+  }
+
+  const Transcript& schedule_;
+  std::size_t machines_;
+  RetryPolicy policy_;
+  FaultyTransportSession transport_;
+  std::vector<CircuitBreaker> breakers_;
+  std::vector<std::vector<TranscriptEvent>> forward_orders_;
+  std::uint64_t open_breakers_ = 0;
+  RecoveryOutcome outcome_;
+};
+
+/// Replays the recovered order through the sampling layer's oracle seam:
+/// the circuit asks for the canonical slot, the interposer substitutes the
+/// recovered slot and emits the per-event telemetry. The backend still
+/// performs the application, transcript recording and query accounting.
+class ReplayInterposer final : public OracleInterposer {
+ public:
+  explicit ReplayInterposer(const RecoveryOutcome& outcome)
+      : events_(outcome.events) {}
+
+  std::size_t on_sequential(std::size_t scheduled, bool adjoint) override {
+    const RecoveredEvent& ev = next(QueryKind::kSequential, adjoint);
+    (void)scheduled;  // the recovered order is authoritative for this slot
+    return ev.event.machine;
+  }
+
+  void on_parallel_round(bool adjoint) override {
+    next(QueryKind::kParallelRound, adjoint);
+  }
+
+  std::size_t consumed() const noexcept { return cursor_; }
+
+ private:
+  const RecoveredEvent& next(QueryKind kind, bool adjoint) {
+    QS_REQUIRE(cursor_ < events_.size(),
+               "recovered schedule exhausted: the circuit executed more "
+               "oracle events than recovery planned");
+    const RecoveredEvent& ev = events_[cursor_];
+    QS_REQUIRE(ev.event.kind == kind && ev.event.adjoint == adjoint,
+               "recovered schedule out of step with the circuit at event " +
+                   std::to_string(cursor_));
+    fault_instruments().attempts.record(ev.attempts);
+    if (ev.injected > 0 || ev.attempts > 1 || ev.displaced) {
+      // Aligns with the schedule.<op> spans (docs/TELEMETRY.md): the event
+      // tag is the recovered transcript index dqs_verify diagnostics use.
+      telemetry::Span span("faults.recovery.event");
+      span.tag("event", static_cast<std::int64_t>(cursor_));
+      span.tag("attempts", ev.attempts);
+      span.tag("injected", ev.injected);
+      span.tag("displaced", ev.displaced ? 1 : 0);
+    }
+    ++cursor_;
+    return ev;
+  }
+
+  const std::vector<RecoveredEvent>& events_;
+  std::size_t cursor_ = 0;
+};
+
+void emit_ledger_counters(const RecoveryLedger& ledger) {
+  auto& instruments = fault_instruments();
+  instruments.drops.add(ledger.injected_drops);
+  instruments.delays.add(ledger.injected_delays);
+  instruments.crashes.add(ledger.injected_crashes);
+  instruments.transients.add(ledger.injected_transients);
+  instruments.failed.add(ledger.failed_attempts);
+}
+
+}  // namespace
+
+RecoveryOutcome plan_recovery(const Transcript& schedule,
+                              std::size_t machines, const FaultPlan& plan,
+                              const RetryPolicy& policy) {
+  QS_REQUIRE(machines >= 1, "recovery needs at least one machine");
+  QS_REQUIRE(policy.max_wait_events >= 1,
+             "retry policy needs a positive wait budget");
+  static auto& t_ns = telemetry::histogram("faults.plan_recovery.ns");
+  telemetry::Span span("faults.plan_recovery", &t_ns);
+  span.tag("events", static_cast<std::int64_t>(schedule.size()));
+  span.tag("faults", static_cast<std::int64_t>(plan.size()));
+  RecoveryPlanner planner(schedule, machines, plan, policy);
+  return planner.run();
+}
+
+FaultedRun run_sampler_with_faults(const DistributedDatabase& db,
+                                   QueryMode mode, const FaultPlan& plan,
+                                   const RetryPolicy& policy,
+                                   const SamplerOptions& options) {
+  static auto& t_ns = telemetry::histogram("faults.recovered_run.ns");
+  telemetry::Span span("faults.recovered_run", &t_ns);
+  const Transcript schedule = compile_schedule(db, mode);
+  FaultedRun run;
+  run.recovery =
+      plan_recovery(schedule, db.num_machines(), plan, policy);
+  emit_ledger_counters(run.recovery.ledger);
+  if (!run.recovery.ok) return run;
+  ReplayInterposer replay(run.recovery);
+  OracleInterposerScope scope(replay);
+  run.result = mode == QueryMode::kSequential
+                   ? run_sequential_sampler(db, options)
+                   : run_parallel_sampler(db, options);
+  QS_REQUIRE(replay.consumed() == run.recovery.events.size(),
+             "circuit executed fewer oracle events than recovery planned");
+  return run;
+}
+
+}  // namespace qs

@@ -1,0 +1,90 @@
+// Recovery planning and fault-tolerant sampler execution.
+//
+// The key structural fact (Lemma 4.2): within one C block of the
+// distributing operator the sequential oracles O_1 … O_n are commuting
+// EXACT permutations of the amplitude vector — |i, s⟩ → |i, s + c_ij mod
+// (ν+1)⟩ involves no floating point — so the coordinator may execute a C
+// block's queries in ANY order, and zero-error AA makes a re-issued query
+// round exactly re-executable. Recovery exploits both:
+//
+//   * plan_recovery() dry-runs the schedule against a FaultyTransportSession
+//     (no amplitudes touched): failed attempts retry with deterministic
+//     exponential backoff; a crashed machine's slot is DEFERRED within its
+//     C block — the remaining block schedule is recompiled against the
+//     surviving machine set as a work list — and the matching C† block
+//     replays the exact reverse order, preserving the verifier's LIFO
+//     adjoint-nesting invariant. Order-fixed segments (adjoint blocks,
+//     parallel rounds) wait out the crash under the same backoff policy.
+//
+//   * run_sampler_with_faults() then executes the real sampler once,
+//     replaying the recovered order through the sampling layer's oracle
+//     seam (sampling/fault_seam.hpp). Failed attempts never touch the
+//     state, every event executes exactly once, and permuted events
+//     commute exactly — so the final statevector, the samples, the primary
+//     transcript's QueryStats and the per-machine load are BIT-IDENTICAL
+//     to the fault-free run (asserted per grid point by tools/dqs_chaos).
+//
+// plan_recovery is a pure function of (schedule, machines, plan, policy) —
+// it never sees the database — so recovery preserves obliviousness by
+// construction: the recovered schedule is still a function of public
+// knowledge plus the (public) fault plan. All retry cost lands in the
+// RecoveryLedger, keeping the primary Thm 4.3/4.5 budget auditable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "distdb/transcript.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/retry.hpp"
+#include "sampling/samplers.hpp"
+
+namespace qs {
+
+struct RecoveredEvent {
+  TranscriptEvent event;        ///< what actually executes at this slot
+  std::uint32_t attempts = 1;   ///< attempts consumed, including success
+  std::uint64_t waited = 0;     ///< backoff events spent landing this slot
+  std::uint32_t injected = 0;   ///< plan activations while landing it
+  bool displaced = false;       ///< executed out of canonical block order
+};
+
+struct RecoveryOutcome {
+  bool ok = false;
+  /// The recovered primary schedule: same multiset of events as the input
+  /// schedule, per-C-block permutations only, adjoint blocks mirrored.
+  std::vector<RecoveredEvent> events;
+  RecoveryLedger ledger;
+  /// When !ok: what exhausted recovery, naming machine and event index.
+  std::string failure;
+  std::optional<std::size_t> failed_event;  ///< canonical schedule index
+};
+
+/// Dry-run fault recovery for `schedule` (database never consulted).
+/// Deterministic: same inputs ⇒ same outcome, bit for bit.
+RecoveryOutcome plan_recovery(const Transcript& schedule,
+                              std::size_t machines, const FaultPlan& plan,
+                              const RetryPolicy& policy);
+
+struct FaultedRun {
+  /// Engaged iff recovery succeeded; then bit-identical to the fault-free
+  /// sampler result for the same database and options.
+  std::optional<SamplerResult> result;
+  RecoveryOutcome recovery;
+
+  bool ok() const noexcept { return result.has_value(); }
+};
+
+/// Plan recovery for the database's compiled schedule and, if it succeeds,
+/// run the real sampler once with the recovered order replayed through the
+/// oracle seam. Emits the faults.injected.* counters, the retry.attempts
+/// histogram, the faults.breaker.open gauge and per-faulted-event trace
+/// spans tagged with the recovered event index.
+FaultedRun run_sampler_with_faults(const DistributedDatabase& db,
+                                   QueryMode mode, const FaultPlan& plan,
+                                   const RetryPolicy& policy,
+                                   const SamplerOptions& options = {});
+
+}  // namespace qs

@@ -1,0 +1,117 @@
+// Retry/backoff policy, per-machine circuit breaker, and the recovery
+// ledger that keeps Thm 4.3/4.5 budget accounting auditable under faults.
+//
+// All time here is logical — measured in SCHEDULE EVENTS on the
+// FaultyTransportSession clock, never wall clock — so recovery decisions
+// are a pure function of (schedule, plan, policy) and two runs with the
+// same inputs back off identically (determinism is what lets dqs_chaos
+// assert bit-identical recovery; docs/ROBUSTNESS.md).
+//
+// Accounting contract: every FAILED attempt (lost bundle, down machine,
+// transient oracle) is charged to the RecoveryLedger's own QueryStats,
+// never to the run's primary ledger. The primary transcript and ledger of
+// a recovered run therefore match the fault-free run exactly, so the
+// dqs_verify query-budget pass (d·2n sequential / d·4 parallel closed
+// forms) still certifies it, and the recovery cost is reported separately
+// instead of silently voiding the theorems.
+#pragma once
+
+#include <cstdint>
+
+#include "distdb/query_stats.hpp"
+
+namespace qs {
+
+struct RetryPolicy {
+  /// Attempts per primary event per work-list visit before the executor
+  /// defers the event (sequential forward blocks) or keeps backing off
+  /// (order-fixed adjoint blocks and parallel rounds).
+  std::uint32_t max_attempts = 8;
+  /// Deterministic exponential backoff after the k-th consecutive failure:
+  /// wait min(backoff_base << (k-1), backoff_max) schedule events.
+  std::uint64_t backoff_base = 1;
+  std::uint64_t backoff_max = 16;
+  /// Consecutive failures of one machine that open its breaker; while
+  /// open, the executor stops attempting that machine (no failed-attempt
+  /// charges) until `breaker_cooldown` events pass and one half-open
+  /// probe is allowed.
+  std::uint32_t breaker_threshold = 4;
+  std::uint64_t breaker_cooldown = 8;
+  /// Total schedule events one primary event may spend waiting (backoff
+  /// plus stalls) before recovery gives up with a typed failure. Bounds
+  /// termination even against adversarial scripted plans.
+  std::uint64_t max_wait_events = 4096;
+
+  friend bool operator==(const RetryPolicy&, const RetryPolicy&) = default;
+};
+
+/// Per-machine breaker: closed → open after `breaker_threshold`
+/// consecutive failures, half-open probe after `breaker_cooldown` logical
+/// events, closed again on the first success. Purely deterministic.
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(const RetryPolicy& policy) noexcept
+      : threshold_(policy.breaker_threshold),
+        cooldown_(policy.breaker_cooldown) {}
+
+  /// May this machine be attempted at logical time `now`? Transitions
+  /// open → half-open when the cooldown has elapsed.
+  bool allows(std::uint64_t now) noexcept {
+    if (state_ == State::kOpen && now >= probe_at_) state_ = State::kHalfOpen;
+    return state_ != State::kOpen;
+  }
+
+  void on_success() noexcept {
+    state_ = State::kClosed;
+    consecutive_failures_ = 0;
+  }
+
+  /// Returns true when this failure OPENED the breaker (for the ledger
+  /// and the faults.breaker.open gauge).
+  bool on_failure(std::uint64_t now) noexcept {
+    ++consecutive_failures_;
+    const bool tripped = state_ == State::kHalfOpen ||
+                         (state_ == State::kClosed &&
+                          consecutive_failures_ >= threshold_);
+    if (tripped) {
+      state_ = State::kOpen;
+      probe_at_ = now + cooldown_;
+    }
+    return tripped;
+  }
+
+  State state() const noexcept { return state_; }
+
+ private:
+  std::uint32_t threshold_;
+  std::uint64_t cooldown_;
+  State state_ = State::kClosed;
+  std::uint32_t consecutive_failures_ = 0;
+  std::uint64_t probe_at_ = 0;
+};
+
+/// Separate accounting for everything recovery did beyond the fault-free
+/// schedule. `recovery` is a full QueryStats: failed sequential attempts
+/// charged per machine, failed collective rounds to parallel_rounds —
+/// exactly the shape of the primary ledger, so the two add and audit the
+/// same way (cross-checked by dqs_chaos: failed_attempts equals the
+/// recovery ledger's total, injected_faults equals the plan size).
+struct RecoveryLedger {
+  QueryStats recovery;                     ///< failed/re-issued attempts
+  std::uint64_t injected_faults = 0;       ///< plan activations, total
+  std::uint64_t injected_drops = 0;
+  std::uint64_t injected_delays = 0;
+  std::uint64_t injected_crashes = 0;
+  std::uint64_t injected_transients = 0;
+  std::uint64_t failed_attempts = 0;       ///< == recovery ledger total
+  std::uint64_t backoff_events = 0;        ///< logical events spent waiting
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t deferrals = 0;             ///< work-list slot displacements
+
+  friend bool operator==(const RecoveryLedger&,
+                         const RecoveryLedger&) = default;
+};
+
+}  // namespace qs

@@ -4,6 +4,7 @@
 
 #include "common/require.hpp"
 #include "qsim/gates.hpp"
+#include "sampling/fault_seam.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace qs {
@@ -120,6 +121,12 @@ const std::vector<std::size_t>& SingleStateBackend::total_shift(
 }
 
 void SingleStateBackend::oracle(std::size_t j, bool adjoint) {
+  // Fault seam (fault_seam.hpp): a recovery replayer may substitute the
+  // recovered-schedule machine for this slot. Disabled cost: one relaxed
+  // load + untaken branch, gated by dqs_trace --overhead --fault-baseline.
+  if (OracleInterposer* seam = oracle_interposer(); seam != nullptr) {
+    j = seam->on_sequential(j, adjoint);
+  }
   db_.machine(j).apply_oracle(state_, regs_.elem, regs_.count, adjoint);
   if (transcript_ != nullptr) transcript_->record_sequential(j, adjoint);
   if (observer_) observer_(j, adjoint);
@@ -134,6 +141,9 @@ void SingleStateBackend::parallel_total_shift(bool adjoint) {
   state_.apply_value_shift(regs_.count, regs_.elem, total_shift(adjoint));
   // Lemma 4.4: each direction costs one O and one O† round.
   for (const bool round_adjoint : {false, true}) {
+    if (OracleInterposer* seam = oracle_interposer(); seam != nullptr) {
+      seam->on_parallel_round(round_adjoint);
+    }
     db_.count_parallel_round();
     if (transcript_ != nullptr)
       transcript_->record_parallel_round(round_adjoint);

@@ -1,0 +1,72 @@
+// Oracle-interposition seam: where fault injection meets the hot path.
+//
+// The fault/recovery subsystem (src/faults, docs/ROBUSTNESS.md) must be
+// able to interpose on every oracle event the circuit executes — to replay
+// a recovered schedule in which a crashed machine's queries were deferred
+// within their C block — without the sampling layer depending on the
+// faults library (faults depends on sampling, not the reverse).
+//
+// This header is that seam: a process-global pointer consulted by
+// SingleStateBackend before each oracle application. The DISABLED cost —
+// what every fault-free run pays — is one relaxed atomic load and a
+// never-taken branch per oracle event, the same shape as the telemetry
+// enable flags, and is measured by bench/bench_fault_overhead.cpp and
+// gated in CI via `dqs_trace --overhead --fault-baseline` (≤0.5% of the
+// cheapest kernel, like the telemetry gate).
+//
+// Interposers may only PERMUTE machine indices within what the recovery
+// planner proved protocol-equivalent (the sequential oracles O_j are
+// commuting exact permutations, Eq. 1); the backend still performs the
+// actual application, transcript recording and query accounting, so an
+// interposer can never bypass the ledger or forge transcript evidence.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace qs {
+
+/// Interface consulted once per oracle event while installed. Implemented
+/// by the recovery replayer in src/faults/recovery.cpp.
+class OracleInterposer {
+ public:
+  virtual ~OracleInterposer() = default;
+
+  /// The circuit is about to execute a sequential oracle on `scheduled`.
+  /// Returns the machine to query instead (the recovered-schedule slot);
+  /// an identity interposer returns `scheduled`.
+  virtual std::size_t on_sequential(std::size_t scheduled, bool adjoint) = 0;
+
+  /// The circuit is about to count one parallel oracle round.
+  virtual void on_parallel_round(bool adjoint) = 0;
+};
+
+namespace detail {
+inline std::atomic<OracleInterposer*> oracle_interposer_ptr{nullptr};
+}  // namespace detail
+
+/// The active interposer, or nullptr (the fault-free fast path).
+inline OracleInterposer* oracle_interposer() noexcept {
+  return detail::oracle_interposer_ptr.load(std::memory_order_acquire);
+}
+
+/// RAII installation; restores the previous interposer on destruction so
+/// scopes nest (a recovered run inside a recovered run is still exact).
+class OracleInterposerScope {
+ public:
+  explicit OracleInterposerScope(OracleInterposer& interposer) noexcept
+      : previous_(detail::oracle_interposer_ptr.exchange(
+            &interposer, std::memory_order_acq_rel)) {}
+
+  OracleInterposerScope(const OracleInterposerScope&) = delete;
+  OracleInterposerScope& operator=(const OracleInterposerScope&) = delete;
+
+  ~OracleInterposerScope() {
+    detail::oracle_interposer_ptr.store(previous_, std::memory_order_release);
+  }
+
+ private:
+  OracleInterposer* previous_;
+};
+
+}  // namespace qs

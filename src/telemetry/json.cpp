@@ -55,6 +55,9 @@ class Parser {
 
  private:
   [[noreturn]] void fail(const std::string& what) const {
+    // Still the typed taxonomy (ContractViolation), thrown directly only
+    // because QS_REQUIRE(false, ...) cannot express [[noreturn]].
+    // dqs-lint: allow(error-taxonomy)
     throw ContractViolation("json: " + what + " at offset " +
                             std::to_string(pos_));
   }

@@ -1,0 +1,15 @@
+// Fixture: library code failing outside the typed error taxonomy.
+#include <cstdlib>
+#include <stdexcept>
+
+namespace qs {
+
+void bad_throw(int x) {
+  if (x < 0) throw std::runtime_error("negative");  // untyped throw
+}
+
+void bad_abort(int x) {
+  if (x > 9) std::abort();  // kills the process under the recovery seams
+}
+
+}  // namespace qs

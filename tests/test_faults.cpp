@@ -1,0 +1,413 @@
+// Tests for the fault-injection and recovery subsystem (src/faults/): the
+// seeded/scripted FaultPlan, the FaultyTransportSession attempt semantics,
+// the circuit breaker, recovery planning (work-list displacement, adjoint
+// mirroring, exhaustion), the recovered sampler run, the oracle-seam
+// scoping, and the SampleServer's graceful degradation.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/verifier.hpp"
+#include "apps/sample_server.hpp"
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "distdb/workload.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/faulty_transport.hpp"
+#include "faults/recovery.hpp"
+#include "faults/retry.hpp"
+#include "qsim/measure.hpp"
+#include "sampling/fault_seam.hpp"
+#include "sampling/samplers.hpp"
+#include "sampling/schedule.hpp"
+
+namespace qs {
+namespace {
+
+DistributedDatabase make_db(std::uint64_t machines = 3,
+                            std::uint64_t seed = 5) {
+  Rng rng(seed);
+  auto datasets = workload::uniform_random(16, machines, 12, rng);
+  const auto nu = min_capacity(datasets) + 2;
+  return DistributedDatabase(std::move(datasets), nu);
+}
+
+// ---------------------------------------------------------------- FaultPlan
+
+TEST(FaultPlan, SeededPlansAreDeterministic) {
+  const auto a = FaultPlan::random(7, 40, 3);
+  const auto b = FaultPlan::random(7, 40, 3);
+  EXPECT_EQ(a, b);
+  const auto c = FaultPlan::random(8, 40, 3);
+  EXPECT_NE(a, c);  // astronomically unlikely to collide
+  for (const auto& e : a.events()) {
+    EXPECT_LT(e.event, 40u);
+    if (e.kind == FaultKind::kMachineCrash) {
+      EXPECT_LT(e.machine, 3u);
+    }
+  }
+}
+
+TEST(FaultPlan, WireFormatRoundTrips) {
+  const auto plan = FaultPlan::random(3, 64, 4);
+  ASSERT_FALSE(plan.empty());
+  const auto reparsed = parse_fault_plan(plan.to_string());
+  EXPECT_EQ(plan, reparsed);
+}
+
+TEST(FaultPlan, ParserNamesTheOffendingLine) {
+  const std::string bad =
+      "# dqs-fault-plan-v1\ncrash event=2 machine=0 duration=3\nbogus "
+      "event=1\n";
+  try {
+    (void)parse_fault_plan(bad);
+    FAIL() << "should reject the unknown fault kind";
+  } catch (const ContractViolation& violation) {
+    EXPECT_NE(std::string(violation.what()).find("line 3"),
+              std::string::npos)
+        << violation.what();
+  }
+  EXPECT_THROW((void)parse_fault_plan("drop event=x"), ContractViolation);
+}
+
+TEST(FaultPlan, CrashAndDelayNeedPositiveDurations) {
+  EXPECT_THROW(
+      FaultPlan({FaultEvent{0, FaultKind::kMachineCrash, 0, 0}}),
+      ContractViolation);
+  EXPECT_THROW(FaultPlan({FaultEvent{0, FaultKind::kDelay, 0, 0}}),
+               ContractViolation);
+  EXPECT_NO_THROW(FaultPlan({FaultEvent{0, FaultKind::kDropBundle, 0, 0}}));
+}
+
+// -------------------------------------------------- FaultyTransportSession
+
+TEST(FaultyTransport, DropFailsOnceThenTheRetrySucceeds) {
+  const FaultPlan plan({FaultEvent{1, FaultKind::kDropBundle, 0, 0}});
+  FaultyTransportSession ft(2, plan);
+  EXPECT_EQ(ft.attempt_sequential(0).result, AttemptResult::kOk);
+  EXPECT_EQ(ft.attempt_sequential(1).result, AttemptResult::kDropped);
+  EXPECT_EQ(ft.attempt_sequential(1).result, AttemptResult::kOk);
+  EXPECT_EQ(ft.primary_events(), 2u);
+  EXPECT_EQ(ft.injected(FaultKind::kDropBundle), 1u);
+  EXPECT_TRUE(ft.session().quiescent());
+}
+
+TEST(FaultyTransport, CrashDownsOneMachineForItsDuration) {
+  const FaultPlan plan({FaultEvent{0, FaultKind::kMachineCrash, 1, 3}});
+  FaultyTransportSession ft(2, plan);
+  EXPECT_EQ(ft.attempt_sequential(1).result, AttemptResult::kMachineDown);
+  EXPECT_FALSE(ft.machine_up(1));
+  // The OTHER machine is unaffected while machine 1 is down.
+  EXPECT_EQ(ft.attempt_sequential(0).result, AttemptResult::kOk);
+  ft.wait(ft.up_at(1) - ft.clock());  // sleep until the restart
+  EXPECT_TRUE(ft.machine_up(1));
+  EXPECT_EQ(ft.attempt_sequential(1).result, AttemptResult::kOk);
+  EXPECT_EQ(ft.injected_total(), 1u);
+}
+
+TEST(FaultyTransport, StragglerDelayLandsOnTheSuccessfulAttempt) {
+  const FaultPlan plan({FaultEvent{0, FaultKind::kDelay, 0, 5}});
+  FaultyTransportSession ft(2, plan);
+  const auto attempt = ft.attempt_sequential(0);
+  EXPECT_EQ(attempt.result, AttemptResult::kOk);
+  EXPECT_EQ(attempt.delay, 5u);
+  EXPECT_EQ(ft.clock(), 6u);  // 1 for the attempt + 5 straggler events
+}
+
+TEST(FaultyTransport, CollectiveRoundNeedsEveryMachine) {
+  const FaultPlan plan({FaultEvent{0, FaultKind::kMachineCrash, 2, 4}});
+  FaultyTransportSession ft(3, plan);
+  const auto attempt = ft.attempt_parallel_round();
+  EXPECT_EQ(attempt.result, AttemptResult::kMachineDown);
+  EXPECT_EQ(attempt.machine, 2u);  // the straggling site is named
+  ft.wait(8);
+  EXPECT_EQ(ft.attempt_parallel_round().result, AttemptResult::kOk);
+  EXPECT_EQ(ft.session().completed_rounds(), 1u);
+}
+
+TEST(FaultyTransport, CrashOutOfRangeRejectedAtConstruction) {
+  const FaultPlan plan({FaultEvent{0, FaultKind::kMachineCrash, 5, 2}});
+  EXPECT_THROW(FaultyTransportSession(2, plan), ContractViolation);
+}
+
+// ----------------------------------------------------------- CircuitBreaker
+
+TEST(CircuitBreaker, OpensAfterThresholdAndProbesAfterCooldown) {
+  RetryPolicy policy;
+  policy.breaker_threshold = 2;
+  policy.breaker_cooldown = 4;
+  CircuitBreaker breaker(policy);
+  EXPECT_TRUE(breaker.allows(0));
+  EXPECT_FALSE(breaker.on_failure(0));  // 1st failure: still closed
+  EXPECT_TRUE(breaker.on_failure(1));   // 2nd: OPENS
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.allows(2));  // cooling down
+  EXPECT_TRUE(breaker.allows(5));   // half-open probe allowed
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(breaker.on_failure(5));  // failed probe reopens immediately
+  EXPECT_FALSE(breaker.allows(6));
+  EXPECT_TRUE(breaker.allows(9));
+  breaker.on_success();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+// ------------------------------------------------------------ plan_recovery
+
+bool outcomes_equal(const RecoveryOutcome& a, const RecoveryOutcome& b) {
+  if (a.ok != b.ok || !(a.ledger == b.ledger) ||
+      a.events.size() != b.events.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    if (!(a.events[i].event == b.events[i].event) ||
+        a.events[i].attempts != b.events[i].attempts ||
+        a.events[i].waited != b.events[i].waited ||
+        a.events[i].displaced != b.events[i].displaced) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(PlanRecovery, FaultFreePlanReproducesTheScheduleExactly) {
+  const auto db = make_db();
+  const auto schedule = compile_schedule(db, QueryMode::kSequential);
+  const auto outcome =
+      plan_recovery(schedule, db.num_machines(), FaultPlan(), RetryPolicy{});
+  ASSERT_TRUE(outcome.ok);
+  ASSERT_EQ(outcome.events.size(), schedule.size());
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    EXPECT_TRUE(outcome.events[i].event == schedule.events()[i]);
+    EXPECT_EQ(outcome.events[i].attempts, 1u);
+    EXPECT_FALSE(outcome.events[i].displaced);
+  }
+  EXPECT_EQ(outcome.ledger.injected_faults, 0u);
+  EXPECT_EQ(outcome.ledger.failed_attempts, 0u);
+}
+
+TEST(PlanRecovery, TransientFaultCostsOneRetryWithoutDisplacement) {
+  const auto db = make_db();
+  const auto schedule = compile_schedule(db, QueryMode::kSequential);
+  const FaultPlan plan({FaultEvent{2, FaultKind::kOracleTransient, 0, 0}});
+  const auto outcome =
+      plan_recovery(schedule, db.num_machines(), plan, RetryPolicy{});
+  ASSERT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.ledger.injected_transients, 1u);
+  EXPECT_EQ(outcome.ledger.failed_attempts, 1u);
+  std::uint32_t total_attempts = 0;
+  for (const auto& ev : outcome.events) {
+    total_attempts += ev.attempts;
+    EXPECT_FALSE(ev.displaced);
+    EXPECT_TRUE(ev.event == schedule.events()[&ev - outcome.events.data()]);
+  }
+  EXPECT_EQ(total_attempts, schedule.size() + 1);
+}
+
+TEST(PlanRecovery, CrashDisplacesWithinTheBlockAndMirrorsTheAdjoint) {
+  const auto db = make_db(3);
+  const auto schedule = compile_schedule(db, QueryMode::kSequential);
+  // Crash the machine owning the FIRST slot right as it is attempted: the
+  // work list runs the rest of the block first, then comes back.
+  const auto first = schedule.events().front().machine;
+  const FaultPlan plan({FaultEvent{0, FaultKind::kMachineCrash, first, 2}});
+  const auto outcome =
+      plan_recovery(schedule, db.num_machines(), plan, RetryPolicy{});
+  ASSERT_TRUE(outcome.ok);
+  bool displaced = false;
+  for (const auto& ev : outcome.events) displaced |= ev.displaced;
+  EXPECT_TRUE(displaced);
+  EXPECT_GE(outcome.ledger.deferrals, 1u);
+  EXPECT_EQ(outcome.ledger.injected_crashes, 1u);
+  // Same event multiset, and the recovered order still passes the full
+  // structural verifier — in particular the LIFO adjoint-nesting pass,
+  // which only holds if the C† block mirrors the displaced C order.
+  Transcript recovered;
+  for (const auto& ev : outcome.events) {
+    ASSERT_EQ(ev.event.kind, QueryKind::kSequential);
+    recovered.record_sequential(ev.event.machine, ev.event.adjoint);
+  }
+  const auto params = public_params_of(db);
+  const auto report = analysis::verify_program(
+      analysis::lift_transcript(recovered, params, QueryMode::kSequential));
+  EXPECT_TRUE(report.clean()) << report.render();
+  EXPECT_TRUE(stats_of(recovered, db.num_machines()) ==
+              stats_of(schedule, db.num_machines()));
+}
+
+TEST(PlanRecovery, IsAPureFunctionOfItsInputs) {
+  const auto db = make_db(3);
+  const auto schedule = compile_schedule(db, QueryMode::kSequential);
+  const auto plan = FaultPlan::random(11, schedule.size(), 3);
+  const auto a =
+      plan_recovery(schedule, db.num_machines(), plan, RetryPolicy{});
+  const auto b =
+      plan_recovery(schedule, db.num_machines(), plan, RetryPolicy{});
+  ASSERT_TRUE(a.ok);
+  EXPECT_TRUE(outcomes_equal(a, b));
+}
+
+TEST(PlanRecovery, UnsurvivableCrashExhaustsWithATypedFailure) {
+  const auto db = make_db(2);
+  const auto schedule = compile_schedule(db, QueryMode::kSequential);
+  const auto first = schedule.events().front().machine;
+  const FaultPlan plan(
+      {FaultEvent{0, FaultKind::kMachineCrash, first, 1000000}});
+  RetryPolicy policy;
+  policy.max_wait_events = 32;
+  const auto outcome =
+      plan_recovery(schedule, db.num_machines(), plan, policy);
+  ASSERT_FALSE(outcome.ok);
+  ASSERT_TRUE(outcome.failed_event.has_value());
+  EXPECT_NE(outcome.failure.find("machine " + std::to_string(first)),
+            std::string::npos)
+      << outcome.failure;
+  EXPECT_NE(outcome.failure.find("event"), std::string::npos);
+  EXPECT_GT(outcome.ledger.breaker_opens, 0u);
+}
+
+// -------------------------------------------------- run_sampler_with_faults
+
+TEST(FaultedRun, CrashRecoveryIsBitIdenticalToTheFaultFreeRun) {
+  const auto db = make_db(3);
+  Transcript t0;
+  SamplerOptions base;
+  base.transcript = &t0;
+  const auto r0 = run_sequential_sampler(db, base);
+
+  const auto schedule = compile_schedule(db, QueryMode::kSequential);
+  const auto first = schedule.events().front().machine;
+  const FaultPlan plan({FaultEvent{0, FaultKind::kMachineCrash, first, 2},
+                        FaultEvent{4, FaultKind::kOracleTransient, 0, 0}});
+  Transcript t1;
+  SamplerOptions faulted;
+  faulted.transcript = &t1;
+  const auto run = run_sampler_with_faults(db, QueryMode::kSequential, plan,
+                                           RetryPolicy{}, faulted);
+  ASSERT_TRUE(run.ok());
+  ASSERT_EQ(run.result->state.amplitudes().size(),
+            r0.state.amplitudes().size());
+  for (std::size_t i = 0; i < r0.state.amplitudes().size(); ++i) {
+    EXPECT_EQ(run.result->state.amplitudes()[i], r0.state.amplitudes()[i])
+        << "amplitude " << i << " not bit-identical";
+  }
+  EXPECT_EQ(run.result->fidelity, r0.fidelity);
+  EXPECT_TRUE(run.result->stats == r0.stats);
+  EXPECT_FALSE(t1 == t0);  // the crash really displaced the schedule
+  EXPECT_EQ(run.recovery.ledger.injected_faults, plan.size());
+}
+
+TEST(FaultedRun, FailedRecoveryReturnsNoResult) {
+  const auto db = make_db(2);
+  const FaultPlan plan({FaultEvent{0, FaultKind::kMachineCrash, 0, 1000000},
+                        FaultEvent{0, FaultKind::kMachineCrash, 1, 1000000}});
+  RetryPolicy policy;
+  policy.max_wait_events = 16;
+  const auto run = run_sampler_with_faults(db, QueryMode::kSequential, plan,
+                                           policy, SamplerOptions{});
+  EXPECT_FALSE(run.ok());
+  EXPECT_FALSE(run.recovery.ok);
+  EXPECT_FALSE(run.recovery.failure.empty());
+}
+
+// ------------------------------------------------------ oracle seam scoping
+
+struct IdentityInterposer final : OracleInterposer {
+  std::size_t on_sequential(std::size_t scheduled, bool) override {
+    ++calls;
+    return scheduled;
+  }
+  void on_parallel_round(bool) override { ++calls; }
+  int calls = 0;
+};
+
+TEST(OracleSeam, ScopesInstallAndRestoreLikeAStack) {
+  EXPECT_EQ(oracle_interposer(), nullptr);
+  IdentityInterposer outer;
+  {
+    OracleInterposerScope outer_scope(outer);
+    EXPECT_EQ(oracle_interposer(), &outer);
+    IdentityInterposer inner;
+    {
+      OracleInterposerScope inner_scope(inner);
+      EXPECT_EQ(oracle_interposer(), &inner);
+    }
+    EXPECT_EQ(oracle_interposer(), &outer);
+  }
+  EXPECT_EQ(oracle_interposer(), nullptr);
+}
+
+TEST(OracleSeam, PassThroughInterposerDoesNotChangeTheRun) {
+  const auto db = make_db(3);
+  const auto r0 = run_sequential_sampler(db);
+  IdentityInterposer identity;
+  OracleInterposerScope scope(identity);
+  const auto r1 = run_sequential_sampler(db);
+  EXPECT_GT(identity.calls, 0);
+  for (std::size_t i = 0; i < r0.state.amplitudes().size(); ++i) {
+    ASSERT_EQ(r1.state.amplitudes()[i], r0.state.amplitudes()[i]);
+  }
+}
+
+// --------------------------------------------- SampleServer degradation
+
+TEST(SampleServerFaults, RecoverableFaultsDegradeButStillServe) {
+  auto db = make_db(3, 9);
+  SampleServer server(std::move(db), QueryMode::kSequential);
+  FaultPlan plan({FaultEvent{1, FaultKind::kOracleTransient, 0, 0}});
+  server.arm_faults(plan);
+  EXPECT_TRUE(server.faults_armed());
+  Rng rng(21);
+  (void)server.draw(rng);
+  EXPECT_EQ(server.health(), ServerHealth::kDegraded);
+  EXPECT_EQ(server.recovery_ledger().injected_faults, 1u);
+  EXPECT_EQ(server.fallback_draws(), 0u);
+  // Every rebuild faces the armed plan again; the ledger accumulates.
+  (void)server.draw(rng);
+  EXPECT_EQ(server.recovery_ledger().injected_faults, 2u);
+  server.disarm_faults();
+  EXPECT_EQ(server.health(), ServerHealth::kHealthy);
+  (void)server.draw(rng);
+  EXPECT_EQ(server.recovery_ledger().injected_faults, 2u);
+}
+
+TEST(SampleServerFaults, ExhaustedRetriesFallBackToTheClassicalSampler) {
+  // Single machine, all mass on element 3 — the classical fallback must
+  // keep serving the exact distribution.
+  std::vector<Dataset> datasets = {Dataset(8)};
+  datasets[0].insert(3, 4);
+  SampleServer server(DistributedDatabase(std::move(datasets), 4),
+                      QueryMode::kSequential);
+  FaultPlan plan({FaultEvent{0, FaultKind::kMachineCrash, 0, 1000000}});
+  RetryPolicy policy;
+  policy.max_wait_events = 16;
+  server.arm_faults(plan, policy);
+
+  EXPECT_EQ(server.try_state(), nullptr);
+  EXPECT_EQ(server.health(), ServerHealth::kFallback);
+  EXPECT_FALSE(server.last_failure().empty());
+  EXPECT_THROW((void)server.state(), ContractViolation);
+
+  Rng rng(31);
+  EXPECT_EQ(server.draw(rng), 3u);  // classical, still exact
+  EXPECT_EQ(server.fallback_draws(), 1u);
+  EXPECT_EQ(server.classical_queries(), 8u);  // n·N = 1·8 probes
+  EXPECT_EQ(server.preparations(), 0u);       // no quantum state was built
+
+  // The fallback is sticky: further draws do not re-attempt the doomed
+  // preparation (the ledger stops moving) ...
+  const auto injected = server.recovery_ledger().injected_faults;
+  EXPECT_EQ(server.draw(rng), 3u);
+  EXPECT_EQ(server.recovery_ledger().injected_faults, injected);
+  EXPECT_EQ(server.fallback_draws(), 2u);
+
+  // ... until the faults are disarmed, which restores the quantum path.
+  server.disarm_faults();
+  EXPECT_EQ(server.draw(rng), 3u);
+  EXPECT_EQ(server.preparations(), 1u);
+  EXPECT_EQ(server.fallback_draws(), 2u);
+  EXPECT_EQ(server.health(), ServerHealth::kHealthy);
+}
+
+}  // namespace
+}  // namespace qs

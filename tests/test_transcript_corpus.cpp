@@ -1,0 +1,193 @@
+// Corrupted-transcript corpus: parse_transcript_checked must reject every
+// malformed wire transcript with a structured error naming the line,
+// column, token and reason — and the downstream consumers (transport
+// validation, ledger replay, the static verifier) must reject transcripts
+// that parse fine but describe a broken protocol run.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/verifier.hpp"
+#include "common/require.hpp"
+#include "distdb/transcript.hpp"
+#include "distdb/transport.hpp"
+#include "sampling/schedule.hpp"
+
+namespace qs {
+namespace {
+
+struct ParseCase {
+  std::string text;
+  std::size_t line;
+  std::size_t column;
+  std::string token;
+  std::string reason_fragment;
+};
+
+// The malformed-token corpus. Each entry pins the exact error location so
+// a parser regression cannot silently drift the diagnostics.
+const std::vector<ParseCase>& parse_corpus() {
+  static const std::vector<ParseCase> corpus = {
+      {"OX", 1, 1, "OX", "non-digit"},
+      {"O", 1, 1, "O", "names no machine"},
+      {"O†", 1, 1, "O†", "names no machine"},
+      {"Q3", 1, 1, "Q3", "unknown token"},
+      {"P3", 1, 1, "P3", "parallel round is spelled P*"},
+      {"P**", 1, 1, "P**", "parallel round is spelled P*"},
+      {"P*x", 1, 1, "P*x", "parallel round is spelled P*"},
+      {"O1x", 1, 1, "O1x", "non-digit 'x' at offset 2"},
+      {"O99999999999999999999", 1, 1, "O99999999999999999999", "overflows"},
+      {"†", 1, 1, "†", "unknown token"},
+      {"O1††", 1, 1, "O1††", "non-digit"},
+      {"-O1", 1, 1, "-O1", "unknown token"},
+      {"O0 OX", 1, 4, "OX", "non-digit"},
+      {"O0 O1\nO2 BAD", 2, 4, "BAD", "unknown token"},
+      {"O3\n\n  P*†\n oops", 4, 2, "oops", "unknown token"},
+      {"O1†x", 1, 1, "O1†x", "non-digit"},
+  };
+  return corpus;
+}
+
+TEST(TranscriptCorpus, MalformedTokensReportLineColumnAndReason) {
+  for (const auto& c : parse_corpus()) {
+    const auto result = parse_transcript_checked(c.text);
+    ASSERT_FALSE(result.ok()) << "should reject: " << c.text;
+    EXPECT_EQ(result.error->line, c.line) << c.text;
+    EXPECT_EQ(result.error->column, c.column) << c.text;
+    EXPECT_EQ(result.error->token, c.token) << c.text;
+    EXPECT_NE(result.error->reason.find(c.reason_fragment), std::string::npos)
+        << "reason '" << result.error->reason << "' for '" << c.text
+        << "' should mention '" << c.reason_fragment << "'";
+  }
+}
+
+TEST(TranscriptCorpus, ThrowingParserCarriesTheStructuredRendering) {
+  for (const auto& c : parse_corpus()) {
+    try {
+      (void)parse_transcript(c.text);
+      FAIL() << "should throw: " << c.text;
+    } catch (const ContractViolation& violation) {
+      const std::string what = violation.what();
+      EXPECT_NE(what.find("line " + std::to_string(c.line)),
+                std::string::npos)
+          << what;
+      EXPECT_NE(what.find(c.reason_fragment), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(TranscriptCorpus, ErrorRenderingNamesEverything) {
+  const auto result = parse_transcript_checked("O0\nP* OX†");
+  ASSERT_FALSE(result.ok());
+  const auto rendered = result.error->to_string();
+  EXPECT_NE(rendered.find("line 2"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("column 4"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("OX†"), std::string::npos) << rendered;
+}
+
+TEST(TranscriptCorpus, EventsBeforeTheErrorAreRetained) {
+  const auto result = parse_transcript_checked("O0 P*† BAD O1");
+  ASSERT_FALSE(result.ok());
+  ASSERT_EQ(result.transcript.size(), 2u);
+  EXPECT_EQ(result.transcript.events()[0].kind, QueryKind::kSequential);
+  EXPECT_EQ(result.transcript.events()[1].kind, QueryKind::kParallelRound);
+  EXPECT_TRUE(result.transcript.events()[1].adjoint);
+}
+
+TEST(TranscriptCorpus, WellFormedVariantsParse) {
+  // Compiled-schedule round trip in both models.
+  for (const auto mode : {QueryMode::kSequential, QueryMode::kParallel}) {
+    const PublicParams params{64, 3, 4, 24};
+    const auto schedule = compile_schedule(params, mode);
+    const auto result = parse_transcript_checked(schedule.to_string());
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.transcript, schedule);
+  }
+  // Legacy parallel spelling, messy whitespace, multi-line, empty input.
+  EXPECT_TRUE(parse_transcript_checked("P P†").ok());
+  EXPECT_TRUE(parse_transcript_checked("\n  O3 \t P*† \r\n O12†\n").ok());
+  EXPECT_TRUE(parse_transcript_checked("").ok());
+  EXPECT_EQ(parse_transcript_checked("").transcript.size(), 0u);
+  const auto big = parse_transcript_checked("O1844674407370955161");
+  ASSERT_TRUE(big.ok());  // 19 digits still fits the index type
+  EXPECT_EQ(big.transcript.events()[0].machine, 1844674407370955161u);
+}
+
+// --- transcripts that PARSE but describe a corrupt protocol run ---
+
+Transcript well_formed(const std::string& text) {
+  auto result = parse_transcript_checked(text);
+  EXPECT_TRUE(result.ok());
+  return result.transcript;
+}
+
+TEST(TranscriptCorpus, OutOfRangeMachineRejectedDownstream) {
+  const auto t = well_formed("O0 O7 O1");
+  EXPECT_THROW((void)stats_of(t, 4), ContractViolation);
+  const auto violation = TransportSession::validate_schedule(t, 4);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("event 1"), std::string::npos) << *violation;
+  EXPECT_NE(violation->find("machine 7"), std::string::npos) << *violation;
+}
+
+TEST(TranscriptCorpus, VerifierFlagsProtocolCorruptions) {
+  const PublicParams params{64, 3, 4, 24};
+  const auto schedule = compile_schedule(params, QueryMode::kSequential);
+  ASSERT_TRUE(analysis::verify_transcript(schedule, params,
+                                          QueryMode::kSequential)
+                  .clean());
+
+  // Five distinct corruptions of a certified schedule, each caught.
+  std::vector<Transcript> corrupted;
+  {  // truncated: last event missing (budget/nesting break)
+    Transcript t;
+    for (std::size_t i = 0; i + 1 < schedule.size(); ++i) {
+      const auto& e = schedule.events()[i];
+      if (e.kind == QueryKind::kSequential) {
+        t.record_sequential(e.machine, e.adjoint);
+      } else {
+        t.record_parallel_round(e.adjoint);
+      }
+    }
+    corrupted.push_back(t);
+  }
+  {  // duplicated first event (budget/load-balance break)
+    Transcript t = schedule;
+    const auto& e = schedule.events().front();
+    t.record_sequential(e.machine, e.adjoint);
+    corrupted.push_back(t);
+  }
+  {  // adjoint flag flipped on the first event (nesting break)
+    Transcript t;
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+      const auto& e = schedule.events()[i];
+      t.record_sequential(e.machine, i == 0 ? !e.adjoint : e.adjoint);
+    }
+    corrupted.push_back(t);
+  }
+  {  // all traffic redirected to machine 0 (load-balance break)
+    Transcript t;
+    for (const auto& e : schedule.events()) {
+      t.record_sequential(0, e.adjoint);
+    }
+    corrupted.push_back(t);
+  }
+  {  // a foreign parallel round spliced in (wrong model)
+    Transcript t = schedule;
+    t.record_parallel_round(false);
+    corrupted.push_back(t);
+  }
+  for (std::size_t i = 0; i < corrupted.size(); ++i) {
+    const auto report = analysis::verify_transcript(
+        corrupted[i], params, QueryMode::kSequential);
+    EXPECT_FALSE(report.clean()) << "corruption " << i << " not caught";
+  }
+}
+
+}  // namespace
+}  // namespace qs
+
+// NOTE on corpus size: 16 malformed-token cases above plus the
+// out-of-range transcript and five protocol corruptions = 22 distinct
+// corrupted transcripts exercised.

@@ -63,6 +63,113 @@ TEST(Transport, CorruptedScheduleIsCaught) {
   EXPECT_NE(violation->find("event 0"), std::string::npos);
 }
 
+/// Run `op`, which must throw, and hand back its diagnostic.
+template <typename Op>
+std::string violation_message(Op&& op) {
+  try {
+    op();
+  } catch (const ContractViolation& violation) {
+    return violation.what();
+  }
+  ADD_FAILURE() << "expected a ContractViolation";
+  return "";
+}
+
+void expect_contains(const std::string& message, const std::string& needle) {
+  EXPECT_NE(message.find(needle), std::string::npos)
+      << "diagnostic '" << message << "' should contain '" << needle << "'";
+}
+
+// Every violation branch of the session, one by one: each diagnostic must
+// name the machines involved and the op index where the protocol broke.
+TEST(Transport, SendOutOfRangeNamesMachineAndBound) {
+  TransportSession session(3);
+  const auto msg =
+      violation_message([&] { session.send_sequential(7); });
+  expect_contains(msg, "send to machine 7");
+  expect_contains(msg, "(op 0)");
+  expect_contains(msg, "out of range (n=3)");
+}
+
+TEST(Transport, SendDuringRoundNamesOp) {
+  TransportSession session(3);
+  session.begin_parallel_round();
+  const auto msg =
+      violation_message([&] { session.send_sequential(1); });
+  expect_contains(msg, "send to machine 1");
+  expect_contains(msg, "(op 1)");
+  expect_contains(msg, "collective round is open");
+}
+
+TEST(Transport, DoubleSendNamesBothMachines) {
+  TransportSession session(3);
+  session.send_sequential(1);
+  const auto msg =
+      violation_message([&] { session.send_sequential(2); });
+  expect_contains(msg, "send to machine 2");
+  expect_contains(msg, "(op 1)");
+  expect_contains(msg, "already in flight to machine 1");
+}
+
+TEST(Transport, ReceiveWithoutTransferNamesOp) {
+  TransportSession session(3);
+  const auto msg =
+      violation_message([&] { session.receive_sequential(0); });
+  expect_contains(msg, "receive from machine 0");
+  expect_contains(msg, "(op 0)");
+  expect_contains(msg, "no sequential transfer in flight");
+}
+
+TEST(Transport, WrongReceiverNamesBothMachines) {
+  TransportSession session(3);
+  session.send_sequential(1);
+  const auto msg =
+      violation_message([&] { session.receive_sequential(2); });
+  expect_contains(msg, "receive from machine 2");
+  expect_contains(msg, "(op 1)");
+  expect_contains(msg, "in flight to machine 1");
+}
+
+TEST(Transport, DoubleBeginNamesOp) {
+  TransportSession session(2);
+  session.begin_parallel_round();
+  const auto msg =
+      violation_message([&] { session.begin_parallel_round(); });
+  expect_contains(msg, "begin collective round (op 1)");
+  expect_contains(msg, "already open");
+}
+
+TEST(Transport, BeginDuringFlightNamesMachine) {
+  TransportSession session(2);
+  session.send_sequential(0);
+  const auto msg =
+      violation_message([&] { session.begin_parallel_round(); });
+  expect_contains(msg, "begin collective round (op 1)");
+  expect_contains(msg, "registers in flight to machine 0");
+}
+
+TEST(Transport, EndWithoutRoundNamesOp) {
+  TransportSession session(2);
+  const auto msg =
+      violation_message([&] { session.end_parallel_round(); });
+  expect_contains(msg, "end collective round (op 0)");
+  expect_contains(msg, "no collective round to close");
+}
+
+TEST(Transport, OpCounterAdvancesPerOperation) {
+  TransportSession session(3);
+  EXPECT_EQ(session.ops(), 0u);
+  session.send_sequential(2);
+  session.receive_sequential(2);
+  EXPECT_EQ(session.ops(), 2u);
+  session.begin_parallel_round();
+  session.end_parallel_round();
+  EXPECT_EQ(session.ops(), 4u);
+  // Failed operations do not advance the op counter.
+  EXPECT_THROW(session.end_parallel_round(), ContractViolation);
+  EXPECT_EQ(session.ops(), 4u);
+}
+
 SampleServer make_server(QueryMode mode = QueryMode::kSequential) {
   Rng rng(3);
   auto datasets = workload::uniform_random(32, 3, 24, rng);

@@ -1,0 +1,309 @@
+// dqs_chaos — deterministic fault-injection grid for the recovery layer
+// (docs/ROBUSTNESS.md).
+//
+//   dqs_chaos --grid [--quiet] [--write-failed DIR]
+//       Run the full chaos grid — plan seeds {1,2,3} × modes {seq,par} ×
+//       machine counts {2,3,5} over a fixed N=32, M=20 workload — and
+//       assert, per point, the recovery layer's whole contract:
+//
+//         * recovery terminates and the sampler completes under the plan;
+//         * the final state, samples, fidelity and primary QueryStats are
+//           BIT-IDENTICAL to the fault-free run (zero-error recovery);
+//         * the recovered transcript is protocol-clean
+//           (TransportSession::validate_schedule) and passes the
+//           dqs_verify passes: the four structural checkers via
+//           lift_transcript + verify_program, and obliviousness via a
+//           perturbed-database re-run with identical public parameters
+//           whose recovered transcript must be identical;
+//         * the recovery ledger balances: injected faults == plan size,
+//           failed attempts == the recovery QueryStats total;
+//         * a recovery that displaced nothing reproduces the canonical
+//           schedule exactly.
+//
+//   dqs_chaos --plan FILE [--universe N --machines n --total M --seed S]
+//             [--mode seq|par]
+//       Replay one scripted fault plan (the --write-failed artifact
+//       format) against a reproducible workload and run the same checks.
+//
+// Exit code: 0 all points clean, 1 any failure, 2 usage error.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/verifier.hpp"
+#include "common/cli.hpp"
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "distdb/distributed_database.hpp"
+#include "distdb/transport.hpp"
+#include "distdb/workload.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/recovery.hpp"
+#include "qsim/measure.hpp"
+#include "sampling/samplers.hpp"
+#include "sampling/schedule.hpp"
+
+namespace {
+
+using namespace qs;
+
+constexpr std::uint64_t kUniverse = 32;
+constexpr std::uint64_t kTotal = 20;
+constexpr std::size_t kSampleDraws = 8;
+constexpr std::uint64_t kSampleSeed = 0xdecaf;
+
+const char* mode_name(QueryMode mode) {
+  return mode == QueryMode::kSequential ? "seq" : "par";
+}
+
+/// A workload pair with IDENTICAL public parameters but different data —
+/// the perturbed twin is what certifies obliviousness under faults.
+struct WorkloadPair {
+  DistributedDatabase db;
+  DistributedDatabase twin;
+};
+
+WorkloadPair make_workload(std::uint64_t universe, std::uint64_t machines,
+                           std::uint64_t total, std::uint64_t seed) {
+  Rng rng_a(seed);
+  Rng rng_b(seed + 0x9e3779b9);
+  auto a = workload::uniform_random(universe, machines, total, rng_a);
+  auto b = workload::uniform_random(universe, machines, total, rng_b);
+  // One shared ν keeps PublicParams identical across the pair.
+  const auto nu = std::max(min_capacity(a), min_capacity(b));
+  return {DistributedDatabase(std::move(a), nu),
+          DistributedDatabase(std::move(b), nu)};
+}
+
+std::vector<std::size_t> draw_samples(const SamplerResult& result) {
+  Rng rng(kSampleSeed);
+  std::vector<std::size_t> samples;
+  samples.reserve(kSampleDraws);
+  for (std::size_t i = 0; i < kSampleDraws; ++i) {
+    samples.push_back(
+        measure_register(result.state, result.registers.elem, rng));
+  }
+  return samples;
+}
+
+bool bit_identical(const StateVector& a, const StateVector& b) {
+  const auto sa = a.amplitudes();
+  const auto sb = b.amplitudes();
+  if (sa.size() != sb.size()) return false;
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    if (sa[i] != sb[i]) return false;
+  }
+  return true;
+}
+
+/// Run one (workload, mode, plan) point; returns "" when every check
+/// passes, else the first failure's description.
+std::string check_point(const WorkloadPair& pair, QueryMode mode,
+                        const FaultPlan& plan, const RetryPolicy& policy) {
+  const PublicParams params = public_params_of(pair.db);
+  const Transcript schedule = compile_schedule(params, mode);
+
+  // Fault-free baseline.
+  Transcript t0;
+  SamplerOptions base_options;
+  base_options.transcript = &t0;
+  const SamplerResult r0 = mode == QueryMode::kSequential
+                               ? run_sequential_sampler(pair.db, base_options)
+                               : run_parallel_sampler(pair.db, base_options);
+
+  // Recovered run under the plan.
+  Transcript t1;
+  SamplerOptions fault_options;
+  fault_options.transcript = &t1;
+  const FaultedRun run =
+      run_sampler_with_faults(pair.db, mode, plan, policy, fault_options);
+  if (!run.ok()) {
+    return "recovery failed to complete: " + run.recovery.failure;
+  }
+  const RecoveryLedger& ledger = run.recovery.ledger;
+
+  // Zero-error recovery: everything observable is bit-identical.
+  if (!bit_identical(run.result->state, r0.state)) {
+    return "recovered state differs from the fault-free state";
+  }
+  if (run.result->fidelity != r0.fidelity) {
+    return "recovered fidelity differs from the fault-free run";
+  }
+  if (!(run.result->stats == r0.stats)) {
+    return "primary QueryStats ledger differs from the fault-free run";
+  }
+  if (draw_samples(*run.result) != draw_samples(r0)) {
+    return "recovered samples differ from the fault-free samples";
+  }
+
+  // The recovered transcript is still a legal, certified protocol run.
+  if (const auto violation =
+          TransportSession::validate_schedule(t1, pair.db.num_machines())) {
+    return "recovered transcript is not protocol-clean: " + *violation;
+  }
+  const auto report =
+      analysis::verify_program(analysis::lift_transcript(t1, params, mode));
+  if (!report.clean()) {
+    return "recovered transcript fails dqs_verify: " + report.render();
+  }
+  if (!(stats_of(t1, pair.db.num_machines()) == run.result->stats)) {
+    return "recovered transcript does not replay to the run's ledger";
+  }
+
+  // Obliviousness under faults: the perturbed twin (same PublicParams,
+  // different data) must recover along the IDENTICAL schedule.
+  Transcript t2;
+  SamplerOptions twin_options;
+  twin_options.transcript = &t2;
+  const FaultedRun twin =
+      run_sampler_with_faults(pair.twin, mode, plan, policy, twin_options);
+  if (!twin.ok()) return "perturbed-database recovery failed to complete";
+  if (!(t2 == t1)) {
+    return "recovered schedule depends on the data (obliviousness broken)";
+  }
+  if (!(twin.recovery.ledger == ledger)) {
+    return "recovery ledger depends on the data (obliviousness broken)";
+  }
+
+  // The ledger balances against the plan and its own QueryStats.
+  if (ledger.injected_faults != plan.size()) {
+    return "injected-fault count " + std::to_string(ledger.injected_faults) +
+           " != plan size " + std::to_string(plan.size());
+  }
+  const std::uint64_t charged = ledger.recovery.total_sequential() +
+                                ledger.recovery.parallel_rounds;
+  if (ledger.failed_attempts != charged) {
+    return "failed attempts " + std::to_string(ledger.failed_attempts) +
+           " not fully charged to the recovery ledger (" +
+           std::to_string(charged) + ")";
+  }
+
+  // No displacement ⇒ the canonical schedule was reproduced exactly.
+  bool displaced = false;
+  for (const auto& ev : run.recovery.events) displaced |= ev.displaced;
+  if (!displaced && !(t1 == schedule)) {
+    return "undisplaced recovery altered the canonical schedule";
+  }
+  if (displaced && mode == QueryMode::kParallel) {
+    return "parallel rounds cannot be displaced, but one was";
+  }
+  return "";
+}
+
+void write_failed_plan(const std::string& dir, const std::string& name,
+                       const FaultPlan& plan, const std::string& failure) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const auto path = dir + "/" + name + ".plan";
+  std::ofstream os(path);
+  if (!os.good()) {
+    std::fprintf(stderr, "dqs_chaos: cannot write %s\n", path.c_str());
+    return;
+  }
+  os << "# failure: " << failure << "\n" << plan.to_string();
+  std::printf("failing plan written to %s\n", path.c_str());
+}
+
+int run_grid(const CliArgs& args) {
+  const bool quiet = args.get("quiet", false);
+  const auto failed_dir = args.get("write-failed", std::string());
+  const RetryPolicy policy;
+
+  std::size_t points = 0;
+  std::size_t failures = 0;
+  for (const std::uint64_t machines : {2, 3, 5}) {
+    const WorkloadPair pair =
+        make_workload(kUniverse, machines, kTotal, 100 + machines);
+    for (const QueryMode mode : {QueryMode::kSequential, QueryMode::kParallel}) {
+      const auto events = compiled_schedule_length(
+          public_params_of(pair.db), mode);
+      for (const std::uint64_t plan_seed : {1, 2, 3}) {
+        const FaultPlan plan =
+            FaultPlan::random(plan_seed, events, machines);
+        const std::string failure = check_point(pair, mode, plan, policy);
+        ++points;
+        if (!failure.empty()) {
+          ++failures;
+          std::printf("FAIL n=%llu %s plan_seed=%llu: %s\n",
+                      static_cast<unsigned long long>(machines),
+                      mode_name(mode),
+                      static_cast<unsigned long long>(plan_seed),
+                      failure.c_str());
+          if (!failed_dir.empty()) {
+            write_failed_plan(failed_dir,
+                              "n" + std::to_string(machines) + "_" +
+                                  mode_name(mode) + "_s" +
+                                  std::to_string(plan_seed),
+                              plan, failure);
+          }
+        } else if (!quiet) {
+          std::printf("ok    n=%llu %s plan_seed=%llu  events=%llu faults=%zu\n",
+                      static_cast<unsigned long long>(machines),
+                      mode_name(mode),
+                      static_cast<unsigned long long>(plan_seed),
+                      static_cast<unsigned long long>(events), plan.size());
+        }
+      }
+    }
+  }
+  if (failures != 0) {
+    std::printf("dqs_chaos: %zu/%zu grid points failed\n", failures, points);
+    return 1;
+  }
+  if (!quiet) {
+    std::printf("dqs_chaos: all %zu grid points recovered bit-identically\n",
+                points);
+  }
+  return 0;
+}
+
+int run_replay(const CliArgs& args) {
+  const auto plan_path = args.get("plan", std::string());
+  const auto universe = args.get("universe", kUniverse);
+  const auto machines = args.get("machines", std::uint64_t{3});
+  const auto total = args.get("total", kTotal);
+  const auto seed = args.get("seed", std::uint64_t{103});
+  const auto mode_arg = args.get("mode", std::string("seq"));
+  QS_REQUIRE(mode_arg == "seq" || mode_arg == "par",
+             "unknown --mode (want seq|par)");
+  const QueryMode mode =
+      mode_arg == "seq" ? QueryMode::kSequential : QueryMode::kParallel;
+
+  std::ifstream is(plan_path);
+  QS_REQUIRE(is.good(), "cannot read --plan file " + plan_path);
+  std::ostringstream text;
+  text << is.rdbuf();
+  const FaultPlan plan = parse_fault_plan(text.str());
+
+  const WorkloadPair pair = make_workload(universe, machines, total, seed);
+  const std::string failure = check_point(pair, mode, plan, RetryPolicy{});
+  if (!failure.empty()) {
+    std::printf("FAIL %s: %s\n", plan_path.c_str(), failure.c_str());
+    return 1;
+  }
+  std::printf("ok: %zu scripted fault(s) recovered bit-identically\n",
+              plan.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv);
+    if (args.has("plan")) return run_replay(args);
+    if (args.get("grid", false)) return run_grid(args);
+    std::fprintf(stderr,
+                 "usage: dqs_chaos --grid [--quiet] [--write-failed DIR]\n"
+                 "       dqs_chaos --plan FILE [--universe N --machines n "
+                 "--total M --seed S] [--mode seq|par]\n");
+    return 2;
+  } catch (const qs::ContractViolation& e) {
+    std::fprintf(stderr, "dqs_chaos: %s\n", e.what());
+    return 2;
+  }
+}

@@ -49,6 +49,16 @@ to the paper's model rather than C++ correctness:
                       (dqs_trace --overhead) measures every timer the
                       library can ever start. Benches, tests and tools may
                       time freely — this rule scans src/ only.
+  error-taxonomy      Library code under src/ must fail through the typed
+                      error taxonomy — QS_REQUIRE / QS_ASSERT raising
+                      qs::ContractViolation — never via bare throw,
+                      abort(), std::terminate, assert() or exit(). The
+                      recovery layer (src/faults/) and the serving-layer
+                      degradation paths catch ContractViolation at
+                      well-defined seams (docs/ROBUSTNESS.md); an escape
+                      hatch that bypasses the taxonomy either kills the
+                      process outright (no graceful degradation possible)
+                      or throws a type those seams will not catch.
 
 Usage:
   tools/dqs_lint.py [--root DIR] [--list-rules] [paths...]
@@ -393,6 +403,33 @@ def rule_no_std_function_in_kernels(f: File):
                 "path, suppress with an explicit allow comment)")
 
 
+ERROR_TAXONOMY_EXEMPT = {
+    # The definition site of the taxonomy itself: QS_REQUIRE/QS_ASSERT
+    # expand to the one sanctioned throw.
+    "src/common/require.hpp",
+}
+ERROR_TAXONOMY_TOKENS = re.compile(
+    r"(?<![\w:])throw\b"
+    r"|(?<![\w:])abort\s*\("
+    r"|(?<![\w:])assert\s*\("
+    r"|(?<![\w:])(quick_)?exit\s*\("
+    r"|std\s*::\s*(terminate|abort|exit|quick_exit|_Exit)\s*\(")
+
+
+def rule_error_taxonomy(f: File):
+    if not f.rel.startswith("src/") or f.rel in ERROR_TAXONOMY_EXEMPT:
+        return
+    for i, line in enumerate(f.stripped_lines, 1):
+        if ERROR_TAXONOMY_TOKENS.search(line):
+            yield Violation(
+                f.path, i, "error-taxonomy",
+                "library failure outside the typed error taxonomy; raise "
+                "through QS_REQUIRE/QS_ASSERT (qs::ContractViolation) so "
+                "the recovery and degradation seams can catch it — bare "
+                "throw/abort/assert/exit either kills the process or "
+                "throws a type the seams will not catch")
+
+
 RULES = {
     "omp-confinement": rule_omp_confinement,
     "rng-discipline": rule_rng_discipline,
@@ -403,6 +440,7 @@ RULES = {
     "transcript-discipline": rule_transcript_discipline,
     "timing-discipline": rule_timing_discipline,
     "no-std-function-in-kernels": rule_no_std_function_in_kernels,
+    "error-taxonomy": rule_error_taxonomy,
 }
 
 

@@ -14,13 +14,20 @@
 //       one of the three paths and exits 1.
 //
 //   dqs_trace --overhead [--baseline FILE] [--write-baseline FILE]
+//             [--fault-baseline FILE] [--write-fault-baseline FILE]
 //       Measure the DISABLED-telemetry cost of one instrumentation point
 //       (Span + tag + counter, all short-circuited) relative to the
 //       cheapest instrumented qsim kernel (apply_global_phase over a
 //       4096-dim register) — a machine-relative percentage, stable across
 //       hosts unlike wall-clock baselines. With --baseline, exit 1 when the
 //       measured percentage exceeds the recorded one by more than 5
-//       percentage points (the CI perf-smoke gate).
+//       percentage points (the CI perf-smoke gate). The same pass measures
+//       the DISABLED fault-injection seam (sampling/fault_seam.hpp): one
+//       relaxed interposer load plus a never-taken branch per oracle event.
+//       With --fault-baseline, exit 1 when that probe exceeds the recorded
+//       percentage by more than 0.5 percentage points — the fault seam must
+//       stay an order of magnitude cheaper than the telemetry budget
+//       (docs/ROBUSTNESS.md).
 //
 // Exit code: 0 clean, 1 mismatch or overhead regression, 2 usage error.
 #include <cstdint>
@@ -37,6 +44,7 @@
 #include "distdb/transcript.hpp"
 #include "distdb/workload.hpp"
 #include "qsim/state_vector.hpp"
+#include "sampling/fault_seam.hpp"
 #include "sampling/samplers.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/json.hpp"
@@ -159,8 +167,10 @@ int run_selfcheck(const CliArgs& args) {
 
 struct OverheadMeasurement {
   double primitive_ns = 0.0;  ///< one disabled instrumentation point
+  double fault_ns = 0.0;      ///< one disabled fault-seam probe
   double kernel_ns = 0.0;     ///< one cheapest-instrumented-kernel call
   double percent() const { return primitive_ns / kernel_ns * 100.0; }
+  double fault_percent() const { return fault_ns / kernel_ns * 100.0; }
 };
 
 OverheadMeasurement measure_overhead() {
@@ -185,6 +195,23 @@ OverheadMeasurement measure_overhead() {
     return double(telemetry::monotonic_ns() - start) / kPrimitiveReps;
   };
 
+  // The fault-injection seam consulted before every oracle event
+  // (sampling/fault_seam.hpp): one acquire load of the interposer pointer
+  // and a branch that is never taken while no interposer is installed.
+  // The compiler cannot elide the load (another thread may install one),
+  // so this measures exactly what every fault-free run pays per event.
+  const auto fault_pass = [&] {
+    std::size_t diverted = 0;
+    const auto start = telemetry::monotonic_ns();
+    for (std::size_t i = 0; i < kPrimitiveReps; ++i) {
+      if (auto* interposer = oracle_interposer()) {
+        diverted += interposer->on_sequential(i, false);
+      }
+    }
+    QS_REQUIRE(diverted == 0, "an interposer was installed mid-measurement");
+    return double(telemetry::monotonic_ns() - start) / kPrimitiveReps;
+  };
+
   // apply_global_phase is the CHEAPEST instrumented kernel (one complex
   // multiply per amplitude), so primitive/kernel is the WORST-CASE relative
   // overhead across the instrumented surface.
@@ -202,65 +229,103 @@ OverheadMeasurement measure_overhead() {
   // Warm up once, then keep the BEST of three passes of each — minimum is
   // the standard noise-robust estimator for tight loops.
   (void)primitive_pass();
+  (void)fault_pass();
   (void)kernel_pass();
   m.primitive_ns = primitive_pass();
+  m.fault_ns = fault_pass();
   m.kernel_ns = kernel_pass();
   for (int pass = 0; pass < 2; ++pass) {
     m.primitive_ns = std::min(m.primitive_ns, primitive_pass());
+    m.fault_ns = std::min(m.fault_ns, fault_pass());
     m.kernel_ns = std::min(m.kernel_ns, kernel_pass());
   }
   return m;
 }
 
-void write_overhead_json(const std::string& path,
-                         const OverheadMeasurement& m) {
+void write_overhead_json(const std::string& path, double primitive_ns,
+                         double kernel_ns, double percent) {
   std::ofstream os(path);
   QS_REQUIRE(os.good(), "cannot open baseline file " + path);
   char line[256];
   std::snprintf(line, sizeof line,
                 "{\"schema\":\"dqs-overhead-v1\",\"primitive_ns\":%.3f,"
                 "\"kernel_ns\":%.3f,\"overhead_percent\":%.4f}\n",
-                m.primitive_ns, m.kernel_ns, m.percent());
+                primitive_ns, kernel_ns, percent);
   os << line;
+}
+
+/// Compare one measured machine-relative percentage against a recorded
+/// dqs-overhead-v1 baseline with `slack_pp` percentage points of budget.
+/// Returns false (and prints) on regression.
+bool check_against_baseline(const std::string& baseline_path, double measured,
+                            double slack_pp, const char* what, bool quiet) {
+  std::ifstream is(baseline_path);
+  QS_REQUIRE(is.good(), "cannot read baseline file " + baseline_path);
+  std::ostringstream text;
+  text << is.rdbuf();
+  const auto doc = telemetry::json::parse(text.str());
+  QS_REQUIRE(doc.at("schema").as_string() == "dqs-overhead-v1",
+             "unexpected baseline schema");
+  const double baseline = doc.at("overhead_percent").as_number();
+  if (measured > baseline + slack_pp) {
+    std::printf(
+        "%s OVERHEAD REGRESSION: measured %.4f%% > baseline %.4f%% + %.1fpp\n",
+        what, measured, baseline, slack_pp);
+    return false;
+  }
+  if (!quiet)
+    std::printf("%s within budget (baseline %.4f%% + %.1fpp)\n", what,
+                baseline, slack_pp);
+  return true;
 }
 
 int run_overhead(const CliArgs& args) {
   const auto baseline_path = args.get("baseline", std::string());
   const auto write_path = args.get("write-baseline", std::string());
+  const auto fault_baseline_path = args.get("fault-baseline", std::string());
+  const auto fault_write_path =
+      args.get("write-fault-baseline", std::string());
   const bool quiet = args.get("quiet", false);
 
   const auto m = measure_overhead();
-  if (!quiet)
+  if (!quiet) {
     std::printf(
         "disabled-telemetry overhead: %.2f ns/hook over a %.2f ns kernel "
         "= %.4f%%\n",
         m.primitive_ns, m.kernel_ns, m.percent());
+    std::printf(
+        "disabled-fault-seam overhead: %.2f ns/probe over a %.2f ns kernel "
+        "= %.4f%%\n",
+        m.fault_ns, m.kernel_ns, m.fault_percent());
+  }
 
   if (!write_path.empty()) {
-    write_overhead_json(write_path, m);
+    write_overhead_json(write_path, m.primitive_ns, m.kernel_ns, m.percent());
     if (!quiet) std::printf("baseline written to %s\n", write_path.c_str());
   }
-
-  if (!baseline_path.empty()) {
-    std::ifstream is(baseline_path);
-    QS_REQUIRE(is.good(), "cannot read baseline file " + baseline_path);
-    std::ostringstream text;
-    text << is.rdbuf();
-    const auto doc = telemetry::json::parse(text.str());
-    QS_REQUIRE(doc.at("schema").as_string() == "dqs-overhead-v1",
-               "unexpected baseline schema");
-    const double baseline = doc.at("overhead_percent").as_number();
-    const double budget = baseline + 5.0;  // percentage points of slack
-    if (m.percent() > budget) {
-      std::printf(
-          "OVERHEAD REGRESSION: measured %.4f%% > baseline %.4f%% + 5pp\n",
-          m.percent(), baseline);
-      return 1;
-    }
+  if (!fault_write_path.empty()) {
+    write_overhead_json(fault_write_path, m.fault_ns, m.kernel_ns,
+                        m.fault_percent());
     if (!quiet)
-      std::printf("within budget (baseline %.4f%% + 5pp)\n", baseline);
+      std::printf("fault baseline written to %s\n", fault_write_path.c_str());
   }
-  return 0;
+
+  bool ok = true;
+  if (!baseline_path.empty()) {
+    // 5pp of slack: the telemetry prologue is several timer reads deep.
+    ok = check_against_baseline(baseline_path, m.percent(), 5.0, "telemetry",
+                                quiet) &&
+         ok;
+  }
+  if (!fault_baseline_path.empty()) {
+    // 0.5pp of slack: the fault seam is one load and an untaken branch —
+    // any drift past half a point of the cheapest kernel means the seam
+    // grew real work (docs/ROBUSTNESS.md).
+    ok = check_against_baseline(fault_baseline_path, m.fault_percent(), 0.5,
+                                "fault-seam", quiet) &&
+         ok;
+  }
+  return ok ? 0 : 1;
 }
 
 }  // namespace

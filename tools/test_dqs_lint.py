@@ -29,6 +29,7 @@ EXPECTED = {
     ("src/sampling/bad_transcript.cpp", "transcript-discipline"),
     ("src/qsim/bad_timing.cpp", "timing-discipline"),
     ("src/qsim/bad_function_kernel.cpp", "no-std-function-in-kernels"),
+    ("src/estimation/bad_error.cpp", "error-taxonomy"),
 }
 
 CONTROL_FILES = {
