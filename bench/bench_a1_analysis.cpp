@@ -1,0 +1,134 @@
+// Experiment A1 — analyzer runtime per schedule (docs/ANALYSIS.md).
+//
+// The abstract interpreter certifies every schedule dqs_verify sweeps, and
+// verify_program now runs the domains on every entry point — so analysis
+// time per schedule is a budget worth gating. The stable, host-independent
+// number is the RATIO of full certification (lift + structural passes +
+// abstract domains + dqs-cert-v1 serialization, via certify_compiled) to
+// compiling the very schedule being certified: both sides scale with the
+// schedule's event count on the same host.
+//
+//   bench_a1_analysis [--json PATH] [--baseline FILE]
+//                     [--write-baseline FILE]
+//
+// With --baseline, exit 1 when the worst measured ratio exceeds the
+// recorded one by more than 2× — the CI perf-smoke regression gate on
+// analysis time per schedule (bench/baselines/analysis_time.json).
+// Exit code: 0 clean, 1 certification failure or ratio regression.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/abstint/certificate.hpp"
+#include "bench_util.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/trace.hpp"
+
+namespace {
+
+using namespace qs;
+
+constexpr const char* kBaselineSchema = "dqs-analysis-time-v1";
+constexpr double kRatioSlackFactor = 2.0;
+
+double best_of_5_ns(const std::function<void()>& body) {
+  double best = 1e300;
+  body();  // warm-up
+  for (int pass = 0; pass < 5; ++pass) {
+    const auto start = telemetry::monotonic_ns();
+    body();
+    best = std::min(best, double(telemetry::monotonic_ns() - start));
+  }
+  return best;
+}
+
+const char* mode_name(QueryMode mode) {
+  return mode == QueryMode::kSequential ? "sequential" : "parallel";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Reporter reporter(
+      argc, argv, "A1",
+      "Analyzer runtime per schedule — abstract interpretation plus "
+      "certificate emission, relative to compiling the same schedule");
+  const CliArgs args(argc, argv);
+  const auto baseline_path = args.get("baseline", std::string());
+  const auto write_path = args.get("write-baseline", std::string());
+
+  struct Point {
+    std::uint64_t universe;
+    std::uint64_t machines;
+  };
+  const std::vector<Point> points = {{64, 4}, {256, 4}, {1024, 8},
+                                     {4096, 8}};
+
+  bool ok = true;
+  double worst_ratio = 0.0;
+  TextTable table({"N", "n", "mode", "ops", "compile us", "analyze us",
+                   "ratio"});
+  for (const auto& point : points) {
+    // ν = 3 with M = 3N/4 keeps a = 1/4 (several AA iterates) at every N.
+    const PublicParams params{point.universe, point.machines, 3,
+                              3 * point.universe / 4};
+    for (const auto mode : {QueryMode::kSequential, QueryMode::kParallel}) {
+      const auto compile_ns = best_of_5_ns(
+          [&] { (void)compile_schedule(params, mode); });
+      analysis::Certificate cert;
+      const auto analyze_ns = best_of_5_ns([&] {
+        cert = analysis::certify_compiled(params, mode);
+        (void)analysis::to_json(cert);
+      });
+      ok = ok && cert.clean();
+      const double ratio = analyze_ns / compile_ns;
+      worst_ratio = std::max(worst_ratio, ratio);
+      const auto ops = analysis::lift_compiled(params, mode).ops.size();
+      table.add_row({TextTable::cell(params.universe),
+                     TextTable::cell(params.machines), mode_name(mode),
+                     TextTable::cell(std::uint64_t{ops}),
+                     TextTable::cell(compile_ns / 1e3, 1),
+                     TextTable::cell(analyze_ns / 1e3, 1),
+                     TextTable::cell(ratio, 2)});
+    }
+  }
+  table.print(std::cout, "A1: certification cost vs schedule compilation");
+  reporter.add("A1: certification cost vs schedule compilation", table);
+
+  if (!write_path.empty()) {
+    std::ofstream out(write_path);
+    QS_REQUIRE(static_cast<bool>(out), "cannot write --write-baseline file");
+    std::ostringstream doc;
+    doc << "{\"schema\":\"" << kBaselineSchema << "\",\"max_ratio\":"
+        << TextTable::cell(worst_ratio, 3) << "}";
+    out << doc.str() << "\n";
+    std::printf("baseline written to %s\n", write_path.c_str());
+  }
+
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    QS_REQUIRE(static_cast<bool>(in), "cannot open --baseline file");
+    std::ostringstream text;
+    text << in.rdbuf();
+    const auto doc = telemetry::json::parse(text.str());
+    QS_REQUIRE(doc.at("schema").as_string() == kBaselineSchema,
+               "unexpected baseline schema");
+    const double recorded = doc.at("max_ratio").as_number();
+    const double budget = recorded * kRatioSlackFactor;
+    std::printf("worst ratio %.2f vs baseline %.2f (budget %.2f)\n",
+                worst_ratio, recorded, budget);
+    if (worst_ratio > budget) {
+      std::printf("FAILED: analysis-time ratio regressed past the %gx "
+                  "budget\n", kRatioSlackFactor);
+      ok = false;
+    }
+  }
+
+  return reporter.finish(ok ? 0 : 1);
+}

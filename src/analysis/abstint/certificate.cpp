@@ -1,0 +1,262 @@
+#include "analysis/abstint/certificate.hpp"
+
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "analysis/abstint/engine.hpp"
+#include "analysis/verifier.hpp"
+#include "common/require.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/json.hpp"
+
+namespace qs::analysis {
+
+namespace {
+
+/// max_digits10 renders doubles so that strtod reproduces them exactly —
+/// the certificate JSON round-trip is bit-for-bit.
+std::string num(double v) {
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+  return os.str();
+}
+
+void emit_u64_array(std::ostringstream& os,
+                    const std::vector<std::uint64_t>& values) {
+  os << '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) os << ',';
+    os << values[i];
+  }
+  os << ']';
+}
+
+const char* bool_str(bool b) { return b ? "true" : "false"; }
+
+std::uint64_t u64(const telemetry::json::Value& v) {
+  return static_cast<std::uint64_t>(v.as_number());
+}
+
+std::vector<std::uint64_t> u64_array(const telemetry::json::Value& v) {
+  QS_REQUIRE(v.is_array(), "dqs-cert-v1: expected an array");
+  std::vector<std::uint64_t> out;
+  out.reserve(v.array.size());
+  for (const auto& e : v.array) out.push_back(u64(e));
+  return out;
+}
+
+void fill_diagnostics(Certificate& cert, const VerifyReport& report) {
+  cert.diagnostics.reserve(report.diagnostics.size());
+  for (const auto& d : report.diagnostics) {
+    cert.diagnostics.push_back(to_string(d));
+  }
+}
+
+void fill_facts(Certificate& cert, const ProtocolProgram& program) {
+  const AbstractResult res = interpret(program);
+  cert.cost = res.cost;
+  cert.amplitude = res.amplitude;
+  cert.support = res.support;
+}
+
+}  // namespace
+
+Certificate certify_compiled(const PublicParams& params, QueryMode mode) {
+  Certificate cert;
+  cert.params = params;
+  cert.mode = mode;
+  // Surface parameter problems as a dirty certificate instead of an
+  // exception, so sweeps certify every grid point (mirrors verify_compiled).
+  try {
+    const ProtocolProgram program = lift_compiled(params, mode);
+    fill_facts(cert, program);
+    fill_diagnostics(cert, verify_program(program));
+  } catch (const ContractViolation& e) {
+    cert.diagnostics.push_back(
+        std::string("schedule compilation rejected the public parameters: ") +
+        e.what());
+  }
+  return cert;
+}
+
+Certificate certify_transcript(const Transcript& transcript,
+                               const PublicParams& params, QueryMode mode) {
+  Certificate cert;
+  cert.params = params;
+  cert.mode = mode;
+  fill_facts(cert, lift_transcript(transcript, params, mode));
+  fill_diagnostics(cert, verify_transcript(transcript, params, mode));
+  return cert;
+}
+
+Certificate certify_recovered(const RecoveredSchedule& recovered,
+                              const PublicParams& params, QueryMode mode) {
+  Certificate cert;
+  cert.params = params;
+  cert.mode = mode;
+  const ProtocolProgram program = lift_recovered(recovered, params, mode);
+  fill_facts(cert, program);
+
+  cert.recovery.present = true;
+  cert.recovery.retry = recovered.retry;
+  cert.recovery.failed_attempts = recovered.failed_attempts;
+  cert.recovery.backoff_events = recovered.backoff_events;
+  for (const auto flag : recovered.displaced) {
+    if (flag != 0) ++cert.recovery.displaced_events;
+  }
+  for (const auto attempts : recovered.attempts) {
+    if (attempts > 0) cert.recovery.reissued_attempts += attempts - 1;
+  }
+
+  VerifyReport report = verify_program(program);
+  for (auto& d : check_recovery_liveness(recovered, params, mode)) {
+    report.diagnostics.push_back(std::move(d));
+  }
+  fill_diagnostics(cert, report);
+  return cert;
+}
+
+std::string to_json(const Certificate& cert) {
+  std::ostringstream os;
+  os << "{\n\"schema\": \"" << telemetry::json_escape(cert.schema)
+     << "\",\n\"params\": {\"universe\": " << cert.params.universe
+     << ", \"machines\": " << cert.params.machines
+     << ", \"nu\": " << cert.params.nu
+     << ", \"total\": " << cert.params.total << "},\n\"mode\": \""
+     << (cert.mode == QueryMode::kSequential ? "sequential" : "parallel")
+     << "\",\n";
+
+  const CostFacts& c = cert.cost;
+  os << "\"cost\": {\"d\": " << c.d << ", \"forward_per_machine\": ";
+  emit_u64_array(os, c.forward_per_machine);
+  os << ", \"adjoint_per_machine\": ";
+  emit_u64_array(os, c.adjoint_per_machine);
+  os << ", \"sequential_total\": " << c.sequential_total
+     << ", \"parallel_rounds\": " << c.parallel_rounds
+     << ", \"sends\": " << c.sends << ", \"recvs\": " << c.recvs
+     << ", \"closed_form\": " << c.closed_form
+     << ", \"matches_closed_form\": " << bool_str(c.matches_closed_form)
+     << "},\n";
+
+  const AmplitudeFacts& a = cert.amplitude;
+  os << "\"amplitude\": {\"a\": " << num(a.a) << ", \"theta\": "
+     << num(a.theta) << ", \"iterations\": " << a.iterations
+     << ", \"needs_final\": " << bool_str(a.needs_final)
+     << ", \"already_exact\": " << bool_str(a.already_exact)
+     << ", \"derivation\": \"" << telemetry::json_escape(a.derivation)
+     << "\", \"success_probability\": " << num(a.success_probability)
+     << ", \"residual_bad\": " << num(a.residual_bad)
+     << ", \"zero_error\": " << bool_str(a.zero_error) << "},\n";
+
+  const SupportFacts& s = cert.support;
+  os << "\"support\": {\"dimension\": " << s.dimension
+     << ", \"after_prep\": " << s.after_prep << ", \"bound\": " << s.bound
+     << ", \"growth_f\": " << s.growth_f << ", \"growth_u\": " << s.growth_u
+     << "},\n";
+
+  const RecoveryFacts& r = cert.recovery;
+  os << "\"recovery\": {\"present\": " << bool_str(r.present);
+  if (r.present) {
+    os << ", \"retry_per_machine\": ";
+    emit_u64_array(os, r.retry.sequential_per_machine);
+    os << ", \"retry_parallel_rounds\": " << r.retry.parallel_rounds
+       << ", \"failed_attempts\": " << r.failed_attempts
+       << ", \"backoff_events\": " << r.backoff_events
+       << ", \"displaced_events\": " << r.displaced_events
+       << ", \"reissued_attempts\": " << r.reissued_attempts;
+  }
+  os << "},\n\"diagnostics\": [";
+  for (std::size_t i = 0; i < cert.diagnostics.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << '"' << telemetry::json_escape(cert.diagnostics[i]) << '"';
+  }
+  os << "]\n}\n";
+  return os.str();
+}
+
+Certificate parse_certificate(const std::string& text) {
+  const auto doc = telemetry::json::parse(text);
+  Certificate cert;
+  cert.schema = doc.at("schema").as_string();
+  QS_REQUIRE(cert.schema == "dqs-cert-v1",
+             "not a dqs-cert-v1 document: schema is '" + cert.schema + "'");
+
+  const auto& p = doc.at("params");
+  cert.params.universe = u64(p.at("universe"));
+  cert.params.machines = u64(p.at("machines"));
+  cert.params.nu = u64(p.at("nu"));
+  cert.params.total = u64(p.at("total"));
+
+  const auto& mode = doc.at("mode").as_string();
+  QS_REQUIRE(mode == "sequential" || mode == "parallel",
+             "dqs-cert-v1: unknown mode '" + mode + "'");
+  cert.mode =
+      mode == "sequential" ? QueryMode::kSequential : QueryMode::kParallel;
+
+  const auto& c = doc.at("cost");
+  cert.cost.d = u64(c.at("d"));
+  cert.cost.forward_per_machine = u64_array(c.at("forward_per_machine"));
+  cert.cost.adjoint_per_machine = u64_array(c.at("adjoint_per_machine"));
+  cert.cost.sequential_total = u64(c.at("sequential_total"));
+  cert.cost.parallel_rounds = u64(c.at("parallel_rounds"));
+  cert.cost.sends = u64(c.at("sends"));
+  cert.cost.recvs = u64(c.at("recvs"));
+  cert.cost.closed_form = u64(c.at("closed_form"));
+  cert.cost.matches_closed_form = c.at("matches_closed_form").as_bool();
+
+  const auto& a = doc.at("amplitude");
+  cert.amplitude.a = a.at("a").as_number();
+  cert.amplitude.theta = a.at("theta").as_number();
+  cert.amplitude.iterations = u64(a.at("iterations"));
+  cert.amplitude.needs_final = a.at("needs_final").as_bool();
+  cert.amplitude.already_exact = a.at("already_exact").as_bool();
+  cert.amplitude.derivation = a.at("derivation").as_string();
+  cert.amplitude.success_probability =
+      a.at("success_probability").as_number();
+  cert.amplitude.residual_bad = a.at("residual_bad").as_number();
+  cert.amplitude.zero_error = a.at("zero_error").as_bool();
+
+  const auto& s = doc.at("support");
+  cert.support.dimension = u64(s.at("dimension"));
+  cert.support.after_prep = u64(s.at("after_prep"));
+  cert.support.bound = u64(s.at("bound"));
+  cert.support.growth_f = u64(s.at("growth_f"));
+  cert.support.growth_u = u64(s.at("growth_u"));
+
+  const auto& r = doc.at("recovery");
+  cert.recovery.present = r.at("present").as_bool();
+  if (cert.recovery.present) {
+    cert.recovery.retry.sequential_per_machine =
+        u64_array(r.at("retry_per_machine"));
+    cert.recovery.retry.parallel_rounds = u64(r.at("retry_parallel_rounds"));
+    cert.recovery.failed_attempts = u64(r.at("failed_attempts"));
+    cert.recovery.backoff_events = u64(r.at("backoff_events"));
+    cert.recovery.displaced_events = u64(r.at("displaced_events"));
+    cert.recovery.reissued_attempts = u64(r.at("reissued_attempts"));
+  }
+
+  const auto& diagnostics = doc.at("diagnostics");
+  QS_REQUIRE(diagnostics.is_array(),
+             "dqs-cert-v1: diagnostics must be an array");
+  for (const auto& d : diagnostics.array) {
+    cert.diagnostics.push_back(d.as_string());
+  }
+  return cert;
+}
+
+bool primary_facts_equal(const Certificate& a, const Certificate& b) {
+  const bool amplitude_equal =
+      a.amplitude.a == b.amplitude.a &&
+      a.amplitude.theta == b.amplitude.theta &&
+      a.amplitude.iterations == b.amplitude.iterations &&
+      a.amplitude.needs_final == b.amplitude.needs_final &&
+      a.amplitude.already_exact == b.amplitude.already_exact &&
+      a.amplitude.success_probability == b.amplitude.success_probability &&
+      a.amplitude.residual_bad == b.amplitude.residual_bad &&
+      a.amplitude.zero_error == b.amplitude.zero_error;
+  return a.params == b.params && a.mode == b.mode && a.cost == b.cost &&
+         amplitude_equal && a.support == b.support;
+}
+
+}  // namespace qs::analysis

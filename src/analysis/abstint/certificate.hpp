@@ -1,0 +1,86 @@
+// dqs-cert-v1: machine-checkable schedule certificates.
+//
+// A Certificate bundles the abstract-interpretation facts (domains.hpp)
+// for one (PublicParams, QueryMode) schedule — exact query costs, the AA
+// success probability with the zero-error bit, the support bound, and (for
+// recovered schedules) the separately-ledgered retry cost — together with
+// every diagnostic the verifier and the domains raised. to_json() emits
+// the dqs-cert-v1 JSON document (doubles at max_digits10, so a JSON
+// round-trip reproduces the certificate bit for bit; parse_certificate()
+// reads it back via the in-tree telemetry JSON reader). The differential
+// test grid proves the certificates sound against executed runs, and
+// `dqs_verify --abstint` emits them per grid point.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/abstint/domains.hpp"
+#include "analysis/abstint/recovered.hpp"
+#include "analysis/ir.hpp"
+#include "distdb/query_stats.hpp"
+
+namespace qs::analysis {
+
+/// Recovery cost facts, present only on certificates of recovered
+/// schedules. Kept apart from CostFacts so the primary budget a recovered
+/// certificate proves is EXACTLY the fault-free one.
+struct RecoveryFacts {
+  bool present = false;
+  QueryStats retry;
+  std::uint64_t failed_attempts = 0;
+  std::uint64_t backoff_events = 0;
+  std::uint64_t displaced_events = 0;
+  std::uint64_t reissued_attempts = 0;  ///< Σ (attempts − 1)
+
+  friend bool operator==(const RecoveryFacts&,
+                         const RecoveryFacts&) = default;
+};
+
+struct Certificate {
+  std::string schema = "dqs-cert-v1";
+  PublicParams params;
+  QueryMode mode = QueryMode::kSequential;
+  CostFacts cost;
+  AmplitudeFacts amplitude;
+  SupportFacts support;
+  RecoveryFacts recovery;
+  /// Rendered to_string(Diagnostic) lines from every pass and domain.
+  std::vector<std::string> diagnostics;
+
+  bool clean() const noexcept { return diagnostics.empty(); }
+
+  friend bool operator==(const Certificate&, const Certificate&) = default;
+};
+
+/// Certify the schedule compiled from public knowledge (op-stream
+/// derivations: the certificate covers the coordinator-local unitaries).
+Certificate certify_compiled(const PublicParams& params, QueryMode mode);
+
+/// Certify a recorded transcript (closed-form amplitude/support
+/// derivations; cost facts from the transcript's own events).
+Certificate certify_transcript(const Transcript& transcript,
+                               const PublicParams& params, QueryMode mode);
+
+/// Certify a fault-recovered schedule: the structural passes and domains
+/// over the executed order, the recovery-liveness checks, and the retry
+/// cost recorded under `recovery` — separate from the primary facts.
+Certificate certify_recovered(const RecoveredSchedule& recovered,
+                              const PublicParams& params, QueryMode mode);
+
+/// The dqs-cert-v1 JSON document (stable key order, no timestamps).
+std::string to_json(const Certificate& cert);
+
+/// Parse a dqs-cert-v1 document; throws qs::ContractViolation on schema or
+/// shape mismatches.
+Certificate parse_certificate(const std::string& text);
+
+/// True when two certificates agree on every PRIMARY fact — parameters,
+/// mode, cost, amplitude numbers (the derivation route may differ) and
+/// support. Recovery facts and diagnostics are deliberately excluded: a
+/// recovered schedule must match its fault-free twin here while carrying
+/// its retry cost separately.
+bool primary_facts_equal(const Certificate& a, const Certificate& b);
+
+}  // namespace qs::analysis

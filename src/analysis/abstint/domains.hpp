@@ -1,0 +1,102 @@
+// Abstract domains for the protocol-IR abstract interpreter (dqs-abstint).
+//
+// Each domain is a small lattice of FACTS about a schedule that the engine
+// (engine.hpp) computes by walking the micro-op stream once, instead of
+// simulating amplitudes:
+//
+//   CostFacts       exact per-machine oracle and transfer counts, checked
+//                   per-op against the Theorem 4.3/4.5 closed forms;
+//   AmplitudeFacts  the AA trajectory (θ, iterate count, final phases)
+//                   replayed through the exact reduced 2×2 dynamics, giving
+//                   the success probability and the zero-error certificate;
+//   SupportFacts    an upper bound on statevector support after every
+//                   micro-op — oracles/sends/shifts are permutations and
+//                   phase oracles are diagonal (support preserved), while F
+//                   grows support by ≤ N and 𝒰 by ≤ 2. These are the
+//                   "max support ≤ S" facts that will later gate dense-vs-
+//                   structured backend selection (ROADMAP item 2).
+//
+// The facts are plain aggregates with defaulted equality so certificates
+// (certificate.hpp) can be compared bit-for-bit after a JSON round-trip.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/ir.hpp"
+#include "distdb/query_stats.hpp"
+
+namespace qs::analysis {
+
+/// Cost domain: the per-op ledger the engine accumulates. All counts are
+/// exact (no abstraction loss) — the domain exists to cross-check the
+/// aggregate closed forms against a per-op accounting of the same walk.
+struct CostFacts {
+  /// d — applications of the distributing operator, from the zero-error
+  /// plan for the public parameters.
+  std::uint64_t d = 0;
+  std::vector<std::uint64_t> forward_per_machine;
+  std::vector<std::uint64_t> adjoint_per_machine;
+  std::uint64_t sequential_total = 0;  ///< all kOracle micro-ops
+  std::uint64_t parallel_rounds = 0;   ///< all kParallelOracle micro-ops
+  std::uint64_t sends = 0;             ///< kSend micro-ops
+  std::uint64_t recvs = 0;             ///< kRecv micro-ops
+  /// Theorem 4.3/4.5 closed form for the mode: d·2n or d·4.
+  std::uint64_t closed_form = 0;
+  bool matches_closed_form = false;
+
+  friend bool operator==(const CostFacts&, const CostFacts&) = default;
+};
+
+/// The cost facts in the shape of the runtime query ledger, so differential
+/// tests can compare the static derivation against an executed run with
+/// QueryStats::operator== directly.
+QueryStats to_query_stats(const CostFacts& facts);
+
+/// Amplitude-class domain: the two-level AA trajectory. `derivation` records
+/// how the numbers were obtained — "op-stream" when the program carried the
+/// coordinator-local unitaries (compiled lifts: the S_χ/S_0 angles are read
+/// off the ops and replayed), "closed-form" when it did not (bare transcript
+/// lifts: the plan for the public parameters is evolved instead). Both paths
+/// apply the identical q_step_two_level sequence, so the numbers agree bit
+/// for bit on uncorrupted schedules.
+struct AmplitudeFacts {
+  double a = 0.0;      ///< good probability M/(νN)
+  double theta = 0.0;  ///< arcsin √a
+  /// Q iterates in the schedule (full + final corrected).
+  std::uint64_t iterations = 0;
+  bool needs_final = false;
+  bool already_exact = false;
+  std::string derivation;  ///< "op-stream" | "closed-form"
+  double success_probability = 0.0;  ///< |good|² after the replayed walk
+  double residual_bad = 0.0;         ///< |bad| after the replayed walk
+  /// True iff residual_bad < 1e-9 — the zero-error certificate.
+  bool zero_error = false;
+
+  friend bool operator==(const AmplitudeFacts&,
+                         const AmplitudeFacts&) = default;
+};
+
+/// Support/sparsity domain over the coordinator state [elem, count, flag]
+/// of dimension N·(ν+1)·2.
+struct SupportFacts {
+  std::uint64_t dimension = 0;   ///< N·(ν+1)·2
+  std::uint64_t after_prep = 0;  ///< bound right after A|0⟩ = D F|0⟩
+  std::uint64_t bound = 0;       ///< max over the whole walk
+  std::uint64_t growth_f = 0;    ///< F/F† applications seen (each ≤ ×N)
+  std::uint64_t growth_u = 0;    ///< 𝒰/𝒰† applications seen (each ≤ ×2)
+
+  friend bool operator==(const SupportFacts&, const SupportFacts&) = default;
+};
+
+/// The support-domain transfer function: the bound after applying one
+/// micro-op to a state of support ≤ s. Permutations (sends, oracles, total
+/// shifts) and diagonals (S_χ, S_0, global phase) preserve support; F is
+/// dense on the element register (×N) and 𝒰 acts on the flag (×2); all
+/// growth saturates at the full dimension. Exposed so the differential
+/// tests apply the exact same rule the engine does.
+std::uint64_t support_after(std::uint64_t s, const ProtocolOp& op,
+                            std::uint64_t universe, std::uint64_t dimension);
+
+}  // namespace qs::analysis

@@ -1,0 +1,333 @@
+#include "analysis/abstint/engine.hpp"
+
+#include <cmath>
+#include <complex>
+#include <optional>
+#include <utility>
+
+#include "common/require.hpp"
+#include "sampling/amplitude_amplification.hpp"
+
+namespace qs::analysis {
+
+namespace {
+
+std::string str(std::uint64_t v) { return std::to_string(v); }
+
+bool params_valid(const PublicParams& p) {
+  return p.universe > 0 && p.machines > 0 && p.nu > 0 && p.total > 0 &&
+         p.total <= p.nu * p.universe;
+}
+
+/// The (φ, ϕ) pair of one Q(φ, ϕ) iterate read off the op stream.
+struct IteratePhases {
+  double varphi = 0.0;
+  double phi = 0.0;
+};
+
+/// Extract the AA iterate phases from a compiled program's local-unitary
+/// markers: each Q iterate opens with S_χ(φ) and closes with S_0(ϕ) plus
+/// one global-phase marker (the leading −1 of Q).
+std::vector<IteratePhases> collect_iterates(const ProtocolProgram& program,
+                                            std::vector<Diagnostic>& out) {
+  constexpr const char* kPass = "amplitude-domain";
+  std::vector<IteratePhases> iterates;
+  std::uint64_t global_phases = 0;
+  bool open = false;
+  double varphi = 0.0;
+  for (const auto& op : program.ops) {
+    if (op.kind != OpKind::kLocalUnitary) continue;
+    if (op.label == "S_chi") {
+      if (open) {
+        out.push_back({kPass, std::nullopt,
+                       "S_χ applied twice without an S_0 between them",
+                       "every Q iterate is S_χ(φ) … S_0(ϕ) exactly once"});
+      }
+      open = true;
+      varphi = op.phase;
+    } else if (op.label == "S_0") {
+      if (!open) {
+        out.push_back({kPass, std::nullopt,
+                       "S_0 with no opening S_χ — not a Q iterate",
+                       "every Q iterate is S_χ(φ) … S_0(ϕ) exactly once"});
+        continue;
+      }
+      iterates.push_back({varphi, op.phase});
+      open = false;
+    } else if (op.label == "phase") {
+      ++global_phases;
+    }
+  }
+  if (open) {
+    out.push_back({kPass, std::nullopt,
+                   "S_χ is never closed by an S_0",
+                   "every Q iterate is S_χ(φ) … S_0(ϕ) exactly once"});
+  }
+  if (global_phases != iterates.size()) {
+    out.push_back({kPass, std::nullopt,
+                   "saw " + str(global_phases) + " global-phase marker(s) "
+                   "for " + str(iterates.size()) + " Q iterate(s)",
+                   "Q = −A S_0 A† S_χ carries exactly one leading −1 per "
+                   "iterate"});
+  }
+  return iterates;
+}
+
+/// Replay the reduced 2×2 dynamics from (sinθ, cosθ) through the given
+/// iterate phases — the identical q_step_two_level sequence
+/// evolve_two_level() applies for an uncorrupted plan, so the two paths
+/// agree bit for bit on clean schedules.
+std::pair<std::complex<double>, std::complex<double>> replay(
+    double theta, const std::vector<IteratePhases>& iterates) {
+  std::complex<double> good{std::sin(theta), 0.0};
+  std::complex<double> bad{std::cos(theta), 0.0};
+  for (const auto& it : iterates) {
+    std::tie(good, bad) =
+        q_step_two_level(good, bad, theta, it.varphi, it.phi);
+  }
+  return {good, bad};
+}
+
+void finish_amplitude(AmplitudeFacts& facts, const AAPlan& plan,
+                      std::complex<double> good, std::complex<double> bad,
+                      std::vector<Diagnostic>& out) {
+  facts.a = plan.a;
+  facts.theta = plan.theta;
+  facts.needs_final = plan.needs_final;
+  facts.already_exact = plan.already_exact;
+  facts.success_probability = std::norm(good);
+  facts.residual_bad = std::abs(bad);
+  facts.zero_error = facts.residual_bad < 1e-9;
+  if (!facts.zero_error) {
+    out.push_back({"amplitude-domain", std::nullopt,
+                   "replayed AA trajectory leaves residual bad amplitude " +
+                       std::to_string(facts.residual_bad) +
+                       " — the schedule is not zero-error",
+                   "run ⌊m̃⌋ Q(π,π) iterates plus the corrected final "
+                   "Q(φ,ϕ) of BHMT Theorem 4"});
+  }
+}
+
+/// Walk `program`'s ops through the support domain, also counting the
+/// growth operators. Returns the facts; per-op trace optionally captured.
+SupportFacts walk_support(const ProtocolProgram& program,
+                          std::vector<std::uint64_t>* trace) {
+  const PublicParams& p = program.params;
+  SupportFacts facts;
+  facts.dimension = p.universe * (p.nu + 1) * 2;
+  std::uint64_t s = 1;  // |0, 0, 0⟩
+  facts.bound = s;
+  for (const auto& op : program.ops) {
+    s = support_after(s, op, p.universe, facts.dimension);
+    if (op.kind == OpKind::kLocalUnitary) {
+      if (op.label == "F") ++facts.growth_f;
+      if (op.label == "U") {
+        ++facts.growth_u;
+        // A|0⟩ = D F|0⟩ is complete once the first 𝒰 has applied (the
+        // closing oracles of its C† are permutations): record the
+        // preparation-state bound here.
+        if (facts.growth_u == 1) facts.after_prep = s;
+      }
+    }
+    if (s > facts.bound) facts.bound = s;
+    if (trace != nullptr) trace->push_back(s);
+  }
+  return facts;
+}
+
+}  // namespace
+
+QueryStats to_query_stats(const CostFacts& facts) {
+  QueryStats stats;
+  stats.sequential_per_machine.resize(facts.forward_per_machine.size(), 0);
+  for (std::size_t j = 0; j < facts.forward_per_machine.size(); ++j) {
+    stats.sequential_per_machine[j] =
+        facts.forward_per_machine[j] + facts.adjoint_per_machine[j];
+  }
+  stats.parallel_rounds = facts.parallel_rounds;
+  return stats;
+}
+
+std::uint64_t support_after(std::uint64_t s, const ProtocolOp& op,
+                            std::uint64_t universe, std::uint64_t dimension) {
+  if (op.kind != OpKind::kLocalUnitary) return s;  // transfer or permutation
+  std::uint64_t factor = 1;
+  if (op.label == "F") factor = universe;  // dense on the element register
+  if (op.label == "U") factor = 2;         // 2×2 on the flag register
+  if (factor == 1) return s;               // S_χ / S_0 / phase: diagonal
+  const std::uint64_t grown = s * factor;
+  return (grown / factor != s || grown > dimension) ? dimension : grown;
+}
+
+std::vector<std::uint64_t> support_trace(const ProtocolProgram& program) {
+  std::vector<std::uint64_t> trace;
+  trace.reserve(program.ops.size());
+  (void)walk_support(program, &trace);
+  return trace;
+}
+
+AbstractResult interpret(const ProtocolProgram& program) {
+  constexpr const char* kCost = "cost-domain";
+  AbstractResult res;
+  const PublicParams& p = program.params;
+  if (!params_valid(p)) {
+    res.diagnostics.push_back(
+        {kCost, std::nullopt,
+         "inconsistent public parameters (need 0 < M ≤ νN, n ≥ 1): N=" +
+             str(p.universe) + " n=" + str(p.machines) + " ν=" + str(p.nu) +
+             " M=" + str(p.total),
+         "interpret only schedules over valid public knowledge"});
+    return res;
+  }
+  const AAPlan plan = plan_zero_error(
+      static_cast<double>(p.total) /
+      (static_cast<double>(p.nu) * static_cast<double>(p.universe)));
+  const auto d = static_cast<std::uint64_t>(plan.d_applications());
+  const auto n = static_cast<std::uint64_t>(p.machines);
+
+  // --- cost domain: one per-op accumulation over the program itself ------
+  CostFacts& cost = res.cost;
+  cost.d = d;
+  cost.forward_per_machine.assign(p.machines, 0);
+  cost.adjoint_per_machine.assign(p.machines, 0);
+  std::uint64_t begins = 0;
+  std::uint64_t ends = 0;
+  for (const auto& op : program.ops) {
+    switch (op.kind) {
+      case OpKind::kSend:
+        ++cost.sends;
+        break;
+      case OpKind::kRecv:
+        ++cost.recvs;
+        break;
+      case OpKind::kOracle:
+        ++cost.sequential_total;
+        if (op.machine < p.machines) {
+          ++(op.adjoint ? cost.adjoint_per_machine
+                        : cost.forward_per_machine)[op.machine];
+        }
+        break;
+      case OpKind::kParallelOracle:
+        ++cost.parallel_rounds;
+        break;
+      case OpKind::kParallelBegin:
+        ++begins;
+        break;
+      case OpKind::kParallelEnd:
+        ++ends;
+        break;
+      case OpKind::kLocalUnitary:
+        break;
+    }
+  }
+  const bool seq = program.mode == QueryMode::kSequential;
+  cost.closed_form = seq ? d * 2 * n : d * 4;
+  const std::uint64_t actual =
+      seq ? cost.sequential_total : cost.parallel_rounds;
+  cost.matches_closed_form = actual == cost.closed_form;
+  if (!cost.matches_closed_form) {
+    res.diagnostics.push_back(
+        {kCost, std::nullopt,
+         "per-op accumulation counts " + str(actual) +
+             (seq ? " sequential queries" : " parallel rounds") +
+             " but the closed form " + (seq ? "d·2n" : "d·4") + " with d=" +
+             str(d) + " gives " + str(cost.closed_form),
+         seq ? "every D application is C† 𝒰 C: n queries out, n back "
+               "(Lemma 4.2)"
+             : "every D application costs exactly 4 collective rounds "
+               "(Lemma 4.4)"});
+  }
+  // Transfer accounting: every sequential oracle is bracketed by exactly
+  // one send and one receive; a transfer with no query in between moves
+  // the registers for free — cost the runtime ledger would never see.
+  if (cost.sends != cost.sequential_total ||
+      cost.recvs != cost.sequential_total) {
+    res.diagnostics.push_back(
+        {kCost, std::nullopt,
+         str(cost.sends) + " send(s) / " + str(cost.recvs) +
+             " receive(s) for " + str(cost.sequential_total) +
+             " sequential quer(ies) — unmatched register transfers",
+         "each O_j costs exactly one round trip; transfers without a "
+         "query are unaccounted communication"});
+  }
+  if (begins != cost.parallel_rounds || ends != cost.parallel_rounds) {
+    res.diagnostics.push_back(
+        {kCost, std::nullopt,
+         str(begins) + " open(s) / " + str(ends) + " close(s) for " +
+             str(cost.parallel_rounds) + " collective round(s)",
+         "each parallel round broadcasts and gathers exactly once"});
+  }
+
+  // --- amplitude-class domain --------------------------------------------
+  AmplitudeFacts& amp = res.amplitude;
+  if (program.has_local_unitaries) {
+    amp.derivation = "op-stream";
+    const auto iterates = collect_iterates(program, res.diagnostics);
+    amp.iterations = iterates.size();
+    const std::uint64_t planned =
+        plan.already_exact
+            ? 0
+            : plan.full_iterations + (plan.needs_final ? 1u : 0u);
+    if (amp.iterations != planned) {
+      res.diagnostics.push_back(
+          {"amplitude-domain", std::nullopt,
+           "schedule performs " + str(amp.iterations) +
+               " Q iterate(s) but the zero-error plan prescribes " +
+               str(planned),
+           "⌊m̃⌋ = ⌊π/(4θ) − 1/2⌋ full iterates plus the corrected final "
+           "one"});
+    }
+    const auto [good, bad] = replay(plan.theta, iterates);
+    finish_amplitude(amp, plan, good, bad, res.diagnostics);
+  } else {
+    amp.derivation = "closed-form";
+    amp.iterations =
+        plan.already_exact
+            ? 0
+            : plan.full_iterations + (plan.needs_final ? 1u : 0u);
+    const auto [good, bad] = evolve_two_level(plan);
+    finish_amplitude(amp, plan, good, bad, res.diagnostics);
+  }
+
+  // --- support/sparsity domain -------------------------------------------
+  if (program.has_local_unitaries) {
+    res.support = walk_support(program, nullptr);
+    if (res.support.growth_f != d) {
+      res.diagnostics.push_back(
+          {"support-domain", std::nullopt,
+           "schedule applies F " + str(res.support.growth_f) +
+               " time(s); a d=" + str(d) + " schedule applies it exactly d "
+               "times (one preparation + two per iterate)",
+           "each extra F multiplies the support bound by N — the "
+           "structured-backend gate would be voided"});
+    }
+    if (res.support.growth_u != d) {
+      res.diagnostics.push_back(
+          {"support-domain", std::nullopt,
+           "schedule applies 𝒰 " + str(res.support.growth_u) +
+               " time(s); one per distributing-operator application "
+               "(d=" + str(d) + ") is required",
+           "𝒰 sits once inside every C† 𝒰 C block (Lemmas 4.2/4.4)"});
+    }
+  } else {
+    // Bare transcript: derive the support walk from the schedule compiled
+    // for the same public knowledge (verify_transcript separately certifies
+    // the transcript equals that schedule).
+    res.support = walk_support(lift_compiled(p, program.mode), nullptr);
+  }
+  return res;
+}
+
+const std::vector<std::string>& domain_names() {
+  // dqs-lint: pass-registry-begin
+  static const std::vector<std::string> names = {
+      "cost-domain",
+      "amplitude-domain",
+      "support-domain",
+      "recovery-liveness",
+  };
+  // dqs-lint: pass-registry-end
+  return names;
+}
+
+}  // namespace qs::analysis

@@ -1,0 +1,52 @@
+// Abstract-interpretation engine over the protocol IR.
+//
+// interpret() executes a ProtocolProgram over the abstract domains of
+// domains.hpp instead of amplitudes: one walk of the micro-op stream feeds
+// the cost, amplitude-class and support domains simultaneously and emits
+// Diagnostics under the pass ids "cost-domain", "amplitude-domain" and
+// "support-domain" when a domain's facts contradict the paper's closed
+// forms (Thms 4.3/4.5, zero-error AA, bounded support growth). The verifier
+// (verifier.hpp) runs the engine alongside the structural passes, so every
+// dqs_verify entry point — including the recovered transcripts dqs_chaos
+// certifies — is gated by the domains; certificate.hpp serializes the
+// resulting facts as dqs-cert-v1 schedule certificates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/abstint/domains.hpp"
+#include "analysis/ir.hpp"
+
+namespace qs::analysis {
+
+struct AbstractResult {
+  CostFacts cost;
+  AmplitudeFacts amplitude;
+  SupportFacts support;
+  std::vector<Diagnostic> diagnostics;
+};
+
+/// Run every abstract domain over the program in one micro-op walk.
+///
+/// Programs without local unitaries (bare transcript lifts) still get full
+/// cost facts from their own ops; the amplitude and support domains then
+/// derive their facts from the schedule compiled for the program's public
+/// parameters ("closed-form" derivation) — sound because verify_transcript
+/// separately certifies the transcript IS that schedule.
+AbstractResult interpret(const ProtocolProgram& program);
+
+/// The support bound after EACH op of the program (same transfer function
+/// as interpret); trace[i] bounds the support once ops[0..i] have executed.
+/// Differential tests compare this per-op trace against the dense
+/// simulator's observed support.
+std::vector<std::uint64_t> support_trace(const ProtocolProgram& program);
+
+/// Canonical ids of the abstract domains (including the recovery-liveness
+/// domain of recovered.hpp), mirroring pass_names() for the structural
+/// passes. The kill-matrix-completeness lint rule reads this registry:
+/// every id must have a mutation fixture that kills it.
+const std::vector<std::string>& domain_names();
+
+}  // namespace qs::analysis

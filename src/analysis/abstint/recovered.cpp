@@ -1,0 +1,174 @@
+#include "analysis/abstint/recovered.hpp"
+
+#include <optional>
+#include <string>
+
+#include "sampling/amplitude_amplification.hpp"
+
+namespace qs::analysis {
+
+namespace {
+
+constexpr const char* kPass = "recovery-liveness";
+
+std::string str(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+RecoveredSchedule identity_recovery(const Transcript& schedule,
+                                    std::size_t machines) {
+  RecoveredSchedule recovered;
+  recovered.events = schedule.events();
+  recovered.attempts.assign(recovered.events.size(), 1);
+  recovered.displaced.assign(recovered.events.size(), 0);
+  recovered.retry.sequential_per_machine.assign(machines, 0);
+  return recovered;
+}
+
+ProtocolProgram lift_recovered(const RecoveredSchedule& recovered,
+                               const PublicParams& params, QueryMode mode) {
+  return lift_events(recovered.events, params, mode);
+}
+
+std::vector<Diagnostic> check_recovery_liveness(
+    const RecoveredSchedule& recovered, const PublicParams& params,
+    QueryMode mode) {
+  std::vector<Diagnostic> out;
+  const auto& events = recovered.events;
+
+  if (recovered.attempts.size() != events.size() ||
+      recovered.displaced.size() != events.size()) {
+    out.push_back({kPass, std::nullopt,
+                   "attempt/displacement annotations do not cover the "
+                   "schedule (" + str(recovered.attempts.size()) + "/" +
+                       str(recovered.displaced.size()) + " for " +
+                       str(events.size()) + " event(s))",
+                   "annotate every recovered event exactly once"});
+    return out;
+  }
+
+  std::uint64_t reissued = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (recovered.attempts[i] == 0) {
+      out.push_back({kPass, i,
+                     "event consumed zero attempts but appears in the "
+                     "executed schedule",
+                     "a landed event costs at least its own attempt"});
+    } else {
+      reissued += recovered.attempts[i] - 1;
+    }
+    if (recovered.displaced[i] != 0 && mode == QueryMode::kParallel) {
+      out.push_back({kPass, i,
+                     "a collective round executed out of order",
+                     "parallel rounds are order-fixed: recovery may only "
+                     "wait them out, never displace them"});
+    }
+  }
+
+  // Retry accounting: every failed attempt is charged to the retry ledger,
+  // and every re-issue is covered by a failed attempt. (Deferred work-list
+  // visits restart an event's attempt counter, so re-issues can undercount
+  // failures — hence ≤, not ==.)
+  const std::uint64_t charged =
+      recovered.retry.total_sequential() + recovered.retry.parallel_rounds;
+  if (recovered.failed_attempts != charged) {
+    out.push_back({kPass, std::nullopt,
+                   str(recovered.failed_attempts) + " failed attempt(s) "
+                   "but the retry ledger charges " + str(charged),
+                   "charge every failed attempt to the retry QueryStats so "
+                   "the primary Thm 4.3/4.5 budget stays fault-free"});
+  }
+  if (reissued > recovered.failed_attempts) {
+    out.push_back({kPass, std::nullopt,
+                   "events consumed " + str(reissued) + " re-issued "
+                   "attempt(s) but only " + str(recovered.failed_attempts) +
+                       " failure(s) are on the ledger",
+                   "every attempt beyond the first must correspond to a "
+                   "ledgered failure"});
+  }
+  if (recovered.retry.sequential_per_machine.size() != params.machines) {
+    out.push_back({kPass, std::nullopt,
+                   "retry ledger tracks " +
+                       str(recovered.retry.sequential_per_machine.size()) +
+                       " machine(s) for an n=" + str(params.machines) +
+                       " database",
+                   "size the retry ledger from the public machine count"});
+  }
+
+  // Block shape: recovery may permute within a C block and must mirror the
+  // executed order in the matching C† block; everything else is fixed.
+  if (params.universe == 0 || params.machines == 0 || params.nu == 0 ||
+      params.total == 0 || params.total > params.nu * params.universe) {
+    out.push_back({kPass, std::nullopt,
+                   "inconsistent public parameters — cannot derive the "
+                   "canonical block shape",
+                   "recover only schedules over valid public knowledge"});
+    return out;
+  }
+  const AAPlan plan = plan_zero_error(
+      static_cast<double>(params.total) /
+      (static_cast<double>(params.nu) *
+       static_cast<double>(params.universe)));
+  const auto d = static_cast<std::uint64_t>(plan.d_applications());
+  const std::size_t n = params.machines;
+  const std::size_t block =
+      mode == QueryMode::kSequential ? 2 * n : std::size_t{4};
+  if (events.size() != d * block) {
+    out.push_back({kPass, std::nullopt,
+                   "recovered schedule has " + str(events.size()) +
+                       " event(s); the canonical shape is d·" + str(block) +
+                       " = " + str(d * block),
+                   "recovery re-orders events but never adds or drops "
+                   "primary ones"});
+    return out;
+  }
+  for (std::uint64_t b = 0; b < d; ++b) {
+    const std::size_t base = static_cast<std::size_t>(b) * block;
+    if (mode == QueryMode::kSequential) {
+      std::vector<bool> seen(n, false);
+      for (std::size_t k = 0; k < n; ++k) {
+        const auto& ev = events[base + k];
+        if (ev.kind != QueryKind::kSequential || ev.adjoint ||
+            ev.machine >= n || seen[ev.machine]) {
+          out.push_back({kPass, base + k,
+                         "C block " + str(b) + " is not a permutation of "
+                         "O_0…O_" + str(n - 1),
+                         "Lemma 4.2 queries commute WITHIN a block — "
+                         "recovery may permute a C block but must touch "
+                         "every machine exactly once"});
+          break;
+        }
+        seen[ev.machine] = true;
+      }
+      for (std::size_t k = 0; k < n; ++k) {
+        const auto& fwd = events[base + n - 1 - k];
+        const auto& adj = events[base + n + k];
+        if (adj.kind != QueryKind::kSequential || !adj.adjoint ||
+            adj.machine != fwd.machine) {
+          out.push_back({kPass, base + n + k,
+                         "C† block " + str(b) + " does not mirror its C "
+                         "block's executed order",
+                         "adjoints close queries in LIFO order: the C† "
+                         "block replays the executed C block reversed"});
+          break;
+        }
+      }
+    } else {
+      for (std::size_t k = 0; k < 4; ++k) {
+        const auto& ev = events[base + k];
+        const bool want_adjoint = (k % 2) == 1;
+        if (ev.kind != QueryKind::kParallelRound ||
+            ev.adjoint != want_adjoint) {
+          out.push_back({kPass, base + k,
+                         "collective block " + str(b) + " is not the "
+                         "O O† O O† shape of Lemma 4.4",
+                         "parallel rounds are order-fixed under recovery"});
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace qs::analysis

@@ -1,0 +1,65 @@
+// Recovery-liveness domain: certifying fault-recovered schedules.
+//
+// The fault-recovery layer (src/faults) may permute a C block's queries
+// (deferred slots re-enter as a work list), mirror the executed order in
+// the matching C† block, and re-issue failed attempts charged to a
+// separate retry ledger. This module generalizes the ownership/liveness
+// reasoning to those schedules: a RecoveredSchedule carries the executed
+// event order PLUS the per-event attempt counts and the retry ledger, and
+// check_recovery_liveness() verifies the whole recovery contract
+// statically — block-permutation-only reordering, mirrored adjoints, no
+// displaced collective rounds, and retry cost fully ledgered so the
+// primary Thm 4.3/4.5 budgets still certify. src/faults converts a live
+// RecoveryOutcome into this struct (to_recovered_schedule), keeping the
+// analysis layer free of any dependency on the fault machinery.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/ir.hpp"
+#include "distdb/query_stats.hpp"
+#include "distdb/transcript.hpp"
+
+namespace qs::analysis {
+
+struct RecoveredSchedule {
+  /// The recovered primary schedule in executed order.
+  std::vector<TranscriptEvent> events;
+  /// Attempts consumed per event, including the success (≥ 1).
+  std::vector<std::uint32_t> attempts;
+  /// Whether the event executed out of canonical block order.
+  std::vector<std::uint8_t> displaced;
+  /// Failed/re-issued attempts, charged separately from the primary ledger.
+  QueryStats retry;
+  std::uint64_t failed_attempts = 0;  ///< == retry ledger total
+  std::uint64_t backoff_events = 0;   ///< logical events spent waiting
+};
+
+/// The trivial recovery of a fault-free schedule: every event executed
+/// once, in place, with an empty retry ledger. Baseline for tests and
+/// mutation fixtures.
+RecoveredSchedule identity_recovery(const Transcript& schedule,
+                                    std::size_t machines);
+
+/// Lower recovered events into a protocol program (same micro-op lowering
+/// as lift_transcript).
+ProtocolProgram lift_recovered(const RecoveredSchedule& recovered,
+                               const PublicParams& params, QueryMode mode);
+
+/// The recovery-liveness checks, reported under the "recovery-liveness"
+/// pass id:
+///   * the schedule has the canonical d·(2n sequential / 4 parallel) block
+///     shape, each C block a permutation of O_0…O_{n-1} and each C† block
+///     its exact mirror (Lemma 4.2 queries commute within a block — any
+///     other reordering is unsound);
+///   * collective rounds are never displaced (their order is fixed);
+///   * every event consumed ≥ 1 attempt, re-issued attempts are covered by
+///     the failed-attempt count, and the failed attempts are fully charged
+///     to the retry ledger (sized to the machine count) — so the primary
+///     budget the cost domain certifies is exactly the fault-free one.
+std::vector<Diagnostic> check_recovery_liveness(
+    const RecoveredSchedule& recovered, const PublicParams& params,
+    QueryMode mode);
+
+}  // namespace qs::analysis

@@ -26,13 +26,18 @@ void lower_parallel(std::vector<ProtocolOp>& ops, bool adjoint,
 
 ProtocolProgram lift_transcript(const Transcript& transcript,
                                 const PublicParams& params, QueryMode mode) {
+  return lift_events(transcript.events(), params, mode);
+}
+
+ProtocolProgram lift_events(const std::vector<TranscriptEvent>& events,
+                            const PublicParams& params, QueryMode mode) {
   ProtocolProgram program;
   program.params = params;
   program.mode = mode;
-  program.num_events = transcript.size();
-  program.ops.reserve(transcript.size() * 3);
-  for (std::size_t e = 0; e < transcript.size(); ++e) {
-    const auto& ev = transcript.events()[e];
+  program.num_events = events.size();
+  program.ops.reserve(events.size() * 3);
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    const auto& ev = events[e];
     if (ev.kind == QueryKind::kSequential) {
       lower_sequential(program.ops, ev.machine, ev.adjoint, e);
     } else {
@@ -57,8 +62,8 @@ ProtocolProgram lift_compiled(const PublicParams& params, QueryMode mode) {
         lower_parallel(program.ops, ev.adjoint, event++);
         break;
       case ScheduleEvent::Kind::kLocalUnitary:
-        program.ops.push_back(
-            {OpKind::kLocalUnitary, 0, ev.adjoint, ev.label, kNoEvent});
+        program.ops.push_back({OpKind::kLocalUnitary, 0, ev.adjoint, ev.label,
+                               kNoEvent, ev.phase});
         break;
     }
   });

@@ -50,6 +50,11 @@ struct ProtocolOp {
   /// Transcript event this op was lowered from (micro-ops of one event
   /// share it); kNoEvent for pure-local ops.
   std::size_t event = kNoEvent;
+  /// kLocalUnitary "S_chi" / "S_0" / "phase": the rotation angle. The
+  /// abstract interpreter's amplitude-class domain (abstint/) replays the
+  /// reduced 2×2 AA dynamics from these angles to certify zero-error
+  /// termination without simulating.
+  double phase = 0.0;
 
   friend bool operator==(const ProtocolOp&, const ProtocolOp&) = default;
 };
@@ -71,6 +76,12 @@ struct ProtocolProgram {
 /// (has_local_unitaries = false).
 ProtocolProgram lift_transcript(const Transcript& transcript,
                                 const PublicParams& params, QueryMode mode);
+
+/// Same lowering from a bare event sequence — the entry point for
+/// recovered schedules (abstint/recovered.hpp), whose executed order lives
+/// outside a Transcript.
+ProtocolProgram lift_events(const std::vector<TranscriptEvent>& events,
+                            const PublicParams& params, QueryMode mode);
 
 /// Compile the schedule for (params, mode) via the sampling layer's
 /// for_each_schedule_event hook and lower it, local unitaries included.

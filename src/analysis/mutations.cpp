@@ -229,6 +229,87 @@ std::vector<MutationSpec> build_catalog() {
          return p;
        }});
 
+  // --- abstract-domain fixtures (abstint/engine.hpp) -----------------------
+
+  catalog.push_back(
+      {"phantom-transfer",
+       "a queryless send/receive round trip is spliced between two blocks — "
+       "ownership, nesting, budget and balance all still hold, but the "
+       "transfer is communication no oracle ledger would ever charge",
+       "cost-domain", QueryMode::kSequential, nullptr,
+       [](ProtocolProgram p) {
+         for (auto it = p.ops.begin(); it != p.ops.end(); ++it) {
+           if (it->kind != OpKind::kRecv) continue;
+           const std::size_t machine = it->machine;
+           ProtocolOp send{OpKind::kSend, machine, false, "", kNoEvent};
+           ProtocolOp recv{OpKind::kRecv, machine, false, "", kNoEvent};
+           it = p.ops.insert(std::next(it), send);
+           p.ops.insert(std::next(it), recv);
+           break;
+         }
+         return p;
+       }});
+
+  catalog.push_back(
+      {"detuned-final-phase",
+       "the last S_0(ϕ) rotation runs with a detuned angle — structurally "
+       "identical schedule, but the replayed AA trajectory no longer lands "
+       "on |good⟩ exactly (the zero-error guarantee is silently lost)",
+       "amplitude-domain", QueryMode::kSequential, nullptr,
+       [](ProtocolProgram p) {
+         for (auto it = p.ops.rbegin(); it != p.ops.rend(); ++it) {
+           if (it->kind == OpKind::kLocalUnitary && it->label == "S_0") {
+             it->phase += 1.0;
+             return p;
+           }
+         }
+         QS_REQUIRE(false, "mutation fixture: schedule has no S_0 marker");
+         return p;
+       }});
+
+  catalog.push_back(
+      {"doubled-prep",
+       "the preparation F runs twice — harmless to every oracle count, but "
+       "the extra dense operator breaks the d-application growth bound the "
+       "support domain certifies for backend selection",
+       "support-domain", QueryMode::kSequential, nullptr,
+       [](ProtocolProgram p) {
+         for (auto it = p.ops.begin(); it != p.ops.end(); ++it) {
+           if (it->kind == OpKind::kLocalUnitary && it->label == "F") {
+             p.ops.insert(it, *it);
+             return p;
+           }
+         }
+         QS_REQUIRE(false, "mutation fixture: schedule has no F marker");
+         return p;
+       }});
+
+  // --- recovery-metadata fixtures (abstint/recovered.hpp) ------------------
+
+  catalog.push_back(
+      {"unledgered-retry",
+       "an event reports three attempts but the retry ledger charges "
+       "nothing — recovery cost leaking out of the audit",
+       "recovery-liveness", QueryMode::kSequential, nullptr, nullptr,
+       [](RecoveredSchedule r) {
+         QS_REQUIRE(!r.attempts.empty(),
+                    "mutation fixture: empty recovered schedule");
+         r.attempts.front() = 3;
+         return r;
+       }});
+
+  catalog.push_back(
+      {"displaced-parallel-round",
+       "a collective round is marked displaced — parallel rounds are "
+       "order-fixed, so a recovery reporting this executed unsoundly",
+       "recovery-liveness", QueryMode::kParallel, nullptr, nullptr,
+       [](RecoveredSchedule r) {
+         QS_REQUIRE(!r.displaced.empty(),
+                    "mutation fixture: empty recovered schedule");
+         r.displaced.front() = 1;
+         return r;
+       }});
+
   return catalog;
 }
 
@@ -248,11 +329,21 @@ std::vector<Diagnostic> run_mutation(const MutationSpec& spec,
         spec.mutate_transcript(compile_schedule(params, spec.mode));
     return verify_transcript(mutant, params, spec.mode).diagnostics;
   }
-  QS_ASSERT(static_cast<bool>(spec.mutate_program),
+  if (spec.mutate_program) {
+    const ProtocolProgram mutant =
+        spec.mutate_program(lift_compiled(params, spec.mode));
+    return verify_program(mutant).diagnostics;
+  }
+  QS_ASSERT(static_cast<bool>(spec.mutate_recovered),
             "mutation must define exactly one corruption");
-  const ProtocolProgram mutant =
-      spec.mutate_program(lift_compiled(params, spec.mode));
-  return verify_program(mutant).diagnostics;
+  const RecoveredSchedule mutant = spec.mutate_recovered(
+      identity_recovery(compile_schedule(params, spec.mode), params.machines));
+  auto diagnostics =
+      verify_program(lift_recovered(mutant, params, spec.mode)).diagnostics;
+  for (auto& d : check_recovery_liveness(mutant, params, spec.mode)) {
+    diagnostics.push_back(std::move(d));
+  }
+  return diagnostics;
 }
 
 bool mutation_flagged(const MutationSpec& spec, const PublicParams& params) {

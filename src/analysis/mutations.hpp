@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/abstint/recovered.hpp"
 #include "analysis/ir.hpp"
 
 namespace qs::analysis {
@@ -21,15 +22,18 @@ namespace qs::analysis {
 struct MutationSpec {
   std::string name;
   std::string description;
-  /// The pass id (passes.hpp) that must flag this mutant.
+  /// The pass or abstract-domain id (passes.hpp / abstint/engine.hpp) that
+  /// must flag this mutant.
   std::string expected_pass;
   /// Query model whose schedule the mutation corrupts.
   QueryMode mode = QueryMode::kSequential;
   /// Transcript-level corruption (what a broken recorder would emit), or …
-  std::function<Transcript(Transcript)> mutate_transcript;
-  /// … micro-op-level corruption (what a broken transport would do);
-  /// exactly one of the two is set.
-  std::function<ProtocolProgram(ProtocolProgram)> mutate_program;
+  std::function<Transcript(Transcript)> mutate_transcript = {};
+  /// … micro-op-level corruption (what a broken transport would do), or …
+  std::function<ProtocolProgram(ProtocolProgram)> mutate_program = {};
+  /// … recovery-metadata corruption (what a broken recovery executor would
+  /// report); exactly one of the three is set.
+  std::function<RecoveredSchedule(RecoveredSchedule)> mutate_recovered = {};
 };
 
 /// All mutation fixtures. Each is flagged by its expected pass for any

@@ -357,9 +357,11 @@ std::vector<Diagnostic> certify_obliviousness(const PublicParams& params,
 }
 
 const std::vector<std::string>& pass_names() {
+  // dqs-lint: pass-registry-begin
   static const std::vector<std::string> names = {
       "adjoint-nesting", "ownership", "query-budget", "load-balance",
       "obliviousness"};
+  // dqs-lint: pass-registry-end
   return names;
 }
 

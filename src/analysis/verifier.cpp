@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "analysis/abstint/engine.hpp"
 #include "analysis/passes.hpp"
 #include "common/require.hpp"
 
@@ -28,6 +29,10 @@ VerifyReport verify_program(const ProtocolProgram& program) {
   append(report.diagnostics, check_ownership(program));
   append(report.diagnostics, check_query_budget(program));
   append(report.diagnostics, check_load_balance(program));
+  // The abstract domains (abstint/) run alongside the structural passes on
+  // every entry point, so cost/probability/support corruption is flagged
+  // even where the aggregate checks above still balance.
+  append(report.diagnostics, interpret(program).diagnostics);
   return report;
 }
 

@@ -431,6 +431,24 @@ RecoveryOutcome plan_recovery(const Transcript& schedule,
   return planner.run();
 }
 
+analysis::RecoveredSchedule to_recovered_schedule(
+    const RecoveryOutcome& outcome) {
+  QS_REQUIRE(outcome.ok, "cannot lift a failed recovery for analysis");
+  analysis::RecoveredSchedule r;
+  r.events.reserve(outcome.events.size());
+  r.attempts.reserve(outcome.events.size());
+  r.displaced.reserve(outcome.events.size());
+  for (const auto& e : outcome.events) {
+    r.events.push_back(e.event);
+    r.attempts.push_back(e.attempts);
+    r.displaced.push_back(e.displaced ? 1 : 0);
+  }
+  r.retry = outcome.ledger.recovery;
+  r.failed_attempts = outcome.ledger.failed_attempts;
+  r.backoff_events = outcome.ledger.backoff_events;
+  return r;
+}
+
 FaultedRun run_sampler_with_faults(const DistributedDatabase& db,
                                    QueryMode mode, const FaultPlan& plan,
                                    const RetryPolicy& policy,

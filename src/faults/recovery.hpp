@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/abstint/recovered.hpp"
 #include "distdb/transcript.hpp"
 #include "faults/fault_plan.hpp"
 #include "faults/retry.hpp"
@@ -76,6 +77,13 @@ struct FaultedRun {
 
   bool ok() const noexcept { return result.has_value(); }
 };
+
+/// Project a successful recovery onto the analyzer's recovered-schedule
+/// view: the executed event order plus the per-event retry metadata and the
+/// ledger's retry cost, ready for analysis::lift_recovered /
+/// analysis::certify_recovered. Requires outcome.ok.
+analysis::RecoveredSchedule to_recovered_schedule(
+    const RecoveryOutcome& outcome);
 
 /// Plan recovery for the database's compiled schedule and, if it succeeds,
 /// run the real sampler once with the recovered order replayed through the

@@ -47,10 +47,10 @@ class TracingBackend final : public SamplingBackend {
 
   std::size_t num_machines() const override { return machines_; }
   void prep_uniform(bool adjoint) override { local("F", adjoint); }
-  void phase_good(double) override { local("S_chi", false); }
-  void phase_initial(double) override { local("S_0", false); }
+  void phase_good(double varphi) override { local("S_chi", false, varphi); }
+  void phase_initial(double phi) override { local("S_0", false, phi); }
   void rotation_u(bool adjoint) override { local("U", adjoint); }
-  void global_phase(double) override { local("phase", false); }
+  void global_phase(double phase) override { local("phase", false, phase); }
 
   void oracle(std::size_t j, bool adjoint) override {
     visit_({ScheduleEvent::Kind::kOracle, j, adjoint, ""});
@@ -62,8 +62,8 @@ class TracingBackend final : public SamplingBackend {
   }
 
  private:
-  void local(const char* label, bool adjoint) {
-    visit_({ScheduleEvent::Kind::kLocalUnitary, 0, adjoint, label});
+  void local(const char* label, bool adjoint, double phase = 0.0) {
+    visit_({ScheduleEvent::Kind::kLocalUnitary, 0, adjoint, label, phase});
   }
 
   std::size_t machines_;

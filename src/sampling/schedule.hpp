@@ -62,6 +62,11 @@ struct ScheduleEvent {
   /// kLocalUnitary: which operation — "F" (state prep), "U" (Eq. 6
   /// rotation), "S_chi", "S_0" (phase oracles), "phase" (global phase).
   const char* label = "";
+  /// kLocalUnitary "S_chi" / "S_0" / "phase": the rotation angle (φ, ϕ, or
+  /// the global phase). The abstract interpreter (src/analysis/abstint)
+  /// replays the exact 2×2 reduced AA dynamics from these angles alone, so
+  /// the zero-error guarantee is certified without simulating amplitudes.
+  double phase = 0.0;
 };
 
 /// Dry-run the compiled circuit, visiting every event in schedule order.

@@ -1,0 +1,17 @@
+// Fixture: a pass registry with one id no mutation fixture covers.
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+const std::vector<std::string>& pass_names() {
+  // dqs-lint: pass-registry-begin
+  static const std::vector<std::string> names = {
+      "covered-domain",  // appears in the sibling mutations.cpp — clean
+      "orphan-domain",   // no fixture kills it — must be flagged
+  };
+  // dqs-lint: pass-registry-end
+  return names;
+}
+
+}  // namespace fixture

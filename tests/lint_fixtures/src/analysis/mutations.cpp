@@ -1,0 +1,10 @@
+// Control: the mutation-fixture catalog the kill-matrix-completeness rule
+// searches. Covers the first registry id only; the orphan one in
+// bad_registry.cpp must be flagged.
+#include <string>
+
+namespace fixture {
+
+std::string catalog_entry() { return "covered-domain"; }
+
+}  // namespace fixture

@@ -1,0 +1,328 @@
+// Differential tests for the abstract interpreter (src/analysis/abstint):
+// every fact a dqs-cert-v1 certificate states is checked against an
+// EXECUTED run — the statically derived query counts must equal the run's
+// QueryStats ledger exactly, the derived success probability must match the
+// measured fidelity to 1e-9, and the support bound must dominate the dense
+// simulator's observed support — plus the certificate JSON round-trip, the
+// a = 1 degenerate corner, and the fault-recovery certificate grid.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/abstint/certificate.hpp"
+#include "analysis/abstint/engine.hpp"
+#include "analysis/abstint/recovered.hpp"
+#include "analysis/mutations.hpp"
+#include "analysis/verifier.hpp"
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "distdb/distributed_database.hpp"
+#include "distdb/workload.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/recovery.hpp"
+#include "sampling/samplers.hpp"
+#include "sampling/schedule.hpp"
+
+namespace qs::analysis {
+namespace {
+
+/// Count of nonzero amplitudes — what the support domain bounds.
+std::uint64_t observed_support(const StateVector& state) {
+  std::uint64_t support = 0;
+  for (const auto& amp : state.amplitudes()) {
+    if (amp != cplx{0.0, 0.0}) ++support;
+  }
+  return support;
+}
+
+DistributedDatabase make_db(std::uint64_t universe, std::uint64_t machines,
+                            std::uint64_t total, std::uint64_t seed) {
+  Rng rng(seed);
+  auto datasets = workload::uniform_random(universe, machines, total, rng);
+  const auto nu = min_capacity(datasets);
+  return DistributedDatabase(std::move(datasets), nu);
+}
+
+// --- differential grid: certificates vs executed runs ----------------------
+
+struct GridCase {
+  std::uint64_t universe;
+  std::uint64_t machines;
+  std::uint64_t total;
+  std::uint64_t seed;
+};
+
+class AbstintDifferential
+    : public ::testing::TestWithParam<std::tuple<GridCase, QueryMode>> {};
+
+TEST_P(AbstintDifferential, CertificateMatchesExecutedRun) {
+  const auto& [c, mode] = GetParam();
+  const DistributedDatabase db = make_db(c.universe, c.machines, c.total,
+                                         c.seed);
+  const PublicParams params = public_params_of(db);
+
+  const Certificate cert = certify_compiled(params, mode);
+  ASSERT_TRUE(cert.clean()) << to_json(cert);
+
+  Transcript transcript;
+  SamplerOptions options;
+  options.transcript = &transcript;
+  const SamplerResult run = mode == QueryMode::kSequential
+                                ? run_sequential_sampler(db, options)
+                                : run_parallel_sampler(db, options);
+
+  // Cost domain: the static per-op ledger equals the executed one EXACTLY.
+  EXPECT_TRUE(to_query_stats(cert.cost) == run.stats);
+  EXPECT_TRUE(cert.cost.matches_closed_form);
+  EXPECT_EQ(cert.cost.d, static_cast<std::uint64_t>(
+                             run.plan.d_applications()));
+
+  // Amplitude domain: the replayed 2×2 walk predicts the measured fidelity.
+  EXPECT_NEAR(cert.amplitude.success_probability, run.fidelity, 1e-9);
+  EXPECT_TRUE(cert.amplitude.zero_error);
+  EXPECT_EQ(cert.amplitude.derivation, "op-stream");
+
+  // Support domain: the bound dominates the dense simulator's support.
+  EXPECT_EQ(cert.support.dimension, run.state.dim());
+  EXPECT_LE(observed_support(run.state), cert.support.bound);
+
+  // The recorded transcript certifies to the same primary facts via the
+  // closed-form derivation route.
+  const Certificate replay = certify_transcript(transcript, params, mode);
+  EXPECT_TRUE(replay.clean()) << to_json(replay);
+  EXPECT_EQ(replay.amplitude.derivation, "closed-form");
+  EXPECT_TRUE(primary_facts_equal(cert, replay));
+  EXPECT_FALSE(replay.recovery.present);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AbstintDifferential,
+    ::testing::Combine(::testing::Values(GridCase{32, 4, 24, 11},
+                                         GridCase{32, 2, 20, 12},
+                                         GridCase{16, 3, 12, 13},
+                                         GridCase{64, 5, 40, 14}),
+                       ::testing::Values(QueryMode::kSequential,
+                                         QueryMode::kParallel)));
+
+// --- support trace ---------------------------------------------------------
+
+TEST(AbstintSupport, TraceIsMonotoneAndEndsAtTheBound) {
+  const PublicParams params{32, 4, 3, 24};
+  for (const auto mode : {QueryMode::kSequential, QueryMode::kParallel}) {
+    const auto program = lift_compiled(params, mode);
+    const auto trace = support_trace(program);
+    ASSERT_EQ(trace.size(), program.ops.size());
+    const auto result = interpret(program);
+    std::uint64_t previous = 1;
+    for (const auto bound : trace) {
+      EXPECT_GE(bound, previous);  // no op shrinks the support bound
+      EXPECT_LE(bound, result.support.dimension);
+      previous = bound;
+    }
+    EXPECT_EQ(trace.back(), result.support.bound);
+  }
+}
+
+TEST(AbstintSupport, TransferFunctionPreservesPermutationsAndDiagonals) {
+  const PublicParams params{32, 4, 3, 24};
+  const std::uint64_t dim = 32 * 4 * 2;
+  const ProtocolOp oracle{OpKind::kOracle, 1, false, "", 0};
+  const ProtocolOp send{OpKind::kSend, 1, false, "", 0};
+  const ProtocolOp phase{OpKind::kLocalUnitary, 0, false, "S_chi", kNoEvent};
+  EXPECT_EQ(support_after(7, oracle, params.universe, dim), 7u);
+  EXPECT_EQ(support_after(7, send, params.universe, dim), 7u);
+  EXPECT_EQ(support_after(7, phase, params.universe, dim), 7u);
+  const ProtocolOp f{OpKind::kLocalUnitary, 0, false, "F", kNoEvent};
+  const ProtocolOp u{OpKind::kLocalUnitary, 0, false, "U", kNoEvent};
+  EXPECT_EQ(support_after(1, f, params.universe, dim), 32u);
+  EXPECT_EQ(support_after(3, u, params.universe, dim), 6u);
+  // Growth saturates at the full dimension.
+  EXPECT_EQ(support_after(dim, f, params.universe, dim), dim);
+}
+
+// --- certificate JSON round-trip -------------------------------------------
+
+TEST(AbstintCertificate, JsonRoundTripIsExact) {
+  const PublicParams params{32, 4, 3, 24};
+  for (const auto mode : {QueryMode::kSequential, QueryMode::kParallel}) {
+    const Certificate cert = certify_compiled(params, mode);
+    const Certificate back = parse_certificate(to_json(cert));
+    EXPECT_TRUE(back == cert);
+  }
+}
+
+TEST(AbstintCertificate, RecoveredJsonRoundTripKeepsRetryFacts) {
+  const PublicParams params{32, 4, 3, 24};
+  const auto schedule = compile_schedule(params, QueryMode::kSequential);
+  auto recovered = identity_recovery(schedule, params.machines);
+  recovered.backoff_events = 5;
+  const Certificate cert =
+      certify_recovered(recovered, params, QueryMode::kSequential);
+  EXPECT_TRUE(cert.recovery.present);
+  const Certificate back = parse_certificate(to_json(cert));
+  EXPECT_TRUE(back == cert);
+  EXPECT_EQ(back.recovery.backoff_events, 5u);
+}
+
+TEST(AbstintCertificate, ParserRejectsForeignSchemas) {
+  EXPECT_THROW(parse_certificate("{\"schema\": \"not-a-cert\"}"),
+               ContractViolation);
+}
+
+TEST(AbstintCertificate, DirtyProgramYieldsDirtyCertificate) {
+  // Invalid parameters (M > νN) must surface as diagnostics, not throw.
+  const PublicParams bad{8, 2, 1, 100};
+  const Certificate cert = certify_compiled(bad, QueryMode::kSequential);
+  EXPECT_FALSE(cert.clean());
+}
+
+// --- the a = 1 degenerate corner (aggregate vs per-op reconciliation) ------
+
+TEST(AbstintCorner, FullCapacityScheduleCertifiesOneApplication) {
+  // c_i = ν for every i ⇒ a = 1: the plan is already exact, d = 1, and the
+  // aggregate compiled_schedule_length must agree with the per-op cost
+  // domain on BOTH modes (this is the off-by-one corner the per-op ledger
+  // cross-checks).
+  const PublicParams params{4, 2, 3, 12};  // M = νN exactly
+  for (const auto mode : {QueryMode::kSequential, QueryMode::kParallel}) {
+    const Certificate cert = certify_compiled(params, mode);
+    EXPECT_TRUE(cert.clean()) << to_json(cert);
+    EXPECT_EQ(cert.cost.d, 1u);
+    EXPECT_TRUE(cert.amplitude.already_exact);
+    EXPECT_EQ(cert.amplitude.iterations, 0u);
+    EXPECT_EQ(cert.amplitude.success_probability, 1.0);
+    const auto aggregate = compiled_schedule_length(params, mode);
+    if (mode == QueryMode::kSequential) {
+      EXPECT_EQ(cert.cost.sequential_total, aggregate);
+      EXPECT_EQ(aggregate, 2 * params.machines);
+    } else {
+      EXPECT_EQ(cert.cost.parallel_rounds, aggregate);
+      EXPECT_EQ(aggregate, 4u);
+    }
+  }
+}
+
+TEST(AbstintCorner, FullCapacityCertificateMatchesExecutedRun) {
+  std::vector<Dataset> datasets = {
+      Dataset::from_counts({2, 2, 2, 2}),
+      Dataset::from_counts({1, 1, 1, 1}),
+  };
+  DistributedDatabase db(std::move(datasets), 3);
+  const PublicParams params = public_params_of(db);
+  const Certificate cert = certify_compiled(params, QueryMode::kSequential);
+  Transcript transcript;
+  SamplerOptions options;
+  options.transcript = &transcript;
+  const auto run = run_sequential_sampler(db, options);
+  ASSERT_TRUE(run.plan.already_exact);
+  EXPECT_TRUE(cert.amplitude.already_exact);
+  EXPECT_TRUE(to_query_stats(cert.cost) == run.stats);
+  EXPECT_NEAR(cert.amplitude.success_probability, run.fidelity, 1e-9);
+  EXPECT_LE(observed_support(run.state), cert.support.bound);
+  EXPECT_EQ(transcript.size(), compiled_schedule_length(
+                                   params, QueryMode::kSequential));
+}
+
+// --- fault-recovery certificates (the dqs_chaos grid, lifted) --------------
+
+TEST(AbstintRecovery, ChaosGridCertificatesMatchFaultFreePrimaryFacts) {
+  const RetryPolicy policy;
+  for (const std::uint64_t machines : {2, 3, 5}) {
+    Rng rng(100 + machines);
+    auto datasets = workload::uniform_random(32, machines, 20, rng);
+    const auto nu = min_capacity(datasets);
+    const DistributedDatabase db(std::move(datasets), nu);
+    const PublicParams params = public_params_of(db);
+    for (const auto mode : {QueryMode::kSequential, QueryMode::kParallel}) {
+      // Fault-free baseline certificate from the recorded transcript.
+      Transcript t0;
+      SamplerOptions options;
+      options.transcript = &t0;
+      const SamplerResult r0 = mode == QueryMode::kSequential
+                                   ? run_sequential_sampler(db, options)
+                                   : run_parallel_sampler(db, options);
+      const Certificate base = certify_transcript(t0, params, mode);
+      ASSERT_TRUE(base.clean()) << to_json(base);
+
+      const auto events = compiled_schedule_length(params, mode);
+      for (const std::uint64_t plan_seed : {1, 2, 3}) {
+        const FaultPlan plan =
+            FaultPlan::random(plan_seed, events, machines);
+        const FaultedRun run =
+            run_sampler_with_faults(db, mode, plan, policy);
+        ASSERT_TRUE(run.ok()) << run.recovery.failure;
+
+        const RecoveredSchedule recovered =
+            to_recovered_schedule(run.recovery);
+        const Certificate cert = certify_recovered(recovered, params, mode);
+        EXPECT_TRUE(cert.clean()) << to_json(cert);
+
+        // Primary facts are EXACTLY the fault-free ones; the retry cost is
+        // ledgered separately under `recovery`.
+        EXPECT_TRUE(primary_facts_equal(base, cert));
+        EXPECT_TRUE(to_query_stats(cert.cost) == run.result->stats);
+        EXPECT_NEAR(cert.amplitude.success_probability,
+                    run.result->fidelity, 1e-9);
+        EXPECT_TRUE(cert.recovery.present);
+        EXPECT_TRUE(cert.recovery.retry == run.recovery.ledger.recovery);
+        EXPECT_EQ(cert.recovery.failed_attempts,
+                  run.recovery.ledger.failed_attempts);
+
+        // Certificates of recovered schedules survive the JSON round-trip.
+        EXPECT_TRUE(parse_certificate(to_json(cert)) == cert);
+      }
+    }
+  }
+}
+
+TEST(AbstintRecovery, IdentityRecoveryCertifiesWithEmptyRetryLedger) {
+  const PublicParams params{32, 4, 3, 24};
+  const auto schedule = compile_schedule(params, QueryMode::kParallel);
+  const auto recovered = identity_recovery(schedule, params.machines);
+  const Certificate cert =
+      certify_recovered(recovered, params, QueryMode::kParallel);
+  EXPECT_TRUE(cert.clean()) << to_json(cert);
+  EXPECT_TRUE(cert.recovery.present);
+  EXPECT_EQ(cert.recovery.retry.total_machine_invocations(), 0u);
+  EXPECT_EQ(cert.recovery.reissued_attempts, 0u);
+  EXPECT_EQ(cert.recovery.displaced_events, 0u);
+}
+
+// --- kill-matrix completeness ----------------------------------------------
+
+TEST(AbstintKillMatrix, EveryDomainHasAFixtureThatKillsIt) {
+  const PublicParams params{32, 4, 3, 24};
+  for (const auto& domain : domain_names()) {
+    bool covered = false;
+    for (const auto& spec : mutation_catalog()) {
+      if (spec.expected_pass != domain) continue;
+      covered = true;
+      EXPECT_TRUE(mutation_flagged(spec, params))
+          << spec.name << " failed to kill " << domain;
+    }
+    EXPECT_TRUE(covered) << "no mutation fixture kills domain " << domain;
+  }
+}
+
+TEST(AbstintKillMatrix, DomainFixturesAreInvisibleToStructuralPasses) {
+  // The new fixtures must be caught by their domain and ONLY their domain —
+  // otherwise the domain adds no analysis power over the structural passes.
+  const PublicParams params{32, 4, 3, 24};
+  for (const auto& spec : mutation_catalog()) {
+    if (std::find(domain_names().begin(), domain_names().end(),
+                  spec.expected_pass) == domain_names().end()) {
+      continue;
+    }
+    for (const auto& d : run_mutation(spec, params)) {
+      EXPECT_EQ(d.pass, spec.expected_pass)
+          << spec.name << " leaked into pass " << d.pass;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qs::analysis

@@ -49,6 +49,15 @@ to the paper's model rather than C++ correctness:
                       (dqs_trace --overhead) measures every timer the
                       library can ever start. Benches, tests and tools may
                       time freely — this rule scans src/ only.
+  kill-matrix-completeness
+                      Every checker pass / abstract domain registered
+                      between `// dqs-lint: pass-registry-begin` and
+                      `-end` markers (pass_names() in src/analysis,
+                      domain_names() in src/analysis/abstint) must have at
+                      least one mutation fixture naming it — searched in
+                      the mutations*.cpp nearest the registry file. An
+                      analyzer pass no corrupted schedule can trigger is
+                      untested tooling (see dqs_verify --mutants).
   error-taxonomy      Library code under src/ must fail through the typed
                       error taxonomy — QS_REQUIRE / QS_ASSERT raising
                       qs::ContractViolation — never via bare throw,
@@ -403,6 +412,64 @@ def rule_no_std_function_in_kernels(f: File):
                 "path, suppress with an explicit allow comment)")
 
 
+REGISTRY_BEGIN = re.compile(r"dqs-lint:\s*pass-registry-begin")
+REGISTRY_END = re.compile(r"dqs-lint:\s*pass-registry-end")
+REGISTRY_ID = re.compile(r'"([a-z][a-z0-9-]*)"')
+
+_MUTATION_CORPUS_CACHE: dict = {}
+
+
+def _mutation_corpus(f: File):
+    """Concatenated mutations*.cpp text covering f, or None.
+
+    The fixtures for a registry live in the mutations*.cpp of the nearest
+    ancestor directory that has any — src/analysis/mutations.cpp for both
+    the structural-pass registry (src/analysis/passes.cpp) and the abstract
+    domains (src/analysis/abstint/engine.cpp).
+    """
+    directory = f.path.parent
+    while True:
+        if directory in _MUTATION_CORPUS_CACHE:
+            return _MUTATION_CORPUS_CACHE[directory]
+        sources = sorted(directory.glob("mutations*.cpp"))
+        if sources:
+            corpus = "\n".join(
+                s.read_text(encoding="utf-8", errors="replace")
+                for s in sources)
+            _MUTATION_CORPUS_CACHE[directory] = corpus
+            return corpus
+        if directory == f.root or directory.parent == directory:
+            _MUTATION_CORPUS_CACHE[directory] = None
+            return None
+        directory = directory.parent
+
+
+def rule_kill_matrix_completeness(f: File):
+    registered = []  # (line, id) inside pass-registry marker spans
+    in_registry = False
+    for i, raw in enumerate(f.raw_lines, 1):
+        if REGISTRY_BEGIN.search(raw):
+            in_registry = True
+            continue
+        if REGISTRY_END.search(raw):
+            in_registry = False
+            continue
+        if in_registry:
+            for m in REGISTRY_ID.finditer(raw):
+                registered.append((i, m.group(1)))
+    if not registered:
+        return
+    corpus = _mutation_corpus(f)
+    for lineno, name in registered:
+        if corpus is None or f'"{name}"' not in corpus:
+            yield Violation(
+                f.path, lineno, "kill-matrix-completeness",
+                f'registered pass "{name}" has no mutation fixture that '
+                "kills it; add one to the nearest mutations*.cpp so "
+                "dqs_verify --mutants proves the pass can actually flag a "
+                "corrupted schedule")
+
+
 ERROR_TAXONOMY_EXEMPT = {
     # The definition site of the taxonomy itself: QS_REQUIRE/QS_ASSERT
     # expand to the one sanctioned throw.
@@ -440,6 +507,7 @@ RULES = {
     "transcript-discipline": rule_transcript_discipline,
     "timing-discipline": rule_timing_discipline,
     "no-std-function-in-kernels": rule_no_std_function_in_kernels,
+    "kill-matrix-completeness": rule_kill_matrix_completeness,
     "error-taxonomy": rule_error_taxonomy,
 }
 

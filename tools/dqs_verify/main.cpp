@@ -14,6 +14,15 @@
 //                                     format of Transcript::to_string) and
 //                                     verify it against the public
 //                                     parameters given with the flags above
+//   dqs_verify --abstint              run the abstract-interpretation
+//                                     domains over the grid (or the single
+//                                     point given with the flags above) and
+//                                     require every dqs-cert-v1 certificate
+//                                     to be clean; --cert-dir DIR writes
+//                                     one certificate JSON per point
+//   dqs_verify --mutants --kill-matrix PATH
+//                                     additionally write the per-fixture
+//                                     kill matrix (dqs-kill-matrix-v1 JSON)
 //
 // Common flags: --mode seq|par|both (default both; transcripts require a
 // single mode), --trials K (obliviousness perturbation trials, default 3),
@@ -22,17 +31,21 @@
 // Exit code: 0 clean, 1 diagnostics found (or a mutant not flagged),
 // 2 usage error.
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/abstint/certificate.hpp"
 #include "analysis/mutations.hpp"
 #include "analysis/param_grid.hpp"
 #include "analysis/verifier.hpp"
 #include "common/cli.hpp"
 #include "common/require.hpp"
+#include "telemetry/export.hpp"
 
 namespace {
 
@@ -84,13 +97,112 @@ int run_grid(const Options& options) {
   return findings == 0 ? 0 : 1;
 }
 
-int run_mutants(const PublicParams& params) {
+/// File-safe point id, e.g. cert_N32_n4_nu3_M24_sequential.
+std::string point_slug(const PublicParams& p, QueryMode mode) {
+  std::ostringstream os;
+  os << "N" << p.universe << "_n" << p.machines << "_nu" << p.nu << "_M"
+     << p.total << "_" << mode_name(mode);
+  return os.str();
+}
+
+/// Abstractly interpret one point and (optionally) persist the
+/// certificate; prints diagnostics, returns their count.
+std::size_t abstint_point(const PublicParams& params, QueryMode mode,
+                          const Options& options,
+                          const std::string& cert_dir) {
+  const auto cert = qs::analysis::certify_compiled(params, mode);
+  if (!cert.clean()) {
+    std::cout << "FAIL " << point_name(params, mode) << "\n";
+    for (const auto& d : cert.diagnostics) std::cout << d << "\n";
+  } else if (!options.quiet) {
+    std::cout << "cert " << point_name(params, mode) << ": d=" << cert.cost.d
+              << " queries=" << cert.cost.sequential_total << "+"
+              << cert.cost.parallel_rounds << "r"
+              << " p=" << cert.amplitude.success_probability
+              << " support<=" << cert.support.bound << "\n";
+  }
+  if (!cert_dir.empty()) {
+    const auto path = std::filesystem::path(cert_dir) /
+                      ("cert_" + point_slug(params, mode) + ".json");
+    std::ofstream out(path);
+    QS_REQUIRE(static_cast<bool>(out),
+               "cannot write certificate file under --cert-dir");
+    out << qs::analysis::to_json(cert) << "\n";
+  }
+  return cert.diagnostics.size();
+}
+
+int run_abstint(const Options& options, const std::string& cert_dir,
+                bool single_point, const PublicParams& single) {
+  if (!cert_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(cert_dir, ec);
+  }
+  std::size_t findings = 0;
+  std::size_t points = 0;
+  if (single_point) {
+    for (const auto mode : options.modes) {
+      findings += abstint_point(single, mode, options, cert_dir);
+      ++points;
+    }
+  } else {
+    for (const auto& params : qs::analysis::standard_grid()) {
+      for (const auto mode : options.modes) {
+        findings += abstint_point(params, mode, options, cert_dir);
+        ++points;
+      }
+    }
+  }
+  std::cout << "dqs_verify: abstint certified " << points
+            << " schedule(s), " << findings << " diagnostic(s)\n";
+  return findings == 0 ? 0 : 1;
+}
+
+/// One row of the kill matrix: which passes flagged a mutation fixture.
+struct KillRow {
+  std::string name;
+  std::string expected;
+  bool flagged = false;
+  std::set<std::string> killed_by;
+  std::size_t diagnostics = 0;
+};
+
+void write_kill_matrix(const std::vector<KillRow>& rows,
+                       const std::string& path) {
+  std::ofstream out(path);
+  QS_REQUIRE(static_cast<bool>(out), "cannot write --kill-matrix file");
+  out << "{\n  \"schema\": \"dqs-kill-matrix-v1\",\n  \"fixtures\": [";
+  bool first_row = true;
+  for (const auto& row : rows) {
+    out << (first_row ? "\n" : ",\n");
+    first_row = false;
+    out << "    {\"name\": \"" << qs::telemetry::json_escape(row.name)
+        << "\", \"expected\": \""
+        << qs::telemetry::json_escape(row.expected)
+        << "\", \"flagged\": " << (row.flagged ? "true" : "false")
+        << ", \"diagnostics\": " << row.diagnostics << ", \"killed_by\": [";
+    bool first_pass = true;
+    for (const auto& pass : row.killed_by) {
+      if (!first_pass) out << ", ";
+      first_pass = false;
+      out << "\"" << qs::telemetry::json_escape(pass) << "\"";
+    }
+    out << "]}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+int run_mutants(const PublicParams& params,
+                const std::string& kill_matrix_path) {
   std::size_t missed = 0;
+  std::vector<KillRow> rows;
   for (const auto& spec : qs::analysis::mutation_catalog()) {
     const auto diagnostics = qs::analysis::run_mutation(spec, params);
-    bool flagged = false;
-    for (const auto& d : diagnostics) flagged |= d.pass == spec.expected_pass;
-    if (flagged) {
+    KillRow row{spec.name, spec.expected_pass, false, {},
+                diagnostics.size()};
+    for (const auto& d : diagnostics) row.killed_by.insert(d.pass);
+    row.flagged = row.killed_by.count(spec.expected_pass) > 0;
+    if (row.flagged) {
       std::cout << "flagged " << spec.name << " (by " << spec.expected_pass
                 << ", " << diagnostics.size() << " diagnostic(s))\n";
     } else {
@@ -100,7 +212,9 @@ int run_mutants(const PublicParams& params) {
       for (const auto& d : diagnostics)
         std::cout << "  " << qs::analysis::to_string(d) << "\n";
     }
+    rows.push_back(std::move(row));
   }
+  if (!kill_matrix_path.empty()) write_kill_matrix(rows, kill_matrix_path);
   std::cout << "dqs_verify: "
             << qs::analysis::mutation_catalog().size() - missed << "/"
             << qs::analysis::mutation_catalog().size()
@@ -162,6 +276,10 @@ int main(int argc, char** argv) {
 
     const bool grid = args.get("grid", false);
     const bool mutants = args.get("mutants", false);
+    const bool abstint = args.get("abstint", false);
+    const std::string cert_dir = args.get("cert-dir", std::string());
+    const std::string kill_matrix_path =
+        args.get("kill-matrix", std::string());
     const std::string transcript_path =
         args.get("transcript", std::string());
     const bool single_point = args.has("universe") || args.has("machines") ||
@@ -181,17 +299,27 @@ int main(int argc, char** argv) {
       acted = true;
     }
     if (mutants) {
-      status = std::max(status, run_mutants(params));
+      status = std::max(status, run_mutants(params, kill_matrix_path));
       acted = true;
     }
-    if (single_point && transcript_path.empty()) {
+    if (abstint) {
+      // --abstint --grid sweeps the grid even when a single point is also
+      // given; a bare --abstint with point flags certifies just that point.
+      status = std::max(status,
+                        run_abstint(options, cert_dir,
+                                    single_point && !grid, params));
+      acted = true;
+    }
+    if (single_point && transcript_path.empty() && !abstint) {
       std::size_t findings = 0;
       for (const auto m : options.modes)
         findings += verify_point(params, m, options);
       status = std::max(status, findings == 0 ? 0 : 1);
       acted = true;
     }
-    if (grid || !acted) status = std::max(status, run_grid(options));
+    if (grid || !acted) {
+      if (!abstint) status = std::max(status, run_grid(options));
+    }
     return status;
   } catch (const std::exception& e) {
     std::cerr << "dqs_verify: " << e.what() << "\n";

@@ -29,6 +29,7 @@ EXPECTED = {
     ("src/sampling/bad_transcript.cpp", "transcript-discipline"),
     ("src/qsim/bad_timing.cpp", "timing-discipline"),
     ("src/qsim/bad_function_kernel.cpp", "no-std-function-in-kernels"),
+    ("src/analysis/bad_registry.cpp", "kill-matrix-completeness"),
     ("src/estimation/bad_error.cpp", "error-taxonomy"),
 }
 
@@ -36,6 +37,7 @@ CONTROL_FILES = {
     "src/apps/ok_app_io.cpp",
     "src/common/ok_suppressed.cpp",
     "src/common/ok_clean.hpp",
+    "src/analysis/mutations.cpp",
 }
 
 REPORT_RE = re.compile(r"^(?P<file>[^:]+):(?P<line>\d+): \[(?P<rule>[a-z0-9-]+)\]")
