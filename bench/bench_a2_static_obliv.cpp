@@ -1,0 +1,152 @@
+// Experiment A2 — static vs dynamic obliviousness proof cost
+// (docs/ANALYSIS.md).
+//
+// The taint domain proves obliviousness by one abstract pass over the
+// lifted program; the legacy dynamic pass recompiles the schedule under 3
+// perturbed datasets and diffs the micro-op streams. The whole point of
+// the static proof is that it is STRICTLY cheaper at the same verdict —
+// this harness measures both on the same points and gates two things:
+//
+//   1. static < dynamic at every point (the ratio stays below 1), and
+//   2. the worst static/dynamic ratio has not regressed past 2× the
+//      committed baseline (bench/baselines/static_obliv.json).
+//
+//   bench_a2_static_obliv [--json PATH] [--baseline FILE]
+//                         [--write-baseline FILE]
+//
+// Exit code: 0 clean, 1 verdict mismatch, static not cheaper, or ratio
+// regression.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/abstint/engine.hpp"
+#include "analysis/ir.hpp"
+#include "analysis/passes.hpp"
+#include "bench_util.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/trace.hpp"
+
+namespace {
+
+using namespace qs;
+
+constexpr const char* kBaselineSchema = "dqs-static-obliv-v1";
+constexpr double kRatioSlackFactor = 2.0;
+constexpr std::size_t kDynamicTrials = 3;  // the verify_program default
+constexpr std::uint64_t kSeed = 0x5eed;
+
+double best_of_5_ns(const std::function<void()>& body) {
+  double best = 1e300;
+  body();  // warm-up
+  for (int pass = 0; pass < 5; ++pass) {
+    const auto start = telemetry::monotonic_ns();
+    body();
+    best = std::min(best, double(telemetry::monotonic_ns() - start));
+  }
+  return best;
+}
+
+const char* mode_name(QueryMode mode) {
+  return mode == QueryMode::kSequential ? "sequential" : "parallel";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Reporter reporter(
+      argc, argv, "A2",
+      "Static obliviousness proof (taint domain over the lifted program) "
+      "vs the dynamic perturbed-recompilation pass it replaces");
+  const CliArgs args(argc, argv);
+  const auto baseline_path = args.get("baseline", std::string());
+  const auto write_path = args.get("write-baseline", std::string());
+
+  struct Point {
+    std::uint64_t universe;
+    std::uint64_t machines;
+  };
+  const std::vector<Point> points = {{64, 4}, {256, 4}, {1024, 8},
+                                     {4096, 8}};
+
+  bool ok = true;
+  double worst_ratio = 0.0;
+  TextTable table({"N", "n", "mode", "static us", "dynamic us", "ratio",
+                   "verdicts"});
+  for (const auto& point : points) {
+    const PublicParams params{point.universe, point.machines, 3,
+                              3 * point.universe / 4};
+    for (const auto mode : {QueryMode::kSequential, QueryMode::kParallel}) {
+      analysis::TaintFacts facts;
+      const auto static_ns = best_of_5_ns([&] {
+        facts = analysis::taint_of(analysis::lift_compiled(params, mode));
+      });
+      bool dynamic_oblivious = false;
+      const auto dynamic_ns = best_of_5_ns([&] {
+        dynamic_oblivious =
+            analysis::certify_obliviousness(params, mode, kDynamicTrials,
+                                            kSeed)
+                .empty();
+      });
+      const bool agree =
+          facts.oblivious_statically_proven == dynamic_oblivious;
+      ok = ok && facts.oblivious_statically_proven && agree;
+      if (static_ns >= dynamic_ns) {
+        std::printf("FAILED: static proof is not cheaper than the dynamic "
+                    "pass at N=%llu n=%llu %s\n",
+                    static_cast<unsigned long long>(params.universe),
+                    static_cast<unsigned long long>(params.machines),
+                    mode_name(mode));
+        ok = false;
+      }
+      const double ratio = static_ns / dynamic_ns;
+      worst_ratio = std::max(worst_ratio, ratio);
+      table.add_row({TextTable::cell(params.universe),
+                     TextTable::cell(params.machines), mode_name(mode),
+                     TextTable::cell(static_ns / 1e3, 1),
+                     TextTable::cell(dynamic_ns / 1e3, 1),
+                     TextTable::cell(ratio, 3),
+                     agree ? "agree" : "DISAGREE"});
+    }
+  }
+  table.print(std::cout,
+              "A2: static vs dynamic obliviousness proof cost");
+  reporter.add("A2: static vs dynamic obliviousness proof cost", table);
+
+  if (!write_path.empty()) {
+    std::ofstream out(write_path);
+    QS_REQUIRE(static_cast<bool>(out), "cannot write --write-baseline file");
+    std::ostringstream doc;
+    doc << "{\"schema\":\"" << kBaselineSchema << "\",\"max_ratio\":"
+        << TextTable::cell(worst_ratio, 4) << "}";
+    out << doc.str() << "\n";
+    std::printf("baseline written to %s\n", write_path.c_str());
+  }
+
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    QS_REQUIRE(static_cast<bool>(in), "cannot open --baseline file");
+    std::ostringstream text;
+    text << in.rdbuf();
+    const auto doc = telemetry::json::parse(text.str());
+    QS_REQUIRE(doc.at("schema").as_string() == kBaselineSchema,
+               "unexpected baseline schema");
+    const double recorded = doc.at("max_ratio").as_number();
+    const double budget = recorded * kRatioSlackFactor;
+    std::printf("worst ratio %.3f vs baseline %.3f (budget %.3f)\n",
+                worst_ratio, recorded, budget);
+    if (worst_ratio > budget) {
+      std::printf("FAILED: static/dynamic ratio regressed past the %gx "
+                  "budget\n", kRatioSlackFactor);
+      ok = false;
+    }
+  }
+
+  return reporter.finish(ok ? 0 : 1);
+}

@@ -1,0 +1,317 @@
+#include "analysis/abstint/cert_io.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <limits>
+
+#include "telemetry/export.hpp"
+
+namespace qs::analysis::cert_io {
+
+namespace {
+
+using telemetry::json::Value;
+
+const char* type_name(Value::Type type) {
+  switch (type) {
+    case Value::Type::kNull: return "null";
+    case Value::Type::kBool: return "a boolean";
+    case Value::Type::kNumber: return "a number";
+    case Value::Type::kString: return "a string";
+    case Value::Type::kArray: return "an array";
+    case Value::Type::kObject: return "an object";
+  }
+  return "an unknown value";
+}
+
+}  // namespace
+
+std::string num(double v) {
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+  return os.str();
+}
+
+void emit_u64_array(std::ostringstream& os,
+                    const std::vector<std::uint64_t>& values) {
+  os << '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) os << ',';
+    os << values[i];
+  }
+  os << ']';
+}
+
+void emit_certificate_body(std::ostringstream& os, const Certificate& cert) {
+  os << "\"params\": {\"universe\": " << cert.params.universe
+     << ", \"machines\": " << cert.params.machines
+     << ", \"nu\": " << cert.params.nu
+     << ", \"total\": " << cert.params.total << "},\n\"mode\": \""
+     << (cert.mode == QueryMode::kSequential ? "sequential" : "parallel")
+     << "\",\n";
+
+  const CostFacts& c = cert.cost;
+  os << "\"cost\": {\"d\": " << c.d << ", \"forward_per_machine\": ";
+  emit_u64_array(os, c.forward_per_machine);
+  os << ", \"adjoint_per_machine\": ";
+  emit_u64_array(os, c.adjoint_per_machine);
+  os << ", \"sequential_total\": " << c.sequential_total
+     << ", \"parallel_rounds\": " << c.parallel_rounds
+     << ", \"sends\": " << c.sends << ", \"recvs\": " << c.recvs
+     << ", \"closed_form\": " << c.closed_form
+     << ", \"matches_closed_form\": " << bool_str(c.matches_closed_form)
+     << "},\n";
+
+  const AmplitudeFacts& a = cert.amplitude;
+  os << "\"amplitude\": {\"a\": " << num(a.a) << ", \"theta\": "
+     << num(a.theta) << ", \"iterations\": " << a.iterations
+     << ", \"needs_final\": " << bool_str(a.needs_final)
+     << ", \"already_exact\": " << bool_str(a.already_exact)
+     << ", \"derivation\": \"" << telemetry::json_escape(a.derivation)
+     << "\", \"success_probability\": " << num(a.success_probability)
+     << ", \"residual_bad\": " << num(a.residual_bad)
+     << ", \"zero_error\": " << bool_str(a.zero_error) << "},\n";
+
+  const SupportFacts& s = cert.support;
+  os << "\"support\": {\"dimension\": " << s.dimension
+     << ", \"after_prep\": " << s.after_prep << ", \"bound\": " << s.bound
+     << ", \"growth_f\": " << s.growth_f << ", \"growth_u\": " << s.growth_u
+     << "},\n";
+
+  const RecoveryFacts& r = cert.recovery;
+  os << "\"recovery\": {\"present\": " << bool_str(r.present);
+  if (r.present) {
+    os << ", \"retry_per_machine\": ";
+    emit_u64_array(os, r.retry.sequential_per_machine);
+    os << ", \"retry_parallel_rounds\": " << r.retry.parallel_rounds
+       << ", \"failed_attempts\": " << r.failed_attempts
+       << ", \"backoff_events\": " << r.backoff_events
+       << ", \"displaced_events\": " << r.displaced_events
+       << ", \"reissued_attempts\": " << r.reissued_attempts;
+  }
+  os << "},\n\"diagnostics\": [";
+  for (std::size_t i = 0; i < cert.diagnostics.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << '"' << telemetry::json_escape(cert.diagnostics[i]) << '"';
+  }
+  os << "]";
+}
+
+void ParseCtx::fail(const std::string& path, const std::string& reason) {
+  if (failed) return;
+  failed = true;
+  error.path = path;
+  error.reason = reason;
+}
+
+const Value* field(const Value& v, const std::string& path, const char* key,
+                   ParseCtx& ctx) {
+  if (ctx.failed) return nullptr;
+  if (!v.is_object()) {
+    ctx.fail(path, std::string("expected an object, found ") +
+                       type_name(v.type));
+    return nullptr;
+  }
+  const auto it = v.object.find(key);
+  if (it == v.object.end()) {
+    ctx.fail(path + "." + key, "required field is missing");
+    return nullptr;
+  }
+  return &it->second;
+}
+
+std::uint64_t read_u64(const Value& v, const std::string& path,
+                       ParseCtx& ctx) {
+  if (ctx.failed) return 0;
+  if (v.type != Value::Type::kNumber) {
+    ctx.fail(path, std::string("expected a number, found ") +
+                       type_name(v.type));
+    return 0;
+  }
+  if (v.number < 0 || std::floor(v.number) != v.number) {
+    ctx.fail(path, "expected a non-negative integer, found " +
+                       num(v.number));
+    return 0;
+  }
+  return static_cast<std::uint64_t>(v.number);
+}
+
+double read_num(const Value& v, const std::string& path, ParseCtx& ctx) {
+  if (ctx.failed) return 0.0;
+  if (v.type != Value::Type::kNumber) {
+    ctx.fail(path, std::string("expected a number, found ") +
+                       type_name(v.type));
+    return 0.0;
+  }
+  return v.number;
+}
+
+bool read_bool(const Value& v, const std::string& path, ParseCtx& ctx) {
+  if (ctx.failed) return false;
+  if (v.type != Value::Type::kBool) {
+    ctx.fail(path, std::string("expected a boolean, found ") +
+                       type_name(v.type));
+    return false;
+  }
+  return v.boolean;
+}
+
+std::string read_string(const Value& v, const std::string& path,
+                        ParseCtx& ctx) {
+  if (ctx.failed) return {};
+  if (v.type != Value::Type::kString) {
+    ctx.fail(path, std::string("expected a string, found ") +
+                       type_name(v.type));
+    return {};
+  }
+  return v.string;
+}
+
+std::vector<std::uint64_t> read_u64_array(const Value& v,
+                                          const std::string& path,
+                                          ParseCtx& ctx) {
+  std::vector<std::uint64_t> out;
+  if (ctx.failed) return out;
+  if (!v.is_array()) {
+    ctx.fail(path, std::string("expected an array, found ") +
+                       type_name(v.type));
+    return out;
+  }
+  out.reserve(v.array.size());
+  for (std::size_t i = 0; i < v.array.size(); ++i) {
+    out.push_back(
+        read_u64(v.array[i], path + "[" + std::to_string(i) + "]", ctx));
+    if (ctx.failed) break;
+  }
+  return out;
+}
+
+std::uint64_t field_u64(const Value& v, const std::string& path,
+                        const char* key, ParseCtx& ctx) {
+  const Value* f = field(v, path, key, ctx);
+  return f == nullptr ? 0 : read_u64(*f, path + "." + key, ctx);
+}
+
+double field_num(const Value& v, const std::string& path, const char* key,
+                 ParseCtx& ctx) {
+  const Value* f = field(v, path, key, ctx);
+  return f == nullptr ? 0.0 : read_num(*f, path + "." + key, ctx);
+}
+
+bool field_bool(const Value& v, const std::string& path, const char* key,
+                ParseCtx& ctx) {
+  const Value* f = field(v, path, key, ctx);
+  return f != nullptr && read_bool(*f, path + "." + key, ctx);
+}
+
+std::string field_string(const Value& v, const std::string& path,
+                         const char* key, ParseCtx& ctx) {
+  const Value* f = field(v, path, key, ctx);
+  return f == nullptr ? std::string() : read_string(*f, path + "." + key, ctx);
+}
+
+std::vector<std::uint64_t> field_u64_array(const Value& v,
+                                           const std::string& path,
+                                           const char* key, ParseCtx& ctx) {
+  const Value* f = field(v, path, key, ctx);
+  return f == nullptr ? std::vector<std::uint64_t>()
+                      : read_u64_array(*f, path + "." + key, ctx);
+}
+
+bool read_certificate_body(const Value& doc, Certificate& cert,
+                           ParseCtx& ctx) {
+  if (const Value* p = field(doc, "$", "params", ctx)) {
+    cert.params.universe = field_u64(*p, "$.params", "universe", ctx);
+    cert.params.machines = field_u64(*p, "$.params", "machines", ctx);
+    cert.params.nu = field_u64(*p, "$.params", "nu", ctx);
+    cert.params.total = field_u64(*p, "$.params", "total", ctx);
+  }
+
+  const std::string mode = field_string(doc, "$", "mode", ctx);
+  if (!ctx.failed) {
+    if (mode == "sequential") {
+      cert.mode = QueryMode::kSequential;
+    } else if (mode == "parallel") {
+      cert.mode = QueryMode::kParallel;
+    } else {
+      ctx.fail("$.mode", "unknown query mode '" + mode + "'");
+    }
+  }
+
+  if (const Value* c = field(doc, "$", "cost", ctx)) {
+    cert.cost.d = field_u64(*c, "$.cost", "d", ctx);
+    cert.cost.forward_per_machine =
+        field_u64_array(*c, "$.cost", "forward_per_machine", ctx);
+    cert.cost.adjoint_per_machine =
+        field_u64_array(*c, "$.cost", "adjoint_per_machine", ctx);
+    cert.cost.sequential_total =
+        field_u64(*c, "$.cost", "sequential_total", ctx);
+    cert.cost.parallel_rounds = field_u64(*c, "$.cost", "parallel_rounds", ctx);
+    cert.cost.sends = field_u64(*c, "$.cost", "sends", ctx);
+    cert.cost.recvs = field_u64(*c, "$.cost", "recvs", ctx);
+    cert.cost.closed_form = field_u64(*c, "$.cost", "closed_form", ctx);
+    cert.cost.matches_closed_form =
+        field_bool(*c, "$.cost", "matches_closed_form", ctx);
+  }
+
+  if (const Value* a = field(doc, "$", "amplitude", ctx)) {
+    cert.amplitude.a = field_num(*a, "$.amplitude", "a", ctx);
+    cert.amplitude.theta = field_num(*a, "$.amplitude", "theta", ctx);
+    cert.amplitude.iterations =
+        field_u64(*a, "$.amplitude", "iterations", ctx);
+    cert.amplitude.needs_final =
+        field_bool(*a, "$.amplitude", "needs_final", ctx);
+    cert.amplitude.already_exact =
+        field_bool(*a, "$.amplitude", "already_exact", ctx);
+    cert.amplitude.derivation =
+        field_string(*a, "$.amplitude", "derivation", ctx);
+    cert.amplitude.success_probability =
+        field_num(*a, "$.amplitude", "success_probability", ctx);
+    cert.amplitude.residual_bad =
+        field_num(*a, "$.amplitude", "residual_bad", ctx);
+    cert.amplitude.zero_error =
+        field_bool(*a, "$.amplitude", "zero_error", ctx);
+  }
+
+  if (const Value* s = field(doc, "$", "support", ctx)) {
+    cert.support.dimension = field_u64(*s, "$.support", "dimension", ctx);
+    cert.support.after_prep = field_u64(*s, "$.support", "after_prep", ctx);
+    cert.support.bound = field_u64(*s, "$.support", "bound", ctx);
+    cert.support.growth_f = field_u64(*s, "$.support", "growth_f", ctx);
+    cert.support.growth_u = field_u64(*s, "$.support", "growth_u", ctx);
+  }
+
+  if (const Value* r = field(doc, "$", "recovery", ctx)) {
+    cert.recovery.present = field_bool(*r, "$.recovery", "present", ctx);
+    if (!ctx.failed && cert.recovery.present) {
+      cert.recovery.retry.sequential_per_machine =
+          field_u64_array(*r, "$.recovery", "retry_per_machine", ctx);
+      cert.recovery.retry.parallel_rounds =
+          field_u64(*r, "$.recovery", "retry_parallel_rounds", ctx);
+      cert.recovery.failed_attempts =
+          field_u64(*r, "$.recovery", "failed_attempts", ctx);
+      cert.recovery.backoff_events =
+          field_u64(*r, "$.recovery", "backoff_events", ctx);
+      cert.recovery.displaced_events =
+          field_u64(*r, "$.recovery", "displaced_events", ctx);
+      cert.recovery.reissued_attempts =
+          field_u64(*r, "$.recovery", "reissued_attempts", ctx);
+    }
+  }
+
+  if (const Value* d = field(doc, "$", "diagnostics", ctx)) {
+    if (!d->is_array()) {
+      ctx.fail("$.diagnostics", std::string("expected an array, found ") +
+                                    type_name(d->type));
+    } else {
+      for (std::size_t i = 0; i < d->array.size(); ++i) {
+        cert.diagnostics.push_back(read_string(
+            d->array[i], "$.diagnostics[" + std::to_string(i) + "]", ctx));
+        if (ctx.failed) break;
+      }
+    }
+  }
+  return !ctx.failed;
+}
+
+}  // namespace qs::analysis::cert_io

@@ -1,0 +1,90 @@
+// Shared JSON plumbing for dqs-cert-v1 and dqs-tv-v1 certificates.
+//
+// The dqs-tv-v1 document (analysis/tv/certificate.hpp) is a strict
+// superset of dqs-cert-v1: same body (params, mode, cost, amplitude,
+// support, recovery, diagnostics), different schema tag, two extra
+// sections. Both writers emit the body through emit_certificate_body() and
+// both checked parsers read it through read_certificate_body(), so the
+// formats cannot drift apart.
+//
+// The readers are NON-THROWING: every accessor takes a ParseCtx and a JSON
+// path ("$.cost.forward_per_machine[2]"); the first shape mismatch records
+// a CertificateParseError and every later accessor short-circuits, so a
+// malformed document yields one precise structured error instead of an
+// exception from whichever field happened to be read first.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/abstint/certificate.hpp"
+#include "telemetry/json.hpp"
+
+namespace qs::analysis::cert_io {
+
+/// max_digits10 renders doubles so that strtod reproduces them exactly —
+/// the certificate JSON round-trip is bit-for-bit.
+std::string num(double v);
+
+void emit_u64_array(std::ostringstream& os,
+                    const std::vector<std::uint64_t>& values);
+
+inline const char* bool_str(bool b) { return b ? "true" : "false"; }
+
+/// Emit everything between the schema line and the closing brace: from
+/// `"params"` through `"diagnostics": […]`, with no trailing comma — the
+/// caller appends either `\n}` (dqs-cert-v1) or its extra sections
+/// (dqs-tv-v1).
+void emit_certificate_body(std::ostringstream& os, const Certificate& cert);
+
+/// First-failure-wins error context for the non-throwing readers.
+struct ParseCtx {
+  CertificateParseError error;
+  bool failed = false;
+
+  void fail(const std::string& path, const std::string& reason);
+};
+
+/// Object member lookup: nullptr (and a recorded error) when `v` is not an
+/// object or lacks `key`. `path` is the parent's JSON path.
+const telemetry::json::Value* field(const telemetry::json::Value& v,
+                                    const std::string& path, const char* key,
+                                    ParseCtx& ctx);
+
+std::uint64_t read_u64(const telemetry::json::Value& v,
+                       const std::string& path, ParseCtx& ctx);
+double read_num(const telemetry::json::Value& v, const std::string& path,
+                ParseCtx& ctx);
+bool read_bool(const telemetry::json::Value& v, const std::string& path,
+               ParseCtx& ctx);
+std::string read_string(const telemetry::json::Value& v,
+                        const std::string& path, ParseCtx& ctx);
+std::vector<std::uint64_t> read_u64_array(const telemetry::json::Value& v,
+                                          const std::string& path,
+                                          ParseCtx& ctx);
+
+/// Convenience: look up `key` in object `v` and read it with the matching
+/// typed reader; on a recorded failure the zero value is returned.
+std::uint64_t field_u64(const telemetry::json::Value& v,
+                        const std::string& path, const char* key,
+                        ParseCtx& ctx);
+double field_num(const telemetry::json::Value& v, const std::string& path,
+                 const char* key, ParseCtx& ctx);
+bool field_bool(const telemetry::json::Value& v, const std::string& path,
+                const char* key, ParseCtx& ctx);
+std::string field_string(const telemetry::json::Value& v,
+                         const std::string& path, const char* key,
+                         ParseCtx& ctx);
+std::vector<std::uint64_t> field_u64_array(const telemetry::json::Value& v,
+                                           const std::string& path,
+                                           const char* key, ParseCtx& ctx);
+
+/// Read the shared certificate body (everything but the schema) from a
+/// parsed document into `cert`. Returns false — with ctx.error set — on
+/// the first shape mismatch.
+bool read_certificate_body(const telemetry::json::Value& doc,
+                           Certificate& cert, ParseCtx& ctx);
+
+}  // namespace qs::analysis::cert_io

@@ -1,9 +1,9 @@
 #include "analysis/abstint/certificate.hpp"
 
-#include <iomanip>
-#include <limits>
 #include <sstream>
+#include <utility>
 
+#include "analysis/abstint/cert_io.hpp"
 #include "analysis/abstint/engine.hpp"
 #include "analysis/verifier.hpp"
 #include "common/require.hpp"
@@ -13,38 +13,6 @@
 namespace qs::analysis {
 
 namespace {
-
-/// max_digits10 renders doubles so that strtod reproduces them exactly —
-/// the certificate JSON round-trip is bit-for-bit.
-std::string num(double v) {
-  std::ostringstream os;
-  os << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
-  return os.str();
-}
-
-void emit_u64_array(std::ostringstream& os,
-                    const std::vector<std::uint64_t>& values) {
-  os << '[';
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    if (i != 0) os << ',';
-    os << values[i];
-  }
-  os << ']';
-}
-
-const char* bool_str(bool b) { return b ? "true" : "false"; }
-
-std::uint64_t u64(const telemetry::json::Value& v) {
-  return static_cast<std::uint64_t>(v.as_number());
-}
-
-std::vector<std::uint64_t> u64_array(const telemetry::json::Value& v) {
-  QS_REQUIRE(v.is_array(), "dqs-cert-v1: expected an array");
-  std::vector<std::uint64_t> out;
-  out.reserve(v.array.size());
-  for (const auto& e : v.array) out.push_back(u64(e));
-  return out;
-}
 
 void fill_diagnostics(Certificate& cert, const VerifyReport& report) {
   cert.diagnostics.reserve(report.diagnostics.size());
@@ -120,129 +88,44 @@ Certificate certify_recovered(const RecoveredSchedule& recovered,
 std::string to_json(const Certificate& cert) {
   std::ostringstream os;
   os << "{\n\"schema\": \"" << telemetry::json_escape(cert.schema)
-     << "\",\n\"params\": {\"universe\": " << cert.params.universe
-     << ", \"machines\": " << cert.params.machines
-     << ", \"nu\": " << cert.params.nu
-     << ", \"total\": " << cert.params.total << "},\n\"mode\": \""
-     << (cert.mode == QueryMode::kSequential ? "sequential" : "parallel")
      << "\",\n";
-
-  const CostFacts& c = cert.cost;
-  os << "\"cost\": {\"d\": " << c.d << ", \"forward_per_machine\": ";
-  emit_u64_array(os, c.forward_per_machine);
-  os << ", \"adjoint_per_machine\": ";
-  emit_u64_array(os, c.adjoint_per_machine);
-  os << ", \"sequential_total\": " << c.sequential_total
-     << ", \"parallel_rounds\": " << c.parallel_rounds
-     << ", \"sends\": " << c.sends << ", \"recvs\": " << c.recvs
-     << ", \"closed_form\": " << c.closed_form
-     << ", \"matches_closed_form\": " << bool_str(c.matches_closed_form)
-     << "},\n";
-
-  const AmplitudeFacts& a = cert.amplitude;
-  os << "\"amplitude\": {\"a\": " << num(a.a) << ", \"theta\": "
-     << num(a.theta) << ", \"iterations\": " << a.iterations
-     << ", \"needs_final\": " << bool_str(a.needs_final)
-     << ", \"already_exact\": " << bool_str(a.already_exact)
-     << ", \"derivation\": \"" << telemetry::json_escape(a.derivation)
-     << "\", \"success_probability\": " << num(a.success_probability)
-     << ", \"residual_bad\": " << num(a.residual_bad)
-     << ", \"zero_error\": " << bool_str(a.zero_error) << "},\n";
-
-  const SupportFacts& s = cert.support;
-  os << "\"support\": {\"dimension\": " << s.dimension
-     << ", \"after_prep\": " << s.after_prep << ", \"bound\": " << s.bound
-     << ", \"growth_f\": " << s.growth_f << ", \"growth_u\": " << s.growth_u
-     << "},\n";
-
-  const RecoveryFacts& r = cert.recovery;
-  os << "\"recovery\": {\"present\": " << bool_str(r.present);
-  if (r.present) {
-    os << ", \"retry_per_machine\": ";
-    emit_u64_array(os, r.retry.sequential_per_machine);
-    os << ", \"retry_parallel_rounds\": " << r.retry.parallel_rounds
-       << ", \"failed_attempts\": " << r.failed_attempts
-       << ", \"backoff_events\": " << r.backoff_events
-       << ", \"displaced_events\": " << r.displaced_events
-       << ", \"reissued_attempts\": " << r.reissued_attempts;
-  }
-  os << "},\n\"diagnostics\": [";
-  for (std::size_t i = 0; i < cert.diagnostics.size(); ++i) {
-    if (i != 0) os << ", ";
-    os << '"' << telemetry::json_escape(cert.diagnostics[i]) << '"';
-  }
-  os << "]\n}\n";
+  cert_io::emit_certificate_body(os, cert);
+  os << "\n}\n";
   return os.str();
 }
 
+std::string CertificateParseError::to_string() const {
+  return "certificate parse error at " + path + ": " + reason;
+}
+
+CertificateParseResult parse_certificate_checked(const std::string& text) {
+  CertificateParseResult result;
+  cert_io::ParseCtx ctx;
+  telemetry::json::Value doc;
+  try {
+    doc = telemetry::json::parse(text);
+  } catch (const ContractViolation& e) {
+    ctx.fail("$", std::string("document is not valid JSON: ") + e.what());
+    result.error = ctx.error;
+    return result;
+  }
+  result.certificate.schema =
+      cert_io::field_string(doc, "$", "schema", ctx);
+  if (!ctx.failed && result.certificate.schema != "dqs-cert-v1") {
+    ctx.fail("$.schema", "not a dqs-cert-v1 document: schema is '" +
+                             result.certificate.schema + "'");
+  }
+  if (!ctx.failed) {
+    (void)cert_io::read_certificate_body(doc, result.certificate, ctx);
+  }
+  if (ctx.failed) result.error = ctx.error;
+  return result;
+}
+
 Certificate parse_certificate(const std::string& text) {
-  const auto doc = telemetry::json::parse(text);
-  Certificate cert;
-  cert.schema = doc.at("schema").as_string();
-  QS_REQUIRE(cert.schema == "dqs-cert-v1",
-             "not a dqs-cert-v1 document: schema is '" + cert.schema + "'");
-
-  const auto& p = doc.at("params");
-  cert.params.universe = u64(p.at("universe"));
-  cert.params.machines = u64(p.at("machines"));
-  cert.params.nu = u64(p.at("nu"));
-  cert.params.total = u64(p.at("total"));
-
-  const auto& mode = doc.at("mode").as_string();
-  QS_REQUIRE(mode == "sequential" || mode == "parallel",
-             "dqs-cert-v1: unknown mode '" + mode + "'");
-  cert.mode =
-      mode == "sequential" ? QueryMode::kSequential : QueryMode::kParallel;
-
-  const auto& c = doc.at("cost");
-  cert.cost.d = u64(c.at("d"));
-  cert.cost.forward_per_machine = u64_array(c.at("forward_per_machine"));
-  cert.cost.adjoint_per_machine = u64_array(c.at("adjoint_per_machine"));
-  cert.cost.sequential_total = u64(c.at("sequential_total"));
-  cert.cost.parallel_rounds = u64(c.at("parallel_rounds"));
-  cert.cost.sends = u64(c.at("sends"));
-  cert.cost.recvs = u64(c.at("recvs"));
-  cert.cost.closed_form = u64(c.at("closed_form"));
-  cert.cost.matches_closed_form = c.at("matches_closed_form").as_bool();
-
-  const auto& a = doc.at("amplitude");
-  cert.amplitude.a = a.at("a").as_number();
-  cert.amplitude.theta = a.at("theta").as_number();
-  cert.amplitude.iterations = u64(a.at("iterations"));
-  cert.amplitude.needs_final = a.at("needs_final").as_bool();
-  cert.amplitude.already_exact = a.at("already_exact").as_bool();
-  cert.amplitude.derivation = a.at("derivation").as_string();
-  cert.amplitude.success_probability =
-      a.at("success_probability").as_number();
-  cert.amplitude.residual_bad = a.at("residual_bad").as_number();
-  cert.amplitude.zero_error = a.at("zero_error").as_bool();
-
-  const auto& s = doc.at("support");
-  cert.support.dimension = u64(s.at("dimension"));
-  cert.support.after_prep = u64(s.at("after_prep"));
-  cert.support.bound = u64(s.at("bound"));
-  cert.support.growth_f = u64(s.at("growth_f"));
-  cert.support.growth_u = u64(s.at("growth_u"));
-
-  const auto& r = doc.at("recovery");
-  cert.recovery.present = r.at("present").as_bool();
-  if (cert.recovery.present) {
-    cert.recovery.retry.sequential_per_machine =
-        u64_array(r.at("retry_per_machine"));
-    cert.recovery.retry.parallel_rounds = u64(r.at("retry_parallel_rounds"));
-    cert.recovery.failed_attempts = u64(r.at("failed_attempts"));
-    cert.recovery.backoff_events = u64(r.at("backoff_events"));
-    cert.recovery.displaced_events = u64(r.at("displaced_events"));
-    cert.recovery.reissued_attempts = u64(r.at("reissued_attempts"));
-  }
-
-  const auto& diagnostics = doc.at("diagnostics");
-  QS_REQUIRE(diagnostics.is_array(),
-             "dqs-cert-v1: diagnostics must be an array");
-  for (const auto& d : diagnostics.array) {
-    cert.diagnostics.push_back(d.as_string());
-  }
-  return cert;
+  CertificateParseResult result = parse_certificate_checked(text);
+  QS_REQUIRE(result.ok(), result.error->to_string());
+  return std::move(result.certificate);
 }
 
 bool primary_facts_equal(const Certificate& a, const Certificate& b) {

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -72,8 +73,38 @@ Certificate certify_recovered(const RecoveredSchedule& recovered,
 /// The dqs-cert-v1 JSON document (stable key order, no timestamps).
 std::string to_json(const Certificate& cert);
 
-/// Parse a dqs-cert-v1 document; throws qs::ContractViolation on schema or
-/// shape mismatches.
+/// Structured certificate parse failure, mirroring TranscriptParseError
+/// (distdb/transcript.hpp): `path` is the JSON path of the offending field
+/// ("$.cost.forward_per_machine[2]", or "$" for document-level problems),
+/// `reason` says what was wrong with it.
+struct CertificateParseError {
+  std::string path;
+  std::string reason;
+
+  /// "certificate parse error at <path>: <reason>" — one line.
+  std::string to_string() const;
+
+  friend bool operator==(const CertificateParseError&,
+                         const CertificateParseError&) = default;
+};
+
+/// Outcome of parse_certificate_checked(): on failure `certificate` holds
+/// whatever fields parsed before the first mismatch — inspect `error`.
+struct CertificateParseResult {
+  Certificate certificate;
+  std::optional<CertificateParseError> error;
+
+  bool ok() const noexcept { return !error.has_value(); }
+};
+
+/// Parse a dqs-cert-v1 document without throwing: malformed JSON, a wrong
+/// schema tag, missing fields and type mismatches all come back as one
+/// structured CertificateParseError naming the exact field.
+CertificateParseResult parse_certificate_checked(const std::string& text);
+
+/// Parse a dqs-cert-v1 document; throws qs::ContractViolation carrying the
+/// structured error's message on schema or shape mismatches. Thin wrapper
+/// over parse_certificate_checked().
 Certificate parse_certificate(const std::string& text);
 
 /// True when two certificates agree on every PRIMARY fact — parameters,

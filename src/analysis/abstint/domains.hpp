@@ -14,7 +14,14 @@
 //                   phase oracles are diagonal (support preserved), while F
 //                   grows support by ≤ N and 𝒰 by ≤ 2. These are the
 //                   "max support ≤ S" facts that will later gate dense-vs-
-//                   structured backend selection (ROADMAP item 2).
+//                   structured backend selection (ROADMAP item 2);
+//   TaintFacts      noninterference over the dataset-content taint lattice
+//                   (ir.hpp TaintLabel): the join of all op labels. When it
+//                   is kPublic, the entire micro-op sequence — control
+//                   flow, communication pattern, unitary markers — is a
+//                   function of PublicParams alone, which proves the
+//                   Section 3 obliviousness property statically instead of
+//                   by perturbed recompilation (passes.cpp).
 //
 // The facts are plain aggregates with defaulted equality so certificates
 // (certificate.hpp) can be compared bit-for-bit after a JSON round-trip.
@@ -88,6 +95,24 @@ struct SupportFacts {
   std::uint64_t growth_u = 0;    ///< 𝒰/𝒰† applications seen (each ≤ ×2)
 
   friend bool operator==(const SupportFacts&, const SupportFacts&) = default;
+};
+
+/// Taint/noninterference domain over the protocol IR. The transfer function
+/// is the lattice join: one pass over the ops accumulates the least upper
+/// bound of their TaintLabels. No structural facts are re-derived here —
+/// the domain sees only provenance labels, so a taint finding can never
+/// shadow (or be shadowed by) a structural pass.
+struct TaintFacts {
+  std::uint64_t public_ops = 0;   ///< ops labelled TaintLabel::kPublic
+  std::uint64_t content_ops = 0;  ///< ops labelled TaintLabel::kContent
+  /// Join of all labels: 0 = kPublic, 1 = kContent.
+  std::uint8_t max_taint = 0;
+  /// The static obliviousness verdict: true when the program is non-empty,
+  /// its public parameters are well-formed, and every op is kPublic — i.e.
+  /// the schedule is PROVEN a function of public knowledge alone.
+  bool oblivious_statically_proven = false;
+
+  friend bool operator==(const TaintFacts&, const TaintFacts&) = default;
 };
 
 /// The support-domain transfer function: the bound after applying one

@@ -135,6 +135,20 @@ SupportFacts walk_support(const ProtocolProgram& program,
   return facts;
 }
 
+/// The per-op kind/label shorthand used in taint diagnostics.
+std::string op_brief(const ProtocolOp& op) {
+  switch (op.kind) {
+    case OpKind::kSend: return "send(machine " + str(op.machine) + ")";
+    case OpKind::kOracle: return "oracle(machine " + str(op.machine) + ")";
+    case OpKind::kRecv: return "recv(machine " + str(op.machine) + ")";
+    case OpKind::kLocalUnitary: return "local unitary \"" + op.label + "\"";
+    case OpKind::kParallelBegin: return "parallel round open";
+    case OpKind::kParallelOracle: return "parallel oracle";
+    case OpKind::kParallelEnd: return "parallel round close";
+  }
+  return "op";
+}
+
 }  // namespace
 
 QueryStats to_query_stats(const CostFacts& facts) {
@@ -166,10 +180,41 @@ std::vector<std::uint64_t> support_trace(const ProtocolProgram& program) {
   return trace;
 }
 
+TaintFacts taint_of(const ProtocolProgram& program) {
+  TaintFacts facts;
+  for (const auto& op : program.ops) {
+    if (op.taint == TaintLabel::kContent) {
+      ++facts.content_ops;
+      facts.max_taint = 1;
+    } else {
+      ++facts.public_ops;
+    }
+  }
+  facts.oblivious_statically_proven = params_valid(program.params) &&
+                                      !program.ops.empty() &&
+                                      facts.content_ops == 0;
+  return facts;
+}
+
 AbstractResult interpret(const ProtocolProgram& program) {
   constexpr const char* kCost = "cost-domain";
   AbstractResult res;
   const PublicParams& p = program.params;
+  res.taint = taint_of(program);
+  // --- taint/noninterference domain: one label join, no replay -----------
+  for (std::size_t k = 0; k < program.ops.size(); ++k) {
+    const auto& op = program.ops[k];
+    if (op.taint != TaintLabel::kContent) continue;
+    res.diagnostics.push_back(
+        {"taint-domain",
+         op.event == kNoEvent ? std::nullopt
+                              : std::optional<std::size_t>(op.event),
+         "micro-op #" + str(k) + " (" + op_brief(op) +
+             ") is tainted by dataset contents — the schedule is not a "
+             "function of public knowledge alone (Section 3)",
+         "route data-dependent work through the oracles; the coordinator's "
+         "control flow must derive from (N, n, ν, M) only"});
+  }
   if (!params_valid(p)) {
     res.diagnostics.push_back(
         {kCost, std::nullopt,
@@ -325,6 +370,7 @@ const std::vector<std::string>& domain_names() {
       "amplitude-domain",
       "support-domain",
       "recovery-liveness",
+      "taint-domain",
   };
   // dqs-lint: pass-registry-end
   return names;

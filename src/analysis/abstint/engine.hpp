@@ -25,6 +25,7 @@ struct AbstractResult {
   CostFacts cost;
   AmplitudeFacts amplitude;
   SupportFacts support;
+  TaintFacts taint;
   std::vector<Diagnostic> diagnostics;
 };
 
@@ -36,6 +37,13 @@ struct AbstractResult {
 /// parameters ("closed-form" derivation) — sound because verify_transcript
 /// separately certifies the transcript IS that schedule.
 AbstractResult interpret(const ProtocolProgram& program);
+
+/// The taint domain alone — one label join over the ops, no replay. Cheap
+/// enough to run on every verify: this is the static obliviousness proof
+/// that replaces the 3×-recompilation differential check when
+/// VerifyOptions::static_obliviousness_proof is set (and what
+/// bench_a2_static_obliv measures against that dynamic pass).
+TaintFacts taint_of(const ProtocolProgram& program);
 
 /// The support bound after EACH op of the program (same transfer function
 /// as interpret); trace[i] bounds the support once ops[0..i] have executed.

@@ -42,6 +42,21 @@ enum class OpKind : std::uint8_t {
 inline constexpr std::size_t kNoEvent =
     std::numeric_limits<std::size_t>::max();
 
+/// Two-point taint lattice for the noninterference/taint domain
+/// (abstint/domains.hpp): kPublic < kContent. An op is kPublic when its
+/// existence, position and every field are functions of PublicParams alone;
+/// kContent marks influence from dataset contents. All in-tree lifts emit
+/// kPublic ops by construction — lift_compiled walks
+/// for_each_schedule_event, which closes over nothing but PublicParams, and
+/// lift_transcript/lift_events only reshape recorded event structure — so a
+/// kContent label can only enter through a lift that consulted the
+/// database, which is exactly what the taint domain must reject
+/// (Section 3's obliviousness requirement, proved statically).
+enum class TaintLabel : std::uint8_t {
+  kPublic = 0,   ///< determined by (N, n, ν, M) and the query mode
+  kContent = 1,  ///< influenced by dataset contents
+};
+
 struct ProtocolOp {
   OpKind kind = OpKind::kLocalUnitary;
   std::size_t machine = 0;  ///< kSend / kOracle / kRecv
@@ -55,6 +70,9 @@ struct ProtocolOp {
   /// reduced 2×2 AA dynamics from these angles to certify zero-error
   /// termination without simulating.
   double phase = 0.0;
+  /// Provenance label for the taint domain; kPublic for every op a
+  /// data-blind lift produces.
+  TaintLabel taint = TaintLabel::kPublic;
 
   friend bool operator==(const ProtocolOp&, const ProtocolOp&) = default;
 };

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <utility>
 
+#include "analysis/tv/engine.hpp"
 #include "analysis/verifier.hpp"
 #include "common/require.hpp"
+#include "qsim/compiled_op.hpp"
+#include "qsim/register_layout.hpp"
 
 namespace qs::analysis {
 
@@ -284,6 +287,86 @@ std::vector<MutationSpec> build_catalog() {
          return p;
        }});
 
+  catalog.push_back(
+      {"content-routed-query",
+       "an oracle micro-op is routed by dataset contents — the schedule is "
+       "no longer a function of public knowledge, which the taint domain "
+       "must prove statically (no perturbed recompilation involved)",
+       "taint-domain", QueryMode::kSequential, nullptr,
+       [](ProtocolProgram p) {
+         for (auto& op : p.ops) {
+           if (op.kind == OpKind::kOracle) {
+             op.taint = TaintLabel::kContent;
+             break;
+           }
+         }
+         return p;
+       }});
+
+  // --- translation-validation fixtures (tv/engine.hpp) ---------------------
+  // These corrupt COMPILED operators, not schedules, so they use
+  // run_custom: each builds a miscompiled op and feeds it to the symbolic
+  // validator with the true reference semantics.
+
+  {
+    MutationSpec spec;
+    spec.name = "miscompiled-permutation-table";
+    spec.description =
+        "a compiled permutation table transposes two entries relative to "
+        "the reference map — dynamic sampling may miss the pair, the "
+        "symbolic engine must not";
+    spec.expected_pass = "translation-validation";
+    spec.run_custom = [](const PublicParams& params) {
+      RegisterLayout layout;
+      const RegisterId elem =
+          layout.add("elem", std::max<std::size_t>(params.universe, 4));
+      const std::size_t d = layout.dim(elem);
+      // Compile the reference cyclic shift, then validate it against a map
+      // that disagrees on the last two basis states.
+      const CompiledOp op = CompiledOp::permutation(
+          layout, [d](std::size_t x) { return (x + 1) % d; });
+      tv::TvValidator validator;
+      validator.check_permutation(op, [d](std::size_t x) {
+        if (x == d - 2) return std::size_t{0};
+        if (x == d - 1) return d - 1;
+        return (x + 1) % d;
+      });
+      return validator.diagnostics();
+    };
+    catalog.push_back(std::move(spec));
+  }
+
+  {
+    MutationSpec spec;
+    spec.name = "drifted-fused-diagonal";
+    spec.description =
+        "a fused diagonal drifts by 1e-9 in one factor relative to the "
+        "pointwise product of its inputs — inside any sampling noise "
+        "floor, far outside the 1e-12 operator-norm budget";
+    spec.expected_pass = "translation-validation";
+    spec.run_custom = [](const PublicParams&) {
+      RegisterLayout layout;
+      layout.add("flag", 2);
+      const auto phase1 = [](std::size_t x) {
+        return x == 1 ? cplx{-1.0, 0.0} : cplx{1.0, 0.0};
+      };
+      const auto phase2 = [](std::size_t x) {
+        return x == 1 ? cplx{0.0, 1.0} : cplx{1.0, 0.0};
+      };
+      const CompiledOp first = CompiledOp::diagonal(layout, phase1);
+      const CompiledOp second = CompiledOp::diagonal(layout, phase2);
+      const CompiledOp drifted =
+          CompiledOp::diagonal(layout, [&](std::size_t x) {
+            return phase1(x) * phase2(x) +
+                   (x == 1 ? cplx{1e-9, 0.0} : cplx{0.0, 0.0});
+          });
+      tv::TvValidator validator;
+      validator.check_fused(first, second, drifted);
+      return validator.diagnostics();
+    };
+    catalog.push_back(std::move(spec));
+  }
+
   // --- recovery-metadata fixtures (abstint/recovered.hpp) ------------------
 
   catalog.push_back(
@@ -324,6 +407,9 @@ std::vector<Diagnostic> run_mutation(const MutationSpec& spec,
                                      const PublicParams& params) {
   QS_REQUIRE(params.machines >= 2,
              "mutation fixtures need at least two machines");
+  if (spec.run_custom) {
+    return spec.run_custom(params);
+  }
   if (spec.mutate_transcript) {
     const Transcript mutant =
         spec.mutate_transcript(compile_schedule(params, spec.mode));

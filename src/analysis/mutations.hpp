@@ -32,8 +32,13 @@ struct MutationSpec {
   /// … micro-op-level corruption (what a broken transport would do), or …
   std::function<ProtocolProgram(ProtocolProgram)> mutate_program = {};
   /// … recovery-metadata corruption (what a broken recovery executor would
-  /// report); exactly one of the three is set.
+  /// report), or …
   std::function<RecoveredSchedule(RecoveredSchedule)> mutate_recovered = {};
+  /// … a self-contained corrupted scenario returning the diagnostics
+  /// directly (used by the translation-validation fixtures, which corrupt
+  /// COMPILED operators rather than schedules); exactly one of the four is
+  /// set.
+  std::function<std::vector<Diagnostic>(const PublicParams&)> run_custom = {};
 };
 
 /// All mutation fixtures. Each is flagged by its expected pass for any

@@ -1,0 +1,202 @@
+#include "analysis/tv/certificate.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "analysis/abstint/cert_io.hpp"
+#include "analysis/abstint/engine.hpp"
+#include "analysis/passes.hpp"
+#include "analysis/tv/harness.hpp"
+#include "common/require.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/json.hpp"
+
+namespace qs::analysis::tv {
+
+namespace {
+
+/// Append the harness outcome (facts + rendered diagnostics) to a
+/// certificate whose base facts are already filled.
+void attach_tv_run(TvCertificate& cert, const PublicParams& params,
+                   QueryMode mode) {
+  try {
+    TvRun run = run_translation_validation(params, mode);
+    cert.tv = std::move(run.facts);
+    for (const auto& d : run.diagnostics) {
+      cert.base.diagnostics.push_back(to_string(d));
+    }
+  } catch (const ContractViolation& e) {
+    cert.base.diagnostics.push_back(
+        std::string("translation validation rejected the public "
+                    "parameters: ") +
+        e.what());
+  }
+}
+
+}  // namespace
+
+TvCertificate certify_tv(const PublicParams& params, QueryMode mode,
+                         const TvOptions& options) {
+  TvCertificate cert;
+  cert.base = certify_compiled(params, mode);
+  attach_tv_run(cert, params, mode);
+
+  // Static obliviousness: the taint join over the lifted program.
+  try {
+    cert.taint = taint_of(lift_compiled(params, mode));
+  } catch (const ContractViolation&) {
+    // Lift rejected the parameters; the base certificate already carries
+    // the diagnostic, and the default taint facts prove nothing.
+  }
+
+  // Differential cross-check: the dynamic perturbed-recompilation pass
+  // must reach the same verdict the static proof did.
+  if (options.obliviousness_trials > 0) {
+    try {
+      const auto dynamic_findings = certify_obliviousness(
+          params, mode, options.obliviousness_trials, options.seed);
+      const bool dynamic_oblivious = dynamic_findings.empty();
+      if (dynamic_oblivious == cert.taint.oblivious_statically_proven) {
+        cert.dynamic_cross_check = "agree";
+      } else {
+        cert.dynamic_cross_check = "disagree";
+        cert.base.diagnostics.push_back(
+            "[translation-validation] static taint verdict (" +
+            std::string(cert.taint.oblivious_statically_proven
+                            ? "oblivious"
+                            : "not proven") +
+            ") disagrees with the dynamic perturbed-recompilation pass (" +
+            std::string(dynamic_oblivious ? "oblivious" : "flagged") +
+            ") (fix: the two obliviousness checkers must agree on every "
+            "schedule; one of them is unsound for this point)");
+      }
+    } catch (const ContractViolation&) {
+      cert.dynamic_cross_check = "skipped";
+    }
+  }
+  return cert;
+}
+
+TvCertificate certify_tv_recovered(const RecoveredSchedule& recovered,
+                                   const PublicParams& params,
+                                   QueryMode mode) {
+  TvCertificate cert;
+  cert.base = certify_recovered(recovered, params, mode);
+  attach_tv_run(cert, params, mode);
+  cert.taint = taint_of(lift_recovered(recovered, params, mode));
+  return cert;
+}
+
+std::string to_json(const TvCertificate& cert) {
+  std::ostringstream os;
+  os << "{\n\"schema\": \"" << telemetry::json_escape(cert.schema)
+     << "\",\n";
+  cert_io::emit_certificate_body(os, cert.base);
+
+  const TvFacts& t = cert.tv;
+  os << ",\n\"tv\": {\"lowerings\": " << t.lowerings
+     << ", \"fusions\": " << t.fusions << ", \"failed\": " << t.failed
+     << ", \"max_error\": " << cert_io::num(t.max_error)
+     << ", \"proofs\": [";
+  for (std::size_t i = 0; i < t.proofs.size(); ++i) {
+    const TvProof& p = t.proofs[i];
+    if (i != 0) os << ", ";
+    os << "{\"rule\": \"" << telemetry::json_escape(p.rule)
+       << "\", \"kind\": \"" << telemetry::json_escape(p.kind)
+       << "\", \"dim\": " << p.dim
+       << ", \"max_error\": " << cert_io::num(p.max_error)
+       << ", \"exact\": " << cert_io::bool_str(p.exact)
+       << ", \"ok\": " << cert_io::bool_str(p.ok) << "}";
+  }
+  os << "]},\n";
+
+  const TaintFacts& taint = cert.taint;
+  os << "\"taint\": {\"public_ops\": " << taint.public_ops
+     << ", \"content_ops\": " << taint.content_ops
+     << ", \"max_taint\": " << static_cast<unsigned>(taint.max_taint)
+     << ", \"oblivious_statically_proven\": "
+     << cert_io::bool_str(taint.oblivious_statically_proven)
+     << ", \"dynamic_cross_check\": \""
+     << telemetry::json_escape(cert.dynamic_cross_check) << "\"}\n}\n";
+  return os.str();
+}
+
+TvCertificateParseResult parse_tv_certificate_checked(
+    const std::string& text) {
+  TvCertificateParseResult result;
+  cert_io::ParseCtx ctx;
+  telemetry::json::Value doc;
+  try {
+    doc = telemetry::json::parse(text);
+  } catch (const ContractViolation& e) {
+    ctx.fail("$", std::string("document is not valid JSON: ") + e.what());
+    result.error = ctx.error;
+    return result;
+  }
+  result.certificate.schema = cert_io::field_string(doc, "$", "schema", ctx);
+  if (!ctx.failed && result.certificate.schema != "dqs-tv-v1") {
+    ctx.fail("$.schema", "not a dqs-tv-v1 document: schema is '" +
+                             result.certificate.schema + "'");
+  }
+  if (!ctx.failed) {
+    (void)cert_io::read_certificate_body(doc, result.certificate.base, ctx);
+  }
+
+  if (const auto* t = cert_io::field(doc, "$", "tv", ctx)) {
+    TvFacts& facts = result.certificate.tv;
+    facts.lowerings = cert_io::field_u64(*t, "$.tv", "lowerings", ctx);
+    facts.fusions = cert_io::field_u64(*t, "$.tv", "fusions", ctx);
+    facts.failed = cert_io::field_u64(*t, "$.tv", "failed", ctx);
+    facts.max_error = cert_io::field_num(*t, "$.tv", "max_error", ctx);
+    if (const auto* proofs = cert_io::field(*t, "$.tv", "proofs", ctx)) {
+      if (!proofs->is_array()) {
+        ctx.fail("$.tv.proofs", "expected an array");
+      } else {
+        for (std::size_t i = 0; i < proofs->array.size(); ++i) {
+          const auto& entry = proofs->array[i];
+          const std::string path = "$.tv.proofs[" + std::to_string(i) + "]";
+          TvProof proof;
+          proof.rule = cert_io::field_string(entry, path, "rule", ctx);
+          proof.kind = cert_io::field_string(entry, path, "kind", ctx);
+          proof.dim = cert_io::field_u64(entry, path, "dim", ctx);
+          proof.max_error = cert_io::field_num(entry, path, "max_error", ctx);
+          proof.exact = cert_io::field_bool(entry, path, "exact", ctx);
+          proof.ok = cert_io::field_bool(entry, path, "ok", ctx);
+          if (ctx.failed) break;
+          facts.proofs.push_back(std::move(proof));
+        }
+      }
+    }
+  }
+
+  if (const auto* taint = cert_io::field(doc, "$", "taint", ctx)) {
+    TaintFacts& facts = result.certificate.taint;
+    facts.public_ops = cert_io::field_u64(*taint, "$.taint", "public_ops", ctx);
+    facts.content_ops =
+        cert_io::field_u64(*taint, "$.taint", "content_ops", ctx);
+    facts.max_taint = static_cast<std::uint8_t>(
+        cert_io::field_u64(*taint, "$.taint", "max_taint", ctx));
+    facts.oblivious_statically_proven = cert_io::field_bool(
+        *taint, "$.taint", "oblivious_statically_proven", ctx);
+    result.certificate.dynamic_cross_check =
+        cert_io::field_string(*taint, "$.taint", "dynamic_cross_check", ctx);
+    if (!ctx.failed && result.certificate.dynamic_cross_check != "agree" &&
+        result.certificate.dynamic_cross_check != "disagree" &&
+        result.certificate.dynamic_cross_check != "skipped") {
+      ctx.fail("$.taint.dynamic_cross_check",
+               "expected \"agree\", \"disagree\" or \"skipped\", found \"" +
+                   result.certificate.dynamic_cross_check + "\"");
+    }
+  }
+
+  if (ctx.failed) result.error = ctx.error;
+  return result;
+}
+
+TvCertificate parse_tv_certificate(const std::string& text) {
+  TvCertificateParseResult result = parse_tv_certificate_checked(text);
+  QS_REQUIRE(result.ok(), result.error->to_string());
+  return std::move(result.certificate);
+}
+
+}  // namespace qs::analysis::tv

@@ -1,0 +1,91 @@
+// dqs-tv-v1: translation-validation schedule certificates.
+//
+// A TvCertificate extends the dqs-cert-v1 format (abstint/certificate.hpp)
+// with two sections: "tv" — the symbolic proof obligations discharged for
+// the point's compiled-operator pipeline (harness.hpp) — and "taint" — the
+// noninterference verdict of the taint domain, i.e. the STATIC obliviousness
+// proof, together with its relation to the dynamic perturbed-recompilation
+// pass ("agree" / "disagree" / "skipped"). The JSON body is shared with
+// dqs-cert-v1 through cert_io.hpp, so the two formats cannot drift; a
+// dqs-tv-v1 document round-trips bit for bit like its base format, and
+// `dqs_verify --tv --cert-dir` writes one per grid point.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "analysis/abstint/certificate.hpp"
+#include "analysis/abstint/domains.hpp"
+#include "analysis/abstint/recovered.hpp"
+#include "analysis/tv/symbolic.hpp"
+
+namespace qs::analysis::tv {
+
+struct TvCertificate {
+  std::string schema = "dqs-tv-v1";
+  /// The full dqs-cert-v1 facts for the point (its schema member keeps the
+  /// base tag; only the document-level tag differs). TV and taint
+  /// diagnostics are appended to base.diagnostics so clean() is one check.
+  Certificate base;
+  TvFacts tv;
+  TaintFacts taint;
+  /// Relation between the static taint verdict and the dynamic
+  /// perturbed-recompilation obliviousness pass: "agree", "disagree", or
+  /// "skipped" (cross-check not run).
+  std::string dynamic_cross_check = "skipped";
+
+  bool clean() const noexcept {
+    return base.clean() && tv.failed == 0 && taint.content_ops == 0 &&
+           dynamic_cross_check != "disagree";
+  }
+
+  friend bool operator==(const TvCertificate&,
+                         const TvCertificate&) = default;
+};
+
+struct TvOptions {
+  /// Perturbed-database trials for the dynamic cross-check; 0 skips it.
+  std::size_t obliviousness_trials = 3;
+  std::uint64_t seed = 0x5eed;
+};
+
+/// Certify (params, mode): base dqs-cert-v1 facts, symbolic translation
+/// validation of the compiled pipeline, the static taint proof, and —
+/// when trials > 0 — the differential cross-check against the dynamic
+/// obliviousness pass.
+TvCertificate certify_tv(const PublicParams& params, QueryMode mode,
+                         const TvOptions& options = {});
+
+/// Certify a fault-recovered schedule: the dqs-cert-v1 recovered facts,
+/// the same pipeline validation, and the taint proof over the RECOVERED
+/// program — recovery planning never consults the database (faults/
+/// recovery.hpp), so obliviousness must survive recovery statically. The
+/// dynamic cross-check does not apply (recovered orders are not
+/// recompiled) and is recorded as "skipped".
+TvCertificate certify_tv_recovered(const RecoveredSchedule& recovered,
+                                   const PublicParams& params,
+                                   QueryMode mode);
+
+/// The dqs-tv-v1 JSON document (stable key order, no timestamps).
+std::string to_json(const TvCertificate& cert);
+
+/// Outcome of parse_tv_certificate_checked(); mirrors
+/// CertificateParseResult.
+struct TvCertificateParseResult {
+  TvCertificate certificate;
+  std::optional<CertificateParseError> error;
+
+  bool ok() const noexcept { return !error.has_value(); }
+};
+
+/// Parse a dqs-tv-v1 document without throwing; malformed input comes back
+/// as one structured CertificateParseError naming the exact field.
+TvCertificateParseResult parse_tv_certificate_checked(
+    const std::string& text);
+
+/// Parse a dqs-tv-v1 document; throws qs::ContractViolation carrying the
+/// structured error's message on schema or shape mismatches.
+TvCertificate parse_tv_certificate(const std::string& text);
+
+}  // namespace qs::analysis::tv

@@ -1,0 +1,291 @@
+#include "analysis/tv/engine.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace qs::analysis::tv {
+
+namespace {
+
+constexpr const char* kPass = "translation-validation";
+
+std::string brief(const TvProof& proof) {
+  std::ostringstream out;
+  out << proof.rule << " obligation for " << proof.kind << " (dim "
+      << proof.dim << ")";
+  return out.str();
+}
+
+}  // namespace
+
+void TvValidator::record(TvProof proof, const std::string& detail) {
+  const bool fusion = proof.rule.rfind("fuse-", 0) == 0;
+  (fusion ? facts_.fusions : facts_.lowerings) += 1;
+  facts_.max_error = std::max(facts_.max_error, proof.max_error);
+  if (!proof.ok) {
+    facts_.failed += 1;
+    diagnostics_.push_back(
+        {kPass, std::nullopt, brief(proof) + " FAILED: " + detail,
+         "the compiled representation must equal the reference operator "
+         "semantics — exactly for permutations/shifts, within the 1e-12 "
+         "operator-norm budget for diagonal/dense"});
+  }
+  facts_.proofs.push_back(std::move(proof));
+}
+
+void TvValidator::check_permutation(
+    const CompiledOp& op, const std::function<std::size_t(std::size_t)>& map) {
+  TvProof proof{"lower-permutation", kind_name(op.kind()), op.dim(), 0.0,
+                true, true};
+  const auto table = op.permutation_table();
+  std::string detail;
+  if (!is_bijection(table)) {
+    proof.ok = false;
+    detail = "compiled table is not a bijection";
+  }
+  for (std::size_t x = 0; proof.ok && x < table.size(); ++x) {
+    const std::size_t want = map(x);
+    if (table[x] != want) {
+      proof.ok = false;
+      detail = "table[" + std::to_string(x) + "] = " +
+               std::to_string(table[x]) + " but the reference map gives " +
+               std::to_string(want);
+    }
+  }
+  record(std::move(proof), detail);
+}
+
+void TvValidator::check_diagonal(
+    const CompiledOp& op, const std::function<cplx(std::size_t)>& phase) {
+  TvProof proof{"lower-diagonal", kind_name(op.kind()), op.dim(), 0.0, false,
+                true};
+  const auto factors = op.diagonal_factors();
+  std::vector<cplx> reference(factors.size());
+  for (std::size_t x = 0; x < reference.size(); ++x) reference[x] = phase(x);
+  proof.max_error = diagonal_distance(reference, factors);
+  proof.ok = proof.max_error <= kOperatorNormTolerance;
+  const std::string detail =
+      "operator-norm distance " + std::to_string(proof.max_error) +
+      " to the reference phase map exceeds 1e-12";
+  record(std::move(proof), detail);
+}
+
+void TvValidator::check_fiber_dense(
+    const CompiledOp& op, const RegisterLayout& layout, RegisterId target,
+    const std::function<const Matrix*(std::size_t)>& selector) {
+  TvProof proof{"lower-fiber-dense", kind_name(op.kind()), op.dim(), 0.0,
+                false, true};
+  const std::size_t d = layout.dim(target);
+  const std::size_t s = layout.stride(target);
+  const auto pool = op.fiber_matrix_pool();
+  const auto mat_of = op.fiber_matrix_of();
+  std::string detail;
+  for (std::size_t f = 0; proof.ok && f < mat_of.size(); ++f) {
+    const std::size_t base = (f / s) * d * s + (f % s);
+    const Matrix* reference = selector(base);
+    if (reference == nullptr) {
+      if (mat_of[f] != StateVector::kFiberIdentity) {
+        proof.ok = false;
+        detail = "fiber " + std::to_string(f) +
+                 " compiled a matrix where the reference is identity";
+      }
+      continue;
+    }
+    if (mat_of[f] == StateVector::kFiberIdentity) {
+      proof.ok = false;
+      detail = "fiber " + std::to_string(f) +
+               " compiled identity where the reference selects a matrix";
+      continue;
+    }
+    const std::size_t offset = std::size_t{mat_of[f]} * d * d;
+    if (offset + d * d > pool.size()) {
+      proof.ok = false;
+      detail = "fiber " + std::to_string(f) + " pool index out of range";
+      continue;
+    }
+    const double dist = frobenius_distance(pool.subspan(offset, d * d),
+                                           reference->data());
+    proof.max_error = std::max(proof.max_error, dist);
+    if (dist > kOperatorNormTolerance) {
+      proof.ok = false;
+      detail = "fiber " + std::to_string(f) + " matrix drifts " +
+               std::to_string(dist) + " (Frobenius) from the reference";
+    }
+  }
+  record(std::move(proof), detail);
+}
+
+void TvValidator::check_value_shift(
+    const CompiledOp& op, std::span<const std::size_t> shift_per_cond_value) {
+  TvProof proof{"lower-value-shift", kind_name(op.kind()), op.dim(), 0.0,
+                true, true};
+  const auto view = op.value_shift_view();
+  std::string detail;
+  if (view.shifts.size() != shift_per_cond_value.size()) {
+    proof.ok = false;
+    detail = "compiled " + std::to_string(view.shifts.size()) +
+             " shifts for " + std::to_string(shift_per_cond_value.size()) +
+             " condition values";
+  }
+  for (std::size_t c = 0; proof.ok && c < view.shifts.size(); ++c) {
+    const std::size_t want = shift_per_cond_value[c] % view.target_dim;
+    if (view.shifts[c] != want) {
+      proof.ok = false;
+      detail = "shift[" + std::to_string(c) + "] = " +
+               std::to_string(view.shifts[c]) +
+               " but the reference reduces to " + std::to_string(want);
+    }
+  }
+  record(std::move(proof), detail);
+}
+
+void TvValidator::check_lowered(const CompiledOp& source,
+                                const CompiledOp& permutation) {
+  TvProof proof{"lower-to-permutation", kind_name(permutation.kind()),
+                permutation.dim(), 0.0, true, true};
+  std::string detail;
+  if (source.kind() != CompiledOp::Kind::kValueShift ||
+      permutation.kind() != CompiledOp::Kind::kPermutation ||
+      source.dim() != permutation.dim()) {
+    proof.ok = false;
+    detail = "re-lowering must take a value shift to a permutation of the "
+             "same dimension";
+  } else {
+    const auto expected =
+        shift_to_permutation(source.value_shift_view(), source.dim());
+    const auto table = permutation.permutation_table();
+    if (!is_bijection(table)) {
+      proof.ok = false;
+      detail = "lowered table is not a bijection";
+    } else if (!std::equal(expected.begin(), expected.end(), table.begin(),
+                           table.end())) {
+      proof.ok = false;
+      detail = "lowered table differs from the affine relabelling the "
+               "shift geometry prescribes";
+    }
+  }
+  record(std::move(proof), detail);
+}
+
+void TvValidator::check_fused(const CompiledOp& first,
+                              const CompiledOp& second,
+                              const CompiledOp& result) {
+  switch (result.kind()) {
+    // The symbolic engine discharges every CompiledOp kind below; the
+    // tv-exhaustiveness lint rule cross-checks this list against the
+    // op-kind registry markers in qsim/compiled_op.hpp.
+    // dqs-lint: tv-handled-kinds-begin
+    //   kPermutation  kDiagonal  kFiberDense  kValueShift
+    // dqs-lint: tv-handled-kinds-end
+    case CompiledOp::Kind::kPermutation: {
+      TvProof proof{"fuse-permutation", kind_name(result.kind()),
+                    result.dim(), 0.0, true, true};
+      const auto expected = compose_permutations(first.permutation_table(),
+                                                 second.permutation_table());
+      const auto table = result.permutation_table();
+      proof.ok = std::equal(expected.begin(), expected.end(), table.begin(),
+                            table.end());
+      record(std::move(proof),
+             "fused table differs from second ∘ first composition");
+      return;
+    }
+    case CompiledOp::Kind::kDiagonal: {
+      TvProof proof{"fuse-diagonal", kind_name(result.kind()), result.dim(),
+                    0.0, false, true};
+      const auto expected = compose_diagonals(first.diagonal_factors(),
+                                              second.diagonal_factors());
+      proof.max_error =
+          diagonal_distance(expected, result.diagonal_factors());
+      proof.ok = proof.max_error <= kOperatorNormTolerance;
+      const std::string detail =
+          "fused factors drift " + std::to_string(proof.max_error) +
+          " (operator norm) from the pointwise product";
+      record(std::move(proof), detail);
+      return;
+    }
+    case CompiledOp::Kind::kValueShift: {
+      TvProof proof{"fuse-value-shift", kind_name(result.kind()),
+                    result.dim(), 0.0, true, true};
+      const auto v1 = first.value_shift_view();
+      const auto v2 = second.value_shift_view();
+      const auto vr = result.value_shift_view();
+      std::string detail;
+      if (vr.target_dim != v1.target_dim ||
+          vr.target_stride != v1.target_stride ||
+          vr.cond_dim != v1.cond_dim || vr.cond_stride != v1.cond_stride ||
+          vr.has_flag != v1.has_flag || vr.flag_stride != v1.flag_stride) {
+        proof.ok = false;
+        detail = "fused shift changed the replay geometry";
+      }
+      for (std::size_t c = 0; proof.ok && c < vr.shifts.size(); ++c) {
+        const std::size_t want =
+            (v1.shifts[c] + v2.shifts[c]) % v1.target_dim;
+        if (vr.shifts[c] != want) {
+          proof.ok = false;
+          detail = "fused shift[" + std::to_string(c) +
+                   "] differs from (s1 + s2) mod d";
+        }
+      }
+      record(std::move(proof), detail);
+      return;
+    }
+    case CompiledOp::Kind::kFiberDense: {
+      // can_fuse() rejects fiber-dense pairs; reaching here means the
+      // peephole fused what it must not.
+      TvProof proof{"fuse-fiber-dense", kind_name(result.kind()),
+                    result.dim(), 0.0, false, false};
+      record(std::move(proof),
+             "fiber-dense ops must never fuse (no matrix-product pool)");
+      return;
+    }
+  }
+}
+
+TvRecorder::TvRecorder(TvValidator& validator)
+    : validator_(validator), previous_(set_compile_observer(this)) {}
+
+TvRecorder::~TvRecorder() { set_compile_observer(previous_); }
+
+void TvRecorder::on_permutation(
+    const CompiledOp& op, const std::function<std::size_t(std::size_t)>& map) {
+  validator_.check_permutation(op, map);
+}
+
+void TvRecorder::on_diagonal(const CompiledOp& op,
+                             const std::function<cplx(std::size_t)>& phase) {
+  validator_.check_diagonal(op, phase);
+}
+
+void TvRecorder::on_fiber_dense(
+    const CompiledOp& op, const RegisterLayout& layout, RegisterId target,
+    const std::function<const Matrix*(std::size_t)>& selector) {
+  validator_.check_fiber_dense(op, layout, target, selector);
+}
+
+void TvRecorder::on_value_shift(
+    const CompiledOp& op, std::span<const std::size_t> shift_per_cond_value) {
+  validator_.check_value_shift(op, shift_per_cond_value);
+}
+
+void TvRecorder::on_lowered(const CompiledOp& source,
+                            const CompiledOp& permutation) {
+  validator_.check_lowered(source, permutation);
+}
+
+void TvRecorder::on_fused(const CompiledOp& first, const CompiledOp& second,
+                          const CompiledOp& result) {
+  validator_.check_fused(first, second, result);
+}
+
+const std::vector<std::string>& tv_pass_names() {
+  // dqs-lint: pass-registry-begin
+  static const std::vector<std::string> names = {
+      "translation-validation",
+  };
+  // dqs-lint: pass-registry-end
+  return names;
+}
+
+}  // namespace qs::analysis::tv

@@ -1,0 +1,115 @@
+// Translation-validation engine for the compiled-operator pipeline.
+//
+// Compiled-operator correctness used to rest on dynamic evidence: the
+// randomized differential grid in tests/test_kernel_equivalence.cpp
+// samples states and compares kernels. TvValidator instead PROVES each
+// individual lowering and each CompiledOp::fused peephole equivalent to
+// its reference operator semantics, symbolically (symbolic.hpp):
+//
+//   permutation    replay the reference map on every basis state and
+//                  demand table identity + bijectivity          (0 ULP)
+//   value shift    evaluate the affine relabelling from the view's
+//                  geometry, demand table identity              (0 ULP)
+//   re-lowering    shift_to_permutation(source) == table        (0 ULP)
+//   perm fusion    compose_permutations(t1, t2) == fused table  (0 ULP)
+//   shift fusion   (s1 + s2) mod d == fused shifts              (0 ULP)
+//   diagonal       reference phase map vs factors, operator-norm ≤ 1e-12
+//   diag fusion    pointwise product vs fused factors,     norm ≤ 1e-12
+//   fiber dense    reference selector matrices vs pooled rows,
+//                  Frobenius (≥ operator) norm ≤ 1e-12 per fiber
+//
+// TvRecorder arms a validator as the thread's CompileObserver for a scope,
+// so every compile that happens inside — including the real sampling
+// backend's — is validated at the only moment both sides of the lowering
+// exist. Failures become Diagnostics under the "translation-validation"
+// pass id; tv_pass_names() is the lint-checked registry guaranteeing a
+// mutation fixture kills the checker.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/ir.hpp"
+#include "analysis/tv/symbolic.hpp"
+#include "qsim/compiled_op.hpp"
+#include "qsim/linalg.hpp"
+#include "qsim/register_layout.hpp"
+
+namespace qs::analysis::tv {
+
+/// Operator-norm budget for the inexact obligations (diagonal and
+/// fiber-dense): fusion reassociates exactly one multiplication per
+/// factor, so anything past 1e-12 is a real miscompile, not rounding.
+inline constexpr double kOperatorNormTolerance = 1e-12;
+
+/// Accumulates proof obligations and their verdicts. Stateless between
+/// check_* calls except for the growing fact/diagnostic lists, so one
+/// validator can cover a whole compilation scope.
+class TvValidator {
+ public:
+  void check_permutation(const CompiledOp& op,
+                         const std::function<std::size_t(std::size_t)>& map);
+  void check_diagonal(const CompiledOp& op,
+                      const std::function<cplx(std::size_t)>& phase);
+  void check_fiber_dense(
+      const CompiledOp& op, const RegisterLayout& layout, RegisterId target,
+      const std::function<const Matrix*(std::size_t)>& selector);
+  void check_value_shift(const CompiledOp& op,
+                         std::span<const std::size_t> shift_per_cond_value);
+  void check_lowered(const CompiledOp& source, const CompiledOp& permutation);
+  void check_fused(const CompiledOp& first, const CompiledOp& second,
+                   const CompiledOp& result);
+
+  const TvFacts& facts() const noexcept { return facts_; }
+  const std::vector<Diagnostic>& diagnostics() const noexcept {
+    return diagnostics_;
+  }
+
+ private:
+  /// Record one obligation; emits a Diagnostic when it failed.
+  void record(TvProof proof, const std::string& detail);
+
+  TvFacts facts_;
+  std::vector<Diagnostic> diagnostics_;
+};
+
+/// Scope guard that installs a TvValidator as the calling thread's
+/// CompileObserver and forwards every event to the matching check_*. The
+/// previously installed observer is restored on destruction, so scopes
+/// nest.
+class TvRecorder final : public CompileObserver {
+ public:
+  explicit TvRecorder(TvValidator& validator);
+  ~TvRecorder() override;
+
+  void on_permutation(
+      const CompiledOp& op,
+      const std::function<std::size_t(std::size_t)>& map) override;
+  void on_diagonal(const CompiledOp& op,
+                   const std::function<cplx(std::size_t)>& phase) override;
+  void on_fiber_dense(
+      const CompiledOp& op, const RegisterLayout& layout, RegisterId target,
+      const std::function<const Matrix*(std::size_t)>& selector) override;
+  void on_value_shift(
+      const CompiledOp& op,
+      std::span<const std::size_t> shift_per_cond_value) override;
+  void on_lowered(const CompiledOp& source,
+                  const CompiledOp& permutation) override;
+  void on_fused(const CompiledOp& first, const CompiledOp& second,
+                const CompiledOp& result) override;
+
+ private:
+  TvValidator& validator_;
+  CompileObserver* previous_;
+};
+
+/// Canonical ids of the translation-validation checkers, mirroring
+/// pass_names() / domain_names(). The kill-matrix-completeness lint rule
+/// reads this registry: every id must have a mutation fixture that kills
+/// it (mutations.cpp).
+const std::vector<std::string>& tv_pass_names();
+
+}  // namespace qs::analysis::tv

@@ -1,0 +1,143 @@
+#include "analysis/tv/harness.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <utility>
+#include <vector>
+
+#include "analysis/passes.hpp"
+#include "analysis/tv/engine.hpp"
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "qsim/compiled_op.hpp"
+#include "sampling/amplitude_amplification.hpp"
+#include "sampling/backend.hpp"
+
+namespace qs::analysis::tv {
+
+namespace {
+
+/// Deterministic seed for the perturbed database the oracle shapes are
+/// compiled from: a fixed base mixed with the public parameters, so equal
+/// points always validate the identical pipeline.
+std::uint64_t harness_seed(const PublicParams& p, QueryMode mode) {
+  std::uint64_t seed = 0x7e57c0de5eedull;
+  seed ^= std::uint64_t{p.universe} * 0x9e3779b97f4a7c15ull;
+  seed ^= std::uint64_t{p.machines} << 17;
+  seed ^= p.nu << 34;
+  seed ^= p.total << 3;
+  seed ^= mode == QueryMode::kParallel ? 0x1ull : 0x0ull;
+  return seed;
+}
+
+/// The Eq. (1) shift table of one machine: c_ij mod (ν+1) (or its negation
+/// for O_j†), read from the public-facing multiplicity accessors — the
+/// same closed form Machine's private oracle cache compiles.
+std::vector<std::size_t> shift_table(const Machine& m, std::size_t modulus,
+                                     bool adjoint) {
+  std::vector<std::size_t> shifts(m.data().universe());
+  for (std::size_t i = 0; i < shifts.size(); ++i) {
+    const std::size_t c = static_cast<std::size_t>(m.data().count(i)) % modulus;
+    shifts[i] = adjoint ? (modulus - c) % modulus : c;
+  }
+  return shifts;
+}
+
+/// Compile the representative program through the real entry points while
+/// a TvRecorder is armed. Covers all four CompiledOp kinds, the
+/// value-shift re-lowering and all three fusion rules.
+void compile_representative_program(const PublicParams& params,
+                                    QueryMode mode) {
+  const auto regs = make_coordinator_layout(params.universe, params.nu);
+  const RegisterLayout& layout = regs.layout;
+  const std::size_t modulus = params.nu + 1;
+
+  Rng rng(harness_seed(params, mode));
+  const DistributedDatabase db = perturbed_database(params, rng);
+
+  const AAPlan plan = plan_zero_error(
+      static_cast<double>(params.total) /
+      (static_cast<double>(params.nu) * static_cast<double>(params.universe)));
+
+  CompiledProgram program;
+
+  // One Q iterate's phase oracles: S_χ(φ) marks the good (flag = 1)
+  // branch, S_0(ϕ) the all-zero state; adjacent diagonals exercise the
+  // fuse-diagonal peephole.
+  const double varphi = plan.already_exact ? std::numbers::pi : plan.theta;
+  const cplx chi_phase{std::cos(varphi), std::sin(varphi)};
+  program.push(CompiledOp::diagonal(layout, [&](std::size_t x) {
+    return layout.digit(x, regs.flag) == 1 ? chi_phase : cplx{1.0, 0.0};
+  }));
+  program.push(CompiledOp::diagonal(layout, [&](std::size_t x) {
+    return x == 0 ? cplx{-1.0, 0.0} : cplx{1.0, 0.0};
+  }));
+
+  // The Eq. (1) oracle shape O_j for the first machines, counting the
+  // perturbed database's actual shift tables; two adjacent shifts with
+  // identical geometry exercise fuse-value-shift.
+  const std::size_t probes = params.machines < 2 ? params.machines : 2;
+  for (std::size_t j = 0; j < probes; ++j) {
+    program.push(CompiledOp::value_shift(
+        layout, regs.count, regs.elem,
+        shift_table(db.machine(j), modulus, false)));
+  }
+
+  // The flag-controlled Ô_j shape of Eq. (2).
+  program.push(CompiledOp::controlled_value_shift(
+      layout, regs.count, regs.elem, regs.flag,
+      shift_table(db.machine(0), modulus, mode == QueryMode::kParallel)));
+
+  // 𝒰 (Eq. 6): one 2×2 rotation on the flag per counter value — the
+  // kFiberDense lowering, with the same count-digit selector the
+  // production backend uses.
+  const std::vector<Matrix> rotations = make_u_rotations(params.nu, false);
+  program.push(CompiledOp::fiber_dense(
+      layout, regs.flag, [&](std::size_t fiber_base) {
+        return &rotations[layout.digit(fiber_base, regs.count)];
+      }));
+
+  (void)program.fuse();
+
+  // Re-lowering: a value shift IS an affine relabelling; prove the
+  // explicit table agrees, then fuse it with the Lemma 4.4 coordinator
+  // adder (counter += 1 mod ν+1) to exercise fuse-permutation.
+  const CompiledOp shift = CompiledOp::value_shift(
+      layout, regs.count, regs.elem, shift_table(db.machine(0), modulus, true));
+  CompiledProgram perms;
+  perms.push(shift.lowered_to_permutation());
+  perms.push(CompiledOp::permutation(layout, [&](std::size_t x) {
+    const std::size_t c = layout.digit(x, regs.count);
+    return layout.with_digit(x, regs.count, (c + 1) % modulus);
+  }));
+  (void)perms.fuse();
+
+  // Finally, the production pipeline itself: constructing the backend
+  // compiles 𝒰 and 𝒰† through the same observer.
+  const SingleStateBackend backend(db, StatePrep::kHouseholder);
+  (void)backend;
+}
+
+}  // namespace
+
+TvRun run_translation_validation(const PublicParams& params, QueryMode mode) {
+  QS_REQUIRE(params.universe > 0 && params.machines > 0 && params.nu > 0,
+             "invalid public parameters");
+  QS_REQUIRE(params.total > 0 && params.total <= params.nu * params.universe,
+             "need 0 < M ≤ νN to realise the public parameters");
+  TvValidator validator;
+  {
+    TvRecorder recorder(validator);
+    compile_representative_program(params, mode);
+  }
+  TvRun run;
+  run.facts = validator.facts();
+  run.diagnostics = validator.diagnostics();
+  // An empty run means the observer never fired — that is a harness bug,
+  // not a clean certificate.
+  QS_REQUIRE(run.facts.lowerings > 0 && run.facts.fusions > 0,
+             "translation validation observed no compilations");
+  return run;
+}
+
+}  // namespace qs::analysis::tv

@@ -1,0 +1,37 @@
+// Per-point translation-validation harness.
+//
+// run_translation_validation() arms a TvRecorder and pushes a
+// representative compiled program for the public parameters through the
+// REAL lowering entry points — the S_χ/S_0 phase oracles, the Eq. (1)/(2)
+// oracle shifts of a deterministic perturbed database, the
+// count-conditioned 𝒰 rotation, the Lemma 4.4 coordinator adder, the
+// value-shift→permutation re-lowering, and the CompiledProgram::fuse
+// peephole — plus a full SingleStateBackend construction so the production
+// pipeline's own compiles are validated too. Every lowering and fusion
+// that fires inside the scope is proved equivalent to its reference
+// semantics at compile time; the result feeds dqs-tv-v1 certificates
+// (certificate.hpp) and the VerifyOptions::translation_validation knob
+// (verifier.hpp).
+#pragma once
+
+#include <vector>
+
+#include "analysis/ir.hpp"
+#include "analysis/tv/symbolic.hpp"
+#include "sampling/schedule.hpp"
+
+namespace qs::analysis::tv {
+
+/// Outcome of one harness run: the aggregated proof facts and any
+/// "translation-validation" diagnostics for obligations that failed.
+struct TvRun {
+  TvFacts facts;
+  std::vector<Diagnostic> diagnostics;
+};
+
+/// Validate the compiled-operator pipeline for (params, mode). The
+/// database the oracle shapes are drawn from is perturbed deterministically
+/// from the parameters, so the run — and its certificate — is reproducible.
+TvRun run_translation_validation(const PublicParams& params, QueryMode mode);
+
+}  // namespace qs::analysis::tv

@@ -1,0 +1,87 @@
+#include "analysis/tv/symbolic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace qs::analysis::tv {
+
+const char* kind_name(CompiledOp::Kind kind) {
+  switch (kind) {
+    case CompiledOp::Kind::kPermutation: return "kPermutation";
+    case CompiledOp::Kind::kDiagonal: return "kDiagonal";
+    case CompiledOp::Kind::kFiberDense: return "kFiberDense";
+    case CompiledOp::Kind::kValueShift: return "kValueShift";
+  }
+  return "unknown";
+}
+
+bool is_bijection(std::span<const std::uint32_t> table) {
+  std::vector<bool> seen(table.size(), false);
+  for (const std::uint32_t y : table) {
+    if (y >= table.size() || seen[y]) return false;
+    seen[y] = true;
+  }
+  return true;
+}
+
+std::vector<std::uint32_t> compose_permutations(
+    std::span<const std::uint32_t> first,
+    std::span<const std::uint32_t> second) {
+  QS_REQUIRE(first.size() == second.size(),
+             "permutation composition needs equal dimensions");
+  std::vector<std::uint32_t> out(first.size());
+  for (std::size_t x = 0; x < first.size(); ++x) out[x] = second[first[x]];
+  return out;
+}
+
+std::vector<cplx> compose_diagonals(std::span<const cplx> first,
+                                    std::span<const cplx> second) {
+  QS_REQUIRE(first.size() == second.size(),
+             "diagonal composition needs equal dimensions");
+  std::vector<cplx> out(first.size());
+  for (std::size_t x = 0; x < first.size(); ++x) out[x] = first[x] * second[x];
+  return out;
+}
+
+double diagonal_distance(std::span<const cplx> a, std::span<const cplx> b) {
+  QS_REQUIRE(a.size() == b.size(),
+             "diagonal distance needs equal dimensions");
+  double worst = 0.0;
+  for (std::size_t x = 0; x < a.size(); ++x) {
+    worst = std::max(worst, std::abs(a[x] - b[x]));
+  }
+  return worst;
+}
+
+double frobenius_distance(std::span<const cplx> a, std::span<const cplx> b) {
+  QS_REQUIRE(a.size() == b.size(),
+             "Frobenius distance needs equal sizes");
+  double sum = 0.0;
+  for (std::size_t x = 0; x < a.size(); ++x) sum += std::norm(a[x] - b[x]);
+  return std::sqrt(sum);
+}
+
+std::vector<std::uint32_t> shift_to_permutation(
+    const CompiledOp::ValueShiftView& view, std::size_t dim) {
+  QS_REQUIRE(view.target_dim > 0 && view.cond_dim > 0,
+             "value-shift view has degenerate geometry");
+  std::vector<std::uint32_t> table(dim);
+  for (std::size_t x = 0; x < dim; ++x) {
+    // Flag gate of Eq. (2): the shift acts only on the |1⟩ flag branch.
+    if (view.has_flag && (x / view.flag_stride) % 2 != 1) {
+      table[x] = static_cast<std::uint32_t>(x);
+      continue;
+    }
+    const std::size_t c = (x / view.cond_stride) % view.cond_dim;
+    const std::size_t old_digit = (x / view.target_stride) % view.target_dim;
+    const std::size_t new_digit =
+        (old_digit + view.shifts[c] % view.target_dim) % view.target_dim;
+    table[x] = static_cast<std::uint32_t>(
+        x + (new_digit - old_digit) * view.target_stride);
+  }
+  return table;
+}
+
+}  // namespace qs::analysis::tv

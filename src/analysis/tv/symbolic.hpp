@@ -1,0 +1,95 @@
+// Symbolic operator forms for translation validation (dqs-tv).
+//
+// Every operator the compiled layer (qsim/compiled_op.hpp) emits has a
+// closed symbolic form: a permutation table is an explicit bijection on
+// [0, dim) that composes by table lookup, a diagonal is a phase map that
+// composes pointwise, a value shift is an affine relabelling over
+// Z_modulus, and a fiber-dense block is a bounded-norm matrix acting on
+// disjoint fibers. This header is the algebra the translation-validation
+// engine (engine.hpp) computes in: composition, distance, and the expected
+// permutation of an affine shift — all exact integer/index arithmetic
+// except the two norm distances, which bound floating-point drift.
+//
+// TvProof / TvFacts are the engine's output shape: plain aggregates with
+// defaulted equality so dqs-tv-v1 certificates (certificate.hpp) survive a
+// JSON round trip bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "qsim/compiled_op.hpp"
+#include "qsim/linalg.hpp"
+
+namespace qs::analysis::tv {
+
+/// One discharged (or failed) proof obligation: `rule` names the lowering
+/// or peephole being validated ("lower-permutation", "fuse-diagonal", …),
+/// `kind` the CompiledOp kind of the result, `dim` its dimension.
+/// `exact` records whether the obligation demanded bit-identity (0 ULP —
+/// permutations and shifts move amplitudes without arithmetic) or the
+/// 1e-12 operator-norm budget (diagonal / fiber-dense, where fusion
+/// reassociates one multiplication); `max_error` is the worst distance
+/// actually observed, always 0 for exact obligations that hold.
+struct TvProof {
+  std::string rule;
+  std::string kind;
+  std::uint64_t dim = 0;
+  double max_error = 0.0;
+  bool exact = false;
+  bool ok = false;
+
+  friend bool operator==(const TvProof&, const TvProof&) = default;
+};
+
+/// Aggregated facts of one validation run: how many lowerings and fusions
+/// were proved, how many obligations failed, and the worst norm distance
+/// seen across the inexact ones.
+struct TvFacts {
+  std::uint64_t lowerings = 0;  ///< compile/lower obligations discharged
+  std::uint64_t fusions = 0;    ///< fused() peepholes discharged
+  std::uint64_t failed = 0;     ///< obligations that did NOT hold
+  double max_error = 0.0;
+  std::vector<TvProof> proofs;
+
+  bool all_ok() const { return failed == 0; }
+
+  friend bool operator==(const TvFacts&, const TvFacts&) = default;
+};
+
+/// "kPermutation" / "kDiagonal" / "kFiberDense" / "kValueShift".
+const char* kind_name(CompiledOp::Kind kind);
+
+/// True iff `table` is a bijection on [0, table.size()).
+bool is_bijection(std::span<const std::uint32_t> table);
+
+/// Exact composition `second ∘ first` of two permutation tables:
+/// result[x] = second[first[x]]. Requires equal sizes.
+std::vector<std::uint32_t> compose_permutations(
+    std::span<const std::uint32_t> first, std::span<const std::uint32_t> second);
+
+/// Pointwise product of two phase maps — the symbolic form of fusing two
+/// diagonal operators. Requires equal sizes.
+std::vector<cplx> compose_diagonals(std::span<const cplx> first,
+                                    std::span<const cplx> second);
+
+/// sup_x |a[x] − b[x]| — the exact operator norm of the difference of the
+/// two diagonal operators with these factor arrays.
+double diagonal_distance(std::span<const cplx> a, std::span<const cplx> b);
+
+/// Frobenius distance ‖a − b‖_F between two equally-sized coefficient
+/// arrays (matrix pools, state vectors). Upper-bounds the operator norm of
+/// the difference, so proving it ≤ 1e-12 proves the operator-norm bound.
+double frobenius_distance(std::span<const cplx> a, std::span<const cplx> b);
+
+/// The permutation table a value shift MUST lower to: the affine
+/// relabelling x → x with its target digit advanced by shifts[cond(x)]
+/// mod target_dim, gated on the flag qubit when `has_flag` — evaluated
+/// from the view's geometry alone, independently of the compiled kernel's
+/// own index arithmetic.
+std::vector<std::uint32_t> shift_to_permutation(
+    const CompiledOp::ValueShiftView& view, std::size_t dim);
+
+}  // namespace qs::analysis::tv

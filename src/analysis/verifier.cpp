@@ -5,6 +5,7 @@
 
 #include "analysis/abstint/engine.hpp"
 #include "analysis/passes.hpp"
+#include "analysis/tv/harness.hpp"
 #include "common/require.hpp"
 
 namespace qs::analysis {
@@ -92,8 +93,10 @@ VerifyReport verify_compiled(const PublicParams& params, QueryMode mode,
   VerifyReport report;
   // Lifting compiles the schedule; surface parameter problems as a
   // diagnostic instead of an exception so sweeps report every grid point.
+  ProtocolProgram program;
   try {
-    report = verify_program(lift_compiled(params, mode));
+    program = lift_compiled(params, mode);
+    report = verify_program(program);
   } catch (const ContractViolation& e) {
     report.diagnostics.push_back(
         {"query-budget", std::nullopt,
@@ -102,10 +105,28 @@ VerifyReport verify_compiled(const PublicParams& params, QueryMode mode,
          "sweep only parameters with 0 < M ≤ νN"});
     return report;
   }
-  if (options.obliviousness_trials > 0) {
+  // The static proof (taint domain) discharges obliviousness without the
+  // 3×-recompilation dynamic pass; the dynamic pass stays as a fallback
+  // for programs the noninterference argument cannot cover.
+  const bool statically_proven =
+      options.static_obliviousness_proof &&
+      taint_of(program).oblivious_statically_proven;
+  if (options.obliviousness_trials > 0 && !statically_proven) {
     append(report.diagnostics,
            certify_obliviousness(params, mode, options.obliviousness_trials,
                                  options.seed));
+  }
+  if (options.translation_validation) {
+    try {
+      append(report.diagnostics,
+             tv::run_translation_validation(params, mode).diagnostics);
+    } catch (const ContractViolation& e) {
+      report.diagnostics.push_back(
+          {"translation-validation", std::nullopt,
+           std::string("translation validation rejected the public "
+                       "parameters: ") + e.what(),
+           "sweep only parameters with 0 < M ≤ νN"});
+    }
   }
   return report;
 }

@@ -17,9 +17,20 @@ namespace qs::analysis {
 
 struct VerifyOptions {
   /// Dataset-perturbation trials for the obliviousness pass; 0 disables
-  /// the pass (the four structural passes still run).
+  /// the pass (the structural passes still run).
   std::size_t obliviousness_trials = 3;
   std::uint64_t seed = 0x5eed;
+  /// When set, the dynamic perturbed-recompilation obliviousness pass is
+  /// SKIPPED whenever the taint domain statically proves the lifted
+  /// program oblivious (abstint/engine.hpp taint_of). The dynamic pass
+  /// then only runs as a fallback for programs the static proof cannot
+  /// discharge; leave false to run both (differential cross-checking).
+  bool static_obliviousness_proof = false;
+  /// Run the symbolic translation-validation harness for the point
+  /// (analysis/tv/harness.hpp) and append its diagnostics: every lowering
+  /// and fusion of the point's compiled pipeline is proved against its
+  /// reference operator semantics.
+  bool translation_validation = false;
 };
 
 struct VerifyReport {

@@ -42,7 +42,17 @@ void require_bijection(const std::vector<std::uint32_t>& table) {
   }
 }
 
+// Translation-validation hook (thread-local so concurrently compiling
+// threads never observe each other); nullptr when no validator is armed.
+thread_local CompileObserver* g_compile_observer = nullptr;
+
 }  // namespace
+
+CompileObserver* set_compile_observer(CompileObserver* observer) {
+  CompileObserver* previous = g_compile_observer;
+  g_compile_observer = observer;
+  return previous;
+}
 
 CompiledOp CompiledOp::permutation(
     const RegisterLayout& layout,
@@ -57,6 +67,7 @@ CompiledOp CompiledOp::permutation(
   });
   require_bijection(op.table_);
   compile_counter().add();
+  if (g_compile_observer != nullptr) g_compile_observer->on_permutation(op, map);
   return op;
 }
 
@@ -68,6 +79,7 @@ CompiledOp CompiledOp::diagonal(const RegisterLayout& layout,
   cplx* f = op.factors_.data();
   parallel_for(dim, [&](std::size_t x) { f[x] = phase(x); });
   compile_counter().add();
+  if (g_compile_observer != nullptr) g_compile_observer->on_diagonal(op, phase);
   return op;
 }
 
@@ -97,10 +109,13 @@ CompiledOp CompiledOp::fiber_dense(
     op.mat_of_fiber_[f] = it->second;
   }
   compile_counter().add();
+  if (g_compile_observer != nullptr) {
+    g_compile_observer->on_fiber_dense(op, layout, target, selector);
+  }
   return op;
 }
 
-CompiledOp CompiledOp::value_shift(
+CompiledOp CompiledOp::make_value_shift(
     const RegisterLayout& layout, RegisterId r, RegisterId cond,
     std::span<const std::size_t> shift_per_cond_value) {
   QS_REQUIRE(!(r == cond), "shift target and condition must differ");
@@ -120,16 +135,29 @@ CompiledOp CompiledOp::value_shift(
   return op;
 }
 
+CompiledOp CompiledOp::value_shift(
+    const RegisterLayout& layout, RegisterId r, RegisterId cond,
+    std::span<const std::size_t> shift_per_cond_value) {
+  CompiledOp op = make_value_shift(layout, r, cond, shift_per_cond_value);
+  if (g_compile_observer != nullptr) {
+    g_compile_observer->on_value_shift(op, shift_per_cond_value);
+  }
+  return op;
+}
+
 CompiledOp CompiledOp::controlled_value_shift(
     const RegisterLayout& layout, RegisterId r, RegisterId cond,
     RegisterId flag, std::span<const std::size_t> shift_per_cond_value) {
   QS_REQUIRE(!(r == flag) && !(cond == flag),
              "shift target, condition and flag must be distinct registers");
   QS_REQUIRE(layout.dim(flag) == 2, "control flag must be a qubit");
-  CompiledOp op = value_shift(layout, r, cond, shift_per_cond_value);
+  CompiledOp op = make_value_shift(layout, r, cond, shift_per_cond_value);
   op.has_flag_ = true;
   op.shift_flag_ = flag;
   op.flag_stride_ = layout.stride(flag);
+  if (g_compile_observer != nullptr) {
+    g_compile_observer->on_value_shift(op, shift_per_cond_value);
+  }
   return op;
 }
 
@@ -180,7 +208,52 @@ CompiledOp CompiledOp::lowered_to_permutation() const {
   });
   // A cyclic digit shift is bijective by construction; no re-scan needed.
   compile_counter().add();
+  if (g_compile_observer != nullptr) g_compile_observer->on_lowered(*this, op);
   return op;
+}
+
+std::span<const std::uint32_t> CompiledOp::permutation_table() const {
+  QS_REQUIRE(kind_ == Kind::kPermutation,
+             "permutation_table() needs a kPermutation op");
+  return table_;
+}
+
+std::span<const cplx> CompiledOp::diagonal_factors() const {
+  QS_REQUIRE(kind_ == Kind::kDiagonal,
+             "diagonal_factors() needs a kDiagonal op");
+  return factors_;
+}
+
+RegisterId CompiledOp::fiber_target() const {
+  QS_REQUIRE(kind_ == Kind::kFiberDense,
+             "fiber_target() needs a kFiberDense op");
+  return target_;
+}
+
+std::span<const cplx> CompiledOp::fiber_matrix_pool() const {
+  QS_REQUIRE(kind_ == Kind::kFiberDense,
+             "fiber_matrix_pool() needs a kFiberDense op");
+  return matrix_pool_;
+}
+
+std::span<const std::uint32_t> CompiledOp::fiber_matrix_of() const {
+  QS_REQUIRE(kind_ == Kind::kFiberDense,
+             "fiber_matrix_of() needs a kFiberDense op");
+  return mat_of_fiber_;
+}
+
+CompiledOp::ValueShiftView CompiledOp::value_shift_view() const {
+  QS_REQUIRE(kind_ == Kind::kValueShift,
+             "value_shift_view() needs a kValueShift op");
+  ValueShiftView view;
+  view.has_flag = has_flag_;
+  view.target_dim = target_dim_;
+  view.target_stride = target_stride_;
+  view.cond_dim = cond_dim_;
+  view.cond_stride = cond_stride_;
+  view.flag_stride = flag_stride_;
+  view.shifts = shifts_;
+  return view;
 }
 
 bool CompiledOp::can_fuse(const CompiledOp& first, const CompiledOp& second) {
@@ -206,6 +279,20 @@ bool CompiledOp::can_fuse(const CompiledOp& first, const CompiledOp& second) {
   return false;
 }
 
+namespace {
+
+/// Notify the armed observer about a completed fusion, then hand the
+/// result through — keeps the per-case `return` sites in fused() flat.
+CompiledOp notify_fused(const CompiledOp& first, const CompiledOp& second,
+                        CompiledOp result) {
+  if (g_compile_observer != nullptr) {
+    g_compile_observer->on_fused(first, second, result);
+  }
+  return result;
+}
+
+}  // namespace
+
 CompiledOp CompiledOp::fused(const CompiledOp& first, const CompiledOp& second) {
   QS_REQUIRE(can_fuse(first, second), "ops are not fusable");
   fuse_counter().add();
@@ -219,7 +306,7 @@ CompiledOp CompiledOp::fused(const CompiledOp& first, const CompiledOp& second) 
       const std::uint32_t* t1 = first.table_.data();
       const std::uint32_t* t2 = second.table_.data();
       parallel_for(first.dim_, [&](std::size_t x) { t[x] = t2[t1[x]]; });
-      return op;
+      return notify_fused(first, second, std::move(op));
     }
     case Kind::kDiagonal: {
       // One multiplication order change: amp·(f1·f2) instead of
@@ -231,13 +318,13 @@ CompiledOp CompiledOp::fused(const CompiledOp& first, const CompiledOp& second) 
       const cplx* f1 = first.factors_.data();
       const cplx* f2 = second.factors_.data();
       parallel_for(first.dim_, [&](std::size_t x) { f[x] = f1[x] * f2[x]; });
-      return op;
+      return notify_fused(first, second, std::move(op));
     }
     case Kind::kValueShift: {
       CompiledOp op = first;
       for (std::size_t c = 0; c < op.shifts_.size(); ++c)
         op.shifts_[c] = (op.shifts_[c] + second.shifts_[c]) % op.target_dim_;
-      return op;
+      return notify_fused(first, second, std::move(op));
     }
     case Kind::kFiberDense:
       break;

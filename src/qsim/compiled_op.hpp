@@ -42,11 +42,16 @@ namespace qs {
 
 class CompiledOp {
  public:
+  // Every kind listed here must be handled by the symbolic translation-
+  // validation engine (src/analysis/tv/engine.cpp); dqs_lint's
+  // tv-exhaustiveness rule cross-checks the two lists.
   enum class Kind : std::uint8_t {
+    // dqs-lint: op-kind-registry-begin
     kPermutation,
     kDiagonal,
     kFiberDense,
     kValueShift,
+    // dqs-lint: op-kind-registry-end
   };
 
   // --- Lowering entry points ---------------------------------------------
@@ -110,8 +115,42 @@ class CompiledOp {
   /// can_fuse(first, second).
   static CompiledOp fused(const CompiledOp& first, const CompiledOp& second);
 
+  // --- Symbolic introspection (src/analysis/tv) --------------------------
+  // Read-only views of the compiled representation, so the translation-
+  // validation engine can replay an op symbolically without re-deriving the
+  // private layout. Each accessor requires the matching kind.
+
+  /// kPermutation: the forward table, y = table[x].
+  std::span<const std::uint32_t> permutation_table() const;
+
+  /// kDiagonal: the dense factor array.
+  std::span<const cplx> diagonal_factors() const;
+
+  /// kFiberDense: the conditioned register, the pooled row-major matrices
+  /// and the per-fiber pool index (StateVector::kFiberIdentity = identity).
+  RegisterId fiber_target() const;
+  std::span<const cplx> fiber_matrix_pool() const;
+  std::span<const std::uint32_t> fiber_matrix_of() const;
+
+  /// kValueShift: the full replay geometry of Eq. (1)/(2).
+  struct ValueShiftView {
+    bool has_flag = false;
+    std::size_t target_dim = 0, target_stride = 0;
+    std::size_t cond_dim = 0, cond_stride = 0;
+    std::size_t flag_stride = 0;
+    std::span<const std::size_t> shifts;
+  };
+  ValueShiftView value_shift_view() const;
+
  private:
   CompiledOp(Kind kind, std::size_t dim) : kind_(kind), dim_(dim) {}
+
+  /// Shared body of value_shift / controlled_value_shift, so each public
+  /// entry point notifies the compile observer exactly once, on the
+  /// fully-constructed op.
+  static CompiledOp make_value_shift(
+      const RegisterLayout& layout, RegisterId r, RegisterId cond,
+      std::span<const std::size_t> shift_per_cond_value);
 
   Kind kind_;
   std::size_t dim_;
@@ -137,6 +176,48 @@ class CompiledOp {
   std::size_t flag_stride_ = 0;
   std::vector<std::size_t> shifts_;
 };
+
+/// Observer for the compiled-operator pipeline, the hook the translation-
+/// validation engine (src/analysis/tv) hangs off. Each lowering entry point
+/// notifies the installed observer with the finished op AND the reference
+/// spec it was compiled from, while that spec is still alive — the only
+/// moment both sides of the lowering exist, so equivalence can be proved
+/// per compile instead of sampled later. Re-lowering and fusion notify with
+/// the constituent ops. Callbacks run on the compiling thread and must not
+/// re-enter the compiler.
+class CompileObserver {
+ public:
+  CompileObserver() = default;
+  CompileObserver(const CompileObserver&) = delete;
+  CompileObserver& operator=(const CompileObserver&) = delete;
+  virtual ~CompileObserver() = default;
+
+  virtual void on_permutation(
+      const CompiledOp& /*op*/,
+      const std::function<std::size_t(std::size_t)>& /*map*/) {}
+  virtual void on_diagonal(const CompiledOp& /*op*/,
+                           const std::function<cplx(std::size_t)>& /*phase*/) {
+  }
+  virtual void on_fiber_dense(
+      const CompiledOp& /*op*/, const RegisterLayout& /*layout*/,
+      RegisterId /*target*/,
+      const std::function<const Matrix*(std::size_t)>& /*selector*/) {}
+  virtual void on_value_shift(
+      const CompiledOp& /*op*/,
+      std::span<const std::size_t> /*shift_per_cond_value*/) {}
+  virtual void on_lowered(const CompiledOp& /*source*/,
+                          const CompiledOp& /*permutation*/) {}
+  virtual void on_fused(const CompiledOp& /*first*/,
+                        const CompiledOp& /*second*/,
+                        const CompiledOp& /*result*/) {}
+};
+
+/// Install `observer` for the calling thread (nullptr to uninstall);
+/// returns the previously installed observer so scopes can nest. The hook
+/// is thread-local: a parallel test runner's threads never observe each
+/// other's compilations, and the replay kernels pay nothing when no
+/// observer is armed.
+CompileObserver* set_compile_observer(CompileObserver* observer);
 
 /// An ordered sequence of compiled ops with a peephole fusion pass.
 class CompiledProgram {

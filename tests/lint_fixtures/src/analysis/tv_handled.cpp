@@ -1,0 +1,14 @@
+// Control: the fixture tree's tv-handled-kinds span. Lists kPermutation so
+// bad_op_registry.cpp's kPermutation entry is satisfied while its
+// kUnprovenKind entry is flagged — proving tv-exhaustiveness matches
+// per-kind, not per-file.
+namespace fixture {
+
+inline int handled_kinds() {
+  // dqs-lint: tv-handled-kinds-begin
+  //   kPermutation
+  // dqs-lint: tv-handled-kinds-end
+  return 1;
+}
+
+}  // namespace fixture

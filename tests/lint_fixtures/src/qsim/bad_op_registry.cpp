@@ -1,0 +1,18 @@
+// Fixture: an op-kind registry containing a kind the symbolic translation-
+// validation engine does not handle. tv-exhaustiveness must flag
+// kUnprovenKind (the fixture tv-handled-kinds span in
+// src/analysis/tv_handled.cpp lists only kPermutation).
+#include <cstdint>
+
+namespace fixture {
+
+enum class Kind : std::uint8_t {
+  // dqs-lint: op-kind-registry-begin
+  kPermutation,
+  kUnprovenKind,
+  // dqs-lint: op-kind-registry-end
+};
+
+inline Kind identity(Kind k) { return k; }
+
+}  // namespace fixture

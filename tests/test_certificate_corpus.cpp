@@ -1,0 +1,216 @@
+// Malformed-input corpus for the certificate parsers
+// (src/analysis/abstint/certificate.hpp, src/analysis/tv/certificate.hpp).
+//
+// parse_certificate_checked / parse_tv_certificate_checked must turn every
+// malformed document into ONE structured CertificateParseError naming the
+// exact JSON path — mirroring parse_transcript_checked — and the throwing
+// wrappers must raise qs::ContractViolation carrying that message. The
+// corpus perturbs a genuine emitted document one field at a time, so the
+// expected paths stay honest against the real wire format.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/abstint/certificate.hpp"
+#include "analysis/tv/certificate.hpp"
+#include "common/require.hpp"
+
+namespace qs::analysis {
+namespace {
+
+const PublicParams kPoint{32, 4, 3, 24};
+
+std::string good_cert_json() {
+  static const std::string json =
+      to_json(certify_compiled(kPoint, QueryMode::kSequential));
+  return json;
+}
+
+std::string good_tv_json() {
+  tv::TvOptions options;
+  options.obliviousness_trials = 2;
+  static const std::string json = tv::to_json(
+      tv::certify_tv(kPoint, QueryMode::kSequential, options));
+  return json;
+}
+
+/// The good document with `needle` replaced once by `replacement`.
+std::string mutate(std::string doc, const std::string& needle,
+                   const std::string& replacement) {
+  const auto at = doc.find(needle);
+  QS_REQUIRE(at != std::string::npos,
+             "corpus needle not found in the emitted document: " + needle);
+  return doc.replace(at, needle.size(), replacement);
+}
+
+struct CorpusCase {
+  std::string name;
+  std::string document;
+  std::string expected_path;
+};
+
+std::vector<CorpusCase> base_corpus() {
+  const std::string good = good_cert_json();
+  return {
+      {"not-json", "this is not { json", "$"},
+      {"truncated", good.substr(0, good.size() / 2), "$"},
+      {"document-is-an-array", "[1, 2, 3]", "$"},
+      {"empty-object", "{}", "$.schema"},
+      {"schema-wrong-type", mutate(good, "\"dqs-cert-v1\"", "17"),
+       "$.schema"},
+      {"schema-unknown-tag",
+       mutate(good, "\"dqs-cert-v1\"", "\"dqs-cert-v2\""), "$.schema"},
+      {"params-missing", mutate(good, "\"params\"", "\"parameters\""),
+       "$.params"},
+      {"params-not-object",
+       mutate(good, "\"params\": {\"universe\": 32, \"machines\": 4, "
+                    "\"nu\": 3, \"total\": 24}",
+              "\"params\": []"),
+       "$.params"},
+      {"universe-wrong-type", mutate(good, "\"universe\": 32",
+                                     "\"universe\": \"32\""),
+       "$.params.universe"},
+      {"machines-negative", mutate(good, "\"machines\": 4",
+                                   "\"machines\": -4"),
+       "$.params.machines"},
+      {"nu-not-integer", mutate(good, "\"nu\": 3", "\"nu\": 3.5"),
+       "$.params.nu"},
+      {"mode-unknown", mutate(good, "\"mode\": \"sequential\"",
+                              "\"mode\": \"simultaneous\""),
+       "$.mode"},
+      {"cost-d-missing", mutate(good, "\"d\":", "\"dd\":"), "$.cost.d"},
+      {"forward-array-wrong-type",
+       mutate(good, "\"forward_per_machine\": [",
+              "\"forward_per_machine\": [true,"),
+       "$.cost.forward_per_machine[0]"},
+      {"forward-not-array", mutate(good, "\"forward_per_machine\": [",
+                                   "\"forward_per_machine\": 9, \"x\": ["),
+       "$.cost.forward_per_machine"},
+      {"matches-closed-form-wrong-type",
+       mutate(good, "\"matches_closed_form\": ",
+              "\"matches_closed_form\": \"yes\", \"mcf\": "),
+       "$.cost.matches_closed_form"},
+      {"amplitude-a-wrong-type", mutate(good, "\"a\":", "\"a\": null, \"b\":"),
+       "$.amplitude.a"},
+      {"derivation-wrong-type",
+       mutate(good, "\"derivation\": \"", "\"derivation\": 3, \"x\": \""),
+       "$.amplitude.derivation"},
+      {"support-bound-missing", mutate(good, "\"bound\":", "\"bonud\":"),
+       "$.support.bound"},
+      {"recovery-present-wrong-type",
+       mutate(good, "\"recovery\": {\"present\": false}",
+              "\"recovery\": {\"present\": 0}"),
+       "$.recovery.present"},
+      {"diagnostics-not-array", mutate(good, "\"diagnostics\": []",
+                                       "\"diagnostics\": {}"),
+       "$.diagnostics"},
+  };
+}
+
+std::vector<CorpusCase> tv_corpus() {
+  const std::string good = good_tv_json();
+  return {
+      {"tv-schema-is-base-tag",
+       mutate(good, "\"dqs-tv-v1\"", "\"dqs-cert-v1\""), "$.schema"},
+      {"tv-section-missing", mutate(good, "\"tv\":", "\"tvx\":"), "$.tv"},
+      {"tv-lowerings-wrong-type",
+       mutate(good, "\"lowerings\":", "\"lowerings\": \"many\", \"x\":"),
+       "$.tv.lowerings"},
+      {"tv-proofs-not-array",
+       mutate(good, "\"proofs\": [", "\"proofs\": 3, \"x\": ["),
+       "$.tv.proofs"},
+      {"tv-proof-rule-missing",
+       mutate(good, "{\"rule\":", "{\"ruel\":"), "$.tv.proofs[0].rule"},
+      {"taint-section-missing", mutate(good, "\"taint\":", "\"tainted\":"),
+       "$.taint"},
+      {"taint-content-ops-wrong-type",
+       mutate(good, "\"content_ops\": 0", "\"content_ops\": false"),
+       "$.taint.content_ops"},
+      {"cross-check-unknown-value",
+       mutate(good, "\"dynamic_cross_check\": \"agree\"",
+              "\"dynamic_cross_check\": \"maybe\""),
+       "$.taint.dynamic_cross_check"},
+  };
+}
+
+TEST(CertificateCorpus, GoodDocumentRoundTripsThroughBothParsers) {
+  const Certificate cert = certify_compiled(kPoint, QueryMode::kSequential);
+  const auto checked = parse_certificate_checked(to_json(cert));
+  ASSERT_TRUE(checked.ok()) << checked.error->to_string();
+  EXPECT_TRUE(checked.certificate == cert);
+  EXPECT_TRUE(parse_certificate(to_json(cert)) == cert);
+}
+
+TEST(CertificateCorpus, EveryMalformedDocumentNamesItsField) {
+  for (const auto& c : base_corpus()) {
+    SCOPED_TRACE(c.name);
+    const auto result = parse_certificate_checked(c.document);
+    ASSERT_FALSE(result.ok()) << "accepted a malformed document";
+    EXPECT_EQ(result.error->path, c.expected_path)
+        << result.error->to_string();
+    EXPECT_FALSE(result.error->reason.empty());
+    // The rendered error carries the path, mirroring
+    // TranscriptParseError::to_string().
+    EXPECT_NE(result.error->to_string().find(c.expected_path),
+              std::string::npos);
+  }
+}
+
+TEST(CertificateCorpus, ThrowingParserCarriesTheStructuredMessage) {
+  for (const auto& c : base_corpus()) {
+    SCOPED_TRACE(c.name);
+    try {
+      (void)parse_certificate(c.document);
+      FAIL() << "parse_certificate accepted a malformed document";
+    } catch (const ContractViolation& e) {
+      EXPECT_NE(std::string(e.what()).find(c.expected_path),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(CertificateCorpus, FirstFailureWinsWhenSeveralFieldsAreBroken) {
+  // Breaking params AND mode must report params — the parse is ordered and
+  // the context records only the first mismatch.
+  const std::string doc =
+      mutate(mutate(good_cert_json(), "\"universe\": 32",
+                    "\"universe\": \"x\""),
+             "\"mode\": \"sequential\"", "\"mode\": \"simultaneous\"");
+  const auto result = parse_certificate_checked(doc);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error->path, "$.params.universe");
+}
+
+TEST(TvCertificateCorpus, GoodDocumentRoundTrips) {
+  const auto parsed = tv::parse_tv_certificate_checked(good_tv_json());
+  ASSERT_TRUE(parsed.ok()) << parsed.error->to_string();
+  EXPECT_EQ(parsed.certificate.schema, "dqs-tv-v1");
+  EXPECT_EQ(parsed.certificate.base.schema, "dqs-cert-v1");
+  EXPECT_EQ(tv::to_json(parsed.certificate), good_tv_json());
+}
+
+TEST(TvCertificateCorpus, EveryMalformedDocumentNamesItsField) {
+  for (const auto& c : tv_corpus()) {
+    SCOPED_TRACE(c.name);
+    const auto result = tv::parse_tv_certificate_checked(c.document);
+    ASSERT_FALSE(result.ok()) << "accepted a malformed document";
+    EXPECT_EQ(result.error->path, c.expected_path)
+        << result.error->to_string();
+    EXPECT_THROW((void)tv::parse_tv_certificate(c.document),
+                 ContractViolation);
+  }
+}
+
+TEST(TvCertificateCorpus, BaseParserRejectsTvDocuments) {
+  // A dqs-tv-v1 document is NOT a dqs-cert-v1 document: the document-level
+  // schema tag differs, and the base parser must say so rather than
+  // silently reading the shared body.
+  const auto result = parse_certificate_checked(good_tv_json());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error->path, "$.schema");
+}
+
+}  // namespace
+}  // namespace qs::analysis

@@ -1,0 +1,224 @@
+// Property tests for CompiledProgram::fuse() (src/qsim/compiled_op.hpp).
+//
+// Two properties the peephole must satisfy beyond the pairwise rules the
+// translation-validation engine proves per fuse:
+//
+//   idempotence    a second fuse() pass performs 0 merges — the greedy
+//                  adjacent-merge reaches a fixed point in one pass because
+//                  can_fuse depends only on kind and geometry, both of
+//                  which fusion preserves;
+//   associativity  fusing any split of the op list and then fusing the
+//                  concatenation is semantically identical to fusing the
+//                  whole list at once (and to not fusing at all), within
+//                  the 1e-12 amplitude budget of diagonal factor products.
+//
+// Both are exercised on a randomized grid of programs mixing all four op
+// kinds over a 3-register layout.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "qsim/compiled_op.hpp"
+#include "qsim/register_layout.hpp"
+#include "qsim/state_vector.hpp"
+
+namespace qs {
+namespace {
+
+constexpr double kAmplitudeTolerance = 1e-12;
+
+struct Fixture {
+  RegisterLayout layout;
+  RegisterId count;
+  RegisterId elem;
+  RegisterId flag;
+};
+
+Fixture make_fixture() {
+  Fixture f;
+  f.count = f.layout.add("count", 4);
+  f.elem = f.layout.add("elem", 3);
+  f.flag = f.layout.add("flag", 2);
+  return f;
+}
+
+CompiledOp random_op(const Fixture& f, Rng& rng) {
+  switch (rng.uniform_below(5)) {
+    case 0: {  // random diagonal of unit-modulus phases
+      std::vector<cplx> factors(f.layout.total_dim());
+      for (auto& factor : factors) {
+        const double angle = rng.uniform(0.0, 6.283185307179586);
+        factor = cplx{std::cos(angle), std::sin(angle)};
+      }
+      return CompiledOp::diagonal(
+          f.layout, [&](std::size_t x) { return factors[x]; });
+    }
+    case 1: {  // random full-space bijection (Fisher–Yates)
+      std::vector<std::size_t> table(f.layout.total_dim());
+      for (std::size_t i = 0; i < table.size(); ++i) table[i] = i;
+      for (std::size_t i = table.size(); i-- > 1;) {
+        std::swap(table[i], table[rng.uniform_below(i + 1)]);
+      }
+      return CompiledOp::permutation(
+          f.layout, [&](std::size_t x) { return table[x]; });
+    }
+    case 2: {  // Eq. (1) shape on (count | elem)
+      std::vector<std::size_t> shifts(f.layout.dim(f.elem));
+      for (auto& s : shifts) s = rng.uniform_below(f.layout.dim(f.count));
+      return CompiledOp::value_shift(f.layout, f.count, f.elem, shifts);
+    }
+    case 3: {  // Eq. (2) shape, flag-controlled
+      std::vector<std::size_t> shifts(f.layout.dim(f.elem));
+      for (auto& s : shifts) s = rng.uniform_below(f.layout.dim(f.count));
+      return CompiledOp::controlled_value_shift(f.layout, f.count, f.elem,
+                                                f.flag, shifts);
+    }
+    default: {  // conditioned 2×2 rotation on the flag
+      const double angle = rng.uniform(0.0, 3.141592653589793);
+      const cplx c{std::cos(angle), 0.0};
+      const cplx s{std::sin(angle), 0.0};
+      const Matrix rotation = Matrix::from_rows(2, 2, {c, -s, s, c});
+      return CompiledOp::fiber_dense(
+          f.layout, f.flag, [&](std::size_t fiber_base) {
+            // Condition on the count digit so some fibers stay identity.
+            return f.layout.digit(fiber_base, f.count) % 2 == 0 ? &rotation
+                                                                : nullptr;
+          });
+    }
+  }
+}
+
+CompiledProgram random_program(const Fixture& f, Rng& rng,
+                               std::size_t length) {
+  CompiledProgram program;
+  for (std::size_t i = 0; i < length; ++i) program.push(random_op(f, rng));
+  return program;
+}
+
+StateVector random_state(const RegisterLayout& layout, Rng& rng) {
+  StateVector state(layout);
+  double norm = 0.0;
+  for (auto& amp : state.mutable_amplitudes()) {
+    amp = cplx{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    norm += std::norm(amp);
+  }
+  const double scale = 1.0 / std::sqrt(norm);
+  for (auto& amp : state.mutable_amplitudes()) amp *= scale;
+  return state;
+}
+
+double max_distance(const StateVector& a, const StateVector& b) {
+  double dist = 0.0;
+  for (std::size_t i = 0; i < a.amplitudes().size(); ++i) {
+    dist = std::max(dist, std::abs(a.amplitudes()[i] - b.amplitudes()[i]));
+  }
+  return dist;
+}
+
+TEST(CompiledFusion, FuseIsIdempotent) {
+  const Fixture f = make_fixture();
+  Rng rng(0xf005e);
+  for (int trial = 0; trial < 40; ++trial) {
+    CompiledProgram program =
+        random_program(f, rng, 2 + rng.uniform_below(9));
+    (void)program.fuse();
+    EXPECT_EQ(program.fuse(), 0u)
+        << "second fuse() pass merged ops on trial " << trial;
+  }
+}
+
+TEST(CompiledFusion, AdjacentCompatiblePairsDoMerge) {
+  // Idempotence would hold vacuously if fuse() never merged; pin the
+  // positive case for each rule.
+  const Fixture f = make_fixture();
+  const auto phase = [](std::size_t x) {
+    return x % 2 == 0 ? cplx{1.0, 0.0} : cplx{0.0, 1.0};
+  };
+  CompiledProgram diags;
+  diags.push(CompiledOp::diagonal(f.layout, phase));
+  diags.push(CompiledOp::diagonal(f.layout, phase));
+  EXPECT_EQ(diags.fuse(), 1u);
+  EXPECT_EQ(diags.size(), 1u);
+
+  CompiledProgram perms;
+  perms.push(CompiledOp::permutation(
+      f.layout, [&](std::size_t x) { return (x + 1) % f.layout.total_dim(); }));
+  perms.push(CompiledOp::permutation(
+      f.layout, [&](std::size_t x) { return (x + 2) % f.layout.total_dim(); }));
+  EXPECT_EQ(perms.fuse(), 1u);
+
+  const std::vector<std::size_t> shifts = {1, 2, 3};
+  CompiledProgram vshifts;
+  vshifts.push(CompiledOp::value_shift(f.layout, f.count, f.elem, shifts));
+  vshifts.push(CompiledOp::value_shift(f.layout, f.count, f.elem, shifts));
+  EXPECT_EQ(vshifts.fuse(), 1u);
+}
+
+TEST(CompiledFusion, FusionPreservesSemanticsOnRandomPrograms) {
+  const Fixture f = make_fixture();
+  Rng rng(0xcafe);
+  for (int trial = 0; trial < 25; ++trial) {
+    const CompiledProgram reference =
+        random_program(f, rng, 2 + rng.uniform_below(9));
+    CompiledProgram fused;
+    for (const auto& op : reference.ops()) fused.push(op);
+    (void)fused.fuse();
+
+    StateVector want = random_state(f.layout, rng);
+    StateVector got = want;
+    reference.apply_to(want);
+    fused.apply_to(got);
+    EXPECT_LE(max_distance(want, got), kAmplitudeTolerance)
+        << "trial " << trial << " (" << reference.size() << " ops fused to "
+        << fused.size() << ")";
+  }
+}
+
+TEST(CompiledFusion, FusionOrderDoesNotChangeSemantics) {
+  // Fuse an arbitrary split of the program, concatenate, fuse again:
+  // whatever merge order results must agree with both the unfused program
+  // and the whole-program fuse.
+  const Fixture f = make_fixture();
+  Rng rng(0x511);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t length = 3 + rng.uniform_below(8);
+    const CompiledProgram reference = random_program(f, rng, length);
+    const std::size_t split = 1 + rng.uniform_below(length - 1);
+
+    CompiledProgram head;
+    CompiledProgram tail;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      (i < split ? head : tail).push(reference.ops()[i]);
+    }
+    (void)head.fuse();
+    (void)tail.fuse();
+    CompiledProgram stitched;
+    for (const auto& op : head.ops()) stitched.push(op);
+    for (const auto& op : tail.ops()) stitched.push(op);
+    (void)stitched.fuse();
+
+    CompiledProgram whole;
+    for (const auto& op : reference.ops()) whole.push(op);
+    (void)whole.fuse();
+
+    StateVector unfused_state = random_state(f.layout, rng);
+    StateVector stitched_state = unfused_state;
+    StateVector whole_state = unfused_state;
+    reference.apply_to(unfused_state);
+    stitched.apply_to(stitched_state);
+    whole.apply_to(whole_state);
+
+    EXPECT_LE(max_distance(unfused_state, stitched_state),
+              kAmplitudeTolerance)
+        << "trial " << trial << " split " << split;
+    EXPECT_LE(max_distance(unfused_state, whole_state), kAmplitudeTolerance)
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace qs

@@ -1,0 +1,398 @@
+// Translation validation and static obliviousness (src/analysis/tv).
+//
+// Three layers of evidence:
+//   1. the symbolic validator itself is killed by miscompiled operators
+//      (drifted diagonals, transposed tables, forbidden fusions) and
+//      accepts the genuine pipeline bit for bit;
+//   2. every grid point carries a clean dqs-tv-v1 certificate whose static
+//      taint verdict AGREES with the dynamic perturbed-recompilation pass
+//      on the full standard grid — the differential proof that static
+//      obliviousness can replace the 3×-recompilation;
+//   3. fault-recovered schedules keep their certificates: recovery planning
+//      never consults the database, so obliviousness survives statically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/abstint/engine.hpp"
+#include "analysis/mutations.hpp"
+#include "analysis/param_grid.hpp"
+#include "analysis/passes.hpp"
+#include "analysis/tv/certificate.hpp"
+#include "analysis/tv/engine.hpp"
+#include "analysis/tv/harness.hpp"
+#include "analysis/tv/symbolic.hpp"
+#include "analysis/verifier.hpp"
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "distdb/distributed_database.hpp"
+#include "distdb/workload.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/recovery.hpp"
+#include "qsim/compiled_op.hpp"
+#include "sampling/backend.hpp"
+#include "sampling/schedule.hpp"
+
+namespace qs::analysis::tv {
+namespace {
+
+bool has_pass(const std::vector<Diagnostic>& diagnostics,
+              const std::string& pass) {
+  return std::any_of(diagnostics.begin(), diagnostics.end(),
+                     [&](const Diagnostic& d) { return d.pass == pass; });
+}
+
+// --- the symbolic validator accepts the truth and kills miscompiles --------
+
+TEST(TvValidator, AcceptsTheGenuinePermutation) {
+  RegisterLayout layout;
+  layout.add("elem", 8);
+  const CompiledOp op = CompiledOp::permutation(
+      layout, [](std::size_t x) { return (x + 3) % 8; });
+  TvValidator validator;
+  validator.check_permutation(op, [](std::size_t x) { return (x + 3) % 8; });
+  EXPECT_TRUE(validator.facts().all_ok());
+  EXPECT_EQ(validator.facts().lowerings, 1u);
+  EXPECT_TRUE(validator.diagnostics().empty());
+  ASSERT_EQ(validator.facts().proofs.size(), 1u);
+  EXPECT_TRUE(validator.facts().proofs.front().exact);
+  EXPECT_EQ(validator.facts().proofs.front().max_error, 0.0);
+}
+
+TEST(TvValidator, RefutesATransposedTable) {
+  RegisterLayout layout;
+  layout.add("elem", 8);
+  const CompiledOp op = CompiledOp::permutation(
+      layout, [](std::size_t x) { return (x + 1) % 8; });
+  TvValidator validator;
+  validator.check_permutation(op, [](std::size_t x) {
+    if (x == 6) return std::size_t{0};
+    if (x == 7) return std::size_t{7};
+    return (x + 1) % 8;
+  });
+  EXPECT_EQ(validator.facts().failed, 1u);
+  EXPECT_TRUE(has_pass(validator.diagnostics(), "translation-validation"));
+}
+
+TEST(TvValidator, DiagonalBudgetSeparatesRoundingFromMiscompiles) {
+  RegisterLayout layout;
+  layout.add("flag", 2);
+  const auto phase = [](std::size_t x) {
+    return x == 1 ? cplx{0.0, 1.0} : cplx{1.0, 0.0};
+  };
+  const CompiledOp op = CompiledOp::diagonal(layout, phase);
+
+  TvValidator inside;
+  inside.check_diagonal(op, [&](std::size_t x) {
+    return phase(x) + cplx{1e-14, 0.0};  // below the 1e-12 budget
+  });
+  EXPECT_EQ(inside.facts().failed, 0u);
+  EXPECT_GT(inside.facts().max_error, 0.0);
+
+  TvValidator outside;
+  outside.check_diagonal(op, [&](std::size_t x) {
+    return phase(x) + cplx{1e-9, 0.0};  // a real drift
+  });
+  EXPECT_EQ(outside.facts().failed, 1u);
+  EXPECT_TRUE(has_pass(outside.diagnostics(), "translation-validation"));
+}
+
+TEST(TvValidator, ValueShiftSpecIsReducedModuloTargetDim) {
+  RegisterLayout layout;
+  const RegisterId count = layout.add("count", 4);
+  const RegisterId elem = layout.add("elem", 3);
+  const std::vector<std::size_t> raw = {5, 0, 9};  // 5 % 4 = 1, 9 % 4 = 1
+  const CompiledOp op = CompiledOp::value_shift(layout, count, elem, raw);
+  TvValidator validator;
+  validator.check_value_shift(op, raw);
+  EXPECT_TRUE(validator.facts().all_ok());
+}
+
+TEST(TvValidator, ReloweringMustMatchTheAffineRelabelling) {
+  RegisterLayout layout;
+  const RegisterId count = layout.add("count", 4);
+  const RegisterId elem = layout.add("elem", 3);
+  const std::vector<std::size_t> shifts = {1, 2, 3};
+  const CompiledOp shift = CompiledOp::value_shift(layout, count, elem,
+                                                   shifts);
+
+  TvValidator good;
+  good.check_lowered(shift, shift.lowered_to_permutation());
+  EXPECT_TRUE(good.facts().all_ok());
+
+  TvValidator bad;
+  bad.check_lowered(shift, CompiledOp::permutation(
+                               layout, [](std::size_t x) { return x; }));
+  EXPECT_EQ(bad.facts().failed, 1u);
+}
+
+TEST(TvValidator, FiberDenseMustNeverFuse) {
+  RegisterLayout layout;
+  const RegisterId flag = layout.add("flag", 2);
+  layout.add("count", 3);
+  const Matrix x_gate = Matrix::from_rows(
+      2, 2, {cplx{0, 0}, cplx{1, 0}, cplx{1, 0}, cplx{0, 0}});
+  const CompiledOp op = CompiledOp::fiber_dense(
+      layout, flag, [&](std::size_t) { return &x_gate; });
+  TvValidator validator;
+  validator.check_fused(op, op, op);
+  EXPECT_EQ(validator.facts().failed, 1u);
+  EXPECT_EQ(validator.facts().fusions, 1u);
+  EXPECT_TRUE(has_pass(validator.diagnostics(), "translation-validation"));
+}
+
+// --- the recorder proves real pipelines as they compile --------------------
+
+TEST(TvRecorder, ValidatesTheProductionBackendCompilation) {
+  Rng rng(42);
+  auto datasets = workload::uniform_random(16, 3, 12, rng);
+  const auto nu = min_capacity(datasets);
+  const DistributedDatabase db(std::move(datasets), nu);
+
+  TvValidator validator;
+  {
+    TvRecorder recorder(validator);
+    const SingleStateBackend backend(db, StatePrep::kHouseholder);
+    (void)backend;
+  }
+  EXPECT_GT(validator.facts().lowerings, 0u);
+  EXPECT_EQ(validator.facts().failed, 0u) << [&] {
+    std::string all;
+    for (const auto& d : validator.diagnostics()) all += to_string(d) + "\n";
+    return all;
+  }();
+}
+
+TEST(TvRecorder, ScopesNestAndDisarm) {
+  RegisterLayout layout;
+  layout.add("q", 2);
+  TvValidator outer;
+  {
+    TvRecorder outer_scope(outer);
+    TvValidator inner;
+    {
+      TvRecorder inner_scope(inner);
+      (void)CompiledOp::diagonal(
+          layout, [](std::size_t) { return cplx{1.0, 0.0}; });
+    }
+    EXPECT_EQ(inner.facts().lowerings, 1u);
+    EXPECT_EQ(outer.facts().lowerings, 0u);
+    (void)CompiledOp::diagonal(
+        layout, [](std::size_t) { return cplx{1.0, 0.0}; });
+  }
+  EXPECT_EQ(outer.facts().lowerings, 1u);
+  // Disarmed: compiling outside any scope validates nothing.
+  (void)CompiledOp::diagonal(layout,
+                             [](std::size_t) { return cplx{1.0, 0.0}; });
+  EXPECT_EQ(outer.facts().lowerings, 1u);
+}
+
+TEST(TvHarness, CoversEveryKindAndEveryFusionRule) {
+  const PublicParams params{32, 4, 3, 24};
+  const TvRun run = run_translation_validation(params,
+                                               QueryMode::kSequential);
+  EXPECT_TRUE(run.facts.all_ok());
+  EXPECT_TRUE(run.diagnostics.empty());
+  EXPECT_GE(run.facts.fusions, 3u);  // diag, shift and permutation fusion
+
+  std::vector<std::string> rules;
+  for (const auto& proof : run.facts.proofs) rules.push_back(proof.rule);
+  for (const char* required :
+       {"lower-permutation", "lower-diagonal", "lower-fiber-dense",
+        "lower-value-shift", "lower-to-permutation", "fuse-permutation",
+        "fuse-diagonal", "fuse-value-shift"}) {
+    EXPECT_TRUE(std::find(rules.begin(), rules.end(), required) !=
+                rules.end())
+        << "no proof obligation discharged for rule " << required;
+  }
+  for (const auto& proof : run.facts.proofs) {
+    if (proof.exact) {
+      EXPECT_EQ(proof.max_error, 0.0) << proof.rule;
+    }
+  }
+}
+
+TEST(TvHarness, RejectsInvalidParameters) {
+  EXPECT_THROW(run_translation_validation(PublicParams{0, 2, 2, 4},
+                                          QueryMode::kSequential),
+               ContractViolation);
+  EXPECT_THROW(run_translation_validation(PublicParams{8, 2, 2, 0},
+                                          QueryMode::kSequential),
+               ContractViolation);
+}
+
+// --- the taint domain: static obliviousness --------------------------------
+
+TEST(Taint, LiftedSchedulesAreFunctionsOfPublicKnowledge) {
+  const PublicParams params{32, 4, 3, 24};
+  for (const auto mode : {QueryMode::kSequential, QueryMode::kParallel}) {
+    const auto program = lift_compiled(params, mode);
+    const TaintFacts facts = taint_of(program);
+    EXPECT_TRUE(facts.oblivious_statically_proven);
+    EXPECT_EQ(facts.content_ops, 0u);
+    EXPECT_EQ(facts.public_ops, program.ops.size());
+    EXPECT_EQ(facts.max_taint, 0u);
+  }
+}
+
+TEST(Taint, ContentInfluenceBreaksTheProofAndIsDiagnosed) {
+  const PublicParams params{32, 4, 3, 24};
+  auto program = lift_compiled(params, QueryMode::kSequential);
+  ASSERT_FALSE(program.ops.empty());
+  program.ops[2].taint = TaintLabel::kContent;
+
+  const TaintFacts facts = taint_of(program);
+  EXPECT_FALSE(facts.oblivious_statically_proven);
+  EXPECT_EQ(facts.content_ops, 1u);
+  EXPECT_EQ(facts.max_taint, 1u);
+
+  const auto result = interpret(program);
+  EXPECT_TRUE(has_pass(result.diagnostics, "taint-domain"));
+  EXPECT_TRUE(result.taint == facts);
+}
+
+TEST(Taint, StaticVerdictAgreesWithDynamicPassOnTheFullGrid) {
+  for (const auto& params : standard_grid()) {
+    for (const auto mode : {QueryMode::kSequential, QueryMode::kParallel}) {
+      const bool statically = taint_of(lift_compiled(params, mode))
+                                  .oblivious_statically_proven;
+      const bool dynamically =
+          certify_obliviousness(params, mode, 2, 0x5eed).empty();
+      EXPECT_EQ(statically, dynamically)
+          << "verdicts diverge at N=" << params.universe
+          << " n=" << params.machines << " nu=" << params.nu
+          << " M=" << params.total;
+    }
+  }
+}
+
+TEST(Taint, VerifyOptionsStaticProofSkipsTheDynamicPassCleanly) {
+  const PublicParams params{32, 4, 3, 24};
+  VerifyOptions with_static;
+  with_static.static_obliviousness_proof = true;
+  VerifyOptions with_tv;
+  with_tv.translation_validation = true;
+  for (const auto mode : {QueryMode::kSequential, QueryMode::kParallel}) {
+    EXPECT_TRUE(verify_compiled(params, mode, with_static).clean());
+    EXPECT_TRUE(verify_compiled(params, mode, with_tv).clean());
+  }
+}
+
+// --- dqs-tv-v1 certificates ------------------------------------------------
+
+TEST(TvCertificate, GridSubsampleIsCleanAgreesAndRoundTrips) {
+  TvOptions options;
+  options.obliviousness_trials = 2;
+  for (const PublicParams& params :
+       {PublicParams{32, 4, 3, 24}, PublicParams{8, 2, 2, 6},
+        PublicParams{16, 3, 2, 10}}) {
+    for (const auto mode : {QueryMode::kSequential, QueryMode::kParallel}) {
+      const TvCertificate cert = certify_tv(params, mode, options);
+      EXPECT_TRUE(cert.clean()) << to_json(cert);
+      EXPECT_EQ(cert.dynamic_cross_check, "agree");
+      EXPECT_TRUE(cert.taint.oblivious_statically_proven);
+      EXPECT_GT(cert.tv.lowerings, 0u);
+      EXPECT_GE(cert.tv.fusions, 3u);
+      EXPECT_TRUE(cert.tv.all_ok());
+
+      const std::string json = to_json(cert);
+      const TvCertificateParseResult parsed =
+          parse_tv_certificate_checked(json);
+      ASSERT_TRUE(parsed.ok()) << parsed.error->to_string();
+      EXPECT_TRUE(parsed.certificate == cert);
+      EXPECT_TRUE(parse_tv_certificate(json) == cert);
+    }
+  }
+}
+
+TEST(TvCertificate, SkippingTheCrossCheckIsRecorded) {
+  TvOptions options;
+  options.obliviousness_trials = 0;
+  const TvCertificate cert =
+      certify_tv(PublicParams{8, 2, 2, 6}, QueryMode::kSequential, options);
+  EXPECT_EQ(cert.dynamic_cross_check, "skipped");
+  EXPECT_TRUE(cert.clean()) << to_json(cert);
+}
+
+// --- chaos grid: recovery keeps the certificate ----------------------------
+
+TEST(TvCertificate, RecoveredSchedulesStayObliviousStatically) {
+  const RetryPolicy policy;
+  for (const std::uint64_t machines : {2, 3}) {
+    Rng rng(100 + machines);
+    auto datasets = workload::uniform_random(32, machines, 20, rng);
+    const auto nu = min_capacity(datasets);
+    const DistributedDatabase db(std::move(datasets), nu);
+    const PublicParams params = public_params_of(db);
+    for (const auto mode : {QueryMode::kSequential, QueryMode::kParallel}) {
+      const auto events = compiled_schedule_length(params, mode);
+      for (const std::uint64_t plan_seed : {1, 2}) {
+        const FaultPlan plan =
+            FaultPlan::random(plan_seed, events, machines);
+        const FaultedRun run =
+            run_sampler_with_faults(db, mode, plan, policy);
+        ASSERT_TRUE(run.ok()) << run.recovery.failure;
+
+        const RecoveredSchedule recovered =
+            to_recovered_schedule(run.recovery);
+        const TvCertificate cert =
+            certify_tv_recovered(recovered, params, mode);
+        EXPECT_TRUE(cert.clean()) << to_json(cert);
+        EXPECT_TRUE(cert.taint.oblivious_statically_proven);
+        EXPECT_EQ(cert.dynamic_cross_check, "skipped");
+        EXPECT_TRUE(cert.base.recovery.present);
+        EXPECT_TRUE(cert.tv.all_ok());
+        EXPECT_TRUE(parse_tv_certificate(to_json(cert)) == cert);
+      }
+    }
+  }
+}
+
+// --- kill matrix -----------------------------------------------------------
+
+TEST(TvKillMatrix, EveryTvPassHasAFixtureThatKillsIt) {
+  const PublicParams params{32, 4, 3, 24};
+  for (const auto& pass : tv_pass_names()) {
+    bool covered = false;
+    for (const auto& spec : mutation_catalog()) {
+      if (spec.expected_pass != pass) continue;
+      covered = true;
+      EXPECT_TRUE(mutation_flagged(spec, params))
+          << spec.name << " failed to kill " << pass;
+    }
+    EXPECT_TRUE(covered) << "no mutation fixture kills pass " << pass;
+  }
+}
+
+TEST(TvKillMatrix, TvFixturesAreInvisibleToEveryOtherChecker) {
+  const PublicParams params{32, 4, 3, 24};
+  for (const auto& spec : mutation_catalog()) {
+    if (std::find(tv_pass_names().begin(), tv_pass_names().end(),
+                  spec.expected_pass) == tv_pass_names().end()) {
+      continue;
+    }
+    for (const auto& d : run_mutation(spec, params)) {
+      EXPECT_EQ(d.pass, spec.expected_pass)
+          << spec.name << " leaked into pass " << d.pass;
+    }
+  }
+}
+
+TEST(TvKillMatrix, TaintFixtureIsKilledOnlyByTheTaintDomain) {
+  const PublicParams params{32, 4, 3, 24};
+  for (const auto& spec : mutation_catalog()) {
+    if (spec.name != "content-routed-query") continue;
+    EXPECT_TRUE(mutation_flagged(spec, params));
+    for (const auto& d : run_mutation(spec, params)) {
+      EXPECT_EQ(d.pass, "taint-domain") << spec.name;
+    }
+    return;
+  }
+  FAIL() << "content-routed-query fixture missing from the catalog";
+}
+
+}  // namespace
+}  // namespace qs::analysis::tv

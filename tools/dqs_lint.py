@@ -58,6 +58,14 @@ to the paper's model rather than C++ correctness:
                       the mutations*.cpp nearest the registry file. An
                       analyzer pass no corrupted schedule can trigger is
                       untested tooling (see dqs_verify --mutants).
+  tv-exhaustiveness   Every CompiledOp kind registered between
+                      `// dqs-lint: op-kind-registry-begin` and `-end`
+                      markers (the Kind enum in src/qsim/compiled_op.hpp)
+                      must appear in a `tv-handled-kinds` marker span (the
+                      symbolic translation-validation engine's dispatch in
+                      src/analysis/tv/engine.cpp). A kind the engine cannot
+                      discharge would compile — and fuse — without any
+                      equivalence proof (docs/ANALYSIS.md).
   error-taxonomy      Library code under src/ must fail through the typed
                       error taxonomy — QS_REQUIRE / QS_ASSERT raising
                       qs::ContractViolation — never via bare throw,
@@ -470,6 +478,83 @@ def rule_kill_matrix_completeness(f: File):
                 "corrupted schedule")
 
 
+OP_KIND_BEGIN = re.compile(r"dqs-lint:\s*op-kind-registry-begin")
+OP_KIND_END = re.compile(r"dqs-lint:\s*op-kind-registry-end")
+TV_HANDLED_BEGIN = re.compile(r"dqs-lint:\s*tv-handled-kinds-begin")
+TV_HANDLED_END = re.compile(r"dqs-lint:\s*tv-handled-kinds-end")
+KIND_TOKEN = re.compile(r"\bk[A-Z][A-Za-z0-9]*\b")
+
+_TV_HANDLED_CACHE: dict = {}
+
+
+def _tv_handled_kinds(root: Path):
+    """Union of kind tokens inside tv-handled-kinds marker spans under root.
+
+    Collected once per root from every scanned C++ file (the span lives in
+    src/analysis/tv/engine.cpp in the real tree; the self-test fixtures
+    carry their own). Returns None when no span exists anywhere — the rule
+    then reports every registered kind as unhandled.
+    """
+    if root in _TV_HANDLED_CACHE:
+        return _TV_HANDLED_CACHE[root]
+    handled: set | None = None
+    for d in SCAN_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in CXX_SUFFIXES or not path.is_file():
+                continue
+            if EXCLUDE_DIR in path.relative_to(root).parts:
+                continue
+            text = path.read_text(encoding="utf-8", errors="replace")
+            if "tv-handled-kinds-begin" not in text:
+                continue
+            in_span = False
+            for raw in text.splitlines():
+                if TV_HANDLED_BEGIN.search(raw):
+                    in_span = True
+                    handled = set() if handled is None else handled
+                    continue
+                if TV_HANDLED_END.search(raw):
+                    in_span = False
+                    continue
+                if in_span:
+                    handled.update(KIND_TOKEN.findall(raw))
+    _TV_HANDLED_CACHE[root] = handled
+    return handled
+
+
+def rule_tv_exhaustiveness(f: File):
+    registered = []  # (line, kind) inside op-kind registry marker spans
+    in_registry = False
+    for i, (raw, stripped) in enumerate(
+            zip(f.raw_lines, f.stripped_lines), 1):
+        if OP_KIND_BEGIN.search(raw):
+            in_registry = True
+            continue
+        if OP_KIND_END.search(raw):
+            in_registry = False
+            continue
+        if in_registry:
+            # Stripped view: doc comments naming other kinds must not count
+            # as registrations.
+            for kind in KIND_TOKEN.findall(stripped):
+                registered.append((i, kind))
+    if not registered:
+        return
+    handled = _tv_handled_kinds(f.root)
+    for lineno, kind in registered:
+        if handled is None or kind not in handled:
+            yield Violation(
+                f.path, lineno, "tv-exhaustiveness",
+                f'CompiledOp kind "{kind}" is not listed in a '
+                "tv-handled-kinds span; teach the symbolic translation-"
+                "validation engine (src/analysis/tv/engine.cpp) to "
+                "discharge the new kind's proof obligations — an unhandled "
+                "kind would compile without any equivalence proof")
+
+
 ERROR_TAXONOMY_EXEMPT = {
     # The definition site of the taxonomy itself: QS_REQUIRE/QS_ASSERT
     # expand to the one sanctioned throw.
@@ -508,6 +593,7 @@ RULES = {
     "timing-discipline": rule_timing_discipline,
     "no-std-function-in-kernels": rule_no_std_function_in_kernels,
     "kill-matrix-completeness": rule_kill_matrix_completeness,
+    "tv-exhaustiveness": rule_tv_exhaustiveness,
     "error-taxonomy": rule_error_taxonomy,
 }
 

@@ -20,6 +20,17 @@
 //                                     require every dqs-cert-v1 certificate
 //                                     to be clean; --cert-dir DIR writes
 //                                     one certificate JSON per point
+//   dqs_verify --tv                   symbolic translation validation plus
+//                                     the static obliviousness (taint)
+//                                     proof over the grid (or the single
+//                                     point): every lowering and fusion of
+//                                     each point's compiled pipeline is
+//                                     proved against its reference operator
+//                                     semantics and a dqs-tv-v1 certificate
+//                                     is required to be clean; --cert-dir
+//                                     DIR writes one per point, --trials K
+//                                     controls the dynamic cross-check
+//                                     (0 skips it)
 //   dqs_verify --mutants --kill-matrix PATH
 //                                     additionally write the per-fixture
 //                                     kill matrix (dqs-kill-matrix-v1 JSON)
@@ -42,6 +53,7 @@
 #include "analysis/abstint/certificate.hpp"
 #include "analysis/mutations.hpp"
 #include "analysis/param_grid.hpp"
+#include "analysis/tv/certificate.hpp"
 #include "analysis/verifier.hpp"
 #include "common/cli.hpp"
 #include "common/require.hpp"
@@ -155,6 +167,71 @@ int run_abstint(const Options& options, const std::string& cert_dir,
   }
   std::cout << "dqs_verify: abstint certified " << points
             << " schedule(s), " << findings << " diagnostic(s)\n";
+  return findings == 0 ? 0 : 1;
+}
+
+/// Translation-validate one point and (optionally) persist the dqs-tv-v1
+/// certificate; prints diagnostics, returns their count.
+std::size_t tv_point(const PublicParams& params, QueryMode mode,
+                     const Options& options, const std::string& cert_dir) {
+  qs::analysis::tv::TvOptions tv_options;
+  tv_options.obliviousness_trials = options.verify.obliviousness_trials;
+  tv_options.seed = options.verify.seed;
+  const auto cert = qs::analysis::tv::certify_tv(params, mode, tv_options);
+  if (!cert.clean()) {
+    std::cout << "FAIL " << point_name(params, mode) << "\n";
+    for (const auto& d : cert.base.diagnostics) std::cout << d << "\n";
+  } else if (!options.quiet) {
+    std::cout << "tv   " << point_name(params, mode) << ": proofs="
+              << cert.tv.proofs.size() << " (lowerings=" << cert.tv.lowerings
+              << " fusions=" << cert.tv.fusions
+              << ") max_error=" << cert.tv.max_error << " oblivious="
+              << (cert.taint.oblivious_statically_proven ? "static"
+                                                         : "UNPROVEN")
+              << " cross-check=" << cert.dynamic_cross_check << "\n";
+  }
+  if (!cert_dir.empty()) {
+    const auto path = std::filesystem::path(cert_dir) /
+                      ("tv_cert_" + point_slug(params, mode) + ".json");
+    std::ofstream out(path);
+    QS_REQUIRE(static_cast<bool>(out),
+               "cannot write certificate file under --cert-dir");
+    out << qs::analysis::tv::to_json(cert) << "\n";
+  }
+  std::size_t findings = cert.base.diagnostics.size();
+  if (!cert.taint.oblivious_statically_proven && findings == 0) {
+    // The static proof failing without any diagnostic would silently
+    // weaken the obliviousness guarantee; surface it.
+    std::cout << "FAIL " << point_name(params, mode)
+              << ": static obliviousness unproven\n";
+    findings = 1;
+  }
+  return findings;
+}
+
+int run_tv(const Options& options, const std::string& cert_dir,
+           bool single_point, const PublicParams& single) {
+  if (!cert_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(cert_dir, ec);
+  }
+  std::size_t findings = 0;
+  std::size_t points = 0;
+  if (single_point) {
+    for (const auto mode : options.modes) {
+      findings += tv_point(single, mode, options, cert_dir);
+      ++points;
+    }
+  } else {
+    for (const auto& params : qs::analysis::standard_grid()) {
+      for (const auto mode : options.modes) {
+        findings += tv_point(params, mode, options, cert_dir);
+        ++points;
+      }
+    }
+  }
+  std::cout << "dqs_verify: tv certified " << points << " schedule(s), "
+            << findings << " diagnostic(s)\n";
   return findings == 0 ? 0 : 1;
 }
 
@@ -277,6 +354,7 @@ int main(int argc, char** argv) {
     const bool grid = args.get("grid", false);
     const bool mutants = args.get("mutants", false);
     const bool abstint = args.get("abstint", false);
+    const bool tv = args.get("tv", false);
     const std::string cert_dir = args.get("cert-dir", std::string());
     const std::string kill_matrix_path =
         args.get("kill-matrix", std::string());
@@ -310,7 +388,14 @@ int main(int argc, char** argv) {
                                     single_point && !grid, params));
       acted = true;
     }
-    if (single_point && transcript_path.empty() && !abstint) {
+    if (tv) {
+      // Same sweep semantics as --abstint.
+      status = std::max(status,
+                        run_tv(options, cert_dir, single_point && !grid,
+                               params));
+      acted = true;
+    }
+    if (single_point && transcript_path.empty() && !abstint && !tv) {
       std::size_t findings = 0;
       for (const auto m : options.modes)
         findings += verify_point(params, m, options);
@@ -318,7 +403,7 @@ int main(int argc, char** argv) {
       acted = true;
     }
     if (grid || !acted) {
-      if (!abstint) status = std::max(status, run_grid(options));
+      if (!abstint && !tv) status = std::max(status, run_grid(options));
     }
     return status;
   } catch (const std::exception& e) {

@@ -30,6 +30,7 @@ EXPECTED = {
     ("src/qsim/bad_timing.cpp", "timing-discipline"),
     ("src/qsim/bad_function_kernel.cpp", "no-std-function-in-kernels"),
     ("src/analysis/bad_registry.cpp", "kill-matrix-completeness"),
+    ("src/qsim/bad_op_registry.cpp", "tv-exhaustiveness"),
     ("src/estimation/bad_error.cpp", "error-taxonomy"),
 }
 
@@ -38,6 +39,7 @@ CONTROL_FILES = {
     "src/common/ok_suppressed.cpp",
     "src/common/ok_clean.hpp",
     "src/analysis/mutations.cpp",
+    "src/analysis/tv_handled.cpp",
 }
 
 REPORT_RE = re.compile(r"^(?P<file>[^:]+):(?P<line>\d+): \[(?P<rule>[a-z0-9-]+)\]")
