@@ -1,0 +1,162 @@
+// Experiment S1 — serving-layer load bench (docs/SERVING.md).
+//
+// Closed-loop clients hammer one SampleService with same-version sampling
+// jobs: each client submits a job, blocks on its ticket, and immediately
+// submits the next. Because every job targets the same dataset version,
+// the serving layer prepares the sampling state ONCE and coalesces the
+// whole run onto it — so throughput scales with the worker pool while the
+// serial SampleServer baseline pays a full Θ(n√(νN/M)) re-preparation per
+// draw. The table reports throughput and p50/p99 job latency per client
+// count, plus the speedup over the serial baseline at the same job count.
+//
+//   bench_s1_serving [--json PATH] [--smoke] [--jobs N] [--workers W]
+//
+// Exit code: 0 when the 8-client speedup over the serial server is ≥ 4×
+// and every job completed and verified; 1 otherwise (the CI serving-leg
+// gate; acceptance bar of the dqs-serve PR).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/sample_server.hpp"
+#include "bench_util.hpp"
+#include "serving/service.hpp"
+#include "telemetry/trace.hpp"
+
+namespace {
+
+using namespace qs;
+
+double percentile_ms(std::vector<double>& latencies_ns, double q) {
+  if (latencies_ns.empty()) return 0.0;
+  std::sort(latencies_ns.begin(), latencies_ns.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(latencies_ns.size() - 1));
+  return latencies_ns[rank] / 1e6;
+}
+
+struct LoadResult {
+  double throughput = 0.0;  ///< jobs per second
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t completed = 0;
+};
+
+/// Closed loop: `clients` threads, each running `jobs_per_client` blocking
+/// submit→wait cycles against the shared service.
+LoadResult drive(serving::SampleService& service, std::size_t clients,
+                 std::size_t jobs_per_client) {
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::uint64_t> completed(clients, 0);
+  const auto start = telemetry::monotonic_ns();
+  std::vector<std::thread> pool;
+  pool.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      for (std::size_t k = 0; k < jobs_per_client; ++k) {
+        serving::JobRequest request;
+        request.client_seed = c * 1000 + k;
+        const auto t0 = telemetry::monotonic_ns();
+        const auto outcome = service.run(std::move(request));
+        latencies[c].push_back(
+            static_cast<double>(telemetry::monotonic_ns() - t0));
+        if (outcome.ok()) ++completed[c];
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  const auto elapsed = telemetry::monotonic_ns() - start;
+
+  LoadResult result;
+  std::vector<double> all;
+  for (std::size_t c = 0; c < clients; ++c) {
+    result.completed += completed[c];
+    all.insert(all.end(), latencies[c].begin(), latencies[c].end());
+  }
+  result.throughput =
+      static_cast<double>(result.completed) / (double(elapsed) / 1e9);
+  result.p50_ms = percentile_ms(all, 0.50);
+  result.p99_ms = percentile_ms(all, 0.99);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Reporter reporter(
+      argc, argv, "S1",
+      "Serving-layer load: throughput and p50/p99 latency vs concurrent "
+      "clients; request coalescing amortises one preparation per version "
+      "against the serial re-prepare-per-draw SampleServer baseline");
+  const CliArgs args(argc, argv);
+  const bool smoke = args.get("smoke", false);
+  const auto jobs_per_client =
+      static_cast<std::size_t>(args.get("jobs", smoke ? std::uint64_t{3}
+                                                      : std::uint64_t{16}));
+  const auto workers =
+      static_cast<std::size_t>(args.get("workers", std::uint64_t{8}));
+
+  // Large enough that preparation visibly dominates one draw, small enough
+  // that the serial baseline finishes promptly.
+  const auto make = [] { return bench::uniform_db(64, 3, 24, 17, 2); };
+
+  // Serial baseline: one thread, one SampleServer, every draw re-prepares.
+  const std::size_t baseline_jobs = std::max<std::size_t>(
+      8 * jobs_per_client / 4, 4);  // keep the serial run bounded
+  SampleServer serial(make(), QueryMode::kSequential);
+  std::vector<double> serial_latencies;
+  const auto serial_start = telemetry::monotonic_ns();
+  for (std::size_t k = 0; k < baseline_jobs; ++k) {
+    Rng rng = rng_for_stream(k, k + 1);
+    const auto t0 = telemetry::monotonic_ns();
+    (void)serial.draw(rng);
+    serial_latencies.push_back(
+        static_cast<double>(telemetry::monotonic_ns() - t0));
+  }
+  const auto serial_elapsed = telemetry::monotonic_ns() - serial_start;
+  const double serial_throughput =
+      static_cast<double>(baseline_jobs) / (double(serial_elapsed) / 1e9);
+
+  bool ok = true;
+  double speedup_at_8 = 0.0;
+  TextTable table({"clients", "jobs", "throughput jobs/s", "p50 ms", "p99 ms",
+                   "speedup vs serial"});
+  table.add_row({"serial", TextTable::cell(std::uint64_t{baseline_jobs}),
+                 TextTable::cell(serial_throughput, 1),
+                 TextTable::cell(percentile_ms(serial_latencies, 0.50), 3),
+                 TextTable::cell(percentile_ms(serial_latencies, 0.99), 3),
+                 TextTable::cell(1.0, 2)});
+
+  for (const std::size_t clients : {1u, 2u, 4u, 8u, 16u}) {
+    serving::ServiceOptions options;
+    options.workers = workers;
+    serving::SampleService service(make(), options);
+    const LoadResult load = drive(service, clients, jobs_per_client);
+    service.shutdown();
+
+    const auto stats = service.stats();
+    ok = ok && load.completed == clients * jobs_per_client;
+    ok = ok && stats.rebuilds == 1;  // one version ⇒ exactly one prep
+    const double speedup = load.throughput / serial_throughput;
+    if (clients == 8) speedup_at_8 = speedup;
+    table.add_row({TextTable::cell(std::uint64_t{clients}),
+                   TextTable::cell(load.completed),
+                   TextTable::cell(load.throughput, 1),
+                   TextTable::cell(load.p50_ms, 3),
+                   TextTable::cell(load.p99_ms, 3),
+                   TextTable::cell(speedup, 2)});
+  }
+  table.print(std::cout, "S1: serving throughput and latency vs clients");
+  reporter.add("S1: serving throughput and latency vs clients", table);
+
+  std::printf("speedup at 8 clients: %.2fx (gate: >= 4x)\n", speedup_at_8);
+  if (speedup_at_8 < 4.0) {
+    std::printf("FAILED: coalesced serving must beat the serial server by "
+                ">= 4x at 8 concurrent clients\n");
+    ok = false;
+  }
+  return reporter.finish(ok ? 0 : 1);
+}

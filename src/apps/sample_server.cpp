@@ -32,23 +32,6 @@ ServerCounters& server_counters() {
   return counters;
 }
 
-void accumulate(RecoveryLedger& into, const RecoveryLedger& add) {
-  auto& seq = into.recovery.sequential_per_machine;
-  const auto& add_seq = add.recovery.sequential_per_machine;
-  if (seq.size() < add_seq.size()) seq.resize(add_seq.size(), 0);
-  for (std::size_t j = 0; j < add_seq.size(); ++j) seq[j] += add_seq[j];
-  into.recovery.parallel_rounds += add.recovery.parallel_rounds;
-  into.injected_faults += add.injected_faults;
-  into.injected_drops += add.injected_drops;
-  into.injected_delays += add.injected_delays;
-  into.injected_crashes += add.injected_crashes;
-  into.injected_transients += add.injected_transients;
-  into.failed_attempts += add.failed_attempts;
-  into.backoff_events += add.backoff_events;
-  into.breaker_opens += add.breaker_opens;
-  into.deferrals += add.deferrals;
-}
-
 }  // namespace
 
 const char* to_string(ServerHealth health) {
@@ -64,6 +47,27 @@ SampleServer::SampleServer(DistributedDatabase db, QueryMode mode,
                            StatePrep prep)
     : db_(std::move(db)), mode_(mode), prep_(prep) {}
 
+void SampleServer::check_owner_thread() const {
+  // First caller pins the server; the CAS also loads the current owner on
+  // failure so the violation check is a single atomic round trip.
+  const auto self = std::this_thread::get_id();
+  std::thread::id expected{};
+  if (owner_thread_.compare_exchange_strong(expected, self,
+                                            std::memory_order_relaxed)) {
+    return;
+  }
+  QS_REQUIRE(expected == self,
+             "SampleServer is single-threaded: it was first used from "
+             "another thread and its cached state is unsynchronised. Route "
+             "concurrent callers through serving::SampleService "
+             "(docs/SERVING.md) or rebind_owner_thread() across an "
+             "externally synchronised handoff");
+}
+
+void SampleServer::rebind_owner_thread() noexcept {
+  owner_thread_.store(std::thread::id{}, std::memory_order_relaxed);
+}
+
 void SampleServer::invalidate() {
   // Only a LIVE cache can be invalidated; piling further updates onto an
   // already-stale cache must not inflate the ledger (tested).
@@ -74,11 +78,13 @@ void SampleServer::invalidate() {
 }
 
 void SampleServer::insert(std::size_t machine, std::size_t element) {
+  check_owner_thread();
   db_.insert(machine, element);
   invalidate();
 }
 
 void SampleServer::erase(std::size_t machine, std::size_t element) {
+  check_owner_thread();
   db_.erase(machine, element);
   invalidate();
 }
@@ -89,6 +95,7 @@ void SampleServer::set_health(ServerHealth health) {
 }
 
 void SampleServer::arm_faults(FaultPlan plan, RetryPolicy policy) {
+  check_owner_thread();
   armed_plan_ = std::move(plan);
   policy_ = policy;
   // A fresh plan gets a fresh chance: leave any previous fallback behind
@@ -99,6 +106,7 @@ void SampleServer::arm_faults(FaultPlan plan, RetryPolicy policy) {
 }
 
 void SampleServer::disarm_faults() {
+  check_owner_thread();
   armed_plan_.reset();
   fallback_ = false;
   last_failure_.clear();
@@ -115,7 +123,7 @@ bool SampleServer::rebuild() {
   if (armed_plan_.has_value()) {
     FaultedRun run =
         run_sampler_with_faults(db_, mode_, *armed_plan_, policy_, options);
-    accumulate(ledger_, run.recovery.ledger);
+    ledger_.accumulate(run.recovery.ledger);
     if (!run.ok()) {
       fallback_ = true;
       last_failure_ = run.recovery.failure;
@@ -142,6 +150,7 @@ bool SampleServer::rebuild() {
 }
 
 const SamplerResult* SampleServer::try_state() {
+  check_owner_thread();
   if (cached_.has_value()) {
     ++cache_stats_.hits;
     server_counters().hits.add();
@@ -167,6 +176,7 @@ const SamplerResult& SampleServer::state() {
 }
 
 std::size_t SampleServer::draw(Rng& rng) {
+  check_owner_thread();
   telemetry::Span span("sample_server.draw");
   if (const SamplerResult* current = try_state()) {
     const auto sample =

@@ -9,11 +9,24 @@
 // because distinct classical samples require distinct preparations only
 // when the previous state has been measured (the server re-prepares per
 // draw but amortises when callers ask for the coherent state itself).
+//
+// THREADING: this server is strictly SINGLE-THREADED. draw()/state()
+// mutate the cached preparation (`cached_`) with no synchronisation, so a
+// second thread re-entering draw() while a rebuild is in flight would
+// race on the cache, the ledgers and the underlying database. The first
+// call from any thread pins the server to that thread and every later
+// call is checked against it (ContractViolation on violation — a typed
+// error, not a silent race). Concurrent callers belong on
+// serving::SampleService (src/serving, docs/SERVING.md), which routes
+// jobs through a thread-safe facade with request coalescing instead of
+// sharing this mutable state.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "common/rng.hpp"
 #include "faults/fault_plan.hpp"
@@ -103,12 +116,20 @@ class SampleServer {
   };
   const CacheStats& cache_stats() const noexcept { return cache_stats_; }
 
+  /// Release the single-thread pin so ownership can move to another
+  /// thread (e.g. a server constructed on a setup thread and then handed
+  /// off permanently). The NEXT accessor call re-pins to its caller; the
+  /// caller must guarantee no concurrent access across the handoff.
+  void rebind_owner_thread() noexcept;
+
  private:
   /// False when the quantum preparation failed under the armed fault plan
   /// (the server then enters kFallback).
   bool rebuild();
   void invalidate();
   void set_health(ServerHealth health);
+  /// Enforces the single-thread contract documented in the class comment.
+  void check_owner_thread() const;
 
   DistributedDatabase db_;
   QueryMode mode_;
@@ -127,6 +148,10 @@ class SampleServer {
   RecoveryLedger ledger_;
   std::uint64_t fallback_draws_ = 0;
   std::uint64_t classical_queries_ = 0;
+  /// Owning thread, pinned by the first accessor call; default-constructed
+  /// id means "not yet pinned". Atomic only so the misuse CHECK itself is
+  /// race-free — the server's data members are deliberately not.
+  mutable std::atomic<std::thread::id> owner_thread_{};
 };
 
 }  // namespace qs

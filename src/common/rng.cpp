@@ -108,6 +108,18 @@ std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
 
 Rng Rng::split() noexcept { return Rng(next_u64() ^ 0xa0761d6478bd642full); }
 
+Rng rng_for_stream(std::uint64_t seed, std::uint64_t stream) noexcept {
+  // Two SplitMix64 steps over a state that folds in both inputs: the first
+  // decorrelates the seed, the second decorrelates the stream id, so
+  // (s, k) and (s, k+1) — or (s, k) and (s+1, k) — land in unrelated
+  // regions of the xoshiro seed space.
+  std::uint64_t state = seed;
+  const std::uint64_t a = splitmix64(state);
+  state ^= stream;
+  const std::uint64_t b = splitmix64(state);
+  return Rng(a ^ (b * 0x9e3779b97f4a7c15ull));
+}
+
 ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
   QS_REQUIRE(n > 0, "Zipf sampler needs a non-empty range");
   cdf_.resize(n);

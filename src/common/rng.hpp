@@ -67,6 +67,15 @@ class Rng {
   std::array<std::uint64_t, 4> s_;
 };
 
+/// Deterministic independent stream for (seed, stream) — the per-job RNG
+/// discipline of the serving layer (docs/SERVING.md): job k of a client
+/// with seed s draws from rng_for_stream(s, k), so a coalesced batch and a
+/// serial replay of the same jobs produce bit-identical samples regardless
+/// of worker interleaving. Mixes both words through SplitMix64 (the same
+/// construction Rng's own seeding uses) so adjacent stream ids yield
+/// uncorrelated generators.
+Rng rng_for_stream(std::uint64_t seed, std::uint64_t stream) noexcept;
+
 /// Zipf(s) sampler over {0, ..., n-1}: P(i) ∝ 1/(i+1)^s. Precomputes the
 /// CDF once; sampling is O(log n) per draw.
 class ZipfSampler {

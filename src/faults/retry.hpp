@@ -110,6 +110,26 @@ struct RecoveryLedger {
   std::uint64_t breaker_opens = 0;
   std::uint64_t deferrals = 0;             ///< work-list slot displacements
 
+  /// Fold another ledger into this one (long-lived servers accumulate the
+  /// recovery cost of every faulted preparation; the per-machine vectors
+  /// grow to the wider of the two).
+  void accumulate(const RecoveryLedger& other) {
+    auto& seq = recovery.sequential_per_machine;
+    const auto& other_seq = other.recovery.sequential_per_machine;
+    if (seq.size() < other_seq.size()) seq.resize(other_seq.size(), 0);
+    for (std::size_t j = 0; j < other_seq.size(); ++j) seq[j] += other_seq[j];
+    recovery.parallel_rounds += other.recovery.parallel_rounds;
+    injected_faults += other.injected_faults;
+    injected_drops += other.injected_drops;
+    injected_delays += other.injected_delays;
+    injected_crashes += other.injected_crashes;
+    injected_transients += other.injected_transients;
+    failed_attempts += other.failed_attempts;
+    backoff_events += other.backoff_events;
+    breaker_opens += other.breaker_opens;
+    deferrals += other.deferrals;
+  }
+
   friend bool operator==(const RecoveryLedger&,
                          const RecoveryLedger&) = default;
 };

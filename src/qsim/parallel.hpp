@@ -26,9 +26,14 @@
 // read the caller's stack without a TSan-visible edge), and (b) annotate
 // the join with __tsan_release/__tsan_acquire. Real races inside the loop
 // bodies remain fully visible to TSan; only the fork/join edges libgomp
-// already guarantees are restored. These helpers assume worksharing regions
-// are launched from one coordinator thread at a time and never nest, which
-// holds for every kernel in this library (asserted in the TSan path).
+// already guarantees are restored. The slot protocol admits ONE in-flight
+// worksharing region at a time; when a second coordinator (e.g. a
+// src/serving worker drawing from a shared prepared state while another
+// worker runs a preparation) would need a region concurrently, the TSan
+// path runs its loop serially in the calling thread instead. That is
+// always correct — parallel_reduce_blocks' fixed block partition and
+// combine tree make the serial and parallel paths bit-identical — so the
+// fallback trades only speed, never results (docs/SERVING.md).
 #pragma once
 
 #include <algorithm>
@@ -73,15 +78,14 @@ inline int& omp_region_exit_tag() {
   return tag;
 }
 
-/// Publish `desc` for the region about to start. Aborts if a region is
-/// already in flight (nested or concurrent launches break the slot
-/// protocol and are not used by this library).
-inline void publish_region(void* desc) {
+/// Try to publish `desc` for the region about to start. Returns false when
+/// a region is already in flight (a concurrent coordinator or a nested
+/// launch); the caller must then run its loop serially — the slot protocol
+/// supports exactly one worksharing region at a time.
+[[nodiscard]] inline bool try_publish_region(void* desc) {
   void* expected = nullptr;
-  if (!omp_region_slot().compare_exchange_strong(
-          expected, desc, std::memory_order_release)) {
-    __builtin_trap();
-  }
+  return omp_region_slot().compare_exchange_strong(
+      expected, desc, std::memory_order_release);
 }
 
 template <class Desc>
@@ -116,7 +120,12 @@ void parallel_for(std::size_t n, F&& fn) {
     F* fn;
   };
   Desc desc{n, std::addressof(fn)};
-  detail::publish_region(&desc);
+  if (!detail::try_publish_region(&desc)) {
+    // A concurrent coordinator holds the slot: run serially (bit-identical
+    // by the deterministic-reduction contract above).
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
 #pragma omp parallel default(none)
   {
     auto* d = detail::acquire_region<Desc>();
@@ -157,7 +166,12 @@ void parallel_for_with_scratch(std::size_t n, std::size_t scratch_size,
     F* fn;
   };
   Desc desc{n, scratch_size, std::addressof(fn)};
-  detail::publish_region(&desc);
+  if (!detail::try_publish_region(&desc)) {
+    std::vector<std::complex<double>> buffer(scratch_size);
+    const std::span<std::complex<double>> scratch(buffer);
+    for (std::size_t i = 0; i < n; ++i) fn(i, scratch);
+    return;
+  }
 #pragma omp parallel default(none)
   {
     auto* d = detail::acquire_region<Desc>();

@@ -6,13 +6,18 @@
 // within their C block — without the sampling layer depending on the
 // faults library (faults depends on sampling, not the reverse).
 //
-// This header is that seam: a process-global pointer consulted by
-// SingleStateBackend before each oracle application. The DISABLED cost —
-// what every fault-free run pays — is one relaxed atomic load and a
-// never-taken branch per oracle event, the same shape as the telemetry
-// enable flags, and is measured by bench/bench_fault_overhead.cpp and
-// gated in CI via `dqs_trace --overhead --fault-baseline` (≤0.5% of the
-// cheapest kernel, like the telemetry gate).
+// This header is that seam: a THREAD-LOCAL pointer consulted by
+// SingleStateBackend before each oracle application. Thread-local rather
+// than process-global so that concurrent serving workers (src/serving,
+// docs/SERVING.md) can each run an independently faulted preparation —
+// job A's armed fault plan must never interpose on job B's schedule
+// executing on another thread. A schedule always executes entirely on the
+// thread that installed the scope, so thread locality loses nothing. The
+// DISABLED cost — what every fault-free run pays — is one thread-local
+// load and a never-taken branch per oracle event, the same shape as the
+// telemetry enable flags, and is measured by bench/bench_fault_overhead.cpp
+// and gated in CI via `dqs_trace --overhead --fault-baseline` (≤0.5% of
+// the cheapest kernel, like the telemetry gate).
 //
 // Interposers may only PERMUTE machine indices within what the recovery
 // planner proved protocol-equivalent (the sequential oracles O_j are
@@ -21,7 +26,6 @@
 // interposer can never bypass the ledger or forge transcript evidence.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 
 namespace qs {
@@ -42,28 +46,30 @@ class OracleInterposer {
 };
 
 namespace detail {
-inline std::atomic<OracleInterposer*> oracle_interposer_ptr{nullptr};
+inline thread_local OracleInterposer* oracle_interposer_ptr = nullptr;
 }  // namespace detail
 
-/// The active interposer, or nullptr (the fault-free fast path).
+/// The calling thread's active interposer, or nullptr (the fault-free
+/// fast path).
 inline OracleInterposer* oracle_interposer() noexcept {
-  return detail::oracle_interposer_ptr.load(std::memory_order_acquire);
+  return detail::oracle_interposer_ptr;
 }
 
-/// RAII installation; restores the previous interposer on destruction so
-/// scopes nest (a recovered run inside a recovered run is still exact).
+/// RAII installation on the CALLING THREAD; restores the previous
+/// interposer on destruction so scopes nest (a recovered run inside a
+/// recovered run is still exact). The schedule must execute on the thread
+/// that holds the scope — true for every executor in this library.
 class OracleInterposerScope {
  public:
   explicit OracleInterposerScope(OracleInterposer& interposer) noexcept
-      : previous_(detail::oracle_interposer_ptr.exchange(
-            &interposer, std::memory_order_acq_rel)) {}
+      : previous_(detail::oracle_interposer_ptr) {
+    detail::oracle_interposer_ptr = &interposer;
+  }
 
   OracleInterposerScope(const OracleInterposerScope&) = delete;
   OracleInterposerScope& operator=(const OracleInterposerScope&) = delete;
 
-  ~OracleInterposerScope() {
-    detail::oracle_interposer_ptr.store(previous_, std::memory_order_release);
-  }
+  ~OracleInterposerScope() { detail::oracle_interposer_ptr = previous_; }
 
  private:
   OracleInterposer* previous_;

@@ -1,0 +1,27 @@
+#include "serving/job.hpp"
+
+namespace qs::serving {
+
+const char* to_string(JobPriority priority) {
+  switch (priority) {
+    case JobPriority::kLow: return "low";
+    case JobPriority::kNormal: return "normal";
+    case JobPriority::kHigh: return "high";
+  }
+  return "unknown";
+}
+
+const char* to_string(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kQueueFull: return "queue-full";
+    case RejectReason::kDisplaced: return "displaced";
+    case RejectReason::kShedLowPriority: return "shed-low-priority";
+    case RejectReason::kDeadlineExpired: return "deadline-expired";
+    case RejectReason::kShuttingDown: return "shutting-down";
+    case RejectReason::kEmptyStore: return "empty-store";
+  }
+  return "unknown";
+}
+
+}  // namespace qs::serving

@@ -1,0 +1,159 @@
+// Typed jobs for the dqs-serve layer (docs/SERVING.md).
+//
+// A job is one client request against the CURRENT data: "draw
+// `num_samples` classical samples, seeded by (client_seed, job id)". The
+// service answers it with a JobResult carrying the samples plus the full
+// evidence trail the serial SampleServer exposes — preparation QueryStats,
+// ServerHealth, and the recovery ledger of any faulted rebuild this job
+// performed — or with a typed JobRejection. A job is NEVER dropped
+// silently: every accepted ticket resolves to exactly one outcome, and
+// admission control communicates shedding through RejectReason, not
+// through absence.
+//
+// Determinism contract: the samples of job k with client seed s are drawn
+// from rng_for_stream(s, k) against the deterministic preparation for the
+// served dataset version, so a coalesced concurrent batch and a serial
+// replay of the same jobs produce bit-identical samples (tested in
+// tests/test_serving.cpp).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/sample_server.hpp"
+#include "distdb/query_stats.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/retry.hpp"
+
+namespace qs::serving {
+
+/// Admission priority. Under kDegraded health the service sheds kLow jobs
+/// at admission; under queue pressure a kHigh arrival may displace a
+/// queued kLow job (which still gets its typed rejection).
+enum class JobPriority : std::uint8_t { kLow = 0, kNormal = 1, kHigh = 2 };
+
+const char* to_string(JobPriority priority);
+
+/// Why a job was NOT served. kNone never appears in a JobRejection.
+enum class RejectReason : std::uint8_t {
+  kNone = 0,
+  kQueueFull,         ///< bounded queue at capacity, nothing shed-able
+  kDisplaced,         ///< evicted from a full queue by a higher priority
+  kShedLowPriority,   ///< admission shed: service degraded, job was kLow
+  kDeadlineExpired,   ///< queue wait exceeded the job's deadline budget
+  kShuttingDown,      ///< submitted after shutdown(), or queued behind one
+                      ///< with no worker left to drain it
+  kEmptyStore,        ///< the database holds no elements to sample
+};
+
+const char* to_string(RejectReason reason);
+
+/// One client request. The service assigns the job id at admission.
+struct JobRequest {
+  std::uint64_t client_seed = 1;   ///< per-client RNG root (common/rng)
+  std::size_t num_samples = 1;    ///< classical draws to return
+  JobPriority priority = JobPriority::kNormal;
+  /// Maximum nanoseconds the job may spend queued before dispatch; jobs
+  /// over budget get RejectReason::kDeadlineExpired. kNoDeadline = none.
+  static constexpr std::uint64_t kNoDeadline = ~std::uint64_t{0};
+  std::uint64_t deadline_ns = kNoDeadline;
+  /// Fault plan armed for the rebuild THIS job performs (ignored when the
+  /// job coalesces onto a preparation another job built — the builder's
+  /// plan governed that schedule). Mirrors SampleServer::arm_faults: a
+  /// job carrying a plan also clears a sticky classical fallback so the
+  /// quantum path is retried.
+  std::optional<FaultPlan> faults;
+  RetryPolicy retry;
+};
+
+/// A served job: samples plus the evidence trail.
+struct JobResult {
+  std::uint64_t job_id = 0;
+  std::vector<std::size_t> samples;
+  /// Dataset version the samples describe.
+  std::uint64_t served_version = 0;
+  /// Preparation ledger for the state the samples were measured from
+  /// (shared across a coalesced batch; zero for classical-fallback jobs).
+  QueryStats prep_stats;
+  /// Service health as of this job's completion.
+  ServerHealth health = ServerHealth::kHealthy;
+  /// Recovery cost of the rebuild this job performed (empty when the job
+  /// coalesced or the rebuild was fault-free).
+  RecoveryLedger recovery;
+  /// True when the samples came from a preparation another job built.
+  bool coalesced = false;
+  /// Draws served by the exact classical sampler (fallback health).
+  std::uint64_t fallback_draws = 0;
+  /// Classical multiplicity probes those fallback draws spent.
+  std::uint64_t classical_queries = 0;
+};
+
+struct JobRejection {
+  RejectReason reason = RejectReason::kNone;
+  std::string detail;  ///< human-readable amplification (may be empty)
+};
+
+/// Exactly one of `result` / `rejection` is engaged.
+struct JobOutcome {
+  std::optional<JobResult> result;
+  std::optional<JobRejection> rejection;
+
+  bool ok() const noexcept { return result.has_value(); }
+};
+
+namespace detail {
+
+/// Shared completion slot behind a JobTicket: one writer (the worker or
+/// the admission path), many waiters.
+struct JobSlot {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::optional<JobOutcome> outcome;
+
+  void fulfill(JobOutcome value) {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      if (outcome.has_value()) return;  // first outcome wins; never two
+      outcome = std::move(value);
+    }
+    cv.notify_all();
+  }
+};
+
+}  // namespace detail
+
+/// Handle to a submitted job. Copyable; wait() blocks until the service
+/// resolves the job (admission rejections resolve immediately).
+class JobTicket {
+ public:
+  JobTicket() = default;
+  JobTicket(std::uint64_t id, std::shared_ptr<detail::JobSlot> slot)
+      : id_(id), slot_(std::move(slot)) {}
+
+  std::uint64_t id() const noexcept { return id_; }
+  bool valid() const noexcept { return slot_ != nullptr; }
+
+  bool done() const {
+    const std::lock_guard<std::mutex> lock(slot_->mu);
+    return slot_->outcome.has_value();
+  }
+
+  /// Blocks until the outcome is available, then returns it (stable for
+  /// the ticket's lifetime — repeated calls return the same object).
+  const JobOutcome& wait() const {
+    std::unique_lock<std::mutex> lock(slot_->mu);
+    slot_->cv.wait(lock, [&] { return slot_->outcome.has_value(); });
+    return *slot_->outcome;
+  }
+
+ private:
+  std::uint64_t id_ = 0;
+  std::shared_ptr<detail::JobSlot> slot_;
+};
+
+}  // namespace qs::serving

@@ -1,0 +1,105 @@
+#include "serving/queue.hpp"
+
+#include <utility>
+
+#include "common/require.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace qs::serving {
+
+namespace {
+
+std::size_t band_of(JobPriority priority) {
+  return static_cast<std::size_t>(priority);
+}
+
+}  // namespace
+
+JobQueue::JobQueue(std::size_t capacity) : capacity_(capacity) {
+  QS_REQUIRE(capacity_ > 0, "serving queue capacity must be positive");
+}
+
+void JobQueue::update_depth_gauge(std::size_t depth) const {
+  telemetry::gauge("serving.queue.depth")
+      .set(static_cast<std::int64_t>(depth));
+}
+
+JobQueue::PushResult JobQueue::push(PendingJob job) {
+  PushResult result;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      result.reason = RejectReason::kShuttingDown;
+      return result;
+    }
+    if (size_ >= capacity_) {
+      // Displace the YOUNGEST job of the LOWEST band strictly below the
+      // arrival: it is the one that would have been served last anyway,
+      // and FIFO order inside every band is preserved.
+      std::deque<PendingJob>* victim_band = nullptr;
+      for (std::size_t band = 0; band < band_of(job.request.priority);
+           ++band) {
+        if (!bands_[band].empty()) {
+          victim_band = &bands_[band];
+          break;
+        }
+      }
+      if (victim_band == nullptr) {
+        result.reason = RejectReason::kQueueFull;
+        return result;
+      }
+      result.displaced = std::move(victim_band->back());
+      victim_band->pop_back();
+      --size_;
+    }
+    bands_[band_of(job.request.priority)].push_back(std::move(job));
+    ++size_;
+    result.accepted = true;
+    update_depth_gauge(size_);
+  }
+  cv_.notify_one();
+  return result;
+}
+
+std::optional<PendingJob> JobQueue::pop_locked() {
+  for (std::size_t band = bands_.size(); band-- > 0;) {
+    if (bands_[band].empty()) continue;
+    PendingJob job = std::move(bands_[band].front());
+    bands_[band].pop_front();
+    --size_;
+    update_depth_gauge(size_);
+    return job;
+  }
+  return std::nullopt;
+}
+
+std::optional<PendingJob> JobQueue::pop_wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return size_ > 0 || closed_; });
+  return pop_locked();  // nullopt only when closed_ && empty
+}
+
+std::optional<PendingJob> JobQueue::try_pop() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return pop_locked();
+}
+
+void JobQueue::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool JobQueue::closed() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t JobQueue::depth() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
+
+}  // namespace qs::serving

@@ -1,0 +1,78 @@
+// Bounded, priority-banded job queue for the dqs-serve layer.
+//
+// Three FIFO bands (one per JobPriority); pop serves the highest
+// non-empty band. The queue is BOUNDED: at capacity, an arrival may
+// displace the youngest strictly-lower-priority queued job — which the
+// service then resolves with a typed RejectReason::kDisplaced, never a
+// silent drop — or is itself refused with kQueueFull. close() stops
+// admission while letting consumers drain what is already queued; a
+// blocked pop_wait() returns nullopt once the queue is closed AND empty,
+// which is what lets shutdown() guarantee every admitted job resolves.
+//
+// All synchronisation lives inside the queue; the service never holds its
+// own state mutex while touching it (lock-discipline, docs/SERVING.md).
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "serving/job.hpp"
+
+namespace qs::serving {
+
+/// An admitted job travelling through the queue to a worker.
+struct PendingJob {
+  JobRequest request;
+  std::uint64_t id = 0;
+  /// telemetry::monotonic_ns() at admission; 0 when neither a deadline
+  /// nor metrics needed a timestamp.
+  std::uint64_t admitted_ns = 0;
+  std::shared_ptr<detail::JobSlot> slot;
+};
+
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t capacity);
+
+  struct PushResult {
+    bool accepted = false;
+    /// Engaged when admission displaced a lower-priority queued job to
+    /// make room; the caller owes it a typed kDisplaced rejection.
+    std::optional<PendingJob> displaced;
+    /// Valid when !accepted: kQueueFull or kShuttingDown.
+    RejectReason reason = RejectReason::kNone;
+  };
+
+  PushResult push(PendingJob job);
+
+  /// Blocks until a job is available or the queue is closed and empty.
+  std::optional<PendingJob> pop_wait();
+
+  /// Non-blocking pop (drives pump_one() and synchronous drains).
+  std::optional<PendingJob> try_pop();
+
+  /// Stop admission; queued jobs remain poppable (drain-on-shutdown).
+  void close();
+
+  bool closed() const;
+  std::size_t depth() const;
+
+ private:
+  std::optional<PendingJob> pop_locked();
+  void update_depth_gauge(std::size_t depth) const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t capacity_;
+  bool closed_ = false;
+  /// bands_[p] holds priority p; pop scans from kHigh down.
+  std::array<std::deque<PendingJob>, 3> bands_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace qs::serving

@@ -1,0 +1,471 @@
+#include "serving/service.hpp"
+
+#include <utility>
+
+#include "common/require.hpp"
+#include "faults/recovery.hpp"
+#include "qsim/measure.hpp"
+#include "sampling/classical.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace qs::serving {
+
+namespace {
+
+/// Process-global telemetry mirror of ServingStats (docs/TELEMETRY.md).
+struct ServingCounters {
+  telemetry::Counter& submitted = telemetry::counter("serving.jobs.submitted");
+  telemetry::Counter& admitted = telemetry::counter("serving.jobs.admitted");
+  telemetry::Counter& rejected = telemetry::counter("serving.jobs.rejected");
+  telemetry::Counter& shed = telemetry::counter("serving.jobs.shed");
+  telemetry::Counter& expired = telemetry::counter("serving.jobs.expired");
+  telemetry::Counter& completed = telemetry::counter("serving.jobs.completed");
+  telemetry::Counter& hits = telemetry::counter("serving.coalesce.hit");
+  telemetry::Counter& misses = telemetry::counter("serving.coalesce.miss");
+  telemetry::Counter& rebuilds = telemetry::counter("serving.rebuild");
+  telemetry::Counter& invalidations = telemetry::counter("serving.invalidate");
+  telemetry::Counter& quantum_draws =
+      telemetry::counter("serving.draw.quantum");
+  telemetry::Counter& fallback_draws =
+      telemetry::counter("serving.draw.fallback");
+  telemetry::Gauge& busy = telemetry::gauge("serving.workers.busy");
+  telemetry::Gauge& health = telemetry::gauge("serving.health");
+  telemetry::Histogram& job_ns = telemetry::histogram("serving.job.ns");
+  telemetry::Histogram& queue_wait_ns =
+      telemetry::histogram("serving.job.queue_wait.ns");
+  telemetry::Histogram& rebuild_ns =
+      telemetry::histogram("serving.rebuild.ns");
+};
+
+ServingCounters& counters() {
+  static ServingCounters instance;
+  return instance;
+}
+
+bool is_shed(RejectReason reason) {
+  return reason == RejectReason::kQueueFull ||
+         reason == RejectReason::kDisplaced ||
+         reason == RejectReason::kShedLowPriority;
+}
+
+}  // namespace
+
+SampleService::SampleService(DistributedDatabase db, ServiceOptions options)
+    : options_(options), queue_(options.queue_capacity), db_(std::move(db)) {
+  counters().health.set(static_cast<std::int64_t>(health_));
+  threads_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SampleService::~SampleService() { shutdown(); }
+
+void SampleService::set_health_locked(ServerHealth health) {
+  health_ = health;
+  counters().health.set(static_cast<std::int64_t>(health));
+}
+
+JobTicket SampleService::submit(JobRequest request) {
+  auto slot = std::make_shared<detail::JobSlot>();
+  PendingJob job;
+  job.request = std::move(request);
+  job.slot = slot;
+
+  RejectReason admission_reject = RejectReason::kNone;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    job.id = next_job_id_++;
+    ++stats_.submitted;
+    if (!accepting_) {
+      admission_reject = RejectReason::kShuttingDown;
+    } else if (options_.shed_low_priority_when_degraded &&
+               health_ == ServerHealth::kDegraded &&
+               job.request.priority == JobPriority::kLow) {
+      // Load shedding: while the last preparation needed recovery, keep
+      // capacity for normal/high traffic (docs/SERVING.md).
+      admission_reject = RejectReason::kShedLowPriority;
+    }
+  }
+  counters().submitted.add();
+  JobTicket ticket(job.id, slot);
+  if (admission_reject != RejectReason::kNone) {
+    reject(slot, admission_reject,
+           admission_reject == RejectReason::kShuttingDown
+               ? "service is shutting down"
+               : "service degraded; low-priority job shed at admission");
+    return ticket;
+  }
+
+  // Timestamp admission when anyone will consume it: a deadline budget is
+  // measured from here, and the queue-wait histogram wants it too.
+  if (job.request.deadline_ns != JobRequest::kNoDeadline ||
+      telemetry::metrics_enabled()) {
+    job.admitted_ns = telemetry::monotonic_ns();
+  }
+
+  JobQueue::PushResult pushed = queue_.push(std::move(job));
+  if (pushed.displaced.has_value()) {
+    reject(pushed.displaced->slot, RejectReason::kDisplaced,
+           "displaced from a full queue by a higher-priority arrival");
+  }
+  if (pushed.accepted) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.admitted;
+    }
+    counters().admitted.add();
+  } else {
+    reject(slot, pushed.reason,
+           pushed.reason == RejectReason::kQueueFull
+               ? "queue at capacity with no lower-priority job to displace"
+               : "service is shutting down");
+  }
+  return ticket;
+}
+
+void SampleService::reject(const std::shared_ptr<detail::JobSlot>& slot,
+                           RejectReason reason, std::string detail) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.rejected;
+    if (is_shed(reason)) ++stats_.shed;
+    if (reason == RejectReason::kDeadlineExpired) ++stats_.expired;
+  }
+  counters().rejected.add();
+  if (is_shed(reason)) counters().shed.add();
+  if (reason == RejectReason::kDeadlineExpired) counters().expired.add();
+  JobOutcome outcome;
+  outcome.rejection = JobRejection{reason, std::move(detail)};
+  slot->fulfill(std::move(outcome));
+}
+
+void SampleService::worker_loop() {
+  while (auto job = queue_.pop_wait()) {
+    counters().busy.add(1);
+    execute(std::move(*job));
+    counters().busy.add(-1);
+  }
+}
+
+bool SampleService::pump_one() {
+  auto job = queue_.try_pop();
+  if (!job.has_value()) return false;
+  execute(std::move(*job));
+  return true;
+}
+
+JobOutcome SampleService::run(JobRequest request) {
+  JobTicket ticket = submit(std::move(request));
+  if (options_.workers == 0) {
+    // Inline drive: pump until OUR job resolved (earlier queued jobs run
+    // first — admission order is service order within a priority band).
+    while (!ticket.done() && pump_one()) {
+    }
+  }
+  return ticket.wait();
+}
+
+void SampleService::execute(PendingJob job) {
+  if (job.admitted_ns != 0 && telemetry::metrics_enabled()) {
+    counters().queue_wait_ns.record(telemetry::monotonic_ns() -
+                                    job.admitted_ns);
+  }
+  if (job.request.deadline_ns != JobRequest::kNoDeadline &&
+      telemetry::monotonic_ns() - job.admitted_ns >= job.request.deadline_ns) {
+    reject(job.slot, RejectReason::kDeadlineExpired,
+           "queue wait exceeded the job's deadline budget");
+    return;
+  }
+  telemetry::Span span("serving.job", &counters().job_ns);
+  span.tag("job", static_cast<std::int64_t>(job.id));
+  span.tag("priority", static_cast<std::int64_t>(job.request.priority));
+  JobOutcome outcome = serve(job);
+  if (!outcome.ok()) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.rejected;
+  }
+  if (!outcome.ok()) counters().rejected.add();
+  job.slot->fulfill(std::move(outcome));
+}
+
+SampleService::BuildOutcome SampleService::build(const PendingJob& job) {
+  // Runs with NO service lock held: the prep_in_flight_ flag (not mu_)
+  // excludes concurrent builds and updates, so the schedule executes on a
+  // stable database while other threads keep admitting, shedding and
+  // answering metadata queries.
+  telemetry::Span span("serving.rebuild", &counters().rebuild_ns);
+  span.tag("job", static_cast<std::int64_t>(job.id));
+  span.tag("faulted", job.request.faults.has_value() ? 1 : 0);
+  BuildOutcome out;
+  SamplerOptions sampler_options;
+  sampler_options.prep = options_.prep;
+  if (options_.record_transcripts) {
+    sampler_options.transcript = &out.transcript;
+  }
+  try {
+    auto prepared = std::make_shared<Prepared>();
+    prepared->version = db_.version();
+    if (job.request.faults.has_value()) {
+      out.faulted = true;
+      FaultedRun run =
+          run_sampler_with_faults(db_, options_.mode, *job.request.faults,
+                                  job.request.retry, sampler_options);
+      out.ledger = run.recovery.ledger;
+      if (!run.ok()) {
+        out.failure = run.recovery.failure;
+        return out;
+      }
+      prepared->result = std::move(*run.result);
+      prepared->recovered = run.recovery.ledger.injected_faults > 0;
+    } else {
+      prepared->result = options_.mode == QueryMode::kSequential
+                             ? run_sequential_sampler(db_, sampler_options)
+                             : run_parallel_sampler(db_, sampler_options);
+    }
+    out.prepared = std::move(prepared);
+  } catch (const ContractViolation& error) {
+    // Degradation seam (docs/ROBUSTNESS.md): a preparation that dies on a
+    // typed contract violation turns into classical fallback, not a dead
+    // worker thread.
+    out.prepared.reset();
+    out.failure = error.what();
+  }
+  return out;
+}
+
+JobResult SampleService::classical_serve_locked(const PendingJob& job,
+                                                Rng& rng) {
+  // Exact classical fallback, bit-identical to SampleServer::draw's: one
+  // full scan per draw, then a weighted draw from the learned counts. Runs
+  // under mu_ — the scan bumps the database's mutable audit counters, so
+  // it must not overlap a concurrent preparation (and cannot: fallback_
+  // and prep_in_flight_ are mutually exclusive).
+  JobResult result;
+  result.job_id = job.id;
+  result.served_version = db_.version();
+  for (std::size_t k = 0; k < job.request.num_samples; ++k) {
+    const ClassicalScanResult scan = classical_full_scan(db_);
+    result.classical_queries += scan.queries;
+    std::vector<double> weights(scan.counts.begin(), scan.counts.end());
+    result.samples.push_back(rng.weighted_index(weights));
+  }
+  result.fallback_draws = job.request.num_samples;
+  stats_.fallback_draws += job.request.num_samples;
+  stats_.classical_queries += result.classical_queries;
+  counters().fallback_draws.add(job.request.num_samples);
+  return result;
+}
+
+JobOutcome SampleService::serve(PendingJob& job) {
+  // Per-job determinism: the stream is keyed on (client seed, job id), so
+  // replaying the same job ids serially reproduces every sample exactly.
+  Rng rng = rng_for_stream(job.request.client_seed, job.id);
+  JobOutcome outcome;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (job.request.faults.has_value() && fallback_) {
+    // A job arming a fresh plan gets a fresh chance, mirroring
+    // SampleServer::arm_faults: leave the sticky fallback and retry the
+    // quantum path on the rebuild this job is about to perform.
+    fallback_ = false;
+    last_failure_.clear();
+  }
+
+  RecoveryLedger job_ledger;
+  bool built_here = false;
+  std::shared_ptr<const Prepared> prep;
+  for (;;) {
+    if (db_.total() == 0) {
+      outcome.rejection = JobRejection{
+          RejectReason::kEmptyStore,
+          "the database holds no elements to sample"};
+      return outcome;
+    }
+    if (fallback_) {
+      JobResult result = classical_serve_locked(job, rng);
+      result.health = health_;
+      result.recovery = job_ledger;
+      result.coalesced = false;
+      ++stats_.completed;
+      counters().completed.add();
+      return JobOutcome{std::move(result), std::nullopt};
+    }
+    const std::uint64_t version = db_.version();
+    if (prepared_ != nullptr && prepared_->version == version) {
+      prep = prepared_;
+      break;
+    }
+    if (prep_in_flight_) {
+      // COALESCE: another job is already preparing this version; wait for
+      // its publication instead of spending a second oracle budget.
+      prep_cv_.wait(lock);
+      continue;
+    }
+    // Become the builder: exactly one per version.
+    prep_in_flight_ = true;
+    built_here = true;
+    ++stats_.coalesce_misses;
+    counters().misses.add();
+    lock.unlock();
+    BuildOutcome built = build(job);
+    lock.lock();
+    prep_in_flight_ = false;
+    ledger_.accumulate(built.ledger);
+    job_ledger = built.ledger;
+    if (built.prepared != nullptr) {
+      prepared_ = built.prepared;
+      ++preparations_;
+      ++stats_.rebuilds;
+      counters().rebuilds.add();
+      query_cost_ += options_.mode == QueryMode::kSequential
+                         ? built.prepared->result.stats.total_sequential()
+                         : built.prepared->result.stats.parallel_rounds;
+      if (options_.record_transcripts) {
+        transcripts_.push_back(std::move(built.transcript));
+      }
+      set_health_locked(built.prepared->recovered ? ServerHealth::kDegraded
+                                                  : ServerHealth::kHealthy);
+    } else {
+      fallback_ = true;
+      last_failure_ = built.failure;
+      set_health_locked(ServerHealth::kFallback);
+    }
+    prep_cv_.notify_all();
+    // Re-check under the SAME critical section: on success the version is
+    // unchanged (updates wait on prep_in_flight_), so the next iteration
+    // takes the published preparation; on failure it takes the fallback.
+  }
+
+  const bool coalesced = !built_here;
+  if (coalesced) {
+    ++stats_.coalesce_hits;
+    counters().hits.add();
+  }
+  const ServerHealth health_at_serve = health_;
+  lock.unlock();
+
+  // Draws need no lock: the preparation is immutable and shared, and the
+  // measurement reads (never consumes) the snapshot — re-measuring the
+  // deterministic preparation is exactly what the serial server does when
+  // it re-prepares per draw.
+  JobResult result;
+  result.job_id = job.id;
+  result.served_version = prep->version;
+  result.prep_stats = prep->result.stats;
+  result.health = health_at_serve;
+  result.recovery = job_ledger;
+  result.coalesced = coalesced;
+  result.samples.reserve(job.request.num_samples);
+  for (std::size_t k = 0; k < job.request.num_samples; ++k) {
+    result.samples.push_back(
+        measure_register(prep->result.state, prep->result.registers.elem, rng));
+  }
+
+  lock.lock();
+  stats_.quantum_draws += job.request.num_samples;
+  ++stats_.completed;
+  lock.unlock();
+  counters().quantum_draws.add(job.request.num_samples);
+  counters().completed.add();
+  outcome.result = std::move(result);
+  return outcome;
+}
+
+void SampleService::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    accepting_ = false;
+  }
+  queue_.close();
+  // Workers drain every admitted job before pop_wait() returns nullopt.
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  threads_.clear();
+  // No workers (or none left): resolve whatever is still queued with a
+  // TYPED rejection — an admitted job never just disappears.
+  while (auto job = queue_.try_pop()) {
+    reject(job->slot, RejectReason::kShuttingDown,
+           "service shut down before the job was dispatched");
+  }
+}
+
+void SampleService::insert(std::size_t machine, std::size_t element) {
+  std::unique_lock<std::mutex> lock(mu_);
+  prep_cv_.wait(lock, [&] { return !prep_in_flight_; });
+  db_.insert(machine, element);
+  if (prepared_ != nullptr) {
+    prepared_.reset();  // in-flight jobs holding the snapshot finish on it
+    ++stats_.invalidations;
+    counters().invalidations.add();
+  }
+}
+
+void SampleService::erase(std::size_t machine, std::size_t element) {
+  std::unique_lock<std::mutex> lock(mu_);
+  prep_cv_.wait(lock, [&] { return !prep_in_flight_; });
+  db_.erase(machine, element);
+  if (prepared_ != nullptr) {
+    prepared_.reset();
+    ++stats_.invalidations;
+    counters().invalidations.add();
+  }
+}
+
+void SampleService::clear_faults() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  fallback_ = false;
+  last_failure_.clear();
+  set_health_locked(ServerHealth::kHealthy);
+}
+
+ServerHealth SampleService::health() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return health_;
+}
+
+std::string SampleService::last_failure() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return last_failure_;
+}
+
+ServingStats SampleService::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+RecoveryLedger SampleService::recovery_ledger() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return ledger_;
+}
+
+std::uint64_t SampleService::total_query_cost() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return query_cost_;
+}
+
+std::uint64_t SampleService::preparations() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return preparations_;
+}
+
+std::uint64_t SampleService::version() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return db_.version();
+}
+
+std::size_t SampleService::queue_depth() const { return queue_.depth(); }
+
+std::size_t SampleService::total_elements() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::size_t>(db_.total());
+}
+
+std::vector<Transcript> SampleService::transcripts() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return transcripts_;
+}
+
+}  // namespace qs::serving

@@ -1,0 +1,207 @@
+// dqs-serve: an async, multi-tenant serving layer over one distributed
+// database (docs/SERVING.md).
+//
+// SampleService is the thread-safe facade the single-threaded SampleServer
+// deliberately is not: clients submit typed jobs (job.hpp) from any number
+// of threads, a bounded priority queue admits them, and a worker pool
+// executes compiled schedules. Three mechanisms carry the design:
+//
+//   * REQUEST COALESCING — the expensive artifact is the prepared sampling
+//     state for a dataset version. Concurrent jobs against the same
+//     `DistributedDatabase::version()` share ONE oracle compile and ONE
+//     state preparation: the first job to observe a stale (or absent)
+//     preparation becomes the BUILDER, flags the build in flight, releases
+//     the service lock for the whole schedule execution (lock-discipline:
+//     no lock is ever held across sampler execution), and publishes an
+//     immutable `shared_ptr<const Prepared>`; every concurrent same-version
+//     job waits on that flag and then draws from the shared state. Exactly
+//     one rebuild per version, N − 1 coalesce hits (tested under real
+//     concurrency in tests/test_serving.cpp).
+//
+//   * DETERMINISM — preparation is deterministic per version, and job k
+//     with client seed s draws from rng_for_stream(s, k), never from
+//     shared RNG state. A coalesced concurrent batch is therefore
+//     bit-identical to a serial SampleServer replay of the same jobs
+//     (measuring a shared preparation does not consume it — draws operate
+//     on the immutable snapshot, mirroring the serial server's
+//     re-preparation of the identical state per draw).
+//
+//   * ADMISSION CONTROL & GRACEFUL DEGRADATION — the PR 5 health ladder is
+//     wired into admission: kDegraded (last preparation needed recovery)
+//     sheds kLow jobs with a typed rejection; a full queue refuses or
+//     displaces (typed, never silent); kFallback (quantum preparation
+//     impossible under the armed faults) serves the exact classical
+//     full-scan sampler — same distribution, classical cost — identical to
+//     the serial server's fallback draws. Per-job deadline budgets expire
+//     jobs at dispatch with kDeadlineExpired.
+//
+// Everything observable is exported through src/telemetry under the
+// serving.* namespace: queue depth and worker occupancy gauges, coalescing
+// hit/miss counters, job latency and queue-wait histograms, and the health
+// gauge. Recorded transcripts stay dqs_verify-clean (tested).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/sample_server.hpp"
+#include "distdb/transcript.hpp"
+#include "serving/job.hpp"
+#include "serving/queue.hpp"
+
+namespace qs::serving {
+
+struct ServiceOptions {
+  /// Worker threads. 0 = no pool: the caller drives execution with
+  /// pump_one() / run(), which keeps admission and dispatch deterministic
+  /// for tests and keeps the service usable single-threaded.
+  std::size_t workers = 2;
+  /// Bounded queue capacity (admission control; queue.hpp).
+  std::size_t queue_capacity = 256;
+  QueryMode mode = QueryMode::kSequential;
+  StatePrep prep = StatePrep::kHouseholder;
+  /// Record the oracle transcript of every preparation for audit;
+  /// transcripts() exposes them and each stays dqs_verify-clean.
+  bool record_transcripts = false;
+  /// Admission policy: shed kLow jobs while health is kDegraded.
+  bool shed_low_priority_when_degraded = true;
+};
+
+/// Aggregate service accounting. After shutdown() has drained,
+///   submitted == admitted + (admission rejections)   and
+///   submitted == completed + rejected
+/// hold exactly; the telemetry serving.* counters mirror every field
+/// (tested in tests/test_telemetry_ledger.cpp across threads).
+struct ServingStats {
+  std::uint64_t submitted = 0;   ///< submit() calls
+  std::uint64_t admitted = 0;    ///< jobs that entered the queue
+  std::uint64_t rejected = 0;    ///< ALL typed rejections (admission+dispatch)
+  std::uint64_t shed = 0;        ///< subset: kShedLowPriority/kDisplaced/kQueueFull
+  std::uint64_t expired = 0;     ///< subset: kDeadlineExpired
+  std::uint64_t completed = 0;   ///< jobs that got a JobResult
+  std::uint64_t coalesce_hits = 0;    ///< jobs served from another job's prep
+  std::uint64_t coalesce_misses = 0;  ///< jobs that had to build
+  std::uint64_t rebuilds = 0;         ///< successful preparations
+  std::uint64_t invalidations = 0;    ///< updates that retired a live prep
+  std::uint64_t quantum_draws = 0;    ///< samples measured from a preparation
+  std::uint64_t fallback_draws = 0;   ///< samples served classically
+  std::uint64_t classical_queries = 0;  ///< probes spent by fallback draws
+
+  friend bool operator==(const ServingStats&, const ServingStats&) = default;
+};
+
+class SampleService {
+ public:
+  /// The service owns its database, like the serial server.
+  explicit SampleService(DistributedDatabase db, ServiceOptions options = {});
+  ~SampleService();
+
+  SampleService(const SampleService&) = delete;
+  SampleService& operator=(const SampleService&) = delete;
+
+  /// Admit a job (or reject it immediately — the ticket then already
+  /// carries the typed rejection). Thread-safe; never blocks on sampling.
+  JobTicket submit(JobRequest request);
+
+  /// submit() + wait(), pumping the queue inline when workers == 0.
+  JobOutcome run(JobRequest request);
+
+  /// Execute one queued job on the CALLING thread; false when the queue
+  /// was empty. The workers == 0 test/debug drive.
+  bool pump_one();
+
+  /// Stop admission, drain every already-admitted job (workers serve them;
+  /// with workers == 0 the drain resolves them with kShuttingDown — still
+  /// typed, never silent), join the pool. Idempotent; the destructor calls
+  /// it.
+  void shutdown();
+
+  /// Updates. Serialised against in-flight preparations: the database
+  /// never mutates under a running schedule; the current preparation is
+  /// retired and the next job rebuilds (exactly once) for the new version.
+  void insert(std::size_t machine, std::size_t element);
+  void erase(std::size_t machine, std::size_t element);
+
+  /// Clear a sticky classical fallback and any per-service fault memory,
+  /// mirroring SampleServer::disarm_faults(). (Faults ARM per job — see
+  /// JobRequest::faults — so there is no service-level arm.)
+  void clear_faults();
+
+  ServerHealth health() const;
+  std::string last_failure() const;
+  ServingStats stats() const;
+  /// Recovery cost accumulated across all faulted preparations.
+  RecoveryLedger recovery_ledger() const;
+  /// Oracle queries (sequential) / rounds (parallel) spent by all
+  /// preparations — the serving-layer Thm 4.3/4.5 ledger.
+  std::uint64_t total_query_cost() const;
+  std::uint64_t preparations() const;
+  std::uint64_t version() const;
+  std::size_t queue_depth() const;
+  std::size_t total_elements() const;
+  /// Preparation transcripts, when ServiceOptions::record_transcripts.
+  std::vector<Transcript> transcripts() const;
+
+  const ServiceOptions& options() const noexcept { return options_; }
+
+ private:
+  /// Immutable published preparation; jobs hold it by shared_ptr and draw
+  /// without any lock.
+  struct Prepared {
+    std::uint64_t version = 0;
+    SamplerResult result;
+    bool recovered = false;  ///< built under faults with injections
+  };
+
+  struct BuildOutcome {
+    std::shared_ptr<const Prepared> prepared;  ///< null on failure
+    RecoveryLedger ledger;
+    Transcript transcript;  ///< when ServiceOptions::record_transcripts
+    std::string failure;
+    bool faulted = false;
+  };
+
+  void worker_loop();
+  /// Dispatch-side execution: deadline check, serve, fulfill.
+  void execute(PendingJob job);
+  JobOutcome serve(PendingJob& job);
+  /// Runs the sampler with NO service lock held (lock-discipline).
+  BuildOutcome build(const PendingJob& job);
+  void reject(const std::shared_ptr<detail::JobSlot>& slot,
+              RejectReason reason, std::string detail);
+  void set_health_locked(ServerHealth health);
+  JobResult classical_serve_locked(const PendingJob& job, Rng& rng);
+
+  ServiceOptions options_;
+  JobQueue queue_;
+
+  /// Guards everything below. NEVER held across build() (schedule
+  /// execution) or queue_ operations — enforced by the dqs_lint
+  /// lock-discipline rule and the tsan CI leg.
+  mutable std::mutex mu_;
+  /// Signals prep_in_flight_ transitions (coalescers and updates wait).
+  std::condition_variable prep_cv_;
+  DistributedDatabase db_;
+  std::shared_ptr<const Prepared> prepared_;
+  bool prep_in_flight_ = false;
+  /// Sticky classical fallback, mirroring the serial server: set when a
+  /// faulted preparation exhausts recovery; cleared by clear_faults() or
+  /// by the next job that arms a fresh plan.
+  bool fallback_ = false;
+  ServerHealth health_ = ServerHealth::kHealthy;
+  std::string last_failure_;
+  ServingStats stats_;
+  RecoveryLedger ledger_;
+  std::uint64_t query_cost_ = 0;
+  std::uint64_t preparations_ = 0;
+  std::vector<Transcript> transcripts_;
+  std::uint64_t next_job_id_ = 1;
+  bool accepting_ = true;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace qs::serving

@@ -1,0 +1,30 @@
+// Fixture: schedule execution under a live lock guard — must trip
+// lock-discipline. The serving layer's coalescing protocol releases the
+// service mutex for the WHOLE schedule execution (the builder re-locks
+// only to publish); holding it here serialises every coalesced client and
+// can deadlock against the update path (docs/SERVING.md).
+#include <mutex>
+
+namespace qs::serving {
+
+void bad_build_under_lock(std::mutex& mu) {
+  std::unique_lock<std::mutex> lock(mu);
+  run_sequential_sampler(db, options);  // violation: guard is live
+  session.send_sequential(0);           // violation: Transport under lock
+}
+
+void ok_builder_protocol(std::mutex& mu) {
+  std::unique_lock<std::mutex> lock(mu);
+  lock.unlock();
+  run_sequential_sampler(db, options);  // clean: explicitly disarmed
+  lock.lock();                          // re-arm to publish
+}
+
+void ok_after_scope(std::mutex& mu) {
+  {
+    std::lock_guard<std::mutex> lock(mu);
+  }
+  run_sampler_with_faults(db, plan);  // clean: guard retired with its scope
+}
+
+}  // namespace qs::serving

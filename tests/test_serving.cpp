@@ -1,0 +1,448 @@
+// Tests for the dqs-serve layer (src/serving/): typed jobs over a bounded
+// priority queue and a worker pool, request coalescing (exactly one
+// rebuild per dataset version, no matter how many concurrent clients),
+// per-job RNG determinism against a serial SampleServer replay, typed
+// admission-control rejections (never a silent drop), drain-on-shutdown,
+// verifier-clean preparation transcripts, the chaos grid equivalence with
+// the serial server under per-job fault plans, and the SampleServer
+// single-thread ownership guard the serving layer exists to replace.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "analysis/verifier.hpp"
+#include "apps/sample_server.hpp"
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "distdb/workload.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/retry.hpp"
+#include "sampling/schedule.hpp"
+#include "serving/service.hpp"
+
+namespace qs {
+namespace {
+
+using serving::JobOutcome;
+using serving::JobPriority;
+using serving::JobRequest;
+using serving::JobTicket;
+using serving::RejectReason;
+using serving::SampleService;
+using serving::ServiceOptions;
+
+DistributedDatabase make_db(std::uint64_t machines = 3,
+                            std::uint64_t seed = 5) {
+  Rng rng(seed);
+  auto datasets = workload::uniform_random(16, machines, 12, rng);
+  const auto nu = min_capacity(datasets) + 2;
+  return DistributedDatabase(std::move(datasets), nu);
+}
+
+// ------------------------------------------------------------ determinism
+
+TEST(Serving, CoalescedBatchMatchesSerialReplay) {
+  constexpr std::size_t kJobs = 8;
+  ServiceOptions options;
+  options.workers = 4;
+  SampleService service(make_db(), options);
+
+  std::vector<JobTicket> tickets;
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    JobRequest request;
+    request.client_seed = 100 + i;
+    request.num_samples = 3;
+    tickets.push_back(service.submit(std::move(request)));
+  }
+  std::vector<JobOutcome> outcomes;
+  for (const auto& ticket : tickets) outcomes.push_back(ticket.wait());
+
+  // The whole batch shares ONE preparation of the unchanged version...
+  EXPECT_EQ(service.preparations(), 1u);
+  EXPECT_EQ(service.stats().rebuilds, 1u);
+
+  // ...yet every job's samples are bit-identical to a serial SampleServer
+  // replay seeded by the same (client seed, job id) stream — including the
+  // serial server's re-preparation per draw, which rebuilds the SAME
+  // deterministic state the service measured from its shared snapshot.
+  SampleServer replay(make_db(), QueryMode::kSequential);
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    ASSERT_TRUE(outcomes[i].ok()) << to_string(outcomes[i].rejection->reason);
+    const auto& result = *outcomes[i].result;
+    EXPECT_EQ(result.job_id, i + 1);  // submit order assigns ids
+    Rng rng = rng_for_stream(100 + i, result.job_id);
+    for (std::size_t k = 0; k < 3; ++k) {
+      ASSERT_EQ(result.samples[k], replay.draw(rng))
+          << "job " << result.job_id << " draw " << k;
+    }
+    EXPECT_EQ(result.health, ServerHealth::kHealthy);
+    EXPECT_EQ(result.fallback_draws, 0u);
+  }
+}
+
+TEST(Serving, ExactlyOneRebuildPerVersionUnderConcurrentClients) {
+  constexpr std::size_t kClients = 8;
+  constexpr std::size_t kJobsPerClient = 2;
+  ServiceOptions options;
+  options.workers = 8;
+  SampleService service(make_db(), options);
+
+  // Real concurrency: submissions race from kClients threads while the
+  // pool serves. However they interleave, the unchanged version must be
+  // prepared exactly once and everyone else must coalesce onto it.
+  std::vector<std::thread> clients;
+  std::vector<JobTicket> tickets(kClients * kJobsPerClient);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t k = 0; k < kJobsPerClient; ++k) {
+        JobRequest request;
+        request.client_seed = c;
+        tickets[c * kJobsPerClient + k] = service.submit(std::move(request));
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  for (const auto& ticket : tickets) ASSERT_TRUE(ticket.wait().ok());
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.rebuilds, 1u);
+  EXPECT_EQ(stats.coalesce_misses, 1u);
+  EXPECT_EQ(stats.coalesce_hits, kClients * kJobsPerClient - 1);
+  EXPECT_EQ(stats.completed, kClients * kJobsPerClient);
+  EXPECT_EQ(service.preparations(), 1u);
+
+  // An update moves the version; the NEXT batch rebuilds exactly once more.
+  service.insert(0, 3);
+  std::vector<JobTicket> second;
+  for (std::size_t i = 0; i < 4; ++i) second.push_back(service.submit({}));
+  for (const auto& ticket : second) ASSERT_TRUE(ticket.wait().ok());
+  EXPECT_EQ(service.preparations(), 2u);
+  EXPECT_EQ(service.stats().invalidations, 1u);
+}
+
+// ------------------------------------------------- admission control
+
+TEST(Serving, FullQueueRejectsWithTypedReason) {
+  ServiceOptions options;
+  options.workers = 0;  // nothing drains: admission behavior is exact
+  options.queue_capacity = 2;
+  SampleService service(make_db(), options);
+
+  const JobTicket first = service.submit({});
+  const JobTicket second = service.submit({});
+  const JobTicket third = service.submit({});
+  EXPECT_FALSE(first.done());
+  EXPECT_FALSE(second.done());
+  ASSERT_TRUE(third.done());  // resolved at admission, not dropped
+  EXPECT_EQ(third.wait().rejection->reason, RejectReason::kQueueFull);
+
+  EXPECT_TRUE(service.pump_one());
+  EXPECT_TRUE(service.pump_one());
+  EXPECT_FALSE(service.pump_one());
+  EXPECT_TRUE(first.wait().ok());
+  EXPECT_TRUE(second.wait().ok());
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.shed, 1u);
+}
+
+TEST(Serving, HighPriorityDisplacesQueuedLowPriority) {
+  ServiceOptions options;
+  options.workers = 0;
+  options.queue_capacity = 1;
+  SampleService service(make_db(), options);
+
+  JobRequest low;
+  low.priority = JobPriority::kLow;
+  const JobTicket low_ticket = service.submit(std::move(low));
+  EXPECT_FALSE(low_ticket.done());
+
+  JobRequest high;
+  high.priority = JobPriority::kHigh;
+  const JobTicket high_ticket = service.submit(std::move(high));
+
+  // The low job was evicted — and TOLD so.
+  ASSERT_TRUE(low_ticket.done());
+  EXPECT_EQ(low_ticket.wait().rejection->reason, RejectReason::kDisplaced);
+
+  EXPECT_TRUE(service.pump_one());
+  EXPECT_TRUE(high_ticket.wait().ok());
+
+  // Equal priority never displaces: a second normal job just bounces.
+  const JobTicket a = service.submit({});
+  const JobTicket b = service.submit({});
+  ASSERT_TRUE(b.done());
+  EXPECT_EQ(b.wait().rejection->reason, RejectReason::kQueueFull);
+  EXPECT_TRUE(service.pump_one());
+  EXPECT_TRUE(a.wait().ok());
+}
+
+TEST(Serving, DegradedHealthShedsLowPriorityJobs) {
+  ServiceOptions options;
+  options.workers = 0;
+  SampleService service(make_db(), options);
+
+  // A recoverable fault degrades health (the preparation needed recovery).
+  JobRequest faulted;
+  faulted.faults = FaultPlan({FaultEvent{1, FaultKind::kOracleTransient, 0, 0}});
+  const JobOutcome outcome = service.run(std::move(faulted));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.result->health, ServerHealth::kDegraded);
+  EXPECT_EQ(service.health(), ServerHealth::kDegraded);
+  EXPECT_EQ(outcome.result->recovery.injected_faults, 1u);
+
+  // Load shedding: low-priority jobs are refused AT ADMISSION while
+  // degraded; normal traffic keeps flowing (off the coalesced state).
+  JobRequest low;
+  low.priority = JobPriority::kLow;
+  const JobTicket shed = service.submit(std::move(low));
+  ASSERT_TRUE(shed.done());
+  EXPECT_EQ(shed.wait().rejection->reason, RejectReason::kShedLowPriority);
+  EXPECT_TRUE(service.run({}).ok());
+  EXPECT_EQ(service.stats().shed, 1u);
+
+  // Recovery: clearing the fault memory restores low-priority admission.
+  service.clear_faults();
+  EXPECT_EQ(service.health(), ServerHealth::kHealthy);
+  JobRequest low_again;
+  low_again.priority = JobPriority::kLow;
+  EXPECT_TRUE(service.run(std::move(low_again)).ok());
+}
+
+TEST(Serving, ExpiredDeadlineIsATypedRejection) {
+  ServiceOptions options;
+  options.workers = 0;
+  SampleService service(make_db(), options);
+
+  JobRequest urgent;
+  urgent.deadline_ns = 0;  // any queue wait at all exceeds the budget
+  const JobTicket ticket = service.submit(std::move(urgent));
+  EXPECT_FALSE(ticket.done());
+  EXPECT_TRUE(service.pump_one());
+  ASSERT_TRUE(ticket.done());
+  EXPECT_EQ(ticket.wait().rejection->reason, RejectReason::kDeadlineExpired);
+  EXPECT_EQ(service.stats().expired, 1u);
+
+  // A deadline the job meets does not reject it.
+  JobRequest relaxed;
+  relaxed.deadline_ns = ~std::uint64_t{0} >> 1;
+  EXPECT_TRUE(service.run(std::move(relaxed)).ok());
+}
+
+TEST(Serving, EmptyStoreIsATypedRejection) {
+  std::vector<Dataset> datasets;
+  datasets.emplace_back(8);
+  ServiceOptions options;
+  options.workers = 0;
+  SampleService service(DistributedDatabase(std::move(datasets), 1), options);
+  const JobOutcome outcome = service.run({});
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.rejection->reason, RejectReason::kEmptyStore);
+}
+
+// ------------------------------------------------------------- shutdown
+
+TEST(Serving, ShutdownDrainsEveryAdmittedJob) {
+  ServiceOptions options;
+  options.workers = 2;
+  SampleService service(make_db(), options);
+
+  std::vector<JobTicket> tickets;
+  for (std::size_t i = 0; i < 12; ++i) {
+    JobRequest request;
+    request.client_seed = i;
+    tickets.push_back(service.submit(std::move(request)));
+  }
+  service.shutdown();
+
+  // Every admitted job was SERVED before the pool wound down.
+  for (const auto& ticket : tickets) EXPECT_TRUE(ticket.wait().ok());
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.completed, 12u);
+  EXPECT_EQ(stats.submitted, stats.completed + stats.rejected);
+
+  // Submission after shutdown resolves immediately, typed.
+  const JobTicket late = service.submit({});
+  ASSERT_TRUE(late.done());
+  EXPECT_EQ(late.wait().rejection->reason, RejectReason::kShuttingDown);
+
+  service.shutdown();  // idempotent
+}
+
+TEST(Serving, ShutdownWithoutWorkersResolvesQueuedJobsTyped) {
+  ServiceOptions options;
+  options.workers = 0;
+  SampleService service(make_db(), options);
+  const JobTicket a = service.submit({});
+  const JobTicket b = service.submit({});
+  service.shutdown();
+  // No worker ever existed; the queued jobs still get an ANSWER.
+  EXPECT_EQ(a.wait().rejection->reason, RejectReason::kShuttingDown);
+  EXPECT_EQ(b.wait().rejection->reason, RejectReason::kShuttingDown);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, stats.completed + stats.rejected);
+}
+
+// ------------------------------------------------------------ transcripts
+
+TEST(Serving, PreparationTranscriptsStayVerifierClean) {
+  ServiceOptions options;
+  options.workers = 2;
+  options.record_transcripts = true;
+  SampleService service(make_db(), options);
+  auto replica = make_db();  // tracks the public params per version
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    JobRequest request;
+    request.client_seed = i;
+    ASSERT_TRUE(service.run(std::move(request)).ok());
+  }
+  const PublicParams params_v1 = public_params_of(replica);
+  service.insert(0, 3);
+  replica.insert(0, 3);
+  ASSERT_TRUE(service.run({}).ok());
+  const PublicParams params_v2 = public_params_of(replica);
+  service.shutdown();
+
+  const auto transcripts = service.transcripts();
+  ASSERT_EQ(transcripts.size(), 2u);  // one per version, coalesced batch
+  const auto report_v1 = analysis::verify_transcript(
+      transcripts[0], params_v1, QueryMode::kSequential);
+  EXPECT_TRUE(report_v1.clean()) << report_v1.render();
+  const auto report_v2 = analysis::verify_transcript(
+      transcripts[1], params_v2, QueryMode::kSequential);
+  EXPECT_TRUE(report_v2.clean()) << report_v2.render();
+}
+
+// ----------------------------------------------------- chaos equivalence
+
+TEST(Serving, FaultedJobsMatchSerialServerAcrossChaosGrid) {
+  for (const auto mode : {QueryMode::kSequential, QueryMode::kParallel}) {
+    for (const std::size_t machines : {2u, 3u}) {
+      for (const std::uint64_t plan_seed : {1u, 2u, 3u}) {
+        SCOPED_TRACE(std::string("mode=") +
+                     (mode == QueryMode::kSequential ? "seq" : "par") +
+                     " n=" + std::to_string(machines) +
+                     " seed=" + std::to_string(plan_seed));
+        const auto plan = FaultPlan::random(plan_seed, 40, machines);
+
+        SampleServer serial(make_db(machines, 9), mode);
+        serial.arm_faults(plan);
+        Rng serial_rng = rng_for_stream(77, 1);
+        const std::size_t serial_sample = serial.draw(serial_rng);
+
+        ServiceOptions options;
+        options.workers = 2;
+        options.mode = mode;
+        SampleService service(make_db(machines, 9), options);
+        JobRequest request;
+        request.client_seed = 77;
+        request.faults = plan;
+        const JobOutcome outcome = service.run(std::move(request));
+
+        ASSERT_TRUE(outcome.ok());
+        EXPECT_EQ(outcome.result->samples[0], serial_sample);
+        EXPECT_EQ(outcome.result->health, serial.health());
+        EXPECT_EQ(outcome.result->recovery, serial.recovery_ledger());
+        EXPECT_EQ(service.recovery_ledger(), serial.recovery_ledger());
+        EXPECT_EQ(service.health(), serial.health());
+      }
+    }
+  }
+}
+
+TEST(Serving, DoomedPlanFallsBackExactlyLikeTheSerialServer) {
+  const FaultPlan doom({FaultEvent{0, FaultKind::kMachineCrash, 0, 1000000}});
+  RetryPolicy policy;
+  policy.max_wait_events = 16;
+
+  SampleServer serial(make_db(1, 9), QueryMode::kSequential);
+  serial.arm_faults(doom, policy);
+  Rng serial_rng = rng_for_stream(5, 1);
+  const std::size_t s0 = serial.draw(serial_rng);
+  const std::size_t s1 = serial.draw(serial_rng);
+  ASSERT_EQ(serial.health(), ServerHealth::kFallback);
+
+  ServiceOptions options;
+  options.workers = 2;
+  SampleService service(make_db(1, 9), options);
+  JobRequest request;
+  request.client_seed = 5;
+  request.num_samples = 2;
+  request.faults = doom;
+  request.retry = policy;
+  const JobOutcome outcome = service.run(std::move(request));
+
+  // Classical fallback serves the SAME samples at the SAME classical cost.
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.result->samples, (std::vector<std::size_t>{s0, s1}));
+  EXPECT_EQ(outcome.result->health, ServerHealth::kFallback);
+  EXPECT_EQ(outcome.result->fallback_draws, 2u);
+  EXPECT_EQ(outcome.result->classical_queries, serial.classical_queries());
+  EXPECT_EQ(service.health(), ServerHealth::kFallback);
+  EXPECT_FALSE(service.last_failure().empty());
+  EXPECT_EQ(service.preparations(), 0u);
+  EXPECT_EQ(service.recovery_ledger(), serial.recovery_ledger());
+
+  // The fallback is sticky across jobs, exactly like the serial server...
+  Rng serial_rng2 = rng_for_stream(6, 2);
+  const std::size_t s2 = serial.draw(serial_rng2);
+  JobRequest second;
+  second.client_seed = 6;
+  const JobOutcome again = service.run(std::move(second));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.result->samples[0], s2);
+  EXPECT_EQ(again.result->fallback_draws, 1u);
+
+  // ...and clears the same way, restoring the quantum path.
+  serial.disarm_faults();
+  service.clear_faults();
+  Rng serial_rng3 = rng_for_stream(7, 3);
+  const std::size_t s3 = serial.draw(serial_rng3);
+  JobRequest third;
+  third.client_seed = 7;
+  const JobOutcome healthy = service.run(std::move(third));
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_EQ(healthy.result->samples[0], s3);
+  EXPECT_EQ(healthy.result->health, ServerHealth::kHealthy);
+  EXPECT_EQ(service.preparations(), 1u);
+}
+
+// ------------------------------------- serial server ownership guard
+
+TEST(SampleServerGuard, SecondThreadGetsATypedViolation) {
+  SampleServer server(make_db(), QueryMode::kSequential);
+  Rng rng(3);
+  (void)server.draw(rng);  // pins the server to this thread
+
+  std::atomic<bool> threw{false};
+  std::thread other([&] {
+    Rng thread_rng(4);
+    try {
+      (void)server.draw(thread_rng);
+    } catch (const ContractViolation&) {
+      threw = true;
+    }
+  });
+  other.join();
+  EXPECT_TRUE(threw) << "cross-thread draw() must be a typed violation";
+
+  // An externally synchronised handoff re-pins to the new thread.
+  server.rebind_owner_thread();
+  std::atomic<bool> ok{false};
+  std::thread next([&] {
+    Rng thread_rng(5);
+    (void)server.draw(thread_rng);
+    ok = true;
+  });
+  next.join();
+  EXPECT_TRUE(ok);
+}
+
+}  // namespace
+}  // namespace qs

@@ -15,9 +15,11 @@
 
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/sample_server.hpp"
+#include "serving/service.hpp"
 #include "common/rng.hpp"
 #include "distdb/transcript.hpp"
 #include "distdb/workload.hpp"
@@ -265,6 +267,66 @@ TEST_F(TelemetryLedgerTest, SampleServerCountersMirrorCacheStats) {
   EXPECT_EQ(telemetry::counter("sample_server.rebuild").value(),
             stats.rebuilds);
   EXPECT_EQ(telemetry::counter("sample_server.draw").value(), 1u);
+}
+
+TEST_F(TelemetryLedgerTest, ServingCountersBalanceAcrossThreads) {
+  // The serving.* counters are written from worker threads, client threads
+  // and the admission path concurrently; after a drain they must mirror
+  // the service's ServingStats EXACTLY — the same invariant the serial
+  // SampleServer test above checks, extended across a thread pool.
+  telemetry::registry().reset();
+  serving::ServiceOptions options;
+  options.workers = 4;
+  options.queue_capacity = 64;
+  serving::SampleService service(make_db(64, 3, 12, 23), options);
+
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < 4; ++c) {
+    clients.emplace_back([&service, c] {
+      for (std::size_t k = 0; k < 3; ++k) {
+        serving::JobRequest request;
+        request.client_seed = c;
+        request.num_samples = 2;
+        (void)service.submit(std::move(request));
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  service.insert(0, 7);  // force a second version mid-traffic
+  serving::JobRequest expired;
+  expired.deadline_ns = 0;
+  (void)service.submit(std::move(expired));
+  service.shutdown();
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, stats.completed + stats.rejected);
+  EXPECT_EQ(stats.coalesce_misses, stats.rebuilds);
+  EXPECT_EQ(telemetry::counter("serving.jobs.submitted").value(),
+            stats.submitted);
+  EXPECT_EQ(telemetry::counter("serving.jobs.admitted").value(),
+            stats.admitted);
+  EXPECT_EQ(telemetry::counter("serving.jobs.rejected").value(),
+            stats.rejected);
+  EXPECT_EQ(telemetry::counter("serving.jobs.shed").value(), stats.shed);
+  EXPECT_EQ(telemetry::counter("serving.jobs.expired").value(),
+            stats.expired);
+  EXPECT_EQ(telemetry::counter("serving.jobs.completed").value(),
+            stats.completed);
+  EXPECT_EQ(telemetry::counter("serving.coalesce.hit").value(),
+            stats.coalesce_hits);
+  EXPECT_EQ(telemetry::counter("serving.coalesce.miss").value(),
+            stats.coalesce_misses);
+  EXPECT_EQ(telemetry::counter("serving.rebuild").value(), stats.rebuilds);
+  EXPECT_EQ(telemetry::counter("serving.invalidate").value(),
+            stats.invalidations);
+  EXPECT_EQ(telemetry::counter("serving.draw.quantum").value(),
+            stats.quantum_draws);
+  EXPECT_EQ(telemetry::counter("serving.draw.fallback").value(),
+            stats.fallback_draws);
+  // The pool is idle after shutdown and the queue fully drained.
+  EXPECT_EQ(telemetry::gauge("serving.workers.busy").value(), 0);
+  EXPECT_EQ(telemetry::gauge("serving.queue.depth").value(), 0);
+  EXPECT_EQ(service.queue_depth(), 0u);
 }
 
 TEST_F(TelemetryLedgerTest, DisabledTelemetryLeavesLedgerIntact) {

@@ -66,6 +66,20 @@ to the paper's model rather than C++ correctness:
                       src/analysis/tv/engine.cpp). A kind the engine cannot
                       discharge would compile — and fuse — without any
                       equivalence proof (docs/ANALYSIS.md).
+  lock-discipline     No mutex guard (std::lock_guard / unique_lock /
+                      scoped_lock / shared_lock) may be live on a line that
+                      executes a sampling schedule (run_*_sampler,
+                      run_sampler_with_faults, run_sampling_circuit) or
+                      drives a TransportSession (send_sequential,
+                      receive_sequential, begin/end_parallel_round).
+                      Schedule execution is the long pole — a lock held
+                      across it serialises every coalesced client and can
+                      deadlock against the update path (docs/SERVING.md).
+                      The serving layer's builder protocol releases the
+                      service lock for the whole build; this rule keeps it
+                      (and any future caller) honest. Guards are tracked
+                      per scope; an explicit guard.unlock() disarms and
+                      guard.lock() re-arms.
   error-taxonomy      Library code under src/ must fail through the typed
                       error taxonomy — QS_REQUIRE / QS_ASSERT raising
                       qs::ContractViolation — never via bare throw,
@@ -555,6 +569,77 @@ def rule_tv_exhaustiveness(f: File):
                 "kind would compile without any equivalence proof")
 
 
+LOCK_GUARD_DECL = re.compile(
+    r"std\s*::\s*(?:lock_guard|unique_lock|shared_lock|scoped_lock)\s*"
+    r"(?:<[^;>]*>)?\s+(\w+)\s*[({]")
+LOCK_UNLOCK = re.compile(r"\b(\w+)\s*\.\s*unlock\s*\(")
+LOCK_RELOCK = re.compile(r"\b(\w+)\s*\.\s*lock\s*\(")
+LOCK_EXECUTOR = re.compile(
+    r"\brun_(?:sequential|parallel|centralized|budgeted)_sampler\s*\("
+    r"|\brun_sampler_with_faults\s*\("
+    r"|\brun_sampling_circuit\s*\("
+    r"|\.\s*(?:send_sequential|receive_sequential|"
+    r"begin_parallel_round|end_parallel_round)\s*\(")
+
+
+def rule_lock_discipline(f: File):
+    """Flag schedule execution / Transport calls under a live lock guard.
+
+    A small scope tracker walks the stripped text: a guard declaration
+    arms a named guard at the current brace depth, `g.unlock()` disarms
+    it, `g.lock()` re-arms it, and the closing brace of the declaring
+    scope retires it. Any executor token on a line with at least one
+    armed guard is a violation. Line-local events are processed in
+    column order, so `lock.unlock(); run_sequential_sampler(...)` on one
+    line is (correctly) clean.
+    """
+    if not f.rel.startswith("src/"):
+        return
+    depth = 0
+    guards: dict[str, list] = {}  # name -> [decl_depth, armed]
+    for i, line in enumerate(f.stripped_lines, 1):
+        events = []  # (column, kind, payload)
+        for col, ch in enumerate(line):
+            if ch == "{":
+                events.append((col, "open", None))
+            elif ch == "}":
+                events.append((col, "close", None))
+        for m in LOCK_GUARD_DECL.finditer(line):
+            events.append((m.start(1), "decl", m.group(1)))
+        for m in LOCK_UNLOCK.finditer(line):
+            events.append((m.start(), "unlock", m.group(1)))
+        for m in LOCK_RELOCK.finditer(line):
+            events.append((m.start(), "relock", m.group(1)))
+        for m in LOCK_EXECUTOR.finditer(line):
+            events.append((m.start(), "executor", m.group(0)))
+        for _, kind, payload in sorted(events, key=lambda e: e[0]):
+            if kind == "open":
+                depth += 1
+            elif kind == "close":
+                depth -= 1
+                guards = {name: g for name, g in guards.items()
+                          if g[0] <= depth}
+            elif kind == "decl":
+                guards[payload] = [depth, True]
+            elif kind == "unlock":
+                if payload in guards:
+                    guards[payload][1] = False
+            elif kind == "relock":
+                if payload in guards:
+                    guards[payload][1] = True
+            elif kind == "executor":
+                live = sorted(n for n, g in guards.items() if g[1])
+                if live:
+                    yield Violation(
+                        f.path, i, "lock-discipline",
+                        f"schedule/Transport execution while guard(s) "
+                        f"{', '.join(live)} are held; release the lock "
+                        "across the whole execution (the coalescing "
+                        "builder protocol, docs/SERVING.md) — a lock held "
+                        "here serialises every client and can deadlock "
+                        "against the update path")
+
+
 ERROR_TAXONOMY_EXEMPT = {
     # The definition site of the taxonomy itself: QS_REQUIRE/QS_ASSERT
     # expand to the one sanctioned throw.
@@ -594,6 +679,7 @@ RULES = {
     "no-std-function-in-kernels": rule_no_std_function_in_kernels,
     "kill-matrix-completeness": rule_kill_matrix_completeness,
     "tv-exhaustiveness": rule_tv_exhaustiveness,
+    "lock-discipline": rule_lock_discipline,
     "error-taxonomy": rule_error_taxonomy,
 }
 

@@ -32,6 +32,7 @@ EXPECTED = {
     ("src/analysis/bad_registry.cpp", "kill-matrix-completeness"),
     ("src/qsim/bad_op_registry.cpp", "tv-exhaustiveness"),
     ("src/estimation/bad_error.cpp", "error-taxonomy"),
+    ("src/serving/bad_lock.cpp", "lock-discipline"),
 }
 
 CONTROL_FILES = {
