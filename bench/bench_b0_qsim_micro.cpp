@@ -2,9 +2,26 @@
 // of the statevector kernels that dominate the samplers' wall-clock, and
 // the cost model behind choosing the Householder preparation over a dense
 // QFT in the hot path.
+//
+// Each kernel benchmark also reports the bytes its inner loop moves per
+// amplitude and the effective bandwidth that implies (bytes/amp is a fixed
+// accounting constant per kernel — see the k*Bytes definitions — so GB/s
+// is just bytes over measured time: the roofline context docs/PERF.md
+// reads against the K1 compiled-replay numbers). The google-benchmark
+// console output carries the counters; --json PATH additionally captures
+// every run into a dqs-bench-v1 document so B0 rides BENCH_sampling.json
+// next to the paper-shaped benches. Wall-clock numbers are a trajectory
+// record, NOT byte-reproducible.
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
 #include "common/rng.hpp"
+#include "common/table.hpp"
 #include "distdb/workload.hpp"
 #include "qsim/controlled.hpp"
 #include "qsim/density.hpp"
@@ -24,6 +41,35 @@ RegisterLayout coordinator_layout(std::size_t universe, std::size_t nu) {
   return layout;
 }
 
+// Bytes-moved accounting per amplitude (16-byte complex amplitudes). These
+// are the naive-dispatch kernels, which stage fibers through scratch:
+//   value shift:  copy the fiber out to scratch and write it back shifted
+//                 (2 reads + 2 writes)                    = 4 * 16 = 64
+//   householder:  inner-product pass reads amp + v, update pass reads
+//                 amp + v and writes amp                  = 5 * 16 = 80
+//   conditioned:  scratch round-trip; the 2x2 matrix stays in registers
+//                 (2 reads + 2 writes)                    = 4 * 16 = 64
+//   dense QFT:    per output amplitude, read the whole d-fiber and one
+//                 matrix row, write once            = 32 * d + 16 (O(d)!)
+constexpr double kShiftBytes = 64.0;
+constexpr double kHouseholderBytes = 80.0;
+constexpr double kConditionedBytes = 64.0;
+double qft_bytes_per_amp(std::size_t d) {
+  return 32.0 * static_cast<double>(d) + 16.0;
+}
+
+/// Attach the shared throughput counters: items (amplitudes), bytes (so
+/// google-benchmark derives GB/s), and the fixed bytes/amp constant.
+void note_amplitude_traffic(benchmark::State& state, std::size_t dim,
+                            double bytes_per_amp) {
+  const auto amps = static_cast<std::int64_t>(state.iterations()) *
+                    static_cast<std::int64_t>(dim);
+  state.SetItemsProcessed(amps);
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(static_cast<double>(amps) * bytes_per_amp));
+  state.counters["bytes/amp"] = bytes_per_amp;
+}
+
 void BM_ValueShiftOracle(benchmark::State& state) {
   const auto universe = static_cast<std::size_t>(state.range(0));
   const auto layout = coordinator_layout(universe, 4);
@@ -38,8 +84,7 @@ void BM_ValueShiftOracle(benchmark::State& state) {
     sv.apply_value_shift(count, elem, shifts);
     benchmark::DoNotOptimize(sv.mutable_amplitudes().data());
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(layout.total_dim()));
+  note_amplitude_traffic(state, layout.total_dim(), kShiftBytes);
 }
 BENCHMARK(BM_ValueShiftOracle)->Arg(256)->Arg(1024)->Arg(4096);
 
@@ -55,8 +100,7 @@ void BM_HouseholderPrep(benchmark::State& state) {
     sv.apply_householder(elem, v);
     benchmark::DoNotOptimize(sv.mutable_amplitudes().data());
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(layout.total_dim()));
+  note_amplitude_traffic(state, layout.total_dim(), kHouseholderBytes);
 }
 BENCHMARK(BM_HouseholderPrep)->Arg(256)->Arg(1024)->Arg(4096);
 
@@ -73,6 +117,8 @@ void BM_DenseQftPrep(benchmark::State& state) {
     sv.apply_unitary(elem, f);
     benchmark::DoNotOptimize(sv.mutable_amplitudes().data());
   }
+  note_amplitude_traffic(state, layout.total_dim(),
+                         qft_bytes_per_amp(universe));
 }
 BENCHMARK(BM_DenseQftPrep)->Arg(64)->Arg(256);
 
@@ -94,12 +140,15 @@ void BM_ConditionedRotationU(benchmark::State& state) {
     });
     benchmark::DoNotOptimize(sv.mutable_amplitudes().data());
   }
+  note_amplitude_traffic(state, layout.total_dim(), kConditionedBytes);
 }
 BENCHMARK(BM_ConditionedRotationU)->Arg(256)->Arg(1024)->Arg(4096);
 
 void BM_ControlledFragment(benchmark::State& state) {
   // Cost of the controlled-scope machinery (extract + run + stitch) per
   // amplitude — the overhead phase estimation pays per controlled power.
+  // Per full-state amplitude, half the state takes an extract round-trip
+  // (32), the householder (80) and a stitch round-trip (32): 72 average.
   const auto universe = static_cast<std::size_t>(state.range(0));
   RegisterLayout layout;
   const auto control = layout.add("control", 2);
@@ -114,8 +163,8 @@ void BM_ControlledFragment(benchmark::State& state) {
     });
     benchmark::DoNotOptimize(sv.mutable_amplitudes().data());
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(layout.total_dim()));
+  note_amplitude_traffic(state, layout.total_dim(),
+                         (32.0 + kHouseholderBytes + 32.0) / 2.0);
 }
 BENCHMARK(BM_ControlledFragment)->Arg(256)->Arg(1024)->Arg(4096);
 
@@ -161,6 +210,68 @@ void BM_FullParallelSampler(benchmark::State& state) {
 }
 BENCHMARK(BM_FullParallelSampler)->Arg(128)->Arg(512);
 
+/// ConsoleReporter that additionally captures every iteration run into
+/// rows for the dqs-bench-v1 table (name, ns/iter, Mamps/s, bytes/amp,
+/// GB/s). Benches without a byte model leave those cells "-".
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  std::vector<std::array<std::string, 5>> rows;
+
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      std::array<std::string, 5> row;
+      row[0] = run.benchmark_name();
+      row[1] = TextTable::cell(run.GetAdjustedRealTime(), 1);
+      const auto rate = [&run](const char* key) {
+        const auto it = run.counters.find(key);
+        return it == run.counters.end() ? 0.0
+                                        : static_cast<double>(it->second);
+      };
+      const double items = rate("items_per_second");
+      row[2] = items > 0.0 ? TextTable::cell(items / 1e6, 2) : "-";
+      const double bytes_per_amp = rate("bytes/amp");
+      row[3] = bytes_per_amp > 0.0 ? TextTable::cell(bytes_per_amp, 0) : "-";
+      const double gbps = rate("bytes_per_second") / 1e9;
+      row[4] = gbps > 0.0 ? TextTable::cell(gbps, 2) : "-";
+      rows.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  qs::bench::Reporter reporter(
+      argc, argv, "B0",
+      "substrate statevector kernels sustain the per-amplitude throughput "
+      "and effective bandwidth the sampler cost model assumes; the "
+      "Householder preparation beats a dense QFT in the hot path");
+
+  // Reporter's flags are not google-benchmark's: strip them (and their
+  // value token) before Initialize sees the argv.
+  std::vector<char*> filtered;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" || arg == "--trace" || arg == "--metrics") {
+      ++i;  // skip the path operand too
+      continue;
+    }
+    filtered.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(filtered.size());
+  benchmark::Initialize(&filtered_argc, filtered.data());
+
+  CapturingReporter console;
+  benchmark::RunSpecifiedBenchmarks(&console);
+  benchmark::Shutdown();
+
+  qs::TextTable table(
+      {"benchmark", "ns/iter", "Mamps/s", "bytes/amp", "GB/s"});
+  for (const auto& row : console.rows)
+    table.add_row({row[0], row[1], row[2], row[3], row[4]});
+  table.print(std::cout, "B0: substrate kernel throughput");
+  reporter.add("B0: substrate kernel throughput", table);
+  return reporter.finish(0);
+}

@@ -16,13 +16,26 @@
 //       table vs the legacy digit-arithmetic kernel.
 //
 // Reported as ns/amplitude (best of `kReps` sweeps, so scheduler noise
-// biases every column the same way). Wall-clock numbers are a trajectory
-// record, NOT byte-reproducible — see docs/PERF.md before diffing them.
+// biases every column the same way), plus the bytes each compiled replay
+// moves per amplitude and the effective bandwidth that implies — the
+// roofline context for the SIMD/blocking work (docs/PERF.md). Wall-clock
+// numbers are a trajectory record, NOT byte-reproducible — see
+// docs/PERF.md before diffing them.
+//
 // Exit is non-zero iff any compiled kernel class is slower than its legacy
-// counterpart at any dimension (the CI perf-smoke gate).
+// counterpart at any dimension (the CI perf-smoke gate). With
+// --baseline FILE (bench/baselines/k1_kernels.json) the gate additionally
+// compares the measured speedups against the recorded pre-SIMD ones: both
+// runs divide by the same unchanged naive-dispatch yardstick on the same
+// machine, so the ratio current/baseline isolates the kernel-replay change
+// from machine speed. The run fails unless >= min_improved_kinds kernel
+// classes reach min_additional_speedup at the largest universe and every
+// (kernel, N) cell stays above regression_floor.
 #include <chrono>
 #include <cstddef>
+#include <fstream>
 #include <functional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -32,6 +45,7 @@
 #include "qsim/gates.hpp"
 #include "qsim/state_vector.hpp"
 #include "sampling/backend.hpp"
+#include "telemetry/json.hpp"
 
 namespace {
 
@@ -78,8 +92,24 @@ struct Row {
   std::string kernel;
   std::size_t universe;
   double legacy_ns, compiled_ns;
+  /// Bytes the compiled replay moves per amplitude (reads + writes of
+  /// amplitudes, tables and factors — the roofline numerator).
+  double bytes_per_amp;
   double speedup() const { return legacy_ns / compiled_ns; }
+  /// B/ns == GB/s: effective bandwidth the compiled kernel sustains.
+  double bandwidth_gbps() const { return bytes_per_amp / compiled_ns; }
 };
+
+// Bytes-moved accounting per amplitude of the compiled replays (16-byte
+// complex amplitudes, 4-byte uint32 table entries):
+//   permutation / shift-lowered-to-table: read src + write dst + read the
+//       inverse table                              = 16 + 16 + 4 = 36
+//   dense(d=2): read + write every amplitude, one table entry per 2-element
+//       fiber (the 2×2 matrix pool stays in registers) = 16 + 16 + 4/2 = 34
+//   diagonal: read amp + read factor + write amp       = 16 + 16 + 16 = 48
+constexpr double kPermutationBytes = 36.0;
+constexpr double kDense2Bytes = 34.0;
+constexpr double kDiagonalBytes = 48.0;
 
 Row bench_permutation(const Regs& r) {
   const auto& layout = r.layout;
@@ -98,7 +128,8 @@ Row bench_permutation(const Regs& r) {
   const std::size_t dim = layout.total_dim();
   return {"permutation", layout.dim(r.elem),
           time_ns_per_amp(dim, [&] { legacy_sv.apply_permutation(map); }),
-          time_ns_per_amp(dim, [&] { op.apply_to(compiled_sv); })};
+          time_ns_per_amp(dim, [&] { op.apply_to(compiled_sv); }),
+          kPermutationBytes};
 }
 
 Row bench_dense2(const Regs& r, const std::vector<Matrix>& rotations) {
@@ -115,7 +146,8 @@ Row bench_dense2(const Regs& r, const std::vector<Matrix>& rotations) {
           time_ns_per_amp(
               dim, [&] { legacy_sv.apply_conditioned_unitary(r.flag,
                                                              selector); }),
-          time_ns_per_amp(dim, [&] { op.apply_to(compiled_sv); })};
+          time_ns_per_amp(dim, [&] { op.apply_to(compiled_sv); }),
+          kDense2Bytes};
 }
 
 Row bench_diagonal(const Regs& r) {
@@ -132,7 +164,8 @@ Row bench_diagonal(const Regs& r) {
   const std::size_t dim = layout.total_dim();
   return {"diagonal", layout.dim(r.elem),
           time_ns_per_amp(dim, [&] { legacy_sv.apply_diagonal(phase); }),
-          time_ns_per_amp(dim, [&] { op.apply_to(compiled_sv); })};
+          time_ns_per_amp(dim, [&] { op.apply_to(compiled_sv); }),
+          kDiagonalBytes};
 }
 
 Row bench_shift(const Regs& r) {
@@ -149,7 +182,8 @@ Row bench_shift(const Regs& r) {
           time_ns_per_amp(dim, [&] {
             legacy_sv.apply_value_shift(r.count, r.elem, shifts);
           }),
-          time_ns_per_amp(dim, [&] { op.apply_to(compiled_sv); })};
+          time_ns_per_amp(dim, [&] { op.apply_to(compiled_sv); }),
+          kPermutationBytes};
 }
 
 }  // namespace
@@ -159,30 +193,89 @@ int main(int argc, char** argv) {
   bench::Reporter reporter(
       argc, argv, "K1",
       "compiled-operator kernels at least match naive std::function "
-      "dispatch on every kernel class (permutation >= 3x at the largest "
-      "grid dim)");
+      "dispatch on every kernel class; with --baseline, the SIMD/blocked "
+      "replay beats the recorded pre-SIMD speedups on >= 2 kernel classes");
+  const CliArgs args(argc, argv);
+  const auto baseline_path = args.get("baseline", std::string());
 
-  TextTable table(
-      {"kernel", "N", "legacy ns/amp", "compiled ns/amp", "speedup"});
+  TextTable table({"kernel", "N", "legacy ns/amp", "compiled ns/amp",
+                   "speedup", "bytes/amp", "GB/s"});
 
   const std::size_t universes[] = {256, 1024, 4096};
+  const std::size_t largest = universes[std::size(universes) - 1];
   const std::size_t nu = 4;
   const auto rotations = make_u_rotations(nu, /*adjoint=*/false);
 
   bool any_slower = false;
+  std::vector<Row> rows;
   for (const std::size_t universe : universes) {
     const auto regs = coordinator(universe, nu);
     for (const Row& row :
          {bench_permutation(regs), bench_dense2(regs, rotations),
           bench_diagonal(regs), bench_shift(regs)}) {
       any_slower = any_slower || row.speedup() < 1.0;
+      rows.push_back(row);
       table.add_row({row.kernel, TextTable::cell(std::uint64_t{universe}),
                      TextTable::cell(row.legacy_ns, 3),
                      TextTable::cell(row.compiled_ns, 3),
-                     TextTable::cell(row.speedup(), 2)});
+                     TextTable::cell(row.speedup(), 2),
+                     TextTable::cell(row.bytes_per_amp, 0),
+                     TextTable::cell(row.bandwidth_gbps(), 2)});
     }
   }
   table.print(std::cout, "K1: compiled vs legacy kernels (ns/amplitude)");
   reporter.add("K1: compiled vs legacy kernels (ns/amplitude)", table);
-  return reporter.finish(any_slower ? 1 : 0);
+
+  bool gate_failed = false;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    QS_REQUIRE(static_cast<bool>(in), "cannot open --baseline file");
+    std::ostringstream text;
+    text << in.rdbuf();
+    const auto doc = telemetry::json::parse(text.str());
+    QS_REQUIRE(doc.at("schema").as_string() == "dqs-k1-baseline-v1",
+               "unexpected baseline schema");
+    const double min_additional = doc.at("min_additional_speedup").as_number();
+    const double min_kinds = doc.at("min_improved_kinds").as_number();
+    const double floor = doc.at("regression_floor").as_number();
+
+    TextTable gate({"kernel", "N", "baseline", "current", "ratio", "verdict"});
+    std::size_t improved_kinds = 0;
+    for (const Row& row : rows) {
+      double base = 0.0;
+      const auto& recorded = doc.at("rows").array;
+      for (const auto& cell : recorded) {
+        if (cell.at("kernel").as_string() == row.kernel &&
+            static_cast<std::size_t>(cell.at("universe").as_number()) ==
+                row.universe) {
+          base = cell.at("speedup").as_number();
+        }
+      }
+      QS_REQUIRE(base > 0.0,
+                 "baseline has no row for " + row.kernel + " at N=" +
+                     std::to_string(row.universe));
+      const double ratio = row.speedup() / base;
+      const bool regressed = ratio < floor;
+      const bool improved = row.universe == largest && ratio >= min_additional;
+      if (improved) ++improved_kinds;
+      gate_failed = gate_failed || regressed;
+      gate.add_row({row.kernel, TextTable::cell(std::uint64_t{row.universe}),
+                    TextTable::cell(base, 2),
+                    TextTable::cell(row.speedup(), 2),
+                    TextTable::cell(ratio, 2),
+                    regressed ? "REGRESSED"
+                              : (improved ? "improved" : "ok")});
+    }
+    if (improved_kinds < static_cast<std::size_t>(min_kinds)) {
+      gate_failed = true;
+      std::printf("FAILED: only %zu kernel class(es) reached %.2fx over the "
+                  "baseline at N=%zu (need %zu)\n",
+                  improved_kinds, min_additional, largest,
+                  static_cast<std::size_t>(min_kinds));
+    }
+    gate.print(std::cout, "K1: speedup vs pre-SIMD baseline");
+    reporter.add("K1: speedup vs pre-SIMD baseline", gate);
+  }
+
+  return reporter.finish((any_slower || gate_failed) ? 1 : 0);
 }

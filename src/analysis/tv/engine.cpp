@@ -18,6 +18,18 @@ std::string brief(const TvProof& proof) {
   return out.str();
 }
 
+/// The dense replay path gathers through the op's INVERSE table; a
+/// permutation op is only correct if that table really inverts the forward
+/// one. On a certified bijection, inv[table[x]] == x for every x proves it.
+bool inverse_consistent(std::span<const std::uint32_t> table,
+                        std::span<const std::uint32_t> inverse) {
+  if (inverse.size() != table.size()) return false;
+  for (std::size_t x = 0; x < table.size(); ++x) {
+    if (inverse[table[x]] != x) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 void TvValidator::record(TvProof proof, const std::string& detail) {
@@ -54,6 +66,10 @@ void TvValidator::check_permutation(
                std::to_string(want);
     }
   }
+  if (proof.ok && !inverse_consistent(table, op.permutation_inverse_table())) {
+    proof.ok = false;
+    detail = "inverse table does not invert the forward table";
+  }
   record(std::move(proof), detail);
 }
 
@@ -81,25 +97,37 @@ void TvValidator::check_fiber_dense(
   const std::size_t s = layout.stride(target);
   const auto pool = op.fiber_matrix_pool();
   const auto mat_of = op.fiber_matrix_of();
+  const std::size_t period = op.fiber_period();
+  const std::size_t count = op.dim() / d;
   std::string detail;
-  for (std::size_t f = 0; proof.ok && f < mat_of.size(); ++f) {
+  if (period == 0 ? mat_of.size() != count
+                  : (mat_of.size() != period || count % period != 0)) {
+    proof.ok = false;
+    detail = "fiber table size is neither the fiber count nor a verified "
+             "period dividing it";
+  }
+  // Walk EVERY fiber: a period-compressed table must match the reference
+  // selector over the whole range, not just the stored window — this is
+  // the independent proof of the compiler's periodicity claim.
+  for (std::size_t f = 0; proof.ok && f < count; ++f) {
+    const std::uint32_t entry = mat_of[period == 0 ? f : f % period];
     const std::size_t base = (f / s) * d * s + (f % s);
     const Matrix* reference = selector(base);
     if (reference == nullptr) {
-      if (mat_of[f] != StateVector::kFiberIdentity) {
+      if (entry != StateVector::kFiberIdentity) {
         proof.ok = false;
         detail = "fiber " + std::to_string(f) +
                  " compiled a matrix where the reference is identity";
       }
       continue;
     }
-    if (mat_of[f] == StateVector::kFiberIdentity) {
+    if (entry == StateVector::kFiberIdentity) {
       proof.ok = false;
       detail = "fiber " + std::to_string(f) +
                " compiled identity where the reference selects a matrix";
       continue;
     }
-    const std::size_t offset = std::size_t{mat_of[f]} * d * d;
+    const std::size_t offset = std::size_t{entry} * d * d;
     if (offset + d * d > pool.size()) {
       proof.ok = false;
       detail = "fiber " + std::to_string(f) + " pool index out of range";
@@ -164,6 +192,10 @@ void TvValidator::check_lowered(const CompiledOp& source,
       proof.ok = false;
       detail = "lowered table differs from the affine relabelling the "
                "shift geometry prescribes";
+    } else if (!inverse_consistent(
+                   table, permutation.permutation_inverse_table())) {
+      proof.ok = false;
+      detail = "lowered inverse table does not invert the forward table";
     }
   }
   record(std::move(proof), detail);
@@ -186,9 +218,12 @@ void TvValidator::check_fused(const CompiledOp& first,
                                                  second.permutation_table());
       const auto table = result.permutation_table();
       proof.ok = std::equal(expected.begin(), expected.end(), table.begin(),
-                            table.end());
+                            table.end()) &&
+                 inverse_consistent(table,
+                                    result.permutation_inverse_table());
       record(std::move(proof),
-             "fused table differs from second ∘ first composition");
+             "fused table differs from second ∘ first composition (or its "
+             "inverse table does not invert it)");
       return;
     }
     case CompiledOp::Kind::kDiagonal: {

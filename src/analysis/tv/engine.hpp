@@ -7,7 +7,9 @@
 // its reference operator semantics, symbolically (symbolic.hpp):
 //
 //   permutation    replay the reference map on every basis state and
-//                  demand table identity + bijectivity          (0 ULP)
+//                  demand table identity + bijectivity + the inverse
+//                  table (the dense gather-replay path) inverting it
+//                                                               (0 ULP)
 //   value shift    evaluate the affine relabelling from the view's
 //                  geometry, demand table identity              (0 ULP)
 //   re-lowering    shift_to_permutation(source) == table        (0 ULP)
@@ -15,8 +17,10 @@
 //   shift fusion   (s1 + s2) mod d == fused shifts              (0 ULP)
 //   diagonal       reference phase map vs factors, operator-norm ≤ 1e-12
 //   diag fusion    pointwise product vs fused factors,     norm ≤ 1e-12
-//   fiber dense    reference selector matrices vs pooled rows,
-//                  Frobenius (≥ operator) norm ≤ 1e-12 per fiber
+//   fiber dense    reference selector matrices vs pooled rows over EVERY
+//                  fiber (a period-compressed table is re-proved across
+//                  the full range, independently of the compiler's
+//                  stream check), Frobenius norm ≤ 1e-12 per fiber
 //
 // TvRecorder arms a validator as the thread's CompileObserver for a scope,
 // so every compile that happens inside — including the real sampling

@@ -42,6 +42,25 @@ void require_bijection(const std::vector<std::uint32_t>& table) {
   }
 }
 
+/// Materialise the inverse of a certified-bijective table (scatter is safe:
+/// every destination is written exactly once).
+void fill_inverse(const std::vector<std::uint32_t>& table,
+                  std::vector<std::uint32_t>& inverse) {
+  inverse.resize(table.size());
+  const std::uint32_t* t = table.data();
+  std::uint32_t* inv = inverse.data();
+  parallel_for(table.size(), [t, inv](std::size_t x) {
+    inv[t[x]] = static_cast<std::uint32_t>(x);
+  });
+}
+
+/// Window size for the periodicity guess in fiber_dense lowering: the first
+/// kPeriodGuessWindow fibers are materialised, the smallest period the
+/// window admits is guessed, and the remaining fibers are stream-verified
+/// against it without being stored. Keeps big-N compile memory O(period)
+/// when the selector depends only on low-stride digits (the 𝒰 shape).
+constexpr std::size_t kPeriodGuessWindow = 4096;
+
 // Translation-validation hook (thread-local so concurrently compiling
 // threads never observe each other); nullptr when no validator is armed.
 thread_local CompileObserver* g_compile_observer = nullptr;
@@ -66,6 +85,7 @@ CompiledOp CompiledOp::permutation(
     t[x] = static_cast<std::uint32_t>(map(x));
   });
   require_bijection(op.table_);
+  fill_inverse(op.table_, op.inv_table_);
   compile_counter().add();
   if (g_compile_observer != nullptr) g_compile_observer->on_permutation(op, map);
   return op;
@@ -92,12 +112,12 @@ CompiledOp CompiledOp::fiber_dense(
   const std::size_t count = dim / d;
   CompiledOp op(Kind::kFiberDense, dim);
   op.target_ = target;
-  op.mat_of_fiber_.assign(count, StateVector::kFiberIdentity);
   std::map<const Matrix*, std::uint32_t> pool_index;
-  for (std::size_t f = 0; f < count; ++f) {
-    const std::size_t base = (f / s) * d * s + (f % s);
-    const Matrix* u = selector(base);
-    if (u == nullptr) continue;  // identity on this fiber
+  const auto fiber_base = [d, s](std::size_t f) {
+    return (f / s) * d * s + (f % s);
+  };
+  const auto intern = [&](const Matrix* u) -> std::uint32_t {
+    if (u == nullptr) return StateVector::kFiberIdentity;
     QS_REQUIRE(u->rows() == d && u->cols() == d,
                "conditioned unitary dimension mismatch");
     auto [it, inserted] = pool_index.try_emplace(
@@ -106,7 +126,71 @@ CompiledOp CompiledOp::fiber_dense(
       op.matrix_pool_.insert(op.matrix_pool_.end(), u->data().begin(),
                              u->data().end());
     }
-    op.mat_of_fiber_[f] = it->second;
+    return it->second;
+  };
+  const std::size_t window = std::min(count, kPeriodGuessWindow);
+  op.mat_of_fiber_.reserve(window);
+  for (std::size_t f = 0; f < window; ++f)
+    op.mat_of_fiber_.push_back(intern(selector(fiber_base(f))));
+  bool compressed = false;
+  if (window < count) {
+    // Smallest period the window admits that also divides the fiber count
+    // (p == window passes vacuously — the stream check below carries the
+    // real proof either way).
+    std::size_t period = 0;
+    for (std::size_t p = 1; p <= window; ++p) {
+      if (count % p != 0) continue;
+      bool ok = true;
+      for (std::size_t f = p; f < window; ++f) {
+        if (op.mat_of_fiber_[f] != op.mat_of_fiber_[f % p]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        period = p;
+        break;
+      }
+    }
+    if (period != 0) {
+      // Stream-verify the claim over the remaining fibers without storing
+      // them. A matrix pointer never seen in the window disproves
+      // periodicity immediately: a p-periodic table's images all appear in
+      // its first period ⊆ window.
+      bool ok = true;
+      for (std::size_t f = window; f < count; ++f) {
+        const Matrix* u = selector(fiber_base(f));
+        std::uint32_t m = StateVector::kFiberIdentity;
+        if (u != nullptr) {
+          const auto it = pool_index.find(u);
+          if (it == pool_index.end()) {
+            ok = false;
+            break;
+          }
+          m = it->second;
+        }
+        if (m != op.mat_of_fiber_[f % period]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        op.mat_of_fiber_.resize(period);
+        op.fiber_period_ = period;
+        compressed = true;
+        static auto& t_compress =
+            telemetry::counter("qsim.compiled.fiber_compress");
+        t_compress.add();
+      }
+    }
+    if (!compressed) {
+      // Aperiodic (or the guess failed the stream check): materialise the
+      // full table. The selector is pure, so re-walking the tail is safe.
+      op.mat_of_fiber_.reserve(count);
+      op.mat_of_fiber_.resize(window);
+      for (std::size_t f = window; f < count; ++f)
+        op.mat_of_fiber_.push_back(intern(selector(fiber_base(f))));
+    }
   }
   compile_counter().add();
   if (g_compile_observer != nullptr) {
@@ -167,13 +251,21 @@ void CompiledOp::apply_to(StateVector& state) const {
   apply_counter().add();
   switch (kind_) {
     case Kind::kPermutation:
-      state.apply_permutation_table(table_);
+      // Dense replay gathers through the inverse table (sequential writes);
+      // sparse replay rewrites the stored indices through the forward one.
+      // Exact either way — pure data movement.
+      if (state.is_sparse()) {
+        state.apply_permutation_table(table_);
+      } else {
+        state.apply_permutation_inverse_table(inv_table_);
+      }
       return;
     case Kind::kDiagonal:
       state.apply_diagonal_factors(factors_);
       return;
     case Kind::kFiberDense:
-      state.apply_fiber_dense(target_, matrix_pool_, mat_of_fiber_);
+      state.apply_fiber_dense(target_, matrix_pool_, mat_of_fiber_,
+                              fiber_period_);
       return;
     case Kind::kValueShift:
       if (has_flag_) {
@@ -207,6 +299,7 @@ CompiledOp CompiledOp::lowered_to_permutation() const {
     t[x] = static_cast<std::uint32_t>(x + (new_digit - old_digit) * s);
   });
   // A cyclic digit shift is bijective by construction; no re-scan needed.
+  fill_inverse(op.table_, op.inv_table_);
   compile_counter().add();
   if (g_compile_observer != nullptr) g_compile_observer->on_lowered(*this, op);
   return op;
@@ -216,6 +309,12 @@ std::span<const std::uint32_t> CompiledOp::permutation_table() const {
   QS_REQUIRE(kind_ == Kind::kPermutation,
              "permutation_table() needs a kPermutation op");
   return table_;
+}
+
+std::span<const std::uint32_t> CompiledOp::permutation_inverse_table() const {
+  QS_REQUIRE(kind_ == Kind::kPermutation,
+             "permutation_inverse_table() needs a kPermutation op");
+  return inv_table_;
 }
 
 std::span<const cplx> CompiledOp::diagonal_factors() const {
@@ -240,6 +339,12 @@ std::span<const std::uint32_t> CompiledOp::fiber_matrix_of() const {
   QS_REQUIRE(kind_ == Kind::kFiberDense,
              "fiber_matrix_of() needs a kFiberDense op");
   return mat_of_fiber_;
+}
+
+std::size_t CompiledOp::fiber_period() const {
+  QS_REQUIRE(kind_ == Kind::kFiberDense,
+             "fiber_period() needs a kFiberDense op");
+  return fiber_period_;
 }
 
 CompiledOp::ValueShiftView CompiledOp::value_shift_view() const {
@@ -306,6 +411,7 @@ CompiledOp CompiledOp::fused(const CompiledOp& first, const CompiledOp& second) 
       const std::uint32_t* t1 = first.table_.data();
       const std::uint32_t* t2 = second.table_.data();
       parallel_for(first.dim_, [&](std::size_t x) { t[x] = t2[t1[x]]; });
+      fill_inverse(op.table_, op.inv_table_);
       return notify_fused(first, second, std::move(op));
     }
     case Kind::kDiagonal: {

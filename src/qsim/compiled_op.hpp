@@ -10,10 +10,21 @@
 //
 //   kPermutation  y = table[x]          basis relabelling (adder, fused
 //                                       ancilla moves); bijection certified
-//                                       once here, not per query;
+//                                       once here, not per query; both the
+//                                       forward and the inverse table are
+//                                       materialised — dense replay gathers
+//                                       through the inverse (sequential
+//                                       writes, SIMD-friendly), sparse
+//                                       replay rewrites indices through the
+//                                       forward;
 //   kDiagonal     amp[x] *= factors[x]  phase oracles;
 //   kFiberDense   per-fiber d×d matrix  conditioned unitaries (𝒰); d=2 and
-//                                       d=4 replay fully unrolled;
+//                                       d=4 replay fully unrolled; when the
+//                                       per-fiber table is periodic (𝒰's
+//                                       matrix depends only on the count
+//                                       digit) only one period is stored
+//                                       and verified, keeping big-N compile
+//                                       memory O(period) instead of O(dim);
 //   kValueShift   cyclic digit shift    the oracle shape of Eq. (1)/(2),
 //                                       with the shift table precomputed.
 //
@@ -123,6 +134,10 @@ class CompiledOp {
   /// kPermutation: the forward table, y = table[x].
   std::span<const std::uint32_t> permutation_table() const;
 
+  /// kPermutation: the inverse table, x = inverse[y] — the dense replay
+  /// path. Always materialised alongside the forward table.
+  std::span<const std::uint32_t> permutation_inverse_table() const;
+
   /// kDiagonal: the dense factor array.
   std::span<const cplx> diagonal_factors() const;
 
@@ -131,6 +146,11 @@ class CompiledOp {
   RegisterId fiber_target() const;
   std::span<const cplx> fiber_matrix_pool() const;
   std::span<const std::uint32_t> fiber_matrix_of() const;
+
+  /// kFiberDense: 0 when fiber_matrix_of() holds one entry per fiber;
+  /// otherwise the verified period p — the matrix of fiber f is
+  /// fiber_matrix_of()[f % p] and fiber_matrix_of().size() == p.
+  std::size_t fiber_period() const;
 
   /// kValueShift: the full replay geometry of Eq. (1)/(2).
   struct ValueShiftView {
@@ -155,8 +175,10 @@ class CompiledOp {
   Kind kind_;
   std::size_t dim_;
 
-  // kPermutation: forward table, y = table_[x].
+  // kPermutation: forward table y = table_[x] plus its inverse
+  // x = inv_table_[y] (the dense gather-replay path).
   std::vector<std::uint32_t> table_;
+  std::vector<std::uint32_t> inv_table_;
 
   // kDiagonal.
   std::vector<cplx> factors_;
@@ -166,6 +188,7 @@ class CompiledOp {
   RegisterId target_{};
   std::vector<cplx> matrix_pool_;
   std::vector<std::uint32_t> mat_of_fiber_;
+  std::size_t fiber_period_ = 0;  // 0 = mat_of_fiber_ is the full table
 
   // kValueShift: registers for replay plus their (dim, stride) geometry so
   // lowering/fusion do not need the original layout.

@@ -16,6 +16,25 @@ namespace qs {
 
 using cplx = std::complex<double>;
 
+/// Complex product written out over real components. std::complex's
+/// operator* compiles to a __muldc3 libcall (Annex G NaN recovery) that the
+/// vectorizer cannot touch; the open-coded form is bit-identical for finite
+/// operands — __muldc3 computes the same ac−bd / ad+bc with the same
+/// roundings and only diverges on NaN results, which unit-modulus phases
+/// and normalised amplitudes never produce — and keeps the kernel loops
+/// vectorizable. The kernel-equivalence and sparse differential grids pin
+/// the contract.
+inline cplx cmul(cplx a, cplx b) noexcept {
+  return cplx{a.real() * b.real() - a.imag() * b.imag(),
+              a.real() * b.imag() + a.imag() * b.real()};
+}
+
+/// conj(a) * b, open-coded like cmul (inner products, Householder rows).
+inline cplx cmul_conj(cplx a, cplx b) noexcept {
+  return cplx{a.real() * b.real() + a.imag() * b.imag(),
+              a.real() * b.imag() - a.imag() * b.real()};
+}
+
 /// Owning row-major complex matrix.
 class Matrix {
  public:

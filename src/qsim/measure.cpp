@@ -9,6 +9,23 @@ namespace qs {
 std::size_t measure_basis_state(const StateVector& state, Rng& rng) {
   const double u = rng.uniform01();
   double acc = 0.0;
+  if (state.is_sparse()) {
+    // Same inverse-CDF walk over the nonzero support only: indices are
+    // sorted, so the visit order (and hence the draw for a given u) matches
+    // the dense scan exactly whenever the stored probabilities do.
+    const auto indices = state.sparse_indices();
+    const auto values = state.sparse_values();
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      acc += std::norm(values[k]);
+      if (u < acc) return static_cast<std::size_t>(indices[k]);
+    }
+    for (std::size_t k = indices.size(); k-- > 0;) {
+      if (std::norm(values[k]) > 0.0)
+        return static_cast<std::size_t>(indices[k]);
+    }
+    QS_REQUIRE(false, "cannot measure the zero state");
+    return 0;
+  }
   const auto amps = state.amplitudes();
   for (std::size_t i = 0; i < amps.size(); ++i) {
     acc += std::norm(amps[i]);

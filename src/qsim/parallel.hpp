@@ -55,6 +55,29 @@
 #include <atomic>
 #endif
 
+// SIMD annotation for the per-amplitude inner loops of the statevector
+// kernels. It lives HERE because dqs_lint's omp-confinement rule allows
+// OpenMP constructs only in this file: kernels write DQS_PRAGMA_SIMD and
+// the vectorization story (like the scheduling story) stays in one place.
+// Without OpenMP the macro degrades to the compiler's native no-dependence
+// hint, and to nothing on unknown compilers — annotated loops must therefore
+// be CORRECT without the pragma; it is an optimization assertion only.
+//
+// Contract: never annotate a loop that accumulates across iterations. The
+// deterministic-reduction guarantee below depends on a fixed association
+// order, which `omp simd` would reassociate. dqs_lint's simd-discipline
+// rule makes per-amplitude block loops in the kernel files carry either
+// this macro or an explicit allow(simd-discipline) naming the reduction.
+#if defined(DQS_HAVE_OPENMP)
+#define DQS_PRAGMA_SIMD _Pragma("omp simd")
+#elif defined(__clang__)
+#define DQS_PRAGMA_SIMD _Pragma("clang loop vectorize(enable) interleave(enable)")
+#elif defined(__GNUC__)
+#define DQS_PRAGMA_SIMD _Pragma("GCC ivdep")
+#else
+#define DQS_PRAGMA_SIMD
+#endif
+
 namespace qs {
 
 #if defined(DQS_HAVE_OPENMP) && defined(DQS_TSAN)
@@ -187,6 +210,34 @@ void parallel_for_with_scratch(std::size_t n, std::size_t scratch_size,
   }
   detail::join_region();
 #endif
+}
+
+/// Tile width for the cache-blocked streaming kernels. 4096 complex
+/// amplitudes = 64 KiB — one tile of source data plus one of destination
+/// fits in L2 with room for a permutation-table tile (16 KiB of uint32), so
+/// a gather whose reads jump within the tile window still hits cache. Fixed
+/// (never derived from the thread count) for the same reason as
+/// kReduceBlockSize below.
+inline constexpr std::size_t kKernelBlockSize = 4096;
+
+/// Run fn(begin, end) over [0, n) cut into kKernelBlockSize-wide tiles,
+/// tiles distributed through parallel_for. This is the shape the SIMD
+/// kernels need: parallel_for hands out single indices, which leaves no
+/// inner loop to annotate; this helper hands out countable ranges that
+/// DQS_PRAGMA_SIMD can vectorize while the tile bound keeps the working
+/// set cache-resident.
+template <class F>
+void parallel_for_blocks(std::size_t n, F&& fn) {
+  const std::size_t num_blocks =
+      (n + kKernelBlockSize - 1) / kKernelBlockSize;
+  if (num_blocks <= 1) {
+    if (n != 0) fn(std::size_t{0}, n);
+    return;
+  }
+  parallel_for(num_blocks, [&](std::size_t b) {
+    const std::size_t begin = b * kKernelBlockSize;
+    fn(begin, std::min(n, begin + kKernelBlockSize));
+  });
 }
 
 /// Block size for deterministic reductions. Fixed — never derived from the

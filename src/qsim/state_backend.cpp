@@ -1,0 +1,466 @@
+#include "qsim/state_backend.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace qs {
+
+namespace {
+
+// Mirrors StateVector::kFiberIdentity (static_assert-checked at the facade
+// in state_vector.cpp; this file cannot include state_vector.hpp, which
+// includes us).
+constexpr std::uint32_t kIdentity = 0xFFFFFFFFu;
+
+[[noreturn]] void raise_sparse_error(const char* op, const char* what,
+                                     std::size_t required,
+                                     std::size_t budget) {
+  std::ostringstream os;
+  os << "sparse backend: " << op << ": " << what << " (required "
+     << required << ", budget " << budget << ")";
+  raise_sparse_state_error(os.str(), required, budget);
+}
+
+/// (fiber base, digit, source entry) triple for the fiber-grouping kernels.
+struct FiberRef {
+  std::uint64_t base;
+  std::uint32_t j;
+  std::uint64_t src;
+};
+
+/// Decompose the sorted entries into per-fiber groups ordered by base then
+/// digit. Deterministic: std::sort on keys that are unique per entry.
+std::vector<FiberRef> group_by_fiber(FiberGeom g,
+                                     std::span<const std::uint64_t> idx) {
+  std::vector<FiberRef> refs(idx.size());
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    const std::size_t j = g.digit(idx[k]);
+    refs[k] = FiberRef{idx[k] - static_cast<std::uint64_t>(j) * g.s,
+                       static_cast<std::uint32_t>(j), k};
+  }
+  std::sort(refs.begin(), refs.end(), [](const FiberRef& a, const FiberRef& b) {
+    return a.base != b.base ? a.base < b.base : a.j < b.j;
+  });
+  return refs;
+}
+
+/// Fiber index of a fiber base for geometry g: the inverse of
+/// base = (f / s) * d * s + (f % s).
+std::uint64_t fiber_of_base(FiberGeom g, std::uint64_t base) {
+  return (base / (static_cast<std::uint64_t>(g.d) * g.s)) * g.s + base % g.s;
+}
+
+}  // namespace
+
+[[noreturn]] void raise_sparse_state_error(const std::string& what,
+                                           std::size_t required,
+                                           std::size_t budget) {
+  // SparseStateError IS the taxonomy: it derives ContractViolation so every
+  // recovery/degradation seam catches it, while adding the typed
+  // required/budget payload QS_REQUIRE cannot carry.
+  // dqs-lint: allow(error-taxonomy) typed ContractViolation subclass
+  throw SparseStateError(what, required, budget);
+}
+
+SparseAmplitudes::SparseAmplitudes(std::size_t dim, std::size_t budget,
+                                   std::uint64_t basis)
+    : dim_(dim), budget_(budget) {
+  QS_REQUIRE(basis < dim_, "initial basis state out of range");
+  idx_.push_back(basis);
+  amp_.push_back(cplx{1.0, 0.0});
+  note_size();
+}
+
+SparseAmplitudes::SparseAmplitudes(std::span<const cplx> dense,
+                                   std::size_t budget)
+    : dim_(dense.size()), budget_(budget) {
+  QS_REQUIRE(dim_ > 0, "cannot sparsify an empty amplitude array");
+  std::size_t nonzero = 0;
+  for (const cplx& a : dense)
+    if (a != cplx{0.0, 0.0}) ++nonzero;
+  require_within_budget(nonzero, "sparsify");
+  idx_.reserve(nonzero);
+  amp_.reserve(nonzero);
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    if (dense[i] != cplx{0.0, 0.0}) {
+      idx_.push_back(i);
+      amp_.push_back(dense[i]);
+    }
+  }
+  note_size();
+}
+
+void SparseAmplitudes::assign(std::vector<std::uint64_t> indices,
+                              std::vector<cplx> values) {
+  QS_REQUIRE(indices.size() == values.size(),
+             "sparse assign: index/value size mismatch");
+  for (const std::uint64_t flat : indices)
+    QS_REQUIRE(flat < dim_, "sparse assign: index out of range");
+  require_within_budget(indices.size(), "assign");
+  idx_ = std::move(indices);
+  amp_ = std::move(values);
+  sort_entries();  // also asserts uniqueness and notes the size
+  drop_zeros();
+}
+
+cplx SparseAmplitudes::amplitude(std::uint64_t flat) const {
+  QS_REQUIRE(flat < dim_, "amplitude index out of range");
+  const auto it = std::lower_bound(idx_.begin(), idx_.end(), flat);
+  if (it == idx_.end() || *it != flat) return cplx{0.0, 0.0};
+  return amp_[static_cast<std::size_t>(it - idx_.begin())];
+}
+
+void SparseAmplitudes::reset(std::uint64_t basis) {
+  QS_REQUIRE(basis < dim_, "initial basis state out of range");
+  idx_.assign(1, basis);
+  amp_.assign(1, cplx{1.0, 0.0});
+  note_size();
+}
+
+std::vector<cplx> SparseAmplitudes::densify() const {
+  std::vector<cplx> out(dim_, cplx{0.0, 0.0});
+  for (std::size_t k = 0; k < idx_.size(); ++k)
+    out[static_cast<std::size_t>(idx_[k])] = amp_[k];
+  return out;
+}
+
+void SparseAmplitudes::scale(cplx phase) {
+  for (cplx& a : amp_) a = cmul(a, phase);
+}
+
+void SparseAmplitudes::scale_real(double factor) {
+  for (cplx& a : amp_) a *= factor;
+}
+
+void SparseAmplitudes::diagonal_factors(std::span<const cplx> factors) {
+  QS_REQUIRE(factors.size() == dim_,
+             "diagonal factor array size must match state dimension");
+  for (std::size_t k = 0; k < idx_.size(); ++k)
+    amp_[k] = cmul(amp_[k], factors[static_cast<std::size_t>(idx_[k])]);
+  drop_zeros();
+}
+
+void SparseAmplitudes::phase_on_basis(std::uint64_t flat, cplx phase) {
+  QS_REQUIRE(flat < dim_, "basis state out of range");
+  const auto it = std::lower_bound(idx_.begin(), idx_.end(), flat);
+  if (it == idx_.end() || *it != flat) return;
+  cplx& a = amp_[static_cast<std::size_t>(it - idx_.begin())];
+  a = cmul(a, phase);
+}
+
+void SparseAmplitudes::phase_on_register_value(FiberGeom g, std::size_t value,
+                                               cplx phase) {
+  for (std::size_t k = 0; k < idx_.size(); ++k)
+    if (g.digit(idx_[k]) == value) amp_[k] = cmul(amp_[k], phase);
+}
+
+void SparseAmplitudes::permute_forward(std::span<const std::uint32_t> table) {
+  QS_REQUIRE(table.size() == dim_,
+             "permutation table size must match state dimension");
+  for (std::uint64_t& x : idx_) x = table[static_cast<std::size_t>(x)];
+  sort_entries();
+}
+
+void SparseAmplitudes::value_shift(
+    FiberGeom target, FiberGeom cond,
+    std::span<const std::size_t> shift_per_cond_value, bool has_flag,
+    std::size_t flag_stride) {
+  QS_REQUIRE(shift_per_cond_value.size() == cond.d,
+             "need one shift per condition value");
+  for (std::uint64_t& x : idx_) {
+    if (has_flag && (x / flag_stride) % 2 != 1) continue;
+    const std::size_t c = cond.digit(x);
+    const std::size_t old_digit = target.digit(x);
+    const std::size_t new_digit =
+        (old_digit + shift_per_cond_value[c]) % target.d;
+    x += (static_cast<std::uint64_t>(new_digit) - old_digit) * target.s;
+  }
+  sort_entries();
+}
+
+void SparseAmplitudes::householder(FiberGeom g, std::span<const cplx> v) {
+  QS_REQUIRE(v.size() == g.d,
+             "Householder vector must match register dimension");
+  const auto refs = group_by_fiber(g, idx_);
+  // Pass 1: per touched fiber, the inner product ⟨v|fiber⟩ in ascending-
+  // digit order (absent digits contribute exact zeros, which the dense
+  // kernel also adds — skipping them changes nothing but signed zeros,
+  // inside the ≤1e-12 contract) and the output size.
+  struct Group {
+    std::size_t first, last;  // refs range
+    cplx ip;
+  };
+  std::vector<Group> groups;
+  std::size_t needed = 0;
+  for (std::size_t r = 0; r < refs.size();) {
+    std::size_t e = r;
+    cplx ip{0.0, 0.0};
+    while (e < refs.size() && refs[e].base == refs[r].base) {
+      ip += cmul_conj(v[refs[e].j], amp_[refs[e].src]);
+      ++e;
+    }
+    groups.push_back(Group{r, e, ip});
+    needed += ip == cplx{0.0, 0.0} ? e - r : g.d;
+    r = e;
+  }
+  require_within_budget(needed, "householder");
+  std::vector<std::uint64_t> out_idx;
+  std::vector<cplx> out_amp;
+  out_idx.reserve(needed);
+  out_amp.reserve(needed);
+  for (const Group& grp : groups) {
+    if (grp.ip == cplx{0.0, 0.0}) {
+      for (std::size_t r = grp.first; r < grp.last; ++r) {
+        out_idx.push_back(idx_[refs[r].src]);
+        out_amp.push_back(amp_[refs[r].src]);
+      }
+      continue;
+    }
+    const cplx twice = 2.0 * grp.ip;
+    const std::uint64_t base = refs[grp.first].base;
+    std::size_t r = grp.first;
+    for (std::size_t j = 0; j < g.d; ++j) {
+      cplx a{0.0, 0.0};
+      if (r < grp.last && refs[r].j == j) a = amp_[refs[r++].src];
+      const cplx next = a - cmul(twice, v[j]);
+      if (next == cplx{0.0, 0.0}) continue;
+      out_idx.push_back(base + static_cast<std::uint64_t>(j) * g.s);
+      out_amp.push_back(next);
+    }
+  }
+  idx_ = std::move(out_idx);
+  amp_ = std::move(out_amp);
+  sort_entries();
+}
+
+namespace {
+
+/// Shared body of fiber_dense / unitary: apply a per-fiber d×d matrix
+/// (row-major pointer from `matrix_of(fiber)`, nullptr = identity) to the
+/// grouped entries. `MatrixOf` is a generic callable, NOT a std::function —
+/// this is replay, not lowering.
+template <class MatrixOf>
+void apply_fiber_matrices(FiberGeom g, std::vector<std::uint64_t>& idx,
+                          std::vector<cplx>& amp, MatrixOf&& matrix_of,
+                          std::size_t budget,
+                          void (*check)(std::size_t, std::size_t,
+                                        const char*)) {
+  const auto refs = group_by_fiber(g, idx);
+  struct Group {
+    std::size_t first, last;
+    const cplx* u;  // nullptr = identity fiber
+  };
+  std::vector<Group> groups;
+  std::size_t needed = 0;
+  for (std::size_t r = 0; r < refs.size();) {
+    std::size_t e = r;
+    while (e < refs.size() && refs[e].base == refs[r].base) ++e;
+    const cplx* u = matrix_of(fiber_of_base(g, refs[r].base));
+    groups.push_back(Group{r, e, u});
+    needed += u == nullptr ? e - r : g.d;
+    r = e;
+  }
+  check(needed, budget, "fiber_dense");
+  std::vector<std::uint64_t> out_idx;
+  std::vector<cplx> out_amp;
+  out_idx.reserve(needed);
+  out_amp.reserve(needed);
+  std::vector<cplx> scratch(g.d);
+  for (const Group& grp : groups) {
+    if (grp.u == nullptr) {
+      for (std::size_t r = grp.first; r < grp.last; ++r) {
+        out_idx.push_back(idx[refs[r].src]);
+        out_amp.push_back(amp[refs[r].src]);
+      }
+      continue;
+    }
+    const std::uint64_t base = refs[grp.first].base;
+    std::fill(scratch.begin(), scratch.end(), cplx{0.0, 0.0});
+    for (std::size_t r = grp.first; r < grp.last; ++r)
+      scratch[refs[r].j] = amp[refs[r].src];
+    for (std::size_t i = 0; i < g.d; ++i) {
+      // Same ascending-j accumulation order as the dense kernel.
+      cplx acc{0.0, 0.0};
+      for (std::size_t j = 0; j < g.d; ++j)
+        acc += cmul(grp.u[i * g.d + j], scratch[j]);
+      if (acc == cplx{0.0, 0.0}) continue;
+      out_idx.push_back(base + static_cast<std::uint64_t>(i) * g.s);
+      out_amp.push_back(acc);
+    }
+  }
+  idx = std::move(out_idx);
+  amp = std::move(out_amp);
+}
+
+}  // namespace
+
+void SparseAmplitudes::fiber_dense(FiberGeom g,
+                                   std::span<const cplx> matrix_pool,
+                                   std::span<const std::uint32_t> mat_of_fiber) {
+  QS_REQUIRE(!mat_of_fiber.empty(), "need a non-empty fiber matrix table");
+  QS_REQUIRE(matrix_pool.size() % (g.d * g.d) == 0,
+             "matrix pool must hold whole d×d matrices");
+  const std::size_t num_mats = matrix_pool.size() / (g.d * g.d);
+  const std::size_t period = mat_of_fiber.size();
+  apply_fiber_matrices(
+      g, idx_, amp_,
+      [&](std::uint64_t fiber) -> const cplx* {
+        const std::uint32_t m =
+            mat_of_fiber[static_cast<std::size_t>(fiber % period)];
+        if (m == kIdentity) return nullptr;
+        QS_ASSERT(m < num_mats, "fiber matrix index out of range");
+        return matrix_pool.data() + static_cast<std::size_t>(m) * g.d * g.d;
+      },
+      budget_,
+      [](std::size_t needed, std::size_t budget, const char* op) {
+        if (budget != 0 && needed > budget)
+          raise_sparse_error(op, "amplitude budget exceeded", needed, budget);
+      });
+  sort_entries();
+}
+
+void SparseAmplitudes::unitary(FiberGeom g, const Matrix& u) {
+  QS_REQUIRE(u.rows() == g.d && u.cols() == g.d,
+             "unitary dimension must match register dimension");
+  const cplx* data = u.data().data();
+  apply_fiber_matrices(
+      g, idx_, amp_, [&](std::uint64_t) -> const cplx* { return data; },
+      budget_,
+      [](std::size_t needed, std::size_t budget, const char* op) {
+        if (budget != 0 && needed > budget)
+          raise_sparse_error(op, "amplitude budget exceeded", needed, budget);
+      });
+  sort_entries();
+}
+
+double SparseAmplitudes::norm_squared() const {
+  double acc = 0.0;
+  for (const cplx& a : amp_) acc += std::norm(a);
+  return acc;
+}
+
+std::vector<double> SparseAmplitudes::marginal(FiberGeom g) const {
+  std::vector<double> probs(g.d, 0.0);
+  for (std::size_t k = 0; k < idx_.size(); ++k)
+    probs[g.digit(idx_[k])] += std::norm(amp_[k]);
+  return probs;
+}
+
+cplx SparseAmplitudes::inner(const SparseAmplitudes& a,
+                             const SparseAmplitudes& b) {
+  cplx acc{0.0, 0.0};
+  std::size_t i = 0, j = 0;
+  while (i < a.idx_.size() && j < b.idx_.size()) {
+    if (a.idx_[i] < b.idx_[j]) {
+      ++i;
+    } else if (a.idx_[i] > b.idx_[j]) {
+      ++j;
+    } else {
+      acc += cmul_conj(a.amp_[i], b.amp_[j]);
+      ++i;
+      ++j;
+    }
+  }
+  return acc;
+}
+
+cplx SparseAmplitudes::inner(const SparseAmplitudes& a,
+                             std::span<const cplx> b) {
+  cplx acc{0.0, 0.0};
+  for (std::size_t k = 0; k < a.idx_.size(); ++k)
+    acc += cmul_conj(a.amp_[k], b[static_cast<std::size_t>(a.idx_[k])]);
+  return acc;
+}
+
+cplx SparseAmplitudes::inner(std::span<const cplx> a,
+                             const SparseAmplitudes& b) {
+  cplx acc{0.0, 0.0};
+  for (std::size_t k = 0; k < b.idx_.size(); ++k)
+    acc += cmul_conj(a[static_cast<std::size_t>(b.idx_[k])], b.amp_[k]);
+  return acc;
+}
+
+double SparseAmplitudes::distance_squared(const SparseAmplitudes& a,
+                                          const SparseAmplitudes& b) {
+  double acc = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < a.idx_.size() || j < b.idx_.size()) {
+    const bool take_a =
+        j >= b.idx_.size() ||
+        (i < a.idx_.size() && a.idx_[i] < b.idx_[j]);
+    const bool take_b =
+        i >= a.idx_.size() ||
+        (j < b.idx_.size() && b.idx_[j] < a.idx_[i]);
+    if (take_a) {
+      acc += std::norm(a.amp_[i++]);
+    } else if (take_b) {
+      acc += std::norm(b.amp_[j++]);
+    } else {
+      acc += std::norm(a.amp_[i++] - b.amp_[j++]);
+    }
+  }
+  return acc;
+}
+
+double SparseAmplitudes::distance_squared(std::span<const cplx> a,
+                                          const SparseAmplitudes& b) {
+  double acc = 0.0;
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cplx bi{0.0, 0.0};
+    if (j < b.idx_.size() && b.idx_[j] == i) bi = b.amp_[j++];
+    acc += std::norm(a[i] - bi);
+  }
+  return acc;
+}
+
+void SparseAmplitudes::sort_entries() {
+  std::vector<std::size_t> order(idx_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return idx_[a] < idx_[b];
+  });
+  std::vector<std::uint64_t> sorted_idx(idx_.size());
+  std::vector<cplx> sorted_amp(amp_.size());
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    sorted_idx[k] = idx_[order[k]];
+    sorted_amp[k] = amp_[order[k]];
+  }
+  idx_ = std::move(sorted_idx);
+  amp_ = std::move(sorted_amp);
+  for (std::size_t k = 1; k < idx_.size(); ++k)
+    QS_ASSERT(idx_[k - 1] < idx_[k],
+              "sparse entries must stay unique (bijective relabelling)");
+  note_size();
+}
+
+void SparseAmplitudes::drop_zeros() {
+  std::size_t out = 0;
+  for (std::size_t k = 0; k < idx_.size(); ++k) {
+    if (amp_[k] == cplx{0.0, 0.0}) continue;
+    idx_[out] = idx_[k];
+    amp_[out] = amp_[k];
+    ++out;
+  }
+  idx_.resize(out);
+  amp_.resize(out);
+}
+
+void SparseAmplitudes::require_within_budget(std::size_t needed,
+                                             const char* op) const {
+  if (budget_ != 0 && needed > budget_)
+    raise_sparse_error(op, "amplitude budget exceeded", needed, budget_);
+}
+
+void SparseAmplitudes::note_size() {
+  peak_nnz_ = std::max(peak_nnz_, idx_.size());
+  if (budget_ != 0 && idx_.size() > budget_)
+    raise_sparse_error("growth", "amplitude budget exceeded", idx_.size(),
+                       budget_);
+}
+
+}  // namespace qs

@@ -1,0 +1,207 @@
+// StateBackend: per-workload amplitude storage for StateVector.
+//
+// The dense statevector caps N at a few million amplitudes — 16 bytes per
+// basis state of the full 2(ν+1)N coordinator space, twice that with the
+// permutation ping-pong buffer. But the paper's AA trajectory never leaves
+// a low-dimensional subspace: |π⟩ = F|0⟩ puts support on N basis states,
+// and every subsequent oracle/𝒰/reflection step keeps the support on the
+// (element, count ∈ {0, c_i}, flag) slice, ≈ 2N of the 2(ν+1)N states.
+// SparseAmplitudes exploits that: a sorted-pairs map (SoA: flat index +
+// amplitude, sorted by index, exact zeros dropped) whose cost is O(nnz)
+// per kernel instead of O(dim), selected per workload through
+// StateBackendConfig and wrapped by the StateVector facade so
+// SingleStateBackend, ParallelFullCircuit, the fault seam and the serving
+// layer's Prepared snapshot all run through unchanged (docs/PERF.md).
+//
+// CONTRACTS. Kernels that only relabel basis states (permutation, value
+// shift) move amplitudes without arithmetic and are bit-identical (0 ULP)
+// to the dense kernels. Arithmetic kernels (diagonal, fiber-dense,
+// Householder) reuse the same open-coded complex products as the dense
+// paths (linalg.hpp cmul) but accumulate in sorted-entry order, so they
+// are pinned to the dense backend at ≤1e-12 by the sparse differential
+// grid in tests/test_sparse_backend.cpp. All sparse kernels are
+// deterministic: entries stay sorted by flat index and every reduction is
+// a serial fold in that order, so results are identical across thread
+// counts and build flavours by construction.
+//
+// BUDGET. Support growth is the failure mode of a sparse representation —
+// a workload that densifies would silently allocate O(dim) and OOM at big
+// N. A configured amplitude budget turns that into a typed error:
+// SparseStateError (a ContractViolation, so the recovery/degradation
+// seams catch it like any contract breach) carrying the offending support
+// size, thrown BEFORE the allocation grows past the budget.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/require.hpp"
+#include "qsim/linalg.hpp"
+
+namespace qs {
+
+/// Which amplitude storage a StateVector uses.
+enum class StateBackendKind : std::uint8_t {
+  kDense,   ///< flat O(dim) array — the default, fastest per amplitude
+  kSparse,  ///< sorted (index, amplitude) pairs — O(nnz) kernels for big N
+};
+
+/// Per-workload backend selection, threaded through SamplerOptions /
+/// ServiceOptions down to the StateVector constructor. docs/PERF.md
+/// documents the selection heuristics (density threshold, crossover N).
+struct StateBackendConfig {
+  StateBackendKind kind = StateBackendKind::kDense;
+  /// Sparse only: maximum stored amplitudes before SparseStateError.
+  /// 0 = unlimited (the dense dimension is then the only ceiling).
+  std::size_t amplitude_budget = 0;
+
+  static StateBackendConfig dense() { return {}; }
+  static StateBackendConfig sparse(std::size_t amplitude_budget = 0) {
+    return {StateBackendKind::kSparse, amplitude_budget};
+  }
+};
+
+/// Typed failure of the sparse backend: an operation needed more stored
+/// amplitudes than the configured budget, or a caller used a dense-only
+/// accessor on a sparse state. Derives ContractViolation so the fault
+/// recovery and serving degradation seams (docs/ROBUSTNESS.md) catch it
+/// like any contract breach, while callers that can re-plan (densify,
+/// switch backend, shrink the workload) catch the precise type.
+class SparseStateError : public ContractViolation {
+ public:
+  SparseStateError(const std::string& what, std::size_t required,
+                   std::size_t budget)
+      : ContractViolation(what), required_(required), budget_(budget) {}
+
+  /// Stored amplitudes the operation would have needed.
+  std::size_t required() const noexcept { return required_; }
+  /// The configured ceiling (0 when the failure is not budget-related).
+  std::size_t budget() const noexcept { return budget_; }
+
+ private:
+  std::size_t required_;
+  std::size_t budget_;
+};
+
+/// The single throw site for SparseStateError (error-taxonomy rule): every
+/// sparse failure — budget exhaustion, dense-only accessor on a sparse
+/// state — routes through here. `budget` is 0 when the failure is not
+/// budget-related.
+[[noreturn]] void raise_sparse_state_error(const std::string& what,
+                                           std::size_t required,
+                                           std::size_t budget);
+
+/// One register's addressing inside the flat index: dimension d, stride s.
+/// Digit of flat index x: (x / s) % d; fiber f of the register has base
+/// (f / s) * d * s + (f % s) and elements base + j*s.
+struct FiberGeom {
+  std::size_t d = 0;
+  std::size_t s = 0;
+
+  std::size_t digit(std::uint64_t flat) const noexcept {
+    return static_cast<std::size_t>(flat / s) % d;
+  }
+  std::uint64_t base_of(std::uint64_t flat) const noexcept {
+    return flat - static_cast<std::uint64_t>(digit(flat)) * s;
+  }
+};
+
+/// Sorted-pairs sparse amplitude storage. An implementation detail of the
+/// StateVector facade (state_vector.hpp) — library code never holds one
+/// directly; tests reach it through StateVector::sparse_indices()/values().
+class SparseAmplitudes {
+ public:
+  /// |basis⟩ on a space of `dim` basis states.
+  SparseAmplitudes(std::size_t dim, std::size_t budget, std::uint64_t basis);
+
+  /// Compress a dense amplitude array (exact zeros dropped).
+  SparseAmplitudes(std::span<const cplx> dense, std::size_t budget);
+
+  std::size_t dim() const noexcept { return dim_; }
+  std::size_t nnz() const noexcept { return idx_.size(); }
+  /// High-water mark of nnz() over the object's lifetime — the number K2
+  /// reports as the sparse backend's real memory footprint.
+  std::size_t peak_nnz() const noexcept { return peak_nnz_; }
+  std::size_t budget() const noexcept { return budget_; }
+
+  std::span<const std::uint64_t> indices() const noexcept { return idx_; }
+  std::span<const cplx> values() const noexcept { return amp_; }
+
+  cplx amplitude(std::uint64_t flat) const;  // binary search; 0 if absent
+  void reset(std::uint64_t basis);
+  /// Replace the whole support with (indices, values) pairs — the bulk
+  /// constructor target_full_state() uses to build a big-N sparse target
+  /// without an O(dim) dense detour. Indices need not arrive sorted but
+  /// must be unique and < dim(); exact zeros are dropped; budget-checked.
+  void assign(std::vector<std::uint64_t> indices, std::vector<cplx> values);
+  /// Expand into a dense array of size dim().
+  std::vector<cplx> densify() const;
+
+  // --- Kernels (geometry supplied by the StateVector facade) -----------
+
+  void scale(cplx phase);                  // global phase
+  void scale_real(double factor);          // normalize()
+  void diagonal_factors(std::span<const cplx> factors);  // factors[dim]
+  void phase_on_basis(std::uint64_t flat, cplx phase);
+  void phase_on_register_value(FiberGeom g, std::size_t value, cplx phase);
+
+  /// Relabel through the compiled FORWARD table: new|table[x]⟩ = old|x⟩.
+  /// O(nnz log nnz); exact (no arithmetic).
+  void permute_forward(std::span<const std::uint32_t> table);
+
+  /// The Eq. (1)/(2) oracle shape, computed arithmetically per entry —
+  /// no O(dim) table, which is what keeps the big-N path alive.
+  void value_shift(FiberGeom target, FiberGeom cond,
+                   std::span<const std::size_t> shift_per_cond_value,
+                   bool has_flag, std::size_t flag_stride);
+
+  /// I − 2|v⟩⟨v| on the register described by g. Touched fibers densify
+  /// to d entries (this is where support grows; budget-checked).
+  void householder(FiberGeom g, std::span<const cplx> v);
+
+  /// Per-fiber d×d matrices from a pool; mat_of_fiber may be period-
+  /// compressed (matrix of fiber f = mat_of_fiber[f % period], with
+  /// period == mat_of_fiber.size()).
+  void fiber_dense(FiberGeom g, std::span<const cplx> matrix_pool,
+                   std::span<const std::uint32_t> mat_of_fiber);
+
+  /// Dense d×d unitary on every fiber of g (QFT-style preparation).
+  void unitary(FiberGeom g, const Matrix& u);
+
+  // --- Observables (serial folds in sorted-index order) ----------------
+
+  double norm_squared() const;
+  std::vector<double> marginal(FiberGeom g) const;
+
+  /// ⟨a|b⟩ in its three storage combinations.
+  static cplx inner(const SparseAmplitudes& a, const SparseAmplitudes& b);
+  static cplx inner(const SparseAmplitudes& a, std::span<const cplx> b);
+  static cplx inner(std::span<const cplx> a, const SparseAmplitudes& b);
+
+  /// || |a⟩ − |b⟩ ||².
+  static double distance_squared(const SparseAmplitudes& a,
+                                 const SparseAmplitudes& b);
+  static double distance_squared(std::span<const cplx> a,
+                                 const SparseAmplitudes& b);
+
+ private:
+  /// Restore the sorted-unique invariant after an index-rewriting kernel.
+  void sort_entries();
+  /// Drop exact-zero amplitudes (keeps relabel kernels 0 ULP: zeros only
+  /// ever DISAPPEAR, never change value).
+  void drop_zeros();
+  /// Raise SparseStateError when `needed` exceeds the budget.
+  void require_within_budget(std::size_t needed, const char* op) const;
+  void note_size();
+
+  std::size_t dim_ = 1;
+  std::size_t budget_ = 0;
+  std::size_t peak_nnz_ = 0;
+  std::vector<std::uint64_t> idx_;  // sorted, unique
+  std::vector<cplx> amp_;           // amp_[k] belongs to idx_[k]
+};
+
+}  // namespace qs

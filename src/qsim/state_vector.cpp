@@ -9,6 +9,11 @@
 
 namespace qs {
 
+// state_backend.cpp mirrors this sentinel as a file-local constant (it
+// cannot include this header: the include edge points the other way).
+static_assert(StateVector::kFiberIdentity == 0xFFFFFFFFu,
+              "keep the sparse backend's kIdentity mirror in sync");
+
 namespace {
 
 // A register of dimension d and stride s partitions [0, dim) into dim/d
@@ -32,6 +37,37 @@ FiberSpec fiber_spec(const RegisterLayout& layout, RegisterId r) {
   return spec;
 }
 
+FiberGeom fiber_geom(const RegisterLayout& layout, RegisterId r) {
+  return FiberGeom{layout.dim(r), layout.stride(r)};
+}
+
+// Backend-tagged apply accounting: which backend ran a kernel and how many
+// amplitudes it stores afterwards. The telemetry⇄ledger grid test balances
+// the gauges against StateVector::stored_amplitudes().
+void note_backend(bool sparse, std::size_t stored) {
+  static auto& c_dense = telemetry::counter("qsim.backend.dense.apply");
+  static auto& c_sparse = telemetry::counter("qsim.backend.sparse.apply");
+  static auto& g_dense = telemetry::gauge("qsim.backend.dense.amplitudes");
+  static auto& g_sparse = telemetry::gauge("qsim.backend.sparse.amplitudes");
+  if (sparse) {
+    c_sparse.add();
+    g_sparse.set(static_cast<std::int64_t>(stored));
+  } else {
+    c_dense.add();
+    g_dense.set(static_cast<std::int64_t>(stored));
+  }
+}
+
+// Certify a fiber-matrix table once, before the replay loop, so the inner
+// loops are throw-free and DQS_PRAGMA_SIMD-safe.
+void require_valid_fiber_table(std::span<const std::uint32_t> mat_of_fiber,
+                               std::size_t num_mats) {
+  for (const std::uint32_t m : mat_of_fiber) {
+    QS_REQUIRE(m == StateVector::kFiberIdentity || m < num_mats,
+               "fiber matrix index out of range");
+  }
+}
+
 }  // namespace
 
 StateVector::StateVector(RegisterLayout layout, std::size_t basis_index)
@@ -42,12 +78,114 @@ StateVector::StateVector(RegisterLayout layout, std::size_t basis_index)
   amplitudes_[basis_index] = 1.0;
 }
 
+StateVector::StateVector(RegisterLayout layout, const StateBackendConfig& config,
+                         std::size_t basis_index)
+    : layout_(std::move(layout)) {
+  if (config.kind == StateBackendKind::kSparse) {
+    sparse_ = std::make_unique<SparseAmplitudes>(
+        layout_.total_dim(), config.amplitude_budget, basis_index);
+    return;
+  }
+  QS_REQUIRE(basis_index < layout_.total_dim(),
+             "initial basis state out of range");
+  amplitudes_.assign(layout_.total_dim(), cplx{0.0, 0.0});
+  amplitudes_[basis_index] = 1.0;
+}
+
+StateVector::StateVector(const StateVector& other)
+    : layout_(other.layout_),
+      amplitudes_(other.amplitudes_),
+      // scratch_ is transient ping-pong storage; a copy starts without it.
+      sparse_(other.sparse_ ? std::make_unique<SparseAmplitudes>(*other.sparse_)
+                            : nullptr) {}
+
+StateVector& StateVector::operator=(const StateVector& other) {
+  if (this == &other) return *this;
+  layout_ = other.layout_;
+  amplitudes_ = other.amplitudes_;
+  scratch_.clear();
+  sparse_ = other.sparse_ ? std::make_unique<SparseAmplitudes>(*other.sparse_)
+                          : nullptr;
+  return *this;
+}
+
+std::size_t StateVector::stored_amplitudes() const noexcept {
+  return sparse_ ? sparse_->nnz() : amplitudes_.size();
+}
+
+std::size_t StateVector::sparse_peak_amplitudes() const {
+  QS_REQUIRE(sparse_ != nullptr,
+             "sparse_peak_amplitudes() on a dense-backend state");
+  return sparse_->peak_nnz();
+}
+
+std::size_t StateVector::sparse_amplitude_budget() const {
+  QS_REQUIRE(sparse_ != nullptr,
+             "sparse_amplitude_budget() on a dense-backend state");
+  return sparse_->budget();
+}
+
+void StateVector::densify() {
+  if (!sparse_) return;
+  static auto& t_calls = telemetry::counter("qsim.backend.densify");
+  t_calls.add();
+  amplitudes_ = sparse_->densify();
+  sparse_.reset();
+}
+
+void StateVector::sparsify(std::size_t amplitude_budget) {
+  if (sparse_) return;
+  static auto& t_calls = telemetry::counter("qsim.backend.sparsify");
+  t_calls.add();
+  sparse_ = std::make_unique<SparseAmplitudes>(
+      std::span<const cplx>(amplitudes_), amplitude_budget);
+  amplitudes_.clear();
+  amplitudes_.shrink_to_fit();
+  scratch_.clear();
+  scratch_.shrink_to_fit();
+}
+
 cplx StateVector::amplitude(std::size_t flat_index) const {
+  if (sparse_) return sparse_->amplitude(flat_index);
   QS_REQUIRE(flat_index < amplitudes_.size(), "amplitude index out of range");
   return amplitudes_[flat_index];
 }
 
+std::span<const cplx> StateVector::amplitudes() const {
+  if (sparse_) {
+    raise_sparse_state_error(
+        "amplitudes(): dense-only accessor on a sparse-backend state; use "
+        "sparse_indices()/sparse_values() or densify() first",
+        sparse_->nnz(), 0);
+  }
+  return amplitudes_;
+}
+
+std::span<cplx> StateVector::mutable_amplitudes() {
+  if (sparse_) {
+    raise_sparse_state_error(
+        "mutable_amplitudes(): dense-only accessor on a sparse-backend "
+        "state; densify() first",
+        sparse_->nnz(), 0);
+  }
+  return amplitudes_;
+}
+
+std::span<const std::uint64_t> StateVector::sparse_indices() const {
+  QS_REQUIRE(sparse_ != nullptr, "sparse_indices() on a dense-backend state");
+  return sparse_->indices();
+}
+
+std::span<const cplx> StateVector::sparse_values() const {
+  QS_REQUIRE(sparse_ != nullptr, "sparse_values() on a dense-backend state");
+  return sparse_->values();
+}
+
 void StateVector::reset(std::size_t basis_index) {
+  if (sparse_) {
+    sparse_->reset(basis_index);
+    return;
+  }
   QS_REQUIRE(basis_index < amplitudes_.size(),
              "initial basis state out of range");
   std::fill(amplitudes_.begin(), amplitudes_.end(), cplx{0.0, 0.0});
@@ -55,16 +193,36 @@ void StateVector::reset(std::size_t basis_index) {
 }
 
 void StateVector::set_amplitudes(std::vector<cplx> amplitudes) {
+  if (sparse_) {
+    raise_sparse_state_error(
+        "set_amplitudes(): dense-only accessor on a sparse-backend state",
+        sparse_->nnz(), 0);
+  }
   QS_REQUIRE(amplitudes.size() == layout_.total_dim(),
              "amplitude vector size must match layout dimension");
   amplitudes_ = std::move(amplitudes);
 }
 
+void StateVector::set_sparse_amplitudes(std::vector<std::uint64_t> indices,
+                                        std::vector<cplx> values) {
+  if (!sparse_) {
+    raise_sparse_state_error(
+        "set_sparse_amplitudes(): sparse-only accessor on a dense-backend "
+        "state",
+        indices.size(), 0);
+  }
+  sparse_->assign(std::move(indices), std::move(values));
+  note_backend(true, sparse_->nnz());
+}
+
 double StateVector::norm() const {
+  if (sparse_) return std::sqrt(sparse_->norm_squared());
   const cplx* amps = amplitudes_.data();
   const double s = parallel_sum_blocks(
       amplitudes_.size(), 0.0, [amps](std::size_t begin, std::size_t end) {
         double acc = 0.0;
+        // dqs-lint: allow(simd-discipline) deterministic reduction: the
+        // fixed left-fold order must not be reassociated.
         for (std::size_t i = begin; i < end; ++i) acc += std::norm(amps[i]);
         return acc;
       });
@@ -75,20 +233,33 @@ void StateVector::normalize() {
   const double n = norm();
   QS_REQUIRE(n > 0.0, "cannot normalise the zero vector");
   const double inv = 1.0 / n;
-  parallel_for(amplitudes_.size(), [&](std::size_t i) {
-    amplitudes_[i] *= inv;
-  });
+  if (sparse_) {
+    sparse_->scale_real(inv);
+    return;
+  }
+  cplx* amps = amplitudes_.data();
+  parallel_for_blocks(amplitudes_.size(),
+                      [amps, inv](std::size_t begin, std::size_t end) {
+                        DQS_PRAGMA_SIMD
+                        for (std::size_t i = begin; i < end; ++i)
+                          amps[i] *= inv;
+                      });
 }
 
 void StateVector::apply_unitary(RegisterId r, const Matrix& u) {
   static auto& t_calls = telemetry::counter("qsim.sv.apply_unitary");
   static auto& t_ns = telemetry::histogram("qsim.sv.apply_unitary.ns");
   telemetry::Span t_span("sv.apply_unitary", &t_ns);
-  t_span.tag("dim", static_cast<std::int64_t>(amplitudes_.size()));
+  t_span.tag("dim", static_cast<std::int64_t>(dim()));
   t_calls.add();
   const auto spec = fiber_spec(layout_, r);
   QS_REQUIRE(u.rows() == spec.d && u.cols() == spec.d,
              "unitary dimension must match register dimension");
+  if (sparse_) {
+    sparse_->unitary(fiber_geom(layout_, r), u);
+    note_backend(true, sparse_->nnz());
+    return;
+  }
   parallel_for_with_scratch(
       spec.count, spec.d, [&](std::size_t f, std::span<cplx> scratch) {
         const std::size_t base = spec.base(f);
@@ -97,10 +268,11 @@ void StateVector::apply_unitary(RegisterId r, const Matrix& u) {
         for (std::size_t i = 0; i < spec.d; ++i) {
           cplx acc{0.0, 0.0};
           for (std::size_t j = 0; j < spec.d; ++j)
-            acc += u(i, j) * scratch[j];
+            acc += cmul(u(i, j), scratch[j]);
           amplitudes_[base + i * spec.s] = acc;
         }
       });
+  note_backend(false, amplitudes_.size());
 }
 
 void StateVector::apply_conditioned_unitary(
@@ -110,8 +282,14 @@ void StateVector::apply_conditioned_unitary(
   static auto& t_calls = telemetry::counter("qsim.sv.apply_conditioned_unitary");
   static auto& t_ns = telemetry::histogram("qsim.sv.apply_conditioned_unitary.ns");
   telemetry::Span t_span("sv.apply_conditioned_unitary", &t_ns);
-  t_span.tag("dim", static_cast<std::int64_t>(amplitudes_.size()));
+  t_span.tag("dim", static_cast<std::int64_t>(dim()));
   t_calls.add();
+  if (sparse_) {
+    raise_sparse_state_error(
+        "apply_conditioned_unitary(): the naive selector path is dense-only; "
+        "lower through CompiledOp::fiber_dense for sparse replay",
+        sparse_->nnz(), 0);
+  }
   const auto spec = fiber_spec(layout_, target);
   parallel_for_with_scratch(
       spec.count, spec.d, [&](std::size_t f, std::span<cplx> scratch) {
@@ -129,77 +307,159 @@ void StateVector::apply_conditioned_unitary(
           amplitudes_[base + i * spec.s] = acc;
         }
       });
+  note_backend(false, amplitudes_.size());
 }
 
 void StateVector::apply_fiber_dense(
     RegisterId target, std::span<const cplx> matrix_pool,
-    std::span<const std::uint32_t> mat_of_fiber) {
+    std::span<const std::uint32_t> mat_of_fiber, std::size_t fiber_period) {
   static auto& t_calls = telemetry::counter("qsim.sv.apply_fiber_dense");
   static auto& t_ns = telemetry::histogram("qsim.sv.apply_fiber_dense.ns");
   telemetry::Span t_span("sv.apply_fiber_dense", &t_ns);
-  t_span.tag("dim", static_cast<std::int64_t>(amplitudes_.size()));
+  t_span.tag("dim", static_cast<std::int64_t>(dim()));
   t_calls.add();
   const auto spec = fiber_spec(layout_, target);
-  QS_REQUIRE(mat_of_fiber.size() == spec.count,
-             "need one matrix index per fiber");
+  if (fiber_period == 0) {
+    QS_REQUIRE(mat_of_fiber.size() == spec.count,
+               "need one matrix index per fiber");
+  } else {
+    QS_REQUIRE(fiber_period == mat_of_fiber.size(),
+               "fiber_period must equal the compressed table size");
+    QS_REQUIRE(spec.count % fiber_period == 0,
+               "fiber_period must divide the fiber count");
+  }
   QS_REQUIRE(matrix_pool.size() % (spec.d * spec.d) == 0,
              "matrix pool must hold whole d×d matrices");
   const std::size_t num_mats = matrix_pool.size() / (spec.d * spec.d);
+  require_valid_fiber_table(mat_of_fiber, num_mats);
+  if (sparse_) {
+    sparse_->fiber_dense(fiber_geom(layout_, target), matrix_pool,
+                         mat_of_fiber);
+    note_backend(true, sparse_->nnz());
+    return;
+  }
   cplx* amps = amplitudes_.data();
   const cplx* pool = matrix_pool.data();
   const std::uint32_t* idx = mat_of_fiber.data();
+  const bool full_table = mat_of_fiber.size() == spec.count;
+  const std::size_t period = mat_of_fiber.size();
   if (spec.d == 2) {
     const std::size_t s = spec.s;
-    parallel_for(spec.count, [&](std::size_t f) {
-      const std::uint32_t m = idx[f];
-      if (m == kFiberIdentity) return;
-      QS_ASSERT(m < num_mats, "fiber matrix index out of range");
-      const cplx* u = pool + static_cast<std::size_t>(m) * 4;
-      const std::size_t base = spec.base(f);
-      const cplx a0 = amps[base];
-      const cplx a1 = amps[base + s];
-      // Same accumulation order as the naive kernel (j ascending), so the
-      // unrolled path is bit-identical, not just close.
-      amps[base] = u[0] * a0 + u[1] * a1;
-      amps[base + s] = u[2] * a0 + u[3] * a1;
+    parallel_for_blocks(spec.count, [&](std::size_t begin, std::size_t end) {
+      if (full_table && s == 1) {
+        // Contiguous pairs, affine table lookup: the vectorizable shape.
+        DQS_PRAGMA_SIMD
+        for (std::size_t f = begin; f < end; ++f) {
+          const std::uint32_t m = idx[f];
+          if (m == kFiberIdentity) continue;
+          const cplx* u = pool + std::size_t{m} * 4;
+          const cplx a0 = amps[2 * f];
+          const cplx a1 = amps[2 * f + 1];
+          // Same accumulation order as the naive kernel (j ascending), so
+          // the unrolled path is bit-identical, not just close.
+          amps[2 * f] = cmul(u[0], a0) + cmul(u[1], a1);
+          amps[2 * f + 1] = cmul(u[2], a0) + cmul(u[3], a1);
+        }
+        return;
+      }
+      if (full_table) {
+        DQS_PRAGMA_SIMD
+        for (std::size_t f = begin; f < end; ++f) {
+          const std::uint32_t m = idx[f];
+          if (m == kFiberIdentity) continue;
+          const cplx* u = pool + std::size_t{m} * 4;
+          const std::size_t base = (f / s) * 2 * s + (f % s);
+          const cplx a0 = amps[base];
+          const cplx a1 = amps[base + s];
+          amps[base] = cmul(u[0], a0) + cmul(u[1], a1);
+          amps[base + s] = cmul(u[2], a0) + cmul(u[3], a1);
+        }
+        return;
+      }
+      std::size_t k = begin % period;
+      // dqs-lint: allow(simd-discipline) the running period counter is a
+      // loop-carried dependence; the compressed table is the memory win.
+      for (std::size_t f = begin; f < end; ++f) {
+        const std::uint32_t m = idx[k];
+        if (++k == period) k = 0;
+        if (m == kFiberIdentity) continue;
+        const cplx* u = pool + std::size_t{m} * 4;
+        const std::size_t base = (f / s) * 2 * s + (f % s);
+        const cplx a0 = amps[base];
+        const cplx a1 = amps[base + s];
+        amps[base] = cmul(u[0], a0) + cmul(u[1], a1);
+        amps[base + s] = cmul(u[2], a0) + cmul(u[3], a1);
+      }
     });
+    note_backend(false, amplitudes_.size());
     return;
   }
   if (spec.d == 4) {
     const std::size_t s = spec.s;
-    parallel_for(spec.count, [&](std::size_t f) {
-      const std::uint32_t m = idx[f];
-      if (m == kFiberIdentity) return;
-      QS_ASSERT(m < num_mats, "fiber matrix index out of range");
-      const cplx* u = pool + static_cast<std::size_t>(m) * 16;
-      const std::size_t base = spec.base(f);
-      const cplx a0 = amps[base];
-      const cplx a1 = amps[base + s];
-      const cplx a2 = amps[base + 2 * s];
-      const cplx a3 = amps[base + 3 * s];
-      amps[base] = u[0] * a0 + u[1] * a1 + u[2] * a2 + u[3] * a3;
-      amps[base + s] = u[4] * a0 + u[5] * a1 + u[6] * a2 + u[7] * a3;
-      amps[base + 2 * s] = u[8] * a0 + u[9] * a1 + u[10] * a2 + u[11] * a3;
-      amps[base + 3 * s] = u[12] * a0 + u[13] * a1 + u[14] * a2 + u[15] * a3;
+    parallel_for_blocks(spec.count, [&](std::size_t begin, std::size_t end) {
+      if (full_table) {
+        DQS_PRAGMA_SIMD
+        for (std::size_t f = begin; f < end; ++f) {
+          const std::uint32_t m = idx[f];
+          if (m == kFiberIdentity) continue;
+          const cplx* u = pool + std::size_t{m} * 16;
+          const std::size_t base = (f / s) * 4 * s + (f % s);
+          const cplx a0 = amps[base];
+          const cplx a1 = amps[base + s];
+          const cplx a2 = amps[base + 2 * s];
+          const cplx a3 = amps[base + 3 * s];
+          amps[base] =
+              cmul(u[0], a0) + cmul(u[1], a1) + cmul(u[2], a2) + cmul(u[3], a3);
+          amps[base + s] =
+              cmul(u[4], a0) + cmul(u[5], a1) + cmul(u[6], a2) + cmul(u[7], a3);
+          amps[base + 2 * s] = cmul(u[8], a0) + cmul(u[9], a1) +
+                               cmul(u[10], a2) + cmul(u[11], a3);
+          amps[base + 3 * s] = cmul(u[12], a0) + cmul(u[13], a1) +
+                               cmul(u[14], a2) + cmul(u[15], a3);
+        }
+        return;
+      }
+      std::size_t k = begin % period;
+      // dqs-lint: allow(simd-discipline) running period counter (see d=2)
+      for (std::size_t f = begin; f < end; ++f) {
+        const std::uint32_t m = idx[k];
+        if (++k == period) k = 0;
+        if (m == kFiberIdentity) continue;
+        const cplx* u = pool + std::size_t{m} * 16;
+        const std::size_t base = (f / s) * 4 * s + (f % s);
+        const cplx a0 = amps[base];
+        const cplx a1 = amps[base + s];
+        const cplx a2 = amps[base + 2 * s];
+        const cplx a3 = amps[base + 3 * s];
+        amps[base] =
+            cmul(u[0], a0) + cmul(u[1], a1) + cmul(u[2], a2) + cmul(u[3], a3);
+        amps[base + s] =
+            cmul(u[4], a0) + cmul(u[5], a1) + cmul(u[6], a2) + cmul(u[7], a3);
+        amps[base + 2 * s] = cmul(u[8], a0) + cmul(u[9], a1) +
+                             cmul(u[10], a2) + cmul(u[11], a3);
+        amps[base + 3 * s] = cmul(u[12], a0) + cmul(u[13], a1) +
+                             cmul(u[14], a2) + cmul(u[15], a3);
+      }
     });
+    note_backend(false, amplitudes_.size());
     return;
   }
   parallel_for_with_scratch(
       spec.count, spec.d, [&](std::size_t f, std::span<cplx> scratch) {
-        const std::uint32_t m = idx[f];
+        const std::uint32_t m = idx[f % period];
         if (m == kFiberIdentity) return;
-        QS_ASSERT(m < num_mats, "fiber matrix index out of range");
-        const cplx* u = pool + static_cast<std::size_t>(m) * spec.d * spec.d;
+        const cplx* u = pool + std::size_t{m} * spec.d * spec.d;
         const std::size_t base = spec.base(f);
         for (std::size_t j = 0; j < spec.d; ++j)
           scratch[j] = amps[base + j * spec.s];
         for (std::size_t i = 0; i < spec.d; ++i) {
           cplx acc{0.0, 0.0};
           for (std::size_t j = 0; j < spec.d; ++j)
-            acc += u[i * spec.d + j] * scratch[j];
+            acc += cmul(u[i * spec.d + j], scratch[j]);
           amps[base + i * spec.s] = acc;
         }
       });
+  note_backend(false, amplitudes_.size());
 }
 
 void StateVector::apply_permutation(
@@ -208,8 +468,14 @@ void StateVector::apply_permutation(
   static auto& t_calls = telemetry::counter("qsim.sv.apply_permutation");
   static auto& t_ns = telemetry::histogram("qsim.sv.apply_permutation.ns");
   telemetry::Span t_span("sv.apply_permutation", &t_ns);
-  t_span.tag("dim", static_cast<std::int64_t>(amplitudes_.size()));
+  t_span.tag("dim", static_cast<std::int64_t>(dim()));
   t_calls.add();
+  if (sparse_) {
+    raise_sparse_state_error(
+        "apply_permutation(): the naive map path is dense-only; lower "
+        "through CompiledOp::permutation for sparse replay",
+        sparse_->nnz(), 0);
+  }
   scratch_.resize(amplitudes_.size());
 #ifndef NDEBUG
   // Debug builds prefill the scratch with NaN and scan it afterwards to
@@ -231,6 +497,7 @@ void StateVector::apply_permutation(
   }
 #endif
   amplitudes_.swap(scratch_);
+  note_backend(false, amplitudes_.size());
 }
 
 void StateVector::apply_permutation_table(
@@ -238,18 +505,62 @@ void StateVector::apply_permutation_table(
   static auto& t_calls = telemetry::counter("qsim.sv.apply_permutation_table");
   static auto& t_ns = telemetry::histogram("qsim.sv.apply_permutation_table.ns");
   telemetry::Span t_span("sv.apply_permutation_table", &t_ns);
-  t_span.tag("dim", static_cast<std::int64_t>(amplitudes_.size()));
+  t_span.tag("dim", static_cast<std::int64_t>(dim()));
   t_calls.add();
-  QS_REQUIRE(table.size() == amplitudes_.size(),
+  QS_REQUIRE(table.size() == dim(),
              "permutation table size must match state dimension");
+  if (sparse_) {
+    sparse_->permute_forward(table);
+    note_backend(true, sparse_->nnz());
+    return;
+  }
   scratch_.resize(amplitudes_.size());
   const cplx* src = amplitudes_.data();
   cplx* dst = scratch_.data();
   const std::uint32_t* t = table.data();
-  parallel_for(amplitudes_.size(), [&](std::size_t x) {
-    dst[t[x]] = src[x];
-  });
+  parallel_for_blocks(amplitudes_.size(),
+                      [src, dst, t](std::size_t begin, std::size_t end) {
+                        // dqs-lint: allow(simd-discipline) scattered writes;
+                        // the gather twin below is the vectorized replay.
+                        for (std::size_t x = begin; x < end; ++x)
+                          dst[t[x]] = src[x];
+                      });
   amplitudes_.swap(scratch_);
+  note_backend(false, amplitudes_.size());
+}
+
+void StateVector::apply_permutation_inverse_table(
+    std::span<const std::uint32_t> inverse) {
+  static auto& t_calls =
+      telemetry::counter("qsim.sv.apply_permutation_inverse_table");
+  static auto& t_ns =
+      telemetry::histogram("qsim.sv.apply_permutation_inverse_table.ns");
+  telemetry::Span t_span("sv.apply_permutation_inverse_table", &t_ns);
+  t_span.tag("dim", static_cast<std::int64_t>(dim()));
+  t_calls.add();
+  QS_REQUIRE(inverse.size() == dim(),
+             "permutation table size must match state dimension");
+  if (sparse_) {
+    raise_sparse_state_error(
+        "apply_permutation_inverse_table(): sparse replay rewrites indices "
+        "through the FORWARD table (apply_permutation_table)",
+        sparse_->nnz(), 0);
+  }
+  scratch_.resize(amplitudes_.size());
+  const cplx* src = amplitudes_.data();
+  cplx* dst = scratch_.data();
+  const std::uint32_t* inv = inverse.data();
+  // Sequential writes, gathered reads: within a tile the destinations are
+  // one streaming run and the table tile fits L1, so this is the form the
+  // vectorizer (and the prefetcher) can actually use.
+  parallel_for_blocks(amplitudes_.size(),
+                      [src, dst, inv](std::size_t begin, std::size_t end) {
+                        DQS_PRAGMA_SIMD
+                        for (std::size_t x = begin; x < end; ++x)
+                          dst[x] = src[inv[x]];
+                      });
+  amplitudes_.swap(scratch_);
+  note_backend(false, amplitudes_.size());
 }
 
 void StateVector::apply_value_shift(
@@ -258,11 +569,17 @@ void StateVector::apply_value_shift(
   static auto& t_calls = telemetry::counter("qsim.sv.apply_value_shift");
   static auto& t_ns = telemetry::histogram("qsim.sv.apply_value_shift.ns");
   telemetry::Span t_span("sv.apply_value_shift", &t_ns);
-  t_span.tag("dim", static_cast<std::int64_t>(amplitudes_.size()));
+  t_span.tag("dim", static_cast<std::int64_t>(dim()));
   t_calls.add();
   QS_REQUIRE(!(r == cond), "shift target and condition must differ");
   QS_REQUIRE(shift_per_cond_value.size() == layout_.dim(cond),
              "need one shift per condition value");
+  if (sparse_) {
+    sparse_->value_shift(fiber_geom(layout_, r), fiber_geom(layout_, cond),
+                         shift_per_cond_value, /*has_flag=*/false, 1);
+    note_backend(true, sparse_->nnz());
+    return;
+  }
   const auto spec = fiber_spec(layout_, r);
   parallel_for_with_scratch(
       spec.count, spec.d, [&](std::size_t f, std::span<cplx> scratch) {
@@ -270,14 +587,22 @@ void StateVector::apply_value_shift(
         const std::size_t c = layout_.digit(base, cond);
         const std::size_t shift = shift_per_cond_value[c] % spec.d;
         if (shift == 0) return;
-        for (std::size_t j = 0; j < spec.d; ++j)
-          scratch[j] = amplitudes_[base + j * spec.s];
-        for (std::size_t j = 0; j < spec.d; ++j) {
-          const std::size_t jj = j + shift < spec.d ? j + shift
-                                                    : j + shift - spec.d;
-          amplitudes_[base + jj * spec.s] = scratch[j];
-        }
+        cplx* fiber = amplitudes_.data() + base;
+        const std::size_t s = spec.s;
+        DQS_PRAGMA_SIMD
+        for (std::size_t j = 0; j < spec.d; ++j) scratch[j] = fiber[j * s];
+        // Rotation as two modulo-free copy runs instead of a per-element
+        // wrap test: j < split lands at j+shift, the tail wraps to the
+        // front. Pure data movement — exact.
+        const std::size_t split = spec.d - shift;
+        DQS_PRAGMA_SIMD
+        for (std::size_t j = 0; j < split; ++j)
+          fiber[(j + shift) * s] = scratch[j];
+        DQS_PRAGMA_SIMD
+        for (std::size_t j = split; j < spec.d; ++j)
+          fiber[(j + shift - spec.d) * s] = scratch[j];
       });
+  note_backend(false, amplitudes_.size());
 }
 
 void StateVector::apply_controlled_value_shift(
@@ -286,13 +611,20 @@ void StateVector::apply_controlled_value_shift(
   static auto& t_calls = telemetry::counter("qsim.sv.apply_controlled_value_shift");
   static auto& t_ns = telemetry::histogram("qsim.sv.apply_controlled_value_shift.ns");
   telemetry::Span t_span("sv.apply_controlled_value_shift", &t_ns);
-  t_span.tag("dim", static_cast<std::int64_t>(amplitudes_.size()));
+  t_span.tag("dim", static_cast<std::int64_t>(dim()));
   t_calls.add();
   QS_REQUIRE(!(r == cond) && !(r == flag) && !(cond == flag),
              "shift target, condition and flag must be distinct registers");
   QS_REQUIRE(layout_.dim(flag) == 2, "control flag must be a qubit");
   QS_REQUIRE(shift_per_cond_value.size() == layout_.dim(cond),
              "need one shift per condition value");
+  if (sparse_) {
+    sparse_->value_shift(fiber_geom(layout_, r), fiber_geom(layout_, cond),
+                         shift_per_cond_value, /*has_flag=*/true,
+                         layout_.stride(flag));
+    note_backend(true, sparse_->nnz());
+    return;
+  }
   const auto spec = fiber_spec(layout_, r);
   parallel_for_with_scratch(
       spec.count, spec.d, [&](std::size_t f, std::span<cplx> scratch) {
@@ -301,14 +633,19 @@ void StateVector::apply_controlled_value_shift(
         const std::size_t c = layout_.digit(base, cond);
         const std::size_t shift = shift_per_cond_value[c] % spec.d;
         if (shift == 0) return;
-        for (std::size_t j = 0; j < spec.d; ++j)
-          scratch[j] = amplitudes_[base + j * spec.s];
-        for (std::size_t j = 0; j < spec.d; ++j) {
-          const std::size_t jj = j + shift < spec.d ? j + shift
-                                                    : j + shift - spec.d;
-          amplitudes_[base + jj * spec.s] = scratch[j];
-        }
+        cplx* fiber = amplitudes_.data() + base;
+        const std::size_t s = spec.s;
+        DQS_PRAGMA_SIMD
+        for (std::size_t j = 0; j < spec.d; ++j) scratch[j] = fiber[j * s];
+        const std::size_t split = spec.d - shift;
+        DQS_PRAGMA_SIMD
+        for (std::size_t j = 0; j < split; ++j)
+          fiber[(j + shift) * s] = scratch[j];
+        DQS_PRAGMA_SIMD
+        for (std::size_t j = split; j < spec.d; ++j)
+          fiber[(j + shift - spec.d) * s] = scratch[j];
       });
+  note_backend(false, amplitudes_.size());
 }
 
 void StateVector::apply_diagonal(
@@ -317,32 +654,52 @@ void StateVector::apply_diagonal(
   static auto& t_calls = telemetry::counter("qsim.sv.apply_diagonal");
   static auto& t_ns = telemetry::histogram("qsim.sv.apply_diagonal.ns");
   telemetry::Span t_span("sv.apply_diagonal", &t_ns);
-  t_span.tag("dim", static_cast<std::int64_t>(amplitudes_.size()));
+  t_span.tag("dim", static_cast<std::int64_t>(dim()));
   t_calls.add();
+  if (sparse_) {
+    raise_sparse_state_error(
+        "apply_diagonal(): the naive phase path is dense-only; lower "
+        "through CompiledOp::diagonal for sparse replay",
+        sparse_->nnz(), 0);
+  }
   parallel_for(amplitudes_.size(), [&](std::size_t x) {
     amplitudes_[x] *= phase(x);
   });
+  note_backend(false, amplitudes_.size());
 }
 
 void StateVector::apply_diagonal_factors(std::span<const cplx> factors) {
   static auto& t_calls = telemetry::counter("qsim.sv.apply_diagonal_factors");
   static auto& t_ns = telemetry::histogram("qsim.sv.apply_diagonal_factors.ns");
   telemetry::Span t_span("sv.apply_diagonal_factors", &t_ns);
-  t_span.tag("dim", static_cast<std::int64_t>(amplitudes_.size()));
+  t_span.tag("dim", static_cast<std::int64_t>(dim()));
   t_calls.add();
-  QS_REQUIRE(factors.size() == amplitudes_.size(),
+  QS_REQUIRE(factors.size() == dim(),
              "diagonal factor array size must match state dimension");
+  if (sparse_) {
+    sparse_->diagonal_factors(factors);
+    note_backend(true, sparse_->nnz());
+    return;
+  }
   cplx* amps = amplitudes_.data();
   const cplx* f = factors.data();
-  parallel_for(amplitudes_.size(), [&](std::size_t x) {
-    amps[x] *= f[x];
-  });
+  parallel_for_blocks(amplitudes_.size(),
+                      [amps, f](std::size_t begin, std::size_t end) {
+                        DQS_PRAGMA_SIMD
+                        for (std::size_t x = begin; x < end; ++x)
+                          amps[x] = cmul(amps[x], f[x]);
+                      });
+  note_backend(false, amplitudes_.size());
 }
 
 void StateVector::apply_phase_on_basis_state(std::size_t flat_index,
                                              cplx phase) {
+  if (sparse_) {
+    sparse_->phase_on_basis(flat_index, phase);
+    return;
+  }
   QS_REQUIRE(flat_index < amplitudes_.size(), "basis state out of range");
-  amplitudes_[flat_index] *= phase;
+  amplitudes_[flat_index] = cmul(amplitudes_[flat_index], phase);
 }
 
 void StateVector::apply_phase_on_register_value(RegisterId r,
@@ -351,60 +708,103 @@ void StateVector::apply_phase_on_register_value(RegisterId r,
   static auto& t_calls = telemetry::counter("qsim.sv.apply_phase_on_register_value");
   static auto& t_ns = telemetry::histogram("qsim.sv.apply_phase_on_register_value.ns");
   telemetry::Span t_span("sv.apply_phase_on_register_value", &t_ns);
-  t_span.tag("dim", static_cast<std::int64_t>(amplitudes_.size()));
+  t_span.tag("dim", static_cast<std::int64_t>(dim()));
   t_calls.add();
   QS_REQUIRE(value < layout_.dim(r), "register value out of range");
+  if (sparse_) {
+    sparse_->phase_on_register_value(fiber_geom(layout_, r), value, phase);
+    note_backend(true, sparse_->nnz());
+    return;
+  }
   const std::size_t s = layout_.stride(r);
   const std::size_t d = layout_.dim(r);
-  parallel_for(amplitudes_.size() / d, [&](std::size_t f) {
-    const std::size_t base = (f / s) * d * s + (f % s);
-    amplitudes_[base + value * s] *= phase;
-  });
+  cplx* amps = amplitudes_.data();
+  parallel_for_blocks(
+      amplitudes_.size() / d, [&](std::size_t begin, std::size_t end) {
+        DQS_PRAGMA_SIMD
+        for (std::size_t f = begin; f < end; ++f) {
+          const std::size_t base = (f / s) * d * s + (f % s);
+          amps[base + value * s] = cmul(amps[base + value * s], phase);
+        }
+      });
+  note_backend(false, amplitudes_.size());
 }
 
 void StateVector::apply_householder(RegisterId r, std::span<const cplx> v) {
   static auto& t_calls = telemetry::counter("qsim.sv.apply_householder");
   static auto& t_ns = telemetry::histogram("qsim.sv.apply_householder.ns");
   telemetry::Span t_span("sv.apply_householder", &t_ns);
-  t_span.tag("dim", static_cast<std::int64_t>(amplitudes_.size()));
+  t_span.tag("dim", static_cast<std::int64_t>(dim()));
   t_calls.add();
   const auto spec = fiber_spec(layout_, r);
   QS_REQUIRE(v.size() == spec.d,
              "Householder vector must match register dimension");
+  if (sparse_) {
+    sparse_->householder(fiber_geom(layout_, r), v);
+    note_backend(true, sparse_->nnz());
+    return;
+  }
+  cplx* amps = amplitudes_.data();
+  const cplx* vv = v.data();
   parallel_for(spec.count, [&](std::size_t f) {
     const std::size_t base = spec.base(f);
     cplx ip{0.0, 0.0};
+    // Ascending-j left fold: the accumulation order every other path
+    // (naive, sparse) reproduces. Not SIMD-annotated — reassociation
+    // would break the determinism contract.
     for (std::size_t j = 0; j < spec.d; ++j)
-      ip += std::conj(v[j]) * amplitudes_[base + j * spec.s];
+      ip += cmul_conj(vv[j], amps[base + j * spec.s]);
     if (ip == cplx{0.0, 0.0}) return;
     const cplx twice = 2.0 * ip;
+    DQS_PRAGMA_SIMD
     for (std::size_t j = 0; j < spec.d; ++j)
-      amplitudes_[base + j * spec.s] -= twice * v[j];
+      amps[base + j * spec.s] -= cmul(twice, vv[j]);
   });
+  note_backend(false, amplitudes_.size());
 }
 
 void StateVector::apply_global_phase(cplx phase) {
   static auto& t_calls = telemetry::counter("qsim.sv.apply_global_phase");
   static auto& t_ns = telemetry::histogram("qsim.sv.apply_global_phase.ns");
   telemetry::Span t_span("sv.apply_global_phase", &t_ns);
-  t_span.tag("dim", static_cast<std::int64_t>(amplitudes_.size()));
+  t_span.tag("dim", static_cast<std::int64_t>(dim()));
   t_calls.add();
-  parallel_for(amplitudes_.size(), [&](std::size_t x) {
-    amplitudes_[x] *= phase;
-  });
+  if (sparse_) {
+    sparse_->scale(phase);
+    note_backend(true, sparse_->nnz());
+    return;
+  }
+  cplx* amps = amplitudes_.data();
+  parallel_for_blocks(amplitudes_.size(),
+                      [amps, phase](std::size_t begin, std::size_t end) {
+                        DQS_PRAGMA_SIMD
+                        for (std::size_t x = begin; x < end; ++x)
+                          amps[x] = cmul(amps[x], phase);
+                      });
+  note_backend(false, amplitudes_.size());
 }
 
 cplx StateVector::inner_product(const StateVector& other) const {
   QS_REQUIRE(layout_.same_shape(other.layout_),
              "inner product needs identically shaped layouts");
+  if (sparse_ && other.sparse_)
+    return SparseAmplitudes::inner(*sparse_, *other.sparse_);
+  if (sparse_)
+    return SparseAmplitudes::inner(*sparse_,
+                                   std::span<const cplx>(other.amplitudes_));
+  if (other.sparse_)
+    return SparseAmplitudes::inner(std::span<const cplx>(amplitudes_),
+                                   *other.sparse_);
   const cplx* a = amplitudes_.data();
   const cplx* b = other.amplitudes_.data();
   return parallel_sum_blocks(
       amplitudes_.size(), cplx{0.0, 0.0},
       [a, b](std::size_t begin, std::size_t end) {
         cplx acc{0.0, 0.0};
+        // dqs-lint: allow(simd-discipline) deterministic reduction: the
+        // fixed left-fold order must not be reassociated.
         for (std::size_t i = begin; i < end; ++i)
-          acc += std::conj(a[i]) * b[i];
+          acc += cmul_conj(a[i], b[i]);
         return acc;
       });
 }
@@ -412,11 +812,21 @@ cplx StateVector::inner_product(const StateVector& other) const {
 double StateVector::distance_squared(const StateVector& other) const {
   QS_REQUIRE(layout_.same_shape(other.layout_),
              "distance needs identically shaped layouts");
+  if (sparse_ && other.sparse_)
+    return SparseAmplitudes::distance_squared(*sparse_, *other.sparse_);
+  if (sparse_)
+    return SparseAmplitudes::distance_squared(
+        std::span<const cplx>(other.amplitudes_), *sparse_);
+  if (other.sparse_)
+    return SparseAmplitudes::distance_squared(
+        std::span<const cplx>(amplitudes_), *other.sparse_);
   const cplx* a = amplitudes_.data();
   const cplx* b = other.amplitudes_.data();
   return parallel_sum_blocks(
       amplitudes_.size(), 0.0, [a, b](std::size_t begin, std::size_t end) {
         double acc = 0.0;
+        // dqs-lint: allow(simd-discipline) deterministic reduction: the
+        // fixed left-fold order must not be reassociated.
         for (std::size_t i = begin; i < end; ++i)
           acc += std::norm(a[i] - b[i]);
         return acc;
@@ -427,8 +837,9 @@ std::vector<double> StateVector::marginal(RegisterId r) const {
   static auto& t_calls = telemetry::counter("qsim.sv.marginal");
   static auto& t_ns = telemetry::histogram("qsim.sv.marginal.ns");
   telemetry::Span t_span("sv.marginal", &t_ns);
-  t_span.tag("dim", static_cast<std::int64_t>(amplitudes_.size()));
+  t_span.tag("dim", static_cast<std::int64_t>(dim()));
   t_calls.add();
+  if (sparse_) return sparse_->marginal(fiber_geom(layout_, r));
   const auto spec = fiber_spec(layout_, r);
   const cplx* amps = amplitudes_.data();
   // Deterministic parallel reduction over FIBERS: each block folds its
@@ -439,6 +850,8 @@ std::vector<double> StateVector::marginal(RegisterId r) const {
       spec.count, std::vector<double>(spec.d, 0.0),
       [&spec, amps](std::size_t begin, std::size_t end) {
         std::vector<double> probs(spec.d, 0.0);
+        // dqs-lint: allow(simd-discipline) deterministic reduction: the
+        // fixed left-fold order must not be reassociated.
         for (std::size_t f = begin; f < end; ++f) {
           const std::size_t base = spec.base(f);
           for (std::size_t j = 0; j < spec.d; ++j)

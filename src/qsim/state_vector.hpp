@@ -1,8 +1,8 @@
-// Dense mixed-radix statevector.
+// Mixed-radix statevector over a per-workload storage backend.
 //
-// A StateVector owns one complex amplitude per basis state of its
-// RegisterLayout. All circuit operations used by the paper's algorithms are
-// expressed through a small set of kernels:
+// A StateVector owns the amplitudes of its RegisterLayout's basis states.
+// All circuit operations used by the paper's algorithms are expressed
+// through a small set of kernels:
 //
 //   * apply_unitary           — dense d×d unitary on one register;
 //   * apply_conditioned_unitary — a d×d unitary on a target register whose
@@ -14,8 +14,22 @@
 //   * apply_householder       — the rank-1-update reflection used as the
 //       state-preparation operator F with F|0⟩ = |π⟩.
 //
+// STORAGE BACKENDS (state_backend.hpp). By default amplitudes live in a
+// flat dense array; a StateBackendConfig selects the sparse sorted-pairs
+// backend instead, whose kernels cost O(nnz) and push N past the dense
+// few-million-amplitude ceiling. The backend is a private representation
+// choice: every kernel and observable dispatches internally, so
+// SingleStateBackend, ParallelFullCircuit, the fault seam and the serving
+// layer's Prepared snapshot run through either backend unchanged. Only the
+// dense-only raw accessors (amplitudes(), mutable_amplitudes(),
+// set_amplitudes()) refuse a sparse state, with a typed SparseStateError.
+//
 // Kernels touching every amplitude are OpenMP-parallel when the library is
-// built with OpenMP (DQS_HAVE_OPENMP).
+// built with OpenMP (DQS_HAVE_OPENMP), and their per-amplitude inner loops
+// are cache-blocked (parallel_for_blocks) and SIMD-annotated
+// (DQS_PRAGMA_SIMD) with open-coded complex products (linalg.hpp cmul) —
+// bit-compatible with the std::complex arithmetic they replace for finite
+// operands (docs/PERF.md).
 //
 // The std::function-taking kernels are the NAIVE reference paths: correct,
 // but paying a virtual dispatch per amplitude (or per fiber). Hot call
@@ -29,11 +43,13 @@
 #include <complex>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "qsim/linalg.hpp"
 #include "qsim/register_layout.hpp"
+#include "qsim/state_backend.hpp"
 
 namespace qs {
 
@@ -43,21 +59,70 @@ class StateVector {
   /// result structs that are filled in later).
   StateVector() : StateVector(RegisterLayout{}) {}
 
-  /// Initialise to the computational basis state |basis_index⟩.
+  /// Initialise to the computational basis state |basis_index⟩ on the
+  /// default dense backend.
   explicit StateVector(RegisterLayout layout, std::size_t basis_index = 0);
 
+  /// Initialise |basis_index⟩ on the backend `config` selects.
+  StateVector(RegisterLayout layout, const StateBackendConfig& config,
+              std::size_t basis_index = 0);
+
+  // Deep-copying value semantics across both backends (the sparse
+  // representation lives behind a unique_ptr).
+  StateVector(const StateVector& other);
+  StateVector& operator=(const StateVector& other);
+  StateVector(StateVector&&) noexcept = default;
+  StateVector& operator=(StateVector&&) noexcept = default;
+  ~StateVector() = default;
+
   const RegisterLayout& layout() const noexcept { return layout_; }
-  std::size_t dim() const noexcept { return amplitudes_.size(); }
+  std::size_t dim() const noexcept { return layout_.total_dim(); }
+
+  // --- Backend -------------------------------------------------------------
+
+  bool is_sparse() const noexcept { return sparse_ != nullptr; }
+  StateBackendKind backend_kind() const noexcept {
+    return sparse_ ? StateBackendKind::kSparse : StateBackendKind::kDense;
+  }
+  /// Amplitudes actually stored: dim() on the dense backend, the nonzero
+  /// count on the sparse one (the qsim.backend.*.amplitudes gauge).
+  std::size_t stored_amplitudes() const noexcept;
+  /// Sparse only: high-water mark of stored_amplitudes().
+  std::size_t sparse_peak_amplitudes() const;
+  /// Sparse only: the configured amplitude budget (0 = unlimited).
+  std::size_t sparse_amplitude_budget() const;
+
+  /// Convert sparse → dense in place (no-op when already dense). Counts
+  /// qsim.backend.densify.
+  void densify();
+  /// Convert dense → sparse in place, dropping exact zeros (no-op when
+  /// already sparse). Raises SparseStateError if the nonzero support
+  /// exceeds `amplitude_budget` (0 = unlimited). Counts
+  /// qsim.backend.sparsify.
+  void sparsify(std::size_t amplitude_budget = 0);
 
   cplx amplitude(std::size_t flat_index) const;
-  std::span<const cplx> amplitudes() const noexcept { return amplitudes_; }
-  std::span<cplx> mutable_amplitudes() noexcept { return amplitudes_; }
+  /// Dense backend only (typed SparseStateError otherwise) — the raw
+  /// amplitude array. Sparse states expose sparse_indices()/values().
+  std::span<const cplx> amplitudes() const;
+  std::span<cplx> mutable_amplitudes();
+  /// Sparse backend only: the sorted nonzero support and its amplitudes.
+  std::span<const std::uint64_t> sparse_indices() const;
+  std::span<const cplx> sparse_values() const;
 
   /// Reset to |basis_index⟩.
   void reset(std::size_t basis_index = 0);
 
-  /// Set raw amplitudes (size must match); does not renormalise.
+  /// Set raw amplitudes (size must match); does not renormalise. Dense
+  /// backend only.
   void set_amplitudes(std::vector<cplx> amplitudes);
+
+  /// Set the support directly from (index, value) pairs; does not
+  /// renormalise. Sparse backend only (typed SparseStateError otherwise) —
+  /// the big-N twin of set_amplitudes(), used by target_full_state() to
+  /// avoid an O(dim) dense detour. Indices must be unique and < dim().
+  void set_sparse_amplitudes(std::vector<std::uint64_t> indices,
+                             std::vector<cplx> values);
 
   double norm() const;
   /// Rescale to unit norm; requires norm() > 0.
@@ -73,7 +138,8 @@ class StateVector {
   /// must return a pointer to a dim(target)^2 row-major matrix. The selector
   /// must not depend on the target digit (it is called once per fiber).
   /// Naive reference path; hot call sites lower once through CompiledOp
-  /// (compiled_op.hpp) instead of paying this dispatch per fiber.
+  /// (compiled_op.hpp) instead of paying this dispatch per fiber. Dense
+  /// backend only (the compiled twin runs on both).
   void apply_conditioned_unitary(
       RegisterId target,
       // dqs-lint: allow(no-std-function-in-kernels) retained naive reference
@@ -81,16 +147,22 @@ class StateVector {
 
   /// As apply_conditioned_unitary, but the per-fiber matrix comes from a
   /// compiled table: `matrix_pool` holds row-major dim(target)² matrices
-  /// back to back, and `mat_of_fiber[f]` indexes the matrix for fiber f
-  /// (kFiberIdentity = leave the fiber untouched). d = 2 and d = 4 run
-  /// fully unrolled. Produced by CompiledOp::fiber_dense.
+  /// back to back, and the matrix for fiber f is
+  /// mat_of_fiber[f % fiber_period] (kFiberIdentity = leave the fiber
+  /// untouched). fiber_period == 0 means one entry per fiber
+  /// (mat_of_fiber.size() must equal the fiber count); a nonzero period
+  /// must equal mat_of_fiber.size() and is the caller's certified claim
+  /// that the full table is periodic (CompiledOp::fiber_dense verifies it
+  /// at compile time). d = 2 and d = 4 run fully unrolled.
   void apply_fiber_dense(RegisterId target, std::span<const cplx> matrix_pool,
-                         std::span<const std::uint32_t> mat_of_fiber);
+                         std::span<const std::uint32_t> mat_of_fiber,
+                         std::size_t fiber_period = 0);
 
   /// Relabel basis states: new|map(x)⟩ = old|x⟩. `map` must be a bijection
   /// on [0, dim). Costs one auxiliary buffer (a persistent member scratch,
   /// reused across calls). Naive reference path — per-amplitude dispatch;
   /// hot call sites lower once through CompiledOp::permutation instead.
+  /// Dense backend only (the compiled twin runs on both).
   // dqs-lint: allow(no-std-function-in-kernels) retained naive reference
   void apply_permutation(const std::function<std::size_t(std::size_t)>& map);
 
@@ -99,6 +171,13 @@ class StateVector {
   /// caller (CompiledOp::permutation) certifies that once at compile time,
   /// so this kernel is a bare gather/scatter into the member scratch.
   void apply_permutation_table(std::span<const std::uint32_t> table);
+
+  /// The same relabelling given the INVERSE table: new|x⟩ = old|inv[x]⟩.
+  /// The dense replay path CompiledOp prefers: destination writes are
+  /// sequential (SIMD-friendly gather) instead of scattered. Exact — pure
+  /// data movement, 0 ULP against apply_permutation_table with the
+  /// matching forward table.
+  void apply_permutation_inverse_table(std::span<const std::uint32_t> inverse);
 
   /// Cyclic shift of register r's value conditioned on another register:
   /// |c⟩_cond |s⟩_r → |c⟩_cond |(s + shift(c)) mod dim(r)⟩_r.
@@ -113,7 +192,8 @@ class StateVector {
       std::span<const std::size_t> shift_per_cond_value);
 
   /// Multiply amplitude of each basis state x by phase(x). Naive reference
-  /// path; hot call sites lower once through CompiledOp::diagonal.
+  /// path; hot call sites lower once through CompiledOp::diagonal. Dense
+  /// backend only (the compiled twin runs on both).
   // dqs-lint: allow(no-std-function-in-kernels) retained naive reference
   void apply_diagonal(const std::function<cplx(std::size_t)>& phase);
 
@@ -130,7 +210,8 @@ class StateVector {
                                      cplx phase);
 
   /// Apply I - 2|v⟩⟨v| on register r, where v is a dim(r) vector.
-  /// O(dim) total work regardless of dim(r).
+  /// O(dim) total work regardless of dim(r) (O(nnz + touched·dim(r)) on
+  /// the sparse backend).
   void apply_householder(RegisterId r, std::span<const cplx> v);
 
   /// Multiply the whole state by a global phase factor.
@@ -138,11 +219,11 @@ class StateVector {
 
   // --- Observables ---------------------------------------------------------
 
-  /// ⟨this|other⟩.
+  /// ⟨this|other⟩. Works across backend combinations.
   cplx inner_product(const StateVector& other) const;
 
   /// || |this⟩ - |other⟩ ||^2 — the quantity inside the paper's potential
-  /// function D_t (Eq. 11).
+  /// function D_t (Eq. 11). Works across backend combinations.
   double distance_squared(const StateVector& other) const;
 
   /// Marginal probability distribution of register r.
@@ -161,6 +242,9 @@ class StateVector {
   // amplitudes, then swapped in. A member so hot loops (one permutation per
   // oracle query) do not allocate O(dim) per call.
   std::vector<cplx> scratch_;
+  // Non-null exactly when this state lives on the sparse backend; the
+  // dense vectors above are then empty.
+  std::unique_ptr<SparseAmplitudes> sparse_;
 };
 
 /// |⟨a|b⟩|² for pure states on identically-shaped layouts.

@@ -53,13 +53,14 @@ CompiledOp compile_u_rotation(const CoordinatorLayout& regs,
 
 SingleStateBackend::SingleStateBackend(const DistributedDatabase& db,
                                        StatePrep prep, Transcript* transcript,
-                                       OracleObserver observer)
+                                       OracleObserver observer,
+                                       const StateBackendConfig& backend)
     : db_(db),
       prep_(prep),
       transcript_(transcript),
       observer_(std::move(observer)),
       regs_(make_coordinator_layout(db.universe(), db.nu())),
-      state_(regs_.layout),
+      state_(regs_.layout, backend),
       householder_v_(uniform_prep_householder_vector(db.universe())),
       u_rotations_(make_u_rotations(db.nu(), /*adjoint=*/false)),
       u_rotations_adjoint_(make_u_rotations(db.nu(), /*adjoint=*/true)),

@@ -82,11 +82,15 @@ CoordinatorLayout make_coordinator_layout(std::size_t universe,
 
 /// Production backend: applies every operation to one StateVector over the
 /// database `db`. Does not own the database; `db` must outlive the backend.
+/// `backend` selects the StateVector's storage (state_backend.hpp) — every
+/// operation below dispatches through the facade, so the circuit code is
+/// identical on the dense and sparse backends.
 class SingleStateBackend final : public SamplingBackend {
  public:
   SingleStateBackend(const DistributedDatabase& db, StatePrep prep,
                      Transcript* transcript = nullptr,
-                     OracleObserver observer = {});
+                     OracleObserver observer = {},
+                     const StateBackendConfig& backend = {});
 
   std::size_t num_machines() const override;
   void prep_uniform(bool adjoint) override;

@@ -37,8 +37,12 @@ class ParallelFullCircuit {
   RegisterId count() const noexcept { return count_; }
   RegisterId flag() const noexcept { return flag_; }
 
-  /// Fresh all-zero state on this circuit's layout.
-  StateVector make_state() const { return StateVector(layout_); }
+  /// Fresh all-zero state on this circuit's layout, on the requested
+  /// backend (the lemma circuit keeps support on ≈ N of the (N(ν+1)2)ⁿ⁺¹
+  /// ancilla states, so the sparse backend stretches the validation range).
+  StateVector make_state(const StateBackendConfig& backend = {}) const {
+    return StateVector(layout_, backend);
+  }
 
   /// One round of the parallel oracle O (Eq. 3): every machine j applies
   /// Ô_j to its (elemʲ, countʲ, flagʲ) triple. Counts one parallel round.

@@ -19,12 +19,29 @@ std::vector<cplx> SamplerResult::output_amplitudes() const {
   return amps;
 }
 
-StateVector target_full_state(const DistributedDatabase& db) {
+StateVector target_full_state(const DistributedDatabase& db,
+                              const StateBackendConfig& backend) {
   const auto regs = make_coordinator_layout(db.universe(), db.nu());
-  StateVector target(regs.layout);
-  std::vector<cplx> amps(regs.layout.total_dim(), cplx{0.0, 0.0});
+  StateVector target(regs.layout, backend);
   const auto target_amps = db.target_amplitudes();
   std::vector<std::size_t> digits(3, 0);
+  if (target.is_sparse()) {
+    // Build the ≤ N nonzeros directly; an O(dim) dense staging array would
+    // defeat the sparse backend's whole point at big N.
+    std::vector<std::uint64_t> indices;
+    std::vector<cplx> values;
+    indices.reserve(target_amps.size());
+    values.reserve(target_amps.size());
+    for (std::size_t i = 0; i < target_amps.size(); ++i) {
+      if (target_amps[i] == cplx{0.0, 0.0}) continue;
+      digits[regs.elem.value] = i;
+      indices.push_back(regs.layout.index_of(digits));
+      values.push_back(target_amps[i]);
+    }
+    target.set_sparse_amplitudes(std::move(indices), std::move(values));
+    return target;
+  }
+  std::vector<cplx> amps(regs.layout.total_dim(), cplx{0.0, 0.0});
   for (std::size_t i = 0; i < target_amps.size(); ++i) {
     digits[regs.elem.value] = i;
     amps[regs.layout.index_of(digits)] = target_amps[i];
@@ -55,8 +72,9 @@ SamplerResult run_with_plan(const DistributedDatabase& db, QueryMode mode,
                             const AAPlan& plan,
                             const SamplerOptions& options) {
   db.reset_stats();
-  SingleStateBackend backend(db, options.prep, options.transcript);
-  const StateVector target = target_full_state(db);
+  SingleStateBackend backend(db, options.prep, options.transcript,
+                             /*observer=*/{}, options.backend);
+  const StateVector target = target_full_state(db, options.backend);
 
   std::vector<double> trajectory;
   std::function<void(std::size_t)> observer;

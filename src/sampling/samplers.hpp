@@ -23,6 +23,11 @@ struct SamplerOptions {
   Transcript* transcript = nullptr;
   /// Record fidelity-to-target after the preparation and each Q iterate.
   bool record_trajectory = false;
+  /// Amplitude storage for the coordinator state AND the fidelity target
+  /// (state_backend.hpp): dense by default; sparse pushes N past the dense
+  /// memory ceiling at O(nnz) per kernel (docs/PERF.md has the selection
+  /// heuristics). The circuit itself is backend-agnostic.
+  StateBackendConfig backend = StateBackendConfig::dense();
 };
 
 struct SamplerResult {
@@ -39,7 +44,10 @@ struct SamplerResult {
 };
 
 /// The target full state |ψ, 0, 0⟩ for a database, on the standard layout.
-StateVector target_full_state(const DistributedDatabase& db);
+/// The sparse backend builds its M ≤ N nonzeros directly — no O(dim) dense
+/// detour — which is what keeps the big-N fidelity check affordable.
+StateVector target_full_state(const DistributedDatabase& db,
+                              const StateBackendConfig& backend = {});
 
 /// Theorem 4.3: sequential queries, O(n √(νN/M)) oracle calls.
 SamplerResult run_sequential_sampler(const DistributedDatabase& db,

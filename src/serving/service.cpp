@@ -201,6 +201,7 @@ SampleService::BuildOutcome SampleService::build(const PendingJob& job) {
   BuildOutcome out;
   SamplerOptions sampler_options;
   sampler_options.prep = options_.prep;
+  sampler_options.backend = options_.backend;
   if (options_.record_transcripts) {
     sampler_options.transcript = &out.transcript;
   }

@@ -49,6 +49,7 @@
 
 #include "apps/sample_server.hpp"
 #include "distdb/transcript.hpp"
+#include "qsim/state_backend.hpp"
 #include "serving/job.hpp"
 #include "serving/queue.hpp"
 
@@ -66,6 +67,12 @@ struct ServiceOptions {
   /// Record the oracle transcript of every preparation for audit;
   /// transcripts() exposes them and each stays dqs_verify-clean.
   bool record_transcripts = false;
+  /// Amplitude storage for every preparation's coordinator state
+  /// (state_backend.hpp): the Prepared snapshot jobs draw from is built —
+  /// and measured — on this backend. Sparse lifts the serveable N past the
+  /// dense memory ceiling; a configured amplitude budget turns runaway
+  /// support growth into a typed, recoverable rejection instead of an OOM.
+  StateBackendConfig backend = StateBackendConfig::dense();
   /// Admission policy: shed kLow jobs while health is kDegraded.
   bool shed_low_priority_when_degraded = true;
 };

@@ -1,0 +1,28 @@
+// Fixture: per-amplitude block loop with no DQS_PRAGMA_SIMD annotation
+// and no allow comment — the simd-discipline rule must flag it. The
+// annotated twin below it and the allowed reduction must NOT be flagged.
+#include <cstddef>
+
+#define DQS_PRAGMA_SIMD
+
+namespace fixture {
+
+void scale(double* amps, std::size_t begin, std::size_t end, double k) {
+  for (std::size_t i = begin; i < end; ++i) amps[i] *= k;
+}
+
+void scale_annotated(double* amps, std::size_t begin, std::size_t end,
+                     double k) {
+  DQS_PRAGMA_SIMD
+  for (std::size_t i = begin; i < end; ++i) amps[i] *= k;
+}
+
+double sum_allowed(const double* amps, std::size_t begin, std::size_t end) {
+  double acc = 0.0;
+  // dqs-lint: allow(simd-discipline) deterministic reduction: the fixed
+  // left-fold order must not be reassociated.
+  for (std::size_t i = begin; i < end; ++i) acc += amps[i];
+  return acc;
+}
+
+}  // namespace fixture

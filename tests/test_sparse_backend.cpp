@@ -1,0 +1,562 @@
+// Differential grid pinning the sparse StateBackend (qsim/state_backend)
+// to the dense statevector it substitutes for at big N.
+//
+// Contract (state_backend.hpp, docs/PERF.md): kernels that only relabel
+// basis states — permutation tables (forward and inverse replay) and value
+// shifts — move amplitudes without arithmetic, so the sparse backend must
+// match the dense one to 0 ULP (EXPECT_EQ on raw complex values).
+// Arithmetic kernels (diagonal, fiber-dense, Householder) reuse the same
+// open-coded complex products but fold in sorted-entry order, so they are
+// pinned at 1e-12. The grid randomizes layouts × registers × operator
+// structures, covers fusion outputs and the full AA trajectory, and runs
+// the chaos-grid recovery seam on the sparse backend; results are
+// deterministic across runs, thread counts and build flavours because
+// every sparse reduction is a serial fold in sorted-index order.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "distdb/workload.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/recovery.hpp"
+#include "faults/retry.hpp"
+#include "qsim/compiled_op.hpp"
+#include "qsim/gates.hpp"
+#include "qsim/measure.hpp"
+#include "qsim/state_backend.hpp"
+#include "qsim/state_vector.hpp"
+#include "sampling/samplers.hpp"
+#include "sampling/schedule.hpp"
+
+namespace qs {
+namespace {
+
+struct GridCase {
+  RegisterLayout layout;
+  std::vector<RegisterId> regs;
+};
+
+GridCase random_layout(Rng& rng, std::size_t index) {
+  static const std::size_t dims[] = {2, 3, 4, 5, 8};
+  GridCase grid;
+  const std::size_t num_regs = 2 + index % 3;
+  for (std::size_t r = 0; r < num_regs; ++r) {
+    const std::size_t d =
+        (r == 0) ? 2 : dims[rng.uniform_below(std::size(dims))];
+    grid.regs.push_back(grid.layout.add("r" + std::to_string(r), d));
+  }
+  return grid;
+}
+
+/// A dense random state plus its sparse twin. `support` < 1.0 zeroes a
+/// random fraction of amplitudes first, so the grid also exercises states
+/// whose nonzero structure changes under each kernel.
+struct TwinStates {
+  StateVector dense;
+  StateVector sparse;
+};
+
+TwinStates random_twins(const RegisterLayout& layout, Rng& rng,
+                        double support = 1.0) {
+  StateVector dense(layout);
+  std::vector<cplx> amps(layout.total_dim());
+  double norm2 = 0.0;
+  for (auto& a : amps) {
+    if (support < 1.0 && rng.uniform01() > support) {
+      a = cplx{0.0, 0.0};
+      continue;
+    }
+    a = cplx{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    norm2 += std::norm(a);
+  }
+  if (norm2 == 0.0) {
+    amps[0] = cplx{1.0, 0.0};
+    norm2 = 1.0;
+  }
+  const double inv = 1.0 / std::sqrt(norm2);
+  for (auto& a : amps) a *= inv;
+  dense.set_amplitudes(std::move(amps));
+  StateVector sparse = dense;
+  sparse.sparsify();
+  return TwinStates{std::move(dense), std::move(sparse)};
+}
+
+void expect_zero_ulp(const StateVector& dense, const StateVector& sparse,
+                     const char* what) {
+  ASSERT_EQ(dense.dim(), sparse.dim());
+  for (std::size_t i = 0; i < dense.dim(); ++i) {
+    EXPECT_EQ(dense.amplitude(i).real(), sparse.amplitude(i).real())
+        << what << " index " << i;
+    EXPECT_EQ(dense.amplitude(i).imag(), sparse.amplitude(i).imag())
+        << what << " index " << i;
+  }
+}
+
+void expect_close(const StateVector& dense, const StateVector& sparse,
+                  double tol, const char* what) {
+  ASSERT_EQ(dense.dim(), sparse.dim());
+  for (std::size_t i = 0; i < dense.dim(); ++i) {
+    EXPECT_NEAR(dense.amplitude(i).real(), sparse.amplitude(i).real(), tol)
+        << what << " index " << i;
+    EXPECT_NEAR(dense.amplitude(i).imag(), sparse.amplitude(i).imag(), tol)
+        << what << " index " << i;
+  }
+}
+
+// ------------------------------------------- differential grid, all 4 kinds
+
+TEST(SparseDifferential, PermutationMatchesDenseExactly) {
+  Rng rng(101);
+  for (std::size_t trial = 0; trial < 12; ++trial) {
+    const auto grid = random_layout(rng, trial);
+    const std::size_t dim = grid.layout.total_dim();
+    const std::size_t offset = rng.uniform_below(dim);
+    const bool flip = rng.uniform_below(2) != 0;
+    const auto op =
+        CompiledOp::permutation(grid.layout, [dim, offset, flip](std::size_t x) {
+          const std::size_t rotated = (x + offset) % dim;
+          return flip ? dim - 1 - rotated : rotated;
+        });
+    // Full support and partial support (the sparse path rewrites indices
+    // through the FORWARD table; the dense path gathers through the
+    // inverse table — both must land on the same bits).
+    for (const double support : {1.0, 0.4}) {
+      auto twins = random_twins(grid.layout, rng, support);
+      op.apply_to(twins.dense);
+      op.apply_to(twins.sparse);
+      expect_zero_ulp(twins.dense, twins.sparse, "permutation");
+    }
+  }
+}
+
+TEST(SparseDifferential, ValueShiftMatchesDenseExactly) {
+  Rng rng(202);
+  for (std::size_t trial = 0; trial < 12; ++trial) {
+    const auto grid = random_layout(rng, trial);
+    if (grid.regs.size() < 2) continue;
+    const auto target = grid.regs[1];
+    const auto cond = grid.regs[0];
+    std::vector<std::size_t> shifts(grid.layout.dim(cond));
+    for (auto& s : shifts) s = rng.uniform_below(grid.layout.dim(target) + 3);
+    const auto op = CompiledOp::value_shift(grid.layout, target, cond, shifts);
+    auto twins = random_twins(grid.layout, rng, 0.6);
+    op.apply_to(twins.dense);
+    op.apply_to(twins.sparse);
+    expect_zero_ulp(twins.dense, twins.sparse, "value shift");
+  }
+}
+
+TEST(SparseDifferential, ControlledValueShiftMatchesDenseExactly) {
+  Rng rng(2021);
+  for (std::size_t trial = 0; trial < 8; ++trial) {
+    auto grid = GridCase{};
+    const auto flag = grid.layout.add("flag", 2);
+    const auto cond = grid.layout.add("cond", 3 + trial % 3);
+    const auto target = grid.layout.add("target", 4 + trial % 4);
+    grid.regs = {flag, cond, target};
+    std::vector<std::size_t> shifts(grid.layout.dim(cond));
+    for (auto& s : shifts) s = rng.uniform_below(grid.layout.dim(target));
+    const auto op = CompiledOp::controlled_value_shift(grid.layout, target,
+                                                       cond, flag, shifts);
+    auto twins = random_twins(grid.layout, rng, 0.7);
+    op.apply_to(twins.dense);
+    op.apply_to(twins.sparse);
+    expect_zero_ulp(twins.dense, twins.sparse, "controlled value shift");
+  }
+}
+
+TEST(SparseDifferential, DiagonalMatchesDenseWithinTolerance) {
+  Rng rng(303);
+  for (std::size_t trial = 0; trial < 12; ++trial) {
+    const auto grid = random_layout(rng, trial);
+    std::vector<double> angles(grid.layout.total_dim());
+    for (auto& a : angles) a = rng.uniform(-3.0, 3.0);
+    const auto op =
+        CompiledOp::diagonal(grid.layout, [&angles](std::size_t x) {
+          return cplx{std::cos(angles[x]), std::sin(angles[x])};
+        });
+    auto twins = random_twins(grid.layout, rng);
+    op.apply_to(twins.dense);
+    op.apply_to(twins.sparse);
+    expect_close(twins.dense, twins.sparse, 1e-12, "diagonal");
+  }
+}
+
+TEST(SparseDifferential, FiberDenseMatchesDenseWithinTolerance) {
+  Rng rng(404);
+  for (std::size_t trial = 0; trial < 12; ++trial) {
+    const auto grid = random_layout(rng, trial);
+    // Random unitaries per conditioning digit of the LAST register, applied
+    // to the first (qubit) target — the 𝒰 shape of Eq. (6).
+    const auto target = grid.regs[0];
+    const auto cond = grid.regs.back();
+    if (cond.value == target.value) continue;
+    std::vector<Matrix> mats;
+    for (std::size_t c = 0; c < grid.layout.dim(cond); ++c)
+      mats.push_back(rotation_matrix(rng.uniform(-3.0, 3.0)));
+    const auto& layout = grid.layout;
+    const auto op = CompiledOp::fiber_dense(
+        layout, target, [&](std::size_t fiber_base) -> const Matrix* {
+          return &mats[layout.digit(fiber_base, cond)];
+        });
+    auto twins = random_twins(grid.layout, rng, 0.8);
+    op.apply_to(twins.dense);
+    op.apply_to(twins.sparse);
+    expect_close(twins.dense, twins.sparse, 1e-12, "fiber dense");
+  }
+}
+
+// ------------------------------------------------------------------ fusion
+
+TEST(SparseDifferential, FusedProgramsMatchDense) {
+  Rng rng(505);
+  for (std::size_t trial = 0; trial < 8; ++trial) {
+    const auto grid = random_layout(rng, trial);
+    if (grid.regs.size() < 2) continue;
+    const auto target = grid.regs[1];
+    const auto cond = grid.regs[0];
+    const std::size_t dim = grid.layout.total_dim();
+
+    // shift ∘ shift and permutation ∘ permutation fuse to single tables;
+    // the fused output must replay identically on both backends.
+    std::vector<std::size_t> s1(grid.layout.dim(cond)), s2(s1.size());
+    for (auto& s : s1) s = rng.uniform_below(grid.layout.dim(target));
+    for (auto& s : s2) s = rng.uniform_below(grid.layout.dim(target));
+    CompiledProgram shifts;
+    shifts.push(CompiledOp::value_shift(grid.layout, target, cond, s1));
+    shifts.push(CompiledOp::value_shift(grid.layout, target, cond, s2));
+    EXPECT_GE(shifts.fuse(), 1u);
+    auto twins = random_twins(grid.layout, rng, 0.5);
+    shifts.apply_to(twins.dense);
+    shifts.apply_to(twins.sparse);
+    expect_zero_ulp(twins.dense, twins.sparse, "fused shifts");
+
+    const std::size_t offset = 1 + rng.uniform_below(dim - 1);
+    CompiledProgram perms;
+    perms.push(CompiledOp::permutation(
+        grid.layout, [dim, offset](std::size_t x) { return (x + offset) % dim; }));
+    perms.push(CompiledOp::permutation(
+        grid.layout, [dim](std::size_t x) { return dim - 1 - x; }));
+    EXPECT_GE(perms.fuse(), 1u);
+    auto ptwins = random_twins(grid.layout, rng, 0.5);
+    perms.apply_to(ptwins.dense);
+    perms.apply_to(ptwins.sparse);
+    expect_zero_ulp(ptwins.dense, ptwins.sparse, "fused permutations");
+
+    // diagonal ∘ diagonal multiplies factors at fuse time — arithmetic, so
+    // the fused replay is pinned at the 1e-12 contract.
+    CompiledProgram diags;
+    for (int k = 0; k < 2; ++k) {
+      const double base = rng.uniform(-2.0, 2.0);
+      diags.push(CompiledOp::diagonal(grid.layout, [base](std::size_t x) {
+        const double a = base + 0.1 * static_cast<double>(x % 7);
+        return cplx{std::cos(a), std::sin(a)};
+      }));
+    }
+    EXPECT_GE(diags.fuse(), 1u);
+    auto dtwins = random_twins(grid.layout, rng);
+    diags.apply_to(dtwins.dense);
+    diags.apply_to(dtwins.sparse);
+    expect_close(dtwins.dense, dtwins.sparse, 1e-12, "fused diagonals");
+  }
+}
+
+// ----------------------------------------------- inverse-table / period ops
+
+TEST(SparseDifferential, InverseTableReplayMatchesForwardReplay) {
+  Rng rng(606);
+  const auto grid = random_layout(rng, 1);
+  const std::size_t dim = grid.layout.total_dim();
+  const auto op = CompiledOp::permutation(
+      grid.layout, [dim](std::size_t x) { return (x * 3 + 5) % dim; });
+  // The compiled op stores both tables; replay the dense state through each
+  // kernel directly — pure data movement, so bit-identical.
+  auto twins = random_twins(grid.layout, rng);
+  auto forward = twins.dense;
+  forward.apply_permutation_table(op.permutation_table());
+  twins.dense.apply_permutation_inverse_table(op.permutation_inverse_table());
+  expect_zero_ulp(forward, twins.dense, "inverse-table replay");
+  op.apply_to(twins.sparse);
+  expect_zero_ulp(forward, twins.sparse, "sparse forward replay");
+}
+
+TEST(SparseDifferential, PeriodCompressedFiberTableMatchesOnBothBackends) {
+  // Fiber count 17·512 = 8704 > the 4096-entry guess window, with the
+  // selector periodic in the elem digit: the fiber index enumerates elem
+  // fastest, so the matrix index (elem digit mod 8) has minimal period 8 —
+  // the compiler must find it, and BOTH replay paths must agree with the
+  // uncompressed semantics.
+  RegisterLayout layout;
+  const auto count = layout.add("count", 17);
+  const auto elem = layout.add("elem", 512);
+  const auto flag = layout.add("flag", 2);
+  (void)count;
+  std::vector<Matrix> mats;
+  Rng mat_rng(707);
+  for (std::size_t c = 0; c < 8; ++c)
+    mats.push_back(rotation_matrix(mat_rng.uniform(-3.0, 3.0)));
+  const auto op = CompiledOp::fiber_dense(
+      layout, flag, [&](std::size_t fiber_base) -> const Matrix* {
+        return &mats[layout.digit(fiber_base, elem) % mats.size()];
+      });
+  ASSERT_EQ(op.kind(), CompiledOp::Kind::kFiberDense);
+  EXPECT_EQ(op.fiber_period(), 8u);
+
+  Rng rng(708);
+  auto twins = random_twins(layout, rng, 0.01);
+  auto naive = twins.dense;
+  naive.apply_conditioned_unitary(
+      flag, [&](std::size_t fiber_base) -> const Matrix* {
+        return &mats[layout.digit(fiber_base, elem) % mats.size()];
+      });
+  op.apply_to(twins.dense);
+  op.apply_to(twins.sparse);
+  expect_close(naive, twins.dense, 1e-12, "compressed vs naive (dense)");
+  expect_close(naive, twins.sparse, 1e-12, "compressed vs naive (sparse)");
+}
+
+TEST(SparseDifferential, NonPeriodicBigFiberTableFallsBackToFullTable) {
+  RegisterLayout layout;
+  const auto elem = layout.add("elem", 8704);
+  const auto flag = layout.add("flag", 2);
+  std::vector<Matrix> mats;
+  Rng mat_rng(808);
+  for (std::size_t c = 0; c < 3; ++c)
+    mats.push_back(rotation_matrix(mat_rng.uniform(-3.0, 3.0)));
+  // (f*f) % 3 is not periodic with any period dividing 8704, so the
+  // compiler must detect the failed guess mid-stream and keep the full
+  // table; semantics are unchanged either way.
+  const auto op = CompiledOp::fiber_dense(
+      layout, flag, [&](std::size_t fiber_base) -> const Matrix* {
+        const std::size_t f = layout.digit(fiber_base, elem);
+        return &mats[(f * f) % mats.size()];
+      });
+  EXPECT_EQ(op.fiber_period(), 0u);
+
+  Rng rng(809);
+  auto twins = random_twins(layout, rng, 0.005);
+  auto naive = twins.dense;
+  naive.apply_conditioned_unitary(
+      flag, [&](std::size_t fiber_base) -> const Matrix* {
+        const std::size_t f = layout.digit(fiber_base, elem);
+        return &mats[(f * f) % mats.size()];
+      });
+  op.apply_to(twins.dense);
+  op.apply_to(twins.sparse);
+  expect_close(naive, twins.dense, 1e-12, "fallback table (dense)");
+  expect_close(naive, twins.sparse, 1e-12, "fallback table (sparse)");
+}
+
+// --------------------------------------------------------- full AA sampler
+
+TEST(SparseSampler, SequentialTrajectoryMatchesDense) {
+  Rng rng(11);
+  auto datasets = workload::uniform_random(16, 3, 12, rng);
+  const auto nu = min_capacity(datasets) + 1;
+  const DistributedDatabase db(std::move(datasets), nu);
+
+  SamplerOptions dense_options;
+  dense_options.record_trajectory = true;
+  const auto dense = run_sequential_sampler(db, dense_options);
+
+  SamplerOptions sparse_options;
+  sparse_options.record_trajectory = true;
+  sparse_options.backend = StateBackendConfig::sparse();
+  const auto sparse = run_sequential_sampler(db, sparse_options);
+
+  EXPECT_TRUE(sparse.state.is_sparse());
+  EXPECT_NEAR(dense.fidelity, sparse.fidelity, 1e-12);
+  EXPECT_GT(sparse.fidelity, 1.0 - 1e-9);
+  ASSERT_EQ(dense.trajectory.size(), sparse.trajectory.size());
+  for (std::size_t i = 0; i < dense.trajectory.size(); ++i)
+    EXPECT_NEAR(dense.trajectory[i], sparse.trajectory[i], 1e-12) << i;
+  expect_close(dense.state, sparse.state, 1e-12, "sequential AA");
+  EXPECT_TRUE(dense.stats == sparse.stats);
+
+  // The AA trajectory never leaves the (elem, count ∈ {0, c_i}, flag)
+  // slice: peak support must stay well under the full dimension.
+  EXPECT_LE(sparse.state.sparse_peak_amplitudes(),
+            4 * db.universe());
+  EXPECT_LT(sparse.state.sparse_peak_amplitudes(),
+            sparse.state.dim() / 2);
+}
+
+TEST(SparseSampler, ParallelSamplerMatchesDense) {
+  Rng rng(12);
+  auto datasets = workload::uniform_random(12, 2, 10, rng);
+  const auto nu = min_capacity(datasets) + 2;
+  const DistributedDatabase db(std::move(datasets), nu);
+
+  const auto dense = run_parallel_sampler(db, {});
+  SamplerOptions sparse_options;
+  sparse_options.backend = StateBackendConfig::sparse();
+  const auto sparse = run_parallel_sampler(db, sparse_options);
+  EXPECT_NEAR(dense.fidelity, sparse.fidelity, 1e-12);
+  expect_close(dense.state, sparse.state, 1e-12, "parallel AA");
+}
+
+TEST(SparseSampler, RepeatedSparseRunsAreBitIdentical) {
+  Rng rng(13);
+  auto datasets = workload::uniform_random(16, 3, 12, rng);
+  const auto nu = min_capacity(datasets) + 1;
+  const DistributedDatabase db(std::move(datasets), nu);
+  SamplerOptions options;
+  options.backend = StateBackendConfig::sparse();
+  const auto a = run_sequential_sampler(db, options);
+  const auto b = run_sequential_sampler(db, options);
+  // Determinism by construction: sorted-order serial folds, no dependence
+  // on thread count or scheduling.
+  ASSERT_EQ(a.state.sparse_indices().size(), b.state.sparse_indices().size());
+  for (std::size_t k = 0; k < a.state.sparse_indices().size(); ++k) {
+    EXPECT_EQ(a.state.sparse_indices()[k], b.state.sparse_indices()[k]);
+    EXPECT_EQ(a.state.sparse_values()[k], b.state.sparse_values()[k]);
+  }
+  EXPECT_EQ(a.fidelity, b.fidelity);
+}
+
+TEST(SparseSampler, MeasurementDrawsMatchDense) {
+  Rng rng(14);
+  auto datasets = workload::uniform_random(12, 2, 8, rng);
+  const auto nu = min_capacity(datasets) + 1;
+  const DistributedDatabase db(std::move(datasets), nu);
+  const auto dense = run_sequential_sampler(db, {});
+  SamplerOptions options;
+  options.backend = StateBackendConfig::sparse();
+  const auto sparse = run_sequential_sampler(db, options);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng dense_rng(seed), sparse_rng(seed);
+    EXPECT_EQ(measure_basis_state(dense.state, dense_rng),
+              measure_basis_state(sparse.state, sparse_rng))
+        << "seed " << seed;
+    Rng dr(seed), sr(seed);
+    EXPECT_EQ(measure_register(dense.state, dense.registers.elem, dr),
+              measure_register(sparse.state, sparse.registers.elem, sr))
+        << "seed " << seed;
+  }
+}
+
+// -------------------------------------------------------- chaos-grid seam
+
+TEST(SparseSampler, ChaosGridRecoveryRunsOnSparseBackend) {
+  Rng rng(15);
+  auto datasets = workload::uniform_random(16, 3, 12, rng);
+  const auto nu = min_capacity(datasets) + 2;
+  const DistributedDatabase db(std::move(datasets), nu);
+
+  SamplerOptions options;
+  options.backend = StateBackendConfig::sparse();
+  const auto fault_free = run_sequential_sampler(db, options);
+
+  const auto schedule = compile_schedule(db, QueryMode::kSequential);
+  for (const std::uint64_t plan_seed : {1, 2, 3}) {
+    const FaultPlan plan = FaultPlan::random(
+        plan_seed, schedule.events().size(), db.num_machines());
+    const auto run = run_sampler_with_faults(db, QueryMode::kSequential, plan,
+                                             RetryPolicy{}, options);
+    ASSERT_TRUE(run.ok()) << run.recovery.failure;
+    EXPECT_TRUE(run.result->state.is_sparse());
+    // Recovery replays a reordered but equivalent schedule; on the sparse
+    // backend the result must still be bit-identical to the fault-free
+    // sparse run (relabel kernels are exact; arithmetic kernels execute
+    // the same multiplications in the same per-entry order).
+    expect_zero_ulp(fault_free.state, run.result->state, "chaos recovery");
+    EXPECT_EQ(fault_free.fidelity, run.result->fidelity);
+  }
+}
+
+// ------------------------------------------------------ backend mechanics
+
+TEST(SparseBackend, DensifySparsifyRoundTripIsExact) {
+  Rng rng(16);
+  const auto grid = random_layout(rng, 2);
+  auto twins = random_twins(grid.layout, rng, 0.3);
+  auto round_trip = twins.sparse;
+  EXPECT_TRUE(round_trip.is_sparse());
+  round_trip.densify();
+  EXPECT_FALSE(round_trip.is_sparse());
+  expect_zero_ulp(twins.dense, round_trip, "densify");
+  round_trip.sparsify();
+  EXPECT_TRUE(round_trip.is_sparse());
+  expect_zero_ulp(twins.dense, round_trip, "re-sparsify");
+  EXPECT_EQ(round_trip.backend_kind(), StateBackendKind::kSparse);
+  EXPECT_LT(round_trip.stored_amplitudes(), round_trip.dim());
+}
+
+TEST(SparseBackend, BudgetExhaustionRaisesTypedErrorNotOom) {
+  // A Householder reflection densifies every touched fiber; with a budget
+  // of 4 the support growth must surface as SparseStateError — carrying
+  // the exact required/budget pair — BEFORE any O(dim) allocation.
+  RegisterLayout layout;
+  const auto elem = layout.add("elem", 64);
+  layout.add("flag", 2);
+  StateVector state(layout, StateBackendConfig::sparse(/*amplitude_budget=*/4));
+  EXPECT_EQ(state.sparse_amplitude_budget(), 4u);
+  const auto v = uniform_prep_householder_vector(64);
+  try {
+    state.apply_householder(elem, v);
+    FAIL() << "budget exhaustion must throw";
+  } catch (const SparseStateError& error) {
+    EXPECT_GT(error.required(), error.budget());
+    EXPECT_EQ(error.budget(), 4u);
+    EXPECT_NE(std::string(error.what()).find("budget"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(SparseBackend, SamplerBudgetExhaustionIsTypedToo) {
+  Rng rng(17);
+  auto datasets = workload::uniform_random(16, 2, 10, rng);
+  const auto nu = min_capacity(datasets) + 1;
+  const DistributedDatabase db(std::move(datasets), nu);
+  SamplerOptions options;
+  options.backend = StateBackendConfig::sparse(/*amplitude_budget=*/3);
+  EXPECT_THROW((void)run_sequential_sampler(db, options), SparseStateError);
+}
+
+TEST(SparseBackend, DenseOnlyAccessorsRaiseTypedErrors) {
+  RegisterLayout layout;
+  layout.add("r", 8);
+  StateVector sparse(layout, StateBackendConfig::sparse());
+  EXPECT_THROW((void)sparse.amplitudes(), SparseStateError);
+  EXPECT_THROW((void)sparse.mutable_amplitudes(), SparseStateError);
+  EXPECT_THROW(sparse.set_amplitudes(std::vector<cplx>(8)), SparseStateError);
+
+  StateVector dense(layout);
+  EXPECT_THROW(dense.set_sparse_amplitudes({0}, {cplx{1.0, 0.0}}),
+               SparseStateError);
+}
+
+TEST(SparseBackend, SetSparseAmplitudesBuildsSortedSupport) {
+  RegisterLayout layout;
+  layout.add("r", 16);
+  StateVector state(layout, StateBackendConfig::sparse());
+  // Unsorted input with an exact zero: sorted on ingest, zero dropped.
+  state.set_sparse_amplitudes({9, 2, 5}, {cplx{0.5, 0.0}, cplx{0.0, 0.0},
+                                          cplx{0.0, -0.5}});
+  ASSERT_EQ(state.stored_amplitudes(), 2u);
+  EXPECT_EQ(state.sparse_indices()[0], 5u);
+  EXPECT_EQ(state.sparse_indices()[1], 9u);
+  EXPECT_EQ(state.amplitude(9), (cplx{0.5, 0.0}));
+  EXPECT_EQ(state.amplitude(2), (cplx{0.0, 0.0}));
+}
+
+TEST(SparseBackend, TargetFullStateSparseMatchesDense) {
+  Rng rng(18);
+  auto datasets = workload::uniform_random(16, 3, 12, rng);
+  const auto nu = min_capacity(datasets) + 1;
+  const DistributedDatabase db(std::move(datasets), nu);
+  const auto dense = target_full_state(db);
+  const auto sparse = target_full_state(db, StateBackendConfig::sparse());
+  EXPECT_TRUE(sparse.is_sparse());
+  expect_zero_ulp(dense, sparse, "target state");
+  // Cross-backend observables agree too.
+  EXPECT_NEAR(std::abs(dense.inner_product(sparse)), 1.0, 1e-12);
+  EXPECT_NEAR(dense.distance_squared(sparse), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace qs

@@ -329,6 +329,63 @@ TEST_F(TelemetryLedgerTest, ServingCountersBalanceAcrossThreads) {
   EXPECT_EQ(service.queue_depth(), 0u);
 }
 
+TEST_F(TelemetryLedgerTest, BackendCountersBalanceOnGrid) {
+  // The qsim.backend.* family must balance against the StateVector's own
+  // accounting on every grid point: kernel applications land on exactly
+  // one backend's counter, the amplitude gauges track stored_amplitudes()
+  // of the last state touched, and densify/sparsify transitions are
+  // counted once per actual representation change.
+  for (const auto& p : kGrid) {
+    SCOPED_TRACE("N=" + std::to_string(p.universe) +
+                 " n=" + std::to_string(p.machines));
+    const auto db = make_db(p.universe, p.machines, p.total, p.seed);
+
+    for (const bool sparse : {false, true}) {
+      SCOPED_TRACE(sparse ? "sparse" : "dense");
+      telemetry::registry().reset();
+      SamplerOptions options;
+      if (sparse) options.backend = StateBackendConfig::sparse();
+      auto result = run_sequential_sampler(db, options);
+
+      const auto dense_applies =
+          telemetry::counter("qsim.backend.dense.apply").value();
+      const auto sparse_applies =
+          telemetry::counter("qsim.backend.sparse.apply").value();
+      if (sparse) {
+        EXPECT_GT(sparse_applies, 0u);
+        EXPECT_EQ(dense_applies, 0u);
+        EXPECT_EQ(static_cast<std::size_t>(
+                      telemetry::gauge("qsim.backend.sparse.amplitudes")
+                          .value()),
+                  result.state.stored_amplitudes());
+      } else {
+        EXPECT_GT(dense_applies, 0u);
+        EXPECT_EQ(sparse_applies, 0u);
+        EXPECT_EQ(static_cast<std::size_t>(
+                      telemetry::gauge("qsim.backend.dense.amplitudes")
+                          .value()),
+                  result.state.stored_amplitudes());
+        EXPECT_EQ(result.state.stored_amplitudes(), result.state.dim());
+      }
+
+      // Transition counters: one densify + one sparsify per round trip,
+      // and no-op conversions (already on that backend) count nothing.
+      const auto densify0 = telemetry::counter("qsim.backend.densify").value();
+      const auto sparsify0 =
+          telemetry::counter("qsim.backend.sparsify").value();
+      StateVector round_trip = result.state;
+      round_trip.densify();
+      round_trip.densify();  // no-op: already dense
+      round_trip.sparsify();
+      round_trip.sparsify();  // no-op: already sparse
+      EXPECT_EQ(telemetry::counter("qsim.backend.densify").value(),
+                densify0 + (sparse ? 1 : 0));
+      EXPECT_EQ(telemetry::counter("qsim.backend.sparsify").value(),
+                sparsify0 + 1);
+    }
+  }
+}
+
 TEST_F(TelemetryLedgerTest, DisabledTelemetryLeavesLedgerIntact) {
   // With telemetry fully off, the QueryStats ledger and transcript still
   // work — instrumentation must never become a functional dependency.

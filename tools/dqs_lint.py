@@ -80,6 +80,18 @@ to the paper's model rather than C++ correctness:
                       (and any future caller) honest. Guards are tracked
                       per scope; an explicit guard.unlock() disarms and
                       guard.lock() re-arms.
+  simd-discipline     Per-amplitude block loops in src/qsim kernel code —
+                      the `for (std::size_t i = begin; i < end; ++i)` shape
+                      the parallel_for_blocks scheduler hands out — must be
+                      annotated with DQS_PRAGMA_SIMD on the line above (or
+                      carry an explicit allow comment in the adjacent
+                      comment block). These loops ARE the replay hot path
+                      (docs/PERF.md); an unannotated one silently forfeits
+                      the vector width the K1 speedup floors assume.
+                      Deterministic reductions and scattered-write loops
+                      are legitimate exceptions — reassociation would break
+                      the bit-identical-across-threads contract — and each
+                      carries an allow comment saying so.
   error-taxonomy      Library code under src/ must fail through the typed
                       error taxonomy — QS_REQUIRE / QS_ASSERT raising
                       qs::ContractViolation — never via bare throw,
@@ -640,6 +652,47 @@ def rule_lock_discipline(f: File):
                         "against the update path")
 
 
+SIMD_BLOCK_LOOP = re.compile(
+    r"for\s*\(\s*(?:std\s*::\s*)?size_t\s+\w+\s*=\s*begin\s*;"
+    r"\s*\w+\s*<\s*end\b")
+SIMD_PRAGMA = "DQS_PRAGMA_SIMD"
+SIMD_ALLOW = "allow(simd-discipline)"
+
+
+def rule_simd_discipline(f: File):
+    """Require DQS_PRAGMA_SIMD (or an allow comment) on block loops.
+
+    For each matching loop, walk upward: comment-only/blank lines are
+    skipped (an allow marker anywhere in that contiguous comment block
+    counts — rationale comments legitimately wrap past one line); the
+    nearest preceding CODE line must carry DQS_PRAGMA_SIMD.
+    """
+    if not f.rel.startswith(KERNEL_DIR_PREFIX):
+        return
+    for i, line in enumerate(f.stripped_lines, 1):
+        if not SIMD_BLOCK_LOOP.search(line):
+            continue
+        satisfied = SIMD_ALLOW in f.raw_lines[i - 1]
+        j = i - 1
+        while not satisfied and j >= 1:
+            if SIMD_ALLOW in f.raw_lines[j - 1]:
+                satisfied = True
+                break
+            if not f.stripped_lines[j - 1].strip():
+                j -= 1  # blank or comment-only: keep walking
+                continue
+            satisfied = SIMD_PRAGMA in f.stripped_lines[j - 1]
+            break
+        if not satisfied:
+            yield Violation(
+                f.path, i, "simd-discipline",
+                "per-amplitude block loop without DQS_PRAGMA_SIMD; this is "
+                "the replay hot path the K1 speedup floors assume is "
+                "vectorized — annotate it, or add an allow comment stating "
+                "why vectorization is unsound here (e.g. a deterministic "
+                "reduction whose fold order must not be reassociated)")
+
+
 ERROR_TAXONOMY_EXEMPT = {
     # The definition site of the taxonomy itself: QS_REQUIRE/QS_ASSERT
     # expand to the one sanctioned throw.
@@ -680,6 +733,7 @@ RULES = {
     "kill-matrix-completeness": rule_kill_matrix_completeness,
     "tv-exhaustiveness": rule_tv_exhaustiveness,
     "lock-discipline": rule_lock_discipline,
+    "simd-discipline": rule_simd_discipline,
     "error-taxonomy": rule_error_taxonomy,
 }
 

@@ -31,6 +31,7 @@ EXPECTED = {
     ("src/qsim/bad_function_kernel.cpp", "no-std-function-in-kernels"),
     ("src/analysis/bad_registry.cpp", "kill-matrix-completeness"),
     ("src/qsim/bad_op_registry.cpp", "tv-exhaustiveness"),
+    ("src/qsim/bad_scalar_loop.cpp", "simd-discipline"),
     ("src/estimation/bad_error.cpp", "error-taxonomy"),
     ("src/serving/bad_lock.cpp", "lock-discipline"),
 }
