@@ -1,0 +1,216 @@
+// Experiment D1 — ipc transport overhead (docs/DISTRIBUTION.md).
+//
+// The multi-process transport moves the coordinator's register amplitudes
+// over unix-domain sockets for every oracle application; the oracle is an
+// exact permutation, so the ONLY observable difference from the in-process
+// transport is wall-clock cost. This bench measures that cost at three
+// levels and asserts the bit-identity contract at each:
+//
+//   1. oracle round-trip — µs per single O_j application, in-process
+//      Machine::apply_oracle vs one framed socket round-trip, across state
+//      dimensions (the payload is 2 × dim × 16 bytes per call);
+//   2. whole sampler — wall time of the full preparation, both query
+//      modes, with the recovered state compared bit for bit;
+//   3. serving — samples/sec through dqs-serve with real worker processes
+//      vs the in-process transport, same job stream, same samples.
+//
+//   bench_d1_ipc [--json PATH] [--smoke] [--jobs N]
+//
+// Exit code: 0 when every ipc result (state amplitudes, fidelity, samples)
+// is bit-identical to its in-process twin and every serving job completed
+// without demotion; 1 otherwise. Overhead itself is reported, not gated —
+// the socket hop is expected to cost; wrongness is not.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "faults/ipc_chaos.hpp"
+#include "sampling/samplers.hpp"
+#include "serving/service.hpp"
+#include "telemetry/trace.hpp"
+
+namespace {
+
+using namespace qs;
+
+bool same_amplitudes(std::span<const cplx> a, std::span<const cplx> b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(cplx)) == 0);
+}
+
+double us_per_call(std::uint64_t elapsed_ns, std::uint64_t calls) {
+  return calls == 0 ? 0.0
+                    : static_cast<double>(elapsed_ns) /
+                          static_cast<double>(calls) / 1e3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Reporter reporter(
+      argc, argv, "D1",
+      "ipc transport overhead: oracle round-trip, whole-preparation and "
+      "served-samples cost of the multi-process socket transport vs the "
+      "in-process oracle, with bit-identity asserted at every level");
+  const CliArgs args(argc, argv);
+  const bool smoke = args.get("smoke", false);
+  const auto jobs = static_cast<std::size_t>(
+      args.get("jobs", smoke ? std::uint64_t{4} : std::uint64_t{16}));
+
+  bool ok = true;
+
+  // ---- 1. oracle round-trip microbench --------------------------------
+  // One machine, growing element register: the payload each round-trip
+  // ships is the full dense amplitude vector, twice (out and back).
+  TextTable rt({"universe", "state dim", "payload KiB/call",
+                "in-process µs/call", "ipc µs/call", "overhead ×"});
+  const std::size_t reps = smoke ? 64 : 256;
+  for (const std::size_t universe : {8u, 32u, 128u}) {
+    auto db = bench::uniform_db(universe, 1, universe / 2, 11, 2);
+    RegisterLayout layout;
+    const auto elem = layout.add("elem", universe);
+    const auto count = layout.add("count", db.nu() + 1);
+
+    StateVector in_state(layout);
+    const auto t0 = telemetry::monotonic_ns();
+    for (std::size_t k = 0; k < reps; ++k)
+      db.machine(0).apply_oracle(in_state, elem, count, k % 2 == 1);
+    const auto in_ns = telemetry::monotonic_ns() - t0;
+
+    ipc::IpcSupervisor supervisor(db);
+    ok = ok && !supervisor.start().has_value();
+    StateVector ipc_state(layout);
+    const auto t1 = telemetry::monotonic_ns();
+    for (std::size_t k = 0; k < reps; ++k) {
+      const auto failure = supervisor.oracle_roundtrip(
+          0, k % 2 == 1, ipc_state, elem, count);
+      ok = ok && !failure.has_value();
+    }
+    const auto ipc_ns = telemetry::monotonic_ns() - t1;
+    supervisor.shutdown();
+    ok = ok && supervisor.zombies() == 0;
+
+    // An even number of alternating O / O† applications is the identity,
+    // and both paths applied the same permutations: states must agree
+    // bit for bit.
+    ok = ok && same_amplitudes(in_state.amplitudes(), ipc_state.amplitudes());
+
+    const double payload_kib =
+        2.0 * static_cast<double>(in_state.dim()) * sizeof(cplx) / 1024.0;
+    const double in_us = us_per_call(in_ns, reps);
+    const double ipc_us = us_per_call(ipc_ns, reps);
+    rt.add_row({TextTable::cell(std::uint64_t{universe}),
+                TextTable::cell(std::uint64_t{in_state.dim()}),
+                TextTable::cell(payload_kib, 1), TextTable::cell(in_us, 2),
+                TextTable::cell(ipc_us, 2),
+                TextTable::cell(in_us > 0 ? ipc_us / in_us : 0.0, 1)});
+  }
+  rt.print(std::cout, "D1: oracle round-trip cost, in-process vs socket");
+  reporter.add("D1: oracle round-trip cost, in-process vs socket", rt);
+
+  // ---- 2. whole-preparation wall time ---------------------------------
+  TextTable prep({"mode", "machines", "queries", "in-process ms", "ipc ms",
+                  "overhead ×", "bit-identical"});
+  for (const auto mode : {QueryMode::kSequential, QueryMode::kParallel}) {
+    auto db = bench::uniform_db(32, 3, 12, 7, 2);
+
+    const auto t0 = telemetry::monotonic_ns();
+    const auto base = mode == QueryMode::kSequential
+                          ? run_sequential_sampler(db)
+                          : run_parallel_sampler(db);
+    const auto base_ns = telemetry::monotonic_ns() - t0;
+
+    ipc::IpcSupervisor supervisor(db);
+    ok = ok && !supervisor.start().has_value();
+    const auto t1 = telemetry::monotonic_ns();
+    const auto over = run_ipc_sampler(db, mode, supervisor);
+    const auto over_ns = telemetry::monotonic_ns() - t1;
+    supervisor.shutdown();
+    ok = ok && supervisor.zombies() == 0;
+
+    const bool identical =
+        same_amplitudes(base.state.amplitudes(), over.state.amplitudes()) &&
+        base.fidelity == over.fidelity && base.stats == over.stats;
+    ok = ok && identical;
+    const double base_ms = static_cast<double>(base_ns) / 1e6;
+    const double over_ms = static_cast<double>(over_ns) / 1e6;
+    prep.add_row(
+        {mode == QueryMode::kSequential ? "sequential" : "parallel",
+         TextTable::cell(std::uint64_t{3}),
+         TextTable::cell(base.stats.total_machine_invocations()),
+         TextTable::cell(base_ms, 2),
+         TextTable::cell(over_ms, 2),
+         TextTable::cell(base_ms > 0 ? over_ms / base_ms : 0.0, 1),
+         identical ? "yes" : "NO"});
+  }
+  prep.print(std::cout, "D1: whole-preparation wall time by transport");
+  reporter.add("D1: whole-preparation wall time by transport", prep);
+
+  // ---- 3. served samples/sec with real workers ------------------------
+  // Same job stream through two services that differ only in transport;
+  // coalescing means one preparation each, so the gap is the prep cost
+  // amortised over the draws plus any per-draw difference (none — draws
+  // measure the published snapshot).
+  TextTable serve({"transport", "jobs", "samples", "jobs/s", "demotions",
+                   "samples identical"});
+  std::vector<std::vector<std::size_t>> samples_by_transport;
+  std::vector<double> rates;
+  for (const auto kind :
+       {ipc::TransportKind::kInProcess, ipc::TransportKind::kIpc}) {
+    serving::ServiceOptions options;
+    options.workers = 0;  // inline pump: deterministic, single-threaded
+    options.transport = kind;
+    serving::SampleService service(bench::uniform_db(64, 3, 24, 17, 2),
+                                   options);
+    std::vector<std::size_t> samples;
+    std::uint64_t completed = 0;
+    const auto t0 = telemetry::monotonic_ns();
+    for (std::size_t k = 0; k < jobs; ++k) {
+      serving::JobRequest request;
+      request.client_seed = 100 + k;
+      request.num_samples = 4;
+      const auto outcome = service.run(std::move(request));
+      if (outcome.ok()) {
+        ++completed;
+        samples.insert(samples.end(), outcome.result->samples.begin(),
+                       outcome.result->samples.end());
+      }
+    }
+    const auto elapsed = telemetry::monotonic_ns() - t0;
+    const bool demoted =
+        service.active_transport() != kind;  // ipc must not have died
+    service.shutdown();
+    ok = ok && completed == jobs && !demoted;
+
+    samples_by_transport.push_back(samples);
+    const bool identical = samples_by_transport.size() < 2 ||
+                           samples_by_transport[0] == samples;
+    ok = ok && identical;
+    const double rate = static_cast<double>(completed) /
+                        (static_cast<double>(elapsed) / 1e9);
+    rates.push_back(rate);
+    serve.add_row({ipc::to_string(kind), TextTable::cell(completed),
+                   TextTable::cell(std::uint64_t{samples.size()}),
+                   TextTable::cell(rate, 1),
+                   TextTable::cell(std::uint64_t{demoted ? 1u : 0u}),
+                   identical ? "yes" : "NO"});
+  }
+  serve.print(std::cout, "D1: served jobs/sec by transport (real workers)");
+  reporter.add("D1: served jobs/sec by transport (real workers)", serve);
+
+  if (rates.size() == 2 && rates[1] > 0) {
+    std::printf("serving overhead: %.1fx slower over sockets "
+                "(reported, not gated)\n",
+                rates[0] / rates[1]);
+  }
+  if (!ok) {
+    std::printf("FAILED: ipc transport must be bit-identical to the "
+                "in-process oracle and must not demote or leak workers\n");
+  }
+  return reporter.finish(ok ? 0 : 1);
+}

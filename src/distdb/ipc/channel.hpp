@@ -1,0 +1,50 @@
+// The oracle transport seam.
+//
+// SingleStateBackend applies the oracle O_j either directly (in-process
+// Machine::apply_oracle) or through an OracleChannel that moves the register
+// amplitudes to wherever the machine's data actually lives. Because O_j is an
+// exact permutation of the amplitude vector (Eq. 1), ANY correct channel is
+// bit-identical to the in-process path — the property the ipc chaos grid
+// asserts end to end. The channel is deliberately tiny: two calls, one per
+// oracle shape the samplers use, mirroring Machine::apply_oracle's signature.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "qsim/state_vector.hpp"
+
+namespace qs::ipc {
+
+/// Which transport the sampler/serving stack routes oracle calls through.
+enum class TransportKind : std::uint8_t {
+  kInProcess = 0,  ///< direct Machine::apply_oracle on the coordinator
+  kIpc = 1,        ///< per-machine worker processes over Unix sockets
+};
+
+inline const char* to_string(TransportKind kind) {
+  return kind == TransportKind::kIpc ? "ipc" : "in-process";
+}
+
+/// Applies oracles remotely. Implementations may throw ContractViolation when
+/// the transport is irrecoverably down; the serving ladder catches that and
+/// degrades to the in-process transport, then to the classical fallback.
+class OracleChannel {
+ public:
+  virtual ~OracleChannel() = default;
+
+  /// Apply O_machine (adjoint: O_machine†) to `state` in place, shifting the
+  /// count register conditioned on the element register (sequential protocol).
+  virtual void apply_sequential(std::size_t machine, bool adjoint,
+                                StateVector& state, RegisterId elem,
+                                RegisterId count) = 0;
+
+  /// Apply the composed total shift Σ_j c_ij (parallel protocol, Lemma 4.4)
+  /// by threading the state through every machine once: n exact modular adds
+  /// compose to the joint shift, so the result is bit-identical to the
+  /// coordinator's cached joint-count table.
+  virtual void apply_total_shift(bool adjoint, StateVector& state,
+                                 RegisterId elem, RegisterId count) = 0;
+};
+
+}  // namespace qs::ipc

@@ -1,0 +1,143 @@
+#include "distdb/ipc/io.hpp"
+
+#include <cerrno>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "telemetry/trace.hpp"
+
+namespace qs::ipc {
+
+Deadline Deadline::in_ms(std::uint64_t ms) noexcept {
+  Deadline d;
+  d.at_ns = telemetry::monotonic_ns() + ms * 1'000'000ull;
+  if (d.at_ns == 0) d.at_ns = 1;  // keep "0 == unbounded" unambiguous
+  return d;
+}
+
+bool Deadline::expired() const noexcept {
+  return at_ns != 0 && telemetry::monotonic_ns() >= at_ns;
+}
+
+int Deadline::remaining_ms() const noexcept {
+  if (at_ns == 0) return -1;
+  const std::uint64_t now = telemetry::monotonic_ns();
+  if (now >= at_ns) return 0;
+  const std::uint64_t ns = at_ns - now;
+  // Round up so a sub-millisecond remainder polls once instead of spinning.
+  const std::uint64_t ms = (ns + 999'999ull) / 1'000'000ull;
+  return ms > 60'000 ? 60'000 : static_cast<int>(ms);
+}
+
+const char* to_string(IoStatus status) {
+  switch (status) {
+    case IoStatus::kOk: return "ok";
+    case IoStatus::kEof: return "eof";
+    case IoStatus::kTimeout: return "timeout";
+    case IoStatus::kError: return "error";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Wait until `fd` has `events` pending (POLLIN/POLLOUT) within the deadline.
+IoResult wait_for(int fd, short events, const Deadline& deadline) {
+  for (;;) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int budget = deadline.remaining_ms();
+    if (budget == 0) return {IoStatus::kTimeout, 0, 0};
+    const int rc = ::poll(&pfd, 1, budget);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return {IoStatus::kError, errno, 0};
+    }
+    if (rc == 0) {
+      if (deadline.expired()) return {IoStatus::kTimeout, 0, 0};
+      continue;
+    }
+    // POLLHUP/POLLERR fall through to the read/write, which reports the
+    // definitive EOF or errno.
+    return {IoStatus::kOk, 0, 0};
+  }
+}
+
+}  // namespace
+
+IoResult read_full(int fd, void* buf, std::size_t n, const Deadline& deadline) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  std::size_t done = 0;
+  while (done < n) {
+    IoResult ready = wait_for(fd, POLLIN, deadline);
+    if (!ready.ok()) {
+      ready.transferred = done;
+      return ready;
+    }
+    const ssize_t rc = ::read(fd, p + done, n - done);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return {IoStatus::kError, errno, done};
+    }
+    if (rc == 0) return {IoStatus::kEof, 0, done};
+    done += static_cast<std::size_t>(rc);
+  }
+  return {IoStatus::kOk, 0, done};
+}
+
+IoResult write_full(int fd, const void* buf, std::size_t n,
+                    const Deadline& deadline) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  std::size_t done = 0;
+  while (done < n) {
+    IoResult ready = wait_for(fd, POLLOUT, deadline);
+    if (!ready.ok()) {
+      ready.transferred = done;
+      return ready;
+    }
+    // MSG_NOSIGNAL: a peer that died mid-write yields EPIPE here instead of
+    // delivering SIGPIPE to the whole coordinator.
+    const ssize_t rc = ::send(fd, p + done, n - done, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      if (errno == EPIPE || errno == ECONNRESET)
+        return {IoStatus::kEof, errno, done};
+      return {IoStatus::kError, errno, done};
+    }
+    done += static_cast<std::size_t>(rc);
+  }
+  return {IoStatus::kOk, 0, done};
+}
+
+IoResult wait_readable(int fd, const Deadline& deadline) {
+  return wait_for(fd, POLLIN, deadline);
+}
+
+pid_t waitpid_retry(pid_t pid, int* status, int flags) noexcept {
+  for (;;) {
+    const pid_t rc = ::waitpid(pid, status, flags);
+    if (rc < 0 && errno == EINTR) continue;
+    return rc;
+  }
+}
+
+pid_t waitpid_deadline(pid_t pid, int* status, const Deadline& deadline) {
+  for (;;) {
+    const pid_t rc = waitpid_retry(pid, status, WNOHANG);
+    if (rc != 0) return rc;  // reaped, or an error such as ECHILD
+    if (deadline.expired()) return 0;
+    // Short sleep between WNOHANG probes; SIGKILL ahead of the drain
+    // guarantees the child exits, so this converges quickly.
+    pollfd none{};
+    none.fd = -1;
+    const int budget = deadline.remaining_ms();
+    ::poll(&none, 1, budget < 0 || budget > 2 ? 2 : budget);
+  }
+}
+
+}  // namespace qs::ipc

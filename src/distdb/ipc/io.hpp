@@ -1,0 +1,78 @@
+// EINTR/partial-transfer-safe I/O primitives for the ipc transport.
+//
+// POSIX read/write on a stream socket may transfer fewer bytes than asked,
+// fail with EINTR on any signal, or block forever against a hung peer.
+// Every blocking operation in src/distdb/ipc goes through the four wrappers
+// below, which (a) retry EINTR transparently, (b) loop partial transfers to
+// completion, and (c) honor a monotonic deadline via poll() so a stopped
+// worker turns into a typed kTimeout instead of a wedged coordinator. The
+// dqs_lint `ipc-discipline` rule forbids bare read/write/poll/waitpid calls
+// anywhere else in src/, so this file is the single place the raw syscall
+// semantics live.
+//
+// Deadlines are measured on telemetry::monotonic_ns() — the library's one
+// sanctioned clock (timing-discipline) — and writes use send(MSG_NOSIGNAL)
+// so a dead peer yields EPIPE instead of killing the coordinator with
+// SIGPIPE.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <sys/types.h>
+
+namespace qs::ipc {
+
+/// Absolute monotonic deadline; at_ns == 0 means "no deadline".
+struct Deadline {
+  std::uint64_t at_ns = 0;
+
+  static Deadline none() noexcept { return {}; }
+  /// A deadline `ms` milliseconds from now (telemetry::monotonic_ns).
+  static Deadline in_ms(std::uint64_t ms) noexcept;
+
+  bool unbounded() const noexcept { return at_ns == 0; }
+  bool expired() const noexcept;
+  /// Remaining budget in whole milliseconds for poll(): -1 when unbounded,
+  /// 0 when expired, else at least 1 (so a sub-millisecond remainder still
+  /// polls instead of spinning).
+  int remaining_ms() const noexcept;
+};
+
+enum class IoStatus : std::uint8_t {
+  kOk,       // full transfer completed
+  kEof,      // peer closed the stream mid-transfer (worker death)
+  kTimeout,  // deadline expired (hung peer; the watchdog takes over)
+  kError,    // errno-carrying failure (EPIPE, ECONNRESET, ...)
+};
+
+struct IoResult {
+  IoStatus status = IoStatus::kOk;
+  int error = 0;                 ///< errno when status == kError
+  std::size_t transferred = 0;   ///< bytes moved before the outcome
+
+  bool ok() const noexcept { return status == IoStatus::kOk; }
+};
+
+const char* to_string(IoStatus status);
+
+/// Read exactly `n` bytes into `buf`, or report why not.
+IoResult read_full(int fd, void* buf, std::size_t n, const Deadline& deadline);
+
+/// Write exactly `n` bytes from `buf` (send + MSG_NOSIGNAL), or report why
+/// not.
+IoResult write_full(int fd, const void* buf, std::size_t n,
+                    const Deadline& deadline);
+
+/// Block until `fd` is readable (or EOF-able) within the deadline.
+IoResult wait_readable(int fd, const Deadline& deadline);
+
+/// EINTR-retrying waitpid. Returns the waited pid, 0 (WNOHANG, no change),
+/// or -1 with errno (ECHILD when there is nothing left to reap).
+pid_t waitpid_retry(pid_t pid, int* status, int flags) noexcept;
+
+/// waitpid with a deadline: poll WNOHANG on a short cadence until the child
+/// is reaped or the deadline expires (returns 0 on timeout). Used by the
+/// shutdown drain, where SIGKILL guarantees eventual progress.
+pid_t waitpid_deadline(pid_t pid, int* status, const Deadline& deadline);
+
+}  // namespace qs::ipc

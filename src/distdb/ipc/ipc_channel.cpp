@@ -1,0 +1,60 @@
+#include "distdb/ipc/ipc_channel.hpp"
+
+#include "common/require.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace qs::ipc {
+
+IpcOracleChannel::IpcOracleChannel(IpcSupervisor& supervisor,
+                                   std::size_t max_attempts)
+    : supervisor_(supervisor), max_attempts_(max_attempts) {
+  QS_REQUIRE(max_attempts_ >= 1, "ipc channel needs at least one attempt");
+}
+
+void IpcOracleChannel::roundtrip_with_repair(std::size_t machine, bool adjoint,
+                                             StateVector& state,
+                                             RegisterId elem,
+                                             RegisterId count) {
+  std::optional<PeerFailure> failure;
+  for (std::size_t attempt = 0; attempt < max_attempts_; ++attempt) {
+    if (attempt > 0) ++stats_.retries;
+    if (!supervisor_.peer_alive(machine)) {
+      if (auto spawn_failure = supervisor_.respawn(machine)) {
+        failure = std::move(spawn_failure);
+        continue;
+      }
+      ++stats_.respawns;
+    }
+    failure = supervisor_.oracle_roundtrip(machine, adjoint, state, elem,
+                                           count);
+    if (!failure) return;
+    // A torn frame leaves the peer alive and the stream synced: loop and
+    // retry directly. Every other kind left the peer reaped; the next
+    // iteration respawns it.
+  }
+  QS_REQUIRE(false, "ipc transport failed for machine " +
+                        std::to_string(machine) + " after " +
+                        std::to_string(max_attempts_) + " attempts: " +
+                        (failure ? failure->to_string() : "unknown"));
+}
+
+void IpcOracleChannel::apply_sequential(std::size_t machine, bool adjoint,
+                                        StateVector& state, RegisterId elem,
+                                        RegisterId count) {
+  ++stats_.sequential_calls;
+  roundtrip_with_repair(machine, adjoint, state, elem, count);
+}
+
+void IpcOracleChannel::apply_total_shift(bool adjoint, StateVector& state,
+                                         RegisterId elem, RegisterId count) {
+  // Lemma 4.4: the parallel round's net counter shift is Σ_j c_ij mod (ν+1).
+  // n exact per-machine modular adds compose to exactly that joint shift, so
+  // threading the state through every worker once is bit-identical to the
+  // coordinator's cached joint-count table.
+  ++stats_.total_shift_calls;
+  for (std::size_t j = 0; j < supervisor_.num_machines(); ++j) {
+    roundtrip_with_repair(j, adjoint, state, elem, count);
+  }
+}
+
+}  // namespace qs::ipc

@@ -1,0 +1,56 @@
+// OracleChannel over the IpcSupervisor: the production ipc transport.
+//
+// Each oracle application becomes one framed round-trip to the machine's
+// worker process. The channel adds a small bounded self-repair loop on top
+// of the supervisor — a torn frame is simply retried (the stream stays in
+// sync), a dead or hung worker is respawned and retried — so transient
+// process failures during a fault-free replay never surface to the sampler.
+// When the budget is exhausted the channel throws ContractViolation, which
+// the serving ladder catches to degrade ipc → in-process → classical.
+//
+// The chaos harness (faults/ipc_chaos.hpp) does NOT rely on this loop: it
+// drives the supervisor directly during fault injection and only uses the
+// channel for the recovered-schedule replay.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "distdb/ipc/channel.hpp"
+#include "distdb/ipc/supervisor.hpp"
+
+namespace qs::ipc {
+
+struct IpcChannelStats {
+  std::uint64_t sequential_calls = 0;
+  std::uint64_t total_shift_calls = 0;
+  std::uint64_t retries = 0;   ///< round-trips repeated after a PeerFailure
+  std::uint64_t respawns = 0;  ///< workers re-forked by the repair loop
+};
+
+class IpcOracleChannel final : public OracleChannel {
+ public:
+  /// Does not own the supervisor; it must outlive the channel and be
+  /// started. `max_attempts` bounds round-trip tries per oracle call.
+  explicit IpcOracleChannel(IpcSupervisor& supervisor,
+                            std::size_t max_attempts = 3);
+
+  void apply_sequential(std::size_t machine, bool adjoint, StateVector& state,
+                        RegisterId elem, RegisterId count) override;
+
+  void apply_total_shift(bool adjoint, StateVector& state, RegisterId elem,
+                         RegisterId count) override;
+
+  const IpcChannelStats& stats() const noexcept { return stats_; }
+
+ private:
+  void roundtrip_with_repair(std::size_t machine, bool adjoint,
+                             StateVector& state, RegisterId elem,
+                             RegisterId count);
+
+  IpcSupervisor& supervisor_;
+  std::size_t max_attempts_;
+  IpcChannelStats stats_;
+};
+
+}  // namespace qs::ipc

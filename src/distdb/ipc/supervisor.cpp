@@ -1,0 +1,511 @@
+#include "distdb/ipc/supervisor.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/require.hpp"
+#include "distdb/ipc/io.hpp"
+#include "distdb/ipc/worker.hpp"
+#include "distdb/serialize.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace qs::ipc {
+
+const char* to_string(PeerFailureKind kind) {
+  switch (kind) {
+    case PeerFailureKind::kExited: return "exited";
+    case PeerFailureKind::kKilled: return "killed";
+    case PeerFailureKind::kHung: return "hung";
+    case PeerFailureKind::kTornFrame: return "torn-frame";
+    case PeerFailureKind::kWireError: return "wire-error";
+    case PeerFailureKind::kSpawnFailed: return "spawn-failed";
+  }
+  return "unknown";
+}
+
+std::string PeerFailure::to_string() const {
+  std::string out = "machine ";
+  out += std::to_string(machine);
+  out += ": ";
+  out += ipc::to_string(kind);
+  if (!detail.empty()) {
+    out += " (";
+    out += detail;
+    out += ")";
+  }
+  return out;
+}
+
+namespace {
+
+struct RecvOutcome {
+  std::optional<Frame> frame;
+  PeerFailureKind kind = PeerFailureKind::kExited;
+  std::string detail;
+
+  bool ok() const noexcept { return frame.has_value(); }
+};
+
+/// Read one full frame under the deadline. kTimeout and kEof map onto the
+/// process-level kinds so the caller's watchdog can refine them; a CRC
+/// failure on an otherwise well-framed reply is kTornFrame (stream intact).
+RecvOutcome recv_frame(int fd, const Deadline& deadline) {
+  RecvOutcome out;
+  std::uint8_t header_bytes[kHeaderSize];
+  IoResult io = read_full(fd, header_bytes, kHeaderSize, deadline);
+  if (!io.ok()) {
+    out.kind = io.status == IoStatus::kTimeout ? PeerFailureKind::kHung
+                                               : PeerFailureKind::kExited;
+    out.detail = io.status == IoStatus::kError ? std::strerror(io.error)
+                                               : ipc::to_string(io.status);
+    return out;
+  }
+  FrameHeader header;
+  if (auto err = parse_header_checked(
+          std::span<const std::uint8_t>(header_bytes, kHeaderSize), header)) {
+    out.kind = PeerFailureKind::kWireError;
+    out.detail = err->to_string();
+    return out;
+  }
+  std::vector<std::uint8_t> buffer(kHeaderSize + header.payload_len);
+  std::copy(header_bytes, header_bytes + kHeaderSize, buffer.begin());
+  if (header.payload_len > 0) {
+    io = read_full(fd, buffer.data() + kHeaderSize, header.payload_len,
+                   deadline);
+    if (!io.ok()) {
+      out.kind = io.status == IoStatus::kTimeout ? PeerFailureKind::kHung
+                                                 : PeerFailureKind::kExited;
+      out.detail = "mid-frame: ";
+      out.detail += io.status == IoStatus::kError ? std::strerror(io.error)
+                                                  : ipc::to_string(io.status);
+      return out;
+    }
+  }
+  FrameParseResult parsed = parse_frame_checked(buffer);
+  if (!parsed.ok()) {
+    out.kind = parsed.error->field == "checksum" ? PeerFailureKind::kTornFrame
+                                                 : PeerFailureKind::kWireError;
+    out.detail = parsed.error->to_string();
+    return out;
+  }
+  out.frame = std::move(*parsed.frame);
+  return out;
+}
+
+telemetry::Counter& frames_sent() {
+  static auto& c = telemetry::counter("transport.ipc.frames.sent");
+  return c;
+}
+telemetry::Counter& frames_received() {
+  static auto& c = telemetry::counter("transport.ipc.frames.received");
+  return c;
+}
+telemetry::Counter& bytes_sent() {
+  static auto& c = telemetry::counter("transport.ipc.bytes.sent");
+  return c;
+}
+telemetry::Counter& bytes_received() {
+  static auto& c = telemetry::counter("transport.ipc.bytes.received");
+  return c;
+}
+
+}  // namespace
+
+IpcSupervisor::IpcSupervisor(const DistributedDatabase& db, IpcOptions options)
+    : db_(db), options_(std::move(options)), peers_(db.num_machines()) {}
+
+IpcSupervisor::~IpcSupervisor() { shutdown(); }
+
+std::size_t IpcSupervisor::num_machines() const noexcept {
+  return peers_.size();
+}
+
+bool IpcSupervisor::peer_alive(std::size_t machine) const {
+  return machine < peers_.size() && peers_[machine].alive;
+}
+
+void IpcSupervisor::close_peer(Peer& peer) {
+  if (peer.fd >= 0) {
+    ::close(peer.fd);
+    peer.fd = -1;
+  }
+  peer.alive = false;
+}
+
+std::optional<PeerFailure> IpcSupervisor::spawn(std::size_t machine) {
+  Peer& peer = peers_[machine];
+  QS_REQUIRE(!peer.alive, "spawn of a live ipc peer");
+
+  int sv[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+    return PeerFailure{machine, PeerFailureKind::kSpawnFailed,
+                       std::string("socketpair: ") + std::strerror(errno)};
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(sv[0]);
+    ::close(sv[1]);
+    return PeerFailure{machine, PeerFailureKind::kSpawnFailed,
+                       std::string("fork: ") + std::strerror(errno)};
+  }
+  if (pid == 0) {
+    // Child: become the worker. No exec — we keep the parent's text segment
+    // and run the serial protocol loop. _exit (not exit) so no parent-owned
+    // atexit handlers or stream buffers run twice.
+    ::close(sv[0]);
+    if (!options_.worker_stderr_dir.empty()) {
+      const std::string path = options_.worker_stderr_dir + "/worker_" +
+                               std::to_string(machine) + ".log";
+      const int log_fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                                0644);
+      if (log_fd >= 0) {
+        ::dup2(log_fd, 2);
+        ::close(log_fd);
+      }
+    }
+    _exit(ipc_worker_main(sv[1], static_cast<std::uint32_t>(machine)));
+  }
+  // Parent.
+  ::close(sv[1]);
+  peer.pid = pid;
+  peer.fd = sv[0];
+  peer.seq = 0;
+  peer.alive = true;
+  telemetry::gauge("transport.ipc.workers").add(1);
+
+  if (options_.kill_before_handshake) {
+    // Test hook: the worker dies before it ever speaks. The handshake below
+    // must classify this cleanly, not hang.
+    ::kill(pid, SIGKILL);
+  }
+  return handshake(machine);
+}
+
+std::optional<PeerFailure> IpcSupervisor::handshake(std::size_t machine) {
+  Peer& peer = peers_[machine];
+  HelloPayload hello;
+  hello.universe = db_.universe();
+  const auto& counts = db_.machine(machine).data().counts();
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] > 0) hello.counts.emplace_back(i, counts[i]);
+  }
+  const auto payload = encode_hello(hello);
+  const auto frame = encode_frame(FrameType::kHello,
+                                  static_cast<std::uint32_t>(machine),
+                                  ++peer.seq, payload);
+  const Deadline deadline = Deadline::in_ms(options_.handshake_timeout_ms);
+  IoResult io = write_full(peer.fd, frame.data(), frame.size(), deadline);
+  if (!io.ok()) return watchdog(machine, "hello write");
+  frames_sent().add();
+  bytes_sent().add(frame.size());
+
+  RecvOutcome reply = recv_frame(peer.fd, deadline);
+  if (!reply.ok()) return watchdog(machine, "hello: " + reply.detail);
+  frames_received().add();
+  bytes_received().add(kHeaderSize + reply.frame->payload.size());
+  if (reply.frame->header.type != FrameType::kHelloAck ||
+      reply.frame->header.seq != peer.seq) {
+    close_peer(peer);
+    ::kill(peer.pid, SIGKILL);
+    waitpid_retry(peer.pid, nullptr, 0);
+    peer.pid = -1;
+    telemetry::gauge("transport.ipc.workers").add(-1);
+    return PeerFailure{machine, PeerFailureKind::kWireError,
+                       "handshake reply was not kHelloAck"};
+  }
+  return std::nullopt;
+}
+
+std::optional<PeerFailure> IpcSupervisor::start() {
+  QS_REQUIRE(!started_, "ipc supervisor already started");
+  started_ = true;
+  shut_down_ = false;
+  std::optional<PeerFailure> first_failure;
+  for (std::size_t j = 0; j < peers_.size(); ++j) {
+    if (auto failure = spawn(j); failure && !first_failure) {
+      first_failure = std::move(failure);
+    }
+  }
+  return first_failure;
+}
+
+PeerFailure IpcSupervisor::watchdog(std::size_t machine,
+                                    const std::string& context) {
+  Peer& peer = peers_[machine];
+  close_peer(peer);
+  PeerFailure failure{machine, PeerFailureKind::kExited, context};
+  if (peer.pid < 0) {
+    failure.kind = PeerFailureKind::kSpawnFailed;
+    return failure;
+  }
+  int status = 0;
+  pid_t reaped = waitpid_retry(peer.pid, &status, WNOHANG);
+  if (reaped == 0) {
+    // Still alive but past its deadline: hung (SIGSTOP chaos, or wedged).
+    // The watchdog escalates to SIGKILL and reaps — a hung worker must never
+    // wedge the coordinator.
+    failure.kind = PeerFailureKind::kHung;
+    ::kill(peer.pid, SIGKILL);
+    reaped = waitpid_retry(peer.pid, &status, 0);
+  } else if (reaped == peer.pid && WIFSIGNALED(status)) {
+    failure.kind = PeerFailureKind::kKilled;
+    failure.detail = context + "; signal " + std::to_string(WTERMSIG(status));
+  }
+  peer.pid = -1;
+  telemetry::gauge("transport.ipc.workers").add(-1);
+  telemetry::counter("transport.ipc.heartbeat.miss").add();
+  return failure;
+}
+
+std::optional<PeerFailure> IpcSupervisor::ping(std::size_t machine) {
+  Peer& peer = peers_[machine];
+  if (!peer.alive)
+    return PeerFailure{machine, PeerFailureKind::kExited, "peer is down"};
+  const auto frame = encode_frame(FrameType::kPing,
+                                  static_cast<std::uint32_t>(machine),
+                                  ++peer.seq, {});
+  const Deadline deadline = Deadline::in_ms(options_.heartbeat_timeout_ms);
+  const std::uint64_t t0 = telemetry::monotonic_ns();
+  IoResult io = write_full(peer.fd, frame.data(), frame.size(), deadline);
+  if (!io.ok()) return watchdog(machine, "ping write");
+  frames_sent().add();
+  bytes_sent().add(frame.size());
+  RecvOutcome reply = recv_frame(peer.fd, deadline);
+  if (!reply.ok()) {
+    if (reply.kind == PeerFailureKind::kTornFrame) {
+      // Fully read, framing intact, CRC bad: the peer is alive and the
+      // stream is in sync — report without invoking the watchdog.
+      telemetry::counter("transport.ipc.torn_frames").add();
+      return PeerFailure{machine, PeerFailureKind::kTornFrame, reply.detail};
+    }
+    return watchdog(machine, "ping: " + reply.detail);
+  }
+  frames_received().add();
+  bytes_received().add(kHeaderSize + reply.frame->payload.size());
+  if (reply.frame->header.type != FrameType::kPong ||
+      reply.frame->header.seq != peer.seq) {
+    return watchdog(machine, "ping reply was not the matching kPong");
+  }
+  telemetry::histogram("transport.ipc.rtt.ns")
+      .record(telemetry::monotonic_ns() - t0);
+  return std::nullopt;
+}
+
+std::optional<PeerFailure> IpcSupervisor::oracle_roundtrip(
+    std::size_t machine, bool adjoint, StateVector& state, RegisterId elem,
+    RegisterId count) {
+  Peer& peer = peers_[machine];
+  if (!peer.alive)
+    return PeerFailure{machine, PeerFailureKind::kExited, "peer is down"};
+  QS_REQUIRE(!state.is_sparse(),
+             "ipc transport requires the dense state backend");
+
+  OraclePayload oracle;
+  oracle.adjoint = adjoint ? 1 : 0;
+  oracle.elem_reg = static_cast<std::uint32_t>(elem.value);
+  oracle.count_reg = static_cast<std::uint32_t>(count.value);
+  const RegisterLayout& layout = state.layout();
+  for (std::size_t r = 0; r < layout.num_registers(); ++r) {
+    oracle.dims.push_back(layout.dim(RegisterId{r}));
+  }
+  const auto amps = state.amplitudes();
+  oracle.amplitudes.assign(amps.begin(), amps.end());
+
+  const auto payload = encode_oracle(oracle);
+  const auto frame = encode_frame(FrameType::kOracle,
+                                  static_cast<std::uint32_t>(machine),
+                                  ++peer.seq, payload);
+  const Deadline deadline = Deadline::in_ms(options_.reply_timeout_ms);
+  const std::uint64_t t0 = telemetry::monotonic_ns();
+  IoResult io = write_full(peer.fd, frame.data(), frame.size(), deadline);
+  if (!io.ok()) return watchdog(machine, "oracle write");
+  frames_sent().add();
+  bytes_sent().add(frame.size());
+
+  RecvOutcome reply = recv_frame(peer.fd, deadline);
+  if (!reply.ok()) {
+    if (reply.kind == PeerFailureKind::kTornFrame) {
+      // The frame was fully read and only failed its CRC: the stream is
+      // still in sync and the peer is alive. Report without tearing down.
+      telemetry::counter("transport.ipc.torn_frames").add();
+      return PeerFailure{machine, PeerFailureKind::kTornFrame, reply.detail};
+    }
+    return watchdog(machine, "oracle: " + reply.detail);
+  }
+  frames_received().add();
+  bytes_received().add(kHeaderSize + reply.frame->payload.size());
+  if (reply.frame->header.type == FrameType::kError) {
+    ErrorPayload error;
+    decode_error(reply.frame->payload, error);
+    return PeerFailure{machine, PeerFailureKind::kWireError,
+                       "worker error: " + error.message};
+  }
+  if (reply.frame->header.type != FrameType::kOracleReply ||
+      reply.frame->header.seq != peer.seq) {
+    return watchdog(machine, "oracle reply had the wrong type or seq");
+  }
+  std::vector<cplx> permuted;
+  if (auto err = decode_amplitudes(reply.frame->payload, permuted)) {
+    return PeerFailure{machine, PeerFailureKind::kWireError, err->to_string()};
+  }
+  if (permuted.size() != amps.size()) {
+    return PeerFailure{machine, PeerFailureKind::kWireError,
+                       "oracle reply amplitude count mismatch"};
+  }
+  state.set_amplitudes(std::move(permuted));
+  telemetry::histogram("transport.ipc.rtt.ns")
+      .record(telemetry::monotonic_ns() - t0);
+  return std::nullopt;
+}
+
+std::optional<PeerFailure> IpcSupervisor::arm_fault(std::size_t machine,
+                                                    ArmedFaultMode mode) {
+  Peer& peer = peers_[machine];
+  if (!peer.alive)
+    return PeerFailure{machine, PeerFailureKind::kExited, "peer is down"};
+  const std::uint8_t payload[1] = {static_cast<std::uint8_t>(mode)};
+  const auto frame = encode_frame(FrameType::kArmFault,
+                                  static_cast<std::uint32_t>(machine),
+                                  ++peer.seq, payload);
+  const Deadline deadline = Deadline::in_ms(options_.reply_timeout_ms);
+  IoResult io = write_full(peer.fd, frame.data(), frame.size(), deadline);
+  if (!io.ok()) return watchdog(machine, "arm-fault write");
+  frames_sent().add();
+  bytes_sent().add(frame.size());
+  RecvOutcome reply = recv_frame(peer.fd, deadline);
+  if (!reply.ok()) return watchdog(machine, "arm-fault: " + reply.detail);
+  frames_received().add();
+  if (reply.frame->header.type != FrameType::kArmFaultAck ||
+      reply.frame->header.seq != peer.seq) {
+    return watchdog(machine, "arm-fault reply was not the matching ack");
+  }
+  return std::nullopt;
+}
+
+std::optional<PeerFailure> IpcSupervisor::update(std::size_t machine,
+                                                 std::uint64_t element,
+                                                 std::int64_t delta) {
+  Peer& peer = peers_[machine];
+  if (!peer.alive)
+    return PeerFailure{machine, PeerFailureKind::kExited, "peer is down"};
+  const auto payload = encode_update({element, delta});
+  const auto frame = encode_frame(FrameType::kUpdate,
+                                  static_cast<std::uint32_t>(machine),
+                                  ++peer.seq, payload);
+  const Deadline deadline = Deadline::in_ms(options_.reply_timeout_ms);
+  IoResult io = write_full(peer.fd, frame.data(), frame.size(), deadline);
+  if (!io.ok()) return watchdog(machine, "update write");
+  frames_sent().add();
+  bytes_sent().add(frame.size());
+  RecvOutcome reply = recv_frame(peer.fd, deadline);
+  if (!reply.ok()) return watchdog(machine, "update: " + reply.detail);
+  frames_received().add();
+  if (reply.frame->header.type == FrameType::kError) {
+    ErrorPayload error;
+    decode_error(reply.frame->payload, error);
+    return PeerFailure{machine, PeerFailureKind::kWireError,
+                       "worker error: " + error.message};
+  }
+  if (reply.frame->header.type != FrameType::kUpdateAck ||
+      reply.frame->header.seq != peer.seq) {
+    return watchdog(machine, "update reply was not the matching ack");
+  }
+  return std::nullopt;
+}
+
+void IpcSupervisor::kill_peer(std::size_t machine) {
+  const Peer& peer = peers_[machine];
+  if (peer.pid > 0) ::kill(peer.pid, SIGKILL);
+}
+
+void IpcSupervisor::stop_peer(std::size_t machine) {
+  const Peer& peer = peers_[machine];
+  if (peer.pid > 0) ::kill(peer.pid, SIGSTOP);
+}
+
+std::optional<PeerFailure> IpcSupervisor::respawn(std::size_t machine) {
+  Peer& peer = peers_[machine];
+  if (peer.alive) {
+    // A caller may respawn a peer it only suspects is dead (e.g. SIGKILLed
+    // out-of-band but not yet probed). Run the watchdog first so the old
+    // process is definitely gone and reaped.
+    watchdog(machine, "respawn of a live peer");
+  } else if (peer.pid > 0) {
+    waitpid_retry(peer.pid, nullptr, 0);
+    peer.pid = -1;
+    telemetry::gauge("transport.ipc.workers").add(-1);
+  }
+  if (respawn_count_ >= options_.max_respawns) {
+    return PeerFailure{machine, PeerFailureKind::kSpawnFailed,
+                       "respawn budget exhausted"};
+  }
+  ++respawn_count_;
+  telemetry::counter("transport.ipc.respawns").add();
+  return spawn(machine);
+}
+
+void IpcSupervisor::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  // Phase 1: polite drain — kShutdown to every live peer; workers ack and
+  // exit 0.
+  for (std::size_t j = 0; j < peers_.size(); ++j) {
+    Peer& peer = peers_[j];
+    if (!peer.alive) continue;
+    const auto frame = encode_frame(FrameType::kShutdown,
+                                    static_cast<std::uint32_t>(j), ++peer.seq,
+                                    {});
+    const Deadline deadline = Deadline::in_ms(options_.shutdown_timeout_ms);
+    if (write_full(peer.fd, frame.data(), frame.size(), deadline).ok()) {
+      frames_sent().add();
+      recv_frame(peer.fd, deadline);  // best-effort ack; exit is the signal
+    }
+    close_peer(peer);
+  }
+  // Phase 2: reap with escalation. SIGTERM first (covers a worker wedged in
+  // user code), SIGKILL as the backstop (covers SIGSTOP'd chaos victims —
+  // SIGKILL acts even on a stopped process).
+  for (Peer& peer : peers_) {
+    if (peer.pid <= 0) continue;
+    int status = 0;
+    pid_t reaped = waitpid_deadline(
+        peer.pid, &status, Deadline::in_ms(options_.shutdown_timeout_ms));
+    if (reaped == 0) {
+      ::kill(peer.pid, SIGTERM);
+      reaped = waitpid_deadline(peer.pid, &status, Deadline::in_ms(200));
+    }
+    if (reaped == 0) {
+      ::kill(peer.pid, SIGKILL);
+      waitpid_retry(peer.pid, &status, 0);
+    }
+    peer.pid = -1;
+    telemetry::gauge("transport.ipc.workers").add(-1);
+  }
+}
+
+std::size_t IpcSupervisor::zombies() {
+  std::size_t count = 0;
+  for (Peer& peer : peers_) {
+    if (peer.pid <= 0) continue;
+    int status = 0;
+    const pid_t reaped = waitpid_retry(peer.pid, &status, WNOHANG);
+    if (reaped == peer.pid) {
+      // It was sitting dead and unreaped: a zombie until this probe.
+      ++count;
+      peer.pid = -1;
+      peer.alive = false;
+      telemetry::gauge("transport.ipc.workers").add(-1);
+    }
+  }
+  return count;
+}
+
+}  // namespace qs::ipc

@@ -1,0 +1,154 @@
+// Coordinator-side supervisor for the per-machine worker processes.
+//
+// One worker per Machine, forked over a Unix-domain socketpair and speaking
+// dqs-wire-v1 (wire.hpp). The supervisor owns every process-level concern so
+// the layers above it stay transport-agnostic:
+//
+//   * spawn + handshake (kHello with the machine's live counts, from the
+//     database at spawn time — a respawned worker rebuilds current state);
+//   * framed round-trips with per-peer deadlines and sequence echo checks;
+//   * the watchdog: a missed deadline triggers waitpid(WNOHANG) to decide
+//     "dead" (reap, classify by exit/signal) vs "hung" (SIGSTOP'd or wedged
+//     — SIGKILL, reap, classify kHung);
+//   * respawn of crashed peers and a graceful shutdown drain
+//     (kShutdown/ack → SIGTERM → SIGKILL) that reaps every child.
+//
+// The supervisor reports failures as PeerFailure values — it does NOT decide
+// retry policy. The faults layer maps PeerFailureKind into the existing
+// fault taxonomy (classify_peer_failure in faults/ipc_chaos.hpp) so
+// RetryPolicy / CircuitBreaker / plan_recovery operate unchanged over real
+// process crashes. Telemetry: transport.ipc.* counters and the
+// transport.ipc.rtt.ns histogram.
+//
+// Thread-safety: NONE — callers serialize access (the serving layer already
+// serializes builds through its prep_in_flight_ gate).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "distdb/distributed_database.hpp"
+#include "distdb/ipc/wire.hpp"
+#include "qsim/state_vector.hpp"
+
+namespace qs::ipc {
+
+struct IpcOptions {
+  std::uint64_t handshake_timeout_ms = 2000;  ///< spawn → kHelloAck
+  std::uint64_t reply_timeout_ms = 5000;      ///< oracle/update round-trip
+  std::uint64_t heartbeat_timeout_ms = 1000;  ///< kPing → kPong
+  std::uint64_t shutdown_timeout_ms = 2000;   ///< drain before SIGTERM/KILL
+  std::size_t max_respawns = 16;  ///< lifetime cap across all machines
+  /// When non-empty, each worker's stderr is redirected to
+  /// `<dir>/worker_<machine>.log` (CI uploads these as artifacts).
+  std::string worker_stderr_dir;
+  /// Test hook: SIGKILL each child between fork and kHello, exercising the
+  /// dies-before-handshake path. Clear it to let a respawn succeed.
+  bool kill_before_handshake = false;
+};
+
+/// What went wrong with one peer, as observed at the process/wire level.
+enum class PeerFailureKind : std::uint8_t {
+  kExited = 0,      ///< worker exited (EOF / reaped with WIFEXITED)
+  kKilled = 1,      ///< worker terminated by a signal (SIGKILL chaos)
+  kHung = 2,        ///< deadline missed while the process was still alive
+  kTornFrame = 3,   ///< frame failed its CRC; stream intact, peer alive
+  kWireError = 4,   ///< malformed frame / protocol violation / kError reply
+  kSpawnFailed = 5, ///< fork/socketpair/handshake never completed
+};
+
+const char* to_string(PeerFailureKind kind);
+
+struct PeerFailure {
+  std::size_t machine = 0;
+  PeerFailureKind kind = PeerFailureKind::kExited;
+  std::string detail;
+
+  std::string to_string() const;
+};
+
+class IpcSupervisor {
+ public:
+  /// Does not own `db`; it must outlive the supervisor. Workers are NOT
+  /// spawned until start().
+  explicit IpcSupervisor(const DistributedDatabase& db, IpcOptions options = {});
+  ~IpcSupervisor();
+
+  IpcSupervisor(const IpcSupervisor&) = delete;
+  IpcSupervisor& operator=(const IpcSupervisor&) = delete;
+
+  std::size_t num_machines() const noexcept;
+  const IpcOptions& options() const noexcept { return options_; }
+  IpcOptions& options() noexcept { return options_; }
+
+  /// Spawn and handshake every worker. Returns the first failure, if any
+  /// (remaining workers are still spawned; the failed one can be respawned).
+  std::optional<PeerFailure> start();
+  bool started() const noexcept { return started_; }
+
+  /// True when the worker process is running and its socket is open.
+  bool peer_alive(std::size_t machine) const;
+
+  /// Liveness probe (kPing/kPong) under the heartbeat deadline. A miss runs
+  /// the watchdog: dead peers are reaped and classified, hung peers are
+  /// SIGKILLed then reaped.
+  std::optional<PeerFailure> ping(std::size_t machine);
+
+  /// One oracle application on the worker: ships the dense amplitudes,
+  /// receives the permuted ones, writes them back into `state`. On failure
+  /// `state` is left untouched (no partial mutation).
+  std::optional<PeerFailure> oracle_roundtrip(std::size_t machine,
+                                              bool adjoint, StateVector& state,
+                                              RegisterId elem,
+                                              RegisterId count);
+
+  /// Arm the worker's next oracle reply with a chaos fault (wire.hpp).
+  std::optional<PeerFailure> arm_fault(std::size_t machine,
+                                       ArmedFaultMode mode);
+
+  /// Propagate a dynamic update (±1 multiplicity) to the worker.
+  std::optional<PeerFailure> update(std::size_t machine, std::uint64_t element,
+                                    std::int64_t delta);
+
+  /// Chaos controls: really signal the child.
+  void kill_peer(std::size_t machine);  ///< SIGKILL
+  void stop_peer(std::size_t machine);  ///< SIGSTOP (watchdog must detect)
+
+  /// Reap (if needed) and re-fork a dead peer, replaying the handshake with
+  /// the database's CURRENT counts. Fails once max_respawns is exhausted.
+  std::optional<PeerFailure> respawn(std::size_t machine);
+  std::size_t respawns() const noexcept { return respawn_count_; }
+
+  /// Graceful drain: kShutdown to every live peer, wait for acks/exits, then
+  /// escalate SIGTERM → SIGKILL, and reap every child. Idempotent.
+  void shutdown();
+
+  /// Number of our children that are dead but unreaped (reaps them as a side
+  /// effect of probing). Must be 0 after shutdown() — asserted by tests.
+  std::size_t zombies();
+
+ private:
+  struct Peer {
+    pid_t pid = -1;
+    int fd = -1;
+    std::uint64_t seq = 0;
+    bool alive = false;
+  };
+
+  std::optional<PeerFailure> spawn(std::size_t machine);
+  std::optional<PeerFailure> handshake(std::size_t machine);
+  /// Deadline missed or stream broke: decide dead vs hung, reap, classify.
+  PeerFailure watchdog(std::size_t machine, const std::string& context);
+  void close_peer(Peer& peer);
+
+  const DistributedDatabase& db_;
+  IpcOptions options_;
+  std::vector<Peer> peers_;
+  bool started_ = false;
+  bool shut_down_ = false;
+  std::size_t respawn_count_ = 0;
+};
+
+}  // namespace qs::ipc

@@ -1,0 +1,410 @@
+#include "distdb/ipc/wire.hpp"
+
+#include <array>
+
+#include "distdb/serialize.hpp"
+
+namespace qs::ipc {
+
+const char* to_string(FrameType type) {
+  switch (type) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kHelloAck: return "hello-ack";
+    case FrameType::kOracle: return "oracle";
+    case FrameType::kOracleReply: return "oracle-reply";
+    case FrameType::kPing: return "ping";
+    case FrameType::kPong: return "pong";
+    case FrameType::kArmFault: return "arm-fault";
+    case FrameType::kArmFaultAck: return "arm-fault-ack";
+    case FrameType::kUpdate: return "update";
+    case FrameType::kUpdateAck: return "update-ack";
+    case FrameType::kShutdown: return "shutdown";
+    case FrameType::kShutdownAck: return "shutdown-ack";
+    case FrameType::kError: return "error";
+  }
+  return "unknown";
+}
+
+bool is_known_frame_type(std::uint16_t raw) {
+  return raw >= static_cast<std::uint16_t>(FrameType::kHello) &&
+         raw <= static_cast<std::uint16_t>(FrameType::kError);
+}
+
+std::string WireError::to_string() const {
+  return "wire offset " + std::to_string(offset) + ", field '" + field +
+         "': " + reason;
+}
+
+namespace {
+
+/// CRC-32 lookup table for the reflected polynomial 0xEDB88320, built once.
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+std::optional<WireError> wire_error(std::size_t offset, const char* field,
+                                    std::string reason) {
+  return WireError{offset, field, std::move(reason)};
+}
+
+/// Serialize the header with `checksum` as given (0 while computing).
+void put_header(ByteWriter& w, const FrameHeader& h) {
+  w.u32(h.magic);
+  w.u16(h.version);
+  w.u16(static_cast<std::uint16_t>(h.type));
+  w.u32(h.machine);
+  w.u32(h.payload_len);
+  w.u64(h.seq);
+  w.u32(h.checksum);
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  const auto& table = crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const std::uint8_t byte : data) {
+    c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::uint8_t> encode_frame(FrameType type, std::uint32_t machine,
+                                       std::uint64_t seq,
+                                       std::span<const std::uint8_t> payload) {
+  FrameHeader h;
+  h.type = type;
+  h.machine = machine;
+  h.seq = seq;
+  h.payload_len = static_cast<std::uint32_t>(payload.size());
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderSize + payload.size());
+  ByteWriter w(out);
+  put_header(w, h);
+  w.bytes(payload);
+  // CRC over header-with-zero-checksum plus payload, then patch it in.
+  const std::uint32_t crc_head =
+      crc32(std::span(out.data(), kHeaderSize - sizeof(std::uint32_t)));
+  const std::uint32_t crc = crc32(payload, crc_head);
+  std::memcpy(out.data() + kHeaderSize - sizeof(std::uint32_t), &crc,
+              sizeof crc);
+  return out;
+}
+
+std::optional<WireError> parse_header_checked(
+    std::span<const std::uint8_t> buffer, FrameHeader& out) {
+  ByteReader r(buffer);
+  FrameHeader h;
+  if (!r.u32(h.magic)) {
+    return wire_error(r.offset(), "magic",
+                      "frame truncated before the 4-byte magic (" +
+                          std::to_string(buffer.size()) + " bytes)");
+  }
+  if (h.magic != kWireMagic) {
+    return wire_error(0, "magic", "bad magic (not a dqs-wire-v1 frame)");
+  }
+  if (!r.u16(h.version)) {
+    return wire_error(r.offset(), "version", "frame truncated in the header");
+  }
+  if (h.version != kWireVersion) {
+    return wire_error(4, "version",
+                      "unsupported wire version " + std::to_string(h.version) +
+                          " (this build speaks " +
+                          std::to_string(kWireVersion) + ")");
+  }
+  std::uint16_t raw_type = 0;
+  if (!r.u16(raw_type)) {
+    return wire_error(r.offset(), "type", "frame truncated in the header");
+  }
+  if (!is_known_frame_type(raw_type)) {
+    return wire_error(6, "type",
+                      "unknown frame type " + std::to_string(raw_type));
+  }
+  h.type = static_cast<FrameType>(raw_type);
+  if (!r.u32(h.machine) || !r.u32(h.payload_len) || !r.u64(h.seq) ||
+      !r.u32(h.checksum)) {
+    return wire_error(r.offset(), "header", "frame truncated in the header");
+  }
+  if (h.payload_len > kMaxPayload) {
+    return wire_error(12, "payload_len",
+                      "payload length " + std::to_string(h.payload_len) +
+                          " exceeds the " + std::to_string(kMaxPayload) +
+                          "-byte cap");
+  }
+  out = h;
+  return std::nullopt;
+}
+
+FrameParseResult parse_frame_checked(std::span<const std::uint8_t> buffer) {
+  FrameParseResult result;
+  FrameHeader h;
+  if (auto err = parse_header_checked(buffer, h)) {
+    result.error = std::move(err);
+    return result;
+  }
+  if (buffer.size() < kHeaderSize + h.payload_len) {
+    result.error = wire_error(
+        buffer.size(), "payload",
+        "frame truncated: header promises " + std::to_string(h.payload_len) +
+            " payload bytes, buffer holds " +
+            std::to_string(buffer.size() - kHeaderSize));
+    return result;
+  }
+  if (buffer.size() > kHeaderSize + h.payload_len) {
+    result.error = wire_error(
+        kHeaderSize + h.payload_len, "payload",
+        std::to_string(buffer.size() - kHeaderSize - h.payload_len) +
+            " trailing bytes after the framed payload");
+    return result;
+  }
+  const auto payload = buffer.subspan(kHeaderSize, h.payload_len);
+  const std::uint32_t crc_head =
+      crc32(buffer.first(kHeaderSize - sizeof(std::uint32_t)));
+  const std::uint32_t expect = crc32(payload, crc_head);
+  if (expect != h.checksum) {
+    result.error =
+        wire_error(kHeaderSize - sizeof(std::uint32_t), "checksum",
+                   "checksum mismatch (torn or corrupted frame)");
+    return result;
+  }
+  Frame frame;
+  frame.header = h;
+  frame.payload.assign(payload.begin(), payload.end());
+  result.frame = std::move(frame);
+  return result;
+}
+
+// --- typed payloads ---------------------------------------------------------
+
+std::vector<std::uint8_t> encode_hello(const HelloPayload& hello) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  w.u64(hello.universe);
+  w.u64(hello.counts.size());
+  for (const auto& [elem, count] : hello.counts) {
+    w.u64(elem);
+    w.u64(count);
+  }
+  return out;
+}
+
+std::optional<WireError> decode_hello(std::span<const std::uint8_t> payload,
+                                      HelloPayload& out) {
+  ByteReader r(payload);
+  HelloPayload h;
+  if (!r.u64(h.universe)) {
+    return wire_error(r.offset(), "universe", "hello payload truncated");
+  }
+  std::uint64_t entries = 0;
+  if (!r.u64(entries)) {
+    return wire_error(r.offset(), "counts", "hello payload truncated");
+  }
+  if (entries > h.universe) {
+    return wire_error(r.offset(), "counts",
+                      std::to_string(entries) +
+                          " sparse count entries for a universe of " +
+                          std::to_string(h.universe));
+  }
+  h.counts.reserve(static_cast<std::size_t>(entries));
+  for (std::uint64_t k = 0; k < entries; ++k) {
+    std::uint64_t elem = 0;
+    std::uint64_t count = 0;
+    if (!r.u64(elem) || !r.u64(count)) {
+      return wire_error(r.offset(), "counts", "hello payload truncated");
+    }
+    if (elem >= h.universe) {
+      return wire_error(r.offset() - 16, "counts",
+                        "element " + std::to_string(elem) +
+                            " outside the universe of " +
+                            std::to_string(h.universe));
+    }
+    h.counts.emplace_back(elem, count);
+  }
+  if (r.remaining() != 0) {
+    return wire_error(r.offset(), "counts", "trailing bytes in hello payload");
+  }
+  out = std::move(h);
+  return std::nullopt;
+}
+
+std::vector<std::uint8_t> encode_oracle(const OraclePayload& oracle) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  w.u8(oracle.adjoint);
+  w.u32(oracle.elem_reg);
+  w.u32(oracle.count_reg);
+  w.u32(static_cast<std::uint32_t>(oracle.dims.size()));
+  for (const std::uint64_t d : oracle.dims) w.u64(d);
+  w.u64(oracle.amplitudes.size());
+  for (const cplx& a : oracle.amplitudes) {
+    w.f64(a.real());
+    w.f64(a.imag());
+  }
+  return out;
+}
+
+std::optional<WireError> decode_oracle(std::span<const std::uint8_t> payload,
+                                       OraclePayload& out) {
+  ByteReader r(payload);
+  OraclePayload o;
+  std::uint32_t num_regs = 0;
+  if (!r.u8(o.adjoint) || !r.u32(o.elem_reg) || !r.u32(o.count_reg) ||
+      !r.u32(num_regs)) {
+    return wire_error(r.offset(), "oracle", "oracle payload truncated");
+  }
+  if (o.adjoint > 1) {
+    return wire_error(0, "adjoint", "adjoint flag must be 0 or 1");
+  }
+  if (num_regs == 0 || num_regs > 64) {
+    return wire_error(9, "dims",
+                      "implausible register count " +
+                          std::to_string(num_regs));
+  }
+  if (o.elem_reg >= num_regs || o.count_reg >= num_regs ||
+      o.elem_reg == o.count_reg) {
+    return wire_error(1, "registers",
+                      "elem/count register indices out of range or equal");
+  }
+  o.dims.resize(num_regs);
+  std::uint64_t total = 1;
+  for (std::uint32_t k = 0; k < num_regs; ++k) {
+    if (!r.u64(o.dims[k])) {
+      return wire_error(r.offset(), "dims", "oracle payload truncated");
+    }
+    if (o.dims[k] == 0) {
+      return wire_error(r.offset() - 8, "dims", "register dimension 0");
+    }
+    if (total > kMaxPayload / o.dims[k]) {
+      return wire_error(r.offset() - 8, "dims",
+                        "register dimensions overflow the payload cap");
+    }
+    total *= o.dims[k];
+  }
+  std::uint64_t amps = 0;
+  if (!r.u64(amps)) {
+    return wire_error(r.offset(), "amplitudes", "oracle payload truncated");
+  }
+  if (amps != total) {
+    return wire_error(r.offset() - 8, "amplitudes",
+                      std::to_string(amps) + " amplitudes for a layout of " +
+                          std::to_string(total) + " basis states");
+  }
+  if (r.remaining() != amps * 2 * sizeof(double)) {
+    return wire_error(r.offset(), "amplitudes",
+                      "amplitude block is " + std::to_string(r.remaining()) +
+                          " bytes, expected " +
+                          std::to_string(amps * 2 * sizeof(double)));
+  }
+  o.amplitudes.resize(static_cast<std::size_t>(amps));
+  for (auto& a : o.amplitudes) {
+    double re = 0.0;
+    double im = 0.0;
+    if (!r.f64(re) || !r.f64(im)) {
+      return wire_error(r.offset(), "amplitudes", "oracle payload truncated");
+    }
+    a = cplx{re, im};
+  }
+  out = std::move(o);
+  return std::nullopt;
+}
+
+std::vector<std::uint8_t> encode_amplitudes(std::span<const cplx> amplitudes) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  w.u64(amplitudes.size());
+  for (const cplx& a : amplitudes) {
+    w.f64(a.real());
+    w.f64(a.imag());
+  }
+  return out;
+}
+
+std::optional<WireError> decode_amplitudes(
+    std::span<const std::uint8_t> payload, std::vector<cplx>& out) {
+  ByteReader r(payload);
+  std::uint64_t amps = 0;
+  if (!r.u64(amps)) {
+    return wire_error(r.offset(), "amplitudes", "reply payload truncated");
+  }
+  if (r.remaining() != amps * 2 * sizeof(double)) {
+    return wire_error(r.offset(), "amplitudes",
+                      "amplitude block is " + std::to_string(r.remaining()) +
+                          " bytes, expected " +
+                          std::to_string(amps * 2 * sizeof(double)));
+  }
+  std::vector<cplx> result(static_cast<std::size_t>(amps));
+  for (auto& a : result) {
+    double re = 0.0;
+    double im = 0.0;
+    if (!r.f64(re) || !r.f64(im)) {
+      return wire_error(r.offset(), "amplitudes", "reply payload truncated");
+    }
+    a = cplx{re, im};
+  }
+  out = std::move(result);
+  return std::nullopt;
+}
+
+std::vector<std::uint8_t> encode_update(const UpdatePayload& update) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  w.u64(update.element);
+  w.u64(static_cast<std::uint64_t>(update.delta));
+  return out;
+}
+
+std::optional<WireError> decode_update(std::span<const std::uint8_t> payload,
+                                       UpdatePayload& out) {
+  ByteReader r(payload);
+  UpdatePayload u;
+  std::uint64_t raw_delta = 0;
+  if (!r.u64(u.element) || !r.u64(raw_delta)) {
+    return wire_error(r.offset(), "update", "update payload truncated");
+  }
+  if (r.remaining() != 0) {
+    return wire_error(r.offset(), "update", "trailing bytes in update payload");
+  }
+  u.delta = static_cast<std::int64_t>(raw_delta);
+  out = u;
+  return std::nullopt;
+}
+
+std::vector<std::uint8_t> encode_error(const ErrorPayload& error) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  w.u32(error.code);
+  // memcpy rather than insert: GCC 12's -Warray-bounds false-positives on
+  // vector::insert ranges that follow a 4-byte resize.
+  const std::size_t at = out.size();
+  out.resize(at + error.message.size());
+  if (!error.message.empty()) {
+    std::memcpy(out.data() + at, error.message.data(), error.message.size());
+  }
+  return out;
+}
+
+std::optional<WireError> decode_error(std::span<const std::uint8_t> payload,
+                                      ErrorPayload& out) {
+  ByteReader r(payload);
+  ErrorPayload e;
+  if (!r.u32(e.code)) {
+    return wire_error(r.offset(), "error", "error payload truncated");
+  }
+  e.message.assign(reinterpret_cast<const char*>(payload.data()) + r.offset(),
+                   r.remaining());
+  out = std::move(e);
+  return std::nullopt;
+}
+
+}  // namespace qs::ipc

@@ -1,0 +1,178 @@
+// dqs-wire-v1: the framed binary protocol between the coordinator and the
+// per-machine worker processes (docs/DISTRIBUTION.md).
+//
+// Every message is one length-prefixed frame — a fixed 28-byte header
+// followed by a typed payload — moved over a Unix-domain stream socket:
+//
+//   offset  size  field
+//        0     4  magic        0x44515357 ("DQSW" read big-endian)
+//        4     2  version      1
+//        6     2  type         FrameType
+//        8     4  machine      sender/target machine index
+//       12     4  payload_len  bytes following the header (capped)
+//       16     8  seq          per-connection sequence number; replies echo it
+//       24     4  checksum     CRC-32 over header[0..24) ++ payload
+//
+// All integers are little-endian (pinned by a static_assert in
+// distdb/serialize.cpp). The per-frame CRC covers the header fields AND the
+// payload, so a torn or bit-flipped frame is detected before any of its
+// content is acted on; parse_frame_checked() returns a structured
+// WireError{offset, field, reason} on malformed input and NEVER throws or
+// mutates receiver state — the malformed-wire corpus in
+// tests/test_ipc_wire.cpp feeds it truncated/oversized/corrupt frames.
+//
+// The oracle payload moves raw IEEE-754 doubles: the oracle O_j is an exact
+// permutation of the amplitude vector (Eq. 1), so shipping bytes and
+// relabeling them worker-side is bit-identical to the in-process
+// apply_oracle — the property the chaos grid asserts end to end.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "qsim/linalg.hpp"
+
+namespace qs::ipc {
+
+inline constexpr std::uint32_t kWireMagic = 0x44515357;  // "DQSW"
+inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderSize = 28;
+/// Hard payload cap: a dense coordinator state of a few million amplitudes
+/// (the qsim dense ceiling) at 16 bytes each, plus codec overhead.
+inline constexpr std::uint32_t kMaxPayload = 256u << 20;
+
+enum class FrameType : std::uint16_t {
+  kHello = 1,        // coordinator → worker: universe + sparse counts
+  kHelloAck = 2,     // worker → coordinator: echoes the dataset total
+  kOracle = 3,       // coordinator → worker: apply O_j to these amplitudes
+  kOracleReply = 4,  // worker → coordinator: the permuted amplitudes
+  kPing = 5,         // heartbeat / liveness probe
+  kPong = 6,
+  kArmFault = 7,     // chaos harness: corrupt or tear the next reply
+  kArmFaultAck = 8,
+  kUpdate = 9,       // dynamic dataset update: element multiplicity ± 1
+  kUpdateAck = 10,
+  kShutdown = 11,    // graceful drain; worker acks then exits 0
+  kShutdownAck = 12,
+  kError = 13,       // worker → coordinator: typed refusal, connection lives
+};
+
+const char* to_string(FrameType type);
+bool is_known_frame_type(std::uint16_t raw);
+
+struct FrameHeader {
+  std::uint32_t magic = kWireMagic;
+  std::uint16_t version = kWireVersion;
+  FrameType type = FrameType::kPing;
+  std::uint32_t machine = 0;
+  std::uint32_t payload_len = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t checksum = 0;
+};
+
+struct Frame {
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Where and why a frame failed to parse: byte offset into the buffer, the
+/// header/payload field being decoded, and a human-readable reason —
+/// the transcript-parser error shape (TranscriptParseError), binary flavour.
+struct WireError {
+  std::size_t offset = 0;
+  std::string field;
+  std::string reason;
+
+  /// "wire offset 6, field 'type': <reason>"
+  std::string to_string() const;
+
+  friend bool operator==(const WireError&, const WireError&) = default;
+};
+
+struct FrameParseResult {
+  std::optional<Frame> frame;       ///< engaged iff the frame is valid
+  std::optional<WireError> error;
+
+  bool ok() const noexcept { return frame.has_value(); }
+};
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320), the per-frame checksum.
+std::uint32_t crc32(std::span<const std::uint8_t> data,
+                    std::uint32_t seed = 0);
+
+/// Encode one frame: header with computed checksum, then the payload.
+std::vector<std::uint8_t> encode_frame(FrameType type, std::uint32_t machine,
+                                       std::uint64_t seq,
+                                       std::span<const std::uint8_t> payload);
+
+/// Validate and decode ONLY the 28-byte header (magic, version, known type,
+/// payload cap). The checksum is validated by parse_frame_checked once the
+/// payload is present. Never throws.
+std::optional<WireError> parse_header_checked(
+    std::span<const std::uint8_t> buffer, FrameHeader& out);
+
+/// Validate and decode one complete frame from `buffer` (which must hold
+/// exactly header + payload). Returns either the frame or a structured
+/// WireError; no partial state, no exceptions.
+FrameParseResult parse_frame_checked(std::span<const std::uint8_t> buffer);
+
+// --- typed payloads ---------------------------------------------------------
+
+/// kHello: the worker's entire world — universe size and its machine's
+/// sparse multiplicity vector (the dqsdb sparse-counts shape, binary).
+struct HelloPayload {
+  std::uint64_t universe = 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> counts;  // (elem, c)
+};
+
+/// kOracle: apply O_j (adjoint: O_j†) to these amplitudes. The register
+/// layout travels with the request: dims in most-significant-first order
+/// (qsim/register_layout.hpp) plus which registers are elem and count.
+struct OraclePayload {
+  std::uint8_t adjoint = 0;
+  std::uint32_t elem_reg = 0;
+  std::uint32_t count_reg = 0;
+  std::vector<std::uint64_t> dims;
+  std::vector<cplx> amplitudes;
+};
+
+/// kArmFault: chaos-harness instruction for the next data-bearing reply.
+enum class ArmedFaultMode : std::uint8_t {
+  kCorruptChecksum = 0,  ///< send a full reply whose CRC is wrong
+  kTruncateAndDie = 1,   ///< write a partial frame, then _exit mid-write
+};
+
+struct UpdatePayload {
+  std::uint64_t element = 0;
+  std::int64_t delta = 0;  ///< +1 insert, -1 erase
+};
+
+struct ErrorPayload {
+  std::uint32_t code = 0;
+  std::string message;
+};
+
+std::vector<std::uint8_t> encode_hello(const HelloPayload& hello);
+std::optional<WireError> decode_hello(std::span<const std::uint8_t> payload,
+                                      HelloPayload& out);
+
+std::vector<std::uint8_t> encode_oracle(const OraclePayload& oracle);
+std::optional<WireError> decode_oracle(std::span<const std::uint8_t> payload,
+                                       OraclePayload& out);
+
+std::vector<std::uint8_t> encode_amplitudes(std::span<const cplx> amplitudes);
+std::optional<WireError> decode_amplitudes(
+    std::span<const std::uint8_t> payload, std::vector<cplx>& out);
+
+std::vector<std::uint8_t> encode_update(const UpdatePayload& update);
+std::optional<WireError> decode_update(std::span<const std::uint8_t> payload,
+                                       UpdatePayload& out);
+
+std::vector<std::uint8_t> encode_error(const ErrorPayload& error);
+std::optional<WireError> decode_error(std::span<const std::uint8_t> payload,
+                                      ErrorPayload& out);
+
+}  // namespace qs::ipc

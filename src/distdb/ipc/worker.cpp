@@ -1,0 +1,241 @@
+#include "distdb/ipc/worker.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unistd.h>
+#include <vector>
+
+#include "distdb/ipc/io.hpp"
+#include "distdb/ipc/wire.hpp"
+#include "distdb/serialize.hpp"
+
+namespace qs::ipc {
+namespace {
+
+/// One worker's entire state: its machine's dense multiplicity vector plus
+/// the armed chaos-fault, if any.
+struct WorkerState {
+  std::uint32_t machine = 0;
+  std::uint64_t universe = 0;
+  std::vector<std::uint64_t> counts;
+  std::optional<ArmedFaultMode> armed;
+};
+
+/// Apply O_j (Eq. 1) to the amplitudes in-place of layout semantics: the
+/// count digit of every basis state advances by c_elem mod dim(count). The
+/// register layout travels with the request as dims most-significant-first;
+/// strides follow the RegisterLayout convention (first register most
+/// significant). This is a pure permutation of the amplitude vector, so the
+/// result is bit-identical to Machine::apply_oracle on the coordinator.
+bool apply_oracle_permutation(const WorkerState& state, OraclePayload& oracle) {
+  const std::size_t num_regs = oracle.dims.size();
+  std::vector<std::size_t> strides(num_regs, 1);
+  std::size_t total = 1;
+  for (std::size_t i = num_regs; i-- > 0;) {
+    strides[i] = total;
+    total *= static_cast<std::size_t>(oracle.dims[i]);
+  }
+  if (oracle.amplitudes.size() != total) return false;
+
+  const std::size_t elem_dim =
+      static_cast<std::size_t>(oracle.dims[oracle.elem_reg]);
+  const std::size_t elem_stride = strides[oracle.elem_reg];
+  const std::size_t count_dim =
+      static_cast<std::size_t>(oracle.dims[oracle.count_reg]);
+  const std::size_t count_stride = strides[oracle.count_reg];
+  if (elem_dim != state.universe) return false;
+
+  // Per-element count-digit shift: c_i mod m forward, (m − c_i mod m) mod m
+  // adjoint.
+  std::vector<std::size_t> shift(elem_dim, 0);
+  for (std::size_t i = 0; i < elem_dim && i < state.counts.size(); ++i) {
+    const std::size_t c = static_cast<std::size_t>(state.counts[i]) % count_dim;
+    shift[i] = oracle.adjoint != 0 ? (count_dim - c) % count_dim : c;
+  }
+
+  std::vector<cplx> out(total);
+  for (std::size_t idx = 0; idx < total; ++idx) {
+    const std::size_t elem = (idx / elem_stride) % elem_dim;
+    const std::size_t count = (idx / count_stride) % count_dim;
+    const std::size_t shifted = (count + shift[elem]) % count_dim;
+    const std::size_t dst = idx + (shifted - count) * count_stride;
+    out[dst] = oracle.amplitudes[idx];
+  }
+  oracle.amplitudes = std::move(out);
+  return true;
+}
+
+bool send_frame(int fd, FrameType type, std::uint32_t machine,
+                std::uint64_t seq, std::span<const std::uint8_t> payload) {
+  const auto bytes = encode_frame(type, machine, seq, payload);
+  return write_full(fd, bytes.data(), bytes.size(), Deadline::none()).ok();
+}
+
+bool send_error(int fd, std::uint32_t machine, std::uint64_t seq,
+                std::uint32_t code, const char* message) {
+  const auto payload = encode_error({code, message});
+  return send_frame(fd, FrameType::kError, machine, seq, payload);
+}
+
+/// Realise an armed kCorruptChecksum: a full, framing-valid reply whose CRC
+/// is wrong. The stream stays in sync, so the coordinator classifies a torn
+/// frame and retries without tearing down the connection.
+bool send_corrupted(int fd, FrameType type, std::uint32_t machine,
+                    std::uint64_t seq, std::span<const std::uint8_t> payload) {
+  auto bytes = encode_frame(type, machine, seq, payload);
+  bytes[24] ^= 0xFF;  // flip a checksum byte; length fields stay intact
+  return write_full(fd, bytes.data(), bytes.size(), Deadline::none()).ok();
+}
+
+/// Realise an armed kTruncateAndDie: write half a frame, then die mid-write
+/// exactly as a crashed peer would — the coordinator sees a short read / EOF.
+void send_truncated_and_die(int fd, FrameType type, std::uint32_t machine,
+                            std::uint64_t seq,
+                            std::span<const std::uint8_t> payload) {
+  const auto bytes = encode_frame(type, machine, seq, payload);
+  const std::size_t half = bytes.size() / 2;
+  write_full(fd, bytes.data(), half < kHeaderSize ? half : kHeaderSize + 1,
+             Deadline::none());
+  _exit(0);
+}
+
+/// Send one reply, realising an armed chaos fault if one is pending. The
+/// armed fault applies to the next reply of ANY type except the kArmFaultAck
+/// that acknowledged arming it — so the harness can tear an oracle reply or
+/// a heartbeat pong alike.
+bool send_reply(int fd, WorkerState& state, FrameType type, std::uint64_t seq,
+                std::span<const std::uint8_t> payload) {
+  if (state.armed && type != FrameType::kArmFaultAck) {
+    const ArmedFaultMode mode = *state.armed;
+    state.armed.reset();
+    if (mode == ArmedFaultMode::kCorruptChecksum) {
+      return send_corrupted(fd, type, state.machine, seq, payload);
+    }
+    send_truncated_and_die(fd, type, state.machine, seq, payload);
+  }
+  return send_frame(fd, type, state.machine, seq, payload);
+}
+
+/// Read exactly one frame (header, then payload) from the socket. Returns
+/// false on EOF / error — the worker exits. A malformed frame yields a
+/// kError reply and `true` (connection lives).
+bool read_and_dispatch(int fd, WorkerState& state, bool& done) {
+  std::uint8_t header_bytes[kHeaderSize];
+  const IoResult hr = read_full(fd, header_bytes, kHeaderSize,
+                                Deadline::none());
+  if (!hr.ok()) return false;
+
+  FrameHeader header;
+  if (auto err = parse_header_checked(
+          std::span<const std::uint8_t>(header_bytes, kHeaderSize), header)) {
+    // Headers are unframed bytes; desync is unrecoverable worker-side.
+    send_error(fd, state.machine, 0, 1, err->to_string().c_str());
+    return false;
+  }
+
+  std::vector<std::uint8_t> buffer(kHeaderSize + header.payload_len);
+  std::copy(header_bytes, header_bytes + kHeaderSize, buffer.begin());
+  if (header.payload_len > 0) {
+    const IoResult pr = read_full(fd, buffer.data() + kHeaderSize,
+                                  header.payload_len, Deadline::none());
+    if (!pr.ok()) return false;
+  }
+
+  const FrameParseResult parsed = parse_frame_checked(buffer);
+  if (!parsed.ok()) {
+    send_error(fd, state.machine, header.seq, 2,
+               parsed.error->to_string().c_str());
+    return true;  // framing is intact (length was trusted), keep serving
+  }
+  const Frame& frame = *parsed.frame;
+  const std::uint64_t seq = frame.header.seq;
+
+  switch (frame.header.type) {
+    case FrameType::kHello: {
+      HelloPayload hello;
+      if (auto err = decode_hello(frame.payload, hello))
+        return send_error(fd, state.machine, seq, 3,
+                          err->to_string().c_str());
+      state.universe = hello.universe;
+      state.counts.assign(hello.universe, 0);
+      std::uint64_t total = 0;
+      for (const auto& [elem, count] : hello.counts) {
+        state.counts[elem] = count;
+        total += count;
+      }
+      std::vector<std::uint8_t> ack;
+      ByteWriter w(ack);
+      w.u64(total);
+      return send_reply(fd, state, FrameType::kHelloAck, seq, ack);
+    }
+    case FrameType::kOracle: {
+      OraclePayload oracle;
+      if (auto err = decode_oracle(frame.payload, oracle))
+        return send_error(fd, state.machine, seq, 4,
+                          err->to_string().c_str());
+      if (state.counts.empty())
+        return send_error(fd, state.machine, seq, 5, "oracle before hello");
+      if (!apply_oracle_permutation(state, oracle))
+        return send_error(fd, state.machine, seq, 6,
+                          "oracle layout mismatch");
+      const auto reply = encode_amplitudes(oracle.amplitudes);
+      return send_reply(fd, state, FrameType::kOracleReply, seq, reply);
+    }
+    case FrameType::kPing:
+      return send_reply(fd, state, FrameType::kPong, seq, {});
+    case FrameType::kArmFault: {
+      if (frame.payload.size() != 1 || frame.payload[0] > 1)
+        return send_error(fd, state.machine, seq, 7, "bad arm-fault mode");
+      state.armed = static_cast<ArmedFaultMode>(frame.payload[0]);
+      return send_reply(fd, state, FrameType::kArmFaultAck, seq, {});
+    }
+    case FrameType::kUpdate: {
+      UpdatePayload update;
+      if (auto err = decode_update(frame.payload, update))
+        return send_error(fd, state.machine, seq, 8,
+                          err->to_string().c_str());
+      if (update.element >= state.counts.size())
+        return send_error(fd, state.machine, seq, 9,
+                          "update element outside the universe");
+      auto& count = state.counts[update.element];
+      if (update.delta < 0 && count == 0)
+        return send_error(fd, state.machine, seq, 10,
+                          "erase of absent element");
+      count = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(count) + update.delta);
+      return send_reply(fd, state, FrameType::kUpdateAck, seq, {});
+    }
+    case FrameType::kShutdown:
+      done = true;
+      return send_reply(fd, state, FrameType::kShutdownAck, seq, {});
+    default:
+      return send_error(fd, state.machine, seq, 11,
+                        "frame type not valid coordinator-to-worker");
+  }
+}
+
+}  // namespace
+
+int ipc_worker_main(int fd, std::uint32_t machine) noexcept {
+  WorkerState state;
+  state.machine = machine;
+  bool done = false;
+  // The worker blocks forever on its socket: liveness is the COORDINATOR's
+  // concern (heartbeats + watchdog), and an orphaned worker dies on EOF when
+  // the parent's socket end closes.
+  while (!done) {
+    if (!read_and_dispatch(fd, state, done)) {
+      if (!done) {
+        std::fprintf(stderr, "[dqs-worker %u] socket closed, exiting\n",
+                     machine);
+      }
+      break;
+    }
+  }
+  return 0;
+}
+
+}  // namespace qs::ipc

@@ -1,0 +1,25 @@
+// The per-machine worker process entry point.
+//
+// The supervisor forks one worker per Machine (no exec — the child keeps the
+// parent's text segment and runs this loop on its end of a socketpair). The
+// worker is deliberately primitive: single-threaded, no OpenMP, no shared
+// state with the coordinator, owning only its machine's multiplicity vector
+// (delivered by kHello) and applying the oracle permutation to whatever
+// amplitudes arrive in a kOracle frame. All failure handling lives on the
+// coordinator side; the worker's job is to be trivially correct and
+// trivially killable — the chaos harness SIGKILLs and SIGSTOPs it
+// mid-schedule and the supervisor must recover.
+#pragma once
+
+#include <cstdint>
+
+namespace qs::ipc {
+
+/// Run the worker protocol loop on `fd` (the child's end of the socketpair)
+/// as machine `machine`. Returns the process exit code: 0 after a graceful
+/// kShutdown or peer EOF, nonzero on an unrecoverable local error. Never
+/// throws; the caller passes the result straight to _exit so no atexit
+/// handlers or stream flushes race the parent.
+int ipc_worker_main(int fd, std::uint32_t machine) noexcept;
+
+}  // namespace qs::ipc

@@ -53,6 +53,11 @@ class Machine {
   std::uint64_t queries() const noexcept { return query_count_; }
   void reset_queries() const noexcept { query_count_ = 0; }
 
+  /// Record one query answered by this machine's REMOTE worker process (ipc
+  /// transport): the oracle ran off-coordinator, but the paper's query
+  /// ledger charges the machine identically either way.
+  void count_remote_query() const noexcept { ++query_count_; }
+
   /// Remove the last query from this machine's sequential ledger. Used when
   /// an Ô_j application happens INSIDE a parallel round (Eq. 3), which is
   /// charged once per round on the database instead.

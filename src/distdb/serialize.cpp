@@ -1,5 +1,6 @@
 #include "distdb/serialize.hpp"
 
+#include <bit>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -8,6 +9,11 @@
 #include "common/require.hpp"
 
 namespace qs {
+
+// The ByteWriter/ByteReader cursors memcpy host-order integers straight into
+// the wire image; dqs-wire-v1 is defined little-endian.
+static_assert(std::endian::native == std::endian::little,
+              "dqs-wire-v1 assumes a little-endian host");
 
 void save_database(std::ostream& os, const DistributedDatabase& db) {
   os << "dqsdb 1\n";

@@ -13,8 +13,12 @@
 // their own shard layouts.
 #pragma once
 
+#include <cstdint>
+#include <cstring>
 #include <iosfwd>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "distdb/distributed_database.hpp"
 
@@ -31,5 +35,73 @@ DistributedDatabase load_database(std::istream& is);
 void save_database_file(const std::string& path,
                         const DistributedDatabase& db);
 DistributedDatabase load_database_file(const std::string& path);
+
+// --- binary cursors ---------------------------------------------------------
+//
+// Fixed-width little-endian primitives for the dqs-wire-v1 frame codec
+// (distdb/ipc/wire.hpp). Every multi-byte field that crosses the process
+// boundary goes through these two cursors, so the byte layout is defined in
+// exactly one place and reads are bounds-checked rather than pointer-cast.
+
+/// Append-only little-endian encoder over a caller-visible byte vector.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) { raw(&v, sizeof v); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+  void bytes(std::span<const std::uint8_t> data) {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const std::size_t at = out_.size();
+    out_.resize(at + n);
+    // Little-endian host assumed (x86-64 / aarch64 Linux); static_assert in
+    // serialize.cpp pins it so a big-endian port fails loudly at compile.
+    std::memcpy(out_.data() + at, p, n);
+  }
+
+  std::vector<std::uint8_t>& out_;
+};
+
+/// Bounds-checked little-endian decoder. Reads never fault: each accessor
+/// reports success and leaves the cursor in place on a short buffer, so a
+/// frame parser can turn the failure into a structured WireError naming the
+/// offset instead of crashing on truncated input.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::size_t offset() const noexcept { return offset_; }
+  std::size_t remaining() const noexcept { return data_.size() - offset_; }
+
+  bool u8(std::uint8_t& v) { return raw(&v, sizeof v); }
+  bool u16(std::uint16_t& v) { return raw(&v, sizeof v); }
+  bool u32(std::uint32_t& v) { return raw(&v, sizeof v); }
+  bool u64(std::uint64_t& v) { return raw(&v, sizeof v); }
+  bool f64(double& v) { return raw(&v, sizeof v); }
+  bool bytes(std::uint8_t* out, std::size_t n) { return raw(out, n); }
+  bool skip(std::size_t n) {
+    if (remaining() < n) return false;
+    offset_ += n;
+    return true;
+  }
+
+ private:
+  bool raw(void* p, std::size_t n) {
+    if (remaining() < n) return false;
+    std::memcpy(p, data_.data() + offset_, n);
+    offset_ += n;
+    return true;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t offset_ = 0;
+};
 
 }  // namespace qs

@@ -15,6 +15,9 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kDelay: return "delay";
     case FaultKind::kMachineCrash: return "crash";
     case FaultKind::kOracleTransient: return "transient";
+    case FaultKind::kProcessKill: return "kill";
+    case FaultKind::kProcessHang: return "hang";
+    case FaultKind::kTornFrame: return "torn";
   }
   return "unknown";
 }
@@ -33,7 +36,8 @@ FaultPlan::FaultPlan(std::vector<FaultEvent> events)
     : events_(std::move(events)) {
   for (const auto& e : events_) {
     const bool durable =
-        e.kind == FaultKind::kMachineCrash || e.kind == FaultKind::kDelay;
+        e.kind == FaultKind::kMachineCrash || e.kind == FaultKind::kDelay ||
+        e.kind == FaultKind::kProcessKill || e.kind == FaultKind::kProcessHang;
     QS_REQUIRE(!durable || e.duration >= 1,
                std::string("fault plan: ") + qs::to_string(e.kind) +
                    " needs duration >= 1 schedule event");
@@ -73,6 +77,28 @@ FaultPlan FaultPlan::random(std::uint64_t seed, std::uint64_t schedule_events,
     edge += profile.transient_rate;
     if (roll < edge) {
       events.push_back({slot, FaultKind::kOracleTransient, 0, 0});
+      continue;
+    }
+    // Process-level edges come last so the default (all-zero) rates leave
+    // every seed's plan byte-identical to what it was before these kinds
+    // existed.
+    edge += profile.process_kill_rate;
+    if (roll < edge) {
+      events.push_back({slot, FaultKind::kProcessKill,
+                        static_cast<std::size_t>(rng.uniform_below(machines)),
+                        1 + rng.uniform_below(profile.max_crash_duration)});
+      continue;
+    }
+    edge += profile.process_hang_rate;
+    if (roll < edge) {
+      events.push_back({slot, FaultKind::kProcessHang,
+                        static_cast<std::size_t>(rng.uniform_below(machines)),
+                        1 + rng.uniform_below(profile.max_crash_duration)});
+      continue;
+    }
+    edge += profile.torn_frame_rate;
+    if (roll < edge) {
+      events.push_back({slot, FaultKind::kTornFrame, 0, 0});
     }
   }
   return FaultPlan(std::move(events));
@@ -133,6 +159,12 @@ FaultPlan parse_fault_plan(const std::string& text) {
       e.kind = FaultKind::kMachineCrash;
     } else if (kind_token == "transient") {
       e.kind = FaultKind::kOracleTransient;
+    } else if (kind_token == "kill") {
+      e.kind = FaultKind::kProcessKill;
+    } else if (kind_token == "hang") {
+      e.kind = FaultKind::kProcessHang;
+    } else if (kind_token == "torn") {
+      e.kind = FaultKind::kTornFrame;
     } else {
       QS_REQUIRE(false, "fault plan line " + std::to_string(lineno) +
                             ": unknown fault kind '" + kind_token + "'");

@@ -40,6 +40,15 @@ enum class FaultKind : std::uint8_t {
   kDelay,            // straggler: success plus `duration` events of latency
   kMachineCrash,     // `machine` down for `duration` events, then restarts
   kOracleTransient,  // one failed oracle invocation at the slot
+  // Process-level kinds, realised by the ipc chaos harness against REAL
+  // worker processes (SIGKILL / SIGSTOP / a deliberately corrupted frame).
+  // Their recovery semantics intentionally coincide with the transport-level
+  // kinds above — kill/hang recover like a crash, a torn frame like a drop —
+  // so one plan replays on both the simulated and the ipc transport and the
+  // recovered transcripts can be compared event for event.
+  kProcessKill,      // worker SIGKILLed; down `duration` events, respawned
+  kProcessHang,      // worker SIGSTOPped; watchdog kills + respawns likewise
+  kTornFrame,        // one reply arrives with a bad checksum and is discarded
 };
 
 const char* to_string(FaultKind kind);
@@ -69,6 +78,13 @@ struct FaultProfile {
   double delay_rate = 0.04;
   double crash_rate = 0.03;
   double transient_rate = 0.05;
+  // Process-level rates, 0 by default. They are rolled AFTER the four
+  // transport-level edges, so enabling them never perturbs the events a
+  // given seed produces for the defaults (plan reproducibility across
+  // versions is part of the artifact contract).
+  double process_kill_rate = 0.0;
+  double process_hang_rate = 0.0;
+  double torn_frame_rate = 0.0;
   std::uint64_t max_crash_duration = 6;  ///< events; drawn uniformly ≥ 1
   std::uint64_t max_delay = 4;           ///< events; drawn uniformly ≥ 1
 };

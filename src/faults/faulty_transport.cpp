@@ -12,10 +12,14 @@ FaultyTransportSession::FaultyTransportSession(std::size_t machines,
       plan_(plan),
       session_(machines),
       down_until_(machines, 0),
-      injected_by_kind_(4, 0) {
+      injected_by_kind_(7, 0) {
   for (const auto& e : plan_.events()) {
-    QS_REQUIRE(e.kind != FaultKind::kMachineCrash || e.machine < machines_,
-               "fault plan crashes machine " + std::to_string(e.machine) +
+    const bool targeted = e.kind == FaultKind::kMachineCrash ||
+                          e.kind == FaultKind::kProcessKill ||
+                          e.kind == FaultKind::kProcessHang;
+    QS_REQUIRE(!targeted || e.machine < machines_,
+               std::string("fault plan ") + qs::to_string(e.kind) +
+                   "s machine " + std::to_string(e.machine) +
                    " but the session has only " + std::to_string(machines_) +
                    " machines");
   }
@@ -31,8 +35,13 @@ void FaultyTransportSession::activate_pending() {
     ++injected_by_kind_[static_cast<std::size_t>(e.kind)];
     switch (e.kind) {
       case FaultKind::kMachineCrash:
+      case FaultKind::kProcessKill:
+      case FaultKind::kProcessHang:
         // Down from NOW (the first attempt at the slot) for `duration`
-        // events; overlapping crashes extend, never shorten.
+        // events; overlapping crashes extend, never shorten. The process
+        // kinds simulate identically to a crash here — their difference is
+        // HOW the ipc harness realises them (SIGKILL vs SIGSTOP), which the
+        // logical clock cannot see.
         down_until_[e.machine] =
             std::max(down_until_[e.machine], clock_ + 1 + e.duration);
         break;
@@ -41,6 +50,7 @@ void FaultyTransportSession::activate_pending() {
         break;
       case FaultKind::kDropBundle:
       case FaultKind::kOracleTransient:
+      case FaultKind::kTornFrame:
         armed_oneshots_.push_back(e.kind);
         break;
     }
@@ -55,8 +65,8 @@ Attempt FaultyTransportSession::attempt_sequential(std::size_t machine) {
   ++clock_;  // the attempt itself consumes one schedule event
   if (next_oneshot_ < armed_oneshots_.size()) {
     const FaultKind kind = armed_oneshots_[next_oneshot_++];
-    return {kind == FaultKind::kDropBundle ? AttemptResult::kDropped
-                                           : AttemptResult::kTransient,
+    return {kind == FaultKind::kOracleTransient ? AttemptResult::kTransient
+                                                : AttemptResult::kDropped,
             0, machine};
   }
   if (down_until_[machine] > clock_) {
@@ -79,8 +89,8 @@ Attempt FaultyTransportSession::attempt_parallel_round() {
   ++clock_;
   if (next_oneshot_ < armed_oneshots_.size()) {
     const FaultKind kind = armed_oneshots_[next_oneshot_++];
-    return {kind == FaultKind::kDropBundle ? AttemptResult::kDropped
-                                           : AttemptResult::kTransient,
+    return {kind == FaultKind::kOracleTransient ? AttemptResult::kTransient
+                                                : AttemptResult::kDropped,
             0, machines_};
   }
   // A collective round needs EVERY machine: one crashed site stalls the

@@ -42,35 +42,60 @@ struct Attempt {
   std::size_t machine = 0;
 };
 
-class FaultyTransportSession {
+/// The attempt interface the recovery planner drives. Two implementations:
+/// FaultyTransportSession (below) simulates faults against the in-process
+/// TransportSession, and IpcAttemptSession (faults/ipc_chaos.hpp) realises
+/// the same fault plan against REAL worker processes — mirroring this
+/// class's logical-clock semantics event for event, so the two recoveries
+/// are comparable attempt by attempt.
+class AttemptSession {
+ public:
+  virtual ~AttemptSession() = default;
+
+  /// Attempt the next primary sequential event against `machine`.
+  virtual Attempt attempt_sequential(std::size_t machine) = 0;
+
+  /// Attempt one collective round (all machines must be up).
+  virtual Attempt attempt_parallel_round() = 0;
+
+  /// Backoff: advance the logical clock without attempting anything.
+  virtual void wait(std::uint64_t events) = 0;
+
+  virtual std::uint64_t clock() const = 0;
+  /// Successful (primary) events completed — the fault plan's event index.
+  virtual std::uint64_t primary_events() const = 0;
+
+  /// Injected-fault counts (plan activations, NOT failed attempts: one
+  /// crash activation may fail many attempts while the machine is down).
+  virtual std::uint64_t injected_total() const = 0;
+  virtual std::uint64_t injected(FaultKind kind) const = 0;
+};
+
+class FaultyTransportSession final : public AttemptSession {
  public:
   FaultyTransportSession(std::size_t machines, const FaultPlan& plan);
 
   /// Attempt the next primary sequential event against `machine`: on
-  /// success the underlying session performs the full send+receive pair.
-  Attempt attempt_sequential(std::size_t machine);
+  /// success the underlying session performs the full legal send+receive
+  /// pair.
+  Attempt attempt_sequential(std::size_t machine) override;
 
-  /// Attempt one collective round (all machines must be up).
-  Attempt attempt_parallel_round();
+  Attempt attempt_parallel_round() override;
 
-  /// Backoff: advance the logical clock without attempting anything.
-  void wait(std::uint64_t events) noexcept { clock_ += events; }
+  void wait(std::uint64_t events) override { clock_ += events; }
 
   bool machine_up(std::size_t machine) const;
   /// Clock value at which `machine` restarts (== clock() when up).
   std::uint64_t up_at(std::size_t machine) const;
 
-  std::uint64_t clock() const noexcept { return clock_; }
-  /// Successful (primary) events completed — the fault plan's event index.
-  std::uint64_t primary_events() const noexcept { return primary_events_; }
+  std::uint64_t clock() const override { return clock_; }
+  std::uint64_t primary_events() const override { return primary_events_; }
 
   /// The protocol state machine of record.
   const TransportSession& session() const noexcept { return session_; }
 
-  /// Injected-fault counts (plan activations, NOT failed attempts: one
-  /// crash activation may fail many attempts while the machine is down).
-  std::uint64_t injected_total() const noexcept { return injected_total_; }
-  std::uint64_t injected(FaultKind kind) const;
+  std::uint64_t injected_total() const override { return injected_total_; }
+  std::uint64_t injected(FaultKind kind) const override;
   /// Plan entries whose slot the run never reached.
   std::size_t pending_faults() const noexcept {
     return plan_.size() - next_plan_entry_;

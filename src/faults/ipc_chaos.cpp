@@ -1,0 +1,266 @@
+#include "faults/ipc_chaos.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+#include "distdb/ipc/ipc_channel.hpp"
+#include "sampling/schedule.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace qs {
+
+FaultKind classify_peer_failure(ipc::PeerFailureKind kind) {
+  switch (kind) {
+    case ipc::PeerFailureKind::kExited:
+    case ipc::PeerFailureKind::kKilled:
+    case ipc::PeerFailureKind::kHung:
+    case ipc::PeerFailureKind::kSpawnFailed:
+      return FaultKind::kMachineCrash;
+    case ipc::PeerFailureKind::kTornFrame:
+    case ipc::PeerFailureKind::kWireError:
+      return FaultKind::kDropBundle;
+  }
+  return FaultKind::kMachineCrash;
+}
+
+IpcAttemptSession::IpcAttemptSession(ipc::IpcSupervisor& supervisor,
+                                     const FaultPlan& plan)
+    : supervisor_(supervisor),
+      plan_(plan),
+      machines_(supervisor.num_machines()),
+      down_until_(machines_, 0),
+      injected_by_kind_(7, 0),
+      needs_probe_(machines_, false) {
+  QS_REQUIRE(supervisor_.started(),
+             "ipc attempt session needs a started supervisor");
+  for (const auto& e : plan_.events()) {
+    const bool targeted = e.kind == FaultKind::kMachineCrash ||
+                          e.kind == FaultKind::kProcessKill ||
+                          e.kind == FaultKind::kProcessHang;
+    QS_REQUIRE(!targeted || e.machine < machines_,
+               std::string("fault plan ") + qs::to_string(e.kind) +
+                   "s machine " + std::to_string(e.machine) +
+                   " but the supervisor has only " +
+                   std::to_string(machines_) + " workers");
+  }
+}
+
+std::uint64_t IpcAttemptSession::injected(FaultKind kind) const {
+  return injected_by_kind_.at(static_cast<std::size_t>(kind));
+}
+
+void IpcAttemptSession::realize_crash(const FaultEvent& e) {
+  // kProcessHang really SIGSTOPs (the watchdog must escalate to SIGKILL on
+  // its own); kill and plain crash SIGKILL outright. Either way the logical
+  // down-window is what the planner sees — identical to the simulation.
+  if (supervisor_.peer_alive(e.machine)) {
+    if (e.kind == FaultKind::kProcessHang) {
+      supervisor_.stop_peer(e.machine);
+    } else {
+      supervisor_.kill_peer(e.machine);
+    }
+    needs_probe_[e.machine] = true;
+  }
+  down_until_[e.machine] =
+      std::max(down_until_[e.machine], clock_ + 1 + e.duration);
+}
+
+void IpcAttemptSession::realize_torn(std::size_t preferred_machine) {
+  // Arm a corrupted-checksum reply and collect it with a real ping, so the
+  // CRC check fires against bytes that crossed a real socket. Falls back to
+  // any alive machine; if none is alive the fault stays logical-only.
+  std::size_t target = machines_;
+  if (preferred_machine < machines_ &&
+      supervisor_.peer_alive(preferred_machine)) {
+    target = preferred_machine;
+  } else {
+    for (std::size_t j = 0; j < machines_; ++j) {
+      if (supervisor_.peer_alive(j)) {
+        target = j;
+        break;
+      }
+    }
+  }
+  if (target == machines_) return;
+  if (auto failure = supervisor_.arm_fault(
+          target, ipc::ArmedFaultMode::kCorruptChecksum)) {
+    observed_.push_back(std::move(*failure));
+    return;
+  }
+  auto failure = supervisor_.ping(target);
+  QS_REQUIRE(failure &&
+                 failure->kind == ipc::PeerFailureKind::kTornFrame,
+             "armed checksum corruption was not observed as a torn frame");
+  observed_.push_back(std::move(*failure));
+}
+
+void IpcAttemptSession::ensure_alive(std::size_t machine) {
+  if (supervisor_.peer_alive(machine)) return;
+  auto failure = supervisor_.respawn(machine);
+  QS_REQUIRE(!failure, "ipc chaos could not respawn machine " +
+                           std::to_string(machine) + ": " +
+                           (failure ? failure->to_string() : ""));
+}
+
+void IpcAttemptSession::activate_pending() {
+  const auto& events = plan_.events();
+  while (next_plan_entry_ < events.size() &&
+         events[next_plan_entry_].event <= primary_events_) {
+    const FaultEvent& e = events[next_plan_entry_];
+    ++next_plan_entry_;
+    ++injected_total_;
+    ++injected_by_kind_[static_cast<std::size_t>(e.kind)];
+    switch (e.kind) {
+      case FaultKind::kMachineCrash:
+      case FaultKind::kProcessKill:
+      case FaultKind::kProcessHang:
+        realize_crash(e);
+        break;
+      case FaultKind::kDelay:
+        armed_delay_ += e.duration;
+        break;
+      case FaultKind::kDropBundle:
+      case FaultKind::kOracleTransient:
+      case FaultKind::kTornFrame:
+        armed_oneshots_.push_back(e.kind);
+        break;
+    }
+  }
+}
+
+Attempt IpcAttemptSession::attempt_sequential(std::size_t machine) {
+  QS_REQUIRE(machine < machines_,
+             "attempt_sequential: machine " + std::to_string(machine) +
+                 " out of range (n=" + std::to_string(machines_) + ")");
+  activate_pending();
+  ++clock_;
+  if (next_oneshot_ < armed_oneshots_.size()) {
+    const FaultKind kind = armed_oneshots_[next_oneshot_++];
+    if (kind == FaultKind::kTornFrame) realize_torn(machine);
+    return {kind == FaultKind::kOracleTransient ? AttemptResult::kTransient
+                                                : AttemptResult::kDropped,
+            0, machine};
+  }
+  if (down_until_[machine] > clock_) {
+    if (needs_probe_[machine]) {
+      // One real probe per realised crash: the ping either hits a corpse
+      // (EOF → reap, classify killed/exited) or a SIGSTOP'd process (timeout
+      // → watchdog SIGKILLs and reaps → hung). Both classify as a machine
+      // crash, which is exactly what the planner already decided.
+      needs_probe_[machine] = false;
+      if (auto failure = supervisor_.ping(machine)) {
+        QS_REQUIRE(classify_peer_failure(failure->kind) ==
+                       FaultKind::kMachineCrash,
+                   "probe of a killed worker classified as '" +
+                       failure->to_string() + "', not a machine crash");
+        observed_.push_back(std::move(*failure));
+      }
+    }
+    return {AttemptResult::kMachineDown, 0, machine};
+  }
+  ensure_alive(machine);
+  ++primary_events_;
+  const std::uint64_t delay = armed_delay_;
+  armed_delay_ = 0;
+  armed_oneshots_.clear();
+  next_oneshot_ = 0;
+  clock_ += delay;
+  return {AttemptResult::kOk, delay, machine};
+}
+
+Attempt IpcAttemptSession::attempt_parallel_round() {
+  activate_pending();
+  ++clock_;
+  if (next_oneshot_ < armed_oneshots_.size()) {
+    const FaultKind kind = armed_oneshots_[next_oneshot_++];
+    if (kind == FaultKind::kTornFrame) realize_torn(machines_);
+    return {kind == FaultKind::kOracleTransient ? AttemptResult::kTransient
+                                                : AttemptResult::kDropped,
+            0, machines_};
+  }
+  for (std::size_t j = 0; j < machines_; ++j) {
+    if (down_until_[j] > clock_) {
+      if (needs_probe_[j]) {
+        needs_probe_[j] = false;
+        if (auto failure = supervisor_.ping(j)) {
+          QS_REQUIRE(classify_peer_failure(failure->kind) ==
+                         FaultKind::kMachineCrash,
+                     "probe of a killed worker classified as '" +
+                         failure->to_string() + "', not a machine crash");
+          observed_.push_back(std::move(*failure));
+        }
+      }
+      return {AttemptResult::kMachineDown, 0, j};
+    }
+  }
+  // A collective round touches every worker; all must be running.
+  for (std::size_t j = 0; j < machines_; ++j) ensure_alive(j);
+  ++primary_events_;
+  const std::uint64_t delay = armed_delay_;
+  armed_delay_ = 0;
+  armed_oneshots_.clear();
+  next_oneshot_ = 0;
+  clock_ += delay;
+  return {AttemptResult::kOk, delay, machines_};
+}
+
+SamplerResult run_ipc_sampler(const DistributedDatabase& db, QueryMode mode,
+                              ipc::IpcSupervisor& supervisor,
+                              const SamplerOptions& options) {
+  QS_REQUIRE(supervisor.started(), "run_ipc_sampler needs a started supervisor");
+  QS_REQUIRE(supervisor.num_machines() == db.num_machines(),
+             "supervisor/database machine count mismatch");
+  ipc::IpcOracleChannel channel(supervisor);
+  SamplerOptions ipc_options = options;
+  ipc_options.channel = &channel;
+  return mode == QueryMode::kSequential
+             ? run_sequential_sampler(db, ipc_options)
+             : run_parallel_sampler(db, ipc_options);
+}
+
+FaultedRun run_ipc_sampler_with_faults(const DistributedDatabase& db,
+                                       QueryMode mode, const FaultPlan& plan,
+                                       const RetryPolicy& policy,
+                                       ipc::IpcSupervisor& supervisor,
+                                       const SamplerOptions& options) {
+  QS_REQUIRE(supervisor.started(),
+             "run_ipc_sampler_with_faults needs a started supervisor");
+  QS_REQUIRE(supervisor.num_machines() == db.num_machines(),
+             "supervisor/database machine count mismatch");
+  static auto& t_ns = telemetry::histogram("faults.ipc_recovered_run.ns");
+  telemetry::Span span("faults.ipc_recovered_run", &t_ns);
+  const Transcript schedule = compile_schedule(db, mode);
+
+  // Phase 1: plan recovery with REAL fault realisation — kills, hangs,
+  // watchdog probes, respawns, torn frames — but no amplitude movement.
+  IpcAttemptSession session(supervisor, plan);
+  RecoveryOutcome recovery =
+      plan_recovery(schedule, db.num_machines(), session, policy);
+
+  // Repair the fleet: any worker still dead from a late plan entry is
+  // respawned so the replay (and subsequent serving) sees a full roster.
+  for (std::size_t j = 0; j < supervisor.num_machines(); ++j) {
+    if (!supervisor.peer_alive(j)) {
+      auto failure = supervisor.respawn(j);
+      QS_REQUIRE(!failure, "post-plan repair could not respawn machine " +
+                               std::to_string(j) + ": " +
+                               (failure ? failure->to_string() : ""));
+    }
+  }
+  if (!recovery.ok) {
+    FaultedRun run;
+    run.recovery = std::move(recovery);
+    return run;
+  }
+
+  // Phase 2: replay the recovered order with the amplitudes moving over the
+  // sockets. The permutations are exact, so this is bit-identical to the
+  // simulated recovered run AND to the fault-free run.
+  ipc::IpcOracleChannel channel(supervisor);
+  SamplerOptions ipc_options = options;
+  ipc_options.channel = &channel;
+  return run_recovered_sampler(db, mode, std::move(recovery), ipc_options);
+}
+
+}  // namespace qs

@@ -1,0 +1,106 @@
+// Fault injection and recovery over REAL worker processes.
+//
+// IpcAttemptSession implements the recovery planner's AttemptSession
+// interface against an IpcSupervisor: the same deterministic fault plan that
+// FaultyTransportSession simulates is REALISED here with genuine process
+// boundaries — kProcessKill SIGKILLs the worker, kProcessHang SIGSTOPs it
+// (the supervisor's watchdog must detect the stopped process and escalate),
+// kTornFrame arms the worker to corrupt a real reply's checksum. The
+// session mirrors FaultyTransportSession's logical-clock semantics EXACTLY
+// — every Attempt outcome is a function of the plan and the clock, never of
+// wall-time — so plan_recovery over this session produces the SAME
+// recovered schedule as the simulation (asserted per grid point by
+// `dqs_chaos --ipc`), while the real side effects exercise the process
+// machinery end to end.
+//
+// Execution is two-phase, matching run_sampler_with_faults:
+//   1. plan_recovery drives this session: signals fly, the watchdog reaps,
+//      workers respawn — but no amplitudes move (the dry-run contract).
+//   2. run_recovered_sampler replays the recovered order while an
+//      IpcOracleChannel moves the real amplitudes over the sockets.
+// Oracles are exact permutations, so the final result is bit-identical to
+// the fault-free in-process run.
+#pragma once
+
+#include "distdb/ipc/supervisor.hpp"
+#include "faults/faulty_transport.hpp"
+#include "faults/recovery.hpp"
+
+namespace qs {
+
+/// Map a process/wire-level failure into the fault taxonomy the retry
+/// policy, circuit breaker and recovery planner already understand: a dead,
+/// hung or unspawnable worker recovers like a crashed machine; a torn or
+/// malformed frame recovers like a dropped bundle.
+FaultKind classify_peer_failure(ipc::PeerFailureKind kind);
+
+class IpcAttemptSession final : public AttemptSession {
+ public:
+  /// The supervisor must be started and sized to the plan's machine set.
+  /// Mirrors FaultyTransportSession(machines, plan) logically.
+  IpcAttemptSession(ipc::IpcSupervisor& supervisor, const FaultPlan& plan);
+
+  Attempt attempt_sequential(std::size_t machine) override;
+  Attempt attempt_parallel_round() override;
+  void wait(std::uint64_t events) override { clock_ += events; }
+
+  std::uint64_t clock() const override { return clock_; }
+  std::uint64_t primary_events() const override { return primary_events_; }
+  std::uint64_t injected_total() const override { return injected_total_; }
+  std::uint64_t injected(FaultKind kind) const override;
+
+  /// Every PeerFailure the real transport reported while realising the
+  /// plan (probes of killed/stopped workers, torn replies). Diagnostics;
+  /// the Attempt outcomes never depend on these.
+  const std::vector<ipc::PeerFailure>& observed_failures() const noexcept {
+    return observed_;
+  }
+
+ private:
+  void activate_pending();
+  /// SIGKILL or SIGSTOP the target worker, arming the first-down-attempt
+  /// probe that lets the watchdog observe the corpse.
+  void realize_crash(const FaultEvent& e);
+  /// Arm a real corrupted-checksum reply on an alive machine and collect it
+  /// with a ping, so the torn frame crosses a real socket.
+  void realize_torn(std::size_t preferred_machine);
+  /// Respawn the worker if its logical down-time elapsed but the process is
+  /// still dead. Throws ContractViolation if the respawn budget is gone.
+  void ensure_alive(std::size_t machine);
+
+  ipc::IpcSupervisor& supervisor_;
+  FaultPlan plan_;
+  std::size_t machines_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t primary_events_ = 0;
+  std::size_t next_plan_entry_ = 0;
+  std::vector<std::uint64_t> down_until_;
+  std::vector<FaultKind> armed_oneshots_;
+  std::size_t next_oneshot_ = 0;
+  std::uint64_t armed_delay_ = 0;
+  std::uint64_t injected_total_ = 0;
+  std::vector<std::uint64_t> injected_by_kind_;
+  /// Machines whose crash was realised but not yet probed: the first down
+  /// attempt pays one REAL probe so the watchdog classifies the corpse.
+  std::vector<bool> needs_probe_;
+  std::vector<ipc::PeerFailure> observed_;
+};
+
+/// Fault-free sampler run over the ipc transport: every oracle application
+/// is a framed round-trip to a worker process. Bit-identical to the
+/// in-process run. The supervisor must be started.
+SamplerResult run_ipc_sampler(const DistributedDatabase& db, QueryMode mode,
+                              ipc::IpcSupervisor& supervisor,
+                              const SamplerOptions& options = {});
+
+/// The ipc counterpart of run_sampler_with_faults: plan recovery over an
+/// IpcAttemptSession (real kills, hangs and torn frames), repair the worker
+/// fleet, then replay the recovered schedule with the amplitudes moving
+/// over the sockets. The supervisor must be started.
+FaultedRun run_ipc_sampler_with_faults(const DistributedDatabase& db,
+                                       QueryMode mode, const FaultPlan& plan,
+                                       const RetryPolicy& policy,
+                                       ipc::IpcSupervisor& supervisor,
+                                       const SamplerOptions& options = {});
+
+}  // namespace qs

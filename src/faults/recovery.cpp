@@ -47,11 +47,11 @@ enum class LandResult : std::uint8_t { kOk, kDeferred, kFailed };
 class RecoveryPlanner {
  public:
   RecoveryPlanner(const Transcript& schedule, std::size_t machines,
-                  const FaultPlan& plan, const RetryPolicy& policy)
+                  AttemptSession& transport, const RetryPolicy& policy)
       : schedule_(schedule),
         machines_(machines),
         policy_(policy),
-        transport_(machines, plan),
+        transport_(transport),
         breakers_(machines, CircuitBreaker(policy)) {
     outcome_.ledger.recovery.sequential_per_machine.assign(machines, 0);
   }
@@ -82,11 +82,17 @@ class RecoveryPlanner {
     }
     close_breaker_gauge();
     outcome_.ledger.injected_faults = transport_.injected_total();
+    // The process-level kinds fold into the transport-level buckets they
+    // recover like: a torn frame is one lost reply, a killed or hung worker
+    // is a crashed machine. Per-kind counts stay available on the session.
     outcome_.ledger.injected_drops =
-        transport_.injected(FaultKind::kDropBundle);
+        transport_.injected(FaultKind::kDropBundle) +
+        transport_.injected(FaultKind::kTornFrame);
     outcome_.ledger.injected_delays = transport_.injected(FaultKind::kDelay);
     outcome_.ledger.injected_crashes =
-        transport_.injected(FaultKind::kMachineCrash);
+        transport_.injected(FaultKind::kMachineCrash) +
+        transport_.injected(FaultKind::kProcessKill) +
+        transport_.injected(FaultKind::kProcessHang);
     outcome_.ledger.injected_transients =
         transport_.injected(FaultKind::kOracleTransient);
     outcome_.ok = !failed;
@@ -351,7 +357,7 @@ class RecoveryPlanner {
   const Transcript& schedule_;
   std::size_t machines_;
   RetryPolicy policy_;
-  FaultyTransportSession transport_;
+  AttemptSession& transport_;
   std::vector<CircuitBreaker> breakers_;
   std::vector<std::vector<TranscriptEvent>> forward_orders_;
   std::uint64_t open_breakers_ = 0;
@@ -420,14 +426,20 @@ void emit_ledger_counters(const RecoveryLedger& ledger) {
 RecoveryOutcome plan_recovery(const Transcript& schedule,
                               std::size_t machines, const FaultPlan& plan,
                               const RetryPolicy& policy) {
+  FaultyTransportSession transport(machines, plan);
+  return plan_recovery(schedule, machines, transport, policy);
+}
+
+RecoveryOutcome plan_recovery(const Transcript& schedule,
+                              std::size_t machines, AttemptSession& transport,
+                              const RetryPolicy& policy) {
   QS_REQUIRE(machines >= 1, "recovery needs at least one machine");
   QS_REQUIRE(policy.max_wait_events >= 1,
              "retry policy needs a positive wait budget");
   static auto& t_ns = telemetry::histogram("faults.plan_recovery.ns");
   telemetry::Span span("faults.plan_recovery", &t_ns);
   span.tag("events", static_cast<std::int64_t>(schedule.size()));
-  span.tag("faults", static_cast<std::int64_t>(plan.size()));
-  RecoveryPlanner planner(schedule, machines, plan, policy);
+  RecoveryPlanner planner(schedule, machines, transport, policy);
   return planner.run();
 }
 
@@ -456,10 +468,17 @@ FaultedRun run_sampler_with_faults(const DistributedDatabase& db,
   static auto& t_ns = telemetry::histogram("faults.recovered_run.ns");
   telemetry::Span span("faults.recovered_run", &t_ns);
   const Transcript schedule = compile_schedule(db, mode);
-  FaultedRun run;
-  run.recovery =
+  RecoveryOutcome recovery =
       plan_recovery(schedule, db.num_machines(), plan, policy);
-  emit_ledger_counters(run.recovery.ledger);
+  emit_ledger_counters(recovery.ledger);
+  return run_recovered_sampler(db, mode, std::move(recovery), options);
+}
+
+FaultedRun run_recovered_sampler(const DistributedDatabase& db,
+                                 QueryMode mode, RecoveryOutcome recovery,
+                                 const SamplerOptions& options) {
+  FaultedRun run;
+  run.recovery = std::move(recovery);
   if (!run.recovery.ok) return run;
   ReplayInterposer replay(run.recovery);
   OracleInterposerScope scope(replay);

@@ -69,6 +69,18 @@ RecoveryOutcome plan_recovery(const Transcript& schedule,
                               std::size_t machines, const FaultPlan& plan,
                               const RetryPolicy& policy);
 
+class AttemptSession;  // faults/faulty_transport.hpp
+
+/// As above, but driving a caller-supplied attempt session — this is how the
+/// ipc chaos harness runs the SAME planner over real worker processes
+/// (faults/ipc_chaos.hpp): the planner's decisions depend only on the
+/// Attempt results and the session's logical clock, so a session that
+/// mirrors FaultyTransportSession's clock semantics yields an identical
+/// recovered schedule.
+RecoveryOutcome plan_recovery(const Transcript& schedule,
+                              std::size_t machines, AttemptSession& transport,
+                              const RetryPolicy& policy);
+
 struct FaultedRun {
   /// Engaged iff recovery succeeded; then bit-identical to the fault-free
   /// sampler result for the same database and options.
@@ -94,5 +106,14 @@ FaultedRun run_sampler_with_faults(const DistributedDatabase& db,
                                    QueryMode mode, const FaultPlan& plan,
                                    const RetryPolicy& policy,
                                    const SamplerOptions& options = {});
+
+/// Execute the real sampler once with an ALREADY-PLANNED recovery replayed
+/// through the oracle seam (the second half of run_sampler_with_faults).
+/// The ipc chaos harness uses this to replay a recovery planned over real
+/// worker processes — with options.channel set, the replayed oracles move
+/// amplitudes over the sockets. Returns recovery unexecuted when !ok.
+FaultedRun run_recovered_sampler(const DistributedDatabase& db,
+                                 QueryMode mode, RecoveryOutcome recovery,
+                                 const SamplerOptions& options = {});
 
 }  // namespace qs

@@ -54,11 +54,13 @@ CompiledOp compile_u_rotation(const CoordinatorLayout& regs,
 SingleStateBackend::SingleStateBackend(const DistributedDatabase& db,
                                        StatePrep prep, Transcript* transcript,
                                        OracleObserver observer,
-                                       const StateBackendConfig& backend)
+                                       const StateBackendConfig& backend,
+                                       ipc::OracleChannel* channel)
     : db_(db),
       prep_(prep),
       transcript_(transcript),
       observer_(std::move(observer)),
+      channel_(channel),
       regs_(make_coordinator_layout(db.universe(), db.nu())),
       state_(regs_.layout, backend),
       householder_v_(uniform_prep_householder_vector(db.universe())),
@@ -128,7 +130,14 @@ void SingleStateBackend::oracle(std::size_t j, bool adjoint) {
   if (OracleInterposer* seam = oracle_interposer(); seam != nullptr) {
     j = seam->on_sequential(j, adjoint);
   }
-  db_.machine(j).apply_oracle(state_, regs_.elem, regs_.count, adjoint);
+  if (channel_ != nullptr) {
+    // Remote transport: the worker applies the identical permutation and the
+    // query ledger charges machine j exactly as the in-process path does.
+    channel_->apply_sequential(j, adjoint, state_, regs_.elem, regs_.count);
+    db_.machine(j).count_remote_query();
+  } else {
+    db_.machine(j).apply_oracle(state_, regs_.elem, regs_.count, adjoint);
+  }
   if (transcript_ != nullptr) transcript_->record_sequential(j, adjoint);
   if (observer_) observer_(j, adjoint);
 }
@@ -139,7 +148,14 @@ void SingleStateBackend::parallel_total_shift(bool adjoint) {
   // the exact composite of the two parallel oracle rounds. The shift table
   // comes from the version-keyed cache: one joint-count aggregation per
   // database state, however many AA iterations replay it.
-  state_.apply_value_shift(regs_.count, regs_.elem, total_shift(adjoint));
+  if (channel_ != nullptr) {
+    // Remote transport: n per-machine modular adds compose exactly to the
+    // joint shift (the oracles commute and involve no floating point), so
+    // this is bit-identical to the cached joint-count table below.
+    channel_->apply_total_shift(adjoint, state_, regs_.elem, regs_.count);
+  } else {
+    state_.apply_value_shift(regs_.count, regs_.elem, total_shift(adjoint));
+  }
   // Lemma 4.4: each direction costs one O and one O† round.
   for (const bool round_adjoint : {false, true}) {
     if (OracleInterposer* seam = oracle_interposer(); seam != nullptr) {

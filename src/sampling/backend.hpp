@@ -21,6 +21,7 @@
 #include <optional>
 
 #include "distdb/distributed_database.hpp"
+#include "distdb/ipc/channel.hpp"
 #include "distdb/transcript.hpp"
 #include "qsim/compiled_op.hpp"
 #include "qsim/state_vector.hpp"
@@ -87,10 +88,15 @@ CoordinatorLayout make_coordinator_layout(std::size_t universe,
 /// identical on the dense and sparse backends.
 class SingleStateBackend final : public SamplingBackend {
  public:
+  /// `channel` (distdb/ipc/channel.hpp) selects the oracle transport: null
+  /// applies oracles in-process, non-null routes every application through
+  /// the channel (bit-identical either way — oracles are exact
+  /// permutations). Not owned; must outlive the backend.
   SingleStateBackend(const DistributedDatabase& db, StatePrep prep,
                      Transcript* transcript = nullptr,
                      OracleObserver observer = {},
-                     const StateBackendConfig& backend = {});
+                     const StateBackendConfig& backend = {},
+                     ipc::OracleChannel* channel = nullptr);
 
   std::size_t num_machines() const override;
   void prep_uniform(bool adjoint) override;
@@ -110,6 +116,7 @@ class SingleStateBackend final : public SamplingBackend {
   StatePrep prep_;
   Transcript* transcript_;
   OracleObserver observer_;
+  ipc::OracleChannel* channel_;
   CoordinatorLayout regs_;
   StateVector state_;
   std::vector<cplx> householder_v_;

@@ -73,7 +73,8 @@ SamplerResult run_with_plan(const DistributedDatabase& db, QueryMode mode,
                             const SamplerOptions& options) {
   db.reset_stats();
   SingleStateBackend backend(db, options.prep, options.transcript,
-                             /*observer=*/{}, options.backend);
+                             /*observer=*/{}, options.backend,
+                             options.channel);
   const StateVector target = target_full_state(db, options.backend);
 
   std::vector<double> trajectory;

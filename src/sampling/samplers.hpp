@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "distdb/distributed_database.hpp"
+#include "distdb/ipc/channel.hpp"
 #include "distdb/transcript.hpp"
 #include "sampling/circuit.hpp"
 
@@ -28,6 +29,12 @@ struct SamplerOptions {
   /// memory ceiling at O(nnz) per kernel (docs/PERF.md has the selection
   /// heuristics). The circuit itself is backend-agnostic.
   StateBackendConfig backend = StateBackendConfig::dense();
+  /// Oracle transport (distdb/ipc/channel.hpp): null routes oracles through
+  /// the in-process Machine::apply_oracle; non-null hands every oracle
+  /// application to the channel (e.g. the multi-process ipc transport).
+  /// Not owned; must outlive the run. Oracles are exact permutations, so
+  /// any correct channel yields a bit-identical SamplerResult.
+  ipc::OracleChannel* channel = nullptr;
 };
 
 struct SamplerResult {

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/require.hpp"
+#include "faults/ipc_chaos.hpp"
 #include "faults/recovery.hpp"
 #include "qsim/measure.hpp"
 #include "sampling/classical.hpp"
@@ -29,6 +30,8 @@ struct ServingCounters {
       telemetry::counter("serving.draw.quantum");
   telemetry::Counter& fallback_draws =
       telemetry::counter("serving.draw.fallback");
+  telemetry::Counter& ipc_demotions =
+      telemetry::counter("serving.transport.ipc.demotions");
   telemetry::Gauge& busy = telemetry::gauge("serving.workers.busy");
   telemetry::Gauge& health = telemetry::gauge("serving.health");
   telemetry::Histogram& job_ns = telemetry::histogram("serving.job.ns");
@@ -190,20 +193,79 @@ void SampleService::execute(PendingJob job) {
   job.slot->fulfill(std::move(outcome));
 }
 
-SampleService::BuildOutcome SampleService::build(const PendingJob& job) {
+void SampleService::ensure_ipc_started() {
+  if (supervisor_ == nullptr) {
+    supervisor_ = std::make_unique<ipc::IpcSupervisor>(db_, options_.ipc);
+  }
+  if (!supervisor_->started()) {
+    auto failure = supervisor_->start();
+    QS_REQUIRE(!failure, "ipc transport failed to start: " +
+                             (failure ? failure->to_string() : ""));
+  }
+}
+
+SampleService::BuildOutcome SampleService::build(const PendingJob& job,
+                                                 bool use_ipc) {
   // Runs with NO service lock held: the prep_in_flight_ flag (not mu_)
   // excludes concurrent builds and updates, so the schedule executes on a
   // stable database while other threads keep admitting, shedding and
-  // answering metadata queries.
+  // answering metadata queries. The supervisor is covered by the same
+  // exclusion: only the builder and the (mu_-serialised, prep-excluded)
+  // update propagation ever touch it.
   telemetry::Span span("serving.rebuild", &counters().rebuild_ns);
   span.tag("job", static_cast<std::int64_t>(job.id));
   span.tag("faulted", job.request.faults.has_value() ? 1 : 0);
+  span.tag("ipc", use_ipc ? 1 : 0);
   BuildOutcome out;
   SamplerOptions sampler_options;
   sampler_options.prep = options_.prep;
   sampler_options.backend = options_.backend;
   if (options_.record_transcripts) {
     sampler_options.transcript = &out.transcript;
+  }
+  if (use_ipc) {
+    try {
+      ensure_ipc_started();
+      auto prepared = std::make_shared<Prepared>();
+      prepared->version = db_.version();
+      if (job.request.faults.has_value()) {
+        out.faulted = true;
+        FaultedRun run = run_ipc_sampler_with_faults(
+            db_, options_.mode, *job.request.faults, job.request.retry,
+            *supervisor_, sampler_options);
+        out.ledger = run.recovery.ledger;
+        if (!run.ok()) {
+          // Recovery exhaustion is a FAULT outcome, not a transport
+          // failure: fall through to classical fallback exactly like the
+          // in-process path. The fleet was already repaired by the
+          // post-plan respawn pass, so the supervisor stays armed.
+          out.failure = run.recovery.failure;
+          return out;
+        }
+        prepared->result = std::move(*run.result);
+        prepared->recovered = run.recovery.ledger.injected_faults > 0;
+      } else {
+        prepared->result =
+            run_ipc_sampler(db_, options_.mode, *supervisor_, sampler_options);
+      }
+      out.prepared = std::move(prepared);
+      return out;
+    } catch (const ContractViolation& error) {
+      // Middle rung of the health ladder (docs/ROBUSTNESS.md): the process
+      // transport itself is gone — respawn budget exhausted, handshake
+      // failure, unrecoverable wire error. Reap the fleet and retry THIS
+      // build in-process: the oracles are the same exact permutations, so
+      // the client-visible answer is unchanged; only health degrades.
+      if (supervisor_ != nullptr) {
+        supervisor_->shutdown();
+        supervisor_.reset();
+      }
+      out.ipc_demoted = true;
+      out.ipc_failure = error.what();
+      out.faulted = false;
+      out.ledger = RecoveryLedger{};
+      out.transcript = Transcript{};
+    }
   }
   try {
     auto prepared = std::make_shared<Prepared>();
@@ -307,12 +369,15 @@ JobOutcome SampleService::serve(PendingJob& job) {
     // Become the builder: exactly one per version.
     prep_in_flight_ = true;
     built_here = true;
+    const bool use_ipc =
+        options_.transport == ipc::TransportKind::kIpc && !ipc_demoted_;
     ++stats_.coalesce_misses;
     counters().misses.add();
     lock.unlock();
-    BuildOutcome built = build(job);
+    BuildOutcome built = build(job, use_ipc);
     lock.lock();
     prep_in_flight_ = false;
+    if (built.ipc_demoted) demote_ipc_locked(built.ipc_failure);
     ledger_.accumulate(built.ledger);
     job_ledger = built.ledger;
     if (built.prepared != nullptr) {
@@ -326,8 +391,12 @@ JobOutcome SampleService::serve(PendingJob& job) {
       if (options_.record_transcripts) {
         transcripts_.push_back(std::move(built.transcript));
       }
-      set_health_locked(built.prepared->recovered ? ServerHealth::kDegraded
-                                                  : ServerHealth::kHealthy);
+      // A demoted build degrades even when the in-process retry was clean:
+      // the service lost its process transport, and admission should shed
+      // low-priority load until clear_faults() re-arms it.
+      set_health_locked(built.prepared->recovered || built.ipc_demoted
+                            ? ServerHealth::kDegraded
+                            : ServerHealth::kHealthy);
     } else {
       fallback_ = true;
       last_failure_ = built.failure;
@@ -374,6 +443,12 @@ JobOutcome SampleService::serve(PendingJob& job) {
   return outcome;
 }
 
+void SampleService::demote_ipc_locked(const std::string& why) {
+  ipc_demoted_ = true;
+  last_failure_ = "ipc transport demoted: " + why;
+  counters().ipc_demotions.add();
+}
+
 void SampleService::shutdown() {
   {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -391,12 +466,47 @@ void SampleService::shutdown() {
     reject(job->slot, RejectReason::kShuttingDown,
            "service shut down before the job was dispatched");
   }
+  // The pool is joined and the queue drained, so no build can be running:
+  // take the fleet out from under mu_, then drain and reap it outside the
+  // lock (the graceful drain can wait out shutdown_timeout_ms).
+  std::unique_ptr<ipc::IpcSupervisor> supervisor;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    supervisor = std::move(supervisor_);
+  }
+  if (supervisor != nullptr) supervisor->shutdown();
+}
+
+void SampleService::propagate_update_locked(std::size_t machine,
+                                            std::size_t element,
+                                            std::int64_t delta) {
+  // Called under mu_ with no preparation in flight, so the supervisor is
+  // ours to touch. The database mutation already happened; the worker must
+  // follow or be replaced — a stale worker would serve a WRONG permutation.
+  if (supervisor_ == nullptr || !supervisor_->started() || ipc_demoted_) {
+    return;
+  }
+  auto failure = supervisor_->update(
+      machine, static_cast<std::uint64_t>(element), delta);
+  if (!failure) return;
+  // Self-heal: the respawn handshake ships the machine's CURRENT counts,
+  // which already include this mutation.
+  if (auto respawn_failure = supervisor_->respawn(machine)) {
+    demote_ipc_locked("update propagation to machine " +
+                      std::to_string(machine) + " failed (" +
+                      failure->to_string() + ") and respawn failed (" +
+                      respawn_failure->to_string() + ")");
+    set_health_locked(ServerHealth::kDegraded);
+    supervisor_->shutdown();
+    supervisor_.reset();
+  }
 }
 
 void SampleService::insert(std::size_t machine, std::size_t element) {
   std::unique_lock<std::mutex> lock(mu_);
   prep_cv_.wait(lock, [&] { return !prep_in_flight_; });
   db_.insert(machine, element);
+  propagate_update_locked(machine, element, +1);
   if (prepared_ != nullptr) {
     prepared_.reset();  // in-flight jobs holding the snapshot finish on it
     ++stats_.invalidations;
@@ -408,6 +518,7 @@ void SampleService::erase(std::size_t machine, std::size_t element) {
   std::unique_lock<std::mutex> lock(mu_);
   prep_cv_.wait(lock, [&] { return !prep_in_flight_; });
   db_.erase(machine, element);
+  propagate_update_locked(machine, element, -1);
   if (prepared_ != nullptr) {
     prepared_.reset();
     ++stats_.invalidations;
@@ -418,8 +529,16 @@ void SampleService::erase(std::size_t machine, std::size_t element) {
 void SampleService::clear_faults() {
   const std::lock_guard<std::mutex> lock(mu_);
   fallback_ = false;
+  ipc_demoted_ = false;  // give a demoted IPC transport a fresh start
   last_failure_.clear();
   set_health_locked(ServerHealth::kHealthy);
+}
+
+ipc::TransportKind SampleService::active_transport() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return options_.transport == ipc::TransportKind::kIpc && !ipc_demoted_
+             ? ipc::TransportKind::kIpc
+             : ipc::TransportKind::kInProcess;
 }
 
 ServerHealth SampleService::health() const {

@@ -48,6 +48,8 @@
 #include <vector>
 
 #include "apps/sample_server.hpp"
+#include "distdb/ipc/channel.hpp"
+#include "distdb/ipc/supervisor.hpp"
 #include "distdb/transcript.hpp"
 #include "qsim/state_backend.hpp"
 #include "serving/job.hpp"
@@ -75,6 +77,19 @@ struct ServiceOptions {
   StateBackendConfig backend = StateBackendConfig::dense();
   /// Admission policy: shed kLow jobs while health is kDegraded.
   bool shed_low_priority_when_degraded = true;
+  /// Oracle transport for preparations (docs/DISTRIBUTION.md). kIpc forks
+  /// one worker process per machine and moves the registers over
+  /// unix-domain sockets; oracles are exact permutations, so the prepared
+  /// state — and every sample — is bit-identical to kInProcess. The health
+  /// ladder extends one rung: an IPC preparation that dies on a contract
+  /// violation (respawn budget gone, unrecoverable wire error) DEMOTES the
+  /// service to the in-process transport and retries within the same
+  /// build; only an in-process failure falls through to the classical
+  /// fallback. Never a hang, never a silent wrong answer.
+  ipc::TransportKind transport = ipc::TransportKind::kInProcess;
+  /// Supervisor tuning when transport == kIpc (deadlines, respawn budget,
+  /// worker stderr capture).
+  ipc::IpcOptions ipc;
 };
 
 /// Aggregate service accounting. After shutdown() has drained,
@@ -139,6 +154,10 @@ class SampleService {
 
   ServerHealth health() const;
   std::string last_failure() const;
+  /// The transport the NEXT preparation will use: ServiceOptions::transport
+  /// until IPC demotion (see ServiceOptions::transport), kInProcess after.
+  /// clear_faults() re-arms a demoted IPC transport.
+  ipc::TransportKind active_transport() const;
   ServingStats stats() const;
   /// Recovery cost accumulated across all faulted preparations.
   RecoveryLedger recovery_ledger() const;
@@ -169,6 +188,11 @@ class SampleService {
     Transcript transcript;  ///< when ServiceOptions::record_transcripts
     std::string failure;
     bool faulted = false;
+    /// The IPC transport died mid-build and the in-process retry (in the
+    /// SAME call) produced this outcome; the serve path latches the
+    /// demotion and degrades health under mu_.
+    bool ipc_demoted = false;
+    std::string ipc_failure;  ///< what killed the transport, when demoted
   };
 
   void worker_loop();
@@ -176,7 +200,20 @@ class SampleService {
   void execute(PendingJob job);
   JobOutcome serve(PendingJob& job);
   /// Runs the sampler with NO service lock held (lock-discipline).
-  BuildOutcome build(const PendingJob& job);
+  /// `use_ipc` is the caller's under-mu_ snapshot of the transport choice;
+  /// the supervisor itself is touched only here, serialized by the
+  /// prep_in_flight_ gate (plus mu_ for insert/erase propagation).
+  BuildOutcome build(const PendingJob& job, bool use_ipc);
+  /// Spawn/handshake the worker fleet if not yet running. Throws
+  /// ContractViolation on failure (caught by build's demotion ladder).
+  void ensure_ipc_started();
+  /// Demote under mu_: latch ipc_demoted_, degrade health, count it.
+  void demote_ipc_locked(const std::string& why);
+  /// Mirror one database mutation onto the live worker (kUpdate frame). A
+  /// failed propagation self-heals by respawning the worker (a fresh
+  /// handshake ships the post-mutation counts); if THAT fails, demote.
+  void propagate_update_locked(std::size_t machine, std::size_t element,
+                               std::int64_t delta);
   void reject(const std::shared_ptr<detail::JobSlot>& slot,
               RejectReason reason, std::string detail);
   void set_health_locked(ServerHealth health);
@@ -199,6 +236,15 @@ class SampleService {
   /// by the next job that arms a fresh plan.
   bool fallback_ = false;
   ServerHealth health_ = ServerHealth::kHealthy;
+  /// Worker fleet when ServiceOptions::transport == kIpc; spawned lazily by
+  /// the first preparation, reaped by shutdown(). Mutated only inside
+  /// build() (excluded by prep_in_flight_) and under mu_ (insert/erase
+  /// propagation, shutdown after the drain).
+  std::unique_ptr<ipc::IpcSupervisor> supervisor_;
+  /// Sticky IPC demotion (the middle rung of the health ladder): set when
+  /// the IPC transport died on a contract violation; cleared by
+  /// clear_faults(). Read/written under mu_ only.
+  bool ipc_demoted_ = false;
   std::string last_failure_;
   ServingStats stats_;
   RecoveryLedger ledger_;

@@ -1,0 +1,45 @@
+// Fixture: bare blocking syscalls in a file that does OS-level I/O.
+// Every one of these must route through the EINTR/deadline wrappers in
+// src/distdb/ipc/io.hpp (ipc-discipline).
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstddef>
+
+namespace qs {
+
+long drain_socket(int fd, char* buf, std::size_t n) {
+  // VIOLATION: bare read() returns early on EINTR and tears the frame.
+  return read(fd, buf, n);
+}
+
+long push_bytes(int fd, const char* buf, std::size_t n) {
+  // VIOLATION: global-scope send() with no deadline budget.
+  return ::send(fd, buf, n, 0);
+}
+
+int reap_child(int pid) {
+  int status = 0;
+  // VIOLATION: bare waitpid() — EINTR here leaks a zombie.
+  waitpid(pid, &status, 0);
+  return status;
+}
+
+// Negative controls: member calls and namespaced helpers with the same
+// token names are NOT the libc symbols and must not be flagged.
+struct Peer {
+  long send(const char*, std::size_t) { return 0; }
+};
+
+namespace io {
+inline long read_full(int, char*, std::size_t) { return 0; }
+}  // namespace io
+
+long ok_wrapped(Peer& peer, const char* buf, std::size_t n) {
+  long total = peer.send(buf, n);
+  total += io::read_full(0, nullptr, 0);
+  return total;
+}
+
+}  // namespace qs

@@ -1,0 +1,418 @@
+// Supervisor / multi-process transport edge cases (distdb/ipc/,
+// faults/ipc_chaos.hpp): parity with the in-process sampler, workers dying
+// before the handshake, mid-parallel-round and adjoint-replay kills, the
+// double-crash breaker, torn frames, dynamic updates over live sockets,
+// and zombie-free shutdown.
+//
+// These tests REALLY fork: every supervisor here spawns one process per
+// machine and signals them for real.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "distdb/ipc/supervisor.hpp"
+#include "distdb/workload.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/ipc_chaos.hpp"
+#include "faults/recovery.hpp"
+#include "qsim/state_vector.hpp"
+#include "sampling/samplers.hpp"
+#include "sampling/schedule.hpp"
+#include "serving/service.hpp"
+
+namespace qs {
+namespace {
+
+DistributedDatabase make_db(std::uint64_t machines = 3,
+                            std::uint64_t seed = 5) {
+  Rng rng(seed);
+  auto datasets = workload::uniform_random(16, machines, 12, rng);
+  const auto nu = min_capacity(datasets) + 2;
+  return DistributedDatabase(std::move(datasets), nu);
+}
+
+/// Fast deadlines: these tests SIGSTOP and SIGKILL children on purpose, and
+/// the watchdog should notice quickly.
+ipc::IpcOptions fast_options() {
+  ipc::IpcOptions options;
+  options.heartbeat_timeout_ms = 200;
+  options.reply_timeout_ms = 2000;
+  return options;
+}
+
+bool bit_identical(const StateVector& a, const StateVector& b) {
+  const auto sa = a.amplitudes();
+  const auto sb = b.amplitudes();
+  if (sa.size() != sb.size()) return false;
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    if (sa[i] != sb[i]) return false;
+  }
+  return true;
+}
+
+// ----------------------------------------------------------------- parity
+
+TEST(IpcTransport, SequentialSamplerIsBitIdenticalOverSockets) {
+  const auto db = make_db();
+  ipc::IpcSupervisor supervisor(db, fast_options());
+  ASSERT_FALSE(supervisor.start().has_value());
+
+  const SamplerResult in_process = run_sequential_sampler(db);
+  const SamplerResult over_ipc =
+      run_ipc_sampler(db, QueryMode::kSequential, supervisor);
+  EXPECT_TRUE(bit_identical(over_ipc.state, in_process.state));
+  EXPECT_EQ(over_ipc.fidelity, in_process.fidelity);
+  EXPECT_EQ(over_ipc.stats, in_process.stats);
+
+  supervisor.shutdown();
+  EXPECT_EQ(supervisor.zombies(), 0u);
+}
+
+TEST(IpcTransport, ParallelSamplerIsBitIdenticalOverSockets) {
+  const auto db = make_db();
+  ipc::IpcSupervisor supervisor(db, fast_options());
+  ASSERT_FALSE(supervisor.start().has_value());
+
+  const SamplerResult in_process = run_parallel_sampler(db);
+  const SamplerResult over_ipc =
+      run_ipc_sampler(db, QueryMode::kParallel, supervisor);
+  EXPECT_TRUE(bit_identical(over_ipc.state, in_process.state));
+  EXPECT_EQ(over_ipc.stats, in_process.stats);
+
+  supervisor.shutdown();
+  EXPECT_EQ(supervisor.zombies(), 0u);
+}
+
+// ------------------------------------------------------- supervisor edges
+
+TEST(IpcSupervisorEdges, WorkerDeadBeforeHandshakeIsAMachineCrash) {
+  const auto db = make_db();
+  auto options = fast_options();
+  options.kill_before_handshake = true;  // every child dies pre-kHello
+  ipc::IpcSupervisor supervisor(db, options);
+
+  const auto failure = supervisor.start();
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_EQ(classify_peer_failure(failure->kind), FaultKind::kMachineCrash);
+
+  // The hook off, every machine respawns and handshakes cleanly.
+  supervisor.options().kill_before_handshake = false;
+  for (std::size_t j = 0; j < supervisor.num_machines(); ++j) {
+    EXPECT_FALSE(supervisor.peer_alive(j));
+    ASSERT_FALSE(supervisor.respawn(j).has_value()) << "machine " << j;
+    EXPECT_FALSE(supervisor.ping(j).has_value());
+  }
+
+  supervisor.shutdown();
+  EXPECT_EQ(supervisor.zombies(), 0u);
+}
+
+TEST(IpcSupervisorEdges, KillMidParallelRoundRecoversBitIdentically) {
+  const auto db = make_db();
+  ipc::IpcSupervisor supervisor(db, fast_options());
+  ASSERT_FALSE(supervisor.start().has_value());
+
+  // Worker 1 is SIGKILLed as the second collective round lands; the
+  // recovery planner waits out the down-window, the harness respawns it,
+  // and the replay is exact.
+  const FaultPlan plan(
+      {FaultEvent{1, FaultKind::kProcessKill, 1, 2}});
+  const FaultedRun run = run_ipc_sampler_with_faults(
+      db, QueryMode::kParallel, plan, RetryPolicy{}, supervisor);
+  ASSERT_TRUE(run.ok()) << run.recovery.failure;
+
+  const SamplerResult baseline = run_parallel_sampler(db);
+  EXPECT_TRUE(bit_identical(run.result->state, baseline.state));
+  EXPECT_EQ(run.result->stats, baseline.stats);
+  EXPECT_EQ(run.recovery.ledger.injected_crashes, 1u);
+
+  supervisor.shutdown();
+  EXPECT_EQ(supervisor.zombies(), 0u);
+}
+
+TEST(IpcSupervisorEdges, KillDuringAdjointReplayRecoversBitIdentically) {
+  const auto db = make_db();
+  ipc::IpcSupervisor supervisor(db, fast_options());
+  ASSERT_FALSE(supervisor.start().has_value());
+
+  // Target a primary event inside the adjoint (C†) half of the schedule:
+  // the sequential schedule interleaves C and C† blocks, and the back half
+  // of the event range replays adjoints. Order-fixed segments cannot
+  // displace, so recovery must wait the crash out — and still be exact.
+  const auto events =
+      compiled_schedule_length(public_params_of(db), QueryMode::kSequential);
+  ASSERT_GT(events, 4u);
+  const FaultPlan plan(
+      {FaultEvent{events - 2, FaultKind::kProcessKill, 0, 3}});
+  const FaultedRun run = run_ipc_sampler_with_faults(
+      db, QueryMode::kSequential, plan, RetryPolicy{}, supervisor);
+  ASSERT_TRUE(run.ok()) << run.recovery.failure;
+
+  const SamplerResult baseline = run_sequential_sampler(db);
+  EXPECT_TRUE(bit_identical(run.result->state, baseline.state));
+  EXPECT_EQ(run.result->stats, baseline.stats);
+
+  supervisor.shutdown();
+  EXPECT_EQ(supervisor.zombies(), 0u);
+}
+
+TEST(IpcSupervisorEdges, DoubleCrashOfOneMachineOpensTheBreaker) {
+  const auto db = make_db();
+  ipc::IpcSupervisor supervisor(db, fast_options());
+  ASSERT_FALSE(supervisor.start().has_value());
+
+  // Machine 0 is killed twice in quick succession; with a threshold of 2
+  // the second run of consecutive failures must trip its breaker. The
+  // SAME plan on the simulated transport must agree — breaker decisions
+  // are part of the deterministic planner, not the transport.
+  RetryPolicy policy;
+  policy.breaker_threshold = 2;
+  const FaultPlan plan({FaultEvent{0, FaultKind::kProcessKill, 0, 4},
+                        FaultEvent{2, FaultKind::kProcessKill, 0, 4}});
+  const FaultedRun run = run_ipc_sampler_with_faults(
+      db, QueryMode::kSequential, plan, policy, supervisor);
+  ASSERT_TRUE(run.ok()) << run.recovery.failure;
+  EXPECT_GE(run.recovery.ledger.breaker_opens, 1u);
+  EXPECT_EQ(run.recovery.ledger.injected_crashes, 2u);
+
+  const FaultedRun simulated = run_sampler_with_faults(
+      db, QueryMode::kSequential, plan, policy);
+  ASSERT_TRUE(simulated.ok());
+  EXPECT_EQ(run.recovery.ledger, simulated.recovery.ledger);
+  EXPECT_TRUE(bit_identical(run.result->state, simulated.result->state));
+
+  supervisor.shutdown();
+  EXPECT_EQ(supervisor.zombies(), 0u);
+}
+
+TEST(IpcSupervisorEdges, TornFrameLeavesThePeerAliveAndClassifiesAsDrop) {
+  const auto db = make_db();
+  ipc::IpcSupervisor supervisor(db, fast_options());
+  ASSERT_FALSE(supervisor.start().has_value());
+
+  ASSERT_FALSE(
+      supervisor.arm_fault(0, ipc::ArmedFaultMode::kCorruptChecksum)
+          .has_value());
+  const auto failure = supervisor.ping(0);
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_EQ(failure->kind, ipc::PeerFailureKind::kTornFrame);
+  EXPECT_EQ(classify_peer_failure(failure->kind), FaultKind::kDropBundle);
+
+  // The stream stayed framed: the peer is alive and the next ping is clean.
+  EXPECT_TRUE(supervisor.peer_alive(0));
+  EXPECT_FALSE(supervisor.ping(0).has_value());
+
+  supervisor.shutdown();
+  EXPECT_EQ(supervisor.zombies(), 0u);
+}
+
+TEST(IpcSupervisorEdges, TruncateAndDieIsDetectedAndRespawnable) {
+  const auto db = make_db();
+  ipc::IpcSupervisor supervisor(db, fast_options());
+  ASSERT_FALSE(supervisor.start().has_value());
+
+  // The worker writes a partial frame and _exits mid-write: the read sees
+  // a short stream, the watchdog reaps an exited child, and the peer is
+  // respawnable.
+  ASSERT_FALSE(
+      supervisor.arm_fault(1, ipc::ArmedFaultMode::kTruncateAndDie)
+          .has_value());
+  const auto failure = supervisor.ping(1);
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_EQ(classify_peer_failure(failure->kind), FaultKind::kMachineCrash);
+  EXPECT_FALSE(supervisor.peer_alive(1));
+
+  ASSERT_FALSE(supervisor.respawn(1).has_value());
+  EXPECT_FALSE(supervisor.ping(1).has_value());
+
+  supervisor.shutdown();
+  EXPECT_EQ(supervisor.zombies(), 0u);
+}
+
+TEST(IpcSupervisorEdges, HungWorkerIsEscalatedByTheWatchdog) {
+  const auto db = make_db();
+  ipc::IpcSupervisor supervisor(db, fast_options());
+  ASSERT_FALSE(supervisor.start().has_value());
+
+  supervisor.stop_peer(2);  // SIGSTOP: alive but wedged
+  const auto failure = supervisor.ping(2);
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_EQ(failure->kind, ipc::PeerFailureKind::kHung);
+  EXPECT_EQ(classify_peer_failure(failure->kind), FaultKind::kMachineCrash);
+  // The watchdog SIGKILLed and reaped it: not alive, not a zombie.
+  EXPECT_FALSE(supervisor.peer_alive(2));
+  EXPECT_EQ(supervisor.zombies(), 0u);
+
+  ASSERT_FALSE(supervisor.respawn(2).has_value());
+  supervisor.shutdown();
+  EXPECT_EQ(supervisor.zombies(), 0u);
+}
+
+TEST(IpcSupervisorEdges, RespawnBudgetExhaustionIsTyped) {
+  const auto db = make_db();
+  auto options = fast_options();
+  options.max_respawns = 1;
+  ipc::IpcSupervisor supervisor(db, options);
+  ASSERT_FALSE(supervisor.start().has_value());
+
+  supervisor.kill_peer(0);
+  ASSERT_FALSE(supervisor.respawn(0).has_value());  // budget: 1 of 1
+  supervisor.kill_peer(0);
+  const auto failure = supervisor.respawn(0);
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_EQ(failure->kind, ipc::PeerFailureKind::kSpawnFailed);
+
+  supervisor.shutdown();
+  EXPECT_EQ(supervisor.zombies(), 0u);
+}
+
+// ----------------------------------------------------------- live updates
+
+TEST(IpcUpdates, UpdateFramesKeepWorkerOraclesInStep) {
+  // Two databases that differ by one insert; one supervisor per db, but the
+  // first worker fleet is brought in step with kUpdate frames instead of a
+  // respawn — its oracle must then match the second fleet's bit for bit.
+  auto before = make_db(2, 9);
+  auto after_db = make_db(2, 9);
+  const std::uint64_t element = 3;
+  after_db.insert(0, element);
+
+  ipc::IpcSupervisor supervisor(before, fast_options());
+  ASSERT_FALSE(supervisor.start().has_value());
+  ASSERT_FALSE(supervisor.update(0, element, +1).has_value());
+
+  ipc::IpcSupervisor reference(after_db, fast_options());
+  ASSERT_FALSE(reference.start().has_value());
+
+  RegisterLayout layout;
+  const RegisterId elem = layout.add("elem", before.universe());
+  const RegisterId count = layout.add("count", before.nu() + 1);
+  StateVector updated(layout);
+  StateVector fresh(layout);
+  ASSERT_FALSE(
+      supervisor.oracle_roundtrip(0, false, updated, elem, count).has_value());
+  ASSERT_FALSE(
+      reference.oracle_roundtrip(0, false, fresh, elem, count).has_value());
+  EXPECT_TRUE(bit_identical(updated, fresh));
+
+  // Erase brings it back: the updated worker agrees with the ORIGINAL db.
+  ASSERT_FALSE(supervisor.update(0, element, -1).has_value());
+  Machine original(before.machine(0).data(), before.nu());
+  StateVector reverted(layout);
+  StateVector local(layout);
+  ASSERT_FALSE(
+      supervisor.oracle_roundtrip(0, false, reverted, elem, count).has_value());
+  original.apply_oracle(local, elem, count, false);
+  EXPECT_TRUE(bit_identical(reverted, local));
+
+  supervisor.shutdown();
+  reference.shutdown();
+  EXPECT_EQ(supervisor.zombies(), 0u);
+  EXPECT_EQ(reference.zombies(), 0u);
+}
+
+// ------------------------------------------------------- serving transport
+
+TEST(IpcServing, ServiceOverIpcServesBitIdenticalSamples) {
+  serving::ServiceOptions ipc_options;
+  ipc_options.workers = 0;
+  ipc_options.transport = ipc::TransportKind::kIpc;
+  serving::SampleService over_ipc(make_db(2, 21), ipc_options);
+  serving::ServiceOptions in_proc_options;
+  in_proc_options.workers = 0;
+  serving::SampleService in_proc(make_db(2, 21), in_proc_options);
+
+  serving::JobRequest request;
+  request.client_seed = 77;
+  request.num_samples = 6;
+  auto a = over_ipc.run(request);
+  auto b = in_proc.run(request);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.result->samples, b.result->samples);
+  EXPECT_EQ(a.result->prep_stats, b.result->prep_stats);
+  EXPECT_EQ(over_ipc.active_transport(), ipc::TransportKind::kIpc);
+  EXPECT_EQ(over_ipc.health(), ServerHealth::kHealthy);
+
+  // Updates reach the live workers as kUpdate frames; the rebuilt
+  // preparation still matches the in-process service draw for draw.
+  over_ipc.insert(0, 3);
+  in_proc.insert(0, 3);
+  over_ipc.insert(1, 7);
+  in_proc.insert(1, 7);
+  over_ipc.erase(1, 7);
+  in_proc.erase(1, 7);
+  request.client_seed = 78;
+  a = over_ipc.run(request);
+  b = in_proc.run(request);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.result->samples, b.result->samples);
+
+  over_ipc.shutdown();
+  in_proc.shutdown();
+}
+
+TEST(IpcServing, TransportFailureDemotesToInProcessWithinTheSameJob) {
+  serving::ServiceOptions options;
+  options.workers = 0;
+  options.transport = ipc::TransportKind::kIpc;
+  // Every worker dies before its handshake: the IPC transport can never
+  // come up, so the FIRST build must demote and still answer in-process.
+  options.ipc.kill_before_handshake = true;
+  serving::SampleService service(make_db(2, 22), options);
+
+  serving::JobRequest request;
+  request.client_seed = 5;
+  request.num_samples = 4;
+  const auto outcome = service.run(request);
+  ASSERT_TRUE(outcome.ok()) << "demoted build should still serve";
+  EXPECT_EQ(outcome.result->samples.size(), 4u);
+  EXPECT_EQ(service.active_transport(), ipc::TransportKind::kInProcess);
+  EXPECT_EQ(service.health(), ServerHealth::kDegraded);
+  EXPECT_NE(service.last_failure().find("ipc transport demoted"),
+            std::string::npos);
+
+  // clear_faults() re-arms the ladder from the top.
+  service.clear_faults();
+  EXPECT_EQ(service.active_transport(), ipc::TransportKind::kIpc);
+  EXPECT_EQ(service.health(), ServerHealth::kHealthy);
+  service.shutdown();
+}
+
+// -------------------------------------------------------------- teardown
+
+TEST(IpcShutdown, DrainsAndReapsEveryChildEvenAfterChaos) {
+  const auto db = make_db(3, 11);
+  ipc::IpcSupervisor supervisor(db, fast_options());
+  ASSERT_FALSE(supervisor.start().has_value());
+
+  std::vector<pid_t> pids;
+  // Mixed fleet at shutdown: one healthy, one SIGKILLed-unreaped, one
+  // SIGSTOPped. shutdown() must drain the healthy one and reap all three.
+  supervisor.kill_peer(0);
+  supervisor.stop_peer(1);
+  supervisor.shutdown();
+  EXPECT_EQ(supervisor.zombies(), 0u);
+
+  // No child of ours is left at the process level either: waitpid(-1)
+  // finds nothing to reap (ECHILD), i.e. no zombies survive the drain.
+  int status = 0;
+  errno = 0;
+  const pid_t reaped = waitpid(-1, &status, WNOHANG);
+  const int saved_errno = errno;
+  EXPECT_TRUE(reaped == 0 || (reaped == -1 && saved_errno == ECHILD));
+
+  // Idempotent.
+  supervisor.shutdown();
+  EXPECT_EQ(supervisor.zombies(), 0u);
+}
+
+}  // namespace
+}  // namespace qs

@@ -1,0 +1,350 @@
+// dqs-wire-v1 malformed-frame corpus (distdb/ipc/wire.hpp).
+//
+// Every adversarial buffer here — truncated, oversized, bit-flipped,
+// wrong-version, wrong-type, bad-checksum — must come back from
+// parse_frame_checked / the payload decoders as a structured
+// WireError{offset, field, reason}: no crash, no exception, no partially
+// decoded frame. The corpus is the binary counterpart of the transcript
+// parser corpus (tests/test_transcript_corpus.cpp).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "distdb/ipc/wire.hpp"
+
+namespace qs::ipc {
+namespace {
+
+std::vector<std::uint8_t> ping_frame() {
+  return encode_frame(FrameType::kPing, 2, 7, {});
+}
+
+std::vector<std::uint8_t> hello_frame() {
+  HelloPayload hello;
+  hello.universe = 16;
+  hello.counts = {{1, 2}, {5, 1}, {9, 3}};
+  const auto payload = encode_hello(hello);
+  return encode_frame(FrameType::kHello, 0, 1, payload);
+}
+
+/// One corpus entry: a mutated buffer plus the field the parser must blame.
+struct Malformed {
+  const char* name;
+  std::vector<std::uint8_t> bytes;
+  const char* field;
+};
+
+std::vector<Malformed> malformed_corpus() {
+  std::vector<Malformed> corpus;
+  const auto ping = ping_frame();
+  const auto hello = hello_frame();
+
+  // --- truncation, header-side -------------------------------------------
+  corpus.push_back({"empty buffer", {}, "magic"});
+  corpus.push_back(
+      {"one byte", {ping.begin(), ping.begin() + 1}, "magic"});
+  corpus.push_back(
+      {"magic only", {ping.begin(), ping.begin() + 4}, "version"});
+  corpus.push_back(
+      {"through version", {ping.begin(), ping.begin() + 6}, "type"});
+  corpus.push_back(
+      {"through type", {ping.begin(), ping.begin() + 8}, "header"});
+  corpus.push_back({"header minus one byte",
+                    {ping.begin(), ping.begin() + (kHeaderSize - 1)},
+                    "header"});
+
+  // --- bad header fields --------------------------------------------------
+  auto bad = ping;
+  bad[0] ^= 0xFF;
+  corpus.push_back({"magic bit-flipped", bad, "magic"});
+  bad = ping;
+  bad[0] = bad[1] = bad[2] = bad[3] = 0;
+  corpus.push_back({"magic zeroed", bad, "magic"});
+  bad = ping;
+  bad[4] = 0;
+  bad[5] = 0;
+  corpus.push_back({"version 0", bad, "version"});
+  bad = ping;
+  bad[4] = 2;
+  corpus.push_back({"version from the future", bad, "version"});
+  bad = ping;
+  bad[4] = 0xFF;
+  bad[5] = 0xFF;
+  corpus.push_back({"version 0xffff", bad, "version"});
+  bad = ping;
+  bad[6] = 0;
+  bad[7] = 0;
+  corpus.push_back({"frame type 0", bad, "type"});
+  bad = ping;
+  bad[6] = 14;
+  corpus.push_back({"frame type one past kError", bad, "type"});
+  bad = ping;
+  bad[6] = 0xFF;
+  bad[7] = 0xFF;
+  corpus.push_back({"frame type 0xffff", bad, "type"});
+
+  // --- payload length lies ------------------------------------------------
+  bad = ping;
+  bad[12] = 0xFF;
+  bad[13] = 0xFF;
+  bad[14] = 0xFF;
+  bad[15] = 0xFF;
+  corpus.push_back({"payload_len 4 GiB", bad, "payload_len"});
+  bad = ping;
+  // One byte past the cap: (256 MiB + 1).
+  const std::uint32_t oversize = kMaxPayload + 1;
+  std::memcpy(bad.data() + 12, &oversize, sizeof oversize);
+  corpus.push_back({"payload_len one past the cap", bad, "payload_len"});
+  bad = ping;
+  bad[12] = 8;  // promises 8 payload bytes, buffer has 0
+  corpus.push_back({"payload promised but absent", bad, "payload"});
+  bad = hello;
+  bad.resize(bad.size() - 1);
+  corpus.push_back({"payload truncated by one byte", bad, "payload"});
+  bad = hello;
+  bad.resize(kHeaderSize + 3);
+  corpus.push_back({"payload cut mid-field", bad, "payload"});
+  bad = hello;
+  bad.push_back(0xAB);
+  corpus.push_back({"one trailing byte", bad, "payload"});
+  bad = hello;
+  bad.insert(bad.end(), 64, 0);
+  corpus.push_back({"sixty-four trailing bytes", bad, "payload"});
+
+  // --- checksum: torn and corrupted frames -------------------------------
+  bad = ping;
+  bad[24] ^= 0xFF;  // the armed-fault kCorruptChecksum byte, exactly
+  corpus.push_back({"checksum bit-flipped", bad, "checksum"});
+  bad = ping;
+  bad[8] ^= 0x01;  // machine field changed under a stale checksum
+  corpus.push_back({"machine flipped under the crc", bad, "checksum"});
+  bad = ping;
+  bad[16] ^= 0x01;  // seq changed under a stale checksum
+  corpus.push_back({"seq flipped under the crc", bad, "checksum"});
+  bad = hello;
+  bad[kHeaderSize] ^= 0x40;  // payload bit rot
+  corpus.push_back({"payload bit-flipped under the crc", bad, "checksum"});
+  bad = hello;
+  bad[bad.size() - 1] ^= 0x80;
+  corpus.push_back({"last payload byte flipped", bad, "checksum"});
+  return corpus;
+}
+
+TEST(WireCorpus, EveryMalformedFrameYieldsAStructuredError) {
+  const auto corpus = malformed_corpus();
+  ASSERT_GE(corpus.size(), 25u);
+  for (const auto& entry : corpus) {
+    SCOPED_TRACE(entry.name);
+    const FrameParseResult result = parse_frame_checked(entry.bytes);
+    EXPECT_FALSE(result.ok());
+    ASSERT_TRUE(result.error.has_value());
+    EXPECT_EQ(result.error->field, entry.field);
+    EXPECT_FALSE(result.error->reason.empty());
+    // The error self-describes: offset and field render into the message.
+    EXPECT_NE(result.error->to_string().find(entry.field), std::string::npos);
+  }
+}
+
+TEST(WireCorpus, ErrorsPinpointTheOffendingOffset) {
+  auto bad = ping_frame();
+  bad[4] = 9;  // version
+  auto result = parse_frame_checked(bad);
+  ASSERT_TRUE(result.error.has_value());
+  EXPECT_EQ(result.error->offset, 4u);
+
+  bad = ping_frame();
+  bad[24] ^= 0xFF;  // checksum field starts at byte 24
+  result = parse_frame_checked(bad);
+  ASSERT_TRUE(result.error.has_value());
+  EXPECT_EQ(result.error->offset, 24u);
+}
+
+// ------------------------------------------------------------- happy paths
+
+TEST(WireFrame, Crc32KnownAnswer) {
+  // The canonical IEEE 802.3 check value: crc32("123456789") = 0xCBF43926.
+  const std::uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(digits), 0xCBF43926u);
+  // Chained == one-shot, the property the frame codec leans on.
+  const auto head = std::span(digits, 4);
+  const auto tail = std::span(digits + 4, 5);
+  EXPECT_EQ(crc32(tail, crc32(head)), 0xCBF43926u);
+}
+
+TEST(WireFrame, WellFormedFrameRoundTrips) {
+  const auto bytes = hello_frame();
+  const FrameParseResult result = parse_frame_checked(bytes);
+  ASSERT_TRUE(result.ok()) << result.error->to_string();
+  EXPECT_EQ(result.frame->header.type, FrameType::kHello);
+  EXPECT_EQ(result.frame->header.machine, 0u);
+  EXPECT_EQ(result.frame->header.seq, 1u);
+
+  HelloPayload hello;
+  ASSERT_FALSE(decode_hello(result.frame->payload, hello).has_value());
+  EXPECT_EQ(hello.universe, 16u);
+  ASSERT_EQ(hello.counts.size(), 3u);
+  EXPECT_EQ(hello.counts[1], (std::pair<std::uint64_t, std::uint64_t>{5, 1}));
+}
+
+TEST(WireFrame, EmptyPayloadFrameRoundTrips) {
+  const auto bytes = ping_frame();
+  const FrameParseResult result = parse_frame_checked(bytes);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.frame->payload.empty());
+  EXPECT_EQ(result.frame->header.payload_len, 0u);
+}
+
+TEST(WirePayloads, OracleRoundTripsBitExactly) {
+  OraclePayload oracle;
+  oracle.adjoint = 1;
+  oracle.elem_reg = 0;
+  oracle.count_reg = 1;
+  oracle.dims = {4, 3};
+  oracle.amplitudes.resize(12);
+  for (std::size_t i = 0; i < oracle.amplitudes.size(); ++i) {
+    oracle.amplitudes[i] = cplx{0.125 * static_cast<double>(i), -1.0 / 3.0};
+  }
+  const auto payload = encode_oracle(oracle);
+  OraclePayload decoded;
+  ASSERT_FALSE(decode_oracle(payload, decoded).has_value());
+  EXPECT_EQ(decoded.adjoint, 1);
+  EXPECT_EQ(decoded.dims, oracle.dims);
+  ASSERT_EQ(decoded.amplitudes.size(), oracle.amplitudes.size());
+  for (std::size_t i = 0; i < decoded.amplitudes.size(); ++i) {
+    // Bit-exact: raw IEEE-754 doubles over the wire, not text.
+    EXPECT_EQ(decoded.amplitudes[i], oracle.amplitudes[i]);
+  }
+}
+
+TEST(WirePayloads, OracleDecoderRejectsAdversarialShapes) {
+  OraclePayload oracle;
+  oracle.adjoint = 0;
+  oracle.elem_reg = 0;
+  oracle.count_reg = 1;
+  oracle.dims = {2, 2};
+  oracle.amplitudes.resize(4);
+  const auto good = encode_oracle(oracle);
+  OraclePayload out;
+
+  // Truncated amplitude block.
+  auto bad = good;
+  bad.resize(bad.size() - 8);
+  auto err = decode_oracle(bad, out);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->field, "amplitudes");
+
+  // Adjoint flag out of range.
+  bad = good;
+  bad[0] = 2;
+  err = decode_oracle(bad, out);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->field, "adjoint");
+
+  // elem == count register.
+  bad = good;
+  std::uint32_t reg = 1;
+  std::memcpy(bad.data() + 1, &reg, sizeof reg);  // elem_reg := count_reg
+  err = decode_oracle(bad, out);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->field, "registers");
+
+  // A dimension of zero.
+  bad = good;
+  for (int i = 0; i < 8; ++i) bad[13 + i] = 0;  // first dim u64 := 0
+  err = decode_oracle(bad, out);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->field, "dims");
+
+  // Amplitude count disagreeing with the dims product.
+  bad = good;
+  bad[29] = 5;  // amps u64 at offset 13 + 2*8 = 29; 4 → 5
+  err = decode_oracle(bad, out);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->field, "amplitudes");
+}
+
+TEST(WirePayloads, HelloDecoderBoundsTheSparseCounts) {
+  HelloPayload hello;
+  hello.universe = 4;
+  hello.counts = {{0, 1}, {3, 2}};
+  const auto good = encode_hello(hello);
+  HelloPayload out;
+  ASSERT_FALSE(decode_hello(good, out).has_value());
+
+  // More entries than the universe could hold.
+  HelloPayload absurd;
+  absurd.universe = 1;
+  absurd.counts = {{0, 1}};
+  auto bytes = encode_hello(absurd);
+  bytes[8] = 9;  // entries u64 := 9 > universe 1
+  auto err = decode_hello(bytes, out);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->field, "counts");
+
+  // Element outside the universe.
+  HelloPayload outside;
+  outside.universe = 4;
+  outside.counts = {{3, 1}};
+  bytes = encode_hello(outside);
+  bytes[16] = 7;  // elem u64 := 7 >= universe 4
+  err = decode_hello(bytes, out);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->field, "counts");
+}
+
+TEST(WirePayloads, AmplitudeAndUpdateDecodersRejectSizeLies) {
+  std::vector<cplx> amps(3, cplx{1.0, 0.0});
+  const auto good = encode_amplitudes(amps);
+  std::vector<cplx> out;
+  ASSERT_FALSE(decode_amplitudes(good, out).has_value());
+  EXPECT_EQ(out.size(), 3u);
+
+  auto bad = good;
+  bad.resize(bad.size() - 1);  // no longer a whole number of doubles
+  auto err = decode_amplitudes(bad, out);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->field, "amplitudes");
+
+  UpdatePayload update;
+  update.element = 9;
+  update.delta = -1;
+  const auto upd = encode_update(update);
+  UpdatePayload udec;
+  ASSERT_FALSE(decode_update(upd, udec).has_value());
+  EXPECT_EQ(udec.element, 9u);
+  EXPECT_EQ(udec.delta, -1);
+
+  auto utrunc = upd;
+  utrunc.resize(12);
+  err = decode_update(utrunc, udec);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->field, "update");
+
+  auto utrail = upd;
+  utrail.push_back(0);
+  err = decode_update(utrail, udec);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->field, "update");
+}
+
+TEST(WirePayloads, ErrorPayloadCarriesCodeAndMessage) {
+  ErrorPayload error;
+  error.code = 42;
+  error.message = "machine 3 refused the oracle";
+  const auto payload = encode_error(error);
+  ErrorPayload decoded;
+  ASSERT_FALSE(decode_error(payload, decoded).has_value());
+  EXPECT_EQ(decoded.code, 42u);
+  EXPECT_EQ(decoded.message, error.message);
+
+  const std::vector<std::uint8_t> torn = {1, 2};  // less than the u32 code
+  auto err = decode_error(torn, decoded);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->field, "error");
+}
+
+}  // namespace
+}  // namespace qs::ipc

@@ -20,6 +20,16 @@
 //         * a recovery that displaced nothing reproduces the canonical
 //           schedule exactly.
 //
+//   dqs_chaos --ipc [--quiet] [--write-failed DIR] [--worker-stderr DIR]
+//       The same 18-point grid over REAL worker processes
+//       (docs/DISTRIBUTION.md): each point forks one worker per machine,
+//       SIGKILLs / SIGSTOPs them and tears live frames mid-schedule per an
+//       ipc-flavoured fault plan, and asserts — on top of every in-process
+//       check — that the recovery planned over the real processes is
+//       event-for-event identical to the simulated recovery, that the
+//       replayed result is bit-identical to the fault-free IN-PROCESS run,
+//       and that shutdown reaps every child (no zombies).
+//
 //   dqs_chaos --plan FILE [--universe N --machines n --total M --seed S]
 //             [--mode seq|par]
 //       Replay one scripted fault plan (the --write-failed artifact
@@ -41,7 +51,10 @@
 #include "distdb/distributed_database.hpp"
 #include "distdb/transport.hpp"
 #include "distdb/workload.hpp"
+#include "distdb/ipc/supervisor.hpp"
 #include "faults/fault_plan.hpp"
+#include "faults/faulty_transport.hpp"
+#include "faults/ipc_chaos.hpp"
 #include "faults/recovery.hpp"
 #include "qsim/measure.hpp"
 #include "sampling/samplers.hpp"
@@ -194,6 +207,147 @@ std::string check_point(const WorkloadPair& pair, QueryMode mode,
   return "";
 }
 
+/// Plan flavour for the ipc grid: mostly process-level faults — real
+/// SIGKILLs, SIGSTOPs and torn frames — over a thin layer of the
+/// transport-level kinds, so both realisation paths stay exercised.
+FaultProfile ipc_profile() {
+  FaultProfile profile;
+  profile.drop_rate = 0.02;
+  profile.delay_rate = 0.02;
+  profile.crash_rate = 0.0;  // superseded by the REAL kill below
+  profile.transient_rate = 0.02;
+  profile.process_kill_rate = 0.04;
+  profile.process_hang_rate = 0.02;
+  profile.torn_frame_rate = 0.04;
+  return profile;
+}
+
+/// One ipc grid point: realise `plan` against real worker processes and
+/// assert the whole contract — identical recovered schedule to the
+/// simulation, bit-identical observables to the fault-free IN-PROCESS run,
+/// verifier-clean transcripts, obliviousness over a twin fleet, balanced
+/// ledger, zombie-free teardown. Returns "" when clean.
+std::string check_ipc_point(const WorkloadPair& pair, QueryMode mode,
+                            const FaultPlan& plan, const RetryPolicy& policy,
+                            const std::string& stderr_dir) {
+  const std::size_t machines = pair.db.num_machines();
+  const PublicParams params = public_params_of(pair.db);
+  const Transcript schedule = compile_schedule(params, mode);
+
+  // Fault-free in-process baseline: the gold standard the socket transport
+  // must hit bit for bit.
+  const SamplerResult r0 = mode == QueryMode::kSequential
+                               ? run_sequential_sampler(pair.db)
+                               : run_parallel_sampler(pair.db);
+
+  // The same plan dry-run on the SIMULATED transport. The ipc session
+  // mirrors its logical clock exactly, so the recovered schedules must be
+  // identical event for event — this is what makes a real SIGKILL
+  // recoverable by the unchanged planner.
+  FaultyTransportSession sim(machines, plan);
+  const RecoveryOutcome simulated =
+      plan_recovery(schedule, machines, sim, policy);
+
+  ipc::IpcOptions ipc_options;
+  ipc_options.heartbeat_timeout_ms = 200;  // fast watchdog for SIGSTOPs
+  ipc_options.worker_stderr_dir = stderr_dir;
+  ipc::IpcSupervisor supervisor(pair.db, ipc_options);
+  if (auto failure = supervisor.start()) {
+    return "supervisor failed to start: " + failure->to_string();
+  }
+
+  Transcript t1;
+  SamplerOptions fault_options;
+  fault_options.transcript = &t1;
+  const FaultedRun run = run_ipc_sampler_with_faults(
+      pair.db, mode, plan, policy, supervisor, fault_options);
+  if (run.ok() != simulated.ok) {
+    return std::string("ipc recovery ") + (run.ok() ? "succeeded" : "failed") +
+           " where the simulation " + (simulated.ok ? "succeeded" : "failed");
+  }
+  if (!run.ok()) return "ipc recovery failed: " + run.recovery.failure;
+
+  // Real and simulated recovery agree attempt for attempt.
+  if (run.recovery.events.size() != simulated.events.size()) {
+    return "ipc recovery planned " +
+           std::to_string(run.recovery.events.size()) +
+           " events; the simulation planned " +
+           std::to_string(simulated.events.size());
+  }
+  for (std::size_t i = 0; i < simulated.events.size(); ++i) {
+    const RecoveredEvent& a = run.recovery.events[i];
+    const RecoveredEvent& b = simulated.events[i];
+    if (!(a.event == b.event) || a.attempts != b.attempts ||
+        a.waited != b.waited || a.injected != b.injected ||
+        a.displaced != b.displaced) {
+      return "ipc recovery diverged from the simulated recovery at event " +
+             std::to_string(i);
+    }
+  }
+  if (!(run.recovery.ledger == simulated.ledger)) {
+    return "ipc recovery ledger differs from the simulated ledger";
+  }
+
+  // Zero-error recovery over real sockets: bit-identical observables.
+  if (!bit_identical(run.result->state, r0.state)) {
+    return "ipc recovered state differs from the in-process state";
+  }
+  if (run.result->fidelity != r0.fidelity) {
+    return "ipc recovered fidelity differs from the in-process run";
+  }
+  if (!(run.result->stats == r0.stats)) {
+    return "ipc primary QueryStats ledger differs from the in-process run";
+  }
+  if (draw_samples(*run.result) != draw_samples(r0)) {
+    return "ipc recovered samples differ from the in-process samples";
+  }
+
+  // The recovered transcript is still a legal, certified protocol run.
+  if (const auto violation =
+          TransportSession::validate_schedule(t1, machines)) {
+    return "ipc transcript is not protocol-clean: " + *violation;
+  }
+  const auto report =
+      analysis::verify_program(analysis::lift_transcript(t1, params, mode));
+  if (!report.clean()) {
+    return "ipc transcript fails dqs_verify: " + report.render();
+  }
+
+  // Obliviousness with real processes: the twin recovers over its OWN
+  // fresh fleet along the identical schedule.
+  ipc::IpcSupervisor twin_supervisor(pair.twin, ipc_options);
+  if (auto failure = twin_supervisor.start()) {
+    return "twin supervisor failed to start: " + failure->to_string();
+  }
+  Transcript t2;
+  SamplerOptions twin_options;
+  twin_options.transcript = &t2;
+  const FaultedRun twin = run_ipc_sampler_with_faults(
+      pair.twin, mode, plan, policy, twin_supervisor, twin_options);
+  if (!twin.ok()) return "twin ipc recovery failed to complete";
+  if (!(t2 == t1)) {
+    return "ipc recovered schedule depends on the data (obliviousness broken)";
+  }
+  if (!(twin.recovery.ledger == run.recovery.ledger)) {
+    return "ipc recovery ledger depends on the data (obliviousness broken)";
+  }
+
+  // The ledger balances against the plan.
+  if (run.recovery.ledger.injected_faults != plan.size()) {
+    return "ipc injected-fault count " +
+           std::to_string(run.recovery.ledger.injected_faults) +
+           " != plan size " + std::to_string(plan.size());
+  }
+
+  // Zombie-free teardown: every forked child reaped.
+  supervisor.shutdown();
+  twin_supervisor.shutdown();
+  if (supervisor.zombies() != 0 || twin_supervisor.zombies() != 0) {
+    return "shutdown left zombie workers";
+  }
+  return "";
+}
+
 void write_failed_plan(const std::string& dir, const std::string& name,
                        const FaultPlan& plan, const std::string& failure) {
   std::error_code ec;
@@ -261,6 +415,64 @@ int run_grid(const CliArgs& args) {
   return 0;
 }
 
+int run_ipc_grid(const CliArgs& args) {
+  const bool quiet = args.get("quiet", false);
+  const auto failed_dir = args.get("write-failed", std::string());
+  const auto stderr_dir = args.get("worker-stderr", std::string());
+  const RetryPolicy policy;
+
+  std::size_t points = 0;
+  std::size_t failures = 0;
+  for (const std::uint64_t machines : {2, 3, 5}) {
+    const WorkloadPair pair =
+        make_workload(kUniverse, machines, kTotal, 100 + machines);
+    for (const QueryMode mode : {QueryMode::kSequential, QueryMode::kParallel}) {
+      const auto events = compiled_schedule_length(
+          public_params_of(pair.db), mode);
+      for (const std::uint64_t plan_seed : {1, 2, 3}) {
+        const FaultPlan plan =
+            FaultPlan::random(plan_seed, events, machines, ipc_profile());
+        const std::string failure =
+            check_ipc_point(pair, mode, plan, policy, stderr_dir);
+        ++points;
+        if (!failure.empty()) {
+          ++failures;
+          std::printf("FAIL n=%llu %s plan_seed=%llu: %s\n",
+                      static_cast<unsigned long long>(machines),
+                      mode_name(mode),
+                      static_cast<unsigned long long>(plan_seed),
+                      failure.c_str());
+          if (!failed_dir.empty()) {
+            write_failed_plan(failed_dir,
+                              "ipc_n" + std::to_string(machines) + "_" +
+                                  mode_name(mode) + "_s" +
+                                  std::to_string(plan_seed),
+                              plan, failure);
+          }
+        } else if (!quiet) {
+          std::printf("ok    n=%llu %s plan_seed=%llu  events=%llu faults=%zu\n",
+                      static_cast<unsigned long long>(machines),
+                      mode_name(mode),
+                      static_cast<unsigned long long>(plan_seed),
+                      static_cast<unsigned long long>(events), plan.size());
+        }
+      }
+    }
+  }
+  if (failures != 0) {
+    std::printf("dqs_chaos: %zu/%zu ipc grid points failed\n", failures,
+                points);
+    return 1;
+  }
+  if (!quiet) {
+    std::printf(
+        "dqs_chaos: all %zu ipc grid points recovered bit-identically over "
+        "real worker processes\n",
+        points);
+  }
+  return 0;
+}
+
 int run_replay(const CliArgs& args) {
   const auto plan_path = args.get("plan", std::string());
   const auto universe = args.get("universe", kUniverse);
@@ -297,8 +509,11 @@ int main(int argc, char** argv) {
     const CliArgs args(argc, argv);
     if (args.has("plan")) return run_replay(args);
     if (args.get("grid", false)) return run_grid(args);
+    if (args.get("ipc", false)) return run_ipc_grid(args);
     std::fprintf(stderr,
                  "usage: dqs_chaos --grid [--quiet] [--write-failed DIR]\n"
+                 "       dqs_chaos --ipc [--quiet] [--write-failed DIR] "
+                 "[--worker-stderr DIR]\n"
                  "       dqs_chaos --plan FILE [--universe N --machines n "
                  "--total M --seed S] [--mode seq|par]\n");
     return 2;

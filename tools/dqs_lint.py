@@ -92,6 +92,20 @@ to the paper's model rather than C++ correctness:
                       are legitimate exceptions — reassociation would break
                       the bit-identical-across-threads contract — and each
                       carries an allow comment saying so.
+  ipc-discipline      Files under src/ that do OS-level I/O (they include
+                      <unistd.h>, <sys/socket.h>, <poll.h>, <sys/wait.h>
+                      or <sys/select.h>) may not call the blocking
+                      syscalls (read/write/send/recv*/accept/poll/select/
+                      waitpid families) directly — every such call must go
+                      through the EINTR-retrying, deadline-honoring
+                      wrappers in src/distdb/ipc/io.hpp (read_full /
+                      write_full / wait_readable / waitpid_retry /
+                      waitpid_deadline). A bare call that returns early on
+                      EINTR tears a frame mid-transfer or leaks a zombie;
+                      the wrappers are the single place the retry loop and
+                      the poll-based deadline live (docs/DISTRIBUTION.md).
+                      src/distdb/ipc/io.cpp is the wrappers' definition
+                      site and the one sanctioned caller.
   error-taxonomy      Library code under src/ must fail through the typed
                       error taxonomy — QS_REQUIRE / QS_ASSERT raising
                       qs::ContractViolation — never via bare throw,
@@ -693,6 +707,43 @@ def rule_simd_discipline(f: File):
                 "reduction whose fold order must not be reassociated)")
 
 
+IPC_IO_ALLOWED = {
+    # The wrappers' own definition site: the EINTR loop and the poll-based
+    # deadline budget live here and nowhere else.
+    "src/distdb/ipc/io.cpp",
+}
+IPC_OS_HEADERS = re.compile(
+    r"#\s*include\s*<(unistd\.h|sys/socket\.h|poll\.h|sys/wait\.h|"
+    r"sys/select\.h)>")
+# Matches a bare or global-scope (`::read`) call to a blocking syscall.
+# Member calls (`sock.send`, `peer->recv`) and namespaced functions
+# (`ipc::read_full`) are excluded by the lookbehind: a preceding `.`, `>`,
+# `:` or word character means the token is not the libc symbol.
+IPC_SYSCALL = re.compile(
+    r"(?<![\w.>:])(?:::\s*)?"
+    r"(read|write|recv|send|recvmsg|sendmsg|accept|accept4|poll|ppoll|"
+    r"select|pselect|waitpid|wait3|wait4)\s*\(")
+
+
+def rule_ipc_discipline(f: File):
+    if not f.rel.startswith("src/") or f.rel in IPC_IO_ALLOWED:
+        return
+    if not IPC_OS_HEADERS.search("\n".join(f.include_lines)):
+        return
+    for i, line in enumerate(f.stripped_lines, 1):
+        m = IPC_SYSCALL.search(line)
+        if m:
+            yield Violation(
+                f.path, i, "ipc-discipline",
+                f"bare {m.group(1)}() in a file doing OS-level I/O; go "
+                "through the EINTR/deadline-safe wrappers in "
+                "src/distdb/ipc/io.hpp (read_full / write_full / "
+                "wait_readable / waitpid_retry / waitpid_deadline) — a "
+                "call that returns early on EINTR tears a frame or leaks "
+                "a zombie, and the wrappers are the single place the "
+                "retry loop and the poll deadline live")
+
+
 ERROR_TAXONOMY_EXEMPT = {
     # The definition site of the taxonomy itself: QS_REQUIRE/QS_ASSERT
     # expand to the one sanctioned throw.
@@ -734,6 +785,7 @@ RULES = {
     "tv-exhaustiveness": rule_tv_exhaustiveness,
     "lock-discipline": rule_lock_discipline,
     "simd-discipline": rule_simd_discipline,
+    "ipc-discipline": rule_ipc_discipline,
     "error-taxonomy": rule_error_taxonomy,
 }
 

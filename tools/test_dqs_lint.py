@@ -33,6 +33,7 @@ EXPECTED = {
     ("src/qsim/bad_op_registry.cpp", "tv-exhaustiveness"),
     ("src/qsim/bad_scalar_loop.cpp", "simd-discipline"),
     ("src/estimation/bad_error.cpp", "error-taxonomy"),
+    ("src/distdb/bad_ipc_read.cpp", "ipc-discipline"),
     ("src/serving/bad_lock.cpp", "lock-discipline"),
 }
 
